@@ -1,0 +1,457 @@
+//! Advertiser campaigns and the submission/acceptance process.
+
+use crate::network::AdNetwork;
+use malvert_types::rng::SeedTree;
+use malvert_types::{CampaignId, DomainName};
+
+/// The lure a deceptive-download creative uses (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LureKind {
+    /// "Your Flash Player is out of date."
+    FakeFlashUpdate,
+    /// "Install this codec / media player to view the content."
+    FakeMediaPlayer,
+    /// "Your computer is infected — download this cleaner."
+    FakeAntivirus,
+}
+
+impl LureKind {
+    /// All lure kinds.
+    pub const ALL: [LureKind; 3] = [
+        LureKind::FakeFlashUpdate,
+        LureKind::FakeMediaPlayer,
+        LureKind::FakeAntivirus,
+    ];
+}
+
+/// What a campaign's creative actually does (§2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignBehavior {
+    /// A legitimate product advertisement: image + click-through link.
+    Benign {
+        /// Advertiser landing-page domain.
+        landing: DomainName,
+    },
+    /// A drive-by download (§2.1): probes browser plugins, and when a
+    /// vulnerable one is found loads the exploit, which drops a payload.
+    DriveBy {
+        /// Exploit-kit landing host.
+        exploit_host: DomainName,
+        /// Malware family id of the dropped payload.
+        family: u32,
+        /// Cloaking: when the environment looks like an analysis system, the
+        /// creative bails out to this destination instead.
+        cloak: CloakStyle,
+    },
+    /// A deceptive download (§2.2): social-engineers the user into
+    /// installing malware voluntarily.
+    Deceptive {
+        /// The lure shown.
+        lure: LureKind,
+        /// Payload host.
+        payload_host: DomainName,
+        /// Malware family id of the payload.
+        family: u32,
+    },
+    /// Link hijacking (§2.3): sets `top.location`, dragging the whole page
+    /// to a scam destination.
+    Hijack {
+        /// Destination the page is dragged to.
+        destination: DomainName,
+    },
+}
+
+/// How a cloaked creative behaves when it detects analysis (§4.1 lists both
+/// observed variants: redirects to NX domains and to benign sites like
+/// Google or Bing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloakStyle {
+    /// No cloaking.
+    None,
+    /// Redirect to a domain that does not resolve.
+    NxDomain,
+    /// Redirect to a well-known benign site.
+    BenignSite,
+}
+
+/// One advertiser campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Dense id.
+    pub id: CampaignId,
+    /// Display name of the (possibly fake) advertiser.
+    pub advertiser: String,
+    /// Behaviour of the creative.
+    pub behavior: CampaignBehavior,
+    /// Auction bid weight: how strongly this campaign competes for slots.
+    /// Malicious campaigns overbid — infections out-earn honest margins.
+    pub bid: f64,
+    /// First study day the campaign runs.
+    pub active_from: u32,
+    /// Number of creative variants (distinct markup per variant).
+    pub variant_count: u32,
+    /// Obfuscation layers applied to malicious script creatives (0–2).
+    pub obfuscation_layers: u8,
+    /// Drive-by only: the kit leads with a malicious Flash stage before the
+    /// executable drop (a minority pattern; feeds Table 1's Flash row).
+    pub uses_flash_exploit: bool,
+    /// Seed for creative generation.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// Is this a malicious campaign?
+    pub fn is_malicious(&self) -> bool {
+        !matches!(self.behavior, CampaignBehavior::Benign { .. })
+    }
+
+    /// Domains this campaign controls (for blacklist ground truth).
+    pub fn controlled_domains(&self) -> Vec<&DomainName> {
+        match &self.behavior {
+            CampaignBehavior::Benign { landing } => vec![landing],
+            CampaignBehavior::DriveBy { exploit_host, .. } => vec![exploit_host],
+            CampaignBehavior::Deceptive { payload_host, .. } => vec![payload_host],
+            CampaignBehavior::Hijack { destination } => vec![destination],
+        }
+    }
+
+    /// Active on `day`?
+    pub fn active_on(&self, day: u32) -> bool {
+        day >= self.active_from
+    }
+}
+
+/// Configuration of the campaign population.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of benign campaigns.
+    pub benign_count: u32,
+    /// Number of drive-by campaigns.
+    pub driveby_count: u32,
+    /// Number of deceptive-download campaigns.
+    pub deceptive_count: u32,
+    /// Number of link-hijack campaigns.
+    pub hijack_count: u32,
+    /// Study length in days (campaign start days spread over the window).
+    pub study_days: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            benign_count: 520,
+            driveby_count: 16,
+            deceptive_count: 10,
+            hijack_count: 7,
+            study_days: 90,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Total campaigns.
+    pub fn total(&self) -> u32 {
+        self.benign_count + self.driveby_count + self.deceptive_count + self.hijack_count
+    }
+}
+
+/// Generates the campaign population.
+pub fn generate_campaigns(tree: SeedTree, config: &CampaignConfig) -> Vec<Campaign> {
+    let tree = tree.branch("campaigns");
+    let mut out = Vec::with_capacity(config.total() as usize);
+    let mut next = 0u32;
+
+    let mut push = |behavior_gen: &mut dyn FnMut(SeedTree, &mut malvert_types::DetRng) -> CampaignBehavior,
+                    count: u32,
+                    malicious: bool,
+                    out: &mut Vec<Campaign>| {
+        for _ in 0..count {
+            let id = CampaignId(next);
+            next += 1;
+            let branch = tree.branch("campaign").branch_idx(u64::from(id.0));
+            let mut rng = branch.rng();
+            let behavior = behavior_gen(branch, &mut rng);
+            let bid = if malicious {
+                // Crooks overbid: 2-5x the honest range.
+                2.0 + 3.0 * rng.unit_f64()
+            } else {
+                0.5 + 1.0 * rng.unit_f64()
+            };
+            // Benign campaigns mostly run the whole window; malicious ones
+            // pop up throughout the study (which exercises blacklist lag).
+            let active_from = if malicious {
+                rng.below((config.study_days as usize * 3 / 4).max(1)) as u32
+            } else if rng.chance(0.8) {
+                0
+            } else {
+                rng.below((config.study_days as usize / 2).max(1)) as u32
+            };
+            let variant_count = if malicious {
+                rng.range_inclusive(1, 4) as u32
+            } else {
+                rng.range_inclusive(1, 14) as u32
+            };
+            let obfuscation_layers = if malicious {
+                rng.range_inclusive(0, 2) as u8
+            } else {
+                0
+            };
+            let uses_flash_exploit =
+                matches!(behavior, CampaignBehavior::DriveBy { .. }) && rng.chance(0.3);
+            out.push(Campaign {
+                id,
+                advertiser: format!(
+                    "{}-{}",
+                    if malicious { "shade" } else { "brand" },
+                    id.0
+                ),
+                behavior,
+                bid,
+                active_from,
+                variant_count,
+                obfuscation_layers,
+                uses_flash_exploit,
+                seed: branch.seed(),
+            });
+        }
+    };
+
+    push(
+        &mut |branch, _rng| CampaignBehavior::Benign {
+            landing: domain_for(branch, "landing"),
+        },
+        config.benign_count,
+        false,
+        &mut out,
+    );
+    push(
+        &mut |branch, rng| CampaignBehavior::DriveBy {
+            exploit_host: domain_for(branch, "exploit"),
+            family: rng.below(malvert_scanner_family_universe()) as u32,
+            cloak: match rng.below(10) {
+                0..=5 => CloakStyle::None,
+                6 | 7 => CloakStyle::NxDomain,
+                _ => CloakStyle::BenignSite,
+            },
+        },
+        config.driveby_count,
+        true,
+        &mut out,
+    );
+    push(
+        &mut |branch, rng| CampaignBehavior::Deceptive {
+            lure: LureKind::ALL[rng.below(LureKind::ALL.len())],
+            payload_host: domain_for(branch, "payload"),
+            family: rng.below(malvert_scanner_family_universe()) as u32,
+        },
+        config.deceptive_count,
+        true,
+        &mut out,
+    );
+    push(
+        &mut |branch, _rng| CampaignBehavior::Hijack {
+            destination: domain_for(branch, "scam"),
+        },
+        config.hijack_count,
+        true,
+        &mut out,
+    );
+    out
+}
+
+/// Family-universe size — kept in sync with `malvert_scanner::report::FAMILY_UNIVERSE`
+/// (checked by an integration test; adnet avoids depending on the scanner).
+fn malvert_scanner_family_universe() -> usize {
+    64
+}
+
+fn domain_for(branch: SeedTree, role: &str) -> DomainName {
+    let mut rng = branch.branch(role).rng();
+    let stems = [
+        "cdn", "media", "content", "assets", "static", "delivery", "promo", "offer", "deal",
+        "click", "track", "gateway", "portal", "zone",
+    ];
+    let stem = stems[rng.below(stems.len())];
+    let tlds = ["com", "net", "biz", "info", "org"];
+    let tld = tlds[rng.below(tlds.len())];
+    let n = rng.below(100_000);
+    DomainName::parse(&format!("{role}-{stem}{n}.{tld}")).expect("generated domain valid")
+}
+
+/// Builds the acceptance matrix: which networks carry which campaigns.
+///
+/// Benign campaigns are welcome almost everywhere. A malicious campaign is
+/// *submitted* everywhere (attackers spray) but enters a book only when the
+/// network's filter misses it — the mechanism behind Figure 1.
+pub fn acceptance_matrix(
+    tree: SeedTree,
+    campaigns: &[Campaign],
+    networks: &[AdNetwork],
+) -> Vec<Vec<CampaignId>> {
+    let tree = tree.branch("acceptance");
+    let mut books: Vec<Vec<CampaignId>> = vec![Vec::new(); networks.len()];
+    for campaign in campaigns {
+        let mut rng = tree.branch_idx(u64::from(campaign.id.0)).rng();
+        for network in networks {
+            let accepted = if campaign.is_malicious() {
+                !rng.chance(network.filter_strength)
+            } else {
+                // Benign campaigns follow brand safety: reputable exchanges
+                // get nearly all legitimate demand, shady networks very
+                // little — which is why the worst networks' traffic is so
+                // disproportionately malicious (Figure 1).
+                let adoption = match network.tier {
+                    crate::network::NetworkTier::Major => 0.92,
+                    crate::network::NetworkTier::Mid => 0.55,
+                    crate::network::NetworkTier::Shady => 0.18,
+                };
+                rng.chance(adoption)
+            };
+            if accepted {
+                books[network.id.index()].push(campaign.id);
+            }
+        }
+    }
+    books
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{AdNetwork, NetworkTier};
+
+    fn setup() -> (Vec<Campaign>, Vec<AdNetwork>, Vec<Vec<CampaignId>>) {
+        let tree = SeedTree::new(3);
+        let campaigns = generate_campaigns(tree, &CampaignConfig::default());
+        let networks = AdNetwork::generate_all(tree, 40);
+        let books = acceptance_matrix(tree, &campaigns, &networks);
+        (campaigns, networks, books)
+    }
+
+    #[test]
+    fn population_counts() {
+        let (campaigns, ..) = setup();
+        let config = CampaignConfig::default();
+        assert_eq!(campaigns.len() as u32, config.total());
+        let malicious = campaigns.iter().filter(|c| c.is_malicious()).count() as u32;
+        assert_eq!(
+            malicious,
+            config.driveby_count + config.deceptive_count + config.hijack_count
+        );
+    }
+
+    #[test]
+    fn malicious_campaigns_overbid() {
+        let (campaigns, ..) = setup();
+        let avg = |malicious: bool| {
+            let v: Vec<f64> = campaigns
+                .iter()
+                .filter(|c| c.is_malicious() == malicious)
+                .map(|c| c.bid)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(true) > avg(false) * 1.5);
+    }
+
+    #[test]
+    fn books_reflect_filter_strength() {
+        let (campaigns, networks, books) = setup();
+        let malicious_share = |net: &AdNetwork| {
+            let book = &books[net.id.index()];
+            if book.is_empty() {
+                return 0.0;
+            }
+            let mal = book
+                .iter()
+                .filter(|id| campaigns[id.index()].is_malicious())
+                .count();
+            mal as f64 / book.len() as f64
+        };
+        let major_avg: f64 = networks
+            .iter()
+            .filter(|n| n.tier == NetworkTier::Major)
+            .map(malicious_share)
+            .sum::<f64>()
+            / networks.iter().filter(|n| n.tier == NetworkTier::Major).count() as f64;
+        let shady_avg: f64 = networks
+            .iter()
+            .filter(|n| n.tier == NetworkTier::Shady)
+            .map(malicious_share)
+            .sum::<f64>()
+            / networks.iter().filter(|n| n.tier == NetworkTier::Shady).count() as f64;
+        assert!(
+            shady_avg > major_avg * 3.0,
+            "shady {shady_avg:.4} vs major {major_avg:.4}"
+        );
+    }
+
+    #[test]
+    fn hotspot_carries_malicious_campaigns() {
+        let (campaigns, networks, books) = setup();
+        let hotspot = networks.iter().find(|n| n.is_hotspot).unwrap();
+        let mal = books[hotspot.id.index()]
+            .iter()
+            .filter(|id| campaigns[id.index()].is_malicious())
+            .count();
+        assert!(mal >= 10, "hotspot carries only {mal} malicious campaigns");
+    }
+
+    #[test]
+    fn benign_demand_follows_brand_safety() {
+        let (campaigns, networks, books) = setup();
+        let benign_total = campaigns.iter().filter(|c| !c.is_malicious()).count();
+        let benign_share = |net: &AdNetwork| {
+            books[net.id.index()]
+                .iter()
+                .filter(|id| !campaigns[id.index()].is_malicious())
+                .count() as f64
+                / benign_total as f64
+        };
+        for net in &networks {
+            let share = benign_share(net);
+            match net.tier {
+                NetworkTier::Major => assert!(share > 0.8, "{} {share:.2}", net.name),
+                NetworkTier::Mid => assert!((0.3..0.8).contains(&share), "{} {share:.2}", net.name),
+                NetworkTier::Shady => assert!(share < 0.35, "{} {share:.2}", net.name),
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_domains_nonempty_and_valid() {
+        let (campaigns, ..) = setup();
+        for c in &campaigns {
+            assert!(!c.controlled_domains().is_empty());
+        }
+    }
+
+    #[test]
+    fn activity_windows() {
+        let (campaigns, ..) = setup();
+        for c in &campaigns {
+            assert!(c.active_from < 90);
+            assert!(c.active_on(89));
+            if c.active_from > 0 {
+                assert!(!c.active_on(c.active_from - 1));
+            }
+        }
+        // Most benign campaigns run from day 0.
+        let benign_day0 = campaigns
+            .iter()
+            .filter(|c| !c.is_malicious() && c.active_from == 0)
+            .count();
+        let benign_total = campaigns.iter().filter(|c| !c.is_malicious()).count();
+        assert!(benign_day0 as f64 / benign_total as f64 > 0.6);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_campaigns(SeedTree::new(5), &CampaignConfig::default());
+        let b = generate_campaigns(SeedTree::new(5), &CampaignConfig::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.behavior, y.behavior);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+}

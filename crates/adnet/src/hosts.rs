@@ -1,0 +1,277 @@
+//! Campaign-side origin servers: advertiser landing pages, exploit-kit
+//! gates, and payload hosts.
+
+use crate::campaign::{Campaign, CampaignBehavior};
+use malvert_net::{Body, HttpRequest, HttpResponse, OriginServer, ServeCtx};
+use malvert_scanner::{MalwareFamily, Payload, PayloadKind};
+use malvert_types::rng::SeedTree;
+
+/// Landing-page server for a benign advertiser.
+pub struct LandingServer {
+    advertiser: String,
+}
+
+impl LandingServer {
+    /// Creates a landing server for an advertiser name.
+    pub fn new(advertiser: &str) -> Self {
+        LandingServer {
+            advertiser: advertiser.to_string(),
+        }
+    }
+}
+
+impl OriginServer for LandingServer {
+    fn handle(&self, req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        let path = req.url.path();
+        if path.starts_with("/img/") {
+            return HttpResponse::ok(Body::Image(bytes::Bytes::from_static(&[
+                0x89, b'P', b'N', b'G',
+            ])));
+        }
+        if path == "/beacon" {
+            return HttpResponse::ok(Body::Empty);
+        }
+        HttpResponse::ok(Body::Html(format!(
+            "<html><head><title>{0}</title></head><body><h1>{0}</h1>\
+             <p>Welcome to our store.</p></body></html>",
+            self.advertiser
+        )))
+    }
+}
+
+/// Exploit-kit gate for a drive-by campaign: `/gate` serves the exploit
+/// landing (which immediately drops the payload — the browser records the
+/// download), `/load` serves the payload bytes directly.
+pub struct ExploitServer {
+    campaign_seed: u64,
+    family: u32,
+}
+
+impl ExploitServer {
+    /// Creates the exploit host for a drive-by campaign.
+    pub fn new(campaign: &Campaign) -> Option<Self> {
+        match &campaign.behavior {
+            CampaignBehavior::DriveBy { family, .. } => Some(ExploitServer {
+                campaign_seed: campaign.seed,
+                family: *family,
+            }),
+            _ => None,
+        }
+    }
+
+    fn payload(&self) -> Payload {
+        // Exploit-kit drops are packed executables.
+        Payload::malicious(
+            PayloadKind::Executable,
+            MalwareFamily(self.family),
+            true,
+            SeedTree::new(self.campaign_seed).branch("payload"),
+        )
+    }
+}
+
+impl OriginServer for ExploitServer {
+    fn handle(&self, req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        let path = req.url.path();
+        if path.starts_with("/img/") {
+            return HttpResponse::ok(Body::Image(bytes::Bytes::from_static(&[0x89, b'P'])));
+        }
+        if path == "/gate" {
+            // The exploit landing: minimal markup plus a script that pulls
+            // the payload (the "exploit" — in a real kit this is shellcode;
+            // here the observable effect is the forced download).
+            return HttpResponse::ok(Body::Html(format!(
+                "<html><body><script>window.location = 'http://{}/load?x=1';</script>\
+                 </body></html>",
+                req.url.host().map(|h| h.to_string()).unwrap_or_default()
+            )));
+        }
+        if path == "/load" {
+            return HttpResponse::ok(Body::Download(self.payload().bytes))
+                .as_attachment("update.exe");
+        }
+        if path == "/flash" {
+            let swf = Payload::malicious(
+                PayloadKind::Flash,
+                MalwareFamily(self.family),
+                true,
+                SeedTree::new(self.campaign_seed).branch("flash-stage"),
+            );
+            return HttpResponse::ok(Body::Download(swf.bytes)).as_attachment("stage.swf");
+        }
+        HttpResponse::not_found()
+    }
+}
+
+/// Payload host for a deceptive-download campaign: `/get/<name>` serves the
+/// malware disguised under the lure's filename.
+pub struct PayloadServer {
+    campaign_seed: u64,
+    family: u32,
+}
+
+impl PayloadServer {
+    /// Creates the payload host for a deceptive campaign.
+    pub fn new(campaign: &Campaign) -> Option<Self> {
+        match &campaign.behavior {
+            CampaignBehavior::Deceptive { family, .. } => Some(PayloadServer {
+                campaign_seed: campaign.seed,
+                family: *family,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl OriginServer for PayloadServer {
+    fn handle(&self, req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        let path = req.url.path();
+        if let Some(name) = path.strip_prefix("/get/") {
+            // Deceptive installers are typically unpacked (they must look
+            // legitimate enough to run) — signature detection, not
+            // heuristics, catches them.
+            let payload = Payload::malicious(
+                PayloadKind::Executable,
+                MalwareFamily(self.family),
+                false,
+                SeedTree::new(self.campaign_seed).branch("payload"),
+            );
+            return HttpResponse::ok(Body::Download(payload.bytes)).as_attachment(name);
+        }
+        HttpResponse::not_found()
+    }
+}
+
+/// Scam destination for link-hijack campaigns.
+pub struct ScamServer;
+
+impl OriginServer for ScamServer {
+    fn handle(&self, req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        if req.url.path().starts_with("/img/") {
+            return HttpResponse::ok(Body::Image(bytes::Bytes::from_static(&[0x89, b'P'])));
+        }
+        HttpResponse::ok(Body::Html(
+            "<html><body><h1>Congratulations! You won!</h1>\
+             <form action=\"/claim\"><input name=\"card\"></form></body></html>"
+                .to_string(),
+        ))
+    }
+}
+
+/// The well-known benign sites cloaking creatives bounce to.
+pub struct BenignSearchServer;
+
+impl OriginServer for BenignSearchServer {
+    fn handle(&self, _req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        HttpResponse::ok(Body::Html(
+            "<html><body><input type=\"text\" name=\"q\"></body></html>".to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_scanner::ScanService;
+    use malvert_types::{CampaignId, DomainName, SimTime, Url};
+
+    fn driveby() -> Campaign {
+        Campaign {
+            id: CampaignId(0),
+            advertiser: "shade-0".into(),
+            behavior: CampaignBehavior::DriveBy {
+                exploit_host: DomainName::parse("exploit-x.biz").unwrap(),
+                family: 2,
+                cloak: crate::campaign::CloakStyle::None,
+            },
+            bid: 3.0,
+            active_from: 0,
+            variant_count: 1,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 123,
+        }
+    }
+
+    fn ctx(req: &HttpRequest) -> ServeCtx {
+        ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, req)
+    }
+
+    #[test]
+    fn exploit_gate_then_load() {
+        let server = ExploitServer::new(&driveby()).unwrap();
+        let gate = HttpRequest::get(Url::parse("http://exploit-x.biz/gate?e=0").unwrap());
+        let resp = server.handle(&gate, &mut ctx(&gate));
+        assert!(resp.body.as_html().unwrap().contains("/load"));
+
+        let load = HttpRequest::get(Url::parse("http://exploit-x.biz/load?x=1").unwrap());
+        let resp = server.handle(&load, &mut ctx(&load));
+        assert!(resp.attachment_filename.is_some());
+        let bytes = resp.body.as_download().unwrap();
+        assert_eq!(&bytes[..2], b"MZ");
+    }
+
+    #[test]
+    fn exploit_payload_detected_by_scanner() {
+        let server = ExploitServer::new(&driveby()).unwrap();
+        let load = HttpRequest::get(Url::parse("http://exploit-x.biz/load").unwrap());
+        let resp = server.handle(&load, &mut ctx(&load));
+        let svc = ScanService::new(SeedTree::new(9));
+        assert!(svc.is_malicious(resp.body.as_download().unwrap()));
+    }
+
+    #[test]
+    fn payload_server_serves_named_installer() {
+        let campaign = Campaign {
+            id: CampaignId(1),
+            advertiser: "shade-1".into(),
+            behavior: CampaignBehavior::Deceptive {
+                lure: crate::campaign::LureKind::FakeFlashUpdate,
+                payload_host: DomainName::parse("payload-y.net").unwrap(),
+                family: 5,
+            },
+            bid: 3.0,
+            active_from: 0,
+            variant_count: 1,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 321,
+        };
+        let server = PayloadServer::new(&campaign).unwrap();
+        let req = HttpRequest::get(
+            Url::parse("http://payload-y.net/get/flash_update.exe?c=1").unwrap(),
+        );
+        let resp = server.handle(&req, &mut ctx(&req));
+        assert_eq!(resp.attachment_filename.as_deref(), Some("flash_update.exe"));
+        let svc = ScanService::new(SeedTree::new(9));
+        assert!(svc.is_malicious(resp.body.as_download().unwrap()));
+    }
+
+    #[test]
+    fn landing_server_is_benign() {
+        let server = LandingServer::new("brand-7");
+        let req = HttpRequest::get(Url::parse("http://landing-z.com/offer?c=7-0").unwrap());
+        let resp = server.handle(&req, &mut ctx(&req));
+        assert!(resp.body.as_html().unwrap().contains("brand-7"));
+        assert!(resp.attachment_filename.is_none());
+    }
+
+    #[test]
+    fn wrong_constructor_returns_none() {
+        let benign = Campaign {
+            id: CampaignId(2),
+            advertiser: "brand-2".into(),
+            behavior: CampaignBehavior::Benign {
+                landing: DomainName::parse("landing-a.com").unwrap(),
+            },
+            bid: 1.0,
+            active_from: 0,
+            variant_count: 1,
+            obfuscation_layers: 0,
+            uses_flash_exploit: false,
+            seed: 1,
+        };
+        assert!(ExploitServer::new(&benign).is_none());
+        assert!(PayloadServer::new(&benign).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! # malvert-adnet
+//!
+//! The simulated advertising economy: advertisers, campaigns, ad networks
+//! (exchanges), arbitration auctions, and the creatives they serve.
+//!
+//! This is the system under measurement. The paper's core findings are all
+//! statements about this ecosystem:
+//!
+//! * **Figure 1** — some ad networks serve a far higher ratio of malicious
+//!   advertisements than others, because their submission filtering is weak.
+//!   Here, every network has a `filter_strength`; a malicious campaign gets
+//!   into a network's book only when that filter misses it at submission
+//!   time.
+//! * **Figure 2** — most such networks are small, but one mid-sized network
+//!   (~3% of total ad volume) leaks significant malvertising. The generator
+//!   designates exactly such a "hotspot" network.
+//! * **Figure 5 / §4.3** — *ad arbitration*: a network that cannot fill a
+//!   slot profitably resells the impression to a peer network, observable as
+//!   an extra HTTP redirect hop. Late auctions happen between increasingly
+//!   disreputable networks, which is where malvertising concentrates; chains
+//!   reach ~15 hops for benign and ~30 for malicious fills, and the same
+//!   network may appear several times in one chain.
+//!
+//! The creatives themselves are real programs (see [`creative`]): the
+//! drive-by creative probes plugins and assembles an exploit URL; the
+//! deceptive creative rewrites the document into a fake video player; the
+//! hijack creative assigns `top.location`. The oracle has to execute them to
+//! find out — exactly like Wepawet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod creative;
+pub mod hosts;
+pub mod network;
+pub mod serve;
+pub mod world;
+
+pub use campaign::{Campaign, CampaignBehavior, LureKind};
+pub use network::{AdNetwork, NetworkTier};
+pub use world::{AdWorld, AdWorldConfig};

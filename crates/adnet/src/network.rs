@@ -1,0 +1,209 @@
+//! Ad-network (exchange) model and population generation.
+
+use malvert_types::rng::SeedTree;
+use malvert_types::{AdNetworkId, DomainName};
+
+/// Size/reputation tier of an ad network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkTier {
+    /// The big exchanges: heavy publisher adoption, strong filtering.
+    Major,
+    /// Mid-sized networks: moderate adoption and filtering.
+    Mid,
+    /// Small / disreputable networks: weak filtering, late-auction players.
+    Shady,
+}
+
+impl NetworkTier {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkTier::Major => "major",
+            NetworkTier::Mid => "mid",
+            NetworkTier::Shady => "shady",
+        }
+    }
+}
+
+/// One ad network / exchange.
+#[derive(Debug, Clone)]
+pub struct AdNetwork {
+    /// Dense id; publisher slot contracts reference this.
+    pub id: AdNetworkId,
+    /// Display name.
+    pub name: String,
+    /// Serve-endpoint domain.
+    pub domain: DomainName,
+    /// Tier.
+    pub tier: NetworkTier,
+    /// Probability the network's submission review catches (and rejects) a
+    /// malicious campaign. The paper: "some of the biggest ad networks do
+    /// not allow the promotion of websites infected with malware while
+    /// others, usually smaller in size, are more tolerant".
+    pub filter_strength: f64,
+    /// Base probability of reselling an impression (arbitration) instead of
+    /// filling it from the network's own book.
+    pub resale_propensity: f64,
+    /// How quickly resale appetite decays per auction hop; shadier networks
+    /// keep reselling deep into a chain. Effective resale probability at hop
+    /// `h` is `resale_propensity * (1 - h / resale_horizon)`.
+    pub resale_horizon: f64,
+    /// The designated mid-tier "hotspot" of Figure 2: noticeable share of
+    /// total traffic, weak filter.
+    pub is_hotspot: bool,
+}
+
+impl AdNetwork {
+    /// Effective resale probability at auction hop `hop`.
+    ///
+    /// Reputable networks lose interest in an impression linearly — each
+    /// hop eats margin. Shady networks keep ping-ponging deep inventory
+    /// among themselves almost undiminished until close to their horizon
+    /// (cubic decay): §4.3 observed the same networks buying and selling
+    /// the same slot repeatedly, with malicious chains reaching twice the
+    /// length of benign ones.
+    pub fn resale_probability(&self, hop: u32) -> f64 {
+        let x = f64::from(hop) / self.resale_horizon;
+        if x >= 1.0 {
+            return 0.0;
+        }
+        match self.tier {
+            NetworkTier::Shady => self.resale_propensity * (1.0 - x * x * x),
+            _ => self.resale_propensity * (1.0 - x),
+        }
+    }
+
+    /// Generates the network population.
+    ///
+    /// Layout (ids are also the publisher-popularity ranks used by the
+    /// websim slot generator, so low ids carry most first-hand traffic):
+    /// ids 0..major_count are majors, the next block mid-tier, the rest
+    /// shady. One mid network is marked as the hotspot.
+    pub fn generate_all(tree: SeedTree, count: u32) -> Vec<AdNetwork> {
+        let tree = tree.branch("adnet");
+        let major_count = (count / 8).max(3);
+        let mid_count = (count * 3 / 8).max(6);
+        let hotspot_id = major_count + 1; // a prominent mid-tier network
+        (0..count)
+            .map(|i| {
+                let branch = tree.branch("network").branch_idx(u64::from(i));
+                let mut rng = branch.rng();
+                let tier = if i < major_count {
+                    NetworkTier::Major
+                } else if i < major_count + mid_count {
+                    NetworkTier::Mid
+                } else {
+                    NetworkTier::Shady
+                };
+                let is_hotspot = i == hotspot_id;
+                let (filter_strength, resale_propensity, resale_horizon) = match tier {
+                    NetworkTier::Major => (
+                        0.95 + 0.04 * rng.unit_f64(),
+                        0.30 + 0.10 * rng.unit_f64(),
+                        14.0,
+                    ),
+                    NetworkTier::Mid => (
+                        0.75 + 0.15 * rng.unit_f64(),
+                        0.45 + 0.10 * rng.unit_f64(),
+                        20.0,
+                    ),
+                    NetworkTier::Shady => (
+                        0.15 + 0.40 * rng.unit_f64(),
+                        0.70 + 0.15 * rng.unit_f64(),
+                        32.0,
+                    ),
+                };
+                // The hotspot: mid-tier reach with shady-grade filtering.
+                let filter_strength = if is_hotspot { 0.35 } else { filter_strength };
+                let name = format!(
+                    "{}{}",
+                    match tier {
+                        NetworkTier::Major => "ExchangePrime",
+                        NetworkTier::Mid => "AdServe",
+                        NetworkTier::Shady => "ClickBoost",
+                    },
+                    i
+                );
+                let domain =
+                    DomainName::parse(&format!("srv{i}.{}.com", name.to_ascii_lowercase()))
+                        .expect("network domain valid");
+                AdNetwork {
+                    id: AdNetworkId(i),
+                    name,
+                    domain,
+                    tier,
+                    filter_strength,
+                    resale_propensity,
+                    resale_horizon,
+                    is_hotspot,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn networks() -> Vec<AdNetwork> {
+        AdNetwork::generate_all(SeedTree::new(1), 40)
+    }
+
+    #[test]
+    fn population_structure() {
+        let nets = networks();
+        assert_eq!(nets.len(), 40);
+        assert_eq!(nets[0].tier, NetworkTier::Major);
+        assert_eq!(nets[39].tier, NetworkTier::Shady);
+        let hotspots = nets.iter().filter(|n| n.is_hotspot).count();
+        assert_eq!(hotspots, 1);
+        let hotspot = nets.iter().find(|n| n.is_hotspot).unwrap();
+        assert_eq!(hotspot.tier, NetworkTier::Mid);
+        assert!(hotspot.filter_strength < 0.5);
+    }
+
+    #[test]
+    fn majors_filter_better_than_shady() {
+        let nets = networks();
+        let avg = |tier: NetworkTier| {
+            let v: Vec<f64> = nets
+                .iter()
+                .filter(|n| n.tier == tier && !n.is_hotspot)
+                .map(|n| n.filter_strength)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(NetworkTier::Major) > 0.9);
+        assert!(avg(NetworkTier::Shady) < 0.6);
+    }
+
+    #[test]
+    fn resale_decays_with_hops() {
+        let nets = networks();
+        let major = &nets[0];
+        assert!(major.resale_probability(0) > major.resale_probability(5));
+        assert_eq!(major.resale_probability(200), 0.0);
+        // Shady networks still resell where majors have stopped.
+        let shady = nets.iter().find(|n| n.tier == NetworkTier::Shady).unwrap();
+        assert!(shady.resale_probability(16) > 0.0);
+        assert_eq!(major.resale_probability(16), 0.0);
+    }
+
+    #[test]
+    fn domains_unique_and_valid() {
+        let nets = networks();
+        let set: std::collections::BTreeSet<_> = nets.iter().map(|n| n.domain.clone()).collect();
+        assert_eq!(set.len(), nets.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = networks();
+        let b = networks();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.filter_strength, y.filter_strength);
+            assert_eq!(x.domain, y.domain);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The ad-network serve endpoint: arbitration auctions over HTTP redirects.
+//!
+//! A slot request hits the publisher's contracted network at
+//! `/serve?pub=<site>&slot=<idx>`. At every hop the handling network either
+//! **fills** the impression from its own campaign book (a 200 response with
+//! the creative document) or **resells** it — a 302 redirect to a peer
+//! network's serve endpoint with `hop` incremented and the network id
+//! appended to `via`. The captured redirect chain *is* the arbitration
+//! chain the paper measured (§4.3).
+
+use crate::campaign::Campaign;
+use crate::creative::render_creative;
+use crate::network::{AdNetwork, NetworkTier};
+use malvert_net::{Body, HttpRequest, HttpResponse, OriginServer, ServeCtx};
+use malvert_types::{AdNetworkId, CampaignId, DetRng, Url};
+use std::sync::Arc;
+
+/// Shared, immutable view of the ad economy used by every serve endpoint.
+#[derive(Debug)]
+pub struct MarketDirectory {
+    /// All networks.
+    pub networks: Vec<AdNetwork>,
+    /// All campaigns.
+    pub campaigns: Vec<Campaign>,
+    /// Per-network accepted campaigns (the "book").
+    pub books: Vec<Vec<CampaignId>>,
+    /// Networks barred from buying arbitration resales — §5.1's proposed
+    /// penalty for networks caught delivering malvertisements. Empty by
+    /// default.
+    pub arbitration_banned: std::collections::BTreeSet<AdNetworkId>,
+    /// When set, the arbitration ban expires at the start of this study day
+    /// ("forbidding from participating in ad arbitrations for a certain
+    /// amount of time"); `None` means a permanent ban.
+    pub ban_expires_day: Option<u32>,
+}
+
+impl MarketDirectory {
+    /// The serve URL for a slot at a given network.
+    pub fn serve_url(&self, network: AdNetworkId, pub_id: u32, slot: usize) -> Url {
+        Url::from_parts(
+            malvert_types::url::Scheme::Http,
+            self.networks[network.index()].domain.as_str(),
+            "/serve",
+        )
+        .with_query(&format!("pub={pub_id}&slot={slot}"))
+    }
+}
+
+/// The serve endpoint of one network.
+pub struct ServeEndpoint {
+    network_id: AdNetworkId,
+    market: Arc<MarketDirectory>,
+}
+
+impl ServeEndpoint {
+    /// Creates the endpoint for `network_id`.
+    pub fn new(network_id: AdNetworkId, market: Arc<MarketDirectory>) -> Self {
+        ServeEndpoint { network_id, market }
+    }
+
+    fn network(&self) -> &AdNetwork {
+        &self.market.networks[self.network_id.index()]
+    }
+
+    /// Picks the resale peer for the next auction. Early hops include every
+    /// tier; as the chain grows, reputable networks drop out and the
+    /// remaining bidders are increasingly the shady tail — the §4.3
+    /// observation that "the last auctions typically happen only among those
+    /// ad networks that we found to serve malvertisements".
+    fn pick_peer(&self, hop: u32, day: u32, rng: &mut DetRng) -> AdNetworkId {
+        let networks = &self.market.networks;
+        let ban_active = self
+            .market
+            .ban_expires_day
+            .map(|expiry| day < expiry)
+            .unwrap_or(true);
+        let weights: Vec<f64> = networks
+            .iter()
+            .map(|n| {
+                // Penalized networks cannot buy resold impressions (§5.1)
+                // while the ban is in force.
+                if ban_active && self.market.arbitration_banned.contains(&n.id) {
+                    return 0.0;
+                }
+                // A network bids on a resale only while its own resale
+                // horizon allows further participation.
+                let horizon_ok = f64::from(hop) < n.resale_horizon;
+                if !horizon_ok {
+                    return 0.0;
+                }
+                let tier_weight = match n.tier {
+                    NetworkTier::Major => 8.0 / (1.0 + f64::from(hop)),
+                    NetworkTier::Mid => 4.0 / (1.0 + f64::from(hop) * 0.5),
+                    NetworkTier::Shady => 1.0 + f64::from(hop) * 0.8,
+                };
+                // Repeat participation is possible but slightly discouraged.
+                if n.id == self.network_id {
+                    tier_weight * 0.5
+                } else {
+                    tier_weight
+                }
+            })
+            .collect();
+        match rng.pick_weighted(&weights) {
+            Some(idx) => AdNetworkId(idx as u32),
+            // Everyone dropped out: the handler must fill.
+            None => self.network_id,
+        }
+    }
+
+    /// Picks a campaign from this network's book, bid-weighted, among the
+    /// campaigns active on the request day.
+    ///
+    /// Malicious demand concentrates on *late-auction* inventory: premium
+    /// direct fills go to reputable brand campaigns, while impressions that
+    /// survived many resale hops sell at collapsed prices that malicious
+    /// advertisers (who monetize per infection, not per conversion) happily
+    /// pay. The weight multiplier grows with the hop count — the mechanism
+    /// behind Figure 5's long malicious chains.
+    fn pick_campaign(&self, day: u32, hop: u32, rng: &mut DetRng) -> Option<&Campaign> {
+        let book = &self.market.books[self.network_id.index()];
+        let candidates: Vec<&Campaign> = book
+            .iter()
+            .map(|id| &self.market.campaigns[id.index()])
+            .filter(|c| c.active_on(day))
+            .collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|c| {
+                if c.is_malicious() {
+                    c.bid * (1.0 + 0.15 * f64::from(hop) * f64::from(hop))
+                } else {
+                    c.bid
+                }
+            })
+            .collect();
+        rng.pick_weighted(&weights).map(|i| candidates[i])
+    }
+}
+
+/// Parses the `via` chain parameter (`"3.17.5"`).
+pub fn parse_via(via: &str) -> Vec<AdNetworkId> {
+    via.split('.')
+        .filter_map(|s| s.parse::<u32>().ok().map(AdNetworkId))
+        .collect()
+}
+
+impl OriginServer for ServeEndpoint {
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServeCtx) -> HttpResponse {
+        match req.url.path() {
+            "/serve" => {}
+            // Creative support assets (images referenced by creatives that
+            // happen to live on network domains) — plain 200s.
+            p if p.starts_with("/img/") => {
+                return HttpResponse::ok(Body::Image(bytes::Bytes::from_static(&[0x89, b'P'])));
+            }
+            _ => return HttpResponse::not_found(),
+        }
+        let pub_id = req.url.query_param("pub").unwrap_or("0").to_string();
+        let slot = req.url.query_param("slot").unwrap_or("0").to_string();
+        let hop: u32 = req
+            .url
+            .query_param("hop")
+            .and_then(|h| h.parse().ok())
+            .unwrap_or(0);
+        let via = req.url.query_param("via").unwrap_or("").to_string();
+
+        let network = self.network();
+        let must_fill = hop >= 40; // hard stop well past any realistic chain
+        let resell = !must_fill && ctx.rng.chance(network.resale_probability(hop));
+
+        if resell {
+            let peer = self.pick_peer(hop + 1, ctx.time.day, &mut ctx.rng);
+            if peer != self.network_id || hop < 40 {
+                let peer_domain = &self.market.networks[peer.index()].domain;
+                let new_via = if via.is_empty() {
+                    format!("{}", self.network_id.0)
+                } else {
+                    format!("{via}.{}", self.network_id.0)
+                };
+                let target = Url::from_parts(
+                    malvert_types::url::Scheme::Http,
+                    peer_domain.as_str(),
+                    "/serve",
+                )
+                .with_query(&format!(
+                    "pub={pub_id}&slot={slot}&hop={}&via={new_via}",
+                    hop + 1
+                ));
+                return HttpResponse::redirect(target);
+            }
+        }
+
+        // Fill: serve a creative document.
+        match self.pick_campaign(ctx.time.day, hop, &mut ctx.rng) {
+            Some(campaign) => {
+                let variant = ctx.rng.below(campaign.variant_count.max(1) as usize) as u32;
+                HttpResponse::ok(Body::Html(render_creative(campaign, variant)))
+            }
+            // Empty book: a house ad.
+            None => HttpResponse::ok(Body::Html(format!(
+                "<html><body style=\"margin:0\"><div class=\"house-ad\">Advertise with {} \
+                 </div></body></html>",
+                network.name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{acceptance_matrix, generate_campaigns, CampaignConfig};
+    use malvert_net::{Network, TrafficCapture};
+    use malvert_types::rng::SeedTree;
+    use malvert_types::SimTime;
+
+    fn market(seed: u64) -> Arc<MarketDirectory> {
+        let tree = SeedTree::new(seed);
+        let networks = AdNetwork::generate_all(tree, 40);
+        let campaigns = generate_campaigns(tree, &CampaignConfig::default());
+        let books = acceptance_matrix(tree, &campaigns, &networks);
+        Arc::new(MarketDirectory {
+            networks,
+            campaigns,
+            books,
+            arbitration_banned: Default::default(),
+            ban_expires_day: None,
+        })
+    }
+
+    fn wired_network(market: &Arc<MarketDirectory>, seed: u64) -> Network {
+        let mut net = Network::new(SeedTree::new(seed));
+        for n in &market.networks {
+            net.register(
+                n.domain.clone(),
+                Arc::new(ServeEndpoint::new(n.id, Arc::clone(market))),
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn serve_eventually_fills() {
+        let market = market(10);
+        let net = wired_network(&market, 10);
+        let mut cap = TrafficCapture::new();
+        let url = market.serve_url(AdNetworkId(0), 5, 0);
+        let outcome = net
+            .fetch(&HttpRequest::get(url), SimTime::at(3, 1), &mut cap)
+            .unwrap();
+        assert!(outcome.response.status.is_success());
+        let html = outcome.response.body.as_html().expect("creative is HTML");
+        assert!(html.contains("<html>") || html.contains("house-ad"));
+    }
+
+    #[test]
+    fn chains_vary_and_stay_bounded() {
+        let market = market(11);
+        let net = wired_network(&market, 11);
+        let mut lengths = Vec::new();
+        for day in 0..30 {
+            for slot in 0..4usize {
+                let mut cap = TrafficCapture::new();
+                let url = market.serve_url(AdNetworkId(0), 1, slot);
+                let outcome = net
+                    .fetch(&HttpRequest::get(url), SimTime::at(day, 0), &mut cap)
+                    .unwrap();
+                lengths.push(outcome.hops);
+            }
+        }
+        let max = *lengths.iter().max().unwrap();
+        let zeros = lengths.iter().filter(|&&h| h == 0).count();
+        assert!(max <= 40, "chain exceeded bound: {max}");
+        assert!(max >= 2, "no arbitration happened at all");
+        assert!(zeros > 0, "some impressions should fill directly");
+    }
+
+    #[test]
+    fn via_param_tracks_chain() {
+        let market = market(12);
+        let net = wired_network(&market, 12);
+        // Find a serve that resold at least twice and check via continuity.
+        'outer: for day in 0..40 {
+            let mut cap = TrafficCapture::new();
+            let url = market.serve_url(AdNetworkId(0), 2, 0);
+            let _ = net.fetch(&HttpRequest::get(url), SimTime::at(day, 2), &mut cap);
+            let chain = cap.redirect_chains();
+            if let Some(chain) = chain.first() {
+                if chain.len() >= 3 {
+                    // The last request's via must list all prior hops' hosts.
+                    let last = chain.last().unwrap();
+                    let via = last.url.query_param("via").unwrap_or("");
+                    let ids = parse_via(via);
+                    assert_eq!(ids.len(), chain.len() - 1);
+                    for (id, hop) in ids.iter().zip(chain.iter()) {
+                        let domain = &market.networks[id.index()].domain;
+                        assert_eq!(hop.url.host().unwrap(), domain);
+                    }
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fills_are_deterministic() {
+        let market = market(13);
+        let net = wired_network(&market, 13);
+        let url = market.serve_url(AdNetworkId(3), 9, 1);
+        let run = |net: &Network| {
+            let mut cap = TrafficCapture::new();
+            let outcome = net
+                .fetch(&HttpRequest::get(url.clone()), SimTime::at(7, 3), &mut cap)
+                .unwrap();
+            (outcome.final_url.clone(), outcome.response.body.clone())
+        };
+        assert_eq!(run(&net), run(&net));
+    }
+
+    #[test]
+    fn different_refreshes_can_serve_different_ads() {
+        let market = market(14);
+        let net = wired_network(&market, 14);
+        let url = market.serve_url(AdNetworkId(0), 4, 2);
+        let mut bodies = std::collections::BTreeSet::new();
+        for refresh in 0..5 {
+            for day in 0..10 {
+                let mut cap = TrafficCapture::new();
+                let outcome = net
+                    .fetch(
+                        &HttpRequest::get(url.clone()),
+                        SimTime::at(day, refresh),
+                        &mut cap,
+                    )
+                    .unwrap();
+                if let Some(html) = outcome.response.body.as_html() {
+                    bodies.insert(html.to_string());
+                }
+            }
+        }
+        assert!(
+            bodies.len() > 5,
+            "ad rotation should produce variety: {} unique",
+            bodies.len()
+        );
+    }
+
+    #[test]
+    fn parse_via_roundtrip() {
+        assert_eq!(
+            parse_via("3.17.5"),
+            vec![AdNetworkId(3), AdNetworkId(17), AdNetworkId(5)]
+        );
+        assert!(parse_via("").is_empty());
+        assert_eq!(parse_via("7"), vec![AdNetworkId(7)]);
+    }
+
+    #[test]
+    fn unknown_path_404s() {
+        let market = market(15);
+        let endpoint = ServeEndpoint::new(AdNetworkId(0), Arc::clone(&market));
+        let req = HttpRequest::get(
+            Url::parse(&format!("http://{}/admin", market.networks[0].domain)).unwrap(),
+        );
+        let mut ctx = ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, &req);
+        assert_eq!(endpoint.handle(&req, &mut ctx).status.0, 404);
+    }
+}

@@ -1,0 +1,242 @@
+//! The assembled ad economy and its wiring into the simulated network.
+
+use crate::campaign::{
+    acceptance_matrix, generate_campaigns, Campaign, CampaignBehavior, CampaignConfig, CloakStyle,
+};
+use crate::creative::{cloak_nx_domain, CLOAK_BENIGN_TARGETS};
+use crate::hosts::{BenignSearchServer, ExploitServer, LandingServer, PayloadServer, ScamServer};
+use crate::network::AdNetwork;
+use crate::serve::{MarketDirectory, ServeEndpoint};
+use malvert_net::Network;
+use malvert_types::rng::SeedTree;
+use malvert_types::{AdNetworkId, CampaignId, DomainName, Url};
+use std::sync::Arc;
+
+/// Configuration of the ad economy.
+#[derive(Debug, Clone)]
+pub struct AdWorldConfig {
+    /// Number of ad networks.
+    pub network_count: u32,
+    /// Campaign population.
+    pub campaigns: CampaignConfig,
+}
+
+impl Default for AdWorldConfig {
+    fn default() -> Self {
+        AdWorldConfig {
+            network_count: 40,
+            campaigns: CampaignConfig::default(),
+        }
+    }
+}
+
+/// The generated ad economy.
+#[derive(Debug)]
+pub struct AdWorld {
+    /// Shared market directory (networks, campaigns, books).
+    pub market: Arc<MarketDirectory>,
+}
+
+impl AdWorld {
+    /// Generates the economy deterministically.
+    pub fn generate(tree: SeedTree, config: &AdWorldConfig) -> AdWorld {
+        let networks = AdNetwork::generate_all(tree, config.network_count);
+        let campaigns = generate_campaigns(tree, &config.campaigns);
+        let books = acceptance_matrix(tree, &campaigns, &networks);
+        AdWorld {
+            market: Arc::new(MarketDirectory {
+                networks,
+                campaigns,
+                books,
+                arbitration_banned: Default::default(),
+                ban_expires_day: None,
+            }),
+        }
+    }
+
+    /// All networks.
+    pub fn networks(&self) -> &[AdNetwork] {
+        &self.market.networks
+    }
+
+    /// All campaigns.
+    pub fn campaigns(&self) -> &[Campaign] {
+        &self.market.campaigns
+    }
+
+    /// The serve-endpoint domains, indexed by [`AdNetworkId`].
+    pub fn network_domains(&self) -> Vec<DomainName> {
+        self.market
+            .networks
+            .iter()
+            .map(|n| n.domain.clone())
+            .collect()
+    }
+
+    /// The serve URL for a publisher slot at its contracted network.
+    pub fn serve_url(&self, network: AdNetworkId, pub_id: u32, slot: usize) -> Url {
+        self.market.serve_url(network, pub_id, slot)
+    }
+
+    /// Ground truth: every malicious campaign with the domains it controls
+    /// and its activation day — the input to blacklist-truth registration
+    /// and to the study's precision/recall accounting.
+    pub fn malicious_ground_truth(&self) -> Vec<(CampaignId, Vec<DomainName>, u32)> {
+        self.market
+            .campaigns
+            .iter()
+            .filter(|c| c.is_malicious())
+            .map(|c| {
+                (
+                    c.id,
+                    c.controlled_domains().into_iter().cloned().collect(),
+                    c.active_from,
+                )
+            })
+            .collect()
+    }
+
+    /// Registers every ad-economy origin server on `net`:
+    /// serve endpoints, advertiser landing pages, exploit gates, payload
+    /// hosts, scam destinations, benign cloak targets, and the NX cloak
+    /// sinkholes.
+    pub fn register_servers(&self, net: &mut Network) {
+        for network in &self.market.networks {
+            net.register(
+                network.domain.clone(),
+                Arc::new(ServeEndpoint::new(network.id, Arc::clone(&self.market))),
+            );
+        }
+        for campaign in &self.market.campaigns {
+            match &campaign.behavior {
+                CampaignBehavior::Benign { landing } => {
+                    net.register(
+                        landing.clone(),
+                        Arc::new(LandingServer::new(&campaign.advertiser)),
+                    );
+                }
+                CampaignBehavior::DriveBy {
+                    exploit_host,
+                    cloak,
+                    ..
+                } => {
+                    net.register(
+                        exploit_host.clone(),
+                        Arc::new(ExploitServer::new(campaign).expect("driveby campaign")),
+                    );
+                    if *cloak == CloakStyle::NxDomain {
+                        let nx = DomainName::parse(&cloak_nx_domain(campaign))
+                            .expect("nx domain valid");
+                        net.register_nx(nx);
+                    }
+                }
+                CampaignBehavior::Deceptive { payload_host, .. } => {
+                    net.register(
+                        payload_host.clone(),
+                        Arc::new(PayloadServer::new(campaign).expect("deceptive campaign")),
+                    );
+                }
+                CampaignBehavior::Hijack { destination } => {
+                    net.register(destination.clone(), Arc::new(ScamServer));
+                }
+            }
+        }
+        for target in CLOAK_BENIGN_TARGETS {
+            net.register(
+                DomainName::parse(target).expect("static domain"),
+                Arc::new(BenignSearchServer),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_net::{HttpRequest, TrafficCapture};
+    use malvert_types::SimTime;
+
+    fn world() -> AdWorld {
+        AdWorld::generate(SeedTree::new(40), &AdWorldConfig::default())
+    }
+
+    #[test]
+    fn generation_consistency() {
+        let w = world();
+        assert_eq!(w.networks().len(), 40);
+        assert_eq!(
+            w.campaigns().len() as u32,
+            AdWorldConfig::default().campaigns.total()
+        );
+        assert_eq!(w.network_domains().len(), 40);
+    }
+
+    #[test]
+    fn register_servers_wires_everything() {
+        let w = world();
+        let mut net = Network::new(SeedTree::new(40));
+        w.register_servers(&mut net);
+        // Every network domain resolves.
+        for d in w.network_domains() {
+            assert!(net.resolves(&d), "{d} not registered");
+        }
+        // Every campaign-controlled domain resolves.
+        for c in w.campaigns() {
+            for d in c.controlled_domains() {
+                assert!(net.resolves(d), "{d} not registered");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_serve_through_network() {
+        let w = world();
+        let mut net = Network::new(SeedTree::new(40));
+        w.register_servers(&mut net);
+        let mut cap = TrafficCapture::new();
+        let url = w.serve_url(AdNetworkId(0), 7, 0);
+        let outcome = net
+            .fetch(&HttpRequest::get(url), SimTime::at(10, 2), &mut cap)
+            .unwrap();
+        assert!(outcome.response.status.is_success());
+        assert!(outcome.response.body.as_html().is_some());
+    }
+
+    #[test]
+    fn ground_truth_covers_all_malicious() {
+        let w = world();
+        let truth = w.malicious_ground_truth();
+        let malicious_count = w.campaigns().iter().filter(|c| c.is_malicious()).count();
+        assert_eq!(truth.len(), malicious_count);
+        for (_, domains, _) in &truth {
+            assert!(!domains.is_empty());
+        }
+    }
+
+    #[test]
+    fn nx_cloak_domains_do_not_resolve() {
+        let w = world();
+        let mut net = Network::new(SeedTree::new(40));
+        w.register_servers(&mut net);
+        for c in w.campaigns() {
+            if let CampaignBehavior::DriveBy {
+                cloak: CloakStyle::NxDomain,
+                ..
+            } = &c.behavior
+            {
+                let nx = DomainName::parse(&cloak_nx_domain(c)).unwrap();
+                assert!(!net.resolves(&nx), "{nx} must not resolve");
+            }
+        }
+    }
+
+    #[test]
+    fn cloak_benign_targets_resolve() {
+        let w = world();
+        let mut net = Network::new(SeedTree::new(40));
+        w.register_servers(&mut net);
+        for t in CLOAK_BENIGN_TARGETS {
+            assert!(net.resolves(&DomainName::parse(t).unwrap()));
+        }
+    }
+}

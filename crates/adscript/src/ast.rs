@@ -1,0 +1,233 @@
+//! AdScript abstract syntax tree.
+
+use std::rc::Rc;
+
+/// A complete program: a list of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A function definition (declaration or expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Optional name (declarations always have one).
+    pub name: Option<String>,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Rc<Vec<Stmt>>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var a = 1, b;`
+    Var(Vec<(String, Option<Expr>)>),
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `if (cond) then else alt`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Optional else-branch.
+        alt: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; update) body`
+    For {
+        /// Initializer (var statement or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `switch (disc) { case e: ...; default: ... }`
+    Switch {
+        /// Discriminant.
+        disc: Expr,
+        /// Cases in source order: `None` test = `default`. Bodies fall
+        /// through, like JS.
+        cases: Vec<(Option<Expr>, Vec<Stmt>)>,
+    },
+    /// `for (var k in obj) body`
+    ForIn {
+        /// Whether the loop variable was declared with `var`.
+        decl: bool,
+        /// Loop variable name.
+        name: String,
+        /// Object expression iterated over.
+        object: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `function name(...) { ... }`
+    FnDecl(FnDef),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `throw expr;`
+    Throw(Expr),
+    /// `try { } catch (e) { } finally { }`
+    Try {
+        /// Protected block.
+        block: Vec<Stmt>,
+        /// Catch clause: bound name and handler body.
+        catch: Option<(String, Vec<Stmt>)>,
+        /// Finally block.
+        finally: Option<Vec<Stmt>>,
+    },
+    /// `;`
+    Empty,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add, Sub, Mul, Div, Mod,
+    EqLoose, NeLoose, EqStrict, NeStrict,
+    Lt, Gt, Le, Ge,
+    BitAnd, BitOr, BitXor, Shl, Shr, UShr,
+    Instanceof, In,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg, Pos, Not, Typeof, BitNot, Void, Delete,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign, Add, Sub, Mul, Div, Mod,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// `this`
+    This,
+    /// Variable reference.
+    Ident(String),
+    /// `[a, b, c]`
+    Array(Vec<Expr>),
+    /// `{k: v, ...}`
+    Object(Vec<(String, Expr)>),
+    /// Function expression.
+    Function(FnDef),
+    /// `target op value` where target is an lvalue.
+    Assign {
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// `cond ? then : alt`
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when truthy.
+        then: Box<Expr>,
+        /// Value when falsy.
+        alt: Box<Expr>,
+    },
+    /// `a || b` (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// `a && b` (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `++x`, `x++`, `--x`, `x--`
+    IncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// `+1` or `-1`.
+        delta: i8,
+        /// Prefix (`true`) or postfix.
+        prefix: bool,
+    },
+    /// `obj.prop`
+    Member {
+        /// Object expression.
+        object: Box<Expr>,
+        /// Property name.
+        prop: String,
+    },
+    /// `obj[expr]`
+    Index {
+        /// Object expression.
+        object: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `callee(args...)`
+    Call {
+        /// Callee (member expressions bind `this`).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new Callee(args...)`
+    New {
+        /// Constructor expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `a, b` (comma operator).
+    Seq(Box<Expr>, Box<Expr>),
+}

@@ -1,0 +1,1485 @@
+//! The AdScript tree-walking evaluator.
+//!
+//! ## Scoping model
+//!
+//! Faithful to pre-ES6 JavaScript `var` semantics: scopes are *function*
+//! scopes, not block scopes. `var` declares in the innermost function scope;
+//! blocks do not create scopes; assignment to an undeclared name creates a
+//! global (non-strict behaviour — ad scripts rely on it). Function
+//! declarations are hoisted to the top of their body. `catch` introduces a
+//! one-binding scope for its parameter.
+//!
+//! ## Host interface
+//!
+//! The embedder implements [`Host`]: native function calls and property
+//! access on *native objects* (heap objects with a tag, e.g. `document`)
+//! route through it. The `malvert-browser` crate uses this to implement the
+//! DOM/BOM surface and record behaviour events.
+
+use crate::ast::*;
+use crate::parser::parse_program;
+use crate::stdlib;
+use crate::value::{number_to_string, Heap, ObjId, ObjKind, Value};
+use crate::ScriptError;
+use malvert_types::rng::DetRng;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Execution limits: the honeyclient's defence against looping creatives.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of evaluation steps (statements + expression nodes).
+    pub max_steps: u64,
+    /// Maximum script-function call depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps: 2_000_000,
+            max_depth: 200,
+        }
+    }
+}
+
+/// Embedder interface for native functions and native-object properties.
+pub trait Host {
+    /// Invokes the native function `name`. `this` is the receiver for method
+    /// calls on native objects.
+    fn call(
+        &mut self,
+        heap: &mut Heap,
+        name: &str,
+        this: Option<ObjId>,
+        args: &[Value],
+    ) -> Result<Value, String>;
+
+    /// Property read on a native object with tag `tag`. Returning `None`
+    /// falls back to the object's stored properties.
+    fn get_prop(&mut self, heap: &mut Heap, tag: &str, obj: ObjId, key: &str) -> Option<Value> {
+        let _ = (heap, tag, obj, key);
+        None
+    }
+
+    /// Property write on a native object. Returning `true` means the host
+    /// handled it; `false` stores it as a plain property.
+    fn set_prop(&mut self, heap: &mut Heap, tag: &str, obj: ObjId, key: &str, value: &Value) -> bool {
+        let _ = (heap, tag, obj, key, value);
+        false
+    }
+
+    /// Constructor call `new Name(...)` for host types (`Image`, `Date`, …).
+    /// Returning `None` produces a plain empty object.
+    fn construct(&mut self, heap: &mut Heap, name: &str, args: &[Value]) -> Option<Value> {
+        let _ = (heap, name, args);
+        None
+    }
+}
+
+/// A host that provides nothing — used by tests and pure-computation runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHost;
+
+impl Host for NoHost {
+    fn call(
+        &mut self,
+        _heap: &mut Heap,
+        name: &str,
+        _this: Option<ObjId>,
+        _args: &[Value],
+    ) -> Result<Value, String> {
+        Err(format!("{name} is not defined"))
+    }
+}
+
+/// Control-flow signals during evaluation.
+enum Flow {
+    Return(Value),
+    Break,
+    Continue,
+    Throw(Value),
+    Fatal(ScriptError),
+}
+
+type EvalResult = Result<Value, Flow>;
+type ExecResult = Result<(), Flow>;
+
+struct Env {
+    vars: HashMap<String, Value>,
+    parent: Option<usize>,
+}
+
+/// The interpreter: owns the heap, the environments, and the host.
+pub struct Interpreter<H: Host> {
+    /// The object heap (public so embedders can inspect results).
+    pub heap: Heap,
+    /// The embedder's host implementation.
+    pub host: H,
+    envs: Vec<Env>,
+    limits: Limits,
+    steps_left: u64,
+    depth: usize,
+    rng: DetRng,
+    /// Every source string that passed through `eval`, in execution order —
+    /// the honeyclient's deobfuscation trace (running layered obfuscation
+    /// leaves the decoded payload here, the way Wepawet unwrapped packed
+    /// scripts by instrumenting `eval`).
+    pub eval_trace: Vec<String>,
+}
+
+impl<H: Host> Interpreter<H> {
+    /// Creates an interpreter with the given host, limits, and RNG seed
+    /// (the seed feeds `Math.random` deterministically).
+    pub fn new(host: H, limits: Limits, seed: u64) -> Self {
+        let mut interp = Interpreter {
+            heap: Heap::new(),
+            host,
+            envs: vec![Env {
+                vars: HashMap::new(),
+                parent: None,
+            }],
+            limits,
+            steps_left: limits.max_steps,
+            depth: 0,
+            rng: DetRng::new(seed),
+            eval_trace: Vec::new(),
+        };
+        stdlib::install_globals(&mut interp.heap, &mut interp.envs[0].vars);
+        interp
+    }
+
+    /// Defines a global variable before running scripts (used by the browser
+    /// to install `window`, `document`, `navigator`, …).
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        self.envs[0].vars.insert(name.to_string(), value);
+    }
+
+    /// Reads a global variable.
+    pub fn get_global(&self, name: &str) -> Option<&Value> {
+        self.envs[0].vars.get(name)
+    }
+
+    /// Remaining step budget (useful for spreading a budget over several
+    /// scripts on one page).
+    pub fn steps_left(&self) -> u64 {
+        self.steps_left
+    }
+
+    /// Parses and executes `src` in the global scope.
+    pub fn run(&mut self, src: &str) -> Result<Value, ScriptError> {
+        let program = parse_program(src)?;
+        self.run_body(&program.body, 0)
+    }
+
+    /// Calls a function value (used by the browser to fire queued
+    /// `setTimeout` callbacks and event handlers).
+    pub fn call_value(
+        &mut self,
+        f: &Value,
+        this: Option<ObjId>,
+        args: &[Value],
+    ) -> Result<Value, ScriptError> {
+        match self.call_function(f.clone(), this, args.to_vec()) {
+            Ok(v) => Ok(v),
+            Err(Flow::Throw(v)) => Err(ScriptError::Runtime(format!(
+                "uncaught exception: {}",
+                self.display_value(&v)
+            ))),
+            Err(Flow::Fatal(e)) => Err(e),
+            Err(_) => Err(ScriptError::Runtime("illegal control flow".into())),
+        }
+    }
+
+    fn run_body(&mut self, body: &[Stmt], env: usize) -> Result<Value, ScriptError> {
+        self.hoist_functions(body, env)
+            .map_err(|f| self.flow_to_error(f))?;
+        let mut last = Value::Undefined;
+        for stmt in body {
+            match self.exec(stmt, env) {
+                Ok(()) => {
+                    if let Stmt::Expr(_) = stmt {
+                        // Expression-statement value is not tracked per-stmt;
+                        // re-evaluating would double side effects, so `last`
+                        // only reflects explicit `return` at top level.
+                        last = Value::Undefined;
+                    }
+                }
+                Err(Flow::Return(v)) => return Ok(v),
+                Err(f) => return Err(self.flow_to_error(f)),
+            }
+        }
+        Ok(last)
+    }
+
+    fn flow_to_error(&mut self, f: Flow) -> ScriptError {
+        match f {
+            Flow::Fatal(e) => e,
+            Flow::Throw(v) => {
+                let msg = self.display_value(&v);
+                ScriptError::Runtime(format!("uncaught exception: {msg}"))
+            }
+            Flow::Break | Flow::Continue => {
+                ScriptError::Runtime("break/continue outside loop".into())
+            }
+            Flow::Return(_) => ScriptError::Runtime("return outside function".into()),
+        }
+    }
+
+    fn step(&mut self) -> ExecResult {
+        if self.steps_left == 0 {
+            return Err(Flow::Fatal(ScriptError::BudgetExhausted));
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    fn hoist_functions(&mut self, body: &[Stmt], env: usize) -> ExecResult {
+        for stmt in body {
+            if let Stmt::FnDecl(def) = stmt {
+                let name = def.name.clone().expect("declaration has a name");
+                let value = Value::Fn {
+                    def: Rc::new(def.clone()),
+                    env,
+                };
+                self.envs[env].vars.insert(name, value);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn exec(&mut self, stmt: &Stmt, env: usize) -> ExecResult {
+        self.step()?;
+        match stmt {
+            Stmt::Empty | Stmt::FnDecl(_) => Ok(()),
+            Stmt::Var(decls) => {
+                for (name, init) in decls {
+                    let value = match init {
+                        Some(e) => self.eval(e, env)?,
+                        None => Value::Undefined,
+                    };
+                    self.envs[env].vars.insert(name.clone(), value);
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, env)?;
+                Ok(())
+            }
+            Stmt::Block(body) => {
+                self.hoist_functions(body, env)?;
+                for s in body {
+                    self.exec(s, env)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then, alt } => {
+                if self.eval(cond, env)?.truthy() {
+                    self.exec(then, env)
+                } else if let Some(alt) = alt {
+                    self.exec(alt, env)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond, env)?.truthy() {
+                    match self.exec(body, env) {
+                        Ok(()) | Err(Flow::Continue) => {}
+                        Err(Flow::Break) => break,
+                        Err(f) => return Err(f),
+                    }
+                }
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                loop {
+                    match self.exec(body, env) {
+                        Ok(()) | Err(Flow::Continue) => {}
+                        Err(Flow::Break) => break,
+                        Err(f) => return Err(f),
+                    }
+                    if !self.eval(cond, env)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.exec(init, env)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval(cond, env)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec(body, env) {
+                        Ok(()) | Err(Flow::Continue) => {}
+                        Err(Flow::Break) => break,
+                        Err(f) => return Err(f),
+                    }
+                    if let Some(update) = update {
+                        self.eval(update, env)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Switch { disc, cases } => {
+                let value = self.eval(disc, env)?;
+                // Find the matching case (strict equality), else `default`.
+                let mut start = None;
+                for (i, (test, _)) in cases.iter().enumerate() {
+                    if let Some(test) = test {
+                        let t = self.eval(test, env)?;
+                        if value.strict_eq(&t) {
+                            start = Some(i);
+                            break;
+                        }
+                    }
+                }
+                if start.is_none() {
+                    start = cases.iter().position(|(test, _)| test.is_none());
+                }
+                if let Some(start) = start {
+                    // Fall through subsequent cases until `break`.
+                    'cases: for (_, body) in &cases[start..] {
+                        self.hoist_functions(body, env)?;
+                        for s in body {
+                            match self.exec(s, env) {
+                                Ok(()) => {}
+                                Err(Flow::Break) => break 'cases,
+                                Err(f) => return Err(f),
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::ForIn {
+                decl: _,
+                name,
+                object,
+                body,
+            } => {
+                let obj = self.eval(object, env)?;
+                // Enumerate keys up front (BTreeMap order: deterministic).
+                let keys: Vec<String> = match &obj {
+                    Value::Obj(id) => {
+                        let data = self.heap.get(*id);
+                        let mut keys: Vec<String> =
+                            (0..data.elements.len()).map(|i| i.to_string()).collect();
+                        keys.extend(data.props.keys().cloned());
+                        keys
+                    }
+                    Value::Str(s) => (0..s.chars().count()).map(|i| i.to_string()).collect(),
+                    _ => Vec::new(),
+                };
+                for key in keys {
+                    self.envs[env].vars.insert(name.clone(), Value::str(key));
+                    match self.exec(body, env) {
+                        Ok(()) | Err(Flow::Continue) => {}
+                        Err(Flow::Break) => break,
+                        Err(f) => return Err(f),
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Undefined,
+                };
+                Err(Flow::Return(v))
+            }
+            Stmt::Break => Err(Flow::Break),
+            Stmt::Continue => Err(Flow::Continue),
+            Stmt::Throw(e) => {
+                let v = self.eval(e, env)?;
+                Err(Flow::Throw(v))
+            }
+            Stmt::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                let mut result: ExecResult = (|| {
+                    self.hoist_functions(block, env)?;
+                    for s in block {
+                        self.exec(s, env)?;
+                    }
+                    Ok(())
+                })();
+                if let Err(Flow::Throw(exc)) = &result {
+                    if let Some((name, handler)) = catch {
+                        let exc = exc.clone();
+                        let catch_env = self.push_env(env);
+                        self.envs[catch_env].vars.insert(name.clone(), exc);
+                        result = (|| {
+                            self.hoist_functions(handler, catch_env)?;
+                            for s in handler {
+                                self.exec(s, catch_env)?;
+                            }
+                            Ok(())
+                        })();
+                    }
+                }
+                if let Some(fin) = finally {
+                    // A throw/return inside `finally` overrides the pending
+                    // completion, like JS.
+                    let fin_result: ExecResult = (|| {
+                        self.hoist_functions(fin, env)?;
+                        for s in fin {
+                            self.exec(s, env)?;
+                        }
+                        Ok(())
+                    })();
+                    fin_result?;
+                }
+                result
+            }
+        }
+    }
+
+    fn push_env(&mut self, parent: usize) -> usize {
+        self.envs.push(Env {
+            vars: HashMap::new(),
+            parent: Some(parent),
+        });
+        self.envs.len() - 1
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn eval(&mut self, expr: &Expr, env: usize) -> EvalResult {
+        self.step()?;
+        match expr {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Undefined => Ok(Value::Undefined),
+            Expr::This => Ok(self.try_lookup("this", env).unwrap_or(Value::Undefined)),
+            Expr::Ident(name) => self.lookup(name, env),
+            Expr::Array(items) => {
+                let mut elements = Vec::with_capacity(items.len());
+                for item in items {
+                    elements.push(self.eval(item, env)?);
+                }
+                Ok(Value::Obj(self.heap.alloc_array(elements)))
+            }
+            Expr::Object(props) => {
+                let id = self.heap.alloc_object();
+                for (k, v) in props {
+                    let value = self.eval(v, env)?;
+                    self.heap.get_mut(id).props.insert(k.clone(), value);
+                }
+                Ok(Value::Obj(id))
+            }
+            Expr::Function(def) => Ok(Value::Fn {
+                def: Rc::new(def.clone()),
+                env,
+            }),
+            Expr::Assign { target, op, value } => self.eval_assign(target, *op, value, env),
+            Expr::Cond { cond, then, alt } => {
+                if self.eval(cond, env)?.truthy() {
+                    self.eval(then, env)
+                } else {
+                    self.eval(alt, env)
+                }
+            }
+            Expr::Or(a, b) => {
+                let lhs = self.eval(a, env)?;
+                if lhs.truthy() {
+                    Ok(lhs)
+                } else {
+                    self.eval(b, env)
+                }
+            }
+            Expr::And(a, b) => {
+                let lhs = self.eval(a, env)?;
+                if lhs.truthy() {
+                    self.eval(b, env)
+                } else {
+                    Ok(lhs)
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.eval(lhs, env)?;
+                let r = self.eval(rhs, env)?;
+                self.binop(*op, l, r)
+            }
+            Expr::Un { op, operand } => {
+                if *op == UnOp::Typeof {
+                    // typeof on an unresolvable name yields "undefined".
+                    if let Expr::Ident(name) = operand.as_ref() {
+                        if self.try_lookup(name, env).is_none() {
+                            return Ok(Value::str("undefined"));
+                        }
+                    }
+                }
+                let v = self.eval(operand, env)?;
+                Ok(match op {
+                    UnOp::Neg => Value::Num(-v.to_number()),
+                    UnOp::Pos => Value::Num(v.to_number()),
+                    UnOp::Not => Value::Bool(!v.truthy()),
+                    UnOp::BitNot => Value::Num(!(to_i32(v.to_number())) as f64),
+                    UnOp::Typeof => Value::str(v.type_of()),
+                    UnOp::Void => Value::Undefined,
+                    UnOp::Delete => Value::Bool(true),
+                })
+            }
+            Expr::IncDec {
+                target,
+                delta,
+                prefix,
+            } => {
+                let old = self.eval(target, env)?.to_number();
+                let new = old + f64::from(*delta);
+                self.assign_to(target, Value::Num(new), env)?;
+                Ok(Value::Num(if *prefix { new } else { old }))
+            }
+            Expr::Member { object, prop } => {
+                let obj = self.eval(object, env)?;
+                self.get_property(&obj, prop)
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval(object, env)?;
+                let idx = self.eval(index, env)?;
+                let key = self.value_to_key(&idx);
+                self.get_property(&obj, &key)
+            }
+            Expr::Call { callee, args } => self.eval_call(callee, args, env),
+            Expr::New { callee, args } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(self.eval(a, env)?);
+                }
+                // `new Name(...)` goes to the host; `new expr` on a script
+                // function calls it with a fresh object as `this`... we
+                // simplify: host first, then plain object.
+                if let Expr::Ident(name) = callee.as_ref() {
+                    if let Some(v) = self.host.construct(&mut self.heap, name, &arg_values) {
+                        return Ok(v);
+                    }
+                }
+                let f = self.eval(callee, env);
+                match f {
+                    Ok(f @ Value::Fn { .. }) => {
+                        let this = self.heap.alloc_object();
+                        let result = self.call_function(f, Some(this), arg_values)?;
+                        match result {
+                            Value::Obj(_) => Ok(result),
+                            _ => Ok(Value::Obj(this)),
+                        }
+                    }
+                    _ => Ok(Value::Obj(self.heap.alloc_object())),
+                }
+            }
+            Expr::Seq(a, b) => {
+                self.eval(a, env)?;
+                self.eval(b, env)
+            }
+        }
+    }
+
+    fn eval_assign(
+        &mut self,
+        target: &Expr,
+        op: AssignOp,
+        value: &Expr,
+        env: usize,
+    ) -> EvalResult {
+        let rhs = self.eval(value, env)?;
+        let new = if op == AssignOp::Assign {
+            rhs
+        } else {
+            let old = self.eval(target, env)?;
+            match op {
+                AssignOp::Add => self.add_values(old, rhs),
+                AssignOp::Sub => Value::Num(old.to_number() - rhs.to_number()),
+                AssignOp::Mul => Value::Num(old.to_number() * rhs.to_number()),
+                AssignOp::Div => Value::Num(old.to_number() / rhs.to_number()),
+                AssignOp::Mod => Value::Num(old.to_number() % rhs.to_number()),
+                AssignOp::Assign => unreachable!(),
+            }
+        };
+        self.assign_to(target, new.clone(), env)?;
+        Ok(new)
+    }
+
+    fn assign_to(&mut self, target: &Expr, value: Value, env: usize) -> ExecResult {
+        match target {
+            Expr::Ident(name) => {
+                // Walk the chain; create a global when undeclared.
+                let mut cur = Some(env);
+                while let Some(e) = cur {
+                    if self.envs[e].vars.contains_key(name) {
+                        self.envs[e].vars.insert(name.clone(), value);
+                        return Ok(());
+                    }
+                    cur = self.envs[e].parent;
+                }
+                self.envs[0].vars.insert(name.clone(), value);
+                Ok(())
+            }
+            Expr::Member { object, prop } => {
+                let obj = self.eval(object, env)?;
+                self.set_property(&obj, prop, value)
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval(object, env)?;
+                let idx = self.eval(index, env)?;
+                let key = self.value_to_key(&idx);
+                self.set_property(&obj, &key, value)
+            }
+            _ => Err(Flow::Fatal(ScriptError::Runtime(
+                "invalid assignment target".into(),
+            ))),
+        }
+    }
+
+    fn lookup(&mut self, name: &str, env: usize) -> EvalResult {
+        match self.try_lookup(name, env) {
+            Some(v) => Ok(v),
+            None => Err(Flow::Throw(Value::str(format!("{name} is not defined")))),
+        }
+    }
+
+    fn try_lookup(&self, name: &str, env: usize) -> Option<Value> {
+        let mut cur = Some(env);
+        while let Some(e) = cur {
+            if let Some(v) = self.envs[e].vars.get(name) {
+                return Some(v.clone());
+            }
+            cur = self.envs[e].parent;
+        }
+        None
+    }
+
+    fn value_to_key(&self, v: &Value) -> String {
+        match v {
+            Value::Str(s) => s.to_string(),
+            Value::Num(n) => number_to_string(*n),
+            other => self.display_value(other),
+        }
+    }
+
+    /// Converts a value to its display string (`ToString`).
+    pub fn display_value(&self, v: &Value) -> String {
+        match v {
+            Value::Undefined => "undefined".to_string(),
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => number_to_string(*n),
+            Value::Str(s) => s.to_string(),
+            Value::Obj(id) => {
+                let data = self.heap.get(*id);
+                match data.kind {
+                    ObjKind::Array => {
+                        let parts: Vec<String> = data
+                            .elements
+                            .iter()
+                            .map(|e| match e {
+                                Value::Undefined | Value::Null => String::new(),
+                                other => self.display_value(other),
+                            })
+                            .collect();
+                        parts.join(",")
+                    }
+                    ObjKind::Native => format!("[object {}]", data.tag),
+                    ObjKind::Plain => "[object Object]".to_string(),
+                }
+            }
+            Value::Fn { .. } | Value::Native(_) => "function".to_string(),
+        }
+    }
+
+    fn get_property(&mut self, obj: &Value, key: &str) -> EvalResult {
+        match obj {
+            Value::Str(s) => {
+                if key == "length" {
+                    return Ok(Value::Num(s.chars().count() as f64));
+                }
+                if stdlib::is_string_method(key) {
+                    return Ok(Value::Native(Rc::from(format!("std:str:{key}"))));
+                }
+                // Indexing a string: s[0].
+                if let Ok(idx) = key.parse::<usize>() {
+                    return Ok(s
+                        .chars()
+                        .nth(idx)
+                        .map(|c| Value::str(c.to_string()))
+                        .unwrap_or(Value::Undefined));
+                }
+                Ok(Value::Undefined)
+            }
+            Value::Obj(id) => {
+                let data = self.heap.get(*id);
+                match data.kind {
+                    ObjKind::Array => {
+                        if key == "length" {
+                            return Ok(Value::Num(data.elements.len() as f64));
+                        }
+                        if let Ok(idx) = key.parse::<usize>() {
+                            return Ok(data
+                                .elements
+                                .get(idx)
+                                .cloned()
+                                .unwrap_or(Value::Undefined));
+                        }
+                        if stdlib::is_array_method(key) {
+                            return Ok(Value::Native(Rc::from(format!("std:arr:{key}"))));
+                        }
+                        Ok(data.props.get(key).cloned().unwrap_or(Value::Undefined))
+                    }
+                    ObjKind::Native => {
+                        let tag = data.tag.clone();
+                        if let Some(v) = self.host.get_prop(&mut self.heap, &tag, *id, key) {
+                            return Ok(v);
+                        }
+                        Ok(self
+                            .heap
+                            .get(*id)
+                            .props
+                            .get(key)
+                            .cloned()
+                            .unwrap_or(Value::Undefined))
+                    }
+                    ObjKind::Plain => {
+                        Ok(data.props.get(key).cloned().unwrap_or(Value::Undefined))
+                    }
+                }
+            }
+            Value::Num(_) => {
+                if stdlib::is_number_method(key) {
+                    return Ok(Value::Native(Rc::from(format!("std:num:{key}"))));
+                }
+                Ok(Value::Undefined)
+            }
+            Value::Bool(_) => Ok(Value::Undefined),
+            Value::Undefined | Value::Null => Err(Flow::Throw(Value::str(format!(
+                "cannot read property '{key}' of {}",
+                obj.type_of()
+            )))),
+            Value::Fn { .. } | Value::Native(_) => Ok(Value::Undefined),
+        }
+    }
+
+    fn set_property(&mut self, obj: &Value, key: &str, value: Value) -> ExecResult {
+        match obj {
+            Value::Obj(id) => {
+                let kind = self.heap.get(*id).kind;
+                match kind {
+                    ObjKind::Array => {
+                        if let Ok(idx) = key.parse::<usize>() {
+                            let elements = &mut self.heap.get_mut(*id).elements;
+                            if idx >= elements.len() {
+                                elements.resize(idx + 1, Value::Undefined);
+                            }
+                            elements[idx] = value;
+                            return Ok(());
+                        }
+                        if key == "length" {
+                            let new_len = value.to_number().max(0.0) as usize;
+                            self.heap
+                                .get_mut(*id)
+                                .elements
+                                .resize(new_len, Value::Undefined);
+                            return Ok(());
+                        }
+                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        Ok(())
+                    }
+                    ObjKind::Native => {
+                        let tag = self.heap.get(*id).tag.clone();
+                        if self.host.set_prop(&mut self.heap, &tag, *id, key, &value) {
+                            return Ok(());
+                        }
+                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        Ok(())
+                    }
+                    ObjKind::Plain => {
+                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        Ok(())
+                    }
+                }
+            }
+            Value::Undefined | Value::Null => Err(Flow::Throw(Value::str(format!(
+                "cannot set property '{key}' of {}",
+                obj.type_of()
+            )))),
+            // Setting on primitives is silently ignored, like non-strict JS.
+            _ => Ok(()),
+        }
+    }
+
+    fn eval_call(&mut self, callee: &Expr, args: &[Expr], env: usize) -> EvalResult {
+        let mut arg_values = Vec::with_capacity(args.len());
+        // Evaluate callee first (receiver included), then arguments — JS order.
+        let (f, this) = match callee {
+            Expr::Member { object, prop } => {
+                let obj = self.eval(object, env)?;
+                let f = self.get_property(&obj, prop)?;
+                let this = match &obj {
+                    Value::Obj(id) => Some(*id),
+                    _ => None,
+                };
+                // Method on a string/number primitive: pass the receiver via
+                // a synthetic first argument handled by the stdlib
+                // dispatcher.
+                match &obj {
+                    Value::Str(s) => arg_values.push(Value::Str(s.clone())),
+                    Value::Num(n) => arg_values.push(Value::Num(*n)),
+                    _ => {}
+                }
+                (f, this)
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval(object, env)?;
+                let idx = self.eval(index, env)?;
+                let key = self.value_to_key(&idx);
+                let f = self.get_property(&obj, &key)?;
+                let this = match &obj {
+                    Value::Obj(id) => Some(*id),
+                    _ => None,
+                };
+                match &obj {
+                    Value::Str(s) => arg_values.push(Value::Str(s.clone())),
+                    Value::Num(n) => arg_values.push(Value::Num(*n)),
+                    _ => {}
+                }
+                (f, this)
+            }
+            other => (self.eval(other, env)?, None),
+        };
+        for a in args {
+            arg_values.push(self.eval(a, env)?);
+        }
+        // `eval` is special: it must run in the *current* environment.
+        if let Value::Native(name) = &f {
+            if name.as_ref() == "std:eval" {
+                let src = match arg_values.first() {
+                    Some(Value::Str(s)) => s.to_string(),
+                    Some(other) => return Ok(other.clone()),
+                    None => return Ok(Value::Undefined),
+                };
+                return self.eval_in_env(&src, env);
+            }
+        }
+        self.call_function(f, this, arg_values)
+    }
+
+    fn eval_in_env(&mut self, src: &str, env: usize) -> EvalResult {
+        self.eval_trace.push(src.to_string());
+        let program = match parse_program(src) {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(Flow::Throw(Value::str(format!("eval: {e}"))));
+            }
+        };
+        self.hoist_functions(&program.body, env)?;
+        for stmt in &program.body {
+            match self.exec(stmt, env) {
+                Ok(()) => {}
+                Err(Flow::Return(v)) => return Ok(v),
+                Err(f) => return Err(f),
+            }
+        }
+        Ok(Value::Undefined)
+    }
+
+    fn call_function(
+        &mut self,
+        f: Value,
+        this: Option<ObjId>,
+        args: Vec<Value>,
+    ) -> EvalResult {
+        match f {
+            Value::Fn { def, env } => {
+                if self.depth >= self.limits.max_depth {
+                    return Err(Flow::Fatal(ScriptError::BudgetExhausted));
+                }
+                self.depth += 1;
+                let call_env = self.push_env(env);
+                for (i, p) in def.params.iter().enumerate() {
+                    let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+                    self.envs[call_env].vars.insert(p.clone(), v);
+                }
+                // `arguments` array.
+                let args_arr = self.heap.alloc_array(args.clone());
+                self.envs[call_env]
+                    .vars
+                    .insert("arguments".to_string(), Value::Obj(args_arr));
+                if let Some(this_id) = this {
+                    self.envs[call_env]
+                        .vars
+                        .insert("this".to_string(), Value::Obj(this_id));
+                }
+                let mut result = Value::Undefined;
+                let mut error = None;
+                self.hoist_functions(&def.body, call_env)?;
+                for stmt in def.body.iter() {
+                    match self.exec(stmt, call_env) {
+                        Ok(()) => {}
+                        Err(Flow::Return(v)) => {
+                            result = v;
+                            break;
+                        }
+                        Err(f) => {
+                            error = Some(f);
+                            break;
+                        }
+                    }
+                }
+                self.depth -= 1;
+                match error {
+                    Some(f) => Err(f),
+                    None => Ok(result),
+                }
+            }
+            Value::Native(name) => {
+                if let Some(rest) = name.strip_prefix("std:") {
+                    return stdlib::call(self, rest, this, &args).map_err(Flow::Throw);
+                }
+                match self.host.call(&mut self.heap, &name, this, &args) {
+                    Ok(v) => Ok(v),
+                    Err(msg) => Err(Flow::Throw(Value::str(msg))),
+                }
+            }
+            other => Err(Flow::Throw(Value::str(format!(
+                "{} is not a function",
+                other.type_of()
+            )))),
+        }
+    }
+
+    fn add_values(&mut self, l: Value, r: Value) -> Value {
+        // JS `+`: string concatenation when either side is a string or an
+        // object (which stringifies).
+        let l_str = matches!(l, Value::Str(_) | Value::Obj(_));
+        let r_str = matches!(r, Value::Str(_) | Value::Obj(_));
+        if l_str || r_str {
+            let mut s = self.display_value(&l);
+            s.push_str(&self.display_value(&r));
+            Value::str(s)
+        } else {
+            Value::Num(l.to_number() + r.to_number())
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> EvalResult {
+        let v = match op {
+            BinOp::Add => self.add_values(l, r),
+            BinOp::Sub => Value::Num(l.to_number() - r.to_number()),
+            BinOp::Mul => Value::Num(l.to_number() * r.to_number()),
+            BinOp::Div => Value::Num(l.to_number() / r.to_number()),
+            BinOp::Mod => Value::Num(l.to_number() % r.to_number()),
+            BinOp::EqStrict => Value::Bool(l.strict_eq(&r)),
+            BinOp::NeStrict => Value::Bool(!l.strict_eq(&r)),
+            BinOp::EqLoose => Value::Bool(self.loose_eq(&l, &r)),
+            BinOp::NeLoose => Value::Bool(!self.loose_eq(&l, &r)),
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => {
+                // String-vs-string comparison is lexicographic.
+                if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+                    let ord = a.cmp(b);
+                    Value::Bool(match op {
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::Le => ord.is_le(),
+                        BinOp::Ge => ord.is_ge(),
+                        _ => unreachable!(),
+                    })
+                } else {
+                    let a = l.to_number();
+                    let b = r.to_number();
+                    Value::Bool(match op {
+                        BinOp::Lt => a < b,
+                        BinOp::Gt => a > b,
+                        BinOp::Le => a <= b,
+                        BinOp::Ge => a >= b,
+                        _ => unreachable!(),
+                    })
+                }
+            }
+            BinOp::BitAnd => Value::Num((to_i32(l.to_number()) & to_i32(r.to_number())) as f64),
+            BinOp::BitOr => Value::Num((to_i32(l.to_number()) | to_i32(r.to_number())) as f64),
+            BinOp::BitXor => Value::Num((to_i32(l.to_number()) ^ to_i32(r.to_number())) as f64),
+            BinOp::Shl => {
+                Value::Num((to_i32(l.to_number()) << (to_u32(r.to_number()) & 31)) as f64)
+            }
+            BinOp::Shr => {
+                Value::Num((to_i32(l.to_number()) >> (to_u32(r.to_number()) & 31)) as f64)
+            }
+            BinOp::UShr => {
+                Value::Num((to_u32(l.to_number()) >> (to_u32(r.to_number()) & 31)) as f64)
+            }
+            BinOp::Instanceof => Value::Bool(false),
+            BinOp::In => {
+                let key = self.value_to_key(&l);
+                match r {
+                    Value::Obj(id) => {
+                        let data = self.heap.get(id);
+                        Value::Bool(
+                            data.props.contains_key(&key)
+                                || key
+                                    .parse::<usize>()
+                                    .map(|i| i < data.elements.len())
+                                    .unwrap_or(false),
+                        )
+                    }
+                    _ => Value::Bool(false),
+                }
+            }
+        };
+        Ok(v)
+    }
+
+    fn loose_eq(&self, l: &Value, r: &Value) -> bool {
+        match (l, r) {
+            (Value::Null | Value::Undefined, Value::Null | Value::Undefined) => true,
+            (Value::Null | Value::Undefined, _) | (_, Value::Null | Value::Undefined) => false,
+            (Value::Num(_), Value::Str(_))
+            | (Value::Str(_), Value::Num(_))
+            | (Value::Bool(_), _)
+            | (_, Value::Bool(_)) => {
+                let a = l.to_number();
+                let b = r.to_number();
+                a == b
+            }
+            _ => l.strict_eq(r),
+        }
+    }
+
+    /// Deterministic `Math.random` draw (stdlib hook).
+    pub(crate) fn random(&mut self) -> f64 {
+        self.rng.unit_f64()
+    }
+}
+
+fn to_i32(n: f64) -> i32 {
+    if !n.is_finite() {
+        return 0;
+    }
+    (n as i64 & 0xFFFF_FFFF) as u32 as i32
+}
+
+fn to_u32(n: f64) -> u32 {
+    to_i32(n) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Value {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(src).unwrap()
+    }
+
+    /// Run and return the display string of global `out`.
+    fn out(src: &str) -> String {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(src).unwrap();
+        let v = interp.get_global("out").cloned().unwrap_or(Value::Undefined);
+        interp.display_value(&v)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(out("out = 1 + 2 * 3 - 4 / 2;"), "5");
+        assert_eq!(out("out = (1 + 2) * 3;"), "9");
+        assert_eq!(out("out = 7 % 3;"), "1");
+    }
+
+    #[test]
+    fn string_concat_semantics() {
+        assert_eq!(out("out = 'a' + 'b';"), "ab");
+        assert_eq!(out("out = 1 + '2';"), "12");
+        assert_eq!(out("out = '3' + 4;"), "34");
+        assert_eq!(out("out = 1 + 2 + 'x';"), "3x");
+        assert_eq!(out("out = 'x' + 1 + 2;"), "x12");
+    }
+
+    #[test]
+    fn variables_and_scope_chain() {
+        assert_eq!(out("var a = 1; function f() { return a + 1; } out = f();"), "2");
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        assert_eq!(
+            out("function counter() { var n = 0; return function() { n = n + 1; return n; }; } \
+                 var c = counter(); c(); c(); out = c();"),
+            "3"
+        );
+    }
+
+    #[test]
+    fn var_is_function_scoped_not_block_scoped() {
+        assert_eq!(
+            out("function f() { if (true) { var x = 5; } return x; } out = f();"),
+            "5"
+        );
+    }
+
+    #[test]
+    fn undeclared_assignment_creates_global() {
+        assert_eq!(out("function f() { leak = 42; } f(); out = leak;"), "42");
+    }
+
+    #[test]
+    fn if_else_chains() {
+        assert_eq!(out("var x = 5; if (x > 3) { out = 'big'; } else { out = 'small'; }"), "big");
+        assert_eq!(out("var x = 1; if (x > 3) out = 'big'; else out = 'small';"), "small");
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        assert_eq!(out("var s = 0; for (var i = 1; i <= 10; i++) { s += i; } out = s;"), "55");
+        assert_eq!(out("var n = 0; while (n < 5) { n++; } out = n;"), "5");
+        assert_eq!(out("var n = 10; do { n--; } while (n > 7); out = n;"), "7");
+    }
+
+    #[test]
+    fn break_and_continue() {
+        assert_eq!(
+            out("var s = 0; for (var i = 0; i < 10; i++) { if (i == 5) break; s += i; } out = s;"),
+            "10"
+        );
+        assert_eq!(
+            out("var s = 0; for (var i = 0; i < 5; i++) { if (i % 2 == 0) continue; s += i; } out = s;"),
+            "4"
+        );
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(out("var a = [1, 2, 3]; out = a.length;"), "3");
+        assert_eq!(out("var a = [1, 2, 3]; a.push(4); out = a[3];"), "4");
+        assert_eq!(out("var a = [1, 2]; out = a.join('-');"), "1-2");
+        assert_eq!(out("var a = []; a[5] = 'x'; out = a.length;"), "6");
+        assert_eq!(out("var a = [9, 8]; out = a.pop();"), "8");
+    }
+
+    #[test]
+    fn objects() {
+        assert_eq!(out("var o = {x: 1, y: 'two'}; out = o.x + o.y;"), "1two");
+        assert_eq!(out("var o = {}; o.a = 5; o['b'] = 6; out = o.a + o['b'];"), "11");
+        assert_eq!(out("var o = {n: {m: 3}}; out = o.n.m;"), "3");
+    }
+
+    #[test]
+    fn equality_rules() {
+        assert_eq!(out("out = (1 == '1');"), "true");
+        assert_eq!(out("out = (1 === '1');"), "false");
+        assert_eq!(out("out = (null == undefined);"), "true");
+        assert_eq!(out("out = (null === undefined);"), "false");
+        assert_eq!(out("out = (0 == false);"), "true");
+    }
+
+    #[test]
+    fn typeof_operator() {
+        assert_eq!(out("out = typeof 5;"), "number");
+        assert_eq!(out("out = typeof 'x';"), "string");
+        assert_eq!(out("out = typeof {};"), "object");
+        assert_eq!(out("out = typeof undefinedName;"), "undefined");
+        assert_eq!(out("out = typeof function(){};"), "function");
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        assert_eq!(out("out = 1 > 0 ? 'yes' : 'no';"), "yes");
+        assert_eq!(out("out = null || 'fallback';"), "fallback");
+        assert_eq!(out("out = 'first' && 'second';"), "second");
+        assert_eq!(out("out = 0 && explode();"), "0"); // short circuit
+    }
+
+    #[test]
+    fn inc_dec_pre_post() {
+        assert_eq!(out("var i = 5; out = i++;"), "5");
+        assert_eq!(out("var i = 5; out = ++i;"), "6");
+        assert_eq!(out("var i = 5; i++; out = i;"), "6");
+        assert_eq!(out("var a = [3]; a[0]++; out = a[0];"), "4");
+    }
+
+    #[test]
+    fn try_catch_throw() {
+        assert_eq!(
+            out("try { throw 'boom'; out = 'not reached'; } catch (e) { out = 'caught:' + e; }"),
+            "caught:boom"
+        );
+        assert_eq!(
+            out("var log = ''; try { log += 'a'; } finally { log += 'b'; } out = log;"),
+            "ab"
+        );
+    }
+
+    #[test]
+    fn runtime_error_is_catchable() {
+        assert_eq!(
+            out("try { missing.prop = 1; } catch (e) { out = 'recovered'; }"),
+            "recovered"
+        );
+    }
+
+    #[test]
+    fn uncaught_throw_is_error() {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        let err = interp.run("throw 'fatal';").unwrap_err();
+        assert!(matches!(err, ScriptError::Runtime(m) if m.contains("fatal")));
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loop() {
+        let mut interp = Interpreter::new(
+            NoHost,
+            Limits {
+                max_steps: 10_000,
+                max_depth: 50,
+            },
+            1,
+        );
+        let err = interp.run("while (true) {}").unwrap_err();
+        assert_eq!(err, ScriptError::BudgetExhausted);
+    }
+
+    #[test]
+    fn recursion_limit() {
+        let mut interp = Interpreter::new(
+            NoHost,
+            Limits {
+                max_steps: 10_000_000,
+                max_depth: 64,
+            },
+            1,
+        );
+        let err = interp.run("function f() { return f(); } f();").unwrap_err();
+        assert_eq!(err, ScriptError::BudgetExhausted);
+    }
+
+    #[test]
+    fn eval_runs_in_current_scope() {
+        assert_eq!(out("var x = 1; eval('x = x + 41;'); out = x;"), "42");
+        assert_eq!(out("eval('var fresh = 7;'); out = fresh;"), "7");
+    }
+
+    #[test]
+    fn eval_inside_function_scope() {
+        assert_eq!(
+            out("function f() { var local = 5; eval('local = local * 2;'); return local; } out = f();"),
+            "10"
+        );
+    }
+
+    #[test]
+    fn eval_trace_records_deobfuscated_layers() {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp
+            .run("eval(\"eval('out = 1 + 1;');\");")
+            .unwrap();
+        assert_eq!(interp.eval_trace.len(), 2);
+        assert_eq!(interp.eval_trace[0], "eval('out = 1 + 1;');");
+        assert_eq!(interp.eval_trace[1], "out = 1 + 1;");
+    }
+
+    #[test]
+    fn nested_eval_obfuscation() {
+        // Two layers of eval, as obfuscated creatives do.
+        assert_eq!(out(r#"eval("eval('out = 1 + 1;');");"#), "2");
+    }
+
+    #[test]
+    fn function_hoisting() {
+        assert_eq!(out("out = f(); function f() { return 'hoisted'; }"), "hoisted");
+    }
+
+    #[test]
+    fn this_binding_on_method_calls() {
+        assert_eq!(
+            out("var o = {v: 7, get: function() { return this.v; }}; out = o.get();"),
+            "7"
+        );
+    }
+
+    #[test]
+    fn arguments_object() {
+        assert_eq!(
+            out("function f() { return arguments.length + ':' + arguments[1]; } out = f('a', 'b', 'c');"),
+            "3:b"
+        );
+    }
+
+    #[test]
+    fn comma_and_seq() {
+        assert_eq!(out("var a = (1, 2, 3); out = a;"), "3");
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(out("out = 5 & 3;"), "1");
+        assert_eq!(out("out = 5 | 3;"), "7");
+        assert_eq!(out("out = 5 ^ 3;"), "6");
+        assert_eq!(out("out = 1 << 4;"), "16");
+        assert_eq!(out("out = 16 >> 2;"), "4");
+        assert_eq!(out("out = ~0;"), "-1");
+    }
+
+    #[test]
+    fn string_indexing_and_length() {
+        assert_eq!(out("var s = 'hello'; out = s.length;"), "5");
+        assert_eq!(out("var s = 'hello'; out = s[1];"), "e");
+    }
+
+    #[test]
+    fn array_display_joins() {
+        let v = run("return [1, 2, 3] + '';");
+        assert!(v.strict_eq(&Value::str("1,2,3")));
+    }
+
+    #[test]
+    fn new_plain_constructor() {
+        assert_eq!(
+            out("function Point(x) { this.x = x; } var p = new Point(4); out = p.x;"),
+            "4"
+        );
+    }
+
+    #[test]
+    fn in_operator() {
+        assert_eq!(out("var o = {k: 1}; out = 'k' in o;"), "true");
+        assert_eq!(out("var o = {k: 1}; out = 'z' in o;"), "false");
+        assert_eq!(out("var a = [1, 2]; out = 1 in a;"), "true");
+    }
+
+    #[test]
+    fn switch_basic_and_fallthrough() {
+        assert_eq!(
+            out("var x = 2; var log = ''; switch (x) { \
+                 case 1: log += 'a'; break; \
+                 case 2: log += 'b'; \
+                 case 3: log += 'c'; break; \
+                 default: log += 'd'; } out = log;"),
+            "bc"
+        );
+    }
+
+    #[test]
+    fn switch_default_clause() {
+        assert_eq!(
+            out("switch ('nope') { case 'x': out = 1; break; default: out = 'fell'; }"),
+            "fell"
+        );
+    }
+
+    #[test]
+    fn switch_no_match_no_default() {
+        assert_eq!(out("out = 'untouched'; switch (9) { case 1: out = 'no'; }"), "untouched");
+    }
+
+    #[test]
+    fn switch_strict_matching() {
+        // `switch` uses strict equality: '2' does not match 2.
+        assert_eq!(
+            out("switch ('2') { case 2: out = 'loose'; break; default: out = 'strict'; }"),
+            "strict"
+        );
+    }
+
+    #[test]
+    fn switch_string_cases() {
+        assert_eq!(
+            out("var ua = 'Firefox'; switch (ua) { \
+                 case 'Chrome': out = 'c'; break; \
+                 case 'Firefox': out = 'f'; break; } "),
+            "f"
+        );
+    }
+
+    #[test]
+    fn for_in_object_keys_sorted() {
+        assert_eq!(
+            out("var o = {b: 1, a: 2, c: 3}; var ks = ''; for (var k in o) { ks += k; } out = ks;"),
+            "abc"
+        );
+    }
+
+    #[test]
+    fn for_in_array_indices() {
+        assert_eq!(
+            out("var a = ['x', 'y', 'z']; var total = 0; for (var i in a) { total += a[i]; } out = total;"),
+            "0xyz"
+        );
+    }
+
+    #[test]
+    fn for_in_without_var() {
+        assert_eq!(
+            out("var o = {k: 5}; for (key in o) { out = key; }"),
+            "k"
+        );
+    }
+
+    #[test]
+    fn switch_break_does_not_leak_to_enclosing_loop() {
+        // `break` inside a case body terminates the switch, not the loop.
+        assert_eq!(
+            out("var n = 0; for (var i = 0; i < 4; i++) { \
+                 switch (i) { case 1: break; default: n++; } } out = n;"),
+            "3"
+        );
+    }
+
+    #[test]
+    fn continue_inside_switch_reaches_loop() {
+        assert_eq!(
+            out("var s = ''; for (var i = 0; i < 4; i++) { \
+                 switch (i % 2) { case 0: continue; } s += i; } out = s;"),
+            "13"
+        );
+    }
+
+    #[test]
+    fn switch_inside_function_with_return() {
+        assert_eq!(
+            out("function name(code) { switch (code) { \
+                 case 200: return 'ok'; case 404: return 'missing'; \
+                 default: return 'other'; } } \
+                 out = name(404) + '/' + name(200) + '/' + name(500);"),
+            "missing/ok/other"
+        );
+    }
+
+    #[test]
+    fn try_catch_inside_loop_keeps_iterating() {
+        assert_eq!(
+            out("var ok = 0; for (var i = 0; i < 5; i++) { \
+                 try { if (i % 2 == 0) { throw i; } ok++; } catch (e) { } } out = ok;"),
+            "2"
+        );
+    }
+
+    #[test]
+    fn for_in_break() {
+        assert_eq!(
+            out("var o = {a: 1, b: 2, c: 3}; var n = 0; for (var k in o) { n++; if (n == 2) break; } out = n;"),
+            "2"
+        );
+    }
+
+    #[test]
+    fn finally_runs_after_throw() {
+        assert_eq!(
+            out("var log = ''; try { try { throw 'x'; } finally { log += 'f'; } } catch (e) { log += 'c'; } out = log;"),
+            "fc"
+        );
+    }
+}

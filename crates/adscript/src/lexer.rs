@@ -1,0 +1,520 @@
+//! AdScript lexer.
+
+use std::fmt;
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (not a keyword).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuator / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Var, Function, Return, If, Else, While, Do, For, True, False, Null, Undefined,
+    New, Typeof, This, Break, Continue, Try, Catch, Finally, Throw, In, Instanceof, Delete, Void,
+    Switch, Case, Default,
+}
+
+/// Punctuators and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Colon, Question,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    EqEq, NotEq, EqEqEq, NotEqEq,
+    Lt, Gt, Le, Ge,
+    AndAnd, OrOr, Not,
+    BitAnd, BitOr, BitXor, Shl, Shr, UShr, Tilde,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::Punct(p) => write!(f, "`{p:?}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source position (byte offset), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Lexer error: message plus byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub offset: usize,
+}
+
+/// Lexes an entire source string.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        let start = i;
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "var" | "let" | "const" => Tok::Kw(Kw::Var),
+                "function" => Tok::Kw(Kw::Function),
+                "return" => Tok::Kw(Kw::Return),
+                "if" => Tok::Kw(Kw::If),
+                "else" => Tok::Kw(Kw::Else),
+                "while" => Tok::Kw(Kw::While),
+                "do" => Tok::Kw(Kw::Do),
+                "for" => Tok::Kw(Kw::For),
+                "true" => Tok::Kw(Kw::True),
+                "false" => Tok::Kw(Kw::False),
+                "null" => Tok::Kw(Kw::Null),
+                "undefined" => Tok::Kw(Kw::Undefined),
+                "new" => Tok::Kw(Kw::New),
+                "typeof" => Tok::Kw(Kw::Typeof),
+                "this" => Tok::Kw(Kw::This),
+                "break" => Tok::Kw(Kw::Break),
+                "continue" => Tok::Kw(Kw::Continue),
+                "try" => Tok::Kw(Kw::Try),
+                "catch" => Tok::Kw(Kw::Catch),
+                "finally" => Tok::Kw(Kw::Finally),
+                "throw" => Tok::Kw(Kw::Throw),
+                "in" => Tok::Kw(Kw::In),
+                "instanceof" => Tok::Kw(Kw::Instanceof),
+                "delete" => Tok::Kw(Kw::Delete),
+                "void" => Tok::Kw(Kw::Void),
+                "switch" => Tok::Kw(Kw::Switch),
+                "case" => Tok::Kw(Kw::Case),
+                "default" => Tok::Kw(Kw::Default),
+                _ => Tok::Ident(word.to_string()),
+            };
+            toks.push(SpannedTok { tok, offset: start });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            // Hex?
+            if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                i += 2;
+                let hex_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hex_start {
+                    return Err(LexError {
+                        message: "missing hex digits".into(),
+                        offset: start,
+                    });
+                }
+                let val = u64::from_str_radix(&src[hex_start..i], 16).map_err(|_| LexError {
+                    message: "hex literal too large".into(),
+                    offset: start,
+                })?;
+                toks.push(SpannedTok {
+                    tok: Tok::Num(val as f64),
+                    offset: start,
+                });
+                continue;
+            }
+            let mut seen_dot = false;
+            let mut seen_exp = false;
+            while i < bytes.len() {
+                let b = bytes[i];
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == b'.' && !seen_dot && !seen_exp {
+                    seen_dot = true;
+                    i += 1;
+                } else if (b | 0x20) == b'e' && !seen_exp && i > start {
+                    seen_exp = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let n: f64 = src[start..i].parse().map_err(|_| LexError {
+                message: format!("bad numeric literal `{}`", &src[start..i]),
+                offset: start,
+            })?;
+            toks.push(SpannedTok {
+                tok: Tok::Num(n),
+                offset: start,
+            });
+            continue;
+        }
+        // Strings.
+        if c == b'"' || c == b'\'' {
+            let quote = c;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                let b = bytes[i];
+                if b == quote {
+                    i += 1;
+                    break;
+                }
+                if b == b'\\' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated escape".into(),
+                            offset: start,
+                        });
+                    }
+                    let esc = bytes[i];
+                    if esc >= 0x80 {
+                        // Escaped multibyte character: copy it whole.
+                        let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+                        s.push(ch);
+                        i += ch.len_utf8();
+                        continue;
+                    }
+                    i += 1;
+                    match esc {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'0' => s.push('\0'),
+                        b'\\' => s.push('\\'),
+                        b'\'' => s.push('\''),
+                        b'"' => s.push('"'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'v' => s.push('\u{b}'),
+                        b'x' => {
+                            let hex = src.get(i..i + 2).ok_or(LexError {
+                                message: "truncated \\x escape".into(),
+                                offset: start,
+                            })?;
+                            let code = u8::from_str_radix(hex, 16).map_err(|_| {
+                                LexError {
+                                    message: "bad \\x escape".into(),
+                                    offset: i,
+                                }
+                            })?;
+                            s.push(code as char);
+                            i += 2;
+                        }
+                        b'u' => {
+                            let hex = src.get(i..i + 4).ok_or(LexError {
+                                message: "truncated \\u escape".into(),
+                                offset: start,
+                            })?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| LexError {
+                                    message: "bad \\u escape".into(),
+                                    offset: i,
+                                })?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            i += 4;
+                        }
+                        other => s.push(other as char),
+                    }
+                    continue;
+                }
+                // Copy a full UTF-8 scalar.
+                let ch_len = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                s.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Str(s),
+                offset: start,
+            });
+            continue;
+        }
+        // Punctuators (longest match first).
+        let three: &str = src.get(i..i + 3).unwrap_or("");
+        let two: &str = src.get(i..i + 2).unwrap_or("");
+        let p = match three {
+            "===" => Some((Punct::EqEqEq, 3)),
+            "!==" => Some((Punct::NotEqEq, 3)),
+            ">>>" => Some((Punct::UShr, 3)),
+            _ => None,
+        }
+        .or(match two {
+            "==" => Some((Punct::EqEq, 2)),
+            "!=" => Some((Punct::NotEq, 2)),
+            "<=" => Some((Punct::Le, 2)),
+            ">=" => Some((Punct::Ge, 2)),
+            "&&" => Some((Punct::AndAnd, 2)),
+            "||" => Some((Punct::OrOr, 2)),
+            "++" => Some((Punct::PlusPlus, 2)),
+            "--" => Some((Punct::MinusMinus, 2)),
+            "+=" => Some((Punct::PlusAssign, 2)),
+            "-=" => Some((Punct::MinusAssign, 2)),
+            "*=" => Some((Punct::StarAssign, 2)),
+            "/=" => Some((Punct::SlashAssign, 2)),
+            "%=" => Some((Punct::PercentAssign, 2)),
+            "<<" => Some((Punct::Shl, 2)),
+            ">>" => Some((Punct::Shr, 2)),
+            _ => None,
+        })
+        .or(match c {
+            b'(' => Some((Punct::LParen, 1)),
+            b')' => Some((Punct::RParen, 1)),
+            b'{' => Some((Punct::LBrace, 1)),
+            b'}' => Some((Punct::RBrace, 1)),
+            b'[' => Some((Punct::LBracket, 1)),
+            b']' => Some((Punct::RBracket, 1)),
+            b';' => Some((Punct::Semi, 1)),
+            b',' => Some((Punct::Comma, 1)),
+            b'.' => Some((Punct::Dot, 1)),
+            b':' => Some((Punct::Colon, 1)),
+            b'?' => Some((Punct::Question, 1)),
+            b'=' => Some((Punct::Assign, 1)),
+            b'+' => Some((Punct::Plus, 1)),
+            b'-' => Some((Punct::Minus, 1)),
+            b'*' => Some((Punct::Star, 1)),
+            b'/' => Some((Punct::Slash, 1)),
+            b'%' => Some((Punct::Percent, 1)),
+            b'<' => Some((Punct::Lt, 1)),
+            b'>' => Some((Punct::Gt, 1)),
+            b'!' => Some((Punct::Not, 1)),
+            b'&' => Some((Punct::BitAnd, 1)),
+            b'|' => Some((Punct::BitOr, 1)),
+            b'^' => Some((Punct::BitXor, 1)),
+            b'~' => Some((Punct::Tilde, 1)),
+            _ => None,
+        });
+        match p {
+            Some((punct, len)) => {
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(punct),
+                    offset: start,
+                });
+                i += len;
+            }
+            None => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", src[i..].chars().next().unwrap()),
+                    offset: i,
+                })
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("var x function foo"),
+            vec![
+                Tok::Kw(Kw::Var),
+                Tok::Ident("x".into()),
+                Tok::Kw(Kw::Function),
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn let_and_const_alias_var() {
+        assert_eq!(kinds("let x")[0], Tok::Kw(Kw::Var));
+        assert_eq!(kinds("const y")[0], Tok::Kw(Kw::Var));
+    }
+
+    #[test]
+    fn dollar_and_underscore_idents() {
+        assert_eq!(kinds("$a _b c$d")[0], Tok::Ident("$a".into()));
+        assert_eq!(kinds("$a _b c$d")[1], Tok::Ident("_b".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Tok::Num(42.0));
+        assert_eq!(kinds("3.25")[0], Tok::Num(3.25));
+        assert_eq!(kinds("1e3")[0], Tok::Num(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], Tok::Num(0.25));
+        assert_eq!(kinds("0xFF")[0], Tok::Num(255.0));
+        assert_eq!(kinds(".5")[0], Tok::Num(0.5));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#)[0], Tok::Str("a\nb".into()));
+        assert_eq!(kinds(r"'it\'s'")[0], Tok::Str("it's".into()));
+        assert_eq!(kinds(r#""\x41\x42""#)[0], Tok::Str("AB".into()));
+        assert_eq!(kinds(r#""A""#)[0], Tok::Str("A".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("'abc\\").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\nb /* block */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* no end").is_err());
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a === b !== c == d != e <= >= && || ++ -- += >>>"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(Punct::EqEqEq),
+                Tok::Ident("b".into()),
+                Tok::Punct(Punct::NotEqEq),
+                Tok::Ident("c".into()),
+                Tok::Punct(Punct::EqEq),
+                Tok::Ident("d".into()),
+                Tok::Punct(Punct::NotEq),
+                Tok::Ident("e".into()),
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::Ge),
+                Tok::Punct(Punct::AndAnd),
+                Tok::Punct(Punct::OrOr),
+                Tok::Punct(Punct::PlusPlus),
+                Tok::Punct(Punct::MinusMinus),
+                Tok::Punct(Punct::PlusAssign),
+                Tok::Punct(Punct::UShr),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn member_access_and_calls() {
+        assert_eq!(
+            kinds("document.write(x)"),
+            vec![
+                Tok::Ident("document".into()),
+                Tok::Punct(Punct::Dot),
+                Tok::Ident("write".into()),
+                Tok::Punct(Punct::LParen),
+                Tok::Ident("x".into()),
+                Tok::Punct(Punct::RParen),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn unicode_string_content() {
+        assert_eq!(kinds("'caf\u{e9}'")[0], Tok::Str("caf\u{e9}".into()));
+    }
+}

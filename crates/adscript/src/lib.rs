@@ -1,0 +1,83 @@
+//! # malvert-adscript
+//!
+//! **AdScript** — a from-scratch interpreter for the JavaScript subset that
+//! simulated advertisements are written in.
+//!
+//! The paper's oracle is built around Wepawet, a honeyclient that *executes*
+//! the JavaScript delivered with an advertisement and watches what it does
+//! (§3.2.1). For the reproduction to exercise the same code path, our
+//! advertisements are real programs: the drive-by creative probes
+//! `navigator.plugins` and assembles an exploit URL character by character;
+//! the deceptive creative rewrites the document into a fake video player; the
+//! hijack creative assigns `top.location`. Detection therefore requires
+//! actually running the script inside an instrumented browser — which is what
+//! the `malvert-browser` crate does, using this interpreter.
+//!
+//! ## Supported language subset
+//!
+//! * Statements: `var`, expression statements, blocks, `if`/`else`, `while`,
+//!   `do`/`while`, C-style `for`, `function` declarations, `return`, `break`,
+//!   `continue`, `throw`, `try`/`catch`/`finally`.
+//! * Expressions: numeric/string/bool/`null`/`undefined` literals, array and
+//!   object literals, function expressions, assignment (incl. `+=` family),
+//!   conditional `?:`, `||`/`&&`, equality (`==`, `!=`, `===`, `!==`),
+//!   relational, additive/multiplicative/`%`, unary `-`/`+`/`!`/`typeof`,
+//!   pre/post `++`/`--`, member access (`a.b`, `a[b]`), calls, `new`.
+//! * Semantics: JS-style `+` overloading (string concatenation), loose and
+//!   strict equality, truthiness, closures, `this` binding on method calls.
+//! * A standard-library core: `String.fromCharCode`, string methods
+//!   (`charCodeAt`, `charAt`, `indexOf`, `substring`, `slice`, `split`,
+//!   `replace`, `toLowerCase`, `toUpperCase`), array methods (`push`, `pop`,
+//!   `join`, `length`), `Math.floor`/`ceil`/`abs`/`max`/`min`/`random`
+//!   (deterministic, seeded), `parseInt`, `parseFloat`, `unescape`, and
+//!   `eval` — the obfuscation workhorse.
+//!
+//! ## Not supported (by design)
+//!
+//! Prototypes, getters/setters, `with`, labels, `for..in`, regular
+//! expressions, and the full numeric-format zoo. Scripts using unsupported
+//! syntax produce a [`ScriptError::Parse`] which the honeyclient records,
+//! mirroring how Wepawet logs scripts it cannot analyze.
+//!
+//! ## Safety rails
+//!
+//! Execution is bounded by a configurable step budget and recursion limit
+//! ([`interp::Limits`]): a malicious (or simply looping) advertisement cannot
+//! hang the crawler. Exhaustion surfaces as [`ScriptError::BudgetExhausted`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod stdlib;
+pub mod value;
+
+pub use interp::{Host, Interpreter, Limits, NoHost};
+pub use parser::parse_program;
+pub use value::{ObjId, Value};
+
+/// Errors surfaced to the embedder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Lexing or parsing failed.
+    Parse(String),
+    /// A runtime error (JS `throw` that escaped, type errors, missing refs).
+    Runtime(String),
+    /// The step budget or recursion limit was exhausted.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(m) => write!(f, "parse error: {m}"),
+            ScriptError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ScriptError::BudgetExhausted => write!(f, "script exceeded execution budget"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}

@@ -1,0 +1,964 @@
+//! AdScript parser: recursive descent with precedence-climbing expressions.
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, Punct, SpannedTok, Tok};
+use crate::ScriptError;
+use std::rc::Rc;
+
+/// Parses a full program.
+pub fn parse_program(src: &str) -> Result<Program, ScriptError> {
+    let toks = lex(src).map_err(|e| ScriptError::Parse(format!("{} at byte {}", e.message, e.offset)))?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut body = Vec::new();
+    while !p.at_eof() {
+        body.push(p.statement()?);
+    }
+    Ok(Program { body })
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        self.toks
+            .get(self.pos + 1)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn peek3(&self) -> &Tok {
+        self.toks
+            .get(self.pos + 2)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, ScriptError> {
+        Err(ScriptError::Parse(format!(
+            "{msg}, found {} at byte {}",
+            self.peek(),
+            self.toks[self.pos].offset
+        )))
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ScriptError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(&format!("expected `{p:?}`"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ScriptError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    /// Optional semicolon (we are lenient: a missing `;` before `}` or EOF is
+    /// accepted, approximating automatic semicolon insertion).
+    fn semi(&mut self) {
+        let _ = self.eat_punct(Punct::Semi);
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, ScriptError> {
+        match self.peek().clone() {
+            Tok::Punct(Punct::Semi) => {
+                self.advance();
+                Ok(Stmt::Empty)
+            }
+            Tok::Punct(Punct::LBrace) => {
+                self.advance();
+                let body = self.block_body()?;
+                Ok(Stmt::Block(body))
+            }
+            Tok::Kw(Kw::Var) => {
+                self.advance();
+                let stmt = self.var_declarators()?;
+                self.semi();
+                Ok(stmt)
+            }
+            Tok::Kw(Kw::If) => self.if_stmt(),
+            Tok::Kw(Kw::While) => self.while_stmt(),
+            Tok::Kw(Kw::Do) => self.do_while_stmt(),
+            Tok::Kw(Kw::For) => self.for_stmt(),
+            Tok::Kw(Kw::Switch) => self.switch_stmt(),
+            Tok::Kw(Kw::Function) => {
+                self.advance();
+                let def = self.function_rest(true)?;
+                Ok(Stmt::FnDecl(def))
+            }
+            Tok::Kw(Kw::Return) => {
+                self.advance();
+                let value = if matches!(
+                    self.peek(),
+                    Tok::Punct(Punct::Semi) | Tok::Punct(Punct::RBrace) | Tok::Eof
+                ) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.semi();
+                Ok(Stmt::Return(value))
+            }
+            Tok::Kw(Kw::Break) => {
+                self.advance();
+                self.semi();
+                Ok(Stmt::Break)
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.advance();
+                self.semi();
+                Ok(Stmt::Continue)
+            }
+            Tok::Kw(Kw::Throw) => {
+                self.advance();
+                let e = self.expression()?;
+                self.semi();
+                Ok(Stmt::Throw(e))
+            }
+            Tok::Kw(Kw::Try) => self.try_stmt(),
+            _ => {
+                let e = self.expression()?;
+                self.semi();
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        let mut body = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return self.err("expected `}`");
+            }
+            body.push(self.statement()?);
+        }
+        Ok(body)
+    }
+
+    fn var_declarators(&mut self) -> Result<Stmt, ScriptError> {
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push((name, init));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Var(decls))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // if
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        let then = Box::new(self.statement()?);
+        let alt = if *self.peek() == Tok::Kw(Kw::Else) {
+            self.advance();
+            Some(Box::new(self.statement()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then, alt })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // while
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn do_while_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // do
+        let body = Box::new(self.statement()?);
+        if *self.peek() != Tok::Kw(Kw::While) {
+            return self.err("expected `while` after do-body");
+        }
+        self.advance();
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        self.semi();
+        Ok(Stmt::DoWhile { body, cond })
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // switch
+        self.expect_punct(Punct::LParen)?;
+        let disc = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut cases: Vec<(Option<Expr>, Vec<Stmt>)> = Vec::new();
+        let mut seen_default = false;
+        while !self.eat_punct(Punct::RBrace) {
+            match self.peek().clone() {
+                Tok::Kw(Kw::Case) => {
+                    self.advance();
+                    let test = self.expression()?;
+                    self.expect_punct(Punct::Colon)?;
+                    cases.push((Some(test), Vec::new()));
+                }
+                Tok::Kw(Kw::Default) => {
+                    if seen_default {
+                        return self.err("duplicate default clause");
+                    }
+                    seen_default = true;
+                    self.advance();
+                    self.expect_punct(Punct::Colon)?;
+                    cases.push((None, Vec::new()));
+                }
+                Tok::Eof => return self.err("expected `}` to close switch"),
+                _ => {
+                    let stmt = self.statement()?;
+                    match cases.last_mut() {
+                        Some((_, body)) => body.push(stmt),
+                        None => return self.err("statement before first case clause"),
+                    }
+                }
+            }
+        }
+        Ok(Stmt::Switch { disc, cases })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // for
+        self.expect_punct(Punct::LParen)?;
+        // `for (var k in obj)` / `for (k in obj)` forms.
+        if *self.peek() == Tok::Kw(Kw::Var) {
+            if let (Tok::Ident(name), Tok::Kw(Kw::In)) = (self.peek2().clone(), self.peek3().clone())
+            {
+                self.advance(); // var
+                self.advance(); // name
+                self.advance(); // in
+                let object = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.statement()?);
+                return Ok(Stmt::ForIn {
+                    decl: true,
+                    name,
+                    object,
+                    body,
+                });
+            }
+        } else if let (Tok::Ident(name), Tok::Kw(Kw::In)) =
+            (self.peek().clone(), self.peek2().clone())
+        {
+            self.advance(); // name
+            self.advance(); // in
+            let object = self.expression()?;
+            self.expect_punct(Punct::RParen)?;
+            let body = Box::new(self.statement()?);
+            return Ok(Stmt::ForIn {
+                decl: false,
+                name,
+                object,
+                body,
+            });
+        }
+        let init = if self.eat_punct(Punct::Semi) {
+            None
+        } else if *self.peek() == Tok::Kw(Kw::Var) {
+            self.advance();
+            let stmt = self.var_declarators()?;
+            self.expect_punct(Punct::Semi)?;
+            Some(Box::new(stmt))
+        } else {
+            let e = self.expression()?;
+            self.expect_punct(Punct::Semi)?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.eat_punct(Punct::Semi) {
+            None
+        } else {
+            let e = self.expression()?;
+            self.expect_punct(Punct::Semi)?;
+            Some(e)
+        };
+        let update = if *self.peek() == Tok::Punct(Punct::RParen) {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect_punct(Punct::RParen)?;
+        let body = Box::new(self.statement()?);
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        })
+    }
+
+    fn try_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        self.advance(); // try
+        self.expect_punct(Punct::LBrace)?;
+        let block = self.block_body()?;
+        let catch = if *self.peek() == Tok::Kw(Kw::Catch) {
+            self.advance();
+            self.expect_punct(Punct::LParen)?;
+            let name = self.expect_ident()?;
+            self.expect_punct(Punct::RParen)?;
+            self.expect_punct(Punct::LBrace)?;
+            Some((name, self.block_body()?))
+        } else {
+            None
+        };
+        let finally = if *self.peek() == Tok::Kw(Kw::Finally) {
+            self.advance();
+            self.expect_punct(Punct::LBrace)?;
+            Some(self.block_body()?)
+        } else {
+            None
+        };
+        if catch.is_none() && finally.is_none() {
+            return self.err("try requires catch or finally");
+        }
+        Ok(Stmt::Try {
+            block,
+            catch,
+            finally,
+        })
+    }
+
+    fn function_rest(&mut self, need_name: bool) -> Result<FnDef, ScriptError> {
+        let name = match self.peek().clone() {
+            Tok::Ident(n) => {
+                self.advance();
+                Some(n)
+            }
+            _ if need_name => return self.err("expected function name"),
+            _ => None,
+        };
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        self.expect_punct(Punct::LBrace)?;
+        let body = self.block_body()?;
+        Ok(FnDef {
+            name,
+            params,
+            body: Rc::new(body),
+        })
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    /// Full expression including the comma operator.
+    fn expression(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = self.assignment()?;
+        while self.eat_punct(Punct::Comma) {
+            let rhs = self.assignment()?;
+            e = Expr::Seq(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.conditional()?;
+        let op = match self.peek() {
+            Tok::Punct(Punct::Assign) => Some(AssignOp::Assign),
+            Tok::Punct(Punct::PlusAssign) => Some(AssignOp::Add),
+            Tok::Punct(Punct::MinusAssign) => Some(AssignOp::Sub),
+            Tok::Punct(Punct::StarAssign) => Some(AssignOp::Mul),
+            Tok::Punct(Punct::SlashAssign) => Some(AssignOp::Div),
+            Tok::Punct(Punct::PercentAssign) => Some(AssignOp::Mod),
+            _ => None,
+        };
+        if let Some(op) = op {
+            if !is_lvalue(&lhs) {
+                return self.err("invalid assignment target");
+            }
+            self.advance();
+            let value = self.assignment()?;
+            return Ok(Expr::Assign {
+                target: Box::new(lhs),
+                op,
+                value: Box::new(value),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn conditional(&mut self) -> Result<Expr, ScriptError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.assignment()?;
+            self.expect_punct(Punct::Colon)?;
+            let alt = self.assignment()?;
+            return Ok(Expr::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                alt: Box::new(alt),
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Precedence climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ScriptError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (prec, kind) = match self.peek() {
+                Tok::Punct(Punct::OrOr) => (1, BinKind::Or),
+                Tok::Punct(Punct::AndAnd) => (2, BinKind::And),
+                Tok::Punct(Punct::BitOr) => (3, BinKind::Op(BinOp::BitOr)),
+                Tok::Punct(Punct::BitXor) => (4, BinKind::Op(BinOp::BitXor)),
+                Tok::Punct(Punct::BitAnd) => (5, BinKind::Op(BinOp::BitAnd)),
+                Tok::Punct(Punct::EqEq) => (6, BinKind::Op(BinOp::EqLoose)),
+                Tok::Punct(Punct::NotEq) => (6, BinKind::Op(BinOp::NeLoose)),
+                Tok::Punct(Punct::EqEqEq) => (6, BinKind::Op(BinOp::EqStrict)),
+                Tok::Punct(Punct::NotEqEq) => (6, BinKind::Op(BinOp::NeStrict)),
+                Tok::Punct(Punct::Lt) => (7, BinKind::Op(BinOp::Lt)),
+                Tok::Punct(Punct::Gt) => (7, BinKind::Op(BinOp::Gt)),
+                Tok::Punct(Punct::Le) => (7, BinKind::Op(BinOp::Le)),
+                Tok::Punct(Punct::Ge) => (7, BinKind::Op(BinOp::Ge)),
+                Tok::Kw(Kw::Instanceof) => (7, BinKind::Op(BinOp::Instanceof)),
+                Tok::Kw(Kw::In) => (7, BinKind::Op(BinOp::In)),
+                Tok::Punct(Punct::Shl) => (8, BinKind::Op(BinOp::Shl)),
+                Tok::Punct(Punct::Shr) => (8, BinKind::Op(BinOp::Shr)),
+                Tok::Punct(Punct::UShr) => (8, BinKind::Op(BinOp::UShr)),
+                Tok::Punct(Punct::Plus) => (9, BinKind::Op(BinOp::Add)),
+                Tok::Punct(Punct::Minus) => (9, BinKind::Op(BinOp::Sub)),
+                Tok::Punct(Punct::Star) => (10, BinKind::Op(BinOp::Mul)),
+                Tok::Punct(Punct::Slash) => (10, BinKind::Op(BinOp::Div)),
+                Tok::Punct(Punct::Percent) => (10, BinKind::Op(BinOp::Mod)),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary(prec + 1)?;
+            lhs = match kind {
+                BinKind::Or => Expr::Or(Box::new(lhs), Box::new(rhs)),
+                BinKind::And => Expr::And(Box::new(lhs), Box::new(rhs)),
+                BinKind::Op(op) => Expr::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ScriptError> {
+        let op = match self.peek() {
+            Tok::Punct(Punct::Minus) => Some(UnOp::Neg),
+            Tok::Punct(Punct::Plus) => Some(UnOp::Pos),
+            Tok::Punct(Punct::Not) => Some(UnOp::Not),
+            Tok::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            Tok::Kw(Kw::Typeof) => Some(UnOp::Typeof),
+            Tok::Kw(Kw::Void) => Some(UnOp::Void),
+            Tok::Kw(Kw::Delete) => Some(UnOp::Delete),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let operand = self.unary()?;
+            return Ok(Expr::Un {
+                op,
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat_punct(Punct::PlusPlus) {
+            let target = self.unary()?;
+            if !is_lvalue(&target) {
+                return self.err("invalid ++ target");
+            }
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                delta: 1,
+                prefix: true,
+            });
+        }
+        if self.eat_punct(Punct::MinusMinus) {
+            let target = self.unary()?;
+            if !is_lvalue(&target) {
+                return self.err("invalid -- target");
+            }
+            return Ok(Expr::IncDec {
+                target: Box::new(target),
+                delta: -1,
+                prefix: true,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = self.call_member()?;
+        loop {
+            if *self.peek() == Tok::Punct(Punct::PlusPlus) && is_lvalue(&e) {
+                self.advance();
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    delta: 1,
+                    prefix: false,
+                };
+            } else if *self.peek() == Tok::Punct(Punct::MinusMinus) && is_lvalue(&e) {
+                self.advance();
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    delta: -1,
+                    prefix: false,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_member(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = if *self.peek() == Tok::Kw(Kw::New) {
+            self.advance();
+            let callee = self.call_member_no_call()?;
+            let args = if *self.peek() == Tok::Punct(Punct::LParen) {
+                self.arguments()?
+            } else {
+                Vec::new()
+            };
+            Expr::New {
+                callee: Box::new(callee),
+                args,
+            }
+        } else {
+            self.primary()?
+        };
+        loop {
+            match self.peek() {
+                Tok::Punct(Punct::Dot) => {
+                    self.advance();
+                    let prop = self.property_name()?;
+                    e = Expr::Member {
+                        object: Box::new(e),
+                        prop,
+                    };
+                }
+                Tok::Punct(Punct::LBracket) => {
+                    self.advance();
+                    let index = self.expression()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    e = Expr::Index {
+                        object: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                Tok::Punct(Punct::LParen) => {
+                    let args = self.arguments()?;
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Like `call_member` but stops before a call — for `new X.Y(...)`.
+    fn call_member_no_call(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::Punct(Punct::Dot) => {
+                    self.advance();
+                    let prop = self.property_name()?;
+                    e = Expr::Member {
+                        object: Box::new(e),
+                        prop,
+                    };
+                }
+                Tok::Punct(Punct::LBracket) => {
+                    self.advance();
+                    let index = self.expression()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    e = Expr::Index {
+                        object: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    /// Property names after `.` may be identifiers or keywords (`a.catch`).
+    fn property_name(&mut self) -> Result<String, ScriptError> {
+        match self.peek().clone() {
+            Tok::Ident(n) => {
+                self.advance();
+                Ok(n)
+            }
+            Tok::Kw(k) => {
+                self.advance();
+                Ok(format!("{k:?}").to_ascii_lowercase())
+            }
+            _ => self.err("expected property name"),
+        }
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ScriptError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut args = Vec::new();
+        if self.eat_punct(Punct::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.assignment()?);
+            if self.eat_punct(Punct::RParen) {
+                break;
+            }
+            self.expect_punct(Punct::Comma)?;
+        }
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ScriptError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.advance();
+                Ok(Expr::Num(n))
+            }
+            Tok::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Tok::Kw(Kw::True) => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            Tok::Kw(Kw::False) => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Kw(Kw::Null) => {
+                self.advance();
+                Ok(Expr::Null)
+            }
+            Tok::Kw(Kw::Undefined) => {
+                self.advance();
+                Ok(Expr::Undefined)
+            }
+            Tok::Kw(Kw::This) => {
+                self.advance();
+                Ok(Expr::This)
+            }
+            Tok::Kw(Kw::Function) => {
+                self.advance();
+                let def = self.function_rest(false)?;
+                Ok(Expr::Function(def))
+            }
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(Expr::Ident(name))
+            }
+            Tok::Punct(Punct::LParen) => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            Tok::Punct(Punct::LBracket) => {
+                self.advance();
+                let mut items = Vec::new();
+                if !self.eat_punct(Punct::RBracket) {
+                    loop {
+                        items.push(self.assignment()?);
+                        if self.eat_punct(Punct::RBracket) {
+                            break;
+                        }
+                        self.expect_punct(Punct::Comma)?;
+                        // Allow trailing comma.
+                        if self.eat_punct(Punct::RBracket) {
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Tok::Punct(Punct::LBrace) => {
+                self.advance();
+                let mut props = Vec::new();
+                if !self.eat_punct(Punct::RBrace) {
+                    loop {
+                        let key = match self.peek().clone() {
+                            Tok::Ident(n) => {
+                                self.advance();
+                                n
+                            }
+                            Tok::Str(s) => {
+                                self.advance();
+                                s
+                            }
+                            Tok::Num(n) => {
+                                self.advance();
+                                crate::value::number_to_string(n)
+                            }
+                            Tok::Kw(k) => {
+                                self.advance();
+                                format!("{k:?}").to_ascii_lowercase()
+                            }
+                            _ => return self.err("expected object key"),
+                        };
+                        self.expect_punct(Punct::Colon)?;
+                        let value = self.assignment()?;
+                        props.push((key, value));
+                        if self.eat_punct(Punct::RBrace) {
+                            break;
+                        }
+                        self.expect_punct(Punct::Comma)?;
+                        if self.eat_punct(Punct::RBrace) {
+                            break;
+                        }
+                    }
+                }
+                Ok(Expr::Object(props))
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+enum BinKind {
+    Or,
+    And,
+    Op(BinOp),
+}
+
+fn is_lvalue(e: &Expr) -> bool {
+    matches!(e, Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn var_declaration() {
+        let p = parse("var a = 1, b;");
+        assert_eq!(p.body.len(), 1);
+        match &p.body[0] {
+            Stmt::Var(decls) => {
+                assert_eq!(decls.len(), 2);
+                assert_eq!(decls[0].0, "a");
+                assert!(decls[1].1.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("x = 1 + 2 * 3;");
+        match &p.body[0] {
+            Stmt::Expr(Expr::Assign { value, .. }) => match value.as_ref() {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_circuit_parsing() {
+        let p = parse("a || b && c;");
+        match &p.body[0] {
+            Stmt::Expr(Expr::Or(_, rhs)) => {
+                assert!(matches!(rhs.as_ref(), Expr::And(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_call_chain() {
+        let p = parse("document.getElementById('x').innerHTML = 'y';");
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn conditional_expression() {
+        let p = parse("var x = a ? 1 : 2;");
+        match &p.body[0] {
+            Stmt::Var(d) => assert!(matches!(d[0].1, Some(Expr::Cond { .. }))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_declaration_and_expression() {
+        let p = parse("function f(a, b) { return a + b; } var g = function(x) { return x; };");
+        assert!(matches!(&p.body[0], Stmt::FnDecl(d) if d.params == vec!["a", "b"]));
+        match &p.body[1] {
+            Stmt::Var(d) => assert!(matches!(&d[0].1, Some(Expr::Function(f)) if f.name.is_none())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops() {
+        parse("while (x < 10) { x++; }");
+        parse("do { x--; } while (x > 0);");
+        parse("for (var i = 0; i < 10; i++) { s += i; }");
+        parse("for (;;) { break; }");
+    }
+
+    #[test]
+    fn try_catch_finally() {
+        let p = parse("try { risky(); } catch (e) { log(e); } finally { done(); }");
+        match &p.body[0] {
+            Stmt::Try {
+                catch, finally, ..
+            } => {
+                assert_eq!(catch.as_ref().unwrap().0, "e");
+                assert!(finally.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_requires_catch_or_finally() {
+        assert!(parse_program("try { x(); }").is_err());
+    }
+
+    #[test]
+    fn array_and_object_literals() {
+        parse("var a = [1, 'two', [3]];");
+        parse("var o = {x: 1, 'y': 2, 3: 'three', if: 4};");
+        parse("var a = [1, 2, ];"); // trailing comma
+    }
+
+    #[test]
+    fn new_expression() {
+        let p = parse("var x = new Image(); var y = new Date;");
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Var(d) if matches!(&d[0].1, Some(Expr::New { args, .. }) if args.is_empty())
+        ));
+        assert!(matches!(&p.body[1], Stmt::Var(_)));
+    }
+
+    #[test]
+    fn inc_dec_forms() {
+        parse("i++; ++i; i--; --i; a.b++; a[0]--;");
+        assert!(parse_program("5++;").is_err());
+    }
+
+    #[test]
+    fn assignment_target_validation() {
+        assert!(parse_program("1 = 2;").is_err());
+        assert!(parse_program("f() = 2;").is_err());
+        parse("a.b = 2; a[0] = 3; x = 4;");
+    }
+
+    #[test]
+    fn keyword_property_access() {
+        parse("promise.catch(handler);");
+        parse("x = obj.in;");
+    }
+
+    #[test]
+    fn comma_operator() {
+        let p = parse("a = (b = 1, c = 2);");
+        assert!(matches!(&p.body[0], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn missing_semicolons_tolerated() {
+        parse("var a = 1\nvar b = 2\nf()");
+    }
+
+    #[test]
+    fn typeof_and_unaries() {
+        parse("if (typeof navigator != 'undefined') { x = -1; y = !z; b = ~c; }");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("var = 5;").unwrap_err();
+        match err {
+            ScriptError::Parse(m) => assert!(m.contains("byte"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_functions_and_closures() {
+        parse(
+            "function outer() { var n = 0; return function() { n = n + 1; return n; }; }",
+        );
+    }
+
+    #[test]
+    fn deeply_nested_expression_parses() {
+        let src = format!("x = {}1{};", "(".repeat(100), ")".repeat(100));
+        parse(&src);
+    }
+}

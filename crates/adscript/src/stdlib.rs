@@ -1,0 +1,893 @@
+//! AdScript standard library: the built-in functions ad scripts actually use.
+//!
+//! Built-ins are [`Value::Native`] values whose names start with `std:`; the
+//! interpreter dispatches them here rather than to the embedder's host. The
+//! library focuses on the obfuscation/deobfuscation toolbox (string building,
+//! char codes, `unescape`, `parseInt`) because that is what real malvertising
+//! payloads lean on.
+
+use crate::interp::{Host, Interpreter};
+use crate::value::{Heap, ObjId, ObjKind, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Installs global bindings into the global environment.
+pub fn install_globals(heap: &mut Heap, globals: &mut HashMap<String, Value>) {
+    // Math object.
+    let math = heap.alloc_native("Math");
+    for f in ["floor", "ceil", "abs", "max", "min", "round", "random", "pow", "sqrt"] {
+        heap.get_mut(math)
+            .props
+            .insert(f.to_string(), native(&format!("math:{f}")));
+    }
+    heap.get_mut(math)
+        .props
+        .insert("PI".to_string(), Value::Num(std::f64::consts::PI));
+    globals.insert("Math".to_string(), Value::Obj(math));
+
+    // String "constructor" object carrying fromCharCode.
+    let string_obj = heap.alloc_native("String");
+    heap.get_mut(string_obj)
+        .props
+        .insert("fromCharCode".to_string(), native("fromCharCode"));
+    globals.insert("String".to_string(), Value::Obj(string_obj));
+
+    // JSON-less global functions.
+    for f in [
+        "parseInt",
+        "parseFloat",
+        "isNaN",
+        "unescape",
+        "escape",
+        "decodeURIComponent",
+        "encodeURIComponent",
+        "Number",
+        "Boolean",
+        "atob",
+        "btoa",
+    ] {
+        globals.insert(f.to_string(), native(f));
+    }
+    globals.insert("eval".to_string(), native("eval"));
+    globals.insert("NaN".to_string(), Value::Num(f64::NAN));
+    globals.insert("Infinity".to_string(), Value::Num(f64::INFINITY));
+}
+
+fn native(name: &str) -> Value {
+    Value::Native(Rc::from(format!("std:{name}")))
+}
+
+/// String methods recognized on string primitives.
+pub fn is_string_method(name: &str) -> bool {
+    matches!(
+        name,
+        "charCodeAt"
+            | "charAt"
+            | "indexOf"
+            | "lastIndexOf"
+            | "substring"
+            | "substr"
+            | "slice"
+            | "split"
+            | "replace"
+            | "toLowerCase"
+            | "toUpperCase"
+            | "concat"
+            | "trim"
+            | "toString"
+    )
+}
+
+/// Number methods recognized on numeric primitives.
+pub fn is_number_method(name: &str) -> bool {
+    matches!(name, "toString" | "toFixed")
+}
+
+/// Array methods recognized on arrays.
+pub fn is_array_method(name: &str) -> bool {
+    matches!(
+        name,
+        "push" | "pop" | "shift" | "unshift" | "join" | "reverse" | "indexOf" | "slice" | "concat" | "toString"
+    )
+}
+
+/// Dispatches a `std:`-prefixed native call. `name` has the prefix stripped.
+pub fn call<H: Host>(
+    interp: &mut Interpreter<H>,
+    name: &str,
+    this: Option<ObjId>,
+    args: &[Value],
+) -> Result<Value, Value> {
+    if let Some(f) = name.strip_prefix("math:") {
+        return math(interp, f, args);
+    }
+    if let Some(f) = name.strip_prefix("str:") {
+        return string_method(interp, f, args);
+    }
+    if let Some(f) = name.strip_prefix("arr:") {
+        return array_method(interp, f, this, args);
+    }
+    if let Some(f) = name.strip_prefix("num:") {
+        return number_method(f, args);
+    }
+    match name {
+        "fromCharCode" => {
+            let mut s = String::new();
+            for a in args {
+                let code = a.to_number();
+                if code.is_finite() && code >= 0.0 {
+                    if let Some(c) = char::from_u32(code as u32) {
+                        s.push(c);
+                    }
+                }
+            }
+            Ok(Value::str(s))
+        }
+        "parseInt" => {
+            let s = display(interp, args.first());
+            let t = s.trim();
+            let radix = args
+                .get(1)
+                .map(|v| v.to_number())
+                .filter(|r| r.is_finite() && *r >= 2.0 && *r <= 36.0)
+                .map(|r| r as u32);
+            Ok(Value::Num(parse_int(t, radix)))
+        }
+        "parseFloat" => {
+            let s = display(interp, args.first());
+            let t = s.trim();
+            // Longest numeric prefix.
+            let mut end = 0;
+            let bytes = t.as_bytes();
+            let mut seen_dot = false;
+            let mut seen_e = false;
+            while end < bytes.len() {
+                let b = bytes[end];
+                if b.is_ascii_digit()
+                    || (end == 0 && (b == b'-' || b == b'+'))
+                    || (b == b'.' && !seen_dot && !seen_e)
+                    || ((b | 0x20) == b'e' && !seen_e && end > 0)
+                    || ((b == b'-' || b == b'+') && end > 0 && (bytes[end - 1] | 0x20) == b'e')
+                {
+                    if b == b'.' {
+                        seen_dot = true;
+                    }
+                    if (b | 0x20) == b'e' {
+                        seen_e = true;
+                    }
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            Ok(Value::Num(t[..end].parse().unwrap_or(f64::NAN)))
+        }
+        "isNaN" => Ok(Value::Bool(
+            args.first().map(|v| v.to_number().is_nan()).unwrap_or(true),
+        )),
+        "Number" => Ok(Value::Num(
+            args.first().map(|v| v.to_number()).unwrap_or(0.0),
+        )),
+        "Boolean" => Ok(Value::Bool(
+            args.first().map(|v| v.truthy()).unwrap_or(false),
+        )),
+        "unescape" | "decodeURIComponent" => {
+            let s = display(interp, args.first());
+            Ok(Value::str(percent_decode(&s)))
+        }
+        "escape" | "encodeURIComponent" => {
+            let s = display(interp, args.first());
+            Ok(Value::str(percent_encode(&s)))
+        }
+        "atob" => {
+            let s = display(interp, args.first());
+            base64_decode(&s)
+                .map(Value::str)
+                .ok_or_else(|| Value::str("atob: invalid base64"))
+        }
+        "btoa" => {
+            let s = display(interp, args.first());
+            Ok(Value::str(base64_encode(s.as_bytes())))
+        }
+        // `eval` is handled by the interpreter (needs the caller's scope);
+        // reaching here means it was detached (e.g. `var e = eval; e(...)`).
+        // We refuse, which is observable behaviour the honeyclient flags.
+        "eval" => Err(Value::str("indirect eval is not supported")),
+        other => Err(Value::str(format!("unknown builtin {other}"))),
+    }
+}
+
+/// Number methods: the receiver number is the synthetic first argument.
+fn number_method(f: &str, args: &[Value]) -> Result<Value, Value> {
+    let this = args
+        .first()
+        .map(|v| v.to_number())
+        .ok_or_else(|| Value::str("number method without receiver"))?;
+    let args = &args[1..];
+    match f {
+        "toString" => {
+            let radix = args
+                .first()
+                .map(|v| v.to_number())
+                .filter(|r| r.is_finite() && (2.0..=36.0).contains(r))
+                .map(|r| r as u32)
+                .unwrap_or(10);
+            if radix == 10 {
+                return Ok(Value::str(crate::value::number_to_string(this)));
+            }
+            // Integer radix conversion (obfuscators use base 16/36); the
+            // fractional part is dropped, like `(255.7).toString(16)` would
+            // keep only well-formed digits for our integer-heavy scripts.
+            let negative = this < 0.0;
+            let mut n = this.abs().floor() as u64;
+            let digits = b"0123456789abcdefghijklmnopqrstuvwxyz";
+            let mut out = Vec::new();
+            loop {
+                out.push(digits[(n % u64::from(radix)) as usize]);
+                n /= u64::from(radix);
+                if n == 0 {
+                    break;
+                }
+            }
+            if negative {
+                out.push(b'-');
+            }
+            out.reverse();
+            Ok(Value::str(String::from_utf8(out).expect("ascii digits")))
+        }
+        "toFixed" => {
+            let places = args
+                .first()
+                .map(|v| v.to_number())
+                .filter(|p| p.is_finite() && *p >= 0.0)
+                .map(|p| p as usize)
+                .unwrap_or(0)
+                .min(20);
+            Ok(Value::str(format!("{this:.places$}")))
+        }
+        other => Err(Value::str(format!("unknown number method {other}"))),
+    }
+}
+
+fn display<H: Host>(interp: &Interpreter<H>, v: Option<&Value>) -> String {
+    v.map(|v| interp.display_value(v)).unwrap_or_default()
+}
+
+fn math<H: Host>(
+    interp: &mut Interpreter<H>,
+    f: &str,
+    args: &[Value],
+) -> Result<Value, Value> {
+    let a = args.first().map(|v| v.to_number()).unwrap_or(f64::NAN);
+    let b = args.get(1).map(|v| v.to_number()).unwrap_or(f64::NAN);
+    let v = match f {
+        "floor" => a.floor(),
+        "ceil" => a.ceil(),
+        "abs" => a.abs(),
+        "round" => (a + 0.5).floor(),
+        "sqrt" => a.sqrt(),
+        "pow" => a.powf(b),
+        "max" => args
+            .iter()
+            .map(|v| v.to_number())
+            .fold(f64::NEG_INFINITY, f64::max),
+        "min" => args
+            .iter()
+            .map(|v| v.to_number())
+            .fold(f64::INFINITY, f64::min),
+        "random" => interp.random(),
+        other => return Err(Value::str(format!("unknown Math.{other}"))),
+    };
+    Ok(Value::Num(v))
+}
+
+/// String methods. The receiver string is passed as the first argument (the
+/// interpreter prepends it for primitive receivers).
+fn string_method<H: Host>(
+    interp: &mut Interpreter<H>,
+    f: &str,
+    args: &[Value],
+) -> Result<Value, Value> {
+    let this = match args.first() {
+        Some(Value::Str(s)) => s.to_string(),
+        Some(other) => interp.display_value(other),
+        None => return Err(Value::str("string method without receiver")),
+    };
+    let args = &args[1..];
+    let chars: Vec<char> = this.chars().collect();
+    let arg_str = |i: usize| -> String {
+        args.get(i)
+            .map(|v| interp.display_value(v))
+            .unwrap_or_default()
+    };
+    let arg_num = |i: usize| -> f64 { args.get(i).map(|v| v.to_number()).unwrap_or(f64::NAN) };
+    let clamp_index = |n: f64| -> usize {
+        if n.is_nan() || n < 0.0 {
+            0
+        } else if n as usize > chars.len() {
+            chars.len()
+        } else {
+            n as usize
+        }
+    };
+    match f {
+        "charCodeAt" => {
+            let idx = if args.is_empty() { 0.0 } else { arg_num(0) };
+            let idx = if idx.is_nan() { 0.0 } else { idx };
+            Ok(chars
+                .get(idx as usize)
+                .map(|c| Value::Num(*c as u32 as f64))
+                .unwrap_or(Value::Num(f64::NAN)))
+        }
+        "charAt" => {
+            let idx = if args.is_empty() { 0.0 } else { arg_num(0) };
+            Ok(Value::str(
+                chars
+                    .get(idx as usize)
+                    .map(|c| c.to_string())
+                    .unwrap_or_default(),
+            ))
+        }
+        "indexOf" => {
+            let needle = arg_str(0);
+            Ok(Value::Num(
+                this.find(&needle)
+                    .map(|byte_idx| this[..byte_idx].chars().count() as f64)
+                    .unwrap_or(-1.0),
+            ))
+        }
+        "lastIndexOf" => {
+            let needle = arg_str(0);
+            Ok(Value::Num(
+                this.rfind(&needle)
+                    .map(|byte_idx| this[..byte_idx].chars().count() as f64)
+                    .unwrap_or(-1.0),
+            ))
+        }
+        "substring" => {
+            let mut a = clamp_index(arg_num(0));
+            let mut b = if args.len() > 1 {
+                clamp_index(arg_num(1))
+            } else {
+                chars.len()
+            };
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            Ok(Value::str(chars[a..b].iter().collect::<String>()))
+        }
+        "substr" => {
+            let start = clamp_index(arg_num(0));
+            let len = if args.len() > 1 {
+                let n = arg_num(1);
+                if n.is_nan() || n < 0.0 {
+                    0
+                } else {
+                    n as usize
+                }
+            } else {
+                chars.len().saturating_sub(start)
+            };
+            let end = (start + len).min(chars.len());
+            Ok(Value::str(chars[start..end].iter().collect::<String>()))
+        }
+        "slice" => {
+            let resolve = |n: f64, default: usize| -> usize {
+                if n.is_nan() {
+                    default
+                } else if n < 0.0 {
+                    chars.len().saturating_sub((-n) as usize)
+                } else {
+                    (n as usize).min(chars.len())
+                }
+            };
+            let a = if args.is_empty() { 0 } else { resolve(arg_num(0), 0) };
+            let b = if args.len() > 1 {
+                resolve(arg_num(1), chars.len())
+            } else {
+                chars.len()
+            };
+            if a >= b {
+                Ok(Value::str(""))
+            } else {
+                Ok(Value::str(chars[a..b].iter().collect::<String>()))
+            }
+        }
+        "split" => {
+            let parts: Vec<Value> = if args.is_empty() {
+                vec![Value::str(&this)]
+            } else {
+                let sep = arg_str(0);
+                if sep.is_empty() {
+                    chars.iter().map(|c| Value::str(c.to_string())).collect()
+                } else {
+                    this.split(&sep).map(Value::str).collect()
+                }
+            };
+            Ok(Value::Obj(interp.heap.alloc_array(parts)))
+        }
+        "replace" => {
+            // First-occurrence string replace (no regex support).
+            let from = arg_str(0);
+            let to = arg_str(1);
+            Ok(Value::str(this.replacen(&from, &to, 1)))
+        }
+        "toLowerCase" => Ok(Value::str(this.to_lowercase())),
+        "toUpperCase" => Ok(Value::str(this.to_uppercase())),
+        "concat" => {
+            let mut s = this;
+            for i in 0..args.len() {
+                s.push_str(&arg_str(i));
+            }
+            Ok(Value::str(s))
+        }
+        "trim" => Ok(Value::str(this.trim())),
+        "toString" => Ok(Value::str(this)),
+        other => Err(Value::str(format!("unknown string method {other}"))),
+    }
+}
+
+fn array_method<H: Host>(
+    interp: &mut Interpreter<H>,
+    f: &str,
+    this: Option<ObjId>,
+    args: &[Value],
+) -> Result<Value, Value> {
+    let id = this.ok_or_else(|| Value::str("array method without receiver"))?;
+    if interp.heap.get(id).kind != ObjKind::Array {
+        return Err(Value::str("receiver is not an array"));
+    }
+    match f {
+        "push" => {
+            for a in args {
+                interp.heap.get_mut(id).elements.push(a.clone());
+            }
+            Ok(Value::Num(interp.heap.get(id).elements.len() as f64))
+        }
+        "pop" => Ok(interp
+            .heap
+            .get_mut(id)
+            .elements
+            .pop()
+            .unwrap_or(Value::Undefined)),
+        "shift" => {
+            let elements = &mut interp.heap.get_mut(id).elements;
+            if elements.is_empty() {
+                Ok(Value::Undefined)
+            } else {
+                Ok(elements.remove(0))
+            }
+        }
+        "unshift" => {
+            for (i, a) in args.iter().enumerate() {
+                interp.heap.get_mut(id).elements.insert(i, a.clone());
+            }
+            Ok(Value::Num(interp.heap.get(id).elements.len() as f64))
+        }
+        "join" => {
+            let sep = if args.is_empty() {
+                ",".to_string()
+            } else {
+                interp.display_value(&args[0])
+            };
+            let parts: Vec<String> = interp
+                .heap
+                .get(id)
+                .elements
+                .clone()
+                .iter()
+                .map(|e| match e {
+                    Value::Undefined | Value::Null => String::new(),
+                    other => interp.display_value(other),
+                })
+                .collect();
+            Ok(Value::str(parts.join(&sep)))
+        }
+        "reverse" => {
+            interp.heap.get_mut(id).elements.reverse();
+            Ok(Value::Obj(id))
+        }
+        "indexOf" => {
+            let needle = args.first().cloned().unwrap_or(Value::Undefined);
+            let pos = interp
+                .heap
+                .get(id)
+                .elements
+                .iter()
+                .position(|e| e.strict_eq(&needle));
+            Ok(Value::Num(pos.map(|p| p as f64).unwrap_or(-1.0)))
+        }
+        "slice" => {
+            let elements = interp.heap.get(id).elements.clone();
+            let len = elements.len();
+            let resolve = |n: f64, default: usize| -> usize {
+                if n.is_nan() {
+                    default
+                } else if n < 0.0 {
+                    len.saturating_sub((-n) as usize)
+                } else {
+                    (n as usize).min(len)
+                }
+            };
+            let a = args
+                .first()
+                .map(|v| resolve(v.to_number(), 0))
+                .unwrap_or(0);
+            let b = args
+                .get(1)
+                .map(|v| resolve(v.to_number(), len))
+                .unwrap_or(len);
+            let slice = if a >= b { Vec::new() } else { elements[a..b].to_vec() };
+            Ok(Value::Obj(interp.heap.alloc_array(slice)))
+        }
+        "concat" => {
+            let mut elements = interp.heap.get(id).elements.clone();
+            for a in args {
+                match a {
+                    Value::Obj(other) if interp.heap.get(*other).kind == ObjKind::Array => {
+                        elements.extend(interp.heap.get(*other).elements.clone());
+                    }
+                    other => elements.push(other.clone()),
+                }
+            }
+            Ok(Value::Obj(interp.heap.alloc_array(elements)))
+        }
+        "toString" => {
+            let parts: Vec<String> = interp
+                .heap
+                .get(id)
+                .elements
+                .clone()
+                .iter()
+                .map(|e| interp.display_value(e))
+                .collect();
+            Ok(Value::str(parts.join(",")))
+        }
+        other => Err(Value::str(format!("unknown array method {other}"))),
+    }
+}
+
+fn parse_int(t: &str, radix: Option<u32>) -> f64 {
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let (radix, t) = match radix {
+        Some(16) => (16, t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t)),
+        Some(r) => (r, t),
+        None => {
+            if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                (16, hex)
+            } else {
+                (10, t)
+            }
+        }
+    };
+    let end = t
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(t.len());
+    if end == 0 {
+        return f64::NAN;
+    }
+    let v = i64::from_str_radix(&t[..end], radix).map(|v| v as f64).unwrap_or(f64::NAN);
+    if neg {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Decodes `%XX` and `%uXXXX` escapes.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 6 <= bytes.len() && (bytes[i + 1] | 0x20) == b'u' {
+                if let Ok(code) = u32::from_str_radix(&s[i + 2..i + 6], 16) {
+                    if let Some(c) = char::from_u32(code) {
+                        out.push(c);
+                        i += 6;
+                        continue;
+                    }
+                }
+            }
+            if i + 3 <= bytes.len() {
+                if let Ok(code) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    out.push(code as char);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        let ch_len = match bytes[i] {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        };
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+/// Encodes non-alphanumeric ASCII as `%XX` (codepoints above 255 as `%uXXXX`).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() || "-_.~*@/".contains(c) {
+            out.push(c);
+        } else if (c as u32) < 256 {
+            out.push_str(&format!("%{:02X}", c as u32));
+        } else {
+            out.push_str(&format!("%u{:04X}", c as u32));
+        }
+    }
+    out
+}
+
+const B64_ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 encoding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Standard base64 decoding; `None` on malformed input. The decoded bytes are
+/// interpreted latin-1 style (each byte one char), matching `atob`.
+pub fn base64_decode(s: &str) -> Option<String> {
+    let cleaned: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !cleaned.len().is_multiple_of(4) && !cleaned.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for chunk in cleaned.chunks(4) {
+        let mut n: u32 = 0;
+        let mut pad = 0;
+        for (i, &b) in chunk.iter().enumerate() {
+            let v = if b == b'=' {
+                if i < 2 {
+                    return None;
+                }
+                pad += 1;
+                0
+            } else {
+                B64_ALPHABET.iter().position(|&a| a == b)? as u32
+            };
+            n = (n << 6) | v;
+        }
+        out.push(((n >> 16) & 0xff) as u8 as char);
+        if pad < 2 {
+            out.push(((n >> 8) & 0xff) as u8 as char);
+        }
+        if pad < 1 {
+            out.push((n & 0xff) as u8 as char);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Limits, NoHost};
+
+    fn out(src: &str) -> String {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(src).unwrap();
+        let v = interp
+            .get_global("out")
+            .cloned()
+            .unwrap_or(Value::Undefined);
+        interp.display_value(&v)
+    }
+
+    #[test]
+    fn from_char_code() {
+        assert_eq!(out("out = String.fromCharCode(72, 105);"), "Hi");
+        assert_eq!(out("out = String.fromCharCode();"), "");
+    }
+
+    #[test]
+    fn char_code_roundtrip() {
+        assert_eq!(
+            out("var s = 'abc'; var t = ''; for (var i = 0; i < s.length; i++) { \
+                 t = String.fromCharCode(s.charCodeAt(i) + 1) + t; } out = t;"),
+            "dcb"
+        );
+    }
+
+    #[test]
+    fn string_methods() {
+        assert_eq!(out("out = 'Hello'.toLowerCase();"), "hello");
+        assert_eq!(out("out = 'Hello'.toUpperCase();"), "HELLO");
+        assert_eq!(out("out = 'a,b,c'.split(',').length;"), "3");
+        assert_eq!(out("out = 'abcdef'.substring(2, 4);"), "cd");
+        assert_eq!(out("out = 'abcdef'.substring(4, 2);"), "cd"); // swapped
+        assert_eq!(out("out = 'abcdef'.substr(1, 3);"), "bcd");
+        assert_eq!(out("out = 'abcdef'.slice(-2);"), "ef");
+        assert_eq!(out("out = 'hello world'.indexOf('world');"), "6");
+        assert_eq!(out("out = 'hello'.indexOf('z');"), "-1");
+        assert_eq!(out("out = 'aXbXc'.replace('X', '-');"), "a-bXc");
+        assert_eq!(out("out = '  pad  '.trim();"), "pad");
+        assert_eq!(out("out = 'a'.concat('b', 'c');"), "abc");
+        assert_eq!(out("out = 'xyz'.charAt(1);"), "y");
+    }
+
+    #[test]
+    fn split_empty_separator() {
+        assert_eq!(out("out = 'abc'.split('').join('|');"), "a|b|c");
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(out("out = Math.floor(3.7);"), "3");
+        assert_eq!(out("out = Math.ceil(3.2);"), "4");
+        assert_eq!(out("out = Math.abs(-5);"), "5");
+        assert_eq!(out("out = Math.max(1, 9, 4);"), "9");
+        assert_eq!(out("out = Math.min(3, -2, 8);"), "-2");
+        assert_eq!(out("out = Math.round(2.5);"), "3");
+        assert_eq!(out("out = Math.pow(2, 10);"), "1024");
+    }
+
+    #[test]
+    fn math_random_deterministic() {
+        let run_once = || {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 42);
+            interp.run("out = Math.random();").unwrap();
+            interp
+                .get_global("out")
+                .cloned()
+                .map(|v| v.to_number())
+                .unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn parse_int_forms() {
+        assert_eq!(out("out = parseInt('42');"), "42");
+        assert_eq!(out("out = parseInt('42abc');"), "42");
+        assert_eq!(out("out = parseInt('0x1F');"), "31");
+        assert_eq!(out("out = parseInt('FF', 16);"), "255");
+        assert_eq!(out("out = parseInt('-8');"), "-8");
+        assert_eq!(out("out = parseInt('zzz');"), "NaN");
+        assert_eq!(out("out = parseInt('101', 2);"), "5");
+    }
+
+    #[test]
+    fn parse_float_prefix() {
+        assert_eq!(out("out = parseFloat('3.5px');"), "3.5");
+        assert_eq!(out("out = parseFloat('1e2x');"), "100");
+        assert_eq!(out("out = parseFloat('no');"), "NaN");
+    }
+
+    #[test]
+    fn unescape_decodes() {
+        assert_eq!(out("out = unescape('%48%69');"), "Hi");
+        assert_eq!(out("out = unescape('%u0041%u0042');"), "AB");
+        assert_eq!(out("out = decodeURIComponent('a%20b');"), "a b");
+    }
+
+    #[test]
+    fn escape_encode_roundtrip() {
+        assert_eq!(out("out = unescape(escape('a b&c'));"), "a b&c");
+    }
+
+    #[test]
+    fn atob_btoa_roundtrip() {
+        assert_eq!(out("out = btoa('Man');"), "TWFu");
+        assert_eq!(out("out = atob('TWFu');"), "Man");
+        assert_eq!(out("out = atob(btoa('any carnal pleasure'));"), "any carnal pleasure");
+        assert_eq!(out("out = btoa('M');"), "TQ==");
+        assert_eq!(out("out = atob('TQ==');"), "M");
+    }
+
+    #[test]
+    fn obfuscated_payload_decodes_via_eval() {
+        // A realistic obfuscation pattern: char-code assembly piped to eval.
+        let src = r#"
+            var c = [111, 117, 116, 32, 61, 32, 39, 112, 119, 110, 39, 59];
+            var s = '';
+            for (var i = 0; i < c.length; i++) { s += String.fromCharCode(c[i]); }
+            eval(s);
+        "#;
+        assert_eq!(out(src), "pwn");
+    }
+
+    #[test]
+    fn base64_layer_in_script() {
+        // eval(atob(...)) — another common obfuscation layer.
+        let payload = base64_encode(b"out = 7 * 6;");
+        let src = format!("eval(atob('{payload}'));");
+        assert_eq!(out(&src), "42");
+    }
+
+    #[test]
+    fn array_methods() {
+        assert_eq!(out("var a = [1,2,3]; out = a.indexOf(2);"), "1");
+        assert_eq!(out("var a = [1,2,3]; out = a.indexOf(9);"), "-1");
+        assert_eq!(out("var a = [1,2,3]; a.reverse(); out = a.join('');"), "321");
+        assert_eq!(out("var a = [1,2]; out = a.shift() + ':' + a.length;"), "1:1");
+        assert_eq!(out("var a = [2]; a.unshift(1); out = a.join(',');"), "1,2");
+        assert_eq!(out("var a = [1,2,3,4]; out = a.slice(1, 3).join(',');"), "2,3");
+        assert_eq!(out("out = [1,2].concat([3,4], 5).join('');"), "12345");
+    }
+
+    #[test]
+    fn number_and_boolean_casts() {
+        assert_eq!(out("out = Number('42') + 1;"), "43");
+        assert_eq!(out("out = Boolean('');"), "false");
+        assert_eq!(out("out = Boolean('x');"), "true");
+        assert_eq!(out("out = isNaN('abc');"), "true");
+        assert_eq!(out("out = isNaN('12');"), "false");
+    }
+
+    #[test]
+    fn base64_helpers_direct() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_decode(""), Some(String::new()));
+        assert_eq!(base64_decode("!!!!"), None);
+        assert_eq!(base64_decode("TWFu"), Some("Man".to_string()));
+    }
+
+    #[test]
+    fn number_to_string_radix() {
+        assert_eq!(out("out = (255).toString(16);"), "ff");
+        assert_eq!(out("out = (255).toString();"), "255");
+        assert_eq!(out("out = (8).toString(2);"), "1000");
+        assert_eq!(out("out = (35).toString(36);"), "z");
+        assert_eq!(out("var n = -255; out = n.toString(16);"), "-ff");
+    }
+
+    #[test]
+    fn number_to_fixed() {
+        assert_eq!(out("out = (3.14159).toFixed(2);"), "3.14");
+        assert_eq!(out("out = (5).toFixed(0);"), "5");
+        assert_eq!(out("out = (1.5).toFixed(3);"), "1.500");
+    }
+
+    #[test]
+    fn radix_obfuscation_roundtrip() {
+        // Hex-string assembly, a common obfuscation idiom.
+        assert_eq!(
+            out("var code = ''; var parts = [111, 117, 116, 61, 55, 55]; \
+                 for (var i = 0; i < parts.length; i++) { \
+                   code += String.fromCharCode(parseInt(parts[i].toString(16), 16)); } \
+                 eval(code);"),
+            "77"
+        );
+    }
+
+    #[test]
+    fn percent_decode_malformed_passthrough() {
+        assert_eq!(percent_decode("%ZZ"), "%ZZ");
+        assert_eq!(percent_decode("100%"), "100%");
+    }
+}

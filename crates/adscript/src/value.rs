@@ -1,0 +1,301 @@
+//! Runtime values and the object heap.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::ast::FnDef;
+
+/// Handle to an object in the [`Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub(crate) usize);
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `undefined`
+    Undefined,
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (always `f64`, like JS).
+    Num(f64),
+    /// String.
+    Str(Rc<str>),
+    /// Object or array (heap handle).
+    Obj(ObjId),
+    /// A script function: definition plus captured environment.
+    Fn {
+        /// The function definition.
+        def: Rc<FnDef>,
+        /// Captured scope (environment id in the interpreter).
+        env: usize,
+    },
+    /// A host-provided native function, identified by name.
+    Native(Rc<str>),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// JS truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Undefined | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Obj(_) | Value::Fn { .. } | Value::Native(_) => true,
+        }
+    }
+
+    /// `typeof` result.
+    pub fn type_of(&self) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Null => "object",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Obj(_) => "object",
+            Value::Fn { .. } | Value::Native(_) => "function",
+        }
+    }
+
+    /// Numeric coercion (`ToNumber`), without object valueOf support.
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Value::Undefined => f64::NAN,
+            Value::Null => 0.0,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => {
+                let t = s.trim();
+                if t.is_empty() {
+                    0.0
+                } else if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                        .map(|v| v as f64)
+                        .unwrap_or(f64::NAN)
+                } else {
+                    t.parse::<f64>().unwrap_or(f64::NAN)
+                }
+            }
+            Value::Obj(_) | Value::Fn { .. } | Value::Native(_) => f64::NAN,
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined, Value::Undefined) => true,
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Obj(a), Value::Obj(b)) => a == b,
+            (Value::Native(a), Value::Native(b)) => a == b,
+            (Value::Fn { def: a, env: ea }, Value::Fn { def: b, env: eb }) => {
+                Rc::ptr_eq(a, b) && ea == eb
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Converts a number to its display string, approximating JS `ToString`.
+pub fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
+    } else if n == 0.0 {
+        "0".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 1e21 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n}");
+        s
+    }
+}
+
+/// The kind of heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// Plain object.
+    Plain,
+    /// Array: `elements` holds the indexed values.
+    Array,
+    /// A host (native) object: property reads/writes may be intercepted by
+    /// the embedder's [`crate::interp::Host`]. The tag names the object
+    /// (`"document"`, `"location"`, …).
+    Native,
+}
+
+/// Data of one heap object.
+#[derive(Debug, Clone)]
+pub struct ObjData {
+    /// Kind discriminator.
+    pub kind: ObjKind,
+    /// Named properties (sorted map for deterministic iteration).
+    pub props: BTreeMap<String, Value>,
+    /// Array elements (only for [`ObjKind::Array`]).
+    pub elements: Vec<Value>,
+    /// Host tag for [`ObjKind::Native`] objects (empty otherwise).
+    pub tag: String,
+}
+
+/// The object heap. Objects are never freed during a script run — a run is
+/// bounded by the step budget, so peak memory is bounded too.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objs: Vec<ObjData>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a plain object.
+    pub fn alloc_object(&mut self) -> ObjId {
+        self.alloc(ObjData {
+            kind: ObjKind::Plain,
+            props: BTreeMap::new(),
+            elements: Vec::new(),
+            tag: String::new(),
+        })
+    }
+
+    /// Allocates an array with the given elements.
+    pub fn alloc_array(&mut self, elements: Vec<Value>) -> ObjId {
+        self.alloc(ObjData {
+            kind: ObjKind::Array,
+            props: BTreeMap::new(),
+            elements,
+            tag: String::new(),
+        })
+    }
+
+    /// Allocates a native (host) object with the given tag.
+    pub fn alloc_native(&mut self, tag: &str) -> ObjId {
+        self.alloc(ObjData {
+            kind: ObjKind::Native,
+            props: BTreeMap::new(),
+            elements: Vec::new(),
+            tag: tag.to_string(),
+        })
+    }
+
+    fn alloc(&mut self, data: ObjData) -> ObjId {
+        let id = ObjId(self.objs.len());
+        self.objs.push(data);
+        id
+    }
+
+    /// Borrows an object.
+    pub fn get(&self, id: ObjId) -> &ObjData {
+        &self.objs[id.0]
+    }
+
+    /// Mutably borrows an object.
+    pub fn get_mut(&mut self, id: ObjId) -> &mut ObjData {
+        &mut self.objs[id.0]
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// True when no objects have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Undefined.truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+    }
+
+    #[test]
+    fn type_of_strings() {
+        assert_eq!(Value::Undefined.type_of(), "undefined");
+        assert_eq!(Value::Null.type_of(), "object");
+        assert_eq!(Value::Num(1.0).type_of(), "number");
+        assert_eq!(Value::str("s").type_of(), "string");
+        assert_eq!(Value::Native(Rc::from("f")).type_of(), "function");
+    }
+
+    #[test]
+    fn to_number_coercions() {
+        assert_eq!(Value::Null.to_number(), 0.0);
+        assert!(Value::Undefined.to_number().is_nan());
+        assert_eq!(Value::Bool(true).to_number(), 1.0);
+        assert_eq!(Value::str("42").to_number(), 42.0);
+        assert_eq!(Value::str("  3.5 ").to_number(), 3.5);
+        assert_eq!(Value::str("").to_number(), 0.0);
+        assert_eq!(Value::str("0x10").to_number(), 16.0);
+        assert!(Value::str("abc").to_number().is_nan());
+    }
+
+    #[test]
+    fn number_to_string_forms() {
+        assert_eq!(number_to_string(42.0), "42");
+        assert_eq!(number_to_string(-7.0), "-7");
+        assert_eq!(number_to_string(0.5), "0.5");
+        assert_eq!(number_to_string(0.0), "0");
+        assert_eq!(number_to_string(f64::NAN), "NaN");
+        assert_eq!(number_to_string(f64::INFINITY), "Infinity");
+    }
+
+    #[test]
+    fn strict_eq_rules() {
+        assert!(Value::Num(1.0).strict_eq(&Value::Num(1.0)));
+        assert!(!Value::Num(1.0).strict_eq(&Value::str("1")));
+        assert!(!Value::Null.strict_eq(&Value::Undefined));
+        assert!(Value::str("a").strict_eq(&Value::str("a")));
+        assert!(!Value::Num(f64::NAN).strict_eq(&Value::Num(f64::NAN)));
+    }
+
+    #[test]
+    fn heap_alloc_and_access() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_object();
+        heap.get_mut(o).props.insert("x".into(), Value::Num(1.0));
+        assert!(matches!(heap.get(o).props.get("x"), Some(Value::Num(n)) if *n == 1.0));
+        let a = heap.alloc_array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        assert_eq!(heap.get(a).elements.len(), 2);
+        assert_eq!(heap.get(a).kind, ObjKind::Array);
+        let n = heap.alloc_native("document");
+        assert_eq!(heap.get(n).tag, "document");
+        assert_eq!(heap.len(), 3);
+    }
+}

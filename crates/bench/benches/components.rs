@@ -1,0 +1,180 @@
+//! Component ablations — the design-choice benchmarks called out in
+//! DESIGN.md:
+//!
+//! * EasyList matcher throughput (URL matches/sec) — the crawler's hot loop.
+//! * AdScript interpreter throughput on obfuscated creatives — the
+//!   honeyclient's hot loop.
+//! * Blacklist threshold sweep (1..10 lists): precision/recall of the
+//!   aggregate vs ground truth — why the paper chose ">5".
+//! * Scanner consensus sweep (1..12 engines): detection vs FP trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use malvert_adscript::{Interpreter, Limits, NoHost};
+use malvert_blacklist::{BlacklistService, DomainTruth};
+use malvert_filterlist::{FilterSet, RequestContext};
+use malvert_scanner::{MalwareFamily, Payload, PayloadKind, ScanService};
+use malvert_types::rng::SeedTree;
+use malvert_types::{DetRng, DomainName, Url};
+use std::hint::black_box;
+
+fn bench_filterlist(c: &mut Criterion) {
+    // A list shaped like the generated SimEasyList: 40 domain anchors plus
+    // pattern rules.
+    let mut list = String::from("[Adblock Plus 2.0]\n");
+    for i in 0..40 {
+        list.push_str(&format!("||srv{i}.network{i}.com^\n"));
+    }
+    list.push_str("/serve?pub=$subdocument\n/banner/\n@@||srv0.network0.com/ok/\n");
+    let set = FilterSet::parse(&list);
+    let ctx = RequestContext::iframe_from(&DomainName::parse("publisher.com").unwrap());
+
+    let urls: Vec<Url> = (0..200)
+        .map(|i| {
+            Url::parse(&format!(
+                "http://srv{}.network{}.com/serve?pub={}&slot={}",
+                i % 50,
+                i % 50,
+                i,
+                i % 6
+            ))
+            .unwrap()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("filterlist");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+    group.bench_function("match_200_urls", |b| {
+        b.iter(|| {
+            let hits = urls.iter().filter(|u| set.is_ad_url(u, &ctx)).count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_adscript(c: &mut Criterion) {
+    // The honeyclient's hot loop: running an obfuscated creative.
+    let core = "var s = ''; for (var i = 0; i < 200; i++) { s += String.fromCharCode(65 + (i % 26)); } out = s.length;";
+    let mut rng = DetRng::new(5);
+    let single = malvert_adnet::creative::obfuscate(core, 1, &mut rng);
+    let double = malvert_adnet::creative::obfuscate(core, 2, &mut rng);
+
+    let mut group = c.benchmark_group("adscript");
+    group.bench_function("plain_loop_script", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            black_box(interp.run(core).unwrap());
+        })
+    });
+    group.bench_function("one_obfuscation_layer", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            black_box(interp.run(&single).unwrap());
+        })
+    });
+    group.bench_function("two_obfuscation_layers", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            black_box(interp.run(&double).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn sweep_blacklist_threshold() {
+    println!("\n== blacklist threshold sweep (ablation for the paper's '>5 lists' rule) ==");
+    println!(
+        "{:>10}{:>8}{:>8}{:>8}{:>12}{:>9}",
+        "threshold", "tp", "fp", "fn", "precision", "recall"
+    );
+    for threshold in 1..=10usize {
+        let mut svc = BlacklistService::with_threshold(SeedTree::new(42), threshold);
+        for i in 0..400u32 {
+            svc.register(
+                DomainName::parse(&format!("mal-{i}.biz")).unwrap(),
+                DomainTruth::Malicious {
+                    active_from: i % 60,
+                },
+            );
+            svc.register(
+                DomainName::parse(&format!("ok-{i}.com")).unwrap(),
+                DomainTruth::Benign,
+            );
+        }
+        let q = svc.evaluate(90);
+        println!(
+            "{threshold:>10}{:>8}{:>8}{:>8}{:>12.4}{:>9.3}",
+            q.tp,
+            q.fp,
+            q.fn_,
+            q.precision(),
+            q.recall()
+        );
+    }
+}
+
+fn sweep_scanner_consensus() {
+    println!("\n== scanner consensus sweep (engines required for a malware verdict) ==");
+    println!(
+        "{:>10}{:>14}{:>14}",
+        "consensus", "mal detected", "benign flagged"
+    );
+    let tree = SeedTree::new(77);
+    let samples_mal: Vec<_> = (0u32..40)
+        .map(|i| {
+            Payload::malicious(
+                PayloadKind::Executable,
+                MalwareFamily(i % 24),
+                i % 3 == 0,
+                tree.branch_idx(u64::from(i)),
+            )
+        })
+        .collect();
+    let samples_benign: Vec<_> = (0u32..40)
+        .map(|i| Payload::benign(PayloadKind::Executable, tree.branch_idx(1000 + u64::from(i))))
+        .collect();
+    for consensus in [1usize, 2, 4, 8, 12] {
+        let svc = ScanService::with_consensus(SeedTree::new(7), consensus);
+        let detected = samples_mal
+            .iter()
+            .filter(|p| svc.is_malicious(&p.bytes))
+            .count();
+        let flagged = samples_benign
+            .iter()
+            .filter(|p| svc.is_malicious(&p.bytes))
+            .count();
+        println!("{consensus:>10}{detected:>11}/40{flagged:>11}/40");
+    }
+}
+
+fn bench_blacklist_and_scanner(c: &mut Criterion) {
+    sweep_blacklist_threshold();
+    sweep_scanner_consensus();
+
+    // Timing: one aggregate lookup, one 51-engine scan.
+    let mut svc = BlacklistService::new(SeedTree::new(1));
+    let d = DomainName::parse("exploit-zone.biz").unwrap();
+    svc.register(d.clone(), DomainTruth::Malicious { active_from: 0 });
+    c.bench_function("blacklist/aggregate_lookup", |b| {
+        b.iter(|| black_box(svc.listing_count(&d, 45)))
+    });
+
+    let scan = ScanService::new(SeedTree::new(2));
+    let payload = Payload::malicious(
+        PayloadKind::Executable,
+        MalwareFamily(3),
+        true,
+        SeedTree::new(3),
+    );
+    c.bench_function("scanner/scan_51_engines", |b| {
+        b.iter(|| black_box(scan.scan(&payload.bytes)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_filterlist,
+    bench_adscript,
+    bench_blacklist_and_scanner
+);
+criterion_main!(benches);

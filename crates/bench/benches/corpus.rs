@@ -1,0 +1,84 @@
+//! Corpus-construction benchmarks (§3.1): crawl throughput — page loads per
+//! second through the emulated browser — and honeyclient classification
+//! latency per unique ad.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use malvert_bench::bench_config;
+use malvert_core::study::Study;
+use malvert_core::world::StudyWorld;
+use malvert_crawler::{CrawlConfig, Crawler};
+use malvert_types::{CrawlSchedule, SimTime};
+use std::hint::black_box;
+
+fn bench_crawl(c: &mut Criterion) {
+    let config = bench_config(7);
+    let study = Study::new(config.clone());
+    let world: &StudyWorld = &study.world;
+
+    // Single-visit latency.
+    let crawler = Crawler::new(
+        &world.network,
+        &world.filter,
+        CrawlConfig::default(),
+        world.tree,
+    );
+    let site = world
+        .web
+        .sites
+        .iter()
+        .find(|s| s.ad_slots.len() >= 5)
+        .expect("site with slots");
+    c.bench_function("crawl/single_page_visit", |b| {
+        b.iter(|| black_box(crawler.crawl_visit(site, SimTime::at(3, 1))))
+    });
+
+    // Batch throughput in page loads.
+    let sites: Vec<_> = world.web.sites.iter().take(24).cloned().collect();
+    let schedule = CrawlSchedule::scaled(1, 2);
+    let loads = sites.len() as u64 * schedule.loads_per_site();
+    let mut group = c.benchmark_group("crawl");
+    group.throughput(Throughput::Elements(loads));
+    group.sample_size(10);
+    group.bench_function("batch_page_loads", |b| {
+        b.iter(|| {
+            let crawler = Crawler::new(
+                &world.network,
+                &world.filter,
+                CrawlConfig {
+                    schedule,
+                    workers: 8,
+                    ..CrawlConfig::default()
+                },
+                world.tree,
+            );
+            let mut n = 0u64;
+            crawler.run(&sites, |r| n += r.ads.len() as u64);
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    // Honeyclient classification latency (oracle re-visit + all detectors).
+    let oracle = malvert_oracle_fixture(world);
+    let url = world.ads.serve_url(malvert_types::AdNetworkId(3), 77, 1);
+    c.bench_function("oracle/classify_one_ad", |b| {
+        b.iter(|| black_box(oracle.classify(&url, SimTime::at(5, 1))))
+    });
+}
+
+fn malvert_oracle_fixture(world: &StudyWorld) -> malvert_oracle::Oracle<'_> {
+    malvert_oracle::Oracle::new(
+        &world.network,
+        &world.blacklists,
+        &world.scanner,
+        malvert_oracle::OracleConfig::default(),
+        world.tree,
+    )
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crawl
+}
+criterion_main!(benches);

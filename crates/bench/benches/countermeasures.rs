@@ -1,0 +1,54 @@
+//! §5 countermeasure ablation: baseline vs shared rejection blacklist vs
+//! sandbox adoption, at bench scale. Prints the comparison table and times a
+//! world rebuild.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malvert_bench::bench_config;
+use malvert_core::countermeasures::{evaluate, Countermeasure};
+use malvert_core::study::Study;
+use std::hint::black_box;
+
+fn run_ablation() {
+    let config = bench_config(99);
+    println!("\n== countermeasure ablation (s5) ==");
+    println!(
+        "{:<34}{:>9}{:>10}{:>15}{:>17}",
+        "configuration", "corpus", "detected", "mal delivered", "mal impressions"
+    );
+    for cm in [
+        Countermeasure::None,
+        Countermeasure::SharedBlacklist {
+            sharing_floor_percent: 50,
+        },
+        Countermeasure::SharedBlacklist {
+            sharing_floor_percent: 90,
+        },
+        Countermeasure::SandboxAdoption { percent: 100 },
+    ] {
+        let o = evaluate(&config, cm);
+        println!(
+            "{:<34}{:>9}{:>10}{:>15}{:>17}",
+            o.label, o.corpus_size, o.detected, o.truly_malicious_delivered, o.malicious_observations
+        );
+    }
+    println!();
+}
+
+fn bench_countermeasures(c: &mut Criterion) {
+    run_ablation();
+    // Time the world construction (the fixed cost every ablation pays).
+    let config = bench_config(99);
+    let mut group = c.benchmark_group("countermeasures");
+    group.sample_size(10);
+    group.bench_function("world_build", |b| {
+        b.iter(|| black_box(Study::new(config.clone())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_countermeasures
+}
+criterion_main!(benches);

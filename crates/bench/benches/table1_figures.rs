@@ -1,0 +1,84 @@
+//! Regenerates **Table 1 and Figures 1–5** (plus the §4.2 cluster split and
+//! the §4.4 sandbox census) and times each analysis over the bench-scale
+//! study.
+//!
+//! The rendered blocks print once at startup; Criterion then times the
+//! analysis functions themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malvert_bench::shared_study;
+use malvert_core::{analysis, report};
+use std::hint::black_box;
+
+fn print_all_reports() {
+    let (study, results) = shared_study();
+    println!("\n================ regenerated paper artefacts ================\n");
+    println!(
+        "corpus: {} unique ads / {} observations / {} page loads\n",
+        results.unique_ads(),
+        results.total_observations,
+        results.page_loads
+    );
+    println!("{}", report::render_table1(&analysis::table1(results)));
+    println!(
+        "{}",
+        report::render_fig1(&analysis::fig1_network_ratios(results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_fig2(&analysis::fig2_network_volume(results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_cluster_split(&analysis::cluster_split(results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_fig3(&analysis::fig3_categories(results, &study.world))
+    );
+    let (fig4, generic) = analysis::fig4_tlds(results, &study.world);
+    println!("{}", report::render_fig4(&fig4, generic));
+    println!("{}", report::render_fig5(&analysis::fig5_chains(results)));
+    println!(
+        "{}",
+        report::render_sandbox(&analysis::sandbox_usage(results))
+    );
+    println!("==============================================================\n");
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    print_all_reports();
+    let (study, results) = shared_study();
+
+    c.bench_function("analysis/table1", |b| {
+        b.iter(|| black_box(analysis::table1(results)))
+    });
+    c.bench_function("analysis/fig1_network_ratios", |b| {
+        b.iter(|| black_box(analysis::fig1_network_ratios(results, &study.world)))
+    });
+    c.bench_function("analysis/fig2_network_volume", |b| {
+        b.iter(|| black_box(analysis::fig2_network_volume(results, &study.world)))
+    });
+    c.bench_function("analysis/cluster_split", |b| {
+        b.iter(|| black_box(analysis::cluster_split(results, &study.world)))
+    });
+    c.bench_function("analysis/fig3_categories", |b| {
+        b.iter(|| black_box(analysis::fig3_categories(results, &study.world)))
+    });
+    c.bench_function("analysis/fig4_tlds", |b| {
+        b.iter(|| black_box(analysis::fig4_tlds(results, &study.world)))
+    });
+    c.bench_function("analysis/fig5_chains", |b| {
+        b.iter(|| black_box(analysis::fig5_chains(results)))
+    });
+    c.bench_function("analysis/sandbox_usage", |b| {
+        b.iter(|| black_box(analysis::sandbox_usage(results)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyses
+}
+criterion_main!(benches);

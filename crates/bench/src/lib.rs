@@ -1,0 +1,56 @@
+//! # malvert-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. Each bench target
+//! regenerates one of the paper's tables/figures (printing the rendered
+//! block) and times the pipeline stage behind it.
+//!
+//! Bench targets (run `cargo bench -p malvert-bench`):
+//!
+//! * `table1_figures` — runs the study once at bench scale, prints Table 1,
+//!   Figures 1–5, the cluster split, and the sandbox census, and times each
+//!   analysis.
+//! * `corpus` — crawl throughput (page loads/sec) and corpus
+//!   deduplication.
+//! * `components` — component ablations: EasyList matching throughput,
+//!   AdScript deobfuscation throughput, blacklist threshold sweep, scanner
+//!   consensus sweep.
+//! * `countermeasures` — §5 ablation comparison.
+
+use malvert_core::study::{Study, StudyConfig, StudyResults};
+use malvert_types::CrawlSchedule;
+use malvert_websim::WebConfig;
+use std::sync::OnceLock;
+
+/// The configuration used by bench runs: large enough for stable shapes,
+/// small enough that `cargo bench` finishes in minutes.
+pub fn bench_config(seed: u64) -> StudyConfig {
+    StudyConfig {
+        seed,
+        web: WebConfig {
+            ranking_universe: 100_000,
+            top_slice: 100,
+            bottom_slice: 100,
+            random_slice: 200,
+            security_feed: 60,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: malvert_crawler::CrawlConfig {
+            schedule: CrawlSchedule::scaled(8, 2),
+            workers: 8,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    }
+}
+
+/// A completed bench-scale study, shared across bench targets in one
+/// process.
+pub fn shared_study() -> &'static (Study, StudyResults) {
+    static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let study = Study::new(bench_config(2014));
+        let results = study.run();
+        (study, results)
+    })
+}

@@ -1,0 +1,267 @@
+//! The thresholded blacklist aggregator.
+
+use crate::feed::Feed;
+use malvert_types::rng::SeedTree;
+use malvert_types::DomainName;
+use std::collections::HashMap;
+
+/// What kind of threat a malicious domain hosts. Feeds specialize: a
+/// malware-distribution list covers exploit hosts far better than scam
+/// landing pages, and vice versa — one of the reasons the paper needed 49
+/// feeds to get useful coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreatKind {
+    /// Exploit kits, payload hosts, drive-by infrastructure.
+    MalwareDistribution,
+    /// Scam/phishing landing pages.
+    Scam,
+}
+
+/// Ground truth about a domain, registered by the world generator. The feeds
+/// never see this directly — it only parameterizes their stochastic listing
+/// behaviour, which is where false positives and negatives come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainTruth {
+    /// The domain serves malicious content starting on this study day.
+    Malicious {
+        /// First study day of malicious activity.
+        active_from: u32,
+    },
+    /// Like `Malicious`, with the threat kind known — feed coverage depends
+    /// on the match between feed specialty and threat kind.
+    MaliciousKind {
+        /// First study day of malicious activity.
+        active_from: u32,
+        /// What the domain hosts.
+        kind: ThreatKind,
+    },
+    /// The domain is benign.
+    Benign,
+}
+
+/// The aggregated blacklist service: 49 feeds plus the ">5 lists" rule.
+#[derive(Debug)]
+pub struct BlacklistService {
+    feeds: Vec<Feed>,
+    registry: HashMap<DomainName, DomainTruth>,
+    threshold: usize,
+}
+
+impl BlacklistService {
+    /// Builds the service with the standard feed population and the paper's
+    /// threshold ([`crate::DEFAULT_THRESHOLD`]).
+    pub fn new(tree: SeedTree) -> Self {
+        Self::with_threshold(tree, crate::DEFAULT_THRESHOLD)
+    }
+
+    /// Builds the service with a custom threshold (used by the ablation
+    /// bench that sweeps the threshold from 1 to 10).
+    pub fn with_threshold(tree: SeedTree, threshold: usize) -> Self {
+        BlacklistService {
+            feeds: Feed::generate_all(tree),
+            registry: HashMap::new(),
+            threshold,
+        }
+    }
+
+    /// Builds the service with feed lags scaled for a study window of
+    /// `window_days` (lags are calibrated for the paper's 90-day window and
+    /// shrink proportionally for scaled-down runs).
+    pub fn for_window(tree: SeedTree, window_days: u32) -> Self {
+        BlacklistService {
+            feeds: Feed::generate_scaled(tree, f64::from(window_days) / 90.0),
+            registry: HashMap::new(),
+            threshold: crate::DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// Registers ground truth for a domain. Unregistered domains are treated
+    /// as benign.
+    pub fn register(&mut self, domain: DomainName, truth: DomainTruth) {
+        self.registry.insert(domain, truth);
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The feed population.
+    pub fn feeds(&self) -> &[Feed] {
+        &self.feeds
+    }
+
+    /// How many feeds list `domain` on `day`.
+    pub fn listing_count(&self, domain: &DomainName, day: u32) -> usize {
+        let truth = self
+            .registry
+            .get(domain)
+            .copied()
+            .unwrap_or(DomainTruth::Benign);
+        self.feeds
+            .iter()
+            .filter(|f| f.lists(domain, &truth, day))
+            .count()
+    }
+
+    /// The paper's rule: malicious iff listed by *more than* `threshold`
+    /// feeds simultaneously.
+    pub fn is_flagged(&self, domain: &DomainName, day: u32) -> bool {
+        self.listing_count(domain, day) > self.threshold
+    }
+
+    /// Precision/recall of the thresholded aggregate against ground truth on
+    /// `day`, over all registered domains. Used by the threshold-sweep bench.
+    pub fn evaluate(&self, day: u32) -> AggregateQuality {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        let mut tn = 0usize;
+        for (domain, truth) in &self.registry {
+            let flagged = self.is_flagged(domain, day);
+            let active_from = match truth {
+                DomainTruth::Malicious { active_from }
+                | DomainTruth::MaliciousKind { active_from, .. } => Some(*active_from),
+                DomainTruth::Benign => None,
+            };
+            match (active_from, flagged) {
+                (Some(from), true) if from <= day => tp += 1,
+                (Some(from), false) if from <= day => fn_ += 1,
+                // Not-yet-active malicious domains count as benign today.
+                (_, true) => fp += 1,
+                (_, false) => tn += 1,
+            }
+        }
+        AggregateQuality { tp, fp, fn_, tn }
+    }
+}
+
+/// Confusion-matrix summary from [`BlacklistService::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateQuality {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl AggregateQuality {
+    /// Precision (1.0 when no positives at all).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1.0 when no actual positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn service_with_population(seed: u64, threshold: usize) -> BlacklistService {
+        let mut svc = BlacklistService::with_threshold(SeedTree::new(seed), threshold);
+        for i in 0..200 {
+            svc.register(
+                domain(&format!("mal-{i}.biz")),
+                DomainTruth::Malicious { active_from: 0 },
+            );
+            svc.register(domain(&format!("ok-{i}.com")), DomainTruth::Benign);
+        }
+        svc
+    }
+
+    #[test]
+    fn malicious_domains_accumulate_listings() {
+        let svc = service_with_population(11, 5);
+        let d = domain("mal-0.biz");
+        let early = svc.listing_count(&d, 0);
+        let late = svc.listing_count(&d, 60);
+        assert!(late >= early, "listings must not shrink over time");
+        // With 49 feeds averaging ~30% coverage, a malicious domain sees on
+        // the order of a dozen listings.
+        let avg: f64 = (0..200)
+            .map(|i| svc.listing_count(&domain(&format!("mal-{i}.biz")), 60) as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(avg > 6.0, "avg listings {avg} too low");
+    }
+
+    #[test]
+    fn threshold_filters_benign_fps() {
+        let svc = service_with_population(13, 5);
+        let flagged_benign = (0..200)
+            .filter(|i| svc.is_flagged(&domain(&format!("ok-{i}.com")), 60))
+            .count();
+        // Individual feeds have FPs, but >5 simultaneous FPs on one domain
+        // is vanishingly rare.
+        assert_eq!(flagged_benign, 0, "threshold must suppress benign FPs");
+    }
+
+    #[test]
+    fn most_malicious_domains_flagged_eventually() {
+        let svc = service_with_population(17, 5);
+        let flagged = (0..200)
+            .filter(|i| svc.is_flagged(&domain(&format!("mal-{i}.biz")), 60))
+            .count();
+        // The threshold costs recall (the paper accepted that trade), but the
+        // majority must be caught.
+        assert!(flagged > 120, "only {flagged}/200 malicious domains flagged");
+        // Early in the study, lag must keep recall lower than at day 60.
+        let early = (0..200)
+            .filter(|i| svc.is_flagged(&domain(&format!("mal-{i}.biz")), 1))
+            .count();
+        assert!(early < flagged, "lag should delay some listings");
+    }
+
+    #[test]
+    fn unregistered_domains_are_benign() {
+        let svc = BlacklistService::new(SeedTree::new(19));
+        assert!(!svc.is_flagged(&domain("never-seen.org"), 50));
+    }
+
+    #[test]
+    fn evaluate_confusion_matrix_consistency() {
+        let svc = service_with_population(23, 5);
+        let q = svc.evaluate(60);
+        assert_eq!(q.tp + q.fp + q.fn_ + q.tn, 400);
+        assert!(q.precision() > 0.95);
+        assert!(q.recall() > 0.5);
+    }
+
+    #[test]
+    fn lower_threshold_trades_precision_for_recall() {
+        let strict = service_with_population(29, 8).evaluate(60);
+        let loose = service_with_population(29, 1).evaluate(60);
+        assert!(loose.recall() >= strict.recall());
+        assert!(loose.fp >= strict.fp);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let a = service_with_population(31, 5);
+        let b = service_with_population(31, 5);
+        for i in 0..50 {
+            let d = domain(&format!("mal-{i}.biz"));
+            assert_eq!(a.listing_count(&d, 30), b.listing_count(&d, 30));
+        }
+    }
+}

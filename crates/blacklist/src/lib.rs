@@ -1,0 +1,40 @@
+//! # malvert-blacklist
+//!
+//! The blacklist substrate of the study oracle.
+//!
+//! §3.2.2 of the paper: the authors used a tracking system aggregating **49**
+//! antivirus, spam, and phishing blacklists, and — because individual lists
+//! produce false positives — considered a domain malicious only when it was
+//! carried by **more than five** lists at the same time.
+//!
+//! The original feeds are commercial and long gone; per the substitution
+//! rule we simulate them. Each simulated feed has its own realistic failure
+//! profile:
+//!
+//! * **coverage** — the probability that the feed ever picks up a given
+//!   truly-malicious domain (feeds specialize; none sees everything);
+//! * **lag** — days between a domain turning malicious and the feed listing
+//!   it (blacklists are reactive);
+//! * **false-positive rate** — the probability the feed wrongly lists a
+//!   given benign domain.
+//!
+//! All listing decisions are deterministic functions of
+//! `(feed seed, domain)`, so a study replays identically. The aggregator
+//! implements exactly the paper's thresholded OR over the 49 feeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod feed;
+
+pub use aggregate::{BlacklistService, DomainTruth, ThreatKind};
+pub use feed::{Feed, FeedKind};
+
+/// Number of simulated blacklist feeds — the paper's tracking system
+/// aggregated 49 lists.
+pub const FEED_COUNT: usize = 49;
+
+/// The paper's aggregation threshold: a domain counts as malicious only when
+/// listed by **more than** this many feeds simultaneously.
+pub const DEFAULT_THRESHOLD: usize = 5;

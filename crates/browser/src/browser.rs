@@ -1,0 +1,929 @@
+//! The page-load engine.
+
+use crate::events::{BehaviorEvent, Download};
+use crate::host::{BrowserHost, Effect, ScheduledTimer};
+use crate::personality::Personality;
+use malvert_adscript::{Interpreter, Limits};
+use malvert_html::{parse_document, serialize, Document, NodeId};
+use malvert_net::{Body, CookieJar, HttpRequest, NetError, Network, TrafficCapture};
+use malvert_types::rng::SeedTree;
+use malvert_types::{SimTime, Url};
+
+/// Bounds on a single page load.
+#[derive(Debug, Clone, Copy)]
+pub struct BrowserLimits {
+    /// Maximum iframe nesting depth loaded.
+    pub max_frame_depth: u32,
+    /// Maximum navigations a single frame may perform.
+    pub max_navigations: u32,
+    /// Maximum rounds of `setTimeout` callback draining per document.
+    pub max_timer_rounds: u32,
+    /// AdScript interpreter limits per document.
+    pub script_limits: Limits,
+}
+
+impl Default for BrowserLimits {
+    fn default() -> Self {
+        BrowserLimits {
+            max_frame_depth: 4,
+            max_navigations: 6,
+            max_timer_rounds: 8,
+            script_limits: Limits::default(),
+        }
+    }
+}
+
+/// One `<iframe>` element found in a document, with the attributes the §4.4
+/// sandbox analysis inspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IframeInfo {
+    /// The `src` attribute as written.
+    pub src: String,
+    /// Whether the element carries the HTML5 `sandbox` attribute.
+    pub has_sandbox: bool,
+    /// Width attribute, when parseable.
+    pub width: Option<u32>,
+    /// Height attribute, when parseable.
+    pub height: Option<u32>,
+}
+
+/// The result of loading one frame (recursively including children).
+#[derive(Debug, Clone)]
+pub struct FrameSnapshot {
+    /// URL the frame was asked to load.
+    pub requested_url: Url,
+    /// URL the final document came from (after redirects/navigations).
+    pub final_url: Url,
+    /// Serialized final document markup (after script effects).
+    pub html: String,
+    /// The raw fetched document markup, before any script ran. This is the
+    /// byte-exact server response — the corpus de-duplication key (the
+    /// paper stored "HTML documents based on the contents of the iframes").
+    pub raw_html: String,
+    /// Iframe elements present in the final document.
+    pub iframes: Vec<IframeInfo>,
+    /// Child frames, in document order (statically declared first, then
+    /// script-injected ones).
+    pub children: Vec<FrameSnapshot>,
+    /// True when the frame's load ended in a download instead of a document.
+    pub ended_in_download: bool,
+    /// True when the frame failed to load (NXDOMAIN etc.).
+    pub failed: bool,
+}
+
+/// A completed page visit.
+#[derive(Debug)]
+pub struct PageVisit {
+    /// The top frame (page) snapshot.
+    pub top: FrameSnapshot,
+    /// All behaviour events, page-wide, in occurrence order.
+    pub events: Vec<BehaviorEvent>,
+    /// All downloads triggered anywhere in the page.
+    pub downloads: Vec<Download>,
+    /// Full HTTP traffic capture for the visit.
+    pub capture: TrafficCapture,
+}
+
+/// The emulated browser.
+pub struct Browser<'net> {
+    network: &'net Network,
+    personality: Personality,
+    limits: BrowserLimits,
+    study: SeedTree,
+}
+
+struct LoadCtx {
+    time: SimTime,
+    events: Vec<BehaviorEvent>,
+    downloads: Vec<Download>,
+    capture: TrafficCapture,
+    /// Per-visit cookie jar (fresh each visit, like the crawler's clean
+    /// Selenium profile).
+    jar: CookieJar,
+}
+
+impl<'net> Browser<'net> {
+    /// Creates a browser over the simulated network.
+    pub fn new(
+        network: &'net Network,
+        personality: Personality,
+        limits: BrowserLimits,
+        study: SeedTree,
+    ) -> Self {
+        Browser {
+            network,
+            personality,
+            limits,
+            study,
+        }
+    }
+
+    /// Visits `url` at simulated time `time`, loading the page and all its
+    /// frames, executing scripts, and recording behaviour.
+    pub fn visit(&self, url: &Url, time: SimTime) -> PageVisit {
+        let mut ctx = LoadCtx {
+            time,
+            events: Vec::new(),
+            downloads: Vec::new(),
+            capture: TrafficCapture::new(),
+            jar: CookieJar::new(),
+        };
+        let top = self.load_frame(url.clone(), None, 0, false, &mut ctx);
+        PageVisit {
+            top,
+            events: ctx.events,
+            downloads: ctx.downloads,
+            capture: ctx.capture,
+        }
+    }
+
+    /// Loads one frame. The returned snapshot describes the **first**
+    /// document rendered in the frame (the creative, for ad iframes); script
+    /// navigations after it are still followed — their traffic, downloads,
+    /// and behaviour land in the page-wide records — but they do not replace
+    /// the snapshot. This mirrors how the study stored ad iframes: the
+    /// rendered advertisement document, with the post-render activity in the
+    /// captured traffic.
+    fn load_frame(
+        &self,
+        url: Url,
+        referrer: Option<Url>,
+        depth: u32,
+        sandboxed: bool,
+        ctx: &mut LoadCtx,
+    ) -> FrameSnapshot {
+        let mut current_url = url.clone();
+        let mut navigations = 0u32;
+        let mut referrer = referrer;
+        let mut first_snapshot: Option<FrameSnapshot> = None;
+
+        loop {
+            let mut req = HttpRequest::get(current_url.clone())
+                .with_user_agent(&self.personality.user_agent);
+            if let Some(host) = current_url.host() {
+                req = req.with_cookies(ctx.jar.header_for(host));
+            }
+            if let Some(r) = &referrer {
+                req = req.with_referrer(r.clone());
+            }
+            let outcome = match self.network.fetch(&req, ctx.time, &mut ctx.capture) {
+                Ok(o) => o,
+                Err(NetError::NxDomain(_)) | Err(_) => {
+                    // A failed *navigation* keeps the already-rendered
+                    // document (NX cloaking bounces land here); a failed
+                    // initial load fails the frame.
+                    return first_snapshot.unwrap_or(FrameSnapshot {
+                        requested_url: url,
+                        final_url: current_url,
+                        html: String::new(),
+                        raw_html: String::new(),
+                        iframes: Vec::new(),
+                        children: Vec::new(),
+                        ended_in_download: false,
+                        failed: true,
+                    });
+                }
+            };
+            let final_url = outcome.final_url.clone();
+            if let Some(host) = final_url.host() {
+                for (name, value) in &outcome.response.set_cookies {
+                    ctx.jar.store(host, name, value);
+                }
+            }
+            match outcome.response.body {
+                Body::Download(bytes) => {
+                    ctx.events.push(BehaviorEvent::DownloadTriggered {
+                        frame: current_url.clone(),
+                        url: final_url.clone(),
+                    });
+                    ctx.downloads.push(Download {
+                        url: final_url.clone(),
+                        filename: outcome.response.attachment_filename.clone(),
+                        bytes,
+                    });
+                    return first_snapshot.unwrap_or(FrameSnapshot {
+                        requested_url: url,
+                        final_url,
+                        html: String::new(),
+                        raw_html: String::new(),
+                        iframes: Vec::new(),
+                        children: Vec::new(),
+                        ended_in_download: true,
+                        failed: false,
+                    });
+                }
+                Body::Html(html) => {
+                    let is_first = first_snapshot.is_none();
+                    let (snapshot, next_navigation) =
+                        self.process_document(&url, &final_url, &html, depth, sandboxed, ctx);
+                    if is_first {
+                        first_snapshot = Some(snapshot);
+                    }
+                    match next_navigation {
+                        Some(target) if navigations < self.limits.max_navigations => {
+                            navigations += 1;
+                            referrer = Some(final_url.clone());
+                            match final_url.join(&target) {
+                                Ok(next) => {
+                                    current_url = next;
+                                    continue;
+                                }
+                                Err(_) => return first_snapshot.expect("set above"),
+                            }
+                        }
+                        _ => return first_snapshot.expect("set above"),
+                    }
+                }
+                // Scripts/images/empty as a frame document: nothing to run.
+                _ => {
+                    return first_snapshot.unwrap_or(FrameSnapshot {
+                        requested_url: url,
+                        final_url,
+                        html: String::new(),
+                        raw_html: String::new(),
+                        iframes: Vec::new(),
+                        children: Vec::new(),
+                        ended_in_download: false,
+                        failed: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Parses and executes one document. Returns the snapshot and, when a
+    /// script navigated the frame, the navigation target.
+    fn process_document(
+        &self,
+        requested_url: &Url,
+        final_url: &Url,
+        html: &str,
+        depth: u32,
+        sandboxed: bool,
+        ctx: &mut LoadCtx,
+    ) -> (FrameSnapshot, Option<String>) {
+        let mut doc = parse_document(html);
+
+        // Set up one interpreter for the whole document (scripts share
+        // globals, like a real page).
+        let host = BrowserHost::new(self.personality.clone(), final_url.clone());
+        let seed = self
+            .study
+            .branch("script-rng")
+            .branch(&final_url.without_fragment())
+            .seed();
+        let mut interp = Interpreter::new(host, self.limits.script_limits, seed);
+        BrowserHost::install_globals(&mut interp, &self.personality, final_url);
+        // Snapshot the cookies visible to this document.
+        if let Some(host) = final_url.host() {
+            let visible = ctx.jar.header_for(host);
+            if let Some(malvert_adscript::Value::Obj(doc_obj)) =
+                interp.get_global("document").cloned()
+            {
+                interp
+                    .heap
+                    .get_mut(doc_obj)
+                    .props
+                    .insert("cookie".to_string(), malvert_adscript::Value::str(visible));
+            }
+        }
+
+        let mut navigation: Option<String> = None;
+        let mut top_navigation: Option<String> = None;
+        let mut injected: Vec<(String, u64)> = Vec::new();
+
+        // Execute scripts in document order.
+        let scripts: Vec<String> = doc
+            .elements_by_tag("script")
+            .map(|id| doc.text_content(id))
+            .collect();
+        for src in scripts {
+            if src.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = interp.run(&src) {
+                ctx.events.push(BehaviorEvent::ScriptError {
+                    frame: final_url.clone(),
+                    message: e.to_string(),
+                });
+            }
+            self.drain_host(
+                &mut interp,
+                &mut doc,
+                final_url,
+                sandboxed,
+                ctx,
+                &mut navigation,
+                &mut top_navigation,
+                &mut injected,
+            );
+        }
+
+        // Timer rounds: honeyclients fast-forward timers to flush delayed
+        // behaviour (the deceptive countdown, delayed hijacks).
+        for _ in 0..self.limits.max_timer_rounds {
+            let timers: Vec<ScheduledTimer> = interp.host.take_timers();
+            if timers.is_empty() {
+                break;
+            }
+            for timer in timers {
+                ctx.events.push(BehaviorEvent::TimerScheduled {
+                    frame: final_url.clone(),
+                });
+                if let Err(e) = interp.call_value(&timer.callback, None, &[]) {
+                    ctx.events.push(BehaviorEvent::ScriptError {
+                        frame: final_url.clone(),
+                        message: e.to_string(),
+                    });
+                }
+            }
+            self.drain_host(
+                &mut interp,
+                &mut doc,
+                final_url,
+                sandboxed,
+                ctx,
+                &mut navigation,
+                &mut top_navigation,
+                &mut injected,
+            );
+        }
+
+        if let Some(target) = &top_navigation {
+            ctx.events.push(BehaviorEvent::TopLocationHijack {
+                frame: final_url.clone(),
+                target: target.clone(),
+            });
+        }
+
+        // Fetch plugin content: `<embed src>` / `<object data>` elements.
+        // Flash creatives deliver their payload this way — the fetched
+        // bytes land in the downloads list for the scanner, exactly like
+        // Wepawet captured Flash files found in advertisements.
+        let plugin_srcs: Vec<String> = doc
+            .elements()
+            .filter_map(|(_, e)| match e.name.as_str() {
+                "embed" => e.attr("src").map(str::to_string),
+                "object" => e.attr("data").map(str::to_string),
+                _ => None,
+            })
+            .filter(|s| !s.is_empty())
+            .collect();
+        for src in plugin_srcs {
+            if let Ok(resource_url) = final_url.join(&src) {
+                let req = HttpRequest::get(resource_url.clone())
+                    .with_referrer(final_url.clone())
+                    .with_user_agent(&self.personality.user_agent);
+                if let Ok(outcome) = self.network.fetch(&req, ctx.time, &mut ctx.capture) {
+                    if let Body::Download(bytes) = outcome.response.body {
+                        ctx.events.push(BehaviorEvent::DownloadTriggered {
+                            frame: final_url.clone(),
+                            url: outcome.final_url.clone(),
+                        });
+                        ctx.downloads.push(Download {
+                            url: outcome.final_url,
+                            filename: outcome.response.attachment_filename,
+                            bytes,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Collect iframe elements from the final DOM.
+        let iframes: Vec<IframeInfo> = doc
+            .elements_by_tag("iframe")
+            .filter_map(|id| doc.element(id))
+            .map(|e| IframeInfo {
+                src: e.attr("src").unwrap_or("").to_string(),
+                has_sandbox: e.has_attr("sandbox"),
+                width: e.attr("width").and_then(|w| w.parse().ok()),
+                height: e.attr("height").and_then(|h| h.parse().ok()),
+            })
+            .collect();
+
+        // Load child frames: declared iframes first, then script-injected.
+        let mut children = Vec::new();
+        if depth < self.limits.max_frame_depth {
+            for frame in &iframes {
+                if frame.src.is_empty() {
+                    continue;
+                }
+                if let Ok(child_url) = final_url.join(&frame.src) {
+                    // Nested browsing contexts inherit sandbox flags.
+                    children.push(self.load_frame(
+                        child_url,
+                        Some(final_url.clone()),
+                        depth + 1,
+                        sandboxed || frame.has_sandbox,
+                        ctx,
+                    ));
+                }
+            }
+            for (src, _area) in &injected {
+                if let Ok(child_url) = final_url.join(src) {
+                    children.push(self.load_frame(
+                        child_url,
+                        Some(final_url.clone()),
+                        depth + 1,
+                        sandboxed,
+                        ctx,
+                    ));
+                }
+            }
+        }
+
+        let mut all_iframes = iframes;
+        for (src, area) in &injected {
+            all_iframes.push(IframeInfo {
+                src: src.clone(),
+                has_sandbox: false,
+                width: Some((*area).min(u64::from(u32::MAX)) as u32),
+                height: Some(1),
+            });
+        }
+
+        let snapshot = FrameSnapshot {
+            requested_url: requested_url.clone(),
+            final_url: final_url.clone(),
+            html: serialize(&doc),
+            raw_html: html.to_string(),
+            iframes: all_iframes,
+            children,
+            ended_in_download: false,
+            failed: false,
+        };
+        (snapshot, navigation)
+    }
+
+    /// Applies pending host effects to the document and records events.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_host(
+        &self,
+        interp: &mut Interpreter<BrowserHost>,
+        doc: &mut Document,
+        frame_url: &Url,
+        sandboxed: bool,
+        ctx: &mut LoadCtx,
+        navigation: &mut Option<String>,
+        top_navigation: &mut Option<String>,
+        injected: &mut Vec<(String, u64)>,
+    ) {
+        if interp.host.plugins_enumerated {
+            interp.host.plugins_enumerated = false;
+            ctx.events.push(BehaviorEvent::PluginEnumeration {
+                frame: frame_url.clone(),
+            });
+        }
+        for effect in interp.host.take_effects() {
+            match effect {
+                Effect::Write(markup) => {
+                    ctx.events.push(BehaviorEvent::DocumentWrite {
+                        frame: frame_url.clone(),
+                        bytes: markup.len(),
+                    });
+                    // Append the written markup to the document body (or
+                    // root). Scripts inside written markup are not
+                    // re-executed — matching how our creatives use write().
+                    let parsed = parse_document(&markup);
+                    let attach_under = doc
+                        .first_by_tag("body")
+                        .unwrap_or(NodeId::ROOT);
+                    let root_children: Vec<NodeId> =
+                        parsed.node(NodeId::ROOT).children.clone();
+                    for child in root_children {
+                        let sub = parsed.extract_subtree(child);
+                        merge_subtree(doc, attach_under, &sub);
+                    }
+                }
+                Effect::Navigate { target } => {
+                    ctx.events.push(BehaviorEvent::FrameNavigation {
+                        frame: frame_url.clone(),
+                        target: target.clone(),
+                    });
+                    navigation.get_or_insert(target);
+                }
+                Effect::NavigateTop { target } => {
+                    if sandboxed {
+                        // HTML5 sandbox without `allow-top-navigation`:
+                        // the hijack attempt is blocked and recorded.
+                        ctx.events.push(BehaviorEvent::SandboxedHijackBlocked {
+                            frame: frame_url.clone(),
+                            target,
+                        });
+                    } else {
+                        top_navigation.get_or_insert(target);
+                    }
+                }
+                Effect::InjectIframe { src, area } => {
+                    ctx.events.push(BehaviorEvent::IframeInjection {
+                        frame: frame_url.clone(),
+                        src: src.clone(),
+                        area,
+                    });
+                    injected.push((src, area));
+                }
+                Effect::SetCookie { pair } => {
+                    if let Some(host) = frame_url.host() {
+                        ctx.jar.store_pair(host, &pair);
+                    }
+                }
+                Effect::Beacon { target } => {
+                    ctx.events.push(BehaviorEvent::Beacon {
+                        frame: frame_url.clone(),
+                        target: target.clone(),
+                    });
+                    // Fire the beacon over the network (ignore failures).
+                    if let Ok(beacon_url) = frame_url.join(&target) {
+                        let req = HttpRequest::get(beacon_url)
+                            .with_referrer(frame_url.clone())
+                            .with_user_agent(&self.personality.user_agent);
+                        let _ = self.network.fetch(&req, ctx.time, &mut ctx.capture);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Copies a parsed subtree document (rooted at its ROOT's single child) into
+/// `doc` under `parent`.
+fn merge_subtree(doc: &mut Document, parent: NodeId, sub: &Document) {
+    fn copy(doc: &mut Document, parent: NodeId, sub: &Document, node: NodeId) {
+        let data = sub.node(node);
+        let new_id = doc.append(parent, data.kind.clone());
+        for &child in &data.children {
+            copy(doc, new_id, sub, child);
+        }
+    }
+    for &child in &sub.node(NodeId::ROOT).children {
+        copy(doc, parent, sub, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_net::{HttpResponse, OriginServer, ServeCtx};
+    use std::sync::Arc;
+
+    fn html_server(html: &'static str) -> Arc<dyn OriginServer> {
+        Arc::new(move |_req: &HttpRequest, _ctx: &mut ServeCtx| {
+            HttpResponse::ok(Body::Html(html.to_string()))
+        })
+    }
+
+    fn domain(s: &str) -> malvert_types::DomainName {
+        malvert_types::DomainName::parse(s).unwrap()
+    }
+
+    fn browser_on(net: &Network) -> Browser<'_> {
+        Browser::new(
+            net,
+            Personality::vulnerable_victim(),
+            BrowserLimits::default(),
+            SeedTree::new(1),
+        )
+    }
+
+    #[test]
+    fn loads_simple_page() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(domain("a.com"), html_server("<html><body><p>hi</p></body></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://a.com/").unwrap(), SimTime::ZERO);
+        assert!(!visit.top.failed);
+        assert!(visit.top.html.contains("<p>hi</p>"));
+        assert!(visit.events.is_empty());
+        assert_eq!(visit.capture.len(), 1);
+    }
+
+    #[test]
+    fn loads_declared_iframes() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("page.com"),
+            html_server(r#"<html><body><iframe src="http://frame.com/inner"></iframe></body></html>"#),
+        );
+        net.register(domain("frame.com"), html_server("<html><body>inner</body></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://page.com/").unwrap(), SimTime::ZERO);
+        assert_eq!(visit.top.children.len(), 1);
+        assert!(visit.top.children[0].html.contains("inner"));
+        assert_eq!(visit.top.iframes.len(), 1);
+        assert!(!visit.top.iframes[0].has_sandbox);
+    }
+
+    #[test]
+    fn sandbox_attribute_detected() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("page.com"),
+            html_server(
+                r#"<html><body><iframe src="http://frame.com/" sandbox="allow-scripts"></iframe></body></html>"#,
+            ),
+        );
+        net.register(domain("frame.com"), html_server("<html></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://page.com/").unwrap(), SimTime::ZERO);
+        assert!(visit.top.iframes[0].has_sandbox);
+    }
+
+    #[test]
+    fn script_document_write_mutates_dom() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("w.com"),
+            html_server("<html><body><script>document.write('<div class=\"late\">x</div>');</script></body></html>"),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://w.com/").unwrap(), SimTime::ZERO);
+        assert!(visit.top.html.contains("class=\"late\""));
+        assert!(visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::DocumentWrite { .. })));
+    }
+
+    #[test]
+    fn script_navigation_followed() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("start.com"),
+            html_server("<html><body><script>window.location = 'http://end.com/';</script></body></html>"),
+        );
+        net.register(domain("end.com"), html_server("<html><body>arrived</body></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://start.com/").unwrap(), SimTime::ZERO);
+        // First-document semantics: the snapshot stays the initial page...
+        assert_eq!(visit.top.final_url.to_string(), "http://start.com/");
+        // ...but the navigation is followed: its event and traffic recorded.
+        assert!(visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::FrameNavigation { .. })));
+        assert!(visit
+            .capture
+            .exchanges()
+            .iter()
+            .any(|e| e.url.to_string() == "http://end.com/"));
+    }
+
+    #[test]
+    fn failed_navigation_keeps_first_document() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("cloaked.com"),
+            html_server(
+                "<html><body><p>creative</p><script>window.location = 'http://gone.nx/';</script></body></html>",
+            ),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://cloaked.com/").unwrap(), SimTime::ZERO);
+        assert!(!visit.top.failed);
+        assert!(visit.top.html.contains("creative"));
+        // The NX attempt is visible in the capture — the cloaking tell.
+        assert!(visit.capture.exchanges().iter().any(|e| e.nx_domain));
+    }
+
+    #[test]
+    fn navigation_loop_bounded() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("loop.com"),
+            Arc::new(|req: &HttpRequest, _ctx: &mut ServeCtx| {
+                let n: u32 = req
+                    .url
+                    .query_param("n")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                HttpResponse::ok(Body::Html(format!(
+                    "<html><body><script>window.location = 'http://loop.com/?n={}';</script></body></html>",
+                    n + 1
+                )))
+            }),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://loop.com/?n=0").unwrap(), SimTime::ZERO);
+        // max_navigations (6) + initial load.
+        assert_eq!(visit.capture.len() as u32, BrowserLimits::default().max_navigations + 1);
+    }
+
+    #[test]
+    fn timer_callbacks_fire() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("t.com"),
+            html_server(
+                "<html><body><script>var n = 0; function tick() { n++; \
+                 if (n < 3) { setTimeout(tick, 1000); } else { document.write('<i>done</i>'); } } \
+                 setTimeout(tick, 1000);</script></body></html>",
+            ),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://t.com/").unwrap(), SimTime::ZERO);
+        assert!(visit.top.html.contains("<i>done</i>"));
+        let timer_events = visit
+            .events
+            .iter()
+            .filter(|e| matches!(e, BehaviorEvent::TimerScheduled { .. }))
+            .count();
+        assert_eq!(timer_events, 3);
+    }
+
+    #[test]
+    fn injected_iframe_loaded_and_recorded() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("inject.com"),
+            html_server(
+                "<html><body><script>var fr = document.createElement('iframe'); \
+                 fr.width = 1; fr.height = 1; fr.src = 'http://hidden.biz/gate'; \
+                 document.body.appendChild(fr);</script></body></html>",
+            ),
+        );
+        net.register(domain("hidden.biz"), html_server("<html><body>kit</body></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://inject.com/").unwrap(), SimTime::ZERO);
+        assert!(visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::IframeInjection { area: 1, .. })));
+        assert_eq!(visit.top.children.len(), 1);
+        assert!(visit.top.children[0].html.contains("kit"));
+    }
+
+    #[test]
+    fn download_recorded() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("dl.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                HttpResponse::ok(Body::Download(bytes::Bytes::from_static(b"MZ\x90payload")))
+                    .as_attachment("update.exe")
+            }),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://dl.com/get").unwrap(), SimTime::ZERO);
+        assert!(visit.top.ended_in_download);
+        assert_eq!(visit.downloads.len(), 1);
+        assert_eq!(visit.downloads[0].filename.as_deref(), Some("update.exe"));
+        assert_eq!(&visit.downloads[0].bytes[..2], b"MZ");
+    }
+
+    #[test]
+    fn hijack_event_from_subframe() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("pub.com"),
+            html_server(r#"<html><body><iframe src="http://ad.biz/c"></iframe></body></html>"#),
+        );
+        net.register(
+            domain("ad.biz"),
+            html_server("<html><body><script>top.location = 'http://scam.ws/lp';</script></body></html>"),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://pub.com/").unwrap(), SimTime::ZERO);
+        let hijack = visit
+            .events
+            .iter()
+            .find(|e| matches!(e, BehaviorEvent::TopLocationHijack { .. }))
+            .expect("hijack recorded");
+        match hijack {
+            BehaviorEvent::TopLocationHijack { frame, target } => {
+                assert_eq!(frame.host().unwrap().as_str(), "ad.biz");
+                assert_eq!(target, "http://scam.ws/lp");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn nxdomain_frame_marked_failed() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("page.com"),
+            html_server(r#"<html><body><iframe src="http://gone.biz/"></iframe></body></html>"#),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://page.com/").unwrap(), SimTime::ZERO);
+        assert!(visit.top.children[0].failed);
+        assert!(visit.capture.exchanges().iter().any(|e| e.nx_domain));
+    }
+
+    #[test]
+    fn frame_depth_bounded() {
+        let mut net = Network::new(SeedTree::new(1));
+        // Self-nesting page.
+        net.register(
+            domain("nest.com"),
+            html_server(r#"<html><body><iframe src="http://nest.com/"></iframe></body></html>"#),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://nest.com/").unwrap(), SimTime::ZERO);
+        // Depth cap (4) + top = at most 5 fetches.
+        assert!(visit.capture.len() <= 5);
+    }
+
+    #[test]
+    fn beacons_fetch_over_network() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("b.com"),
+            html_server(
+                "<html><body><script>var i = new Image(); i.src = 'http://track.net/px';</script></body></html>",
+            ),
+        );
+        net.register(
+            domain("track.net"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| HttpResponse::ok(Body::Empty)),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://b.com/").unwrap(), SimTime::ZERO);
+        assert!(visit
+            .capture
+            .exchanges()
+            .iter()
+            .any(|e| e.url.host().map(|h| h.as_str() == "track.net").unwrap_or(false)));
+    }
+
+    #[test]
+    fn document_cookie_set_and_read_across_frames() {
+        let mut net = Network::new(SeedTree::new(1));
+        // Top page writes a cookie, then its iframe (same registered domain)
+        // reads it back and records the value via document.write.
+        net.register(
+            domain("pages.site.com"),
+            html_server(
+                "<html><body><script>document.cookie = 'visited=yes; path=/';</script>\
+                 <iframe src=\"http://frames.site.com/inner\"></iframe></body></html>",
+            ),
+        );
+        net.register(
+            domain("frames.site.com"),
+            html_server(
+                "<html><body><script>document.write('<i>' + document.cookie + '</i>');</script></body></html>",
+            ),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://pages.site.com/").unwrap(), SimTime::ZERO);
+        assert!(
+            visit.top.children[0].html.contains("visited=yes"),
+            "iframe should see the cookie: {}",
+            visit.top.children[0].html
+        );
+    }
+
+    #[test]
+    fn set_cookie_header_absorbed_and_sent() {
+        let mut net = Network::new(SeedTree::new(1));
+        // First response sets a cookie; the page's iframe request to the
+        // same registered domain must carry it.
+        net.register(
+            domain("adnet-x.com"),
+            Arc::new(|req: &HttpRequest, _ctx: &mut ServeCtx| {
+                if req.url.path() == "/" {
+                    HttpResponse::ok(Body::Html(
+                        r#"<html><body><iframe src="http://adnet-x.com/frame"></iframe></body></html>"#
+                            .to_string(),
+                    ))
+                    .with_cookie("fcap", "1")
+                } else if req.cookies.contains("fcap=1") {
+                    HttpResponse::ok(Body::Html("<html><body>capped</body></html>".to_string()))
+                } else {
+                    HttpResponse::ok(Body::Html("<html><body>fresh</body></html>".to_string()))
+                }
+            }),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://adnet-x.com/").unwrap(), SimTime::ZERO);
+        assert!(
+            visit.top.children[0].html.contains("capped"),
+            "frequency cap should see the cookie within one visit: {}",
+            visit.top.children[0].html
+        );
+        // A fresh visit (new jar) evades the cap — the reason stateless
+        // crawlers see everything.
+        let visit2 = browser.visit(
+            &Url::parse("http://adnet-x.com/frame").unwrap(),
+            SimTime::ZERO,
+        );
+        assert!(visit2.top.html.contains("fresh"));
+    }
+
+    #[test]
+    fn script_error_recorded_not_fatal() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("err.com"),
+            html_server("<html><body><script>this is not javascript</script><p>still here</p></body></html>"),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://err.com/").unwrap(), SimTime::ZERO);
+        assert!(visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::ScriptError { .. })));
+        assert!(visit.top.html.contains("still here"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Behaviour events the honeyclient records.
+
+use bytes::Bytes;
+use malvert_types::Url;
+
+/// A forced/triggered file download observed during a page load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Download {
+    /// URL the bytes came from.
+    pub url: Url,
+    /// `Content-Disposition` filename, when the server set one.
+    pub filename: Option<String>,
+    /// The downloaded bytes (fed to the multi-engine scanner).
+    pub bytes: Bytes,
+}
+
+/// One observed behaviour during a page load. The oracle's heuristics and
+/// models consume this stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BehaviorEvent {
+    /// A script wrote markup into its document.
+    DocumentWrite {
+        /// URL of the frame whose document was written.
+        frame: Url,
+        /// Number of bytes written.
+        bytes: usize,
+    },
+    /// A script read `navigator.plugins` — the fingerprinting/probing step
+    /// of drive-by kits.
+    PluginEnumeration {
+        /// Frame performing the probe.
+        frame: Url,
+    },
+    /// A script navigated its own frame (`window.location = …`).
+    FrameNavigation {
+        /// Frame that navigated.
+        frame: Url,
+        /// Where it went.
+        target: String,
+    },
+    /// A script in a subframe assigned `top.location` — link hijacking
+    /// (§2.3): an ad dragging the whole page somewhere else.
+    TopLocationHijack {
+        /// The (ad) frame that did it.
+        frame: Url,
+        /// Where the page was dragged.
+        target: String,
+    },
+    /// A sandboxed frame attempted a `top.location` hijack and the browser
+    /// blocked it (HTML5 `sandbox` without `allow-top-navigation`) — the
+    /// §4.4/§5.2 defence doing its job.
+    SandboxedHijackBlocked {
+        /// The sandboxed (ad) frame.
+        frame: Url,
+        /// Where it tried to drag the page.
+        target: String,
+    },
+    /// A script created and attached a new iframe.
+    IframeInjection {
+        /// Frame doing the injecting.
+        frame: Url,
+        /// The injected frame's source URL.
+        src: String,
+        /// Injected frame area in px² (1×1 pixels are a drive-by tell).
+        area: u64,
+    },
+    /// A script scheduled a `setTimeout` callback.
+    TimerScheduled {
+        /// Frame scheduling it.
+        frame: Url,
+    },
+    /// An image beacon fired (`new Image().src = …`).
+    Beacon {
+        /// Frame firing it.
+        frame: Url,
+        /// Beacon URL.
+        target: String,
+    },
+    /// A file download was triggered.
+    DownloadTriggered {
+        /// Frame that triggered it.
+        frame: Url,
+        /// Download URL.
+        url: Url,
+    },
+    /// A script failed (parse error, runtime error, budget exhaustion).
+    /// Wepawet logs these too — errors on heavily obfuscated scripts are
+    /// themselves a weak signal.
+    ScriptError {
+        /// Frame the script ran in.
+        frame: Url,
+        /// Error description.
+        message: String,
+    },
+}
+
+impl BehaviorEvent {
+    /// The frame URL the event belongs to.
+    pub fn frame(&self) -> &Url {
+        match self {
+            BehaviorEvent::DocumentWrite { frame, .. }
+            | BehaviorEvent::PluginEnumeration { frame }
+            | BehaviorEvent::FrameNavigation { frame, .. }
+            | BehaviorEvent::TopLocationHijack { frame, .. }
+            | BehaviorEvent::SandboxedHijackBlocked { frame, .. }
+            | BehaviorEvent::IframeInjection { frame, .. }
+            | BehaviorEvent::TimerScheduled { frame }
+            | BehaviorEvent::Beacon { frame, .. }
+            | BehaviorEvent::DownloadTriggered { frame, .. }
+            | BehaviorEvent::ScriptError { frame, .. } => frame,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_accessor_covers_all_variants() {
+        let u = Url::parse("http://a.com/x").unwrap();
+        let events = vec![
+            BehaviorEvent::DocumentWrite {
+                frame: u.clone(),
+                bytes: 10,
+            },
+            BehaviorEvent::PluginEnumeration { frame: u.clone() },
+            BehaviorEvent::FrameNavigation {
+                frame: u.clone(),
+                target: "http://b.com/".into(),
+            },
+            BehaviorEvent::TopLocationHijack {
+                frame: u.clone(),
+                target: "http://evil.com/".into(),
+            },
+            BehaviorEvent::IframeInjection {
+                frame: u.clone(),
+                src: "http://c.com/".into(),
+                area: 1,
+            },
+            BehaviorEvent::TimerScheduled { frame: u.clone() },
+            BehaviorEvent::Beacon {
+                frame: u.clone(),
+                target: "http://d.com/p".into(),
+            },
+            BehaviorEvent::DownloadTriggered {
+                frame: u.clone(),
+                url: Url::parse("http://e.com/f.exe").unwrap(),
+            },
+            BehaviorEvent::ScriptError {
+                frame: u.clone(),
+                message: "boom".into(),
+            },
+        ];
+        for e in events {
+            assert_eq!(e.frame(), &u);
+        }
+    }
+}

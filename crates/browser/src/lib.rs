@@ -1,0 +1,40 @@
+//! # malvert-browser
+//!
+//! The emulated browser and honeyclient.
+//!
+//! The paper drove real Firefox instances with Selenium for crawling (§3.1)
+//! and used Wepawet's emulated browser for behavioural analysis (§3.2.1).
+//! This crate is both: it loads a page over the simulated network, parses
+//! the HTML, executes every `<script>` with the AdScript interpreter against
+//! a DOM/BOM host environment, follows the side effects (document.write,
+//! navigations, injected iframes, `setTimeout` callbacks, image beacons,
+//! forced downloads), recurses into iframes, and records everything as a
+//! stream of [`BehaviorEvent`]s plus captured HTTP traffic.
+//!
+//! ## Browser personalities
+//!
+//! Drive-by kits probe the environment before committing (§2.1), and
+//! cloaked creatives bail out when they detect an analysis system (§4.1).
+//! [`Personality`] models this: the plugin set (with versions the exploit
+//! probe checks), the user agent, and an *analysis-tells* score that cloaking
+//! checks read. The crawler and the honeyclient run the vulnerable-victim
+//! personality with no tells; the `detectable_analyst` preset exists to
+//! demonstrate what cloaking does to a sloppy analysis setup.
+//!
+//! ## Determinism and bounds
+//!
+//! Loads are bounded: frame depth, navigations per frame, `setTimeout`
+//! rounds, and the interpreter's step budget. A malicious page cannot hang
+//! the crawler, and every visit replays identically given the study seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod events;
+pub mod host;
+pub mod personality;
+
+pub use browser::{Browser, BrowserLimits, FrameSnapshot, PageVisit};
+pub use events::{BehaviorEvent, Download};
+pub use personality::Personality;

@@ -1,0 +1,117 @@
+//! Browser personalities: plugin sets and analysis detectability.
+
+/// A browser plugin visible through `navigator.plugins`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plugin {
+    /// Display name (exploit probes match substrings like "Flash").
+    pub name: String,
+    /// Version string (probes compare with `parseFloat`).
+    pub version: String,
+}
+
+/// The environment a page observes: user agent, plugins, screen, and how
+/// detectable the analysis harness is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Personality {
+    /// `navigator.userAgent`.
+    pub user_agent: String,
+    /// `navigator.plugins`.
+    pub plugins: Vec<Plugin>,
+    /// `screen.width` / `screen.height`.
+    pub screen: (u32, u32),
+    /// `navigator.analysisTells`: 0 for a clean victim profile; positive
+    /// when the harness leaks analysis artefacts that cloaking checks read.
+    pub analysis_tells: u32,
+}
+
+impl Personality {
+    /// The crawl/honeyclient profile: a victim with exploitable plugin
+    /// versions and no analysis tells. (Wepawet emulates exactly this.)
+    pub fn vulnerable_victim() -> Self {
+        Personality {
+            user_agent:
+                "Mozilla/5.0 (Windows NT 6.1; rv:24.0) Gecko/20100101 Firefox/24.0".to_string(),
+            plugins: vec![
+                Plugin {
+                    name: "Shockwave Flash".to_string(),
+                    version: "11.2".to_string(),
+                },
+                Plugin {
+                    name: "Java(TM) Platform".to_string(),
+                    version: "7.13".to_string(),
+                },
+                Plugin {
+                    name: "Adobe Acrobat".to_string(),
+                    version: "9.5".to_string(),
+                },
+            ],
+            screen: (1366, 768),
+            analysis_tells: 0,
+        }
+    }
+
+    /// A fully patched user: exploit probes find nothing to hit.
+    pub fn patched_user() -> Self {
+        Personality {
+            user_agent:
+                "Mozilla/5.0 (Windows NT 6.1; rv:31.0) Gecko/20100101 Firefox/31.0".to_string(),
+            plugins: vec![
+                Plugin {
+                    name: "Shockwave Flash".to_string(),
+                    version: "14.0".to_string(),
+                },
+                Plugin {
+                    name: "Java(TM) Platform".to_string(),
+                    version: "8.11".to_string(),
+                },
+            ],
+            screen: (1920, 1080),
+            analysis_tells: 0,
+        }
+    }
+
+    /// A sloppy analysis environment that cloaking checks can spot.
+    pub fn detectable_analyst() -> Self {
+        Personality {
+            analysis_tells: 1,
+            ..Personality::vulnerable_victim()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_has_exploitable_flash() {
+        let p = Personality::vulnerable_victim();
+        let flash = p
+            .plugins
+            .iter()
+            .find(|pl| pl.name.contains("Flash"))
+            .unwrap();
+        let v: f64 = flash.version.parse().unwrap();
+        assert!(v < 11.8, "victim Flash must predate the probe threshold");
+        assert_eq!(p.analysis_tells, 0);
+    }
+
+    #[test]
+    fn patched_user_is_safe() {
+        let p = Personality::patched_user();
+        for pl in &p.plugins {
+            let v: f64 = pl.version.parse().unwrap();
+            if pl.name.contains("Flash") {
+                assert!(v >= 11.8);
+            }
+            if pl.name.contains("Java") {
+                assert!(v >= 7.25);
+            }
+        }
+    }
+
+    #[test]
+    fn analyst_is_detectable() {
+        assert!(Personality::detectable_analyst().analysis_tells > 0);
+    }
+}

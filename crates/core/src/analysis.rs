@@ -1,0 +1,854 @@
+//! The analyses of §4: Table 1, Figures 1–5, the cluster split, and the
+//! sandbox census, computed from [`StudyResults`].
+
+use crate::study::StudyResults;
+use crate::world::StudyWorld;
+use malvert_oracle::IncidentType;
+use malvert_types::{AdNetworkId, SiteCategory, TldClass};
+use malvert_websim::CrawlCluster;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Table 1: incident counts per category (exclusive categories, rows sum to
+/// the total).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// `(category label, count)` in row order.
+    pub rows: Vec<(String, usize)>,
+    /// Total incidents.
+    pub total: usize,
+    /// Unique ads in the corpus.
+    pub corpus_size: usize,
+    /// Fraction of the corpus flagged malicious.
+    pub malicious_fraction: f64,
+}
+
+/// Computes Table 1.
+pub fn table1(results: &StudyResults) -> Table1 {
+    let mut counts: BTreeMap<IncidentType, usize> = BTreeMap::new();
+    for ad in results.detected_ads() {
+        *counts.entry(ad.category.expect("detected")).or_default() += 1;
+    }
+    let rows: Vec<(String, usize)> = IncidentType::ALL
+        .iter()
+        .map(|t| (t.label().to_string(), counts.get(t).copied().unwrap_or(0)))
+        .collect();
+    let total: usize = rows.iter().map(|(_, c)| c).sum();
+    let corpus_size = results.unique_ads();
+    Table1 {
+        rows,
+        total,
+        corpus_size,
+        malicious_fraction: if corpus_size == 0 {
+            0.0
+        } else {
+            total as f64 / corpus_size as f64
+        },
+    }
+}
+
+/// One row of Figure 1: a network's malvertising ratio.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Network id.
+    pub network: AdNetworkId,
+    /// Display name.
+    pub name: String,
+    /// Unique malicious ads served by the network.
+    pub malicious: usize,
+    /// Unique ads served by the network in total.
+    pub total: usize,
+    /// `malicious / total`.
+    pub ratio: f64,
+}
+
+/// Figure 1: per-network malvertising ratio, sorted decreasing, restricted
+/// (like the paper's plot) to networks that served at least one
+/// malvertisement.
+pub fn fig1_network_ratios(results: &StudyResults, world: &StudyWorld) -> Vec<Fig1Row> {
+    let mut malicious: BTreeMap<AdNetworkId, usize> = BTreeMap::new();
+    let mut total: BTreeMap<AdNetworkId, usize> = BTreeMap::new();
+    for ad in &results.ads {
+        if let Some(n) = ad.serving_network {
+            *total.entry(n).or_default() += 1;
+            if ad.category.is_some() {
+                *malicious.entry(n).or_default() += 1;
+            }
+        }
+    }
+    let mut rows: Vec<Fig1Row> = malicious
+        .iter()
+        .map(|(&network, &m)| {
+            let t = total.get(&network).copied().unwrap_or(m);
+            Fig1Row {
+                network,
+                name: world.ads.networks()[network.index()].name.clone(),
+                malicious: m,
+                total: t,
+                ratio: m as f64 / t.max(1) as f64,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.network.cmp(&b.network))
+    });
+    rows
+}
+
+/// One row of Figure 2: a network's share of total ad volume.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Network id.
+    pub network: AdNetworkId,
+    /// Display name.
+    pub name: String,
+    /// Ad observations served by this network.
+    pub observations: u64,
+    /// Share of all ad observations.
+    pub share: f64,
+    /// Unique malicious ads it served (context for the hotspot finding).
+    pub malicious: usize,
+    /// Whether the generator designated this network as the hotspot.
+    pub is_hotspot: bool,
+}
+
+/// Figure 2: the same networks' share of the *total* served advertisements —
+/// showing most malvertising networks are small, with the hotspot exception.
+pub fn fig2_network_volume(results: &StudyResults, world: &StudyWorld) -> Vec<Fig2Row> {
+    let mut obs: BTreeMap<AdNetworkId, u64> = BTreeMap::new();
+    let mut malicious: BTreeMap<AdNetworkId, usize> = BTreeMap::new();
+    let mut total_obs = 0u64;
+    for ad in &results.ads {
+        if let Some(n) = ad.serving_network {
+            *obs.entry(n).or_default() += ad.observations;
+            total_obs += ad.observations;
+            if ad.category.is_some() {
+                *malicious.entry(n).or_default() += 1;
+            }
+        }
+    }
+    // Same network set as Figure 1 (those with ≥1 malvertisement).
+    let mut rows: Vec<Fig2Row> = malicious
+        .iter()
+        .map(|(&network, &m)| {
+            let o = obs.get(&network).copied().unwrap_or(0);
+            Fig2Row {
+                network,
+                name: world.ads.networks()[network.index()].name.clone(),
+                observations: o,
+                share: if total_obs == 0 {
+                    0.0
+                } else {
+                    o as f64 / total_obs as f64
+                },
+                malicious: m,
+                is_hotspot: world.ads.networks()[network.index()].is_hotspot,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.share
+            .partial_cmp(&a.share)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.network.cmp(&b.network))
+    });
+    rows
+}
+
+/// The §4.2 cluster split: share of malvertisements and of all ads served by
+/// the top-10k / bottom-10k / rest site clusters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterSplit {
+    /// `(cluster label, malvert share, ad share)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+/// Computes the cluster split. Malvertisement share counts (malicious ad,
+/// site) placements; ad share counts all ad observations per cluster.
+pub fn cluster_split(results: &StudyResults, world: &StudyWorld) -> ClusterSplit {
+    let clusters = [CrawlCluster::Top, CrawlCluster::Bottom, CrawlCluster::Rest];
+    let mut mal_counts = [0u64; 3];
+    let mut ad_counts = [0u64; 3];
+    let cluster_idx = |c: CrawlCluster| clusters.iter().position(|x| *x == c).unwrap();
+
+    for ad in &results.ads {
+        if ad.category.is_some() {
+            for site in &ad.sites {
+                let c = world.web.site(*site).cluster;
+                mal_counts[cluster_idx(c)] += 1;
+            }
+        }
+    }
+    for (site, count) in &results.site_ad_observations {
+        let c = world.web.site(*site).cluster;
+        ad_counts[cluster_idx(c)] += count;
+    }
+    let mal_total: u64 = mal_counts.iter().sum();
+    let ad_total: u64 = ad_counts.iter().sum();
+    ClusterSplit {
+        rows: clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    c.label().to_string(),
+                    if mal_total == 0 {
+                        0.0
+                    } else {
+                        mal_counts[i] as f64 / mal_total as f64
+                    },
+                    if ad_total == 0 {
+                        0.0
+                    } else {
+                        ad_counts[i] as f64 / ad_total as f64
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// One slice of Figure 3: a website category's share of malvert-hosting
+/// sites.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    /// Category label.
+    pub category: String,
+    /// Distinct sites of this category that served a malvertisement.
+    pub sites: usize,
+    /// Share of all malvert-hosting sites.
+    pub share: f64,
+}
+
+/// Figure 3: categorization of websites that served malvertisements.
+pub fn fig3_categories(results: &StudyResults, world: &StudyWorld) -> Vec<Fig3Row> {
+    let mut site_set: std::collections::BTreeSet<malvert_types::SiteId> =
+        std::collections::BTreeSet::new();
+    for ad in results.detected_ads() {
+        site_set.extend(ad.sites.iter().copied());
+    }
+    let mut counts: BTreeMap<SiteCategory, usize> = BTreeMap::new();
+    for site in &site_set {
+        *counts.entry(world.web.site(*site).category).or_default() += 1;
+    }
+    let total: usize = counts.values().sum();
+    let mut rows: Vec<Fig3Row> = counts
+        .into_iter()
+        .map(|(cat, n)| Fig3Row {
+            category: cat.label().to_string(),
+            sites: n,
+            share: if total == 0 { 0.0 } else { n as f64 / total as f64 },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.sites.cmp(&a.sites).then(a.category.cmp(&b.category)));
+    rows
+}
+
+/// One slice of Figure 4: a TLD's share of malvert-hosting sites.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// TLD label (with leading dot).
+    pub tld: String,
+    /// Whether it is a generic TLD.
+    pub generic: bool,
+    /// Distinct malvert-hosting sites under this TLD.
+    pub sites: usize,
+    /// Share of all malvert-hosting sites.
+    pub share: f64,
+}
+
+/// Figure 4: malvertisement distribution by top-level domain, plus the
+/// generic-TLD aggregate share the paper reports (>66%).
+pub fn fig4_tlds(results: &StudyResults, world: &StudyWorld) -> (Vec<Fig4Row>, f64) {
+    let mut site_set: std::collections::BTreeSet<malvert_types::SiteId> =
+        std::collections::BTreeSet::new();
+    for ad in results.detected_ads() {
+        site_set.extend(ad.sites.iter().copied());
+    }
+    let mut counts: BTreeMap<String, (usize, bool)> = BTreeMap::new();
+    for site in &site_set {
+        let tld = world.web.site(*site).domain.tld();
+        let generic = tld.class() == TldClass::Generic;
+        let entry = counts.entry(tld.to_string()).or_insert((0, generic));
+        entry.0 += 1;
+    }
+    let total: usize = counts.values().map(|(n, _)| n).sum();
+    let generic_sites: usize = counts
+        .values()
+        .filter(|(_, g)| *g)
+        .map(|(n, _)| n)
+        .sum();
+    let mut rows: Vec<Fig4Row> = counts
+        .into_iter()
+        .map(|(tld, (n, generic))| Fig4Row {
+            tld,
+            generic,
+            sites: n,
+            share: if total == 0 { 0.0 } else { n as f64 / total as f64 },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.sites.cmp(&a.sites).then(a.tld.cmp(&b.tld)));
+    let generic_share = if total == 0 {
+        0.0
+    } else {
+        generic_sites as f64 / total as f64
+    };
+    (rows, generic_share)
+}
+
+/// Figure 5: arbitration-chain length distributions, benign vs malicious.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Histogram {
+    /// Observation counts per auction count (chain hops = requests − 1) for
+    /// ads that were *not* flagged.
+    pub benign: BTreeMap<usize, u64>,
+    /// The same for flagged ads.
+    pub malicious: BTreeMap<usize, u64>,
+}
+
+impl Fig5Histogram {
+    /// Longest benign chain (in auctions).
+    pub fn benign_max(&self) -> usize {
+        self.benign.keys().copied().max().unwrap_or(0)
+    }
+
+    /// Longest malicious chain (in auctions).
+    pub fn malicious_max(&self) -> usize {
+        self.malicious.keys().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of malicious observations whose chain exceeded `auctions`.
+    pub fn malicious_tail_fraction(&self, auctions: usize) -> f64 {
+        let total: u64 = self.malicious.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self
+            .malicious
+            .iter()
+            .filter(|(len, _)| **len > auctions)
+            .map(|(_, c)| c)
+            .sum();
+        tail as f64 / total as f64
+    }
+}
+
+/// Computes Figure 5 from the per-ad chain-length tallies. Chain length in
+/// *requests* converts to auctions as `len - 1`.
+pub fn fig5_chains(results: &StudyResults) -> Fig5Histogram {
+    let mut hist = Fig5Histogram {
+        benign: BTreeMap::new(),
+        malicious: BTreeMap::new(),
+    };
+    for ad in &results.ads {
+        let target = if ad.category.is_some() {
+            &mut hist.malicious
+        } else {
+            &mut hist.benign
+        };
+        for (&len, &count) in &ad.chain_length_counts {
+            *target.entry(len.saturating_sub(1)).or_default() += count;
+        }
+    }
+    hist
+}
+
+/// §4.3's repeat-participant observation: counts chains (among flagged ads'
+/// longest chains) in which some network appears more than once.
+pub fn repeat_participation(results: &StudyResults) -> (usize, usize) {
+    let mut with_repeats = 0;
+    let mut total = 0;
+    for ad in results.detected_ads() {
+        if ad.chain_networks.len() < 2 {
+            continue;
+        }
+        total += 1;
+        let mut seen = std::collections::BTreeSet::new();
+        if ad.chain_networks.iter().any(|n| !seen.insert(*n)) {
+            with_repeats += 1;
+        }
+    }
+    (with_repeats, total)
+}
+
+/// §4.3's tier-composition observation: "once the auction process gets
+/// longer the last auctions typically happen only among those ad networks
+/// that we found to serve malvertisements". For each auction-depth bucket,
+/// the share of participating hops that belong to each network tier.
+#[derive(Debug, Clone, Serialize)]
+pub struct LateAuctionTiers {
+    /// `(bucket label, major share, mid share, shady share, hops counted)`.
+    pub buckets: Vec<(String, f64, f64, f64, u64)>,
+}
+
+/// Computes tier composition by auction depth over the longest observed
+/// chain of every ad.
+pub fn late_auction_tiers(results: &StudyResults, world: &StudyWorld) -> LateAuctionTiers {
+    use malvert_adnet::NetworkTier;
+    // Depth buckets: hops 0-2, 3-7, 8-14, 15+.
+    let bucket_of = |depth: usize| match depth {
+        0..=2 => 0usize,
+        3..=7 => 1,
+        8..=14 => 2,
+        _ => 3,
+    };
+    let labels = ["auctions 0-2", "auctions 3-7", "auctions 8-14", "auctions 15+"];
+    let mut counts = [[0u64; 3]; 4];
+    for ad in &results.ads {
+        for (depth, network) in ad.chain_networks.iter().enumerate() {
+            let tier = world.ads.networks()[network.index()].tier;
+            let t = match tier {
+                NetworkTier::Major => 0,
+                NetworkTier::Mid => 1,
+                NetworkTier::Shady => 2,
+            };
+            counts[bucket_of(depth)][t] += 1;
+        }
+    }
+    let buckets = labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let total: u64 = counts[i].iter().sum();
+            let share = |t: usize| {
+                if total == 0 {
+                    0.0
+                } else {
+                    counts[i][t] as f64 / total as f64
+                }
+            };
+            (label.to_string(), share(0), share(1), share(2), total)
+        })
+        .collect();
+    LateAuctionTiers { buckets }
+}
+
+/// Campaign attribution forensics — the view the original study could not
+/// produce (no ground truth): per malicious campaign, what the detection
+/// framework saw of it.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignForensics {
+    /// Campaign id.
+    pub campaign: malvert_types::CampaignId,
+    /// Behaviour class label (`drive-by` / `deceptive` / `hijack`).
+    pub kind: String,
+    /// Day the campaign activated.
+    pub active_from: u32,
+    /// Unique creatives of this campaign that were delivered.
+    pub creatives_delivered: usize,
+    /// Of those, how many the framework detected.
+    pub creatives_detected: usize,
+    /// Distinct publisher sites reached.
+    pub sites_reached: usize,
+    /// Total impressions observed.
+    pub impressions: u64,
+    /// Categories its detections fell into.
+    pub categories: Vec<String>,
+}
+
+/// Builds the per-campaign forensics table for all malicious campaigns that
+/// delivered at least one creative, sorted by impressions (descending).
+pub fn campaign_forensics(results: &StudyResults, world: &StudyWorld) -> Vec<CampaignForensics> {
+    let mut by_campaign: BTreeMap<malvert_types::CampaignId, CampaignForensics> = BTreeMap::new();
+    for ad in &results.ads {
+        let Some(campaign_id) = ad.truth_campaign else {
+            continue;
+        };
+        if !ad.truly_malicious {
+            continue;
+        }
+        let campaign = &world.ads.campaigns()[campaign_id.index()];
+        let entry = by_campaign
+            .entry(campaign_id)
+            .or_insert_with(|| CampaignForensics {
+                campaign: campaign_id,
+                kind: match &campaign.behavior {
+                    malvert_adnet::CampaignBehavior::DriveBy { .. } => "drive-by".to_string(),
+                    malvert_adnet::CampaignBehavior::Deceptive { .. } => "deceptive".to_string(),
+                    malvert_adnet::CampaignBehavior::Hijack { .. } => "hijack".to_string(),
+                    malvert_adnet::CampaignBehavior::Benign { .. } => "benign".to_string(),
+                },
+                active_from: campaign.active_from,
+                creatives_delivered: 0,
+                creatives_detected: 0,
+                sites_reached: 0,
+                impressions: 0,
+                categories: Vec::new(),
+            });
+        entry.creatives_delivered += 1;
+        entry.impressions += ad.observations;
+        let mut sites: std::collections::BTreeSet<malvert_types::SiteId> = std::collections::BTreeSet::new();
+        sites.extend(ad.sites.iter().copied());
+        entry.sites_reached = entry.sites_reached.max(sites.len());
+        if let Some(cat) = ad.category {
+            entry.creatives_detected += 1;
+            let label = cat.label().to_string();
+            if !entry.categories.contains(&label) {
+                entry.categories.push(label);
+            }
+        }
+    }
+    let mut rows: Vec<CampaignForensics> = by_campaign.into_values().collect();
+    rows.sort_by(|a, b| b.impressions.cmp(&a.impressions).then(a.campaign.cmp(&b.campaign)));
+    rows
+}
+
+/// Exports the observed arbitration economy as a Graphviz DOT document:
+/// nodes are ad networks (shaped by tier, the hotspot highlighted), edges
+/// are observed resale transitions weighted by frequency.
+pub fn arbitration_graph_dot(results: &StudyResults, world: &StudyWorld) -> String {
+    use malvert_adnet::NetworkTier;
+    let mut edges: BTreeMap<(AdNetworkId, AdNetworkId), u64> = BTreeMap::new();
+    let mut involved: std::collections::BTreeSet<AdNetworkId> = std::collections::BTreeSet::new();
+    for ad in &results.ads {
+        for pair in ad.chain_networks.windows(2) {
+            *edges.entry((pair[0], pair[1])).or_default() += 1;
+            involved.insert(pair[0]);
+            involved.insert(pair[1]);
+        }
+    }
+    let mut out = String::from("digraph arbitration {\n  rankdir=LR;\n  node [style=filled];\n");
+    for id in &involved {
+        let n = &world.ads.networks()[id.index()];
+        let (shape, color) = match n.tier {
+            NetworkTier::Major => ("box", "lightblue"),
+            NetworkTier::Mid => ("ellipse", "lightyellow"),
+            NetworkTier::Shady => ("diamond", "lightcoral"),
+        };
+        let extra = if n.is_hotspot {
+            ", penwidth=3, color=red"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={shape}, fillcolor={color}{extra}];\n",
+            id.0, n.name
+        ));
+    }
+    for ((from, to), weight) in &edges {
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{weight}\", penwidth={:.1}];\n",
+            from.0,
+            to.0,
+            1.0 + (*weight as f64).log2().max(0.0) / 2.0
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Study timeline: per first-seen day, how many new unique ads appeared and
+/// how the detected ones were caught. Visualizes the blacklist-lag dynamic:
+/// late-appearing (fresh-infrastructure) ads shift from the Blacklists row
+/// to the behavioural rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineRow {
+    /// First-seen day.
+    pub day: u32,
+    /// New unique ads that day.
+    pub new_ads: usize,
+    /// Of those, detected via blacklists.
+    pub via_blacklists: usize,
+    /// Detected via suspicious redirections.
+    pub via_redirections: usize,
+    /// Detected via behaviour (heuristics / executables / Flash / models).
+    pub via_behaviour: usize,
+}
+
+/// Computes the per-day timeline.
+pub fn timeline(results: &StudyResults) -> Vec<TimelineRow> {
+    let mut by_day: BTreeMap<u32, TimelineRow> = BTreeMap::new();
+    for ad in &results.ads {
+        let row = by_day.entry(ad.first_seen.day).or_insert(TimelineRow {
+            day: ad.first_seen.day,
+            new_ads: 0,
+            via_blacklists: 0,
+            via_redirections: 0,
+            via_behaviour: 0,
+        });
+        row.new_ads += 1;
+        match ad.category {
+            Some(IncidentType::Blacklists) => row.via_blacklists += 1,
+            Some(IncidentType::SuspiciousRedirections) => row.via_redirections += 1,
+            Some(_) => row.via_behaviour += 1,
+            None => {}
+        }
+    }
+    by_day.into_values().collect()
+}
+
+/// §4.4: the sandbox census.
+#[derive(Debug, Clone, Serialize)]
+pub struct SandboxReport {
+    /// Iframes observed on publisher pages.
+    pub total_iframes: u64,
+    /// How many carried the `sandbox` attribute.
+    pub sandboxed: u64,
+}
+
+impl SandboxReport {
+    /// Adoption rate.
+    pub fn adoption(&self) -> f64 {
+        if self.total_iframes == 0 {
+            0.0
+        } else {
+            self.sandboxed as f64 / self.total_iframes as f64
+        }
+    }
+}
+
+/// Computes the sandbox census.
+pub fn sandbox_usage(results: &StudyResults) -> SandboxReport {
+    SandboxReport {
+        total_iframes: results.iframe_census.0,
+        sandboxed: results.iframe_census.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+    use std::sync::OnceLock;
+
+    /// The tiny study is expensive enough to share across tests.
+    fn shared() -> &'static (Study, StudyResults) {
+        static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let study = Study::new(StudyConfig::tiny(31));
+            let results = study.run();
+            (study, results)
+        })
+    }
+
+    #[test]
+    fn table1_rows_sum_to_total() {
+        let (_, results) = shared();
+        let t = table1(results);
+        assert_eq!(t.rows.len(), 6);
+        let sum: usize = t.rows.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, t.total);
+        assert!(t.total > 0, "no incidents detected");
+        assert!(t.malicious_fraction > 0.0 && t.malicious_fraction < 0.25);
+    }
+
+    #[test]
+    fn table1_blacklists_dominate() {
+        let (_, results) = shared();
+        let t = table1(results);
+        let blacklists = t.rows[0].1;
+        assert!(
+            blacklists * 2 >= t.total,
+            "blacklists row should dominate: {:?}",
+            t.rows
+        );
+    }
+
+    #[test]
+    fn fig1_sorted_and_ratios_valid() {
+        let (study, results) = shared();
+        let rows = fig1_network_ratios(results, &study.world);
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[0].ratio >= w[1].ratio);
+        }
+        for r in &rows {
+            assert!(r.ratio > 0.0 && r.ratio <= 1.0);
+            assert!(r.malicious <= r.total);
+        }
+    }
+
+    #[test]
+    fn fig1_shady_worse_than_majors() {
+        let (study, results) = shared();
+        let rows = fig1_network_ratios(results, &study.world);
+        let tier_of = |id: AdNetworkId| study.world.ads.networks()[id.index()].tier;
+        let shady_ratios: Vec<f64> = rows
+            .iter()
+            .filter(|r| tier_of(r.network) == malvert_adnet::NetworkTier::Shady)
+            .map(|r| r.ratio)
+            .collect();
+        let major_ratios: Vec<f64> = rows
+            .iter()
+            .filter(|r| tier_of(r.network) == malvert_adnet::NetworkTier::Major)
+            .map(|r| r.ratio)
+            .collect();
+        if !shady_ratios.is_empty() && !major_ratios.is_empty() {
+            let shady_avg: f64 = shady_ratios.iter().sum::<f64>() / shady_ratios.len() as f64;
+            let major_avg: f64 = major_ratios.iter().sum::<f64>() / major_ratios.len() as f64;
+            assert!(
+                shady_avg > major_avg,
+                "shady {shady_avg:.4} <= major {major_avg:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_shares_sum_below_one() {
+        let (study, results) = shared();
+        let rows = fig2_network_volume(results, &study.world);
+        let sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!(sum <= 1.0 + 1e-9);
+        // Most flagged networks serve a small share — the paper's point.
+        let small = rows.iter().filter(|r| r.share < 0.05).count();
+        assert!(small * 2 >= rows.len(), "flagged networks should be mostly small");
+    }
+
+    #[test]
+    fn cluster_split_shares_sum_to_one() {
+        let (study, results) = shared();
+        let split = cluster_split(results, &study.world);
+        let mal: f64 = split.rows.iter().map(|(_, m, _)| m).sum();
+        let ads: f64 = split.rows.iter().map(|(_, _, a)| a).sum();
+        assert!((mal - 1.0).abs() < 1e-9);
+        assert!((ads - 1.0).abs() < 1e-9);
+        // Top cluster dominates both, like the paper (82.3% / 76.6%).
+        assert_eq!(split.rows[0].0, "top-10k");
+        assert!(split.rows[0].1 > 0.5, "top malvert share {:?}", split.rows);
+        assert!(split.rows[0].2 > 0.5, "top ad share {:?}", split.rows);
+    }
+
+    #[test]
+    fn fig3_shares_and_order() {
+        let (study, results) = shared();
+        let rows = fig3_categories(results, &study.world);
+        assert!(!rows.is_empty());
+        let total: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in rows.windows(2) {
+            assert!(w[0].sites >= w[1].sites);
+        }
+    }
+
+    #[test]
+    fn fig4_com_majority_generic_dominant() {
+        let (study, results) = shared();
+        let (rows, generic_share) = fig4_tlds(results, &study.world);
+        assert!(!rows.is_empty());
+        assert_eq!(rows[0].tld, ".com", "com must lead: {rows:?}");
+        assert!(
+            generic_share > 0.5,
+            "generic TLD share {generic_share:.3} too low"
+        );
+    }
+
+    #[test]
+    fn fig5_shapes() {
+        let (_, results) = shared();
+        let hist = fig5_chains(results);
+        assert!(!hist.benign.is_empty());
+        assert!(!hist.malicious.is_empty());
+        // Direct fills dominate benign traffic: auctions=0 is the mode.
+        let benign_mode = hist
+            .benign
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(len, _)| *len)
+            .unwrap();
+        assert_eq!(benign_mode, 0, "benign mode should be direct fills");
+    }
+
+    #[test]
+    fn sandbox_zero_by_default() {
+        let (_, results) = shared();
+        let report = sandbox_usage(results);
+        assert!(report.total_iframes > 0);
+        assert_eq!(report.sandboxed, 0);
+        assert_eq!(report.adoption(), 0.0);
+    }
+
+    #[test]
+    fn repeat_participation_counts() {
+        let (_, results) = shared();
+        let (repeats, total) = repeat_participation(results);
+        assert!(repeats <= total);
+    }
+
+    #[test]
+    fn campaign_forensics_consistency() {
+        let (study, results) = shared();
+        let rows = campaign_forensics(results, &study.world);
+        assert!(!rows.is_empty(), "some malicious campaign delivered");
+        // Sorted by impressions descending.
+        assert!(rows.windows(2).all(|w| w[0].impressions >= w[1].impressions));
+        for row in &rows {
+            assert!(row.creatives_detected <= row.creatives_delivered);
+            assert!(row.impressions > 0);
+            assert!(["drive-by", "deceptive", "hijack"].contains(&row.kind.as_str()));
+            let campaign = &study.world.ads.campaigns()[row.campaign.index()];
+            assert!(campaign.is_malicious());
+        }
+        // The framework detects the large majority of delivered creatives.
+        let delivered: usize = rows.iter().map(|r| r.creatives_delivered).sum();
+        let detected: usize = rows.iter().map(|r| r.creatives_detected).sum();
+        assert!(detected * 3 >= delivered * 2, "{detected}/{delivered}");
+    }
+
+    #[test]
+    fn arbitration_dot_well_formed() {
+        let (study, results) = shared();
+        let dot = arbitration_graph_dot(results, &study.world);
+        assert!(dot.starts_with("digraph arbitration {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("->"), "graph has edges");
+        // Node/edge lines parse structurally: every non-brace line ends ';'.
+        for line in dot.lines().skip(1) {
+            if line == "}" || line.trim().is_empty() {
+                continue;
+            }
+            assert!(line.trim_end().ends_with(';'), "bad DOT line: {line}");
+        }
+    }
+
+    #[test]
+    fn timeline_accounts_for_every_ad() {
+        let (_, results) = shared();
+        let rows = timeline(results);
+        let total: usize = rows.iter().map(|r| r.new_ads).sum();
+        assert_eq!(total, results.unique_ads());
+        let detected: usize = rows
+            .iter()
+            .map(|r| r.via_blacklists + r.via_redirections + r.via_behaviour)
+            .sum();
+        assert_eq!(detected, results.detected_ads().count());
+        // Days are strictly increasing.
+        assert!(rows.windows(2).all(|w| w[0].day < w[1].day));
+    }
+
+    #[test]
+    fn late_auctions_shift_to_shady_networks() {
+        let (study, results) = shared();
+        let tiers = late_auction_tiers(results, &study.world);
+        assert_eq!(tiers.buckets.len(), 4);
+        let early = &tiers.buckets[0];
+        // Find the deepest bucket with data.
+        let late = tiers
+            .buckets
+            .iter()
+            .rev()
+            .find(|b| b.4 > 0)
+            .expect("some bucket has hops");
+        // Shady share rises with depth; major share falls (§4.3).
+        assert!(
+            late.3 > early.3,
+            "shady share should rise with auction depth: early {:.2} late {:.2}",
+            early.3,
+            late.3
+        );
+        assert!(
+            late.1 < early.1,
+            "major share should fall with auction depth: early {:.2} late {:.2}",
+            early.1,
+            late.1
+        );
+        // Shares are normalized.
+        for (_, a, b, c, n) in &tiers.buckets {
+            if *n > 0 {
+                assert!((a + b + c - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

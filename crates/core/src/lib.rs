@@ -1,0 +1,42 @@
+//! # malvert-core
+//!
+//! The measurement study itself: the end-to-end pipeline of the paper plus
+//! every analysis in §4, reproduced over the simulated Web.
+//!
+//! Pipeline stages (see [`study`]):
+//!
+//! 1. **World generation** — a ranked Web (`malvert-websim`), an ad economy
+//!    (`malvert-adnet`), and the oracle component services (49 blacklist
+//!    feeds, 51 scan engines), all derived from one study seed.
+//! 2. **Filter-list generation** — an EasyList-style list for the simulated
+//!    ecosystem ([`easylist`]), built the way the real EasyList is: from the
+//!    serve-domain patterns of known ad hosts.
+//! 3. **Crawl** — every site, daily, with five refreshes (scaled by
+//!    configuration), extracting ad iframes and de-duplicating the corpus.
+//! 4. **Classification** — each unique advertisement goes through the
+//!    oracle; incidents are assigned to the six Table 1 categories with
+//!    first-match precedence (the table's rows sum to the total).
+//! 5. **Analysis** ([`analysis`]) — Table 1, Figures 1–5, the cluster
+//!    split, and the §4.4 sandbox census, as typed reports with text
+//!    renderers ([`report`]).
+//!
+//! The §5 countermeasures are implemented in [`countermeasures`] as
+//! re-runnable ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod countermeasures;
+pub mod defense;
+pub mod easylist;
+pub mod report;
+pub mod study;
+pub mod svg;
+pub mod world;
+
+pub use analysis::{
+    ClusterSplit, Fig1Row, Fig2Row, Fig3Row, Fig4Row, Fig5Histogram, SandboxReport, Table1,
+};
+pub use study::{ClassifiedAd, Study, StudyConfig, StudyResults};
+pub use world::StudyWorld;

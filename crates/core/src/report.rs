@@ -1,0 +1,314 @@
+//! Text renderers for the analysis reports — one printable block per table
+//! and figure, matching what the paper reports.
+
+use crate::analysis::{
+    ClusterSplit, Fig1Row, Fig2Row, Fig3Row, Fig4Row, Fig5Histogram, SandboxReport, Table1,
+};
+
+/// Renders Table 1 as aligned text.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Classification of malvertisements\n");
+    out.push_str(&format!("{:<26}{:>10}\n", "Type of maliciousness", "#Incidents"));
+    for (label, count) in &t.rows {
+        out.push_str(&format!("{label:<26}{count:>10}\n"));
+    }
+    out.push_str(&format!("{:<26}{:>10}\n", "Total", t.total));
+    out.push_str(&format!(
+        "Corpus: {} unique ads; {:.2}% flagged malicious\n",
+        t.corpus_size,
+        t.malicious_fraction * 100.0
+    ));
+    out
+}
+
+/// Renders Figure 1 (per-network malvertising ratios) as text.
+pub fn render_fig1(rows: &[Fig1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1: Malvertising distribution from selected ad networks\n");
+    out.push_str(&format!(
+        "{:<18}{:>10}{:>10}{:>9}\n",
+        "network", "malicious", "total", "ratio"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18}{:>10}{:>10}{:>8.1}%  {}\n",
+            r.name,
+            r.malicious,
+            r.total,
+            r.ratio * 100.0,
+            bar(r.ratio, 30)
+        ));
+    }
+    out
+}
+
+/// Renders Figure 2 (network volume shares) as text.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2: Distribution of advertisements from selected ad networks\n");
+    out.push_str(&format!(
+        "{:<18}{:>12}{:>9}{:>11}\n",
+        "network", "ads served", "share", "malicious"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18}{:>12}{:>8.2}%{:>11}{}\n",
+            r.name,
+            r.observations,
+            r.share * 100.0,
+            r.malicious,
+            if r.is_hotspot { "  <-- hotspot" } else { "" }
+        ));
+    }
+    out
+}
+
+/// Renders the cluster split (§4.2) as text.
+pub fn render_cluster_split(split: &ClusterSplit) -> String {
+    let mut out = String::new();
+    out.push_str("Cluster split (s4.2): share of malvertisements / share of all ads\n");
+    out.push_str(&format!(
+        "{:<12}{:>12}{:>10}\n",
+        "cluster", "malverts", "ads"
+    ));
+    for (label, mal, ads) in &split.rows {
+        out.push_str(&format!(
+            "{label:<12}{:>11.1}%{:>9.1}%\n",
+            mal * 100.0,
+            ads * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders Figure 3 (site categories) as text.
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: Websites categorization that served malvertisements\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20}{:>6} sites {:>7.1}%  {}\n",
+            r.category,
+            r.sites,
+            r.share * 100.0,
+            bar(r.share, 30)
+        ));
+    }
+    out
+}
+
+/// Renders Figure 4 (TLD distribution) as text.
+pub fn render_fig4(rows: &[Fig4Row], generic_share: f64) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4: Malvertisement distribution based on top level domains\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8}{:>6} sites {:>7.1}%  {}{}\n",
+            r.tld,
+            r.sites,
+            r.share * 100.0,
+            bar(r.share, 30),
+            if r.generic { "  (generic)" } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "Generic TLDs carry {:.1}% of malvertising hosts\n",
+        generic_share * 100.0
+    ));
+    out
+}
+
+/// Renders Figure 5 (arbitration chains) as text.
+pub fn render_fig5(hist: &Fig5Histogram) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: Ad networks involved in ad arbitration\n");
+    let max_len = hist.benign_max().max(hist.malicious_max());
+    let benign_total: u64 = hist.benign.values().sum();
+    let mal_total: u64 = hist.malicious.values().sum();
+    out.push_str(&format!(
+        "{:<10}{:>14}{:>14}\n",
+        "auctions", "benign", "malicious"
+    ));
+    for auctions in 0..=max_len {
+        let b = hist.benign.get(&auctions).copied().unwrap_or(0);
+        let m = hist.malicious.get(&auctions).copied().unwrap_or(0);
+        if b == 0 && m == 0 {
+            continue;
+        }
+        let b_pct = if benign_total == 0 {
+            0.0
+        } else {
+            b as f64 / benign_total as f64 * 100.0
+        };
+        let m_pct = if mal_total == 0 {
+            0.0
+        } else {
+            m as f64 / mal_total as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{auctions:<10}{b:>8} {b_pct:>4.1}%{m:>8} {m_pct:>4.1}%\n"
+        ));
+    }
+    out.push_str(&format!(
+        "max benign chain: {} auctions; max malicious chain: {} auctions\n",
+        hist.benign_max(),
+        hist.malicious_max()
+    ));
+    out.push_str(&format!(
+        "malicious chains beyond 15 auctions: {:.1}%\n",
+        hist.malicious_tail_fraction(15) * 100.0
+    ));
+    out
+}
+
+/// Renders the §4.3 tier-composition-by-depth analysis as text.
+pub fn render_late_auction_tiers(t: &crate::analysis::LateAuctionTiers) -> String {
+    let mut out = String::new();
+    out.push_str("Auction-depth tier composition (s4.3)\n");
+    out.push_str(&format!(
+        "{:<16}{:>8}{:>8}{:>8}{:>10}\n",
+        "depth", "major", "mid", "shady", "hops"
+    ));
+    for (label, major, mid, shady, hops) in &t.buckets {
+        out.push_str(&format!(
+            "{label:<16}{:>7.1}%{:>7.1}%{:>7.1}%{hops:>10}\n",
+            major * 100.0,
+            mid * 100.0,
+            shady * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders the sandbox census (§4.4) as text.
+pub fn render_sandbox(report: &SandboxReport) -> String {
+    format!(
+        "Sandbox census (s4.4): {} of {} iframes sandboxed ({:.2}%)\n",
+        report.sandboxed,
+        report.total_iframes,
+        report.adoption() * 100.0
+    )
+}
+
+/// Renders the per-day timeline as text.
+pub fn render_timeline(rows: &[crate::analysis::TimelineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Study timeline: new unique ads per first-seen day, by detection route\n");
+    out.push_str(&format!(
+        "{:<6}{:>9}{:>12}{:>12}{:>12}\n",
+        "day", "new ads", "blacklists", "redirects", "behaviour"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6}{:>9}{:>12}{:>12}{:>12}\n",
+            r.day, r.new_ads, r.via_blacklists, r.via_redirections, r.via_behaviour
+        ));
+    }
+    out
+}
+
+/// Renders the per-campaign forensics table as text.
+pub fn render_campaign_forensics(rows: &[crate::analysis::CampaignForensics]) -> String {
+    let mut out = String::new();
+    out.push_str("Campaign attribution (ground-truth audit)\n");
+    out.push_str(&format!(
+        "{:<15}{:<11}{:>6}{:>11}{:>10}{:>8}{:>13}  categories\n",
+        "campaign", "kind", "from", "delivered", "detected", "sites", "impressions"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15}{:<11}{:>6}{:>11}{:>10}{:>8}{:>13}  {}\n",
+            r.campaign.to_string(),
+            r.kind,
+            r.active_from,
+            r.creatives_delivered,
+            r.creatives_detected,
+            r.sites_reached,
+            r.impressions,
+            r.categories.join(", ")
+        ));
+    }
+    out
+}
+
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::AdNetworkId;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn table1_renders() {
+        let t = Table1 {
+            rows: vec![
+                ("Blacklists".into(), 4794),
+                ("Suspicious redirections".into(), 1396),
+            ],
+            total: 6190,
+            corpus_size: 673_596,
+            malicious_fraction: 0.009,
+        };
+        let s = render_table1(&t);
+        assert!(s.contains("Blacklists"));
+        assert!(s.contains("4794"));
+        assert!(s.contains("0.90%"));
+    }
+
+    #[test]
+    fn fig1_renders_with_bars() {
+        let rows = vec![Fig1Row {
+            network: AdNetworkId(7),
+            name: "ClickBoost37".into(),
+            malicious: 10,
+            total: 25,
+            ratio: 0.4,
+        }];
+        let s = render_fig1(&rows);
+        assert!(s.contains("ClickBoost37"));
+        assert!(s.contains("40.0%"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn fig5_renders_histogram() {
+        let mut benign = BTreeMap::new();
+        benign.insert(0, 100u64);
+        benign.insert(3, 10);
+        let mut malicious = BTreeMap::new();
+        malicious.insert(5, 7u64);
+        malicious.insert(22, 1);
+        let hist = Fig5Histogram { benign, malicious };
+        let s = render_fig5(&hist);
+        assert!(s.contains("max benign chain: 3 auctions"));
+        assert!(s.contains("max malicious chain: 22 auctions"));
+        assert!(s.contains("beyond 15 auctions: 12.5%"));
+    }
+
+    #[test]
+    fn sandbox_renders() {
+        let s = render_sandbox(&SandboxReport {
+            total_iframes: 1000,
+            sandboxed: 0,
+        });
+        assert!(s.contains("0 of 1000"));
+        assert!(s.contains("0.00%"));
+    }
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(2.0, 4), "####");
+    }
+}

@@ -1,0 +1,272 @@
+//! SVG renderings of the paper's figures — self-contained vector charts
+//! (no plotting dependency), suitable for dropping into reports.
+
+use crate::analysis::{Fig1Row, Fig3Row, Fig4Row, Fig5Histogram};
+
+const BAR_COLOR: &str = "#4878a8";
+const MAL_COLOR: &str = "#b84848";
+const BG: &str = "#ffffff";
+const FG: &str = "#202020";
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// A horizontal bar chart: one row per `(label, value, share_of_max)`.
+fn bar_chart(title: &str, rows: &[(String, f64, String)], value_unit: &str) -> String {
+    let row_h = 22;
+    let label_w = 170;
+    let chart_w = 420;
+    let value_w = 110;
+    let top = 34;
+    let width = label_w + chart_w + value_w + 20;
+    let height = top + rows.len() as i32 * row_h + 16;
+    let max = rows.iter().map(|(_, v, _)| *v).fold(f64::EPSILON, f64::max);
+
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"{BG}\"/>\n\
+         <text x=\"10\" y=\"20\" font-size=\"14\" font-weight=\"bold\" fill=\"{FG}\">{}</text>\n",
+        esc(title)
+    );
+    for (i, (label, value, color)) in rows.iter().enumerate() {
+        let y = top + i as i32 * row_h;
+        let bar = (value / max * f64::from(chart_w)).max(1.0);
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" fill=\"{FG}\">{}</text>\n",
+            label_w - 6,
+            y + 15,
+            esc(label)
+        ));
+        out.push_str(&format!(
+            "<rect x=\"{label_w}\" y=\"{}\" width=\"{bar:.1}\" height=\"{}\" fill=\"{color}\"/>\n",
+            y + 4,
+            row_h - 8
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{}\" fill=\"{FG}\">{value:.1}{value_unit}</text>\n",
+            f64::from(label_w) + bar + 6.0,
+            y + 15
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Figure 1 as an SVG bar chart of per-network malvertising ratios.
+pub fn fig1_svg(rows: &[Fig1Row]) -> String {
+    let data: Vec<(String, f64, String)> = rows
+        .iter()
+        .map(|r| (r.name.clone(), r.ratio * 100.0, BAR_COLOR.to_string()))
+        .collect();
+    bar_chart(
+        "Figure 1: malvertising ratio per ad network",
+        &data,
+        "%",
+    )
+}
+
+/// Figure 3 as an SVG bar chart of site-category shares.
+pub fn fig3_svg(rows: &[Fig3Row]) -> String {
+    let data: Vec<(String, f64, String)> = rows
+        .iter()
+        .map(|r| (r.category.clone(), r.share * 100.0, BAR_COLOR.to_string()))
+        .collect();
+    bar_chart(
+        "Figure 3: categories of malvertising websites",
+        &data,
+        "%",
+    )
+}
+
+/// Figure 4 as an SVG bar chart of TLD shares (generic TLDs highlighted).
+pub fn fig4_svg(rows: &[Fig4Row]) -> String {
+    let data: Vec<(String, f64, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.tld.clone(),
+                r.share * 100.0,
+                if r.generic { MAL_COLOR } else { BAR_COLOR }.to_string(),
+            )
+        })
+        .collect();
+    bar_chart(
+        "Figure 4: malvertising hosts by TLD (generic TLDs in red)",
+        &data,
+        "%",
+    )
+}
+
+/// Figure 5 as a grouped log-scale column chart: benign vs malicious chain
+/// length distributions.
+pub fn fig5_svg(hist: &Fig5Histogram) -> String {
+    let max_len = hist.benign_max().max(hist.malicious_max());
+    let benign_total: f64 = hist.benign.values().sum::<u64>() as f64;
+    let mal_total: f64 = hist.malicious.values().sum::<u64>() as f64;
+    let col_w = 18;
+    let gap = 6;
+    let chart_h = 220.0;
+    let left = 50;
+    let top = 40;
+    let width = left + (max_len as i32 + 1) * (2 * col_w + gap) + 30;
+    let height = top + chart_h as i32 + 50;
+
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"11\">\n\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"{BG}\"/>\n\
+         <text x=\"10\" y=\"20\" font-size=\"14\" font-weight=\"bold\" fill=\"{FG}\">\
+         Figure 5: arbitration chain lengths (share of observations)</text>\n\
+         <rect x=\"{left}\" y=\"26\" width=\"10\" height=\"10\" fill=\"{BAR_COLOR}\"/>\
+         <text x=\"{}\" y=\"35\" fill=\"{FG}\">benign</text>\n\
+         <rect x=\"{}\" y=\"26\" width=\"10\" height=\"10\" fill=\"{MAL_COLOR}\"/>\
+         <text x=\"{}\" y=\"35\" fill=\"{FG}\">malicious</text>\n",
+        left + 14,
+        left + 80,
+        left + 94,
+    );
+    // Shares are plotted on a sqrt scale so the long tail stays visible.
+    let y_of = |share: f64| top as f64 + chart_h - share.sqrt() * chart_h;
+    for len in 0..=max_len {
+        let x = left + len as i32 * (2 * col_w + gap);
+        let b = hist.benign.get(&len).copied().unwrap_or(0) as f64
+            / benign_total.max(1.0);
+        let m = hist.malicious.get(&len).copied().unwrap_or(0) as f64
+            / mal_total.max(1.0);
+        let b_y = y_of(b);
+        let m_y = y_of(m);
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{b_y:.1}\" width=\"{col_w}\" height=\"{:.1}\" fill=\"{BAR_COLOR}\"/>\n",
+            top as f64 + chart_h - b_y
+        ));
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"{m_y:.1}\" width=\"{col_w}\" height=\"{:.1}\" fill=\"{MAL_COLOR}\"/>\n",
+            x + col_w,
+            top as f64 + chart_h - m_y
+        ));
+        if len % 2 == 0 {
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"{FG}\">{len}</text>\n",
+                x + col_w,
+                top as f64 + chart_h + 16.0
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"{FG}\">auctions</text>\n",
+        left + (max_len as i32 + 1) * (2 * col_w + gap) / 2,
+        top as f64 + chart_h + 36.0
+    ));
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::AdNetworkId;
+    use std::collections::BTreeMap;
+
+    fn check_svg(svg: &str) {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Every <rect and <text is self-closed or closed.
+        let opens = svg.matches("<text").count();
+        let closes = svg.matches("</text>").count();
+        assert_eq!(opens, closes);
+        // No raw ampersands (escaping worked).
+        for chunk in svg.split('&').skip(1) {
+            assert!(
+                chunk.starts_with("amp;")
+                    || chunk.starts_with("lt;")
+                    || chunk.starts_with("gt;")
+                    || chunk.starts_with("quot;"),
+                "unescaped & in SVG"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_svg_renders() {
+        let rows = vec![
+            Fig1Row {
+                network: AdNetworkId(39),
+                name: "ClickBoost39 <&> test".into(),
+                malicious: 7,
+                total: 22,
+                ratio: 0.318,
+            },
+            Fig1Row {
+                network: AdNetworkId(0),
+                name: "ExchangePrime0".into(),
+                malicious: 2,
+                total: 1260,
+                ratio: 0.0016,
+            },
+        ];
+        let svg = fig1_svg(&rows);
+        check_svg(&svg);
+        assert!(svg.contains("31.8%"));
+        assert!(svg.contains("&lt;&amp;&gt;"));
+    }
+
+    #[test]
+    fn fig3_fig4_svg_render() {
+        let svg = fig3_svg(&[Fig3Row {
+            category: "Entertainment".into(),
+            sites: 413,
+            share: 0.164,
+        }]);
+        check_svg(&svg);
+        let svg = fig4_svg(&[
+            Fig4Row {
+                tld: ".com".into(),
+                generic: true,
+                sites: 1113,
+                share: 0.443,
+            },
+            Fig4Row {
+                tld: ".de".into(),
+                generic: false,
+                sites: 132,
+                share: 0.053,
+            },
+        ]);
+        check_svg(&svg);
+        assert!(svg.contains(MAL_COLOR));
+        assert!(svg.contains(BAR_COLOR));
+    }
+
+    #[test]
+    fn fig5_svg_renders() {
+        let mut benign = BTreeMap::new();
+        benign.insert(0usize, 1000u64);
+        benign.insert(1, 300);
+        benign.insert(5, 10);
+        let mut malicious = BTreeMap::new();
+        malicious.insert(0usize, 100u64);
+        malicious.insert(3, 80);
+        malicious.insert(20, 5);
+        let hist = Fig5Histogram { benign, malicious };
+        let svg = fig5_svg(&hist);
+        check_svg(&svg);
+        assert!(svg.contains("benign"));
+        assert!(svg.contains("malicious"));
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        check_svg(&fig1_svg(&[]));
+        check_svg(&fig3_svg(&[]));
+        let hist = Fig5Histogram {
+            benign: BTreeMap::new(),
+            malicious: BTreeMap::new(),
+        };
+        check_svg(&fig5_svg(&hist));
+    }
+}

@@ -1,0 +1,182 @@
+//! Study-world assembly: wiring every subsystem into one simulated Internet.
+
+use malvert_adnet::{AdWorld, AdWorldConfig};
+use malvert_blacklist::{BlacklistService, DomainTruth, ThreatKind};
+use malvert_filterlist::FilterSet;
+use malvert_net::Network;
+use malvert_scanner::ScanService;
+use malvert_types::rng::SeedTree;
+use malvert_types::{AdNetworkId, DomainName};
+use malvert_websim::page::{widget_domain, PublisherServer, WidgetServer};
+use malvert_websim::{WebConfig, WorldWeb};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the study needs, fully wired: the ranked Web, the ad economy,
+/// the simulated network routing both, the filter list, and the oracle's
+/// component services.
+pub struct StudyWorld {
+    /// Root seed tree.
+    pub tree: SeedTree,
+    /// The ranked Web.
+    pub web: WorldWeb,
+    /// The ad economy.
+    pub ads: AdWorld,
+    /// The simulated Internet.
+    pub network: Network,
+    /// The generated EasyList-style filter set.
+    pub filter: FilterSet,
+    /// The 49-feed blacklist aggregate with ground truth registered.
+    pub blacklists: BlacklistService,
+    /// The 51-engine scanner.
+    pub scanner: ScanService,
+    /// Serve-domain → ad network lookup.
+    domain_to_network: HashMap<DomainName, AdNetworkId>,
+}
+
+impl StudyWorld {
+    /// Builds the whole world from a seed and configs. `window_days` is the
+    /// crawl window length; blacklist-feed lags scale with it.
+    pub fn build(
+        seed: u64,
+        web_config: &WebConfig,
+        ad_config: &AdWorldConfig,
+        easylist_coverage: f64,
+        window_days: u32,
+    ) -> StudyWorld {
+        let tree = SeedTree::new(seed);
+        let ads = AdWorld::generate(tree, ad_config);
+        let web = WorldWeb::generate(tree, web_config);
+
+        let mut network = Network::new(tree);
+        ads.register_servers(&mut network);
+        let network_domains = Arc::new(ads.network_domains());
+        for site in &web.sites {
+            network.register(
+                site.domain.clone(),
+                Arc::new(PublisherServer::new(
+                    site.clone(),
+                    Arc::clone(&network_domains),
+                )),
+            );
+        }
+        network.register(widget_domain(), Arc::new(WidgetServer));
+
+        let filter = crate::easylist::build_filter(&ads, easylist_coverage);
+
+        let mut blacklists = BlacklistService::for_window(tree.branch("blacklists"), window_days);
+        for campaign in ads.campaigns() {
+            if !campaign.is_malicious() {
+                continue;
+            }
+            let kind = match &campaign.behavior {
+                malvert_adnet::CampaignBehavior::Hijack { .. } => ThreatKind::Scam,
+                _ => ThreatKind::MalwareDistribution,
+            };
+            for d in campaign.controlled_domains() {
+                blacklists.register(
+                    d.clone(),
+                    DomainTruth::MaliciousKind {
+                        active_from: campaign.active_from,
+                        kind,
+                    },
+                );
+            }
+        }
+        // Benign advertiser/publisher domains are registered too, so the
+        // feeds can produce realistic false positives on them.
+        for campaign in ads.campaigns() {
+            if !campaign.is_malicious() {
+                for d in campaign.controlled_domains() {
+                    blacklists.register(d.clone(), DomainTruth::Benign);
+                }
+            }
+        }
+        for site in &web.sites {
+            blacklists.register(site.domain.clone(), DomainTruth::Benign);
+        }
+
+        let scanner = ScanService::new(tree.branch("scanner"));
+
+        let domain_to_network = ads
+            .networks()
+            .iter()
+            .map(|n| (n.domain.clone(), n.id))
+            .collect();
+
+        StudyWorld {
+            tree,
+            web,
+            ads,
+            network,
+            filter,
+            blacklists,
+            scanner,
+            domain_to_network,
+        }
+    }
+
+    /// Maps a host to the ad network that owns it, if any.
+    pub fn network_of(&self, host: &DomainName) -> Option<AdNetworkId> {
+        self.domain_to_network.get(host).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_web() -> WebConfig {
+        WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 30,
+            bottom_slice: 30,
+            random_slice: 30,
+            security_feed: 10,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        }
+    }
+
+    #[test]
+    fn world_builds_and_routes() {
+        let w = StudyWorld::build(5, &small_web(), &AdWorldConfig::default(), 1.0, 90);
+        assert_eq!(w.web.sites.len(), 100);
+        // Every publisher resolves.
+        for site in &w.web.sites {
+            assert!(w.network.resolves(&site.domain));
+        }
+        // Every ad network resolves and maps back.
+        for n in w.ads.networks() {
+            assert!(w.network.resolves(&n.domain));
+            assert_eq!(w.network_of(&n.domain), Some(n.id));
+        }
+        assert_eq!(w.network_of(&widget_domain()), None);
+    }
+
+    #[test]
+    fn blacklist_truth_registered() {
+        let w = StudyWorld::build(5, &small_web(), &AdWorldConfig::default(), 1.0, 90);
+        // By the end of the window, at least one malicious domain is flagged.
+        let flagged = w
+            .ads
+            .malicious_ground_truth()
+            .iter()
+            .flat_map(|(_, ds, _)| ds.clone())
+            .filter(|d| w.blacklists.is_flagged(d, 89))
+            .count();
+        assert!(flagged > 0);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = StudyWorld::build(9, &small_web(), &AdWorldConfig::default(), 1.0, 90);
+        let b = StudyWorld::build(9, &small_web(), &AdWorldConfig::default(), 1.0, 90);
+        for (x, y) in a.web.sites.iter().zip(&b.web.sites) {
+            assert_eq!(x.domain, y.domain);
+        }
+        for (x, y) in a.ads.networks().iter().zip(b.ads.networks()) {
+            assert_eq!(x.domain, y.domain);
+        }
+    }
+}

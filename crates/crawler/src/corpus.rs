@@ -1,0 +1,217 @@
+//! The advertisement corpus: de-duplicated unique ads.
+//!
+//! The paper collected 673,596 *unique* advertisements over three months —
+//! page loads repeat creatives constantly, so the corpus de-duplicates on
+//! the creative document itself. Aggregation is order-insensitive, which
+//! keeps the parallel crawl deterministic.
+
+use crate::harness::AdObservation;
+use malvert_types::{SimTime, SiteId, Url};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// One unique advertisement with its observation history.
+#[derive(Debug, Clone)]
+pub struct UniqueAd {
+    /// The creative document (dedup key).
+    pub creative_html: String,
+    /// First time the ad was observed (minimum over all observations —
+    /// stable regardless of crawl-thread interleaving).
+    pub first_seen: SimTime,
+    /// The canonical observation's slot-request URL. The canonical
+    /// observation is the minimum `(time, url)` pair, so `(request_url,
+    /// first_seen)` together replay an *actually observed* serve — the
+    /// oracle's honeyclient re-visit depends on this.
+    pub request_url: Url,
+    /// The canonical observation's final URL.
+    pub final_url: Url,
+    /// Last time the ad was observed (maximum over all observations). The
+    /// oracle evaluates blacklist knowledge at this day: feeds are monitored
+    /// continuously, so an ad is checked against everything the feeds
+    /// learned while it was live.
+    pub last_seen: SimTime,
+    /// Number of times this ad was observed.
+    pub observations: u64,
+    /// Distinct sites it appeared on.
+    pub sites: Vec<SiteId>,
+    /// Longest arbitration chain observed for this ad.
+    pub max_chain: Vec<Url>,
+}
+
+/// The de-duplicated corpus.
+#[derive(Debug, Default)]
+pub struct AdCorpus {
+    ads: HashMap<String, UniqueAd>,
+    total_observations: u64,
+}
+
+impl AdCorpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, obs: &AdObservation) {
+        if obs.failed && obs.creative_html.is_empty() {
+            // Failed frames carry no creative to deduplicate on.
+            return;
+        }
+        self.total_observations += 1;
+        match self.ads.entry(obs.creative_html.clone()) {
+            Entry::Occupied(mut e) => {
+                let ad = e.get_mut();
+                ad.observations += 1;
+                // Canonical observation: the minimum (time, url) pair. Both
+                // fields move together so the pair stays a real observation.
+                let candidate = (obs.time, obs.request_url.to_string());
+                let current = (ad.first_seen, ad.request_url.to_string());
+                if candidate < current {
+                    ad.first_seen = obs.time;
+                    ad.request_url = obs.request_url.clone();
+                    ad.final_url = obs.final_url.clone();
+                }
+                if obs.time > ad.last_seen {
+                    ad.last_seen = obs.time;
+                }
+                if !ad.sites.contains(&obs.site) {
+                    ad.sites.push(obs.site);
+                }
+                if obs.chain.len() > ad.max_chain.len() {
+                    ad.max_chain = obs.chain.clone();
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(UniqueAd {
+                    creative_html: obs.creative_html.clone(),
+                    first_seen: obs.time,
+                    request_url: obs.request_url.clone(),
+                    final_url: obs.final_url.clone(),
+                    last_seen: obs.time,
+                    observations: 1,
+                    sites: vec![obs.site],
+                    max_chain: obs.chain.clone(),
+                });
+            }
+        }
+    }
+
+    /// Number of unique advertisements.
+    pub fn unique_count(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// Total observations recorded.
+    pub fn total_observations(&self) -> u64 {
+        self.total_observations
+    }
+
+    /// Iterates unique ads in a deterministic order (sorted by creative).
+    pub fn ads_sorted(&self) -> Vec<&UniqueAd> {
+        let mut v: Vec<&UniqueAd> = self.ads.values().collect();
+        v.sort_by(|a, b| a.creative_html.cmp(&b.creative_html));
+        v
+    }
+
+    /// Looks up an ad by creative document.
+    pub fn get(&self, creative_html: &str) -> Option<&UniqueAd> {
+        self.ads.get(creative_html)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(creative: &str, site: u32, day: u32, chain_len: usize) -> AdObservation {
+        let request_url = Url::parse(&format!("http://srv{site}.net/serve?pub={site}")).unwrap();
+        let chain: Vec<Url> = (0..chain_len)
+            .map(|i| Url::parse(&format!("http://hop{i}.net/serve")).unwrap())
+            .collect();
+        AdObservation {
+            site: SiteId(site),
+            time: SimTime::at(day, 0),
+            request_url: request_url.clone(),
+            final_url: request_url,
+            chain,
+            creative_html: creative.to_string(),
+            sandboxed: false,
+            failed: false,
+            matched_rule: "||srv^".to_string(),
+        }
+    }
+
+    #[test]
+    fn dedup_on_creative() {
+        let mut corpus = AdCorpus::new();
+        corpus.record(&obs("<html>A</html>", 1, 0, 1));
+        corpus.record(&obs("<html>A</html>", 2, 1, 1));
+        corpus.record(&obs("<html>B</html>", 1, 0, 1));
+        assert_eq!(corpus.unique_count(), 2);
+        assert_eq!(corpus.total_observations(), 3);
+        let a = corpus.get("<html>A</html>").unwrap();
+        assert_eq!(a.observations, 2);
+        assert_eq!(a.sites.len(), 2);
+    }
+
+    #[test]
+    fn first_seen_is_minimum_regardless_of_order() {
+        let mut corpus = AdCorpus::new();
+        corpus.record(&obs("<html>A</html>", 1, 5, 1));
+        corpus.record(&obs("<html>A</html>", 1, 2, 1));
+        corpus.record(&obs("<html>A</html>", 1, 9, 1));
+        assert_eq!(corpus.get("<html>A</html>").unwrap().first_seen, SimTime::at(2, 0));
+    }
+
+    #[test]
+    fn max_chain_kept() {
+        let mut corpus = AdCorpus::new();
+        corpus.record(&obs("<html>A</html>", 1, 0, 2));
+        corpus.record(&obs("<html>A</html>", 1, 1, 7));
+        corpus.record(&obs("<html>A</html>", 1, 2, 3));
+        assert_eq!(corpus.get("<html>A</html>").unwrap().max_chain.len(), 7);
+    }
+
+    #[test]
+    fn order_insensitive_aggregation() {
+        let observations = vec![
+            obs("<html>A</html>", 1, 3, 2),
+            obs("<html>B</html>", 2, 1, 5),
+            obs("<html>A</html>", 3, 1, 4),
+            obs("<html>B</html>", 1, 2, 1),
+        ];
+        let mut forward = AdCorpus::new();
+        for o in &observations {
+            forward.record(o);
+        }
+        let mut backward = AdCorpus::new();
+        for o in observations.iter().rev() {
+            backward.record(o);
+        }
+        let f = forward.ads_sorted();
+        let b = backward.ads_sorted();
+        assert_eq!(f.len(), b.len());
+        for (x, y) in f.iter().zip(&b) {
+            assert_eq!(x.creative_html, y.creative_html);
+            assert_eq!(x.first_seen, y.first_seen);
+            assert_eq!(x.observations, y.observations);
+            assert_eq!(x.max_chain, y.max_chain);
+            assert_eq!(x.request_url, y.request_url);
+            let mut xs = x.sites.clone();
+            let mut ys = y.sites.clone();
+            xs.sort();
+            ys.sort();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn failed_empty_observations_skipped() {
+        let mut corpus = AdCorpus::new();
+        let mut o = obs("", 1, 0, 1);
+        o.failed = true;
+        corpus.record(&o);
+        assert_eq!(corpus.unique_count(), 0);
+        assert_eq!(corpus.total_observations(), 0);
+    }
+}

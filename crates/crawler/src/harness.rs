@@ -1,0 +1,459 @@
+//! The crawl harness: visit scheduling, ad-iframe extraction, worker pool.
+
+use crossbeam::channel;
+use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
+use malvert_filterlist::{FilterSet, RequestContext};
+use malvert_net::{CapturedExchange, Network, TrafficCapture};
+use malvert_types::rng::SeedTree;
+use malvert_types::{CrawlSchedule, SimTime, SiteId, Url};
+use malvert_websim::Site;
+
+/// One advertisement observation: an ad iframe the crawler found on a page,
+/// with the traffic chain behind it.
+#[derive(Debug, Clone)]
+pub struct AdObservation {
+    /// Publisher site the ad appeared on.
+    pub site: SiteId,
+    /// When the observation happened.
+    pub time: SimTime,
+    /// The iframe's request URL (the slot request at the contracted
+    /// network).
+    pub request_url: Url,
+    /// URL the final creative document came from.
+    pub final_url: Url,
+    /// The redirect chain from request to fill, as captured URLs (length 1
+    /// when the impression filled directly). This is the §4.3 arbitration
+    /// chain.
+    pub chain: Vec<Url>,
+    /// The creative document (serialized after script execution) — the
+    /// paper's "HTML documents based on the contents of the iframes".
+    pub creative_html: String,
+    /// Whether the publisher sandboxed this iframe.
+    pub sandboxed: bool,
+    /// Whether the frame failed to load.
+    pub failed: bool,
+    /// The EasyList rule text that identified the iframe as an ad.
+    pub matched_rule: String,
+}
+
+/// One page visit's crawl output.
+#[derive(Debug, Clone)]
+pub struct VisitRecord {
+    /// The visited site.
+    pub site: SiteId,
+    /// Visit time.
+    pub time: SimTime,
+    /// Ad observations on this page.
+    pub ads: Vec<AdObservation>,
+    /// Total iframes on the page (ads + widgets), for the sandbox census.
+    pub total_iframes: usize,
+    /// How many iframes carried the `sandbox` attribute.
+    pub sandboxed_iframes: usize,
+    /// `top.location` hijacks that actually dragged the page away during
+    /// this visit — the user-facing exposure §4.4 worries about.
+    pub hijack_exposures: usize,
+    /// Hijack attempts blocked by the `sandbox` attribute.
+    pub hijacks_blocked: usize,
+    /// Whether the page load failed entirely.
+    pub failed: bool,
+}
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Visit schedule (days × refreshes).
+    pub schedule: CrawlSchedule,
+    /// Worker threads (1 = sequential).
+    pub workers: usize,
+    /// Browser limits per page load.
+    pub browser_limits: BrowserLimits,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            schedule: CrawlSchedule::scaled(10, 2),
+            workers: 8,
+            browser_limits: BrowserLimits::default(),
+        }
+    }
+}
+
+/// The crawler.
+pub struct Crawler<'a> {
+    network: &'a Network,
+    filter: &'a FilterSet,
+    config: CrawlConfig,
+    study: SeedTree,
+}
+
+impl<'a> Crawler<'a> {
+    /// Creates a crawler over the network with the given filter list.
+    pub fn new(
+        network: &'a Network,
+        filter: &'a FilterSet,
+        config: CrawlConfig,
+        study: SeedTree,
+    ) -> Self {
+        Crawler {
+            network,
+            filter,
+            config,
+            study,
+        }
+    }
+
+    /// Visits one site at one schedule slot.
+    pub fn crawl_visit(&self, site: &Site, time: SimTime) -> VisitRecord {
+        let browser = Browser::new(
+            self.network,
+            Personality::vulnerable_victim(),
+            self.config.browser_limits,
+            self.study,
+        );
+        let visit = browser.visit(&site.front_page(), time);
+        self.extract(site, time, &visit)
+    }
+
+    /// Extracts the crawl record from a completed page visit.
+    fn extract(&self, site: &Site, time: SimTime, visit: &PageVisit) -> VisitRecord {
+        let hijack_exposures = visit
+            .events
+            .iter()
+            .filter(|e| matches!(e, BehaviorEvent::TopLocationHijack { .. }))
+            .count();
+        let hijacks_blocked = visit
+            .events
+            .iter()
+            .filter(|e| matches!(e, BehaviorEvent::SandboxedHijackBlocked { .. }))
+            .count();
+        if visit.top.failed {
+            return VisitRecord {
+                site: site.id,
+                time,
+                ads: Vec::new(),
+                total_iframes: 0,
+                sandboxed_iframes: 0,
+                hijack_exposures,
+                hijacks_blocked,
+                failed: true,
+            };
+        }
+        let ctx = RequestContext::iframe_from(&site.domain);
+        let mut ads = Vec::new();
+        let total_iframes = visit.top.iframes.len();
+        let sandboxed_iframes = visit
+            .top
+            .iframes
+            .iter()
+            .filter(|f| f.has_sandbox)
+            .count();
+
+        // Child snapshots are in document order for iframes with non-empty
+        // src; align them by walking both lists.
+        let mut child_iter = visit.top.children.iter();
+        for iframe in &visit.top.iframes {
+            if iframe.src.is_empty() {
+                continue;
+            }
+            let request_url = match visit.top.final_url.join(&iframe.src) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            let child = match child_iter.next() {
+                Some(c) => c,
+                None => break,
+            };
+            let matched = self.filter.matches(&request_url, &ctx);
+            if let malvert_filterlist::MatchResult::Blocked(rule) = matched {
+                let chain = chain_from(&visit.capture, &request_url);
+                ads.push(AdObservation {
+                    site: site.id,
+                    time,
+                    request_url,
+                    final_url: child.final_url.clone(),
+                    chain,
+                    creative_html: child.raw_html.clone(),
+                    sandboxed: iframe.has_sandbox,
+                    failed: child.failed,
+                    matched_rule: rule,
+                });
+            }
+        }
+        VisitRecord {
+            site: site.id,
+            time,
+            ads,
+            total_iframes,
+            sandboxed_iframes,
+            hijack_exposures,
+            hijacks_blocked,
+            failed: false,
+        }
+    }
+
+    /// Crawls every site through the full schedule, invoking `sink` for each
+    /// visit record. Work is spread over `config.workers` threads; `sink`
+    /// runs on the calling thread.
+    pub fn run(&self, sites: &[Site], mut sink: impl FnMut(VisitRecord)) {
+        let workers = self.config.workers.max(1);
+        if workers == 1 {
+            for site in sites {
+                for time in self.config.schedule.slots() {
+                    sink(self.crawl_visit(site, time));
+                }
+            }
+            return;
+        }
+        let slots: Vec<SimTime> = self.config.schedule.slots().collect();
+        let total_jobs = sites.len() * slots.len();
+        let (tx, rx) = channel::bounded::<VisitRecord>(workers * 4);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if job >= total_jobs {
+                        break;
+                    }
+                    let site = &sites[job / slots.len()];
+                    let time = slots[job % slots.len()];
+                    let record = self.crawl_visit(site, time);
+                    if tx.send(record).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for record in rx {
+                sink(record);
+            }
+        })
+        .expect("crawl workers panicked");
+    }
+}
+
+/// Reconstructs the fetch chain starting at `start`: follows `Location`
+/// links through the capture. Includes the final (non-redirect) exchange.
+pub fn chain_from(capture: &TrafficCapture, start: &Url) -> Vec<Url> {
+    let exchanges = capture.exchanges();
+    let mut chain = Vec::new();
+    let mut cursor: Option<&CapturedExchange> =
+        exchanges.iter().find(|e| e.url == *start);
+    let mut guard = 0;
+    while let Some(e) = cursor {
+        chain.push(e.url.clone());
+        guard += 1;
+        if guard > 64 {
+            break;
+        }
+        cursor = match &e.location {
+            Some(target) => exchanges.iter().find(|c| c.url == *target),
+            None => None,
+        };
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_adnet::{AdWorld, AdWorldConfig};
+    use malvert_websim::{page::PublisherServer, page::WidgetServer, WebConfig, WorldWeb};
+    use std::sync::Arc;
+
+    /// Builds a miniature full world: web + ad economy + filter list.
+    fn mini_world() -> (Network, WorldWeb, AdWorld, FilterSet) {
+        let tree = SeedTree::new(99);
+        let web_config = WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 20,
+            bottom_slice: 20,
+            random_slice: 20,
+            security_feed: 10,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        };
+        let web = WorldWeb::generate(tree, &web_config);
+        let ads = AdWorld::generate(tree, &AdWorldConfig::default());
+        let mut net = Network::new(tree);
+        ads.register_servers(&mut net);
+        let domains = Arc::new(ads.network_domains());
+        for site in &web.sites {
+            net.register(
+                site.domain.clone(),
+                Arc::new(PublisherServer::new(site.clone(), Arc::clone(&domains))),
+            );
+        }
+        net.register(malvert_websim::page::widget_domain(), Arc::new(WidgetServer));
+        // Filter list: one domain-anchor rule per ad network.
+        let list: String = ads
+            .network_domains()
+            .iter()
+            .map(|d| format!("||{d}^\n"))
+            .collect();
+        let filter = FilterSet::parse(&list);
+        (net, web, ads, filter)
+    }
+
+    #[test]
+    fn single_visit_extracts_ads() {
+        let (net, web, _ads, filter) = mini_world();
+        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        let site = web
+            .sites
+            .iter()
+            .find(|s| s.ad_slots.len() >= 2)
+            .expect("site with slots");
+        let record = crawler.crawl_visit(site, SimTime::at(3, 1));
+        assert!(!record.failed);
+        assert_eq!(record.ads.len(), site.ad_slots.len());
+        for ad in &record.ads {
+            assert!(!ad.chain.is_empty());
+            assert_eq!(ad.chain[0], ad.request_url);
+            assert!(!ad.creative_html.is_empty() || ad.failed);
+            assert!(!ad.sandboxed);
+        }
+    }
+
+    #[test]
+    fn widget_iframes_not_extracted_as_ads() {
+        let (net, web, _ads, filter) = mini_world();
+        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        // Crawl many visits; widget iframes appear with prob 0.3 but must
+        // never be classified as ads.
+        let mut widget_seen = false;
+        for site in web.sites.iter().take(12) {
+            for refresh in 0..3 {
+                let record = crawler.crawl_visit(site, SimTime::at(0, refresh));
+                if record.total_iframes > site.ad_slots.len() {
+                    widget_seen = true;
+                }
+                assert!(
+                    record.ads.len() <= site.ad_slots.len(),
+                    "widget misclassified as ad"
+                );
+            }
+        }
+        assert!(widget_seen, "no widget iframe appeared at all");
+    }
+
+    #[test]
+    fn chain_reconstruction_matches_hops() {
+        let (net, web, _ads, filter) = mini_world();
+        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        // Find an observation with an arbitration chain.
+        let mut found = false;
+        'outer: for site in web.sites.iter().filter(|s| !s.ad_slots.is_empty()) {
+            for day in 0..6 {
+                let record = crawler.crawl_visit(site, SimTime::at(day, 0));
+                for ad in &record.ads {
+                    if ad.chain.len() > 2 {
+                        // Chain must end at the final creative URL.
+                        assert_eq!(*ad.chain.last().unwrap(), ad.final_url);
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "no arbitration chain observed in the sample");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let (net, web, _ads, filter) = mini_world();
+        let sites: Vec<Site> = web.sites.iter().take(6).cloned().collect();
+        let config = CrawlConfig {
+            schedule: CrawlSchedule::scaled(2, 2),
+            workers: 1,
+            browser_limits: BrowserLimits::default(),
+        };
+        let crawler = Crawler::new(&net, &filter, config.clone(), SeedTree::new(99));
+        let mut seq: Vec<(SiteId, SimTime, usize)> = Vec::new();
+        crawler.run(&sites, |r| seq.push((r.site, r.time, r.ads.len())));
+
+        let par_config = CrawlConfig {
+            workers: 4,
+            ..config
+        };
+        let crawler = Crawler::new(&net, &filter, par_config, SeedTree::new(99));
+        let mut par: Vec<(SiteId, SimTime, usize)> = Vec::new();
+        crawler.run(&sites, |r| par.push((r.site, r.time, r.ads.len())));
+
+        seq.sort();
+        par.sort();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn schedule_produces_expected_visit_count() {
+        let (net, web, _ads, filter) = mini_world();
+        let sites: Vec<Site> = web.sites.iter().take(4).cloned().collect();
+        let config = CrawlConfig {
+            schedule: CrawlSchedule::scaled(3, 5),
+            workers: 2,
+            browser_limits: BrowserLimits::default(),
+        };
+        let crawler = Crawler::new(&net, &filter, config, SeedTree::new(99));
+        let mut count = 0;
+        crawler.run(&sites, |_| count += 1);
+        assert_eq!(count, 4 * 3 * 5);
+    }
+
+    #[test]
+    fn chain_from_empty_capture() {
+        let cap = TrafficCapture::new();
+        let url = Url::parse("http://nowhere.com/").unwrap();
+        assert!(chain_from(&cap, &url).is_empty());
+    }
+
+    #[test]
+    fn flaky_origins_do_not_derail_the_crawl() {
+        use malvert_net::{HttpResponse, ServeCtx, StatusCode};
+        // A publisher whose server 500s every other refresh, plus one whose
+        // DNS is gone entirely. The crawl must keep going and record clean
+        // failure states.
+        let (mut net, web, _ads, filter) = {
+            let (net, web, ads, filter) = mini_world();
+            (net, web, ads, filter)
+        };
+        let flaky_site = web.sites[0].clone();
+        net.register(
+            flaky_site.domain.clone(),
+            Arc::new(move |_req: &malvert_net::HttpRequest, ctx: &mut ServeCtx| {
+                if ctx.time.refresh % 2 == 0 {
+                    HttpResponse {
+                        status: StatusCode::INTERNAL_ERROR,
+                        body: malvert_net::Body::Empty,
+                        location: None,
+                        attachment_filename: None,
+                        set_cookies: Vec::new(),
+                    }
+                } else {
+                    HttpResponse::ok(malvert_net::Body::Html(
+                        "<html><body>recovered</body></html>".to_string(),
+                    ))
+                }
+            }),
+        );
+        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        // 500 responses give an empty-ish page: no ads, not "failed".
+        let rec0 = crawler.crawl_visit(&flaky_site, SimTime::at(0, 0));
+        assert!(!rec0.failed);
+        assert!(rec0.ads.is_empty());
+        let rec1 = crawler.crawl_visit(&flaky_site, SimTime::at(0, 1));
+        assert!(!rec1.failed);
+
+        // A site whose domain never resolves fails cleanly.
+        let mut ghost = web.sites[1].clone();
+        ghost.domain = malvert_types::DomainName::parse("gone-publisher.example").unwrap();
+        let rec = crawler.crawl_visit(&ghost, SimTime::at(0, 0));
+        assert!(rec.failed);
+        assert!(rec.ads.is_empty());
+    }
+}

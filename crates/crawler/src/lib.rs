@@ -1,0 +1,24 @@
+//! # malvert-crawler
+//!
+//! The crawl harness — the study's Selenium analogue.
+//!
+//! §3.1 of the paper: each website was visited once per day and refreshed
+//! five times; the crawler rendered pages in a real browser, captured all
+//! HTTP traffic, and used EasyList to tell advertisement iframes from other
+//! iframes, storing each ad iframe as a standalone HTML document.
+//!
+//! This crate does the same over the simulated Web: it drives the emulated
+//! browser through the visit schedule, matches every iframe URL against the
+//! filter list, and produces [`AdObservation`]s (plus page-level records for
+//! the §4.4 sandbox analysis). A crossbeam worker pool parallelizes the
+//! crawl; results are aggregated order-insensitively so the study remains
+//! deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod harness;
+
+pub use corpus::{AdCorpus, UniqueAd};
+pub use harness::{AdObservation, CrawlConfig, Crawler, VisitRecord};

@@ -1,0 +1,35 @@
+//! # malvert-filterlist
+//!
+//! An Adblock-Plus-syntax filter-list engine.
+//!
+//! §3.1 of the paper: *"to distinguish the advertisement-related iframes, we
+//! utilized EasyList"*. The crawler in this reproduction does exactly the
+//! same — every iframe URL on a crawled page is matched against a filter
+//! list in EasyList syntax, and only matching iframes enter the ad corpus.
+//!
+//! ## Supported syntax
+//!
+//! * Blocking rules with `*` wildcards and the `^` separator placeholder.
+//! * Anchors: `||` (registered-domain anchor), leading `|`, trailing `|`.
+//! * Exception rules (`@@` prefix).
+//! * Options after `$`: `domain=a.com|~b.com`, `third-party`,
+//!   `~third-party`, and the resource-type options `script`, `image`,
+//!   `subdocument`, `xmlhttprequest`, `object` (with `~` negation).
+//! * Comments (`!`), metadata (`[Adblock Plus 2.0]` headers), and
+//!   element-hiding rules (`##`, `#@#`) — parsed and counted but not used
+//!   for network matching, like a network-layer blocker would.
+//!
+//! ## Not supported
+//!
+//! Regular-expression rules (`/.../`), `$csp`, `$rewrite`, and the redirect
+//! options: none of them affect ad *identification*, which is this crate's
+//! only job in the study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matcher;
+pub mod rule;
+
+pub use matcher::{FilterSet, MatchResult, RequestContext, ResourceType};
+pub use rule::{NetworkRule, ParsedLine, RuleOptions};

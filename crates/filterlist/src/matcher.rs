@@ -1,0 +1,428 @@
+//! URL matching against a compiled filter set.
+
+use crate::rule::{parse_line, NetworkRule, ParsedLine, TypeOption};
+use malvert_types::{DomainName, Url};
+
+/// The resource type of the request being matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceType {
+    /// A frame/iframe document load.
+    Subdocument,
+    /// A `<script src>` load.
+    Script,
+    /// An image load.
+    Image,
+    /// A top-level document.
+    Document,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    fn matches_option(self, opt: TypeOption) -> bool {
+        matches!(
+            (self, opt),
+            (ResourceType::Subdocument, TypeOption::Subdocument)
+                | (ResourceType::Script, TypeOption::Script)
+                | (ResourceType::Image, TypeOption::Image)
+                | (ResourceType::Document, TypeOption::Document)
+        )
+    }
+}
+
+/// Context of the request: which page requested it and what kind of resource
+/// it is. Drives `$domain=`, `$third-party`, and type options.
+#[derive(Debug, Clone)]
+pub struct RequestContext {
+    /// Host of the page making the request, when known.
+    pub source_host: Option<DomainName>,
+    /// Resource type.
+    pub resource: ResourceType,
+}
+
+impl RequestContext {
+    /// A subdocument (iframe) request from the given page host.
+    pub fn iframe_from(source: &DomainName) -> Self {
+        RequestContext {
+            source_host: Some(source.clone()),
+            resource: ResourceType::Subdocument,
+        }
+    }
+
+    /// A context with no source page (top-level navigations).
+    pub fn top_level() -> Self {
+        RequestContext {
+            source_host: None,
+            resource: ResourceType::Document,
+        }
+    }
+}
+
+/// Result of matching a URL against a [`FilterSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchResult {
+    /// A blocking rule matched (and no exception overrode it). Carries the
+    /// text of the winning rule.
+    Blocked(String),
+    /// An exception rule overrode a blocking rule.
+    Excepted(String),
+    /// No blocking rule matched.
+    NotMatched,
+}
+
+impl MatchResult {
+    /// True when the URL would be blocked — i.e. it *is* an ad URL.
+    pub fn is_ad(&self) -> bool {
+        matches!(self, MatchResult::Blocked(_))
+    }
+}
+
+/// A compiled filter list.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    blocking: Vec<NetworkRule>,
+    exceptions: Vec<NetworkRule>,
+    /// Count of element-hiding rules seen (parsed, unused for matching).
+    pub hiding_rule_count: usize,
+    /// Lines the parser could not understand.
+    pub unsupported_count: usize,
+}
+
+impl FilterSet {
+    /// Compiles a filter list from its text.
+    pub fn parse(list_text: &str) -> Self {
+        let mut set = FilterSet::default();
+        for line in list_text.lines() {
+            match parse_line(line) {
+                ParsedLine::Network(rule) => {
+                    if rule.is_exception {
+                        set.exceptions.push(rule);
+                    } else {
+                        set.blocking.push(rule);
+                    }
+                }
+                ParsedLine::ElementHiding { .. } => set.hiding_rule_count += 1,
+                ParsedLine::Unsupported(_) => set.unsupported_count += 1,
+                ParsedLine::Comment(_) | ParsedLine::Blank => {}
+            }
+        }
+        set
+    }
+
+    /// Number of blocking rules.
+    pub fn blocking_rule_count(&self) -> usize {
+        self.blocking.len()
+    }
+
+    /// Number of exception rules.
+    pub fn exception_rule_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Matches a URL in context.
+    pub fn matches(&self, url: &Url, ctx: &RequestContext) -> MatchResult {
+        let url_text = url.without_fragment().to_ascii_lowercase();
+        let host_start = url_text.find("://").map(|i| i + 3).unwrap_or(0);
+        let blocked = self
+            .blocking
+            .iter()
+            .find(|r| rule_matches(r, &url_text, host_start, url, ctx));
+        match blocked {
+            None => MatchResult::NotMatched,
+            Some(rule) => {
+                if let Some(exc) = self
+                    .exceptions
+                    .iter()
+                    .find(|r| rule_matches(r, &url_text, host_start, url, ctx))
+                {
+                    MatchResult::Excepted(exc.text.clone())
+                } else {
+                    MatchResult::Blocked(rule.text.clone())
+                }
+            }
+        }
+    }
+
+    /// Convenience: is this URL an advertisement resource in context?
+    pub fn is_ad_url(&self, url: &Url, ctx: &RequestContext) -> bool {
+        self.matches(url, ctx).is_ad()
+    }
+}
+
+fn rule_matches(
+    rule: &NetworkRule,
+    url_text: &str,
+    host_start: usize,
+    url: &Url,
+    ctx: &RequestContext,
+) -> bool {
+    if !options_match(rule, url, ctx) {
+        return false;
+    }
+    pattern_matches(rule, url_text, host_start)
+}
+
+fn options_match(rule: &NetworkRule, url: &Url, ctx: &RequestContext) -> bool {
+    let opts = &rule.options;
+    // Resource-type options.
+    if !opts.include_types.is_empty()
+        && !opts
+            .include_types
+            .iter()
+            .any(|t| ctx.resource.matches_option(*t))
+    {
+        return false;
+    }
+    if opts
+        .exclude_types
+        .iter()
+        .any(|t| ctx.resource.matches_option(*t))
+    {
+        return false;
+    }
+    // Party-ness: third-party means request host's registered domain differs
+    // from the source page's.
+    if let Some(want_third) = opts.third_party {
+        let is_third = match (&ctx.source_host, url.host()) {
+            (Some(src), Some(dst)) => {
+                let a = src.registered_domain();
+                let b = dst.registered_domain();
+                match (a, b) {
+                    (Some(a), Some(b)) => a != b,
+                    _ => src != dst,
+                }
+            }
+            _ => true,
+        };
+        if is_third != want_third {
+            return false;
+        }
+    }
+    // `$domain=` constraints apply to the source page.
+    if !opts.include_domains.is_empty() || !opts.exclude_domains.is_empty() {
+        let src = match &ctx.source_host {
+            Some(s) => s.as_str().to_string(),
+            None => return opts.include_domains.is_empty(),
+        };
+        let within = |d: &String| src == *d || src.ends_with(&format!(".{d}"));
+        if opts.exclude_domains.iter().any(within) {
+            return false;
+        }
+        if !opts.include_domains.is_empty() && !opts.include_domains.iter().any(within) {
+            return false;
+        }
+    }
+    true
+}
+
+fn pattern_matches(rule: &NetworkRule, url_text: &str, host_start: usize) -> bool {
+    let pattern = rule.pattern.as_bytes();
+    let text = url_text.as_bytes();
+    if rule.start_anchor {
+        return match_here(pattern, text, 0, rule.end_anchor);
+    }
+    if rule.domain_anchor {
+        // Anchor candidates: the host start and every label boundary within
+        // the host.
+        let host_end = url_text[host_start..]
+            .find(['/', '?', ':'])
+            .map(|i| host_start + i)
+            .unwrap_or(url_text.len());
+        let mut pos = host_start;
+        loop {
+            if match_here(pattern, text, pos, rule.end_anchor) {
+                return true;
+            }
+            match url_text[pos..host_end].find('.') {
+                Some(dot) => pos = pos + dot + 1,
+                None => return false,
+            }
+        }
+    }
+    // Unanchored: try every start position.
+    (0..=text.len()).any(|pos| match_here(pattern, text, pos, rule.end_anchor))
+}
+
+/// Matches `pattern` against `text[pos..]`, honouring `*` (any run) and `^`
+/// (separator or end). When `must_end` is set, the match must consume the
+/// whole remaining text.
+fn match_here(pattern: &[u8], text: &[u8], pos: usize, must_end: bool) -> bool {
+    match pattern.first() {
+        None => !must_end || pos == text.len(),
+        Some(b'*') => {
+            // `*` matches any (possibly empty) run.
+            (pos..=text.len()).any(|next| match_here(&pattern[1..], text, next, must_end))
+        }
+        Some(b'^') => {
+            // Separator: any char that is not alphanumeric and not one of
+            // `_-.%`; also matches the end of the URL.
+            if pos == text.len() {
+                return match_here(&pattern[1..], text, pos, must_end);
+            }
+            let c = text[pos];
+            let is_sep = !(c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b'%'));
+            is_sep && match_here(&pattern[1..], text, pos + 1, must_end)
+        }
+        Some(&p) => pos < text.len() && text[pos] == p && match_here(&pattern[1..], text, pos + 1, must_end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn host(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn iframe_ctx(src: &str) -> RequestContext {
+        RequestContext::iframe_from(&host(src))
+    }
+
+    #[test]
+    fn substring_rule_matches_anywhere() {
+        let set = FilterSet::parse("/banner/");
+        assert!(set.is_ad_url(&url("http://x.com/img/banner/top.png"), &iframe_ctx("x.com")));
+        assert!(!set.is_ad_url(&url("http://x.com/img/logo.png"), &iframe_ctx("x.com")));
+    }
+
+    #[test]
+    fn domain_anchor_matches_subdomains_only() {
+        let set = FilterSet::parse("||ads.com^");
+        let ctx = iframe_ctx("pub.com");
+        assert!(set.is_ad_url(&url("http://ads.com/serve"), &ctx));
+        assert!(set.is_ad_url(&url("http://cdn.ads.com/serve"), &ctx));
+        assert!(set.is_ad_url(&url("https://ads.com/"), &ctx));
+        // Not a label boundary:
+        assert!(!set.is_ad_url(&url("http://badads.com/serve"), &ctx));
+        // Host substring in path must not match a domain-anchored rule:
+        assert!(!set.is_ad_url(&url("http://x.com/ads.com/serve"), &ctx));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let set = FilterSet::parse("||ads.com^");
+        let ctx = iframe_ctx("pub.com");
+        // `^` matches `/`, `?`, `:` and end-of-URL but not letters/digits.
+        assert!(set.is_ad_url(&url("http://ads.com:8080/x"), &ctx));
+        assert!(set.is_ad_url(&url("http://ads.com/?q=1"), &ctx));
+        assert!(!set.is_ad_url(&url("http://ads.comx.net/"), &ctx));
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        let set = FilterSet::parse("/ad*/banner.");
+        let ctx = iframe_ctx("x.com");
+        assert!(set.is_ad_url(&url("http://x.com/ads123/banner.png"), &ctx));
+        assert!(set.is_ad_url(&url("http://x.com/ad/banner.gif"), &ctx));
+        assert!(!set.is_ad_url(&url("http://x.com/ad/button.gif"), &ctx));
+    }
+
+    #[test]
+    fn start_and_end_anchor() {
+        let set = FilterSet::parse("|http://adstart.");
+        let ctx = iframe_ctx("x.com");
+        assert!(set.is_ad_url(&url("http://adstart.com/x"), &ctx));
+        assert!(!set.is_ad_url(&url("http://pre.adstart.com/x"), &ctx));
+
+        let set = FilterSet::parse("swf|");
+        assert!(set.is_ad_url(&url("http://x.com/movie.swf"), &ctx));
+        assert!(!set.is_ad_url(&url("http://x.com/movie.swf?x=1"), &ctx));
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let set = FilterSet::parse("||ads.com^\n@@||ads.com/acceptable/");
+        let ctx = iframe_ctx("x.com");
+        assert!(set.is_ad_url(&url("http://ads.com/serve"), &ctx));
+        let result = set.matches(&url("http://ads.com/acceptable/one"), &ctx);
+        assert!(matches!(result, MatchResult::Excepted(_)));
+        assert!(!result.is_ad());
+    }
+
+    #[test]
+    fn domain_option_scopes_rule() {
+        let set = FilterSet::parse("||tracker.com^$domain=news.com|~sports.news.com");
+        let u = url("http://tracker.com/pixel");
+        assert!(set.is_ad_url(&u, &iframe_ctx("news.com")));
+        assert!(set.is_ad_url(&u, &iframe_ctx("www.news.com")));
+        assert!(!set.is_ad_url(&u, &iframe_ctx("sports.news.com")));
+        assert!(!set.is_ad_url(&u, &iframe_ctx("other.com")));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let set = FilterSet::parse("||widgets.com^$third-party");
+        let u = url("http://widgets.com/ad");
+        assert!(set.is_ad_url(&u, &iframe_ctx("pub.com")));
+        // First-party: source on the same registered domain.
+        assert!(!set.is_ad_url(&u, &iframe_ctx("www.widgets.com")));
+    }
+
+    #[test]
+    fn first_party_only_option() {
+        let set = FilterSet::parse("||self.com/promo^$~third-party");
+        let u = url("http://self.com/promo/");
+        assert!(set.is_ad_url(&u, &iframe_ctx("www.self.com")));
+        assert!(!set.is_ad_url(&u, &iframe_ctx("other.com")));
+    }
+
+    #[test]
+    fn type_options() {
+        let set = FilterSet::parse("||adhost.com^$subdocument");
+        let u = url("http://adhost.com/frame");
+        assert!(set.is_ad_url(&u, &iframe_ctx("x.com")));
+        let script_ctx = RequestContext {
+            source_host: Some(host("x.com")),
+            resource: ResourceType::Script,
+        };
+        assert!(!set.is_ad_url(&u, &script_ctx));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let set = FilterSet::parse("/BANNER/");
+        assert!(set.is_ad_url(&url("http://x.com/Banner/1"), &iframe_ctx("x.com")));
+    }
+
+    #[test]
+    fn full_list_parse_counts() {
+        let list = "[Adblock Plus 2.0]\n! Title: SimList\n||ads.com^\n@@||ads.com/ok/\nx.com##.banner\n\n/promo/\n";
+        let set = FilterSet::parse(list);
+        assert_eq!(set.blocking_rule_count(), 2);
+        assert_eq!(set.exception_rule_count(), 1);
+        assert_eq!(set.hiding_rule_count, 1);
+        assert_eq!(set.unsupported_count, 0);
+    }
+
+    #[test]
+    fn no_rules_no_match() {
+        let set = FilterSet::parse("! only comments\n");
+        assert_eq!(
+            set.matches(&url("http://anything.com/"), &RequestContext::top_level()),
+            MatchResult::NotMatched
+        );
+    }
+
+    #[test]
+    fn query_string_matching() {
+        let set = FilterSet::parse("?ad_slot=");
+        assert!(set.is_ad_url(
+            &url("http://pub.com/page?ad_slot=top"),
+            &iframe_ctx("pub.com")
+        ));
+    }
+
+    #[test]
+    fn multiple_wildcards() {
+        let set = FilterSet::parse("||serve*.net^*creative*id=");
+        assert!(set.is_ad_url(
+            &url("http://serve04.net/show?creative&id=9"),
+            &iframe_ctx("x.com")
+        ));
+    }
+}

@@ -1,0 +1,354 @@
+//! Filter-rule parsing (Adblock Plus syntax).
+
+use std::fmt;
+
+/// Resource-type options a rule can constrain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeOption {
+    /// `$script`
+    Script,
+    /// `$image`
+    Image,
+    /// `$subdocument` (iframes)
+    Subdocument,
+    /// `$xmlhttprequest`
+    Xhr,
+    /// `$object` (Flash)
+    Object,
+    /// `$document`
+    Document,
+}
+
+impl TypeOption {
+    fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "script" => TypeOption::Script,
+            "image" => TypeOption::Image,
+            "subdocument" => TypeOption::Subdocument,
+            "xmlhttprequest" => TypeOption::Xhr,
+            "object" => TypeOption::Object,
+            "document" => TypeOption::Document,
+            _ => return None,
+        })
+    }
+}
+
+/// Parsed `$`-options of a network rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleOptions {
+    /// `domain=` inclusions (request page must be on/within one of these).
+    pub include_domains: Vec<String>,
+    /// `domain=` exclusions (`~`-prefixed entries).
+    pub exclude_domains: Vec<String>,
+    /// `third-party` (Some(true)) / `~third-party` (Some(false)).
+    pub third_party: Option<bool>,
+    /// Positive resource types (`$script,image`); empty = all types.
+    pub include_types: Vec<TypeOption>,
+    /// Negated resource types (`$~script`).
+    pub exclude_types: Vec<TypeOption>,
+}
+
+/// A parsed network (blocking or exception) rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkRule {
+    /// Original rule text (for reporting which rule matched).
+    pub text: String,
+    /// Pattern body with anchors stripped, lower-cased.
+    pub pattern: String,
+    /// `@@` exception rule.
+    pub is_exception: bool,
+    /// `||` prefix: anchor at a hostname label boundary.
+    pub domain_anchor: bool,
+    /// Leading `|`: anchor at URL start.
+    pub start_anchor: bool,
+    /// Trailing `|`: anchor at URL end.
+    pub end_anchor: bool,
+    /// Parsed options.
+    pub options: RuleOptions,
+}
+
+/// One parsed line of a filter list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedLine {
+    /// A network rule (blocking or exception).
+    Network(NetworkRule),
+    /// An element-hiding rule (`##` / `#@#`) — stored, not matched.
+    ElementHiding {
+        /// The domain prefix (may be empty for generic rules).
+        domains: String,
+        /// The CSS selector.
+        selector: String,
+        /// True for `#@#` exceptions.
+        is_exception: bool,
+    },
+    /// A comment (`!`) or list header (`[...]`).
+    Comment(String),
+    /// An empty line.
+    Blank,
+    /// A line using unsupported syntax (regex rules etc.).
+    Unsupported(String),
+}
+
+/// Errors from [`NetworkRule::parse`]: the rule uses unsupported syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedRule(pub String);
+
+impl fmt::Display for UnsupportedRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported filter rule: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedRule {}
+
+/// Parses one line of a filter list.
+pub fn parse_line(line: &str) -> ParsedLine {
+    let line = line.trim();
+    if line.is_empty() {
+        return ParsedLine::Blank;
+    }
+    if line.starts_with('!') || (line.starts_with('[') && line.ends_with(']')) {
+        return ParsedLine::Comment(line.to_string());
+    }
+    // Element hiding: `domains##selector` or `domains#@#selector`.
+    if let Some(idx) = line.find("#@#") {
+        return ParsedLine::ElementHiding {
+            domains: line[..idx].to_string(),
+            selector: line[idx + 3..].to_string(),
+            is_exception: true,
+        };
+    }
+    if let Some(idx) = line.find("##") {
+        return ParsedLine::ElementHiding {
+            domains: line[..idx].to_string(),
+            selector: line[idx + 2..].to_string(),
+            is_exception: false,
+        };
+    }
+    match NetworkRule::parse(line) {
+        Ok(rule) => ParsedLine::Network(rule),
+        Err(_) => ParsedLine::Unsupported(line.to_string()),
+    }
+}
+
+impl NetworkRule {
+    /// Parses a network rule. Errors on unsupported syntax (regex rules).
+    pub fn parse(text: &str) -> Result<Self, UnsupportedRule> {
+        let original = text.to_string();
+        let mut body = text;
+
+        let is_exception = if let Some(rest) = body.strip_prefix("@@") {
+            body = rest;
+            true
+        } else {
+            false
+        };
+
+        // Regex rules (`/.../` with regex metacharacters inside) are
+        // unsupported. A plain `/banner/` path fragment is a substring rule.
+        if body.len() >= 2 && body.starts_with('/') && body.ends_with('/') {
+            let inner = &body[1..body.len() - 1];
+            if inner
+                .chars()
+                .any(|c| matches!(c, '\\' | '(' | ')' | '[' | ']' | '{' | '}' | '+' | '?'))
+            {
+                return Err(UnsupportedRule(original));
+            }
+        }
+
+        // Split off options at the last unescaped `$` (a `$` in the pattern
+        // body is rare; EasyList convention is that options follow the last
+        // `$` when it introduces a known option keyword).
+        let mut options = RuleOptions::default();
+        if let Some(idx) = body.rfind('$') {
+            let opts_str = &body[idx + 1..];
+            if !opts_str.is_empty() && looks_like_options(opts_str) {
+                parse_options(opts_str, &mut options)?;
+                body = &body[..idx];
+            }
+        }
+
+        let mut domain_anchor = false;
+        let mut start_anchor = false;
+        if let Some(rest) = body.strip_prefix("||") {
+            domain_anchor = true;
+            body = rest;
+        } else if let Some(rest) = body.strip_prefix('|') {
+            start_anchor = true;
+            body = rest;
+        }
+        let mut end_anchor = false;
+        if let Some(rest) = body.strip_suffix('|') {
+            end_anchor = true;
+            body = rest;
+        }
+
+        if body.is_empty() {
+            return Err(UnsupportedRule(original));
+        }
+
+        Ok(NetworkRule {
+            text: original,
+            pattern: body.to_ascii_lowercase(),
+            is_exception,
+            domain_anchor,
+            start_anchor,
+            end_anchor,
+            options,
+        })
+    }
+}
+
+fn looks_like_options(s: &str) -> bool {
+    s.split(',').all(|opt| {
+        let opt = opt.trim().trim_start_matches('~');
+        opt.starts_with("domain=")
+            || opt == "third-party"
+            || TypeOption::parse(opt).is_some()
+            || opt == "popup"
+            || opt == "match-case"
+    })
+}
+
+fn parse_options(s: &str, out: &mut RuleOptions) -> Result<(), UnsupportedRule> {
+    for opt in s.split(',') {
+        let opt = opt.trim();
+        if let Some(domains) = opt.strip_prefix("domain=") {
+            for d in domains.split('|') {
+                if let Some(neg) = d.strip_prefix('~') {
+                    out.exclude_domains.push(neg.to_ascii_lowercase());
+                } else if !d.is_empty() {
+                    out.include_domains.push(d.to_ascii_lowercase());
+                }
+            }
+        } else if opt == "third-party" {
+            out.third_party = Some(true);
+        } else if opt == "~third-party" {
+            out.third_party = Some(false);
+        } else if let Some(neg) = opt.strip_prefix('~') {
+            if let Some(t) = TypeOption::parse(neg) {
+                out.exclude_types.push(t);
+            }
+            // Unknown negated options are ignored.
+        } else if let Some(t) = TypeOption::parse(opt) {
+            out.include_types.push(t);
+        } else if opt == "popup" || opt == "match-case" {
+            // Accepted and ignored: they do not affect identification.
+        } else {
+            return Err(UnsupportedRule(opt.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_substring_rule() {
+        let r = NetworkRule::parse("/banner/ads/").unwrap();
+        assert_eq!(r.pattern, "/banner/ads/");
+        assert!(!r.domain_anchor && !r.start_anchor && !r.end_anchor && !r.is_exception);
+    }
+
+    #[test]
+    fn domain_anchor_rule() {
+        let r = NetworkRule::parse("||ads.example.com^").unwrap();
+        assert!(r.domain_anchor);
+        assert_eq!(r.pattern, "ads.example.com^");
+    }
+
+    #[test]
+    fn start_and_end_anchors() {
+        let r = NetworkRule::parse("|http://ads.|").unwrap();
+        assert!(r.start_anchor && r.end_anchor);
+        assert_eq!(r.pattern, "http://ads.");
+    }
+
+    #[test]
+    fn exception_rule() {
+        let r = NetworkRule::parse("@@||good-ads.com^$domain=news.com").unwrap();
+        assert!(r.is_exception);
+        assert_eq!(r.options.include_domains, vec!["news.com"]);
+    }
+
+    #[test]
+    fn options_parsing() {
+        let r = NetworkRule::parse("||track.com^$third-party,script,domain=a.com|~b.com").unwrap();
+        assert_eq!(r.options.third_party, Some(true));
+        assert_eq!(r.options.include_types, vec![TypeOption::Script]);
+        assert_eq!(r.options.include_domains, vec!["a.com"]);
+        assert_eq!(r.options.exclude_domains, vec!["b.com"]);
+    }
+
+    #[test]
+    fn negated_options() {
+        let r = NetworkRule::parse("||x.com^$~third-party,~image").unwrap();
+        assert_eq!(r.options.third_party, Some(false));
+        assert_eq!(r.options.exclude_types, vec![TypeOption::Image]);
+    }
+
+    #[test]
+    fn dollar_in_pattern_not_options() {
+        // `$` not followed by option keywords stays in the pattern.
+        let r = NetworkRule::parse("/ad$money/").unwrap();
+        assert_eq!(r.pattern, "/ad$money/");
+    }
+
+    #[test]
+    fn regex_rule_unsupported() {
+        // `/.../` with regex metacharacters is a regex rule → unsupported.
+        assert!(NetworkRule::parse("/banner\\d+/").is_err());
+        assert!(NetworkRule::parse("/^https?://ads/").is_err());
+        // A plain path fragment is a substring rule.
+        assert!(NetworkRule::parse("/banner/").is_ok());
+    }
+
+    #[test]
+    fn case_lowered() {
+        let r = NetworkRule::parse("||ADS.Example.COM/Banner").unwrap();
+        assert_eq!(r.pattern, "ads.example.com/banner");
+    }
+
+    #[test]
+    fn parse_line_variants() {
+        assert!(matches!(parse_line(""), ParsedLine::Blank));
+        assert!(matches!(parse_line("! comment"), ParsedLine::Comment(_)));
+        assert!(matches!(
+            parse_line("[Adblock Plus 2.0]"),
+            ParsedLine::Comment(_)
+        ));
+        assert!(matches!(
+            parse_line("example.com##.ad-banner"),
+            ParsedLine::ElementHiding {
+                is_exception: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_line("example.com#@#.ad-banner"),
+            ParsedLine::ElementHiding {
+                is_exception: true,
+                ..
+            }
+        ));
+        assert!(matches!(parse_line("||ads.com^"), ParsedLine::Network(_)));
+    }
+
+    #[test]
+    fn unknown_option_is_unsupported() {
+        assert!(matches!(
+            parse_line("||x.com^$websocket"),
+            // `websocket` is not in looks_like_options, so the `$...` stays
+            // in the pattern — rule still parses as a network rule.
+            ParsedLine::Network(_)
+        ));
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        assert!(NetworkRule::parse("||").is_err());
+        assert!(NetworkRule::parse("|").is_err());
+    }
+}

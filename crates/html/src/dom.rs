@@ -1,0 +1,355 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a flat `Vec` owned by [`Document`], addressed by [`NodeId`].
+//! This keeps the tree `Send`, cheap to clone, and free of `Rc` cycles — the
+//! emulated browser clones subtrees when it extracts iframe documents.
+
+use crate::tokenizer::Attribute;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The document root node id.
+    pub const ROOT: NodeId = NodeId(0);
+}
+
+/// Element name plus attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementData {
+    /// Lower-cased tag name.
+    pub name: String,
+    /// Attributes in source order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl ElementData {
+    /// Creates element data with the given name and attributes.
+    pub fn new(name: &str, attrs: Vec<Attribute>) -> Self {
+        Self {
+            name: name.to_ascii_lowercase(),
+            attrs,
+        }
+    }
+
+    /// Looks up an attribute value by (lower-case) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// True when the attribute is present, regardless of value.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+
+    /// Sets an attribute, replacing an existing one of the same name.
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        let name = name.to_ascii_lowercase();
+        match self.attrs.iter_mut().find(|a| a.name == name) {
+            Some(a) => a.value = value.to_string(),
+            None => self.attrs.push(Attribute {
+                name,
+                value: value.to_string(),
+            }),
+        }
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document root (exactly one per document, at [`NodeId::ROOT`]).
+    Document,
+    /// An element.
+    Element(ElementData),
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+}
+
+/// A node in the arena: kind plus tree links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node's content.
+    pub kind: NodeKind,
+    /// Parent link (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed HTML document: an arena of [`Node`]s rooted at [`NodeId::ROOT`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document (root only).
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutably borrows a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Borrows element data when `id` is an element.
+    pub fn element(&self, id: NodeId) -> Option<&ElementData> {
+        match &self.node(id).kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows element data when `id` is an element.
+    pub fn element_mut(&mut self, id: NodeId) -> Option<&mut ElementData> {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Appends a new node under `parent`, returning its id.
+    pub fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Appends an element under `parent`.
+    pub fn append_element(&mut self, parent: NodeId, name: &str, attrs: Vec<Attribute>) -> NodeId {
+        self.append(parent, NodeKind::Element(ElementData::new(name, attrs)))
+    }
+
+    /// Appends a text node under `parent`.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        self.append(parent, NodeKind::Text(text.to_string()))
+    }
+
+    /// Iterates all node ids in pre-order (document order).
+    pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![start],
+            skip_first: true,
+            first: true,
+        }
+    }
+
+    /// Iterates every element in document order.
+    pub fn elements(&self) -> impl Iterator<Item = (NodeId, &ElementData)> {
+        self.descendants(NodeId::ROOT).filter_map(move |id| {
+            self.element(id).map(|e| (id, e))
+        })
+    }
+
+    /// Finds all elements with the given (lower-case) tag name.
+    pub fn elements_by_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.elements()
+            .filter(move |(_, e)| e.name == tag)
+            .map(|(id, _)| id)
+    }
+
+    /// The first element with the given tag name, if any.
+    pub fn first_by_tag(&self, tag: &str) -> Option<NodeId> {
+        self.elements_by_tag(tag).next()
+    }
+
+    /// Concatenated text content of the subtree at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        if let NodeKind::Text(t) = &self.node(id).kind {
+            out.push_str(t);
+        }
+        for d in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(d).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Walks ancestors from `id` (exclusive) to the root (inclusive).
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut current = self.node(id).parent;
+        std::iter::from_fn(move || {
+            let id = current?;
+            current = self.node(id).parent;
+            Some(id)
+        })
+    }
+
+    /// Deep-copies the subtree rooted at `id` into a fresh document whose root
+    /// directly contains the copied node. Used to lift an iframe's inline
+    /// markup out of its host page.
+    pub fn extract_subtree(&self, id: NodeId) -> Document {
+        let mut out = Document::new();
+        self.copy_into(id, &mut out, NodeId::ROOT);
+        out
+    }
+
+    fn copy_into(&self, src: NodeId, out: &mut Document, dst_parent: NodeId) {
+        let node = self.node(src);
+        let new_id = out.append(dst_parent, node.kind.clone());
+        for &child in &node.children {
+            self.copy_into(child, out, new_id);
+        }
+    }
+}
+
+/// Pre-order iterator over a subtree, excluding the start node.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+    skip_first: bool,
+    first: bool,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let id = self.stack.pop()?;
+            // Push children in reverse so they pop in order.
+            let node = self.doc.node(id);
+            for &child in node.children.iter().rev() {
+                self.stack.push(child);
+            }
+            if self.first && self.skip_first {
+                self.first = false;
+                continue;
+            }
+            return Some(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let html = doc.append_element(NodeId::ROOT, "html", vec![]);
+        let body = doc.append_element(html, "body", vec![]);
+        let p = doc.append_element(body, "p", vec![]);
+        doc.append_text(p, "hello ");
+        let b = doc.append_element(p, "b", vec![]);
+        doc.append_text(b, "world");
+        (doc, html, body, p)
+    }
+
+    #[test]
+    fn append_links_parent_and_children() {
+        let (doc, html, body, _) = tiny();
+        assert_eq!(doc.node(body).parent, Some(html));
+        assert_eq!(doc.node(html).children, vec![body]);
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let (doc, ..) = tiny();
+        let tags: Vec<String> = doc
+            .descendants(NodeId::ROOT)
+            .filter_map(|id| doc.element(id).map(|e| e.name.clone()))
+            .collect();
+        assert_eq!(tags, vec!["html", "body", "p", "b"]);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let (doc, _, _, p) = tiny();
+        assert_eq!(doc.text_content(p), "hello world");
+        assert_eq!(doc.text_content(NodeId::ROOT), "hello world");
+    }
+
+    #[test]
+    fn elements_by_tag_finds_all() {
+        let mut doc = Document::new();
+        let body = doc.append_element(NodeId::ROOT, "body", vec![]);
+        doc.append_element(body, "iframe", vec![]);
+        let div = doc.append_element(body, "div", vec![]);
+        doc.append_element(div, "iframe", vec![]);
+        assert_eq!(doc.elements_by_tag("iframe").count(), 2);
+        assert_eq!(doc.first_by_tag("div"), Some(div));
+        assert_eq!(doc.first_by_tag("video"), None);
+    }
+
+    #[test]
+    fn attrs_get_set() {
+        let mut e = ElementData::new("IFRAME", vec![]);
+        assert_eq!(e.name, "iframe");
+        assert!(!e.has_attr("src"));
+        e.set_attr("SRC", "http://a/");
+        assert_eq!(e.attr("src"), Some("http://a/"));
+        e.set_attr("src", "http://b/");
+        assert_eq!(e.attr("src"), Some("http://b/"));
+        assert_eq!(e.attrs.len(), 1);
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let (doc, html, body, p) = tiny();
+        let anc: Vec<_> = doc.ancestors(p).collect();
+        assert_eq!(anc, vec![body, html, NodeId::ROOT]);
+    }
+
+    #[test]
+    fn extract_subtree_copies_deeply() {
+        let (doc, _, _, p) = tiny();
+        let sub = doc.extract_subtree(p);
+        // Root -> p -> [text, b -> text]
+        let p_copy = sub.node(NodeId::ROOT).children[0];
+        assert_eq!(sub.element(p_copy).unwrap().name, "p");
+        assert_eq!(sub.text_content(NodeId::ROOT), "hello world");
+        // Mutating the copy must not affect the original.
+        assert_eq!(doc.text_content(p), "hello world");
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = Document::new();
+        assert!(doc.is_empty());
+        assert_eq!(doc.descendants(NodeId::ROOT).count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Character-entity decoding and text escaping.
+
+/// Named entities we decode. This is the set that occurs in web markup at any
+/// meaningful frequency; unknown references are passed through verbatim, which
+/// matches browser behaviour for unterminated/unknown entities.
+const NAMED: &[(&str, char)] = &[
+    ("amp", '&'),
+    ("lt", '<'),
+    ("gt", '>'),
+    ("quot", '"'),
+    ("apos", '\''),
+    ("nbsp", '\u{a0}'),
+    ("copy", '\u{a9}'),
+    ("reg", '\u{ae}'),
+    ("trade", '\u{2122}'),
+    ("hellip", '\u{2026}'),
+    ("mdash", '\u{2014}'),
+    ("ndash", '\u{2013}'),
+    ("lsquo", '\u{2018}'),
+    ("rsquo", '\u{2019}'),
+    ("ldquo", '\u{201c}'),
+    ("rdquo", '\u{201d}'),
+    ("laquo", '\u{ab}'),
+    ("raquo", '\u{bb}'),
+    ("times", '\u{d7}'),
+    ("euro", '\u{20ac}'),
+    ("pound", '\u{a3}'),
+    ("cent", '\u{a2}'),
+    ("sect", '\u{a7}'),
+    ("middot", '\u{b7}'),
+    ("bull", '\u{2022}'),
+];
+
+/// Decodes character references in `input`.
+///
+/// Handles `&name;`, `&#123;`, and `&#x1F;` forms. Anything that does not
+/// parse as a reference is copied through unchanged.
+pub fn decode(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find a terminating semicolon within a reasonable window
+        // (byte search: ';' is ASCII, so the boundaries stay valid).
+        let window_end = (i + 32).min(bytes.len());
+        match bytes[i + 1..window_end].iter().position(|&b| b == b';') {
+            Some(rel) => {
+                let body = &input[i + 1..i + 1 + rel];
+                if let Some(c) = decode_reference(body) {
+                    out.push(c);
+                    i += rel + 2;
+                } else {
+                    out.push('&');
+                    i += 1;
+                }
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn decode_reference(body: &str) -> Option<char> {
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        char::from_u32(code)
+    } else {
+        NAMED.iter().find(|(n, _)| *n == body).map(|(_, c)| *c)
+    }
+}
+
+/// Escapes text content for serialization (`&`, `<`, `>`).
+pub fn escape_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for serialization within double quotes.
+pub fn escape_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '<' => out.push_str("&lt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_named() {
+        assert_eq!(decode("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(decode("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+        assert_eq!(decode("&nbsp;"), "\u{a0}");
+    }
+
+    #[test]
+    fn decode_numeric() {
+        assert_eq!(decode("&#65;&#66;"), "AB");
+        assert_eq!(decode("&#x41;&#X42;"), "AB");
+        assert_eq!(decode("&#x20AC;"), "\u{20ac}");
+    }
+
+    #[test]
+    fn decode_passthrough() {
+        assert_eq!(decode("no entities"), "no entities");
+        assert_eq!(decode("&unknown;"), "&unknown;");
+        assert_eq!(decode("bare & ampersand"), "bare & ampersand");
+        assert_eq!(decode("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn decode_invalid_codepoint() {
+        // Surrogate — not a valid char.
+        assert_eq!(decode("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn decode_preserves_multibyte() {
+        assert_eq!(decode("caf\u{e9} &amp; t\u{e9}"), "caf\u{e9} & t\u{e9}");
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let raw = "a<b>&\"c\"";
+        assert_eq!(decode(&escape_text(raw)), raw);
+        assert_eq!(decode(&escape_attr(raw)), raw);
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+    }
+}

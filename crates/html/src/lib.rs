@@ -1,0 +1,42 @@
+//! # malvert-html
+//!
+//! HTML substrate for the malvertising study: a tokenizer, a
+//! forgiving tree builder, an arena-based DOM, and a serializer.
+//!
+//! The crawler parses every fetched page to find advertisement iframes
+//! (§3.1 of the paper), the emulated browser executes `<script>` elements it
+//! finds here, and the §4.4 analysis inspects `iframe` attributes for the
+//! HTML5 `sandbox` attribute. This crate provides exactly that surface.
+//!
+//! ## Supported
+//!
+//! * Start/end tags, attributes (double-, single-, and un-quoted values),
+//!   self-closing syntax, comments, doctype.
+//! * Void elements (`br`, `img`, `meta`, …) and raw-text elements (`script`,
+//!   `style`, `title`, `textarea` — content is not tokenized as markup).
+//! * Character-entity decoding for named (`&amp;` set), decimal, and hex
+//!   references in text and attribute values.
+//! * Mis-nesting tolerance: unmatched end tags are ignored; unclosed elements
+//!   are closed at end-of-input, and a small formatting set (`p`, `li`,
+//!   `option`) auto-closes on sibling open.
+//!
+//! ## Not supported
+//!
+//! * The full HTML5 adoption-agency algorithm, CDATA, processing
+//!   instructions, and character encodings other than UTF-8. The simulated
+//!   Web does not produce them; real-world fragments containing them parse
+//!   with best-effort recovery instead of erroring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod entities;
+pub mod parser;
+pub mod serialize;
+pub mod tokenizer;
+
+pub use dom::{Document, ElementData, Node, NodeId, NodeKind};
+pub use parser::parse_document;
+pub use serialize::serialize;
+pub use tokenizer::{Attribute, Token, Tokenizer};

@@ -1,0 +1,214 @@
+//! Tree builder: turns the token stream into a [`Document`].
+//!
+//! Forgiving by design — real pages (and deliberately sloppy ad markup) are
+//! full of unclosed tags. Recovery rules:
+//!
+//! * Void elements never take children.
+//! * An end tag that matches an open element pops everything above it; one
+//!   that matches nothing is dropped.
+//! * `p`, `li`, `option`, `tr`, `td`, `th` auto-close when a sibling of the
+//!   same kind opens.
+//! * Everything left open at end-of-input is implicitly closed.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that cannot have content.
+pub const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Elements that auto-close when a sibling of the same name opens.
+const AUTO_CLOSE_SIBLING: &[&str] = &["p", "li", "option", "tr", "td", "th"];
+
+/// Parses `input` into a DOM tree. Never fails: recovery rules apply.
+pub fn parse_document(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<(NodeId, String)> = vec![(NodeId::ROOT, String::new())];
+
+    for token in Tokenizer::new(input) {
+        match token {
+            Token::Doctype(_) => {}
+            Token::Comment(body) => {
+                let parent = stack.last().expect("stack never empty").0;
+                doc.append(parent, NodeKind::Comment(body));
+            }
+            Token::Text(text) => {
+                if text.is_empty() {
+                    continue;
+                }
+                let parent = stack.last().expect("stack never empty").0;
+                doc.append_text(parent, &text);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Auto-close a same-name sibling for the formatting set.
+                if AUTO_CLOSE_SIBLING.contains(&name.as_str())
+                    && stack.last().is_some_and(|(_, n)| *n == name)
+                {
+                    stack.pop();
+                }
+                let parent = stack.last().expect("stack never empty").0;
+                let id = doc.append_element(parent, &name, attrs);
+                let is_void = VOID_ELEMENTS.contains(&name.as_str());
+                if !is_void && !self_closing {
+                    stack.push((id, name));
+                }
+            }
+            Token::EndTag { name } => {
+                // Find the matching open element, if any.
+                if let Some(pos) = stack.iter().rposition(|(_, n)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+                // No match: drop the end tag.
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeId;
+
+    fn tags_in_order(doc: &Document) -> Vec<String> {
+        doc.descendants(NodeId::ROOT)
+            .filter_map(|id| doc.element(id).map(|e| e.name.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn well_formed_document() {
+        let doc = parse_document("<html><head><title>t</title></head><body><p>x</p></body></html>");
+        assert_eq!(tags_in_order(&doc), vec!["html", "head", "title", "body", "p"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "tx");
+    }
+
+    #[test]
+    fn nesting_structure() {
+        let doc = parse_document("<div><span>a</span><span>b</span></div>");
+        let div = doc.first_by_tag("div").unwrap();
+        let spans: Vec<_> = doc
+            .node(div)
+            .children
+            .iter()
+            .filter(|&&c| doc.element(c).is_some())
+            .collect();
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_document("<body><img src=x><p>after</p></body>");
+        let img = doc.first_by_tag("img").unwrap();
+        assert!(doc.node(img).children.is_empty());
+        let p = doc.first_by_tag("p").unwrap();
+        // `p` must be a sibling of img (child of body), not a child of img.
+        assert_eq!(doc.node(p).parent, doc.node(img).parent);
+    }
+
+    #[test]
+    fn self_closing_div_takes_no_children() {
+        let doc = parse_document("<div/><span>s</span>");
+        let div = doc.first_by_tag("div").unwrap();
+        assert!(doc.node(div).children.is_empty());
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = parse_document("<div><p>unclosed");
+        assert_eq!(tags_in_order(&doc), vec!["div", "p"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "unclosed");
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let doc = parse_document("</div><p>x</p>");
+        assert_eq!(tags_in_order(&doc), vec!["p"]);
+    }
+
+    #[test]
+    fn mismatched_end_tag_pops_through() {
+        // `</div>` closes both `b` (implicitly) and `div`.
+        let doc = parse_document("<div><b>bold</div><i>after</i>");
+        let i = doc.first_by_tag("i").unwrap();
+        assert_eq!(doc.node(i).parent, Some(NodeId::ROOT));
+    }
+
+    #[test]
+    fn p_auto_closes_sibling() {
+        let doc = parse_document("<body><p>one<p>two</body>");
+        let body = doc.first_by_tag("body").unwrap();
+        let ps: Vec<_> = doc
+            .node(body)
+            .children
+            .iter()
+            .filter(|&&c| doc.element(c).map(|e| e.name == "p").unwrap_or(false))
+            .collect();
+        assert_eq!(ps.len(), 2, "second <p> must auto-close the first");
+    }
+
+    #[test]
+    fn li_auto_closes_sibling() {
+        let doc = parse_document("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.first_by_tag("ul").unwrap();
+        assert_eq!(doc.node(ul).children.len(), 3);
+    }
+
+    #[test]
+    fn script_content_preserved_verbatim() {
+        let src = "<script>for (var i = 0; i < 5; i++) { x += '<div>'; }</script>";
+        let doc = parse_document(src);
+        let script = doc.first_by_tag("script").unwrap();
+        assert_eq!(
+            doc.text_content(script),
+            "for (var i = 0; i < 5; i++) { x += '<div>'; }"
+        );
+        // No <div> element was created from the script text.
+        assert!(doc.first_by_tag("div").is_none());
+    }
+
+    #[test]
+    fn iframe_with_sandbox_attribute() {
+        let doc =
+            parse_document(r#"<iframe src="http://ads.example.com/slot" sandbox="allow-scripts">"#);
+        let iframe = doc.first_by_tag("iframe").unwrap();
+        let e = doc.element(iframe).unwrap();
+        assert!(e.has_attr("sandbox"));
+        assert_eq!(e.attr("sandbox"), Some("allow-scripts"));
+    }
+
+    #[test]
+    fn comments_kept_in_tree() {
+        let doc = parse_document("<div><!-- marker --></div>");
+        let div = doc.first_by_tag("div").unwrap();
+        assert!(matches!(
+            &doc.node(doc.node(div).children[0]).kind,
+            NodeKind::Comment(c) if c == " marker "
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_doc() {
+        let doc = parse_document("");
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_does_not_blow_up() {
+        let depth = 2000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<div>");
+        }
+        let doc = parse_document(&s);
+        assert_eq!(doc.elements_by_tag("div").count(), depth);
+    }
+}

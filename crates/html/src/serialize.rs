@@ -1,0 +1,155 @@
+//! DOM serialization back to HTML text.
+//!
+//! The crawler stores each extracted ad iframe as a standalone HTML document
+//! (§3.1: "we created HTML documents based on the contents of the iframes"),
+//! and corpus de-duplication keys on the serialized form — so serialization
+//! must be deterministic and stable.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::entities::{escape_attr, escape_text};
+use crate::parser::VOID_ELEMENTS;
+use crate::tokenizer::RAW_TEXT_ELEMENTS;
+
+/// Serializes the subtree rooted at `id` (excluding the root node itself when
+/// it is the document node) to HTML text.
+pub fn serialize_node(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+/// Serializes an entire document.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in &doc.node(NodeId::ROOT).children {
+        write_node(doc, child, &mut out);
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for &child in &doc.node(id).children {
+                write_node(doc, child, out);
+            }
+        }
+        NodeKind::Text(t) => {
+            // Text inside raw-text elements is emitted verbatim.
+            let parent_raw = doc
+                .node(id)
+                .parent
+                .and_then(|p| doc.element(p))
+                .map(|e| RAW_TEXT_ELEMENTS.contains(&e.name.as_str()))
+                .unwrap_or(false);
+            if parent_raw {
+                out.push_str(t);
+            } else {
+                out.push_str(&escape_text(t));
+            }
+        }
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Element(e) => {
+            out.push('<');
+            out.push_str(&e.name);
+            for attr in &e.attrs {
+                out.push(' ');
+                out.push_str(&attr.name);
+                if !attr.value.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&attr.value));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if VOID_ELEMENTS.contains(&e.name.as_str()) {
+                return;
+            }
+            for &child in &doc.node(id).children {
+                write_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(&e.name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<html><body><p class="x">hello <b>world</b></p></body></html>"#;
+        let doc = parse_document(src);
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn roundtrip_is_fixpoint() {
+        // Serialization of a parse must be stable under re-parsing.
+        let src = r#"<div data-x='1' hidden><img src=pic.png><p>a<p>b</div>"#;
+        let once = serialize(&parse_document(src));
+        let twice = serialize(&parse_document(&once));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let doc = parse_document("<br><img src=x>");
+        assert_eq!(serialize(&doc), r#"<br><img src="x">"#);
+    }
+
+    #[test]
+    fn valueless_attribute() {
+        let doc = parse_document("<iframe sandbox></iframe>");
+        assert_eq!(serialize(&doc), "<iframe sandbox></iframe>");
+    }
+
+    #[test]
+    fn text_escaped() {
+        let mut doc = Document::new();
+        let p = doc.append_element(NodeId::ROOT, "p", vec![]);
+        doc.append_text(p, "a < b & c");
+        assert_eq!(serialize(&doc), "<p>a &lt; b &amp; c</p>");
+    }
+
+    #[test]
+    fn attr_escaped() {
+        let mut doc = Document::new();
+        let mut e = crate::dom::ElementData::new("a", vec![]);
+        e.set_attr("title", r#"say "hi" & bye"#);
+        doc.append(NodeId::ROOT, NodeKind::Element(e));
+        assert_eq!(
+            serialize(&doc),
+            r#"<a title="say &quot;hi&quot; &amp; bye"></a>"#
+        );
+    }
+
+    #[test]
+    fn script_content_verbatim() {
+        let src = "<script>if (a < b && c > d) go();</script>";
+        let doc = parse_document(src);
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn comment_preserved() {
+        let src = "<div><!-- note --></div>";
+        let doc = parse_document(src);
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let doc = parse_document("<div><span>inner</span></div>");
+        let span = doc.first_by_tag("span").unwrap();
+        assert_eq!(serialize_node(&doc, span), "<span>inner</span>");
+    }
+}

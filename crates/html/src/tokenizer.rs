@@ -1,0 +1,479 @@
+//! HTML tokenizer.
+//!
+//! A hand-written state machine producing a flat token stream. It follows the
+//! spirit of the WHATWG tokenizer states that matter in practice (data, tag
+//! open, tag name, attribute states, comments, doctype, raw text) without the
+//! full error-recovery matrix.
+
+use crate::entities::decode;
+
+/// One attribute on a start tag. Names are lower-cased; values are
+/// entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Lower-cased attribute name.
+    pub name: String,
+    /// Decoded attribute value; empty for valueless attributes.
+    pub value: String,
+}
+
+/// A token produced by the tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr=...>`; `self_closing` records a trailing `/`.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in source order (first occurrence of a duplicate wins).
+        attrs: Vec<Attribute>,
+        /// Whether the tag used self-closing syntax (`<br/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A run of character data (entity-decoded).
+    Text(String),
+    /// `<!-- ... -->` contents.
+    Comment(String),
+    /// `<!DOCTYPE ...>` contents (raw, without the keyword).
+    Doctype(String),
+}
+
+/// Elements whose content is raw text: markup inside is not tokenized.
+pub const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style", "title", "textarea"];
+
+/// The tokenizer. Construct with [`Tokenizer::new`] and iterate.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// When `Some(tag)`, we are inside a raw-text element and scan for its
+    /// matching `</tag`.
+    raw_text_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            pos: 0,
+            raw_text_until: None,
+        }
+    }
+
+    /// Tokenizes the whole input into a vector.
+    pub fn run(input: &'a str) -> Vec<Token> {
+        Tokenizer::new(input).collect()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if let Some(tag) = self.raw_text_until.clone() {
+            return Some(self.raw_text(&tag));
+        }
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('<') {
+            // Decide the kind of markup declaration.
+            if stripped.starts_with("!--") {
+                return Some(self.comment());
+            }
+            if stripped
+                .get(..8)
+                .is_some_and(|p| p.eq_ignore_ascii_case("!doctype"))
+            {
+                return Some(self.doctype());
+            }
+            if stripped.starts_with('/') {
+                if let Some(tok) = self.end_tag() {
+                    return Some(tok);
+                }
+                // Malformed `</`: emit as text.
+                self.bump(1);
+                return Some(Token::Text("<".to_string()));
+            }
+            if stripped
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+            {
+                return Some(self.start_tag());
+            }
+            // `<` not opening markup: literal text.
+            self.bump(1);
+            return Some(Token::Text("<".to_string()));
+        }
+        // Text run up to the next `<`.
+        let end = rest.find('<').unwrap_or(rest.len());
+        let text = &rest[..end];
+        self.bump(end);
+        Some(Token::Text(decode(text)))
+    }
+
+    fn raw_text(&mut self, tag: &str) -> Token {
+        self.raw_text_until = None;
+        let rest = self.rest();
+        let closer = format!("</{tag}");
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(&closer) {
+            Some(idx) => {
+                let content = &rest[..idx];
+                self.bump(idx);
+                Token::Text(content.to_string())
+            }
+            None => {
+                let content = rest;
+                self.bump(rest.len());
+                Token::Text(content.to_string())
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Token {
+        // self.rest() starts with `<!--`.
+        let body_start = self.pos + 4;
+        let rest = &self.input[body_start..];
+        match rest.find("-->") {
+            Some(idx) => {
+                let body = &rest[..idx];
+                self.pos = body_start + idx + 3;
+                Token::Comment(body.to_string())
+            }
+            None => {
+                let body = rest;
+                self.pos = self.input.len();
+                Token::Comment(body.to_string())
+            }
+        }
+    }
+
+    fn doctype(&mut self) -> Token {
+        // self.rest() starts with `<!doctype` (any case).
+        let body_start = self.pos + 9;
+        let rest = &self.input[body_start..];
+        match rest.find('>') {
+            Some(idx) => {
+                let body = rest[..idx].trim().to_string();
+                self.pos = body_start + idx + 1;
+                Token::Doctype(body)
+            }
+            None => {
+                let body = rest.trim().to_string();
+                self.pos = self.input.len();
+                Token::Doctype(body)
+            }
+        }
+    }
+
+    fn end_tag(&mut self) -> Option<Token> {
+        // self.rest() starts with `</`.
+        let rest = &self.rest()[2..];
+        let name_end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+            .unwrap_or(rest.len());
+        if name_end == 0 {
+            return None;
+        }
+        let name = rest[..name_end].to_ascii_lowercase();
+        // Skip to `>`.
+        let after = &rest[name_end..];
+        let close = after.find('>').map(|i| i + 1).unwrap_or(after.len());
+        self.bump(2 + name_end + close);
+        Some(Token::EndTag { name })
+    }
+
+    fn start_tag(&mut self) -> Token {
+        // self.rest() starts with `<name`.
+        self.bump(1);
+        let rest = self.rest();
+        let name_end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+            .unwrap_or(rest.len());
+        let name = rest[..name_end].to_ascii_lowercase();
+        self.bump(name_end);
+
+        let mut attrs: Vec<Attribute> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            let rest = self.rest();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(after) = rest.strip_prefix("/>") {
+                let _ = after;
+                self_closing = true;
+                self.bump(2);
+                break;
+            }
+            if rest.starts_with('>') {
+                self.bump(1);
+                break;
+            }
+            if rest.starts_with('/') {
+                // Stray slash not followed by `>`: skip it.
+                self.bump(1);
+                continue;
+            }
+            // Attribute name.
+            let name_end = rest
+                .find(|c: char| c.is_ascii_whitespace() || c == '=' || c == '>' || c == '/')
+                .unwrap_or(rest.len());
+            if name_end == 0 {
+                // Unexpected character; skip to avoid looping.
+                self.bump(1);
+                continue;
+            }
+            let attr_name = rest[..name_end].to_ascii_lowercase();
+            self.bump(name_end);
+            self.skip_whitespace();
+            let value = if self.rest().starts_with('=') {
+                self.bump(1);
+                self.skip_whitespace();
+                self.attr_value()
+            } else {
+                String::new()
+            };
+            if !attrs.iter().any(|a| a.name == attr_name) {
+                attrs.push(Attribute {
+                    name: attr_name,
+                    value,
+                });
+            }
+        }
+
+        if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
+            self.raw_text_until = Some(name.clone());
+        }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    fn attr_value(&mut self) -> String {
+        let rest = self.rest();
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped.find('"').unwrap_or(stripped.len());
+            let value = decode(&stripped[..end]);
+            self.bump(1 + end + usize::from(end < stripped.len()));
+            value
+        } else if let Some(stripped) = rest.strip_prefix('\'') {
+            let end = stripped.find('\'').unwrap_or(stripped.len());
+            let value = decode(&stripped[..end]);
+            self.bump(1 + end + usize::from(end < stripped.len()));
+            value
+        } else {
+            let end = rest
+                .find(|c: char| c.is_ascii_whitespace() || c == '>')
+                .unwrap_or(rest.len());
+            let value = decode(&rest[..end]);
+            self.bump(end);
+            value
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        let rest = self.rest();
+        let skipped = rest.len() - rest.trim_start().len();
+        self.bump(skipped);
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+    fn next(&mut self) -> Option<Token> {
+        self.next_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| Attribute {
+                    name: n.to_string(),
+                    value: v.to_string(),
+                })
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = Tokenizer::run("<html><body>Hi</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                start("html", &[]),
+                start("body", &[]),
+                Token::Text("Hi".to_string()),
+                Token::EndTag {
+                    name: "body".to_string()
+                },
+                Token::EndTag {
+                    name: "html".to_string()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_all_quote_styles() {
+        let toks = Tokenizer::run(r#"<iframe src="http://a/" width='300' height=250 allowfullscreen>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "iframe",
+                &[
+                    ("src", "http://a/"),
+                    ("width", "300"),
+                    ("height", "250"),
+                    ("allowfullscreen", ""),
+                ]
+            )]
+        );
+    }
+
+    #[test]
+    fn attribute_names_lowercased_duplicates_dropped() {
+        let toks = Tokenizer::run(r#"<div ID="first" id="second">"#);
+        assert_eq!(toks, vec![start("div", &[("id", "first")])]);
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let toks = Tokenizer::run("<br/><img src=x />");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "br".to_string(),
+                    attrs: vec![],
+                    self_closing: true,
+                },
+                Token::StartTag {
+                    name: "img".to_string(),
+                    attrs: vec![Attribute {
+                        name: "src".to_string(),
+                        value: "x".to_string()
+                    }],
+                    self_closing: true,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let html = r#"<script>if (a < b) { document.write("<b>x</b>"); }</script>"#;
+        let toks = Tokenizer::run(html);
+        assert_eq!(
+            toks,
+            vec![
+                start("script", &[]),
+                Token::Text(r#"if (a < b) { document.write("<b>x</b>"); }"#.to_string()),
+                Token::EndTag {
+                    name: "script".to_string()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_text_case_insensitive_close() {
+        let toks = Tokenizer::run("<SCRIPT>x=1</ScRiPt>");
+        assert!(matches!(&toks[1], Token::Text(t) if t == "x=1"));
+    }
+
+    #[test]
+    fn unterminated_script_consumes_rest() {
+        let toks = Tokenizer::run("<script>var x = 1;");
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(&toks[1], Token::Text(t) if t == "var x = 1;"));
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let toks = Tokenizer::run("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("html".to_string()));
+        assert_eq!(toks[1], Token::Comment(" note ".to_string()));
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let toks = Tokenizer::run("<!-- never closed");
+        assert_eq!(toks, vec![Token::Comment(" never closed".to_string())]);
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = Tokenizer::run(r#"<a title="x &amp; y">a &lt; b</a>"#);
+        assert_eq!(
+            toks[0],
+            start("a", &[("title", "x & y")])
+        );
+        assert_eq!(toks[1], Token::Text("a < b".to_string()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = Tokenizer::run("1 < 2 and 2 <3");
+        let text: String = toks
+            .iter()
+            .map(|t| match t {
+                Token::Text(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(text, "1 < 2 and 2 <3");
+    }
+
+    #[test]
+    fn end_tag_with_junk() {
+        let toks = Tokenizer::run("</div junk>");
+        assert_eq!(
+            toks,
+            vec![Token::EndTag {
+                name: "div".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Tokenizer::run("").is_empty());
+    }
+
+    #[test]
+    fn unquoted_value_stops_at_gt() {
+        let toks = Tokenizer::run("<div class=a>text");
+        assert_eq!(toks[0], start("div", &[("class", "a")]));
+        assert_eq!(toks[1], Token::Text("text".to_string()));
+    }
+
+    #[test]
+    fn unterminated_quoted_attr() {
+        let toks = Tokenizer::run(r#"<div class="never"#);
+        assert_eq!(toks, vec![start("div", &[("class", "never")])]);
+    }
+}

@@ -1,0 +1,368 @@
+//! HAR-style traffic capture.
+//!
+//! One [`TrafficCapture`] accumulates every HTTP exchange a page load
+//! performs: top-level navigation, iframe loads, script/image subresources,
+//! and — crucially — every hop of every redirect chain. The oracle's
+//! redirection heuristics (§4.1) and the arbitration-chain analysis (§4.3)
+//! both read this log.
+
+use crate::message::{HttpRequest, HttpResponse, Method, StatusCode};
+use malvert_types::{SimTime, Url};
+
+/// One recorded request/response pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedExchange {
+    /// When the exchange happened.
+    pub time: SimTime,
+    /// Request method.
+    pub method: Method,
+    /// Requested URL.
+    pub url: Url,
+    /// Referrer, when present.
+    pub referrer: Option<Url>,
+    /// Response status (None when resolution failed, e.g. NXDOMAIN).
+    pub status: Option<StatusCode>,
+    /// Redirect target, for 3xx responses.
+    pub location: Option<Url>,
+    /// Response content type.
+    pub content_type: Option<String>,
+    /// Response body size in bytes.
+    pub body_len: usize,
+    /// True when the response forced a download (`Content-Disposition`).
+    pub is_download: bool,
+    /// DNS failure marker: the requested host did not resolve.
+    pub nx_domain: bool,
+}
+
+/// An append-only log of exchanges for one page load (or one oracle run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficCapture {
+    exchanges: Vec<CapturedExchange>,
+}
+
+impl TrafficCapture {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed exchange.
+    pub fn record(&mut self, time: SimTime, req: &HttpRequest, resp: &HttpResponse) {
+        self.exchanges.push(CapturedExchange {
+            time,
+            method: req.method,
+            url: req.url.clone(),
+            referrer: req.referrer.clone(),
+            status: Some(resp.status),
+            location: resp.location.clone(),
+            content_type: Some(resp.body.content_type().to_string()),
+            body_len: resp.body.len(),
+            is_download: resp.attachment_filename.is_some(),
+            nx_domain: false,
+        });
+    }
+
+    /// Records a failed resolution (NXDOMAIN).
+    pub fn record_nx(&mut self, time: SimTime, req: &HttpRequest) {
+        self.exchanges.push(CapturedExchange {
+            time,
+            method: req.method,
+            url: req.url.clone(),
+            referrer: req.referrer.clone(),
+            status: None,
+            location: None,
+            content_type: None,
+            body_len: 0,
+            is_download: false,
+            nx_domain: true,
+        });
+    }
+
+    /// All exchanges, in request order.
+    pub fn exchanges(&self) -> &[CapturedExchange] {
+        &self.exchanges
+    }
+
+    /// Number of exchanges.
+    pub fn len(&self) -> usize {
+        self.exchanges.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.exchanges.is_empty()
+    }
+
+    /// Appends all exchanges of `other` (used when merging iframe traffic
+    /// into the page capture).
+    pub fn absorb(&mut self, other: TrafficCapture) {
+        self.exchanges.extend(other.exchanges);
+    }
+
+    /// Iterates the distinct hosts contacted, in first-contact order.
+    pub fn hosts(&self) -> Vec<&malvert_types::DomainName> {
+        let mut seen = Vec::new();
+        for e in &self.exchanges {
+            if let Some(host) = e.url.host() {
+                if !seen.contains(&host) {
+                    seen.push(host);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Serializes the capture to a HAR-flavoured JSON document (a subset of
+    /// the HTTP Archive 1.2 schema: `log.entries[]` with request/response
+    /// objects). Hand-rolled writer — the capture's field set is small and
+    /// fixed, and this keeps `malvert-net` dependency-free.
+    pub fn to_har_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from(
+            "{\"log\":{\"version\":\"1.2\",\"creator\":{\"name\":\"malvert-net\",\"version\":\"0.1\"},\"entries\":[",
+        );
+        for (i, e) in self.exchanges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"startedDateTime\":\"{}\",\"request\":{{\"method\":\"{}\",\"url\":\"{}\"",
+                e.time,
+                e.method.as_str(),
+                esc(&e.url.to_string())
+            ));
+            if let Some(r) = &e.referrer {
+                out.push_str(&format!(
+                    ",\"headers\":[{{\"name\":\"Referer\",\"value\":\"{}\"}}]",
+                    esc(&r.to_string())
+                ));
+            } else {
+                out.push_str(",\"headers\":[]");
+            }
+            out.push_str("},\"response\":{");
+            match e.status {
+                Some(status) => {
+                    out.push_str(&format!(
+                        "\"status\":{},\"content\":{{\"size\":{},\"mimeType\":\"{}\"}}",
+                        status.0,
+                        e.body_len,
+                        esc(e.content_type.as_deref().unwrap_or(""))
+                    ));
+                    if let Some(loc) = &e.location {
+                        out.push_str(&format!(",\"redirectURL\":\"{}\"", esc(&loc.to_string())));
+                    }
+                }
+                None => {
+                    out.push_str("\"status\":0,\"_error\":\"NXDOMAIN\"");
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Extracts the redirect chains in this capture: maximal sequences of
+    /// exchanges where each hop's `location` is the next hop's `url`.
+    pub fn redirect_chains(&self) -> Vec<Vec<&CapturedExchange>> {
+        let mut chains: Vec<Vec<&CapturedExchange>> = Vec::new();
+        let mut used = vec![false; self.exchanges.len()];
+        for i in 0..self.exchanges.len() {
+            if used[i] {
+                continue;
+            }
+            let e = &self.exchanges[i];
+            if e.location.is_none() {
+                continue;
+            }
+            // Start of a chain: walk forward greedily.
+            let mut chain = vec![e];
+            used[i] = true;
+            let mut cursor = e;
+            'extend: while let Some(target) = &cursor.location {
+                for (j, candidate) in self.exchanges.iter().enumerate().skip(i + 1) {
+                    if !used[j] && candidate.url == *target {
+                        chain.push(candidate);
+                        used[j] = true;
+                        cursor = candidate;
+                        continue 'extend;
+                    }
+                }
+                break;
+            }
+            chains.push(chain);
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Body, HttpRequest, HttpResponse};
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn record_and_inspect() {
+        let mut cap = TrafficCapture::new();
+        let req = HttpRequest::get(url("http://a.com/"));
+        cap.record(SimTime::ZERO, &req, &HttpResponse::ok(Body::Html("<p>".into())));
+        assert_eq!(cap.len(), 1);
+        let e = &cap.exchanges()[0];
+        assert_eq!(e.status, Some(StatusCode::OK));
+        assert_eq!(e.content_type.as_deref(), Some("text/html"));
+        assert_eq!(e.body_len, 3);
+        assert!(!e.nx_domain);
+    }
+
+    #[test]
+    fn record_nx_marks_failure() {
+        let mut cap = TrafficCapture::new();
+        let req = HttpRequest::get(url("http://gone.example/"));
+        cap.record_nx(SimTime::ZERO, &req);
+        assert!(cap.exchanges()[0].nx_domain);
+        assert_eq!(cap.exchanges()[0].status, None);
+    }
+
+    #[test]
+    fn hosts_dedup_in_order() {
+        let mut cap = TrafficCapture::new();
+        for u in ["http://a.com/1", "http://b.com/", "http://a.com/2"] {
+            cap.record(
+                SimTime::ZERO,
+                &HttpRequest::get(url(u)),
+                &HttpResponse::ok(Body::Empty),
+            );
+        }
+        let hosts: Vec<String> = cap.hosts().iter().map(|h| h.to_string()).collect();
+        assert_eq!(hosts, vec!["a.com", "b.com"]);
+    }
+
+    #[test]
+    fn redirect_chain_extraction() {
+        let mut cap = TrafficCapture::new();
+        // a -> b -> c (200)
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://a.com/")),
+            &HttpResponse::redirect(url("http://b.com/")),
+        );
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://b.com/")),
+            &HttpResponse::redirect(url("http://c.com/")),
+        );
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://c.com/")),
+            &HttpResponse::ok(Body::Html("x".into())),
+        );
+        // Unrelated exchange.
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://other.com/")),
+            &HttpResponse::ok(Body::Empty),
+        );
+        let chains = cap.redirect_chains();
+        assert_eq!(chains.len(), 1);
+        let urls: Vec<String> = chains[0].iter().map(|e| e.url.to_string()).collect();
+        assert_eq!(urls, vec!["http://a.com/", "http://b.com/", "http://c.com/"]);
+    }
+
+    #[test]
+    fn two_disjoint_chains() {
+        let mut cap = TrafficCapture::new();
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://a.com/")),
+            &HttpResponse::redirect(url("http://a2.com/")),
+        );
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://a2.com/")),
+            &HttpResponse::ok(Body::Empty),
+        );
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://b.com/")),
+            &HttpResponse::redirect(url("http://b2.com/")),
+        );
+        cap.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://b2.com/")),
+            &HttpResponse::ok(Body::Empty),
+        );
+        assert_eq!(cap.redirect_chains().len(), 2);
+    }
+
+    #[test]
+    fn har_export_well_formed() {
+        let mut cap = TrafficCapture::new();
+        cap.record(
+            SimTime::at(1, 2),
+            &HttpRequest::get(url("http://a.com/x?q=\"1\"")),
+            &HttpResponse::redirect(url("http://b.com/")),
+        );
+        cap.record(
+            SimTime::at(1, 2),
+            &HttpRequest::get(url("http://b.com/")).with_referrer(url("http://a.com/x")),
+            &HttpResponse::ok(Body::Html("<p>hi</p>".into())),
+        );
+        cap.record_nx(SimTime::at(1, 2), &HttpRequest::get(url("http://gone.biz/")));
+        let har = cap.to_har_json();
+        // Structure sanity.
+        assert!(har.starts_with("{\"log\":{"));
+        assert!(har.contains("\"redirectURL\":\"http://b.com/\""));
+        assert!(har.contains("\"status\":302"));
+        assert!(har.contains("\"status\":200"));
+        assert!(har.contains("\"_error\":\"NXDOMAIN\""));
+        assert!(har.contains("\\\"1\\\""), "quotes escaped in URLs");
+        assert!(har.contains("\"Referer\""));
+        // Valid JSON (balanced braces at minimum; full parse via serde in
+        // the workspace-level integration tests).
+        let opens = har.matches('{').count();
+        let closes = har.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn har_export_empty_capture() {
+        let har = TrafficCapture::new().to_har_json();
+        assert!(har.contains("\"entries\":[]"));
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = TrafficCapture::new();
+        let mut b = TrafficCapture::new();
+        a.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://a.com/")),
+            &HttpResponse::ok(Body::Empty),
+        );
+        b.record(
+            SimTime::ZERO,
+            &HttpRequest::get(url("http://b.com/")),
+            &HttpResponse::ok(Body::Empty),
+        );
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! A minimal cookie jar.
+//!
+//! Real advertisements lean on cookies for frequency capping and user
+//! tagging; the browser carries one [`CookieJar`] per page visit (the
+//! crawler starts every visit with a fresh profile, like the paper's
+//! Selenium setup, which is precisely why frequency caps never hid ads from
+//! the study).
+//!
+//! Scoping follows the classic model: a cookie set by `ads.example.com` is
+//! visible to every host within `example.com` (registered-domain scope) —
+//! enough for ad-tech patterns without the full RFC 6265 attribute grammar.
+
+use malvert_types::DomainName;
+use std::collections::BTreeMap;
+
+/// A cookie jar: `(registered domain, name) → value`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CookieJar {
+    cookies: BTreeMap<(String, String), String>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scope key for a host: its registered domain (falling back to the full
+    /// host when there is no registrable part).
+    fn scope(host: &DomainName) -> String {
+        host.registered_domain()
+            .map(|r| r.as_str().to_string())
+            .unwrap_or_else(|| host.as_str().to_string())
+    }
+
+    /// Stores a cookie set by `host`.
+    pub fn store(&mut self, host: &DomainName, name: &str, value: &str) {
+        self.cookies
+            .insert((Self::scope(host), name.to_string()), value.to_string());
+    }
+
+    /// Parses and stores a `name=value` pair (the `document.cookie = "k=v"`
+    /// assignment form). Attributes after `;` are ignored.
+    pub fn store_pair(&mut self, host: &DomainName, pair: &str) {
+        let pair = pair.split(';').next().unwrap_or("");
+        if let Some((name, value)) = pair.split_once('=') {
+            let name = name.trim();
+            if !name.is_empty() {
+                self.store(host, name, value.trim());
+            }
+        }
+    }
+
+    /// The `Cookie` header value for a request to `host`
+    /// (`"a=1; b=2"`, names sorted; empty string when none apply).
+    pub fn header_for(&self, host: &DomainName) -> String {
+        let scope = Self::scope(host);
+        self.cookies
+            .iter()
+            .filter(|((s, _), _)| *s == scope)
+            .map(|((_, name), value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Reads one cookie visible to `host`.
+    pub fn get(&self, host: &DomainName, name: &str) -> Option<&str> {
+        self.cookies
+            .get(&(Self::scope(host), name.to_string()))
+            .map(String::as_str)
+    }
+
+    /// Number of stored cookies.
+    pub fn len(&self) -> usize {
+        self.cookies.len()
+    }
+
+    /// True when the jar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn store_and_read_same_host() {
+        let mut jar = CookieJar::new();
+        jar.store(&host("ads.example.com"), "fcap", "1");
+        assert_eq!(jar.get(&host("ads.example.com"), "fcap"), Some("1"));
+    }
+
+    #[test]
+    fn registered_domain_scope() {
+        let mut jar = CookieJar::new();
+        jar.store(&host("ads.example.com"), "uid", "abc");
+        // Visible across the registered domain...
+        assert_eq!(jar.get(&host("www.example.com"), "uid"), Some("abc"));
+        assert_eq!(jar.get(&host("example.com"), "uid"), Some("abc"));
+        // ...but not across registered domains.
+        assert_eq!(jar.get(&host("example.org"), "uid"), None);
+        assert_eq!(jar.get(&host("notexample.com"), "uid"), None);
+    }
+
+    #[test]
+    fn header_sorted_and_scoped() {
+        let mut jar = CookieJar::new();
+        jar.store(&host("a.com"), "z", "26");
+        jar.store(&host("a.com"), "a", "1");
+        jar.store(&host("b.com"), "x", "0");
+        assert_eq!(jar.header_for(&host("a.com")), "a=1; z=26");
+        assert_eq!(jar.header_for(&host("b.com")), "x=0");
+        assert_eq!(jar.header_for(&host("c.com")), "");
+    }
+
+    #[test]
+    fn store_pair_parses_assignment_form() {
+        let mut jar = CookieJar::new();
+        jar.store_pair(&host("a.com"), "fcap=1; path=/; max-age=86400");
+        assert_eq!(jar.get(&host("a.com"), "fcap"), Some("1"));
+        // Overwrite.
+        jar.store_pair(&host("a.com"), "fcap=2");
+        assert_eq!(jar.get(&host("a.com"), "fcap"), Some("2"));
+        // Malformed pairs are ignored.
+        jar.store_pair(&host("a.com"), "no-equals-sign");
+        jar.store_pair(&host("a.com"), "=value-only");
+        assert_eq!(jar.len(), 1);
+    }
+
+    #[test]
+    fn two_level_suffix_scope() {
+        let mut jar = CookieJar::new();
+        jar.store(&host("shop.example.co.uk"), "k", "v");
+        assert_eq!(jar.get(&host("www.example.co.uk"), "k"), Some("v"));
+        assert_eq!(jar.get(&host("other.co.uk"), "k"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! # malvert-net
+//!
+//! The simulated HTTP substrate.
+//!
+//! The paper's crawler "captured all the HTTP traffic during crawling for
+//! further investigation" (§3.1) — redirect chains in that traffic are how
+//! both the suspicious-redirection heuristics (§4.1) and the ad-arbitration
+//! analysis (§4.3) see the world. This crate provides:
+//!
+//! * [`message`] — request/response types with status codes, headers, and
+//!   a typed body.
+//! * [`server`] — the [`OriginServer`] trait that every simulated host
+//!   (publisher sites, ad networks, exploit servers, payload hosts)
+//!   implements, plus a deterministic per-request context.
+//! * [`network`] — the [`Network`]: a domain → server routing table with
+//!   DNS-style resolution (including NXDOMAIN, which the cloaking heuristics
+//!   key on), redirect following, and loop protection.
+//! * [`capture`] — HAR-style traffic capture: every exchange a page load
+//!   performs, in order, with redirect provenance.
+//!
+//! Everything is synchronous and deterministic: the "network" is a function
+//! of (request, simulated time, seed). Parallelism lives one level up, in the
+//! crawler's worker pool, which shares the immutable `Network` across threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod cookies;
+pub mod message;
+pub mod network;
+pub mod server;
+
+pub use capture::{CapturedExchange, TrafficCapture};
+pub use cookies::CookieJar;
+pub use message::{Body, HttpRequest, HttpResponse, Method, StatusCode};
+pub use network::{FetchOutcome, NetError, Network};
+pub use server::{OriginServer, ServeCtx};

@@ -1,0 +1,297 @@
+//! HTTP request and response types.
+
+use bytes::Bytes;
+use malvert_types::Url;
+
+/// HTTP request method. The simulation uses GET for everything a crawler
+/// issues; POST exists for completeness of beacon-style ad callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+}
+
+impl Method {
+    /// Canonical method string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// HTTP status code (the subset the simulation emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK
+    pub const OK: StatusCode = StatusCode(200);
+    /// 301 Moved Permanently
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Found
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// 404 Not Found
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error
+    pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+
+    /// True for 3xx codes.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// A response body, typed by what the simulation serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// No body (redirects, errors).
+    Empty,
+    /// An HTML document.
+    Html(String),
+    /// A JavaScript (AdScript) source file.
+    Script(String),
+    /// An image (only its identity/size matter).
+    Image(Bytes),
+    /// A downloadable binary: simulated executable or Flash file.
+    Download(Bytes),
+}
+
+impl Body {
+    /// The MIME type the simulation attaches to this body.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            Body::Empty => "text/plain",
+            Body::Html(_) => "text/html",
+            Body::Script(_) => "application/javascript",
+            Body::Image(_) => "image/png",
+            Body::Download(_) => "application/octet-stream",
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Empty => 0,
+            Body::Html(s) | Body::Script(s) => s.len(),
+            Body::Image(b) | Body::Download(b) => b.len(),
+        }
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the HTML text, when this is an HTML body.
+    pub fn as_html(&self) -> Option<&str> {
+        match self {
+            Body::Html(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the script text, when this is a script body.
+    pub fn as_script(&self) -> Option<&str> {
+        match self {
+            Body::Script(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows download bytes, when this is a download body.
+    pub fn as_download(&self) -> Option<&Bytes> {
+        match self {
+            Body::Download(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// `Referer` header, when the request was triggered from a page.
+    pub referrer: Option<Url>,
+    /// `User-Agent` header value.
+    pub user_agent: String,
+    /// `Cookie` header value (empty when no cookies apply).
+    pub cookies: String,
+}
+
+impl HttpRequest {
+    /// A GET request with no referrer and the crawler's default user agent.
+    pub fn get(url: Url) -> Self {
+        HttpRequest {
+            method: Method::Get,
+            url,
+            referrer: None,
+            user_agent: "Mozilla/5.0 (X11; Linux x86_64; rv:24.0) Gecko/20100101 Firefox/24.0"
+                .to_string(),
+            cookies: String::new(),
+        }
+    }
+
+    /// Sets the referrer.
+    pub fn with_referrer(mut self, referrer: Url) -> Self {
+        self.referrer = Some(referrer);
+        self
+    }
+
+    /// Sets the user agent.
+    pub fn with_user_agent(mut self, ua: &str) -> Self {
+        self.user_agent = ua.to_string();
+        self
+    }
+
+    /// Sets the `Cookie` header value.
+    pub fn with_cookies(mut self, cookies: String) -> Self {
+        self.cookies = cookies;
+        self
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Body.
+    pub body: Body,
+    /// `Location` header for redirects.
+    pub location: Option<Url>,
+    /// `Content-Disposition: attachment` filename, for forced downloads.
+    pub attachment_filename: Option<String>,
+    /// `Set-Cookie` pairs the response carries.
+    pub set_cookies: Vec<(String, String)>,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given body.
+    pub fn ok(body: Body) -> Self {
+        HttpResponse {
+            status: StatusCode::OK,
+            body,
+            location: None,
+            attachment_filename: None,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    /// A 302 redirect to `target`.
+    pub fn redirect(target: Url) -> Self {
+        HttpResponse {
+            status: StatusCode::FOUND,
+            body: Body::Empty,
+            location: Some(target),
+            attachment_filename: None,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    /// A 301 permanent redirect to `target`.
+    pub fn moved(target: Url) -> Self {
+        HttpResponse {
+            status: StatusCode::MOVED_PERMANENTLY,
+            body: Body::Empty,
+            location: Some(target),
+            attachment_filename: None,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: StatusCode::NOT_FOUND,
+            body: Body::Empty,
+            location: None,
+            attachment_filename: None,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    /// Marks the response as a forced download with the given filename.
+    pub fn as_attachment(mut self, filename: &str) -> Self {
+        self.attachment_filename = Some(filename.to_string());
+        self
+    }
+
+    /// Adds a `Set-Cookie` pair.
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
+        self.set_cookies.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::OK.is_redirect());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::MOVED_PERMANENTLY.is_redirect());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn body_content_types() {
+        assert_eq!(Body::Html("x".into()).content_type(), "text/html");
+        assert_eq!(
+            Body::Script("x".into()).content_type(),
+            "application/javascript"
+        );
+        assert_eq!(
+            Body::Download(Bytes::from_static(b"MZ")).content_type(),
+            "application/octet-stream"
+        );
+    }
+
+    #[test]
+    fn body_accessors() {
+        let html = Body::Html("<p>".into());
+        assert_eq!(html.as_html(), Some("<p>"));
+        assert_eq!(html.as_script(), None);
+        assert_eq!(html.len(), 3);
+        assert!(Body::Empty.is_empty());
+    }
+
+    #[test]
+    fn request_builders() {
+        let url = Url::parse("http://a.com/").unwrap();
+        let referrer = Url::parse("http://r.com/").unwrap();
+        let req = HttpRequest::get(url.clone())
+            .with_referrer(referrer.clone())
+            .with_user_agent("TestUA");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.referrer, Some(referrer));
+        assert_eq!(req.user_agent, "TestUA");
+    }
+
+    #[test]
+    fn response_builders() {
+        let target = Url::parse("http://b.com/next").unwrap();
+        let r = HttpResponse::redirect(target.clone());
+        assert!(r.status.is_redirect());
+        assert_eq!(r.location, Some(target));
+
+        let dl = HttpResponse::ok(Body::Download(Bytes::from_static(b"MZ\x90")))
+            .as_attachment("update.exe");
+        assert_eq!(dl.attachment_filename.as_deref(), Some("update.exe"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The simulated network: domain routing, DNS failures, redirect following.
+
+use crate::capture::TrafficCapture;
+use crate::message::{HttpRequest, HttpResponse};
+use crate::server::{OriginServer, ServeCtx};
+use malvert_types::rng::SeedTree;
+use malvert_types::{DomainName, SimTime, Url};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced by [`Network::fetch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The host has no registered server and is not a registered NX domain.
+    NxDomain(DomainName),
+    /// A redirect chain exceeded the hop limit.
+    TooManyRedirects(Url),
+    /// A redirect response carried no `Location`.
+    BadRedirect(Url),
+    /// The URL has no host (`about:` URLs are not fetchable).
+    NotFetchable(Url),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NxDomain(d) => write!(f, "NXDOMAIN: {d}"),
+            NetError::TooManyRedirects(u) => write!(f, "too many redirects fetching {u}"),
+            NetError::BadRedirect(u) => write!(f, "redirect without Location at {u}"),
+            NetError::NotFetchable(u) => write!(f, "URL is not fetchable: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The result of a redirect-following fetch: the final response plus the URL
+/// it was served from.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// Final (non-redirect) response.
+    pub response: HttpResponse,
+    /// URL the final response came from.
+    pub final_url: Url,
+    /// Number of redirect hops followed (0 = direct).
+    pub hops: u32,
+}
+
+/// Maximum redirect hops followed before giving up. The paper observed
+/// arbitration chains of up to 30 auctions (§4.3); browsers commonly cap at
+/// 20 — we use a cap comfortably above the longest simulated chain so the
+/// measurement sees full chains, while still bounding loops.
+pub const MAX_REDIRECT_HOPS: u32 = 48;
+
+/// The simulated Internet: a routing table from domains to origin servers.
+///
+/// Cloneable via `Arc` internally; share one instance across crawler threads.
+pub struct Network {
+    study: SeedTree,
+    servers: HashMap<DomainName, Arc<dyn OriginServer>>,
+    /// Domains that are *known not to resolve* — exploit kits redirect here
+    /// when they detect an analysis environment (cloaking, §4.1's "redirects
+    /// to NX domains" heuristic).
+    nx_domains: Vec<DomainName>,
+}
+
+impl Network {
+    /// Creates an empty network rooted at the study seed.
+    pub fn new(study: SeedTree) -> Self {
+        Network {
+            study,
+            servers: HashMap::new(),
+            nx_domains: Vec::new(),
+        }
+    }
+
+    /// Registers a server for `domain`. Replaces any existing registration.
+    pub fn register(&mut self, domain: DomainName, server: Arc<dyn OriginServer>) {
+        self.servers.insert(domain, server);
+    }
+
+    /// Registers a domain that deliberately fails to resolve.
+    pub fn register_nx(&mut self, domain: DomainName) {
+        self.nx_domains.push(domain);
+    }
+
+    /// Number of registered servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the domain resolves to a server.
+    pub fn resolves(&self, domain: &DomainName) -> bool {
+        self.servers.contains_key(domain)
+    }
+
+    /// Performs a single exchange (no redirect following), recording it.
+    pub fn fetch_once(
+        &self,
+        req: &HttpRequest,
+        time: SimTime,
+        capture: &mut TrafficCapture,
+    ) -> Result<HttpResponse, NetError> {
+        let host = match req.url.host() {
+            Some(h) => h.clone(),
+            None => return Err(NetError::NotFetchable(req.url.clone())),
+        };
+        match self.servers.get(&host) {
+            Some(server) => {
+                let mut ctx = ServeCtx::for_request(self.study, time, req);
+                let resp = server.handle(req, &mut ctx);
+                capture.record(time, req, &resp);
+                Ok(resp)
+            }
+            None => {
+                capture.record_nx(time, req);
+                Err(NetError::NxDomain(host))
+            }
+        }
+    }
+
+    /// Fetches `req`, following HTTP redirects up to [`MAX_REDIRECT_HOPS`].
+    /// Every hop is recorded in `capture`.
+    pub fn fetch(
+        &self,
+        req: &HttpRequest,
+        time: SimTime,
+        capture: &mut TrafficCapture,
+    ) -> Result<FetchOutcome, NetError> {
+        let mut current = req.clone();
+        let mut hops = 0;
+        loop {
+            let resp = self.fetch_once(&current, time, capture)?;
+            if !resp.status.is_redirect() {
+                return Ok(FetchOutcome {
+                    response: resp,
+                    final_url: current.url,
+                    hops,
+                });
+            }
+            let location = resp
+                .location
+                .clone()
+                .ok_or_else(|| NetError::BadRedirect(current.url.clone()))?;
+            hops += 1;
+            if hops > MAX_REDIRECT_HOPS {
+                return Err(NetError::TooManyRedirects(current.url.clone()));
+            }
+            // Referrer of a redirect hop is the redirecting URL.
+            current = HttpRequest {
+                method: current.method,
+                url: location,
+                referrer: Some(current.url),
+                user_agent: current.user_agent,
+                cookies: current.cookies,
+            };
+        }
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("servers", &self.servers.len())
+            .field("nx_domains", &self.nx_domains.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Body;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn domain(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn html_server(text: &'static str) -> Arc<dyn OriginServer> {
+        Arc::new(move |_req: &HttpRequest, _ctx: &mut ServeCtx| {
+            HttpResponse::ok(Body::Html(text.to_string()))
+        })
+    }
+
+    #[test]
+    fn direct_fetch() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(domain("a.com"), html_server("<p>hi</p>"));
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(&HttpRequest::get(url("http://a.com/")), SimTime::ZERO, &mut cap)
+            .unwrap();
+        assert_eq!(outcome.hops, 0);
+        assert_eq!(outcome.response.body.as_html(), Some("<p>hi</p>"));
+        assert_eq!(cap.len(), 1);
+    }
+
+    #[test]
+    fn nxdomain_recorded_and_errors() {
+        let net = Network::new(SeedTree::new(1));
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://ghost.com/")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NxDomain(d) if d.as_str() == "ghost.com"));
+        assert!(cap.exchanges()[0].nx_domain);
+    }
+
+    #[test]
+    fn redirects_followed_and_recorded() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("start.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                HttpResponse::redirect(Url::parse("http://mid.com/").unwrap())
+            }),
+        );
+        net.register(
+            domain("mid.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                HttpResponse::moved(Url::parse("http://end.com/").unwrap())
+            }),
+        );
+        net.register(domain("end.com"), html_server("done"));
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(&HttpRequest::get(url("http://start.com/")), SimTime::ZERO, &mut cap)
+            .unwrap();
+        assert_eq!(outcome.hops, 2);
+        assert_eq!(outcome.final_url, url("http://end.com/"));
+        assert_eq!(cap.len(), 3);
+        // Referrer of each hop is the redirecting URL.
+        assert_eq!(cap.exchanges()[1].referrer, Some(url("http://start.com/")));
+        assert_eq!(cap.exchanges()[2].referrer, Some(url("http://mid.com/")));
+        // Chain reconstruction sees the full chain.
+        assert_eq!(cap.redirect_chains()[0].len(), 3);
+    }
+
+    #[test]
+    fn redirect_loop_capped() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("loop.com"),
+            Arc::new(|req: &HttpRequest, _ctx: &mut ServeCtx| {
+                // Bounce between two paths forever.
+                let next = if req.url.path() == "/a" { "/b" } else { "/a" };
+                HttpResponse::redirect(Url::from_parts(
+                    malvert_types::url::Scheme::Http,
+                    "loop.com",
+                    next,
+                ))
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://loop.com/a")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::TooManyRedirects(_)));
+        assert_eq!(cap.len() as u32, MAX_REDIRECT_HOPS + 1);
+    }
+
+    #[test]
+    fn redirect_into_nxdomain_fails_with_capture() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("cloaker.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                HttpResponse::redirect(Url::parse("http://definitely-gone.biz/").unwrap())
+            }),
+        );
+        net.register_nx(domain("definitely-gone.biz"));
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://cloaker.com/")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NxDomain(_)));
+        // Both the redirect and the failed resolution are visible.
+        assert_eq!(cap.len(), 2);
+        assert!(cap.exchanges()[1].nx_domain);
+    }
+
+    #[test]
+    fn about_urls_not_fetchable() {
+        let net = Network::new(SeedTree::new(1));
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch_once(&HttpRequest::get(Url::about_blank()), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NotFetchable(_)));
+    }
+
+    #[test]
+    fn server_rng_varies_with_time() {
+        // A server that serves a random number; two refreshes must differ
+        // (deterministically).
+        let mut net = Network::new(SeedTree::new(9));
+        net.register(
+            domain("rand.com"),
+            Arc::new(|_req: &HttpRequest, ctx: &mut ServeCtx| {
+                HttpResponse::ok(Body::Html(format!("{}", ctx.rng.below(1_000_000))))
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let get = |net: &Network, t: SimTime, cap: &mut TrafficCapture| {
+            net.fetch(&HttpRequest::get(url("http://rand.com/")), t, cap)
+                .unwrap()
+                .response
+                .body
+                .as_html()
+                .unwrap()
+                .to_string()
+        };
+        let a0 = get(&net, SimTime::at(0, 0), &mut cap);
+        let a1 = get(&net, SimTime::at(0, 1), &mut cap);
+        let a0_again = get(&net, SimTime::at(0, 0), &mut cap);
+        assert_ne!(a0, a1);
+        assert_eq!(a0, a0_again);
+    }
+}

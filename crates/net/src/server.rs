@@ -1,0 +1,103 @@
+//! The origin-server abstraction.
+
+use crate::message::{HttpRequest, HttpResponse};
+use malvert_types::rng::SeedTree;
+use malvert_types::{DetRng, SimTime};
+
+/// Per-request context handed to servers.
+///
+/// Servers must be deterministic functions of `(request, ctx)`: the context
+/// carries the simulated time and a request-scoped RNG derived from the
+/// study seed, the time, and the request URL — so the same crawl replays
+/// identically, but two refreshes of the same page can serve different ads
+/// (the reason the paper refreshed each page five times).
+#[derive(Debug)]
+pub struct ServeCtx {
+    /// Simulated time of the request.
+    pub time: SimTime,
+    /// Request-scoped deterministic RNG.
+    pub rng: DetRng,
+}
+
+impl ServeCtx {
+    /// Derives a context for one request.
+    pub fn for_request(study: SeedTree, time: SimTime, req: &HttpRequest) -> Self {
+        let rng = study
+            .branch("serve")
+            .branch_idx(u64::from(time.day))
+            .branch_idx(u64::from(time.refresh))
+            .branch(&req.url.without_fragment())
+            .rng();
+        ServeCtx { time, rng }
+    }
+}
+
+/// A simulated origin server: publisher site, ad network front end, exploit
+/// kit landing host, payload host, shortener, …
+///
+/// Implementations must be `Send + Sync`; the crawler shares one [`crate::Network`]
+/// across worker threads. Determinism contract: `handle` must depend only on
+/// its arguments (interior mutability would break replay and is not used).
+pub trait OriginServer: Send + Sync {
+    /// Produces the response for `req`.
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServeCtx) -> HttpResponse;
+}
+
+impl<F> OriginServer for F
+where
+    F: Fn(&HttpRequest, &mut ServeCtx) -> HttpResponse + Send + Sync,
+{
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServeCtx) -> HttpResponse {
+        self(req, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Body, HttpRequest};
+    use malvert_types::Url;
+
+    #[test]
+    fn closure_servers_work() {
+        let server = |req: &HttpRequest, _ctx: &mut ServeCtx| {
+            HttpResponse::ok(Body::Html(format!("<p>{}</p>", req.url.path())))
+        };
+        let url = Url::parse("http://x.com/hello").unwrap();
+        let mut ctx = ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, &HttpRequest::get(url.clone()));
+        let resp = server.handle(&HttpRequest::get(url), &mut ctx);
+        assert_eq!(resp.body.as_html(), Some("<p>/hello</p>"));
+    }
+
+    #[test]
+    fn ctx_rng_deterministic_per_request() {
+        let url = Url::parse("http://x.com/a").unwrap();
+        let req = HttpRequest::get(url);
+        let mut a = ServeCtx::for_request(SeedTree::new(7), SimTime::at(3, 1), &req);
+        let mut b = ServeCtx::for_request(SeedTree::new(7), SimTime::at(3, 1), &req);
+        assert_eq!(a.rng.unit_f64().to_bits(), b.rng.unit_f64().to_bits());
+    }
+
+    #[test]
+    fn ctx_rng_varies_by_refresh_and_url() {
+        let req_a = HttpRequest::get(Url::parse("http://x.com/a").unwrap());
+        let req_b = HttpRequest::get(Url::parse("http://x.com/b").unwrap());
+        let mut r1 = ServeCtx::for_request(SeedTree::new(7), SimTime::at(0, 0), &req_a);
+        let mut r2 = ServeCtx::for_request(SeedTree::new(7), SimTime::at(0, 1), &req_a);
+        let mut r3 = ServeCtx::for_request(SeedTree::new(7), SimTime::at(0, 0), &req_b);
+        let x1 = r1.rng.unit_f64();
+        let x2 = r2.rng.unit_f64();
+        let x3 = r3.rng.unit_f64();
+        assert_ne!(x1.to_bits(), x2.to_bits());
+        assert_ne!(x1.to_bits(), x3.to_bits());
+    }
+
+    #[test]
+    fn ctx_rng_ignores_fragment() {
+        let req_a = HttpRequest::get(Url::parse("http://x.com/a#one").unwrap());
+        let req_b = HttpRequest::get(Url::parse("http://x.com/a#two").unwrap());
+        let mut r1 = ServeCtx::for_request(SeedTree::new(7), SimTime::ZERO, &req_a);
+        let mut r2 = ServeCtx::for_request(SeedTree::new(7), SimTime::ZERO, &req_b);
+        assert_eq!(r1.rng.unit_f64().to_bits(), r2.rng.unit_f64().to_bits());
+    }
+}

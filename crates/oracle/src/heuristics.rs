@@ -1,0 +1,400 @@
+//! Honeyclient heuristics over a page visit's behaviour stream.
+
+use malvert_browser::{BehaviorEvent, PageVisit};
+use malvert_types::rng::mix_label;
+
+/// Hosts considered "well-known benign" for the cloaking heuristic — an ad
+/// that redirects its visitor to a search engine instead of showing an ad is
+/// hiding something (§4.1).
+pub const BENIGN_SEARCH_HOSTS: [&str; 2] = ["www.google.com", "www.bing.com"];
+
+/// Injected iframes up to this area (px²) count as hidden.
+pub const HIDDEN_IFRAME_AREA: u64 = 32;
+
+/// Findings from the heuristic pass over one visit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeuristicFindings {
+    /// The ad navigated to a domain that did not resolve.
+    pub nx_redirect: bool,
+    /// The ad navigated the visitor to a well-known benign site.
+    pub benign_site_redirect: bool,
+    /// A frame assigned `top.location` (link hijacking).
+    pub top_hijack: bool,
+    /// Plugins were enumerated and a hidden iframe was injected afterwards —
+    /// the drive-by signature.
+    pub probe_then_hidden_iframe: bool,
+    /// A download was triggered without any user interaction.
+    pub unsolicited_download: bool,
+    /// A script failed while the page also probed plugins or navigated —
+    /// heavy obfuscation tripping the analyzer (weak signal, only used in
+    /// combination).
+    pub obfuscation_error: bool,
+}
+
+impl HeuristicFindings {
+    /// Runs the heuristics over a visit.
+    pub fn analyze(visit: &PageVisit) -> Self {
+        let mut findings = HeuristicFindings::default();
+        let mut probed = false;
+        let mut errored = false;
+        let mut suspicious_motion = false;
+        let mut timer_seen = false;
+
+        for event in &visit.events {
+            match event {
+                BehaviorEvent::PluginEnumeration { .. } => probed = true,
+                BehaviorEvent::IframeInjection { area, .. } => {
+                    if probed && *area <= HIDDEN_IFRAME_AREA {
+                        findings.probe_then_hidden_iframe = true;
+                    }
+                    suspicious_motion = true;
+                }
+                BehaviorEvent::FrameNavigation { target, .. } => {
+                    suspicious_motion = true;
+                    if let Ok(url) = malvert_types::Url::parse(target) {
+                        if let Some(host) = url.host() {
+                            if BENIGN_SEARCH_HOSTS.contains(&host.as_str()) {
+                                findings.benign_site_redirect = true;
+                            }
+                        }
+                    }
+                }
+                BehaviorEvent::TopLocationHijack { .. }
+                | BehaviorEvent::SandboxedHijackBlocked { .. } => {
+                    findings.top_hijack = true;
+                }
+                BehaviorEvent::TimerScheduled { .. } => timer_seen = true,
+                BehaviorEvent::DownloadTriggered { url, .. } => {
+                    // A download is "unsolicited" only when (a) no timer
+                    // activity preceded it — deceptive ads count the user
+                    // down before navigating to the installer (simulated
+                    // interaction), while drive-by drops fire with no delay
+                    // at all — and (b) the fetched bytes are an executable.
+                    // Flash/media subresources are ordinary web content; the
+                    // honeyclient analyzes them (scanner) instead of
+                    // flagging their mere load.
+                    let is_executable = visit
+                        .downloads
+                        .iter()
+                        .filter(|d| d.url == *url)
+                        .any(|d| {
+                            matches!(
+                                malvert_scanner::Payload::sniff_kind(&d.bytes),
+                                Some(malvert_scanner::PayloadKind::Executable)
+                            )
+                        });
+                    if !timer_seen && is_executable {
+                        findings.unsolicited_download = true;
+                    }
+                }
+                BehaviorEvent::ScriptError { .. } => errored = true,
+                _ => {}
+            }
+        }
+
+        // NX redirect: the capture shows a navigation that hit NXDOMAIN.
+        findings.nx_redirect = visit
+            .capture
+            .exchanges()
+            .iter()
+            .any(|e| e.nx_domain && e.referrer.is_some());
+
+        findings.obfuscation_error = errored && (probed || suspicious_motion);
+        findings
+    }
+
+    /// Any cloaking-style redirection tell (Table 1's "Suspicious
+    /// redirections" row)?
+    pub fn suspicious_redirection(&self) -> bool {
+        self.nx_redirect || self.benign_site_redirect || self.top_hijack
+    }
+
+    /// Any behavioural heuristic (Table 1's "Heuristics" row)?
+    pub fn heuristic_hit(&self) -> bool {
+        self.probe_then_hidden_iframe || self.unsolicited_download || self.obfuscation_error
+    }
+}
+
+/// A stable fingerprint of a visit's behaviour, used for model detection:
+/// the oracle carries fingerprints of previously-confirmed malicious
+/// behaviours (the paper: "behaviors (models) that are similar to
+/// previously-known malicious behaviors") and flags exact matches.
+pub fn behavior_fingerprint(visit: &PageVisit) -> u64 {
+    let mut h: u64 = 0x6d6f_64656c; // "model"
+    for event in &visit.events {
+        let tag: &[u8] = match event {
+            BehaviorEvent::DocumentWrite { .. } => b"write",
+            BehaviorEvent::PluginEnumeration { .. } => b"probe",
+            BehaviorEvent::FrameNavigation { .. } => b"nav",
+            BehaviorEvent::TopLocationHijack { .. } => b"hijack",
+            BehaviorEvent::SandboxedHijackBlocked { .. } => b"hijack-blocked",
+            BehaviorEvent::IframeInjection { area, .. } => {
+                if *area <= HIDDEN_IFRAME_AREA {
+                    b"inject-hidden"
+                } else {
+                    b"inject"
+                }
+            }
+            BehaviorEvent::TimerScheduled { .. } => b"timer",
+            BehaviorEvent::Beacon { .. } => b"beacon",
+            BehaviorEvent::DownloadTriggered { .. } => b"download",
+            BehaviorEvent::ScriptError { .. } => b"error",
+        };
+        h = mix_label(h, tag);
+    }
+    // Downloads' filenames sharpen the fingerprint.
+    for d in &visit.downloads {
+        if let Some(name) = &d.filename {
+            h = mix_label(h, name.as_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use malvert_browser::{Download, FrameSnapshot};
+    use malvert_net::TrafficCapture;
+    use malvert_types::{SimTime, Url};
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn empty_visit(events: Vec<BehaviorEvent>) -> PageVisit {
+        PageVisit {
+            top: FrameSnapshot {
+                requested_url: url("http://ad.net/serve"),
+                final_url: url("http://ad.net/serve"),
+                html: String::new(),
+                raw_html: String::new(),
+                iframes: vec![],
+                children: vec![],
+                ended_in_download: false,
+                failed: false,
+            },
+            events,
+            downloads: vec![],
+            capture: TrafficCapture::new(),
+        }
+    }
+
+    #[test]
+    fn clean_visit_no_findings() {
+        let f = HeuristicFindings::analyze(&empty_visit(vec![]));
+        assert!(!f.suspicious_redirection());
+        assert!(!f.heuristic_hit());
+    }
+
+    #[test]
+    fn probe_then_hidden_iframe_detected() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![
+            BehaviorEvent::PluginEnumeration {
+                frame: frame.clone(),
+            },
+            BehaviorEvent::IframeInjection {
+                frame,
+                src: "http://kit.biz/gate".into(),
+                area: 1,
+            },
+        ]));
+        assert!(f.probe_then_hidden_iframe);
+        assert!(f.heuristic_hit());
+    }
+
+    #[test]
+    fn hidden_iframe_without_probe_not_flagged() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![BehaviorEvent::IframeInjection {
+            frame,
+            src: "http://kit.biz/gate".into(),
+            area: 1,
+        }]));
+        assert!(!f.probe_then_hidden_iframe);
+    }
+
+    #[test]
+    fn large_iframe_after_probe_not_hidden() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![
+            BehaviorEvent::PluginEnumeration {
+                frame: frame.clone(),
+            },
+            BehaviorEvent::IframeInjection {
+                frame,
+                src: "http://widget.com/".into(),
+                area: 300 * 250,
+            },
+        ]));
+        assert!(!f.probe_then_hidden_iframe);
+    }
+
+    #[test]
+    fn benign_search_redirect_detected() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![BehaviorEvent::FrameNavigation {
+            frame,
+            target: "http://www.google.com/".into(),
+        }]));
+        assert!(f.benign_site_redirect);
+        assert!(f.suspicious_redirection());
+    }
+
+    #[test]
+    fn ordinary_navigation_not_suspicious() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![BehaviorEvent::FrameNavigation {
+            frame,
+            target: "http://landing-shop.com/offer".into(),
+        }]));
+        assert!(!f.suspicious_redirection());
+    }
+
+    #[test]
+    fn hijack_is_suspicious_redirection() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![BehaviorEvent::TopLocationHijack {
+            frame,
+            target: "http://scam.ws/lp".into(),
+        }]));
+        assert!(f.top_hijack);
+        assert!(f.suspicious_redirection());
+    }
+
+    #[test]
+    fn nx_redirect_from_capture() {
+        let mut visit = empty_visit(vec![]);
+        let req = malvert_net::HttpRequest::get(url("http://sinkhole-3.expired-zone.biz/"))
+            .with_referrer(url("http://ad.net/c"));
+        visit.capture.record_nx(SimTime::ZERO, &req);
+        let f = HeuristicFindings::analyze(&visit);
+        assert!(f.nx_redirect);
+        assert!(f.suspicious_redirection());
+    }
+
+    #[test]
+    fn top_level_nx_not_counted() {
+        // An NX hit with no referrer is a dead site, not an ad bailing out.
+        let mut visit = empty_visit(vec![]);
+        let req = malvert_net::HttpRequest::get(url("http://dead-site.com/"));
+        visit.capture.record_nx(SimTime::ZERO, &req);
+        let f = HeuristicFindings::analyze(&visit);
+        assert!(!f.nx_redirect);
+    }
+
+    #[test]
+    fn unsolicited_download_heuristic() {
+        let frame = url("http://ad.net/c");
+        let mut visit = empty_visit(vec![BehaviorEvent::DownloadTriggered {
+            frame,
+            url: url("http://payload.net/get/x.exe"),
+        }]);
+        visit.downloads.push(Download {
+            url: url("http://payload.net/get/x.exe"),
+            filename: Some("x.exe".into()),
+            bytes: Bytes::from_static(b"MZ\x90\x00"),
+        });
+        let f = HeuristicFindings::analyze(&visit);
+        assert!(f.unsolicited_download);
+        assert!(f.heuristic_hit());
+    }
+
+    #[test]
+    fn flash_download_not_unsolicited() {
+        // A fetched SWF (embed subresource) is analyzed, not flagged.
+        let frame = url("http://ad.net/c");
+        let mut visit = empty_visit(vec![BehaviorEvent::DownloadTriggered {
+            frame,
+            url: url("http://kit.biz/ad.swf"),
+        }]);
+        visit.downloads.push(Download {
+            url: url("http://kit.biz/ad.swf"),
+            filename: Some("ad.swf".into()),
+            bytes: Bytes::from_static(b"FWS\x0a\x10\x00\x00\x00"),
+        });
+        let f = HeuristicFindings::analyze(&visit);
+        assert!(!f.unsolicited_download);
+    }
+
+    #[test]
+    fn timer_preceded_download_is_solicited() {
+        let frame = url("http://ad.net/c");
+        let mut visit = empty_visit(vec![
+            BehaviorEvent::TimerScheduled {
+                frame: frame.clone(),
+            },
+            BehaviorEvent::DownloadTriggered {
+                frame,
+                url: url("http://payload.net/get/x.exe"),
+            },
+        ]);
+        visit.downloads.push(Download {
+            url: url("http://payload.net/get/x.exe"),
+            filename: Some("x.exe".into()),
+            bytes: Bytes::from_static(b"MZ\x90\x00"),
+        });
+        let f = HeuristicFindings::analyze(&visit);
+        assert!(!f.unsolicited_download);
+    }
+
+    #[test]
+    fn error_alone_not_a_hit() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![BehaviorEvent::ScriptError {
+            frame,
+            message: "parse error".into(),
+        }]));
+        assert!(!f.heuristic_hit());
+    }
+
+    #[test]
+    fn error_plus_probe_is_a_hit() {
+        let frame = url("http://ad.net/c");
+        let f = HeuristicFindings::analyze(&empty_visit(vec![
+            BehaviorEvent::PluginEnumeration {
+                frame: frame.clone(),
+            },
+            BehaviorEvent::ScriptError {
+                frame,
+                message: "budget".into(),
+            },
+        ]));
+        assert!(f.obfuscation_error);
+        assert!(f.heuristic_hit());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let frame = url("http://ad.net/c");
+        let mk = |events: Vec<BehaviorEvent>| behavior_fingerprint(&empty_visit(events));
+        let a = mk(vec![BehaviorEvent::PluginEnumeration {
+            frame: frame.clone(),
+        }]);
+        let b = mk(vec![BehaviorEvent::PluginEnumeration {
+            frame: frame.clone(),
+        }]);
+        let c = mk(vec![BehaviorEvent::TimerScheduled { frame }]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_includes_download_names() {
+        let mut v1 = empty_visit(vec![]);
+        v1.downloads.push(Download {
+            url: url("http://p.net/a.exe"),
+            filename: Some("a.exe".into()),
+            bytes: Bytes::from_static(b"MZ"),
+        });
+        let mut v2 = empty_visit(vec![]);
+        v2.downloads.push(Download {
+            url: url("http://p.net/b.exe"),
+            filename: Some("b.exe".into()),
+            bytes: Bytes::from_static(b"MZ"),
+        });
+        assert_ne!(behavior_fingerprint(&v1), behavior_fingerprint(&v2));
+    }
+}

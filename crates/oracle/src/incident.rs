@@ -1,0 +1,91 @@
+//! Incident classes — the rows of Table 1.
+
+use malvert_types::SimTime;
+use serde::Serialize;
+
+/// The six classification categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum IncidentType {
+    /// A domain the ad's traffic touched is carried by more than five
+    /// blacklist feeds simultaneously.
+    Blacklists,
+    /// Cloaking-style redirections: the ad bounced the visitor to an NX
+    /// domain or a well-known benign site, or hijacked the whole page via
+    /// `top.location`.
+    SuspiciousRedirections,
+    /// Behavioural heuristics typical of drive-by and deceptive ads:
+    /// plugin probing followed by hidden-iframe injection, or a forced
+    /// download without user interaction.
+    Heuristics,
+    /// A downloaded executable reached the multi-engine consensus.
+    MaliciousExecutables,
+    /// A downloaded Flash file reached the multi-engine consensus.
+    MaliciousFlash,
+    /// The ad's behaviour fingerprint matched a previously-known malicious
+    /// model.
+    ModelDetection,
+}
+
+impl IncidentType {
+    /// All categories, in Table 1 row order.
+    pub const ALL: [IncidentType; 6] = [
+        IncidentType::Blacklists,
+        IncidentType::SuspiciousRedirections,
+        IncidentType::Heuristics,
+        IncidentType::MaliciousExecutables,
+        IncidentType::MaliciousFlash,
+        IncidentType::ModelDetection,
+    ];
+
+    /// Table 1 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentType::Blacklists => "Blacklists",
+            IncidentType::SuspiciousRedirections => "Suspicious redirections",
+            IncidentType::Heuristics => "Heuristics",
+            IncidentType::MaliciousExecutables => "Malicious executables",
+            IncidentType::MaliciousFlash => "Malicious Flash",
+            IncidentType::ModelDetection => "Model detection",
+        }
+    }
+}
+
+impl std::fmt::Display for IncidentType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One detection framework trigger for one advertisement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Incident {
+    /// The category that triggered.
+    pub incident_type: IncidentType,
+    /// When the triggering observation happened.
+    pub time: SimTime,
+    /// Human-readable detail (which domain, which engine names, …).
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_six_rows() {
+        assert_eq!(IncidentType::ALL.len(), 6);
+        let labels: std::collections::BTreeSet<_> =
+            IncidentType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn labels_match_table1() {
+        assert_eq!(IncidentType::Blacklists.label(), "Blacklists");
+        assert_eq!(
+            IncidentType::SuspiciousRedirections.label(),
+            "Suspicious redirections"
+        );
+        assert_eq!(IncidentType::ModelDetection.label(), "Model detection");
+    }
+}

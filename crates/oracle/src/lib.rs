@@ -1,0 +1,28 @@
+//! # malvert-oracle
+//!
+//! The study oracle (§3.2): given an advertisement, decide whether it
+//! misbehaves and *how*. Three component systems feed the decision, exactly
+//! as in the paper:
+//!
+//! 1. **Honeyclient** (the Wepawet role, §3.2.1) — re-visits the ad's slot
+//!    URL with the emulated browser, executes all its JavaScript, captures
+//!    all traffic, and applies behavioural heuristics and models.
+//! 2. **Blacklists** (§3.2.2) — checks every domain the ad's traffic touched
+//!    against the 49 aggregated feeds with the ">5 lists" threshold.
+//! 3. **Scanner** (the VirusTotal role, §3.2.3) — submits every file the ad
+//!    forced the browser to download to the 51-engine scanner.
+//!
+//! The output is a set of [`Incident`]s in the six classes of **Table 1**:
+//! Blacklists, Suspicious redirections, Heuristics, Malicious executables,
+//! Malicious Flash, and Model detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heuristics;
+pub mod incident;
+pub mod oracle;
+
+pub use heuristics::{behavior_fingerprint, HeuristicFindings};
+pub use incident::{Incident, IncidentType};
+pub use oracle::{Oracle, OracleConfig};

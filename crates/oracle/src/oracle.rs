@@ -1,0 +1,406 @@
+//! The oracle: fuses honeyclient, blacklists, and scanner verdicts.
+
+use crate::heuristics::{behavior_fingerprint, HeuristicFindings};
+use crate::incident::{Incident, IncidentType};
+use malvert_blacklist::BlacklistService;
+use malvert_browser::{Browser, BrowserLimits, PageVisit, Personality};
+use malvert_net::Network;
+use malvert_scanner::{PayloadKind, ScanService};
+use malvert_types::rng::SeedTree;
+use malvert_types::{SimTime, Url};
+use std::collections::BTreeSet;
+
+/// Oracle parameters.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct OracleConfig {
+    /// Browser limits for honeyclient visits.
+    pub browser_limits: BrowserLimits,
+    /// Fingerprints of previously-known malicious behaviours (the model
+    /// database). Typically seeded from a handful of confirmed samples.
+    pub known_models: Vec<u64>,
+}
+
+
+/// The assembled oracle.
+pub struct Oracle<'a> {
+    network: &'a Network,
+    blacklists: &'a BlacklistService,
+    scanner: &'a ScanService,
+    config: OracleConfig,
+    study: SeedTree,
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates the oracle over the simulated network and component services.
+    pub fn new(
+        network: &'a Network,
+        blacklists: &'a BlacklistService,
+        scanner: &'a ScanService,
+        config: OracleConfig,
+        study: SeedTree,
+    ) -> Self {
+        Oracle {
+            network,
+            blacklists,
+            scanner,
+            config,
+            study,
+        }
+    }
+
+    /// Runs the honeyclient: re-visits the ad's slot URL at the observation
+    /// time with the vulnerable-victim personality. Because the simulated
+    /// network is deterministic in `(url, time, seed)`, the oracle sees the
+    /// same arbitration outcome and creative the crawler saw.
+    pub fn honeyclient_visit(&self, ad_url: &Url, time: SimTime) -> PageVisit {
+        let browser = Browser::new(
+            self.network,
+            Personality::vulnerable_victim(),
+            self.config.browser_limits,
+            self.study,
+        );
+        browser.visit(ad_url, time)
+    }
+
+    /// Classifies one advertisement: runs the honeyclient, then applies all
+    /// three component systems. Returns every incident the detection
+    /// framework raised (one ad can trigger several categories).
+    pub fn classify(&self, ad_url: &Url, time: SimTime) -> Vec<Incident> {
+        let visit = self.honeyclient_visit(ad_url, time);
+        self.classify_visit(&visit, time)
+    }
+
+    /// Classifies an already-performed visit (used when the caller batches
+    /// visits).
+    pub fn classify_visit(&self, visit: &PageVisit, time: SimTime) -> Vec<Incident> {
+        let mut incidents = Vec::new();
+
+        // --- Blacklists (§3.2.2): every host the ad's traffic touched. ---
+        // Skip the slot-request host itself? No — the paper checked "all the
+        // domains we monitored to serve advertisements".
+        let mut flagged: BTreeSet<String> = BTreeSet::new();
+        for host in visit.capture.hosts() {
+            if self.blacklists.is_flagged(host, time.day) && flagged.insert(host.to_string()) {
+                incidents.push(Incident {
+                    incident_type: IncidentType::Blacklists,
+                    time,
+                    detail: format!(
+                        "{host} listed by {} feeds",
+                        self.blacklists.listing_count(host, time.day)
+                    ),
+                });
+            }
+        }
+
+        // --- Honeyclient heuristics (§3.2.1 / §4.1). ---
+        let findings = HeuristicFindings::analyze(visit);
+        if findings.suspicious_redirection() {
+            let mut tells = Vec::new();
+            if findings.nx_redirect {
+                tells.push("redirect to NX domain");
+            }
+            if findings.benign_site_redirect {
+                tells.push("redirect to benign search site");
+            }
+            if findings.top_hijack {
+                tells.push("top.location hijack");
+            }
+            incidents.push(Incident {
+                incident_type: IncidentType::SuspiciousRedirections,
+                time,
+                detail: tells.join(", "),
+            });
+        }
+        if findings.heuristic_hit() {
+            let mut tells = Vec::new();
+            if findings.probe_then_hidden_iframe {
+                tells.push("plugin probe followed by hidden iframe");
+            }
+            if findings.unsolicited_download {
+                tells.push("unsolicited download");
+            }
+            if findings.obfuscation_error {
+                tells.push("obfuscated script failure");
+            }
+            incidents.push(Incident {
+                incident_type: IncidentType::Heuristics,
+                time,
+                detail: tells.join(", "),
+            });
+        }
+
+        // --- Scanner (§3.2.3): every downloaded file. ---
+        let mut exe_hit = false;
+        let mut flash_hit = false;
+        for download in &visit.downloads {
+            let report = self.scanner.scan(&download.bytes);
+            if report.positives() >= self.scanner.consensus() {
+                match report.kind {
+                    Some(PayloadKind::Executable) if !exe_hit => {
+                        exe_hit = true;
+                        incidents.push(Incident {
+                            incident_type: IncidentType::MaliciousExecutables,
+                            time,
+                            detail: format!(
+                                "{} ({}/{} engines)",
+                                download.filename.as_deref().unwrap_or("download"),
+                                report.positives(),
+                                report.total_engines
+                            ),
+                        });
+                    }
+                    Some(PayloadKind::Flash) if !flash_hit => {
+                        flash_hit = true;
+                        incidents.push(Incident {
+                            incident_type: IncidentType::MaliciousFlash,
+                            time,
+                            detail: format!(
+                                "{} ({}/{} engines)",
+                                download.filename.as_deref().unwrap_or("download"),
+                                report.positives(),
+                                report.total_engines
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // --- Model detection: exact behaviour-fingerprint match. ---
+        let fp = behavior_fingerprint(visit);
+        if self.config.known_models.contains(&fp) {
+            incidents.push(Incident {
+                incident_type: IncidentType::ModelDetection,
+                time,
+                detail: format!("behaviour model {fp:016x}"),
+            });
+        }
+
+        incidents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_adnet::{AdWorld, AdWorldConfig, CampaignBehavior};
+    use malvert_types::AdNetworkId;
+
+    struct Fixture {
+        network: Network,
+        blacklists: BlacklistService,
+        scanner: ScanService,
+        world: AdWorld,
+        tree: SeedTree,
+    }
+
+    fn fixture() -> Fixture {
+        let tree = SeedTree::new(7);
+        let world = AdWorld::generate(tree, &AdWorldConfig::default());
+        let mut network = Network::new(tree);
+        world.register_servers(&mut network);
+        let mut blacklists = BlacklistService::new(tree.branch("blacklists"));
+        for (_, domains, active_from) in world.malicious_ground_truth() {
+            for d in domains {
+                blacklists.register(
+                    d,
+                    malvert_blacklist::DomainTruth::Malicious { active_from },
+                );
+            }
+        }
+        let scanner = ScanService::new(tree.branch("scanner"));
+        Fixture {
+            network,
+            blacklists,
+            scanner,
+            world,
+            tree,
+        }
+    }
+
+    /// Visits a specific campaign's creative directly by asking a network
+    /// that carries it to serve, retrying serve times until that campaign's
+    /// creative comes out. Returns (visit, time).
+    fn visit_campaign_ad(
+        fx: &Fixture,
+        oracle: &Oracle<'_>,
+        predicate: impl Fn(&CampaignBehavior) -> bool,
+    ) -> Option<(PageVisit, SimTime)> {
+        let marker_domains: Vec<String> = fx
+            .world
+            .campaigns()
+            .iter()
+            .filter(|c| predicate(&c.behavior))
+            .flat_map(|c| c.controlled_domains())
+            .map(|d| d.to_string())
+            .collect();
+        for network_idx in 0..fx.world.networks().len() as u32 {
+            for day in 60..75 {
+                for slot in 0..3usize {
+                    let time = SimTime::at(day, 0);
+                    let url = fx.world.serve_url(AdNetworkId(network_idx), 1000 + slot as u32, slot);
+                    let visit = oracle.honeyclient_visit(&url, time);
+                    let touched = visit
+                        .capture
+                        .hosts()
+                        .iter()
+                        .any(|h| marker_domains.contains(&h.to_string()))
+                        || marker_domains.iter().any(|d| visit.top.html.contains(d));
+                    if touched {
+                        return Some((visit, time));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn benign_ads_mostly_clean() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        // Serve from a major network on day 0 repeatedly: fills are almost
+        // always benign; count incidents.
+        let mut incident_count = 0;
+        let mut visits = 0;
+        for slot in 0..20usize {
+            let url = fx.world.serve_url(AdNetworkId(0), 1, slot);
+            let incidents = oracle.classify(&url, SimTime::at(0, 0));
+            visits += 1;
+            incident_count += incidents.len();
+        }
+        assert!(visits == 20);
+        assert!(
+            incident_count <= 6,
+            "too many incidents on (mostly benign) major-network fills: {incident_count}"
+        );
+    }
+
+    #[test]
+    fn driveby_campaign_produces_incidents() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
+            matches!(b, CampaignBehavior::DriveBy { .. })
+        })
+        .expect("a drive-by ad is servable");
+        let incidents = oracle.classify_visit(&visit, time);
+        assert!(
+            !incidents.is_empty(),
+            "drive-by ad triggered nothing: events={:?}",
+            visit.events
+        );
+    }
+
+    #[test]
+    fn deceptive_campaign_yields_executable_incident() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
+            matches!(b, CampaignBehavior::Deceptive { .. })
+        })
+        .expect("a deceptive ad is servable");
+        let incidents = oracle.classify_visit(&visit, time);
+        let types: Vec<IncidentType> = incidents.iter().map(|i| i.incident_type).collect();
+        assert!(
+            types.contains(&IncidentType::MaliciousExecutables)
+                || types.contains(&IncidentType::Heuristics),
+            "deceptive ad not caught: {types:?}"
+        );
+    }
+
+    #[test]
+    fn hijack_campaign_yields_suspicious_redirection() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
+            matches!(b, CampaignBehavior::Hijack { .. })
+        })
+        .expect("a hijack ad is servable");
+        let incidents = oracle.classify_visit(&visit, time);
+        let types: Vec<IncidentType> = incidents.iter().map(|i| i.incident_type).collect();
+        assert!(
+            types.contains(&IncidentType::SuspiciousRedirections),
+            "hijack not caught: {types:?}"
+        );
+    }
+
+    #[test]
+    fn model_detection_requires_seeded_fingerprint() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
+            matches!(b, CampaignBehavior::Deceptive { .. })
+        })
+        .expect("ad servable");
+        // Without the model DB, no model incident.
+        let incidents = oracle.classify_visit(&visit, time);
+        assert!(!incidents
+            .iter()
+            .any(|i| i.incident_type == IncidentType::ModelDetection));
+        // Seed the model DB with this behaviour and re-classify.
+        let fp = behavior_fingerprint(&visit);
+        let oracle2 = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig {
+                known_models: vec![fp],
+                ..OracleConfig::default()
+            },
+            fx.tree,
+        );
+        let incidents = oracle2.classify_visit(&visit, time);
+        assert!(incidents
+            .iter()
+            .any(|i| i.incident_type == IncidentType::ModelDetection));
+    }
+
+    #[test]
+    fn classification_deterministic() {
+        let fx = fixture();
+        let oracle = Oracle::new(
+            &fx.network,
+            &fx.blacklists,
+            &fx.scanner,
+            OracleConfig::default(),
+            fx.tree,
+        );
+        let url = fx.world.serve_url(AdNetworkId(5), 42, 1);
+        let a = oracle.classify(&url, SimTime::at(30, 2));
+        let b = oracle.classify(&url, SimTime::at(30, 2));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! # malvert-scanner
+//!
+//! The multi-engine payload scanner — the study's VirusTotal analogue.
+//!
+//! §3.2.3 of the paper: whenever an advertisement forced a download, the
+//! file was submitted to VirusTotal, which scans with **51** antivirus
+//! engines, and the verdict consensus decides whether the download is
+//! malware (Table 1's "Malicious executables" and "Malicious Flash" rows).
+//!
+//! VirusTotal and the AV engines are external services; per the substitution
+//! rule we build the closest synthetic equivalent that exercises the same
+//! code path:
+//!
+//! * [`payload`] — synthesizes download bytes. Executables get a DOS/PE
+//!   shape (`MZ` magic, header fields, sections); Flash files get an
+//!   `FWS`/`CWS` shape. Malicious payloads carry a *family marker* (a byte
+//!   pattern derived from the malware family id, at a packer-dependent
+//!   offset) plus realistically high-entropy packed sections.
+//! * [`engine`] — 51 engines, each with its own signature database (the
+//!   subset of families it knows), a heuristic layer (packed-executable
+//!   detection with per-engine sensitivity), and a small false-positive
+//!   rate. Every verdict is a deterministic function of
+//!   `(engine seed, payload bytes)`.
+//! * [`report`] — the scan service and VirusTotal-style report
+//!   (`positives / total`, per-engine detection names), with a consensus
+//!   threshold for the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod payload;
+pub mod report;
+
+pub use engine::AvEngine;
+pub use payload::{MalwareFamily, Payload, PayloadKind};
+pub use report::{ScanReport, ScanService};
+
+/// Number of simulated AV engines — VirusTotal used 51 at the time of the
+/// study.
+pub const ENGINE_COUNT: usize = 51;
+
+/// Consensus threshold: a payload is considered malicious when at least this
+/// many engines flag it. (VirusTotal reports raw counts; consumers commonly
+/// apply a small threshold to discount one-engine FPs.)
+pub const DEFAULT_CONSENSUS: usize = 4;

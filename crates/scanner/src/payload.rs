@@ -1,0 +1,277 @@
+//! Synthetic download payloads.
+
+use bytes::Bytes;
+use malvert_types::rng::{mix_label, SeedTree};
+use malvert_types::DetRng;
+
+/// Kind of downloadable payload the simulation produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// A Windows executable (DOS/PE shape).
+    Executable,
+    /// A Flash movie (SWF shape).
+    Flash,
+}
+
+/// A malware family. The family id determines the signature byte pattern
+/// engines look for; distinct families have distinct patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MalwareFamily(pub u32);
+
+impl MalwareFamily {
+    /// The 8-byte marker this family embeds in its payloads.
+    pub fn marker(self) -> [u8; 8] {
+        let mut state = mix_label(0x5EED_F00D, &self.0.to_le_bytes());
+        let a = malvert_types::rng::splitmix64(&mut state);
+        a.to_le_bytes()
+    }
+}
+
+/// A synthesized payload: bytes plus ground truth (used only by tests and
+/// the evaluation — engines see bytes alone).
+#[derive(Debug, Clone)]
+pub struct Payload {
+    /// The raw bytes an engine scans.
+    pub bytes: Bytes,
+    /// Payload kind.
+    pub kind: PayloadKind,
+    /// Ground truth: the family when malicious, `None` when benign.
+    pub family: Option<MalwareFamily>,
+}
+
+impl Payload {
+    /// Synthesizes a benign payload.
+    pub fn benign(kind: PayloadKind, tree: SeedTree) -> Payload {
+        let mut rng = tree.rng();
+        let bytes = match kind {
+            PayloadKind::Executable => synth_pe(&mut rng, None, false),
+            PayloadKind::Flash => synth_swf(&mut rng, None, false),
+        };
+        Payload {
+            bytes,
+            kind,
+            family: None,
+        }
+    }
+
+    /// Synthesizes a malicious payload of the given family. `packed`
+    /// controls whether the body is high-entropy (packer-style), which the
+    /// engines' heuristic layer keys on.
+    pub fn malicious(
+        kind: PayloadKind,
+        family: MalwareFamily,
+        packed: bool,
+        tree: SeedTree,
+    ) -> Payload {
+        let mut rng = tree.rng();
+        let bytes = match kind {
+            PayloadKind::Executable => synth_pe(&mut rng, Some(family), packed),
+            PayloadKind::Flash => synth_swf(&mut rng, Some(family), packed),
+        };
+        Payload {
+            bytes,
+            kind,
+            family: Some(family),
+        }
+    }
+
+    /// Detects the payload kind from magic bytes, as an engine would.
+    pub fn sniff_kind(bytes: &[u8]) -> Option<PayloadKind> {
+        if bytes.len() >= 2 && &bytes[..2] == b"MZ" {
+            Some(PayloadKind::Executable)
+        } else if bytes.len() >= 3 && (&bytes[..3] == b"FWS" || &bytes[..3] == b"CWS") {
+            Some(PayloadKind::Flash)
+        } else {
+            None
+        }
+    }
+}
+
+/// Shannon-ish entropy proxy in bits/byte, computed over byte frequencies.
+pub fn entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn synth_pe(rng: &mut DetRng, family: Option<MalwareFamily>, packed: bool) -> Bytes {
+    let mut out = Vec::with_capacity(2048);
+    // DOS header.
+    out.extend_from_slice(b"MZ");
+    out.extend_from_slice(&[0x90, 0x00, 0x03, 0x00, 0x00, 0x00, 0x04, 0x00]);
+    // e_lfanew -> PE header at fixed offset 0x80.
+    out.resize(0x3c, 0);
+    out.extend_from_slice(&0x80u32.to_le_bytes());
+    out.resize(0x80, 0);
+    // PE signature + COFF header (machine = x86, 2 sections).
+    out.extend_from_slice(b"PE\0\0");
+    out.extend_from_slice(&0x014Cu16.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes());
+    out.resize(out.len() + 16, 0);
+    // Section names.
+    let section_names: &[&[u8]] = if packed {
+        &[b".upx0\0\0\0", b".upx1\0\0\0"]
+    } else {
+        &[b".text\0\0\0", b".data\0\0\0"]
+    };
+    for name in section_names {
+        out.extend_from_slice(name);
+        out.resize(out.len() + 32, 0);
+    }
+    // Body.
+    let body_len = rng.range_inclusive(600, 1400);
+    let marker_at = rng.range_inclusive(64, body_len - 64);
+    for i in 0..body_len {
+        let b = if packed {
+            // High-entropy packed body.
+            (rng.below(256)) as u8
+        } else {
+            // Low-entropy code-ish body: small alphabet.
+            [0x00, 0x55, 0x8B, 0xEC, 0xC3, 0x90][rng.below(6)]
+        };
+        out.push(b);
+        if i == marker_at {
+            if let Some(f) = family {
+                out.extend_from_slice(&f.marker());
+            }
+        }
+    }
+    Bytes::from(out)
+}
+
+fn synth_swf(rng: &mut DetRng, family: Option<MalwareFamily>, packed: bool) -> Bytes {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(if packed { b"CWS" } else { b"FWS" });
+    out.push(10); // version
+    // File length placeholder.
+    out.extend_from_slice(&[0; 4]);
+    let body_len = rng.range_inclusive(400, 900);
+    let marker_at = rng.range_inclusive(32, body_len - 32);
+    for i in 0..body_len {
+        let b = if packed {
+            rng.below(256) as u8
+        } else {
+            [0x00, 0x3F, 0x03, 0x88, 0x96, 0x40][rng.below(6)]
+        };
+        out.push(b);
+        if i == marker_at {
+            if let Some(f) = family {
+                out.extend_from_slice(&f.marker());
+            }
+        }
+    }
+    let total = out.len() as u32;
+    out[4..8].copy_from_slice(&total.to_le_bytes());
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_markers_distinct() {
+        let a = MalwareFamily(1).marker();
+        let b = MalwareFamily(2).marker();
+        assert_ne!(a, b);
+        assert_eq!(MalwareFamily(1).marker(), a);
+    }
+
+    #[test]
+    fn pe_shape() {
+        let p = Payload::benign(PayloadKind::Executable, SeedTree::new(1));
+        assert_eq!(&p.bytes[..2], b"MZ");
+        assert_eq!(Payload::sniff_kind(&p.bytes), Some(PayloadKind::Executable));
+        assert!(p.bytes.len() > 600);
+    }
+
+    #[test]
+    fn swf_shape_and_length_field() {
+        let p = Payload::benign(PayloadKind::Flash, SeedTree::new(2));
+        assert_eq!(&p.bytes[..3], b"FWS");
+        let len = u32::from_le_bytes([p.bytes[4], p.bytes[5], p.bytes[6], p.bytes[7]]);
+        assert_eq!(len as usize, p.bytes.len());
+        assert_eq!(Payload::sniff_kind(&p.bytes), Some(PayloadKind::Flash));
+    }
+
+    #[test]
+    fn packed_flash_uses_cws() {
+        let p = Payload::malicious(
+            PayloadKind::Flash,
+            MalwareFamily(3),
+            true,
+            SeedTree::new(3),
+        );
+        assert_eq!(&p.bytes[..3], b"CWS");
+    }
+
+    #[test]
+    fn malicious_payload_contains_marker() {
+        let family = MalwareFamily(7);
+        let p = Payload::malicious(PayloadKind::Executable, family, false, SeedTree::new(4));
+        let marker = family.marker();
+        assert!(
+            p.bytes.windows(8).any(|w| w == marker),
+            "marker must be embedded"
+        );
+        let benign = Payload::benign(PayloadKind::Executable, SeedTree::new(4));
+        assert!(!benign.bytes.windows(8).any(|w| w == marker));
+    }
+
+    #[test]
+    fn packed_bodies_have_higher_entropy() {
+        let packed = Payload::malicious(
+            PayloadKind::Executable,
+            MalwareFamily(1),
+            true,
+            SeedTree::new(5),
+        );
+        let plain = Payload::benign(PayloadKind::Executable, SeedTree::new(5));
+        assert!(entropy(&packed.bytes) > entropy(&plain.bytes) + 1.0);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Payload::malicious(
+            PayloadKind::Executable,
+            MalwareFamily(9),
+            true,
+            SeedTree::new(6),
+        );
+        let b = Payload::malicious(
+            PayloadKind::Executable,
+            MalwareFamily(9),
+            true,
+            SeedTree::new(6),
+        );
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn sniff_rejects_garbage() {
+        assert_eq!(Payload::sniff_kind(b"not a payload"), None);
+        assert_eq!(Payload::sniff_kind(b""), None);
+        assert_eq!(Payload::sniff_kind(b"M"), None);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[7; 100]), 0.0);
+        let uniform: Vec<u8> = (0..=255).collect();
+        assert!((entropy(&uniform) - 8.0).abs() < 1e-9);
+    }
+}

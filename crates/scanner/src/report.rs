@@ -1,0 +1,197 @@
+//! The scan service and its VirusTotal-style report.
+
+use crate::engine::{AvEngine, Verdict};
+use crate::payload::PayloadKind;
+use malvert_types::rng::SeedTree;
+
+/// Size of the malware-family id space the simulation draws from. Engines
+/// enumerate candidate markers over this universe when matching signatures.
+pub const FAMILY_UNIVERSE: u32 = 64;
+
+/// A VirusTotal-style report: per-engine verdicts for one sample.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// `(engine name, detection name)` for every engine that flagged the
+    /// sample.
+    pub detections: Vec<(String, String)>,
+    /// Number of engines consulted.
+    pub total_engines: usize,
+    /// Detected container kind, when recognizable.
+    pub kind: Option<PayloadKind>,
+}
+
+impl ScanReport {
+    /// Number of engines that flagged the sample (`positives` in VT terms).
+    pub fn positives(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// `positives / total` ratio.
+    pub fn detection_ratio(&self) -> f64 {
+        if self.total_engines == 0 {
+            0.0
+        } else {
+            self.positives() as f64 / self.total_engines as f64
+        }
+    }
+}
+
+/// The scan service: the full engine population behind one submit API.
+#[derive(Debug)]
+pub struct ScanService {
+    engines: Vec<AvEngine>,
+    consensus: usize,
+}
+
+impl ScanService {
+    /// Builds the service with the standard engine population and the
+    /// default consensus threshold.
+    pub fn new(tree: SeedTree) -> Self {
+        Self::with_consensus(tree, crate::DEFAULT_CONSENSUS)
+    }
+
+    /// Builds the service with a custom consensus threshold (ablation).
+    pub fn with_consensus(tree: SeedTree, consensus: usize) -> Self {
+        ScanService {
+            engines: AvEngine::generate_all(tree),
+            consensus,
+        }
+    }
+
+    /// The engine population.
+    pub fn engines(&self) -> &[AvEngine] {
+        &self.engines
+    }
+
+    /// The consensus threshold.
+    pub fn consensus(&self) -> usize {
+        self.consensus
+    }
+
+    /// Scans a sample with every engine.
+    pub fn scan(&self, bytes: &[u8]) -> ScanReport {
+        let mut detections = Vec::new();
+        for engine in &self.engines {
+            match engine.scan(bytes) {
+                Verdict::Clean => {}
+                Verdict::Signature(name) | Verdict::Heuristic(name) => {
+                    detections.push((engine.name.clone(), name));
+                }
+            }
+        }
+        ScanReport {
+            detections,
+            total_engines: self.engines.len(),
+            kind: crate::payload::Payload::sniff_kind(bytes),
+        }
+    }
+
+    /// The oracle's decision: malicious iff at least `consensus` engines
+    /// flagged the sample.
+    pub fn is_malicious(&self, bytes: &[u8]) -> bool {
+        self.scan(bytes).positives() >= self.consensus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{MalwareFamily, Payload};
+
+    fn service() -> ScanService {
+        ScanService::new(SeedTree::new(20))
+    }
+
+    #[test]
+    fn known_malware_reaches_consensus() {
+        let svc = service();
+        for fam in 0..8 {
+            let p = Payload::malicious(
+                PayloadKind::Executable,
+                MalwareFamily(fam),
+                true,
+                SeedTree::new(30 + u64::from(fam)),
+            );
+            let report = svc.scan(&p.bytes);
+            assert!(
+                report.positives() >= crate::DEFAULT_CONSENSUS,
+                "family {fam} only got {} positives",
+                report.positives()
+            );
+            assert!(svc.is_malicious(&p.bytes));
+        }
+    }
+
+    #[test]
+    fn benign_samples_pass() {
+        let svc = service();
+        for i in 0..20 {
+            let p = Payload::benign(PayloadKind::Executable, SeedTree::new(300 + i));
+            assert!(
+                !svc.is_malicious(&p.bytes),
+                "benign sample {i} failed consensus check"
+            );
+        }
+        for i in 0..20 {
+            let p = Payload::benign(PayloadKind::Flash, SeedTree::new(400 + i));
+            assert!(!svc.is_malicious(&p.bytes));
+        }
+    }
+
+    #[test]
+    fn flash_malware_detected() {
+        let svc = service();
+        let p = Payload::malicious(
+            PayloadKind::Flash,
+            MalwareFamily(3),
+            false,
+            SeedTree::new(31),
+        );
+        let report = svc.scan(&p.bytes);
+        assert!(report.positives() >= crate::DEFAULT_CONSENSUS);
+        assert_eq!(report.kind, Some(PayloadKind::Flash));
+    }
+
+    #[test]
+    fn report_totals() {
+        let svc = service();
+        let p = Payload::benign(PayloadKind::Executable, SeedTree::new(32));
+        let report = svc.scan(&p.bytes);
+        assert_eq!(report.total_engines, crate::ENGINE_COUNT);
+        assert!(report.detection_ratio() < 0.1);
+    }
+
+    #[test]
+    fn no_engine_sees_everything() {
+        let svc = service();
+        // For every engine there is at least one family it misses.
+        for e in svc.engines() {
+            let missed = (0..FAMILY_UNIVERSE).any(|f| !e.knows_family(MalwareFamily(f)));
+            assert!(missed, "{} implausibly knows every family", e.name);
+        }
+    }
+
+    #[test]
+    fn consensus_threshold_respected() {
+        let strict = ScanService::with_consensus(SeedTree::new(20), 40);
+        let p = Payload::malicious(
+            PayloadKind::Executable,
+            MalwareFamily(1),
+            false,
+            SeedTree::new(33),
+        );
+        let report = strict.scan(&p.bytes);
+        // Signature coverage averages well below 40/51.
+        if report.positives() < 40 {
+            assert!(!strict.is_malicious(&p.bytes));
+        }
+    }
+
+    #[test]
+    fn scan_unscannable_bytes() {
+        let svc = service();
+        let report = svc.scan(b"README contents");
+        assert_eq!(report.positives(), 0);
+        assert_eq!(report.kind, None);
+    }
+}

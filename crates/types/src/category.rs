@@ -1,0 +1,125 @@
+//! Website content taxonomy.
+//!
+//! Figure 3 of the paper buckets malvertisement-hosting websites into content
+//! categories and finds entertainment and news together make up about a third
+//! of them, with adult content in third place. This enum is the category axis
+//! used by the site generator and by the Figure 3 analysis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Content category of a website.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SiteCategory {
+    /// Entertainment: streaming, celebrity, games portals.
+    Entertainment,
+    /// News and media outlets.
+    News,
+    /// Adult content.
+    Adult,
+    /// Online shopping and classifieds.
+    Shopping,
+    /// Technology and software.
+    Technology,
+    /// Sports coverage.
+    Sports,
+    /// File sharing, downloads, warez-adjacent.
+    FileSharing,
+    /// Blogs and personal pages.
+    Blogs,
+    /// Social networking.
+    Social,
+    /// Finance and business.
+    Finance,
+    /// Travel.
+    Travel,
+    /// Education and reference.
+    Education,
+    /// Health.
+    Health,
+    /// Everything else.
+    Other,
+}
+
+impl SiteCategory {
+    /// All categories, in canonical order.
+    pub const ALL: [SiteCategory; 14] = [
+        SiteCategory::Entertainment,
+        SiteCategory::News,
+        SiteCategory::Adult,
+        SiteCategory::Shopping,
+        SiteCategory::Technology,
+        SiteCategory::Sports,
+        SiteCategory::FileSharing,
+        SiteCategory::Blogs,
+        SiteCategory::Social,
+        SiteCategory::Finance,
+        SiteCategory::Travel,
+        SiteCategory::Education,
+        SiteCategory::Health,
+        SiteCategory::Other,
+    ];
+
+    /// Human-readable label, as used in report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteCategory::Entertainment => "Entertainment",
+            SiteCategory::News => "News",
+            SiteCategory::Adult => "Adult",
+            SiteCategory::Shopping => "Shopping",
+            SiteCategory::Technology => "Technology",
+            SiteCategory::Sports => "Sports",
+            SiteCategory::FileSharing => "File sharing",
+            SiteCategory::Blogs => "Blogs",
+            SiteCategory::Social => "Social networking",
+            SiteCategory::Finance => "Finance",
+            SiteCategory::Travel => "Travel",
+            SiteCategory::Education => "Education",
+            SiteCategory::Health => "Health",
+            SiteCategory::Other => "Other",
+        }
+    }
+
+    /// Dense index of the category within [`SiteCategory::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("category present in ALL")
+    }
+}
+
+impl fmt::Display for SiteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_category_once() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in SiteCategory::ALL {
+            assert!(seen.insert(c), "{c} duplicated in ALL");
+        }
+        assert_eq!(seen.len(), 14);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, c) in SiteCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_nonempty_and_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            SiteCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), SiteCategory::ALL.len());
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

@@ -1,0 +1,347 @@
+//! Domain names, TLD classification, and registered-domain extraction.
+//!
+//! The paper's Figure 4 breaks malvertising hosts down by top-level domain and
+//! observes that generic TLDs (mainly `.com` and `.net`) carry more than two
+//! thirds of the malvertising traffic. To support that analysis we model:
+//!
+//! * [`DomainName`] — a validated, lower-cased ASCII DNS name.
+//! * [`Tld`] — the last label, classified as generic / country-code / other.
+//! * [`RegisteredDomain`] — the eTLD+1, computed against a small embedded
+//!   public-suffix snapshot (enough for the suffixes the simulation emits,
+//!   including two-level suffixes such as `co.uk`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when parsing a [`DomainName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The name was empty or consisted only of dots.
+    Empty,
+    /// A label was empty (consecutive dots or leading/trailing dot).
+    EmptyLabel,
+    /// A label exceeded 63 octets or the name exceeded 253 octets.
+    TooLong,
+    /// A character outside `[a-z0-9-]` appeared in a label.
+    BadCharacter(char),
+    /// A label started or ended with a hyphen.
+    BadHyphen,
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain name"),
+            DomainError::EmptyLabel => write!(f, "empty label in domain name"),
+            DomainError::TooLong => write!(f, "domain name or label too long"),
+            DomainError::BadCharacter(c) => write!(f, "invalid character {c:?} in domain name"),
+            DomainError::BadHyphen => write!(f, "label starts or ends with a hyphen"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A validated, lower-case ASCII DNS name such as `ads.example.com`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainName(String);
+
+impl DomainName {
+    /// Parses and validates a domain name, lower-casing it.
+    pub fn parse(input: &str) -> Result<Self, DomainError> {
+        let name = input.trim_end_matches('.').to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        if name.len() > 253 {
+            return Err(DomainError::TooLong);
+        }
+        for label in name.split('.') {
+            if label.is_empty() {
+                return Err(DomainError::EmptyLabel);
+            }
+            if label.len() > 63 {
+                return Err(DomainError::TooLong);
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DomainError::BadHyphen);
+            }
+            if let Some(c) = label
+                .chars()
+                .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-'))
+            {
+                return Err(DomainError::BadCharacter(c));
+            }
+        }
+        Ok(Self(name))
+    }
+
+    /// The full name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the labels, left to right (`ads`, `example`, `com`).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.0.split('.').count()
+    }
+
+    /// The last label as a [`Tld`].
+    pub fn tld(&self) -> Tld {
+        Tld::from_label(self.0.rsplit('.').next().unwrap_or(""))
+    }
+
+    /// True when `self` equals `other` or is a subdomain of it
+    /// (`ads.example.com` is within `example.com`).
+    pub fn is_within(&self, other: &DomainName) -> bool {
+        self.0 == other.0
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(other.0.as_str())
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+
+    /// Computes the registered domain (eTLD+1) of this name.
+    ///
+    /// Returns `None` when the name *is* a public suffix (e.g. `com`,
+    /// `co.uk`), since then there is no registrable part.
+    pub fn registered_domain(&self) -> Option<RegisteredDomain> {
+        let labels: Vec<&str> = self.labels().collect();
+        let n = labels.len();
+        // Longest matching public suffix, measured in labels.
+        let mut suffix_len = 0;
+        for take in 1..=n.min(3) {
+            let candidate = labels[n - take..].join(".");
+            if is_public_suffix(&candidate) {
+                suffix_len = take;
+            }
+        }
+        if suffix_len == 0 {
+            // Unknown TLD: treat the last label as the suffix, per the PSL's
+            // implicit "*" rule.
+            suffix_len = 1;
+        }
+        if n <= suffix_len {
+            return None;
+        }
+        let reg = labels[n - suffix_len - 1..].join(".");
+        Some(RegisteredDomain(DomainName(reg)))
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The registered domain (eTLD+1) of a host: the unit of administrative
+/// control that the paper's per-domain statistics use.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegisteredDomain(DomainName);
+
+impl RegisteredDomain {
+    /// The underlying domain name.
+    pub fn domain(&self) -> &DomainName {
+        &self.0
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for RegisteredDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Embedded public-suffix snapshot: one-level generic suffixes plus the
+/// two-level country suffixes that the simulation's domain generator emits.
+const PUBLIC_SUFFIXES: &[&str] = &[
+    // Generic TLDs.
+    "com", "net", "org", "info", "biz", "name", "pro", "mobi", "asia", "tel", "xxx",
+    // Sponsored / infrastructure.
+    "edu", "gov", "mil", "int", "aero", "coop", "museum", "jobs", "travel", "cat", "post",
+    // Country codes used by the simulation.
+    "us", "uk", "de", "fr", "nl", "ru", "cn", "jp", "br", "in", "it", "es", "pl", "ca", "au",
+    "se", "ch", "at", "be", "dk", "fi", "no", "cz", "gr", "pt", "ro", "hu", "tr", "kr", "mx",
+    "ar", "cl", "co", "za", "il", "ir", "ua", "vn", "th", "id", "my", "sg", "hk", "tw", "nz",
+    "ie", "sk", "bg", "lt", "lv", "ee", "tv", "cc", "ws", "me", "io",
+    // Two-level public suffixes.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
+    "com.au", "net.au", "org.au", "com.br", "net.br", "org.br",
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "com.cn", "net.cn", "org.cn",
+    "co.in", "net.in", "org.in", "co.kr", "or.kr", "com.mx", "com.ar",
+    "co.za", "co.nz", "net.nz", "org.nz", "com.tw", "com.hk", "com.sg",
+    "com.tr", "com.ua",
+];
+
+fn is_public_suffix(candidate: &str) -> bool {
+    PUBLIC_SUFFIXES.contains(&candidate)
+}
+
+/// Classification of a top-level domain, as used by Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TldClass {
+    /// Generic TLDs (`.com`, `.net`, `.org`, …).
+    Generic,
+    /// Two-letter country-code TLDs.
+    CountryCode,
+    /// Anything else (unknown labels).
+    Other,
+}
+
+/// A top-level domain label (always lower-case).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tld(String);
+
+const GENERIC_TLDS: &[&str] = &[
+    "com", "net", "org", "info", "biz", "name", "pro", "mobi", "asia", "tel", "xxx", "edu",
+    "gov", "mil", "int", "aero", "coop", "museum", "jobs", "travel", "cat", "post",
+];
+
+impl Tld {
+    /// Builds a TLD from a raw label (lower-cased).
+    pub fn from_label(label: &str) -> Self {
+        Self(label.to_ascii_lowercase())
+    }
+
+    /// The label as a string slice (without leading dot).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Classifies the TLD per Figure 4's generic-vs-country split.
+    pub fn class(&self) -> TldClass {
+        if GENERIC_TLDS.contains(&self.0.as_str()) {
+            TldClass::Generic
+        } else if self.0.len() == 2 && self.0.chars().all(|c| c.is_ascii_lowercase()) {
+            TldClass::CountryCode
+        } else {
+            TldClass::Other
+        }
+    }
+}
+
+impl fmt::Display for Tld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_names() {
+        for name in ["example.com", "ads.tracker.co.uk", "a-b.c0m.net", "x.io"] {
+            assert!(DomainName::parse(name).is_ok(), "{name} should parse");
+        }
+    }
+
+    #[test]
+    fn parse_normalizes_case_and_trailing_dot() {
+        let d = DomainName::parse("Ads.Example.COM.").unwrap();
+        assert_eq!(d.as_str(), "ads.example.com");
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert_eq!(DomainName::parse(""), Err(DomainError::Empty));
+        assert_eq!(DomainName::parse("a..b"), Err(DomainError::EmptyLabel));
+        assert_eq!(DomainName::parse("-a.com"), Err(DomainError::BadHyphen));
+        assert_eq!(DomainName::parse("a-.com"), Err(DomainError::BadHyphen));
+        assert!(matches!(
+            DomainName::parse("sp ace.com"),
+            Err(DomainError::BadCharacter(' '))
+        ));
+        let long_label = format!("{}.com", "a".repeat(64));
+        assert_eq!(DomainName::parse(&long_label), Err(DomainError::TooLong));
+        let long_name = std::iter::repeat("abcdefgh")
+            .take(40)
+            .collect::<Vec<_>>()
+            .join(".");
+        assert_eq!(DomainName::parse(&long_name), Err(DomainError::TooLong));
+    }
+
+    #[test]
+    fn tld_extraction_and_class() {
+        let d = DomainName::parse("news.example.com").unwrap();
+        assert_eq!(d.tld().as_str(), "com");
+        assert_eq!(d.tld().class(), TldClass::Generic);
+
+        let d = DomainName::parse("shop.example.de").unwrap();
+        assert_eq!(d.tld().class(), TldClass::CountryCode);
+
+        let d = DomainName::parse("thing.example.weird1").unwrap();
+        assert_eq!(d.tld().class(), TldClass::Other);
+    }
+
+    #[test]
+    fn registered_domain_simple() {
+        let d = DomainName::parse("ads.cdn.example.com").unwrap();
+        assert_eq!(d.registered_domain().unwrap().as_str(), "example.com");
+    }
+
+    #[test]
+    fn registered_domain_two_level_suffix() {
+        let d = DomainName::parse("www.shop.example.co.uk").unwrap();
+        assert_eq!(d.registered_domain().unwrap().as_str(), "example.co.uk");
+    }
+
+    #[test]
+    fn registered_domain_of_suffix_is_none() {
+        assert!(DomainName::parse("com").unwrap().registered_domain().is_none());
+        assert!(DomainName::parse("co.uk")
+            .unwrap()
+            .registered_domain()
+            .is_none());
+    }
+
+    #[test]
+    fn registered_domain_unknown_tld_falls_back() {
+        let d = DomainName::parse("a.b.custom").unwrap();
+        assert_eq!(d.registered_domain().unwrap().as_str(), "b.custom");
+    }
+
+    #[test]
+    fn is_within_semantics() {
+        let parent = DomainName::parse("example.com").unwrap();
+        let child = DomainName::parse("ads.example.com").unwrap();
+        let sneaky = DomainName::parse("evilexample.com").unwrap();
+        assert!(child.is_within(&parent));
+        assert!(parent.is_within(&parent));
+        assert!(!sneaky.is_within(&parent));
+        assert!(!parent.is_within(&child));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let d = DomainName::parse("a.b.com").unwrap();
+        assert_eq!(d.to_string(), "a.b.com");
+        assert_eq!(d.tld().to_string(), ".com");
+    }
+
+    #[test]
+    fn label_iteration() {
+        let d = DomainName::parse("a.b.com").unwrap();
+        assert_eq!(d.labels().collect::<Vec<_>>(), vec!["a", "b", "com"]);
+        assert_eq!(d.label_count(), 3);
+    }
+}

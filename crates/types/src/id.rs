@@ -1,0 +1,105 @@
+//! Typed identifiers.
+//!
+//! Each entity population in the simulation (sites, ad networks, campaigns,
+//! creatives, payloads, pages) is indexed densely from zero, so ids are thin
+//! `u32` newtypes. The newtype wall prevents the classic measurement-code bug
+//! of indexing the wrong table with the right integer.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the dense index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("id index exceeds u32"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A website in the simulated Web (a publisher or plain content site).
+    SiteId,
+    "site-"
+);
+define_id!(
+    /// An ad network / ad exchange.
+    AdNetworkId,
+    "adnet-"
+);
+define_id!(
+    /// An advertiser campaign (a book of creatives with one behaviour).
+    CampaignId,
+    "campaign-"
+);
+define_id!(
+    /// A single advertisement creative (the servable HTML+script unit).
+    CreativeId,
+    "creative-"
+);
+define_id!(
+    /// A downloadable payload (simulated executable or Flash file).
+    PayloadId,
+    "payload-"
+);
+define_id!(
+    /// A page within a site.
+    PageId,
+    "page-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = SiteId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, SiteId(42));
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(SiteId(3).to_string(), "site-3");
+        assert_eq!(AdNetworkId(0).to_string(), "adnet-0");
+        assert_eq!(CampaignId(9).to_string(), "campaign-9");
+        assert_eq!(CreativeId(1).to_string(), "creative-1");
+        assert_eq!(PayloadId(7).to_string(), "payload-7");
+        assert_eq!(PageId(2).to_string(), "page-2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SiteId(1) < SiteId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index exceeds u32")]
+    fn from_index_overflow_panics() {
+        let _ = SiteId::from_index(u32::MAX as usize + 1);
+    }
+}

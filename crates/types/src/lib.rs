@@ -1,0 +1,49 @@
+//! # malvert-types
+//!
+//! Shared vocabulary for the malvertising measurement study — the reproduction of
+//! *"The Dark Alleys of Madison Avenue: Understanding Malicious Advertisements"*
+//! (IMC 2014).
+//!
+//! Every other crate in the workspace builds on these primitives:
+//!
+//! * [`rng`] — a self-contained, deterministic random-number substrate
+//!   (SplitMix64 seeding + xoshiro256\*\* generation) with hierarchical seed
+//!   derivation, so that a single `u64` study seed reproduces the entire
+//!   simulated Web, ad economy, crawl, and analysis byte-for-byte.
+//! * [`domain`] — DNS names, top-level-domain classification, and
+//!   registered-domain (eTLD+1) extraction against a public-suffix snapshot.
+//! * [`url`] — an RFC-3986-shaped URL parser and reference-resolution
+//!   implementation covering the subset of the grammar that appears in web
+//!   traffic: scheme, authority, path, query, fragment, and relative joins.
+//! * [`time`] — the simulated clock: the study runs for a configurable number
+//!   of days, visiting each site once per day and refreshing each page five
+//!   times, exactly like the paper's crawl schedule.
+//! * [`id`] — small typed identifiers for sites, ad networks, campaigns,
+//!   creatives, and payloads.
+//! * [`category`] — the website-content taxonomy used by Figure 3.
+//!
+//! ## Supported / not supported
+//!
+//! * Deterministic replay across platforms **is** supported: no `HashMap`
+//!   iteration order, system time, or thread scheduling feeds any result.
+//! * Internationalized domain names (punycode) are **not** supported; the
+//!   simulated Web is ASCII.
+//! * Percent-encoding is decoded for the characters that occur in simulated
+//!   traffic; exotic encodings are passed through verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod domain;
+pub mod id;
+pub mod rng;
+pub mod time;
+pub mod url;
+
+pub use category::SiteCategory;
+pub use domain::{DomainName, RegisteredDomain, Tld, TldClass};
+pub use id::{AdNetworkId, CampaignId, CreativeId, PageId, PayloadId, SiteId};
+pub use rng::{DetRng, SeedTree};
+pub use time::{CrawlSchedule, SimTime};
+pub use url::Url;

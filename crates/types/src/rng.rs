@@ -1,0 +1,443 @@
+//! Deterministic random-number substrate.
+//!
+//! The study must be reproducible from a single `u64` seed. We do not rely on
+//! `rand`'s `StdRng` (whose algorithm is not stable across crate versions) but
+//! implement the generators ourselves:
+//!
+//! * [`SplitMix64`] — a tiny stateless-feeling mixer, used to expand seeds and
+//!   to derive child seeds from a parent seed plus a label.
+//! * [`DetRng`] — xoshiro256\*\*, a high-quality 256-bit-state generator that
+//!   implements [`rand::RngCore`] so the whole `rand` distribution toolbox
+//!   (`gen_range`, `Bernoulli`, shuffles, …) works on top of it.
+//! * [`SeedTree`] — hierarchical seed derivation. Every subsystem gets its own
+//!   labelled branch (`tree.branch("websim")`), so inserting a new consumer of
+//!   randomness in one subsystem never perturbs the streams of another.
+
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64 step: advances `state` and returns the next mixed output.
+///
+/// This is the standard finalizer used to seed xoshiro generators; it is also
+/// an excellent general-purpose 64-bit mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A SplitMix64 generator, mainly used for seed expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // canonical SplitMix64 API name
+    pub fn next(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// Mixes a label (arbitrary bytes) into a seed, FNV-1a style followed by a
+/// SplitMix64 finalization. Used for labelled seed derivation.
+pub fn mix_label(seed: u64, label: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in label {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Finalize so that similar labels do not produce correlated seeds.
+    let mut s = h;
+    splitmix64(&mut s)
+}
+
+/// The workspace's deterministic RNG: xoshiro256\*\*.
+///
+/// Implements [`RngCore`] and [`SeedableRng`] so all of `rand`'s combinators
+/// are available. The algorithm is fixed here, in this crate, and therefore
+/// stable regardless of `rand` version bumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a single `u64` seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next();
+        }
+        // xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+        // cannot produce four zero outputs in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Draws a uniformly distributed `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit_f64() < p
+        }
+    }
+
+    /// Draws a uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "DetRng::below called with bound 0");
+        // Lemire's nearly-divisionless method on 64 bits.
+        let bound = bound as u64;
+        let mut x = self.next_u64_impl();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64_impl();
+                m = (x as u128).wrapping_mul(bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Draws a uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "DetRng::range_inclusive: lo > hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` when empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len())])
+        }
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// Returns `None` when `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.unit_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                if target < w {
+                    return Some(i);
+                }
+                target -= w;
+            }
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Draws from a zero-truncated geometric-ish distribution: returns `k >= 1`
+    /// where each increment continues with probability `continue_p`, capped at
+    /// `cap`. Used for e.g. arbitration chain extension.
+    pub fn geometric_capped(&mut self, continue_p: f64, cap: usize) -> usize {
+        let mut k = 1;
+        while k < cap && self.chance(continue_p) {
+            k += 1;
+        }
+        k
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_impl() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64_impl().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64_impl().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for DetRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Self::new(state)
+    }
+}
+
+/// Hierarchical, labelled seed derivation.
+///
+/// A `SeedTree` is a point in a tree of seeds. [`SeedTree::branch`] derives a
+/// child tree from a string label; [`SeedTree::branch_idx`] derives one from an
+/// integer (e.g. a site id). [`SeedTree::rng`] materializes the generator at
+/// the current point.
+///
+/// ```
+/// use malvert_types::rng::SeedTree;
+/// let root = SeedTree::new(42);
+/// let websim = root.branch("websim");
+/// let site_7 = websim.branch_idx(7);
+/// let mut rng = site_7.rng();
+/// let a = rand::RngCore::next_u64(&mut rng);
+/// // Re-deriving the same path yields the same stream.
+/// let mut rng2 = SeedTree::new(42).branch("websim").branch_idx(7).rng();
+/// assert_eq!(a, rand::RngCore::next_u64(&mut rng2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    seed: u64,
+}
+
+impl SeedTree {
+    /// Roots a tree at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The raw seed at this point of the tree.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a child tree from a string label.
+    pub fn branch(&self, label: &str) -> SeedTree {
+        SeedTree {
+            seed: mix_label(self.seed, label.as_bytes()),
+        }
+    }
+
+    /// Derives a child tree from an integer label.
+    pub fn branch_idx(&self, idx: u64) -> SeedTree {
+        SeedTree {
+            seed: mix_label(self.seed, &idx.to_le_bytes()),
+        }
+    }
+
+    /// Materializes the deterministic RNG at this point.
+    pub fn rng(&self) -> DetRng {
+        DetRng::new(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values for seed 0 from the public-domain implementation.
+        let mut s = SplitMix64::new(0);
+        assert_eq!(s.next(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(s.next(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(s.next(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn detrng_is_deterministic() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn detrng_different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds overlap heavily");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_uniformity_rough() {
+        let mut rng = DetRng::new(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of band");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..1000 {
+            let v = rng.range_inclusive(3, 7);
+            assert!((3..=7).contains(&v));
+        }
+        assert_eq!(rng.range_inclusive(4, 4), 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rate_rough() {
+        let mut rng = DetRng::new(11);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits));
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut rng = DetRng::new(13);
+        let weights = [0.0, 10.0, 0.0, 1.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..22_000 {
+            counts[rng.pick_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[1] > counts[3] * 5);
+    }
+
+    #[test]
+    fn pick_weighted_degenerate() {
+        let mut rng = DetRng::new(17);
+        assert_eq!(rng.pick_weighted(&[]), None);
+        assert_eq!(rng.pick_weighted(&[0.0, 0.0]), None);
+        assert_eq!(rng.pick_weighted(&[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn geometric_capped_bounds() {
+        let mut rng = DetRng::new(31);
+        for _ in 0..1000 {
+            let k = rng.geometric_capped(0.5, 8);
+            assert!((1..=8).contains(&k));
+        }
+        assert_eq!(rng.geometric_capped(0.0, 8), 1);
+        assert_eq!(rng.geometric_capped(1.0, 8), 8);
+    }
+
+    #[test]
+    fn seed_tree_paths_independent() {
+        let root = SeedTree::new(7);
+        let a = root.branch("adnet").rng().next_u64();
+        let b = root.branch("websim").rng().next_u64();
+        assert_ne!(a, b);
+        let i = root.branch_idx(0).rng().next_u64();
+        let j = root.branch_idx(1).rng().next_u64();
+        assert_ne!(i, j);
+    }
+
+    #[test]
+    fn seed_tree_replay() {
+        let x = SeedTree::new(42).branch("a").branch_idx(9).rng().next_u64();
+        let y = SeedTree::new(42).branch("a").branch_idx(9).rng().next_u64();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn fill_bytes_remainder() {
+        let mut rng = DetRng::new(55);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Same seed reproduces same bytes.
+        let mut rng2 = DetRng::new(55);
+        let mut buf2 = [0u8; 13];
+        rng2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+}

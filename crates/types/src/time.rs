@@ -1,0 +1,135 @@
+//! Simulated time and the crawl schedule.
+//!
+//! The paper crawled each website once per day, refreshing each page five
+//! times, for three months (§3.1). [`SimTime`] is one point in that schedule:
+//! a `(day, refresh)` pair plus a monotonically increasing intra-refresh tick
+//! used to order events within one page load.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the study's simulated clock.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime {
+    /// Day of the study, starting at 0.
+    pub day: u32,
+    /// Refresh index within the day's visit, starting at 0.
+    pub refresh: u32,
+    /// Event tick within the refresh (network request order).
+    pub tick: u32,
+}
+
+impl SimTime {
+    /// Start of the study.
+    pub const ZERO: SimTime = SimTime {
+        day: 0,
+        refresh: 0,
+        tick: 0,
+    };
+
+    /// Creates a time at the start of `(day, refresh)`.
+    pub fn at(day: u32, refresh: u32) -> Self {
+        SimTime {
+            day,
+            refresh,
+            tick: 0,
+        }
+    }
+
+    /// Returns the next tick within the same refresh.
+    pub fn next_tick(self) -> Self {
+        SimTime {
+            tick: self.tick + 1,
+            ..self
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}r{}t{}", self.day, self.refresh, self.tick)
+    }
+}
+
+/// The crawl schedule: `days` daily visits, each with `refreshes_per_visit`
+/// page refreshes — the paper used 90 days × 5 refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlSchedule {
+    /// Number of days in the study window.
+    pub days: u32,
+    /// Refreshes per daily visit (the paper used 5).
+    pub refreshes_per_visit: u32,
+}
+
+impl CrawlSchedule {
+    /// The paper's schedule: three months, five refreshes per visit.
+    pub fn paper() -> Self {
+        CrawlSchedule {
+            days: 90,
+            refreshes_per_visit: 5,
+        }
+    }
+
+    /// A scaled-down schedule for fast runs.
+    pub fn scaled(days: u32, refreshes_per_visit: u32) -> Self {
+        CrawlSchedule {
+            days,
+            refreshes_per_visit,
+        }
+    }
+
+    /// Total page loads per site over the whole study.
+    pub fn loads_per_site(&self) -> u64 {
+        u64::from(self.days) * u64::from(self.refreshes_per_visit)
+    }
+
+    /// Iterates every `(day, refresh)` slot in schedule order.
+    pub fn slots(&self) -> impl Iterator<Item = SimTime> + '_ {
+        let refreshes = self.refreshes_per_visit;
+        (0..self.days)
+            .flat_map(move |day| (0..refreshes).map(move |refresh| SimTime::at(day, refresh)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(SimTime::at(0, 4) < SimTime::at(1, 0));
+        assert!(SimTime::at(2, 1) < SimTime::at(2, 2));
+        let t = SimTime::at(1, 1);
+        assert!(t < t.next_tick());
+    }
+
+    #[test]
+    fn next_tick_preserves_day_refresh() {
+        let t = SimTime::at(3, 2).next_tick().next_tick();
+        assert_eq!((t.day, t.refresh, t.tick), (3, 2, 2));
+    }
+
+    #[test]
+    fn paper_schedule_counts() {
+        let s = CrawlSchedule::paper();
+        assert_eq!(s.loads_per_site(), 450);
+        assert_eq!(s.slots().count(), 450);
+    }
+
+    #[test]
+    fn slots_in_order() {
+        let s = CrawlSchedule::scaled(2, 3);
+        let slots: Vec<_> = s.slots().collect();
+        assert_eq!(slots.len(), 6);
+        assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(slots[0], SimTime::at(0, 0));
+        assert_eq!(slots[5], SimTime::at(1, 2));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::at(1, 2).to_string(), "d1r2t0");
+    }
+}

@@ -1,0 +1,578 @@
+//! URL parsing and reference resolution.
+//!
+//! The crawler, the filter-list matcher, the honeyclient, and the analysis all
+//! key on URLs, so this is a real parser rather than string splitting: scheme,
+//! authority (host, optional port), path, query, and fragment, plus RFC-3986
+//! relative-reference resolution (`Url::join`) including dot-segment removal.
+//!
+//! Not supported (documented limitations): userinfo in the authority, IPv6
+//! host literals, and full percent-decoding of non-ASCII sequences.
+
+use crate::domain::{DomainName, DomainError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors produced when parsing a [`Url`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    /// Missing or unsupported scheme.
+    BadScheme,
+    /// The authority section was malformed.
+    BadAuthority,
+    /// The host was not a valid domain name.
+    BadHost(DomainError),
+    /// The port was not a number in `1..=65535`.
+    BadPort,
+}
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlError::BadScheme => write!(f, "missing or unsupported URL scheme"),
+            UrlError::BadAuthority => write!(f, "malformed URL authority"),
+            UrlError::BadHost(e) => write!(f, "invalid URL host: {e}"),
+            UrlError::BadPort => write!(f, "invalid URL port"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+/// URL scheme. The simulated Web speaks HTTP and HTTPS; `about:blank` is the
+/// initial document of frames, matching browser behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// `http`
+    Http,
+    /// `https`
+    Https,
+    /// `about` (only `about:blank`)
+    About,
+}
+
+impl Scheme {
+    /// Canonical string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+            Scheme::About => "about",
+        }
+    }
+
+    /// Default port for the scheme (`None` for `about`).
+    pub fn default_port(self) -> Option<u16> {
+        match self {
+            Scheme::Http => Some(80),
+            Scheme::Https => Some(443),
+            Scheme::About => None,
+        }
+    }
+}
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: Scheme,
+    host: Option<DomainName>,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+    fragment: Option<String>,
+}
+
+impl Url {
+    /// Parses an absolute URL.
+    pub fn parse(input: &str) -> Result<Self, UrlError> {
+        let input = input.trim();
+        let (scheme, rest) = if let Some(rest) = strip_scheme(input, "http") {
+            (Scheme::Http, rest)
+        } else if let Some(rest) = strip_scheme(input, "https") {
+            (Scheme::Https, rest)
+        } else if let Some(rest) = input.strip_prefix("about:") {
+            return Ok(Url {
+                scheme: Scheme::About,
+                host: None,
+                port: None,
+                path: rest.to_string(),
+                query: None,
+                fragment: None,
+            });
+        } else {
+            return Err(UrlError::BadScheme);
+        };
+
+        let rest = rest.strip_prefix("//").ok_or(UrlError::BadAuthority)?;
+
+        // Split authority from path/query/fragment.
+        let auth_end = rest
+            .find(['/', '?', '#'])
+            .unwrap_or(rest.len());
+        let (authority, tail) = rest.split_at(auth_end);
+        if authority.is_empty() || authority.contains('@') {
+            return Err(UrlError::BadAuthority);
+        }
+
+        let (host_str, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| UrlError::BadPort)?;
+                if port == 0 {
+                    return Err(UrlError::BadPort);
+                }
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        let host = DomainName::parse(host_str).map_err(UrlError::BadHost)?;
+
+        // Normalize default ports away.
+        let port = match (port, scheme.default_port()) {
+            (Some(p), Some(d)) if p == d => None,
+            (p, _) => p,
+        };
+
+        let (path, query, fragment) = split_tail(tail);
+        Ok(Url {
+            scheme,
+            host: Some(host),
+            port,
+            path: if path.is_empty() {
+                "/".to_string()
+            } else {
+                remove_dot_segments(path)
+            },
+            query,
+            fragment,
+        })
+    }
+
+    /// The canonical `about:blank` URL.
+    pub fn about_blank() -> Self {
+        Url {
+            scheme: Scheme::About,
+            host: None,
+            port: None,
+            path: "blank".to_string(),
+            query: None,
+            fragment: None,
+        }
+    }
+
+    /// Builds an `http://host/path` URL from components, panicking on invalid
+    /// input — intended for generator code with known-good inputs.
+    pub fn from_parts(scheme: Scheme, host: &str, path: &str) -> Self {
+        let host = DomainName::parse(host).expect("from_parts: invalid host");
+        Url {
+            scheme,
+            host: Some(host),
+            port: None,
+            path: if path.starts_with('/') {
+                remove_dot_segments(path)
+            } else {
+                format!("/{path}")
+            },
+            query: None,
+            fragment: None,
+        }
+    }
+
+    /// Scheme accessor.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Host accessor (`None` for `about:` URLs).
+    pub fn host(&self) -> Option<&DomainName> {
+        self.host.as_ref()
+    }
+
+    /// Explicit port, when different from the scheme default.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// Effective port (explicit port or scheme default).
+    pub fn effective_port(&self) -> Option<u16> {
+        self.port.or_else(|| self.scheme.default_port())
+    }
+
+    /// Path accessor (always starts with `/` for http(s) URLs).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Query string without the leading `?`, when present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Fragment without the leading `#`, when present.
+    pub fn fragment(&self) -> Option<&str> {
+        self.fragment.as_deref()
+    }
+
+    /// Returns a copy with the given query string (no leading `?`).
+    pub fn with_query(mut self, query: &str) -> Self {
+        self.query = Some(query.to_string());
+        self
+    }
+
+    /// Iterates `(key, value)` pairs of the query string.
+    pub fn query_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.query
+            .as_deref()
+            .unwrap_or("")
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (kv, ""),
+            })
+    }
+
+    /// Looks up the first query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query_pairs().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// True when both URLs share scheme, host, and effective port — the
+    /// same-origin policy triple that governs frame access in the browser.
+    pub fn same_origin(&self, other: &Url) -> bool {
+        self.scheme == other.scheme
+            && self.host == other.host
+            && self.effective_port() == other.effective_port()
+    }
+
+    /// Resolves `reference` against `self` per RFC 3986 §5 (the subset without
+    /// userinfo/IPv6). Absolute references parse on their own; others inherit
+    /// components from the base.
+    pub fn join(&self, reference: &str) -> Result<Url, UrlError> {
+        let reference = reference.trim();
+        // Absolute URL?
+        if let Ok(url) = Url::parse(reference) {
+            return Ok(url);
+        }
+        // Protocol-relative: `//host/path`.
+        if let Some(rest) = reference.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme.as_str(), rest));
+        }
+        let base_host = self.host.clone();
+        if base_host.is_none() {
+            return Err(UrlError::BadAuthority);
+        }
+        if let Some(frag) = reference.strip_prefix('#') {
+            let mut url = self.clone();
+            url.fragment = Some(frag.to_string());
+            return Ok(url);
+        }
+        let (path_part, query, fragment) = split_tail(reference);
+        let new_path = if path_part.starts_with('/') {
+            remove_dot_segments(path_part)
+        } else if path_part.is_empty() {
+            // Query-only reference keeps the base path.
+            self.path.clone()
+        } else {
+            // Merge with the base path's directory.
+            let dir = match self.path.rfind('/') {
+                Some(idx) => &self.path[..=idx],
+                None => "/",
+            };
+            remove_dot_segments(&format!("{dir}{path_part}"))
+        };
+        Ok(Url {
+            scheme: self.scheme,
+            host: base_host,
+            port: self.port,
+            path: new_path,
+            query: query.or_else(|| {
+                if path_part.is_empty() && fragment.is_some() {
+                    self.query.clone()
+                } else {
+                    None
+                }
+            }),
+            fragment,
+        })
+    }
+
+    /// Serializes without the fragment (the on-the-wire request form).
+    pub fn without_fragment(&self) -> String {
+        let mut s = String::new();
+        self.write_prefix(&mut s);
+        s
+    }
+
+    fn write_prefix(&self, s: &mut String) {
+        s.push_str(self.scheme.as_str());
+        if self.scheme == Scheme::About {
+            s.push(':');
+            s.push_str(&self.path);
+            return;
+        }
+        s.push_str("://");
+        if let Some(h) = &self.host {
+            s.push_str(h.as_str());
+        }
+        if let Some(p) = self.port {
+            s.push(':');
+            s.push_str(&p.to_string());
+        }
+        s.push_str(&self.path);
+        if let Some(q) = &self.query {
+            s.push('?');
+            s.push_str(q);
+        }
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_prefix(&mut s);
+        if let Some(frag) = &self.fragment {
+            s.push('#');
+            s.push_str(frag);
+        }
+        f.write_str(&s)
+    }
+}
+
+impl FromStr for Url {
+    type Err = UrlError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+fn strip_scheme<'a>(input: &'a str, scheme: &str) -> Option<&'a str> {
+    let prefix_len = scheme.len() + 1;
+    let head = input.get(..scheme.len())?;
+    let rest = input.get(prefix_len..)?;
+    if head.eq_ignore_ascii_case(scheme)
+        && input.as_bytes()[scheme.len()] == b':'
+        && rest.starts_with("//")
+    {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+/// Splits `path?query#fragment` into its three parts.
+fn split_tail(tail: &str) -> (&str, Option<String>, Option<String>) {
+    let (before_frag, fragment) = match tail.split_once('#') {
+        Some((b, f)) => (b, Some(f.to_string())),
+        None => (tail, None),
+    };
+    let (path, query) = match before_frag.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string())),
+        None => (before_frag, None),
+    };
+    (path, query, fragment)
+}
+
+/// RFC 3986 §5.2.4 dot-segment removal.
+fn remove_dot_segments(path: &str) -> String {
+    let mut output: Vec<&str> = Vec::new();
+    let absolute = path.starts_with('/');
+    let trailing_slash = path.ends_with('/') || path.ends_with("/.") || path.ends_with("/..");
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                output.pop();
+            }
+            s => output.push(s),
+        }
+    }
+    let mut result = String::new();
+    if absolute {
+        result.push('/');
+    }
+    result.push_str(&output.join("/"));
+    if trailing_slash && !result.ends_with('/') {
+        result.push('/');
+    }
+    if result.is_empty() {
+        result.push('/');
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let u = Url::parse("http://example.com/a/b?x=1&y=2#frag").unwrap();
+        assert_eq!(u.scheme(), Scheme::Http);
+        assert_eq!(u.host().unwrap().as_str(), "example.com");
+        assert_eq!(u.path(), "/a/b");
+        assert_eq!(u.query(), Some("x=1&y=2"));
+        assert_eq!(u.fragment(), Some("frag"));
+        assert_eq!(u.effective_port(), Some(80));
+    }
+
+    #[test]
+    fn parse_https_with_port() {
+        let u = Url::parse("https://ads.example.net:8443/serve").unwrap();
+        assert_eq!(u.scheme(), Scheme::Https);
+        assert_eq!(u.port(), Some(8443));
+        assert_eq!(u.effective_port(), Some(8443));
+    }
+
+    #[test]
+    fn default_port_normalized() {
+        let u = Url::parse("http://example.com:80/").unwrap();
+        assert_eq!(u.port(), None);
+        assert_eq!(u.to_string(), "http://example.com/");
+        let u = Url::parse("https://example.com:443/").unwrap();
+        assert_eq!(u.port(), None);
+    }
+
+    #[test]
+    fn parse_empty_path_becomes_root() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.to_string(), "http://example.com/");
+    }
+
+    #[test]
+    fn parse_rejects_bad_inputs() {
+        assert_eq!(Url::parse("ftp://example.com/"), Err(UrlError::BadScheme));
+        assert_eq!(Url::parse("http:/example.com"), Err(UrlError::BadScheme));
+        assert_eq!(Url::parse("http://"), Err(UrlError::BadAuthority));
+        assert_eq!(
+            Url::parse("http://user@example.com/"),
+            Err(UrlError::BadAuthority)
+        );
+        assert_eq!(Url::parse("http://example.com:0/"), Err(UrlError::BadPort));
+        assert_eq!(
+            Url::parse("http://example.com:banana/"),
+            Err(UrlError::BadPort)
+        );
+        assert!(matches!(
+            Url::parse("http://bad host/"),
+            Err(UrlError::BadHost(_))
+        ));
+    }
+
+    #[test]
+    fn about_blank() {
+        let u = Url::parse("about:blank").unwrap();
+        assert_eq!(u, Url::about_blank());
+        assert_eq!(u.to_string(), "about:blank");
+        assert!(u.host().is_none());
+    }
+
+    #[test]
+    fn scheme_case_insensitive() {
+        let u = Url::parse("HTTP://EXAMPLE.com/Path").unwrap();
+        assert_eq!(u.scheme(), Scheme::Http);
+        assert_eq!(u.host().unwrap().as_str(), "example.com");
+        // Path case is preserved.
+        assert_eq!(u.path(), "/Path");
+    }
+
+    #[test]
+    fn join_absolute_reference() {
+        let base = Url::parse("http://a.com/x/y").unwrap();
+        let joined = base.join("https://b.com/z").unwrap();
+        assert_eq!(joined.to_string(), "https://b.com/z");
+    }
+
+    #[test]
+    fn join_protocol_relative() {
+        let base = Url::parse("https://a.com/x").unwrap();
+        let joined = base.join("//cdn.b.com/lib.js").unwrap();
+        assert_eq!(joined.to_string(), "https://cdn.b.com/lib.js");
+    }
+
+    #[test]
+    fn join_rooted_path() {
+        let base = Url::parse("http://a.com/x/y?q=1").unwrap();
+        let joined = base.join("/z").unwrap();
+        assert_eq!(joined.to_string(), "http://a.com/z");
+    }
+
+    #[test]
+    fn join_relative_path() {
+        let base = Url::parse("http://a.com/x/y").unwrap();
+        assert_eq!(base.join("z").unwrap().to_string(), "http://a.com/x/z");
+        assert_eq!(base.join("./z").unwrap().to_string(), "http://a.com/x/z");
+        assert_eq!(base.join("../z").unwrap().to_string(), "http://a.com/z");
+        assert_eq!(
+            base.join("../../../z").unwrap().to_string(),
+            "http://a.com/z"
+        );
+    }
+
+    #[test]
+    fn join_fragment_only() {
+        let base = Url::parse("http://a.com/x?q=1").unwrap();
+        let joined = base.join("#top").unwrap();
+        assert_eq!(joined.to_string(), "http://a.com/x?q=1#top");
+    }
+
+    #[test]
+    fn join_query_reference() {
+        let base = Url::parse("http://a.com/x/y").unwrap();
+        let joined = base.join("?page=2").unwrap();
+        assert_eq!(joined.to_string(), "http://a.com/x/y?page=2");
+    }
+
+    #[test]
+    fn join_from_about_fails() {
+        let base = Url::about_blank();
+        assert!(base.join("relative/path").is_err());
+        // Absolute still works.
+        assert!(base.join("http://a.com/").is_ok());
+    }
+
+    #[test]
+    fn query_pairs_and_param() {
+        let u = Url::parse("http://a.com/?a=1&b=&c&a=2").unwrap();
+        let pairs: Vec<_> = u.query_pairs().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", ""), ("c", ""), ("a", "2")]);
+        assert_eq!(u.query_param("a"), Some("1"));
+        assert_eq!(u.query_param("missing"), None);
+    }
+
+    #[test]
+    fn same_origin_triple() {
+        let a = Url::parse("http://a.com/x").unwrap();
+        let b = Url::parse("http://a.com:80/y?z=1").unwrap();
+        let c = Url::parse("https://a.com/x").unwrap();
+        let d = Url::parse("http://b.com/x").unwrap();
+        assert!(a.same_origin(&b));
+        assert!(!a.same_origin(&c));
+        assert!(!a.same_origin(&d));
+    }
+
+    #[test]
+    fn dot_segment_removal() {
+        assert_eq!(remove_dot_segments("/a/b/c/./../../g"), "/a/g");
+        assert_eq!(remove_dot_segments("/../x"), "/x");
+        assert_eq!(remove_dot_segments("/a/b/"), "/a/b/");
+        assert_eq!(remove_dot_segments("/"), "/");
+    }
+
+    #[test]
+    fn without_fragment_strips_fragment() {
+        let u = Url::parse("http://a.com/x#frag").unwrap();
+        assert_eq!(u.without_fragment(), "http://a.com/x");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "http://example.com/",
+            "https://a.b.co.uk/path/to?x=1",
+            "http://h.net:8080/p#f",
+        ] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # malvert-websim
+//!
+//! The synthetic World Wide Web the study crawls.
+//!
+//! The paper's crawl list (§3.1) mixed two feeds: an antivirus company's
+//! feed of previously-suspicious pages, and slices of Alexa's top-million
+//! ranking — the top and bottom 10,000 sites, top/bottom 1,000 of selected
+//! TLDs, and 20,000 random sites. Neither the 2014 Web nor Alexa exists to
+//! crawl today, so this crate *generates* a ranked Web with the properties
+//! the analysis depends on:
+//!
+//! * a global popularity ranking (the cluster analysis of §4.2 splits by
+//!   rank: top-10k / bottom-10k / rest);
+//! * a content-category mix per site (Figure 3), correlated with rank and
+//!   with feed membership;
+//! * a TLD assignment (Figure 4), `.com`-heavy like the real Web;
+//! * per-site advertisement slots, more numerous on popular sites (the
+//!   paper measured the top cluster serving 76.6% of all ads);
+//! * publisher pages: real HTML with content, non-ad iframes (widgets), and
+//!   one ad iframe per slot pointing at an ad network's serve endpoint —
+//!   none of them carrying the HTML5 `sandbox` attribute (§4.4), unless the
+//!   countermeasure knob is turned on.
+//!
+//! The generated sites implement [`malvert_net::OriginServer`], so the
+//! crawler fetches them over the simulated network exactly as a Selenium
+//! crawler fetched real sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod names;
+pub mod page;
+pub mod site;
+
+pub use generate::{WebConfig, WorldWeb};
+pub use site::{AdSlot, CrawlCluster, Site};

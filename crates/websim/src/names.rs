@@ -1,0 +1,170 @@
+//! Deterministic domain-name generation.
+
+use malvert_types::{DetRng, SiteCategory};
+
+/// Word stock for site-name synthesis, grouped loosely by flavour so that a
+/// site's name correlates with its category (the way `dailysportsfeed.com`
+//  telegraphs sports content).
+const GENERIC_WORDS: &[&str] = &[
+    "daily", "web", "net", "info", "online", "portal", "world", "zone", "hub", "spot", "base",
+    "link", "page", "site", "place", "corner", "point", "center", "city", "land", "planet",
+    "global", "prime", "meta", "ultra", "super", "mega", "top", "best", "free",
+];
+
+const CATEGORY_WORDS: &[(&str, &[&str])] = &[
+    ("entertainment", &["movie", "stream", "video", "tube", "show", "star", "celeb", "fun", "play", "games"]),
+    ("news", &["news", "press", "times", "herald", "tribune", "report", "wire", "gazette", "journal", "post"]),
+    ("adult", &["adult", "cam", "flirt", "date", "night", "xx", "hot", "spicy", "velvet", "lace"]),
+    ("shopping", &["shop", "deal", "store", "market", "buy", "bargain", "mall", "cart", "coupon", "outlet"]),
+    ("technology", &["tech", "code", "dev", "byte", "cloud", "data", "gadget", "pixel", "soft", "labs"]),
+    ("sports", &["sport", "score", "league", "match", "goal", "field", "track", "arena", "team", "champ"]),
+    ("filesharing", &["file", "share", "down", "load", "torrent", "mirror", "upload", "drop", "locker", "vault"]),
+    ("blogs", &["blog", "diary", "life", "notes", "story", "voice", "ink", "words", "muse", "scribe"]),
+    ("social", &["social", "friend", "connect", "circle", "group", "chat", "meet", "face", "tribe", "buzz"]),
+    ("finance", &["bank", "coin", "trade", "invest", "money", "fund", "capital", "stock", "wealth", "credit"]),
+    ("travel", &["travel", "trip", "tour", "fly", "hotel", "journey", "voyage", "beach", "escape", "roam"]),
+    ("education", &["learn", "study", "academy", "campus", "tutor", "class", "lesson", "wiki", "ref", "quiz"]),
+    ("health", &["health", "fit", "care", "medic", "well", "vital", "diet", "cure", "clinic", "pulse"]),
+];
+
+/// Picks the word stock for a category.
+fn words_for(category: SiteCategory) -> &'static [&'static str] {
+    let key = match category {
+        SiteCategory::Entertainment => "entertainment",
+        SiteCategory::News => "news",
+        SiteCategory::Adult => "adult",
+        SiteCategory::Shopping => "shopping",
+        SiteCategory::Technology => "technology",
+        SiteCategory::Sports => "sports",
+        SiteCategory::FileSharing => "filesharing",
+        SiteCategory::Blogs => "blogs",
+        SiteCategory::Social => "social",
+        SiteCategory::Finance => "finance",
+        SiteCategory::Travel => "travel",
+        SiteCategory::Education => "education",
+        SiteCategory::Health => "health",
+        SiteCategory::Other => return GENERIC_WORDS,
+    };
+    CATEGORY_WORDS
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, w)| *w)
+        .unwrap_or(GENERIC_WORDS)
+}
+
+/// Synthesizes a site host name (without TLD) for a category.
+///
+/// Names combine a category word with a generic word, optionally a numeric
+/// suffix — collision-free naming is the caller's job (append the id).
+pub fn site_name(category: SiteCategory, uniquifier: u32, rng: &mut DetRng) -> String {
+    let cat_words = words_for(category);
+    let a = cat_words[rng.below(cat_words.len())];
+    let b = GENERIC_WORDS[rng.below(GENERIC_WORDS.len())];
+    match rng.below(4) {
+        0 => format!("{a}{b}{uniquifier}"),
+        1 => format!("{b}{a}{uniquifier}"),
+        2 => format!("{a}-{b}{uniquifier}"),
+        _ => format!("{a}{uniquifier}"),
+    }
+}
+
+/// TLD distribution approximating Figure 4's observation: `.com` dominates,
+/// generic TLDs together carry about two thirds, the rest is spread over
+/// country codes.
+pub const TLD_WEIGHTS: &[(&str, f64)] = &[
+    ("com", 0.44),
+    ("net", 0.12),
+    ("org", 0.07),
+    ("info", 0.03),
+    ("biz", 0.02),
+    ("de", 0.05),
+    ("uk", 0.04),
+    ("ru", 0.04),
+    ("fr", 0.03),
+    ("nl", 0.02),
+    ("br", 0.02),
+    ("cn", 0.02),
+    ("jp", 0.02),
+    ("in", 0.015),
+    ("it", 0.015),
+    ("es", 0.01),
+    ("pl", 0.01),
+    ("ca", 0.01),
+    ("au", 0.01),
+    ("tv", 0.01),
+];
+
+/// Draws a TLD from the distribution.
+pub fn pick_tld(rng: &mut DetRng) -> &'static str {
+    let weights: Vec<f64> = TLD_WEIGHTS.iter().map(|(_, w)| *w).collect();
+    let idx = rng.pick_weighted(&weights).expect("weights are positive");
+    TLD_WEIGHTS[idx].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::DomainName;
+
+    #[test]
+    fn names_are_valid_domain_labels() {
+        let mut rng = DetRng::new(1);
+        for i in 0..200 {
+            let cat = SiteCategory::ALL[i % SiteCategory::ALL.len()];
+            let name = site_name(cat, i as u32, &mut rng);
+            let full = format!("{name}.com");
+            assert!(
+                DomainName::parse(&full).is_ok(),
+                "generated name {full} invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique_with_uniquifier() {
+        let mut rng = DetRng::new(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let name = site_name(SiteCategory::News, i, &mut rng);
+            assert!(seen.insert(name));
+        }
+    }
+
+    #[test]
+    fn tld_distribution_com_heavy() {
+        let mut rng = DetRng::new(3);
+        let mut com = 0;
+        let mut generic = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let tld = pick_tld(&mut rng);
+            if tld == "com" {
+                com += 1;
+            }
+            if ["com", "net", "org", "info", "biz"].contains(&tld) {
+                generic += 1;
+            }
+        }
+        assert!((4_000..5_200).contains(&com), "com count {com}");
+        assert!(generic as f64 / n as f64 > 0.6, "gTLD share too low");
+    }
+
+    #[test]
+    fn weights_sum_to_one_ish() {
+        let sum: f64 = TLD_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 0.01, "TLD weights sum {sum}");
+    }
+
+    #[test]
+    fn category_flavour_in_names() {
+        let mut rng = DetRng::new(4);
+        let sports_words = ["sport", "score", "league", "match", "goal", "field", "track", "arena", "team", "champ"];
+        let hits = (0..100)
+            .filter(|i| {
+                let name = site_name(SiteCategory::Sports, *i, &mut rng);
+                sports_words.iter().any(|w| name.contains(w))
+            })
+            .count();
+        assert!(hits > 80, "sports names should use sports words: {hits}/100");
+    }
+}

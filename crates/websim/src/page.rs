@@ -1,0 +1,264 @@
+//! Publisher page rendering and the publisher origin server.
+
+use crate::site::Site;
+use malvert_html::entities::escape_attr;
+use malvert_net::{Body, HttpRequest, HttpResponse, OriginServer, ServeCtx};
+use malvert_types::{DetRng, DomainName};
+use std::sync::Arc;
+
+/// Renders a site's front page.
+///
+/// The page is ordinary HTML: a title, navigation, content paragraphs, an
+/// occasional benign widget iframe (so that the crawler's EasyList matching
+/// has non-ad iframes to discriminate), and one advertisement iframe per ad
+/// slot. Ad iframes point at the slot's contracted network:
+///
+/// ```text
+/// http://<network-domain>/serve?pub=<site-id>&slot=<idx>&w=<w>&h=<h>
+/// ```
+///
+/// Per §4.4, publishers do not apply the `sandbox` attribute unless the
+/// site's `sandboxes_ads` countermeasure knob is on.
+pub fn render_front_page(
+    site: &Site,
+    network_domains: &[DomainName],
+    rng: &mut DetRng,
+) -> String {
+    let mut html = String::with_capacity(4096);
+    html.push_str("<!DOCTYPE html><html><head><title>");
+    html.push_str(&escape_attr(site.domain.as_str()));
+    html.push_str("</title><meta charset=\"utf-8\"></head><body>");
+    html.push_str(&format!(
+        "<h1>{}</h1><div class=\"nav\"><a href=\"/\">home</a> <a href=\"/about\">about</a> \
+         <a href=\"/contact\">contact</a></div>",
+        escape_attr(site.domain.as_str())
+    ));
+
+    // Content paragraphs — amount varies per visit, like dynamic pages do.
+    let paragraphs = rng.range_inclusive(3, 8);
+    for i in 0..paragraphs {
+        html.push_str(&format!(
+            "<p class=\"content\">Story {i} of the day on {}: lorem ipsum dolor sit amet, \
+             consectetur adipiscing elit, sed do eiusmod tempor incididunt.</p>",
+            site.category.label()
+        ));
+    }
+
+    // A benign widget iframe on some pages (weather/social embeds).
+    if rng.chance(0.3) {
+        html.push_str(
+            "<iframe src=\"http://widgets.embedhub.net/weather?units=c\" \
+             width=\"300\" height=\"100\"></iframe>",
+        );
+    }
+
+    // Ad slots.
+    for slot in &site.ad_slots {
+        let network_domain = &network_domains[slot.network.index()];
+        let sandbox = if site.sandboxes_ads {
+            " sandbox=\"allow-scripts\""
+        } else {
+            ""
+        };
+        html.push_str(&format!(
+            "<iframe src=\"http://{}/serve?pub={}&amp;slot={}&amp;w={}&amp;h={}\" \
+             width=\"{}\" height=\"{}\" frameborder=\"0\" scrolling=\"no\"{}></iframe>",
+            network_domain.as_str(),
+            site.id.0,
+            slot.index,
+            slot.width,
+            slot.height,
+            slot.width,
+            slot.height,
+            sandbox,
+        ));
+    }
+
+    html.push_str("<div class=\"footer\">&copy; 2014</div></body></html>");
+    html
+}
+
+/// The origin server for one publisher site.
+pub struct PublisherServer {
+    site: Site,
+    network_domains: Arc<Vec<DomainName>>,
+}
+
+impl PublisherServer {
+    /// Creates the server for `site`, with the ad-network domain directory.
+    pub fn new(site: Site, network_domains: Arc<Vec<DomainName>>) -> Self {
+        PublisherServer {
+            site,
+            network_domains,
+        }
+    }
+}
+
+impl OriginServer for PublisherServer {
+    fn handle(&self, req: &HttpRequest, ctx: &mut ServeCtx) -> HttpResponse {
+        match req.url.path() {
+            "/" => HttpResponse::ok(Body::Html(render_front_page(
+                &self.site,
+                &self.network_domains,
+                &mut ctx.rng,
+            ))),
+            "/about" | "/contact" => HttpResponse::ok(Body::Html(format!(
+                "<html><body><h1>{}</h1><p>About this site.</p></body></html>",
+                self.site.domain
+            ))),
+            _ => HttpResponse::not_found(),
+        }
+    }
+}
+
+/// The benign widget host embedded by some publishers.
+pub struct WidgetServer;
+
+/// The well-known widget host domain.
+pub fn widget_domain() -> DomainName {
+    DomainName::parse("widgets.embedhub.net").expect("static domain valid")
+}
+
+impl OriginServer for WidgetServer {
+    fn handle(&self, _req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        HttpResponse::ok(Body::Html(
+            "<html><body><div class=\"widget\">21&deg;C, partly cloudy</div></body></html>"
+                .to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{WebConfig, WorldWeb};
+    use malvert_html::parse_document;
+    use malvert_types::rng::SeedTree;
+    use malvert_types::{SimTime, Url};
+
+    fn sample_world() -> (WorldWeb, Arc<Vec<DomainName>>) {
+        let world = WorldWeb::generate(SeedTree::new(50), &WebConfig::default());
+        let domains: Vec<DomainName> = (0..world.config.ad_network_count)
+            .map(|i| DomainName::parse(&format!("serve{i}.adnet.com")).unwrap())
+            .collect();
+        (world, Arc::new(domains))
+    }
+
+    #[test]
+    fn page_contains_one_iframe_per_slot() {
+        let (world, domains) = sample_world();
+        let site = world
+            .sites
+            .iter()
+            .find(|s| s.ad_slots.len() >= 3)
+            .expect("some site has slots");
+        let mut rng = SeedTree::new(1).rng();
+        let html = render_front_page(site, &domains, &mut rng);
+        let doc = parse_document(&html);
+        let ad_iframes = doc
+            .elements_by_tag("iframe")
+            .filter(|&id| {
+                doc.element(id)
+                    .and_then(|e| e.attr("src"))
+                    .map(|src| src.contains("/serve?"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(ad_iframes, site.ad_slots.len());
+    }
+
+    #[test]
+    fn iframe_urls_parse_and_route_to_contracted_network() {
+        let (world, domains) = sample_world();
+        let site = world
+            .sites
+            .iter()
+            .find(|s| !s.ad_slots.is_empty())
+            .unwrap();
+        let mut rng = SeedTree::new(2).rng();
+        let html = render_front_page(site, &domains, &mut rng);
+        let doc = parse_document(&html);
+        for id in doc.elements_by_tag("iframe") {
+            let src = doc.element(id).unwrap().attr("src").unwrap();
+            let url = Url::parse(src).expect("iframe src parses");
+            if url.path() == "/serve" {
+                let slot_idx: usize = url.query_param("slot").unwrap().parse().unwrap();
+                let expected = &domains[site.ad_slots[slot_idx].network.index()];
+                assert_eq!(url.host().unwrap(), expected);
+                assert_eq!(
+                    url.query_param("pub").unwrap(),
+                    site.id.0.to_string().as_str()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_sandbox_attribute_by_default() {
+        let (world, domains) = sample_world();
+        let site = world
+            .sites
+            .iter()
+            .find(|s| !s.ad_slots.is_empty())
+            .unwrap();
+        let mut rng = SeedTree::new(3).rng();
+        let html = render_front_page(site, &domains, &mut rng);
+        let doc = parse_document(&html);
+        for id in doc.elements_by_tag("iframe") {
+            assert!(!doc.element(id).unwrap().has_attr("sandbox"));
+        }
+    }
+
+    #[test]
+    fn sandbox_knob_adds_attribute() {
+        let (world, domains) = sample_world();
+        let mut site = world
+            .sites
+            .iter()
+            .find(|s| !s.ad_slots.is_empty())
+            .unwrap()
+            .clone();
+        site.sandboxes_ads = true;
+        let mut rng = SeedTree::new(4).rng();
+        let html = render_front_page(&site, &domains, &mut rng);
+        assert!(html.contains("sandbox=\"allow-scripts\""));
+    }
+
+    #[test]
+    fn publisher_server_serves_pages() {
+        let (world, domains) = sample_world();
+        let site = world.sites[0].clone();
+        let server = PublisherServer::new(site.clone(), domains);
+        let req = HttpRequest::get(site.front_page());
+        let mut ctx = ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, &req);
+        let resp = server.handle(&req, &mut ctx);
+        assert!(resp.status.is_success());
+        assert!(resp.body.as_html().unwrap().contains("<h1>"));
+
+        let req404 = HttpRequest::get(site.front_page().join("/missing").unwrap());
+        let mut ctx = ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, &req404);
+        assert_eq!(server.handle(&req404, &mut ctx).status.0, 404);
+    }
+
+    #[test]
+    fn page_varies_between_refreshes() {
+        let (world, domains) = sample_world();
+        let site = world.sites[0].clone();
+        let mut rng_a = SeedTree::new(10).rng();
+        let mut rng_b = SeedTree::new(11).rng();
+        let a = render_front_page(&site, &domains, &mut rng_a);
+        let b = render_front_page(&site, &domains, &mut rng_b);
+        // Different serve RNG → (almost surely) different content volume.
+        // We only assert they are valid and non-identical.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn widget_server_is_benign() {
+        let req = HttpRequest::get(Url::parse("http://widgets.embedhub.net/weather").unwrap());
+        let mut ctx = ServeCtx::for_request(SeedTree::new(1), SimTime::ZERO, &req);
+        let resp = WidgetServer.handle(&req, &mut ctx);
+        assert!(resp.status.is_success());
+        assert!(resp.body.as_html().unwrap().contains("widget"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Site model.
+
+use malvert_types::{AdNetworkId, DomainName, SiteCategory, SiteId, Url};
+
+/// Which crawl-seed population a site belongs to — the clusters of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrawlCluster {
+    /// Alexa top-10k slice.
+    Top,
+    /// Alexa bottom-10k slice.
+    Bottom,
+    /// Random mid-ranking sites plus the security-feed population.
+    Rest,
+}
+
+impl CrawlCluster {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrawlCluster::Top => "top-10k",
+            CrawlCluster::Bottom => "bottom-10k",
+            CrawlCluster::Rest => "rest",
+        }
+    }
+}
+
+/// One advertisement slot on a publisher page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdSlot {
+    /// Index of the slot on the page (0-based).
+    pub index: usize,
+    /// The ad network the publisher contracted for this slot.
+    pub network: AdNetworkId,
+    /// Creative width in px.
+    pub width: u32,
+    /// Creative height in px.
+    pub height: u32,
+}
+
+/// A website in the simulated Web.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site id (dense index into the crawled population).
+    pub id: SiteId,
+    /// The site's host name.
+    pub domain: DomainName,
+    /// Global popularity rank (1 = most popular) within the simulated
+    /// top-million-style ranking.
+    pub rank: u32,
+    /// Content category.
+    pub category: SiteCategory,
+    /// Which crawl population the site came from.
+    pub cluster: CrawlCluster,
+    /// True when the site came in through the antivirus-company feed of
+    /// previously-suspicious pages (may overlap rank-wise with `Rest`).
+    pub from_security_feed: bool,
+    /// Advertisement slots on the front page.
+    pub ad_slots: Vec<AdSlot>,
+    /// Whether the publisher applies the HTML5 `sandbox` attribute to ad
+    /// iframes. §4.4: in the wild this was 0%; the countermeasure ablation
+    /// can switch it on per site.
+    pub sandboxes_ads: bool,
+}
+
+impl Site {
+    /// The site's front-page URL.
+    pub fn front_page(&self) -> Url {
+        Url::from_parts(malvert_types::url::Scheme::Http, self.domain.as_str(), "/")
+    }
+
+    /// Standard IAB-ish creative sizes used by the generator.
+    pub const CREATIVE_SIZES: [(u32, u32); 5] =
+        [(728, 90), (300, 250), (160, 600), (320, 50), (468, 60)];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_page_url() {
+        let site = Site {
+            id: SiteId(3),
+            domain: DomainName::parse("newsportal7.com").unwrap(),
+            rank: 123,
+            category: SiteCategory::News,
+            cluster: CrawlCluster::Top,
+            from_security_feed: false,
+            ad_slots: vec![],
+            sandboxes_ads: false,
+        };
+        assert_eq!(site.front_page().to_string(), "http://newsportal7.com/");
+    }
+
+    #[test]
+    fn cluster_labels() {
+        assert_eq!(CrawlCluster::Top.label(), "top-10k");
+        assert_eq!(CrawlCluster::Bottom.label(), "bottom-10k");
+        assert_eq!(CrawlCluster::Rest.label(), "rest");
+    }
+}

@@ -1,0 +1,121 @@
+//! Ad-network forensics: dissect the arbitration economy without running a
+//! crawl — who resells to whom, how books differ by tier, and where the
+//! malicious campaigns ended up (the mechanics behind Figures 1, 2, and 5).
+//!
+//! ```text
+//! cargo run --release --example adnet_forensics
+//! ```
+
+use malvertising::adnet::{AdWorld, AdWorldConfig, NetworkTier};
+use malvertising::net::{HttpRequest, Network, TrafficCapture};
+use malvertising::types::rng::SeedTree;
+use malvertising::types::{AdNetworkId, SimTime};
+use std::collections::BTreeMap;
+
+fn main() {
+    let tree = SeedTree::new(1337);
+    let world = AdWorld::generate(tree, &AdWorldConfig::default());
+    let mut network = Network::new(tree);
+    world.register_servers(&mut network);
+
+    // --- Book composition per tier. ---
+    println!("== campaign books by network tier ==");
+    println!(
+        "{:<18}{:>8}{:>10}{:>12}{:>14}",
+        "network", "tier", "book", "malicious", "filter"
+    );
+    for n in world.networks() {
+        let book = &world.market.books[n.id.index()];
+        let malicious = book
+            .iter()
+            .filter(|id| world.campaigns()[id.index()].is_malicious())
+            .count();
+        println!(
+            "{:<18}{:>8}{:>10}{:>12}{:>13.0}%{}",
+            n.name,
+            n.tier.label(),
+            book.len(),
+            malicious,
+            n.filter_strength * 100.0,
+            if n.is_hotspot { "  <-- hotspot" } else { "" }
+        );
+    }
+
+    // --- Arbitration behaviour: sample serve chains. ---
+    println!("\n== sampled arbitration chains (1,000 impressions at a major network) ==");
+    let mut chain_lengths: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut final_tier: BTreeMap<&'static str, u32> = BTreeMap::new();
+    for day in 0..25u32 {
+        for slot in 0..40usize {
+            let url = world.serve_url(AdNetworkId(0), slot as u32, slot % 8);
+            let mut cap = TrafficCapture::new();
+            if let Ok(outcome) =
+                network.fetch(&HttpRequest::get(url), SimTime::at(day, slot as u32 % 5), &mut cap)
+            {
+                *chain_lengths.entry(outcome.hops).or_default() += 1;
+                if let Some(host) = outcome.final_url.host() {
+                    if let Some(n) = world
+                        .networks()
+                        .iter()
+                        .find(|n| n.domain == *host)
+                    {
+                        *final_tier.entry(n.tier.label()).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("auctions  impressions");
+    for (hops, count) in &chain_lengths {
+        println!("{hops:>8}  {count:>10}  {}", "#".repeat((*count as usize / 8).max(1)));
+    }
+    println!("\nfill by tier: {final_tier:?}");
+
+    // --- Which tier fills long chains? ---
+    println!("\n== who fills after long arbitration (>5 auctions)? ==");
+    let mut long_fill: BTreeMap<&'static str, u32> = BTreeMap::new();
+    for day in 0..60u32 {
+        for slot in 0..30usize {
+            let url = world.serve_url(AdNetworkId(1), 4_000 + slot as u32, slot % 6);
+            let mut cap = TrafficCapture::new();
+            if let Ok(outcome) =
+                network.fetch(&HttpRequest::get(url), SimTime::at(day, 2), &mut cap)
+            {
+                if outcome.hops > 5 {
+                    if let Some(host) = outcome.final_url.host() {
+                        if let Some(n) = world.networks().iter().find(|n| n.domain == *host) {
+                            *long_fill.entry(n.tier.label()).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("{long_fill:?}");
+    let shady = long_fill.get("shady").copied().unwrap_or(0);
+    let total: u32 = long_fill.values().sum();
+    if total > 0 {
+        println!(
+            "shady networks fill {:.0}% of impressions that went through >5 auctions \
+             — the \"last auctions happen among disreputable networks\" effect (s4.3)",
+            shady as f64 / total as f64 * 100.0
+        );
+    }
+
+    // --- Tier summary. ---
+    let count_by_tier = |tier: NetworkTier| {
+        world
+            .networks()
+            .iter()
+            .filter(|n| n.tier == tier)
+            .count()
+    };
+    println!(
+        "\nnetworks: {} major, {} mid, {} shady; {} campaigns ({} malicious)",
+        count_by_tier(NetworkTier::Major),
+        count_by_tier(NetworkTier::Mid),
+        count_by_tier(NetworkTier::Shady),
+        world.campaigns().len(),
+        world.campaigns().iter().filter(|c| c.is_malicious()).count()
+    );
+}

@@ -1,0 +1,89 @@
+//! §5 countermeasure evaluation: what would collaborative filtering and
+//! sandbox adoption have done to the malvertising the study observed?
+//!
+//! ```text
+//! cargo run --release --example countermeasures
+//! ```
+//!
+//! Runs the same (scaled) study three times — baseline, shared rejection
+//! blacklist across ad networks, and full sandbox adoption — and compares
+//! delivered malvertising.
+
+use malvertising::core::countermeasures::{evaluate, Countermeasure};
+use malvertising::core::study::StudyConfig;
+use malvertising::crawler::CrawlConfig;
+use malvertising::types::CrawlSchedule;
+use malvertising::websim::WebConfig;
+
+fn main() {
+    let config = StudyConfig {
+        seed: 99,
+        web: WebConfig {
+            ranking_universe: 100_000,
+            top_slice: 120,
+            bottom_slice: 120,
+            random_slice: 240,
+            security_feed: 60,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: CrawlConfig {
+            schedule: CrawlSchedule::scaled(8, 2),
+            workers: 8,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    };
+
+    let runs = [
+        Countermeasure::None,
+        Countermeasure::SharedBlacklist {
+            sharing_floor_percent: 50,
+        },
+        Countermeasure::ArbitrationPenalty { ban_days: 0 },
+        Countermeasure::SandboxAdoption { percent: 100 },
+    ];
+
+    println!(
+        "{:<32}{:>10}{:>10}{:>14}{:>16}",
+        "configuration", "corpus", "detected", "mal delivered", "mal impressions"
+    );
+    let mut baseline_delivered = None;
+    for cm in runs {
+        let outcome = evaluate(&config, cm);
+        println!(
+            "{:<32}{:>10}{:>10}{:>14}{:>16}",
+            outcome.label,
+            outcome.corpus_size,
+            outcome.detected,
+            outcome.truly_malicious_delivered,
+            outcome.malicious_observations
+        );
+        match cm {
+            Countermeasure::None => baseline_delivered = Some(outcome.truly_malicious_delivered),
+            Countermeasure::SharedBlacklist { .. } => {
+                if let Some(base) = baseline_delivered {
+                    let reduction = if base == 0 {
+                        0.0
+                    } else {
+                        (base - outcome.truly_malicious_delivered.min(base)) as f64 / base as f64
+                    };
+                    println!(
+                        "    -> shared blacklist removed {:.0}% of delivered malicious creatives",
+                        reduction * 100.0
+                    );
+                }
+            }
+            Countermeasure::ArbitrationPenalty { .. } => {
+                println!(
+                    "    -> offenders barred from buying resales; direct contracts persist"
+                );
+            }
+            Countermeasure::SandboxAdoption { .. } => {
+                println!(
+                    "    -> sandboxing does not block delivery; it defuses top.location hijacks"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Publisher audit: the study from a website operator's point of view.
+//!
+//! ```text
+//! cargo run --release --example publisher_audit
+//! ```
+//!
+//! The paper's takeaway for publishers: trusting your contracted ad network
+//! is not enough — arbitration means anyone's demand can land in your slots,
+//! and nobody sandboxes. This example runs a scaled study and answers, for a
+//! handful of popular publishers: which of *my* slots delivered
+//! malvertising, which network actually filled those impressions (vs whom I
+//! contracted), and would sandboxing have helped?
+
+use malvertising::core::study::{Study, StudyConfig};
+use malvertising::crawler::CrawlConfig;
+use malvertising::types::{CrawlSchedule, SiteId};
+use malvertising::websim::WebConfig;
+use std::collections::BTreeMap;
+
+fn main() {
+    let config = StudyConfig {
+        seed: 424_242,
+        web: WebConfig {
+            ranking_universe: 100_000,
+            top_slice: 150,
+            bottom_slice: 150,
+            random_slice: 300,
+            security_feed: 80,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: CrawlConfig {
+            schedule: CrawlSchedule::scaled(8, 2),
+            workers: 8,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    };
+    eprintln!("running the study ({} sites)...", config.web.total_sites());
+    let study = Study::new(config);
+    let results = study.run();
+
+    // Per-site malvertising exposure.
+    let mut exposure: BTreeMap<SiteId, Vec<usize>> = BTreeMap::new();
+    for (idx, ad) in results.ads.iter().enumerate() {
+        if ad.category.is_none() {
+            continue;
+        }
+        for site in &ad.sites {
+            exposure.entry(*site).or_default().push(idx);
+        }
+    }
+
+    // Audit the five most-exposed popular publishers.
+    let mut exposed_sites: Vec<(&SiteId, usize)> =
+        exposure.iter().map(|(s, ads)| (s, ads.len())).collect();
+    exposed_sites.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    for (site_id, count) in exposed_sites.iter().take(5) {
+        let site = study.world.web.site(**site_id);
+        println!(
+            "\n=== {} (rank #{}, {}, {} ad slots) — {count} malicious ads delivered ===",
+            site.domain,
+            site.rank,
+            site.category.label(),
+            site.ad_slots.len()
+        );
+        // Whom did this publisher contract?
+        let contracted: std::collections::BTreeSet<String> = site
+            .ad_slots
+            .iter()
+            .map(|s| study.world.ads.networks()[s.network.index()].name.clone())
+            .collect();
+        println!("contracted networks: {}", contracted.into_iter().collect::<Vec<_>>().join(", "));
+        for ad_idx in &exposure[*site_id] {
+            let ad = &results.ads[*ad_idx];
+            let filler = ad
+                .serving_network
+                .map(|n| study.world.ads.networks()[n.index()].name.clone())
+                .unwrap_or_else(|| "?".to_string());
+            let arbitration = if ad.max_chain_len > 1 {
+                format!(" after {} auctions", ad.max_chain_len - 1)
+            } else {
+                String::new()
+            };
+            println!(
+                "  [{}] filled by {filler}{arbitration} — {}",
+                ad.category.map(|c| c.label()).unwrap_or("?"),
+                ad.incidents
+                    .first()
+                    .map(|i| i.detail.clone())
+                    .unwrap_or_default()
+            );
+        }
+    }
+
+    // The arbitration betrayal quantified: how often was the filling network
+    // NOT the contracted one?
+    let mut direct = 0u64;
+    let mut arbitrated = 0u64;
+    for ad in results.detected_ads() {
+        if ad.max_chain_len > 1 {
+            arbitrated += 1;
+        } else {
+            direct += 1;
+        }
+    }
+    println!(
+        "\nacross all detected malvertising: {arbitrated} of {} unique malicious ads arrived \
+         through arbitration rather than the contracted network",
+        direct + arbitrated
+    );
+    println!(
+        "sandbox adoption across the crawl: 0 of {} iframes — §4.4's finding; hijack-class \
+         ads would have been defused by `sandbox`",
+        results.iframe_census.0
+    );
+}

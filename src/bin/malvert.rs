@@ -1,0 +1,431 @@
+//! `malvert` — command-line front end for the malvertising study.
+//!
+//! ```text
+//! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
+//! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
+//! malvert easylist [--seed N] [--coverage PCT]
+//! malvert creative [--seed N] [--campaign N] [--variant N]
+//! malvert world [--seed N]
+//! ```
+
+use malvertising::adnet::{AdWorld, AdWorldConfig};
+use malvertising::core::study::{Study, StudyConfig};
+use malvertising::core::world::StudyWorld;
+use malvertising::core::{analysis, easylist, report};
+use malvertising::oracle::{Oracle, OracleConfig};
+use malvertising::types::rng::SeedTree;
+use malvertising::types::{AdNetworkId, CrawlSchedule, SimTime};
+use malvertising::websim::WebConfig;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&flags),
+        "forensics" => cmd_forensics(&flags),
+        "graph" => cmd_graph(&flags),
+        "scan" => cmd_scan(&flags),
+        "easylist" => cmd_easylist(&flags),
+        "creative" => cmd_creative(&flags),
+        "world" => cmd_world(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+malvert — reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)
+
+USAGE:
+  malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
+                   run the full study and print every table and figure
+  malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
+                   honeyclient-scan one ad slot and print behaviour + verdicts
+  malvert easylist [--seed N] [--coverage PCT]
+                   print the generated EasyList-style filter list
+  malvert creative [--seed N] [--campaign N] [--variant N] [--deobfuscate yes]
+                   print a campaign's creative document; with --deobfuscate,
+                   execute its scripts and print the eval trace (the decoded
+                   payload behind obfuscation layers)
+  malvert world    [--seed N]
+                   print the generated world inventory
+  malvert forensics [--seed N] [--days N]
+                   per-campaign attribution table (ground-truth audit)
+  malvert graph    [--seed N] [--days N] [--out PATH]
+                   export the observed arbitration economy as Graphviz DOT";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --{name}")),
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let days = flag(flags, "days", 10u32)?;
+    let refreshes = flag(flags, "refreshes", 2u32)?;
+    let workers = flag(flags, "workers", 8usize)?;
+    let config = StudyConfig {
+        seed,
+        crawl: malvertising::crawler::CrawlConfig {
+            schedule: CrawlSchedule::scaled(days, refreshes),
+            workers,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    };
+    eprintln!(
+        "running study: seed {seed}, {} sites, {days} days x {refreshes} refreshes, {workers} workers",
+        config.web.total_sites()
+    );
+    let study = Study::new(config);
+    let results = study.run();
+
+    println!(
+        "corpus: {} unique ads / {} observations / {} page loads\n",
+        results.unique_ads(),
+        results.total_observations,
+        results.page_loads
+    );
+    println!("{}", report::render_table1(&analysis::table1(&results)));
+    println!(
+        "{}",
+        report::render_fig1(&analysis::fig1_network_ratios(&results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_fig2(&analysis::fig2_network_volume(&results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_cluster_split(&analysis::cluster_split(&results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_fig3(&analysis::fig3_categories(&results, &study.world))
+    );
+    let (fig4, generic) = analysis::fig4_tlds(&results, &study.world);
+    println!("{}", report::render_fig4(&fig4, generic));
+    println!("{}", report::render_fig5(&analysis::fig5_chains(&results)));
+    println!(
+        "{}",
+        report::render_late_auction_tiers(&analysis::late_auction_tiers(&results, &study.world))
+    );
+    println!(
+        "{}",
+        report::render_sandbox(&analysis::sandbox_usage(&results))
+    );
+
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&results.ads)
+            .map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} bytes)", json.len());
+    }
+    Ok(())
+}
+
+fn run_study_for(flags: &HashMap<String, String>) -> Result<(Study, malvertising::core::study::StudyResults), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let days = flag(flags, "days", 6u32)?;
+    let config = StudyConfig {
+        seed,
+        web: WebConfig {
+            ranking_universe: 100_000,
+            top_slice: 150,
+            bottom_slice: 150,
+            random_slice: 300,
+            security_feed: 80,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: malvertising::crawler::CrawlConfig {
+            schedule: CrawlSchedule::scaled(days, 2),
+            workers: 8,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    };
+    let study = Study::new(config);
+    let results = study.run();
+    Ok((study, results))
+}
+
+fn cmd_forensics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (study, results) = run_study_for(flags)?;
+    let rows = analysis::campaign_forensics(&results, &study.world);
+    println!(
+        "{:<14}{:<11}{:>7}{:>11}{:>10}{:>8}{:>13}  categories",
+        "campaign", "kind", "from", "delivered", "detected", "sites", "impressions"
+    );
+    for r in &rows {
+        println!(
+            "{:<14}{:<11}{:>7}{:>11}{:>10}{:>8}{:>13}  {}",
+            r.campaign.to_string(),
+            r.kind,
+            r.active_from,
+            r.creatives_delivered,
+            r.creatives_detected,
+            r.sites_reached,
+            r.impressions,
+            r.categories.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_graph(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (study, results) = run_study_for(flags)?;
+    let dot = analysis::arbitration_graph_dot(&results, &study.world);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &dot).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path} ({} bytes); render with `dot -Tsvg {path}`", dot.len());
+        }
+        None => println!("{dot}"),
+    }
+    Ok(())
+}
+
+fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let network = flag(flags, "network", 0u32)?;
+    let slot = flag(flags, "slot", 0usize)?;
+    let day = flag(flags, "day", 5u32)?;
+    let world = StudyWorld::build(
+        seed,
+        &WebConfig::default(),
+        &AdWorldConfig::default(),
+        1.0,
+        30,
+    );
+    if network as usize >= world.ads.networks().len() {
+        return Err(format!(
+            "--network {network} out of range (0..{})",
+            world.ads.networks().len()
+        ));
+    }
+    let oracle = Oracle::new(
+        &world.network,
+        &world.blacklists,
+        &world.scanner,
+        OracleConfig::default(),
+        world.tree,
+    );
+    let url = world.ads.serve_url(AdNetworkId(network), 1, slot);
+    let time = SimTime::at(day, 0);
+    println!("scanning {url} at {time}\n");
+    let visit = oracle.honeyclient_visit(&url, time);
+    println!("hosts contacted:");
+    for host in visit.capture.hosts() {
+        println!("  {host}");
+    }
+    if !visit.events.is_empty() {
+        println!("behaviour:");
+        for event in &visit.events {
+            println!("  {event:?}");
+        }
+    }
+    for d in &visit.downloads {
+        let r = world.scanner.scan(&d.bytes);
+        println!(
+            "download {} ({} bytes): {}/{} engines flag it",
+            d.filename.as_deref().unwrap_or("?"),
+            d.bytes.len(),
+            r.positives(),
+            r.total_engines
+        );
+    }
+    if let Some(path) = flags.get("har") {
+        let har = visit.capture.to_har_json();
+        std::fs::write(path, &har).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote HAR capture to {path} ({} bytes)", har.len());
+    }
+    let incidents = oracle.classify_visit(&visit, SimTime::at(day + 20, 0));
+    if incidents.is_empty() {
+        println!("\nverdict: clean");
+    } else {
+        println!("\nverdict: MALICIOUS");
+        for i in &incidents {
+            println!("  [{}] {}", i.incident_type, i.detail);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_easylist(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let coverage = flag(flags, "coverage", 100u32)?;
+    let world = AdWorld::generate(SeedTree::new(seed), &AdWorldConfig::default());
+    println!(
+        "{}",
+        easylist::generate_easylist(&world, f64::from(coverage) / 100.0)
+    );
+    Ok(())
+}
+
+fn cmd_creative(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let campaign = flag(flags, "campaign", 0usize)?;
+    let variant = flag(flags, "variant", 0u32)?;
+    let world = AdWorld::generate(SeedTree::new(seed), &AdWorldConfig::default());
+    let campaigns = world.campaigns();
+    let c = campaigns
+        .get(campaign)
+        .ok_or_else(|| format!("--campaign {campaign} out of range (0..{})", campaigns.len()))?;
+    eprintln!(
+        "campaign {} ({}): {:?}, bid {:.2}, active from day {}",
+        c.id, c.advertiser, c.behavior, c.bid, c.active_from
+    );
+    let markup =
+        malvertising::adnet::creative::render_creative(c, variant % c.variant_count.max(1));
+    println!("{markup}");
+    if flags.contains_key("deobfuscate") {
+        deobfuscate_creative(&markup);
+    }
+    Ok(())
+}
+
+/// Runs the creative's inline scripts in an instrumented interpreter and
+/// prints every source string that passed through `eval` — unwrapping
+/// char-code and base64 obfuscation layers the way Wepawet did.
+fn deobfuscate_creative(markup: &str) {
+    use malvertising::adscript::{Interpreter, Limits};
+    use malvertising::browser::host::BrowserHost;
+    use malvertising::browser::Personality;
+    use malvertising::types::Url;
+
+    let doc = malvertising::html::parse_document(markup);
+    let url = Url::parse("http://creative.local/ad").expect("static url");
+    let personality = Personality::vulnerable_victim();
+    let mut any = false;
+    for script_node in doc.elements_by_tag("script") {
+        let src = doc.text_content(script_node);
+        if src.trim().is_empty() {
+            continue;
+        }
+        let host = BrowserHost::new(personality.clone(), url.clone());
+        let mut interp = Interpreter::new(host, Limits::default(), 1);
+        BrowserHost::install_globals(&mut interp, &personality, &url);
+        let result = interp.run(&src);
+        if !interp.eval_trace.is_empty() {
+            any = true;
+            eprintln!("\n=== deobfuscation trace ({} eval layer(s)) ===", interp.eval_trace.len());
+            for (i, layer) in interp.eval_trace.iter().enumerate() {
+                eprintln!("--- layer {} ---", i + 1);
+                eprintln!("{layer}");
+            }
+        }
+        if let Err(e) = result {
+            eprintln!("(script ended with: {e})");
+        }
+        let effects = interp.host.take_effects();
+        if !effects.is_empty() {
+            eprintln!("--- observed effects ---");
+            for effect in &effects {
+                eprintln!("{effect:?}");
+            }
+        }
+    }
+    if !any {
+        eprintln!("(no eval layers: the script is in cleartext)");
+    }
+}
+
+fn cmd_world(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag(flags, "seed", 2014u64)?;
+    let world = StudyWorld::build(
+        seed,
+        &WebConfig::default(),
+        &AdWorldConfig::default(),
+        1.0,
+        30,
+    );
+    println!("seed {seed}");
+    println!(
+        "web: {} sites ({} with ad slots, {} total slots)",
+        world.web.sites.len(),
+        world.web.sites.iter().filter(|s| !s.ad_slots.is_empty()).count(),
+        world.web.total_ad_slots()
+    );
+    println!("ad networks: {}", world.ads.networks().len());
+    for n in world.ads.networks().iter().take(8) {
+        println!(
+            "  {} [{}] filter {:.0}% resale {:.0}%{}",
+            n.name,
+            n.tier.label(),
+            n.filter_strength * 100.0,
+            n.resale_propensity * 100.0,
+            if n.is_hotspot { "  <-- hotspot" } else { "" }
+        );
+    }
+    println!("  ... ({} more)", world.ads.networks().len().saturating_sub(8));
+    let malicious = world
+        .ads
+        .campaigns()
+        .iter()
+        .filter(|c| c.is_malicious())
+        .count();
+    println!(
+        "campaigns: {} ({} malicious)",
+        world.ads.campaigns().len(),
+        malicious
+    );
+    println!(
+        "filter list: {} blocking rules, {} exceptions",
+        world.filter.blocking_rule_count(),
+        world.filter.exception_rule_count()
+    );
+    println!(
+        "oracle: {} blacklist feeds (threshold >{}), {} scan engines (consensus {})",
+        world.blacklists.feeds().len(),
+        world.blacklists.threshold(),
+        world.scanner.engines().len(),
+        world.scanner.consensus()
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # malvertising
+//!
+//! An end-to-end, deterministic reproduction of **"The Dark Alleys of
+//! Madison Avenue: Understanding Malicious Advertisements"** (IMC 2014).
+//!
+//! This umbrella crate re-exports the whole workspace so applications can
+//! depend on a single crate. The study runs entirely offline: the Web, the
+//! ad economy, the blacklist feeds, and the AV engines are deterministic
+//! simulations derived from a single `u64` seed, while the measurement
+//! apparatus — crawler, EasyList matcher, emulated browser, honeyclient,
+//! oracle, analyses — is real code operating on what those simulations
+//! serve.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use malvertising::core::study::{Study, StudyConfig};
+//! use malvertising::core::{analysis, report};
+//!
+//! let study = Study::new(StudyConfig::default());
+//! let results = study.run();
+//! let table1 = analysis::table1(&results);
+//! println!("{}", report::render_table1(&table1));
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and `DESIGN.md` for
+//! the full system inventory and per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use malvert_adnet as adnet;
+pub use malvert_adscript as adscript;
+pub use malvert_blacklist as blacklist;
+pub use malvert_browser as browser;
+pub use malvert_core as core;
+pub use malvert_crawler as crawler;
+pub use malvert_filterlist as filterlist;
+pub use malvert_html as html;
+pub use malvert_net as net;
+pub use malvert_oracle as oracle;
+pub use malvert_scanner as scanner;
+pub use malvert_types as types;
+pub use malvert_websim as websim;

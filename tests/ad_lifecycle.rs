@@ -1,0 +1,263 @@
+//! Ad-lifecycle integration: each campaign type traced from the serve
+//! endpoint through the emulated browser to the oracle's verdict.
+
+use malvertising::adnet::{AdWorldConfig, CampaignBehavior};
+use malvertising::browser::BehaviorEvent;
+use malvertising::core::world::StudyWorld;
+use malvertising::oracle::{IncidentType, Oracle, OracleConfig};
+use malvertising::scanner::PayloadKind;
+use malvertising::types::{AdNetworkId, SimTime};
+use malvertising::websim::WebConfig;
+use std::sync::OnceLock;
+
+fn world() -> &'static StudyWorld {
+    static CELL: OnceLock<StudyWorld> = OnceLock::new();
+    CELL.get_or_init(|| {
+        StudyWorld::build(
+            4242,
+            &WebConfig {
+                ranking_universe: 10_000,
+                top_slice: 10,
+                bottom_slice: 10,
+                random_slice: 10,
+                security_feed: 5,
+                ad_network_count: 40,
+                sandbox_adoption: 0.0,
+            },
+            &AdWorldConfig::default(),
+            1.0,
+            30,
+        )
+    })
+}
+
+fn oracle(w: &StudyWorld) -> Oracle<'_> {
+    Oracle::new(
+        &w.network,
+        &w.blacklists,
+        &w.scanner,
+        OracleConfig::default(),
+        w.tree,
+    )
+}
+
+/// Finds a served visit whose traffic touches a campaign matching the
+/// predicate, scanning networks, days, and slots.
+fn find_visit(
+    w: &StudyWorld,
+    oracle: &Oracle<'_>,
+    predicate: impl Fn(&CampaignBehavior) -> bool,
+) -> Option<(malvertising::browser::PageVisit, SimTime)> {
+    let markers: Vec<String> = w
+        .ads
+        .campaigns()
+        .iter()
+        .filter(|c| predicate(&c.behavior))
+        .flat_map(|c| c.controlled_domains())
+        .map(|d| d.to_string())
+        .collect();
+    for network in 0..w.ads.networks().len() as u32 {
+        for day in 20..28u32 {
+            for slot in 0..3usize {
+                let time = SimTime::at(day, 0);
+                let url = w.ads.serve_url(AdNetworkId(network), 7_000 + slot as u32, slot);
+                let visit = oracle.honeyclient_visit(&url, time);
+                let hit = visit
+                    .capture
+                    .hosts()
+                    .iter()
+                    .any(|h| markers.contains(&h.to_string()))
+                    || markers.iter().any(|m| visit.top.raw_html.contains(m));
+                if hit {
+                    return Some((visit, time));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn driveby_lifecycle_probe_inject_download() {
+    let w = world();
+    let o = oracle(w);
+    let (visit, _) = find_visit(w, &o, |b| {
+        matches!(b, CampaignBehavior::DriveBy { .. })
+    })
+    .expect("drive-by ad served");
+    // Either the cloak bounced (navigation event) or the full kill chain
+    // ran: plugin probe, hidden iframe, download.
+    let probed = visit
+        .events
+        .iter()
+        .any(|e| matches!(e, BehaviorEvent::PluginEnumeration { .. }));
+    let bounced = visit
+        .events
+        .iter()
+        .any(|e| matches!(e, BehaviorEvent::FrameNavigation { .. }));
+    let embedded_flash = visit
+        .downloads
+        .iter()
+        .any(|d| {
+            malvertising::scanner::Payload::sniff_kind(&d.bytes) == Some(PayloadKind::Flash)
+        });
+    assert!(
+        probed || bounced || embedded_flash,
+        "drive-by creative did nothing observable: {:?}",
+        visit.events
+    );
+}
+
+#[test]
+fn deceptive_lifecycle_countdown_download_scan() {
+    let w = world();
+    let o = oracle(w);
+    let (visit, time) = find_visit(w, &o, |b| {
+        matches!(b, CampaignBehavior::Deceptive { .. })
+    })
+    .expect("deceptive ad served");
+    // The countdown runs on timers and ends in a navigation to the payload.
+    assert!(visit
+        .events
+        .iter()
+        .any(|e| matches!(e, BehaviorEvent::TimerScheduled { .. })));
+    assert!(
+        !visit.downloads.is_empty(),
+        "deceptive ad must download its installer"
+    );
+    let exe = visit
+        .downloads
+        .iter()
+        .find(|d| {
+            malvertising::scanner::Payload::sniff_kind(&d.bytes)
+                == Some(PayloadKind::Executable)
+        })
+        .expect("an executable download");
+    // The filename is one of the lure names.
+    let name = exe.filename.as_deref().unwrap_or("");
+    assert!(
+        name.ends_with(".exe"),
+        "installer filename {name:?} not an exe"
+    );
+    // The oracle notices — via blacklists, the scanner, or the model layer.
+    let incidents = o.classify_visit(&visit, time);
+    assert!(
+        !incidents.is_empty(),
+        "deceptive ad escaped every detector"
+    );
+}
+
+#[test]
+fn hijack_lifecycle_top_location() {
+    let w = world();
+    let o = oracle(w);
+    let (visit, time) = find_visit(w, &o, |b| {
+        matches!(b, CampaignBehavior::Hijack { .. })
+    })
+    .expect("hijack ad served");
+    assert!(visit
+        .events
+        .iter()
+        .any(|e| matches!(e, BehaviorEvent::TopLocationHijack { .. })));
+    let incidents = o.classify_visit(&visit, time);
+    assert!(incidents
+        .iter()
+        .any(|i| i.incident_type == IncidentType::SuspiciousRedirections
+            || i.incident_type == IncidentType::Blacklists));
+}
+
+#[test]
+fn benign_lifecycle_stays_clean() {
+    let w = world();
+    let o = oracle(w);
+    // Benign creatives must come out of a major network's direct fill most
+    // of the time; scan 12 serves and require a clean majority.
+    let mut clean = 0;
+    let mut total = 0;
+    for slot in 0..12usize {
+        let url = w.ads.serve_url(AdNetworkId(0), 9_000 + slot as u32, 0);
+        let time = SimTime::at(2, 1);
+        let incidents = o.classify(&url, time);
+        total += 1;
+        if incidents.is_empty() {
+            clean += 1;
+        }
+    }
+    assert!(
+        clean * 3 >= total * 2,
+        "too many major-network serves flagged: {clean}/{total} clean"
+    );
+}
+
+#[test]
+fn patched_user_is_not_exploited() {
+    // The exploit probe finds nothing on a fully patched profile: plugins
+    // are enumerated, but no hidden iframe is injected and nothing
+    // downloads. (The emulated browser runs the same creative either way —
+    // only `navigator.plugins` versions differ.)
+    use malvertising::browser::{Browser, BrowserLimits, Personality};
+    let w = world();
+    let o = oracle(w);
+    let Some((victim_visit, time)) = find_visit(w, &o, |b| {
+        matches!(
+            b,
+            CampaignBehavior::DriveBy {
+                cloak: malvertising::adnet::campaign::CloakStyle::None,
+                ..
+            }
+        )
+    }) else {
+        return; // no uncloaked drive-by servable at this seed
+    };
+    // Only meaningful when the victim visit actually ran the kill chain.
+    let victim_injected = victim_visit
+        .events
+        .iter()
+        .any(|e| matches!(e, BehaviorEvent::IframeInjection { .. }));
+    if !victim_injected {
+        return;
+    }
+    let url = victim_visit.top.requested_url.clone();
+    let patched = Browser::new(
+        &w.network,
+        Personality::patched_user(),
+        BrowserLimits::default(),
+        w.tree,
+    );
+    let patched_visit = patched.visit(&url, time);
+    assert!(
+        patched_visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::PluginEnumeration { .. })),
+        "probe still runs on patched profiles"
+    );
+    assert!(
+        !patched_visit
+            .events
+            .iter()
+            .any(|e| matches!(e, BehaviorEvent::IframeInjection { .. })),
+        "patched profile must not be exploited"
+    );
+    assert!(patched_visit.downloads.is_empty());
+}
+
+#[test]
+fn flash_vector_delivers_swf() {
+    let w = world();
+    let o = oracle(w);
+    let found = find_visit(w, &o, |b| {
+        matches!(b, CampaignBehavior::DriveBy { .. })
+    });
+    // At least some drive-by exists; flash-vector presence depends on the
+    // seed, so only assert when one of the campaigns uses it.
+    let any_flash_campaign = w
+        .ads
+        .campaigns()
+        .iter()
+        .any(|c| c.uses_flash_exploit);
+    if !any_flash_campaign {
+        return;
+    }
+    assert!(found.is_some());
+}

@@ -1,0 +1,146 @@
+//! CLI integration tests: the `malvert` binary's commands behave.
+
+use std::process::Command;
+
+fn malvert() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_malvert"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = malvert().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("malvert run"));
+    assert!(text.contains("malvert scan"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = malvert().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_flag_fails_cleanly() {
+    let out = malvert()
+        .args(["world", "--seed"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("needs a value"));
+}
+
+#[test]
+fn world_inventory_prints() {
+    let out = malvert()
+        .args(["world", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ad networks: 40"));
+    assert!(text.contains("hotspot"));
+    assert!(text.contains("49 blacklist feeds"));
+    assert!(text.contains("51 scan engines"));
+}
+
+#[test]
+fn easylist_generates_rules() {
+    let out = malvert()
+        .args(["easylist", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("[Adblock Plus 2.0]"));
+    assert!(text.lines().filter(|l| l.starts_with("||")).count() >= 40);
+}
+
+#[test]
+fn creative_dumps_markup() {
+    // Campaign 0 is benign (the generator emits benign campaigns first).
+    let out = malvert()
+        .args(["creative", "--seed", "5", "--campaign", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("<html>"));
+}
+
+#[test]
+fn creative_out_of_range_fails() {
+    let out = malvert()
+        .args(["creative", "--seed", "5", "--campaign", "99999"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn creative_deobfuscation_unwraps_layers() {
+    // Find a drive-by campaign id deterministically: campaigns are
+    // generated benign-first, so malicious ids start at benign_count (520).
+    // Scan a few ids for an obfuscated one.
+    for id in 520..553 {
+        let out = malvert()
+            .args([
+                "creative",
+                "--seed",
+                "5",
+                "--campaign",
+                &id.to_string(),
+                "--deobfuscate",
+                "yes",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        if err.contains("deobfuscation trace") {
+            // The decoded payload must contain the probe logic that the
+            // markup hid behind eval layers.
+            assert!(
+                err.contains("navigator.plugins")
+                    || err.contains("window.location")
+                    || err.contains("top.location")
+                    || err.contains("document.write"),
+                "trace lacks recognisable payload: {err}"
+            );
+            return;
+        }
+    }
+    panic!("no obfuscated creative found among malicious campaigns");
+}
+
+#[test]
+fn scan_reports_and_writes_har() {
+    let har_path = std::env::temp_dir().join(format!("malvert-test-{}.har", std::process::id()));
+    let out = malvert()
+        .args([
+            "scan",
+            "--seed",
+            "5",
+            "--network",
+            "0",
+            "--slot",
+            "0",
+            "--day",
+            "3",
+            "--har",
+            har_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("hosts contacted"));
+    assert!(text.contains("verdict:"));
+    let har = std::fs::read_to_string(&har_path).expect("HAR written");
+    let parsed: serde_json::Value = serde_json::from_str(&har).expect("valid JSON");
+    assert!(parsed["log"]["entries"].as_array().is_some());
+    let _ = std::fs::remove_file(&har_path);
+}

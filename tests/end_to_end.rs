@@ -1,0 +1,257 @@
+//! End-to-end integration: the full pipeline produces the paper's shapes.
+
+use malvertising::core::study::{Study, StudyConfig, StudyResults};
+use malvertising::core::{analysis, report};
+use malvertising::crawler::CrawlConfig;
+use malvertising::oracle::IncidentType;
+use malvertising::types::CrawlSchedule;
+use malvertising::websim::WebConfig;
+use std::sync::OnceLock;
+
+/// One shared study for the whole file (it is the expensive part).
+fn shared() -> &'static (Study, StudyResults) {
+    static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let config = StudyConfig {
+            seed: 777,
+            web: WebConfig {
+                ranking_universe: 50_000,
+                top_slice: 80,
+                bottom_slice: 80,
+                random_slice: 160,
+                security_feed: 40,
+                ad_network_count: 40,
+                sandbox_adoption: 0.0,
+            },
+            crawl: CrawlConfig {
+                schedule: CrawlSchedule::scaled(8, 2),
+                workers: 8,
+                ..Default::default()
+            },
+            ..StudyConfig::default()
+        };
+        let study = Study::new(config);
+        let results = study.run();
+        (study, results)
+    })
+}
+
+#[test]
+fn corpus_scale_sane() {
+    let (study, results) = shared();
+    // Every site visited on schedule.
+    let expected_loads = study.config.web.total_sites() as u64
+        * study.config.crawl.schedule.loads_per_site();
+    assert_eq!(results.page_loads, expected_loads);
+    // Ads repeat heavily: far fewer unique ads than observations.
+    assert!(results.unique_ads() > 300);
+    assert!(results.total_observations > 4 * results.unique_ads() as u64);
+}
+
+#[test]
+fn table1_shape_matches_paper() {
+    let (_, results) = shared();
+    let t = analysis::table1(results);
+    // Rows are exclusive and sum to the total.
+    assert_eq!(t.rows.iter().map(|(_, c)| c).sum::<usize>(), t.total);
+    // Blacklists dominate; suspicious redirections second — the paper's
+    // ordering (4794 > 1396 > 309 > 68 > 31 > 3).
+    let get = |label: &str| {
+        t.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, c)| *c)
+            .unwrap()
+    };
+    let blacklists = get("Blacklists");
+    let redirects = get("Suspicious redirections");
+    assert!(blacklists > redirects, "{:?}", t.rows);
+    assert!(redirects >= get("Heuristics"), "{:?}", t.rows);
+    // Roughly 1% of the corpus is malicious (paper: "about 1%").
+    assert!(
+        t.malicious_fraction > 0.002 && t.malicious_fraction < 0.06,
+        "malicious fraction {}",
+        t.malicious_fraction
+    );
+}
+
+#[test]
+fn fig1_fig2_tell_the_papers_story() {
+    let (study, results) = shared();
+    let fig1 = analysis::fig1_network_ratios(results, &study.world);
+    let fig2 = analysis::fig2_network_volume(results, &study.world);
+    assert!(!fig1.is_empty());
+    // The worst offenders are small networks: the top of Figure 1 must not
+    // be a major exchange.
+    let worst = &fig1[0];
+    let tier = study.world.ads.networks()[worst.network.index()].tier;
+    assert_ne!(tier, malvertising::adnet::NetworkTier::Major);
+    // Figure 2: most flagged networks are small (<5% of traffic)...
+    let small = fig2.iter().filter(|r| r.share < 0.05).count();
+    assert!(small as f64 > fig2.len() as f64 * 0.6);
+    // ...but the designated hotspot shows up with a visible share.
+    let hotspot = fig2.iter().find(|r| r.is_hotspot);
+    if let Some(h) = hotspot {
+        assert!(h.share > 0.01, "hotspot share {:.4}", h.share);
+        assert!(h.malicious > 0);
+    }
+}
+
+#[test]
+fn cluster_split_top_dominates() {
+    let (study, results) = shared();
+    let split = analysis::cluster_split(results, &study.world);
+    // Paper: top-10k cluster served 82.3% of malverts and 76.6% of ads.
+    let top = &split.rows[0];
+    assert_eq!(top.0, "top-10k");
+    assert!(top.1 > 0.5, "top malvert share {:.3}", top.1);
+    assert!(top.2 > 0.5, "top ad share {:.3}", top.2);
+    // The two shares track each other (the paper's conclusion: miscreants
+    // follow volume, not specific sites).
+    assert!((top.1 - top.2).abs() < 0.25);
+}
+
+#[test]
+fn fig4_generic_tlds_dominate() {
+    let (study, results) = shared();
+    let (rows, generic_share) = analysis::fig4_tlds(results, &study.world);
+    assert!(!rows.is_empty());
+    // Paper: gTLDs carry more than 66% of malvertising hosts; we accept a
+    // small-sample band around it.
+    assert!(generic_share > 0.55, "generic share {generic_share:.3}");
+    // .com leads.
+    assert_eq!(rows[0].tld, ".com");
+}
+
+#[test]
+fn fig5_malicious_chains_longer() {
+    let (_, results) = shared();
+    let hist = analysis::fig5_chains(results);
+    let benign_total: u64 = hist.benign.values().sum();
+    let mal_total: u64 = hist.malicious.values().sum();
+    assert!(benign_total > 0 && mal_total > 0);
+    // Expected chain length is higher for malicious ads.
+    let mean = |m: &std::collections::BTreeMap<usize, u64>| {
+        let total: u64 = m.values().sum();
+        m.iter().map(|(len, c)| *len as f64 * *c as f64).sum::<f64>() / total as f64
+    };
+    assert!(
+        mean(&hist.malicious) > mean(&hist.benign) + 0.5,
+        "malicious {} vs benign {}",
+        mean(&hist.malicious),
+        mean(&hist.benign)
+    );
+}
+
+#[test]
+fn sandbox_never_used() {
+    let (_, results) = shared();
+    let s = analysis::sandbox_usage(results);
+    assert!(s.total_iframes > 1000);
+    assert_eq!(s.sandboxed, 0);
+}
+
+#[test]
+fn detection_quality_against_ground_truth() {
+    let (_, results) = shared();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for ad in &results.ads {
+        match (ad.truly_malicious, ad.category.is_some()) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            _ => {}
+        }
+    }
+    assert!(tp > 10, "tp={tp}");
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    assert!(precision > 0.9, "precision {precision:.3} (fp={fp})");
+    assert!(recall > 0.6, "recall {recall:.3} (fn={fn_})");
+}
+
+#[test]
+fn incident_categories_only_on_detected() {
+    let (_, results) = shared();
+    for ad in &results.ads {
+        match &ad.category {
+            Some(c) => {
+                assert!(IncidentType::ALL.contains(c));
+                assert!(!ad.incidents.is_empty());
+            }
+            None => assert!(ad.incidents.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn category_provenance_matches_campaign_types() {
+    // Each Table 1 row must trace back to the campaign behaviours that can
+    // mechanically produce it.
+    use malvertising::adnet::CampaignBehavior;
+    let (study, results) = shared();
+    for ad in results.detected_ads() {
+        let Some(campaign_id) = ad.truth_campaign else {
+            continue;
+        };
+        let behavior = &study.world.ads.campaigns()[campaign_id.index()].behavior;
+        match ad.category.unwrap() {
+            IncidentType::SuspiciousRedirections => {
+                // Hijacks, or cloaked drive-bys that bounced.
+                assert!(
+                    matches!(
+                        behavior,
+                        CampaignBehavior::Hijack { .. } | CampaignBehavior::DriveBy { .. }
+                    ),
+                    "SR from {behavior:?}"
+                );
+            }
+            IncidentType::Heuristics => {
+                assert!(
+                    matches!(behavior, CampaignBehavior::DriveBy { .. }),
+                    "Heuristics from {behavior:?}"
+                );
+            }
+            IncidentType::MaliciousExecutables => {
+                // Deceptive installers, or drive-by exe drops that evaded
+                // both the feeds and the probe heuristic.
+                assert!(
+                    matches!(
+                        behavior,
+                        CampaignBehavior::Deceptive { .. } | CampaignBehavior::DriveBy { .. }
+                    ),
+                    "Exe from {behavior:?}"
+                );
+            }
+            IncidentType::MaliciousFlash => {
+                assert!(
+                    matches!(behavior, CampaignBehavior::DriveBy { .. }),
+                    "Flash from {behavior:?}"
+                );
+            }
+            IncidentType::ModelDetection => {
+                assert!(
+                    !matches!(behavior, CampaignBehavior::Benign { .. }),
+                    "model matched a benign campaign"
+                );
+            }
+            IncidentType::Blacklists => {
+                // Any malicious campaign type can land here.
+            }
+        }
+    }
+}
+
+#[test]
+fn reports_render_without_panicking() {
+    let (study, results) = shared();
+    let _ = report::render_table1(&analysis::table1(results));
+    let _ = report::render_fig1(&analysis::fig1_network_ratios(results, &study.world));
+    let _ = report::render_fig2(&analysis::fig2_network_volume(results, &study.world));
+    let _ = report::render_cluster_split(&analysis::cluster_split(results, &study.world));
+    let _ = report::render_fig3(&analysis::fig3_categories(results, &study.world));
+    let (rows, g) = analysis::fig4_tlds(results, &study.world);
+    let _ = report::render_fig4(&rows, g);
+    let _ = report::render_fig5(&analysis::fig5_chains(results));
+    let _ = report::render_sandbox(&analysis::sandbox_usage(results));
+}

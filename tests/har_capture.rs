@@ -1,0 +1,93 @@
+//! HAR export integration: captures from real honeyclient visits serialize
+//! to valid JSON that a standard parser accepts.
+
+use malvertising::adnet::AdWorldConfig;
+use malvertising::core::world::StudyWorld;
+use malvertising::oracle::{Oracle, OracleConfig};
+use malvertising::types::{AdNetworkId, SimTime};
+use malvertising::websim::WebConfig;
+
+fn small_world() -> StudyWorld {
+    StudyWorld::build(
+        88,
+        &WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 10,
+            bottom_slice: 10,
+            random_slice: 10,
+            security_feed: 5,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        &AdWorldConfig::default(),
+        1.0,
+        30,
+    )
+}
+
+#[test]
+fn har_from_live_visits_parses_as_json() {
+    let world = small_world();
+    let oracle = Oracle::new(
+        &world.network,
+        &world.blacklists,
+        &world.scanner,
+        OracleConfig::default(),
+        world.tree,
+    );
+    let mut checked = 0;
+    for network in [0u32, 6, 25, 39] {
+        for day in [3u32, 9] {
+            let url = world.ads.serve_url(AdNetworkId(network), 42, 1);
+            let visit = oracle.honeyclient_visit(&url, SimTime::at(day, 1));
+            let har = visit.capture.to_har_json();
+            let parsed: serde_json::Value =
+                serde_json::from_str(&har).expect("HAR must be valid JSON");
+            let entries = parsed["log"]["entries"]
+                .as_array()
+                .expect("entries array");
+            assert_eq!(entries.len(), visit.capture.len());
+            for entry in entries {
+                assert!(entry["request"]["url"].as_str().is_some());
+                assert!(entry["response"]["status"].as_i64().is_some());
+            }
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 8);
+}
+
+#[test]
+fn har_captures_redirect_chains() {
+    let world = small_world();
+    let oracle = Oracle::new(
+        &world.network,
+        &world.blacklists,
+        &world.scanner,
+        OracleConfig::default(),
+        world.tree,
+    );
+    // Scan until we find a visit with at least one redirect and confirm the
+    // HAR records the redirectURL field for it.
+    for day in 0..20u32 {
+        let url = world.ads.serve_url(AdNetworkId(0), 7, 2);
+        let visit = oracle.honeyclient_visit(&url, SimTime::at(day, 0));
+        if visit
+            .capture
+            .exchanges()
+            .iter()
+            .any(|e| e.location.is_some())
+        {
+            let har = visit.capture.to_har_json();
+            let parsed: serde_json::Value = serde_json::from_str(&har).unwrap();
+            let has_redirect = parsed["log"]["entries"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|e| e["response"]["redirectURL"].is_string());
+            assert!(has_redirect);
+            return;
+        }
+    }
+    panic!("no redirecting serve found in 20 days of tries");
+}

@@ -1,0 +1,45 @@
+//! Paper-scale generation smoke test: the full-size world (43k sites, the
+//! paper's population counts) generates and wires without issue. The crawl
+//! itself at this scale is exercised by `examples/full_study.rs` with
+//! `WebConfig::paper_scale()`, not by the test suite.
+
+use malvertising::adnet::AdWorldConfig;
+use malvertising::core::world::StudyWorld;
+use malvertising::types::rng::SeedTree;
+use malvertising::websim::{CrawlCluster, WebConfig, WorldWeb};
+
+#[test]
+fn paper_scale_web_generates() {
+    let config = WebConfig::paper_scale();
+    assert_eq!(config.total_sites(), 43_000);
+    let web = WorldWeb::generate(SeedTree::new(2014), &config);
+    assert_eq!(web.sites.len(), 43_000);
+    assert_eq!(web.cluster_sites(CrawlCluster::Top).count(), 10_000);
+    assert_eq!(web.cluster_sites(CrawlCluster::Bottom).count(), 10_000);
+    // Domains unique at full scale too.
+    let mut domains: Vec<&str> = web.sites.iter().map(|s| s.domain.as_str()).collect();
+    domains.sort_unstable();
+    let before = domains.len();
+    domains.dedup();
+    assert_eq!(domains.len(), before, "domain collision at paper scale");
+    // Slot volume plausible: ~19M loads/90 days means ~100k slots.
+    let slots = web.total_ad_slots();
+    assert!(slots > 80_000, "only {slots} slots at paper scale");
+}
+
+#[test]
+fn paper_scale_world_wires() {
+    // Full world assembly (network routing table with every origin server).
+    let world = StudyWorld::build(
+        2014,
+        &WebConfig::paper_scale(),
+        &AdWorldConfig::default(),
+        1.0,
+        90,
+    );
+    // 43k publishers + 40 networks + campaign hosts + widget host.
+    assert!(world.network.server_count() > 43_000);
+    for site in world.web.sites.iter().step_by(997) {
+        assert!(world.network.resolves(&site.domain));
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) over the parsing substrates and core
+//! invariants: the parsers never panic, round-trips are stable, and the
+//! deterministic RNG behaves.
+
+use malvertising::adscript::{Interpreter, Limits, NoHost};
+use malvertising::filterlist::{FilterSet, RequestContext};
+use malvertising::html::{parse_document, serialize};
+use malvertising::types::rng::SeedTree;
+use malvertising::types::{DomainName, Url};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---------- URL ----------
+
+    #[test]
+    fn url_parse_never_panics(s in "\\PC{0,120}") {
+        let _ = Url::parse(&s);
+    }
+
+    #[test]
+    fn url_display_reparses(host in "[a-z]{1,8}(\\.[a-z]{1,8}){1,2}",
+                            path in "(/[a-z0-9._-]{0,10}){0,4}",
+                            query in "([a-z]{1,5}=[a-z0-9]{0,5}(&[a-z]{1,5}=[a-z0-9]{0,5}){0,3})?") {
+        let mut text = format!("http://{host}{}", if path.is_empty() { "/".into() } else { path.clone() });
+        if !query.is_empty() {
+            text.push('?');
+            text.push_str(&query);
+        }
+        if let Ok(url) = Url::parse(&text) {
+            let round = Url::parse(&url.to_string()).unwrap();
+            prop_assert_eq!(url, round);
+        }
+    }
+
+    #[test]
+    fn url_join_never_panics(base_path in "(/[a-z0-9.]{0,8}){0,3}",
+                             reference in "\\PC{0,60}") {
+        let base = Url::parse(&format!("http://base.com{}",
+            if base_path.is_empty() { "/".to_string() } else { base_path })).unwrap();
+        let _ = base.join(&reference);
+    }
+
+    #[test]
+    fn url_join_absolute_paths_rooted(seg in "[a-z0-9]{1,10}") {
+        let base = Url::parse("http://a.com/x/y/z").unwrap();
+        let joined = base.join(&format!("/{seg}")).unwrap();
+        let expected = format!("/{seg}");
+        prop_assert_eq!(joined.path(), expected.as_str());
+        prop_assert_eq!(joined.host().unwrap().as_str(), "a.com");
+    }
+
+    // ---------- domains ----------
+
+    #[test]
+    fn domain_parse_never_panics(s in "\\PC{0,80}") {
+        let _ = DomainName::parse(&s);
+    }
+
+    #[test]
+    fn domain_registered_is_suffix(labels in prop::collection::vec("[a-z]{1,6}", 2..5)) {
+        let name = labels.join(".") + ".com";
+        let d = DomainName::parse(&name).unwrap();
+        if let Some(reg) = d.registered_domain() {
+            prop_assert!(d.is_within(reg.domain()));
+            prop_assert!(reg.as_str().ends_with(".com"));
+        }
+    }
+
+    // ---------- HTML ----------
+
+    #[test]
+    fn html_parse_never_panics(s in "\\PC{0,400}") {
+        let _ = parse_document(&s);
+    }
+
+    #[test]
+    fn html_serialize_is_fixpoint(s in "\\PC{0,300}") {
+        // parse → serialize → parse → serialize must stabilize.
+        let once = serialize(&parse_document(&s));
+        let twice = serialize(&parse_document(&once));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn html_structured_roundtrip(tag in "(div|span|p|b|i)",
+                                 text in "[a-zA-Z0-9 ]{0,40}",
+                                 attr in "[a-z]{1,8}") {
+        let src = format!("<{tag} class=\"{attr}\">{text}</{tag}>");
+        let round = serialize(&parse_document(&src));
+        prop_assert_eq!(src, round);
+    }
+
+    #[test]
+    fn entities_roundtrip(s in "\\PC{0,100}") {
+        use malvertising::html::entities::{decode, escape_text};
+        prop_assert_eq!(decode(&escape_text(&s)), s);
+    }
+
+    // ---------- AdScript ----------
+
+    #[test]
+    fn adscript_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let mut interp = Interpreter::new(NoHost, Limits {
+            max_steps: 50_000,
+            max_depth: 32,
+        }, 1);
+        let _ = interp.run(&s);
+    }
+
+    #[test]
+    fn adscript_terminates_within_budget(body in "(x = x \\+ 1; ){1,5}") {
+        let mut interp = Interpreter::new(NoHost, Limits {
+            max_steps: 20_000,
+            max_depth: 16,
+        }, 1);
+        let src = format!("var x = 0; while (true) {{ {body} }}");
+        let err = interp.run(&src).unwrap_err();
+        prop_assert_eq!(err, malvertising::adscript::ScriptError::BudgetExhausted);
+    }
+
+    #[test]
+    fn adscript_arithmetic_matches_rust(a in -1000i32..1000, b in -1000i32..1000) {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(&format!("out = {a} + {b}; out2 = {a} * {b};")).unwrap();
+        let out = interp.get_global("out").cloned().unwrap().to_number();
+        let out2 = interp.get_global("out2").cloned().unwrap().to_number();
+        prop_assert_eq!(out, f64::from(a) + f64::from(b));
+        prop_assert_eq!(out2, f64::from(a) * f64::from(b));
+    }
+
+    #[test]
+    fn adscript_string_concat_associative(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(&format!(
+            "left = ('{a}' + '{b}') + '{c}'; right = '{a}' + ('{b}' + '{c}');"
+        )).unwrap();
+        let left = interp.get_global("left").cloned().unwrap();
+        let right = interp.get_global("right").cloned().unwrap();
+        prop_assert!(left.strict_eq(&right));
+    }
+
+    #[test]
+    fn obfuscation_preserves_semantics(n in 0u32..10_000, layers in 0u8..3) {
+        use malvertising::adnet::creative::obfuscate;
+        use malvertising::types::DetRng;
+        let mut rng = DetRng::new(u64::from(n));
+        let src = format!("out = {n} % 97;");
+        let obf = obfuscate(&src, layers, &mut rng);
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.run(&obf).unwrap();
+        let out = interp.get_global("out").cloned().unwrap().to_number();
+        prop_assert_eq!(out, f64::from(n % 97));
+    }
+
+    // ---------- filter list ----------
+
+    #[test]
+    fn filterset_parse_never_panics(s in "\\PC{0,200}") {
+        let _ = FilterSet::parse(&s);
+    }
+
+    #[test]
+    fn filterset_match_never_panics(rule in "[|@$a-z0-9^*./-]{1,40}",
+                                    url_path in "(/[a-z0-9]{0,8}){0,3}") {
+        let set = FilterSet::parse(&rule);
+        let url = Url::parse(&format!("http://test-host.com{}",
+            if url_path.is_empty() { "/".to_string() } else { url_path })).unwrap();
+        let ctx = RequestContext::iframe_from(&DomainName::parse("source.com").unwrap());
+        let _ = set.matches(&url, &ctx);
+    }
+
+    #[test]
+    fn domain_anchor_rule_matches_own_domain(host in "[a-z]{2,10}\\.(com|net|biz)") {
+        let set = FilterSet::parse(&format!("||{host}^"));
+        let ctx = RequestContext::iframe_from(&DomainName::parse("pub.com").unwrap());
+        let url = Url::parse(&format!("http://{host}/anything")).unwrap();
+        prop_assert!(set.is_ad_url(&url, &ctx));
+        // A different registered domain must not match.
+        let other = Url::parse("http://unrelated-host.org/anything").unwrap();
+        prop_assert!(!set.is_ad_url(&other, &ctx));
+    }
+
+    // ---------- deterministic RNG ----------
+
+    #[test]
+    fn seedtree_paths_replay(seed in any::<u64>(), label in "[a-z]{1,12}", idx in any::<u64>()) {
+        use rand::RngCore;
+        let a = SeedTree::new(seed).branch(&label).branch_idx(idx).rng().next_u64();
+        let b = SeedTree::new(seed).branch(&label).branch_idx(idx).rng().next_u64();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detrng_below_in_range(seed in any::<u64>(), bound in 1usize..10_000) {
+        use malvertising::types::DetRng;
+        let mut rng = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn base64_roundtrip(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        use malvertising::adscript::stdlib::{base64_decode, base64_encode};
+        let encoded = base64_encode(&data);
+        let decoded = base64_decode(&encoded).unwrap();
+        // atob semantics: each byte becomes one latin-1 char.
+        let decoded_bytes: Vec<u8> = decoded.chars().map(|c| c as u8).collect();
+        prop_assert_eq!(decoded_bytes, data);
+    }
+
+    #[test]
+    fn percent_roundtrip(s in "[ -~]{0,60}") {
+        use malvertising::adscript::stdlib::{percent_decode, percent_encode};
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    // ---------- interpreter determinism ----------
+
+    #[test]
+    fn adscript_same_seed_same_randoms(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), seed);
+            interp.run("out = Math.random() + '/' + Math.random();").unwrap();
+            let v = interp.get_global("out").cloned().unwrap();
+            interp.display_value(&v)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn switch_equivalent_to_if_chain(x in 0i32..6) {
+        let mut a = Interpreter::new(NoHost, Limits::default(), 1);
+        a.run(&format!(
+            "switch ({x}) {{ case 0: out = 'zero'; break; case 1: out = 'one'; break; \
+             default: out = 'many'; }}"
+        )).unwrap();
+        let mut b = Interpreter::new(NoHost, Limits::default(), 1);
+        b.run(&format!(
+            "if ({x} === 0) {{ out = 'zero'; }} else if ({x} === 1) {{ out = 'one'; }} \
+             else {{ out = 'many'; }}"
+        )).unwrap();
+        let av = a.get_global("out").cloned().unwrap();
+        let bv = b.get_global("out").cloned().unwrap();
+        prop_assert!(av.strict_eq(&bv));
+    }
+
+    // ---------- blacklist monotonicity ----------
+
+    #[test]
+    fn blacklist_listings_monotone_in_time(seed in any::<u64>(), day in 0u32..80) {
+        use malvertising::blacklist::{BlacklistService, DomainTruth};
+        use malvertising::types::rng::SeedTree;
+        let mut svc = BlacklistService::new(SeedTree::new(seed));
+        let d = DomainName::parse("mono-test.biz").unwrap();
+        svc.register(d.clone(), DomainTruth::Malicious { active_from: 5 });
+        let early = svc.listing_count(&d, day);
+        let later = svc.listing_count(&d, day + 10);
+        prop_assert!(later >= early);
+    }
+
+    // ---------- cookie jar ----------
+
+    #[test]
+    fn cookie_roundtrip(name in "[a-z]{1,10}", value in "[a-zA-Z0-9]{0,20}") {
+        use malvertising::net::CookieJar;
+        let mut jar = CookieJar::new();
+        let host = DomainName::parse("sub.shop-site.com").unwrap();
+        jar.store(&host, &name, &value);
+        prop_assert_eq!(jar.get(&host, &name), Some(value.as_str()));
+        let header = jar.header_for(&host);
+        let expected = format!("{name}={value}");
+        prop_assert!(header.contains(&expected));
+    }
+}
