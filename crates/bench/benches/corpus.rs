@@ -16,12 +16,9 @@ fn bench_crawl(c: &mut Criterion) {
     let world: &StudyWorld = &study.world;
 
     // Single-visit latency.
-    let crawler = Crawler::new(
-        &world.network,
-        &world.filter,
-        CrawlConfig::default(),
-        world.tree,
-    );
+    let crawler = Crawler::builder(&world.network, &world.filter)
+        .seeds(world.tree)
+        .build();
     let site = world
         .web
         .sites
@@ -41,16 +38,14 @@ fn bench_crawl(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("batch_page_loads", |b| {
         b.iter(|| {
-            let crawler = Crawler::new(
-                &world.network,
-                &world.filter,
-                CrawlConfig {
+            let crawler = Crawler::builder(&world.network, &world.filter)
+                .config(CrawlConfig {
                     schedule,
                     workers: 8,
                     ..CrawlConfig::default()
-                },
-                world.tree,
-            );
+                })
+                .seeds(world.tree)
+                .build();
             let mut n = 0u64;
             crawler.run(&sites, |r| n += r.ads.len() as u64);
             black_box(n)
@@ -67,13 +62,9 @@ fn bench_crawl(c: &mut Criterion) {
 }
 
 fn malvert_oracle_fixture(world: &StudyWorld) -> malvert_oracle::Oracle<'_> {
-    malvert_oracle::Oracle::new(
-        &world.network,
-        &world.blacklists,
-        &world.scanner,
-        malvert_oracle::OracleConfig::default(),
-        world.tree,
-    )
+    malvert_oracle::Oracle::builder(&world.network, &world.blacklists, &world.scanner)
+        .seeds(world.tree)
+        .build()
 }
 
 criterion_group! {

@@ -61,6 +61,9 @@ pub struct CountermeasureOutcome {
     pub hijack_exposures: u64,
     /// Hijack attempts blocked by the `sandbox` attribute.
     pub hijacks_blocked: u64,
+    /// Total pipeline wall clock for this run, in microseconds (ablation
+    /// sweeps compare countermeasure cost as well as effect).
+    pub wall_us: u64,
 }
 
 /// Runs a study under a countermeasure and summarizes the malvertising
@@ -120,6 +123,7 @@ fn summarize(label: &str, results: &StudyResults) -> CountermeasureOutcome {
         malicious_observations,
         hijack_exposures: results.hijack_counts.0,
         hijacks_blocked: results.hijack_counts.1,
+        wall_us: results.metrics.total_wall_us(),
     }
 }
 
@@ -188,10 +192,7 @@ fn apply_shared_blacklist(study: Study, sharing_floor: f64) -> Study {
             )),
         );
     }
-    Study {
-        config: study.config,
-        world,
-    }
+    Study::from_parts(study.config, world)
 }
 
 /// Two-phase arbitration penalty: run the baseline, collect the networks
@@ -238,10 +239,7 @@ fn apply_arbitration_penalty(study: Study, ban_days: u32) -> Study {
             )),
         );
     }
-    Study {
-        config: study.config,
-        world,
-    }
+    Study::from_parts(study.config, world)
 }
 
 #[cfg(test)]

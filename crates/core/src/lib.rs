@@ -16,6 +16,8 @@
 //! 4. **Classification** — each unique advertisement goes through the
 //!    oracle; incidents are assigned to the six Table 1 categories with
 //!    first-match precedence (the table's rows sum to the total).
+//!    Classification runs on a worker pool; per-ad seed derivation keeps
+//!    the output byte-identical at any worker count.
 //! 5. **Analysis** ([`analysis`]) — Table 1, Figures 1–5, the cluster
 //!    split, and the §4.4 sandbox census, as typed reports with text
 //!    renderers ([`report`]).
@@ -30,6 +32,7 @@ pub mod analysis;
 pub mod countermeasures;
 pub mod defense;
 pub mod easylist;
+pub mod metrics;
 pub mod report;
 pub mod study;
 pub mod svg;
@@ -38,5 +41,6 @@ pub mod world;
 pub use analysis::{
     ClusterSplit, Fig1Row, Fig2Row, Fig3Row, Fig4Row, Fig5Histogram, SandboxReport, Table1,
 };
-pub use study::{ClassifiedAd, Study, StudyConfig, StudyResults};
+pub use metrics::{RunCounters, RunMetrics, RunSummary, StageId};
+pub use study::{ClassifiedAd, CrawlSummary, Study, StudyConfig, StudyResults};
 pub use world::StudyWorld;

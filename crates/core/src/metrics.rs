@@ -1,0 +1,271 @@
+//! Run instrumentation: per-stage wall-clock timings, pipeline counters,
+//! and the typed [`RunSummary`] the study exports.
+//!
+//! The pipeline is four stages — world generation, crawl, classification,
+//! aggregation — and a production-scale run needs each one independently
+//! observable: regressions hide inside end-to-end totals. [`RunMetrics`]
+//! rides along in [`StudyResults`](crate::study::StudyResults);
+//! [`RunSummary`] is the stable machine-readable surface (JSON) consumed by
+//! dashboards, the BENCH trajectory, and `malvert run`.
+//!
+//! Timings are wall-clock and therefore non-deterministic; everything else
+//! in the summary is a pure function of the study seed.
+//! [`RunSummary::without_timings`] strips the non-deterministic part so
+//! byte-identity checks across worker counts can compare full summaries.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StageId {
+    /// World generation: web + ad economy + oracle services + filter list.
+    WorldBuild,
+    /// The crawl: every site through the full schedule, corpus building.
+    Crawl,
+    /// Classification: one honeyclient re-visit + oracle pass per unique ad.
+    Classify,
+    /// Aggregation: assembling `StudyResults` from classified ads.
+    Aggregate,
+}
+
+impl StageId {
+    /// Every stage, in pipeline order.
+    pub const ALL: [StageId; 4] = [
+        StageId::WorldBuild,
+        StageId::Crawl,
+        StageId::Classify,
+        StageId::Aggregate,
+    ];
+
+    /// Human-readable stage name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageId::WorldBuild => "world build",
+            StageId::Crawl => "crawl",
+            StageId::Classify => "classify",
+            StageId::Aggregate => "aggregate",
+        }
+    }
+}
+
+/// Wall-clock time one stage took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: StageId,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: u64,
+}
+
+/// Pipeline work counters. All are exact tallies, deterministic in the
+/// study seed (unlike the timings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Publisher page loads the crawl performed.
+    pub page_loads: u64,
+    /// Ad observations recorded (non-unique).
+    pub ads_observed: u64,
+    /// Unique advertisements in the corpus.
+    pub unique_ads: u64,
+    /// Oracle honeyclient executions (one per unique ad).
+    pub oracle_executions: u64,
+    /// Scripts that exhausted the interpreter step budget during oracle
+    /// visits.
+    pub script_budgets_exhausted: u64,
+    /// Blacklist-feed lookups (one per distinct contacted host per
+    /// classified visit).
+    pub feed_lookups: u64,
+}
+
+/// Instrumentation for one pipeline run: stage timings plus counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunMetrics {
+    timings: Vec<StageTiming>,
+    /// Pipeline work counters.
+    pub counters: RunCounters,
+}
+
+impl RunMetrics {
+    /// Metrics with the given counters and no timings recorded yet.
+    pub fn new(counters: RunCounters) -> Self {
+        RunMetrics {
+            timings: Vec::new(),
+            counters,
+        }
+    }
+
+    /// Records a stage's wall-clock duration. Stages are expected to be
+    /// recorded in pipeline order, once each.
+    pub fn record(&mut self, stage: StageId, wall: Duration) {
+        self.timings.push(StageTiming {
+            stage,
+            wall_us: wall.as_micros() as u64,
+        });
+    }
+
+    /// The recorded timings, in recording (pipeline) order.
+    pub fn timings(&self) -> &[StageTiming] {
+        &self.timings
+    }
+
+    /// Wall-clock microseconds of one stage, if recorded.
+    pub fn stage_wall_us(&self, stage: StageId) -> Option<u64> {
+        self.timings
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.wall_us)
+    }
+
+    /// Total wall-clock microseconds across all recorded stages.
+    pub fn total_wall_us(&self) -> u64 {
+        self.timings.iter().map(|t| t.wall_us).sum()
+    }
+}
+
+/// Ground-truth confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Truly malicious ads the framework detected.
+    pub tp: u64,
+    /// Benign ads the framework flagged.
+    pub fp: u64,
+    /// Truly malicious ads the framework missed.
+    #[serde(rename = "fn")]
+    pub fn_: u64,
+}
+
+/// The §4.4 iframe census.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IframeCensus {
+    /// Iframes seen on publisher pages.
+    pub total: u64,
+    /// How many carried the `sandbox` attribute.
+    pub sandboxed: u64,
+}
+
+/// `top.location` hijack tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HijackTally {
+    /// Hijacks that dragged a crawled page away.
+    pub exposed: u64,
+    /// Attempts blocked by the `sandbox` attribute.
+    pub blocked: u64,
+}
+
+/// The stable machine-readable summary of one study run. The field set is
+/// a superset of the legacy `summary_json` keys, plus the run counters and
+/// per-stage timings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Unique advertisements in the corpus.
+    pub unique_ads: u64,
+    /// Total (non-unique) ad observations.
+    pub observations: u64,
+    /// Page loads performed.
+    pub page_loads: u64,
+    /// Ads with a detection category.
+    pub detected: u64,
+    /// Detected ads per Table 1 category label.
+    pub categories: std::collections::BTreeMap<String, u64>,
+    /// Confusion counts against campaign ground truth.
+    pub ground_truth: GroundTruth,
+    /// The iframe census.
+    pub iframes: IframeCensus,
+    /// Hijack exposure tallies.
+    pub hijacks: HijackTally,
+    /// Pipeline work counters.
+    pub counters: RunCounters,
+    /// Per-stage wall-clock timings (empty after
+    /// [`RunSummary::without_timings`]).
+    pub timings: Vec<StageTiming>,
+}
+
+impl RunSummary {
+    /// Serializes the summary as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("RunSummary serializes")
+    }
+
+    /// A copy with the wall-clock timings cleared — everything that remains
+    /// is deterministic in the study seed, so two runs of the same study
+    /// must agree byte-for-byte regardless of worker count.
+    pub fn without_timings(&self) -> RunSummary {
+        RunSummary {
+            timings: Vec::new(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query_timings() {
+        let mut m = RunMetrics::new(RunCounters::default());
+        for (i, stage) in StageId::ALL.into_iter().enumerate() {
+            m.record(stage, Duration::from_micros(10 * (i as u64 + 1)));
+        }
+        assert_eq!(m.timings().len(), 4);
+        assert_eq!(m.stage_wall_us(StageId::Crawl), Some(20));
+        assert_eq!(m.stage_wall_us(StageId::Aggregate), Some(40));
+        assert_eq!(m.total_wall_us(), 10 + 20 + 30 + 40);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut categories = std::collections::BTreeMap::new();
+        categories.insert("blacklists".to_string(), 3);
+        let summary = RunSummary {
+            unique_ads: 100,
+            observations: 500,
+            page_loads: 60,
+            detected: 4,
+            categories,
+            ground_truth: GroundTruth { tp: 3, fp: 1, fn_: 2 },
+            iframes: IframeCensus {
+                total: 200,
+                sandboxed: 10,
+            },
+            hijacks: HijackTally {
+                exposed: 2,
+                blocked: 1,
+            },
+            counters: RunCounters {
+                page_loads: 60,
+                ads_observed: 500,
+                unique_ads: 100,
+                oracle_executions: 100,
+                script_budgets_exhausted: 0,
+                feed_lookups: 350,
+            },
+            timings: vec![StageTiming {
+                stage: StageId::Crawl,
+                wall_us: 1234,
+            }],
+        };
+        let json = summary.to_json();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+        // The legacy key spelling survives the typed schema.
+        assert!(json.contains("\"fn\":2"));
+        assert!(json.contains("\"stage\":\"crawl\""));
+    }
+
+    #[test]
+    fn without_timings_strips_only_timings() {
+        let mut m = RunMetrics::new(RunCounters::default());
+        m.record(StageId::Crawl, Duration::from_micros(5));
+        let summary = RunSummary {
+            unique_ads: 7,
+            timings: m.timings().to_vec(),
+            ..RunSummary::default()
+        };
+        let stripped = summary.without_timings();
+        assert!(stripped.timings.is_empty());
+        assert_eq!(stripped.unique_ads, 7);
+    }
+}

@@ -4,6 +4,7 @@
 use crate::analysis::{
     ClusterSplit, Fig1Row, Fig2Row, Fig3Row, Fig4Row, Fig5Histogram, SandboxReport, Table1,
 };
+use crate::metrics::RunSummary;
 
 /// Renders Table 1 as aligned text.
 pub fn render_table1(t: &Table1) -> String {
@@ -232,6 +233,37 @@ pub fn render_campaign_forensics(rows: &[crate::analysis::CampaignForensics]) ->
     out
 }
 
+/// Renders the run metrics (stage timings + pipeline counters) as text.
+pub fn render_run_metrics(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("Run metrics: per-stage wall clock and pipeline counters\n");
+    let total_us: u64 = summary.timings.iter().map(|t| t.wall_us).sum();
+    for t in &summary.timings {
+        out.push_str(&format!(
+            "{:<14}{:>12.1} ms\n",
+            t.stage.label(),
+            t.wall_us as f64 / 1000.0
+        ));
+    }
+    out.push_str(&format!(
+        "{:<14}{:>12.1} ms\n",
+        "total",
+        total_us as f64 / 1000.0
+    ));
+    let c = &summary.counters;
+    out.push_str(&format!(
+        "page loads {} | observations {} | unique ads {} | oracle runs {} | \
+         feed lookups {} | script budgets exhausted {}\n",
+        c.page_loads,
+        c.ads_observed,
+        c.unique_ads,
+        c.oracle_executions,
+        c.feed_lookups,
+        c.script_budgets_exhausted
+    ));
+    out
+}
+
 fn bar(fraction: f64, width: usize) -> String {
     let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
     let mut s = String::with_capacity(width);
@@ -302,6 +334,37 @@ mod tests {
         });
         assert!(s.contains("0 of 1000"));
         assert!(s.contains("0.00%"));
+    }
+
+    #[test]
+    fn run_metrics_render() {
+        use crate::metrics::{RunCounters, StageId, StageTiming};
+        let summary = RunSummary {
+            counters: RunCounters {
+                page_loads: 12,
+                ads_observed: 34,
+                unique_ads: 20,
+                oracle_executions: 20,
+                script_budgets_exhausted: 1,
+                feed_lookups: 80,
+            },
+            timings: vec![
+                StageTiming {
+                    stage: StageId::Crawl,
+                    wall_us: 1500,
+                },
+                StageTiming {
+                    stage: StageId::Classify,
+                    wall_us: 2500,
+                },
+            ],
+            ..RunSummary::default()
+        };
+        let s = render_run_metrics(&summary);
+        assert!(s.contains("crawl"));
+        assert!(s.contains("1.5 ms"));
+        assert!(s.contains("4.0 ms"));
+        assert!(s.contains("oracle runs 20"));
     }
 
     #[test]

@@ -1,13 +1,26 @@
-//! The end-to-end study pipeline.
+//! The end-to-end study pipeline, as explicit typed stages.
+//!
+//! The paper's measurement pipeline is four distinct stages — crawl,
+//! de-duplicate, classify, aggregate (§3) — and each is a first-class,
+//! independently observable unit here: [`Study::crawl`] produces a
+//! [`CrawlSummary`], [`Study::classify`] consumes it and produces
+//! [`StudyResults`] carrying [`RunMetrics`]. [`Study::run`] is the
+//! composition of the two. Callers that only need to re-run later stages
+//! (countermeasure ablations, the CLI, examples) compose the stages
+//! directly instead of re-crawling.
 
+use crate::metrics::{
+    GroundTruth, HijackTally, IframeCensus, RunCounters, RunMetrics, RunSummary, StageId,
+};
 use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
-use malvert_crawler::{AdCorpus, CrawlConfig, Crawler, UniqueAd};
-use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleConfig};
+use malvert_crawler::{creative_key, AdCorpus, CrawlConfig, Crawler, UniqueAd};
+use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
 use malvert_types::{AdNetworkId, CampaignId, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Study configuration: world sizes, crawl schedule, oracle knobs.
 #[derive(Debug, Clone)]
@@ -18,7 +31,8 @@ pub struct StudyConfig {
     pub web: WebConfig,
     /// Ad economy population.
     pub ads: AdWorldConfig,
-    /// Crawl schedule and parallelism.
+    /// Crawl schedule and parallelism. `crawl.workers` also sets the
+    /// classification worker count.
     pub crawl: CrawlConfig,
     /// EasyList coverage of ad-network serve domains.
     pub easylist_coverage: f64,
@@ -105,6 +119,29 @@ pub struct ClassifiedAd {
     pub contacted_hosts: Vec<String>,
 }
 
+/// Output of the crawl stage ([`Study::crawl`]): the de-duplicated corpus
+/// plus everything the aggregation stage needs from the crawl, as named
+/// fields.
+#[derive(Debug)]
+pub struct CrawlSummary {
+    /// The de-duplicated advertisement corpus.
+    pub corpus: AdCorpus,
+    /// Per-creative chain-length observation tallies, keyed by
+    /// [`creative_key`].
+    pub chain_lengths: HashMap<u64, BTreeMap<usize, u64>>,
+    /// Per-site total ad observations.
+    pub site_ad_observations: HashMap<SiteId, u64>,
+    /// Total iframes seen on publisher pages / how many carried `sandbox`.
+    pub iframe_census: (u64, u64),
+    /// `top.location` hijacks that dragged crawled pages away / hijack
+    /// attempts blocked by the `sandbox` attribute.
+    pub hijack_counts: (u64, u64),
+    /// Page loads performed.
+    pub page_loads: u64,
+    /// Wall-clock time the crawl stage took.
+    pub wall: Duration,
+}
+
 /// Aggregated results of one full study run.
 #[derive(Debug)]
 pub struct StudyResults {
@@ -122,6 +159,8 @@ pub struct StudyResults {
     pub hijack_counts: (u64, u64),
     /// Page loads performed.
     pub page_loads: u64,
+    /// Run instrumentation: per-stage wall-clock timings and work counters.
+    pub metrics: RunMetrics,
 }
 
 impl StudyResults {
@@ -136,48 +175,49 @@ impl StudyResults {
         self.ads.iter().filter(|a| a.category.is_some())
     }
 
-    /// A compact machine-readable summary of the run (for dashboards and
+    /// The typed machine-readable summary of the run (for dashboards and
     /// regression tracking).
-    pub fn summary_json(&self) -> String {
-        let mut categories: BTreeMap<&'static str, usize> = BTreeMap::new();
+    pub fn summary(&self) -> RunSummary {
+        let mut categories: BTreeMap<String, u64> = BTreeMap::new();
         for ad in self.detected_ads() {
             *categories
-                .entry(ad.category.expect("detected").label())
+                .entry(ad.category.expect("detected").label().to_string())
                 .or_default() += 1;
         }
-        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        let mut truth = GroundTruth::default();
         for ad in &self.ads {
             match (ad.truly_malicious, ad.category.is_some()) {
-                (true, true) => tp += 1,
-                (false, true) => fp += 1,
-                (true, false) => fn_ += 1,
+                (true, true) => truth.tp += 1,
+                (false, true) => truth.fp += 1,
+                (true, false) => truth.fn_ += 1,
                 _ => {}
             }
         }
-        serde_json::json!({
-            "unique_ads": self.unique_ads(),
-            "observations": self.total_observations,
-            "page_loads": self.page_loads,
-            "detected": self.detected_ads().count(),
-            "categories": categories,
-            "ground_truth": { "tp": tp, "fp": fp, "fn": fn_ },
-            "iframes": { "total": self.iframe_census.0, "sandboxed": self.iframe_census.1 },
-            "hijacks": { "exposed": self.hijack_counts.0, "blocked": self.hijack_counts.1 },
-        })
-        .to_string()
+        RunSummary {
+            unique_ads: self.unique_ads() as u64,
+            observations: self.total_observations,
+            page_loads: self.page_loads,
+            detected: self.detected_ads().count() as u64,
+            categories,
+            ground_truth: truth,
+            iframes: IframeCensus {
+                total: self.iframe_census.0,
+                sandboxed: self.iframe_census.1,
+            },
+            hijacks: HijackTally {
+                exposed: self.hijack_counts.0,
+                blocked: self.hijack_counts.1,
+            },
+            counters: self.metrics.counters,
+            timings: self.metrics.timings().to_vec(),
+        }
+    }
+
+    /// [`StudyResults::summary`] as a single-line JSON object.
+    pub fn summary_json(&self) -> String {
+        self.summary().to_json()
     }
 }
-
-/// Intermediate crawl output: the corpus with per-creative chain-length
-/// tallies, per-site observation counts, the iframe census, and the page
-/// load count.
-type CrawlOutput = (
-    (AdCorpus, HashMap<String, BTreeMap<usize, u64>>),
-    HashMap<SiteId, u64>,
-    (u64, u64),
-    (u64, u64),
-    u64,
-);
 
 /// The study driver.
 pub struct Study {
@@ -185,6 +225,8 @@ pub struct Study {
     pub config: StudyConfig,
     /// The assembled world.
     pub world: StudyWorld,
+    /// Wall-clock time world generation took.
+    build_wall: Duration,
 }
 
 impl Study {
@@ -192,6 +234,7 @@ impl Study {
     /// harmonized with the crawl schedule (campaigns activate over the first
     /// three quarters of the actual crawl window).
     pub fn new(mut config: StudyConfig) -> Study {
+        let started = Instant::now();
         config.ads.campaigns.study_days = config.crawl.schedule.days.max(1);
         let world = StudyWorld::build(
             config.seed,
@@ -200,60 +243,87 @@ impl Study {
             config.easylist_coverage,
             config.crawl.schedule.days,
         );
-        Study { config, world }
+        Study {
+            config,
+            world,
+            build_wall: started.elapsed(),
+        }
+    }
+
+    /// Assembles a study from an already-built world (countermeasure
+    /// ablations mutate a world and re-run stages on it). The world-build
+    /// timing is unknown here and reported as zero.
+    pub fn from_parts(config: StudyConfig, world: StudyWorld) -> Study {
+        Study {
+            config,
+            world,
+            build_wall: Duration::ZERO,
+        }
     }
 
     /// Runs the full pipeline: crawl, de-duplicate, classify, aggregate.
     pub fn run(&self) -> StudyResults {
-        let (corpus, site_obs, census, hijacks, page_loads) = self.crawl();
-        self.classify(corpus, site_obs, census, hijacks, page_loads)
+        self.classify(self.crawl())
     }
 
     /// Stage 1+2: crawl the Web and build the de-duplicated corpus, with
     /// per-ad chain-length tallies.
-    fn crawl(&self) -> CrawlOutput {
-        let crawler = Crawler::new(
-            &self.world.network,
-            &self.world.filter,
-            self.config.crawl.clone(),
-            self.world.tree,
-        );
+    pub fn crawl(&self) -> CrawlSummary {
+        let started = Instant::now();
+        let crawler = Crawler::builder(&self.world.network, &self.world.filter)
+            .config(self.config.crawl.clone())
+            .seeds(self.world.tree)
+            .build();
         let mut corpus = AdCorpus::new();
-        let mut chain_counts: HashMap<String, BTreeMap<usize, u64>> = HashMap::new();
-        let mut site_obs: HashMap<SiteId, u64> = HashMap::new();
-        let mut census = (0u64, 0u64);
-        let mut hijacks = (0u64, 0u64);
+        let mut chain_lengths: HashMap<u64, BTreeMap<usize, u64>> = HashMap::new();
+        let mut site_ad_observations: HashMap<SiteId, u64> = HashMap::new();
+        let mut iframe_census = (0u64, 0u64);
+        let mut hijack_counts = (0u64, 0u64);
         let mut page_loads = 0u64;
         crawler.run(&self.world.web.sites, |record| {
             page_loads += 1;
-            census.0 += record.total_iframes as u64;
-            census.1 += record.sandboxed_iframes as u64;
-            hijacks.0 += record.hijack_exposures as u64;
-            hijacks.1 += record.hijacks_blocked as u64;
+            iframe_census.0 += record.total_iframes as u64;
+            iframe_census.1 += record.sandboxed_iframes as u64;
+            hijack_counts.0 += record.hijack_exposures as u64;
+            hijack_counts.1 += record.hijacks_blocked as u64;
             for ad in &record.ads {
-                *site_obs.entry(ad.site).or_default() += 1;
-                if !(ad.failed && ad.creative_html.is_empty()) {
-                    *chain_counts
-                        .entry(ad.creative_html.clone())
+                *site_ad_observations.entry(ad.site).or_default() += 1;
+                if let Some(key) = corpus.record(ad) {
+                    *chain_lengths
+                        .entry(key)
                         .or_default()
                         .entry(ad.chain.len())
                         .or_default() += 1;
                 }
-                corpus.record(ad);
             }
         });
-        ((corpus, chain_counts), site_obs, census, hijacks, page_loads)
+        CrawlSummary {
+            corpus,
+            chain_lengths,
+            site_ad_observations,
+            iframe_census,
+            hijack_counts,
+            page_loads,
+            wall: started.elapsed(),
+        }
     }
 
-    /// Stage 3+4: classify every unique ad and aggregate.
-    fn classify(
-        &self,
-        (corpus, chain_counts): (AdCorpus, HashMap<String, BTreeMap<usize, u64>>),
-        site_ad_observations: HashMap<SiteId, u64>,
-        iframe_census: (u64, u64),
-        hijack_counts: (u64, u64),
-        page_loads: u64,
-    ) -> StudyResults {
+    /// Stage 3+4: classify every unique ad and aggregate. Classification is
+    /// spread over `config.crawl.workers` threads; each ad's oracle seed is
+    /// derived from the study tree by the ad's stable [`creative_key`], so
+    /// the results are byte-identical at any worker count.
+    pub fn classify(&self, crawl: CrawlSummary) -> StudyResults {
+        let started = Instant::now();
+        let CrawlSummary {
+            corpus,
+            chain_lengths,
+            site_ad_observations,
+            iframe_census,
+            hijack_counts,
+            page_loads,
+            wall: crawl_wall,
+        } = crawl;
+
         // Blacklist knowledge per ad: the feeds are monitored continuously,
         // so each ad is checked against everything the feeds learned while
         // the ad was live — i.e. at its *last* observation day. Ads from
@@ -262,48 +332,142 @@ impl Study {
         // them instead — the same dynamic the paper observed. A global
         // override supports retrospective-evaluation ablations.
         let eval_override = self.config.blacklist_eval_day;
-        let oracle_config = OracleConfig {
-            known_models: self.seed_models(),
-            ..OracleConfig::default()
-        };
-        let oracle = Oracle::new(
+        let stats = OracleStats::new();
+        let oracle = Oracle::builder(
             &self.world.network,
             &self.world.blacklists,
             &self.world.scanner,
-            oracle_config,
-            self.world.tree,
-        );
+        )
+        .known_models(self.seed_models())
+        .seeds(self.world.tree)
+        .stats(stats.clone())
+        .build();
         let truth_map = self.creative_truth_map();
 
-        let mut ads = Vec::with_capacity(corpus.unique_count());
-        for unique in corpus.ads_sorted() {
-            let eval_day = eval_override.unwrap_or(unique.last_seen.day);
-            ads.push(self.classify_one(&oracle, unique, &truth_map, &chain_counts, eval_day));
-        }
+        let uniques = corpus.ads_sorted();
+        let workers = self.config.crawl.workers.max(1);
+        let ads = if workers == 1 {
+            uniques
+                .iter()
+                .map(|unique| {
+                    self.classify_one(&oracle, unique, &truth_map, &chain_lengths, eval_override)
+                })
+                .collect()
+        } else {
+            self.classify_parallel(
+                &oracle,
+                &uniques,
+                &truth_map,
+                &chain_lengths,
+                eval_override,
+                workers,
+            )
+        };
+        let classify_wall = started.elapsed();
 
-        StudyResults {
+        let aggregate_started = Instant::now();
+        let counters = RunCounters {
+            page_loads,
+            ads_observed: corpus.total_observations(),
+            unique_ads: corpus.unique_count() as u64,
+            oracle_executions: stats.visits(),
+            script_budgets_exhausted: stats.budget_exhaustions(),
+            feed_lookups: stats.feed_lookups(),
+        };
+        let mut metrics = RunMetrics::new(counters);
+        metrics.record(StageId::WorldBuild, self.build_wall);
+        metrics.record(StageId::Crawl, crawl_wall);
+        metrics.record(StageId::Classify, classify_wall);
+        let mut results = StudyResults {
             ads,
             total_observations: corpus.total_observations(),
             site_ad_observations,
             iframe_census,
             hijack_counts,
             page_loads,
-        }
+            metrics,
+        };
+        results
+            .metrics
+            .record(StageId::Aggregate, aggregate_started.elapsed());
+        results
+    }
+
+    /// Classification worker pool, mirroring the crawler's: an atomic job
+    /// counter hands out ads, workers send `(index, result)` over a bounded
+    /// channel, and the calling thread files results into their slots so
+    /// output order matches `ads_sorted` regardless of completion order.
+    fn classify_parallel(
+        &self,
+        oracle: &Oracle<'_>,
+        uniques: &[&UniqueAd],
+        truth_map: &HashMap<u64, CampaignId>,
+        chain_lengths: &HashMap<u64, BTreeMap<usize, u64>>,
+        eval_override: Option<u32>,
+        workers: usize,
+    ) -> Vec<ClassifiedAd> {
+        let total_jobs = uniques.len();
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, ClassifiedAd)>(workers * 4);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<ClassifiedAd>> = Vec::new();
+        slots.resize_with(total_jobs, || None);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move |_| loop {
+                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if job >= total_jobs {
+                        break;
+                    }
+                    let classified = self.classify_one(
+                        oracle,
+                        uniques[job],
+                        truth_map,
+                        chain_lengths,
+                        eval_override,
+                    );
+                    if tx.send((job, classified)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (job, classified) in rx {
+                slots[job] = Some(classified);
+            }
+        })
+        .expect("classification workers panicked");
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every ad classified"))
+            .collect()
     }
 
     fn classify_one(
         &self,
         oracle: &Oracle<'_>,
         unique: &UniqueAd,
-        truth_map: &HashMap<String, CampaignId>,
-        chain_counts: &HashMap<String, BTreeMap<usize, u64>>,
-        eval_day: u32,
+        truth_map: &HashMap<u64, CampaignId>,
+        chain_lengths: &HashMap<u64, BTreeMap<usize, u64>>,
+        eval_override: Option<u32>,
     ) -> ClassifiedAd {
         // Honeyclient re-visit at the first observation time; blacklist
         // knowledge evaluated at `eval_day` (the ad's last observation day,
-        // unless globally overridden).
+        // unless globally overridden). The visit's script randomness comes
+        // from a seed branch keyed by the ad's stable creative key, making
+        // each classification independent of every other — the property the
+        // worker pool's byte-identity rests on.
+        let eval_day = eval_override.unwrap_or(unique.last_seen.day);
+        let ad_seeds = self
+            .world
+            .tree
+            .branch("classify")
+            .branch_idx(unique.creative_key);
         let request_url = unique.request_url.clone();
-        let visit = oracle.honeyclient_visit(&request_url, unique.first_seen);
+        let visit = oracle.honeyclient_visit_seeded(&request_url, unique.first_seen, ad_seeds);
         let eval_time = SimTime::at(eval_day, 0);
         let incidents = oracle.classify_visit(&visit, eval_time);
         let category = Self::categorize(&incidents);
@@ -328,7 +492,7 @@ impl Study {
             .and_then(|h| self.world.network_of(h))
             .or_else(|| chain_networks.last().copied());
 
-        let truth_campaign = truth_map.get(&unique.creative_html).copied();
+        let truth_campaign = truth_map.get(&unique.creative_key).copied();
         let truly_malicious = truth_campaign
             .map(|id| self.world.ads.campaigns()[id.index()].is_malicious())
             .unwrap_or(false);
@@ -345,8 +509,8 @@ impl Study {
             category,
             truth_campaign,
             truly_malicious,
-            chain_length_counts: chain_counts
-                .get(&unique.creative_html)
+            chain_length_counts: chain_lengths
+                .get(&unique.creative_key)
                 .cloned()
                 .unwrap_or_default(),
             contacted_hosts,
@@ -364,12 +528,14 @@ impl Study {
 
     /// Builds the creative → campaign ground-truth map by rendering every
     /// campaign variant (creatives are deterministic, so the map is exact).
-    fn creative_truth_map(&self) -> HashMap<String, CampaignId> {
+    /// Keyed by [`creative_key`] to avoid holding a second copy of every
+    /// creative document.
+    fn creative_truth_map(&self) -> HashMap<u64, CampaignId> {
         let mut map = HashMap::new();
         for campaign in self.world.ads.campaigns() {
             for variant in 0..campaign.variant_count {
                 map.insert(
-                    malvert_adnet::creative::render_creative(campaign, variant),
+                    creative_key(&malvert_adnet::creative::render_creative(campaign, variant)),
                     campaign.id,
                 );
             }
@@ -392,13 +558,13 @@ impl Study {
             .iter()
             .flat_map(|(_, ds, _)| ds.iter().map(|d| d.to_string()))
             .collect();
-        let oracle = Oracle::new(
+        let oracle = Oracle::builder(
             &self.world.network,
             &self.world.blacklists,
             &self.world.scanner,
-            OracleConfig::default(),
-            self.world.tree,
-        );
+        )
+        .seeds(self.world.tree)
+        .build();
         let mut models = Vec::new();
         'outer: for network_idx in 0..self.world.ads.networks().len() as u32 {
             for slot in 0..10usize {
@@ -445,6 +611,23 @@ mod tests {
         let expected_loads = study.config.web.total_sites() as u64
             * study.config.crawl.schedule.loads_per_site();
         assert_eq!(results.page_loads, expected_loads);
+    }
+
+    #[test]
+    fn staged_api_exposes_crawl_summary() {
+        let study = Study::new(StudyConfig::tiny(11));
+        let crawl = study.crawl();
+        assert!(crawl.corpus.unique_count() > 0);
+        assert_eq!(
+            crawl.chain_lengths.len(),
+            crawl.corpus.unique_count(),
+            "every unique ad has a chain tally"
+        );
+        let results = study.classify(crawl);
+        assert_eq!(
+            results.metrics.counters.unique_ads as usize,
+            results.unique_ads()
+        );
     }
 
     #[test]

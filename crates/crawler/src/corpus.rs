@@ -3,18 +3,35 @@
 //! The paper collected 673,596 *unique* advertisements over three months —
 //! page loads repeat creatives constantly, so the corpus de-duplicates on
 //! the creative document itself. Aggregation is order-insensitive, which
-//! keeps the parallel crawl deterministic.
+//! keeps the parallel crawl deterministic: `sites` is held sorted and the
+//! longest-chain tie-break is lexicographic, so every aggregate is a pure
+//! function of the observation *set*, not the arrival order.
 
 use crate::harness::AdObservation;
+use malvert_types::rng::mix_label;
 use malvert_types::{SimTime, SiteId, Url};
+use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Domain-separation constant for [`creative_key`] (ASCII `malvert1`).
+const CREATIVE_KEY_DOMAIN: u64 = 0x6d61_6c76_6572_7431;
+
+/// Stable 64-bit identity of a creative document. Downstream tallies and
+/// seed derivations key on this instead of cloning the full serialized
+/// creative (which can be kilobytes) per observation.
+pub fn creative_key(creative_html: &str) -> u64 {
+    mix_label(CREATIVE_KEY_DOMAIN, creative_html.as_bytes())
+}
 
 /// One unique advertisement with its observation history.
 #[derive(Debug, Clone)]
 pub struct UniqueAd {
     /// The creative document (dedup key).
     pub creative_html: String,
+    /// Stable hash of `creative_html` (see [`creative_key`]): the corpus
+    /// index key, the chain-tally key, and the per-ad oracle seed label.
+    pub creative_key: u64,
     /// First time the ad was observed (minimum over all observations —
     /// stable regardless of crawl-thread interleaving).
     pub first_seen: SimTime,
@@ -32,17 +49,25 @@ pub struct UniqueAd {
     pub last_seen: SimTime,
     /// Number of times this ad was observed.
     pub observations: u64,
-    /// Distinct sites it appeared on.
+    /// Distinct sites it appeared on, kept sorted.
     pub sites: Vec<SiteId>,
-    /// Longest arbitration chain observed for this ad.
+    /// Longest arbitration chain observed for this ad. Among equally long
+    /// chains, the lexicographically smallest is kept, so the field does
+    /// not depend on observation arrival order.
     pub max_chain: Vec<Url>,
 }
 
 /// The de-duplicated corpus.
 #[derive(Debug, Default)]
 pub struct AdCorpus {
-    ads: HashMap<String, UniqueAd>,
+    ads: HashMap<u64, UniqueAd>,
     total_observations: u64,
+}
+
+/// Compares two arbitration chains lexicographically by URL text.
+/// `Url` itself has no `Ord`, so compare through `Display`.
+fn chain_cmp(a: &[Url], b: &[Url]) -> Ordering {
+    a.iter().map(Url::to_string).cmp(b.iter().map(Url::to_string))
 }
 
 impl AdCorpus {
@@ -51,14 +76,18 @@ impl AdCorpus {
         Self::default()
     }
 
-    /// Records one observation.
-    pub fn record(&mut self, obs: &AdObservation) {
+    /// Records one observation. Returns the observation's [`creative_key`]
+    /// so callers can run their own per-creative tallies without re-hashing
+    /// (or re-cloning) the creative; `None` means the observation carried no
+    /// creative and was skipped.
+    pub fn record(&mut self, obs: &AdObservation) -> Option<u64> {
         if obs.failed && obs.creative_html.is_empty() {
             // Failed frames carry no creative to deduplicate on.
-            return;
+            return None;
         }
         self.total_observations += 1;
-        match self.ads.entry(obs.creative_html.clone()) {
+        let key = creative_key(&obs.creative_html);
+        match self.ads.entry(key) {
             Entry::Occupied(mut e) => {
                 let ad = e.get_mut();
                 ad.observations += 1;
@@ -74,16 +103,20 @@ impl AdCorpus {
                 if obs.time > ad.last_seen {
                     ad.last_seen = obs.time;
                 }
-                if !ad.sites.contains(&obs.site) {
-                    ad.sites.push(obs.site);
+                if let Err(pos) = ad.sites.binary_search(&obs.site) {
+                    ad.sites.insert(pos, obs.site);
                 }
-                if obs.chain.len() > ad.max_chain.len() {
+                if obs.chain.len() > ad.max_chain.len()
+                    || (obs.chain.len() == ad.max_chain.len()
+                        && chain_cmp(&obs.chain, &ad.max_chain) == Ordering::Less)
+                {
                     ad.max_chain = obs.chain.clone();
                 }
             }
             Entry::Vacant(e) => {
                 e.insert(UniqueAd {
                     creative_html: obs.creative_html.clone(),
+                    creative_key: key,
                     first_seen: obs.time,
                     request_url: obs.request_url.clone(),
                     final_url: obs.final_url.clone(),
@@ -94,6 +127,7 @@ impl AdCorpus {
                 });
             }
         }
+        Some(key)
     }
 
     /// Number of unique advertisements.
@@ -115,7 +149,12 @@ impl AdCorpus {
 
     /// Looks up an ad by creative document.
     pub fn get(&self, creative_html: &str) -> Option<&UniqueAd> {
-        self.ads.get(creative_html)
+        self.ads.get(&creative_key(creative_html))
+    }
+
+    /// Looks up an ad by its [`creative_key`].
+    pub fn get_by_key(&self, key: u64) -> Option<&UniqueAd> {
+        self.ads.get(&key)
     }
 }
 
@@ -152,6 +191,18 @@ mod tests {
         let a = corpus.get("<html>A</html>").unwrap();
         assert_eq!(a.observations, 2);
         assert_eq!(a.sites.len(), 2);
+        assert_eq!(a.creative_key, creative_key("<html>A</html>"));
+        assert_eq!(
+            corpus.get_by_key(a.creative_key).unwrap().creative_html,
+            "<html>A</html>"
+        );
+    }
+
+    #[test]
+    fn record_returns_creative_key() {
+        let mut corpus = AdCorpus::new();
+        let key = corpus.record(&obs("<html>A</html>", 1, 0, 1));
+        assert_eq!(key, Some(creative_key("<html>A</html>")));
     }
 
     #[test]
@@ -170,6 +221,37 @@ mod tests {
         corpus.record(&obs("<html>A</html>", 1, 1, 7));
         corpus.record(&obs("<html>A</html>", 1, 2, 3));
         assert_eq!(corpus.get("<html>A</html>").unwrap().max_chain.len(), 7);
+    }
+
+    #[test]
+    fn max_chain_tie_break_is_order_insensitive() {
+        // Two distinct chains of equal length: whichever arrives first, the
+        // lexicographically smaller one must win.
+        let mut a = obs("<html>A</html>", 1, 0, 0);
+        a.chain = vec![Url::parse("http://aaa.net/serve").unwrap()];
+        let mut b = obs("<html>A</html>", 1, 1, 0);
+        b.chain = vec![Url::parse("http://zzz.net/serve").unwrap()];
+
+        let mut forward = AdCorpus::new();
+        forward.record(&a);
+        forward.record(&b);
+        let mut backward = AdCorpus::new();
+        backward.record(&b);
+        backward.record(&a);
+        let f = &forward.get("<html>A</html>").unwrap().max_chain;
+        let bk = &backward.get("<html>A</html>").unwrap().max_chain;
+        assert_eq!(f, bk);
+        assert_eq!(f[0].to_string(), "http://aaa.net/serve");
+    }
+
+    #[test]
+    fn sites_kept_sorted() {
+        let mut corpus = AdCorpus::new();
+        for site in [9, 3, 7, 3, 1] {
+            corpus.record(&obs("<html>A</html>", site, 0, 1));
+        }
+        let sites = &corpus.get("<html>A</html>").unwrap().sites;
+        assert_eq!(sites, &[SiteId(1), SiteId(3), SiteId(7), SiteId(9)]);
     }
 
     #[test]
@@ -193,15 +275,12 @@ mod tests {
         assert_eq!(f.len(), b.len());
         for (x, y) in f.iter().zip(&b) {
             assert_eq!(x.creative_html, y.creative_html);
+            assert_eq!(x.creative_key, y.creative_key);
             assert_eq!(x.first_seen, y.first_seen);
             assert_eq!(x.observations, y.observations);
             assert_eq!(x.max_chain, y.max_chain);
             assert_eq!(x.request_url, y.request_url);
-            let mut xs = x.sites.clone();
-            let mut ys = y.sites.clone();
-            xs.sort();
-            ys.sort();
-            assert_eq!(xs, ys);
+            assert_eq!(x.sites, y.sites);
         }
     }
 
@@ -210,7 +289,7 @@ mod tests {
         let mut corpus = AdCorpus::new();
         let mut o = obs("", 1, 0, 1);
         o.failed = true;
-        corpus.record(&o);
+        assert_eq!(corpus.record(&o), None);
         assert_eq!(corpus.unique_count(), 0);
         assert_eq!(corpus.total_observations(), 0);
     }

@@ -79,6 +79,60 @@ impl Default for CrawlConfig {
     }
 }
 
+/// Staged builder for [`Crawler`].
+///
+/// The network and filter list are the only required inputs; configuration
+/// and seeds are chained on, so growing the crawler a new knob never breaks
+/// existing call sites again.
+pub struct CrawlerBuilder<'a> {
+    network: &'a Network,
+    filter: &'a FilterSet,
+    config: CrawlConfig,
+    study: SeedTree,
+}
+
+impl<'a> CrawlerBuilder<'a> {
+    /// Replaces the whole crawl configuration.
+    pub fn config(mut self, config: CrawlConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the visit schedule.
+    pub fn schedule(mut self, schedule: CrawlSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the worker-thread count (1 = sequential).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the browser limits per page load.
+    pub fn browser_limits(mut self, limits: BrowserLimits) -> Self {
+        self.config.browser_limits = limits;
+        self
+    }
+
+    /// Sets the seed tree crawl-time randomness derives from.
+    pub fn seeds(mut self, seeds: SeedTree) -> Self {
+        self.study = seeds;
+        self
+    }
+
+    /// Assembles the crawler.
+    pub fn build(self) -> Crawler<'a> {
+        Crawler {
+            network: self.network,
+            filter: self.filter,
+            config: self.config,
+            study: self.study,
+        }
+    }
+}
+
 /// The crawler.
 pub struct Crawler<'a> {
     network: &'a Network,
@@ -88,18 +142,14 @@ pub struct Crawler<'a> {
 }
 
 impl<'a> Crawler<'a> {
-    /// Creates a crawler over the network with the given filter list.
-    pub fn new(
-        network: &'a Network,
-        filter: &'a FilterSet,
-        config: CrawlConfig,
-        study: SeedTree,
-    ) -> Self {
-        Crawler {
+    /// Starts building a crawler over the network with the given filter
+    /// list. Defaults: [`CrawlConfig::default`], seed tree rooted at `0`.
+    pub fn builder(network: &'a Network, filter: &'a FilterSet) -> CrawlerBuilder<'a> {
+        CrawlerBuilder {
             network,
             filter,
-            config,
-            study,
+            config: CrawlConfig::default(),
+            study: SeedTree::new(0),
         }
     }
 
@@ -303,7 +353,7 @@ mod tests {
     #[test]
     fn single_visit_extracts_ads() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
         let site = web
             .sites
             .iter()
@@ -323,7 +373,7 @@ mod tests {
     #[test]
     fn widget_iframes_not_extracted_as_ads() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
         // Crawl many visits; widget iframes appear with prob 0.3 but must
         // never be classified as ads.
         let mut widget_seen = false;
@@ -345,7 +395,7 @@ mod tests {
     #[test]
     fn chain_reconstruction_matches_hops() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
         // Find an observation with an arbitration chain.
         let mut found = false;
         'outer: for site in web.sites.iter().filter(|s| !s.ad_slots.is_empty()) {
@@ -373,15 +423,18 @@ mod tests {
             workers: 1,
             browser_limits: BrowserLimits::default(),
         };
-        let crawler = Crawler::new(&net, &filter, config.clone(), SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter)
+            .config(config.clone())
+            .seeds(SeedTree::new(99))
+            .build();
         let mut seq: Vec<(SiteId, SimTime, usize)> = Vec::new();
         crawler.run(&sites, |r| seq.push((r.site, r.time, r.ads.len())));
 
-        let par_config = CrawlConfig {
-            workers: 4,
-            ..config
-        };
-        let crawler = Crawler::new(&net, &filter, par_config, SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter)
+            .config(config)
+            .workers(4)
+            .seeds(SeedTree::new(99))
+            .build();
         let mut par: Vec<(SiteId, SimTime, usize)> = Vec::new();
         crawler.run(&sites, |r| par.push((r.site, r.time, r.ads.len())));
 
@@ -394,12 +447,11 @@ mod tests {
     fn schedule_produces_expected_visit_count() {
         let (net, web, _ads, filter) = mini_world();
         let sites: Vec<Site> = web.sites.iter().take(4).cloned().collect();
-        let config = CrawlConfig {
-            schedule: CrawlSchedule::scaled(3, 5),
-            workers: 2,
-            browser_limits: BrowserLimits::default(),
-        };
-        let crawler = Crawler::new(&net, &filter, config, SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter)
+            .schedule(CrawlSchedule::scaled(3, 5))
+            .workers(2)
+            .seeds(SeedTree::new(99))
+            .build();
         let mut count = 0;
         crawler.run(&sites, |_| count += 1);
         assert_eq!(count, 4 * 3 * 5);
@@ -441,7 +493,7 @@ mod tests {
                 }
             }),
         );
-        let crawler = Crawler::new(&net, &filter, CrawlConfig::default(), SeedTree::new(99));
+        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
         // 500 responses give an empty-ish page: no ads, not "failed".
         let rec0 = crawler.crawl_visit(&flaky_site, SimTime::at(0, 0));
         assert!(!rec0.failed);

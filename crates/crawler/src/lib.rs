@@ -20,5 +20,5 @@
 pub mod corpus;
 pub mod harness;
 
-pub use corpus::{AdCorpus, UniqueAd};
-pub use harness::{AdObservation, CrawlConfig, Crawler, VisitRecord};
+pub use corpus::{creative_key, AdCorpus, UniqueAd};
+pub use harness::{AdObservation, CrawlConfig, Crawler, CrawlerBuilder, VisitRecord};

@@ -25,4 +25,4 @@ pub mod oracle;
 
 pub use heuristics::{behavior_fingerprint, HeuristicFindings};
 pub use incident::{Incident, IncidentType};
-pub use oracle::{Oracle, OracleConfig};
+pub use oracle::{Oracle, OracleBuilder, OracleConfig, OracleStats};

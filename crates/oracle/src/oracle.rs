@@ -3,16 +3,17 @@
 use crate::heuristics::{behavior_fingerprint, HeuristicFindings};
 use crate::incident::{Incident, IncidentType};
 use malvert_blacklist::BlacklistService;
-use malvert_browser::{Browser, BrowserLimits, PageVisit, Personality};
+use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_net::Network;
 use malvert_scanner::{PayloadKind, ScanService};
 use malvert_types::rng::SeedTree;
 use malvert_types::{SimTime, Url};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Oracle parameters.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OracleConfig {
     /// Browser limits for honeyclient visits.
     pub browser_limits: BrowserLimits,
@@ -22,6 +23,110 @@ pub struct OracleConfig {
 }
 
 
+/// Shared instrumentation counters for an oracle.
+///
+/// Cloning the handle is cheap (an `Arc` bump) and every clone views the
+/// same counters, so a caller can keep one handle while the oracle —
+/// possibly shared across classification worker threads — increments
+/// through another. All counters are relaxed atomics: they are pure tallies
+/// with no ordering obligations.
+#[derive(Debug, Clone, Default)]
+pub struct OracleStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    visits: AtomicU64,
+    feed_lookups: AtomicU64,
+    budget_exhaustions: AtomicU64,
+}
+
+impl OracleStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Honeyclient visits performed (one per classified advertisement in
+    /// the study pipeline).
+    pub fn visits(&self) -> u64 {
+        self.inner.visits.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate blacklist queries: one per distinct contacted host per
+    /// classified visit (each query consults every feed).
+    pub fn feed_lookups(&self) -> u64 {
+        self.inner.feed_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Scripts whose execution exhausted the interpreter step budget during
+    /// honeyclient visits.
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.inner.budget_exhaustions.load(Ordering::Relaxed)
+    }
+}
+
+/// Staged builder for [`Oracle`].
+///
+/// The component services are the only required inputs; configuration,
+/// seeds, and instrumentation are chained on, so growing the oracle a new
+/// knob never breaks existing call sites again.
+pub struct OracleBuilder<'a> {
+    network: &'a Network,
+    blacklists: &'a BlacklistService,
+    scanner: &'a ScanService,
+    config: OracleConfig,
+    study: SeedTree,
+    stats: OracleStats,
+}
+
+impl<'a> OracleBuilder<'a> {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: OracleConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the browser limits for honeyclient visits.
+    pub fn browser_limits(mut self, limits: BrowserLimits) -> Self {
+        self.config.browser_limits = limits;
+        self
+    }
+
+    /// Seeds the model database with previously-known behaviour
+    /// fingerprints.
+    pub fn known_models(mut self, models: Vec<u64>) -> Self {
+        self.config.known_models = models;
+        self
+    }
+
+    /// Sets the seed tree honeyclient visits derive their randomness from.
+    pub fn seeds(mut self, seeds: SeedTree) -> Self {
+        self.study = seeds;
+        self
+    }
+
+    /// Attaches an instrumentation handle; the caller keeps a clone and
+    /// reads the counters after (or during) classification.
+    pub fn stats(mut self, stats: OracleStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Assembles the oracle.
+    pub fn build(self) -> Oracle<'a> {
+        Oracle {
+            network: self.network,
+            blacklists: self.blacklists,
+            scanner: self.scanner,
+            config: self.config,
+            study: self.study,
+            stats: self.stats,
+        }
+    }
+}
+
 /// The assembled oracle.
 pub struct Oracle<'a> {
     network: &'a Network,
@@ -29,24 +134,31 @@ pub struct Oracle<'a> {
     scanner: &'a ScanService,
     config: OracleConfig,
     study: SeedTree,
+    stats: OracleStats,
 }
 
 impl<'a> Oracle<'a> {
-    /// Creates the oracle over the simulated network and component services.
-    pub fn new(
+    /// Starts building an oracle over the simulated network and component
+    /// services. Defaults: [`OracleConfig::default`], seed tree rooted at
+    /// `0`, fresh (unobserved) stats.
+    pub fn builder(
         network: &'a Network,
         blacklists: &'a BlacklistService,
         scanner: &'a ScanService,
-        config: OracleConfig,
-        study: SeedTree,
-    ) -> Self {
-        Oracle {
+    ) -> OracleBuilder<'a> {
+        OracleBuilder {
             network,
             blacklists,
             scanner,
-            config,
-            study,
+            config: OracleConfig::default(),
+            study: SeedTree::new(0),
+            stats: OracleStats::default(),
         }
+    }
+
+    /// The oracle's instrumentation counters.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
     }
 
     /// Runs the honeyclient: re-visits the ad's slot URL at the observation
@@ -54,13 +166,45 @@ impl<'a> Oracle<'a> {
     /// network is deterministic in `(url, time, seed)`, the oracle sees the
     /// same arbitration outcome and creative the crawler saw.
     pub fn honeyclient_visit(&self, ad_url: &Url, time: SimTime) -> PageVisit {
+        self.honeyclient_visit_seeded(ad_url, time, self.study)
+    }
+
+    /// [`Oracle::honeyclient_visit`] under an explicit seed tree — the study
+    /// pipeline derives one per advertisement from its stable creative key,
+    /// so each classification is a pure function of `(seed tree, url, time)`
+    /// regardless of worker count or work order. Server-side serving
+    /// randomness is keyed by the *network's* tree, so the seed override
+    /// changes only in-creative script draws, never which creative is
+    /// served.
+    pub fn honeyclient_visit_seeded(
+        &self,
+        ad_url: &Url,
+        time: SimTime,
+        seeds: SeedTree,
+    ) -> PageVisit {
         let browser = Browser::new(
             self.network,
             Personality::vulnerable_victim(),
             self.config.browser_limits,
-            self.study,
+            seeds,
         );
-        browser.visit(ad_url, time)
+        let visit = browser.visit(ad_url, time);
+        self.stats.inner.visits.fetch_add(1, Ordering::Relaxed);
+        let exhausted = visit
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, BehaviorEvent::ScriptError { message, .. }
+                    if message.contains("execution budget"))
+            })
+            .count() as u64;
+        if exhausted > 0 {
+            self.stats
+                .inner
+                .budget_exhaustions
+                .fetch_add(exhausted, Ordering::Relaxed);
+        }
+        visit
     }
 
     /// Classifies one advertisement: runs the honeyclient, then applies all
@@ -80,7 +224,12 @@ impl<'a> Oracle<'a> {
         // Skip the slot-request host itself? No — the paper checked "all the
         // domains we monitored to serve advertisements".
         let mut flagged: BTreeSet<String> = BTreeSet::new();
-        for host in visit.capture.hosts() {
+        let hosts = visit.capture.hosts();
+        self.stats
+            .inner
+            .feed_lookups
+            .fetch_add(hosts.len() as u64, Ordering::Relaxed);
+        for host in hosts {
             if self.blacklists.is_flagged(host, time.day) && flagged.insert(host.to_string()) {
                 incidents.push(Incident {
                     incident_type: IncidentType::Blacklists,
@@ -260,13 +409,9 @@ mod tests {
     #[test]
     fn benign_ads_mostly_clean() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         // Serve from a major network on day 0 repeatedly: fills are almost
         // always benign; count incidents.
         let mut incident_count = 0;
@@ -287,13 +432,9 @@ mod tests {
     #[test]
     fn driveby_campaign_produces_incidents() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
             matches!(b, CampaignBehavior::DriveBy { .. })
         })
@@ -309,13 +450,9 @@ mod tests {
     #[test]
     fn deceptive_campaign_yields_executable_incident() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
             matches!(b, CampaignBehavior::Deceptive { .. })
         })
@@ -332,13 +469,9 @@ mod tests {
     #[test]
     fn hijack_campaign_yields_suspicious_redirection() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
             matches!(b, CampaignBehavior::Hijack { .. })
         })
@@ -354,13 +487,9 @@ mod tests {
     #[test]
     fn model_detection_requires_seeded_fingerprint() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         let (visit, time) = visit_campaign_ad(&fx, &oracle, |b| {
             matches!(b, CampaignBehavior::Deceptive { .. })
         })
@@ -372,16 +501,10 @@ mod tests {
             .any(|i| i.incident_type == IncidentType::ModelDetection));
         // Seed the model DB with this behaviour and re-classify.
         let fp = behavior_fingerprint(&visit);
-        let oracle2 = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig {
-                known_models: vec![fp],
-                ..OracleConfig::default()
-            },
-            fx.tree,
-        );
+        let oracle2 = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .known_models(vec![fp])
+            .seeds(fx.tree)
+            .build();
         let incidents = oracle2.classify_visit(&visit, time);
         assert!(incidents
             .iter()
@@ -389,15 +512,31 @@ mod tests {
     }
 
     #[test]
+    fn stats_count_visits_and_feed_lookups() {
+        let fx = fixture();
+        let stats = OracleStats::new();
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .stats(stats.clone())
+            .build();
+        assert_eq!(stats.visits(), 0);
+        let url = fx.world.serve_url(AdNetworkId(0), 1, 0);
+        oracle.classify(&url, SimTime::at(0, 0));
+        oracle.classify(&url, SimTime::at(0, 0));
+        assert_eq!(stats.visits(), 2);
+        // Every classified visit touches at least the serve host, so the
+        // blacklist layer performs at least one lookup per visit.
+        assert!(stats.feed_lookups() >= 2);
+        // Both handles view the same counters.
+        assert_eq!(oracle.stats().visits(), stats.visits());
+    }
+
+    #[test]
     fn classification_deterministic() {
         let fx = fixture();
-        let oracle = Oracle::new(
-            &fx.network,
-            &fx.blacklists,
-            &fx.scanner,
-            OracleConfig::default(),
-            fx.tree,
-        );
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
         let url = fx.world.serve_url(AdNetworkId(5), 42, 1);
         let a = oracle.classify(&url, SimTime::at(30, 2));
         let b = oracle.classify(&url, SimTime::at(30, 2));

@@ -43,6 +43,8 @@ fn main() {
 
     // --- Arbitration behaviour: sample serve chains. ---
     println!("\n== sampled arbitration chains (1,000 impressions at a major network) ==");
+    let sampling_started = std::time::Instant::now();
+    let mut impressions = 0u64;
     let mut chain_lengths: BTreeMap<u32, u32> = BTreeMap::new();
     let mut final_tier: BTreeMap<&'static str, u32> = BTreeMap::new();
     for day in 0..25u32 {
@@ -52,6 +54,7 @@ fn main() {
             if let Ok(outcome) =
                 network.fetch(&HttpRequest::get(url), SimTime::at(day, slot as u32 % 5), &mut cap)
             {
+                impressions += 1;
                 *chain_lengths.entry(outcome.hops).or_default() += 1;
                 if let Some(host) = outcome.final_url.host() {
                     if let Some(n) = world
@@ -65,11 +68,17 @@ fn main() {
             }
         }
     }
+    let sampling_wall = sampling_started.elapsed();
     println!("auctions  impressions");
     for (hops, count) in &chain_lengths {
         println!("{hops:>8}  {count:>10}  {}", "#".repeat((*count as usize / 8).max(1)));
     }
     println!("\nfill by tier: {final_tier:?}");
+    println!(
+        "sampled {impressions} impressions in {:.1?} ({:.0} impressions/sec)",
+        sampling_wall,
+        impressions as f64 / sampling_wall.as_secs_f64().max(1e-9)
+    );
 
     // --- Which tier fills long chains? ---
     println!("\n== who fills after long arbitration (>5 auctions)? ==");

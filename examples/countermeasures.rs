@@ -45,19 +45,20 @@ fn main() {
     ];
 
     println!(
-        "{:<32}{:>10}{:>10}{:>14}{:>16}",
-        "configuration", "corpus", "detected", "mal delivered", "mal impressions"
+        "{:<32}{:>10}{:>10}{:>14}{:>16}{:>12}",
+        "configuration", "corpus", "detected", "mal delivered", "mal impressions", "wall (ms)"
     );
     let mut baseline_delivered = None;
     for cm in runs {
         let outcome = evaluate(&config, cm);
         println!(
-            "{:<32}{:>10}{:>10}{:>14}{:>16}",
+            "{:<32}{:>10}{:>10}{:>14}{:>16}{:>12.0}",
             outcome.label,
             outcome.corpus_size,
             outcome.detected,
             outcome.truly_malicious_delivered,
-            outcome.malicious_observations
+            outcome.malicious_observations,
+            outcome.wall_us as f64 / 1000.0
         );
         match cm {
             Countermeasure::None => baseline_delivered = Some(outcome.truly_malicious_delivered),

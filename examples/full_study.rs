@@ -131,8 +131,15 @@ fn main() {
         tp as f64 / (tp + fn_).max(1) as f64
     );
 
-    // JSON dump of the classified ads for downstream analysis.
+    let summary = results.summary();
+    println!("{}", report::render_run_metrics(&summary));
+
+    // JSON dump of the classified ads for downstream analysis, plus the
+    // RunSummary for trajectory tracking.
     let json = serde_json::to_string_pretty(&results.ads).expect("serializable");
     std::fs::write("study_ads.json", &json).expect("write study_ads.json");
     eprintln!("wrote study_ads.json ({} bytes)", json.len());
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write("run_summary.json", &json).expect("write run_summary.json");
+    eprintln!("wrote run_summary.json ({} bytes)", json.len());
 }

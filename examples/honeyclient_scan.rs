@@ -13,7 +13,7 @@
 use malvertising::adnet::AdWorldConfig;
 use malvertising::blacklist::BlacklistService;
 use malvertising::core::world::StudyWorld;
-use malvertising::oracle::{Oracle, OracleConfig};
+use malvertising::oracle::{Oracle, OracleStats};
 use malvertising::scanner::ScanService;
 use malvertising::types::{AdNetworkId, SimTime};
 use malvertising::websim::WebConfig;
@@ -24,13 +24,11 @@ fn main() {
     let blacklists = &world.blacklists;
     let scanner: &ScanService = &world.scanner;
     let _: &BlacklistService = blacklists;
-    let oracle = Oracle::new(
-        &world.network,
-        blacklists,
-        scanner,
-        OracleConfig::default(),
-        world.tree,
-    );
+    let stats = OracleStats::new();
+    let oracle = Oracle::builder(&world.network, blacklists, scanner)
+        .seeds(world.tree)
+        .stats(stats.clone())
+        .build();
 
     let mut scanned = 0;
     let mut flagged = 0;
@@ -78,4 +76,11 @@ fn main() {
         }
     }
     println!("scanned {scanned} slot serves; {flagged} triggered the detection framework");
+    println!(
+        "oracle stats: {} honeyclient visits, {} blacklist feed lookups, \
+         {} script budgets exhausted",
+        stats.visits(),
+        stats.feed_lookups(),
+        stats.budget_exhaustions()
+    );
 }

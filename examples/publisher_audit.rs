@@ -38,7 +38,10 @@ fn main() {
     };
     eprintln!("running the study ({} sites)...", config.web.total_sites());
     let study = Study::new(config);
-    let results = study.run();
+    // Staged pipeline: the crawl output is a typed value, so an audit tool
+    // could persist it and re-classify later without re-crawling.
+    let crawl = study.crawl();
+    let results = study.classify(crawl);
 
     // Per-site malvertising exposure.
     let mut exposure: BTreeMap<SiteId, Vec<usize>> = BTreeMap::new();

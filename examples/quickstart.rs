@@ -39,8 +39,16 @@ fn main() {
         config.web.total_sites(),
         config.crawl.schedule.loads_per_site()
     );
+    // The staged pipeline: crawl, then classify. The stages are public, so
+    // the crawl output could be inspected or re-classified under different
+    // oracle settings without re-crawling.
     let study = Study::new(config);
-    let results = study.run();
+    let crawl = study.crawl();
+    eprintln!(
+        "crawl done: {} unique ads; classifying...",
+        crawl.corpus.unique_count()
+    );
+    let results = study.classify(crawl);
 
     println!(
         "corpus: {} unique advertisements from {} observations over {} page loads\n",
@@ -85,9 +93,15 @@ fn main() {
     let (defense, quality) = malvertising::core::defense::train_and_evaluate(&results, 5, 0.5);
     println!(
         "path defense (s5.2, Li et al. style): {} path nodes learned; held-out window: \
-         {:.0}% of malicious paths blocked, {:.2}% of benign paths wrongly blocked",
+         {:.0}% of malicious paths blocked, {:.2}% of benign paths wrongly blocked\n",
         defense.node_count(),
         quality.protection_rate() * 100.0,
         quality.false_block_rate() * 100.0
     );
+
+    let summary = results.summary();
+    println!("{}", report::render_run_metrics(&summary));
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write("run_summary.json", &json).expect("write run_summary.json");
+    eprintln!("wrote run_summary.json ({} bytes)", json.len());
 }

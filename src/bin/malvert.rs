@@ -1,7 +1,7 @@
 //! `malvert` — command-line front end for the malvertising study.
 //!
 //! ```text
-//! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
+//! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -12,7 +12,7 @@ use malvertising::adnet::{AdWorld, AdWorldConfig};
 use malvertising::core::study::{Study, StudyConfig};
 use malvertising::core::world::StudyWorld;
 use malvertising::core::{analysis, easylist, report};
-use malvertising::oracle::{Oracle, OracleConfig};
+use malvertising::oracle::Oracle;
 use malvertising::types::rng::SeedTree;
 use malvertising::types::{AdNetworkId, CrawlSchedule, SimTime};
 use malvertising::websim::WebConfig;
@@ -60,7 +60,10 @@ malvert — reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)
 
 USAGE:
   malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
-                   run the full study and print every table and figure
+                   [--summary PATH]
+                   run the full study and print every table and figure plus
+                   the run metrics; emits the RunSummary JSON on stdout
+                   (--summary writes it pretty-printed to a file)
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -159,7 +162,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "{}",
         report::render_sandbox(&analysis::sandbox_usage(&results))
     );
+    let summary = results.summary();
+    println!("{}", report::render_run_metrics(&summary));
+    println!("{}", summary.to_json());
 
+    if let Some(path) = flags.get("summary") {
+        let json = serde_json::to_string_pretty(&summary)
+            .map_err(|e| format!("serialize summary: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} bytes)", json.len());
+    }
     if let Some(path) = flags.get("json") {
         let json = serde_json::to_string_pretty(&results.ads)
             .map_err(|e| format!("serialize: {e}"))?;
@@ -249,13 +261,9 @@ fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
             world.ads.networks().len()
         ));
     }
-    let oracle = Oracle::new(
-        &world.network,
-        &world.blacklists,
-        &world.scanner,
-        OracleConfig::default(),
-        world.tree,
-    );
+    let oracle = Oracle::builder(&world.network, &world.blacklists, &world.scanner)
+        .seeds(world.tree)
+        .build();
     let url = world.ads.serve_url(AdNetworkId(network), 1, slot);
     let time = SimTime::at(day, 0);
     println!("scanning {url} at {time}\n");

@@ -4,7 +4,7 @@
 use malvertising::adnet::{AdWorldConfig, CampaignBehavior};
 use malvertising::browser::BehaviorEvent;
 use malvertising::core::world::StudyWorld;
-use malvertising::oracle::{IncidentType, Oracle, OracleConfig};
+use malvertising::oracle::{IncidentType, Oracle};
 use malvertising::scanner::PayloadKind;
 use malvertising::types::{AdNetworkId, SimTime};
 use malvertising::websim::WebConfig;
@@ -32,13 +32,9 @@ fn world() -> &'static StudyWorld {
 }
 
 fn oracle(w: &StudyWorld) -> Oracle<'_> {
-    Oracle::new(
-        &w.network,
-        &w.blacklists,
-        &w.scanner,
-        OracleConfig::default(),
-        w.tree,
-    )
+    Oracle::builder(&w.network, &w.blacklists, &w.scanner)
+        .seeds(w.tree)
+        .build()
 }
 
 /// Finds a served visit whose traffic touches a campaign matching the

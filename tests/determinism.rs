@@ -42,16 +42,44 @@ fn same_seed_same_results_across_worker_counts() {
         assert_eq!(x.category, y.category);
         assert_eq!(x.max_chain_len, y.max_chain_len);
         assert_eq!(x.truth_campaign, y.truth_campaign);
-        let mut xs = x.sites.clone();
-        let mut ys = y.sites.clone();
-        xs.sort();
-        ys.sort();
-        assert_eq!(xs, ys);
+        assert_eq!(x.sites, y.sites);
     }
     // Analyses agree too.
     let ta = analysis::table1(&a);
     let tb = analysis::table1(&b);
     assert_eq!(ta.rows, tb.rows);
+}
+
+#[test]
+fn results_byte_identical_across_worker_counts() {
+    // The strong form: the serialized corpus and the (timing-stripped) run
+    // summary must agree byte-for-byte between a sequential run and an
+    // 8-worker run, across both the crawl and parallel classification.
+    let a = Study::new(config(90210, 1)).run();
+    let b = Study::new(config(90210, 8)).run();
+    let a_ads = serde_json::to_string(&a.ads).expect("serializable");
+    let b_ads = serde_json::to_string(&b.ads).expect("serializable");
+    assert_eq!(a_ads, b_ads, "classified ads diverge across worker counts");
+    assert_eq!(
+        a.summary().without_timings().to_json(),
+        b.summary().without_timings().to_json(),
+        "run summaries diverge across worker counts"
+    );
+}
+
+#[test]
+fn staged_pipeline_equals_run() {
+    let study = Study::new(config(777, 4));
+    let via_run = study.run();
+    let via_stages = study.classify(study.crawl());
+    assert_eq!(
+        serde_json::to_string(&via_run.ads).unwrap(),
+        serde_json::to_string(&via_stages.ads).unwrap()
+    );
+    assert_eq!(
+        via_run.summary().without_timings().to_json(),
+        via_stages.summary().without_timings().to_json()
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use malvertising::adnet::AdWorldConfig;
 use malvertising::core::world::StudyWorld;
-use malvertising::oracle::{Oracle, OracleConfig};
+use malvertising::oracle::Oracle;
 use malvertising::types::{AdNetworkId, SimTime};
 use malvertising::websim::WebConfig;
 
@@ -28,13 +28,9 @@ fn small_world() -> StudyWorld {
 #[test]
 fn har_from_live_visits_parses_as_json() {
     let world = small_world();
-    let oracle = Oracle::new(
-        &world.network,
-        &world.blacklists,
-        &world.scanner,
-        OracleConfig::default(),
-        world.tree,
-    );
+    let oracle = Oracle::builder(&world.network, &world.blacklists, &world.scanner)
+        .seeds(world.tree)
+        .build();
     let mut checked = 0;
     for network in [0u32, 6, 25, 39] {
         for day in [3u32, 9] {
@@ -60,13 +56,9 @@ fn har_from_live_visits_parses_as_json() {
 #[test]
 fn har_captures_redirect_chains() {
     let world = small_world();
-    let oracle = Oracle::new(
-        &world.network,
-        &world.blacklists,
-        &world.scanner,
-        OracleConfig::default(),
-        world.tree,
-    );
+    let oracle = Oracle::builder(&world.network, &world.blacklists, &world.scanner)
+        .seeds(world.tree)
+        .build();
     // Scan until we find a visit with at least one redirect and confirm the
     // HAR records the redirectURL field for it.
     for day in 0..20u32 {

@@ -1,0 +1,70 @@
+//! RunMetrics/RunSummary integration: the instrumentation layer agrees
+//! with the study results it describes.
+
+use malvertising::core::metrics::{RunSummary, StageId};
+use malvertising::core::study::{Study, StudyConfig, StudyResults};
+use std::sync::OnceLock;
+
+/// One shared tiny study for the whole file.
+fn shared() -> &'static (Study, StudyResults) {
+    static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let study = Study::new(StudyConfig::tiny(606));
+        let results = study.run();
+        (study, results)
+    })
+}
+
+#[test]
+fn summary_round_trips_through_serde() {
+    let (_, results) = shared();
+    let summary = results.summary();
+    let json = summary.to_json();
+    let back: RunSummary = serde_json::from_str(&json).expect("summary deserializes");
+    assert_eq!(back, summary);
+}
+
+#[test]
+fn timings_complete_and_in_pipeline_order() {
+    let (_, results) = shared();
+    let timings = results.metrics.timings();
+    let stages: Vec<StageId> = timings.iter().map(|t| t.stage).collect();
+    assert_eq!(stages, StageId::ALL, "one timing per stage, in order");
+    // The total is the sum of the stages, and the honeyclient-heavy stages
+    // actually took time.
+    let sum: u64 = timings.iter().map(|t| t.wall_us).sum();
+    assert_eq!(results.metrics.total_wall_us(), sum);
+    assert!(results.metrics.stage_wall_us(StageId::Crawl).unwrap() > 0);
+    assert!(results.metrics.stage_wall_us(StageId::Classify).unwrap() > 0);
+}
+
+#[test]
+fn counters_consistent_with_results() {
+    let (study, results) = shared();
+    let c = results.metrics.counters;
+    assert_eq!(c.unique_ads as usize, results.unique_ads());
+    assert_eq!(c.ads_observed, results.total_observations);
+    assert_eq!(c.page_loads, results.page_loads);
+    let expected_loads = study.config.web.total_sites() as u64
+        * study.config.crawl.schedule.loads_per_site();
+    assert_eq!(c.page_loads, expected_loads);
+    // Exactly one honeyclient execution per unique ad, and each one queries
+    // the feeds for at least its own serve host.
+    assert_eq!(c.oracle_executions, c.unique_ads);
+    assert!(c.feed_lookups >= c.oracle_executions);
+}
+
+#[test]
+fn summary_mirrors_results() {
+    let (_, results) = shared();
+    let summary = results.summary();
+    assert_eq!(summary.unique_ads as usize, results.unique_ads());
+    assert_eq!(summary.observations, results.total_observations);
+    assert_eq!(summary.detected as usize, results.detected_ads().count());
+    let category_total: u64 = summary.categories.values().sum();
+    assert_eq!(category_total, summary.detected);
+    assert_eq!(summary.counters, results.metrics.counters);
+    assert_eq!(summary.timings, results.metrics.timings());
+    // The legacy accessor is the typed summary's JSON.
+    assert_eq!(results.summary_json(), summary.to_json());
+}
