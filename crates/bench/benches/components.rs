@@ -10,12 +10,32 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use malvert_adscript::{Interpreter, Limits, NoHost};
+use malvert_bench::shared_study;
 use malvert_blacklist::{BlacklistService, DomainTruth};
 use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_scanner::{MalwareFamily, Payload, PayloadKind, ScanService};
 use malvert_types::rng::SeedTree;
 use malvert_types::{DetRng, DomainName, Url};
 use std::hint::black_box;
+
+/// Prints the bench-scale pipeline counters from the typed [`RunSummary`]
+/// so the component sweeps below can be read against real study volumes
+/// (how many feed lookups / oracle executions one run actually performs)
+/// instead of re-deriving them ad hoc.
+fn print_pipeline_counters() {
+    let (_, results) = shared_study();
+    let c = results.summary().counters;
+    println!("\n== bench-scale pipeline volumes (from RunSummary counters) ==");
+    println!(
+        "{:>14} page loads\n{:>14} ads observed\n{:>14} unique ads\n{:>14} oracle executions\n{:>14} feed lookups\n{:>14} script budgets exhausted",
+        c.page_loads,
+        c.ads_observed,
+        c.unique_ads,
+        c.oracle_executions,
+        c.feed_lookups,
+        c.script_budgets_exhausted
+    );
+}
 
 fn bench_filterlist(c: &mut Criterion) {
     // A list shaped like the generated SimEasyList: 40 domain anchors plus
@@ -148,6 +168,7 @@ fn sweep_scanner_consensus() {
 }
 
 fn bench_blacklist_and_scanner(c: &mut Criterion) {
+    print_pipeline_counters();
     sweep_blacklist_threshold();
     sweep_scanner_consensus();
 

@@ -12,12 +12,11 @@ use std::hint::black_box;
 
 fn print_all_reports() {
     let (study, results) = shared_study();
+    let summary = results.summary();
     println!("\n================ regenerated paper artefacts ================\n");
     println!(
         "corpus: {} unique ads / {} observations / {} page loads\n",
-        results.unique_ads(),
-        results.total_observations,
-        results.page_loads
+        summary.unique_ads, summary.observations, summary.page_loads
     );
     println!("{}", report::render_table1(&analysis::table1(results)));
     println!(
@@ -43,6 +42,7 @@ fn print_all_reports() {
         "{}",
         report::render_sandbox(&analysis::sandbox_usage(results))
     );
+    println!("{}", report::render_run_metrics(&summary));
     println!("==============================================================\n");
 }
 

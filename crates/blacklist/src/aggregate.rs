@@ -1,6 +1,7 @@
 //! The thresholded blacklist aggregator.
 
 use crate::feed::Feed;
+use malvert_trace::{SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
 use malvert_types::DomainName;
 use std::collections::HashMap;
@@ -91,8 +92,8 @@ impl BlacklistService {
         &self.feeds
     }
 
-    /// How many feeds list `domain` on `day`.
-    pub fn listing_count(&self, domain: &DomainName, day: u32) -> usize {
+    /// The feeds that list `domain` on `day`, in feed order.
+    pub fn listing_feeds(&self, domain: &DomainName, day: u32) -> Vec<&Feed> {
         let truth = self
             .registry
             .get(domain)
@@ -101,7 +102,26 @@ impl BlacklistService {
         self.feeds
             .iter()
             .filter(|f| f.lists(domain, &truth, day))
-            .count()
+            .collect()
+    }
+
+    /// Like [`Self::listing_feeds`], recording the lookup as a
+    /// [`SpanKind::BlacklistLookup`] span on `trace`.
+    pub fn listing_feeds_traced(
+        &self,
+        domain: &DomainName,
+        day: u32,
+        trace: &TraceSink,
+    ) -> Vec<&Feed> {
+        let span = trace.span(SpanKind::BlacklistLookup, domain.as_str());
+        let feeds = self.listing_feeds(domain, day);
+        span.finish();
+        feeds
+    }
+
+    /// How many feeds list `domain` on `day`.
+    pub fn listing_count(&self, domain: &DomainName, day: u32) -> usize {
+        self.listing_feeds(domain, day).len()
     }
 
     /// The paper's rule: malicious iff listed by *more than* `threshold`

@@ -13,6 +13,7 @@
 //! [`RunSummary::without_timings`] strips the non-deterministic part so
 //! byte-identity checks across worker counts can compare full summaries.
 
+use malvert_trace::SpanLatency;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -180,6 +181,10 @@ pub struct RunSummary {
     /// Per-stage wall-clock timings (empty after
     /// [`RunSummary::without_timings`]).
     pub timings: Vec<StageTiming>,
+    /// Per-span-kind (and per-worker) latency histograms from the trace
+    /// subsystem. Empty when the run was not traced.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub latencies: Vec<SpanLatency>,
 }
 
 impl RunSummary {
@@ -188,12 +193,30 @@ impl RunSummary {
         serde_json::to_string(self).expect("RunSummary serializes")
     }
 
-    /// A copy with the wall-clock timings cleared — everything that remains
+    /// Serializes the summary as pretty-printed JSON directly into
+    /// `writer`, streaming instead of buffering the whole document (the
+    /// `--summary` path of `malvert run`).
+    pub fn to_writer<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        serde_json::to_writer_pretty(&mut writer, self).map_err(std::io::Error::other)?;
+        writer.write_all(b"\n")
+    }
+
+    /// A copy with the wall-clock-derived parts reduced to their
+    /// deterministic residue: timings cleared, and latency entries reduced
+    /// to merged-across-workers span *counts* (which worker ran a span and
+    /// how long it took are scheduling accidents; that the span ran, and how
+    /// many of its kind ran, are seed-determined). Everything that remains
     /// is deterministic in the study seed, so two runs of the same study
     /// must agree byte-for-byte regardless of worker count.
     pub fn without_timings(&self) -> RunSummary {
         RunSummary {
             timings: Vec::new(),
+            latencies: self
+                .latencies
+                .iter()
+                .filter(|l| l.worker.is_none())
+                .map(|l| l.counts_only())
+                .collect(),
             ..self.clone()
         }
     }
@@ -246,6 +269,7 @@ mod tests {
                 stage: StageId::Crawl,
                 wall_us: 1234,
             }],
+            latencies: Vec::new(),
         };
         let json = summary.to_json();
         let back: RunSummary = serde_json::from_str(&json).unwrap();
@@ -267,5 +291,41 @@ mod tests {
         let stripped = summary.without_timings();
         assert!(stripped.timings.is_empty());
         assert_eq!(stripped.unique_ads, 7);
+    }
+
+    #[test]
+    fn without_timings_reduces_latencies_to_counts() {
+        use malvert_trace::{LogHistogram, SpanKind};
+        let mut hist = LogHistogram::new();
+        hist.record_us(100);
+        hist.record_us(5_000);
+        let summary = RunSummary {
+            latencies: vec![
+                SpanLatency::from_hist(SpanKind::ClassifyAd, None, hist.clone()),
+                SpanLatency::from_hist(SpanKind::ClassifyAd, Some(3), hist),
+            ],
+            ..RunSummary::default()
+        };
+        let stripped = summary.without_timings();
+        // Per-worker entries (scheduling-dependent) are dropped; the merged
+        // entry keeps its sample count but loses its buckets/percentiles.
+        assert_eq!(stripped.latencies.len(), 1);
+        assert!(stripped.latencies[0].worker.is_none());
+        assert_eq!(stripped.latencies[0].hist.count(), 2);
+        assert_eq!(stripped.latencies[0].p95_us, 0);
+    }
+
+    #[test]
+    fn to_writer_streams_pretty_json() {
+        let summary = RunSummary {
+            unique_ads: 7,
+            ..RunSummary::default()
+        };
+        let mut buf = Vec::new();
+        summary.to_writer(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.ends_with('\n'));
+        let back: RunSummary = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, summary);
     }
 }

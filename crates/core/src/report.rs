@@ -261,6 +261,24 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
         c.feed_lookups,
         c.script_budgets_exhausted
     ));
+    let merged: Vec<_> = summary
+        .latencies
+        .iter()
+        .filter(|l| l.worker.is_none())
+        .collect();
+    if !merged.is_empty() {
+        out.push_str("span latencies (merged across workers):\n");
+        for l in merged {
+            out.push_str(&format!(
+                "{:<18}{:>8} spans  p50 {:>8} us  p95 {:>8} us  max {:>10} us\n",
+                l.kind.label(),
+                l.hist.count(),
+                l.p50_us,
+                l.p95_us,
+                l.max_us
+            ));
+        }
+    }
     out
 }
 
@@ -365,6 +383,27 @@ mod tests {
         assert!(s.contains("1.5 ms"));
         assert!(s.contains("4.0 ms"));
         assert!(s.contains("oracle runs 20"));
+        // Untraced runs render no latency block.
+        assert!(!s.contains("span latencies"));
+
+        let mut hist = malvert_trace::LogHistogram::new();
+        hist.record_us(900);
+        let mut traced = summary.clone();
+        traced.latencies = vec![
+            malvert_trace::SpanLatency::from_hist(
+                malvert_trace::SpanKind::ClassifyAd,
+                None,
+                hist.clone(),
+            ),
+            malvert_trace::SpanLatency::from_hist(
+                malvert_trace::SpanKind::ClassifyAd,
+                Some(1),
+                hist,
+            ),
+        ];
+        let s = render_run_metrics(&traced);
+        assert!(s.contains("span latencies"));
+        assert!(s.contains("classify_ad"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
 use malvert_crawler::{creative_key, AdCorpus, CrawlConfig, Crawler, UniqueAd};
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
+use malvert_trace::{SpanKind, TraceReport, TraceSink};
 use malvert_types::{AdNetworkId, CampaignId, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
 use serde::Serialize;
@@ -88,6 +89,9 @@ impl StudyConfig {
 pub struct ClassifiedAd {
     /// Representative slot-request URL.
     pub request_url: String,
+    /// Stable creative key — also the unit key of this ad's events in the
+    /// trace stream, joining a classified ad to its spans and incidents.
+    pub creative_key: u64,
     /// First observation time.
     pub first_seen: SimTime,
     /// Observation count.
@@ -210,7 +214,16 @@ impl StudyResults {
             },
             counters: self.metrics.counters,
             timings: self.metrics.timings().to_vec(),
+            latencies: Vec::new(),
         }
+    }
+
+    /// [`StudyResults::summary`] with per-stage/per-worker latency
+    /// histograms layered in from a collected trace.
+    pub fn summary_with_trace(&self, report: &TraceReport) -> RunSummary {
+        let mut summary = self.summary();
+        summary.latencies = report.latencies();
+        summary
     }
 
     /// [`StudyResults::summary`] as a single-line JSON object.
@@ -266,13 +279,30 @@ impl Study {
         self.classify(self.crawl())
     }
 
+    /// [`Study::run`] with structured tracing: every stage, page visit,
+    /// classification, blacklist lookup, and payload scan is recorded on
+    /// `trace` (obtain one from `malvert_trace::TraceCollector`).
+    pub fn run_traced(&self, trace: &TraceSink) -> StudyResults {
+        self.classify_traced(self.crawl_traced(trace), trace)
+    }
+
     /// Stage 1+2: crawl the Web and build the de-duplicated corpus, with
     /// per-ad chain-length tallies.
     pub fn crawl(&self) -> CrawlSummary {
+        self.crawl_traced(&TraceSink::disabled())
+    }
+
+    /// [`Study::crawl`] recorded on `trace`: a stage span plus one
+    /// [`SpanKind::CrawlVisit`] span per page load (sharded per worker).
+    /// Also back-fills the world-build stage as an already-completed span.
+    pub fn crawl_traced(&self, trace: &TraceSink) -> CrawlSummary {
+        trace.span_completed(SpanKind::WorldBuild, "world build", self.build_wall);
+        let stage_span = trace.span(SpanKind::Crawl, "crawl");
         let started = Instant::now();
         let crawler = Crawler::builder(&self.world.network, &self.world.filter)
             .config(self.config.crawl.clone())
             .seeds(self.world.tree)
+            .trace(trace.clone())
             .build();
         let mut corpus = AdCorpus::new();
         let mut chain_lengths: HashMap<u64, BTreeMap<usize, u64>> = HashMap::new();
@@ -297,7 +327,7 @@ impl Study {
                 }
             }
         });
-        CrawlSummary {
+        let summary = CrawlSummary {
             corpus,
             chain_lengths,
             site_ad_observations,
@@ -305,7 +335,9 @@ impl Study {
             hijack_counts,
             page_loads,
             wall: started.elapsed(),
-        }
+        };
+        stage_span.finish();
+        summary
     }
 
     /// Stage 3+4: classify every unique ad and aggregate. Classification is
@@ -313,6 +345,20 @@ impl Study {
     /// derived from the study tree by the ad's stable [`creative_key`], so
     /// the results are byte-identical at any worker count.
     pub fn classify(&self, crawl: CrawlSummary) -> StudyResults {
+        self.classify_traced(crawl, &TraceSink::disabled())
+    }
+
+    /// [`Study::classify`] recorded on `trace`: stage spans for classify
+    /// and aggregate, plus per-advertisement [`SpanKind::ClassifyAd`] spans
+    /// carrying the honeyclient visit, blacklist lookups, payload scans,
+    /// and incident records of each unique ad.
+    ///
+    /// The oracle itself is deliberately built *without* an attached sink:
+    /// each ad records through its own scoped sink (keyed by creative key),
+    /// which keeps per-unit sequence numbers — and therefore the stripped
+    /// trace — byte-identical across worker counts.
+    pub fn classify_traced(&self, crawl: CrawlSummary, trace: &TraceSink) -> StudyResults {
+        let stage_span = trace.span(SpanKind::Classify, "classify");
         let started = Instant::now();
         let CrawlSummary {
             corpus,
@@ -350,7 +396,14 @@ impl Study {
             uniques
                 .iter()
                 .map(|unique| {
-                    self.classify_one(&oracle, unique, &truth_map, &chain_lengths, eval_override)
+                    self.classify_one(
+                        &oracle,
+                        unique,
+                        &truth_map,
+                        &chain_lengths,
+                        eval_override,
+                        trace,
+                    )
                 })
                 .collect()
         } else {
@@ -361,10 +414,13 @@ impl Study {
                 &chain_lengths,
                 eval_override,
                 workers,
+                trace,
             )
         };
         let classify_wall = started.elapsed();
+        stage_span.finish();
 
+        let aggregate_span = trace.span(SpanKind::Aggregate, "aggregate");
         let aggregate_started = Instant::now();
         let counters = RunCounters {
             page_loads,
@@ -390,6 +446,7 @@ impl Study {
         results
             .metrics
             .record(StageId::Aggregate, aggregate_started.elapsed());
+        aggregate_span.finish();
         results
     }
 
@@ -405,6 +462,7 @@ impl Study {
         chain_lengths: &HashMap<u64, BTreeMap<usize, u64>>,
         eval_override: Option<u32>,
         workers: usize,
+        trace: &TraceSink,
     ) -> Vec<ClassifiedAd> {
         let total_jobs = uniques.len();
         let (tx, rx) = crossbeam::channel::bounded::<(usize, ClassifiedAd)>(workers * 4);
@@ -413,9 +471,10 @@ impl Study {
         slots.resize_with(total_jobs, || None);
 
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let wtrace = trace.for_worker(worker as u32);
                 scope.spawn(move |_| loop {
                     let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if job >= total_jobs {
@@ -427,6 +486,7 @@ impl Study {
                         truth_map,
                         chain_lengths,
                         eval_override,
+                        &wtrace,
                     );
                     if tx.send((job, classified)).is_err() {
                         break;
@@ -453,13 +513,16 @@ impl Study {
         truth_map: &HashMap<u64, CampaignId>,
         chain_lengths: &HashMap<u64, BTreeMap<usize, u64>>,
         eval_override: Option<u32>,
+        trace: &TraceSink,
     ) -> ClassifiedAd {
         // Honeyclient re-visit at the first observation time; blacklist
         // knowledge evaluated at `eval_day` (the ad's last observation day,
         // unless globally overridden). The visit's script randomness comes
         // from a seed branch keyed by the ad's stable creative key, making
         // each classification independent of every other — the property the
-        // worker pool's byte-identity rests on.
+        // worker pool's byte-identity rests on. The trace sink is scoped by
+        // the same key, so all of one ad's events share one unit with a
+        // fresh sequence counter regardless of which worker runs it.
         let eval_day = eval_override.unwrap_or(unique.last_seen.day);
         let ad_seeds = self
             .world
@@ -467,9 +530,17 @@ impl Study {
             .branch("classify")
             .branch_idx(unique.creative_key);
         let request_url = unique.request_url.clone();
-        let visit = oracle.honeyclient_visit_seeded(&request_url, unique.first_seen, ad_seeds);
+        let scoped = trace.scoped(unique.creative_key);
+        let ad_span = scoped.span(SpanKind::ClassifyAd, request_url.to_string());
+        let visit = oracle.honeyclient_visit_seeded_traced(
+            &request_url,
+            unique.first_seen,
+            ad_seeds,
+            &scoped,
+        );
         let eval_time = SimTime::at(eval_day, 0);
-        let incidents = oracle.classify_visit(&visit, eval_time);
+        let incidents = oracle.classify_visit_traced(&visit, eval_time, &scoped);
+        ad_span.finish();
         let category = Self::categorize(&incidents);
         let contacted_hosts: Vec<String> = visit
             .capture
@@ -499,6 +570,7 @@ impl Study {
 
         ClassifiedAd {
             request_url: request_url.to_string(),
+            creative_key: unique.creative_key,
             first_seen: unique.first_seen,
             observations: unique.observations,
             sites: unique.sites.clone(),

@@ -4,6 +4,7 @@ use crossbeam::channel;
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_net::{CapturedExchange, Network, TrafficCapture};
+use malvert_trace::{SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
 use malvert_types::{CrawlSchedule, SimTime, SiteId, Url};
 use malvert_websim::Site;
@@ -89,6 +90,7 @@ pub struct CrawlerBuilder<'a> {
     filter: &'a FilterSet,
     config: CrawlConfig,
     study: SeedTree,
+    trace: TraceSink,
 }
 
 impl<'a> CrawlerBuilder<'a> {
@@ -122,6 +124,14 @@ impl<'a> CrawlerBuilder<'a> {
         self
     }
 
+    /// Attaches a trace sink; every page visit becomes a
+    /// [`SpanKind::CrawlVisit`] span (per-worker sharded when the crawl runs
+    /// parallel).
+    pub fn trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Assembles the crawler.
     pub fn build(self) -> Crawler<'a> {
         Crawler {
@@ -129,6 +139,7 @@ impl<'a> CrawlerBuilder<'a> {
             filter: self.filter,
             config: self.config,
             study: self.study,
+            trace: self.trace,
         }
     }
 }
@@ -139,6 +150,14 @@ pub struct Crawler<'a> {
     filter: &'a FilterSet,
     config: CrawlConfig,
     study: SeedTree,
+    trace: TraceSink,
+}
+
+/// The trace unit key of one scheduled page visit: site index in the high
+/// 32 bits, day and refresh below. Stable across worker counts because it
+/// depends only on the schedule, never on which worker ran the visit.
+pub fn visit_unit_key(site: SiteId, time: SimTime) -> u64 {
+    (u64::from(site.0) << 32) | (u64::from(time.day) << 8) | u64::from(time.refresh)
 }
 
 impl<'a> Crawler<'a> {
@@ -150,11 +169,20 @@ impl<'a> Crawler<'a> {
             filter,
             config: CrawlConfig::default(),
             study: SeedTree::new(0),
+            trace: TraceSink::disabled(),
         }
     }
 
     /// Visits one site at one schedule slot.
     pub fn crawl_visit(&self, site: &Site, time: SimTime) -> VisitRecord {
+        self.crawl_visit_traced(site, time, &self.trace)
+    }
+
+    /// [`Crawler::crawl_visit`] recorded on an explicit sink (the worker
+    /// pool passes per-worker shards here).
+    fn crawl_visit_traced(&self, site: &Site, time: SimTime, trace: &TraceSink) -> VisitRecord {
+        let scoped = trace.scoped(visit_unit_key(site.id, time));
+        let span = scoped.span(SpanKind::CrawlVisit, format!("{} {}", site.domain, time));
         let browser = Browser::new(
             self.network,
             Personality::vulnerable_victim(),
@@ -162,7 +190,9 @@ impl<'a> Crawler<'a> {
             self.study,
         );
         let visit = browser.visit(&site.front_page(), time);
-        self.extract(site, time, &visit)
+        let record = self.extract(site, time, &visit);
+        span.finish();
+        record
     }
 
     /// Extracts the crawl record from a completed page visit.
@@ -261,10 +291,11 @@ impl<'a> Crawler<'a> {
         let next = std::sync::atomic::AtomicUsize::new(0);
 
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let slots = &slots;
+                let wtrace = self.trace.for_worker(worker as u32);
                 scope.spawn(move |_| loop {
                     let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if job >= total_jobs {
@@ -272,7 +303,7 @@ impl<'a> Crawler<'a> {
                     }
                     let site = &sites[job / slots.len()];
                     let time = slots[job % slots.len()];
-                    let record = self.crawl_visit(site, time);
+                    let record = self.crawl_visit_traced(site, time, &wtrace);
                     if tx.send(record).is_err() {
                         break;
                     }

@@ -21,4 +21,6 @@ pub mod corpus;
 pub mod harness;
 
 pub use corpus::{creative_key, AdCorpus, UniqueAd};
-pub use harness::{AdObservation, CrawlConfig, Crawler, CrawlerBuilder, VisitRecord};
+pub use harness::{
+    visit_unit_key, AdObservation, CrawlConfig, Crawler, CrawlerBuilder, VisitRecord,
+};

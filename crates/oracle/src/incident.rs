@@ -1,5 +1,6 @@
 //! Incident classes — the rows of Table 1.
 
+use malvert_trace::Provenance;
 use malvert_types::SimTime;
 use serde::Serialize;
 
@@ -65,6 +66,8 @@ pub struct Incident {
     pub time: SimTime,
     /// Human-readable detail (which domain, which engine names, …).
     pub detail: String,
+    /// Which oracle component raised the incident, and on what evidence.
+    pub provenance: Provenance,
 }
 
 #[cfg(test)]

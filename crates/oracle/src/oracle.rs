@@ -6,6 +6,7 @@ use malvert_blacklist::BlacklistService;
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_net::Network;
 use malvert_scanner::{PayloadKind, ScanService};
+use malvert_trace::{OracleComponent, Provenance, SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
 use malvert_types::{SimTime, Url};
 use std::collections::BTreeSet;
@@ -79,6 +80,7 @@ pub struct OracleBuilder<'a> {
     config: OracleConfig,
     study: SeedTree,
     stats: OracleStats,
+    trace: TraceSink,
 }
 
 impl<'a> OracleBuilder<'a> {
@@ -114,6 +116,14 @@ impl<'a> OracleBuilder<'a> {
         self
     }
 
+    /// Attaches a trace sink; the `*_traced` methods can still override it
+    /// per call (the study pipeline passes per-advertisement scoped sinks
+    /// instead, to keep sequence numbers deterministic across workers).
+    pub fn trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Assembles the oracle.
     pub fn build(self) -> Oracle<'a> {
         Oracle {
@@ -123,6 +133,7 @@ impl<'a> OracleBuilder<'a> {
             config: self.config,
             study: self.study,
             stats: self.stats,
+            trace: self.trace,
         }
     }
 }
@@ -135,6 +146,7 @@ pub struct Oracle<'a> {
     config: OracleConfig,
     study: SeedTree,
     stats: OracleStats,
+    trace: TraceSink,
 }
 
 impl<'a> Oracle<'a> {
@@ -153,6 +165,7 @@ impl<'a> Oracle<'a> {
             config: OracleConfig::default(),
             study: SeedTree::new(0),
             stats: OracleStats::default(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -182,6 +195,20 @@ impl<'a> Oracle<'a> {
         time: SimTime,
         seeds: SeedTree,
     ) -> PageVisit {
+        self.honeyclient_visit_seeded_traced(ad_url, time, seeds, &self.trace)
+    }
+
+    /// [`Oracle::honeyclient_visit_seeded`], recorded as a
+    /// [`SpanKind::HoneyclientVisit`] span on `trace` (overriding any
+    /// builder-attached sink).
+    pub fn honeyclient_visit_seeded_traced(
+        &self,
+        ad_url: &Url,
+        time: SimTime,
+        seeds: SeedTree,
+        trace: &TraceSink,
+    ) -> PageVisit {
+        let span = trace.span(SpanKind::HoneyclientVisit, ad_url.to_string());
         let browser = Browser::new(
             self.network,
             Personality::vulnerable_victim(),
@@ -204,6 +231,7 @@ impl<'a> Oracle<'a> {
                 .budget_exhaustions
                 .fetch_add(exhausted, Ordering::Relaxed);
         }
+        span.finish();
         visit
     }
 
@@ -218,6 +246,19 @@ impl<'a> Oracle<'a> {
     /// Classifies an already-performed visit (used when the caller batches
     /// visits).
     pub fn classify_visit(&self, visit: &PageVisit, time: SimTime) -> Vec<Incident> {
+        self.classify_visit_traced(visit, time, &self.trace)
+    }
+
+    /// [`Oracle::classify_visit`] on an explicit sink (overriding any
+    /// builder-attached one): blacklist lookups and payload scans become
+    /// spans, and every incident is echoed into the trace stream together
+    /// with its provenance record.
+    pub fn classify_visit_traced(
+        &self,
+        visit: &PageVisit,
+        time: SimTime,
+        trace: &TraceSink,
+    ) -> Vec<Incident> {
         let mut incidents = Vec::new();
 
         // --- Blacklists (§3.2.2): every host the ad's traffic touched. ---
@@ -229,15 +270,17 @@ impl<'a> Oracle<'a> {
             .inner
             .feed_lookups
             .fetch_add(hosts.len() as u64, Ordering::Relaxed);
-        for host in hosts {
-            if self.blacklists.is_flagged(host, time.day) && flagged.insert(host.to_string()) {
+        for (hop, host) in hosts.iter().enumerate() {
+            let host = *host;
+            let feeds = self.blacklists.listing_feeds_traced(host, time.day, trace);
+            if feeds.len() > self.blacklists.threshold() && flagged.insert(host.to_string()) {
                 incidents.push(Incident {
                     incident_type: IncidentType::Blacklists,
                     time,
-                    detail: format!(
-                        "{host} listed by {} feeds",
-                        self.blacklists.listing_count(host, time.day)
-                    ),
+                    detail: format!("{host} listed by {} feeds", feeds.len()),
+                    provenance: Provenance::component(OracleComponent::Blacklists)
+                        .at_hop(hop)
+                        .with_feeds(feeds.iter().map(|f| f.name.clone()).collect()),
                 });
             }
         }
@@ -259,6 +302,7 @@ impl<'a> Oracle<'a> {
                 incident_type: IncidentType::SuspiciousRedirections,
                 time,
                 detail: tells.join(", "),
+                provenance: Provenance::component(OracleComponent::Honeyclient),
             });
         }
         if findings.heuristic_hit() {
@@ -276,6 +320,7 @@ impl<'a> Oracle<'a> {
                 incident_type: IncidentType::Heuristics,
                 time,
                 detail: tells.join(", "),
+                provenance: Provenance::component(OracleComponent::Honeyclient),
             });
         }
 
@@ -283,8 +328,21 @@ impl<'a> Oracle<'a> {
         let mut exe_hit = false;
         let mut flash_hit = false;
         for download in &visit.downloads {
-            let report = self.scanner.scan(&download.bytes);
+            let report = self.scanner.scan_traced(&download.bytes, trace);
             if report.positives() >= self.scanner.consensus() {
+                let provenance = || {
+                    let base = Provenance::component(OracleComponent::Scanner).with_votes(
+                        report
+                            .detections
+                            .iter()
+                            .map(|(engine, _)| engine.clone())
+                            .collect(),
+                    );
+                    match hosts.iter().position(|x| Some(*x) == download.url.host()) {
+                        Some(hop) => base.at_hop(hop),
+                        None => base,
+                    }
+                };
                 match report.kind {
                     Some(PayloadKind::Executable) if !exe_hit => {
                         exe_hit = true;
@@ -297,6 +355,7 @@ impl<'a> Oracle<'a> {
                                 report.positives(),
                                 report.total_engines
                             ),
+                            provenance: provenance(),
                         });
                     }
                     Some(PayloadKind::Flash) if !flash_hit => {
@@ -310,6 +369,7 @@ impl<'a> Oracle<'a> {
                                 report.positives(),
                                 report.total_engines
                             ),
+                            provenance: provenance(),
                         });
                     }
                     _ => {}
@@ -324,7 +384,17 @@ impl<'a> Oracle<'a> {
                 incident_type: IncidentType::ModelDetection,
                 time,
                 detail: format!("behaviour model {fp:016x}"),
+                provenance: Provenance::component(OracleComponent::ModelDb),
             });
+        }
+
+        // Echo every incident into the trace stream with its provenance, so
+        // a flagged ad is diagnosable from the trace alone.
+        for incident in &incidents {
+            trace.incident(
+                format!("[{}] {}", incident.incident_type.label(), incident.detail),
+                incident.provenance.clone(),
+            );
         }
 
         incidents

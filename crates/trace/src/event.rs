@@ -1,0 +1,206 @@
+//! Typed trace events with stable identities.
+
+use crate::provenance::Provenance;
+use malvert_types::rng::mix_label;
+use serde::{Deserialize, Serialize};
+
+/// Seed domain for [`TraceEvent::stable_id`] derivation, so event ids live
+/// in their own hash space and never collide with creative keys.
+const ID_DOMAIN: u64 = 0x7472_6163_655F_6964; // "trace_id"
+
+/// The kind of work a span or instant event describes — the span taxonomy.
+///
+/// The first four are the pipeline stages (matching `core::metrics::StageId`
+/// one-to-one); the rest are per-unit work spans and the incident marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpanKind {
+    /// World generation (web + ad economy + oracle services).
+    WorldBuild,
+    /// The whole crawl stage.
+    Crawl,
+    /// The whole classification stage.
+    Classify,
+    /// The aggregation stage.
+    Aggregate,
+    /// One page visit of the crawl (one site at one schedule slot).
+    CrawlVisit,
+    /// Classification of one unique advertisement, end to end.
+    ClassifyAd,
+    /// The oracle's honeyclient re-visit of one advertisement.
+    HoneyclientVisit,
+    /// One aggregate blacklist lookup (one host against all feeds).
+    BlacklistLookup,
+    /// One multi-engine scan of one downloaded payload.
+    PayloadScan,
+    /// An incident raised by the oracle (instant event, carries
+    /// [`Provenance`]).
+    Incident,
+}
+
+impl SpanKind {
+    /// Every kind, in taxonomy order.
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::WorldBuild,
+        SpanKind::Crawl,
+        SpanKind::Classify,
+        SpanKind::Aggregate,
+        SpanKind::CrawlVisit,
+        SpanKind::ClassifyAd,
+        SpanKind::HoneyclientVisit,
+        SpanKind::BlacklistLookup,
+        SpanKind::PayloadScan,
+        SpanKind::Incident,
+    ];
+
+    /// Stable snake_case label (matches the serde spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::WorldBuild => "world_build",
+            SpanKind::Crawl => "crawl",
+            SpanKind::Classify => "classify",
+            SpanKind::Aggregate => "aggregate",
+            SpanKind::CrawlVisit => "crawl_visit",
+            SpanKind::ClassifyAd => "classify_ad",
+            SpanKind::HoneyclientVisit => "honeyclient_visit",
+            SpanKind::BlacklistLookup => "blacklist_lookup",
+            SpanKind::PayloadScan => "payload_scan",
+            SpanKind::Incident => "incident",
+        }
+    }
+}
+
+/// The non-deterministic envelope of an event: wall-clock placement and the
+/// worker that executed it. Worker attribution lives here (not in the
+/// deterministic payload) because which worker picks up a unit is a
+/// scheduling accident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallInfo {
+    /// Microseconds since the collector's epoch at which the event started.
+    pub ts_us: u64,
+    /// Span duration in microseconds; `None` for instant events.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dur_us: Option<u64>,
+    /// Worker index that recorded the event (0 = the driving thread).
+    pub worker: u32,
+}
+
+/// One structured trace event: a completed span or an instant marker.
+///
+/// Everything except `wall` is deterministic in the study seed; see the
+/// crate docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Stable identity, derived from `(unit, seq, kind)` — identical across
+    /// runs and worker counts.
+    pub id: u64,
+    /// The work unit the event belongs to: a creative key for
+    /// classification, a site/slot key for crawl visits, `0` for
+    /// stage-level spans.
+    pub unit: u64,
+    /// Position within the unit's event sequence (0-based).
+    pub seq: u32,
+    /// What the event describes.
+    pub kind: SpanKind,
+    /// Deterministic human-readable name (URL, host, stage label, …).
+    pub name: String,
+    /// Incident provenance (incident events only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub provenance: Option<Provenance>,
+    /// Wall-clock envelope; `None` after stripping.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wall: Option<WallInfo>,
+}
+
+impl TraceEvent {
+    /// Derives the stable event id from its deterministic coordinates.
+    pub fn stable_id(unit: u64, seq: u32, kind: SpanKind) -> u64 {
+        let mut coords = [0u8; 12];
+        coords[..8].copy_from_slice(&unit.to_le_bytes());
+        coords[8..].copy_from_slice(&seq.to_le_bytes());
+        mix_label(mix_label(ID_DOMAIN, kind.label().as_bytes()), &coords)
+    }
+
+    /// A copy with the wall envelope removed — the deterministic payload.
+    pub fn stripped(&self) -> TraceEvent {
+        TraceEvent {
+            wall: None,
+            ..self.clone()
+        }
+    }
+
+    /// Canonical ordering key: `(unit, seq, id)`. Independent of recording
+    /// order, so sorted event streams are byte-identical across worker
+    /// counts.
+    pub fn sort_key(&self) -> (u64, u32, u64) {
+        (self.unit, self.seq, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_ids_depend_on_all_coordinates() {
+        let base = TraceEvent::stable_id(1, 0, SpanKind::CrawlVisit);
+        assert_ne!(base, TraceEvent::stable_id(2, 0, SpanKind::CrawlVisit));
+        assert_ne!(base, TraceEvent::stable_id(1, 1, SpanKind::CrawlVisit));
+        assert_ne!(base, TraceEvent::stable_id(1, 0, SpanKind::ClassifyAd));
+        // And are reproducible.
+        assert_eq!(base, TraceEvent::stable_id(1, 0, SpanKind::CrawlVisit));
+    }
+
+    #[test]
+    fn stripped_removes_only_wall() {
+        let e = TraceEvent {
+            id: TraceEvent::stable_id(9, 2, SpanKind::PayloadScan),
+            unit: 9,
+            seq: 2,
+            kind: SpanKind::PayloadScan,
+            name: "scan 128 bytes".into(),
+            provenance: None,
+            wall: Some(WallInfo {
+                ts_us: 555,
+                dur_us: Some(21),
+                worker: 3,
+            }),
+        };
+        let s = e.stripped();
+        assert!(s.wall.is_none());
+        assert_eq!(s.id, e.id);
+        assert_eq!(s.name, e.name);
+        // The stripped serialization has no wall key at all.
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("wall"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = TraceEvent {
+            id: 7,
+            unit: 0,
+            seq: 1,
+            kind: SpanKind::Crawl,
+            name: "crawl".into(),
+            provenance: None,
+            wall: Some(WallInfo {
+                ts_us: 10,
+                dur_us: None,
+                worker: 0,
+            }),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"crawl\""));
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn labels_match_serde_spelling() {
+        for kind in SpanKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(json, format!("\"{}\"", kind.label()));
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Trace exports: JSONL event streams, Chrome trace-event JSON, latency
+//! histograms, and the human-readable `malvert trace` summary.
+
+use crate::event::{SpanKind, TraceEvent};
+use crate::histogram::{LogHistogram, SpanLatency};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finished, canonically sorted trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceReport {
+    /// Builds a report, sorting the events into canonical
+    /// `(unit, seq, id)` order.
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(TraceEvent::sort_key);
+        TraceReport { events }
+    }
+
+    /// The events in canonical order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// One JSON object per line, wall envelopes included.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&serde_json::to_string(event).expect("trace event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The deterministic payload stream: same order as [`Self::to_jsonl`]
+    /// but with every wall envelope stripped. Byte-identical across runs
+    /// and worker counts for the same study seed.
+    pub fn deterministic_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(
+                &serde_json::to_string(&event.stripped()).expect("trace event serializes"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL event stream back into a report (re-sorting
+    /// canonically). Blank lines are skipped; errors carry line numbers.
+    pub fn from_jsonl(text: &str) -> Result<TraceReport, String> {
+        let mut events = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: TraceEvent =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {}", number + 1, e))?;
+            events.push(event);
+        }
+        Ok(TraceReport::new(events))
+    }
+
+    /// Chrome trace-event JSON (the array form), loadable in
+    /// `chrome://tracing` and Perfetto. Spans become complete (`"X"`)
+    /// events with durations; instants become `"i"` events. `tid` is the
+    /// worker index, so per-worker lanes show scheduling skew directly.
+    pub fn to_chrome_trace(&self) -> String {
+        let entries: Vec<serde_json::Value> = self
+            .events
+            .iter()
+            .map(|event| {
+                let wall = event.wall.unwrap_or_default();
+                let mut entry = json!({
+                    "name": event.name,
+                    "cat": event.kind.label(),
+                    "ts": wall.ts_us,
+                    "pid": 1,
+                    "tid": wall.worker,
+                    "args": {
+                        "unit": format!("{:016x}", event.unit),
+                        "seq": event.seq,
+                    },
+                });
+                let object = entry.as_object_mut().expect("entry is an object");
+                match wall.dur_us {
+                    Some(dur) => {
+                        object.insert("ph".into(), json!("X"));
+                        object.insert("dur".into(), json!(dur));
+                    }
+                    None => {
+                        object.insert("ph".into(), json!("i"));
+                        object.insert("s".into(), json!("t"));
+                    }
+                }
+                entry
+            })
+            .collect();
+        serde_json::to_string(&serde_json::Value::Array(entries)).expect("trace serializes")
+    }
+
+    /// Latency summaries from every event that carries a duration: for each
+    /// span kind, one merged entry (`worker: None`) followed by per-worker
+    /// entries, in deterministic `(kind, worker)` order.
+    pub fn latencies(&self) -> Vec<SpanLatency> {
+        let mut merged: BTreeMap<SpanKind, LogHistogram> = BTreeMap::new();
+        let mut per_worker: BTreeMap<(SpanKind, u32), LogHistogram> = BTreeMap::new();
+        for event in &self.events {
+            let Some(wall) = event.wall else { continue };
+            let Some(dur) = wall.dur_us else { continue };
+            merged.entry(event.kind).or_default().record_us(dur);
+            per_worker
+                .entry((event.kind, wall.worker))
+                .or_default()
+                .record_us(dur);
+        }
+        let mut out = Vec::new();
+        for (kind, hist) in merged {
+            out.push(SpanLatency::from_hist(kind, None, hist));
+        }
+        for ((kind, worker), hist) in per_worker {
+            out.push(SpanLatency::from_hist(kind, Some(worker), hist));
+        }
+        out
+    }
+
+    /// The `n` slowest spans, longest first (ties broken canonically).
+    pub fn slowest_spans(&self, n: usize) -> Vec<&TraceEvent> {
+        let mut spans: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.wall.and_then(|w| w.dur_us).is_some())
+            .collect();
+        spans.sort_by_key(|e| {
+            let dur = e.wall.and_then(|w| w.dur_us).unwrap_or(0);
+            (std::cmp::Reverse(dur), e.sort_key())
+        });
+        spans.truncate(n);
+        spans
+    }
+
+    /// Every incident event (each carries a provenance record).
+    pub fn incidents(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Incident)
+            .collect()
+    }
+
+    /// Per-worker load over the unit work spans (crawl visits + classified
+    /// ads): how many units each worker picked up and how long it was busy.
+    pub fn worker_skew(&self) -> BTreeMap<u32, WorkerLoad> {
+        let mut skew: BTreeMap<u32, WorkerLoad> = BTreeMap::new();
+        for event in &self.events {
+            if !matches!(event.kind, SpanKind::CrawlVisit | SpanKind::ClassifyAd) {
+                continue;
+            }
+            let Some(wall) = event.wall else { continue };
+            let Some(dur) = wall.dur_us else { continue };
+            let load = skew.entry(wall.worker).or_default();
+            load.spans += 1;
+            load.busy_us += dur;
+        }
+        skew
+    }
+
+    /// Writes `events.jsonl` and `trace.json` under `dir` (created if
+    /// missing); returns the two paths.
+    pub fn write_dir(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let events_path = dir.join("events.jsonl");
+        let chrome_path = dir.join("trace.json");
+        std::fs::write(&events_path, self.to_jsonl())?;
+        std::fs::write(&chrome_path, self.to_chrome_trace())?;
+        Ok((events_path, chrome_path))
+    }
+
+    /// The human-readable summary printed by `malvert trace`: slowest
+    /// spans, per-worker skew, and flagged-ad provenance.
+    pub fn render_summary(&self, top: usize) -> String {
+        let mut out = String::new();
+        let spans = self
+            .events
+            .iter()
+            .filter(|e| e.wall.and_then(|w| w.dur_us).is_some())
+            .count();
+        let incidents = self.incidents();
+        let _ = writeln!(
+            out,
+            "trace: {} events ({} spans, {} incident records)",
+            self.events.len(),
+            spans,
+            incidents.len()
+        );
+
+        let _ = writeln!(out, "\nslowest spans:");
+        for event in self.slowest_spans(top) {
+            let wall = event.wall.unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {:>10.1} ms  [{}] {} (worker {})",
+                wall.dur_us.unwrap_or(0) as f64 / 1_000.0,
+                event.kind.label(),
+                event.name,
+                wall.worker
+            );
+        }
+
+        let _ = writeln!(out, "\nper-worker skew (crawl visits + classified ads):");
+        for (worker, load) in self.worker_skew() {
+            let _ = writeln!(
+                out,
+                "  worker {:>3}: {:>6} spans, {:>10.1} ms busy",
+                worker,
+                load.spans,
+                load.busy_us as f64 / 1_000.0
+            );
+        }
+
+        let _ = writeln!(out, "\nflagged-ad provenance:");
+        for event in incidents.iter().take(top) {
+            let Some(p) = &event.provenance else { continue };
+            let mut evidence = vec![format!("component {}", p.component.label())];
+            if let Some(hop) = p.chain_hop {
+                evidence.push(format!("hop {hop}"));
+            }
+            if !p.matched_feeds.is_empty() {
+                evidence.push(format!("feeds[{}]", p.matched_feeds.len()));
+            }
+            if !p.engine_votes.is_empty() {
+                evidence.push(format!("engines[{}]", p.engine_votes.len()));
+            }
+            let _ = writeln!(
+                out,
+                "  unit {:016x}: {} <- {}",
+                event.unit,
+                event.name,
+                evidence.join(", ")
+            );
+        }
+        if incidents.len() > top {
+            let _ = writeln!(out, "  ... and {} more", incidents.len() - top);
+        }
+        out
+    }
+}
+
+/// Per-worker load over the unit work spans; see
+/// [`TraceReport::worker_skew`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Unit spans (crawl visits + classified ads) the worker executed.
+    pub spans: u64,
+    /// Total busy time across those spans, microseconds.
+    pub busy_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::WallInfo;
+    use crate::provenance::{OracleComponent, Provenance};
+
+    fn event(unit: u64, seq: u32, kind: SpanKind, dur_us: Option<u64>, worker: u32) -> TraceEvent {
+        TraceEvent {
+            id: TraceEvent::stable_id(unit, seq, kind),
+            unit,
+            seq,
+            kind,
+            name: format!("{} {unit:x}/{seq}", kind.label()),
+            provenance: None,
+            wall: Some(WallInfo {
+                ts_us: 100 * u64::from(seq),
+                dur_us,
+                worker,
+            }),
+        }
+    }
+
+    fn sample() -> TraceReport {
+        let mut incident = event(0xA, 2, SpanKind::Incident, None, 1);
+        incident.provenance = Some(
+            Provenance::component(OracleComponent::Blacklists)
+                .at_hop(1)
+                .with_feeds(vec!["feed-a".into(), "feed-b".into()]),
+        );
+        TraceReport::new(vec![
+            event(0xB, 0, SpanKind::ClassifyAd, Some(9_000), 2),
+            event(0xA, 0, SpanKind::ClassifyAd, Some(2_000), 1),
+            event(0xA, 1, SpanKind::HoneyclientVisit, Some(1_500), 1),
+            incident,
+            event(0, 0, SpanKind::Crawl, Some(50_000), 0),
+        ])
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_resorts() {
+        let report = sample();
+        let text = report.to_jsonl();
+        let back = TraceReport::from_jsonl(&text).unwrap();
+        assert_eq!(back.events(), report.events());
+        // Canonical order regardless of construction order.
+        assert_eq!(report.events()[0].kind, SpanKind::Crawl);
+        assert_eq!(report.events()[1].unit, 0xA);
+        // Blank lines are tolerated; garbage is a line-numbered error.
+        assert!(TraceReport::from_jsonl("\n\n").unwrap().events().is_empty());
+        let err = TraceReport::from_jsonl("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_jsonl_strips_wall() {
+        let report = sample();
+        let stripped = report.deterministic_jsonl();
+        assert!(!stripped.contains("wall"));
+        assert!(!stripped.contains("ts_us"));
+        // The payload still round-trips and keeps provenance.
+        let back = TraceReport::from_jsonl(&stripped).unwrap();
+        assert_eq!(back.incidents().len(), 1);
+        assert!(back.incidents()[0].provenance.is_some());
+    }
+
+    #[test]
+    fn chrome_trace_schema() {
+        let report = sample();
+        let value: serde_json::Value = serde_json::from_str(&report.to_chrome_trace()).unwrap();
+        let entries = value.as_array().expect("top level is an array");
+        assert_eq!(entries.len(), report.events().len());
+        for entry in entries {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(entry.get(key).is_some(), "missing {key} in {entry}");
+            }
+            match entry["ph"].as_str().unwrap() {
+                "X" => assert!(entry.get("dur").is_some()),
+                "i" => assert_eq!(entry["s"], "t"),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        // The incident instant landed on worker 1's lane.
+        let instant = entries.iter().find(|e| e["ph"] == "i").unwrap();
+        assert_eq!(instant["tid"], 1);
+    }
+
+    #[test]
+    fn latencies_merge_and_split_by_worker() {
+        let report = sample();
+        let latencies = report.latencies();
+        let classify_all = latencies
+            .iter()
+            .find(|l| l.kind == SpanKind::ClassifyAd && l.worker.is_none())
+            .unwrap();
+        assert_eq!(classify_all.hist.count(), 2);
+        let classify_w1 = latencies
+            .iter()
+            .find(|l| l.kind == SpanKind::ClassifyAd && l.worker == Some(1))
+            .unwrap();
+        assert_eq!(classify_w1.hist.count(), 1);
+        // Merged entries come first, and per-worker histograms re-merge to
+        // the combined one.
+        let first_per_worker = latencies.iter().position(|l| l.worker.is_some()).unwrap();
+        assert!(latencies[..first_per_worker]
+            .iter()
+            .all(|l| l.worker.is_none()));
+        let mut remerged = LogHistogram::new();
+        for l in latencies
+            .iter()
+            .filter(|l| l.kind == SpanKind::ClassifyAd && l.worker.is_some())
+        {
+            remerged.merge(&l.hist);
+        }
+        assert_eq!(remerged, classify_all.hist);
+    }
+
+    #[test]
+    fn slowest_spans_and_skew() {
+        let report = sample();
+        let slowest = report.slowest_spans(2);
+        assert_eq!(slowest[0].kind, SpanKind::Crawl);
+        assert_eq!(slowest[1].unit, 0xB);
+        // Skew counts only unit work spans: workers 1 and 2, not worker 0's
+        // stage span.
+        let skew = report.worker_skew();
+        assert_eq!(skew.len(), 2);
+        assert_eq!(skew[&1].spans, 1);
+        assert_eq!(skew[&1].busy_us, 2_000);
+        assert_eq!(skew[&2].spans, 1);
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let report = sample();
+        let summary = report.render_summary(10);
+        assert!(summary.contains("5 events"));
+        assert!(summary.contains("slowest spans:"));
+        assert!(summary.contains("per-worker skew"));
+        assert!(summary.contains("flagged-ad provenance:"));
+        assert!(summary.contains("component blacklists, hop 1, feeds[2]"));
+    }
+
+    #[test]
+    fn write_dir_emits_both_files() {
+        let report = sample();
+        let dir = std::env::temp_dir().join("malvert-trace-export-test");
+        let (events_path, chrome_path) = report.write_dir(&dir).unwrap();
+        let events_text = std::fs::read_to_string(&events_path).unwrap();
+        assert_eq!(events_text, report.to_jsonl());
+        let chrome_text = std::fs::read_to_string(&chrome_path).unwrap();
+        assert!(serde_json::from_str::<serde_json::Value>(&chrome_text)
+            .unwrap()
+            .is_array());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

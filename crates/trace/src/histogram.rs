@@ -1,0 +1,252 @@
+//! Fixed log-bucket latency histograms, deterministically mergeable.
+//!
+//! Bucket `i` holds durations whose floor-log2 is `i` (bucket 0 also takes
+//! zero), so the bucket layout is fixed by construction and two histograms
+//! merge by element-wise addition — an associative, commutative operation,
+//! which is what lets per-worker histograms collapse into per-stage ones in
+//! any order with an identical result.
+
+use crate::event::SpanKind;
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets. Bucket 39 covers everything from `2^39` µs
+/// (~6 days) up, far beyond any span this pipeline records.
+pub const BUCKET_COUNT: usize = 40;
+
+/// A power-of-two-bucket latency histogram over microsecond durations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket counts (`BUCKET_COUNT` entries).
+    buckets: Vec<u64>,
+    /// Total recorded samples.
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `index` in microseconds.
+    pub fn bucket_upper_bound_us(index: usize) -> u64 {
+        if index + 1 >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (index + 1)) - 1
+        }
+    }
+
+    /// Records one duration.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[Self::bucket_index(us)] += 1;
+        self.count += 1;
+    }
+
+    /// Merges another histogram into this one (element-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`); `0` when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Self::bucket_upper_bound_us(index);
+            }
+        }
+        Self::bucket_upper_bound_us(BUCKET_COUNT - 1)
+    }
+
+    /// Upper bound of the highest non-empty bucket; `0` when empty.
+    pub fn max_us(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(Self::bucket_upper_bound_us)
+            .unwrap_or(0)
+    }
+
+    /// A copy keeping only the (deterministic) sample count, with every
+    /// bucket zeroed — what survives timestamp stripping: *which* spans ran
+    /// and how many is seed-determined, *how long* they took is not.
+    pub fn counts_only(&self) -> LogHistogram {
+        LogHistogram {
+            buckets: vec![0; self.buckets.len()],
+            count: self.count,
+        }
+    }
+}
+
+/// Latency summary for one span kind, optionally restricted to one worker.
+/// Layered into the study's `RunSummary`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanLatency {
+    /// The span kind summarized.
+    pub kind: SpanKind,
+    /// Worker restriction; `None` means merged across all workers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub worker: Option<u32>,
+    /// The underlying histogram.
+    pub hist: LogHistogram,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency (bucket upper bound), microseconds.
+    pub p95_us: u64,
+    /// Maximum latency (bucket upper bound), microseconds.
+    pub max_us: u64,
+}
+
+impl SpanLatency {
+    /// Builds the summary from a recorded histogram.
+    pub fn from_hist(kind: SpanKind, worker: Option<u32>, hist: LogHistogram) -> Self {
+        let p50_us = hist.quantile_us(0.50);
+        let p95_us = hist.quantile_us(0.95);
+        let max_us = hist.max_us();
+        SpanLatency {
+            kind,
+            worker,
+            hist,
+            p50_us,
+            p95_us,
+            max_us,
+        }
+    }
+
+    /// The deterministic residue: span counts kept, every wall-clock-derived
+    /// number zeroed. See [`LogHistogram::counts_only`].
+    pub fn counts_only(&self) -> SpanLatency {
+        SpanLatency {
+            kind: self.kind,
+            worker: self.worker,
+            hist: self.hist.counts_only(),
+            p50_us: 0,
+            p95_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[u64]) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record_us(v);
+        }
+        h
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 0);
+        assert_eq!(LogHistogram::bucket_index(2), 1);
+        assert_eq!(LogHistogram::bucket_index(3), 1);
+        assert_eq!(LogHistogram::bucket_index(4), 2);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        assert_eq!(LogHistogram::bucket_upper_bound_us(0), 1);
+        assert_eq!(LogHistogram::bucket_upper_bound_us(1), 3);
+        assert_eq!(LogHistogram::bucket_upper_bound_us(2), 7);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = filled(&[1, 5, 9, 200]);
+        let b = filled(&[3, 3, 1_000_000]);
+        let c = filled(&[0, 77, 4096, 4097]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(left.count(), 10);
+    }
+
+    #[test]
+    fn quantiles_and_max() {
+        let h = filled(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 1024]);
+        // 9 of 10 samples in bucket 0 -> p50 is bucket 0's bound.
+        assert_eq!(h.quantile_us(0.5), 1);
+        // p95 target is the 10th sample -> the 1024 bucket (2^10..2^11-1).
+        assert_eq!(h.quantile_us(0.95), 2047);
+        assert_eq!(h.max_us(), 2047);
+        assert_eq!(LogHistogram::new().quantile_us(0.5), 0);
+        assert_eq!(LogHistogram::new().max_us(), 0);
+    }
+
+    #[test]
+    fn counts_only_keeps_count_zeroes_buckets() {
+        let h = filled(&[10, 20, 30]);
+        let c = h.counts_only();
+        assert_eq!(c.count(), 3);
+        assert!(c.buckets().iter().all(|&n| n == 0));
+        // counts_only is idempotent and stable across timing jitter: two
+        // histograms of the same sample count agree after reduction.
+        let other = filled(&[9_999, 1, 2]);
+        assert_eq!(other.counts_only(), c);
+    }
+
+    #[test]
+    fn span_latency_round_trips() {
+        let l = SpanLatency::from_hist(SpanKind::ClassifyAd, Some(2), filled(&[100, 200, 400]));
+        let json = serde_json::to_string(&l).unwrap();
+        let back: SpanLatency = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+        let stripped = l.counts_only();
+        assert_eq!(stripped.hist.count(), 3);
+        assert_eq!(stripped.p95_us, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # malvert-trace
+//!
+//! Structured observability for the study pipeline: a lock-free,
+//! worker-sharded event log of typed spans, incident provenance records,
+//! and deterministically mergeable latency histograms.
+//!
+//! The design splits every recorded event into two parts:
+//!
+//! * a **deterministic payload** — stable id, unit key, sequence number,
+//!   [`SpanKind`], name, and (for incident events) a [`Provenance`]
+//!   record — which is a pure function of the study seed and therefore
+//!   byte-identical across worker counts and runs;
+//! * a **wall envelope** ([`WallInfo`]) — timestamp, duration, and the
+//!   worker that happened to execute the unit — which is scheduling- and
+//!   clock-dependent and can be stripped
+//!   ([`TraceReport::deterministic_jsonl`]) for byte-identity checks.
+//!
+//! Recording is cheap and contention-free: each worker thread gets its own
+//! unbounded channel shard ([`TraceSink::for_worker`]); the only lock is
+//! taken once per shard registration, never per event. A disabled sink
+//! ([`TraceSink::disabled`]) reduces every record call to an `Option`
+//! check, so traced and untraced code paths share one implementation.
+//!
+//! Exports: JSONL ([`TraceReport::to_jsonl`]), Chrome trace-event JSON
+//! ([`TraceReport::to_chrome_trace`], loadable in `chrome://tracing` and
+//! Perfetto), and per-kind/per-worker latency histograms
+//! ([`TraceReport::latencies`]) that layer into the study's `RunSummary`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod provenance;
+pub mod sink;
+
+pub use event::{SpanKind, TraceEvent, WallInfo};
+pub use export::{TraceReport, WorkerLoad};
+pub use histogram::{LogHistogram, SpanLatency, BUCKET_COUNT};
+pub use provenance::{OracleComponent, Provenance};
+pub use sink::{SpanGuard, TraceCollector, TraceSink};

@@ -1,0 +1,136 @@
+//! Incident provenance: which oracle component fired, where in the
+//! redirect chain, and on what evidence.
+//!
+//! The paper's oracle fuses three detector components (§3.2); a flagged ad
+//! is only diagnosable from a run artifact if each incident records the
+//! component that raised it and the evidence it saw. [`Provenance`] is that
+//! record — serialized alongside the classified ad and echoed into the
+//! trace event stream. It is entirely deterministic in the study seed.
+
+use serde::{Deserialize, Serialize};
+
+/// The oracle component that raised an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum OracleComponent {
+    /// The thresholded blacklist aggregate (§3.2.2).
+    Blacklists,
+    /// Honeyclient behaviour heuristics: redirection tells and drive-by /
+    /// deceptive patterns (§3.2.1).
+    Honeyclient,
+    /// The multi-engine payload scanner (§3.2.3).
+    Scanner,
+    /// The previously-known-behaviour model database (§4.1).
+    ModelDb,
+}
+
+impl OracleComponent {
+    /// Human-readable component name.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleComponent::Blacklists => "blacklists",
+            OracleComponent::Honeyclient => "honeyclient",
+            OracleComponent::Scanner => "scanner",
+            OracleComponent::ModelDb => "model-db",
+        }
+    }
+}
+
+/// Why one incident fired: the component, the redirect-chain hop of the
+/// host that triggered it (when host-attributable), and the per-component
+/// evidence (matching feed names, flagging engine names).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// The component that raised the incident.
+    pub component: OracleComponent,
+    /// Index of the triggering host within the visit's contacted-host list
+    /// (first-contact order — the ad path). `None` when the incident is a
+    /// whole-visit behavioural signal rather than a per-host one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub chain_hop: Option<u32>,
+    /// Names of the blacklist feeds that listed the triggering host
+    /// (blacklist incidents only).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub matched_feeds: Vec<String>,
+    /// Names of the scan engines that flagged the payload (scanner
+    /// incidents only).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub engine_votes: Vec<String>,
+}
+
+impl Provenance {
+    /// A provenance record for `component` with no evidence attached yet.
+    pub fn component(component: OracleComponent) -> Self {
+        Provenance {
+            component,
+            chain_hop: None,
+            matched_feeds: Vec::new(),
+            engine_votes: Vec::new(),
+        }
+    }
+
+    /// Attributes the incident to hop `hop` of the contacted-host list.
+    pub fn at_hop(mut self, hop: usize) -> Self {
+        self.chain_hop = Some(hop as u32);
+        self
+    }
+
+    /// Attaches the names of the feeds that listed the host.
+    pub fn with_feeds(mut self, feeds: Vec<String>) -> Self {
+        self.matched_feeds = feeds;
+        self
+    }
+
+    /// Attaches the names of the engines that flagged the payload.
+    pub fn with_votes(mut self, votes: Vec<String>) -> Self {
+        self.engine_votes = votes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_evidence() {
+        let p = Provenance::component(OracleComponent::Blacklists)
+            .at_hop(3)
+            .with_feeds(vec!["MalwareList-00".into()]);
+        assert_eq!(p.chain_hop, Some(3));
+        assert_eq!(p.matched_feeds.len(), 1);
+        assert!(p.engine_votes.is_empty());
+    }
+
+    #[test]
+    fn serialization_is_compact_and_round_trips() {
+        let p = Provenance::component(OracleComponent::Honeyclient);
+        let json = serde_json::to_string(&p).unwrap();
+        // Empty evidence is omitted entirely.
+        assert_eq!(json, "{\"component\":\"honeyclient\"}");
+        let back: Provenance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+
+        let full = Provenance::component(OracleComponent::Scanner)
+            .at_hop(0)
+            .with_votes(vec!["Engine00AV".into(), "Engine01AV".into()]);
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(json.contains("\"chain_hop\":0"));
+        let back: Provenance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> = [
+            OracleComponent::Blacklists,
+            OracleComponent::Honeyclient,
+            OracleComponent::Scanner,
+            OracleComponent::ModelDb,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

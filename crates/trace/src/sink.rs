@@ -1,0 +1,359 @@
+//! The collector and the cheap recording handle threaded through the
+//! pipeline.
+//!
+//! One [`TraceCollector`] owns the run; every recording thread holds a
+//! [`TraceSink`]. Each sink clone created with [`TraceSink::for_worker`]
+//! registers its own unbounded channel shard, so recording an event is a
+//! single lock-free channel send — the registry lock is taken once per
+//! shard, never per event. [`TraceCollector::finish`] drains every shard
+//! and canonically sorts the events, which erases the (scheduling-
+//! dependent) arrival order.
+
+use crate::event::{SpanKind, TraceEvent, WallInfo};
+use crate::export::TraceReport;
+use crate::provenance::Provenance;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct CollectorInner {
+    epoch: Instant,
+    shards: Mutex<Vec<Receiver<TraceEvent>>>,
+}
+
+/// Owns one run's trace: hands out sinks, then drains them into a
+/// [`TraceReport`].
+#[derive(Debug)]
+pub struct TraceCollector {
+    inner: Arc<CollectorInner>,
+}
+
+impl TraceCollector {
+    /// A fresh collector; its creation instant is the trace epoch.
+    pub fn new() -> Self {
+        TraceCollector {
+            inner: Arc::new(CollectorInner {
+                epoch: Instant::now(),
+                shards: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The root sink (worker 0, unit 0). Derive per-worker and per-unit
+    /// sinks from it with [`TraceSink::for_worker`] / [`TraceSink::scoped`].
+    pub fn sink(&self) -> TraceSink {
+        TraceSink {
+            inner: Some(SinkInner::register(&self.inner, 0, 0)),
+        }
+    }
+
+    /// Drains every shard and returns the canonical-sorted report. Call
+    /// after the traced work has completed (all events already sent).
+    pub fn finish(self) -> TraceReport {
+        let mut events = Vec::new();
+        for shard in self.inner.shards.lock().iter() {
+            events.extend(shard.try_iter());
+        }
+        TraceReport::new(events)
+    }
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SinkInner {
+    collector: Arc<CollectorInner>,
+    tx: Sender<TraceEvent>,
+    worker: u32,
+    unit: u64,
+    seq: Arc<AtomicU32>,
+}
+
+impl SinkInner {
+    fn register(collector: &Arc<CollectorInner>, worker: u32, unit: u64) -> SinkInner {
+        let (tx, rx) = unbounded();
+        collector.shards.lock().push(rx);
+        SinkInner {
+            collector: Arc::clone(collector),
+            tx,
+            worker,
+            unit,
+            seq: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.collector.epoch.elapsed().as_micros() as u64
+    }
+
+    fn send(
+        &self,
+        seq: u32,
+        kind: SpanKind,
+        name: String,
+        provenance: Option<Provenance>,
+        ts_us: u64,
+        dur_us: Option<u64>,
+    ) {
+        let event = TraceEvent {
+            id: TraceEvent::stable_id(self.unit, seq, kind),
+            unit: self.unit,
+            seq,
+            kind,
+            name,
+            provenance,
+            wall: Some(WallInfo {
+                ts_us,
+                dur_us,
+                worker: self.worker,
+            }),
+        };
+        // A send only fails when the collector (and its receivers) are
+        // gone; late events after finish() are deliberately dropped.
+        let _ = self.tx.send(event);
+    }
+}
+
+/// The cheap recording handle. Cloning shares the unit's sequence counter;
+/// a disabled sink turns every call into a no-op.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    inner: Option<SinkInner>,
+}
+
+impl TraceSink {
+    /// A sink that records nothing — the default for untraced runs.
+    pub fn disabled() -> TraceSink {
+        TraceSink { inner: None }
+    }
+
+    /// Whether events recorded on this sink go anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A sink for worker `worker`, backed by its own channel shard so
+    /// workers never contend. Call once per worker thread, then [`Self::scoped`]
+    /// per work unit.
+    pub fn for_worker(&self, worker: u32) -> TraceSink {
+        match &self.inner {
+            Some(inner) => TraceSink {
+                inner: Some(SinkInner::register(&inner.collector, worker, inner.unit)),
+            },
+            None => TraceSink::disabled(),
+        }
+    }
+
+    /// A sink bound to work unit `unit` with a fresh sequence counter.
+    /// Every event of one unit must be recorded through one scoped sink
+    /// (single-threaded per unit), which makes the unit's sequence numbers
+    /// deterministic.
+    pub fn scoped(&self, unit: u64) -> TraceSink {
+        match &self.inner {
+            Some(inner) => TraceSink {
+                inner: Some(SinkInner {
+                    unit,
+                    seq: Arc::new(AtomicU32::new(0)),
+                    ..inner.clone()
+                }),
+            },
+            None => TraceSink::disabled(),
+        }
+    }
+
+    /// Opens a span; it records itself (with its duration) when dropped or
+    /// [`SpanGuard::finish`]ed. The sequence number is claimed at open time,
+    /// so an enclosing span sorts before the spans it contains.
+    pub fn span(&self, kind: SpanKind, name: impl Into<String>) -> SpanGuard {
+        match &self.inner {
+            Some(inner) => SpanGuard {
+                inner: Some(SpanGuardInner {
+                    sink: inner.clone(),
+                    kind,
+                    name: name.into(),
+                    seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                    ts_us: inner.now_us(),
+                    start: Instant::now(),
+                }),
+            },
+            None => SpanGuard { inner: None },
+        }
+    }
+
+    /// Records an instant event (no duration).
+    pub fn event(&self, kind: SpanKind, name: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            let ts = inner.now_us();
+            inner.send(seq, kind, name.into(), None, ts, None);
+        }
+    }
+
+    /// Records an incident event carrying its provenance.
+    pub fn incident(&self, name: impl Into<String>, provenance: Provenance) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            let ts = inner.now_us();
+            inner.send(
+                seq,
+                SpanKind::Incident,
+                name.into(),
+                Some(provenance),
+                ts,
+                None,
+            );
+        }
+    }
+
+    /// Records a span that already completed (duration measured by the
+    /// caller — e.g. world generation, which predates the collector).
+    pub fn span_completed(&self, kind: SpanKind, name: impl Into<String>, dur: Duration) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            let ts = inner.now_us();
+            inner.send(
+                seq,
+                kind,
+                name.into(),
+                None,
+                ts,
+                Some(dur.as_micros() as u64),
+            );
+        }
+    }
+}
+
+struct SpanGuardInner {
+    sink: SinkInner,
+    kind: SpanKind,
+    name: String,
+    seq: u32,
+    ts_us: u64,
+    start: Instant,
+}
+
+/// An open span; records itself on drop. Obtained from [`TraceSink::span`].
+pub struct SpanGuard {
+    inner: Option<SpanGuardInner>,
+}
+
+impl SpanGuard {
+    /// Closes the span now (equivalent to dropping it; reads better at call
+    /// sites that want an explicit end).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(guard) = self.inner.take() {
+            let dur_us = guard.start.elapsed().as_micros() as u64;
+            guard.sink.send(
+                guard.seq,
+                guard.kind,
+                guard.name,
+                None,
+                guard.ts_us,
+                Some(dur_us),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.event(SpanKind::Crawl, "nothing");
+        sink.span(SpanKind::Crawl, "nothing").finish();
+        let scoped = sink.scoped(42).for_worker(3);
+        assert!(!scoped.is_enabled());
+    }
+
+    #[test]
+    fn events_collect_across_workers_in_canonical_order() {
+        let collector = TraceCollector::new();
+        let root = collector.sink();
+        assert!(root.is_enabled());
+        root.event(SpanKind::Crawl, "stage");
+
+        let w1 = root.for_worker(1);
+        let w2 = root.for_worker(2);
+        // Record units "out of order" across two worker shards.
+        let unit_b = w2.scoped(0xBBBB);
+        unit_b.span(SpanKind::CrawlVisit, "b").finish();
+        let unit_a = w1.scoped(0xAAAA);
+        unit_a.span(SpanKind::CrawlVisit, "a").finish();
+        unit_a.event(SpanKind::Incident, "a-incident");
+
+        let report = collector.finish();
+        let events = report.events();
+        assert_eq!(events.len(), 4);
+        // Canonical order: unit 0 first, then 0xAAAA (seq 0, 1), then 0xBBBB.
+        assert_eq!(events[0].unit, 0);
+        assert_eq!(events[1].unit, 0xAAAA);
+        assert_eq!(events[1].seq, 0);
+        assert_eq!(events[2].unit, 0xAAAA);
+        assert_eq!(events[2].seq, 1);
+        assert_eq!(events[3].unit, 0xBBBB);
+        // Worker attribution landed in the wall envelope.
+        assert_eq!(events[1].wall.unwrap().worker, 1);
+        assert_eq!(events[3].wall.unwrap().worker, 2);
+        // Spans carry durations; instants do not.
+        assert!(events[1].wall.unwrap().dur_us.is_some());
+        assert!(events[2].wall.unwrap().dur_us.is_none());
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_with_open_order_seq() {
+        let collector = TraceCollector::new();
+        let sink = collector.sink().scoped(7);
+        {
+            let outer = sink.span(SpanKind::ClassifyAd, "outer");
+            let inner = sink.span(SpanKind::HoneyclientVisit, "inner");
+            inner.finish();
+            outer.finish();
+        }
+        let report = collector.finish();
+        let events = report.events();
+        assert_eq!(events.len(), 2);
+        // The outer span claimed seq 0 at open time even though it closed
+        // last, so it sorts first.
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[1].name, "inner");
+    }
+
+    #[test]
+    fn identical_recordings_strip_to_identical_payloads() {
+        let record = || {
+            let collector = TraceCollector::new();
+            let sink = collector.sink();
+            let unit = sink.scoped(0x1234);
+            unit.span(SpanKind::ClassifyAd, "http://ad.example/slot")
+                .finish();
+            unit.incident(
+                "[Blacklists] evil.biz listed by 9 feeds",
+                crate::Provenance::component(crate::OracleComponent::Blacklists).at_hop(2),
+            );
+            collector.finish()
+        };
+        let a = record();
+        let b = record();
+        assert_eq!(a.deterministic_jsonl(), b.deterministic_jsonl());
+        // The raw streams differ only in their wall envelopes (maybe not
+        // even that, but ids/units/seqs always agree).
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.stripped(), y.stripped());
+        }
+    }
+}

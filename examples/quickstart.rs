@@ -11,6 +11,7 @@
 
 use malvertising::core::study::{Study, StudyConfig};
 use malvertising::core::{analysis, report};
+use malvertising::trace::TraceCollector;
 use malvertising::types::CrawlSchedule;
 use malvertising::websim::WebConfig;
 
@@ -41,14 +42,18 @@ fn main() {
     );
     // The staged pipeline: crawl, then classify. The stages are public, so
     // the crawl output could be inspected or re-classified under different
-    // oracle settings without re-crawling.
+    // oracle settings without re-crawling. Both stages record on a trace
+    // collector, exported below.
     let study = Study::new(config);
-    let crawl = study.crawl();
+    let collector = TraceCollector::new();
+    let sink = collector.sink();
+    let crawl = study.crawl_traced(&sink);
     eprintln!(
         "crawl done: {} unique ads; classifying...",
         crawl.corpus.unique_count()
     );
-    let results = study.classify(crawl);
+    let results = study.classify_traced(crawl, &sink);
+    let trace = collector.finish();
 
     println!(
         "corpus: {} unique advertisements from {} observations over {} page loads\n",
@@ -99,9 +104,22 @@ fn main() {
         quality.false_block_rate() * 100.0
     );
 
-    let summary = results.summary();
+    let summary = results.summary_with_trace(&trace);
     println!("{}", report::render_run_metrics(&summary));
-    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
-    std::fs::write("run_summary.json", &json).expect("write run_summary.json");
-    eprintln!("wrote run_summary.json ({} bytes)", json.len());
+    let file = std::fs::File::create("run_summary.json").expect("create run_summary.json");
+    summary
+        .to_writer(std::io::BufWriter::new(file))
+        .expect("write run_summary.json");
+    eprintln!("wrote run_summary.json");
+
+    let (events_path, chrome_path) = trace
+        .write_dir(std::path::Path::new("trace_out"))
+        .expect("write trace_out/");
+    eprintln!(
+        "wrote {} ({} events) and {}; inspect with `malvert trace {}`",
+        events_path.display(),
+        trace.events().len(),
+        chrome_path.display(),
+        events_path.display()
+    );
 }

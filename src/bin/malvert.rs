@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
+//!               [--trace DIR]
+//! malvert trace EVENTS.JSONL [--top N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -13,6 +15,7 @@ use malvertising::core::study::{Study, StudyConfig};
 use malvertising::core::world::StudyWorld;
 use malvertising::core::{analysis, easylist, report};
 use malvertising::oracle::Oracle;
+use malvertising::trace::{TraceCollector, TraceReport};
 use malvertising::types::rng::SeedTree;
 use malvertising::types::{AdNetworkId, CrawlSchedule, SimTime};
 use malvertising::websim::WebConfig;
@@ -25,6 +28,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `trace` takes a positional path, which the generic flag parser
+    // rejects — dispatch it before parsing.
+    if command == "trace" {
+        return match cmd_trace(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -60,10 +74,15 @@ malvert — reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)
 
 USAGE:
   malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
-                   [--summary PATH]
+                   [--summary PATH] [--trace DIR]
                    run the full study and print every table and figure plus
                    the run metrics; emits the RunSummary JSON on stdout
-                   (--summary writes it pretty-printed to a file)
+                   (--summary streams it pretty-printed to a file; --trace
+                   records structured spans and writes DIR/events.jsonl plus
+                   DIR/trace.json for chrome://tracing)
+  malvert trace    EVENTS.JSONL [--top N]
+                   summarize a recorded trace: slowest spans, per-worker
+                   skew, flagged-ad provenance
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -126,7 +145,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         config.web.total_sites()
     );
     let study = Study::new(config);
-    let results = study.run();
+    let collector = flags.get("trace").map(|_| TraceCollector::new());
+    let results = match &collector {
+        Some(collector) => study.run_traced(&collector.sink()),
+        None => study.run(),
+    };
+    let trace_report = collector.map(TraceCollector::finish);
 
     println!(
         "corpus: {} unique ads / {} observations / {} page loads\n",
@@ -162,15 +186,31 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "{}",
         report::render_sandbox(&analysis::sandbox_usage(&results))
     );
-    let summary = results.summary();
+    let summary = match &trace_report {
+        Some(report) => results.summary_with_trace(report),
+        None => results.summary(),
+    };
     println!("{}", report::render_run_metrics(&summary));
     println!("{}", summary.to_json());
 
+    if let Some(dir) = flags.get("trace") {
+        let report = trace_report.as_ref().expect("trace collected");
+        let (events_path, chrome_path) = report
+            .write_dir(std::path::Path::new(dir))
+            .map_err(|e| format!("write trace to {dir}: {e}"))?;
+        eprintln!(
+            "wrote {} ({} events) and {}",
+            events_path.display(),
+            report.events().len(),
+            chrome_path.display()
+        );
+    }
     if let Some(path) = flags.get("summary") {
-        let json = serde_json::to_string_pretty(&summary)
-            .map_err(|e| format!("serialize summary: {e}"))?;
-        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
-        eprintln!("wrote {path} ({} bytes)", json.len());
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        summary
+            .to_writer(std::io::BufWriter::new(file))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
     }
     if let Some(path) = flags.get("json") {
         let json = serde_json::to_string_pretty(&results.ads)
@@ -178,6 +218,35 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path} ({} bytes)", json.len());
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut top = 10usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = iter.next().ok_or("flag --top needs a value")?;
+                top = v
+                    .parse()
+                    .map_err(|_| format!("invalid value `{v}` for --top"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}` for `malvert trace`"));
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("malvert trace takes exactly one events.jsonl path".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("usage: malvert trace EVENTS.JSONL [--top N]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let report = TraceReport::from_jsonl(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    print!("{}", report.render_summary(top));
     Ok(())
 }
 

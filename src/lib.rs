@@ -39,5 +39,6 @@ pub use malvert_html as html;
 pub use malvert_net as net;
 pub use malvert_oracle as oracle;
 pub use malvert_scanner as scanner;
+pub use malvert_trace as trace;
 pub use malvert_types as types;
 pub use malvert_websim as websim;

@@ -117,6 +117,40 @@ fn creative_deobfuscation_unwraps_layers() {
 }
 
 #[test]
+fn trace_summarizes_an_event_stream() {
+    // A hand-written three-event stream: one stage span, one classify-ad
+    // span, one incident with blacklist provenance.
+    let events = concat!(
+        r#"{"id":1,"unit":0,"seq":0,"kind":"crawl","name":"crawl","wall":{"ts_us":0,"dur_us":5000,"worker":0}}"#,
+        "\n",
+        r#"{"id":2,"unit":10,"seq":0,"kind":"classify_ad","name":"http://ad.example/slot","wall":{"ts_us":100,"dur_us":2000,"worker":1}}"#,
+        "\n",
+        r#"{"id":3,"unit":10,"seq":1,"kind":"incident","name":"[Blacklists] evil.biz listed by 9 feeds","provenance":{"component":"blacklists","chain_hop":1,"matched_feeds":["f1","f2"]},"wall":{"ts_us":150,"worker":1}}"#,
+        "\n",
+    );
+    let path = std::env::temp_dir().join(format!("malvert-test-{}.jsonl", std::process::id()));
+    std::fs::write(&path, events).expect("fixture written");
+    let out = malvert()
+        .args(["trace", path.to_str().unwrap(), "--top", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace: 3 events (2 spans, 1 incident records)"), "{text}");
+    assert!(text.contains("slowest spans:"));
+    assert!(text.contains("per-worker skew"));
+    assert!(text.contains("component blacklists, hop 1, feeds[2]"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_without_a_path_fails() {
+    let out = malvert().arg("trace").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("EVENTS.JSONL"));
+}
+
+#[test]
 fn scan_reports_and_writes_har() {
     let har_path = std::env::temp_dir().join(format!("malvert-test-{}.har", std::process::id()));
     let out = malvert()

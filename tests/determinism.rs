@@ -68,6 +68,33 @@ fn results_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn incident_provenance_byte_identical_across_worker_counts() {
+    // Provenance is part of the deterministic payload: the component, hop,
+    // and evidence lists attached to every incident must agree byte-for-byte
+    // between a sequential run and an 8-worker run.
+    let a = Study::new(config(31337, 1)).run();
+    let b = Study::new(config(31337, 8)).run();
+    let provenances = |results: &malvertising::core::study::StudyResults| -> Vec<String> {
+        results
+            .ads
+            .iter()
+            .flat_map(|ad| {
+                ad.incidents
+                    .iter()
+                    .map(|i| serde_json::to_string(&i.provenance).expect("serializable"))
+            })
+            .collect()
+    };
+    let pa = provenances(&a);
+    assert_eq!(pa, provenances(&b), "provenance diverges across worker counts");
+    assert!(!pa.is_empty(), "no incidents carried provenance");
+    assert!(
+        pa.iter().any(|p| p.contains("\"component\":\"blacklists\"")),
+        "no blacklist-attributed incident in the sample"
+    );
+}
+
+#[test]
 fn staged_pipeline_equals_run() {
     let study = Study::new(config(777, 4));
     let via_run = study.run();

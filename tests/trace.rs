@@ -1,0 +1,242 @@
+//! Trace subsystem integration: a traced run covers the whole pipeline,
+//! its events join to the classified corpus, incident provenance carries
+//! real evidence, and the deterministic payload is byte-identical across
+//! worker counts.
+
+use malvertising::core::study::{Study, StudyConfig, StudyResults};
+use malvertising::crawler::CrawlConfig;
+use malvertising::oracle::IncidentType;
+use malvertising::trace::{LogHistogram, OracleComponent, SpanKind, TraceCollector, TraceReport};
+use malvertising::types::CrawlSchedule;
+use malvertising::websim::WebConfig;
+use std::collections::BTreeSet;
+
+fn config(seed: u64, workers: usize) -> StudyConfig {
+    StudyConfig {
+        seed,
+        web: WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 25,
+            bottom_slice: 25,
+            random_slice: 40,
+            security_feed: 15,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: CrawlConfig {
+            schedule: CrawlSchedule::scaled(4, 2),
+            workers,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    }
+}
+
+fn traced_run(seed: u64, workers: usize) -> (Study, StudyResults, TraceReport) {
+    let study = Study::new(config(seed, workers));
+    let collector = TraceCollector::new();
+    let results = study.run_traced(&collector.sink());
+    let report = collector.finish();
+    (study, results, report)
+}
+
+#[test]
+fn stripped_trace_byte_identical_across_worker_counts() {
+    // The tentpole guarantee: stripping the wall envelopes leaves a payload
+    // stream that is a pure function of the study seed — byte-identical
+    // between a sequential run and an 8-worker run.
+    let (_, a_results, a) = traced_run(90210, 1);
+    let (_, b_results, b) = traced_run(90210, 8);
+    assert_eq!(
+        a.deterministic_jsonl(),
+        b.deterministic_jsonl(),
+        "stripped trace diverges across worker counts"
+    );
+    // And the traced results themselves agree with each other.
+    assert_eq!(
+        serde_json::to_string(&a_results.ads).unwrap(),
+        serde_json::to_string(&b_results.ads).unwrap()
+    );
+    // The summaries with latencies layered in still strip to identical
+    // deterministic residues (span counts survive; durations don't).
+    assert_eq!(
+        a_results.summary_with_trace(&a).without_timings().to_json(),
+        b_results.summary_with_trace(&b).without_timings().to_json()
+    );
+}
+
+#[test]
+fn traced_run_equals_untraced_run() {
+    // Tracing is pure observation: it must not perturb the classification.
+    let (_, traced, _) = traced_run(4242, 4);
+    let untraced = Study::new(config(4242, 4)).run();
+    assert_eq!(
+        serde_json::to_string(&traced.ads).unwrap(),
+        serde_json::to_string(&untraced.ads).unwrap()
+    );
+}
+
+#[test]
+fn trace_covers_pipeline_and_joins_to_corpus() {
+    let (study, results, report) = traced_run(777, 4);
+    let events = report.events();
+
+    // All four stage spans, on unit 0.
+    for kind in [
+        SpanKind::WorldBuild,
+        SpanKind::Crawl,
+        SpanKind::Classify,
+        SpanKind::Aggregate,
+    ] {
+        assert_eq!(
+            events.iter().filter(|e| e.kind == kind).count(),
+            1,
+            "expected exactly one {} stage span",
+            kind.label()
+        );
+        assert!(events.iter().any(|e| e.kind == kind && e.unit == 0));
+    }
+
+    // One crawl-visit span per page load, one classify-ad span per unique
+    // ad — the per-unit work spans tile the pipeline exactly.
+    let count = |kind| events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count(SpanKind::CrawlVisit), results.page_loads);
+    assert_eq!(count(SpanKind::ClassifyAd), results.unique_ads() as u64);
+    assert_eq!(
+        count(SpanKind::HoneyclientVisit),
+        results.unique_ads() as u64
+    );
+    assert!(count(SpanKind::BlacklistLookup) > 0);
+
+    // Incident events land on the flagged ad's creative-key unit, one per
+    // incident the oracle raised.
+    let creative_keys: BTreeSet<u64> = results.ads.iter().map(|a| a.creative_key).collect();
+    let incident_events = report.incidents();
+    let total_incidents: usize = results.ads.iter().map(|a| a.incidents.len()).sum();
+    assert_eq!(incident_events.len(), total_incidents);
+    assert!(total_incidents > 0, "no incidents to trace");
+    for event in &incident_events {
+        assert!(
+            creative_keys.contains(&event.unit),
+            "incident on unknown unit {:#x}",
+            event.unit
+        );
+        assert!(event.provenance.is_some(), "incident without provenance");
+    }
+
+    // Provenance carries the actual evidence the component saw.
+    let threshold = study.world.blacklists.threshold();
+    let consensus = study.world.scanner.consensus();
+    let mut blacklist_seen = false;
+    for ad in &results.ads {
+        for incident in &ad.incidents {
+            let p = &incident.provenance;
+            match incident.incident_type {
+                IncidentType::Blacklists => {
+                    blacklist_seen = true;
+                    assert_eq!(p.component, OracleComponent::Blacklists);
+                    assert!(p.matched_feeds.len() > threshold, "below feed threshold");
+                    let hop = p.chain_hop.expect("blacklist incidents are per-host") as usize;
+                    assert!(hop < ad.contacted_hosts.len(), "hop outside the ad path");
+                }
+                IncidentType::MaliciousExecutables | IncidentType::MaliciousFlash => {
+                    assert_eq!(p.component, OracleComponent::Scanner);
+                    assert!(p.engine_votes.len() >= consensus, "below engine consensus");
+                }
+                IncidentType::ModelDetection => {
+                    assert_eq!(p.component, OracleComponent::ModelDb);
+                }
+                _ => {
+                    assert_eq!(p.component, OracleComponent::Honeyclient);
+                }
+            }
+        }
+    }
+    assert!(blacklist_seen, "no blacklist incident in the sample");
+}
+
+#[test]
+fn latencies_layer_into_summary_and_exports_round_trip() {
+    let (_, results, report) = traced_run(1001, 4);
+    let summary = results.summary_with_trace(&report);
+
+    let merged = |kind| {
+        summary
+            .latencies
+            .iter()
+            .find(|l| l.kind == kind && l.worker.is_none())
+            .expect("merged latency entry")
+    };
+    assert_eq!(
+        merged(SpanKind::ClassifyAd).hist.count(),
+        results.unique_ads() as u64
+    );
+    assert_eq!(
+        merged(SpanKind::CrawlVisit).hist.count(),
+        results.page_loads
+    );
+    // Per-worker entries exist and re-merge to the combined histogram.
+    let mut remerged = LogHistogram::new();
+    for l in summary
+        .latencies
+        .iter()
+        .filter(|l| l.kind == SpanKind::ClassifyAd && l.worker.is_some())
+    {
+        remerged.merge(&l.hist);
+    }
+    assert_eq!(&remerged, &merged(SpanKind::ClassifyAd).hist);
+
+    // JSONL round-trips the full event stream.
+    let back = TraceReport::from_jsonl(&report.to_jsonl()).unwrap();
+    assert_eq!(back.events(), report.events());
+
+    // The Chrome trace is an array of {name, ph, ts, pid, tid} entries.
+    let chrome: serde_json::Value = serde_json::from_str(&report.to_chrome_trace()).unwrap();
+    let entries = chrome.as_array().expect("chrome trace is an array");
+    assert_eq!(entries.len(), report.events().len());
+    for entry in entries {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(entry.get(key).is_some(), "chrome entry missing {key}");
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    // Sharded recording depends on merge order not mattering: merging
+    // per-worker histograms in any grouping yields the same buckets.
+    let values: Vec<u64> = (0u64..600)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40)
+        .collect();
+    let record = |chunk: &[u64]| {
+        let mut h = LogHistogram::new();
+        for &v in chunk {
+            h.record_us(v);
+        }
+        h
+    };
+    let (a, b, c) = (
+        record(&values[..200]),
+        record(&values[200..400]),
+        record(&values[400..]),
+    );
+
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right, "merge is not associative");
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge is not commutative");
+
+    let whole = record(&values);
+    assert_eq!(left, whole, "sharded recording diverges from one-shot");
+    assert_eq!(whole.count(), 600);
+}
