@@ -11,8 +11,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use malvert_adscript::{Interpreter, Limits, NoHost};
 use malvert_bench::shared_study;
+use malvert_bench::synth::{synthetic_context, synthetic_list, synthetic_urls};
 use malvert_blacklist::{BlacklistService, DomainTruth};
-use malvert_filterlist::{FilterSet, RequestContext};
+use malvert_filterlist::{FilterSet, MatchScratch, RequestContext};
 use malvert_scanner::{MalwareFamily, Payload, PayloadKind, ScanService};
 use malvert_types::rng::SeedTree;
 use malvert_types::{DetRng, DomainName, Url};
@@ -70,6 +71,40 @@ fn bench_filterlist(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// Indexed-vs-naive matcher comparison on the shared synthetic workloads
+/// (the same ones `malvert bench-json` times). The indexed path reuses one
+/// [`MatchScratch`] the way the crawler's per-worker engine does.
+fn bench_filterlist_index(c: &mut Criterion) {
+    for rules in [100usize, 1_000, 10_000] {
+        let set = FilterSet::parse(&synthetic_list(rules, 0xF117));
+        let urls = synthetic_urls(200, rules, 0xF117 + 1);
+        let ctx = synthetic_context();
+
+        let mut group = c.benchmark_group(format!("filterlist_index/{rules}_rules"));
+        group.throughput(Throughput::Elements(urls.len() as u64));
+        group.bench_function("indexed", |b| {
+            let mut scratch = MatchScratch::default();
+            b.iter(|| {
+                let hits = urls
+                    .iter()
+                    .filter(|u| set.matches_with(u, &ctx, &mut scratch).is_ad())
+                    .count();
+                black_box(hits)
+            })
+        });
+        group.bench_function("naive", |b| {
+            b.iter(|| {
+                let hits = urls
+                    .iter()
+                    .filter(|u| set.matches_naive(u, &ctx).is_ad())
+                    .count();
+                black_box(hits)
+            })
+        });
+        group.finish();
+    }
 }
 
 fn bench_adscript(c: &mut Criterion) {
@@ -195,6 +230,7 @@ fn bench_blacklist_and_scanner(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_filterlist,
+    bench_filterlist_index,
     bench_adscript,
     bench_blacklist_and_scanner
 );

@@ -11,15 +11,18 @@
 //!   analysis.
 //! * `corpus` — crawl throughput (page loads/sec) and corpus
 //!   deduplication.
-//! * `components` — component ablations: EasyList matching throughput,
-//!   AdScript deobfuscation throughput, blacklist threshold sweep, scanner
-//!   consensus sweep.
+//! * `components` — component ablations: EasyList matching throughput
+//!   (including indexed-vs-naive matcher comparisons on the [`synth`]
+//!   workloads at 100/1k/10k rules), AdScript deobfuscation throughput,
+//!   blacklist threshold sweep, scanner consensus sweep.
 //! * `countermeasures` — §5 ablation comparison.
 
 use malvert_core::study::{Study, StudyConfig, StudyResults};
 use malvert_types::CrawlSchedule;
 use malvert_websim::WebConfig;
 use std::sync::OnceLock;
+
+pub mod synth;
 
 /// The configuration used by bench runs: large enough for stable shapes,
 /// small enough that `cargo bench` finishes in minutes.

@@ -1,0 +1,102 @@
+//! Deterministic synthetic filter lists and URL workloads for the
+//! indexed-vs-naive matcher benchmarks.
+//!
+//! Everything here is a pure function of `(size, seed)`, so the Criterion
+//! bench target (`components`) and the `malvert bench-json` subcommand time
+//! exactly the same workload and their numbers are comparable across runs
+//! and machines.
+//!
+//! The rule mix mirrors the shapes the generated SimEasyList uses — domain
+//! anchors dominate, with path substrings, wildcards, start anchors,
+//! resource-type options, `$third-party`, and a sprinkle of `@@`
+//! exceptions. URL workloads are ~half potential hits (built from a random
+//! rule's domain or path) and ~half clean traffic.
+
+use malvert_filterlist::RequestContext;
+use malvert_types::{DetRng, DomainName, Url};
+
+/// Generates an EasyList-style list of `rules` rules, deterministic in
+/// `(rules, seed)`.
+pub fn synthetic_list(rules: usize, seed: u64) -> String {
+    let mut rng = DetRng::new(seed);
+    let mut out = String::from("[Adblock Plus 2.0]\n");
+    for i in 0..rules {
+        let line = match rng.below(100) {
+            0..=49 => format!("||ad{i}.srv{}.com^", i % 97),
+            50..=64 => format!("/creative{i}/"),
+            65..=74 => format!("/track{i}/*session="),
+            75..=84 => format!("|http://pop{i}."),
+            85..=91 => format!("/zone{i}/$subdocument"),
+            92..=96 => format!("||beacon{i}.net^$third-party"),
+            _ => format!("@@||ad{i}.srv{}.com/whitelisted/", i % 97),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates `count` request URLs against a list of `rules` rules,
+/// deterministic in `(count, rules, seed)`. Roughly half reference a random
+/// rule's domain or path (potential hits); the rest are clean traffic.
+pub fn synthetic_urls(count: usize, rules: usize, seed: u64) -> Vec<Url> {
+    let mut rng = DetRng::new(seed);
+    (0..count)
+        .map(|j| {
+            let r = rng.below(rules.max(1));
+            let text = match rng.below(4) {
+                0 => format!("http://ad{r}.srv{}.com/landing?slot={j}", r % 97),
+                1 => format!("http://pub{}.example.com/creative{r}/frame.html", j % 13),
+                2 => format!("http://cdn{}.example.net/static/asset{j}.js", j % 7),
+                _ => format!("http://site{}.example.org/article/{j}?ref=front", j % 31),
+            };
+            Url::parse(&text).expect("synthetic URL parses")
+        })
+        .collect()
+}
+
+/// The request context the synthetic workload is matched in: an iframe on
+/// a third-party publisher page.
+pub fn synthetic_context() -> RequestContext {
+    RequestContext::iframe_from(&DomainName::parse("publisher.example.com").expect("static host"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_filterlist::{FilterSet, MatchScratch};
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        assert_eq!(synthetic_list(200, 7), synthetic_list(200, 7));
+        assert_ne!(synthetic_list(200, 7), synthetic_list(200, 8));
+        let a = synthetic_urls(50, 200, 3);
+        let b = synthetic_urls(50, 200, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn list_parses_and_workload_mixes_hits_and_misses() {
+        let set = FilterSet::parse(&synthetic_list(500, 11));
+        assert!(set.blocking_rule_count() > 400);
+        let urls = synthetic_urls(200, 500, 12);
+        let ctx = synthetic_context();
+        let hits = urls.iter().filter(|u| set.is_ad_url(u, &ctx)).count();
+        assert!(hits > 0, "workload never hits the list");
+        assert!(hits < urls.len(), "workload always hits the list");
+    }
+
+    #[test]
+    fn indexed_and_naive_agree_on_the_synthetic_workload() {
+        let set = FilterSet::parse(&synthetic_list(1_000, 21));
+        let ctx = synthetic_context();
+        let mut scratch = MatchScratch::default();
+        for url in synthetic_urls(300, 1_000, 22) {
+            assert_eq!(
+                set.matches_with(&url, &ctx, &mut scratch),
+                set.matches_naive(&url, &ctx),
+                "divergence on {url}"
+            );
+        }
+    }
+}

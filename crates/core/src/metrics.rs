@@ -60,8 +60,13 @@ pub struct StageTiming {
     pub wall_us: u64,
 }
 
-/// Pipeline work counters. All are exact tallies, deterministic in the
-/// study seed (unlike the timings).
+/// Pipeline work counters. All are exact tallies; every counter except the
+/// filter-memo split and candidate tally is deterministic in the study seed
+/// (unlike the timings). The memo is per-worker, so which lookups hit it —
+/// and therefore how many candidate evaluations the misses cost — depends
+/// on how the scheduler dealt visits to workers;
+/// [`RunSummary::without_timings`] zeroes those scheduling-dependent fields
+/// while keeping the deterministic lookup total.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunCounters {
     /// Publisher page loads the crawl performed.
@@ -78,6 +83,24 @@ pub struct RunCounters {
     /// Blacklist-feed lookups (one per distinct contacted host per
     /// classified visit).
     pub feed_lookups: u64,
+    /// Filter-list match queries the crawl performed (one per candidate
+    /// iframe; memo hits included). Deterministic in the study seed.
+    #[serde(default)]
+    pub filter_lookups: u64,
+    /// Filter queries answered from a per-worker verdict memo.
+    /// Scheduling-dependent: stripped by [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub filter_cache_hits: u64,
+    /// Filter queries that ran the matcher. Scheduling-dependent (the
+    /// complement of the hits): stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub filter_cache_misses: u64,
+    /// Candidate rules the token index evaluated across all misses.
+    /// Scheduling-dependent (proportional to misses): stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub filter_candidates_evaluated: u64,
 }
 
 /// Instrumentation for one pipeline run: stage timings plus counters.
@@ -202,13 +225,20 @@ impl RunSummary {
     }
 
     /// A copy with the wall-clock-derived parts reduced to their
-    /// deterministic residue: timings cleared, and latency entries reduced
+    /// deterministic residue: timings cleared, latency entries reduced
     /// to merged-across-workers span *counts* (which worker ran a span and
     /// how long it took are scheduling accidents; that the span ran, and how
-    /// many of its kind ran, are seed-determined). Everything that remains
-    /// is deterministic in the study seed, so two runs of the same study
-    /// must agree byte-for-byte regardless of worker count.
+    /// many of its kind ran, are seed-determined), and the filter-memo
+    /// hit/miss/candidate counters zeroed (the per-worker memo makes them
+    /// depend on visit-to-worker scheduling; the lookup *total* is
+    /// seed-determined and survives). Everything that remains is
+    /// deterministic in the study seed, so two runs of the same study must
+    /// agree byte-for-byte regardless of worker count.
     pub fn without_timings(&self) -> RunSummary {
+        let mut counters = self.counters;
+        counters.filter_cache_hits = 0;
+        counters.filter_cache_misses = 0;
+        counters.filter_candidates_evaluated = 0;
         RunSummary {
             timings: Vec::new(),
             latencies: self
@@ -217,6 +247,7 @@ impl RunSummary {
                 .filter(|l| l.worker.is_none())
                 .map(|l| l.counts_only())
                 .collect(),
+            counters,
             ..self.clone()
         }
     }
@@ -264,6 +295,10 @@ mod tests {
                 oracle_executions: 100,
                 script_budgets_exhausted: 0,
                 feed_lookups: 350,
+                filter_lookups: 240,
+                filter_cache_hits: 180,
+                filter_cache_misses: 60,
+                filter_candidates_evaluated: 95,
             },
             timings: vec![StageTiming {
                 stage: StageId::Crawl,
@@ -291,6 +326,39 @@ mod tests {
         let stripped = summary.without_timings();
         assert!(stripped.timings.is_empty());
         assert_eq!(stripped.unique_ads, 7);
+    }
+
+    #[test]
+    fn without_timings_zeroes_scheduling_dependent_filter_counters() {
+        let summary = RunSummary {
+            counters: RunCounters {
+                filter_lookups: 100,
+                filter_cache_hits: 70,
+                filter_cache_misses: 30,
+                filter_candidates_evaluated: 45,
+                ..RunCounters::default()
+            },
+            ..RunSummary::default()
+        };
+        let stripped = summary.without_timings();
+        // The lookup total is seed-determined and survives; the per-worker
+        // memo split and its candidate cost do not.
+        assert_eq!(stripped.counters.filter_lookups, 100);
+        assert_eq!(stripped.counters.filter_cache_hits, 0);
+        assert_eq!(stripped.counters.filter_cache_misses, 0);
+        assert_eq!(stripped.counters.filter_candidates_evaluated, 0);
+    }
+
+    #[test]
+    fn counters_deserialize_from_legacy_summaries() {
+        // Summaries written before the filter engine lack the new keys;
+        // they must still load, defaulting the counters to zero.
+        let legacy = r#"{"page_loads":6,"ads_observed":5,"unique_ads":4,
+            "oracle_executions":4,"script_budgets_exhausted":0,"feed_lookups":9}"#;
+        let back: RunCounters = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.page_loads, 6);
+        assert_eq!(back.filter_lookups, 0);
+        assert_eq!(back.filter_cache_hits, 0);
     }
 
     #[test]

@@ -261,6 +261,11 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
         c.feed_lookups,
         c.script_budgets_exhausted
     ));
+    out.push_str(&format!(
+        "filter lookups {} | memo hits {} | memo misses {} | \
+         candidate rules evaluated {}\n",
+        c.filter_lookups, c.filter_cache_hits, c.filter_cache_misses, c.filter_candidates_evaluated
+    ));
     let merged: Vec<_> = summary
         .latencies
         .iter()
@@ -365,6 +370,10 @@ mod tests {
                 oracle_executions: 20,
                 script_budgets_exhausted: 1,
                 feed_lookups: 80,
+                filter_lookups: 96,
+                filter_cache_hits: 64,
+                filter_cache_misses: 32,
+                filter_candidates_evaluated: 40,
             },
             timings: vec![
                 StageTiming {
@@ -383,6 +392,8 @@ mod tests {
         assert!(s.contains("1.5 ms"));
         assert!(s.contains("4.0 ms"));
         assert!(s.contains("oracle runs 20"));
+        assert!(s.contains("filter lookups 96"));
+        assert!(s.contains("memo hits 64"));
         // Untraced runs render no latency block.
         assert!(!s.contains("span latencies"));
 

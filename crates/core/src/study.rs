@@ -14,7 +14,9 @@ use crate::metrics::{
 };
 use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
-use malvert_crawler::{creative_key, AdCorpus, CrawlConfig, Crawler, UniqueAd};
+use malvert_crawler::{
+    creative_key, AdCorpus, CrawlConfig, Crawler, FilterCounts, FilterStats, UniqueAd,
+};
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
 use malvert_trace::{SpanKind, TraceReport, TraceSink};
 use malvert_types::{AdNetworkId, CampaignId, SimTime, SiteId, Url};
@@ -142,6 +144,9 @@ pub struct CrawlSummary {
     pub hijack_counts: (u64, u64),
     /// Page loads performed.
     pub page_loads: u64,
+    /// Filter-engine work counters for the crawl (lookups, memo hits and
+    /// misses, candidate rules evaluated).
+    pub filter: FilterCounts,
     /// Wall-clock time the crawl stage took.
     pub wall: Duration,
 }
@@ -299,10 +304,12 @@ impl Study {
         trace.span_completed(SpanKind::WorldBuild, "world build", self.build_wall);
         let stage_span = trace.span(SpanKind::Crawl, "crawl");
         let started = Instant::now();
+        let filter_stats = FilterStats::new();
         let crawler = Crawler::builder(&self.world.network, &self.world.filter)
             .config(self.config.crawl.clone())
             .seeds(self.world.tree)
             .trace(trace.clone())
+            .filter_stats(filter_stats.clone())
             .build();
         let mut corpus = AdCorpus::new();
         let mut chain_lengths: HashMap<u64, BTreeMap<usize, u64>> = HashMap::new();
@@ -334,6 +341,7 @@ impl Study {
             iframe_census,
             hijack_counts,
             page_loads,
+            filter: filter_stats.snapshot(),
             wall: started.elapsed(),
         };
         stage_span.finish();
@@ -367,6 +375,7 @@ impl Study {
             iframe_census,
             hijack_counts,
             page_loads,
+            filter,
             wall: crawl_wall,
         } = crawl;
 
@@ -429,6 +438,10 @@ impl Study {
             oracle_executions: stats.visits(),
             script_budgets_exhausted: stats.budget_exhaustions(),
             feed_lookups: stats.feed_lookups(),
+            filter_lookups: filter.lookups,
+            filter_cache_hits: filter.cache_hits,
+            filter_cache_misses: filter.cache_misses,
+            filter_candidates_evaluated: filter.candidates_evaluated,
         };
         let mut metrics = RunMetrics::new(counters);
         metrics.record(StageId::WorldBuild, self.build_wall);

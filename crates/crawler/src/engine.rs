@@ -1,0 +1,296 @@
+//! The per-worker filter engine: reusable match scratch plus a bounded
+//! memo of recent verdicts, with shared hit/miss counters.
+//!
+//! The crawl stage asks the filter list the same question over and over —
+//! the same creative and tracker URLs recur across page loads and refresh
+//! visits. A [`FilterEngine`] wraps the [`FilterSet`] with:
+//!
+//! * a [`malvert_filterlist::MatchScratch`], so steady-state matching does
+//!   not allocate;
+//! * a bounded memo from `(normalized URL, context class)` to the previous
+//!   [`MatchResult`]. Keys are the *full* normalized strings, never hashes:
+//!   a memo hit returns a verdict stored under a byte-identical key for a
+//!   pure function of that key, so cache hits can never change
+//!   classification output — only skip recomputing it.
+//!
+//! Each worker thread owns its own engine (the memo is not shared), which
+//! keeps the hot path lock-free. The consequence: *which* lookups hit the
+//! memo depends on how the scheduler dealt visits to workers, so the
+//! hit/miss split is not deterministic — the deterministic quantity is the
+//! total lookup count. [`FilterStats`] carries all of them; the metrics
+//! layer strips the scheduling-dependent ones from deterministic residues.
+
+use malvert_filterlist::{FilterSet, MatchResult, MatchScratch, RequestContext, ResourceType};
+use malvert_types::Url;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time snapshot of [`FilterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterCounts {
+    /// Filter queries answered (memo hits included).
+    pub lookups: u64,
+    /// Queries answered from a per-worker memo.
+    pub cache_hits: u64,
+    /// Queries that ran the matcher.
+    pub cache_misses: u64,
+    /// Candidate rules the token index actually evaluated across all
+    /// misses (the naive scan would have evaluated the whole list each
+    /// time).
+    pub candidates_evaluated: u64,
+}
+
+/// Shared filter-engine counters. Cloning hands out another handle to the
+/// same tallies; all counters are relaxed atomics (pure tallies, no
+/// ordering obligations).
+#[derive(Debug, Clone, Default)]
+pub struct FilterStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    candidates: AtomicU64,
+}
+
+impl FilterStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Filter queries answered so far (memo hits included).
+    pub fn lookups(&self) -> u64 {
+        self.inner.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered from a per-worker memo.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran the matcher.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Candidate rules evaluated by the token index across all misses.
+    pub fn candidates_evaluated(&self) -> u64 {
+        self.inner.candidates.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter at once.
+    pub fn snapshot(&self) -> FilterCounts {
+        FilterCounts {
+            lookups: self.lookups(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            candidates_evaluated: self.candidates_evaluated(),
+        }
+    }
+
+    fn record_hit(&self) {
+        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_miss(&self, candidates: u64) {
+        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .candidates
+            .fetch_add(candidates, Ordering::Relaxed);
+    }
+}
+
+/// One worker's matching front end over a shared [`FilterSet`].
+#[derive(Debug)]
+pub struct FilterEngine<'a> {
+    set: &'a FilterSet,
+    scratch: MatchScratch,
+    memo: HashMap<String, MatchResult>,
+    key_buf: String,
+    capacity: usize,
+    stats: FilterStats,
+}
+
+impl<'a> FilterEngine<'a> {
+    /// A fresh engine over `set`. `capacity` bounds the memo entry count
+    /// (0 disables memoization); `stats` receives this engine's tallies.
+    pub fn new(set: &'a FilterSet, capacity: usize, stats: FilterStats) -> Self {
+        FilterEngine {
+            set,
+            scratch: MatchScratch::default(),
+            memo: HashMap::new(),
+            key_buf: String::new(),
+            capacity,
+            stats,
+        }
+    }
+
+    /// Matches `url` in `ctx`, consulting the memo first. Returns exactly
+    /// what [`FilterSet::matches`] would — memoization and the token index
+    /// are invisible in the result.
+    pub fn matches(&mut self, url: &Url, ctx: &RequestContext) -> MatchResult {
+        if self.capacity == 0 {
+            let (result, candidates) = self.set.matches_counted(url, ctx, &mut self.scratch);
+            self.stats.record_miss(candidates);
+            return result;
+        }
+        // Memo key: the same normalized URL text the matcher sees, plus
+        // the context class (source host + resource type) — everything the
+        // match outcome can depend on.
+        url.normalize_into(&mut self.key_buf);
+        self.key_buf.push('\n');
+        if let Some(host) = &ctx.source_host {
+            self.key_buf.push_str(host.as_str());
+        }
+        self.key_buf.push('\n');
+        self.key_buf.push(resource_tag(ctx.resource));
+        if let Some(result) = self.memo.get(self.key_buf.as_str()) {
+            self.stats.record_hit();
+            return result.clone();
+        }
+        let (result, candidates) = self.set.matches_counted(url, ctx, &mut self.scratch);
+        self.stats.record_miss(candidates);
+        // Bounded memo: wholesale clear at capacity. Crude but branch-cheap
+        // and allocation-friendly; the working set (distinct creative and
+        // tracker URLs) is far smaller than any sensible capacity, so
+        // clears are rare.
+        if self.memo.len() >= self.capacity {
+            self.memo.clear();
+        }
+        self.memo.insert(self.key_buf.clone(), result.clone());
+        result
+    }
+
+    /// The memo's current entry count (for tests and diagnostics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+fn resource_tag(resource: ResourceType) -> char {
+    match resource {
+        ResourceType::Subdocument => 's',
+        ResourceType::Script => 'j',
+        ResourceType::Image => 'i',
+        ResourceType::Document => 'd',
+        ResourceType::Other => 'o',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::DomainName;
+
+    fn set() -> FilterSet {
+        FilterSet::parse("||ads.com^\n@@||ads.com/ok/\n/banner/$subdocument")
+    }
+
+    fn ctx(source: &str) -> RequestContext {
+        RequestContext::iframe_from(&DomainName::parse(source).unwrap())
+    }
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn memo_hits_return_identical_results() {
+        let filter = set();
+        let stats = FilterStats::new();
+        let mut engine = FilterEngine::new(&filter, 128, stats.clone());
+        let cases = [
+            "http://ads.com/serve?slot=1",
+            "http://ads.com/ok/fine",
+            "http://clean.org/page",
+            "http://pub.net/banner/top",
+        ];
+        let first: Vec<MatchResult> = cases
+            .iter()
+            .map(|u| engine.matches(&url(u), &ctx("pub.net")))
+            .collect();
+        let second: Vec<MatchResult> = cases
+            .iter()
+            .map(|u| engine.matches(&url(u), &ctx("pub.net")))
+            .collect();
+        assert_eq!(first, second);
+        for (case, result) in cases.iter().zip(&first) {
+            assert_eq!(result, &filter.matches(&url(case), &ctx("pub.net")));
+        }
+        let counts = stats.snapshot();
+        assert_eq!(counts.lookups, 8);
+        assert_eq!(counts.cache_misses, 4);
+        assert_eq!(counts.cache_hits, 4);
+    }
+
+    #[test]
+    fn context_class_is_part_of_the_key() {
+        // `$subdocument` rules match iframes but not scripts: the memo must
+        // keep those verdicts apart.
+        let filter = set();
+        let mut engine = FilterEngine::new(&filter, 128, FilterStats::new());
+        let u = url("http://pub.net/banner/top");
+        let iframe = ctx("pub.net");
+        let script = RequestContext {
+            source_host: Some(DomainName::parse("pub.net").unwrap()),
+            resource: ResourceType::Script,
+        };
+        assert!(engine.matches(&u, &iframe).is_ad());
+        assert!(!engine.matches(&u, &script).is_ad());
+        // And again, now both answered from the memo.
+        assert!(engine.matches(&u, &iframe).is_ad());
+        assert!(!engine.matches(&u, &script).is_ad());
+
+        // Source host distinguishes keys too ($domain= / third-party).
+        let third = FilterSet::parse("||w.com^$third-party");
+        let mut engine = FilterEngine::new(&third, 128, FilterStats::new());
+        let wu = url("http://w.com/x");
+        assert!(engine.matches(&wu, &ctx("pub.net")).is_ad());
+        assert!(!engine.matches(&wu, &ctx("www.w.com")).is_ad());
+    }
+
+    #[test]
+    fn capacity_bounds_memo_and_zero_disables() {
+        let filter = set();
+        let stats = FilterStats::new();
+        let mut engine = FilterEngine::new(&filter, 4, stats.clone());
+        for i in 0..100 {
+            engine.matches(&url(&format!("http://clean.org/p{i}")), &ctx("pub.net"));
+        }
+        assert!(engine.memo_len() <= 4, "memo exceeded capacity");
+
+        let stats = FilterStats::new();
+        let mut engine = FilterEngine::new(&filter, 0, stats.clone());
+        let u = url("http://ads.com/serve");
+        engine.matches(&u, &ctx("pub.net"));
+        engine.matches(&u, &ctx("pub.net"));
+        assert_eq!(engine.memo_len(), 0);
+        let counts = stats.snapshot();
+        assert_eq!(counts.cache_hits, 0);
+        assert_eq!(counts.cache_misses, 2);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let filter = set();
+        let stats = FilterStats::new();
+        let mut engine = FilterEngine::new(&filter, 16, stats.clone());
+        for i in 0..10 {
+            // Half repeats.
+            let u = url(&format!("http://ads.com/serve?slot={}", i % 5));
+            engine.matches(&u, &ctx("pub.net"));
+        }
+        let counts = stats.snapshot();
+        assert_eq!(counts.lookups, 10);
+        assert_eq!(counts.cache_hits + counts.cache_misses, counts.lookups);
+        assert_eq!(counts.cache_hits, 5);
+        assert!(counts.candidates_evaluated >= counts.cache_misses);
+    }
+}

@@ -1,5 +1,6 @@
 //! The crawl harness: visit scheduling, ad-iframe extraction, worker pool.
 
+use crate::engine::{FilterEngine, FilterStats};
 use crossbeam::channel;
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_filterlist::{FilterSet, RequestContext};
@@ -68,6 +69,10 @@ pub struct CrawlConfig {
     pub workers: usize,
     /// Browser limits per page load.
     pub browser_limits: BrowserLimits,
+    /// Per-worker filter-verdict memo capacity, in entries (0 disables
+    /// memoization). The memo only short-circuits recomputation — it can
+    /// never change a verdict — so this is purely a speed/memory knob.
+    pub filter_memo: usize,
 }
 
 impl Default for CrawlConfig {
@@ -76,6 +81,7 @@ impl Default for CrawlConfig {
             schedule: CrawlSchedule::scaled(10, 2),
             workers: 8,
             browser_limits: BrowserLimits::default(),
+            filter_memo: 4096,
         }
     }
 }
@@ -91,6 +97,7 @@ pub struct CrawlerBuilder<'a> {
     config: CrawlConfig,
     study: SeedTree,
     trace: TraceSink,
+    filter_stats: FilterStats,
 }
 
 impl<'a> CrawlerBuilder<'a> {
@@ -132,6 +139,20 @@ impl<'a> CrawlerBuilder<'a> {
         self
     }
 
+    /// Sets the per-worker filter-verdict memo capacity (see
+    /// [`CrawlConfig::filter_memo`]).
+    pub fn filter_memo(mut self, entries: usize) -> Self {
+        self.config.filter_memo = entries;
+        self
+    }
+
+    /// Attaches shared filter-engine counters; every worker's engine tallies
+    /// into this handle, so snapshot it after [`Crawler::run`] returns.
+    pub fn filter_stats(mut self, stats: FilterStats) -> Self {
+        self.filter_stats = stats;
+        self
+    }
+
     /// Assembles the crawler.
     pub fn build(self) -> Crawler<'a> {
         Crawler {
@@ -140,6 +161,7 @@ impl<'a> CrawlerBuilder<'a> {
             config: self.config,
             study: self.study,
             trace: self.trace,
+            filter_stats: self.filter_stats,
         }
     }
 }
@@ -151,6 +173,7 @@ pub struct Crawler<'a> {
     config: CrawlConfig,
     study: SeedTree,
     trace: TraceSink,
+    filter_stats: FilterStats,
 }
 
 /// The trace unit key of one scheduled page visit: site index in the high
@@ -170,17 +193,40 @@ impl<'a> Crawler<'a> {
             config: CrawlConfig::default(),
             study: SeedTree::new(0),
             trace: TraceSink::disabled(),
+            filter_stats: FilterStats::new(),
         }
+    }
+
+    /// A fresh filter engine for one worker thread (or one standalone
+    /// visit), tallying into the crawler's shared [`FilterStats`].
+    fn filter_engine(&self) -> FilterEngine<'a> {
+        FilterEngine::new(
+            self.filter,
+            self.config.filter_memo,
+            self.filter_stats.clone(),
+        )
+    }
+
+    /// The shared filter-engine counters workers tally into.
+    pub fn filter_stats(&self) -> &FilterStats {
+        &self.filter_stats
     }
 
     /// Visits one site at one schedule slot.
     pub fn crawl_visit(&self, site: &Site, time: SimTime) -> VisitRecord {
-        self.crawl_visit_traced(site, time, &self.trace)
+        self.crawl_visit_traced(site, time, &self.trace, &mut self.filter_engine())
     }
 
     /// [`Crawler::crawl_visit`] recorded on an explicit sink (the worker
-    /// pool passes per-worker shards here).
-    fn crawl_visit_traced(&self, site: &Site, time: SimTime, trace: &TraceSink) -> VisitRecord {
+    /// pool passes per-worker shards here) with a caller-owned filter
+    /// engine, so memo and scratch persist across a worker's visits.
+    fn crawl_visit_traced(
+        &self,
+        site: &Site,
+        time: SimTime,
+        trace: &TraceSink,
+        engine: &mut FilterEngine<'_>,
+    ) -> VisitRecord {
         let scoped = trace.scoped(visit_unit_key(site.id, time));
         let span = scoped.span(SpanKind::CrawlVisit, format!("{} {}", site.domain, time));
         let browser = Browser::new(
@@ -190,13 +236,20 @@ impl<'a> Crawler<'a> {
             self.study,
         );
         let visit = browser.visit(&site.front_page(), time);
-        let record = self.extract(site, time, &visit);
+        let record = self.extract(site, time, &visit, engine, &scoped);
         span.finish();
         record
     }
 
     /// Extracts the crawl record from a completed page visit.
-    fn extract(&self, site: &Site, time: SimTime, visit: &PageVisit) -> VisitRecord {
+    fn extract(
+        &self,
+        site: &Site,
+        time: SimTime,
+        visit: &PageVisit,
+        engine: &mut FilterEngine<'_>,
+        scoped: &TraceSink,
+    ) -> VisitRecord {
         let hijack_exposures = visit
             .events
             .iter()
@@ -244,7 +297,14 @@ impl<'a> Crawler<'a> {
                 Some(c) => c,
                 None => break,
             };
-            let matched = self.filter.matches(&request_url, &ctx);
+            let matched = if scoped.is_enabled() {
+                let span = scoped.span(SpanKind::FilterMatch, request_url.without_fragment());
+                let matched = engine.matches(&request_url, &ctx);
+                span.finish();
+                matched
+            } else {
+                engine.matches(&request_url, &ctx)
+            };
             if let malvert_filterlist::MatchResult::Blocked(rule) = matched {
                 let chain = chain_from(&visit.capture, &request_url);
                 ads.push(AdObservation {
@@ -278,9 +338,12 @@ impl<'a> Crawler<'a> {
     pub fn run(&self, sites: &[Site], mut sink: impl FnMut(VisitRecord)) {
         let workers = self.config.workers.max(1);
         if workers == 1 {
+            // One engine for the whole crawl: the memo carries across
+            // visits, exactly like each parallel worker's does.
+            let mut engine = self.filter_engine();
             for site in sites {
                 for time in self.config.schedule.slots() {
-                    sink(self.crawl_visit(site, time));
+                    sink(self.crawl_visit_traced(site, time, &self.trace, &mut engine));
                 }
             }
             return;
@@ -296,16 +359,21 @@ impl<'a> Crawler<'a> {
                 let next = &next;
                 let slots = &slots;
                 let wtrace = self.trace.for_worker(worker as u32);
-                scope.spawn(move |_| loop {
-                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if job >= total_jobs {
-                        break;
-                    }
-                    let site = &sites[job / slots.len()];
-                    let time = slots[job % slots.len()];
-                    let record = self.crawl_visit_traced(site, time, &wtrace);
-                    if tx.send(record).is_err() {
-                        break;
+                scope.spawn(move |_| {
+                    // Per-worker engine: memo hits depend on which visits
+                    // this worker drew, but verdicts never do.
+                    let mut engine = self.filter_engine();
+                    loop {
+                        let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if job >= total_jobs {
+                            break;
+                        }
+                        let site = &sites[job / slots.len()];
+                        let time = slots[job % slots.len()];
+                        let record = self.crawl_visit_traced(site, time, &wtrace, &mut engine);
+                        if tx.send(record).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -453,6 +521,7 @@ mod tests {
             schedule: CrawlSchedule::scaled(2, 2),
             workers: 1,
             browser_limits: BrowserLimits::default(),
+            filter_memo: 64,
         };
         let crawler = Crawler::builder(&net, &filter)
             .config(config.clone())
@@ -486,6 +555,32 @@ mod tests {
         let mut count = 0;
         crawler.run(&sites, |_| count += 1);
         assert_eq!(count, 4 * 3 * 5);
+    }
+
+    #[test]
+    fn filter_stats_tally_and_total_lookups_deterministic() {
+        let (net, web, _ads, filter) = mini_world();
+        let sites: Vec<Site> = web.sites.iter().take(4).cloned().collect();
+        let run = |workers: usize| {
+            let stats = FilterStats::new();
+            let crawler = Crawler::builder(&net, &filter)
+                .schedule(CrawlSchedule::scaled(2, 2))
+                .workers(workers)
+                .seeds(SeedTree::new(99))
+                .filter_stats(stats.clone())
+                .build();
+            crawler.run(&sites, |_| {});
+            stats.snapshot()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert!(seq.lookups > 0, "crawl performed no filter lookups");
+        assert_eq!(seq.cache_hits + seq.cache_misses, seq.lookups);
+        assert_eq!(par.cache_hits + par.cache_misses, par.lookups);
+        // The lookup total is a pure function of the schedule and the
+        // simulated pages; only the hit/miss split may move with worker
+        // scheduling.
+        assert_eq!(seq.lookups, par.lookups);
     }
 
     #[test]

@@ -18,9 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod engine;
 pub mod harness;
 
 pub use corpus::{creative_key, AdCorpus, UniqueAd};
+pub use engine::{FilterCounts, FilterEngine, FilterStats};
 pub use harness::{
     visit_unit_key, AdObservation, CrawlConfig, Crawler, CrawlerBuilder, VisitRecord,
 };

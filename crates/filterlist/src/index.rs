@@ -1,0 +1,297 @@
+//! Token-bucketed rule index.
+//!
+//! Production ad-blockers do not scan every rule per request: they bucket
+//! rules by a token that is guaranteed to appear in any URL the rule can
+//! match, tokenize the URL once, and only evaluate the rules whose bucket
+//! token occurs in the URL. This module implements that scheme for
+//! [`crate::FilterSet`]:
+//!
+//! * A *token* is a maximal run of ASCII alphanumerics of at least
+//!   [`MIN_TOKEN_LEN`] bytes (patterns are already lowercased at parse
+//!   time, and matching normalizes the URL the same way).
+//! * A pattern token is *safe* for indexing only when the pattern
+//!   guarantees it appears as a complete URL token: its left edge must be
+//!   the pattern start under a start/domain anchor or a literal non-`*`
+//!   separator byte, and its right edge the pattern end under an end anchor
+//!   or a literal non-`*` byte. Tokens touching a `*` wildcard could be
+//!   extended by arbitrary URL characters, so they are never safe.
+//! * Each rule is filed under the hash of its *rarest* safe token (fewest
+//!   rules sharing it, ties broken by token bytes for determinism). Rules
+//!   with no safe token land in a small fallback bucket that every lookup
+//!   checks.
+//!
+//! Buckets key on 64-bit FNV-1a hashes. A hash collision can only add a
+//! spurious *candidate* — every candidate is still verified by the full
+//! matcher — and can never hide a rule, because equal token strings always
+//! hash equal. Correctness therefore never depends on the hash.
+
+use crate::rule::NetworkRule;
+use std::collections::HashMap;
+
+/// Minimum token length worth indexing. Shorter runs (`ad`, `js`) occur in
+/// almost every URL and would put most rules in overfull buckets.
+pub const MIN_TOKEN_LEN: usize = 3;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of a token's bytes; the bucket key.
+#[must_use]
+pub fn token_hash(token: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in token {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Appends the hash of every token (maximal ASCII-alphanumeric run of at
+/// least [`MIN_TOKEN_LEN`] bytes) in `text` to `out` after clearing it.
+/// `text` must already be normalized (lowercased); callers pass the same
+/// normalized form the matcher sees.
+pub fn url_token_hashes(text: &str, out: &mut Vec<u64>) {
+    out.clear();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_alphanumeric() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+            i += 1;
+        }
+        if i - start >= MIN_TOKEN_LEN {
+            out.push(token_hash(&bytes[start..i]));
+        }
+    }
+}
+
+/// The safe tokens of one rule's pattern (see the module docs for the
+/// boundary conditions). Returned in pattern order.
+fn safe_tokens(rule: &NetworkRule) -> Vec<&[u8]> {
+    let pattern = rule.pattern.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < pattern.len() {
+        if !pattern[i].is_ascii_alphanumeric() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < pattern.len() && pattern[i].is_ascii_alphanumeric() {
+            i += 1;
+        }
+        if i - start < MIN_TOKEN_LEN {
+            continue;
+        }
+        // Left edge: at pattern start the token is complete only when an
+        // anchor pins it to the URL start or a host-label boundary; inside
+        // the pattern, any literal byte other than `*` is a non-alphanumeric
+        // separator (the run is maximal), so the token cannot extend left.
+        let left_ok = if start == 0 {
+            rule.start_anchor || rule.domain_anchor
+        } else {
+            pattern[start - 1] != b'*'
+        };
+        // Right edge, symmetrically: pattern end needs the end anchor.
+        let right_ok = if i == pattern.len() {
+            rule.end_anchor
+        } else {
+            pattern[i] != b'*'
+        };
+        if left_ok && right_ok {
+            tokens.push(&pattern[start..i]);
+        }
+    }
+    tokens
+}
+
+/// An index over one rule vector (blocking or exceptions). Values are rule
+/// indices into that vector — i.e. parse order, which is the match
+/// priority.
+#[derive(Debug, Clone, Default)]
+pub struct RuleIndex {
+    buckets: HashMap<u64, Vec<u32>>,
+    fallback: Vec<u32>,
+}
+
+impl RuleIndex {
+    /// Builds the index: each rule is filed under its rarest safe token,
+    /// or into the fallback bucket when it has none.
+    #[must_use]
+    pub fn build(rules: &[NetworkRule]) -> RuleIndex {
+        let per_rule: Vec<Vec<&[u8]>> = rules.iter().map(safe_tokens).collect();
+        // Global frequency of each token across rules: rarer tokens make
+        // smaller buckets. Counting occurrences (not distinct rules) is
+        // fine — it is a deterministic function of the rule list and only
+        // steers bucket sizes, never correctness.
+        let mut frequency: HashMap<&[u8], u32> = HashMap::new();
+        for tokens in &per_rule {
+            for token in tokens {
+                *frequency.entry(token).or_insert(0) += 1;
+            }
+        }
+        let mut index = RuleIndex::default();
+        for (rule_idx, tokens) in per_rule.iter().enumerate() {
+            // Tie-break on the token bytes so the choice never depends on
+            // HashMap iteration order.
+            match tokens.iter().min_by_key(|t| (frequency[*t], **t)) {
+                Some(token) => index
+                    .buckets
+                    .entry(token_hash(token))
+                    .or_default()
+                    .push(rule_idx as u32),
+                None => index.fallback.push(rule_idx as u32),
+            }
+        }
+        index
+    }
+
+    /// Number of rules in the always-checked fallback bucket.
+    #[must_use]
+    pub fn fallback_len(&self) -> usize {
+        self.fallback.len()
+    }
+
+    /// Collects into `out` the candidate rule indices for a URL with the
+    /// given token hashes: every bucket named by a URL token, plus the
+    /// fallback bucket. `out` comes back sorted ascending and deduplicated
+    /// — exactly parse order, so scanning it front to back preserves the
+    /// naive scan's first-match priority.
+    pub fn candidates(&self, url_tokens: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.fallback);
+        for token in url_tokens {
+            if let Some(bucket) = self.buckets.get(token) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(text: &str) -> NetworkRule {
+        NetworkRule::parse(text).unwrap()
+    }
+
+    fn token_strings(r: &NetworkRule) -> Vec<String> {
+        safe_tokens(r)
+            .into_iter()
+            .map(|t| String::from_utf8(t.to_vec()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn tokens_bounded_by_literals_are_safe() {
+        assert_eq!(token_strings(&rule("/banner/ads/")), vec!["banner", "ads"]);
+        // `^` and `.` are literal non-alphanumeric separators.
+        assert_eq!(
+            token_strings(&rule("||ads.example.com^")),
+            vec!["ads", "example", "com"]
+        );
+    }
+
+    #[test]
+    fn wildcard_adjacent_tokens_are_unsafe() {
+        // `show` touches `*` on the right (the URL token there could be
+        // `showcase`), `creative` touches `*` on both sides, `id` is too
+        // short — nothing is safely indexable.
+        assert!(token_strings(&rule("/show*creative*id=")).is_empty());
+        // A literal separator restores safety: `show` is complete here.
+        assert_eq!(token_strings(&rule("/show/*creative*id=")), vec!["show"]);
+        assert!(token_strings(&rule("*banner*")).is_empty());
+    }
+
+    #[test]
+    fn pattern_edges_require_anchors() {
+        // Unanchored leading/trailing tokens could be mid-token in the URL
+        // (`banner` matching inside `superbanner`).
+        assert!(token_strings(&rule("banner")).is_empty());
+        assert_eq!(token_strings(&rule("|http://banner")), vec!["http"]);
+        assert_eq!(token_strings(&rule("banner.swf|")), vec!["swf"]);
+        assert_eq!(
+            token_strings(&rule("||banner.example^")),
+            vec!["banner", "example"]
+        );
+    }
+
+    #[test]
+    fn short_tokens_ignored() {
+        assert!(token_strings(&rule("/ad/")).is_empty());
+        assert_eq!(token_strings(&rule("/ad/zone/")), vec!["zone"]);
+    }
+
+    #[test]
+    fn url_tokenizer_finds_maximal_runs() {
+        let mut out = Vec::new();
+        url_token_hashes("http://ads7.example.com/serve?slot=top9&x=1", &mut out);
+        let expected: Vec<u64> = ["http", "ads7", "example", "com", "serve", "slot", "top9"]
+            .iter()
+            .map(|t| token_hash(t.as_bytes()))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn rules_without_safe_tokens_fall_back() {
+        let rules = vec![rule("/ad/"), rule("||ads.com^"), rule("*x9y8z7*")];
+        let index = RuleIndex::build(&rules);
+        assert_eq!(index.fallback_len(), 2);
+        let mut url_tokens = Vec::new();
+        url_token_hashes("http://nothing.net/", &mut url_tokens);
+        let mut candidates = Vec::new();
+        index.candidates(&url_tokens, &mut candidates);
+        // Fallback rules are always candidates, even with no token overlap.
+        assert_eq!(candidates, vec![0, 2]);
+    }
+
+    #[test]
+    fn candidates_come_back_in_parse_order() {
+        let rules = vec![
+            rule("/banner/"),
+            rule("||ads.com^"),
+            rule("/banner/top/"),
+            rule("/ad/"), // fallback
+        ];
+        let index = RuleIndex::build(&rules);
+        let mut url_tokens = Vec::new();
+        url_token_hashes("http://ads.com/banner/top/x.png", &mut url_tokens);
+        let mut candidates = Vec::new();
+        index.candidates(&url_tokens, &mut candidates);
+        assert!(
+            candidates.windows(2).all(|w| w[0] < w[1]),
+            "sorted, deduped"
+        );
+        assert!(candidates.contains(&0) && candidates.contains(&1) && candidates.contains(&3));
+    }
+
+    #[test]
+    fn rarest_token_choice_is_deterministic() {
+        // Build the same index twice; bucket assignment must agree even
+        // though HashMap iteration order may differ between builds.
+        let rules: Vec<NetworkRule> = (0..50)
+            .map(|i| rule(&format!("/shared/unique{i}/")))
+            .collect();
+        let a = RuleIndex::build(&rules);
+        let b = RuleIndex::build(&rules);
+        let mut url_tokens = Vec::new();
+        let mut ca = Vec::new();
+        let mut cb = Vec::new();
+        for i in 0..50 {
+            url_token_hashes(&format!("http://x.com/shared/unique{i}/y"), &mut url_tokens);
+            a.candidates(&url_tokens, &mut ca);
+            b.candidates(&url_tokens, &mut cb);
+            assert_eq!(ca, cb);
+            // `unique{i}` is rarer than `shared`, so the bucket is small.
+            assert!(ca.len() <= 2, "bucket unexpectedly large: {ca:?}");
+        }
+    }
+}

@@ -24,12 +24,23 @@
 //! Regular-expression rules (`/.../`), `$csp`, `$rewrite`, and the redirect
 //! options: none of them affect ad *identification*, which is this crate's
 //! only job in the study.
+//!
+//! ## Matching engine
+//!
+//! [`FilterSet::parse`] builds a token index over the rules (see
+//! [`index`]): matching tokenizes the normalized URL once and evaluates
+//! only the rules whose bucket token appears in it, instead of scanning the
+//! whole list. The pre-index linear scan survives as
+//! [`FilterSet::matches_naive`] — the differential-testing reference the
+//! index must agree with byte-for-byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
 pub mod matcher;
 pub mod rule;
 
-pub use matcher::{FilterSet, MatchResult, RequestContext, ResourceType};
+pub use index::RuleIndex;
+pub use matcher::{FilterSet, MatchResult, MatchScratch, RequestContext, ResourceType};
 pub use rule::{NetworkRule, ParsedLine, RuleOptions};

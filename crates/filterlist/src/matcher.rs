@@ -1,5 +1,6 @@
 //! URL matching against a compiled filter set.
 
+use crate::index::{url_token_hashes, RuleIndex};
 use crate::rule::{parse_line, NetworkRule, ParsedLine, TypeOption};
 use malvert_types::{DomainName, Url};
 
@@ -77,11 +78,24 @@ impl MatchResult {
     }
 }
 
+/// Reusable per-caller scratch for [`FilterSet::matches_with`]: the
+/// normalized URL text, its token hashes, and the candidate-rule buffer.
+/// After the first few calls every match is allocation-free — the buffers
+/// retain their high-water capacity.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    url_text: String,
+    tokens: Vec<u64>,
+    candidates: Vec<u32>,
+}
+
 /// A compiled filter list.
 #[derive(Debug, Clone, Default)]
 pub struct FilterSet {
     blocking: Vec<NetworkRule>,
     exceptions: Vec<NetworkRule>,
+    blocking_index: RuleIndex,
+    exception_index: RuleIndex,
     /// Count of element-hiding rules seen (parsed, unused for matching).
     pub hiding_rule_count: usize,
     /// Lines the parser could not understand.
@@ -89,7 +103,7 @@ pub struct FilterSet {
 }
 
 impl FilterSet {
-    /// Compiles a filter list from its text.
+    /// Compiles a filter list from its text, building the token index.
     pub fn parse(list_text: &str) -> Self {
         let mut set = FilterSet::default();
         for line in list_text.lines() {
@@ -106,6 +120,8 @@ impl FilterSet {
                 ParsedLine::Comment(_) | ParsedLine::Blank => {}
             }
         }
+        set.blocking_index = RuleIndex::build(&set.blocking);
+        set.exception_index = RuleIndex::build(&set.exceptions);
         set
     }
 
@@ -119,8 +135,73 @@ impl FilterSet {
         self.exceptions.len()
     }
 
-    /// Matches a URL in context.
+    /// Matches a URL in context via the token index. Convenience form that
+    /// allocates a fresh [`MatchScratch`]; hot paths should hold a scratch
+    /// and call [`Self::matches_with`].
     pub fn matches(&self, url: &Url, ctx: &RequestContext) -> MatchResult {
+        let mut scratch = MatchScratch::default();
+        self.matches_with(url, ctx, &mut scratch)
+    }
+
+    /// Matches a URL in context, reusing `scratch`'s buffers — the
+    /// allocation-free fast path.
+    pub fn matches_with(
+        &self,
+        url: &Url,
+        ctx: &RequestContext,
+        scratch: &mut MatchScratch,
+    ) -> MatchResult {
+        self.matches_counted(url, ctx, scratch).0
+    }
+
+    /// Like [`Self::matches_with`], additionally reporting how many
+    /// candidate rules the index actually evaluated (the work the naive
+    /// scan would have spent on the full rule list).
+    pub fn matches_counted(
+        &self,
+        url: &Url,
+        ctx: &RequestContext,
+        scratch: &mut MatchScratch,
+    ) -> (MatchResult, u64) {
+        url.normalize_into(&mut scratch.url_text);
+        let url_text = &scratch.url_text;
+        let host_start = url_text.find("://").map(|i| i + 3).unwrap_or(0);
+        url_token_hashes(url_text, &mut scratch.tokens);
+        let mut evaluated = 0u64;
+
+        // Candidates come back sorted by parse index, so the first hit is
+        // the same rule the naive front-to-back scan would return.
+        self.blocking_index
+            .candidates(&scratch.tokens, &mut scratch.candidates);
+        let mut blocked: Option<&NetworkRule> = None;
+        for &idx in &scratch.candidates {
+            let rule = &self.blocking[idx as usize];
+            evaluated += 1;
+            if rule_matches(rule, url_text, host_start, url, ctx) {
+                blocked = Some(rule);
+                break;
+            }
+        }
+        let Some(rule) = blocked else {
+            return (MatchResult::NotMatched, evaluated);
+        };
+
+        self.exception_index
+            .candidates(&scratch.tokens, &mut scratch.candidates);
+        for &idx in &scratch.candidates {
+            let exception = &self.exceptions[idx as usize];
+            evaluated += 1;
+            if rule_matches(exception, url_text, host_start, url, ctx) {
+                return (MatchResult::Excepted(exception.text.clone()), evaluated);
+            }
+        }
+        (MatchResult::Blocked(rule.text.clone()), evaluated)
+    }
+
+    /// The retained pre-index implementation: a linear scan over every
+    /// rule. Kept as the differential-testing reference and the benchmark
+    /// baseline; must return byte-identical results to [`Self::matches`].
+    pub fn matches_naive(&self, url: &Url, ctx: &RequestContext) -> MatchResult {
         let url_text = url.without_fragment().to_ascii_lowercase();
         let host_start = url_text.find("://").map(|i| i + 3).unwrap_or(0);
         let blocked = self
@@ -424,5 +505,90 @@ mod tests {
             &url("http://serve04.net/show?creative&id=9"),
             &iframe_ctx("x.com")
         ));
+    }
+
+    #[test]
+    fn index_preserves_first_match_priority() {
+        // Both rules match; the naive scan returns the first-listed one.
+        // The index gathers candidates from two different buckets but must
+        // still report the lower parse index as the winner.
+        let set = FilterSet::parse("/banner/\n||adserver.com^");
+        let u = url("http://adserver.com/banner/x.png");
+        let ctx = iframe_ctx("pub.com");
+        assert_eq!(
+            set.matches(&u, &ctx),
+            MatchResult::Blocked("/banner/".into())
+        );
+        assert_eq!(set.matches(&u, &ctx), set.matches_naive(&u, &ctx));
+
+        // Same with the order flipped.
+        let set = FilterSet::parse("||adserver.com^\n/banner/");
+        assert_eq!(
+            set.matches(&u, &ctx),
+            MatchResult::Blocked("||adserver.com^".into())
+        );
+        assert_eq!(set.matches(&u, &ctx), set.matches_naive(&u, &ctx));
+    }
+
+    #[test]
+    fn fallback_rules_still_match() {
+        // Neither rule has a safe token (`ad` is too short; the long token
+        // touches wildcards on both sides), so both live in the fallback
+        // bucket — which every lookup must check.
+        let set = FilterSet::parse("/ad/\n*longtokenhere*");
+        let ctx = iframe_ctx("x.com");
+        assert!(set.is_ad_url(&url("http://x.com/ad/1"), &ctx));
+        assert!(set.is_ad_url(&url("http://x.com/xlongtokenherey"), &ctx));
+        assert_eq!(
+            set.matches(&url("http://x.com/clean"), &ctx),
+            MatchResult::NotMatched
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_results_stable() {
+        let set = FilterSet::parse("||ads.com^\n@@||ads.com/ok/\n/promo/");
+        let ctx = iframe_ctx("pub.com");
+        let mut scratch = MatchScratch::default();
+        let cases = [
+            (
+                "http://ads.com/serve",
+                MatchResult::Blocked("||ads.com^".into()),
+            ),
+            (
+                "http://ads.com/ok/1",
+                MatchResult::Excepted("@@||ads.com/ok/".into()),
+            ),
+            ("http://clean.com/page", MatchResult::NotMatched),
+            (
+                "http://pub.com/promo/2",
+                MatchResult::Blocked("/promo/".into()),
+            ),
+            // Repeat the first case after the buffers held other contents.
+            (
+                "http://ads.com/serve",
+                MatchResult::Blocked("||ads.com^".into()),
+            ),
+        ];
+        for (u, expected) in cases {
+            assert_eq!(set.matches_with(&url(u), &ctx, &mut scratch), expected);
+        }
+    }
+
+    #[test]
+    fn counted_variant_reports_candidate_work() {
+        let rules: String = (0..100).map(|i| format!("||host{i}.com^\n")).collect();
+        let set = FilterSet::parse(&rules);
+        let ctx = iframe_ctx("pub.com");
+        let mut scratch = MatchScratch::default();
+        let (result, evaluated) =
+            set.matches_counted(&url("http://host7.com/x"), &ctx, &mut scratch);
+        assert!(result.is_ad());
+        // The index should evaluate a tiny fraction of the 100 rules.
+        assert!(evaluated <= 3, "evaluated {evaluated} candidates");
+        let (result, evaluated) =
+            set.matches_counted(&url("http://clean.net/x"), &ctx, &mut scratch);
+        assert_eq!(result, MatchResult::NotMatched);
+        assert_eq!(evaluated, 0, "no token overlap → no candidates");
     }
 }

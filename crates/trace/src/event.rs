@@ -33,6 +33,8 @@ pub enum SpanKind {
     BlacklistLookup,
     /// One multi-engine scan of one downloaded payload.
     PayloadScan,
+    /// One filter-list match of an iframe URL during a crawl visit.
+    FilterMatch,
     /// An incident raised by the oracle (instant event, carries
     /// [`Provenance`]).
     Incident,
@@ -40,7 +42,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::WorldBuild,
         SpanKind::Crawl,
         SpanKind::Classify,
@@ -50,6 +52,7 @@ impl SpanKind {
         SpanKind::HoneyclientVisit,
         SpanKind::BlacklistLookup,
         SpanKind::PayloadScan,
+        SpanKind::FilterMatch,
         SpanKind::Incident,
     ];
 
@@ -65,6 +68,7 @@ impl SpanKind {
             SpanKind::HoneyclientVisit => "honeyclient_visit",
             SpanKind::BlacklistLookup => "blacklist_lookup",
             SpanKind::PayloadScan => "payload_scan",
+            SpanKind::FilterMatch => "filter_match",
             SpanKind::Incident => "incident",
         }
     }

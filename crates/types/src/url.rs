@@ -303,6 +303,16 @@ impl Url {
         s
     }
 
+    /// Writes the match-normalized form — fragment stripped and ASCII
+    /// lowercased — into `buf`, reusing its allocation. Equivalent to
+    /// `without_fragment().to_ascii_lowercase()` without the two fresh
+    /// `String`s; the filter-list hot path calls this once per request.
+    pub fn normalize_into(&self, buf: &mut String) {
+        buf.clear();
+        self.write_prefix(buf);
+        buf.make_ascii_lowercase();
+    }
+
     fn write_prefix(&self, s: &mut String) {
         s.push_str(self.scheme.as_str());
         if self.scheme == Scheme::About {
@@ -563,6 +573,20 @@ mod tests {
     fn without_fragment_strips_fragment() {
         let u = Url::parse("http://a.com/x#frag").unwrap();
         assert_eq!(u.without_fragment(), "http://a.com/x");
+    }
+
+    #[test]
+    fn normalize_into_matches_allocating_form() {
+        let mut buf = String::from("stale contents");
+        for s in [
+            "http://a.com/MiXeD/Case?Q=Upper#Frag",
+            "https://h.net:8080/p",
+            "about:blank",
+        ] {
+            let u = Url::parse(s).unwrap();
+            u.normalize_into(&mut buf);
+            assert_eq!(buf, u.without_fragment().to_ascii_lowercase());
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
 //!               [--trace DIR]
 //! malvert trace EVENTS.JSONL [--top N]
+//! malvert bench-json [--out PATH] [--urls N] [--iters N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&flags),
+        "bench-json" => cmd_bench_json(&flags),
         "forensics" => cmd_forensics(&flags),
         "graph" => cmd_graph(&flags),
         "scan" => cmd_scan(&flags),
@@ -83,6 +85,10 @@ USAGE:
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
+  malvert bench-json [--out PATH] [--urls N] [--iters N]
+                   time the indexed filter engine against the naive scan on
+                   synthetic rule lists (100/1k/10k rules) and write the
+                   machine-readable results (default BENCH_filterlist.json)
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -218,6 +224,87 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path} ({} bytes)", json.len());
     }
+    Ok(())
+}
+
+/// Times the indexed matcher against the retained naive scan on the shared
+/// synthetic workloads and writes a machine-readable JSON report — the
+/// perf-trajectory artifact CI uploads on every run. Plain `Instant` timing
+/// (Criterion is a dev-dependency of the bench crate, not of this binary);
+/// the Criterion `filterlist_index` groups time the identical workloads
+/// when statistical rigor is wanted.
+fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
+    use malvertising::bench::synth::{synthetic_context, synthetic_list, synthetic_urls};
+    use malvertising::filterlist::{FilterSet, MatchScratch};
+    use std::time::Instant;
+
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_filterlist.json".to_string());
+    let url_count = flag(flags, "urls", 200usize)?.max(1);
+    let iters = flag(flags, "iters", 30u32)?.max(1);
+
+    let ctx = synthetic_context();
+    let mut groups = Vec::new();
+    for rules in [100usize, 1_000, 10_000] {
+        let set = FilterSet::parse(&synthetic_list(rules, 0xF117));
+        let urls = synthetic_urls(url_count, rules, 0xF118);
+        let mut scratch = MatchScratch::default();
+
+        // One untimed pass per path warms caches and checks agreement.
+        for url in &urls {
+            let indexed = set.matches_with(url, &ctx, &mut scratch);
+            let naive = set.matches_naive(url, &ctx);
+            if indexed != naive {
+                return Err(format!(
+                    "indexed/naive divergence on {url} at {rules} rules"
+                ));
+            }
+        }
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            for url in &urls {
+                std::hint::black_box(set.matches_with(url, &ctx, &mut scratch));
+            }
+        }
+        let indexed_ns = started.elapsed().as_nanos() as f64;
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            for url in &urls {
+                std::hint::black_box(set.matches_naive(url, &ctx));
+            }
+        }
+        let naive_ns = started.elapsed().as_nanos() as f64;
+
+        let per_match = (iters as f64) * (urls.len() as f64);
+        let indexed_ns_per_url = indexed_ns / per_match;
+        let naive_ns_per_url = naive_ns / per_match;
+        let speedup = naive_ns / indexed_ns.max(1.0);
+        eprintln!(
+            "{rules:>6} rules: indexed {indexed_ns_per_url:>10.1} ns/url, \
+             naive {naive_ns_per_url:>10.1} ns/url ({speedup:.1}x)"
+        );
+        groups.push(serde_json::json!({
+            "rules": rules,
+            "urls": urls.len(),
+            "iters": iters,
+            "indexed_ns_per_url": indexed_ns_per_url,
+            "naive_ns_per_url": naive_ns_per_url,
+            "speedup": speedup,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "filterlist",
+        "workload": { "list_seed": 0xF117, "url_seed": 0xF118 },
+        "groups": groups,
+    });
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("wrote {out_path} ({} bytes)", json.len());
     Ok(())
 }
 

@@ -30,6 +30,7 @@
 
 pub use malvert_adnet as adnet;
 pub use malvert_adscript as adscript;
+pub use malvert_bench as bench;
 pub use malvert_blacklist as blacklist;
 pub use malvert_browser as browser;
 pub use malvert_core as core;

@@ -151,6 +151,37 @@ fn trace_without_a_path_fails() {
 }
 
 #[test]
+fn bench_json_writes_machine_readable_report() {
+    let out_path =
+        std::env::temp_dir().join(format!("malvert-test-{}-bench.json", std::process::id()));
+    let out = malvert()
+        .args([
+            "bench-json",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--urls",
+            "20",
+            "--iters",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["bench"], "filterlist");
+    let groups = parsed["groups"].as_array().expect("groups array");
+    assert_eq!(groups.len(), 3, "one group per rule-list size");
+    for group in groups {
+        assert!(group["rules"].as_u64().is_some());
+        assert!(group["indexed_ns_per_url"].as_f64().unwrap() > 0.0);
+        assert!(group["naive_ns_per_url"].as_f64().unwrap() > 0.0);
+        assert!(group["speedup"].as_f64().unwrap() > 0.0);
+    }
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
 fn scan_reports_and_writes_har() {
     let har_path = std::env::temp_dir().join(format!("malvert-test-{}.har", std::process::id()));
     let out = malvert()

@@ -95,6 +95,44 @@ fn incident_provenance_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn memoized_crawl_identical_across_worker_counts_and_memo_sizes() {
+    use malvertising::crawler::Crawler;
+    let study = Study::new(config(4242, 1));
+    let crawl_rows = |workers: usize, filter_memo: usize| -> Vec<(u32, String, String, String)> {
+        let crawler = Crawler::builder(&study.world.network, &study.world.filter)
+            .config(CrawlConfig {
+                schedule: CrawlSchedule::scaled(4, 2),
+                workers,
+                filter_memo,
+                ..Default::default()
+            })
+            .seeds(study.world.tree)
+            .build();
+        let mut rows = Vec::new();
+        crawler.run(&study.world.web.sites, |record| {
+            for ad in &record.ads {
+                rows.push((
+                    ad.site.0,
+                    ad.time.to_string(),
+                    ad.request_url.to_string(),
+                    ad.matched_rule.clone(),
+                ));
+            }
+        });
+        rows.sort();
+        rows
+    };
+    // A tiny memo forces evictions mid-crawl; both memoization and the
+    // worker count must be invisible in the crawl output, down to which
+    // rule text each observation matched.
+    let baseline = crawl_rows(1, 0);
+    assert!(!baseline.is_empty(), "crawl produced no ad observations");
+    assert_eq!(baseline, crawl_rows(1, 64));
+    assert_eq!(baseline, crawl_rows(8, 64));
+    assert_eq!(baseline, crawl_rows(8, 4096));
+}
+
+#[test]
 fn staged_pipeline_equals_run() {
     let study = Study::new(config(777, 4));
     let via_run = study.run();
@@ -107,6 +145,32 @@ fn staged_pipeline_equals_run() {
         via_run.summary().without_timings().to_json(),
         via_stages.summary().without_timings().to_json()
     );
+}
+
+#[test]
+fn filter_memo_invisible_in_study_results() {
+    // The per-worker match memo is purely a speed knob: a run with it
+    // disabled and a run with the default capacity produce byte-identical
+    // classified ads and (timing-stripped) run summaries. `filter_lookups`
+    // survives the stripping, so this also pins lookup-count parity.
+    let mut with_memo = config(2718, 8);
+    with_memo.crawl.filter_memo = 4096;
+    let mut without_memo = config(2718, 8);
+    without_memo.crawl.filter_memo = 0;
+    let a = Study::new(with_memo).run();
+    let b = Study::new(without_memo).run();
+    assert_eq!(
+        serde_json::to_string(&a.ads).unwrap(),
+        serde_json::to_string(&b.ads).unwrap(),
+        "classified ads diverge with the filter memo disabled"
+    );
+    assert_eq!(
+        a.summary().without_timings().to_json(),
+        b.summary().without_timings().to_json(),
+        "run summaries diverge with the filter memo disabled"
+    );
+    assert!(a.summary().counters.filter_cache_hits > 0, "memo never hit");
+    assert_eq!(b.summary().counters.filter_cache_hits, 0);
 }
 
 #[test]

@@ -55,6 +55,33 @@ fn counters_consistent_with_results() {
 }
 
 #[test]
+fn filter_counters_tally_and_strip() {
+    let (_, results) = shared();
+    let c = results.metrics.counters;
+    // Every iframe consulted the filter list; hits and misses partition the
+    // lookups, and each miss evaluated at least zero candidate rules.
+    assert!(
+        c.filter_lookups > 0,
+        "crawl never consulted the filter list"
+    );
+    assert_eq!(
+        c.filter_cache_hits + c.filter_cache_misses,
+        c.filter_lookups
+    );
+    assert!(c.filter_cache_hits > 0, "repeat visits never hit the memo");
+    // The indexed matcher's whole point: far fewer rule evaluations than
+    // lookups x list size (tiny worlds still have dozens of rules).
+    assert!(c.filter_candidates_evaluated < c.filter_lookups * 10);
+    // Stripping removes the scheduling-dependent split but keeps the
+    // deterministic lookup total.
+    let stripped = results.summary().without_timings();
+    assert_eq!(stripped.counters.filter_lookups, c.filter_lookups);
+    assert_eq!(stripped.counters.filter_cache_hits, 0);
+    assert_eq!(stripped.counters.filter_cache_misses, 0);
+    assert_eq!(stripped.counters.filter_candidates_evaluated, 0);
+}
+
+#[test]
 fn summary_mirrors_results() {
     let (_, results) = shared();
     let summary = results.summary();

@@ -3,11 +3,62 @@
 //! deterministic RNG behaves.
 
 use malvertising::adscript::{Interpreter, Limits, NoHost};
-use malvertising::filterlist::{FilterSet, RequestContext};
+use malvertising::filterlist::{FilterSet, MatchScratch, RequestContext, ResourceType};
 use malvertising::html::{parse_document, serialize};
 use malvertising::types::rng::SeedTree;
 use malvertising::types::{DomainName, Url};
 use proptest::prelude::*;
+
+/// Shared vocabulary for the indexed-vs-naive differential test: rules and
+/// URLs draw path segments and hosts from the same small pool, so random
+/// URLs collide with random rules often instead of almost never.
+const VOCAB: &[&str] = &[
+    "banner", "track", "serve", "zone", "click", "popunder", "creative", "ads", "img", "promo",
+];
+
+fn vocab() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(VOCAB)
+}
+
+/// One random filter rule covering every shape the matcher understands:
+/// domain anchors, path substrings, wildcards, start/end anchors, rules too
+/// short to index (fallback bucket), resource-type and party options, and
+/// `@@` exceptions.
+fn arb_filter_rule() -> impl Strategy<Value = String> {
+    prop_oneof![
+        ("[a-z]{3,6}", vocab()).prop_map(|(h, w)| format!("||{w}{h}.com^")),
+        vocab().prop_map(|w| format!("/{w}/")),
+        (vocab(), vocab()).prop_map(|(a, b)| format!("/{a}/*{b}=")),
+        "[a-z]{3,6}".prop_map(|h| format!("|http://{h}.")),
+        vocab().prop_map(|w| format!("/{w}.swf|")),
+        Just("/ad".to_string()),
+        vocab().prop_map(|w| format!("/{w}/$subdocument")),
+        vocab().prop_map(|w| format!("||{w}.com^$third-party")),
+        vocab().prop_map(|w| format!("@@||{w}.com/{w}/")),
+    ]
+}
+
+/// One random request URL built over the same vocabulary as the rules.
+fn arb_match_url() -> impl Strategy<Value = String> {
+    let seg = prop_oneof!["[a-z0-9]{1,5}", vocab().prop_map(String::from)];
+    (
+        prop_oneof!["[a-z]{3,6}", vocab().prop_map(String::from)],
+        prop::sample::select(&["com", "net", "biz"][..]),
+        prop::collection::vec(seg, 0..3),
+        proptest::option::of((vocab(), "[a-z0-9]{0,4}")),
+    )
+        .prop_map(|(host, tld, segs, query)| {
+            let mut url = format!("http://{host}.{tld}/");
+            url.push_str(&segs.join("/"));
+            if let Some((k, v)) = query {
+                url.push('?');
+                url.push_str(k);
+                url.push('=');
+                url.push_str(&v);
+            }
+            url
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -169,6 +220,32 @@ proptest! {
             if url_path.is_empty() { "/".to_string() } else { url_path })).unwrap();
         let ctx = RequestContext::iframe_from(&DomainName::parse("source.com").unwrap());
         let _ = set.matches(&url, &ctx);
+    }
+
+    #[test]
+    fn indexed_matcher_equals_naive(
+        rules in prop::collection::vec(arb_filter_rule(), 0..40),
+        urls in prop::collection::vec(arb_match_url(), 1..25),
+        source in prop::sample::select(&["pub.com", "banner.com", "track.net"][..]),
+        as_script in any::<bool>(),
+    ) {
+        // The tentpole invariant: the token-indexed matcher (with scratch
+        // reuse, as the crawler runs it) returns byte-identical results to
+        // the retained naive scan — same verdict, same matched rule text,
+        // same first-match priority — for every rule list and URL.
+        let set = FilterSet::parse(&rules.join("\n"));
+        let ctx = RequestContext {
+            source_host: Some(DomainName::parse(source).unwrap()),
+            resource: if as_script { ResourceType::Script } else { ResourceType::Subdocument },
+        };
+        let mut scratch = MatchScratch::default();
+        for text in &urls {
+            if let Ok(url) = Url::parse(text) {
+                let indexed = set.matches_with(&url, &ctx, &mut scratch);
+                let naive = set.matches_naive(&url, &ctx);
+                prop_assert_eq!(indexed, naive, "divergence on {} against {:?}", url, rules);
+            }
+        }
     }
 
     #[test]
