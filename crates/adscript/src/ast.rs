@@ -1,30 +1,65 @@
 //! AdScript abstract syntax tree.
+//!
+//! Identifiers and property names are interned at parse time: every
+//! occurrence of the same name within a program shares one `Arc<str>`
+//! allocation, and [`Program::symbols`] lists each distinct name once. The
+//! parser also runs a resolution pass (see `crate::resolve`) that rewrites
+//! statically-bindable variable references into [`Expr::Local`] slot accesses
+//! and records each function's slot layout in its [`ScopeInfo`]. Because the
+//! tree holds no `Rc`, a parsed [`Program`] is `Send + Sync` and can sit in a
+//! compilation cache shared across crawler workers.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// A complete program: a list of statements.
+/// An interned identifier or property name.
+pub type Name = Arc<str>;
+
+/// A complete program: a list of statements plus the symbol table built
+/// while parsing (each distinct interned name, sorted).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Top-level statements.
     pub body: Vec<Stmt>,
+    /// Every distinct identifier/property name interned from the source.
+    pub symbols: Vec<Name>,
+}
+
+/// The slot layout of one function scope, fixed at parse time: parameters
+/// first (deduplicated), then `arguments`, then every name declared via
+/// `var`, a function declaration, or a `for..in` binding anywhere in the
+/// body — excluding nested functions and `catch` handlers, which own their
+/// names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScopeInfo {
+    /// Slot names in slot order.
+    pub names: Vec<Name>,
+}
+
+impl ScopeInfo {
+    /// The slot index of `name`, if this scope declares it.
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n.as_ref() == name)
+    }
 }
 
 /// A function definition (declaration or expression).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FnDef {
     /// Optional name (declarations always have one).
-    pub name: Option<String>,
+    pub name: Option<Name>,
     /// Parameter names.
-    pub params: Vec<String>,
+    pub params: Vec<Name>,
     /// Function body.
-    pub body: Rc<Vec<Stmt>>,
+    pub body: Arc<Vec<Stmt>>,
+    /// Slot layout of the function's scope, filled by the resolution pass.
+    pub scope: Arc<ScopeInfo>,
 }
 
 /// Statements.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `var a = 1, b;`
-    Var(Vec<(String, Option<Expr>)>),
+    Var(Vec<(Name, Option<Expr>)>),
     /// An expression evaluated for effect.
     Expr(Expr),
     /// `{ ... }`
@@ -76,7 +111,7 @@ pub enum Stmt {
         /// Whether the loop variable was declared with `var`.
         decl: bool,
         /// Loop variable name.
-        name: String,
+        name: Name,
         /// Object expression iterated over.
         object: Expr,
         /// Loop body.
@@ -97,7 +132,7 @@ pub enum Stmt {
         /// Protected block.
         block: Vec<Stmt>,
         /// Catch clause: bound name and handler body.
-        catch: Option<(String, Vec<Stmt>)>,
+        catch: Option<(Name, Vec<Stmt>)>,
         /// Finally block.
         finally: Option<Vec<Stmt>>,
     },
@@ -145,12 +180,26 @@ pub enum Expr {
     Undefined,
     /// `this`
     This,
-    /// Variable reference.
-    Ident(String),
+    /// Variable reference resolved by name along the environment chain
+    /// (globals, `catch` bindings, and anything the resolver could not bind
+    /// statically — e.g. names in scopes that contain a direct `eval`).
+    Ident(Name),
+    /// Variable reference bound at parse time to a slot `depth` scopes up
+    /// the chain. `name` is kept for diagnostics and for the by-name
+    /// fallback when the slot has not been written yet (`var` that has not
+    /// executed).
+    Local {
+        /// Original identifier, for errors and fallback lookups.
+        name: Name,
+        /// Number of scope hops from the use site to the declaring scope.
+        depth: u32,
+        /// Slot index within the declaring scope.
+        slot: u32,
+    },
     /// `[a, b, c]`
     Array(Vec<Expr>),
     /// `{k: v, ...}`
-    Object(Vec<(String, Expr)>),
+    Object(Vec<(Name, Expr)>),
     /// Function expression.
     Function(FnDef),
     /// `target op value` where target is an lvalue.
@@ -205,7 +254,7 @@ pub enum Expr {
         /// Object expression.
         object: Box<Expr>,
         /// Property name.
-        prop: String,
+        prop: Name,
     },
     /// `obj[expr]`
     Index {

@@ -1,0 +1,339 @@
+//! Script compilation cache: compile once, execute everywhere.
+//!
+//! The crawl executes the same creatives and publisher templates thousands
+//! of times, and obfuscated creatives `eval` the same payload strings over
+//! and over. [`CompiledScript`] splits compilation (lex + parse + resolve)
+//! from execution, and [`ScriptCache`] keys compiled programs by a content
+//! hash of the source so repeat visits skip the front end entirely.
+//!
+//! ## Determinism contract
+//!
+//! A cache hit returns a [`CompiledScript`] only when the stored source is
+//! **byte-identical** to the requested source (the hash merely routes to a
+//! bucket; a collision falls back to an uncached compile). Compilation is a
+//! pure function of the source bytes, and execution is a pure function of
+//! the program plus interpreter state — so a hit can never change what a
+//! script computes, only how fast it starts. The *split* of hits vs misses
+//! depends on how the scheduler dealt visits to worker threads; the
+//! deterministic quantities are the total lookup count and the number of
+//! compile units executed ([`crate::Interpreter::script_units`]). The
+//! metrics layer strips the scheduling-dependent split from deterministic
+//! residues, mirroring the crawler's filter-memo counters.
+//!
+//! Parse failures are never cached: each failing compile recounts as a
+//! miss, keeping the failure tally a pure function of the workload.
+
+use crate::ast::Program;
+use crate::parser::parse_program;
+use crate::ScriptError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A parsed, resolved program plus the identity of the source it came from.
+///
+/// Cheap to clone (two `Arc` bumps) and `Send + Sync`, so one compilation
+/// can be executed concurrently by every crawler worker.
+#[derive(Debug, Clone)]
+pub struct CompiledScript {
+    id: u64,
+    source: Arc<str>,
+    program: Arc<Program>,
+}
+
+impl CompiledScript {
+    /// Compiles `src` (lex + parse + resolve) without consulting any cache.
+    pub fn compile(src: &str) -> Result<CompiledScript, ScriptError> {
+        let program = parse_program(src)?;
+        Ok(CompiledScript {
+            id: content_hash(src),
+            source: Arc::from(src),
+            program: Arc::new(program),
+        })
+    }
+
+    /// Content-hash identity of the source (FNV-1a 64).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The exact source this program was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// FNV-1a 64-bit over the source bytes.
+fn content_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A point-in-time snapshot of [`ScriptStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptCounts {
+    /// Compile requests answered (cache hits included).
+    pub lookups: u64,
+    /// Requests answered with an already-compiled program.
+    pub cache_hits: u64,
+    /// Requests that ran the lexer + parser.
+    pub cache_misses: u64,
+}
+
+/// Shared script-cache counters. Cloning hands out another handle to the
+/// same tallies; all counters are relaxed atomics (pure tallies, no
+/// ordering obligations).
+#[derive(Debug, Clone, Default)]
+pub struct ScriptStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScriptStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile requests answered so far (cache hits included).
+    pub fn lookups(&self) -> u64 {
+        self.inner.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with an already-compiled program.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran the lexer + parser.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter at once.
+    pub fn snapshot(&self) -> ScriptCounts {
+        ScriptCounts {
+            lookups: self.lookups(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+        }
+    }
+
+    fn record_hit(&self) {
+        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_miss(&self) {
+        self.inner.lookups.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A bounded, content-hash-keyed cache of compiled scripts, shared
+/// read-mostly across workers. Cloning hands out another handle to the
+/// same cache.
+#[derive(Debug, Clone)]
+pub struct ScriptCache {
+    inner: Arc<CacheInner>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    capacity: usize,
+    map: Mutex<HashMap<u64, CompiledScript>>,
+    stats: ScriptStats,
+}
+
+impl ScriptCache {
+    /// A fresh cache. `capacity` bounds the entry count (0 disables
+    /// caching); `stats` receives this cache's tallies.
+    pub fn new(capacity: usize, stats: ScriptStats) -> Self {
+        ScriptCache {
+            inner: Arc::new(CacheInner {
+                capacity,
+                map: Mutex::new(HashMap::new()),
+                stats,
+            }),
+        }
+    }
+
+    /// The stats handle this cache records into.
+    pub fn stats(&self) -> &ScriptStats {
+        &self.inner.stats
+    }
+
+    /// The cache's current entry count (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, CompiledScript>> {
+        match self.inner.map.lock() {
+            Ok(g) => g,
+            // A panic while holding the lock can only leave a fully-formed
+            // map behind (we never insert partial entries); keep serving.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Compiles `src`, consulting the cache first. Returns exactly what
+    /// [`CompiledScript::compile`] would — a hit requires byte-identical
+    /// stored source, so caching is invisible in the result.
+    pub fn compile(&self, src: &str) -> Result<CompiledScript, ScriptError> {
+        if self.inner.capacity == 0 {
+            self.inner.stats.record_miss();
+            return CompiledScript::compile(src);
+        }
+        let id = content_hash(src);
+        // `None` = absent, `Some(None)` = hash collision with different
+        // source. Resolve the guard before compiling so the parser never
+        // runs under the lock.
+        let cached: Option<Option<CompiledScript>> = {
+            let map = self.lock();
+            map.get(&id).map(|hit| {
+                if hit.source() == src {
+                    Some(hit.clone())
+                } else {
+                    None
+                }
+            })
+        };
+        match cached {
+            Some(Some(hit)) => {
+                self.inner.stats.record_hit();
+                Ok(hit)
+            }
+            Some(None) => {
+                // Collision: compile uncached, leave the stored entry alone.
+                self.inner.stats.record_miss();
+                CompiledScript::compile(src)
+            }
+            None => {
+                self.inner.stats.record_miss();
+                let compiled = CompiledScript::compile(src)?;
+                let mut map = self.lock();
+                // Bounded: wholesale clear at capacity, like the crawler's
+                // filter memo. The working set (distinct creatives and
+                // templates) is far smaller than any sensible capacity.
+                if map.len() >= self.inner.capacity {
+                    map.clear();
+                }
+                map.insert(id, compiled.clone());
+                Ok(compiled)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_splits_from_execution() {
+        let script = CompiledScript::compile("var x = 1 + 2; out = x;").unwrap();
+        assert_eq!(script.source(), "var x = 1 + 2; out = x;");
+        assert_eq!(script.id(), content_hash("var x = 1 + 2; out = x;"));
+        assert!(!script.program().body.is_empty());
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_program() {
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(64, stats.clone());
+        let a = cache.compile("out = 1;").unwrap();
+        let b = cache.compile("out = 1;").unwrap();
+        assert!(Arc::ptr_eq(&a.program, &b.program));
+        assert_eq!(a.id(), b.id());
+        let counts = stats.snapshot();
+        assert_eq!(counts.lookups, 2);
+        assert_eq!(counts.cache_hits, 1);
+        assert_eq!(counts.cache_misses, 1);
+    }
+
+    #[test]
+    fn distinct_sources_are_distinct_entries() {
+        let cache = ScriptCache::new(64, ScriptStats::new());
+        cache.compile("out = 1;").unwrap();
+        cache.compile("out = 2;").unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_entries_and_zero_disables() {
+        let cache = ScriptCache::new(4, ScriptStats::new());
+        for i in 0..100 {
+            cache.compile(&format!("out = {i};")).unwrap();
+        }
+        assert!(cache.len() <= 4, "cache exceeded capacity");
+
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(0, stats.clone());
+        cache.compile("out = 1;").unwrap();
+        cache.compile("out = 1;").unwrap();
+        assert!(cache.is_empty());
+        let counts = stats.snapshot();
+        assert_eq!(counts.cache_hits, 0);
+        assert_eq!(counts.cache_misses, 2);
+    }
+
+    #[test]
+    fn parse_failures_are_not_cached() {
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(64, stats.clone());
+        assert!(cache.compile("var = ;").is_err());
+        assert!(cache.compile("var = ;").is_err());
+        assert!(cache.is_empty());
+        let counts = stats.snapshot();
+        assert_eq!(counts.cache_misses, 2);
+    }
+
+    #[test]
+    fn shared_handles_see_one_cache() {
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(64, stats.clone());
+        let other = cache.clone();
+        cache.compile("out = 'shared';").unwrap();
+        other.compile("out = 'shared';").unwrap();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_compiles_agree() {
+        let cache = ScriptCache::new(64, ScriptStats::new());
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let cache = cache.clone();
+                    s.spawn(move || cache.compile("out = 40 + 2;").unwrap().id())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -17,13 +17,14 @@
 //! DOM/BOM surface and record behaviour events.
 
 use crate::ast::*;
-use crate::parser::parse_program;
+use crate::cache::{CompiledScript, ScriptCache};
 use crate::stdlib;
 use crate::value::{number_to_string, Heap, ObjId, ObjKind, Value};
 use crate::ScriptError;
 use malvert_types::rng::DetRng;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Execution limits: the honeyclient's defence against looping creatives.
 #[derive(Debug, Clone, Copy)]
@@ -105,9 +106,32 @@ enum Flow {
 type EvalResult = Result<Value, Flow>;
 type ExecResult = Result<(), Flow>;
 
+/// One scope on the environment chain.
+///
+/// Names statically known to the scope (`scope.names`, filled by the
+/// resolver for function scopes) live in `slots`, indexed in `names` order;
+/// `None` means the binding does not exist yet (its `var` has not executed)
+/// — exactly "key absent" in a by-name map. Everything else (`this`,
+/// eval-introduced names, global and `catch` bindings) lives in `extra`.
+/// Invariant: a name in `scope.names` is never stored in that env's
+/// `extra`, so slot indexing and by-name probing agree on every lookup.
 struct Env {
-    vars: HashMap<String, Value>,
+    slots: Vec<Option<Value>>,
+    scope: Arc<ScopeInfo>,
+    extra: HashMap<String, Value>,
     parent: Option<usize>,
+}
+
+thread_local! {
+    /// The stdlib globals and their backing heap objects are identical for
+    /// every interpreter; build them once per thread and stamp copies, so
+    /// per-visit interpreter construction stops re-running the installer.
+    static STDLIB_TEMPLATE: (Heap, HashMap<String, Value>) = {
+        let mut heap = Heap::new();
+        let mut globals = HashMap::new();
+        stdlib::install_globals(&mut heap, &mut globals);
+        (heap, globals)
+    };
 }
 
 /// The interpreter: owns the heap, the environments, and the host.
@@ -121,6 +145,9 @@ pub struct Interpreter<H: Host> {
     steps_left: u64,
     depth: usize,
     rng: DetRng,
+    script_cache: Option<ScriptCache>,
+    units: u64,
+    empty_scope: Arc<ScopeInfo>,
     /// Every source string that passed through `eval`, in execution order —
     /// the honeyclient's deobfuscation trace (running layered obfuscation
     /// leaves the decoded payload here, the way Wepawet unwrapped packed
@@ -132,32 +159,50 @@ impl<H: Host> Interpreter<H> {
     /// Creates an interpreter with the given host, limits, and RNG seed
     /// (the seed feeds `Math.random` deterministically).
     pub fn new(host: H, limits: Limits, seed: u64) -> Self {
-        let mut interp = Interpreter {
-            heap: Heap::new(),
+        let (heap, globals) = STDLIB_TEMPLATE.with(|t| t.clone());
+        Interpreter {
+            heap,
             host,
             envs: vec![Env {
-                vars: HashMap::new(),
+                slots: Vec::new(),
+                scope: Arc::new(ScopeInfo::default()),
+                extra: globals,
                 parent: None,
             }],
             limits,
             steps_left: limits.max_steps,
             depth: 0,
             rng: DetRng::new(seed),
+            script_cache: None,
+            units: 0,
+            empty_scope: Arc::new(ScopeInfo::default()),
             eval_trace: Vec::new(),
-        };
-        stdlib::install_globals(&mut interp.heap, &mut interp.envs[0].vars);
-        interp
+        }
+    }
+
+    /// Routes this interpreter's compiles (`run` and the `eval` path)
+    /// through `cache`, so repeated sources skip the parser.
+    pub fn set_script_cache(&mut self, cache: ScriptCache) {
+        self.script_cache = Some(cache);
+    }
+
+    /// Compile units executed so far: one per `run`/`run_program` plus one
+    /// per successfully-compiled `eval`. A pure function of the scripts
+    /// executed — unlike the cache hit/miss split, which depends on
+    /// scheduling.
+    pub fn script_units(&self) -> u64 {
+        self.units
     }
 
     /// Defines a global variable before running scripts (used by the browser
     /// to install `window`, `document`, `navigator`, …).
     pub fn set_global(&mut self, name: &str, value: Value) {
-        self.envs[0].vars.insert(name.to_string(), value);
+        self.envs[0].extra.insert(name.to_string(), value);
     }
 
     /// Reads a global variable.
     pub fn get_global(&self, name: &str) -> Option<&Value> {
-        self.envs[0].vars.get(name)
+        self.envs[0].extra.get(name)
     }
 
     /// Remaining step budget (useful for spreading a budget over several
@@ -166,10 +211,21 @@ impl<H: Host> Interpreter<H> {
         self.steps_left
     }
 
-    /// Parses and executes `src` in the global scope.
+    /// Parses and executes `src` in the global scope — a thin
+    /// compile-then-run wrapper over [`Interpreter::run_program`],
+    /// consulting the script cache when one is attached.
     pub fn run(&mut self, src: &str) -> Result<Value, ScriptError> {
-        let program = parse_program(src)?;
-        self.run_body(&program.body, 0)
+        let script = match &self.script_cache {
+            Some(cache) => cache.compile(src)?,
+            None => CompiledScript::compile(src)?,
+        };
+        self.run_program(&script)
+    }
+
+    /// Executes an already-compiled script in the global scope.
+    pub fn run_program(&mut self, script: &CompiledScript) -> Result<Value, ScriptError> {
+        self.units += 1;
+        self.run_body(&script.program().body, 0)
     }
 
     /// Calls a function value (used by the browser to fire queued
@@ -242,7 +298,7 @@ impl<H: Host> Interpreter<H> {
                     def: Rc::new(def.clone()),
                     env,
                 };
-                self.envs[env].vars.insert(name, value);
+                self.declare(env, &name, value);
             }
         }
         Ok(())
@@ -260,7 +316,7 @@ impl<H: Host> Interpreter<H> {
                         Some(e) => self.eval(e, env)?,
                         None => Value::Undefined,
                     };
-                    self.envs[env].vars.insert(name.clone(), value);
+                    self.declare(env, name, value);
                 }
                 Ok(())
             }
@@ -384,7 +440,7 @@ impl<H: Host> Interpreter<H> {
                     _ => Vec::new(),
                 };
                 for key in keys {
-                    self.envs[env].vars.insert(name.clone(), Value::str(key));
+                    self.declare(env, name, Value::str(key));
                     match self.exec(body, env) {
                         Ok(()) | Err(Flow::Continue) => {}
                         Err(Flow::Break) => break,
@@ -422,7 +478,7 @@ impl<H: Host> Interpreter<H> {
                     if let Some((name, handler)) = catch {
                         let exc = exc.clone();
                         let catch_env = self.push_env(env);
-                        self.envs[catch_env].vars.insert(name.clone(), exc);
+                        self.declare(catch_env, name, exc);
                         result = (|| {
                             self.hoist_functions(handler, catch_env)?;
                             for s in handler {
@@ -449,12 +505,37 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
+    /// A fresh dynamic (by-name) scope: `catch` handlers.
     fn push_env(&mut self, parent: usize) -> usize {
         self.envs.push(Env {
-            vars: HashMap::new(),
+            slots: Vec::new(),
+            scope: self.empty_scope.clone(),
+            extra: HashMap::new(),
             parent: Some(parent),
         });
         self.envs.len() - 1
+    }
+
+    /// A fresh function scope laid out per the resolver's slot table.
+    fn push_fn_env(&mut self, parent: usize, scope: Arc<ScopeInfo>) -> usize {
+        self.envs.push(Env {
+            slots: vec![None; scope.names.len()],
+            scope,
+            extra: HashMap::new(),
+            parent: Some(parent),
+        });
+        self.envs.len() - 1
+    }
+
+    /// Declares (or clobbers) `name` in `env` itself — `var`, parameters,
+    /// hoisted functions, `for..in` bindings, `catch` parameters.
+    fn declare(&mut self, env: usize, name: &str, value: Value) {
+        match self.envs[env].scope.slot_of(name) {
+            Some(i) => self.envs[env].slots[i] = Some(value),
+            None => {
+                self.envs[env].extra.insert(name.to_string(), value);
+            }
+        }
     }
 
     // ----- expressions -----------------------------------------------------
@@ -469,6 +550,7 @@ impl<H: Host> Interpreter<H> {
             Expr::Undefined => Ok(Value::Undefined),
             Expr::This => Ok(self.try_lookup("this", env).unwrap_or(Value::Undefined)),
             Expr::Ident(name) => self.lookup(name, env),
+            Expr::Local { name, depth, slot } => self.read_local(name, *depth, *slot, env),
             Expr::Array(items) => {
                 let mut elements = Vec::with_capacity(items.len());
                 for item in items {
@@ -480,7 +562,7 @@ impl<H: Host> Interpreter<H> {
                 let id = self.heap.alloc_object();
                 for (k, v) in props {
                     let value = self.eval(v, env)?;
-                    self.heap.get_mut(id).props.insert(k.clone(), value);
+                    self.heap.get_mut(id).props.insert(k.to_string(), value);
                 }
                 Ok(Value::Obj(id))
             }
@@ -565,8 +647,10 @@ impl<H: Host> Interpreter<H> {
                 }
                 // `new Name(...)` goes to the host; `new expr` on a script
                 // function calls it with a fresh object as `this`... we
-                // simplify: host first, then plain object.
-                if let Expr::Ident(name) = callee.as_ref() {
+                // simplify: host first, then plain object. The resolver may
+                // have rewritten the name to a `Local`; the host check is
+                // by name either way.
+                if let Expr::Ident(name) | Expr::Local { name, .. } = callee.as_ref() {
                     if let Some(v) = self.host.construct(&mut self.heap, name, &arg_values) {
                         return Ok(v);
                     }
@@ -619,16 +703,34 @@ impl<H: Host> Interpreter<H> {
     fn assign_to(&mut self, target: &Expr, value: Value, env: usize) -> ExecResult {
         match target {
             Expr::Ident(name) => {
-                // Walk the chain; create a global when undeclared.
-                let mut cur = Some(env);
-                while let Some(e) = cur {
-                    if self.envs[e].vars.contains_key(name) {
-                        self.envs[e].vars.insert(name.clone(), value);
+                self.assign_by_name(name, value, env);
+                Ok(())
+            }
+            Expr::Local { name, depth, slot } => {
+                let mut target = Some(env);
+                for _ in 0..*depth {
+                    target = target.and_then(|t| self.envs[t].parent);
+                }
+                let Some(t) = target else {
+                    // Resolver/runtime mismatch (defensive): by-name walk.
+                    self.assign_by_name(name, value, env);
+                    return Ok(());
+                };
+                if let Some(s) = self.envs[t].slots.get_mut(*slot as usize) {
+                    if s.is_some() {
+                        *s = Some(value);
                         return Ok(());
                     }
-                    cur = self.envs[e].parent;
                 }
-                self.envs[0].vars.insert(name.clone(), value);
+                // Slot unwritten: the binding is not live yet, so the write
+                // continues up the chain past the declaring scope — same
+                // path the by-name engine takes when the key is absent.
+                match self.envs[t].parent {
+                    Some(p) => self.assign_by_name(name, value, p),
+                    None => {
+                        self.envs[0].extra.insert(name.to_string(), value);
+                    }
+                }
                 Ok(())
             }
             Expr::Member { object, prop } => {
@@ -657,12 +759,64 @@ impl<H: Host> Interpreter<H> {
     fn try_lookup(&self, name: &str, env: usize) -> Option<Value> {
         let mut cur = Some(env);
         while let Some(e) = cur {
-            if let Some(v) = self.envs[e].vars.get(name) {
+            let frame = &self.envs[e];
+            if let Some(i) = frame.scope.slot_of(name) {
+                // A written slot is the binding; an unwritten slot means
+                // "not declared yet" — keep walking, exactly like a missing
+                // key in a by-name map. (The invariant keeps slot names out
+                // of `extra`, so there is nothing else to check here.)
+                if let Some(v) = &frame.slots[i] {
+                    return Some(v.clone());
+                }
+            } else if let Some(v) = frame.extra.get(name) {
                 return Some(v.clone());
+            }
+            cur = frame.parent;
+        }
+        None
+    }
+
+    /// Reads a resolver-bound local: `depth` parent hops, then a slot index.
+    /// Falls back to the by-name walk when the slot is unwritten (the `var`
+    /// has not executed yet) so resolution is observably invisible.
+    fn read_local(&mut self, name: &str, depth: u32, slot: u32, env: usize) -> EvalResult {
+        let mut target = env;
+        for _ in 0..depth {
+            match self.envs[target].parent {
+                Some(p) => target = p,
+                // Resolver/runtime mismatch (defensive): by-name walk.
+                None => return self.lookup(name, env),
+            }
+        }
+        if let Some(Some(v)) = self.envs[target].slots.get(slot as usize) {
+            return Ok(v.clone());
+        }
+        // Intermediate scopes cannot hold this name (the resolver proved
+        // it), so resuming the walk above the declaring scope is the same
+        // answer the unresolved engine would produce.
+        match self.envs[target].parent {
+            Some(p) => self.lookup(name, p),
+            None => Err(Flow::Throw(Value::str(format!("{name} is not defined")))),
+        }
+    }
+
+    /// The by-name assignment walk: write the innermost binding, else
+    /// create a global (non-strict `var`-less assignment).
+    fn assign_by_name(&mut self, name: &str, value: Value, env: usize) {
+        let mut cur = Some(env);
+        while let Some(e) = cur {
+            if let Some(i) = self.envs[e].scope.slot_of(name) {
+                if self.envs[e].slots[i].is_some() {
+                    self.envs[e].slots[i] = Some(value);
+                    return;
+                }
+            } else if self.envs[e].extra.contains_key(name) {
+                self.envs[e].extra.insert(name.to_string(), value);
+                return;
             }
             cur = self.envs[e].parent;
         }
-        None
+        self.envs[0].extra.insert(name.to_string(), value);
     }
 
     fn value_to_key(&self, v: &Value) -> String {
@@ -880,14 +1034,22 @@ impl<H: Host> Interpreter<H> {
 
     fn eval_in_env(&mut self, src: &str, env: usize) -> EvalResult {
         self.eval_trace.push(src.to_string());
-        let program = match parse_program(src) {
-            Ok(p) => p,
+        // Obfuscated creatives `eval` identical payloads repeatedly — the
+        // compile cache serves them the same parsed program.
+        let compiled = match &self.script_cache {
+            Some(cache) => cache.compile(src),
+            None => CompiledScript::compile(src),
+        };
+        let script = match compiled {
+            Ok(s) => s,
             Err(e) => {
                 return Err(Flow::Throw(Value::str(format!("eval: {e}"))));
             }
         };
-        self.hoist_functions(&program.body, env)?;
-        for stmt in &program.body {
+        self.units += 1;
+        let body = &script.program().body;
+        self.hoist_functions(body, env)?;
+        for stmt in body {
             match self.exec(stmt, env) {
                 Ok(()) => {}
                 Err(Flow::Return(v)) => return Ok(v),
@@ -909,20 +1071,17 @@ impl<H: Host> Interpreter<H> {
                     return Err(Flow::Fatal(ScriptError::BudgetExhausted));
                 }
                 self.depth += 1;
-                let call_env = self.push_env(env);
+                let call_env = self.push_fn_env(env, def.scope.clone());
                 for (i, p) in def.params.iter().enumerate() {
                     let v = args.get(i).cloned().unwrap_or(Value::Undefined);
-                    self.envs[call_env].vars.insert(p.clone(), v);
+                    self.declare(call_env, p, v);
                 }
                 // `arguments` array.
                 let args_arr = self.heap.alloc_array(args.clone());
-                self.envs[call_env]
-                    .vars
-                    .insert("arguments".to_string(), Value::Obj(args_arr));
+                self.declare(call_env, "arguments", Value::Obj(args_arr));
                 if let Some(this_id) = this {
-                    self.envs[call_env]
-                        .vars
-                        .insert("this".to_string(), Value::Obj(this_id));
+                    // `this` is a keyword, never a slot name.
+                    self.declare(call_env, "this", Value::Obj(this_id));
                 }
                 let mut result = Value::Undefined;
                 let mut error = None;
@@ -1481,5 +1640,91 @@ mod tests {
             out("var log = ''; try { try { throw 'x'; } finally { log += 'f'; } } catch (e) { log += 'c'; } out = log;"),
             "fc"
         );
+    }
+
+    #[test]
+    fn read_before_var_falls_back_to_outer_binding() {
+        // `r = x` runs before `var x` executes: the slot is unwritten, so
+        // the read must resolve the *outer* `x` — and after `var x` runs,
+        // the slot shadows it. (No var hoisting in this engine, only
+        // function hoisting.)
+        assert_eq!(
+            out("var x = 'outer'; function f() { var r = x; var x = 'inner'; return r + ':' + x; } out = f();"),
+            "outer:inner"
+        );
+    }
+
+    #[test]
+    fn eval_introduced_var_is_visible_to_tainted_scope() {
+        // The scope mentions `eval`, so `z` must stay a by-name reference
+        // and see the binding eval injects at runtime.
+        assert_eq!(out("function f() { eval('var z = 9;'); return z; } out = f();"), "9");
+        // eval writing an *existing* declared local goes through its slot.
+        assert_eq!(
+            out("function g() { var n = 1; eval('n = n + 41;'); return n; } out = g();"),
+            "42"
+        );
+    }
+
+    #[test]
+    fn run_and_run_program_agree() {
+        let src = "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); } out = fib(12);";
+        let mut a = Interpreter::new(NoHost, Limits::default(), 1);
+        a.run(src).unwrap();
+        let script = crate::cache::CompiledScript::compile(src).unwrap();
+        let mut b = Interpreter::new(NoHost, Limits::default(), 1);
+        b.run_program(&script).unwrap();
+        let get = |i: &Interpreter<NoHost>| {
+            let v = i.get_global("out").cloned().unwrap();
+            i.display_value(&v)
+        };
+        assert_eq!(get(&a), get(&b));
+        assert_eq!(get(&a), "144");
+        assert_eq!(a.script_units(), 1);
+        assert_eq!(b.script_units(), 1);
+    }
+
+    #[test]
+    fn eval_routes_through_the_compile_cache() {
+        use crate::cache::{ScriptCache, ScriptStats};
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(64, stats.clone());
+        let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+        interp.set_script_cache(cache);
+        interp
+            .run("x = 0; for (var i = 0; i < 3; i++) { eval('x = x + 1;'); } out = x;")
+            .unwrap();
+        let v = interp.get_global("out").cloned().unwrap();
+        assert_eq!(interp.display_value(&v), "3");
+        // One outer compile + three evals of one distinct payload.
+        let counts = stats.snapshot();
+        assert_eq!(counts.lookups, 4);
+        assert_eq!(counts.cache_misses, 2);
+        assert_eq!(counts.cache_hits, 2);
+        // The deobfuscation trace still records every eval, hits included.
+        assert_eq!(interp.eval_trace.len(), 3);
+        // Compile units are deterministic: 1 outer + 3 evals.
+        assert_eq!(interp.script_units(), 4);
+    }
+
+    #[test]
+    fn shared_cached_program_runs_identically_across_interpreters() {
+        use crate::cache::{ScriptCache, ScriptStats};
+        let src = "var s = ''; for (var i = 0; i < 5; i++) { s += i; } out = s;";
+        let cache = ScriptCache::new(16, ScriptStats::new());
+        let baseline = {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 7);
+            interp.run(src).unwrap();
+            let v = interp.get_global("out").cloned().unwrap();
+            interp.display_value(&v)
+        };
+        for _ in 0..3 {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 7);
+            interp.set_script_cache(cache.clone());
+            interp.run(src).unwrap();
+            let v = interp.get_global("out").cloned().unwrap();
+            assert_eq!(interp.display_value(&v), baseline);
+        }
+        assert_eq!(cache.stats().cache_hits(), 2);
     }
 }

@@ -44,17 +44,32 @@
 //! Execution is bounded by a configurable step budget and recursion limit
 //! ([`interp::Limits`]): a malicious (or simply looping) advertisement cannot
 //! hang the crawler. Exhaustion surfaces as [`ScriptError::BudgetExhausted`].
+//!
+//! ## Compile once, execute everywhere
+//!
+//! Compilation (lex + parse + name resolution) is split from execution:
+//! [`CompiledScript`] holds a resolved, `Send + Sync` program keyed by a
+//! content hash of its source, and a bounded [`ScriptCache`] shares
+//! compilations across crawler workers — the same creative served to
+//! thousands of simulated visitors is parsed once. Identifiers are interned
+//! at parse time and local variable references are resolved to scope/slot
+//! indices, so the interpreter's hot path indexes a `Vec` instead of probing
+//! a `HashMap`. Cache hits require byte-identical source, so caching can
+//! never change what a script computes (see [`cache`] for the contract).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+mod resolve;
 pub mod stdlib;
 pub mod value;
 
+pub use cache::{CompiledScript, ScriptCache, ScriptCounts, ScriptStats};
 pub use interp::{Host, Interpreter, Limits, NoHost};
 pub use parser::parse_program;
 pub use value::{ObjId, Value};

@@ -1,27 +1,53 @@
 //! AdScript parser: recursive descent with precedence-climbing expressions.
+//!
+//! Identifiers and property names are interned as they are parsed — every
+//! occurrence of the same name in a program shares one `Arc<str>` — and the
+//! distinct names become [`Program::symbols`]. After parsing, the resolver
+//! (`crate::resolve`) binds statically-known variable references to
+//! scope/slot indices.
 
 use crate::ast::*;
 use crate::lexer::{lex, Kw, Punct, SpannedTok, Tok};
 use crate::ScriptError;
-use std::rc::Rc;
+use std::collections::HashSet;
+use std::sync::Arc;
 
-/// Parses a full program.
+/// Parses (and resolves) a full program.
 pub fn parse_program(src: &str) -> Result<Program, ScriptError> {
     let toks = lex(src).map_err(|e| ScriptError::Parse(format!("{} at byte {}", e.message, e.offset)))?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        syms: HashSet::new(),
+    };
     let mut body = Vec::new();
     while !p.at_eof() {
         body.push(p.statement()?);
     }
-    Ok(Program { body })
+    let mut symbols: Vec<Name> = p.syms.into_iter().collect();
+    symbols.sort();
+    let mut program = Program { body, symbols };
+    crate::resolve::resolve_program(&mut program);
+    Ok(program)
 }
 
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    /// Interner: one `Arc<str>` per distinct name.
+    syms: HashSet<Name>,
 }
 
 impl Parser {
+    fn intern(&mut self, s: &str) -> Name {
+        if let Some(n) = self.syms.get(s) {
+            return n.clone();
+        }
+        let n: Name = Arc::from(s);
+        self.syms.insert(n.clone());
+        n
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
@@ -77,11 +103,11 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ScriptError> {
+    fn expect_ident(&mut self) -> Result<Name, ScriptError> {
         match self.peek().clone() {
             Tok::Ident(name) => {
                 self.advance();
-                Ok(name)
+                Ok(self.intern(&name))
             }
             _ => self.err("expected identifier"),
         }
@@ -274,6 +300,7 @@ impl Parser {
                 self.advance(); // var
                 self.advance(); // name
                 self.advance(); // in
+                let name = self.intern(&name);
                 let object = self.expression()?;
                 self.expect_punct(Punct::RParen)?;
                 let body = Box::new(self.statement()?);
@@ -289,6 +316,7 @@ impl Parser {
         {
             self.advance(); // name
             self.advance(); // in
+            let name = self.intern(&name);
             let object = self.expression()?;
             self.expect_punct(Punct::RParen)?;
             let body = Box::new(self.statement()?);
@@ -368,7 +396,7 @@ impl Parser {
         let name = match self.peek().clone() {
             Tok::Ident(n) => {
                 self.advance();
-                Some(n)
+                Some(self.intern(&n))
             }
             _ if need_name => return self.err("expected function name"),
             _ => None,
@@ -386,10 +414,12 @@ impl Parser {
         }
         self.expect_punct(Punct::LBrace)?;
         let body = self.block_body()?;
+        // The scope layout is filled in by the resolution pass.
         Ok(FnDef {
             name,
             params,
-            body: Rc::new(body),
+            body: Arc::new(body),
+            scope: Arc::new(ScopeInfo::default()),
         })
     }
 
@@ -639,15 +669,15 @@ impl Parser {
     }
 
     /// Property names after `.` may be identifiers or keywords (`a.catch`).
-    fn property_name(&mut self) -> Result<String, ScriptError> {
+    fn property_name(&mut self) -> Result<Name, ScriptError> {
         match self.peek().clone() {
             Tok::Ident(n) => {
                 self.advance();
-                Ok(n)
+                Ok(self.intern(&n))
             }
             Tok::Kw(k) => {
                 self.advance();
-                Ok(format!("{k:?}").to_ascii_lowercase())
+                Ok(self.intern(&format!("{k:?}").to_ascii_lowercase()))
             }
             _ => self.err("expected property name"),
         }
@@ -706,6 +736,7 @@ impl Parser {
             }
             Tok::Ident(name) => {
                 self.advance();
+                let name = self.intern(&name);
                 Ok(Expr::Ident(name))
             }
             Tok::Punct(Punct::LParen) => {
@@ -740,19 +771,19 @@ impl Parser {
                         let key = match self.peek().clone() {
                             Tok::Ident(n) => {
                                 self.advance();
-                                n
+                                self.intern(&n)
                             }
                             Tok::Str(s) => {
                                 self.advance();
-                                s
+                                self.intern(&s)
                             }
                             Tok::Num(n) => {
                                 self.advance();
-                                crate::value::number_to_string(n)
+                                self.intern(&crate::value::number_to_string(n))
                             }
                             Tok::Kw(k) => {
                                 self.advance();
-                                format!("{k:?}").to_ascii_lowercase()
+                                self.intern(&format!("{k:?}").to_ascii_lowercase())
                             }
                             _ => return self.err("expected object key"),
                         };
@@ -800,7 +831,7 @@ mod tests {
         match &p.body[0] {
             Stmt::Var(decls) => {
                 assert_eq!(decls.len(), 2);
-                assert_eq!(decls[0].0, "a");
+                assert_eq!(decls[0].0.as_ref(), "a");
                 assert!(decls[1].1.is_none());
             }
             other => panic!("unexpected {other:?}"),
@@ -854,7 +885,10 @@ mod tests {
     #[test]
     fn function_declaration_and_expression() {
         let p = parse("function f(a, b) { return a + b; } var g = function(x) { return x; };");
-        assert!(matches!(&p.body[0], Stmt::FnDecl(d) if d.params == vec!["a", "b"]));
+        assert!(matches!(
+            &p.body[0],
+            Stmt::FnDecl(d) if d.params.iter().map(|p| p.as_ref()).eq(["a", "b"])
+        ));
         match &p.body[1] {
             Stmt::Var(d) => assert!(matches!(&d[0].1, Some(Expr::Function(f)) if f.name.is_none())),
             other => panic!("unexpected {other:?}"),
@@ -876,7 +910,7 @@ mod tests {
             Stmt::Try {
                 catch, finally, ..
             } => {
-                assert_eq!(catch.as_ref().unwrap().0, "e");
+                assert_eq!(catch.as_ref().unwrap().0.as_ref(), "e");
                 assert!(finally.is_some());
             }
             other => panic!("unexpected {other:?}"),

@@ -1,0 +1,543 @@
+//! Static resolution: binds local variable references to `(depth, slot)`
+//! pairs so the interpreter can replace `HashMap` probes with `Vec` indexing.
+//!
+//! The pass runs once per compile, right after parsing, and rewrites
+//! [`Expr::Ident`] nodes into [`Expr::Local`] when the binding is statically
+//! known. The scope model mirrors the interpreter's environment chain
+//! exactly — one scope per function body and one per `catch` handler; blocks
+//! are transparent — so a `Local`'s depth equals the number of runtime
+//! `parent` hops at the use site.
+//!
+//! Resolution is deliberately conservative; the rewrite must be invisible:
+//!
+//! * **Global scope** stays dynamic. Top-level code, `set_global` bindings,
+//!   and undeclared-assignment globals all resolve by name.
+//! * **`catch` scopes** stay dynamic too (their bindings live in the
+//!   environment's by-name map), but they still count as one hop and their
+//!   statically-known names (the bound exception plus `var`s inside the
+//!   handler) block resolution of shadowed outer names.
+//! * **Direct `eval`** can introduce bindings into the calling scope at
+//!   runtime. Any scope whose immediate code mentions `eval` is tainted: a
+//!   name search that would walk *past* it gives up and stays by-name. A
+//!   name *declared* by a tainted scope still resolves — eval-introduced
+//!   `var`s write the declared slot, so slot reads observe them.
+//! * **`typeof x`** keeps a raw identifier operand so the interpreter can
+//!   special-case unresolvable names to `"undefined"` without throwing.
+//!
+//! A slot that has not been written yet (its `var` has not executed) reads
+//! as *absent*, and the interpreter falls back to the by-name walk the
+//! unresolved engine would perform — so the rewrite never changes what a
+//! program observes, only how fast it observes it.
+
+use crate::ast::*;
+use std::sync::Arc;
+
+/// Resolves `program` in place. Called by the parser on every compile.
+pub(crate) fn resolve_program(program: &mut Program) {
+    // The global scope terminates every search; its contents are dynamic.
+    let mut scopes = vec![Scope {
+        names: Vec::new(),
+        slotted: false,
+        tainted: false,
+    }];
+    walk_stmts(&mut program.body, &mut scopes);
+}
+
+struct Scope {
+    names: Vec<Name>,
+    /// Function scopes get slots; global and `catch` scopes stay by-name.
+    slotted: bool,
+    /// Whether the scope's immediate code mentions `eval`.
+    tainted: bool,
+}
+
+/// Innermost-first search. `scopes[0]` is the global scope.
+fn resolve_ident(name: &str, scopes: &[Scope]) -> Option<(u32, u32)> {
+    for (hops, scope) in scopes.iter().rev().enumerate() {
+        let is_global = hops + 1 == scopes.len();
+        if is_global {
+            return None;
+        }
+        if let Some(slot) = scope.names.iter().position(|n| n.as_ref() == name) {
+            if scope.slotted {
+                return Some((hops as u32, slot as u32));
+            }
+            return None; // catch binding: stays by-name
+        }
+        if scope.tainted {
+            return None; // eval may add this name here at runtime
+        }
+    }
+    None
+}
+
+fn push_name(names: &mut Vec<Name>, n: &Name) {
+    if !names.iter().any(|x| x.as_ref() == n.as_ref()) {
+        names.push(n.clone());
+    }
+}
+
+/// Collects the names a scope declares: `var`s, function declarations, and
+/// `for..in` bindings. Recurses through transparent constructs (blocks,
+/// loops, `try`/`finally`, `switch` arms) but not into nested functions or
+/// `catch` handlers — those own their declarations.
+fn collect_decls(stmts: &[Stmt], names: &mut Vec<Name>) {
+    for s in stmts {
+        collect_stmt(s, names);
+    }
+}
+
+fn collect_stmt(s: &Stmt, names: &mut Vec<Name>) {
+    match s {
+        Stmt::Var(decls) => {
+            for (n, _) in decls {
+                push_name(names, n);
+            }
+        }
+        Stmt::FnDecl(def) => {
+            if let Some(n) = &def.name {
+                push_name(names, n);
+            }
+        }
+        Stmt::Block(b) => collect_decls(b, names),
+        Stmt::If { then, alt, .. } => {
+            collect_stmt(then, names);
+            if let Some(a) = alt {
+                collect_stmt(a, names);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => collect_stmt(body, names),
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_stmt(i, names);
+            }
+            collect_stmt(body, names);
+        }
+        Stmt::Switch { cases, .. } => {
+            for (_, b) in cases {
+                collect_decls(b, names);
+            }
+        }
+        Stmt::ForIn { name, body, .. } => {
+            push_name(names, name);
+            collect_stmt(body, names);
+        }
+        Stmt::Try { block, finally, .. } => {
+            collect_decls(block, names);
+            if let Some(f) = finally {
+                collect_decls(f, names);
+            }
+        }
+        Stmt::Expr(_)
+        | Stmt::Return(_)
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::Throw(_)
+        | Stmt::Empty => {}
+    }
+}
+
+/// Whether the scope's immediate code mentions the identifier `eval`.
+/// Stops at nested functions and `catch` handlers (their own scopes carry
+/// their own taint).
+fn mentions_eval(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(eval_in_stmt)
+}
+
+fn eval_in_stmt(s: &Stmt) -> bool {
+    match s {
+        Stmt::Var(decls) => decls
+            .iter()
+            .any(|(_, init)| init.as_ref().is_some_and(eval_in_expr)),
+        Stmt::Expr(e) | Stmt::Throw(e) => eval_in_expr(e),
+        Stmt::Block(b) => mentions_eval(b),
+        Stmt::If { cond, then, alt } => {
+            eval_in_expr(cond)
+                || eval_in_stmt(then)
+                || alt.as_ref().is_some_and(|a| eval_in_stmt(a))
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            eval_in_expr(cond) || eval_in_stmt(body)
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            init.as_ref().is_some_and(|i| eval_in_stmt(i))
+                || cond.as_ref().is_some_and(eval_in_expr)
+                || update.as_ref().is_some_and(eval_in_expr)
+                || eval_in_stmt(body)
+        }
+        Stmt::Switch { disc, cases } => {
+            eval_in_expr(disc)
+                || cases
+                    .iter()
+                    .any(|(t, b)| t.as_ref().is_some_and(eval_in_expr) || mentions_eval(b))
+        }
+        Stmt::ForIn { object, body, .. } => eval_in_expr(object) || eval_in_stmt(body),
+        Stmt::FnDecl(_) => false,
+        Stmt::Return(e) => e.as_ref().is_some_and(eval_in_expr),
+        Stmt::Try { block, finally, .. } => {
+            mentions_eval(block) || finally.as_ref().is_some_and(|f| mentions_eval(f))
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => false,
+    }
+}
+
+fn eval_in_expr(e: &Expr) -> bool {
+    match e {
+        Expr::Ident(name) => name.as_ref() == "eval",
+        Expr::Local { .. }
+        | Expr::Num(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Null
+        | Expr::Undefined
+        | Expr::This => false,
+        Expr::Array(items) => items.iter().any(eval_in_expr),
+        Expr::Object(props) => props.iter().any(|(_, v)| eval_in_expr(v)),
+        Expr::Function(_) => false,
+        Expr::Assign { target, value, .. } => eval_in_expr(target) || eval_in_expr(value),
+        Expr::Cond { cond, then, alt } => {
+            eval_in_expr(cond) || eval_in_expr(then) || eval_in_expr(alt)
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Seq(a, b) => eval_in_expr(a) || eval_in_expr(b),
+        Expr::Bin { lhs, rhs, .. } => eval_in_expr(lhs) || eval_in_expr(rhs),
+        Expr::Un { operand, .. } => eval_in_expr(operand),
+        Expr::IncDec { target, .. } => eval_in_expr(target),
+        Expr::Member { object, .. } => eval_in_expr(object),
+        Expr::Index { object, index } => eval_in_expr(object) || eval_in_expr(index),
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            eval_in_expr(callee) || args.iter().any(eval_in_expr)
+        }
+    }
+}
+
+fn walk_stmts(stmts: &mut [Stmt], scopes: &mut Vec<Scope>) {
+    for s in stmts {
+        walk_stmt(s, scopes);
+    }
+}
+
+fn walk_stmt(s: &mut Stmt, scopes: &mut Vec<Scope>) {
+    match s {
+        Stmt::Var(decls) => {
+            for (_, init) in decls {
+                if let Some(e) = init {
+                    walk_expr(e, scopes);
+                }
+            }
+        }
+        Stmt::Expr(e) | Stmt::Throw(e) => walk_expr(e, scopes),
+        Stmt::Block(b) => walk_stmts(b, scopes),
+        Stmt::If { cond, then, alt } => {
+            walk_expr(cond, scopes);
+            walk_stmt(then, scopes);
+            if let Some(a) = alt {
+                walk_stmt(a, scopes);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            walk_expr(cond, scopes);
+            walk_stmt(body, scopes);
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            if let Some(i) = init {
+                walk_stmt(i, scopes);
+            }
+            if let Some(c) = cond {
+                walk_expr(c, scopes);
+            }
+            if let Some(u) = update {
+                walk_expr(u, scopes);
+            }
+            walk_stmt(body, scopes);
+        }
+        Stmt::Switch { disc, cases } => {
+            walk_expr(disc, scopes);
+            for (t, b) in cases {
+                if let Some(t) = t {
+                    walk_expr(t, scopes);
+                }
+                walk_stmts(b, scopes);
+            }
+        }
+        Stmt::ForIn { object, body, .. } => {
+            // The loop variable is (re)declared by name each iteration;
+            // references to it inside the body resolve like any other.
+            walk_expr(object, scopes);
+            walk_stmt(body, scopes);
+        }
+        Stmt::FnDecl(def) => walk_fn(def, scopes),
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                walk_expr(e, scopes);
+            }
+        }
+        Stmt::Try {
+            block,
+            catch,
+            finally,
+        } => {
+            walk_stmts(block, scopes);
+            if let Some((name, handler)) = catch {
+                let mut names = vec![name.clone()];
+                collect_decls(handler, &mut names);
+                let tainted = mentions_eval(handler);
+                scopes.push(Scope {
+                    names,
+                    slotted: false,
+                    tainted,
+                });
+                walk_stmts(handler, scopes);
+                scopes.pop();
+            }
+            if let Some(f) = finally {
+                walk_stmts(f, scopes);
+            }
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+    }
+}
+
+fn walk_fn(def: &mut FnDef, scopes: &mut Vec<Scope>) {
+    let mut names: Vec<Name> = Vec::new();
+    for p in &def.params {
+        push_name(&mut names, p);
+    }
+    push_name(&mut names, &Name::from("arguments"));
+    collect_decls(&def.body, &mut names);
+    let tainted = mentions_eval(&def.body);
+    def.scope = Arc::new(ScopeInfo {
+        names: names.clone(),
+    });
+    scopes.push(Scope {
+        names,
+        slotted: true,
+        tainted,
+    });
+    // The body Arc is still unique at resolve time (the tree was just
+    // built); if it ever is not, we skip the rewrite — unresolved code is
+    // merely slower, never wrong.
+    if let Some(body) = Arc::get_mut(&mut def.body) {
+        walk_stmts(body, scopes);
+    }
+    scopes.pop();
+}
+
+fn walk_expr(e: &mut Expr, scopes: &mut Vec<Scope>) {
+    match e {
+        Expr::Ident(name) => {
+            if let Some((depth, slot)) = resolve_ident(name, scopes) {
+                *e = Expr::Local {
+                    name: name.clone(),
+                    depth,
+                    slot,
+                };
+            }
+        }
+        Expr::Un {
+            op: UnOp::Typeof,
+            operand,
+        } => {
+            // Keep `typeof ident` operands raw (see module docs).
+            if !matches!(operand.as_ref(), Expr::Ident(_)) {
+                walk_expr(operand, scopes);
+            }
+        }
+        Expr::Function(def) => walk_fn(def, scopes),
+        Expr::Local { .. }
+        | Expr::Num(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Null
+        | Expr::Undefined
+        | Expr::This => {}
+        Expr::Array(items) => {
+            for item in items {
+                walk_expr(item, scopes);
+            }
+        }
+        Expr::Object(props) => {
+            for (_, v) in props {
+                walk_expr(v, scopes);
+            }
+        }
+        Expr::Assign { target, value, .. } => {
+            walk_expr(target, scopes);
+            walk_expr(value, scopes);
+        }
+        Expr::Cond { cond, then, alt } => {
+            walk_expr(cond, scopes);
+            walk_expr(then, scopes);
+            walk_expr(alt, scopes);
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Seq(a, b) => {
+            walk_expr(a, scopes);
+            walk_expr(b, scopes);
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            walk_expr(lhs, scopes);
+            walk_expr(rhs, scopes);
+        }
+        Expr::Un { operand, .. } => walk_expr(operand, scopes),
+        Expr::IncDec { target, .. } => walk_expr(target, scopes),
+        Expr::Member { object, .. } => walk_expr(object, scopes),
+        Expr::Index { object, index } => {
+            walk_expr(object, scopes);
+            walk_expr(index, scopes);
+        }
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            walk_expr(callee, scopes);
+            for a in args {
+                walk_expr(a, scopes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::{Expr, Stmt};
+    use crate::parser::parse_program;
+
+    fn first_fn_body(src: &str) -> Vec<Stmt> {
+        let p = parse_program(src).unwrap();
+        match &p.body[0] {
+            Stmt::FnDecl(def) => def.body.as_ref().clone(),
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    fn returned_expr(body: &[Stmt]) -> &Expr {
+        for s in body {
+            if let Stmt::Return(Some(e)) = s {
+                return e;
+            }
+        }
+        panic!("no return in {body:?}");
+    }
+
+    #[test]
+    fn params_resolve_to_slots() {
+        let body = first_fn_body("function f(a, b) { return b; }");
+        match returned_expr(&body) {
+            Expr::Local { name, depth, slot } => {
+                assert_eq!(name.as_ref(), "b");
+                assert_eq!(*depth, 0);
+                assert_eq!(*slot, 1);
+            }
+            other => panic!("expected Local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vars_resolve_and_globals_stay_by_name() {
+        let body = first_fn_body("function f() { var x = g; return x; }");
+        assert!(matches!(returned_expr(&body), Expr::Local { depth: 0, .. }));
+        // `g` is free: stays an Ident.
+        match &body[0] {
+            Stmt::Var(decls) => assert!(matches!(decls[0].1, Some(Expr::Ident(_)))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_resolve_across_function_scopes() {
+        let body =
+            first_fn_body("function outer() { var n = 0; return function() { return n; }; }");
+        let inner = match returned_expr(&body) {
+            Expr::Function(def) => def.body.as_ref().clone(),
+            other => panic!("expected function expr, got {other:?}"),
+        };
+        assert!(matches!(
+            returned_expr(&inner),
+            Expr::Local { depth: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn eval_taints_the_scope() {
+        // `x` is declared here, so it still resolves; free `y` must stay
+        // by-name because eval could introduce it.
+        let body = first_fn_body("function f() { var x = 1; eval(s); return x; }");
+        assert!(matches!(returned_expr(&body), Expr::Local { .. }));
+        let body = first_fn_body("function g() { eval(s); return y; }");
+        assert!(matches!(returned_expr(&body), Expr::Ident(_)));
+    }
+
+    #[test]
+    fn eval_in_inner_scope_blocks_pass_through() {
+        // Resolution from inside the eval-tainted inner function must not
+        // skip past it to the outer `n`.
+        let body = first_fn_body(
+            "function outer() { var n = 1; return function() { eval(s); return n; }; }",
+        );
+        let inner = match returned_expr(&body) {
+            Expr::Function(def) => def.body.as_ref().clone(),
+            other => panic!("expected function expr, got {other:?}"),
+        };
+        assert!(matches!(returned_expr(&inner), Expr::Ident(_)));
+    }
+
+    #[test]
+    fn typeof_operand_stays_raw() {
+        let body = first_fn_body("function f(x) { return typeof x; }");
+        match returned_expr(&body) {
+            Expr::Un { operand, .. } => assert!(matches!(operand.as_ref(), Expr::Ident(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catch_bindings_stay_by_name_but_count_a_hop() {
+        let body = first_fn_body(
+            "function f() { var x = 1; try { g(); } catch (e) { return [e, x, function() { return x; }]; } }",
+        );
+        let arr = match &body[1] {
+            Stmt::Try { catch, .. } => match &catch.as_ref().unwrap().1[0] {
+                Stmt::Return(Some(Expr::Array(items))) => items.clone(),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        // `e` lives in the dynamic catch scope.
+        assert!(matches!(&arr[0], Expr::Ident(n) if n.as_ref() == "e"));
+        // `x` is one hop up from inside the catch scope.
+        assert!(matches!(&arr[1], Expr::Local { depth: 1, .. }));
+        // ...and two hops from inside a function defined in the catch.
+        let inner = match &arr[2] {
+            Expr::Function(def) => def.body.as_ref().clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(matches!(
+            returned_expr(&inner),
+            Expr::Local { depth: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn top_level_code_is_untouched() {
+        let p = parse_program("var a = 1; a = a + 1;").unwrap();
+        match &p.body[1] {
+            Stmt::Expr(Expr::Assign { target, .. }) => {
+                assert!(matches!(target.as_ref(), Expr::Ident(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbols_are_collected_and_sorted() {
+        let p = parse_program("var beta = alpha; function gamma() {}").unwrap();
+        let names: Vec<&str> = p.symbols.iter().map(|s| s.as_ref()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+    }
+}

@@ -159,8 +159,9 @@ pub struct ObjData {
 }
 
 /// The object heap. Objects are never freed during a script run — a run is
-/// bounded by the step budget, so peak memory is bounded too.
-#[derive(Debug, Default)]
+/// bounded by the step budget, so peak memory is bounded too. `Clone` is
+/// used to stamp fresh interpreters from a pre-built stdlib template.
+#[derive(Debug, Clone, Default)]
 pub struct Heap {
     objs: Vec<ObjData>,
 }

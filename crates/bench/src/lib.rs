@@ -15,6 +15,10 @@
 //!   (including indexed-vs-naive matcher comparisons on the [`synth`]
 //!   workloads at 100/1k/10k rules), AdScript deobfuscation throughput,
 //!   blacklist threshold sweep, scanner consensus sweep.
+//! * `adscript` — the `adscript_compile/{cold,warm,interned}` group: the
+//!   script compilation cache against cold compiles on the [`synth`]
+//!   script workload (the same one `malvert bench-json` times into
+//!   `BENCH_adscript.json`).
 //! * `countermeasures` — §5 ablation comparison.
 
 use malvert_core::study::{Study, StudyConfig, StudyResults};

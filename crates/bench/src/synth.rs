@@ -61,6 +61,47 @@ pub fn synthetic_context() -> RequestContext {
     RequestContext::iframe_from(&DomainName::parse("publisher.example.com").expect("static host"))
 }
 
+/// Generates `count` distinct AdScript programs, deterministic in
+/// `(count, seed)`.
+///
+/// Each program mimics the shape of a served creative: a large parse
+/// surface (dozens of helper function declarations, most of them never
+/// called) in front of a short live path that writes its result to the
+/// `out` global. Parse cost therefore dominates execution cost, which is
+/// exactly the regime the compile cache targets — a warm
+/// [`malvert_adscript::ScriptCache`] skips the front end and only pays the
+/// short live path.
+pub fn synthetic_scripts(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = DetRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let helpers = 24 + rng.below(16);
+            let mut src = String::new();
+            for f in 0..helpers {
+                let k1 = rng.below(97) + 1;
+                let k2 = rng.below(89) + 1;
+                src.push_str(&format!(
+                    "function helper{i}_{f}(a, b) {{\n\
+                     \x20 var t = a * {k1} + b * {k2};\n\
+                     \x20 var s = '' + t;\n\
+                     \x20 if (s.indexOf('{f}') >= 0) {{ t = t + s.length; }}\n\
+                     \x20 while (t > 1000) {{ t = t - 997; }}\n\
+                     \x20 return t;\n\
+                     }}\n"
+                ));
+            }
+            let rounds = rng.below(5) + 3;
+            let k = rng.below(41) + 1;
+            src.push_str(&format!(
+                "var acc = {i};\n\
+                 for (var n = 0; n < {rounds}; n++) {{ acc = acc + helper{i}_0(n, {k}); }}\n\
+                 out = '' + acc;\n"
+            ));
+            src
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +125,33 @@ mod tests {
         let hits = urls.iter().filter(|u| set.is_ad_url(u, &ctx)).count();
         assert!(hits > 0, "workload never hits the list");
         assert!(hits < urls.len(), "workload always hits the list");
+    }
+
+    #[test]
+    fn script_generation_is_deterministic_in_the_seed() {
+        assert_eq!(synthetic_scripts(10, 5), synthetic_scripts(10, 5));
+        assert_ne!(synthetic_scripts(10, 5), synthetic_scripts(10, 6));
+    }
+
+    #[test]
+    fn scripts_compile_and_run_and_caching_is_invisible() {
+        use malvert_adscript::{CompiledScript, Interpreter, Limits, NoHost};
+        for (i, src) in synthetic_scripts(8, 31).iter().enumerate() {
+            let script = CompiledScript::compile(src)
+                .unwrap_or_else(|e| panic!("script {i} fails to compile: {e}"));
+            let mut direct = Interpreter::new(NoHost, Limits::default(), 1);
+            direct.run(src).unwrap_or_else(|e| panic!("script {i} fails: {e}"));
+            let mut precompiled = Interpreter::new(NoHost, Limits::default(), 1);
+            precompiled.run_program(&script).unwrap();
+            let a = direct
+                .get_global("out")
+                .unwrap_or_else(|| panic!("script {i} wrote no output"));
+            let b = precompiled.get_global("out").expect("precompiled output");
+            assert!(
+                a.strict_eq(b),
+                "script {i}: precompiled run diverges from direct run"
+            );
+        }
     }
 
     #[test]

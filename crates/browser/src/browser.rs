@@ -3,7 +3,7 @@
 use crate::events::{BehaviorEvent, Download};
 use crate::host::{BrowserHost, Effect, ScheduledTimer};
 use crate::personality::Personality;
-use malvert_adscript::{Interpreter, Limits};
+use malvert_adscript::{Interpreter, Limits, ScriptCache};
 use malvert_html::{parse_document, serialize, Document, NodeId};
 use malvert_net::{Body, CookieJar, HttpRequest, NetError, Network, TrafficCapture};
 use malvert_types::rng::SeedTree;
@@ -82,6 +82,11 @@ pub struct PageVisit {
     pub downloads: Vec<Download>,
     /// Full HTTP traffic capture for the visit.
     pub capture: TrafficCapture,
+    /// Script compile units executed across all frames of the visit: one per
+    /// `<script>` element run plus one per `eval` layer peeled. Deterministic
+    /// in the page content — independent of whether a compile cache was
+    /// attached or how often it hit.
+    pub script_compile_units: u64,
 }
 
 /// The emulated browser.
@@ -90,6 +95,7 @@ pub struct Browser<'net> {
     personality: Personality,
     limits: BrowserLimits,
     study: SeedTree,
+    script_cache: Option<ScriptCache>,
 }
 
 struct LoadCtx {
@@ -100,6 +106,8 @@ struct LoadCtx {
     /// Per-visit cookie jar (fresh each visit, like the crawler's clean
     /// Selenium profile).
     jar: CookieJar,
+    /// Compile units executed so far, page-wide.
+    script_units: u64,
 }
 
 impl<'net> Browser<'net> {
@@ -115,7 +123,17 @@ impl<'net> Browser<'net> {
             personality,
             limits,
             study,
+            script_cache: None,
         }
+    }
+
+    /// Attaches a shared script compilation cache. Inline scripts and `eval`
+    /// layers compile through it instead of being parsed from scratch; a
+    /// cache hit returns the identical program, so attaching a cache never
+    /// changes what a page does.
+    pub fn script_cache(mut self, cache: ScriptCache) -> Self {
+        self.script_cache = Some(cache);
+        self
     }
 
     /// Visits `url` at simulated time `time`, loading the page and all its
@@ -127,6 +145,7 @@ impl<'net> Browser<'net> {
             downloads: Vec::new(),
             capture: TrafficCapture::new(),
             jar: CookieJar::new(),
+            script_units: 0,
         };
         let top = self.load_frame(url.clone(), None, 0, false, &mut ctx);
         PageVisit {
@@ -134,6 +153,7 @@ impl<'net> Browser<'net> {
             events: ctx.events,
             downloads: ctx.downloads,
             capture: ctx.capture,
+            script_compile_units: ctx.script_units,
         }
     }
 
@@ -273,13 +293,19 @@ impl<'net> Browser<'net> {
             .branch(&final_url.without_fragment())
             .seed();
         let mut interp = Interpreter::new(host, self.limits.script_limits, seed);
+        if let Some(cache) = &self.script_cache {
+            interp.set_script_cache(cache.clone());
+        }
         BrowserHost::install_globals(&mut interp, &self.personality, final_url);
-        // Snapshot the cookies visible to this document.
+        // Snapshot the cookies visible to this document. `ObjId` is `Copy`,
+        // so peek at the global by reference instead of cloning the value.
         if let Some(host) = final_url.host() {
             let visible = ctx.jar.header_for(host);
-            if let Some(malvert_adscript::Value::Obj(doc_obj)) =
-                interp.get_global("document").cloned()
-            {
+            let doc_obj = match interp.get_global("document") {
+                Some(malvert_adscript::Value::Obj(id)) => Some(*id),
+                _ => None,
+            };
+            if let Some(doc_obj) = doc_obj {
                 interp
                     .heap
                     .get_mut(doc_obj)
@@ -301,7 +327,13 @@ impl<'net> Browser<'net> {
             if src.trim().is_empty() {
                 continue;
             }
-            if let Err(e) = interp.run(&src) {
+            let result = match &self.script_cache {
+                Some(cache) => cache
+                    .compile(&src)
+                    .and_then(|script| interp.run_program(&script)),
+                None => interp.run(&src),
+            };
+            if let Err(e) = result {
                 ctx.events.push(BehaviorEvent::ScriptError {
                     frame: final_url.clone(),
                     message: e.to_string(),
@@ -442,6 +474,8 @@ impl<'net> Browser<'net> {
                 height: Some(1),
             });
         }
+
+        ctx.script_units += interp.script_units();
 
         let snapshot = FrameSnapshot {
             requested_url: requested_url.clone(),
@@ -909,6 +943,45 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(visit2.top.html.contains("fresh"));
+    }
+
+    #[test]
+    fn script_cache_changes_nothing_but_compiles_once() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("c.com"),
+            html_server(
+                "<html><body><script>eval('document.write(\"<b>deep</b>\")');</script></body></html>",
+            ),
+        );
+        let plain = browser_on(&net).visit(&Url::parse("http://c.com/").unwrap(), SimTime::ZERO);
+
+        let stats = malvert_adscript::ScriptStats::new();
+        let cache = ScriptCache::new(64, stats.clone());
+        let cached = Browser::new(
+            &net,
+            Personality::vulnerable_victim(),
+            BrowserLimits::default(),
+            SeedTree::new(1),
+        )
+        .script_cache(cache);
+        let url = Url::parse("http://c.com/").unwrap();
+        let first = cached.visit(&url, SimTime::ZERO);
+        let second = cached.visit(&url, SimTime::ZERO);
+
+        // Byte-identical rendering with and without the cache, hit or miss.
+        assert!(plain.top.html.contains("<b>deep</b>"));
+        assert_eq!(first.top.html, plain.top.html);
+        assert_eq!(second.top.html, plain.top.html);
+        // One inline script plus one eval layer, every visit.
+        assert_eq!(plain.script_compile_units, 2);
+        assert_eq!(first.script_compile_units, 2);
+        assert_eq!(second.script_compile_units, 2);
+        // The second visit compiled nothing new.
+        let counts = stats.snapshot();
+        assert_eq!(counts.lookups, 4);
+        assert_eq!(counts.cache_misses, 2);
+        assert_eq!(counts.cache_hits, 2);
     }
 
     #[test]

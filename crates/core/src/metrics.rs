@@ -101,6 +101,21 @@ pub struct RunCounters {
     /// [`RunSummary::without_timings`].
     #[serde(default)]
     pub filter_candidates_evaluated: u64,
+    /// Script compile-cache lookups (one per script compile attempt, crawl
+    /// and classification combined; cache hits included). Deterministic in
+    /// the study seed.
+    #[serde(default)]
+    pub script_lookups: u64,
+    /// Script compiles answered from the shared compile cache.
+    /// Scheduling-dependent (concurrent first compiles race): stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub script_cache_hits: u64,
+    /// Script compiles that actually ran the parser. Scheduling-dependent
+    /// (the complement of the hits): stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub script_cache_misses: u64,
 }
 
 /// Instrumentation for one pipeline run: stage timings plus counters.
@@ -239,6 +254,8 @@ impl RunSummary {
         counters.filter_cache_hits = 0;
         counters.filter_cache_misses = 0;
         counters.filter_candidates_evaluated = 0;
+        counters.script_cache_hits = 0;
+        counters.script_cache_misses = 0;
         RunSummary {
             timings: Vec::new(),
             latencies: self
@@ -299,6 +316,9 @@ mod tests {
                 filter_cache_hits: 180,
                 filter_cache_misses: 60,
                 filter_candidates_evaluated: 95,
+                script_lookups: 300,
+                script_cache_hits: 280,
+                script_cache_misses: 20,
             },
             timings: vec![StageTiming {
                 stage: StageId::Crawl,
@@ -336,17 +356,23 @@ mod tests {
                 filter_cache_hits: 70,
                 filter_cache_misses: 30,
                 filter_candidates_evaluated: 45,
+                script_lookups: 80,
+                script_cache_hits: 75,
+                script_cache_misses: 5,
                 ..RunCounters::default()
             },
             ..RunSummary::default()
         };
         let stripped = summary.without_timings();
-        // The lookup total is seed-determined and survives; the per-worker
-        // memo split and its candidate cost do not.
+        // The lookup totals are seed-determined and survive; the cache
+        // splits (and the misses' candidate cost) do not.
         assert_eq!(stripped.counters.filter_lookups, 100);
         assert_eq!(stripped.counters.filter_cache_hits, 0);
         assert_eq!(stripped.counters.filter_cache_misses, 0);
         assert_eq!(stripped.counters.filter_candidates_evaluated, 0);
+        assert_eq!(stripped.counters.script_lookups, 80);
+        assert_eq!(stripped.counters.script_cache_hits, 0);
+        assert_eq!(stripped.counters.script_cache_misses, 0);
     }
 
     #[test]
@@ -359,6 +385,8 @@ mod tests {
         assert_eq!(back.page_loads, 6);
         assert_eq!(back.filter_lookups, 0);
         assert_eq!(back.filter_cache_hits, 0);
+        assert_eq!(back.script_lookups, 0);
+        assert_eq!(back.script_cache_hits, 0);
     }
 
     #[test]

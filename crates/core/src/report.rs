@@ -266,6 +266,10 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
          candidate rules evaluated {}\n",
         c.filter_lookups, c.filter_cache_hits, c.filter_cache_misses, c.filter_candidates_evaluated
     ));
+    out.push_str(&format!(
+        "script lookups {} | compile cache hits {} | compile cache misses {}\n",
+        c.script_lookups, c.script_cache_hits, c.script_cache_misses
+    ));
     let merged: Vec<_> = summary
         .latencies
         .iter()
@@ -374,6 +378,9 @@ mod tests {
                 filter_cache_hits: 64,
                 filter_cache_misses: 32,
                 filter_candidates_evaluated: 40,
+                script_lookups: 120,
+                script_cache_hits: 110,
+                script_cache_misses: 10,
             },
             timings: vec![
                 StageTiming {
@@ -394,6 +401,8 @@ mod tests {
         assert!(s.contains("oracle runs 20"));
         assert!(s.contains("filter lookups 96"));
         assert!(s.contains("memo hits 64"));
+        assert!(s.contains("script lookups 120"));
+        assert!(s.contains("compile cache hits 110"));
         // Untraced runs render no latency block.
         assert!(!s.contains("span latencies"));
 

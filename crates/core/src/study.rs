@@ -15,7 +15,8 @@ use crate::metrics::{
 use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
 use malvert_crawler::{
-    creative_key, AdCorpus, CrawlConfig, Crawler, FilterCounts, FilterStats, UniqueAd,
+    creative_key, AdCorpus, CrawlConfig, Crawler, FilterCounts, FilterStats, ScriptCache,
+    ScriptCounts, ScriptStats, UniqueAd,
 };
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
 use malvert_trace::{SpanKind, TraceReport, TraceSink};
@@ -147,6 +148,9 @@ pub struct CrawlSummary {
     /// Filter-engine work counters for the crawl (lookups, memo hits and
     /// misses, candidate rules evaluated).
     pub filter: FilterCounts,
+    /// Script-compilation cache counters for the crawl (lookups, cache hits
+    /// and misses).
+    pub script: ScriptCounts,
     /// Wall-clock time the crawl stage took.
     pub wall: Duration,
 }
@@ -305,11 +309,13 @@ impl Study {
         let stage_span = trace.span(SpanKind::Crawl, "crawl");
         let started = Instant::now();
         let filter_stats = FilterStats::new();
+        let script_stats = ScriptStats::new();
         let crawler = Crawler::builder(&self.world.network, &self.world.filter)
             .config(self.config.crawl.clone())
             .seeds(self.world.tree)
             .trace(trace.clone())
             .filter_stats(filter_stats.clone())
+            .script_stats(script_stats.clone())
             .build();
         let mut corpus = AdCorpus::new();
         let mut chain_lengths: HashMap<u64, BTreeMap<usize, u64>> = HashMap::new();
@@ -342,6 +348,7 @@ impl Study {
             hijack_counts,
             page_loads,
             filter: filter_stats.snapshot(),
+            script: script_stats.snapshot(),
             wall: started.elapsed(),
         };
         stage_span.finish();
@@ -376,6 +383,7 @@ impl Study {
             hijack_counts,
             page_loads,
             filter,
+            script,
             wall: crawl_wall,
         } = crawl;
 
@@ -388,6 +396,14 @@ impl Study {
         // override supports retrospective-evaluation ablations.
         let eval_override = self.config.blacklist_eval_day;
         let stats = OracleStats::new();
+        // Classification gets its own compile cache (same capacity knob as
+        // the crawl's): the honeyclient re-visits the same creatives the
+        // crawl rendered, so nearly every compile is a hit.
+        let classify_script_stats = ScriptStats::new();
+        let classify_script_cache = ScriptCache::new(
+            self.config.crawl.script_cache,
+            classify_script_stats.clone(),
+        );
         let oracle = Oracle::builder(
             &self.world.network,
             &self.world.blacklists,
@@ -396,6 +412,7 @@ impl Study {
         .known_models(self.seed_models())
         .seeds(self.world.tree)
         .stats(stats.clone())
+        .script_cache(classify_script_cache)
         .build();
         let truth_map = self.creative_truth_map();
 
@@ -427,6 +444,7 @@ impl Study {
             )
         };
         let classify_wall = started.elapsed();
+        let classify_script = classify_script_stats.snapshot();
         stage_span.finish();
 
         let aggregate_span = trace.span(SpanKind::Aggregate, "aggregate");
@@ -442,6 +460,9 @@ impl Study {
             filter_cache_hits: filter.cache_hits,
             filter_cache_misses: filter.cache_misses,
             filter_candidates_evaluated: filter.candidates_evaluated,
+            script_lookups: script.lookups + classify_script.lookups,
+            script_cache_hits: script.cache_hits + classify_script.cache_hits,
+            script_cache_misses: script.cache_misses + classify_script.cache_misses,
         };
         let mut metrics = RunMetrics::new(counters);
         metrics.record(StageId::WorldBuild, self.build_wall);

@@ -2,6 +2,7 @@
 
 use crate::engine::{FilterEngine, FilterStats};
 use crossbeam::channel;
+use malvert_adscript::{ScriptCache, ScriptStats};
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_net::{CapturedExchange, Network, TrafficCapture};
@@ -73,6 +74,11 @@ pub struct CrawlConfig {
     /// memoization). The memo only short-circuits recomputation — it can
     /// never change a verdict — so this is purely a speed/memory knob.
     pub filter_memo: usize,
+    /// Script compilation cache capacity, in entries (0 disables the cache).
+    /// The cache is shared across all workers and keyed by a content hash of
+    /// the byte-identical script source, so a hit can never change what a
+    /// script does — like `filter_memo`, purely a speed/memory knob.
+    pub script_cache: usize,
 }
 
 impl Default for CrawlConfig {
@@ -82,6 +88,7 @@ impl Default for CrawlConfig {
             workers: 8,
             browser_limits: BrowserLimits::default(),
             filter_memo: 4096,
+            script_cache: 4096,
         }
     }
 }
@@ -98,6 +105,7 @@ pub struct CrawlerBuilder<'a> {
     study: SeedTree,
     trace: TraceSink,
     filter_stats: FilterStats,
+    script_stats: ScriptStats,
 }
 
 impl<'a> CrawlerBuilder<'a> {
@@ -153,8 +161,24 @@ impl<'a> CrawlerBuilder<'a> {
         self
     }
 
+    /// Sets the script compilation cache capacity (see
+    /// [`CrawlConfig::script_cache`]).
+    pub fn script_cache(mut self, entries: usize) -> Self {
+        self.config.script_cache = entries;
+        self
+    }
+
+    /// Attaches shared script-cache counters; every browser the crawl spins
+    /// up tallies into this handle, so snapshot it after [`Crawler::run`]
+    /// returns.
+    pub fn script_stats(mut self, stats: ScriptStats) -> Self {
+        self.script_stats = stats;
+        self
+    }
+
     /// Assembles the crawler.
     pub fn build(self) -> Crawler<'a> {
+        let script_cache = ScriptCache::new(self.config.script_cache, self.script_stats);
         Crawler {
             network: self.network,
             filter: self.filter,
@@ -162,6 +186,7 @@ impl<'a> CrawlerBuilder<'a> {
             study: self.study,
             trace: self.trace,
             filter_stats: self.filter_stats,
+            script_cache,
         }
     }
 }
@@ -174,6 +199,9 @@ pub struct Crawler<'a> {
     study: SeedTree,
     trace: TraceSink,
     filter_stats: FilterStats,
+    /// One compile cache for the whole crawl, shared by every worker's
+    /// browsers (read-mostly: the popular creatives compile once, ever).
+    script_cache: ScriptCache,
 }
 
 /// The trace unit key of one scheduled page visit: site index in the high
@@ -194,6 +222,7 @@ impl<'a> Crawler<'a> {
             study: SeedTree::new(0),
             trace: TraceSink::disabled(),
             filter_stats: FilterStats::new(),
+            script_stats: ScriptStats::new(),
         }
     }
 
@@ -210,6 +239,11 @@ impl<'a> Crawler<'a> {
     /// The shared filter-engine counters workers tally into.
     pub fn filter_stats(&self) -> &FilterStats {
         &self.filter_stats
+    }
+
+    /// The shared script-cache counters every browser tallies into.
+    pub fn script_stats(&self) -> &ScriptStats {
+        self.script_cache.stats()
     }
 
     /// Visits one site at one schedule slot.
@@ -234,8 +268,19 @@ impl<'a> Crawler<'a> {
             Personality::vulnerable_victim(),
             self.config.browser_limits,
             self.study,
-        );
+        )
+        .script_cache(self.script_cache.clone());
         let visit = browser.visit(&site.front_page(), time);
+        if scoped.is_enabled() && visit.script_compile_units > 0 {
+            // The unit count is deterministic in the page content; only the
+            // wall envelope varies. (Cache hit/miss attribution is a
+            // scheduling accident, so it stays out of the trace.)
+            let compile_span = scoped.span(
+                SpanKind::ScriptCompile,
+                format!("{} compile units", visit.script_compile_units),
+            );
+            compile_span.finish();
+        }
         let record = self.extract(site, time, &visit, engine, &scoped);
         span.finish();
         record
@@ -522,6 +567,7 @@ mod tests {
             workers: 1,
             browser_limits: BrowserLimits::default(),
             filter_memo: 64,
+            script_cache: 64,
         };
         let crawler = Crawler::builder(&net, &filter)
             .config(config.clone())
@@ -581,6 +627,47 @@ mod tests {
         // simulated pages; only the hit/miss split may move with worker
         // scheduling.
         assert_eq!(seq.lookups, par.lookups);
+    }
+
+    #[test]
+    fn script_cache_hit_rate_high_and_lookups_deterministic() {
+        let (net, web, _ads, filter) = mini_world();
+        let sites: Vec<Site> = web.sites.iter().take(4).cloned().collect();
+        let run = |workers: usize, capacity: usize| {
+            let stats = ScriptStats::new();
+            let crawler = Crawler::builder(&net, &filter)
+                .schedule(CrawlSchedule::scaled(2, 2))
+                .workers(workers)
+                .seeds(SeedTree::new(99))
+                .script_cache(capacity)
+                .script_stats(stats.clone())
+                .build();
+            crawler.run(&sites, |_| {});
+            stats.snapshot()
+        };
+        let seq = run(1, 4096);
+        let par = run(4, 4096);
+        assert!(seq.lookups > 0, "crawl compiled no scripts");
+        assert_eq!(seq.cache_hits + seq.cache_misses, seq.lookups);
+        assert_eq!(par.cache_hits + par.cache_misses, par.lookups);
+        // Compile attempts are a pure function of the schedule and the
+        // simulated pages; only the hit/miss split may move with worker
+        // scheduling.
+        assert_eq!(seq.lookups, par.lookups);
+        // The same creatives recur across visits, so warm runs mostly hit.
+        // (The full default schedule clears 90%; this miniature one has
+        // fewer repeat visits per distinct script.)
+        assert!(
+            seq.cache_hits * 2 > seq.lookups,
+            "hit rate below 50%: {} hits / {} lookups",
+            seq.cache_hits,
+            seq.lookups
+        );
+        // Capacity 0 disables caching entirely.
+        let cold = run(1, 0);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, cold.lookups);
+        assert_eq!(cold.lookups, seq.lookups);
     }
 
     #[test]

@@ -178,6 +178,7 @@ mod tests {
             events,
             downloads: vec![],
             capture: TrafficCapture::new(),
+            script_compile_units: 0,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::heuristics::{behavior_fingerprint, HeuristicFindings};
 use crate::incident::{Incident, IncidentType};
+use malvert_adscript::ScriptCache;
 use malvert_blacklist::BlacklistService;
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_net::Network;
@@ -81,6 +82,7 @@ pub struct OracleBuilder<'a> {
     study: SeedTree,
     stats: OracleStats,
     trace: TraceSink,
+    script_cache: Option<ScriptCache>,
 }
 
 impl<'a> OracleBuilder<'a> {
@@ -124,6 +126,14 @@ impl<'a> OracleBuilder<'a> {
         self
     }
 
+    /// Attaches a shared script compilation cache; every honeyclient
+    /// browser compiles through it. Cache hits can never change a verdict
+    /// (hits require byte-identical source), so this is purely a speed knob.
+    pub fn script_cache(mut self, cache: ScriptCache) -> Self {
+        self.script_cache = Some(cache);
+        self
+    }
+
     /// Assembles the oracle.
     pub fn build(self) -> Oracle<'a> {
         Oracle {
@@ -134,6 +144,7 @@ impl<'a> OracleBuilder<'a> {
             study: self.study,
             stats: self.stats,
             trace: self.trace,
+            script_cache: self.script_cache,
         }
     }
 }
@@ -147,6 +158,7 @@ pub struct Oracle<'a> {
     study: SeedTree,
     stats: OracleStats,
     trace: TraceSink,
+    script_cache: Option<ScriptCache>,
 }
 
 impl<'a> Oracle<'a> {
@@ -166,6 +178,7 @@ impl<'a> Oracle<'a> {
             study: SeedTree::new(0),
             stats: OracleStats::default(),
             trace: TraceSink::disabled(),
+            script_cache: None,
         }
     }
 
@@ -209,12 +222,15 @@ impl<'a> Oracle<'a> {
         trace: &TraceSink,
     ) -> PageVisit {
         let span = trace.span(SpanKind::HoneyclientVisit, ad_url.to_string());
-        let browser = Browser::new(
+        let mut browser = Browser::new(
             self.network,
             Personality::vulnerable_victim(),
             self.config.browser_limits,
             seeds,
         );
+        if let Some(cache) = &self.script_cache {
+            browser = browser.script_cache(cache.clone());
+        }
         let visit = browser.visit(ad_url, time);
         self.stats.inner.visits.fetch_add(1, Ordering::Relaxed);
         let exhausted = visit

@@ -35,6 +35,9 @@ pub enum SpanKind {
     PayloadScan,
     /// One filter-list match of an iframe URL during a crawl visit.
     FilterMatch,
+    /// Script compile units executed during one crawl visit (inline and
+    /// external scripts plus `eval` layers; cache hits included).
+    ScriptCompile,
     /// An incident raised by the oracle (instant event, carries
     /// [`Provenance`]).
     Incident,
@@ -42,7 +45,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::WorldBuild,
         SpanKind::Crawl,
         SpanKind::Classify,
@@ -53,6 +56,7 @@ impl SpanKind {
         SpanKind::BlacklistLookup,
         SpanKind::PayloadScan,
         SpanKind::FilterMatch,
+        SpanKind::ScriptCompile,
         SpanKind::Incident,
     ];
 
@@ -69,6 +73,7 @@ impl SpanKind {
             SpanKind::BlacklistLookup => "blacklist_lookup",
             SpanKind::PayloadScan => "payload_scan",
             SpanKind::FilterMatch => "filter_match",
+            SpanKind::ScriptCompile => "script_compile",
             SpanKind::Incident => "incident",
         }
     }

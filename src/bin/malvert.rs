@@ -4,7 +4,7 @@
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
 //!               [--trace DIR]
 //! malvert trace EVENTS.JSONL [--top N]
-//! malvert bench-json [--out PATH] [--urls N] [--iters N]
+//! malvert bench-json [--out PATH] [--adscript-out PATH] [--urls N] [--iters N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -85,10 +85,12 @@ USAGE:
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
-  malvert bench-json [--out PATH] [--urls N] [--iters N]
+  malvert bench-json [--out PATH] [--adscript-out PATH] [--urls N] [--iters N]
                    time the indexed filter engine against the naive scan on
-                   synthetic rule lists (100/1k/10k rules) and write the
-                   machine-readable results (default BENCH_filterlist.json)
+                   synthetic rule lists (100/1k/10k rules) and the script
+                   compile cache against cold compiles on synthetic
+                   creatives; writes machine-readable results (defaults
+                   BENCH_filterlist.json and BENCH_adscript.json)
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -227,14 +229,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Times the indexed matcher against the retained naive scan on the shared
-/// synthetic workloads and writes a machine-readable JSON report — the
-/// perf-trajectory artifact CI uploads on every run. Plain `Instant` timing
-/// (Criterion is a dev-dependency of the bench crate, not of this binary);
-/// the Criterion `filterlist_index` groups time the identical workloads
-/// when statistical rigor is wanted.
+/// Times the indexed matcher against the retained naive scan, and the
+/// script compile cache against cold compiles, on the shared synthetic
+/// workloads, writing machine-readable JSON reports — the perf-trajectory
+/// artifacts CI uploads on every run. Plain `Instant` timing (Criterion is
+/// a dev-dependency of the bench crate, not of this binary); the Criterion
+/// `filterlist_index` and `adscript_compile` groups time the identical
+/// workloads when statistical rigor is wanted.
 fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
-    use malvertising::bench::synth::{synthetic_context, synthetic_list, synthetic_urls};
+    use malvertising::bench::synth::{
+        synthetic_context, synthetic_list, synthetic_scripts, synthetic_urls,
+    };
     use malvertising::filterlist::{FilterSet, MatchScratch};
     use std::time::Instant;
 
@@ -242,6 +247,10 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_filterlist.json".to_string());
+    let adscript_out = flags
+        .get("adscript-out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_adscript.json".to_string());
     let url_count = flag(flags, "urls", 200usize)?.max(1);
     let iters = flag(flags, "iters", 30u32)?.max(1);
 
@@ -305,6 +314,82 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     eprintln!("wrote {out_path} ({} bytes)", json.len());
+
+    // AdScript compile cache: cold (lex + parse + resolve every pass) vs
+    // warm (shared cache, front end is a hash lookup) over the same
+    // deterministic script workload the Criterion `adscript_compile` group
+    // times.
+    use malvertising::adscript::{Interpreter, Limits, NoHost, ScriptCache, ScriptStats};
+    let scripts = synthetic_scripts(32, 0xADC0);
+    let stats = ScriptStats::new();
+    let cache = ScriptCache::new(4096, stats.clone());
+
+    // One untimed pass warms the cache and checks that the cached path
+    // computes exactly what the uncached path does.
+    for (i, src) in scripts.iter().enumerate() {
+        let mut cold = Interpreter::new(NoHost, Limits::default(), 1);
+        cold.run(src)
+            .map_err(|e| format!("synthetic script {i} fails uncached: {e}"))?;
+        let script = cache
+            .compile(src)
+            .map_err(|e| format!("synthetic script {i} fails cached: {e}"))?;
+        let mut warm = Interpreter::new(NoHost, Limits::default(), 1);
+        warm.run_program(&script)
+            .map_err(|e| format!("synthetic script {i} fails precompiled: {e}"))?;
+        match (cold.get_global("out"), warm.get_global("out")) {
+            (Some(a), Some(b)) if a.strict_eq(b) => {}
+            _ => return Err(format!("cached/uncached divergence on synthetic script {i}")),
+        }
+    }
+
+    let started = Instant::now();
+    for _ in 0..iters {
+        for src in &scripts {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            std::hint::black_box(interp.run(src).expect("checked in warm-up pass"));
+        }
+    }
+    let cold_ns = started.elapsed().as_nanos() as f64;
+
+    let started = Instant::now();
+    for _ in 0..iters {
+        for src in &scripts {
+            let script = cache.compile(src).expect("checked in warm-up pass");
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            std::hint::black_box(interp.run_program(&script).expect("checked in warm-up pass"));
+        }
+    }
+    let warm_ns = started.elapsed().as_nanos() as f64;
+
+    let per_script = (iters as f64) * (scripts.len() as f64);
+    let cold_ns_per_script = cold_ns / per_script;
+    let warm_ns_per_script = warm_ns / per_script;
+    let speedup = cold_ns / warm_ns.max(1.0);
+    let counts = stats.snapshot();
+    let hit_rate = counts.cache_hits as f64 / (counts.lookups.max(1) as f64);
+    eprintln!(
+        "adscript: cold {cold_ns_per_script:>10.1} ns/script, \
+         warm {warm_ns_per_script:>10.1} ns/script ({speedup:.1}x), \
+         cache hit rate {:.1}%",
+        hit_rate * 100.0
+    );
+
+    let report = serde_json::json!({
+        "bench": "adscript_compile",
+        "workload": { "scripts": scripts.len(), "seed": 0xADC0, "iters": iters },
+        "cold_ns_per_script": cold_ns_per_script,
+        "warm_ns_per_script": warm_ns_per_script,
+        "speedup": speedup,
+        "cache": {
+            "lookups": counts.lookups,
+            "hits": counts.cache_hits,
+            "misses": counts.cache_misses,
+            "hit_rate": hit_rate,
+        },
+    });
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&adscript_out, &json).map_err(|e| format!("write {adscript_out}: {e}"))?;
+    eprintln!("wrote {adscript_out} ({} bytes)", json.len());
     Ok(())
 }
 

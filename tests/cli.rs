@@ -151,14 +151,18 @@ fn trace_without_a_path_fails() {
 }
 
 #[test]
-fn bench_json_writes_machine_readable_report() {
+fn bench_json_writes_machine_readable_reports() {
     let out_path =
         std::env::temp_dir().join(format!("malvert-test-{}-bench.json", std::process::id()));
+    let adscript_path =
+        std::env::temp_dir().join(format!("malvert-test-{}-adscript.json", std::process::id()));
     let out = malvert()
         .args([
             "bench-json",
             "--out",
             out_path.to_str().unwrap(),
+            "--adscript-out",
+            adscript_path.to_str().unwrap(),
             "--urls",
             "20",
             "--iters",
@@ -179,6 +183,22 @@ fn bench_json_writes_machine_readable_report() {
         assert!(group["speedup"].as_f64().unwrap() > 0.0);
     }
     let _ = std::fs::remove_file(&out_path);
+
+    let json = std::fs::read_to_string(&adscript_path).expect("adscript report written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["bench"], "adscript_compile");
+    assert!(parsed["cold_ns_per_script"].as_f64().unwrap() > 0.0);
+    assert!(parsed["warm_ns_per_script"].as_f64().unwrap() > 0.0);
+    // Skipping the parser must never be slower than running it; the ≥5x
+    // bar is asserted by the Criterion bench at stable iteration counts,
+    // not by this two-iteration smoke run.
+    assert!(parsed["speedup"].as_f64().unwrap() > 1.0);
+    // Warm-up pass misses once per script; every timed lookup hits.
+    let cache = &parsed["cache"];
+    assert_eq!(cache["misses"].as_u64().unwrap(), 32);
+    assert_eq!(cache["hits"].as_u64().unwrap(), 64);
+    assert!(cache["hit_rate"].as_f64().unwrap() > 0.5);
+    let _ = std::fs::remove_file(&adscript_path);
 }
 
 #[test]

@@ -174,6 +174,46 @@ fn filter_memo_invisible_in_study_results() {
 }
 
 #[test]
+fn script_cache_invisible_in_study_results() {
+    // The compile cache is purely a speed knob: every cache size in
+    // {disabled, pathological single entry, default} at every worker count
+    // in {1, 8} produces byte-identical classified ads and
+    // (timing-stripped) run summaries. `script_lookups` survives the
+    // stripping, so this also pins compile-attempt parity; the
+    // scheduling-dependent hit/miss split is zeroed by `without_timings`.
+    let run = |workers: usize, script_cache: usize| {
+        let mut cfg = config(1618, workers);
+        cfg.crawl.script_cache = script_cache;
+        Study::new(cfg).run()
+    };
+    let baseline = run(1, 0);
+    let base_ads = serde_json::to_string(&baseline.ads).unwrap();
+    let base_summary = baseline.summary().without_timings().to_json();
+    for (workers, cache) in [(1, 1), (1, 4096), (8, 0), (8, 1), (8, 4096)] {
+        let r = run(workers, cache);
+        assert_eq!(
+            serde_json::to_string(&r.ads).unwrap(),
+            base_ads,
+            "classified ads diverge at workers={workers} script_cache={cache}"
+        );
+        assert_eq!(
+            r.summary().without_timings().to_json(),
+            base_summary,
+            "run summaries diverge at workers={workers} script_cache={cache}"
+        );
+    }
+    assert!(
+        baseline.summary().counters.script_lookups > 0,
+        "study never attempted a script compile"
+    );
+    assert_eq!(baseline.summary().counters.script_cache_hits, 0);
+    assert!(
+        run(8, 4096).summary().counters.script_cache_hits > 0,
+        "default-capacity cache never hit"
+    );
+}
+
+#[test]
 fn different_seeds_differ() {
     let a = Study::new(config(1, 4)).run();
     let b = Study::new(config(2, 4)).run();

@@ -38,6 +38,39 @@ fn arb_filter_rule() -> impl Strategy<Value = String> {
     ]
 }
 
+/// One random AdScript program over a small statement grammar: global
+/// mutation, locals, branches, bounded loops, function declarations, and
+/// `eval` — every construct the compile/execute split has to preserve. The
+/// program funnels its state into the `out` global so two runs can be
+/// compared by a single observation.
+fn arb_adscript_program() -> impl Strategy<Value = String> {
+    (
+        0i32..100,
+        prop::collection::vec((0u8..6, 0i32..9), 1..12),
+    )
+        .prop_map(|(seed, stmts)| {
+            let mut src = format!("var x = {seed}; var y = '';\n");
+            for (i, (kind, k)) in stmts.into_iter().enumerate() {
+                let stmt = match kind {
+                    0 => format!("x = x + {k};"),
+                    1 => format!("var v{i} = x * {k}; x = x + v{i};"),
+                    2 => format!(
+                        "if (x % 2 === 0) {{ y = y + 'e{k}'; }} else {{ y = y + 'o{k}'; }}"
+                    ),
+                    3 => format!("for (var i{i} = 0; i{i} < {k}; i{i}++) {{ x = x + i{i}; }}"),
+                    4 => format!(
+                        "function f{i}(a) {{ var t = a % 97; return t * {k} + 1; }} x = f{i}(x);"
+                    ),
+                    _ => format!("x = eval('x + {k}');"),
+                };
+                src.push_str(&stmt);
+                src.push('\n');
+            }
+            src.push_str("out = '' + x + ':' + y;\n");
+            src
+        })
+}
+
 /// One random request URL built over the same vocabulary as the rules.
 fn arb_match_url() -> impl Strategy<Value = String> {
     let seg = prop_oneof!["[a-z0-9]{1,5}", vocab().prop_map(String::from)];
@@ -203,6 +236,37 @@ proptest! {
         interp.run(&obf).unwrap();
         let out = interp.get_global("out").cloned().unwrap().to_number();
         prop_assert_eq!(out, f64::from(n % 97));
+    }
+
+    #[test]
+    fn adscript_precompiled_equals_direct(src in arb_adscript_program()) {
+        // The tentpole invariant for the compile/execute split: running the
+        // source directly, running a precompiled program, and running a
+        // cache *hit* (second compile of the same source) must observe the
+        // same `out`, for every program the grammar can produce.
+        use malvertising::adscript::{CompiledScript, ScriptCache, ScriptStats};
+        let script = CompiledScript::compile(&src).expect("generated program parses");
+
+        let mut direct = Interpreter::new(NoHost, Limits::default(), 1);
+        direct.run(&src).expect("generated program runs");
+        let direct_out = direct.get_global("out").cloned().unwrap();
+
+        let mut precompiled = Interpreter::new(NoHost, Limits::default(), 1);
+        precompiled.run_program(&script).expect("precompiled program runs");
+        let precompiled_out = precompiled.get_global("out").cloned().unwrap();
+        prop_assert!(direct_out.strict_eq(&precompiled_out),
+            "precompiled run diverges from direct run on:\n{}", src);
+
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(16, stats.clone());
+        cache.compile(&src).expect("cached compile");
+        let hit = cache.compile(&src).expect("cache hit");
+        prop_assert_eq!(stats.cache_hits(), 1);
+        let mut warm = Interpreter::new(NoHost, Limits::default(), 1);
+        warm.run_program(&hit).expect("cache-hit program runs");
+        let warm_out = warm.get_global("out").cloned().unwrap();
+        prop_assert!(direct_out.strict_eq(&warm_out),
+            "cache-hit run diverges from direct run on:\n{}", src);
     }
 
     // ---------- filter list ----------
