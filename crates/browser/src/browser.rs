@@ -5,9 +5,11 @@ use crate::host::{BrowserHost, Effect, ScheduledTimer};
 use crate::personality::Personality;
 use malvert_adscript::{Interpreter, Limits, ScriptCache};
 use malvert_html::{parse_document, serialize, Document, NodeId};
-use malvert_net::{Body, CookieJar, HttpRequest, NetError, Network, TrafficCapture};
+use malvert_net::{
+    Body, CookieJar, FetchLog, FetchOutcome, HttpRequest, NetError, Network, TrafficCapture,
+};
 use malvert_types::rng::SeedTree;
-use malvert_types::{SimTime, Url};
+use malvert_types::{CrawlError, CrawlErrorClass, ErrorCounters, SimTime, Url};
 
 /// Bounds on a single page load.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +22,14 @@ pub struct BrowserLimits {
     pub max_timer_rounds: u32,
     /// AdScript interpreter limits per document.
     pub script_limits: Limits,
+    /// Extra attempts spent per redirect hop on injected transient faults
+    /// (DNS flaps, resets, timeouts, injected 5xx). Genuine failures are
+    /// never retried, so fault-free visits are unaffected by this knob.
+    pub max_fetch_retries: u32,
+    /// Total retries one visit may spend across all of its fetches. A
+    /// pathologically flaky page exhausts the budget and degrades instead of
+    /// multiplying the visit's request count unboundedly.
+    pub retry_budget: u32,
 }
 
 impl Default for BrowserLimits {
@@ -29,6 +39,8 @@ impl Default for BrowserLimits {
             max_navigations: 6,
             max_timer_rounds: 8,
             script_limits: Limits::default(),
+            max_fetch_retries: 2,
+            retry_budget: 16,
         }
     }
 }
@@ -87,6 +99,17 @@ pub struct PageVisit {
     /// in the page content — independent of whether a compile cache was
     /// attached or how often it hit.
     pub script_compile_units: u64,
+    /// Per-class counters for every crawl error met during the visit,
+    /// including failures a retry recovered from.
+    pub errors: ErrorCounters,
+    /// The typed errors behind [`PageVisit::errors`], in occurrence order.
+    pub error_log: Vec<CrawlError>,
+    /// True when the visit rendered but lost evidence to unrecovered
+    /// transport faults (timeouts, resets, truncated or corrupted bodies,
+    /// 5xx answers). DNS and redirect failures alone do not degrade a visit:
+    /// NXDOMAIN bounces and broken chains are world behaviour the cloaking
+    /// heuristics deliberately observe.
+    pub degraded: bool,
 }
 
 /// The emulated browser.
@@ -108,6 +131,12 @@ struct LoadCtx {
     jar: CookieJar,
     /// Compile units executed so far, page-wide.
     script_units: u64,
+    /// Per-class error tallies, page-wide.
+    errors: ErrorCounters,
+    /// Typed errors in occurrence order, page-wide.
+    error_log: Vec<CrawlError>,
+    /// Retries the visit may still spend (see `BrowserLimits::retry_budget`).
+    retries_left: u32,
 }
 
 impl<'net> Browser<'net> {
@@ -146,15 +175,45 @@ impl<'net> Browser<'net> {
             capture: TrafficCapture::new(),
             jar: CookieJar::new(),
             script_units: 0,
+            errors: ErrorCounters::default(),
+            error_log: Vec::new(),
+            retries_left: self.limits.retry_budget,
         };
         let top = self.load_frame(url.clone(), None, 0, false, &mut ctx);
+        let degraded = ctx.error_log.iter().any(|e| {
+            !e.recovered && !matches!(e.class, CrawlErrorClass::Dns | CrawlErrorClass::Redirect)
+        });
         PageVisit {
             top,
             events: ctx.events,
             downloads: ctx.downloads,
             capture: ctx.capture,
             script_compile_units: ctx.script_units,
+            errors: ctx.errors,
+            error_log: ctx.error_log,
+            degraded,
         }
+    }
+
+    /// Fetches through the network with the visit's retry budget, folding the
+    /// classified error log into the visit context. All of the browser's
+    /// network traffic goes through here so every failure — recovered or
+    /// not — lands in the visit's error accounting.
+    fn fetch(&self, req: &HttpRequest, ctx: &mut LoadCtx) -> Result<FetchOutcome, NetError> {
+        let mut log = FetchLog::default();
+        let max_retries = self.limits.max_fetch_retries.min(ctx.retries_left);
+        let result = self
+            .network
+            .fetch_logged(req, ctx.time, &mut ctx.capture, max_retries, &mut log);
+        // `max_retries` caps each hop; a long flaky chain may overspend the
+        // remaining budget by a bounded amount, which saturation absorbs.
+        ctx.retries_left = ctx.retries_left.saturating_sub(log.retries);
+        ctx.errors.retries += u64::from(log.retries);
+        for err in log.errors {
+            ctx.errors.record(err.class);
+            ctx.error_log.push(err);
+        }
+        result
     }
 
     /// Loads one frame. The returned snapshot describes the **first**
@@ -186,7 +245,7 @@ impl<'net> Browser<'net> {
             if let Some(r) = &referrer {
                 req = req.with_referrer(r.clone());
             }
-            let outcome = match self.network.fetch(&req, ctx.time, &mut ctx.capture) {
+            let outcome = match self.fetch(&req, ctx) {
                 Ok(o) => o,
                 Err(NetError::NxDomain(_)) | Err(_) => {
                     // A failed *navigation* keeps the already-rendered
@@ -406,7 +465,7 @@ impl<'net> Browser<'net> {
                 let req = HttpRequest::get(resource_url.clone())
                     .with_referrer(final_url.clone())
                     .with_user_agent(&self.personality.user_agent);
-                if let Ok(outcome) = self.network.fetch(&req, ctx.time, &mut ctx.capture) {
+                if let Ok(outcome) = self.fetch(&req, ctx) {
                     if let Body::Download(bytes) = outcome.response.body {
                         ctx.events.push(BehaviorEvent::DownloadTriggered {
                             frame: final_url.clone(),
@@ -572,7 +631,7 @@ impl<'net> Browser<'net> {
                         let req = HttpRequest::get(beacon_url)
                             .with_referrer(frame_url.clone())
                             .with_user_agent(&self.personality.user_agent);
-                        let _ = self.network.fetch(&req, ctx.time, &mut ctx.capture);
+                        let _ = self.fetch(&req, ctx);
                     }
                 }
             }
@@ -982,6 +1041,74 @@ mod tests {
         assert_eq!(counts.lookups, 4);
         assert_eq!(counts.cache_misses, 2);
         assert_eq!(counts.cache_hits, 2);
+    }
+
+    #[test]
+    fn fault_free_visits_report_clean_counters() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(domain("ok.com"), html_server("<html><body>fine</body></html>"));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://ok.com/").unwrap(), SimTime::ZERO);
+        assert!(visit.errors.is_clean());
+        assert!(visit.error_log.is_empty());
+        assert!(!visit.degraded);
+    }
+
+    #[test]
+    fn truncation_degrades_but_does_not_fail_the_visit() {
+        let mut net = Network::new(SeedTree::new(2));
+        net.register(
+            domain("cut.com"),
+            html_server("<html><body><p>a long creative body that will be cut</p></body></html>"),
+        );
+        net.set_fault_profile(Some(malvert_net::FaultProfile {
+            truncated_body: 1.0,
+            ..malvert_net::FaultProfile::default()
+        }));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://cut.com/").unwrap(), SimTime::ZERO);
+        // The frame loaded — partial evidence, not a lost visit.
+        assert!(!visit.top.failed);
+        assert!(visit.degraded);
+        assert_eq!(visit.errors.truncated_bodies, 1);
+        assert!(visit.error_log.iter().any(|e| !e.recovered));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_recovered() {
+        let mut net = Network::new(SeedTree::new(3));
+        net.register(domain("flap.com"), html_server("<html><body>made it</body></html>"));
+        net.set_fault_profile(Some(malvert_net::FaultProfile {
+            server_error: 1.0,
+            max_flaps: 1,
+            ..malvert_net::FaultProfile::default()
+        }));
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://flap.com/").unwrap(), SimTime::ZERO);
+        assert!(!visit.top.failed);
+        assert!(visit.top.html.contains("made it"));
+        // The flap was recovered by a retry, so the visit is not degraded,
+        // but the failure stays visible in the accounting.
+        assert!(!visit.degraded);
+        assert_eq!(visit.errors.retries, 1);
+        assert_eq!(visit.errors.http_5xx, 1);
+        assert!(visit.error_log[0].recovered);
+    }
+
+    #[test]
+    fn genuine_nxdomain_counts_as_dns_but_not_degraded() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("page.com"),
+            html_server(r#"<html><body><iframe src="http://gone.biz/"></iframe></body></html>"#),
+        );
+        let browser = browser_on(&net);
+        let visit = browser.visit(&Url::parse("http://page.com/").unwrap(), SimTime::ZERO);
+        // The NX bounce is world behaviour the heuristics observe — it is
+        // tallied, but does not mark the visit degraded.
+        assert_eq!(visit.errors.dns_failures, 1);
+        assert!(!visit.degraded);
+        assert_eq!(visit.errors.retries, 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! byte-identity checks across worker counts can compare full summaries.
 
 use malvert_trace::SpanLatency;
+use malvert_types::ErrorCounters;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -116,6 +117,13 @@ pub struct RunCounters {
     /// [`RunSummary::without_timings`].
     #[serde(default)]
     pub script_cache_misses: u64,
+    /// Per-class crawl-error counters aggregated over every page visit
+    /// (faults injected and genuine, recovered and not), plus retry and
+    /// degraded/failed-visit tallies. Every field is a pure function of the
+    /// study seed and fault profile, so the whole block survives
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub errors: ErrorCounters,
 }
 
 /// Instrumentation for one pipeline run: stage timings plus counters.
@@ -319,6 +327,7 @@ mod tests {
                 script_lookups: 300,
                 script_cache_hits: 280,
                 script_cache_misses: 20,
+                errors: ErrorCounters::default(),
             },
             timings: vec![StageTiming {
                 stage: StageId::Crawl,
@@ -387,6 +396,26 @@ mod tests {
         assert_eq!(back.filter_cache_hits, 0);
         assert_eq!(back.script_lookups, 0);
         assert_eq!(back.script_cache_hits, 0);
+        assert!(back.errors.is_clean());
+    }
+
+    #[test]
+    fn error_counters_survive_without_timings() {
+        let mut errors = ErrorCounters::default();
+        errors.record(malvert_types::CrawlErrorClass::Timeout);
+        errors.record(malvert_types::CrawlErrorClass::TruncatedBody);
+        errors.retries = 3;
+        errors.degraded_visits = 2;
+        let summary = RunSummary {
+            counters: RunCounters {
+                errors,
+                ..RunCounters::default()
+            },
+            ..RunSummary::default()
+        };
+        // Error accounting is deterministic in (seed, profile) — it must not
+        // be stripped with the scheduling-dependent counters.
+        assert_eq!(summary.without_timings().counters.errors, errors);
     }
 
     #[test]

@@ -270,6 +270,23 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
         "script lookups {} | compile cache hits {} | compile cache misses {}\n",
         c.script_lookups, c.script_cache_hits, c.script_cache_misses
     ));
+    let e = &c.errors;
+    if !e.is_clean() || e.degraded_visits > 0 {
+        out.push_str(&format!(
+            "crawl errors: dns {} | 5xx {} | timeouts {} | resets {} | truncated {} | \
+             malformed {} | redirect {} | retries {} | degraded visits {} | failed visits {}\n",
+            e.dns_failures,
+            e.http_5xx,
+            e.timeouts,
+            e.connection_resets,
+            e.truncated_bodies,
+            e.malformed_html,
+            e.redirect_failures,
+            e.retries,
+            e.degraded_visits,
+            e.failed_visits
+        ));
+    }
     let merged: Vec<_> = summary
         .latencies
         .iter()
@@ -381,6 +398,7 @@ mod tests {
                 script_lookups: 120,
                 script_cache_hits: 110,
                 script_cache_misses: 10,
+                errors: malvert_types::ErrorCounters::default(),
             },
             timings: vec![
                 StageTiming {
@@ -403,8 +421,20 @@ mod tests {
         assert!(s.contains("memo hits 64"));
         assert!(s.contains("script lookups 120"));
         assert!(s.contains("compile cache hits 110"));
+        // A clean run renders no error line at all.
+        assert!(!s.contains("crawl errors"));
         // Untraced runs render no latency block.
         assert!(!s.contains("span latencies"));
+
+        let mut faulted = summary.clone();
+        faulted.counters.errors.record(malvert_types::CrawlErrorClass::Timeout);
+        faulted.counters.errors.retries = 2;
+        faulted.counters.errors.degraded_visits = 1;
+        let s = render_run_metrics(&faulted);
+        assert!(s.contains("crawl errors"));
+        assert!(s.contains("timeouts 1"));
+        assert!(s.contains("retries 2"));
+        assert!(s.contains("degraded visits 1"));
 
         let mut hist = malvert_trace::LogHistogram::new();
         hist.record_us(900);

@@ -18,9 +18,10 @@ use malvert_crawler::{
     creative_key, AdCorpus, CrawlConfig, Crawler, FilterCounts, FilterStats, ScriptCache,
     ScriptCounts, ScriptStats, UniqueAd,
 };
+use malvert_net::FaultProfile;
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
 use malvert_trace::{SpanKind, TraceReport, TraceSink};
-use malvert_types::{AdNetworkId, CampaignId, SimTime, SiteId, Url};
+use malvert_types::{AdNetworkId, CampaignId, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
@@ -47,6 +48,11 @@ pub struct StudyConfig {
     /// retrospective (the paper monitored the feeds across the whole
     /// study); defaults to the last crawl day.
     pub blacklist_eval_day: Option<u32>,
+    /// Seed-driven fault injection attached to the simulated network
+    /// (`None` = a fault-free substrate, byte-identical to a run without
+    /// the knob). Faults are pure functions of `(seed, time, url)`, so a
+    /// faulted run is still byte-identical at any worker count.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for StudyConfig {
@@ -59,6 +65,7 @@ impl Default for StudyConfig {
             easylist_coverage: 1.0,
             model_seed_count: 8,
             blacklist_eval_day: None,
+            faults: None,
         }
     }
 }
@@ -151,6 +158,9 @@ pub struct CrawlSummary {
     /// Script-compilation cache counters for the crawl (lookups, cache hits
     /// and misses).
     pub script: ScriptCounts,
+    /// Crawl-error accounting aggregated over every page visit: per-class
+    /// failure counters plus retry and degraded/failed-visit tallies.
+    pub errors: ErrorCounters,
     /// Wall-clock time the crawl stage took.
     pub wall: Duration,
 }
@@ -258,13 +268,14 @@ impl Study {
     pub fn new(mut config: StudyConfig) -> Study {
         let started = Instant::now();
         config.ads.campaigns.study_days = config.crawl.schedule.days.max(1);
-        let world = StudyWorld::build(
+        let mut world = StudyWorld::build(
             config.seed,
             &config.web,
             &config.ads,
             config.easylist_coverage,
             config.crawl.schedule.days,
         );
+        world.network.set_fault_profile(config.faults);
         Study {
             config,
             world,
@@ -275,7 +286,8 @@ impl Study {
     /// Assembles a study from an already-built world (countermeasure
     /// ablations mutate a world and re-run stages on it). The world-build
     /// timing is unknown here and reported as zero.
-    pub fn from_parts(config: StudyConfig, world: StudyWorld) -> Study {
+    pub fn from_parts(config: StudyConfig, mut world: StudyWorld) -> Study {
+        world.network.set_fault_profile(config.faults);
         Study {
             config,
             world,
@@ -323,12 +335,20 @@ impl Study {
         let mut iframe_census = (0u64, 0u64);
         let mut hijack_counts = (0u64, 0u64);
         let mut page_loads = 0u64;
+        let mut errors = ErrorCounters::default();
         crawler.run(&self.world.web.sites, |record| {
             page_loads += 1;
             iframe_census.0 += record.total_iframes as u64;
             iframe_census.1 += record.sandboxed_iframes as u64;
             hijack_counts.0 += record.hijack_exposures as u64;
             hijack_counts.1 += record.hijacks_blocked as u64;
+            errors.merge(&record.errors);
+            if record.failed {
+                errors.failed_visits += 1;
+            }
+            if record.degraded {
+                errors.degraded_visits += 1;
+            }
             for ad in &record.ads {
                 *site_ad_observations.entry(ad.site).or_default() += 1;
                 if let Some(key) = corpus.record(ad) {
@@ -349,6 +369,7 @@ impl Study {
             page_loads,
             filter: filter_stats.snapshot(),
             script: script_stats.snapshot(),
+            errors,
             wall: started.elapsed(),
         };
         stage_span.finish();
@@ -384,6 +405,7 @@ impl Study {
             page_loads,
             filter,
             script,
+            errors,
             wall: crawl_wall,
         } = crawl;
 
@@ -463,6 +485,7 @@ impl Study {
             script_lookups: script.lookups + classify_script.lookups,
             script_cache_hits: script.cache_hits + classify_script.cache_hits,
             script_cache_misses: script.cache_misses + classify_script.cache_misses,
+            errors,
         };
         let mut metrics = RunMetrics::new(counters);
         metrics.record(StageId::WorldBuild, self.build_wall);
@@ -815,6 +838,20 @@ mod tests {
         let (_, results) = run_tiny();
         assert!(results.iframe_census.0 > 0);
         assert_eq!(results.iframe_census.1, 0);
+    }
+
+    #[test]
+    fn faulted_run_completes_and_counts_errors() {
+        let mut config = StudyConfig::tiny(31);
+        config.faults = Some(FaultProfile::heavy());
+        let study = Study::new(config);
+        let results = study.run();
+        let errors = results.metrics.counters.errors;
+        // Heavy chaos across thousands of requests: faults certainly landed,
+        // some visits degraded — and the pipeline still produced a corpus.
+        assert!(errors.total_errors() > 0, "heavy profile injected nothing");
+        assert!(errors.degraded_visits > 0, "no visit degraded under heavy chaos");
+        assert!(results.unique_ads() > 0, "faulted crawl produced no corpus");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_net::{CapturedExchange, Network, TrafficCapture};
 use malvert_trace::{SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
-use malvert_types::{CrawlSchedule, SimTime, SiteId, Url};
+use malvert_types::{CrawlSchedule, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::Site;
 
 /// One advertisement observation: an ad iframe the crawler found on a page,
@@ -59,6 +59,12 @@ pub struct VisitRecord {
     pub hijacks_blocked: usize,
     /// Whether the page load failed entirely.
     pub failed: bool,
+    /// Per-class counters for every crawl error the visit met, including
+    /// failures a retry recovered from.
+    pub errors: ErrorCounters,
+    /// True when the visit rendered but lost evidence to unrecovered
+    /// transport faults (see `PageVisit::degraded`).
+    pub degraded: bool,
 }
 
 /// Crawl parameters.
@@ -281,6 +287,16 @@ impl<'a> Crawler<'a> {
             );
             compile_span.finish();
         }
+        if scoped.is_enabled() {
+            // Error accounting is deterministic in (seed, schedule, profile),
+            // so these events survive wall stripping byte-identically.
+            for err in &visit.error_log {
+                scoped.event(SpanKind::Fault, err.to_string());
+            }
+            if visit.errors.retries > 0 {
+                scoped.event(SpanKind::Retry, format!("{} retries", visit.errors.retries));
+            }
+        }
         let record = self.extract(site, time, &visit, engine, &scoped);
         span.finish();
         record
@@ -315,6 +331,8 @@ impl<'a> Crawler<'a> {
                 hijack_exposures,
                 hijacks_blocked,
                 failed: true,
+                errors: visit.errors,
+                degraded: visit.degraded,
             };
         }
         let ctx = RequestContext::iframe_from(&site.domain);
@@ -374,6 +392,8 @@ impl<'a> Crawler<'a> {
             hijack_exposures,
             hijacks_blocked,
             failed: false,
+            errors: visit.errors,
+            degraded: visit.degraded,
         }
     }
 
@@ -696,6 +716,7 @@ mod tests {
                         status: StatusCode::INTERNAL_ERROR,
                         body: malvert_net::Body::Empty,
                         location: None,
+                        location_ref: None,
                         attachment_filename: None,
                         set_cookies: Vec::new(),
                     }
@@ -720,5 +741,30 @@ mod tests {
         let rec = crawler.crawl_visit(&ghost, SimTime::at(0, 0));
         assert!(rec.failed);
         assert!(rec.ads.is_empty());
+        // The failure is accounted in the typed taxonomy.
+        assert_eq!(rec.errors.dns_failures, 1);
+        assert!(!rec.degraded);
+    }
+
+    #[test]
+    fn injected_faults_degrade_visits_without_derailing_the_crawl() {
+        let (mut net, web, _ads, filter) = mini_world();
+        // Truncate every non-empty body: the most aggressive persistent
+        // damage, certain to hit the very first visit.
+        net.set_fault_profile(Some(malvert_net::FaultProfile {
+            truncated_body: 1.0,
+            ..malvert_net::FaultProfile::default()
+        }));
+        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let site = &web.sites[0];
+        let rec = crawler.crawl_visit(site, SimTime::at(0, 0));
+        // The page still renders from the partial document.
+        assert!(!rec.failed);
+        assert!(rec.degraded);
+        assert!(rec.errors.truncated_bodies > 0);
+        // And the same visit is byte-identically accounted on a rebuild.
+        let rec2 = crawler.crawl_visit(site, SimTime::at(0, 0));
+        assert_eq!(rec.errors, rec2.errors);
+        assert_eq!(rec.ads.len(), rec2.ads.len());
     }
 }

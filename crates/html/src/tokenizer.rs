@@ -126,8 +126,7 @@ impl<'a> Tokenizer<'a> {
         self.raw_text_until = None;
         let rest = self.rest();
         let closer = format!("</{tag}");
-        let lower = rest.to_ascii_lowercase();
-        match lower.find(&closer) {
+        match find_ascii_ci(rest, &closer) {
             Some(idx) => {
                 let content = &rest[..idx];
                 self.bump(idx);
@@ -298,6 +297,24 @@ impl Iterator for Tokenizer<'_> {
     fn next(&mut self) -> Option<Token> {
         self.next_token()
     }
+}
+
+/// ASCII-case-insensitive substring search. The needle is ASCII (a `</tag`
+/// closer), so matching byte-for-byte with `eq_ignore_ascii_case` can only
+/// land on character boundaries — truncated or corrupted multi-byte text
+/// before the closer never breaks the returned index. Allocation-free, so a
+/// document stuffed with unclosed raw-text elements stays linear instead of
+/// lower-casing the remaining input once per element.
+fn find_ascii_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return Some(0);
+    }
+    if h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Fuzz-style robustness tests: the tokenizer and tree builder must accept
+//! truncated or corrupted documents without panicking and produce a
+//! best-effort DOM. The crawl pipeline feeds them fault-injected bodies
+//! (truncation, garbage splices), so "never fails" has to hold for every
+//! byte prefix and for arbitrary corruption, not just well-formed markup.
+
+use malvert_html::{parse_document, serialize, NodeId, Tokenizer};
+use proptest::prelude::*;
+
+/// A realistic ad-page document exercising every tokenizer state: doctype,
+/// comments, raw-text elements, all three attribute quoting styles,
+/// entities, self-closing tags, and multi-byte text (so byte truncation can
+/// land mid-character).
+const DOC: &str = r#"<!DOCTYPE html>
+<html>
+<head>
+  <title>Publisher &mdash; caf&eacute; news</title>
+  <!-- served by ad-o-matic -->
+  <style>body { margin: 0; } .ad::before { content: "<ad>"; }</style>
+</head>
+<body>
+  <p>Ein naïver Käufer — résumé &amp; więcej</p>
+  <iframe src="http://ads.example.com/slot?a=1&amp;b=2" width='300' height=250
+          sandbox="allow-scripts"></iframe>
+  <img src=banner.png alt="50&#37; off!"/>
+  <script type="text/javascript">
+    if (screen.width < 800) { document.write("<div id=\"x\"></div>"); }
+  </script>
+  <textarea>unsent <draft> text</textarea>
+</body>
+</html>
+"#;
+
+/// Parses best-effort and exercises the tree: traversal, text extraction,
+/// and serialization must all succeed on whatever the parser produced.
+fn parse_and_walk(input: &str) {
+    let doc = parse_document(input);
+    let _ = doc.text_content(NodeId::ROOT);
+    let _ = serialize(&doc);
+    for id in doc.descendants(NodeId::ROOT) {
+        let _ = doc.element(id);
+    }
+}
+
+#[test]
+fn every_byte_prefix_parses() {
+    let bytes = DOC.as_bytes();
+    for n in 0..=bytes.len() {
+        // Lossy decoding stands in for the browser's handling of a
+        // truncated transfer: a cut mid-character becomes U+FFFD.
+        let text = String::from_utf8_lossy(&bytes[..n]);
+        parse_and_walk(&text);
+    }
+}
+
+#[test]
+fn every_byte_suffix_parses() {
+    let bytes = DOC.as_bytes();
+    for n in 0..=bytes.len() {
+        let text = String::from_utf8_lossy(&bytes[n..]);
+        parse_and_walk(&text);
+    }
+}
+
+#[test]
+fn truncated_document_keeps_leading_structure() {
+    // Cut right after the iframe's closing tag: everything before the cut
+    // must still be in the tree.
+    let cut = DOC.find("</iframe>").expect("iframe in fixture") + "</iframe>".len();
+    let doc = parse_document(&DOC[..cut]);
+    let iframe = doc.first_by_tag("iframe").expect("iframe survives the cut");
+    assert_eq!(
+        doc.element(iframe).unwrap().attr("sandbox"),
+        Some("allow-scripts")
+    );
+    assert!(doc.first_by_tag("title").is_some());
+    // The script after the cut is gone, and nothing invented it.
+    assert!(doc.first_by_tag("script").is_none());
+}
+
+#[test]
+fn garbage_spliced_documents_parse() {
+    // Deterministic xorshift corruption: overwrite windows of the document
+    // with hostile bytes (markup metacharacters and raw high bytes).
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    const GARBAGE: &[u8] = b"<>&=\"'/!-\x00\xff\xc3\xe2\x80";
+    for _ in 0..64 {
+        let mut bytes = DOC.as_bytes().to_vec();
+        let splices = 1 + (next() as usize % 4);
+        for _ in 0..splices {
+            let start = next() as usize % bytes.len();
+            let len = (next() as usize % 24).min(bytes.len() - start);
+            for b in &mut bytes[start..start + len] {
+                *b = GARBAGE[next() as usize % GARBAGE.len()];
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        parse_and_walk(&text);
+    }
+}
+
+#[test]
+fn pathological_raw_text_stays_linear() {
+    // A corrupted page full of unclosed raw-text openers: the tokenizer
+    // must not choke (or go quadratic) scanning for closers that never come.
+    let mut page = String::new();
+    for i in 0..500 {
+        page.push_str(&format!("<script>var x{i} = '<SCRIPT'; </sCrIpT>"));
+    }
+    page.push_str("<script>tail with no closer");
+    let tokens: Vec<_> = Tokenizer::new(&page).collect();
+    assert!(tokens.len() >= 1000);
+    parse_and_walk(&page);
+}
+
+proptest! {
+    /// Arbitrary byte soup — worst case for every tokenizer state — must
+    /// tokenize and tree-build without panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _token_count = Tokenizer::new(&text).count();
+        parse_and_walk(&text);
+    }
+
+    /// Any prefix/suffix window of the fixture parses; the result is
+    /// deterministic (two parses serialize identically).
+    #[test]
+    fn windows_parse_deterministically(start in 0usize..700, len in 0usize..700) {
+        let bytes = DOC.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let text = String::from_utf8_lossy(&bytes[start..end]);
+        let a = serialize(&parse_document(&text));
+        let b = serialize(&parse_document(&text));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -7,7 +7,7 @@
 //! both read this log.
 
 use crate::message::{HttpRequest, HttpResponse, Method, StatusCode};
-use malvert_types::{SimTime, Url};
+use malvert_types::{CrawlErrorClass, SimTime, Url};
 
 /// One recorded request/response pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +32,11 @@ pub struct CapturedExchange {
     pub is_download: bool,
     /// DNS failure marker: the requested host did not resolve.
     pub nx_domain: bool,
+    /// Transport-failure marker for exchanges that produced no response
+    /// (connection reset, timeout). Distinct from `nx_domain` so the
+    /// oracle's NX-redirect cloaking heuristic is not polluted by injected
+    /// transport faults.
+    pub fault: Option<CrawlErrorClass>,
 }
 
 /// An append-only log of exchanges for one page load (or one oracle run).
@@ -59,6 +64,7 @@ impl TrafficCapture {
             body_len: resp.body.len(),
             is_download: resp.attachment_filename.is_some(),
             nx_domain: false,
+            fault: None,
         });
     }
 
@@ -75,6 +81,27 @@ impl TrafficCapture {
             body_len: 0,
             is_download: false,
             nx_domain: true,
+            fault: None,
+        });
+    }
+
+    /// Records a transport failure that produced no response (connection
+    /// reset, timeout). The host is still visible in [`Self::hosts`] — it
+    /// was contacted — but the exchange carries no status and is marked
+    /// with the failure class.
+    pub fn record_fault(&mut self, time: SimTime, req: &HttpRequest, class: CrawlErrorClass) {
+        self.exchanges.push(CapturedExchange {
+            time,
+            method: req.method,
+            url: req.url.clone(),
+            referrer: req.referrer.clone(),
+            status: None,
+            location: None,
+            content_type: None,
+            body_len: 0,
+            is_download: false,
+            nx_domain: false,
+            fault: Some(class),
         });
     }
 
@@ -167,7 +194,16 @@ impl TrafficCapture {
                     }
                 }
                 None => {
-                    out.push_str("\"status\":0,\"_error\":\"NXDOMAIN\"");
+                    let label = if e.nx_domain {
+                        "NXDOMAIN"
+                    } else {
+                        match e.fault {
+                            Some(CrawlErrorClass::ConnectionReset) => "CONNECTION_RESET",
+                            Some(CrawlErrorClass::Timeout) => "TIMEOUT",
+                            _ => "FAILED",
+                        }
+                    };
+                    out.push_str(&format!("\"status\":0,\"_error\":\"{label}\""));
                 }
             }
             out.push_str("}}");
@@ -239,6 +275,21 @@ mod tests {
         cap.record_nx(SimTime::ZERO, &req);
         assert!(cap.exchanges()[0].nx_domain);
         assert_eq!(cap.exchanges()[0].status, None);
+    }
+
+    #[test]
+    fn record_fault_marks_transport_failure() {
+        let mut cap = TrafficCapture::new();
+        let req = HttpRequest::get(url("http://reset.example/"));
+        cap.record_fault(SimTime::ZERO, &req, CrawlErrorClass::ConnectionReset);
+        let e = &cap.exchanges()[0];
+        assert_eq!(e.status, None);
+        assert!(!e.nx_domain, "transport faults must not look like NXDOMAIN");
+        assert_eq!(e.fault, Some(CrawlErrorClass::ConnectionReset));
+        // The contacted host is still visible.
+        assert_eq!(cap.hosts()[0].as_str(), "reset.example");
+        let har = cap.to_har_json();
+        assert!(har.contains("\"_error\":\"CONNECTION_RESET\""));
     }
 
     #[test]

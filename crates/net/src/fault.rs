@@ -1,0 +1,340 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A live crawl meets failure constantly: resolvers flap, ad servers 500,
+//! connections reset mid-transfer, slow hosts hang, and creatives arrive as
+//! corrupted markup. The simulated substrate injects the same failure modes
+//! from the study seed so the measurement apparatus can be proven robust —
+//! and measured — under them.
+//!
+//! Determinism contract: every fault decision is a pure function of
+//! `(study seed, simulated time, request URL)`, derived exactly like
+//! [`crate::ServeCtx::for_request`] but under the `"fault"` branch label. No
+//! wall clock, thread id, or scheduling feeds a decision, so a run with a
+//! given seed and profile is byte-identical at any worker count. With no
+//! profile attached the injector draws nothing and the network behaves
+//! exactly as before.
+
+use malvert_types::rng::SeedTree;
+use malvert_types::{SimTime, Url};
+
+/// The failure mode injected into one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The resolver transiently returns NXDOMAIN for a live host.
+    NxFlap,
+    /// The origin answers 500 instead of serving.
+    ServerError,
+    /// The connection is reset before any response arrives.
+    ConnectionReset,
+    /// The host is too slow; the request exceeds its time budget.
+    Timeout,
+    /// The response body is cut short mid-transfer.
+    TruncatedBody,
+    /// The document is delivered with corrupted markup.
+    MalformedHtml,
+}
+
+impl FaultKind {
+    /// Stable label used in trace spans and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::NxFlap => "nx_flap",
+            FaultKind::ServerError => "server_error",
+            FaultKind::ConnectionReset => "connection_reset",
+            FaultKind::Timeout => "timeout",
+            FaultKind::TruncatedBody => "truncated_body",
+            FaultKind::MalformedHtml => "malformed_html",
+        }
+    }
+
+    /// True for faults that clear after enough retries (the request
+    /// eventually succeeds); persistent faults damage the response instead
+    /// of failing it and are never retried.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            FaultKind::NxFlap
+                | FaultKind::ServerError
+                | FaultKind::ConnectionReset
+                | FaultKind::Timeout
+        )
+    }
+}
+
+/// Per-request-kind injection probabilities. Probabilities are evaluated
+/// against a single uniform draw in declaration order, so they should sum to
+/// at most 1.0 (anything beyond the sum means "no fault").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability of a transient NXDOMAIN flap.
+    pub nx_flap: f64,
+    /// Probability of a 5xx answer.
+    pub server_error: f64,
+    /// Probability of a connection reset.
+    pub connection_reset: f64,
+    /// Probability of a timeout (slow host).
+    pub timeout: f64,
+    /// Probability of a truncated body.
+    pub truncated_body: f64,
+    /// Probability of malformed-HTML corruption.
+    pub malformed_html: f64,
+    /// Transient faults clear after `1..=max_flaps` failed attempts.
+    pub max_flaps: u32,
+}
+
+impl Default for FaultProfile {
+    /// All probabilities zero — attach-able but inert. Useful as a struct
+    /// base for tests that force one fault kind to certainty.
+    fn default() -> Self {
+        FaultProfile {
+            nx_flap: 0.0,
+            server_error: 0.0,
+            connection_reset: 0.0,
+            timeout: 0.0,
+            truncated_body: 0.0,
+            malformed_html: 0.0,
+            max_flaps: 1,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A light chaos profile: roughly 3% of requests fault.
+    pub fn light() -> Self {
+        FaultProfile {
+            nx_flap: 0.005,
+            server_error: 0.008,
+            connection_reset: 0.005,
+            timeout: 0.004,
+            truncated_body: 0.004,
+            malformed_html: 0.004,
+            max_flaps: 2,
+        }
+    }
+
+    /// A heavy chaos profile: roughly 18% of requests fault.
+    pub fn heavy() -> Self {
+        FaultProfile {
+            nx_flap: 0.03,
+            server_error: 0.05,
+            connection_reset: 0.03,
+            timeout: 0.02,
+            truncated_body: 0.025,
+            malformed_html: 0.025,
+            max_flaps: 3,
+        }
+    }
+
+    /// Looks up a named profile (`"light"` or `"heavy"`). `None` for
+    /// anything else — callers map `"none"` to no profile themselves.
+    pub fn named(name: &str) -> Option<FaultProfile> {
+        match name {
+            "light" => Some(FaultProfile::light()),
+            "heavy" => Some(FaultProfile::heavy()),
+            _ => None,
+        }
+    }
+
+    /// Derives the fault plan for one request. Pure function of
+    /// `(study, time, url)` — the same request always draws the same plan,
+    /// which is what makes per-attempt recovery deterministic.
+    pub fn plan_for(&self, study: SeedTree, time: SimTime, url: &Url) -> FaultPlan {
+        let mut rng = study
+            .branch("fault")
+            .branch_idx(u64::from(time.day))
+            .branch_idx(u64::from(time.refresh))
+            .branch(&url.without_fragment())
+            .rng();
+        let draw = rng.unit_f64();
+        let mut threshold = 0.0;
+        let mut kind = None;
+        for (p, k) in [
+            (self.nx_flap, FaultKind::NxFlap),
+            (self.server_error, FaultKind::ServerError),
+            (self.connection_reset, FaultKind::ConnectionReset),
+            (self.timeout, FaultKind::Timeout),
+            (self.truncated_body, FaultKind::TruncatedBody),
+            (self.malformed_html, FaultKind::MalformedHtml),
+        ] {
+            threshold += p.clamp(0.0, 1.0);
+            if draw < threshold {
+                kind = Some(k);
+                break;
+            }
+        }
+        let flaps = match kind {
+            Some(k) if k.is_transient() => 1 + rng.below(self.max_flaps.max(1) as usize) as u32,
+            _ => 0,
+        };
+        let corruption_seed = (rng.below(1 << 31)) as u64;
+        FaultPlan {
+            kind,
+            flaps,
+            corruption_seed,
+        }
+    }
+}
+
+/// The fault plan for one request: which failure mode (if any) this request
+/// draws, how many attempts a transient fault consumes before clearing, and
+/// the deterministic corruption parameter for body-damaging faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The injected failure mode, or `None` for a clean request.
+    pub kind: Option<FaultKind>,
+    /// For transient kinds: attempts `0..flaps` fail, attempt `flaps`
+    /// onwards succeeds. Zero for persistent kinds and clean requests.
+    pub flaps: u32,
+    /// Seed for deterministic body corruption (truncation offset, garbage
+    /// splice position).
+    pub corruption_seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub const CLEAN: FaultPlan = FaultPlan {
+        kind: None,
+        flaps: 0,
+        corruption_seed: 0,
+    };
+
+    /// True when `kind` is a transient fault still active at `attempt`.
+    pub fn fails_attempt(&self, attempt: u32) -> bool {
+        match self.kind {
+            Some(k) if k.is_transient() => attempt < self.flaps,
+            _ => false,
+        }
+    }
+}
+
+/// Truncates a UTF-8 body to a deterministic fraction of its length,
+/// snapping down to a char boundary. Returns the new length.
+pub(crate) fn truncate_len(len: usize, corruption_seed: u64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    // Keep 10%..=80% of the body.
+    let keep_permille = 100 + (corruption_seed % 701) as usize;
+    len * keep_permille / 1000
+}
+
+/// Deterministically corrupts an HTML document in place: cut it at the
+/// corruption offset and splice in garbage that typically breaks tag
+/// structure mid-token. The result is still valid UTF-8; the parser must
+/// produce a best-effort DOM from it.
+pub(crate) fn corrupt_html(html: &str, corruption_seed: u64) -> String {
+    if html.is_empty() {
+        return String::from("<");
+    }
+    let mut cut = truncate_len(html.len(), corruption_seed);
+    while cut < html.len() && !html.is_char_boundary(cut) {
+        cut += 1;
+    }
+    let garbage = match corruption_seed % 5 {
+        0 => "<di<v a=\"",
+        1 => "</scr<ipt </",
+        2 => "<iframe src='",
+        3 => "&#x;<a hr=ef",
+        _ => "<!-- <b",
+    };
+    let mut out = String::with_capacity(cut + garbage.len());
+    out.push_str(&html[..cut]);
+    out.push_str(garbage);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_request() {
+        let profile = FaultProfile::heavy();
+        let tree = SeedTree::new(42);
+        let u = url("http://ads.example.com/serve?slot=3");
+        let a = profile.plan_for(tree, SimTime::at(2, 1), &u);
+        let b = profile.plan_for(tree, SimTime::at(2, 1), &u);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plans_vary_across_time_and_url() {
+        // With a heavy profile over many (time, url) points, at least one
+        // request draws a fault and at least one stays clean.
+        let profile = FaultProfile::heavy();
+        let tree = SeedTree::new(7);
+        let mut faulted = 0;
+        let mut clean = 0;
+        for day in 0..10 {
+            for i in 0..20 {
+                let u = url(&format!("http://site-{i}.example.com/page"));
+                let plan = profile.plan_for(tree, SimTime::at(day, 0), &u);
+                if plan.kind.is_some() {
+                    faulted += 1;
+                } else {
+                    clean += 1;
+                }
+            }
+        }
+        assert!(faulted > 0, "heavy profile never injected a fault");
+        assert!(clean > 0, "heavy profile faulted every request");
+    }
+
+    #[test]
+    fn transient_faults_clear_after_flaps() {
+        let plan = FaultPlan {
+            kind: Some(FaultKind::Timeout),
+            flaps: 2,
+            corruption_seed: 0,
+        };
+        assert!(plan.fails_attempt(0));
+        assert!(plan.fails_attempt(1));
+        assert!(!plan.fails_attempt(2));
+        assert!(!plan.fails_attempt(9));
+    }
+
+    #[test]
+    fn persistent_faults_never_fail_attempts() {
+        let plan = FaultPlan {
+            kind: Some(FaultKind::TruncatedBody),
+            flaps: 0,
+            corruption_seed: 1,
+        };
+        assert!(!plan.fails_attempt(0));
+    }
+
+    #[test]
+    fn named_profiles() {
+        assert!(FaultProfile::named("light").is_some());
+        assert!(FaultProfile::named("heavy").is_some());
+        assert!(FaultProfile::named("none").is_none());
+        assert!(FaultProfile::named("medium").is_none());
+    }
+
+    #[test]
+    fn corruption_preserves_utf8_and_is_deterministic() {
+        let html = "<html><body>caf\u{e9} \u{1f4a3} <p>x</p></body></html>";
+        for seed in 0..50 {
+            let a = corrupt_html(html, seed);
+            let b = corrupt_html(html, seed);
+            assert_eq!(a, b, "corruption must be deterministic");
+            assert!(!a.is_empty());
+            // The cut snapped to a char boundary: re-encoding through chars
+            // reproduces the string (String itself guarantees UTF-8).
+            assert_eq!(a.chars().collect::<String>(), a);
+        }
+    }
+
+    #[test]
+    fn truncate_len_bounds() {
+        for seed in 0..100 {
+            let n = truncate_len(1000, seed);
+            assert!((100..=800).contains(&n), "len {n} out of bounds");
+        }
+        assert_eq!(truncate_len(0, 3), 0);
+    }
+}

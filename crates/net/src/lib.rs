@@ -17,6 +17,9 @@
 //!   key on), redirect following, and loop protection.
 //! * [`capture`] — HAR-style traffic capture: every exchange a page load
 //!   performs, in order, with redirect provenance.
+//! * [`fault`] — deterministic, seed-driven fault injection: NXDOMAIN flaps,
+//!   5xx, connection resets, timeouts, truncated bodies, and malformed-HTML
+//!   corruption, all pure functions of `(seed, time, url)`.
 //!
 //! Everything is synchronous and deterministic: the "network" is a function
 //! of (request, simulated time, seed). Parallelism lives one level up, in the
@@ -27,12 +30,14 @@
 
 pub mod capture;
 pub mod cookies;
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod server;
 
 pub use capture::{CapturedExchange, TrafficCapture};
 pub use cookies::CookieJar;
+pub use fault::{FaultKind, FaultPlan, FaultProfile};
 pub use message::{Body, HttpRequest, HttpResponse, Method, StatusCode};
-pub use network::{FetchOutcome, NetError, Network};
+pub use network::{FetchLog, FetchOutcome, NetError, Network};
 pub use server::{OriginServer, ServeCtx};

@@ -170,8 +170,13 @@ pub struct HttpResponse {
     pub status: StatusCode,
     /// Body.
     pub body: Body,
-    /// `Location` header for redirects.
+    /// `Location` header for redirects, already absolute.
     pub location: Option<Url>,
+    /// A raw (possibly relative) `Location` reference, as real servers are
+    /// allowed to send. The network resolves it against the request URL
+    /// during the fetch; when it cannot be resolved, the redirect surfaces
+    /// as a typed `BadRedirect` error instead of a panic.
+    pub location_ref: Option<String>,
     /// `Content-Disposition: attachment` filename, for forced downloads.
     pub attachment_filename: Option<String>,
     /// `Set-Cookie` pairs the response carries.
@@ -185,6 +190,7 @@ impl HttpResponse {
             status: StatusCode::OK,
             body,
             location: None,
+            location_ref: None,
             attachment_filename: None,
             set_cookies: Vec::new(),
         }
@@ -196,6 +202,7 @@ impl HttpResponse {
             status: StatusCode::FOUND,
             body: Body::Empty,
             location: Some(target),
+            location_ref: None,
             attachment_filename: None,
             set_cookies: Vec::new(),
         }
@@ -207,6 +214,20 @@ impl HttpResponse {
             status: StatusCode::MOVED_PERMANENTLY,
             body: Body::Empty,
             location: Some(target),
+            location_ref: None,
+            attachment_filename: None,
+            set_cookies: Vec::new(),
+        }
+    }
+
+    /// A 302 redirect carrying a raw `Location` reference (possibly
+    /// relative); the network resolves it against the request URL.
+    pub fn redirect_to(reference: &str) -> Self {
+        HttpResponse {
+            status: StatusCode::FOUND,
+            body: Body::Empty,
+            location: None,
+            location_ref: Some(reference.to_string()),
             attachment_filename: None,
             set_cookies: Vec::new(),
         }
@@ -218,6 +239,7 @@ impl HttpResponse {
             status: StatusCode::NOT_FOUND,
             body: Body::Empty,
             location: None,
+            location_ref: None,
             attachment_filename: None,
             set_cookies: Vec::new(),
         }
@@ -293,5 +315,10 @@ mod tests {
         let dl = HttpResponse::ok(Body::Download(Bytes::from_static(b"MZ\x90")))
             .as_attachment("update.exe");
         assert_eq!(dl.attachment_filename.as_deref(), Some("update.exe"));
+
+        let rel = HttpResponse::redirect_to("../up/one");
+        assert!(rel.status.is_redirect());
+        assert_eq!(rel.location, None);
+        assert_eq!(rel.location_ref.as_deref(), Some("../up/one"));
     }
 }

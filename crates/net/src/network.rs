@@ -1,10 +1,12 @@
-//! The simulated network: domain routing, DNS failures, redirect following.
+//! The simulated network: domain routing, DNS failures, redirect following,
+//! and seed-driven fault injection.
 
 use crate::capture::TrafficCapture;
-use crate::message::{HttpRequest, HttpResponse};
+use crate::fault::{corrupt_html, truncate_len, FaultKind, FaultPlan, FaultProfile};
+use crate::message::{Body, HttpRequest, HttpResponse, StatusCode};
 use crate::server::{OriginServer, ServeCtx};
 use malvert_types::rng::SeedTree;
-use malvert_types::{DomainName, SimTime, Url};
+use malvert_types::{CrawlError, CrawlErrorClass, DomainName, SimTime, Url};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -14,19 +16,57 @@ use std::sync::Arc;
 pub enum NetError {
     /// The host has no registered server and is not a registered NX domain.
     NxDomain(DomainName),
+    /// An injected transient resolver flap (the host exists; a retry can
+    /// recover). Only fault injection produces this variant.
+    DnsFlap(DomainName),
+    /// An injected connection reset. Only fault injection produces this.
+    ConnectionReset(Url),
+    /// An injected timeout (slow host). Only fault injection produces this.
+    Timeout(Url),
     /// A redirect chain exceeded the hop limit.
     TooManyRedirects(Url),
-    /// A redirect response carried no `Location`.
+    /// A redirect chain revisited a URL it already passed through.
+    RedirectCycle(Url),
+    /// A redirect response carried no usable `Location`.
     BadRedirect(Url),
     /// The URL has no host (`about:` URLs are not fetchable).
     NotFetchable(Url),
+}
+
+impl NetError {
+    /// Maps the error into the crawl-error taxonomy.
+    pub fn class(&self) -> CrawlErrorClass {
+        match self {
+            NetError::NxDomain(_) | NetError::DnsFlap(_) => CrawlErrorClass::Dns,
+            NetError::ConnectionReset(_) => CrawlErrorClass::ConnectionReset,
+            NetError::Timeout(_) => CrawlErrorClass::Timeout,
+            NetError::TooManyRedirects(_)
+            | NetError::RedirectCycle(_)
+            | NetError::BadRedirect(_)
+            | NetError::NotFetchable(_) => CrawlErrorClass::Redirect,
+        }
+    }
+
+    /// True for errors a retry can recover from. Only injected transient
+    /// faults are retryable: a genuine NXDOMAIN or redirect failure is
+    /// permanent, and retrying it would change fault-free runs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::DnsFlap(_) | NetError::ConnectionReset(_) | NetError::Timeout(_)
+        )
+    }
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::NxDomain(d) => write!(f, "NXDOMAIN: {d}"),
+            NetError::DnsFlap(d) => write!(f, "transient DNS flap resolving {d}"),
+            NetError::ConnectionReset(u) => write!(f, "connection reset fetching {u}"),
+            NetError::Timeout(u) => write!(f, "timed out fetching {u}"),
             NetError::TooManyRedirects(u) => write!(f, "too many redirects fetching {u}"),
+            NetError::RedirectCycle(u) => write!(f, "redirect cycle revisiting {u}"),
             NetError::BadRedirect(u) => write!(f, "redirect without Location at {u}"),
             NetError::NotFetchable(u) => write!(f, "URL is not fetchable: {u}"),
         }
@@ -45,6 +85,20 @@ pub struct FetchOutcome {
     pub final_url: Url,
     /// Number of redirect hops followed (0 = direct).
     pub hops: u32,
+    /// Faults injected into the hops of this fetch, in hop order. Empty in
+    /// fault-free runs.
+    pub injected_faults: Vec<FaultKind>,
+}
+
+/// Per-fetch error log filled by [`Network::fetch_logged`]: every classified
+/// failure met along the redirect chain (including ones a retry recovered
+/// from) plus the number of retries spent.
+#[derive(Debug, Clone, Default)]
+pub struct FetchLog {
+    /// Classified failures, in occurrence order.
+    pub errors: Vec<CrawlError>,
+    /// Fetch attempts beyond the first, summed over all hops.
+    pub retries: u32,
 }
 
 /// Maximum redirect hops followed before giving up. The paper observed
@@ -63,6 +117,8 @@ pub struct Network {
     /// when they detect an analysis environment (cloaking, §4.1's "redirects
     /// to NX domains" heuristic).
     nx_domains: Vec<DomainName>,
+    /// Seed-driven fault injection profile; `None` injects nothing.
+    faults: Option<FaultProfile>,
 }
 
 impl Network {
@@ -72,7 +128,20 @@ impl Network {
             study,
             servers: HashMap::new(),
             nx_domains: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches (or clears) the fault-injection profile. With `None` the
+    /// network draws nothing from the fault branch and behaves exactly as a
+    /// fault-free substrate.
+    pub fn set_fault_profile(&mut self, profile: Option<FaultProfile>) {
+        self.faults = profile;
+    }
+
+    /// The active fault profile, when one is attached.
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.faults.as_ref()
     }
 
     /// Registers a server for `domain`. Replaces any existing registration.
@@ -102,16 +171,94 @@ impl Network {
         time: SimTime,
         capture: &mut TrafficCapture,
     ) -> Result<HttpResponse, NetError> {
+        self.fetch_once_attempt(req, time, 0, capture)
+            .map(|(resp, _)| resp)
+    }
+
+    /// Performs one exchange at a given attempt number, recording it.
+    ///
+    /// The attempt number only matters under fault injection: the request's
+    /// [`FaultPlan`] is a pure function of `(seed, time, url)`, and transient
+    /// faults fail attempts `0..flaps`, so a retry loop deterministically
+    /// recovers. Returns the response plus the fault injected into it (for
+    /// damaged-but-delivered responses: injected 5xx, truncation, malformed
+    /// HTML).
+    pub fn fetch_once_attempt(
+        &self,
+        req: &HttpRequest,
+        time: SimTime,
+        attempt: u32,
+        capture: &mut TrafficCapture,
+    ) -> Result<(HttpResponse, Option<FaultKind>), NetError> {
         let host = match req.url.host() {
             Some(h) => h.clone(),
             None => return Err(NetError::NotFetchable(req.url.clone())),
         };
+        let plan = match &self.faults {
+            Some(profile) => profile.plan_for(self.study, time, &req.url),
+            None => FaultPlan::CLEAN,
+        };
+        // Transient faults only strike hosts that actually exist; genuine
+        // NXDOMAIN stays NXDOMAIN.
+        if self.servers.contains_key(&host) && plan.fails_attempt(attempt) {
+            match plan.kind {
+                Some(FaultKind::NxFlap) => {
+                    capture.record_nx(time, req);
+                    return Err(NetError::DnsFlap(host));
+                }
+                Some(FaultKind::ConnectionReset) => {
+                    capture.record_fault(time, req, CrawlErrorClass::ConnectionReset);
+                    return Err(NetError::ConnectionReset(req.url.clone()));
+                }
+                Some(FaultKind::Timeout) => {
+                    capture.record_fault(time, req, CrawlErrorClass::Timeout);
+                    return Err(NetError::Timeout(req.url.clone()));
+                }
+                Some(FaultKind::ServerError) => {
+                    let resp = HttpResponse {
+                        status: StatusCode::INTERNAL_ERROR,
+                        body: Body::Empty,
+                        location: None,
+                        location_ref: None,
+                        attachment_filename: None,
+                        set_cookies: Vec::new(),
+                    };
+                    capture.record(time, req, &resp);
+                    return Ok((resp, Some(FaultKind::ServerError)));
+                }
+                // `fails_attempt` is only true for transient kinds.
+                _ => {}
+            }
+        }
         match self.servers.get(&host) {
             Some(server) => {
                 let mut ctx = ServeCtx::for_request(self.study, time, req);
-                let resp = server.handle(req, &mut ctx);
+                let mut resp = server.handle(req, &mut ctx);
+                // Resolve a relative `Location` reference against the
+                // request URL; an unresolvable reference leaves `location`
+                // empty and surfaces as `BadRedirect` in `fetch`.
+                if resp.location.is_none() {
+                    if let Some(reference) = resp.location_ref.take() {
+                        resp.location = req.url.join(&reference).ok();
+                    }
+                }
+                let injected = match plan.kind {
+                    Some(FaultKind::TruncatedBody) if !resp.body.is_empty() => {
+                        truncate_body(&mut resp.body, plan.corruption_seed);
+                        Some(FaultKind::TruncatedBody)
+                    }
+                    Some(FaultKind::MalformedHtml) => match resp.body.as_html() {
+                        Some(html) => {
+                            let damaged = corrupt_html(html, plan.corruption_seed);
+                            resp.body = Body::Html(damaged);
+                            Some(FaultKind::MalformedHtml)
+                        }
+                        None => None,
+                    },
+                    _ => None,
+                };
                 capture.record(time, req, &resp);
-                Ok(resp)
+                Ok((resp, injected))
             }
             None => {
                 capture.record_nx(time, req);
@@ -128,24 +275,129 @@ impl Network {
         time: SimTime,
         capture: &mut TrafficCapture,
     ) -> Result<FetchOutcome, NetError> {
+        let mut log = FetchLog::default();
+        self.fetch_logged(req, time, capture, 0, &mut log)
+    }
+
+    /// Fetches `req` with per-hop retry and a classified error log.
+    ///
+    /// Up to `max_retries` extra attempts are spent per hop, and only on
+    /// injected transient faults (DNS flaps, resets, timeouts, injected
+    /// 5xx) — so with no fault profile attached this behaves exactly like
+    /// [`Network::fetch`]. Every failure met along the chain, recovered or
+    /// not, is appended to `log`.
+    pub fn fetch_logged(
+        &self,
+        req: &HttpRequest,
+        time: SimTime,
+        capture: &mut TrafficCapture,
+        max_retries: u32,
+        log: &mut FetchLog,
+    ) -> Result<FetchOutcome, NetError> {
         let mut current = req.clone();
         let mut hops = 0;
+        let mut injected_faults = Vec::new();
+        let mut visited: Vec<Url> = Vec::new();
         loop {
-            let resp = self.fetch_once(&current, time, capture)?;
+            let mut attempt = 0u32;
+            let mut last_class = None;
+            let (resp, tag) = loop {
+                match self.fetch_once_attempt(&current, time, attempt, capture) {
+                    Ok((resp, tag)) => {
+                        if matches!(tag, Some(FaultKind::ServerError)) && attempt < max_retries {
+                            log.retries += 1;
+                            last_class = Some(CrawlErrorClass::Http5xx);
+                            attempt += 1;
+                            continue;
+                        }
+                        // A still-500 response after exhausted retries is
+                        // logged below as damage, not as a recovery.
+                        if attempt > 0 && !matches!(tag, Some(FaultKind::ServerError)) {
+                            log.errors.push(CrawlError {
+                                class: last_class.unwrap_or(CrawlErrorClass::Timeout),
+                                url: current.url.clone(),
+                                attempts: attempt + 1,
+                                recovered: true,
+                            });
+                        }
+                        break (resp, tag);
+                    }
+                    Err(err) => {
+                        let class = err.class();
+                        if err.is_retryable() && attempt < max_retries {
+                            log.retries += 1;
+                            last_class = Some(class);
+                            attempt += 1;
+                            continue;
+                        }
+                        log.errors.push(CrawlError {
+                            class,
+                            url: current.url.clone(),
+                            attempts: attempt + 1,
+                            recovered: false,
+                        });
+                        return Err(err);
+                    }
+                }
+            };
+            if let Some(kind) = tag {
+                injected_faults.push(kind);
+            }
+            // Damaged-but-delivered responses degrade rather than fail;
+            // classify them so the visit can account for the damage.
+            let damage_class = match tag {
+                Some(FaultKind::TruncatedBody) => Some(CrawlErrorClass::TruncatedBody),
+                Some(FaultKind::MalformedHtml) => Some(CrawlErrorClass::MalformedHtml),
+                _ if resp.status.0 >= 500 => Some(CrawlErrorClass::Http5xx),
+                _ => None,
+            };
+            if let Some(class) = damage_class {
+                log.errors.push(CrawlError {
+                    class,
+                    url: current.url.clone(),
+                    attempts: attempt + 1,
+                    recovered: false,
+                });
+            }
             if !resp.status.is_redirect() {
                 return Ok(FetchOutcome {
                     response: resp,
                     final_url: current.url,
                     hops,
+                    injected_faults,
                 });
             }
-            let location = resp
-                .location
-                .clone()
-                .ok_or_else(|| NetError::BadRedirect(current.url.clone()))?;
+            let location = match resp.location.clone() {
+                Some(location) => location,
+                None => {
+                    log.errors.push(CrawlError {
+                        class: CrawlErrorClass::Redirect,
+                        url: current.url.clone(),
+                        attempts: attempt + 1,
+                        recovered: false,
+                    });
+                    return Err(NetError::BadRedirect(current.url.clone()));
+                }
+            };
             hops += 1;
             if hops > MAX_REDIRECT_HOPS {
+                log.errors.push(CrawlError {
+                    class: CrawlErrorClass::Redirect,
+                    url: current.url.clone(),
+                    attempts: attempt + 1,
+                    recovered: false,
+                });
                 return Err(NetError::TooManyRedirects(current.url.clone()));
+            }
+            visited.push(current.url.clone());
+            if visited.contains(&location) {
+                log.errors.push(CrawlError {
+                    class: CrawlErrorClass::Redirect,
+                    url: location.clone(),
+                    attempts: attempt + 1,
+                    recovered: false,
+                });
+                return Err(NetError::RedirectCycle(location));
             }
             // Referrer of a redirect hop is the redirecting URL.
             current = HttpRequest {
@@ -155,6 +407,25 @@ impl Network {
                 user_agent: current.user_agent,
                 cookies: current.cookies,
             };
+        }
+    }
+}
+
+/// Truncates a body to a deterministic fraction of its length, snapping text
+/// bodies down to a char boundary.
+fn truncate_body(body: &mut Body, corruption_seed: u64) {
+    match body {
+        Body::Empty => {}
+        Body::Html(s) | Body::Script(s) => {
+            let mut cut = truncate_len(s.len(), corruption_seed);
+            while cut > 0 && !s.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            s.truncate(cut);
+        }
+        Body::Image(b) | Body::Download(b) => {
+            let cut = truncate_len(b.len(), corruption_seed);
+            *b = b.slice(..cut);
         }
     }
 }
@@ -242,7 +513,7 @@ mod tests {
     }
 
     #[test]
-    fn redirect_loop_capped() {
+    fn redirect_cycle_detected_below_hop_cap() {
         let mut net = Network::new(SeedTree::new(1));
         net.register(
             domain("loop.com"),
@@ -260,8 +531,235 @@ mod tests {
         let err = net
             .fetch(&HttpRequest::get(url("http://loop.com/a")), SimTime::ZERO, &mut cap)
             .unwrap_err();
+        // The A→B→A cycle is caught at the first revisit, long before the
+        // hop cap: only the two distinct URLs were ever fetched.
+        assert!(matches!(err, NetError::RedirectCycle(u) if u == url("http://loop.com/a")));
+        assert_eq!(cap.len(), 2);
+    }
+
+    #[test]
+    fn non_repeating_redirect_chain_hits_hop_cap() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("deep.com"),
+            Arc::new(|req: &HttpRequest, _ctx: &mut ServeCtx| {
+                // Every hop goes to a fresh URL, so cycle detection never
+                // fires and the hop cap must.
+                let n: u32 = req.url.query_param("n").and_then(|v| v.parse().ok()).unwrap_or(0);
+                HttpResponse::redirect(
+                    Url::from_parts(malvert_types::url::Scheme::Http, "deep.com", "/r")
+                        .with_query(&format!("n={}", n + 1)),
+                )
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://deep.com/r?n=0")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
         assert!(matches!(err, NetError::TooManyRedirects(_)));
         assert_eq!(cap.len() as u32, MAX_REDIRECT_HOPS + 1);
+    }
+
+    #[test]
+    fn redirect_to_non_fetchable_scheme_is_typed() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("weird.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                HttpResponse::redirect(Url::about_blank())
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://weird.com/")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::NotFetchable(_)));
+        assert_eq!(err.class(), malvert_types::CrawlErrorClass::Redirect);
+    }
+
+    #[test]
+    fn relative_location_resolved_against_request_url() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("rel.com"),
+            Arc::new(|req: &HttpRequest, _ctx: &mut ServeCtx| match req.url.path() {
+                "/dir/start" => HttpResponse::redirect_to("../next"),
+                "/next" => HttpResponse::ok(Body::Html("arrived".into())),
+                other => HttpResponse::redirect_to(&format!("unexpected path {other}")),
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(
+                &HttpRequest::get(url("http://rel.com/dir/start")),
+                SimTime::ZERO,
+                &mut cap,
+            )
+            .unwrap();
+        assert_eq!(outcome.final_url, url("http://rel.com/next"));
+        assert_eq!(outcome.hops, 1);
+        // The capture records the already-resolved absolute target, so
+        // chain reconstruction works on relative redirects too.
+        assert_eq!(cap.exchanges()[0].location, Some(url("http://rel.com/next")));
+        assert_eq!(cap.redirect_chains()[0].len(), 2);
+    }
+
+    #[test]
+    fn unresolvable_relative_location_is_bad_redirect() {
+        let mut net = Network::new(SeedTree::new(1));
+        net.register(
+            domain("junk.com"),
+            Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+                // `//` resolves to `http://` — no host, unresolvable.
+                HttpResponse::redirect_to("//")
+            }),
+        );
+        let mut cap = TrafficCapture::new();
+        let err = net
+            .fetch(&HttpRequest::get(url("http://junk.com/")), SimTime::ZERO, &mut cap)
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadRedirect(_)));
+    }
+
+    #[test]
+    fn no_fault_profile_injects_nothing() {
+        let mut net = Network::new(SeedTree::new(3));
+        net.register(domain("a.com"), html_server("<p>clean</p>"));
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(&HttpRequest::get(url("http://a.com/")), SimTime::ZERO, &mut cap)
+            .unwrap();
+        assert!(outcome.injected_faults.is_empty());
+        assert_eq!(outcome.response.body.as_html(), Some("<p>clean</p>"));
+    }
+
+    #[test]
+    fn injected_5xx_recovers_with_retry() {
+        let mut net = Network::new(SeedTree::new(5));
+        net.register(domain("flappy.com"), html_server("eventually"));
+        net.set_fault_profile(Some(FaultProfile {
+            server_error: 1.0,
+            max_flaps: 1,
+            ..FaultProfile::default()
+        }));
+        // Without retries: a 500 with an injected-fault tag.
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(&HttpRequest::get(url("http://flappy.com/")), SimTime::ZERO, &mut cap)
+            .unwrap();
+        assert_eq!(outcome.response.status, StatusCode::INTERNAL_ERROR);
+        assert_eq!(outcome.injected_faults, vec![FaultKind::ServerError]);
+        // With one retry: the flap clears and the page arrives; the log
+        // records the recovered failure.
+        let mut cap = TrafficCapture::new();
+        let mut log = FetchLog::default();
+        let outcome = net
+            .fetch_logged(
+                &HttpRequest::get(url("http://flappy.com/")),
+                SimTime::ZERO,
+                &mut cap,
+                2,
+                &mut log,
+            )
+            .unwrap();
+        assert_eq!(outcome.response.body.as_html(), Some("eventually"));
+        assert_eq!(log.retries, 1);
+        assert_eq!(log.errors.len(), 1);
+        assert_eq!(log.errors[0].class, malvert_types::CrawlErrorClass::Http5xx);
+        assert!(log.errors[0].recovered);
+        // Both the failed attempt and the successful one were captured.
+        assert_eq!(cap.len(), 2);
+    }
+
+    #[test]
+    fn nx_flap_recovers_but_genuine_nx_is_never_retried() {
+        let mut net = Network::new(SeedTree::new(6));
+        net.register(domain("real.com"), html_server("alive"));
+        net.set_fault_profile(Some(FaultProfile {
+            nx_flap: 1.0,
+            max_flaps: 1,
+            ..FaultProfile::default()
+        }));
+        let mut cap = TrafficCapture::new();
+        let mut log = FetchLog::default();
+        let outcome = net
+            .fetch_logged(
+                &HttpRequest::get(url("http://real.com/")),
+                SimTime::ZERO,
+                &mut cap,
+                2,
+                &mut log,
+            )
+            .unwrap();
+        assert_eq!(outcome.response.body.as_html(), Some("alive"));
+        assert_eq!(log.retries, 1);
+        assert!(log.errors[0].recovered);
+        assert_eq!(log.errors[0].class, malvert_types::CrawlErrorClass::Dns);
+        // The flapped attempt is visible as an NX record.
+        assert!(cap.exchanges()[0].nx_domain);
+        // A host that genuinely does not exist fails on the first attempt —
+        // no retry budget is spent on permanent failures.
+        let mut log = FetchLog::default();
+        let err = net
+            .fetch_logged(
+                &HttpRequest::get(url("http://never-was.com/")),
+                SimTime::ZERO,
+                &mut cap,
+                2,
+                &mut log,
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::NxDomain(_)));
+        assert_eq!(log.retries, 0);
+        assert_eq!(log.errors[0].attempts, 1);
+        assert!(!log.errors[0].recovered);
+    }
+
+    #[test]
+    fn truncation_shortens_the_recorded_body() {
+        let full = "<html><body>0123456789012345678901234567890123456789</body></html>";
+        let mut net = Network::new(SeedTree::new(7));
+        net.register(domain("cut.com"), html_server(full));
+        net.set_fault_profile(Some(FaultProfile {
+            truncated_body: 1.0,
+            ..FaultProfile::default()
+        }));
+        let mut cap = TrafficCapture::new();
+        let outcome = net
+            .fetch(&HttpRequest::get(url("http://cut.com/")), SimTime::ZERO, &mut cap)
+            .unwrap();
+        assert_eq!(outcome.injected_faults, vec![FaultKind::TruncatedBody]);
+        let body = outcome.response.body.as_html().unwrap();
+        assert!(body.len() < full.len(), "body was not truncated");
+        assert!(full.starts_with(body), "truncation must keep a prefix");
+        assert_eq!(cap.exchanges()[0].body_len, body.len());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_request() {
+        let build = || {
+            let mut net = Network::new(SeedTree::new(11));
+            net.register(domain("h.com"), html_server("<p>page</p>"));
+            net.set_fault_profile(Some(FaultProfile::heavy()));
+            net
+        };
+        let (a, b) = (build(), build());
+        for i in 0..40 {
+            let u = url(&format!("http://h.com/page?i={i}"));
+            let mut cap_a = TrafficCapture::new();
+            let mut cap_b = TrafficCapture::new();
+            let ra = a.fetch(&HttpRequest::get(u.clone()), SimTime::at(2, 1), &mut cap_a);
+            let rb = b.fetch(&HttpRequest::get(u), SimTime::at(2, 1), &mut cap_b);
+            match (ra, rb) {
+                (Ok(oa), Ok(ob)) => {
+                    assert_eq!(oa.injected_faults, ob.injected_faults);
+                    assert_eq!(oa.response, ob.response);
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                (ra, rb) => panic!("divergent outcomes: {ra:?} vs {rb:?}"),
+            }
+            assert_eq!(cap_a.exchanges(), cap_b.exchanges());
+        }
     }
 
     #[test]

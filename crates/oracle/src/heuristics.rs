@@ -179,6 +179,9 @@ mod tests {
             downloads: vec![],
             capture: TrafficCapture::new(),
             script_compile_units: 0,
+            errors: Default::default(),
+            error_log: vec![],
+            degraded: false,
         }
     }
 

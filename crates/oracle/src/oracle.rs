@@ -618,6 +618,30 @@ mod tests {
     }
 
     #[test]
+    fn degraded_visit_still_classifies() {
+        // A honeyclient visit over a lossy network keeps whatever evidence
+        // it gathered; classification consumes the partial visit instead of
+        // aborting, and stays deterministic.
+        let mut fx = fixture();
+        fx.network
+            .set_fault_profile(Some(malvert_net::FaultProfile {
+                truncated_body: 1.0,
+                ..malvert_net::FaultProfile::default()
+            }));
+        let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)
+            .seeds(fx.tree)
+            .build();
+        let url = fx.world.serve_url(AdNetworkId(0), 1, 0);
+        let visit = oracle.honeyclient_visit(&url, SimTime::at(0, 0));
+        assert!(!visit.top.failed, "truncation must not fail the visit");
+        assert!(visit.degraded);
+        assert!(visit.errors.truncated_bodies > 0);
+        let a = oracle.classify_visit(&visit, SimTime::at(0, 0));
+        let b = oracle.classify_visit(&visit, SimTime::at(0, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn classification_deterministic() {
         let fx = fixture();
         let oracle = Oracle::builder(&fx.network, &fx.blacklists, &fx.scanner)

@@ -38,6 +38,12 @@ pub enum SpanKind {
     /// Script compile units executed during one crawl visit (inline and
     /// external scripts plus `eval` layers; cache hits included).
     ScriptCompile,
+    /// A crawl error met during a visit (instant event): an injected fault
+    /// or a genuine failure, recovered or not.
+    Fault,
+    /// Retries a visit spent recovering from transient faults (instant
+    /// event, one per visit that retried).
+    Retry,
     /// An incident raised by the oracle (instant event, carries
     /// [`Provenance`]).
     Incident,
@@ -45,7 +51,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::WorldBuild,
         SpanKind::Crawl,
         SpanKind::Classify,
@@ -57,6 +63,8 @@ impl SpanKind {
         SpanKind::PayloadScan,
         SpanKind::FilterMatch,
         SpanKind::ScriptCompile,
+        SpanKind::Fault,
+        SpanKind::Retry,
         SpanKind::Incident,
     ];
 
@@ -74,6 +82,8 @@ impl SpanKind {
             SpanKind::PayloadScan => "payload_scan",
             SpanKind::FilterMatch => "filter_match",
             SpanKind::ScriptCompile => "script_compile",
+            SpanKind::Fault => "fault",
+            SpanKind::Retry => "retry",
             SpanKind::Incident => "incident",
         }
     }

@@ -1,0 +1,244 @@
+//! Typed crawl-error taxonomy.
+//!
+//! A live crawl meets a hostile Web: dead resolvers, 5xx storms, reset
+//! connections, truncated transfers, and malformed markup. The paper's
+//! three-month crawl survived all of these; the reproduction classifies every
+//! failure it encounters into one of the classes below so a failing host
+//! degrades a single visit — never the run — and the run report can account
+//! for exactly what went wrong and how often.
+//!
+//! Everything here is deterministic: error classes and counts are pure
+//! functions of the study seed (faults are injected from the seed tree), so
+//! the counters survive `RunSummary::without_timings` and are byte-identical
+//! at any worker count.
+
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a crawl failure — the typed taxonomy threaded through the
+/// network substrate, browser, crawler, and oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CrawlErrorClass {
+    /// DNS resolution failed (NXDOMAIN, including injected resolver flaps).
+    Dns,
+    /// The origin answered with a 5xx status.
+    Http5xx,
+    /// The request exceeded its time budget (slow or wedged host).
+    Timeout,
+    /// The connection was reset before a response arrived.
+    ConnectionReset,
+    /// The response body was cut short mid-transfer.
+    TruncatedBody,
+    /// The document arrived but its markup was corrupted.
+    MalformedHtml,
+    /// Redirect handling failed: a cycle, too many hops, a missing or
+    /// unresolvable `Location`, or a redirect into a non-fetchable scheme.
+    Redirect,
+}
+
+impl CrawlErrorClass {
+    /// Every class, in taxonomy order.
+    pub const ALL: [CrawlErrorClass; 7] = [
+        CrawlErrorClass::Dns,
+        CrawlErrorClass::Http5xx,
+        CrawlErrorClass::Timeout,
+        CrawlErrorClass::ConnectionReset,
+        CrawlErrorClass::TruncatedBody,
+        CrawlErrorClass::MalformedHtml,
+        CrawlErrorClass::Redirect,
+    ];
+
+    /// Stable snake_case label, matching the serde spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrawlErrorClass::Dns => "dns",
+            CrawlErrorClass::Http5xx => "http5xx",
+            CrawlErrorClass::Timeout => "timeout",
+            CrawlErrorClass::ConnectionReset => "connection_reset",
+            CrawlErrorClass::TruncatedBody => "truncated_body",
+            CrawlErrorClass::MalformedHtml => "malformed_html",
+            CrawlErrorClass::Redirect => "redirect",
+        }
+    }
+}
+
+impl fmt::Display for CrawlErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One classified failure observed during a page visit: which class, where,
+/// how many fetch attempts were spent, and whether a retry eventually
+/// recovered the resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrawlError {
+    /// Failure class.
+    pub class: CrawlErrorClass,
+    /// The URL whose fetch failed (or arrived damaged).
+    pub url: Url,
+    /// Fetch attempts spent on this URL (1 = no retry).
+    pub attempts: u32,
+    /// True when a retry eventually produced a usable response.
+    pub recovered: bool,
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({} attempt{}{})",
+            self.class,
+            self.url,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            if self.recovered { ", recovered" } else { "" },
+        )
+    }
+}
+
+/// Per-class error totals, aggregated visit → crawl → run summary.
+///
+/// All counts are deterministic (faults are a pure function of the seed), so
+/// these survive timing-stripping and must agree byte-for-byte across worker
+/// counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorCounters {
+    /// DNS failures (genuine NXDOMAIN plus injected flaps).
+    pub dns_failures: u64,
+    /// 5xx responses observed.
+    pub http_5xx: u64,
+    /// Requests that exceeded their time budget.
+    pub timeouts: u64,
+    /// Connections reset mid-request.
+    pub connection_resets: u64,
+    /// Bodies cut short mid-transfer.
+    pub truncated_bodies: u64,
+    /// Documents delivered with corrupted markup.
+    pub malformed_html: u64,
+    /// Redirect failures (cycles, hop caps, bad `Location`).
+    pub redirect_failures: u64,
+    /// Fetch retries performed (attempts beyond the first).
+    pub retries: u64,
+    /// Visits that loaded a document but lost some subresources.
+    pub degraded_visits: u64,
+    /// Visits whose top document never loaded.
+    pub failed_visits: u64,
+}
+
+impl ErrorCounters {
+    /// Bumps the counter for one failure class.
+    pub fn record(&mut self, class: CrawlErrorClass) {
+        match class {
+            CrawlErrorClass::Dns => self.dns_failures += 1,
+            CrawlErrorClass::Http5xx => self.http_5xx += 1,
+            CrawlErrorClass::Timeout => self.timeouts += 1,
+            CrawlErrorClass::ConnectionReset => self.connection_resets += 1,
+            CrawlErrorClass::TruncatedBody => self.truncated_bodies += 1,
+            CrawlErrorClass::MalformedHtml => self.malformed_html += 1,
+            CrawlErrorClass::Redirect => self.redirect_failures += 1,
+        }
+    }
+
+    /// Folds another set of counters into this one.
+    pub fn merge(&mut self, other: &ErrorCounters) {
+        self.dns_failures += other.dns_failures;
+        self.http_5xx += other.http_5xx;
+        self.timeouts += other.timeouts;
+        self.connection_resets += other.connection_resets;
+        self.truncated_bodies += other.truncated_bodies;
+        self.malformed_html += other.malformed_html;
+        self.redirect_failures += other.redirect_failures;
+        self.retries += other.retries;
+        self.degraded_visits += other.degraded_visits;
+        self.failed_visits += other.failed_visits;
+    }
+
+    /// Sum over the per-class failure counters (retries and visit outcomes
+    /// are bookkeeping, not failures, and are excluded).
+    pub fn total_errors(&self) -> u64 {
+        self.dns_failures
+            + self.http_5xx
+            + self.timeouts
+            + self.connection_resets
+            + self.truncated_bodies
+            + self.malformed_html
+            + self.redirect_failures
+    }
+
+    /// True when no failure of any class was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.total_errors() == 0 && self.retries == 0 && self.failed_visits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_hits_every_class() {
+        let mut c = ErrorCounters::default();
+        for class in CrawlErrorClass::ALL {
+            c.record(class);
+        }
+        assert_eq!(c.total_errors(), CrawlErrorClass::ALL.len() as u64);
+        assert_eq!(c.dns_failures, 1);
+        assert_eq!(c.redirect_failures, 1);
+    }
+
+    #[test]
+    fn merge_is_componentwise_addition() {
+        let mut a = ErrorCounters {
+            dns_failures: 1,
+            retries: 2,
+            degraded_visits: 1,
+            ..ErrorCounters::default()
+        };
+        let b = ErrorCounters {
+            dns_failures: 3,
+            http_5xx: 4,
+            failed_visits: 1,
+            ..ErrorCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dns_failures, 4);
+        assert_eq!(a.http_5xx, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.failed_visits, 1);
+        assert_eq!(a.degraded_visits, 1);
+    }
+
+    #[test]
+    fn labels_match_serde_spelling() {
+        for class in CrawlErrorClass::ALL {
+            let json = serde_json::to_string(&class).expect("serializable");
+            assert_eq!(json, format!("\"{}\"", class.label()));
+        }
+    }
+
+    #[test]
+    fn clean_counters_round_trip() {
+        let c = ErrorCounters::default();
+        assert!(c.is_clean());
+        let json = serde_json::to_string(&c).expect("serializable");
+        let back: ErrorCounters = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn crawl_error_displays_attempts_and_recovery() {
+        let err = CrawlError {
+            class: CrawlErrorClass::Timeout,
+            url: Url::parse("http://slow.example.com/ad").expect("valid url"),
+            attempts: 3,
+            recovered: true,
+        };
+        let s = err.to_string();
+        assert!(s.contains("timeout"));
+        assert!(s.contains("3 attempts"));
+        assert!(s.contains("recovered"));
+    }
+}

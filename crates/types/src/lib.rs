@@ -21,6 +21,8 @@
 //! * [`id`] — small typed identifiers for sites, ad networks, campaigns,
 //!   creatives, and payloads.
 //! * [`category`] — the website-content taxonomy used by Figure 3.
+//! * [`errors`] — the typed crawl-error taxonomy and the per-class counters
+//!   that flow from each page visit up into the run summary.
 //!
 //! ## Supported / not supported
 //!
@@ -36,6 +38,7 @@
 
 pub mod category;
 pub mod domain;
+pub mod errors;
 pub mod id;
 pub mod rng;
 pub mod time;
@@ -43,6 +46,7 @@ pub mod url;
 
 pub use category::SiteCategory;
 pub use domain::{DomainName, RegisteredDomain, Tld, TldClass};
+pub use errors::{CrawlError, CrawlErrorClass, ErrorCounters};
 pub use id::{AdNetworkId, CampaignId, CreativeId, PageId, PayloadId, SiteId};
 pub use rng::{DetRng, SeedTree};
 pub use time::{CrawlSchedule, SimTime};

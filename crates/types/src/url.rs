@@ -160,10 +160,19 @@ impl Url {
     }
 
     /// Builds an `http://host/path` URL from components, panicking on invalid
-    /// input — intended for generator code with known-good inputs.
+    /// input — intended for generator code with known-good inputs. Anything
+    /// handling crawl input (attacker-controlled hosts or paths) must use
+    /// [`Url::try_from_parts`] instead.
     pub fn from_parts(scheme: Scheme, host: &str, path: &str) -> Self {
-        let host = DomainName::parse(host).expect("from_parts: invalid host");
-        Url {
+        Url::try_from_parts(scheme, host, path).expect("from_parts: invalid host")
+    }
+
+    /// Fallible form of [`Url::from_parts`]: builds a URL from components,
+    /// returning an error for hosts that are not valid domain names (empty
+    /// hosts included). Use this for anything derived from crawl input.
+    pub fn try_from_parts(scheme: Scheme, host: &str, path: &str) -> Result<Self, UrlError> {
+        let host = DomainName::parse(host).map_err(UrlError::BadHost)?;
+        Ok(Url {
             scheme,
             host: Some(host),
             port: None,
@@ -174,7 +183,7 @@ impl Url {
             },
             query: None,
             fragment: None,
-        }
+        })
     }
 
     /// Scheme accessor.
@@ -586,6 +595,54 @@ mod tests {
             let u = Url::parse(s).unwrap();
             u.normalize_into(&mut buf);
             assert_eq!(buf, u.without_fragment().to_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn try_from_parts_rejects_bad_hosts_without_panicking() {
+        assert!(matches!(
+            Url::try_from_parts(Scheme::Http, "", "/x"),
+            Err(UrlError::BadHost(_))
+        ));
+        assert!(matches!(
+            Url::try_from_parts(Scheme::Https, "bad host", "index.html"),
+            Err(UrlError::BadHost(_))
+        ));
+        let ok = Url::try_from_parts(Scheme::Http, "a.com", "x/y").unwrap();
+        assert_eq!(ok.to_string(), "http://a.com/x/y");
+    }
+
+    #[test]
+    fn hostile_crawl_inputs_never_panic() {
+        // Odd ports, empty hosts, and junk references must all come back as
+        // typed errors — a crawled page can contain any of these.
+        for bad in [
+            "http://:8080/",
+            "http://example.com:99999/",
+            "http://example.com:-1/",
+            "http:///orphan-path",
+            "http://exa mple.com/",
+            "http://example.com:80:80/",
+            "https://",
+            "http://#",
+            "http://?q=1",
+        ] {
+            assert!(Url::parse(bad).is_err(), "expected parse error for {bad}");
+        }
+        let base = Url::parse("http://a.com/x/y").unwrap();
+        for reference in [
+            "",
+            "#",
+            "?",
+            "//",
+            "//:9/",
+            "../../..",
+            "http://:0/",
+            ":::",
+            "%%%",
+        ] {
+            // Joins may fail, but must never panic.
+            let _ = base.join(reference);
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
-//!               [--trace DIR]
+//!               [--trace DIR] [--faults none|light|heavy]
 //! malvert trace EVENTS.JSONL [--top N]
 //! malvert bench-json [--out PATH] [--adscript-out PATH] [--urls N] [--iters N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
@@ -76,12 +76,14 @@ malvert — reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)
 
 USAGE:
   malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
-                   [--summary PATH] [--trace DIR]
+                   [--summary PATH] [--trace DIR] [--faults none|light|heavy]
                    run the full study and print every table and figure plus
                    the run metrics; emits the RunSummary JSON on stdout
                    (--summary streams it pretty-printed to a file; --trace
                    records structured spans and writes DIR/events.jsonl plus
-                   DIR/trace.json for chrome://tracing)
+                   DIR/trace.json for chrome://tracing; --faults injects
+                   seed-deterministic network chaos and reports per-class
+                   error counters in the run metrics)
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
@@ -139,6 +141,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let days = flag(flags, "days", 10u32)?;
     let refreshes = flag(flags, "refreshes", 2u32)?;
     let workers = flag(flags, "workers", 8usize)?;
+    let faults = match flags.get("faults").map(String::as_str) {
+        None | Some("none") => None,
+        Some(name) => Some(malvertising::net::FaultProfile::named(name).ok_or_else(|| {
+            format!("invalid value `{name}` for --faults (expected none, light, or heavy)")
+        })?),
+    };
     let config = StudyConfig {
         seed,
         crawl: malvertising::crawler::CrawlConfig {
@@ -146,6 +154,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             workers,
             ..Default::default()
         },
+        faults,
         ..StudyConfig::default()
     };
     eprintln!(

@@ -214,6 +214,71 @@ fn script_cache_invisible_in_study_results() {
 }
 
 #[test]
+fn chaos_profiles_deterministic_across_worker_counts() {
+    // The fault-injection matrix: for every chaos profile, a sequential run
+    // and an 8-worker run produce byte-identical classified ads and
+    // (timing-stripped) run summaries — fault draws are a pure function of
+    // `(seed, time, url)`, never of scheduling. An explicit `none` must
+    // also match the no-knob baseline byte for byte.
+    use malvertising::net::FaultProfile;
+
+    let run = |faults: Option<FaultProfile>, workers: usize| {
+        let mut cfg = config(60606, workers);
+        cfg.faults = faults;
+        Study::new(cfg).run()
+    };
+    let baseline = run(None, 1);
+    let base_summary = baseline.summary().without_timings().to_json();
+
+    for profile in ["none", "light", "heavy"] {
+        let faults = FaultProfile::named(profile);
+        let a = run(faults, 1);
+        let b = run(faults, 8);
+        assert_eq!(
+            serde_json::to_string(&a.ads).unwrap(),
+            serde_json::to_string(&b.ads).unwrap(),
+            "classified ads diverge across worker counts under `{profile}` faults"
+        );
+        let a_summary = a.summary().without_timings().to_json();
+        assert_eq!(
+            a_summary,
+            b.summary().without_timings().to_json(),
+            "run summaries diverge across worker counts under `{profile}` faults"
+        );
+        if profile == "none" {
+            assert_eq!(
+                a_summary, base_summary,
+                "explicit `none` differs from the no-knob baseline"
+            );
+        } else {
+            let errors = a.summary().counters.errors;
+            assert!(
+                errors.total_errors() > 0,
+                "`{profile}` faults injected no errors"
+            );
+            // Graceful degradation: faults cost individual visits at worst;
+            // the corpus still exists and the run finished (we got here).
+            assert!(
+                a.unique_ads() > 0,
+                "`{profile}` faults destroyed the whole corpus"
+            );
+        }
+    }
+    // Faults change observable results: the heavy profile must not be a
+    // no-op relative to the clean baseline.
+    assert_ne!(
+        run(FaultProfile::named("heavy"), 1)
+            .summary()
+            .without_timings()
+            .to_json(),
+        base_summary,
+        "heavy faults left the run summary untouched"
+    );
+    // A clean run's error counters are all-zero.
+    assert!(baseline.summary().counters.errors.is_clean());
+}
+
+#[test]
 fn different_seeds_differ() {
     let a = Study::new(config(1, 4)).run();
     let b = Study::new(config(2, 4)).run();

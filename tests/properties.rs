@@ -416,3 +416,133 @@ proptest! {
         prop_assert!(header.contains(&expected));
     }
 }
+
+// ---------- fault injection ----------
+
+use malvertising::net::{
+    Body, FaultProfile, FetchLog, HttpRequest, HttpResponse, Network, OriginServer, ServeCtx,
+    TrafficCapture,
+};
+use malvertising::types::{CrawlErrorClass, SimTime};
+use std::sync::Arc;
+
+/// A two-page origin for the fault harness: `/` serves HTML that links a
+/// redirect hop, `/bounce` redirects back to a landing page.
+struct ChaosOrigin;
+
+impl OriginServer for ChaosOrigin {
+    fn handle(&self, req: &HttpRequest, _ctx: &mut ServeCtx) -> HttpResponse {
+        match req.url.path() {
+            "/bounce" => {
+                HttpResponse::redirect(Url::parse("http://chaos-origin.com/land").unwrap())
+            }
+            "/land" => HttpResponse::ok(Body::Html("<html><body>landed</body></html>".into())),
+            _ => HttpResponse::ok(Body::Html(
+                "<html><body><iframe src=\"/bounce\"></iframe>café &amp; more</body></html>".into(),
+            )),
+        }
+    }
+}
+
+/// Any fault profile the knob space can express (probabilities may sum past
+/// 1.0; `plan_for` clamps per-kind and treats the excess as "no fault").
+fn arb_fault_profile() -> impl Strategy<Value = FaultProfile> {
+    (
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+        0u32..6,
+    )
+        .prop_map(
+            |(
+                (nx_flap, server_error, connection_reset),
+                (timeout, truncated_body, malformed_html),
+                max_flaps,
+            )| FaultProfile {
+                nx_flap,
+                server_error,
+                connection_reset,
+                timeout,
+                truncated_body,
+                malformed_html,
+                max_flaps,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn fault_plans_replay_and_respect_bounds(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+        day in 0u32..90,
+        refresh in 0u32..4,
+        path in "(/[a-z0-9]{1,6}){0,3}",
+    ) {
+        let url = Url::parse(&format!(
+            "http://fault-host.com{}",
+            if path.is_empty() { "/".to_string() } else { path }
+        )).unwrap();
+        let tree = SeedTree::new(seed);
+        let time = SimTime::at(day, refresh);
+        let a = profile.plan_for(tree, time, &url);
+        prop_assert_eq!(a, profile.plan_for(tree, time, &url));
+        // Transient plans clear within the configured flap bound; persistent
+        // and clean plans never flap.
+        prop_assert!(a.flaps <= profile.max_flaps.max(1));
+        let _ = a.fails_attempt(0);
+        let _ = a.fails_attempt(u32::MAX);
+    }
+
+    #[test]
+    fn faulted_fetches_never_panic_and_replay(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+        day in 0u32..30,
+        max_retries in 0u32..4,
+    ) {
+        let mut network = Network::new(SeedTree::new(seed));
+        network.register(
+            DomainName::parse("chaos-origin.com").unwrap(),
+            Arc::new(ChaosOrigin),
+        );
+        network.set_fault_profile(Some(profile));
+        let req = HttpRequest::get(Url::parse("http://chaos-origin.com/").unwrap());
+        let time = SimTime::at(day, 0);
+
+        let fetch = || {
+            let mut capture = TrafficCapture::new();
+            let mut log = FetchLog::default();
+            let result = network.fetch_logged(&req, time, &mut capture, max_retries, &mut log);
+            (result, log)
+        };
+        let (result_a, log_a) = fetch();
+        let (result_b, log_b) = fetch();
+
+        // Byte-identical replay: outcome, error log, and retry count.
+        prop_assert_eq!(format!("{result_a:?}"), format!("{result_b:?}"));
+        prop_assert_eq!(&log_a.errors, &log_b.errors);
+        prop_assert_eq!(log_a.retries, log_b.retries);
+
+        // Only transient fault classes are ever marked recovered, and a
+        // recovery implies at least one retry was spent.
+        for err in &log_a.errors {
+            if err.recovered {
+                prop_assert!(matches!(
+                    err.class,
+                    CrawlErrorClass::Dns
+                        | CrawlErrorClass::Http5xx
+                        | CrawlErrorClass::Timeout
+                        | CrawlErrorClass::ConnectionReset
+                ));
+            }
+        }
+        if log_a.errors.iter().any(|e| e.recovered) {
+            prop_assert!(log_a.retries > 0);
+        }
+        // A clean profile injects nothing.
+        if profile == FaultProfile::default() {
+            prop_assert!(log_a.errors.is_empty() && log_a.retries == 0);
+            prop_assert!(result_a.is_ok());
+        }
+    }
+}
