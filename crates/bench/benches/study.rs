@@ -1,0 +1,76 @@
+//! End-to-end study throughput: the pipelined crawl + classify engine on
+//! two corpus scales, plus the checkpointed variant (snapshot writes at
+//! every shard boundary) to pin the checkpoint overhead. The same
+//! workloads `malvert bench-json --study-out` times into
+//! `BENCH_study.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use malvert_core::study::{Study, StudyConfig};
+use malvert_types::CrawlSchedule;
+use malvert_websim::WebConfig;
+use std::hint::black_box;
+
+/// The two corpus scales the study group times, mirroring
+/// `malvert bench-json --study-out`.
+fn workload(top: u32, bottom: u32, random: u32, feed: u32) -> StudyConfig {
+    StudyConfig {
+        seed: 2014,
+        web: WebConfig {
+            ranking_universe: 10_000,
+            top_slice: top,
+            bottom_slice: bottom,
+            random_slice: random,
+            security_feed: feed,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: malvert_crawler::CrawlConfig {
+            schedule: CrawlSchedule::scaled(4, 2),
+            workers: 8,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    }
+}
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+
+    for (name, config) in [
+        ("default", workload(30, 30, 50, 20)),
+        ("scaled", workload(60, 60, 100, 40)),
+    ] {
+        // The world is built once; the benchmark times the pipeline itself
+        // (crawl + classify), which is what the engine accelerates.
+        let study = Study::builder()
+            .config(config)
+            .build()
+            .expect("no resume requested");
+        let loads =
+            study.config.web.total_sites() as u64 * study.config.crawl.schedule.loads_per_site();
+        group.throughput(Throughput::Elements(loads));
+        group.bench_function(name, |b| b.iter(|| black_box(study.run())));
+    }
+
+    // Checkpointing at every shard boundary: the worst-case snapshot
+    // cadence, so the measured gap to `default` bounds the overhead.
+    let dir = std::env::temp_dir().join(format!("malvert-bench-study-{}", std::process::id()));
+    let study = Study::builder()
+        .config(workload(30, 30, 50, 20))
+        .checkpoint(&dir)
+        .shard_size(256)
+        .build()
+        .expect("no resume requested");
+    let loads =
+        study.config.web.total_sites() as u64 * study.config.crawl.schedule.loads_per_site();
+    group.throughput(Throughput::Elements(loads));
+    group.bench_function("default_checkpointed", |b| {
+        b.iter(|| black_box(study.run()))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

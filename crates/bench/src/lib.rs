@@ -20,6 +20,10 @@
 //!   script workload (the same one `malvert bench-json` times into
 //!   `BENCH_adscript.json`).
 //! * `countermeasures` — §5 ablation comparison.
+//! * `study` — end-to-end pipelined study throughput (page loads/sec) on
+//!   two corpus scales, plus a checkpointed variant pinning the snapshot
+//!   overhead (the same workloads behind `malvert bench-json
+//!   --study-out`).
 
 use malvert_core::study::{Study, StudyConfig, StudyResults};
 use malvert_types::CrawlSchedule;
@@ -56,7 +60,10 @@ pub fn bench_config(seed: u64) -> StudyConfig {
 pub fn shared_study() -> &'static (Study, StudyResults) {
     static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
     CELL.get_or_init(|| {
-        let study = Study::new(bench_config(2014));
+        let study = Study::builder()
+            .config(bench_config(2014))
+            .build()
+            .expect("no resume requested");
         let results = study.run();
         (study, results)
     })

@@ -107,6 +107,11 @@ impl BlacklistService {
 
     /// Like [`Self::listing_feeds`], recording the lookup as a
     /// [`SpanKind::BlacklistLookup`] span on `trace`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "record the span on the caller's sink around `listing_feeds` (the oracle does \
+                this); the pure lookup needs no trace plumbing"
+    )]
     pub fn listing_feeds_traced(
         &self,
         domain: &DomainName,

@@ -1,0 +1,371 @@
+//! Seed-deterministic study checkpoints.
+//!
+//! A checkpointed run persists one JSON document — `state.json` — into its
+//! checkpoint directory at engine shard boundaries, via the atomic
+//! [`SnapshotStore`]. The snapshot is the *exact* fold of the completed
+//! job prefix (the engine parks every worker before the boundary callback
+//! runs), so a killed run resumed from it is byte-identical to an
+//! uninterrupted one: remaining jobs are pure functions of the seed, and
+//! all cross-job state is in the snapshot.
+//!
+//! Counter semantics: the snapshot stores *totals at the boundary*. A
+//! resumed run starts fresh live counters at zero and reports
+//! `base + live`, which reproduces the deterministic totals (lookups,
+//! oracle visits, feed lookups) exactly. Cache hit/miss *splits* are
+//! scheduling accidents and may differ after a resume — exactly as they
+//! already do across worker counts — and the run summary's
+//! timing-stripped form zeroes them for comparisons.
+
+use crate::study::{ClassifiedAd, CrawlSummary, StudyConfig};
+use malvert_crawler::{AdCorpus, CrawlAggregate, FilterCounts, ScriptCounts, UniqueAd};
+use malvert_engine::SnapshotStore;
+use malvert_types::rng::mix_label;
+use malvert_types::{ErrorCounters, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::time::Duration;
+
+/// Snapshot format version; bumped on any incompatible layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The snapshot document name inside a checkpoint directory.
+const STATE_DOC: &str = "state.json";
+
+/// Domain-separation constant for [`config_fingerprint`] (ASCII
+/// `malvtckp`).
+const FINGERPRINT_DOMAIN: u64 = 0x6d61_6c76_7463_6b70;
+
+/// A structural fingerprint of a study configuration, mixed from its
+/// complete debug rendering (which covers every field without requiring
+/// the whole config graph to be serializable). Two configs with the same
+/// fingerprint produce the same job sequence, so a snapshot is only
+/// resumable under the fingerprint it was written with.
+pub fn config_fingerprint(config: &StudyConfig) -> u64 {
+    mix_label(FINGERPRINT_DOMAIN, format!("{config:?}").as_bytes())
+}
+
+/// Which pipeline stage a snapshot parked in. A `Crawl` snapshot whose
+/// `next_job` equals the crawl's total job count *is* the completed-crawl
+/// state; `Classify` snapshots embed that completed crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Parked between crawl shards; `next_job` counts page visits.
+    Crawl,
+    /// Crawl complete; `next_job` counts classified unique ads.
+    Classify,
+}
+
+/// Filter-engine counter totals at the snapshot boundary.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FilterBase {
+    /// Filter queries answered.
+    pub lookups: u64,
+    /// Memo hits (scheduling-dependent; zeroed in stripped summaries).
+    pub cache_hits: u64,
+    /// Memo misses (scheduling-dependent; zeroed in stripped summaries).
+    pub cache_misses: u64,
+    /// Candidate rules evaluated (scheduling-dependent).
+    pub candidates_evaluated: u64,
+}
+
+impl FilterBase {
+    /// Captures counter totals.
+    pub fn capture(counts: FilterCounts) -> FilterBase {
+        FilterBase {
+            lookups: counts.lookups,
+            cache_hits: counts.cache_hits,
+            cache_misses: counts.cache_misses,
+            candidates_evaluated: counts.candidates_evaluated,
+        }
+    }
+
+    /// These base totals plus a live snapshot taken after a resume.
+    pub fn plus(self, live: FilterCounts) -> FilterCounts {
+        FilterCounts {
+            lookups: self.lookups + live.lookups,
+            cache_hits: self.cache_hits + live.cache_hits,
+            cache_misses: self.cache_misses + live.cache_misses,
+            candidates_evaluated: self.candidates_evaluated + live.candidates_evaluated,
+        }
+    }
+}
+
+/// Script-compilation cache counter totals at the snapshot boundary.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ScriptBase {
+    /// Compile requests answered.
+    pub lookups: u64,
+    /// Cache hits (scheduling-dependent; zeroed in stripped summaries).
+    pub cache_hits: u64,
+    /// Cache misses (scheduling-dependent; zeroed in stripped summaries).
+    pub cache_misses: u64,
+}
+
+impl ScriptBase {
+    /// Captures counter totals.
+    pub fn capture(counts: ScriptCounts) -> ScriptBase {
+        ScriptBase {
+            lookups: counts.lookups,
+            cache_hits: counts.cache_hits,
+            cache_misses: counts.cache_misses,
+        }
+    }
+
+    /// These base totals plus a live snapshot taken after a resume.
+    pub fn plus(self, live: ScriptCounts) -> ScriptCounts {
+        ScriptCounts {
+            lookups: self.lookups + live.lookups,
+            cache_hits: self.cache_hits + live.cache_hits,
+            cache_misses: self.cache_misses + live.cache_misses,
+        }
+    }
+}
+
+/// The crawl stage's complete fold at a shard boundary: corpus, census
+/// counters, and instrumentation totals. Integer-keyed maps are encoded
+/// as sorted pair vectors so the JSON round-trips without map-key
+/// gymnastics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlState {
+    /// Unique ads, sorted by creative.
+    pub ads: Vec<UniqueAd>,
+    /// Total (non-unique) observations recorded.
+    pub total_observations: u64,
+    /// Chain-length tallies: `(creative_key, [(chain_len, count)])`.
+    pub chain_lengths: Vec<(u64, Vec<(usize, u64)>)>,
+    /// Per-site ad observations: `(site index, count)`.
+    pub site_ad_observations: Vec<(u32, u64)>,
+    /// `(total iframes, sandboxed iframes)`.
+    pub iframe_census: (u64, u64),
+    /// `(hijack exposures, hijacks blocked)`.
+    pub hijack_counts: (u64, u64),
+    /// Pages loaded.
+    pub page_loads: u64,
+    /// Crawl-error taxonomy totals.
+    pub errors: ErrorCounters,
+    /// Filter-engine totals at the boundary.
+    pub filter: FilterBase,
+    /// Crawl-stage script-cache totals at the boundary.
+    pub script: ScriptBase,
+}
+
+/// Encodes the aggregate's maps as sorted pair vectors.
+fn encode_chains(chains: &HashMap<u64, BTreeMap<usize, u64>>) -> Vec<(u64, Vec<(usize, u64)>)> {
+    let mut out: Vec<(u64, Vec<(usize, u64)>)> = chains
+        .iter()
+        .map(|(key, tally)| (*key, tally.iter().map(|(len, n)| (*len, *n)).collect()))
+        .collect();
+    out.sort_unstable_by_key(|(key, _)| *key);
+    out
+}
+
+fn encode_sites(sites: &HashMap<SiteId, u64>) -> Vec<(u32, u64)> {
+    let mut out: Vec<(u32, u64)> = sites.iter().map(|(site, n)| (site.0, *n)).collect();
+    out.sort_unstable();
+    out
+}
+
+impl CrawlState {
+    /// Captures the state of an in-progress crawl: the aggregate fold plus
+    /// the instrumentation totals (`base + live`, computed by the caller).
+    pub fn from_aggregate(
+        aggregate: &CrawlAggregate,
+        filter: FilterCounts,
+        script: ScriptCounts,
+    ) -> CrawlState {
+        CrawlState {
+            ads: aggregate.corpus.ads_sorted().into_iter().cloned().collect(),
+            total_observations: aggregate.corpus.total_observations(),
+            chain_lengths: encode_chains(&aggregate.chain_lengths),
+            site_ad_observations: encode_sites(&aggregate.site_ad_observations),
+            iframe_census: aggregate.iframe_census,
+            hijack_counts: aggregate.hijack_counts,
+            page_loads: aggregate.page_loads,
+            errors: aggregate.errors,
+            filter: FilterBase::capture(filter),
+            script: ScriptBase::capture(script),
+        }
+    }
+
+    /// Captures a completed crawl from its summary (classify-phase
+    /// snapshots embed this).
+    pub fn from_summary(summary: &CrawlSummary) -> CrawlState {
+        CrawlState {
+            ads: summary.corpus.ads_sorted().into_iter().cloned().collect(),
+            total_observations: summary.corpus.total_observations(),
+            chain_lengths: encode_chains(&summary.chain_lengths),
+            site_ad_observations: encode_sites(&summary.site_ad_observations),
+            iframe_census: summary.iframe_census,
+            hijack_counts: summary.hijack_counts,
+            page_loads: summary.page_loads,
+            errors: summary.errors,
+            filter: FilterBase::capture(summary.filter),
+            script: ScriptBase::capture(summary.script),
+        }
+    }
+
+    /// Rebuilds the in-progress aggregate plus the counter bases a resumed
+    /// crawl adds its fresh live counters onto.
+    pub fn into_parts(self) -> (CrawlAggregate, FilterBase, ScriptBase) {
+        let aggregate = CrawlAggregate {
+            corpus: AdCorpus::from_parts(self.ads, self.total_observations),
+            chain_lengths: self
+                .chain_lengths
+                .into_iter()
+                .map(|(key, tally)| (key, tally.into_iter().collect()))
+                .collect(),
+            site_ad_observations: self
+                .site_ad_observations
+                .into_iter()
+                .map(|(site, n)| (SiteId(site), n))
+                .collect(),
+            iframe_census: self.iframe_census,
+            hijack_counts: self.hijack_counts,
+            page_loads: self.page_loads,
+            errors: self.errors,
+        };
+        (aggregate, self.filter, self.script)
+    }
+
+    /// Rebuilds the completed crawl summary a classify-phase resume starts
+    /// from. The crawl wall-clock was not preserved (it belongs to the
+    /// killed process) and is reported as zero; stripped summaries drop
+    /// timings anyway.
+    pub fn into_summary(self) -> CrawlSummary {
+        let filter = self.filter.plus(FilterCounts::default());
+        let script = self.script.plus(ScriptCounts::default());
+        let (aggregate, _, _) = self.into_parts();
+        CrawlSummary {
+            corpus: aggregate.corpus,
+            chain_lengths: aggregate.chain_lengths,
+            site_ad_observations: aggregate.site_ad_observations,
+            iframe_census: aggregate.iframe_census,
+            hijack_counts: aggregate.hijack_counts,
+            page_loads: aggregate.page_loads,
+            filter,
+            script,
+            errors: aggregate.errors,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+/// One parked study run: the identity of the run (seed + config
+/// fingerprint), where it parked, and the exact fold of everything
+/// completed so far.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudySnapshot {
+    /// Snapshot layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The study seed the snapshot belongs to.
+    pub seed: u64,
+    /// [`config_fingerprint`] of the study configuration.
+    pub fingerprint: u64,
+    /// The stage the run parked in.
+    pub phase: Phase,
+    /// First unprocessed job of that stage (page visits for
+    /// [`Phase::Crawl`], unique-ad indices for [`Phase::Classify`]).
+    pub next_job: usize,
+    /// The crawl fold: in-progress for [`Phase::Crawl`], complete for
+    /// [`Phase::Classify`].
+    pub crawl: CrawlState,
+    /// Honeyclient visits performed before the boundary.
+    pub oracle_visits: u64,
+    /// Blacklist feed lookups performed before the boundary.
+    pub oracle_feed_lookups: u64,
+    /// Script-budget exhaustions observed before the boundary.
+    pub oracle_budget_exhaustions: u64,
+    /// Classify-stage script-cache totals at the boundary.
+    pub classify_script: ScriptBase,
+    /// Classified ads `[0, next_job)`, in `ads_sorted` order.
+    pub classified: Vec<ClassifiedAd>,
+}
+
+impl StudySnapshot {
+    /// Writes this snapshot as the store's `state.json`, atomically
+    /// replacing any previous one.
+    pub fn save(&self, store: &SnapshotStore) -> io::Result<()> {
+        store.save(STATE_DOC, self)
+    }
+
+    /// Loads a store's `state.json`; `Ok(None)` when none was written yet.
+    pub fn load(store: &SnapshotStore) -> io::Result<Option<StudySnapshot>> {
+        store.load(STATE_DOC)
+    }
+
+    /// Checks the snapshot belongs to `(seed, fingerprint)` and is of a
+    /// layout this build understands.
+    pub fn validate(&self, seed: u64, fingerprint: u64) -> Result<(), String> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} (this build writes {SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        if self.seed != seed {
+            return Err(format!(
+                "snapshot seed {} != configured seed {seed}",
+                self.seed
+            ));
+        }
+        if self.fingerprint != fingerprint {
+            return Err(format!(
+                "snapshot fingerprint {:016x} != configured fingerprint {fingerprint:016x}",
+                self.fingerprint
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = StudyConfig::tiny(11);
+        let mut b = StudyConfig::tiny(11);
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        b.crawl.workers = a.crawl.workers + 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn crawl_state_round_trips_through_parts() {
+        let mut aggregate = CrawlAggregate::new();
+        aggregate.iframe_census = (10, 2);
+        aggregate.hijack_counts = (3, 1);
+        aggregate.page_loads = 7;
+        aggregate
+            .chain_lengths
+            .insert(42, [(2usize, 5u64)].into_iter().collect());
+        aggregate.site_ad_observations.insert(SiteId(9), 4);
+        let filter = FilterCounts {
+            lookups: 100,
+            cache_hits: 60,
+            cache_misses: 40,
+            candidates_evaluated: 500,
+        };
+        let script = ScriptCounts {
+            lookups: 20,
+            cache_hits: 15,
+            cache_misses: 5,
+        };
+        let state = CrawlState::from_aggregate(&aggregate, filter, script);
+        let json = serde_json::to_string(&state).expect("serializes");
+        let back: CrawlState = serde_json::from_str(&json).expect("deserializes");
+        let (rebuilt, filter_base, script_base) = back.into_parts();
+        assert_eq!(rebuilt.iframe_census, (10, 2));
+        assert_eq!(rebuilt.hijack_counts, (3, 1));
+        assert_eq!(rebuilt.page_loads, 7);
+        assert_eq!(
+            rebuilt.chain_lengths.get(&42).and_then(|t| t.get(&2)),
+            Some(&5)
+        );
+        assert_eq!(rebuilt.site_ad_observations.get(&SiteId(9)), Some(&4));
+        assert_eq!(filter_base.plus(FilterCounts::default()).lookups, 100);
+        assert_eq!(script_base.plus(ScriptCounts::default()).cache_hits, 15);
+    }
+}

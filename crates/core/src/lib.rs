@@ -16,8 +16,12 @@
 //! 4. **Classification** — each unique advertisement goes through the
 //!    oracle; incidents are assigned to the six Table 1 categories with
 //!    first-match precedence (the table's rows sum to the total).
-//!    Classification runs on a worker pool; per-ad seed derivation keeps
-//!    the output byte-identical at any worker count.
+//!    Classification runs on the shared work-stealing engine; per-ad seed
+//!    derivation keeps the output byte-identical at any worker count.
+//!
+//! Both crawl and classify are checkpointable at engine shard boundaries
+//! ([`checkpoint`]): a killed run resumed via [`study::StudyBuilder`] is
+//! byte-identical to an uninterrupted one.
 //! 5. **Analysis** ([`analysis`]) — Table 1, Figures 1–5, the cluster
 //!    split, and the §4.4 sandbox census, as typed reports with text
 //!    renderers ([`report`]).
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod countermeasures;
 pub mod defense;
 pub mod easylist;
@@ -41,6 +46,9 @@ pub mod world;
 pub use analysis::{
     ClusterSplit, Fig1Row, Fig2Row, Fig3Row, Fig4Row, Fig5Histogram, SandboxReport, Table1,
 };
+pub use checkpoint::{Phase, StudySnapshot};
 pub use metrics::{RunCounters, RunMetrics, RunSummary, StageId};
-pub use study::{ClassifiedAd, CrawlSummary, Study, StudyConfig, StudyResults};
+pub use study::{
+    ClassifiedAd, CrawlSummary, RunOptions, Study, StudyBuilder, StudyConfig, StudyResults,
+};
 pub use world::StudyWorld;

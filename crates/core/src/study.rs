@@ -8,24 +8,42 @@
 //! composition of the two. Callers that only need to re-run later stages
 //! (countermeasure ablations, the CLI, examples) compose the stages
 //! directly instead of re-crawling.
+//!
+//! Both stages execute on the shared work-stealing engine
+//! (`malvert-engine`): visits stream into a [`CrawlAggregate`] as they
+//! complete (memory stays bounded by the corpus, not the visit count),
+//! and shard boundaries are checkpointable — see [`StudyBuilder`], the
+//! single front door that assembles a [`Study`] with its [`RunOptions`]
+//! (trace sink, checkpoint directory, engine geometry) and resumes a
+//! parked run from its snapshot.
 
+use crate::checkpoint::{
+    config_fingerprint, CrawlState, FilterBase, Phase, ScriptBase, StudySnapshot, SNAPSHOT_VERSION,
+};
 use crate::metrics::{
     GroundTruth, HijackTally, IframeCensus, RunCounters, RunMetrics, RunSummary, StageId,
 };
 use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
 use malvert_crawler::{
-    creative_key, AdCorpus, CrawlConfig, Crawler, FilterCounts, FilterStats, ScriptCache,
-    ScriptCounts, ScriptStats, UniqueAd,
+    creative_key, AdCorpus, CrawlAggregate, CrawlConfig, Crawler, FilterCounts, FilterStats,
+    ScriptCache, ScriptCounts, ScriptStats, UniqueAd,
 };
+use malvert_engine::{run_fold, Boundary, EngineConfig, SnapshotStore};
 use malvert_net::FaultProfile;
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
 use malvert_trace::{SpanKind, TraceReport, TraceSink};
-use malvert_types::{AdNetworkId, CampaignId, ErrorCounters, SimTime, SiteId, Url};
+use malvert_types::{AdNetworkId, CampaignId, CrawlSchedule, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Panic message of the plain entry points when a run parks at a
+/// checkpoint boundary instead of completing.
+const PARKED: &str = "study parked at a checkpoint boundary; resume it with \
+     StudyBuilder::resume, or drive abortable runs through Study::try_run";
 
 /// Study configuration: world sizes, crawl schedule, oracle knobs.
 #[derive(Debug, Clone)]
@@ -95,7 +113,7 @@ impl StudyConfig {
 }
 
 /// One unique advertisement after classification.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClassifiedAd {
     /// Representative slot-request URL.
     pub request_url: String,
@@ -251,6 +269,201 @@ impl StudyResults {
     }
 }
 
+/// How a study executes, as opposed to *what* it measures
+/// ([`StudyConfig`]): the trace sink, checkpointing, and engine geometry.
+/// None of these affect results — runs are byte-identical across every
+/// combination. Assembled through [`StudyBuilder`]; the default is the
+/// plain untraced, uncheckpointed run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Sink every stage records on ([`TraceSink::disabled`] = tracing
+    /// off, the default).
+    pub trace: TraceSink,
+    /// Checkpoint directory: the run writes shard-boundary snapshots of
+    /// the exact completed prefix into it (`None` = no checkpointing).
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot every N shard boundaries (1 = every boundary; the final
+    /// boundary of each stage always snapshots).
+    pub checkpoint_every: u64,
+    /// Jobs per engine shard in both stages — the scheduling granule and
+    /// therefore the checkpoint granule. A pure speed/granularity knob.
+    pub shard_size: usize,
+    /// Park the run after this many shard boundaries per stage (`None` =
+    /// run to completion). The kill/resume testing hook: a parked run
+    /// returns `None` from [`Study::try_run`] with its snapshot written.
+    pub abort_after_shards: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            trace: TraceSink::disabled(),
+            checkpoint: None,
+            checkpoint_every: 1,
+            shard_size: 1024,
+            abort_after_shards: None,
+        }
+    }
+}
+
+/// The one front door to a configured run: measurement configuration,
+/// execution options, and checkpoint resume in a single chain.
+///
+/// ```no_run
+/// use malvert_core::study::{Study, StudyConfig};
+/// let study = Study::builder()
+///     .config(StudyConfig::tiny(2014))
+///     .workers(8)
+///     .checkpoint("ckpt")
+///     .build()
+///     .expect("fresh checkpoint directory");
+/// let results = study.run();
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct StudyBuilder {
+    config: StudyConfig,
+    options: RunOptions,
+    resume: Option<PathBuf>,
+}
+
+impl StudyBuilder {
+    /// Replaces the whole measurement configuration (the usual starting
+    /// point; the field setters below tweak it from there).
+    pub fn config(mut self, config: StudyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the web population.
+    pub fn web(mut self, web: WebConfig) -> Self {
+        self.config.web = web;
+        self
+    }
+
+    /// Sets the ad-economy population.
+    pub fn ads(mut self, ads: AdWorldConfig) -> Self {
+        self.config.ads = ads;
+        self
+    }
+
+    /// Sets the crawl schedule.
+    pub fn schedule(mut self, schedule: CrawlSchedule) -> Self {
+        self.config.crawl.schedule = schedule;
+        self
+    }
+
+    /// Sets the worker-thread count for both stages (1 = sequential).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.crawl.workers = workers;
+        self
+    }
+
+    /// Attaches (or clears) seed-driven fault injection.
+    pub fn faults(mut self, faults: Option<FaultProfile>) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets the per-worker filter-verdict memo capacity (0 disables).
+    pub fn filter_memo(mut self, entries: usize) -> Self {
+        self.config.crawl.filter_memo = entries;
+        self
+    }
+
+    /// Sets the script compilation cache capacity (0 disables).
+    pub fn script_cache(mut self, entries: usize) -> Self {
+        self.config.crawl.script_cache = entries;
+        self
+    }
+
+    /// Sets EasyList coverage of ad-network serve domains.
+    pub fn easylist_coverage(mut self, coverage: f64) -> Self {
+        self.config.easylist_coverage = coverage;
+        self
+    }
+
+    /// Attaches a trace sink; every stage of every run records on it.
+    pub fn trace(mut self, trace: TraceSink) -> Self {
+        self.options.trace = trace;
+        self
+    }
+
+    /// Enables checkpointing into `dir`.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.options.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// Snapshots every `n` shard boundaries (default: every boundary).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.options.checkpoint_every = n.max(1);
+        self
+    }
+
+    /// Sets the engine shard size (scheduling and checkpoint granule).
+    pub fn shard_size(mut self, jobs: usize) -> Self {
+        self.options.shard_size = jobs.max(1);
+        self
+    }
+
+    /// Parks the run after `n` shard boundaries per stage — the
+    /// kill/resume testing hook (see [`RunOptions::abort_after_shards`]).
+    pub fn abort_after_shards(mut self, n: u64) -> Self {
+        self.options.abort_after_shards = Some(n);
+        self
+    }
+
+    /// Resumes from the snapshot in `dir`. Unless a different checkpoint
+    /// directory was set explicitly, the resumed run keeps checkpointing
+    /// into the same directory.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume = Some(dir.into());
+        self
+    }
+
+    /// Builds the world and assembles the study; loads and validates the
+    /// resume snapshot when one was requested.
+    pub fn build(self) -> Result<Study, String> {
+        let StudyBuilder {
+            config,
+            mut options,
+            resume,
+        } = self;
+        let resume_state = match resume {
+            Some(dir) => {
+                let store = SnapshotStore::open(&dir).map_err(|e| {
+                    format!("cannot open checkpoint directory {}: {e}", dir.display())
+                })?;
+                let snapshot = StudySnapshot::load(&store)
+                    .map_err(|e| format!("cannot read checkpoint in {}: {e}", dir.display()))?
+                    .ok_or_else(|| {
+                        format!("no snapshot in checkpoint directory {}", dir.display())
+                    })?;
+                if options.checkpoint.is_none() {
+                    options.checkpoint = Some(dir);
+                }
+                Some(snapshot)
+            }
+            None => None,
+        };
+        let mut study = Study::new(config);
+        if let Some(snapshot) = &resume_state {
+            snapshot
+                .validate(study.config.seed, config_fingerprint(&study.config))
+                .map_err(|e| format!("checkpoint does not match this study: {e}"))?;
+        }
+        study.options = options;
+        study.resume_state = resume_state;
+        Ok(study)
+    }
+}
+
 /// The study driver.
 pub struct Study {
     /// Configuration.
@@ -259,9 +472,19 @@ pub struct Study {
     pub world: StudyWorld,
     /// Wall-clock time world generation took.
     build_wall: Duration,
+    /// Execution options (trace sink, checkpointing, engine geometry).
+    options: RunOptions,
+    /// Loaded resume snapshot, consumed by the next crawl/classify pair.
+    resume_state: Option<StudySnapshot>,
 }
 
 impl Study {
+    /// Starts building a study — the front door for configured runs
+    /// (trace sink, checkpointing, resume). See [`StudyBuilder`].
+    pub fn builder() -> StudyBuilder {
+        StudyBuilder::default()
+    }
+
     /// Builds the world for a configuration. The campaign activity window is
     /// harmonized with the crawl schedule (campaigns activate over the first
     /// three quarters of the actual crawl window).
@@ -280,6 +503,8 @@ impl Study {
             config,
             world,
             build_wall: started.elapsed(),
+            options: RunOptions::default(),
+            resume_state: None,
         }
     }
 
@@ -292,31 +517,80 @@ impl Study {
             config,
             world,
             build_wall: Duration::ZERO,
+            options: RunOptions::default(),
+            resume_state: None,
         }
     }
 
-    /// Runs the full pipeline: crawl, de-duplicate, classify, aggregate.
-    pub fn run(&self) -> StudyResults {
-        self.classify(self.crawl())
+    /// The study's execution options.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
     }
 
-    /// [`Study::run`] with structured tracing: every stage, page visit,
-    /// classification, blacklist lookup, and payload scan is recorded on
-    /// `trace` (obtain one from `malvert_trace::TraceCollector`).
+    /// Runs the full pipeline: crawl, de-duplicate, classify, aggregate.
+    ///
+    /// # Panics
+    /// Panics when the run parks at a checkpoint boundary
+    /// ([`RunOptions::abort_after_shards`]); abortable runs go through
+    /// [`Study::try_run`] instead.
+    pub fn run(&self) -> StudyResults {
+        self.try_run().expect(PARKED)
+    }
+
+    /// [`Study::run`], surfacing a checkpoint park as `None` instead of
+    /// panicking. A parked run has already written its snapshot; a new
+    /// study built with [`StudyBuilder::resume`] picks up from it.
+    pub fn try_run(&self) -> Option<StudyResults> {
+        let crawl = self.crawl_with(&self.options.trace)?;
+        self.classify_with(crawl, &self.options.trace)
+    }
+
+    /// [`Study::run`] recorded on an explicit sink.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach the sink with `StudyBuilder::trace` and call `run`"
+    )]
     pub fn run_traced(&self, trace: &TraceSink) -> StudyResults {
-        self.classify_traced(self.crawl_traced(trace), trace)
+        let crawl = self.crawl_with(trace).expect(PARKED);
+        self.classify_with(crawl, trace).expect(PARKED)
     }
 
     /// Stage 1+2: crawl the Web and build the de-duplicated corpus, with
-    /// per-ad chain-length tallies.
+    /// per-ad chain-length tallies. On a traced study this records a stage
+    /// span plus one [`SpanKind::CrawlVisit`] span per page load (sharded
+    /// per worker), and back-fills the world-build stage as an
+    /// already-completed span.
+    ///
+    /// # Panics
+    /// Panics when the stage parks at a checkpoint boundary (see
+    /// [`Study::try_run`]).
     pub fn crawl(&self) -> CrawlSummary {
-        self.crawl_traced(&TraceSink::disabled())
+        self.crawl_with(&self.options.trace).expect(PARKED)
     }
 
-    /// [`Study::crawl`] recorded on `trace`: a stage span plus one
-    /// [`SpanKind::CrawlVisit`] span per page load (sharded per worker).
-    /// Also back-fills the world-build stage as an already-completed span.
+    /// [`Study::crawl`] recorded on an explicit sink.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach the sink with `StudyBuilder::trace` and call `crawl`"
+    )]
     pub fn crawl_traced(&self, trace: &TraceSink) -> CrawlSummary {
+        self.crawl_with(trace).expect(PARKED)
+    }
+
+    /// Opens the snapshot store when checkpointing is configured.
+    fn checkpoint_store(&self) -> Option<SnapshotStore> {
+        self.options
+            .checkpoint
+            .as_deref()
+            .map(|dir| SnapshotStore::open(dir).expect("checkpoint directory must be creatable"))
+    }
+
+    /// The crawl stage on the engine: visit records stream into a
+    /// [`CrawlAggregate`] as they complete, the exact prefix fold is
+    /// snapshotted at shard boundaries when checkpointing, and a loaded
+    /// snapshot seeds the fold so only the remaining visits run. Returns
+    /// `None` when the run parked early.
+    fn crawl_with(&self, trace: &TraceSink) -> Option<CrawlSummary> {
         trace.span_completed(SpanKind::WorldBuild, "world build", self.build_wall);
         let stage_span = trace.span(SpanKind::Crawl, "crawl");
         let started = Instant::now();
@@ -329,73 +603,127 @@ impl Study {
             .filter_stats(filter_stats.clone())
             .script_stats(script_stats.clone())
             .build();
-        let mut corpus = AdCorpus::new();
-        let mut chain_lengths: HashMap<u64, BTreeMap<usize, u64>> = HashMap::new();
-        let mut site_ad_observations: HashMap<SiteId, u64> = HashMap::new();
-        let mut iframe_census = (0u64, 0u64);
-        let mut hijack_counts = (0u64, 0u64);
-        let mut page_loads = 0u64;
-        let mut errors = ErrorCounters::default();
-        crawler.run(&self.world.web.sites, |record| {
-            page_loads += 1;
-            iframe_census.0 += record.total_iframes as u64;
-            iframe_census.1 += record.sandboxed_iframes as u64;
-            hijack_counts.0 += record.hijack_exposures as u64;
-            hijack_counts.1 += record.hijacks_blocked as u64;
-            errors.merge(&record.errors);
-            if record.failed {
-                errors.failed_visits += 1;
+        let sites = &self.world.web.sites;
+        let total = crawler.total_jobs(sites);
+        // Resume: rebuild the prefix fold and the counter bases. A snapshot
+        // parked in the classify phase means the crawl already completed —
+        // start at `total`, and the engine runs zero shards.
+        let (aggregate, filter_base, script_base, start_job) = match &self.resume_state {
+            Some(snap) => {
+                let start = match snap.phase {
+                    Phase::Crawl => snap.next_job,
+                    Phase::Classify => total,
+                };
+                let (aggregate, filter_base, script_base) = snap.crawl.clone().into_parts();
+                (aggregate, filter_base, script_base, start)
             }
-            if record.degraded {
-                errors.degraded_visits += 1;
-            }
-            for ad in &record.ads {
-                *site_ad_observations.entry(ad.site).or_default() += 1;
-                if let Some(key) = corpus.record(ad) {
-                    *chain_lengths
-                        .entry(key)
-                        .or_default()
-                        .entry(ad.chain.len())
-                        .or_default() += 1;
-                }
-            }
-        });
-        let summary = CrawlSummary {
-            corpus,
-            chain_lengths,
-            site_ad_observations,
-            iframe_census,
-            hijack_counts,
-            page_loads,
-            filter: filter_stats.snapshot(),
-            script: script_stats.snapshot(),
-            errors,
-            wall: started.elapsed(),
+            None => (
+                CrawlAggregate::new(),
+                FilterBase::default(),
+                ScriptBase::default(),
+                0,
+            ),
         };
+        let store = self.checkpoint_store();
+        let every = self.options.checkpoint_every.max(1);
+        let abort = self.options.abort_after_shards;
+        let seed = self.config.seed;
+        let fingerprint = config_fingerprint(&self.config);
+        let mut shard = 0u64;
+        let (aggregate, next) = crawler.run_aggregate(
+            sites,
+            aggregate,
+            start_job,
+            self.options.shard_size,
+            |aggregate, next| {
+                shard += 1;
+                let stop = abort.is_some_and(|limit| shard >= limit);
+                if let Some(store) = &store {
+                    if stop || next >= total || shard % every == 0 {
+                        let snapshot = StudySnapshot {
+                            version: SNAPSHOT_VERSION,
+                            seed,
+                            fingerprint,
+                            phase: Phase::Crawl,
+                            next_job: next,
+                            crawl: CrawlState::from_aggregate(
+                                aggregate,
+                                filter_base.plus(filter_stats.snapshot()),
+                                script_base.plus(script_stats.snapshot()),
+                            ),
+                            oracle_visits: 0,
+                            oracle_feed_lookups: 0,
+                            oracle_budget_exhaustions: 0,
+                            classify_script: ScriptBase::default(),
+                            classified: Vec::new(),
+                        };
+                        snapshot.save(store).expect("checkpoint write failed");
+                    }
+                }
+                if stop {
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            },
+        );
         stage_span.finish();
-        summary
+        if next < total {
+            return None;
+        }
+        Some(CrawlSummary {
+            corpus: aggregate.corpus,
+            chain_lengths: aggregate.chain_lengths,
+            site_ad_observations: aggregate.site_ad_observations,
+            iframe_census: aggregate.iframe_census,
+            hijack_counts: aggregate.hijack_counts,
+            page_loads: aggregate.page_loads,
+            filter: filter_base.plus(filter_stats.snapshot()),
+            script: script_base.plus(script_stats.snapshot()),
+            errors: aggregate.errors,
+            wall: started.elapsed(),
+        })
     }
 
-    /// Stage 3+4: classify every unique ad and aggregate. Classification is
-    /// spread over `config.crawl.workers` threads; each ad's oracle seed is
-    /// derived from the study tree by the ad's stable [`creative_key`], so
-    /// the results are byte-identical at any worker count.
-    pub fn classify(&self, crawl: CrawlSummary) -> StudyResults {
-        self.classify_traced(crawl, &TraceSink::disabled())
-    }
-
-    /// [`Study::classify`] recorded on `trace`: stage spans for classify
-    /// and aggregate, plus per-advertisement [`SpanKind::ClassifyAd`] spans
+    /// Stage 3+4: classify every unique ad and aggregate. Classification
+    /// runs on the engine over `config.crawl.workers` threads; each ad's
+    /// oracle seed is derived from the study tree by the ad's stable
+    /// [`creative_key`], so the results are byte-identical at any worker
+    /// count. On a traced study this records stage spans for classify and
+    /// aggregate, plus per-advertisement [`SpanKind::ClassifyAd`] spans
     /// carrying the honeyclient visit, blacklist lookups, payload scans,
     /// and incident records of each unique ad.
     ///
-    /// The oracle itself is deliberately built *without* an attached sink:
-    /// each ad records through its own scoped sink (keyed by creative key),
-    /// which keeps per-unit sequence numbers — and therefore the stripped
-    /// trace — byte-identical across worker counts.
+    /// # Panics
+    /// Panics when the stage parks at a checkpoint boundary (see
+    /// [`Study::try_run`]).
+    pub fn classify(&self, crawl: CrawlSummary) -> StudyResults {
+        self.classify_with(crawl, &self.options.trace)
+            .expect(PARKED)
+    }
+
+    /// [`Study::classify`] recorded on an explicit sink.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach the sink with `StudyBuilder::trace` and call `classify`"
+    )]
     pub fn classify_traced(&self, crawl: CrawlSummary, trace: &TraceSink) -> StudyResults {
+        self.classify_with(crawl, trace).expect(PARKED)
+    }
+
+    /// The classify+aggregate stage on the engine. The shared oracle is
+    /// re-bound to each ad's scoped sink (keyed by creative key), which
+    /// keeps per-unit sequence numbers — and therefore the stripped trace
+    /// — byte-identical across worker counts. Shards complete in order, so
+    /// the classified prefix is contiguous at every boundary and snapshots
+    /// carry it verbatim. Returns `None` when the run parked early.
+    fn classify_with(&self, crawl: CrawlSummary, trace: &TraceSink) -> Option<StudyResults> {
         let stage_span = trace.span(SpanKind::Classify, "classify");
         let started = Instant::now();
+        let store = self.checkpoint_store();
+        // Classify-phase snapshots embed the completed crawl; capture it
+        // before the summary is torn apart.
+        let crawl_state = store.as_ref().map(|_| CrawlState::from_summary(&crawl));
         let CrawlSummary {
             corpus,
             chain_lengths,
@@ -439,34 +767,92 @@ impl Study {
         let truth_map = self.creative_truth_map();
 
         let uniques = corpus.ads_sorted();
-        let workers = self.config.crawl.workers.max(1);
-        let ads = if workers == 1 {
-            uniques
-                .iter()
-                .map(|unique| {
-                    self.classify_one(
-                        &oracle,
-                        unique,
-                        &truth_map,
-                        &chain_lengths,
-                        eval_override,
-                        trace,
-                    )
-                })
-                .collect()
-        } else {
-            self.classify_parallel(
-                &oracle,
-                &uniques,
-                &truth_map,
-                &chain_lengths,
-                eval_override,
-                workers,
-                trace,
-            )
+        let total = uniques.len();
+        // Resume: pre-fill the classified prefix and the counter bases.
+        let (slots, start_job, oracle_base, classify_script_base) = match &self.resume_state {
+            Some(snap) if snap.phase == Phase::Classify => {
+                let mut slots: Vec<Option<ClassifiedAd>> =
+                    snap.classified.iter().cloned().map(Some).collect();
+                slots.resize_with(total, || None);
+                let base = (
+                    snap.oracle_visits,
+                    snap.oracle_feed_lookups,
+                    snap.oracle_budget_exhaustions,
+                );
+                (slots, snap.next_job.min(total), base, snap.classify_script)
+            }
+            _ => {
+                let mut slots: Vec<Option<ClassifiedAd>> = Vec::new();
+                slots.resize_with(total, || None);
+                (slots, 0, (0, 0, 0), ScriptBase::default())
+            }
         };
+        let every = self.options.checkpoint_every.max(1);
+        let abort = self.options.abort_after_shards;
+        let seed = self.config.seed;
+        let fingerprint = config_fingerprint(&self.config);
+        let mut shard = 0u64;
+        let engine = EngineConfig::new(self.config.crawl.workers, self.options.shard_size);
+        let outcome = run_fold(
+            &engine,
+            start_job..total,
+            slots,
+            |worker| trace.for_worker(worker as u32),
+            |wtrace, job| {
+                self.classify_one(
+                    &oracle,
+                    uniques[job],
+                    &truth_map,
+                    &chain_lengths,
+                    eval_override,
+                    wtrace,
+                )
+            },
+            |slots, job, classified| slots[job] = Some(classified),
+            |slots, next| {
+                shard += 1;
+                let stop = abort.is_some_and(|limit| shard >= limit);
+                if let Some(store) = &store {
+                    if stop || next >= total || shard % every == 0 {
+                        let snapshot = StudySnapshot {
+                            version: SNAPSHOT_VERSION,
+                            seed,
+                            fingerprint,
+                            phase: Phase::Classify,
+                            next_job: next,
+                            crawl: crawl_state.clone().expect("captured alongside the store"),
+                            oracle_visits: oracle_base.0 + stats.visits(),
+                            oracle_feed_lookups: oracle_base.1 + stats.feed_lookups(),
+                            oracle_budget_exhaustions: oracle_base.2 + stats.budget_exhaustions(),
+                            classify_script: ScriptBase::capture(
+                                classify_script_base.plus(classify_script_stats.snapshot()),
+                            ),
+                            classified: slots[..next]
+                                .iter()
+                                .map(|slot| slot.clone().expect("prefix complete at boundary"))
+                                .collect(),
+                        };
+                        snapshot.save(store).expect("checkpoint write failed");
+                    }
+                }
+                if stop {
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            },
+        );
+        if outcome.next_job < total {
+            stage_span.finish();
+            return None;
+        }
+        let ads: Vec<ClassifiedAd> = outcome
+            .state
+            .into_iter()
+            .map(|slot| slot.expect("every ad classified"))
+            .collect();
         let classify_wall = started.elapsed();
-        let classify_script = classify_script_stats.snapshot();
+        let classify_script = classify_script_base.plus(classify_script_stats.snapshot());
         stage_span.finish();
 
         let aggregate_span = trace.span(SpanKind::Aggregate, "aggregate");
@@ -475,9 +861,9 @@ impl Study {
             page_loads,
             ads_observed: corpus.total_observations(),
             unique_ads: corpus.unique_count() as u64,
-            oracle_executions: stats.visits(),
-            script_budgets_exhausted: stats.budget_exhaustions(),
-            feed_lookups: stats.feed_lookups(),
+            oracle_executions: oracle_base.0 + stats.visits(),
+            script_budgets_exhausted: oracle_base.2 + stats.budget_exhaustions(),
+            feed_lookups: oracle_base.1 + stats.feed_lookups(),
             filter_lookups: filter.lookups,
             filter_cache_hits: filter.cache_hits,
             filter_cache_misses: filter.cache_misses,
@@ -504,63 +890,7 @@ impl Study {
             .metrics
             .record(StageId::Aggregate, aggregate_started.elapsed());
         aggregate_span.finish();
-        results
-    }
-
-    /// Classification worker pool, mirroring the crawler's: an atomic job
-    /// counter hands out ads, workers send `(index, result)` over a bounded
-    /// channel, and the calling thread files results into their slots so
-    /// output order matches `ads_sorted` regardless of completion order.
-    fn classify_parallel(
-        &self,
-        oracle: &Oracle<'_>,
-        uniques: &[&UniqueAd],
-        truth_map: &HashMap<u64, CampaignId>,
-        chain_lengths: &HashMap<u64, BTreeMap<usize, u64>>,
-        eval_override: Option<u32>,
-        workers: usize,
-        trace: &TraceSink,
-    ) -> Vec<ClassifiedAd> {
-        let total_jobs = uniques.len();
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, ClassifiedAd)>(workers * 4);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<ClassifiedAd>> = Vec::new();
-        slots.resize_with(total_jobs, || None);
-
-        crossbeam::scope(|scope| {
-            for worker in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let wtrace = trace.for_worker(worker as u32);
-                scope.spawn(move |_| loop {
-                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if job >= total_jobs {
-                        break;
-                    }
-                    let classified = self.classify_one(
-                        oracle,
-                        uniques[job],
-                        truth_map,
-                        chain_lengths,
-                        eval_override,
-                        &wtrace,
-                    );
-                    if tx.send((job, classified)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (job, classified) in rx {
-                slots[job] = Some(classified);
-            }
-        })
-        .expect("classification workers panicked");
-
-        slots
-            .into_iter()
-            .map(|s| s.expect("every ad classified"))
-            .collect()
+        Some(results)
     }
 
     fn classify_one(
@@ -589,14 +919,10 @@ impl Study {
         let request_url = unique.request_url.clone();
         let scoped = trace.scoped(unique.creative_key);
         let ad_span = scoped.span(SpanKind::ClassifyAd, request_url.to_string());
-        let visit = oracle.honeyclient_visit_seeded_traced(
-            &request_url,
-            unique.first_seen,
-            ad_seeds,
-            &scoped,
-        );
+        let ad_oracle = oracle.with_trace(scoped.clone());
+        let visit = ad_oracle.honeyclient_visit_seeded(&request_url, unique.first_seen, ad_seeds);
         let eval_time = SimTime::at(eval_day, 0);
-        let incidents = oracle.classify_visit_traced(&visit, eval_time, &scoped);
+        let incidents = ad_oracle.classify_visit(&visit, eval_time);
         ad_span.finish();
         let category = Self::categorize(&incidents);
         let contacted_hosts: Vec<String> = visit
@@ -697,10 +1023,10 @@ impl Study {
         let mut models = Vec::new();
         'outer: for network_idx in 0..self.world.ads.networks().len() as u32 {
             for slot in 0..10usize {
-                let url = self
-                    .world
-                    .ads
-                    .serve_url(AdNetworkId(network_idx), 90_000 + slot as u32, slot);
+                let url =
+                    self.world
+                        .ads
+                        .serve_url(AdNetworkId(network_idx), 90_000 + slot as u32, slot);
                 let visit = oracle.honeyclient_visit(&url, SimTime::at(70, 4));
                 let confirmed = visit
                     .capture
@@ -735,10 +1061,14 @@ mod tests {
     #[test]
     fn pipeline_produces_corpus_and_classifications() {
         let (study, results) = run_tiny();
-        assert!(results.unique_ads() > 50, "corpus too small: {}", results.unique_ads());
+        assert!(
+            results.unique_ads() > 50,
+            "corpus too small: {}",
+            results.unique_ads()
+        );
         assert!(results.total_observations > results.unique_ads() as u64);
-        let expected_loads = study.config.web.total_sites() as u64
-            * study.config.crawl.schedule.loads_per_site();
+        let expected_loads =
+            study.config.web.total_sites() as u64 * study.config.crawl.schedule.loads_per_site();
         assert_eq!(results.page_loads, expected_loads);
     }
 
@@ -817,7 +1147,11 @@ mod tests {
             .iter()
             .filter(|a| a.serving_network.is_some())
             .count();
-        assert_eq!(attributed, results.ads.len(), "every fill comes from a network");
+        assert_eq!(
+            attributed,
+            results.ads.len(),
+            "every fill comes from a network"
+        );
     }
 
     #[test]
@@ -850,7 +1184,10 @@ mod tests {
         // Heavy chaos across thousands of requests: faults certainly landed,
         // some visits degraded — and the pipeline still produced a corpus.
         assert!(errors.total_errors() > 0, "heavy profile injected nothing");
-        assert!(errors.degraded_visits > 0, "no visit degraded under heavy chaos");
+        assert!(
+            errors.degraded_visits > 0,
+            "no visit degraded under heavy chaos"
+        );
         assert!(results.unique_ads() > 0, "faulted crawl produced no corpus");
     }
 
@@ -865,5 +1202,60 @@ mod tests {
             assert_eq!(x.category, y.category);
             assert_eq!(x.observations, y.observations);
         }
+    }
+
+    #[test]
+    fn builder_matches_plain_construction() {
+        let a = Study::new(StudyConfig::tiny(11)).run();
+        let b = Study::builder()
+            .config(StudyConfig::tiny(11))
+            .build()
+            .expect("no resume requested")
+            .run();
+        assert_eq!(
+            serde_json::to_string(&a.ads).unwrap(),
+            serde_json::to_string(&b.ads).unwrap(),
+            "builder-built study must be byte-identical to plain construction"
+        );
+    }
+
+    #[test]
+    fn builder_setters_reach_the_config() {
+        let study = Study::builder()
+            .config(StudyConfig::tiny(7))
+            .seed(99)
+            .workers(2)
+            .shard_size(64)
+            .checkpoint_every(3)
+            .build()
+            .expect("no resume requested");
+        assert_eq!(study.config.seed, 99);
+        assert_eq!(study.config.crawl.workers, 2);
+        assert_eq!(study.options().shard_size, 64);
+        assert_eq!(study.options().checkpoint_every, 3);
+    }
+
+    #[test]
+    fn abortable_run_parks_without_completing() {
+        let study = Study::builder()
+            .config(StudyConfig::tiny(11))
+            .shard_size(64)
+            .abort_after_shards(1)
+            .build()
+            .expect("no resume requested");
+        assert!(
+            study.try_run().is_none(),
+            "run must park at the first shard boundary"
+        );
+    }
+
+    #[test]
+    fn resume_without_a_snapshot_is_an_error() {
+        let dir = std::env::temp_dir().join("malvert-empty-checkpoint-test");
+        let err = Study::builder()
+            .config(StudyConfig::tiny(11))
+            .resume(&dir)
+            .build();
+        assert!(err.is_err(), "resume without a snapshot must fail to build");
     }
 }

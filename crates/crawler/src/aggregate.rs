@@ -1,0 +1,102 @@
+//! Streaming crawl aggregation: folds [`VisitRecord`]s into the corpus and
+//! census tallies as they arrive, so a paper-scale crawl never buffers its
+//! visit records.
+
+use crate::corpus::AdCorpus;
+use crate::harness::VisitRecord;
+use malvert_types::{ErrorCounters, SiteId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything a crawl accumulates: the de-duplicated ad corpus plus every
+/// census counter the study's crawl summary reports. One record is folded
+/// in at a time via [`CrawlAggregate::absorb`], so memory stays bounded by
+/// the corpus (unique creatives), not the visit count.
+///
+/// The fold is order-independent over complete visit sets: every counter is
+/// a sum and the corpus keys ads by content hash, which is why the engine
+/// can fold records in worker-completion order and still produce
+/// byte-identical results at any worker count.
+#[derive(Debug, Default)]
+pub struct CrawlAggregate {
+    /// The de-duplicated ad corpus.
+    pub corpus: AdCorpus,
+    /// Arbitration chain-length tallies per unique creative key.
+    pub chain_lengths: HashMap<u64, BTreeMap<usize, u64>>,
+    /// Ad observations per publisher site.
+    pub site_ad_observations: HashMap<SiteId, u64>,
+    /// `(total iframes, sandboxed iframes)` seen across all visits.
+    pub iframe_census: (u64, u64),
+    /// `(hijack exposures, hijacks blocked)` across all visits.
+    pub hijack_counts: (u64, u64),
+    /// Pages loaded.
+    pub page_loads: u64,
+    /// Crawl-error taxonomy totals.
+    pub errors: ErrorCounters,
+}
+
+impl CrawlAggregate {
+    /// A fresh, empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one visit record into the aggregate.
+    pub fn absorb(&mut self, record: &VisitRecord) {
+        self.page_loads += 1;
+        self.iframe_census.0 += record.total_iframes as u64;
+        self.iframe_census.1 += record.sandboxed_iframes as u64;
+        self.hijack_counts.0 += record.hijack_exposures as u64;
+        self.hijack_counts.1 += record.hijacks_blocked as u64;
+        self.errors.merge(&record.errors);
+        if record.failed {
+            self.errors.failed_visits += 1;
+        }
+        if record.degraded {
+            self.errors.degraded_visits += 1;
+        }
+        for ad in &record.ads {
+            *self.site_ad_observations.entry(ad.site).or_default() += 1;
+            if let Some(key) = self.corpus.record(ad) {
+                *self
+                    .chain_lengths
+                    .entry(key)
+                    .or_default()
+                    .entry(ad.chain.len())
+                    .or_default() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malvert_types::SimTime;
+
+    fn record(site: u32, failed: bool) -> VisitRecord {
+        VisitRecord {
+            site: SiteId(site),
+            time: SimTime::at(0, 0),
+            ads: Vec::new(),
+            total_iframes: 3,
+            sandboxed_iframes: 1,
+            hijack_exposures: 2,
+            hijacks_blocked: 1,
+            failed,
+            errors: ErrorCounters::default(),
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn absorb_tallies_census_counters() {
+        let mut agg = CrawlAggregate::new();
+        agg.absorb(&record(1, false));
+        agg.absorb(&record(2, true));
+        assert_eq!(agg.page_loads, 2);
+        assert_eq!(agg.iframe_census, (6, 2));
+        assert_eq!(agg.hijack_counts, (4, 2));
+        assert_eq!(agg.errors.failed_visits, 1);
+        assert_eq!(agg.corpus.unique_count(), 0);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::harness::AdObservation;
 use malvert_types::rng::mix_label;
 use malvert_types::{SimTime, SiteId, Url};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -24,8 +25,10 @@ pub fn creative_key(creative_html: &str) -> u64 {
     mix_label(CREATIVE_KEY_DOMAIN, creative_html.as_bytes())
 }
 
-/// One unique advertisement with its observation history.
-#[derive(Debug, Clone)]
+/// One unique advertisement with its observation history. Serializes for
+/// checkpoint snapshots; the corpus itself round-trips through
+/// [`AdCorpus::ads_sorted`] + [`AdCorpus::from_parts`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UniqueAd {
     /// The creative document (dedup key).
     pub creative_html: String,
@@ -74,6 +77,17 @@ impl AdCorpus {
     /// Creates an empty corpus.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a corpus from checkpoint parts: the unique ads (each
+    /// re-keyed by its [`creative_key`]) plus the observation total that
+    /// [`AdCorpus::total_observations`] reported when the snapshot was
+    /// taken.
+    pub fn from_parts(ads: Vec<UniqueAd>, total_observations: u64) -> Self {
+        AdCorpus {
+            ads: ads.into_iter().map(|ad| (ad.creative_key, ad)).collect(),
+            total_observations,
+        }
     }
 
     /// Records one observation. Returns the observation's [`creative_key`]
@@ -282,6 +296,30 @@ mod tests {
             assert_eq!(x.request_url, y.request_url);
             assert_eq!(x.sites, y.sites);
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_corpus() {
+        let mut corpus = AdCorpus::new();
+        for o in [
+            obs("<html>A</html>", 1, 3, 2),
+            obs("<html>B</html>", 2, 1, 5),
+            obs("<html>A</html>", 3, 1, 4),
+        ] {
+            corpus.record(&o);
+        }
+        let ads: Vec<UniqueAd> = corpus.ads_sorted().into_iter().cloned().collect();
+        let rebuilt = AdCorpus::from_parts(ads, corpus.total_observations());
+        assert_eq!(rebuilt.unique_count(), corpus.unique_count());
+        assert_eq!(rebuilt.total_observations(), corpus.total_observations());
+        for (x, y) in rebuilt.ads_sorted().iter().zip(corpus.ads_sorted()) {
+            assert_eq!(x.creative_key, y.creative_key);
+            assert_eq!(x.first_seen, y.first_seen);
+            assert_eq!(x.observations, y.observations);
+            assert_eq!(x.sites, y.sites);
+            assert_eq!(x.max_chain, y.max_chain);
+        }
+        assert!(rebuilt.get("<html>B</html>").is_some());
     }
 
     #[test]

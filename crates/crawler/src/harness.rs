@@ -1,9 +1,10 @@
 //! The crawl harness: visit scheduling, ad-iframe extraction, worker pool.
 
+use crate::aggregate::CrawlAggregate;
 use crate::engine::{FilterEngine, FilterStats};
-use crossbeam::channel;
 use malvert_adscript::{ScriptCache, ScriptStats};
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
+use malvert_engine::{run_fold, Boundary, EngineConfig};
 use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_net::{CapturedExchange, Network, TrafficCapture};
 use malvert_trace::{SpanKind, TraceSink};
@@ -254,13 +255,13 @@ impl<'a> Crawler<'a> {
 
     /// Visits one site at one schedule slot.
     pub fn crawl_visit(&self, site: &Site, time: SimTime) -> VisitRecord {
-        self.crawl_visit_traced(site, time, &self.trace, &mut self.filter_engine())
+        self.crawl_visit_on(site, time, &self.trace, &mut self.filter_engine())
     }
 
     /// [`Crawler::crawl_visit`] recorded on an explicit sink (the worker
     /// pool passes per-worker shards here) with a caller-owned filter
     /// engine, so memo and scratch persist across a worker's visits.
-    fn crawl_visit_traced(
+    fn crawl_visit_on(
         &self,
         site: &Site,
         time: SimTime,
@@ -338,12 +339,7 @@ impl<'a> Crawler<'a> {
         let ctx = RequestContext::iframe_from(&site.domain);
         let mut ads = Vec::new();
         let total_iframes = visit.top.iframes.len();
-        let sandboxed_iframes = visit
-            .top
-            .iframes
-            .iter()
-            .filter(|f| f.has_sandbox)
-            .count();
+        let sandboxed_iframes = visit.top.iframes.iter().filter(|f| f.has_sandbox).count();
 
         // Child snapshots are in document order for iframes with non-empty
         // src; align them by walking both lists.
@@ -397,58 +393,103 @@ impl<'a> Crawler<'a> {
         }
     }
 
-    /// Crawls every site through the full schedule, invoking `sink` for each
-    /// visit record. Work is spread over `config.workers` threads; `sink`
-    /// runs on the calling thread.
-    pub fn run(&self, sites: &[Site], mut sink: impl FnMut(VisitRecord)) {
-        let workers = self.config.workers.max(1);
-        if workers == 1 {
-            // One engine for the whole crawl: the memo carries across
-            // visits, exactly like each parallel worker's does.
-            let mut engine = self.filter_engine();
-            for site in sites {
-                for time in self.config.schedule.slots() {
-                    sink(self.crawl_visit_traced(site, time, &self.trace, &mut engine));
-                }
-            }
-            return;
-        }
-        let slots: Vec<SimTime> = self.config.schedule.slots().collect();
-        let total_jobs = sites.len() * slots.len();
-        let (tx, rx) = channel::bounded::<VisitRecord>(workers * 4);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-
-        crossbeam::scope(|scope| {
-            for worker in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let slots = &slots;
-                let wtrace = self.trace.for_worker(worker as u32);
-                scope.spawn(move |_| {
-                    // Per-worker engine: memo hits depend on which visits
-                    // this worker drew, but verdicts never do.
-                    let mut engine = self.filter_engine();
-                    loop {
-                        let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if job >= total_jobs {
-                            break;
-                        }
-                        let site = &sites[job / slots.len()];
-                        let time = slots[job % slots.len()];
-                        let record = self.crawl_visit_traced(site, time, &wtrace, &mut engine);
-                        if tx.send(record).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for record in rx {
-                sink(record);
-            }
-        })
-        .expect("crawl workers panicked");
+    /// Total page-visit jobs the schedule implies over `sites`: one per
+    /// `(site, slot)` pair, site-major. Job `j` visits site
+    /// `j / slots` at slot `j % slots`; this is the index space the
+    /// engine's shards — and therefore crawl checkpoints — count in.
+    pub fn total_jobs(&self, sites: &[Site]) -> usize {
+        sites.len() * self.config.schedule.slots().count()
     }
+
+    /// Persistent state for worker `worker`: its sharded trace sink plus
+    /// its filter engine, whose memo carries across every visit the worker
+    /// claims (exactly like the old dedicated worker loops).
+    fn worker_state(&self, worker: usize) -> CrawlWorker<'a> {
+        CrawlWorker {
+            trace: self.trace.for_worker(worker as u32),
+            engine: self.filter_engine(),
+        }
+    }
+
+    /// The one crawl driver: runs jobs `[start_job, total)` on the engine,
+    /// folding each completed visit into `state`. `boundary` runs with all
+    /// workers parked after every `shard_size` jobs (and at the end), so a
+    /// `Stop` leaves `state` as the exact fold of jobs
+    /// `[0, returned next_job)`.
+    fn drive<S: Send>(
+        &self,
+        sites: &[Site],
+        start_job: usize,
+        shard_size: usize,
+        state: S,
+        fold: impl Fn(&mut S, usize, VisitRecord) + Sync,
+        boundary: impl FnMut(&mut S, usize) -> Boundary,
+    ) -> (S, usize) {
+        let slots: Vec<SimTime> = self.config.schedule.slots().collect();
+        let total = sites.len() * slots.len();
+        let config = EngineConfig::new(self.config.workers, shard_size);
+        let outcome = run_fold(
+            &config,
+            start_job..total,
+            state,
+            |worker| self.worker_state(worker),
+            |ctx, job| {
+                let site = &sites[job / slots.len()];
+                let time = slots[job % slots.len()];
+                self.crawl_visit_on(site, time, &ctx.trace, &mut ctx.engine)
+            },
+            fold,
+            boundary,
+        );
+        (outcome.state, outcome.next_job)
+    }
+
+    /// Crawls every site through the full schedule, invoking `sink` for
+    /// each visit record. Work is spread over `config.workers` threads via
+    /// the shared engine; `sink` runs serialized (one record at a time) in
+    /// completion order.
+    pub fn run(&self, sites: &[Site], sink: impl FnMut(VisitRecord) + Send) {
+        let total = self.total_jobs(sites);
+        self.drive(
+            sites,
+            0,
+            total,
+            sink,
+            |sink, _, record| sink(record),
+            |_, _| Boundary::Continue,
+        );
+    }
+
+    /// Crawls jobs `[start_job, total)` of the schedule, folding every
+    /// record into `aggregate` as it completes. `boundary` observes the
+    /// exact aggregate of the completed prefix after each `shard_size`-job
+    /// shard (checkpoint writers live here); returning [`Boundary::Stop`]
+    /// parks the crawl. Returns the aggregate plus the first unvisited job
+    /// index — `total_jobs` unless stopped early.
+    pub fn run_aggregate(
+        &self,
+        sites: &[Site],
+        aggregate: CrawlAggregate,
+        start_job: usize,
+        shard_size: usize,
+        mut boundary: impl FnMut(&CrawlAggregate, usize) -> Boundary,
+    ) -> (CrawlAggregate, usize) {
+        self.drive(
+            sites,
+            start_job,
+            shard_size,
+            aggregate,
+            |agg, _, record| agg.absorb(&record),
+            |agg, next| boundary(agg, next),
+        )
+    }
+}
+
+/// One crawl worker's persistent scratch: the trace shard it records on
+/// and the filter engine whose memo survives across all its visits.
+struct CrawlWorker<'a> {
+    trace: TraceSink,
+    engine: FilterEngine<'a>,
 }
 
 /// Reconstructs the fetch chain starting at `start`: follows `Location`
@@ -456,8 +497,7 @@ impl<'a> Crawler<'a> {
 pub fn chain_from(capture: &TrafficCapture, start: &Url) -> Vec<Url> {
     let exchanges = capture.exchanges();
     let mut chain = Vec::new();
-    let mut cursor: Option<&CapturedExchange> =
-        exchanges.iter().find(|e| e.url == *start);
+    let mut cursor: Option<&CapturedExchange> = exchanges.iter().find(|e| e.url == *start);
     let mut guard = 0;
     while let Some(e) = cursor {
         chain.push(e.url.clone());
@@ -503,7 +543,10 @@ mod tests {
                 Arc::new(PublisherServer::new(site.clone(), Arc::clone(&domains))),
             );
         }
-        net.register(malvert_websim::page::widget_domain(), Arc::new(WidgetServer));
+        net.register(
+            malvert_websim::page::widget_domain(),
+            Arc::new(WidgetServer),
+        );
         // Filter list: one domain-anchor rule per ad network.
         let list: String = ads
             .network_domains()
@@ -517,7 +560,9 @@ mod tests {
     #[test]
     fn single_visit_extracts_ads() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let crawler = Crawler::builder(&net, &filter)
+            .seeds(SeedTree::new(99))
+            .build();
         let site = web
             .sites
             .iter()
@@ -537,7 +582,9 @@ mod tests {
     #[test]
     fn widget_iframes_not_extracted_as_ads() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let crawler = Crawler::builder(&net, &filter)
+            .seeds(SeedTree::new(99))
+            .build();
         // Crawl many visits; widget iframes appear with prob 0.3 but must
         // never be classified as ads.
         let mut widget_seen = false;
@@ -559,7 +606,9 @@ mod tests {
     #[test]
     fn chain_reconstruction_matches_hops() {
         let (net, web, _ads, filter) = mini_world();
-        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let crawler = Crawler::builder(&net, &filter)
+            .seeds(SeedTree::new(99))
+            .build();
         // Find an observation with an arbitration chain.
         let mut found = false;
         'outer: for site in web.sites.iter().filter(|s| !s.ad_slots.is_empty()) {
@@ -727,7 +776,9 @@ mod tests {
                 }
             }),
         );
-        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let crawler = Crawler::builder(&net, &filter)
+            .seeds(SeedTree::new(99))
+            .build();
         // 500 responses give an empty-ish page: no ads, not "failed".
         let rec0 = crawler.crawl_visit(&flaky_site, SimTime::at(0, 0));
         assert!(!rec0.failed);
@@ -755,7 +806,9 @@ mod tests {
             truncated_body: 1.0,
             ..malvert_net::FaultProfile::default()
         }));
-        let crawler = Crawler::builder(&net, &filter).seeds(SeedTree::new(99)).build();
+        let crawler = Crawler::builder(&net, &filter)
+            .seeds(SeedTree::new(99))
+            .build();
         let site = &web.sites[0];
         let rec = crawler.crawl_visit(site, SimTime::at(0, 0));
         // The page still renders from the partial document.

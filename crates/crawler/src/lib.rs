@@ -10,17 +10,19 @@
 //! This crate does the same over the simulated Web: it drives the emulated
 //! browser through the visit schedule, matches every iframe URL against the
 //! filter list, and produces [`AdObservation`]s (plus page-level records for
-//! the §4.4 sandbox analysis). A crossbeam worker pool parallelizes the
-//! crawl; results are aggregated order-insensitively so the study remains
-//! deterministic.
+//! the §4.4 sandbox analysis). The shared `malvert-engine` work-stealing
+//! pool parallelizes the crawl; results are aggregated order-insensitively
+//! (see [`CrawlAggregate`]) so the study remains deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod corpus;
 pub mod engine;
 pub mod harness;
 
+pub use aggregate::CrawlAggregate;
 pub use corpus::{creative_key, AdCorpus, UniqueAd};
 pub use engine::{FilterCounts, FilterEngine, FilterStats};
 pub use malvert_adscript::{ScriptCache, ScriptCounts, ScriptStats};

@@ -1,0 +1,27 @@
+//! # malvert-engine
+//!
+//! The sharded, work-stealing execution engine behind the study pipeline.
+//!
+//! [`run_fold`] moves a range of job indices through a caller-supplied
+//! work function on a pool of persistent workers and streams every result
+//! into one aggregate state, so memory stays bounded at any corpus size.
+//! Jobs are grouped into *shards*: within a shard workers drain contiguous
+//! spans and steal from the busiest span, and at each shard boundary every
+//! worker is parked while a caller callback observes the exact fold of the
+//! completed prefix — the natural place to persist a [`SnapshotStore`]
+//! checkpoint or to stop early so a killed run can resume.
+//!
+//! The engine itself is deterministic only in *coverage* (every job runs
+//! exactly once, boundaries land at exact job counts); result determinism
+//! is the caller's contract, either by folding positionally (the fold
+//! callback receives the job index) or by using an order-insensitive
+//! aggregate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+mod snapshot;
+
+pub use scheduler::{run_fold, Boundary, EngineConfig, FoldOutcome};
+pub use snapshot::SnapshotStore;

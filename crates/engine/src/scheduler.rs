@@ -1,0 +1,343 @@
+//! The sharded work-stealing scheduler.
+//!
+//! A job range is carved into fixed-size shards. Within a shard each
+//! worker owns one contiguous span of job indices and drains it
+//! front-to-back; a worker whose span runs dry steals from the span with
+//! the most work remaining. Because every contender claims jobs through
+//! the victim span's shared atomic cursor, each job executes exactly once
+//! regardless of who wins the race. All workers join at the shard
+//! boundary, where a coordinator callback sees the exact fold of the
+//! completed prefix and decides whether to continue or stop.
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning knobs for [`run_fold`]: the worker-pool width and the number of
+/// jobs per shard (the checkpoint granule). Both are speed/granularity
+/// knobs only — results must not depend on either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    workers: usize,
+    shard_size: usize,
+}
+
+impl EngineConfig {
+    /// Builds a config; both knobs are clamped to at least 1.
+    pub fn new(workers: usize, shard_size: usize) -> EngineConfig {
+        EngineConfig {
+            workers: workers.max(1),
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// Worker threads the scheduler runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs per shard (the snapshot granule).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+}
+
+/// What to do after a shard completes: keep going, or park so the caller
+/// can persist the prefix and exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary {
+    /// Proceed to the next shard.
+    Continue,
+    /// Stop before the next shard; [`FoldOutcome::next_job`] then points
+    /// at the first unprocessed job.
+    Stop,
+}
+
+/// The result of [`run_fold`]: the folded state plus the index of the
+/// first job that did *not* execute (the range end when everything ran).
+#[derive(Debug)]
+pub struct FoldOutcome<S> {
+    /// The folded aggregate state.
+    pub state: S,
+    /// First unprocessed job index.
+    pub next_job: usize,
+}
+
+/// Runs every job in `jobs` through `work` on a sharded work-stealing
+/// pool, folding each result into `state`.
+///
+/// Guarantees:
+///
+/// * every job in the range executes exactly once;
+/// * `boundary` runs on the calling thread after each shard with all
+///   workers parked, so the state it sees is exactly the fold of jobs
+///   `[jobs.start, next_job)`;
+/// * worker-local scratch built by `init_worker` persists across shards
+///   (one scratch state per worker, built up front on the calling
+///   thread).
+///
+/// Fold order within a shard follows worker scheduling; callers that need
+/// positional results slot them by the job index the fold receives.
+pub fn run_fold<S, W, T>(
+    config: &EngineConfig,
+    jobs: Range<usize>,
+    state: S,
+    mut init_worker: impl FnMut(usize) -> W,
+    work: impl Fn(&mut W, usize) -> T + Sync,
+    fold: impl Fn(&mut S, usize, T) + Sync,
+    mut boundary: impl FnMut(&mut S, usize) -> Boundary,
+) -> FoldOutcome<S>
+where
+    S: Send,
+    W: Send,
+{
+    let total = jobs.end;
+    let mut next = jobs.start.min(total);
+
+    if config.workers == 1 {
+        let mut state = state;
+        let mut worker = init_worker(0);
+        while next < total {
+            let hi = (next + config.shard_size).min(total);
+            for job in next..hi {
+                let out = work(&mut worker, job);
+                fold(&mut state, job, out);
+            }
+            next = hi;
+            if boundary(&mut state, next) == Boundary::Stop && next < total {
+                break;
+            }
+        }
+        return FoldOutcome {
+            state,
+            next_job: next,
+        };
+    }
+
+    let mut worker_states: Vec<W> = (0..config.workers).map(&mut init_worker).collect();
+    let mut state = Mutex::new(state);
+    while next < total {
+        let hi = (next + config.shard_size).min(total);
+        let spans = carve(next, hi, config.workers);
+        let spans_ref = &spans[..];
+        let state_ref = &state;
+        let work_ref = &work;
+        let fold_ref = &fold;
+        crossbeam::scope(|scope| {
+            for (home, worker) in worker_states.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    run_worker(home, worker, spans_ref, state_ref, work_ref, fold_ref)
+                });
+            }
+        })
+        .expect("engine workers panicked");
+        next = hi;
+        if boundary(state.get_mut(), next) == Boundary::Stop && next < total {
+            break;
+        }
+    }
+    FoldOutcome {
+        state: state.into_inner(),
+        next_job: next,
+    }
+}
+
+/// One contiguous span of a shard: jobs `[cursor, end)` remain; the
+/// cursor is shared so the owner and any thief claim exactly-once.
+struct Span {
+    cursor: AtomicUsize,
+    end: usize,
+}
+
+fn carve(lo: usize, hi: usize, workers: usize) -> Vec<Span> {
+    let len = hi - lo;
+    let base = len / workers;
+    let extra = len % workers;
+    let mut spans = Vec::with_capacity(workers);
+    let mut start = lo;
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        spans.push(Span {
+            cursor: AtomicUsize::new(start),
+            end: start + take,
+        });
+        start += take;
+    }
+    spans
+}
+
+/// The span to pull from next: the worker's own span while it has work,
+/// otherwise the span with the most jobs remaining (a snapshot heuristic;
+/// exactly-once still holds because claims go through the cursor).
+fn pick(spans: &[Span], home: usize) -> Option<usize> {
+    let remaining = |s: &Span| s.end.saturating_sub(s.cursor.load(Ordering::Relaxed));
+    if remaining(&spans[home]) > 0 {
+        return Some(home);
+    }
+    spans
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| remaining(s))
+        .filter(|&(_, s)| remaining(s) > 0)
+        .map(|(i, _)| i)
+}
+
+fn run_worker<S, W, T, F, G>(
+    home: usize,
+    worker: &mut W,
+    spans: &[Span],
+    state: &Mutex<S>,
+    work: &F,
+    fold: &G,
+) where
+    F: Fn(&mut W, usize) -> T,
+    G: Fn(&mut S, usize, T),
+{
+    while let Some(victim) = pick(spans, home) {
+        let span = &spans[victim];
+        let job = span.cursor.fetch_add(1, Ordering::Relaxed);
+        if job >= span.end {
+            // Lost the race on the span's last job; pick again.
+            continue;
+        }
+        let out = work(worker, job);
+        let mut guard = state.lock();
+        fold(&mut *guard, job, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_range(workers: usize, shard: usize, jobs: Range<usize>) -> (u64, usize) {
+        let outcome = run_fold(
+            &EngineConfig::new(workers, shard),
+            jobs,
+            0u64,
+            |_| (),
+            |_, job| job as u64 * 3 + 1,
+            |acc, _, v| *acc += v,
+            |_, _| Boundary::Continue,
+        );
+        (outcome.state, outcome.next_job)
+    }
+
+    #[test]
+    fn folds_every_job_exactly_once_at_any_geometry() {
+        let expected: u64 = (0..1000u64).map(|j| j * 3 + 1).sum();
+        for workers in [1, 2, 8] {
+            for shard in [1, 7, 64, 5000] {
+                let (sum, next) = sum_range(workers, shard, 0..1000);
+                assert_eq!(sum, expected, "workers={workers} shard={shard}");
+                assert_eq!(next, 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_once_under_stealing() {
+        // Skewed job costs force stealing; every job must still fold once.
+        let outcome = run_fold(
+            &EngineConfig::new(8, 256),
+            0..512,
+            vec![0u32; 512],
+            |_| (),
+            |_, job| {
+                if job % 97 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                job
+            },
+            |seen, _, job| seen[job] += 1,
+            |_, _| Boundary::Continue,
+        );
+        assert!(outcome.state.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn boundary_sees_the_exact_prefix_fold() {
+        run_fold(
+            &EngineConfig::new(8, 16),
+            0..100,
+            0u64,
+            |_| (),
+            |_, job| job as u64,
+            |acc, _, v| *acc += v,
+            |acc, next| {
+                let expected: u64 = (0..next as u64).sum();
+                assert_eq!(*acc, expected, "boundary at {next}");
+                Boundary::Continue
+            },
+        );
+    }
+
+    #[test]
+    fn stop_at_a_boundary_then_resume_equals_one_shot() {
+        let config = EngineConfig::new(4, 10);
+        let work = |_: &mut (), job: usize| job as u64;
+        let fold = |acc: &mut u64, _: usize, v: u64| *acc += v;
+        let one_shot = run_fold(
+            &config,
+            0..95,
+            0u64,
+            |_| (),
+            work,
+            fold,
+            |_, _| Boundary::Continue,
+        );
+        let mut shards = 0;
+        let first = run_fold(
+            &config,
+            0..95,
+            0u64,
+            |_| (),
+            work,
+            fold,
+            |_, _| {
+                shards += 1;
+                if shards == 3 {
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            },
+        );
+        assert_eq!(first.next_job, 30, "stop lands on an exact shard edge");
+        let resumed = run_fold(
+            &config,
+            first.next_job..95,
+            first.state,
+            |_| (),
+            work,
+            fold,
+            |_, _| Boundary::Continue,
+        );
+        assert_eq!(resumed.state, one_shot.state);
+        assert_eq!(resumed.next_job, 95);
+    }
+
+    #[test]
+    fn worker_scratch_persists_across_shards() {
+        let mut inits = 0usize;
+        let outcome = run_fold(
+            &EngineConfig::new(4, 8),
+            0..64,
+            0usize,
+            |_| {
+                inits += 1;
+                0usize
+            },
+            |local, _| {
+                *local += 1;
+                *local
+            },
+            |deepest, _, depth| *deepest = (*deepest).max(depth),
+            |_, _| Boundary::Continue,
+        );
+        assert_eq!(inits, 4, "one scratch state per worker, built once");
+        // 64 jobs over 4 workers: someone ran at least 16, so its local
+        // counter survived many 8-job shards.
+        assert!(outcome.state >= 16, "scratch reset between shards");
+    }
+}

@@ -1,0 +1,111 @@
+//! Atomic JSON snapshot persistence for checkpointable runs.
+//!
+//! Each document is written to a dot-prefixed temporary file and renamed
+//! into place, so a kill at any instant — including mid-write — leaves
+//! either the previous good snapshot or the new one, never a torn file.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of named JSON snapshot documents with atomic replacement.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens the snapshot directory, creating it (and any parents) if
+    /// needed.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Serializes `value` to `<dir>/<name>`, atomically replacing any
+    /// previous document of that name.
+    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+        let bytes = serde_json::to_vec_pretty(value).map_err(io::Error::other)?;
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.dir.join(name))
+    }
+
+    /// Loads `<dir>/<name>`, returning `Ok(None)` when no such document
+    /// has been written yet.
+    pub fn load<T: DeserializeOwned>(&self, name: &str) -> io::Result<Option<T>> {
+        let path = self.dir.join(name);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        serde_json::from_slice(&bytes)
+            .map(Some)
+            .map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+    struct Doc {
+        cursor: usize,
+        label: String,
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("malvert-engine-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_and_overwrites_atomically() {
+        let dir = scratch_dir("roundtrip");
+        let store = SnapshotStore::open(&dir).expect("store opens");
+        assert_eq!(store.load::<Doc>("state.json").expect("load"), None);
+
+        let first = Doc {
+            cursor: 64,
+            label: "shard 1".into(),
+        };
+        store.save("state.json", &first).expect("save");
+        assert_eq!(store.load("state.json").expect("load"), Some(first));
+
+        let second = Doc {
+            cursor: 128,
+            label: "shard 2".into(),
+        };
+        store.save("state.json", &second).expect("overwrite");
+        assert_eq!(store.load("state.json").expect("load"), Some(second));
+
+        // The temporary never lingers after a completed save.
+        assert!(!dir.join(".state.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_an_existing_directory_keeps_documents() {
+        let dir = scratch_dir("reopen");
+        let store = SnapshotStore::open(&dir).expect("store opens");
+        let doc = Doc {
+            cursor: 7,
+            label: "persisted".into(),
+        };
+        store.save("manifest.json", &doc).expect("save");
+        drop(store);
+        let store = SnapshotStore::open(&dir).expect("store reopens");
+        assert_eq!(store.load("manifest.json").expect("load"), Some(doc));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -2,10 +2,10 @@
 
 use malvert_trace::Provenance;
 use malvert_types::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The six classification categories of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IncidentType {
     /// A domain the ad's traffic touched is carried by more than five
     /// blacklist feeds simultaneously.
@@ -58,7 +58,7 @@ impl std::fmt::Display for IncidentType {
 }
 
 /// One detection framework trigger for one advertisement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Incident {
     /// The category that triggered.
     pub incident_type: IncidentType,

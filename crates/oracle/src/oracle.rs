@@ -118,9 +118,11 @@ impl<'a> OracleBuilder<'a> {
         self
     }
 
-    /// Attaches a trace sink; the `*_traced` methods can still override it
-    /// per call (the study pipeline passes per-advertisement scoped sinks
-    /// instead, to keep sequence numbers deterministic across workers).
+    /// Attaches a trace sink; every honeyclient visit, blacklist lookup,
+    /// payload scan, and incident is recorded on it. To re-bind an
+    /// assembled oracle to a different sink (the study pipeline binds a
+    /// per-advertisement scoped sink, which keeps sequence numbers
+    /// deterministic across workers), see [`Oracle::with_trace`].
     pub fn trace(mut self, trace: TraceSink) -> Self {
         self.trace = trace;
         self
@@ -187,6 +189,24 @@ impl<'a> Oracle<'a> {
         &self.stats
     }
 
+    /// This oracle re-bound to `trace`: a cheap clone (reference and `Arc`
+    /// bumps plus the config) sharing the same services, seeds, stats, and
+    /// script cache. The study pipeline builds one per classified ad with
+    /// that ad's scoped sink, which keeps per-unit trace sequence numbers
+    /// deterministic across worker counts.
+    pub fn with_trace(&self, trace: TraceSink) -> Oracle<'a> {
+        Oracle {
+            network: self.network,
+            blacklists: self.blacklists,
+            scanner: self.scanner,
+            config: self.config.clone(),
+            study: self.study,
+            stats: self.stats.clone(),
+            trace,
+            script_cache: self.script_cache.clone(),
+        }
+    }
+
     /// Runs the honeyclient: re-visits the ad's slot URL at the observation
     /// time with the vulnerable-victim personality. Because the simulated
     /// network is deterministic in `(url, time, seed)`, the oracle sees the
@@ -208,20 +228,9 @@ impl<'a> Oracle<'a> {
         time: SimTime,
         seeds: SeedTree,
     ) -> PageVisit {
-        self.honeyclient_visit_seeded_traced(ad_url, time, seeds, &self.trace)
-    }
-
-    /// [`Oracle::honeyclient_visit_seeded`], recorded as a
-    /// [`SpanKind::HoneyclientVisit`] span on `trace` (overriding any
-    /// builder-attached sink).
-    pub fn honeyclient_visit_seeded_traced(
-        &self,
-        ad_url: &Url,
-        time: SimTime,
-        seeds: SeedTree,
-        trace: &TraceSink,
-    ) -> PageVisit {
-        let span = trace.span(SpanKind::HoneyclientVisit, ad_url.to_string());
+        let span = self
+            .trace
+            .span(SpanKind::HoneyclientVisit, ad_url.to_string());
         let mut browser = Browser::new(
             self.network,
             Personality::vulnerable_victim(),
@@ -251,6 +260,23 @@ impl<'a> Oracle<'a> {
         visit
     }
 
+    /// [`Oracle::honeyclient_visit_seeded`] on an explicit sink.
+    #[deprecated(
+        since = "0.1.0",
+        note = "bind the sink with `Oracle::with_trace` (or `OracleBuilder::trace`) and call \
+                `honeyclient_visit_seeded`"
+    )]
+    pub fn honeyclient_visit_seeded_traced(
+        &self,
+        ad_url: &Url,
+        time: SimTime,
+        seeds: SeedTree,
+        trace: &TraceSink,
+    ) -> PageVisit {
+        self.with_trace(trace.clone())
+            .honeyclient_visit_seeded(ad_url, time, seeds)
+    }
+
     /// Classifies one advertisement: runs the honeyclient, then applies all
     /// three component systems. Returns every incident the detection
     /// framework raised (one ad can trigger several categories).
@@ -260,21 +286,11 @@ impl<'a> Oracle<'a> {
     }
 
     /// Classifies an already-performed visit (used when the caller batches
-    /// visits).
+    /// visits). On a traced oracle, blacklist lookups and payload scans
+    /// become spans, and every incident is echoed into the trace stream
+    /// together with its provenance record.
     pub fn classify_visit(&self, visit: &PageVisit, time: SimTime) -> Vec<Incident> {
-        self.classify_visit_traced(visit, time, &self.trace)
-    }
-
-    /// [`Oracle::classify_visit`] on an explicit sink (overriding any
-    /// builder-attached one): blacklist lookups and payload scans become
-    /// spans, and every incident is echoed into the trace stream together
-    /// with its provenance record.
-    pub fn classify_visit_traced(
-        &self,
-        visit: &PageVisit,
-        time: SimTime,
-        trace: &TraceSink,
-    ) -> Vec<Incident> {
+        let trace = &self.trace;
         let mut incidents = Vec::new();
 
         // --- Blacklists (§3.2.2): every host the ad's traffic touched. ---
@@ -288,7 +304,9 @@ impl<'a> Oracle<'a> {
             .fetch_add(hosts.len() as u64, Ordering::Relaxed);
         for (hop, host) in hosts.iter().enumerate() {
             let host = *host;
-            let feeds = self.blacklists.listing_feeds_traced(host, time.day, trace);
+            let span = trace.span(SpanKind::BlacklistLookup, host.as_str());
+            let feeds = self.blacklists.listing_feeds(host, time.day);
+            span.finish();
             if feeds.len() > self.blacklists.threshold() && flagged.insert(host.to_string()) {
                 incidents.push(Incident {
                     incident_type: IncidentType::Blacklists,
@@ -344,7 +362,12 @@ impl<'a> Oracle<'a> {
         let mut exe_hit = false;
         let mut flash_hit = false;
         for download in &visit.downloads {
-            let report = self.scanner.scan_traced(&download.bytes, trace);
+            let span = trace.span(
+                SpanKind::PayloadScan,
+                format!("scan {} bytes", download.bytes.len()),
+            );
+            let report = self.scanner.scan(&download.bytes);
+            span.finish();
             if report.positives() >= self.scanner.consensus() {
                 let provenance = || {
                     let base = Provenance::component(OracleComponent::Scanner).with_votes(
@@ -414,6 +437,21 @@ impl<'a> Oracle<'a> {
         }
 
         incidents
+    }
+
+    /// [`Oracle::classify_visit`] on an explicit sink.
+    #[deprecated(
+        since = "0.1.0",
+        note = "bind the sink with `Oracle::with_trace` (or `OracleBuilder::trace`) and call \
+                `classify_visit`"
+    )]
+    pub fn classify_visit_traced(
+        &self,
+        visit: &PageVisit,
+        time: SimTime,
+        trace: &TraceSink,
+    ) -> Vec<Incident> {
+        self.with_trace(trace.clone()).classify_visit(visit, time)
     }
 }
 

@@ -89,6 +89,11 @@ impl ScanService {
 
     /// Like [`Self::scan`], recording the scan as a
     /// [`SpanKind::PayloadScan`] span on `trace`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "record the span on the caller's sink around `scan` (the oracle does this); the \
+                pure scan needs no trace plumbing"
+    )]
     pub fn scan_traced(&self, bytes: &[u8], trace: &TraceSink) -> ScanReport {
         let span = trace.span(SpanKind::PayloadScan, format!("scan {} bytes", bytes.len()));
         let report = self.scan(bytes);

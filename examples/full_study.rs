@@ -50,7 +50,10 @@ fn main() {
         config.ads.campaigns.total()
     );
     let t0 = Instant::now();
-    let study = Study::new(config);
+    let study = Study::builder()
+        .config(config)
+        .build()
+        .expect("no resume requested");
     eprintln!("world built in {:.1?}; crawling...", t0.elapsed());
 
     let t1 = Instant::now();

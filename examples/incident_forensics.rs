@@ -15,13 +15,17 @@ use malvertising::core::study::{Study, StudyConfig};
 use malvertising::trace::TraceCollector;
 
 fn main() {
-    let study = Study::new(StudyConfig::tiny(2014));
+    let collector = TraceCollector::new();
+    let study = Study::builder()
+        .config(StudyConfig::tiny(2014))
+        .trace(collector.sink())
+        .build()
+        .expect("no resume requested");
     eprintln!(
         "running a tiny traced study ({} sites)...",
         study.config.web.total_sites()
     );
-    let collector = TraceCollector::new();
-    let results = study.run_traced(&collector.sink());
+    let results = study.run();
     let trace = collector.finish();
 
     let ad = results

@@ -11,16 +11,15 @@
 //! malvertising, which network actually filled those impressions (vs whom I
 //! contracted), and would sandboxing have helped?
 
-use malvertising::core::study::{Study, StudyConfig};
-use malvertising::crawler::CrawlConfig;
+use malvertising::core::study::Study;
 use malvertising::types::{CrawlSchedule, SiteId};
 use malvertising::websim::WebConfig;
 use std::collections::BTreeMap;
 
 fn main() {
-    let config = StudyConfig {
-        seed: 424_242,
-        web: WebConfig {
+    let study = Study::builder()
+        .seed(424_242)
+        .web(WebConfig {
             ranking_universe: 100_000,
             top_slice: 150,
             bottom_slice: 150,
@@ -28,16 +27,15 @@ fn main() {
             security_feed: 80,
             ad_network_count: 40,
             sandbox_adoption: 0.0,
-        },
-        crawl: CrawlConfig {
-            schedule: CrawlSchedule::scaled(8, 2),
-            workers: 8,
-            ..Default::default()
-        },
-        ..StudyConfig::default()
-    };
-    eprintln!("running the study ({} sites)...", config.web.total_sites());
-    let study = Study::new(config);
+        })
+        .schedule(CrawlSchedule::scaled(8, 2))
+        .workers(8)
+        .build()
+        .expect("no resume requested");
+    eprintln!(
+        "running the study ({} sites)...",
+        study.config.web.total_sites()
+    );
     // Staged pipeline: the crawl output is a typed value, so an audit tool
     // could persist it and re-classify later without re-crawling.
     let crawl = study.crawl();

@@ -9,16 +9,19 @@
 //! under a minute and prints Table 1, Figures 1–5, the cluster split, and
 //! the sandbox census.
 
-use malvertising::core::study::{Study, StudyConfig};
+use malvertising::core::study::Study;
 use malvertising::core::{analysis, report};
 use malvertising::trace::TraceCollector;
 use malvertising::types::CrawlSchedule;
 use malvertising::websim::WebConfig;
 
 fn main() {
-    let config = StudyConfig {
-        seed: 2014,
-        web: WebConfig {
+    // One builder chain configures the whole run — world sizes, schedule,
+    // parallelism, and the trace sink both stages record on.
+    let collector = TraceCollector::new();
+    let study = Study::builder()
+        .seed(2014)
+        .web(WebConfig {
             ranking_universe: 100_000,
             top_slice: 200,
             bottom_slice: 200,
@@ -26,33 +29,27 @@ fn main() {
             security_feed: 120,
             ad_network_count: 40,
             sandbox_adoption: 0.0,
-        },
-        crawl: malvertising::crawler::CrawlConfig {
-            schedule: CrawlSchedule::scaled(10, 3),
-            workers: 8,
-            ..Default::default()
-        },
-        ..StudyConfig::default()
-    };
+        })
+        .schedule(CrawlSchedule::scaled(10, 3))
+        .workers(8)
+        .trace(collector.sink())
+        .build()
+        .expect("no resume requested");
 
     eprintln!(
         "crawling {} sites x {} page loads each...",
-        config.web.total_sites(),
-        config.crawl.schedule.loads_per_site()
+        study.config.web.total_sites(),
+        study.config.crawl.schedule.loads_per_site()
     );
     // The staged pipeline: crawl, then classify. The stages are public, so
     // the crawl output could be inspected or re-classified under different
-    // oracle settings without re-crawling. Both stages record on a trace
-    // collector, exported below.
-    let study = Study::new(config);
-    let collector = TraceCollector::new();
-    let sink = collector.sink();
-    let crawl = study.crawl_traced(&sink);
+    // oracle settings without re-crawling.
+    let crawl = study.crawl();
     eprintln!(
         "crawl done: {} unique ads; classifying...",
         crawl.corpus.unique_count()
     );
-    let results = study.classify_traced(crawl, &sink);
+    let results = study.classify(crawl);
     let trace = collector.finish();
 
     println!(

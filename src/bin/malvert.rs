@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
-//!               [--trace DIR] [--faults none|light|heavy]
+//!               [--trace DIR] [--faults none|light|heavy] [--checkpoint DIR] [--resume DIR]
+//!               [--checkpoint-every N] [--shard N] [--abort-after-shards N]
 //! malvert trace EVENTS.JSONL [--top N]
-//! malvert bench-json [--out PATH] [--adscript-out PATH] [--urls N] [--iters N]
+//! malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH] [--urls N] [--iters N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -12,14 +13,16 @@
 //! ```
 
 use malvertising::adnet::{AdWorld, AdWorldConfig};
-use malvertising::core::study::{Study, StudyConfig};
+use malvertising::core::study::{Study, StudyBuilder};
 use malvertising::core::world::StudyWorld;
 use malvertising::core::{analysis, easylist, report};
+use malvertising::engine::SnapshotStore;
 use malvertising::oracle::Oracle;
 use malvertising::trace::{TraceCollector, TraceReport};
 use malvertising::types::rng::SeedTree;
 use malvertising::types::{AdNetworkId, CrawlSchedule, SimTime};
 use malvertising::websim::WebConfig;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -77,22 +80,33 @@ malvert — reproduction of 'The Dark Alleys of Madison Avenue' (IMC 2014)
 USAGE:
   malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
                    [--summary PATH] [--trace DIR] [--faults none|light|heavy]
+                   [--checkpoint DIR] [--resume DIR] [--checkpoint-every N]
+                   [--shard N] [--abort-after-shards N]
                    run the full study and print every table and figure plus
                    the run metrics; emits the RunSummary JSON on stdout
                    (--summary streams it pretty-printed to a file; --trace
                    records structured spans and writes DIR/events.jsonl plus
                    DIR/trace.json for chrome://tracing; --faults injects
                    seed-deterministic network chaos and reports per-class
-                   error counters in the run metrics)
+                   error counters in the run metrics; --checkpoint snapshots
+                   the exact completed prefix into DIR at shard boundaries,
+                   and --resume continues a killed run from that snapshot,
+                   byte-identical to an uninterrupted run — flags omitted on
+                   resume default to the recipe recorded in the directory;
+                   --abort-after-shards parks the run deterministically, the
+                   kill/resume testing hook)
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
-  malvert bench-json [--out PATH] [--adscript-out PATH] [--urls N] [--iters N]
+  malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH]
+                   [--urls N] [--iters N]
                    time the indexed filter engine against the naive scan on
                    synthetic rule lists (100/1k/10k rules) and the script
                    compile cache against cold compiles on synthetic
                    creatives; writes machine-readable results (defaults
-                   BENCH_filterlist.json and BENCH_adscript.json)
+                   BENCH_filterlist.json and BENCH_adscript.json); with
+                   --study-out, also time the end-to-end pipelined study on
+                   two corpus scales and write BENCH_study-style JSON
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -136,36 +150,123 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
-    let seed = flag(flags, "seed", 2014u64)?;
-    let days = flag(flags, "days", 10u32)?;
-    let refreshes = flag(flags, "refreshes", 2u32)?;
-    let workers = flag(flags, "workers", 8usize)?;
-    let faults = match flags.get("faults").map(String::as_str) {
-        None | Some("none") => None,
-        Some(name) => Some(malvertising::net::FaultProfile::named(name).ok_or_else(|| {
+/// The run parameters recorded into a checkpoint directory at run start,
+/// so `--resume DIR` reproduces the original invocation without repeating
+/// its flags (explicit flags still override).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunRecipe {
+    seed: u64,
+    days: u32,
+    refreshes: u32,
+    workers: usize,
+    faults: String,
+    shard: usize,
+    checkpoint_every: u64,
+}
+
+impl Default for RunRecipe {
+    fn default() -> Self {
+        RunRecipe {
+            seed: 2014,
+            days: 10,
+            refreshes: 2,
+            workers: 8,
+            faults: "none".to_string(),
+            shard: 1024,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// The document name the recipe is stored under, next to the snapshot.
+const RECIPE_DOC: &str = "recipe.json";
+
+/// Assembles the study builder for a recipe (everything except trace,
+/// checkpoint wiring, and the abort hook, which depend on the flags).
+fn recipe_builder(recipe: &RunRecipe) -> Result<StudyBuilder, String> {
+    let faults = match recipe.faults.as_str() {
+        "none" => None,
+        name => Some(malvertising::net::FaultProfile::named(name).ok_or_else(|| {
             format!("invalid value `{name}` for --faults (expected none, light, or heavy)")
         })?),
     };
-    let config = StudyConfig {
-        seed,
-        crawl: malvertising::crawler::CrawlConfig {
-            schedule: CrawlSchedule::scaled(days, refreshes),
-            workers,
-            ..Default::default()
-        },
-        faults,
-        ..StudyConfig::default()
+    Ok(Study::builder()
+        .seed(recipe.seed)
+        .schedule(CrawlSchedule::scaled(recipe.days, recipe.refreshes))
+        .workers(recipe.workers)
+        .faults(faults)
+        .shard_size(recipe.shard)
+        .checkpoint_every(recipe.checkpoint_every))
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Resolve the recipe: defaults, then (on resume) the recorded recipe,
+    // then explicit flags.
+    let resume = flags.get("resume").cloned();
+    let base = match &resume {
+        Some(dir) => SnapshotStore::open(dir)
+            .map_err(|e| format!("open checkpoint directory {dir}: {e}"))?
+            .load::<RunRecipe>(RECIPE_DOC)
+            .map_err(|e| format!("read {dir}/{RECIPE_DOC}: {e}"))?
+            .unwrap_or_default(),
+        None => RunRecipe::default(),
     };
-    eprintln!(
-        "running study: seed {seed}, {} sites, {days} days x {refreshes} refreshes, {workers} workers",
-        config.web.total_sites()
-    );
-    let study = Study::new(config);
+    let recipe = RunRecipe {
+        seed: flag(flags, "seed", base.seed)?,
+        days: flag(flags, "days", base.days)?,
+        refreshes: flag(flags, "refreshes", base.refreshes)?,
+        workers: flag(flags, "workers", base.workers)?,
+        faults: flags.get("faults").cloned().unwrap_or(base.faults),
+        shard: flag(flags, "shard", base.shard)?,
+        checkpoint_every: flag(flags, "checkpoint-every", base.checkpoint_every)?,
+    };
+
+    let mut builder = recipe_builder(&recipe)?;
     let collector = flags.get("trace").map(|_| TraceCollector::new());
-    let results = match &collector {
-        Some(collector) => study.run_traced(&collector.sink()),
-        None => study.run(),
+    if let Some(collector) = &collector {
+        builder = builder.trace(collector.sink());
+    }
+    if let Some(dir) = flags.get("checkpoint") {
+        builder = builder.checkpoint(dir);
+    }
+    if let Some(dir) = &resume {
+        builder = builder.resume(dir);
+    }
+    if let Some(n) = flags.get("abort-after-shards") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --abort-after-shards"))?;
+        builder = builder.abort_after_shards(n);
+    }
+    let study = builder.build()?;
+
+    // Record the effective recipe next to the snapshots, so a later
+    // `--resume` reproduces this invocation.
+    let checkpoint_dir = flags.get("checkpoint").cloned().or_else(|| resume.clone());
+    if let Some(dir) = &checkpoint_dir {
+        SnapshotStore::open(dir)
+            .and_then(|store| store.save(RECIPE_DOC, &recipe))
+            .map_err(|e| format!("write {dir}/{RECIPE_DOC}: {e}"))?;
+    }
+
+    eprintln!(
+        "running study: seed {}, {} sites, {} days x {} refreshes, {} workers{}",
+        recipe.seed,
+        study.config.web.total_sites(),
+        recipe.days,
+        recipe.refreshes,
+        recipe.workers,
+        if resume.is_some() { " (resumed)" } else { "" }
+    );
+    let results = match study.try_run() {
+        Some(results) => results,
+        None => {
+            let dir = checkpoint_dir.as_deref().unwrap_or("<checkpoint dir>");
+            eprintln!(
+                "run parked at a checkpoint boundary; continue with: malvert run --resume {dir}"
+            );
+            return Ok(());
+        }
     };
     let trace_report = collector.map(TraceCollector::finish);
 
@@ -399,6 +500,60 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(&adscript_out, &json).map_err(|e| format!("write {adscript_out}: {e}"))?;
     eprintln!("wrote {adscript_out} ({} bytes)", json.len());
+
+    // End-to-end study throughput (opt-in via --study-out): the full
+    // pipelined crawl + classify on two corpus scales, through the same
+    // StudyBuilder front door every other caller uses. The Criterion
+    // `study` group times the identical workloads with statistical rigor.
+    if let Some(study_out) = flags.get("study-out") {
+        let mut workloads = Vec::new();
+        for (name, top, bottom, random, feed) in
+            [("default", 30, 30, 50, 20), ("scaled", 60, 60, 100, 40)]
+        {
+            let study = Study::builder()
+                .seed(2014)
+                .web(WebConfig {
+                    ranking_universe: 10_000,
+                    top_slice: top,
+                    bottom_slice: bottom,
+                    random_slice: random,
+                    security_feed: feed,
+                    ad_network_count: 40,
+                    sandbox_adoption: 0.0,
+                })
+                .schedule(CrawlSchedule::scaled(4, 2))
+                .workers(8)
+                .build()?;
+            let sites = study.config.web.total_sites();
+            let started = Instant::now();
+            let results = study.run();
+            let wall = started.elapsed();
+            let loads_per_sec = results.page_loads as f64 / wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "study/{name}: {sites} sites, {} loads, {} unique ads in {:.0} ms \
+                 ({loads_per_sec:.0} loads/s)",
+                results.page_loads,
+                results.unique_ads(),
+                wall.as_secs_f64() * 1e3
+            );
+            workloads.push(serde_json::json!({
+                "name": name,
+                "sites": sites,
+                "page_loads": results.page_loads,
+                "unique_ads": results.unique_ads(),
+                "wall_ms": wall.as_secs_f64() * 1e3,
+                "loads_per_sec": loads_per_sec,
+            }));
+        }
+        let report = serde_json::json!({
+            "bench": "study",
+            "workload": { "seed": 2014, "days": 4, "refreshes": 2, "workers": 8 },
+            "workloads": workloads,
+        });
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(study_out, &json).map_err(|e| format!("write {study_out}: {e}"))?;
+        eprintln!("wrote {study_out} ({} bytes)", json.len());
+    }
     Ok(())
 }
 
@@ -431,12 +586,14 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_study_for(flags: &HashMap<String, String>) -> Result<(Study, malvertising::core::study::StudyResults), String> {
+fn run_study_for(
+    flags: &HashMap<String, String>,
+) -> Result<(Study, malvertising::core::study::StudyResults), String> {
     let seed = flag(flags, "seed", 2014u64)?;
     let days = flag(flags, "days", 6u32)?;
-    let config = StudyConfig {
-        seed,
-        web: WebConfig {
+    let study = Study::builder()
+        .seed(seed)
+        .web(WebConfig {
             ranking_universe: 100_000,
             top_slice: 150,
             bottom_slice: 150,
@@ -444,15 +601,10 @@ fn run_study_for(flags: &HashMap<String, String>) -> Result<(Study, malvertising
             security_feed: 80,
             ad_network_count: 40,
             sandbox_adoption: 0.0,
-        },
-        crawl: malvertising::crawler::CrawlConfig {
-            schedule: CrawlSchedule::scaled(days, 2),
-            workers: 8,
-            ..Default::default()
-        },
-        ..StudyConfig::default()
-    };
-    let study = Study::new(config);
+        })
+        .schedule(CrawlSchedule::scaled(days, 2))
+        .workers(8)
+        .build()?;
     let results = study.run();
     Ok((study, results))
 }

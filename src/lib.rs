@@ -14,10 +14,10 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use malvertising::core::study::{Study, StudyConfig};
+//! use malvertising::core::study::Study;
 //! use malvertising::core::{analysis, report};
 //!
-//! let study = Study::new(StudyConfig::default());
+//! let study = Study::builder().seed(2014).build().expect("no resume requested");
 //! let results = study.run();
 //! let table1 = analysis::table1(&results);
 //! println!("{}", report::render_table1(&table1));
@@ -35,6 +35,7 @@ pub use malvert_blacklist as blacklist;
 pub use malvert_browser as browser;
 pub use malvert_core as core;
 pub use malvert_crawler as crawler;
+pub use malvert_engine as engine;
 pub use malvert_filterlist as filterlist;
 pub use malvert_html as html;
 pub use malvert_net as net;

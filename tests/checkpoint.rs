@@ -1,0 +1,270 @@
+//! Checkpoint/resume integration: a study killed at any shard boundary and
+//! resumed from its snapshot produces byte-identical results to an
+//! uninterrupted run — at any worker count, any shard size, under heavy
+//! fault injection — and checkpointing itself never perturbs the output.
+
+use malvertising::core::study::{Study, StudyConfig, StudyResults};
+use malvertising::core::{Phase, StudySnapshot};
+use malvertising::crawler::CrawlConfig;
+use malvertising::engine::SnapshotStore;
+use malvertising::net::FaultProfile;
+use malvertising::types::CrawlSchedule;
+use malvertising::websim::WebConfig;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn config(seed: u64, workers: usize) -> StudyConfig {
+    StudyConfig {
+        seed,
+        web: WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 25,
+            bottom_slice: 25,
+            random_slice: 40,
+            security_feed: 15,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: CrawlConfig {
+            schedule: CrawlSchedule::scaled(2, 1),
+            workers,
+            ..Default::default()
+        },
+        ..StudyConfig::default()
+    }
+}
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("malvert-ckpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The full deterministic payload of a run: the serialized corpus and the
+/// timing-stripped run summary.
+fn payload(results: &StudyResults) -> (String, String) {
+    (
+        serde_json::to_string(&results.ads).expect("serializable"),
+        results.summary().without_timings().to_json(),
+    )
+}
+
+#[test]
+fn checkpointing_never_perturbs_results() {
+    // Snapshot writes are pure observation: a checkpointed-but-never-killed
+    // run matches a plain run byte for byte.
+    let plain = Study::builder()
+        .config(config(31337, 8))
+        .build()
+        .expect("no resume requested")
+        .run();
+    let dir = temp_dir("uninterrupted");
+    let checkpointed = Study::builder()
+        .config(config(31337, 8))
+        .checkpoint(&dir)
+        .shard_size(64)
+        .build()
+        .expect("no resume requested")
+        .run();
+    assert_eq!(payload(&plain), payload(&checkpointed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_resume_matrix_byte_identical_under_heavy_faults() {
+    // The acceptance matrix: at workers 1 and 8, under heavy fault
+    // injection, a run parked at EVERY shard boundary and resumed each time
+    // from disk converges to the exact bytes of the uninterrupted run —
+    // and the parks cover both pipeline phases.
+    for workers in [1usize, 8] {
+        let mut cfg = config(90210, workers);
+        cfg.faults = FaultProfile::named("heavy");
+        let baseline = Study::builder()
+            .config(cfg.clone())
+            .build()
+            .expect("no resume requested")
+            .run();
+        assert!(
+            baseline.unique_ads() > 48,
+            "corpus too small ({} unique ads) to exercise classify-phase parking",
+            baseline.unique_ads()
+        );
+
+        let dir = temp_dir(&format!("matrix-w{workers}"));
+        let (mut saw_crawl, mut saw_classify) = (false, false);
+        let mut parked = Study::builder()
+            .config(cfg.clone())
+            .checkpoint(&dir)
+            .shard_size(48)
+            .abort_after_shards(1)
+            .build()
+            .expect("no resume requested")
+            .try_run();
+        let mut legs = 0u32;
+        let resumed = loop {
+            match parked {
+                Some(results) => break results,
+                None => {
+                    let store = SnapshotStore::open(&dir).expect("checkpoint dir exists");
+                    let snap = StudySnapshot::load(&store)
+                        .expect("snapshot readable")
+                        .expect("parked run left a snapshot");
+                    match snap.phase {
+                        Phase::Crawl => saw_crawl = true,
+                        Phase::Classify => saw_classify = true,
+                    }
+                    legs += 1;
+                    assert!(legs < 200, "resume loop did not converge");
+                    parked = Study::builder()
+                        .config(cfg.clone())
+                        .resume(&dir)
+                        .shard_size(48)
+                        .abort_after_shards(1)
+                        .build()
+                        .expect("snapshot validates against the same config")
+                        .try_run();
+                }
+            }
+        };
+        assert!(legs > 0, "the abortable run never parked");
+        assert!(saw_crawl, "no park landed in the crawl phase");
+        assert!(saw_classify, "no park landed in the classify phase");
+        assert_eq!(
+            payload(&baseline),
+            payload(&resumed),
+            "killed-and-resumed run diverges at workers={workers}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_mid_crawl_completes_identically() {
+    // One targeted kill: park partway through the crawl, verify the
+    // snapshot really is mid-crawl, then resume straight to completion.
+    let baseline = Study::builder()
+        .config(config(777, 4))
+        .build()
+        .expect("no resume requested")
+        .run();
+    let dir = temp_dir("mid-crawl");
+    let parked = Study::builder()
+        .config(config(777, 4))
+        .checkpoint(&dir)
+        .shard_size(64)
+        .abort_after_shards(2)
+        .build()
+        .expect("no resume requested")
+        .try_run();
+    assert!(parked.is_none(), "the run should have parked mid-crawl");
+    let store = SnapshotStore::open(&dir).expect("checkpoint dir exists");
+    let snap = StudySnapshot::load(&store)
+        .expect("snapshot readable")
+        .expect("parked run left a snapshot");
+    assert_eq!(snap.phase, Phase::Crawl);
+    assert!(snap.next_job > 0, "snapshot recorded no progress");
+    let resumed = Study::builder()
+        .config(config(777, 4))
+        .resume(&dir)
+        .build()
+        .expect("snapshot validates against the same config")
+        .try_run()
+        .expect("no abort requested on resume");
+    assert_eq!(payload(&baseline), payload(&resumed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_different_config() {
+    let dir = temp_dir("wrong-config");
+    let parked = Study::builder()
+        .config(config(1234, 2))
+        .checkpoint(&dir)
+        .shard_size(64)
+        .abort_after_shards(1)
+        .build()
+        .expect("no resume requested")
+        .try_run();
+    assert!(parked.is_none());
+    // Same directory, different seed: the snapshot must not validate.
+    let err = Study::builder()
+        .config(config(4321, 2))
+        .resume(&dir)
+        .build();
+    assert!(err.is_err(), "a foreign snapshot was accepted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_size_invisible_in_results() {
+    // The shard size (and the snapshot cadence) are pure scheduling knobs:
+    // a tiny shard with sparse snapshots, a mid shard, and one
+    // larger-than-the-whole-run shard all produce the plain run's bytes.
+    let plain = Study::builder()
+        .config(config(2718, 8))
+        .build()
+        .expect("no resume requested")
+        .run();
+    let base = payload(&plain);
+    for (shard, every) in [(7usize, 10u64), (64, 1), (10_000, 1)] {
+        let dir = temp_dir(&format!("shard-{shard}"));
+        let run = Study::builder()
+            .config(config(2718, 8))
+            .checkpoint(&dir)
+            .shard_size(shard)
+            .checkpoint_every(every)
+            .build()
+            .expect("no resume requested")
+            .run();
+        assert_eq!(
+            base,
+            payload(&run),
+            "results diverge at shard_size={shard}, checkpoint_every={every}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Checkpoint prefix + resume == full run, for arbitrary seeds, worker
+    /// counts, shard sizes, and kill points.
+    #[test]
+    fn prefix_plus_resume_equals_full_run(
+        seed in 1u64..500,
+        workers in 1usize..9,
+        shard in prop_oneof![Just(32usize), Just(48), Just(96)],
+        abort in 1u64..6,
+    ) {
+        let full = Study::builder()
+            .config(config(seed, workers))
+            .build()
+            .expect("no resume requested")
+            .run();
+        let dir = temp_dir(&format!("prop-{seed}-{workers}-{shard}-{abort}"));
+        let mut parked = Study::builder()
+            .config(config(seed, workers))
+            .checkpoint(&dir)
+            .shard_size(shard)
+            .abort_after_shards(abort)
+            .build()
+            .expect("no resume requested")
+            .try_run();
+        // Resume without an abort hook finishes the run in one more leg
+        // (the prefix may already have been the whole run).
+        if parked.is_none() {
+            parked = Study::builder()
+                .config(config(seed, workers))
+                .resume(&dir)
+                .shard_size(shard)
+                .build()
+                .expect("snapshot validates against the same config")
+                .try_run();
+        }
+        let resumed = parked.expect("no abort requested on resume");
+        prop_assert_eq!(payload(&full), payload(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

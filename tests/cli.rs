@@ -13,6 +13,8 @@ fn help_prints_usage() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("malvert run"));
     assert!(text.contains("malvert scan"));
+    assert!(text.contains("--checkpoint DIR"));
+    assert!(text.contains("--resume DIR"));
 }
 
 #[test]
@@ -199,6 +201,49 @@ fn bench_json_writes_machine_readable_reports() {
     assert_eq!(cache["hits"].as_u64().unwrap(), 64);
     assert!(cache["hit_rate"].as_f64().unwrap() > 0.5);
     let _ = std::fs::remove_file(&adscript_path);
+}
+
+#[test]
+fn bench_json_study_out_times_the_pipeline() {
+    let out_path =
+        std::env::temp_dir().join(format!("malvert-test-{}-bench2.json", std::process::id()));
+    let adscript_path = std::env::temp_dir().join(format!(
+        "malvert-test-{}-adscript2.json",
+        std::process::id()
+    ));
+    let study_path =
+        std::env::temp_dir().join(format!("malvert-test-{}-study.json", std::process::id()));
+    let out = malvert()
+        .args([
+            "bench-json",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--adscript-out",
+            adscript_path.to_str().unwrap(),
+            "--study-out",
+            study_path.to_str().unwrap(),
+            "--urls",
+            "5",
+            "--iters",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&study_path).expect("study report written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["bench"], "study");
+    let workloads = parsed["workloads"].as_array().expect("workloads array");
+    assert_eq!(workloads.len(), 2, "one entry per corpus scale");
+    for w in workloads {
+        assert!(w["name"].as_str().is_some());
+        assert!(w["page_loads"].as_u64().unwrap() > 0);
+        assert!(w["unique_ads"].as_u64().unwrap() > 0);
+        assert!(w["loads_per_sec"].as_f64().unwrap() > 0.0);
+    }
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(&adscript_path);
+    let _ = std::fs::remove_file(&study_path);
 }
 
 #[test]

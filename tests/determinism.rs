@@ -28,10 +28,18 @@ fn config(seed: u64, workers: usize) -> StudyConfig {
     }
 }
 
+/// Every study in this file goes through the builder front door.
+fn study(seed: u64, workers: usize) -> Study {
+    Study::builder()
+        .config(config(seed, workers))
+        .build()
+        .expect("no resume requested")
+}
+
 #[test]
 fn same_seed_same_results_across_worker_counts() {
-    let a = Study::new(config(31337, 1)).run();
-    let b = Study::new(config(31337, 8)).run();
+    let a = study(31337, 1).run();
+    let b = study(31337, 8).run();
     assert_eq!(a.unique_ads(), b.unique_ads());
     assert_eq!(a.total_observations, b.total_observations);
     assert_eq!(a.iframe_census, b.iframe_census);
@@ -55,8 +63,8 @@ fn results_byte_identical_across_worker_counts() {
     // The strong form: the serialized corpus and the (timing-stripped) run
     // summary must agree byte-for-byte between a sequential run and an
     // 8-worker run, across both the crawl and parallel classification.
-    let a = Study::new(config(90210, 1)).run();
-    let b = Study::new(config(90210, 8)).run();
+    let a = study(90210, 1).run();
+    let b = study(90210, 8).run();
     let a_ads = serde_json::to_string(&a.ads).expect("serializable");
     let b_ads = serde_json::to_string(&b.ads).expect("serializable");
     assert_eq!(a_ads, b_ads, "classified ads diverge across worker counts");
@@ -72,8 +80,8 @@ fn incident_provenance_byte_identical_across_worker_counts() {
     // Provenance is part of the deterministic payload: the component, hop,
     // and evidence lists attached to every incident must agree byte-for-byte
     // between a sequential run and an 8-worker run.
-    let a = Study::new(config(31337, 1)).run();
-    let b = Study::new(config(31337, 8)).run();
+    let a = study(31337, 1).run();
+    let b = study(31337, 8).run();
     let provenances = |results: &malvertising::core::study::StudyResults| -> Vec<String> {
         results
             .ads
@@ -97,7 +105,7 @@ fn incident_provenance_byte_identical_across_worker_counts() {
 #[test]
 fn memoized_crawl_identical_across_worker_counts_and_memo_sizes() {
     use malvertising::crawler::Crawler;
-    let study = Study::new(config(4242, 1));
+    let study = study(4242, 1);
     let crawl_rows = |workers: usize, filter_memo: usize| -> Vec<(u32, String, String, String)> {
         let crawler = Crawler::builder(&study.world.network, &study.world.filter)
             .config(CrawlConfig {
@@ -134,7 +142,7 @@ fn memoized_crawl_identical_across_worker_counts_and_memo_sizes() {
 
 #[test]
 fn staged_pipeline_equals_run() {
-    let study = Study::new(config(777, 4));
+    let study = study(777, 4);
     let via_run = study.run();
     let via_stages = study.classify(study.crawl());
     assert_eq!(
@@ -157,8 +165,14 @@ fn filter_memo_invisible_in_study_results() {
     with_memo.crawl.filter_memo = 4096;
     let mut without_memo = config(2718, 8);
     without_memo.crawl.filter_memo = 0;
-    let a = Study::new(with_memo).run();
-    let b = Study::new(without_memo).run();
+    let build = |cfg| {
+        Study::builder()
+            .config(cfg)
+            .build()
+            .expect("no resume requested")
+    };
+    let a = build(with_memo).run();
+    let b = build(without_memo).run();
     assert_eq!(
         serde_json::to_string(&a.ads).unwrap(),
         serde_json::to_string(&b.ads).unwrap(),
@@ -184,7 +198,11 @@ fn script_cache_invisible_in_study_results() {
     let run = |workers: usize, script_cache: usize| {
         let mut cfg = config(1618, workers);
         cfg.crawl.script_cache = script_cache;
-        Study::new(cfg).run()
+        Study::builder()
+            .config(cfg)
+            .build()
+            .expect("no resume requested")
+            .run()
     };
     let baseline = run(1, 0);
     let base_ads = serde_json::to_string(&baseline.ads).unwrap();
@@ -225,7 +243,11 @@ fn chaos_profiles_deterministic_across_worker_counts() {
     let run = |faults: Option<FaultProfile>, workers: usize| {
         let mut cfg = config(60606, workers);
         cfg.faults = faults;
-        Study::new(cfg).run()
+        Study::builder()
+            .config(cfg)
+            .build()
+            .expect("no resume requested")
+            .run()
     };
     let baseline = run(None, 1);
     let base_summary = baseline.summary().without_timings().to_json();
@@ -280,8 +302,8 @@ fn chaos_profiles_deterministic_across_worker_counts() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = Study::new(config(1, 4)).run();
-    let b = Study::new(config(2, 4)).run();
+    let a = study(1, 4).run();
+    let b = study(2, 4).run();
     // Different worlds: corpora differ (domains, creatives, everything).
     let a_urls: std::collections::BTreeSet<_> =
         a.ads.iter().map(|ad| ad.request_url.clone()).collect();
@@ -292,7 +314,7 @@ fn different_seeds_differ() {
 
 #[test]
 fn rerun_same_study_object_is_stable() {
-    let study = Study::new(config(55, 4));
+    let study = study(55, 4);
     let a = study.run();
     let b = study.run();
     assert_eq!(a.unique_ads(), b.unique_ads());

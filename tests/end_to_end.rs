@@ -30,7 +30,10 @@ fn shared() -> &'static (Study, StudyResults) {
             },
             ..StudyConfig::default()
         };
-        let study = Study::new(config);
+        let study = Study::builder()
+            .config(config)
+            .build()
+            .expect("no resume requested");
         let results = study.run();
         (study, results)
     })

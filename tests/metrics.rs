@@ -9,7 +9,10 @@ use std::sync::OnceLock;
 fn shared() -> &'static (Study, StudyResults) {
     static CELL: OnceLock<(Study, StudyResults)> = OnceLock::new();
     CELL.get_or_init(|| {
-        let study = Study::new(StudyConfig::tiny(606));
+        let study = Study::builder()
+            .config(StudyConfig::tiny(606))
+            .build()
+            .expect("no resume requested");
         let results = study.run();
         (study, results)
     })

@@ -33,9 +33,13 @@ fn config(seed: u64, workers: usize) -> StudyConfig {
 }
 
 fn traced_run(seed: u64, workers: usize) -> (Study, StudyResults, TraceReport) {
-    let study = Study::new(config(seed, workers));
     let collector = TraceCollector::new();
-    let results = study.run_traced(&collector.sink());
+    let study = Study::builder()
+        .config(config(seed, workers))
+        .trace(collector.sink())
+        .build()
+        .expect("no resume requested");
+    let results = study.run();
     let report = collector.finish();
     (study, results, report)
 }
@@ -69,7 +73,11 @@ fn stripped_trace_byte_identical_across_worker_counts() {
 fn traced_run_equals_untraced_run() {
     // Tracing is pure observation: it must not perturb the classification.
     let (_, traced, _) = traced_run(4242, 4);
-    let untraced = Study::new(config(4242, 4)).run();
+    let untraced = Study::builder()
+        .config(config(4242, 4))
+        .build()
+        .expect("no resume requested")
+        .run();
     assert_eq!(
         serde_json::to_string(&traced.ads).unwrap(),
         serde_json::to_string(&untraced.ads).unwrap()
