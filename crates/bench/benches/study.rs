@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use malvert_core::study::{Study, StudyConfig};
+use malvert_trace::MetricsRegistry;
 use malvert_types::CrawlSchedule;
 use malvert_websim::WebConfig;
 use std::hint::black_box;
@@ -52,6 +53,19 @@ fn bench_study(c: &mut Criterion) {
         group.throughput(Throughput::Elements(loads));
         group.bench_function(name, |b| b.iter(|| black_box(study.run())));
     }
+
+    // The metered variant: same default workload with the run-health
+    // registry live, so the gap to `default` bounds the metrics overhead
+    // (the <2% acceptance bar for the observability layer).
+    let study = Study::builder()
+        .config(workload(30, 30, 50, 20))
+        .metrics(MetricsRegistry::new())
+        .build()
+        .expect("no resume requested");
+    let loads =
+        study.config.web.total_sites() as u64 * study.config.crawl.schedule.loads_per_site();
+    group.throughput(Throughput::Elements(loads));
+    group.bench_function("default_metered", |b| b.iter(|| black_box(study.run())));
 
     // Checkpointing at every shard boundary: the worst-case snapshot
     // cadence, so the measured gap to `default` bounds the overhead.

@@ -1,7 +1,6 @@
 //! The thresholded blacklist aggregator.
 
 use crate::feed::Feed;
-use malvert_trace::{SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
 use malvert_types::DomainName;
 use std::collections::HashMap;
@@ -103,25 +102,6 @@ impl BlacklistService {
             .iter()
             .filter(|f| f.lists(domain, &truth, day))
             .collect()
-    }
-
-    /// Like [`Self::listing_feeds`], recording the lookup as a
-    /// [`SpanKind::BlacklistLookup`] span on `trace`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "record the span on the caller's sink around `listing_feeds` (the oracle does \
-                this); the pure lookup needs no trace plumbing"
-    )]
-    pub fn listing_feeds_traced(
-        &self,
-        domain: &DomainName,
-        day: u32,
-        trace: &TraceSink,
-    ) -> Vec<&Feed> {
-        let span = trace.span(SpanKind::BlacklistLookup, domain.as_str());
-        let feeds = self.listing_feeds(domain, day);
-        span.finish();
-        feeds
     }
 
     /// How many feeds list `domain` on `day`.
@@ -249,7 +229,10 @@ mod tests {
             .count();
         // The threshold costs recall (the paper accepted that trade), but the
         // majority must be caught.
-        assert!(flagged > 120, "only {flagged}/200 malicious domains flagged");
+        assert!(
+            flagged > 120,
+            "only {flagged}/200 malicious domains flagged"
+        );
         // Early in the study, lag must keep recall lower than at day 60.
         let early = (0..200)
             .filter(|i| svc.is_flagged(&domain(&format!("mal-{i}.biz")), 1))

@@ -284,8 +284,8 @@ pub struct StudySnapshot {
 
 impl StudySnapshot {
     /// Writes this snapshot as the store's `state.json`, atomically
-    /// replacing any previous one.
-    pub fn save(&self, store: &SnapshotStore) -> io::Result<()> {
+    /// replacing any previous one. Returns the serialized byte count.
+    pub fn save(&self, store: &SnapshotStore) -> io::Result<u64> {
         store.save(STATE_DOC, self)
     }
 

@@ -29,10 +29,10 @@ use malvert_crawler::{
     creative_key, AdCorpus, CrawlAggregate, CrawlConfig, Crawler, FilterCounts, FilterStats,
     ScriptCache, ScriptCounts, ScriptStats, UniqueAd,
 };
-use malvert_engine::{run_fold, Boundary, EngineConfig, SnapshotStore};
+use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats, SnapshotStore};
 use malvert_net::FaultProfile;
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
-use malvert_trace::{SpanKind, TraceReport, TraceSink};
+use malvert_trace::{EngineBalance, MetricsRegistry, SpanKind, TraceReport, TraceSink};
 use malvert_types::{AdNetworkId, CampaignId, CrawlSchedule, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
 use serde::{Deserialize, Serialize};
@@ -292,6 +292,14 @@ pub struct RunOptions {
     /// run to completion). The kill/resume testing hook: a parked run
     /// returns `None` from [`Study::try_run`] with its snapshot written.
     pub abort_after_shards: Option<u64>,
+    /// Run-health registry every stage samples into at shard boundaries
+    /// ([`MetricsRegistry::disabled`] = metering off, the default). Like
+    /// the trace sink, metering never affects results — the deterministic
+    /// half of each sample is a pure function of the completed prefix.
+    pub metrics: MetricsRegistry,
+    /// Render a live stderr heartbeat at every shard boundary (requires an
+    /// enabled metrics registry to have any effect).
+    pub progress: bool,
 }
 
 impl Default for RunOptions {
@@ -302,6 +310,8 @@ impl Default for RunOptions {
             checkpoint_every: 1,
             shard_size: 1024,
             abort_after_shards: None,
+            metrics: MetricsRegistry::disabled(),
+            progress: false,
         }
     }
 }
@@ -394,6 +404,21 @@ impl StudyBuilder {
         self
     }
 
+    /// Attaches a run-health metrics registry; every stage samples into it
+    /// at each shard boundary (collect the time-series with
+    /// [`MetricsRegistry::collect`] after the run).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.options.metrics = metrics;
+        self
+    }
+
+    /// Renders a live stderr heartbeat at every shard boundary (only with
+    /// an enabled metrics registry attached).
+    pub fn progress(mut self, on: bool) -> Self {
+        self.options.progress = on;
+        self
+    }
+
     /// Enables checkpointing into `dir`.
     pub fn checkpoint(mut self, dir: impl Into<PathBuf>) -> Self {
         self.options.checkpoint = Some(dir.into());
@@ -462,6 +487,22 @@ impl StudyBuilder {
         study.resume_state = resume_state;
         Ok(study)
     }
+}
+
+/// Converts the engine's scheduling snapshot into the trace crate's plain
+/// balance record. The indirection keeps `malvert-trace` free of an engine
+/// dependency; a disabled run (no [`EngineStats`]) reports an empty balance.
+fn engine_balance(stats: Option<&EngineStats>) -> EngineBalance {
+    stats
+        .map(|stats| {
+            let snap = stats.snapshot();
+            EngineBalance {
+                steals: snap.steals,
+                parks: snap.parks,
+                worker_jobs: snap.worker_jobs,
+            }
+        })
+        .unwrap_or_default()
 }
 
 /// The study driver.
@@ -545,16 +586,6 @@ impl Study {
         self.classify_with(crawl, &self.options.trace)
     }
 
-    /// [`Study::run`] recorded on an explicit sink.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach the sink with `StudyBuilder::trace` and call `run`"
-    )]
-    pub fn run_traced(&self, trace: &TraceSink) -> StudyResults {
-        let crawl = self.crawl_with(trace).expect(PARKED);
-        self.classify_with(crawl, trace).expect(PARKED)
-    }
-
     /// Stage 1+2: crawl the Web and build the de-duplicated corpus, with
     /// per-ad chain-length tallies. On a traced study this records a stage
     /// span plus one [`SpanKind::CrawlVisit`] span per page load (sharded
@@ -566,15 +597,6 @@ impl Study {
     /// [`Study::try_run`]).
     pub fn crawl(&self) -> CrawlSummary {
         self.crawl_with(&self.options.trace).expect(PARKED)
-    }
-
-    /// [`Study::crawl`] recorded on an explicit sink.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach the sink with `StudyBuilder::trace` and call `crawl`"
-    )]
-    pub fn crawl_traced(&self, trace: &TraceSink) -> CrawlSummary {
-        self.crawl_with(trace).expect(PARKED)
     }
 
     /// Opens the snapshot store when checkpointing is configured.
@@ -602,6 +624,7 @@ impl Study {
             .trace(trace.clone())
             .filter_stats(filter_stats.clone())
             .script_stats(script_stats.clone())
+            .metrics(self.options.metrics.clone())
             .build();
         let sites = &self.world.web.sites;
         let total = crawler.total_jobs(sites);
@@ -629,12 +652,24 @@ impl Study {
         let abort = self.options.abort_after_shards;
         let seed = self.config.seed;
         let fingerprint = config_fingerprint(&self.config);
+        let metrics = &self.options.metrics;
+        let estats = metrics
+            .is_enabled()
+            .then(|| EngineStats::new(self.config.crawl.workers));
+        let sampler = metrics.stage(
+            "crawl",
+            start_job as u64,
+            total as u64,
+            self.options.shard_size as u64,
+            self.options.progress,
+        );
         let mut shard = 0u64;
         let (aggregate, next) = crawler.run_aggregate(
             sites,
             aggregate,
             start_job,
             self.options.shard_size,
+            estats.as_ref(),
             |aggregate, next| {
                 shard += 1;
                 let stop = abort.is_some_and(|limit| shard >= limit);
@@ -657,8 +692,41 @@ impl Study {
                             classify_script: ScriptBase::default(),
                             classified: Vec::new(),
                         };
-                        snapshot.save(store).expect("checkpoint write failed");
+                        let write_started = Instant::now();
+                        let bytes = snapshot.save(store).expect("checkpoint write failed");
+                        metrics.checkpoint_written(bytes, write_started.elapsed());
                     }
+                }
+                if sampler.is_enabled() {
+                    // Every counter here is a pure function of the completed
+                    // prefix (the boundary contract), so the sample's
+                    // deterministic payload is byte-identical across worker
+                    // counts. The scheduling-dependent filter/script cache
+                    // splits stay out for exactly that reason.
+                    let counters = BTreeMap::from([
+                        ("page_loads".to_string(), aggregate.page_loads),
+                        (
+                            "observations".to_string(),
+                            aggregate.corpus.total_observations(),
+                        ),
+                        (
+                            "unique_ads".to_string(),
+                            aggregate.corpus.unique_count() as u64,
+                        ),
+                        ("errors_total".to_string(), aggregate.errors.total_errors()),
+                        ("retries".to_string(), aggregate.errors.retries),
+                        (
+                            "degraded_visits".to_string(),
+                            aggregate.errors.degraded_visits,
+                        ),
+                        ("failed_visits".to_string(), aggregate.errors.failed_visits),
+                    ]);
+                    sampler.sample(
+                        shard,
+                        next as u64,
+                        counters,
+                        engine_balance(estats.as_ref()),
+                    );
                 }
                 if stop {
                     Boundary::Stop
@@ -700,15 +768,6 @@ impl Study {
     pub fn classify(&self, crawl: CrawlSummary) -> StudyResults {
         self.classify_with(crawl, &self.options.trace)
             .expect(PARKED)
-    }
-
-    /// [`Study::classify`] recorded on an explicit sink.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach the sink with `StudyBuilder::trace` and call `classify`"
-    )]
-    pub fn classify_traced(&self, crawl: CrawlSummary, trace: &TraceSink) -> StudyResults {
-        self.classify_with(crawl, trace).expect(PARKED)
     }
 
     /// The classify+aggregate stage on the engine. The shared oracle is
@@ -793,20 +852,35 @@ impl Study {
         let fingerprint = config_fingerprint(&self.config);
         let mut shard = 0u64;
         let engine = EngineConfig::new(self.config.crawl.workers, self.options.shard_size);
-        let outcome = run_fold(
+        let registry = &self.options.metrics;
+        let estats = registry
+            .is_enabled()
+            .then(|| EngineStats::new(self.config.crawl.workers));
+        let sampler = registry.stage(
+            "classify",
+            start_job as u64,
+            total as u64,
+            self.options.shard_size as u64,
+            self.options.progress,
+        );
+        let outcome = run_fold_observed(
             &engine,
+            estats.as_ref(),
             start_job..total,
             slots,
-            |worker| trace.for_worker(worker as u32),
-            |wtrace, job| {
-                self.classify_one(
+            |worker| (trace.for_worker(worker as u32), registry.for_worker()),
+            |(wtrace, wmetrics), job| {
+                let timer = wmetrics.start();
+                let classified = self.classify_one(
                     &oracle,
                     uniques[job],
                     &truth_map,
                     &chain_lengths,
                     eval_override,
                     wtrace,
-                )
+                );
+                wmetrics.record_classify(timer);
+                classified
             },
             |slots, job, classified| slots[job] = Some(classified),
             |slots, next| {
@@ -832,8 +906,31 @@ impl Study {
                                 .map(|slot| slot.clone().expect("prefix complete at boundary"))
                                 .collect(),
                         };
-                        snapshot.save(store).expect("checkpoint write failed");
+                        let write_started = Instant::now();
+                        let bytes = snapshot.save(store).expect("checkpoint write failed");
+                        registry.checkpoint_written(bytes, write_started.elapsed());
                     }
+                }
+                if sampler.is_enabled() {
+                    // Per-ad oracle work is seed-derived and shards complete
+                    // in order, so these prefix sums are scheduling-free.
+                    let counters = BTreeMap::from([
+                        ("oracle_visits".to_string(), oracle_base.0 + stats.visits()),
+                        (
+                            "feed_lookups".to_string(),
+                            oracle_base.1 + stats.feed_lookups(),
+                        ),
+                        (
+                            "budget_exhaustions".to_string(),
+                            oracle_base.2 + stats.budget_exhaustions(),
+                        ),
+                    ]);
+                    sampler.sample(
+                        shard,
+                        next as u64,
+                        counters,
+                        engine_balance(estats.as_ref()),
+                    );
                 }
                 if stop {
                     Boundary::Stop

@@ -4,10 +4,10 @@ use crate::aggregate::CrawlAggregate;
 use crate::engine::{FilterEngine, FilterStats};
 use malvert_adscript::{ScriptCache, ScriptStats};
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
-use malvert_engine::{run_fold, Boundary, EngineConfig};
+use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats};
 use malvert_filterlist::{FilterSet, RequestContext};
 use malvert_net::{CapturedExchange, Network, TrafficCapture};
-use malvert_trace::{SpanKind, TraceSink};
+use malvert_trace::{MetricsRegistry, SpanKind, TraceSink, WorkerMetrics};
 use malvert_types::rng::SeedTree;
 use malvert_types::{CrawlSchedule, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::Site;
@@ -113,6 +113,7 @@ pub struct CrawlerBuilder<'a> {
     trace: TraceSink,
     filter_stats: FilterStats,
     script_stats: ScriptStats,
+    metrics: MetricsRegistry,
 }
 
 impl<'a> CrawlerBuilder<'a> {
@@ -183,9 +184,20 @@ impl<'a> CrawlerBuilder<'a> {
         self
     }
 
+    /// Attaches a run-health metrics registry; every page visit's wall
+    /// latency lands in a per-worker histogram shard
+    /// ([`MetricsRegistry::disabled`] = metering off, the default).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Assembles the crawler.
     pub fn build(self) -> Crawler<'a> {
         let script_cache = ScriptCache::new(self.config.script_cache, self.script_stats);
+        // Standalone `crawl_visit` calls share one recording shard so they
+        // don't register a new one per visit.
+        let solo_metrics = self.metrics.for_worker();
         Crawler {
             network: self.network,
             filter: self.filter,
@@ -194,6 +206,8 @@ impl<'a> CrawlerBuilder<'a> {
             trace: self.trace,
             filter_stats: self.filter_stats,
             script_cache,
+            metrics: self.metrics,
+            solo_metrics,
         }
     }
 }
@@ -209,6 +223,10 @@ pub struct Crawler<'a> {
     /// One compile cache for the whole crawl, shared by every worker's
     /// browsers (read-mostly: the popular creatives compile once, ever).
     script_cache: ScriptCache,
+    /// Run-health registry visit latencies record into (disabled = no-op).
+    metrics: MetricsRegistry,
+    /// The shard standalone [`Crawler::crawl_visit`] calls record on.
+    solo_metrics: WorkerMetrics,
 }
 
 /// The trace unit key of one scheduled page visit: site index in the high
@@ -230,6 +248,7 @@ impl<'a> Crawler<'a> {
             trace: TraceSink::disabled(),
             filter_stats: FilterStats::new(),
             script_stats: ScriptStats::new(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -255,19 +274,28 @@ impl<'a> Crawler<'a> {
 
     /// Visits one site at one schedule slot.
     pub fn crawl_visit(&self, site: &Site, time: SimTime) -> VisitRecord {
-        self.crawl_visit_on(site, time, &self.trace, &mut self.filter_engine())
+        self.crawl_visit_on(
+            site,
+            time,
+            &self.trace,
+            &mut self.filter_engine(),
+            &self.solo_metrics,
+        )
     }
 
     /// [`Crawler::crawl_visit`] recorded on an explicit sink (the worker
     /// pool passes per-worker shards here) with a caller-owned filter
-    /// engine, so memo and scratch persist across a worker's visits.
+    /// engine, so memo and scratch persist across a worker's visits, and a
+    /// caller-owned metrics shard for the visit's wall latency.
     fn crawl_visit_on(
         &self,
         site: &Site,
         time: SimTime,
         trace: &TraceSink,
         engine: &mut FilterEngine<'_>,
+        metrics: &WorkerMetrics,
     ) -> VisitRecord {
+        let timer = metrics.start();
         let scoped = trace.scoped(visit_unit_key(site.id, time));
         let span = scoped.span(SpanKind::CrawlVisit, format!("{} {}", site.domain, time));
         let browser = Browser::new(
@@ -300,6 +328,7 @@ impl<'a> Crawler<'a> {
         }
         let record = self.extract(site, time, &visit, engine, &scoped);
         span.finish();
+        metrics.record_visit(timer);
         record
     }
 
@@ -403,11 +432,13 @@ impl<'a> Crawler<'a> {
 
     /// Persistent state for worker `worker`: its sharded trace sink plus
     /// its filter engine, whose memo carries across every visit the worker
-    /// claims (exactly like the old dedicated worker loops).
+    /// claims (exactly like the old dedicated worker loops), plus its
+    /// metrics shard.
     fn worker_state(&self, worker: usize) -> CrawlWorker<'a> {
         CrawlWorker {
             trace: self.trace.for_worker(worker as u32),
             engine: self.filter_engine(),
+            metrics: self.metrics.for_worker(),
         }
     }
 
@@ -421,6 +452,7 @@ impl<'a> Crawler<'a> {
         sites: &[Site],
         start_job: usize,
         shard_size: usize,
+        stats: Option<&EngineStats>,
         state: S,
         fold: impl Fn(&mut S, usize, VisitRecord) + Sync,
         boundary: impl FnMut(&mut S, usize) -> Boundary,
@@ -428,15 +460,16 @@ impl<'a> Crawler<'a> {
         let slots: Vec<SimTime> = self.config.schedule.slots().collect();
         let total = sites.len() * slots.len();
         let config = EngineConfig::new(self.config.workers, shard_size);
-        let outcome = run_fold(
+        let outcome = run_fold_observed(
             &config,
+            stats,
             start_job..total,
             state,
             |worker| self.worker_state(worker),
             |ctx, job| {
                 let site = &sites[job / slots.len()];
                 let time = slots[job % slots.len()];
-                self.crawl_visit_on(site, time, &ctx.trace, &mut ctx.engine)
+                self.crawl_visit_on(site, time, &ctx.trace, &mut ctx.engine, &ctx.metrics)
             },
             fold,
             boundary,
@@ -454,6 +487,7 @@ impl<'a> Crawler<'a> {
             sites,
             0,
             total,
+            None,
             sink,
             |sink, _, record| sink(record),
             |_, _| Boundary::Continue,
@@ -464,20 +498,23 @@ impl<'a> Crawler<'a> {
     /// record into `aggregate` as it completes. `boundary` observes the
     /// exact aggregate of the completed prefix after each `shard_size`-job
     /// shard (checkpoint writers live here); returning [`Boundary::Stop`]
-    /// parks the crawl. Returns the aggregate plus the first unvisited job
-    /// index — `total_jobs` unless stopped early.
+    /// parks the crawl. When `stats` is provided, scheduler steal/park/
+    /// balance meters accumulate into it. Returns the aggregate plus the
+    /// first unvisited job index — `total_jobs` unless stopped early.
     pub fn run_aggregate(
         &self,
         sites: &[Site],
         aggregate: CrawlAggregate,
         start_job: usize,
         shard_size: usize,
+        stats: Option<&EngineStats>,
         mut boundary: impl FnMut(&CrawlAggregate, usize) -> Boundary,
     ) -> (CrawlAggregate, usize) {
         self.drive(
             sites,
             start_job,
             shard_size,
+            stats,
             aggregate,
             |agg, _, record| agg.absorb(&record),
             |agg, next| boundary(agg, next),
@@ -485,11 +522,13 @@ impl<'a> Crawler<'a> {
     }
 }
 
-/// One crawl worker's persistent scratch: the trace shard it records on
-/// and the filter engine whose memo survives across all its visits.
+/// One crawl worker's persistent scratch: the trace shard it records on,
+/// the filter engine whose memo survives across all its visits, and the
+/// metrics shard its visit latencies land in.
 struct CrawlWorker<'a> {
     trace: TraceSink,
     engine: FilterEngine<'a>,
+    metrics: WorkerMetrics,
 }
 
 /// Reconstructs the fetch chain starting at `start`: follows `Location`

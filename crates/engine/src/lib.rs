@@ -23,5 +23,7 @@
 mod scheduler;
 mod snapshot;
 
-pub use scheduler::{run_fold, Boundary, EngineConfig, FoldOutcome};
+pub use scheduler::{
+    run_fold, run_fold_observed, Boundary, EngineConfig, EngineSnapshot, EngineStats, FoldOutcome,
+};
 pub use snapshot::SnapshotStore;

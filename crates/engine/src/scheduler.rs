@@ -11,7 +11,8 @@
 
 use parking_lot::Mutex;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Tuning knobs for [`run_fold`]: the worker-pool width and the number of
 /// jobs per shard (the checkpoint granule). Both are speed/granularity
@@ -40,6 +41,87 @@ impl EngineConfig {
     pub fn shard_size(&self) -> usize {
         self.shard_size
     }
+}
+
+/// Lock-free scheduler meters for one [`run_fold_observed`] call: steal
+/// and park counts plus a per-worker job tally. Cloning shares the meters
+/// (an `Arc` bump); recording is a relaxed atomic add, so metered and
+/// unmetered runs take the same code path through the scheduler.
+///
+/// Everything here is a scheduling accident — which worker won a race,
+/// how often spans ran dry — and must never feed back into results.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    steals: AtomicU64,
+    parks: AtomicU64,
+    worker_jobs: Vec<AtomicU64>,
+}
+
+impl EngineStats {
+    /// Meters for a pool of `workers` threads (clamped to at least 1, the
+    /// same floor [`EngineConfig::new`] applies).
+    pub fn new(workers: usize) -> EngineStats {
+        EngineStats {
+            inner: Arc::new(StatsInner {
+                steals: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+                worker_jobs: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Credits `worker` with one executed job, counting it as a steal when
+    /// it was claimed from another worker's span.
+    fn record_job(&self, worker: usize, stolen: bool) {
+        if let Some(slot) = self.inner.worker_jobs.get(worker) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        if stolen {
+            self.inner.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Credits `worker` with `n` executed jobs (the sequential fast path).
+    fn record_jobs(&self, worker: usize, n: u64) {
+        if let Some(slot) = self.inner.worker_jobs.get(worker) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one worker parking because every span ran dry.
+    fn record_park(&self) {
+        self.inner.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the meters.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            steals: self.inner.steals.load(Ordering::Relaxed),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            worker_jobs: self
+                .inner
+                .worker_jobs
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of [`EngineStats`] meters at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Jobs a worker claimed from another worker's span.
+    pub steals: u64,
+    /// Times a worker found every span dry and parked for the boundary.
+    pub parks: u64,
+    /// Jobs executed per worker, indexed by worker id.
+    pub worker_jobs: Vec<u64>,
 }
 
 /// What to do after a shard completes: keep going, or park so the caller
@@ -82,6 +164,30 @@ pub fn run_fold<S, W, T>(
     config: &EngineConfig,
     jobs: Range<usize>,
     state: S,
+    init_worker: impl FnMut(usize) -> W,
+    work: impl Fn(&mut W, usize) -> T + Sync,
+    fold: impl Fn(&mut S, usize, T) + Sync,
+    boundary: impl FnMut(&mut S, usize) -> Boundary,
+) -> FoldOutcome<S>
+where
+    S: Send,
+    W: Send,
+{
+    run_fold_observed(config, None, jobs, state, init_worker, work, fold, boundary)
+}
+
+/// [`run_fold`] with scheduler observability: when `stats` is provided,
+/// steal/park counts and per-worker job tallies accumulate into it as the
+/// run proceeds (readable at boundaries via [`EngineStats::snapshot`]).
+/// `None` is exactly [`run_fold`].
+// One parameter over clippy's limit, but this *is* run_fold's signature
+// plus the meters — a params struct would just rename the positions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fold_observed<S, W, T>(
+    config: &EngineConfig,
+    stats: Option<&EngineStats>,
+    jobs: Range<usize>,
+    state: S,
     mut init_worker: impl FnMut(usize) -> W,
     work: impl Fn(&mut W, usize) -> T + Sync,
     fold: impl Fn(&mut S, usize, T) + Sync,
@@ -102,6 +208,9 @@ where
             for job in next..hi {
                 let out = work(&mut worker, job);
                 fold(&mut state, job, out);
+            }
+            if let Some(stats) = stats {
+                stats.record_jobs(0, (hi - next) as u64);
             }
             next = hi;
             if boundary(&mut state, next) == Boundary::Stop && next < total {
@@ -126,7 +235,9 @@ where
         crossbeam::scope(|scope| {
             for (home, worker) in worker_states.iter_mut().enumerate() {
                 scope.spawn(move |_| {
-                    run_worker(home, worker, spans_ref, state_ref, work_ref, fold_ref)
+                    run_worker(
+                        home, worker, spans_ref, state_ref, work_ref, fold_ref, stats,
+                    )
                 });
             }
         })
@@ -189,6 +300,7 @@ fn run_worker<S, W, T, F, G>(
     state: &Mutex<S>,
     work: &F,
     fold: &G,
+    stats: Option<&EngineStats>,
 ) where
     F: Fn(&mut W, usize) -> T,
     G: Fn(&mut S, usize, T),
@@ -200,9 +312,15 @@ fn run_worker<S, W, T, F, G>(
             // Lost the race on the span's last job; pick again.
             continue;
         }
+        if let Some(stats) = stats {
+            stats.record_job(home, victim != home);
+        }
         let out = work(worker, job);
         let mut guard = state.lock();
         fold(&mut *guard, job, out);
+    }
+    if let Some(stats) = stats {
+        stats.record_park();
     }
 }
 
@@ -315,6 +433,63 @@ mod tests {
         );
         assert_eq!(resumed.state, one_shot.state);
         assert_eq!(resumed.next_job, 95);
+    }
+
+    #[test]
+    fn observed_run_meters_jobs_without_perturbing_results() {
+        let expected: u64 = (0..600u64).map(|j| j * 3 + 1).sum();
+        for workers in [1usize, 4] {
+            let stats = EngineStats::new(workers);
+            let outcome = run_fold_observed(
+                &EngineConfig::new(workers, 64),
+                Some(&stats),
+                0..600,
+                0u64,
+                |_| (),
+                |_, job| job as u64 * 3 + 1,
+                |acc, _, v| *acc += v,
+                |_, _| Boundary::Continue,
+            );
+            assert_eq!(outcome.state, expected, "metering changed the fold");
+            let snap = stats.snapshot();
+            assert_eq!(snap.worker_jobs.len(), workers);
+            assert_eq!(
+                snap.worker_jobs.iter().sum::<u64>(),
+                600,
+                "every job credited exactly once (workers={workers})"
+            );
+            if workers == 1 {
+                assert_eq!(snap.steals, 0);
+                assert_eq!(snap.parks, 0);
+            } else {
+                // Ten shards, every worker parks at each boundary.
+                assert_eq!(snap.parks, 10 * workers as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_costs_register_steals() {
+        let stats = EngineStats::new(4);
+        run_fold_observed(
+            &EngineConfig::new(4, 256),
+            Some(&stats),
+            0..256,
+            (),
+            |_| (),
+            |_, job| {
+                // Worker 0's span is drastically slower, so the others must
+                // finish their spans and steal from it.
+                if job < 64 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            },
+            |_, _, _| {},
+            |_, _| Boundary::Continue,
+        );
+        let snap = stats.snapshot();
+        assert!(snap.steals > 0, "no steals under heavy skew: {snap:?}");
+        assert_eq!(snap.worker_jobs.iter().sum::<u64>(), 256);
     }
 
     #[test]

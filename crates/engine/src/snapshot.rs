@@ -31,12 +31,15 @@ impl SnapshotStore {
     }
 
     /// Serializes `value` to `<dir>/<name>`, atomically replacing any
-    /// previous document of that name.
-    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+    /// previous document of that name. Returns the serialized byte count
+    /// (checkpoint-overhead metering feeds on it).
+    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<u64> {
         let bytes = serde_json::to_vec_pretty(value).map_err(io::Error::other)?;
+        let len = bytes.len() as u64;
         let tmp = self.dir.join(format!(".{name}.tmp"));
         fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, self.dir.join(name))
+        fs::rename(&tmp, self.dir.join(name))?;
+        Ok(len)
     }
 
     /// Loads `<dir>/<name>`, returning `Ok(None)` when no such document

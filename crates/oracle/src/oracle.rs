@@ -24,7 +24,6 @@ pub struct OracleConfig {
     pub known_models: Vec<u64>,
 }
 
-
 /// Shared instrumentation counters for an oracle.
 ///
 /// Cloning the handle is cheap (an `Arc` bump) and every clone views the
@@ -260,23 +259,6 @@ impl<'a> Oracle<'a> {
         visit
     }
 
-    /// [`Oracle::honeyclient_visit_seeded`] on an explicit sink.
-    #[deprecated(
-        since = "0.1.0",
-        note = "bind the sink with `Oracle::with_trace` (or `OracleBuilder::trace`) and call \
-                `honeyclient_visit_seeded`"
-    )]
-    pub fn honeyclient_visit_seeded_traced(
-        &self,
-        ad_url: &Url,
-        time: SimTime,
-        seeds: SeedTree,
-        trace: &TraceSink,
-    ) -> PageVisit {
-        self.with_trace(trace.clone())
-            .honeyclient_visit_seeded(ad_url, time, seeds)
-    }
-
     /// Classifies one advertisement: runs the honeyclient, then applies all
     /// three component systems. Returns every incident the detection
     /// framework raised (one ad can trigger several categories).
@@ -438,21 +420,6 @@ impl<'a> Oracle<'a> {
 
         incidents
     }
-
-    /// [`Oracle::classify_visit`] on an explicit sink.
-    #[deprecated(
-        since = "0.1.0",
-        note = "bind the sink with `Oracle::with_trace` (or `OracleBuilder::trace`) and call \
-                `classify_visit`"
-    )]
-    pub fn classify_visit_traced(
-        &self,
-        visit: &PageVisit,
-        time: SimTime,
-        trace: &TraceSink,
-    ) -> Vec<Incident> {
-        self.with_trace(trace.clone()).classify_visit(visit, time)
-    }
 }
 
 #[cfg(test)]
@@ -477,10 +444,7 @@ mod tests {
         let mut blacklists = BlacklistService::new(tree.branch("blacklists"));
         for (_, domains, active_from) in world.malicious_ground_truth() {
             for d in domains {
-                blacklists.register(
-                    d,
-                    malvert_blacklist::DomainTruth::Malicious { active_from },
-                );
+                blacklists.register(d, malvert_blacklist::DomainTruth::Malicious { active_from });
             }
         }
         let scanner = ScanService::new(tree.branch("scanner"));
@@ -513,7 +477,9 @@ mod tests {
             for day in 60..75 {
                 for slot in 0..3usize {
                     let time = SimTime::at(day, 0);
-                    let url = fx.world.serve_url(AdNetworkId(network_idx), 1000 + slot as u32, slot);
+                    let url =
+                        fx.world
+                            .serve_url(AdNetworkId(network_idx), 1000 + slot as u32, slot);
                     let visit = oracle.honeyclient_visit(&url, time);
                     let touched = visit
                         .capture

@@ -2,7 +2,6 @@
 
 use crate::engine::{AvEngine, Verdict};
 use crate::payload::PayloadKind;
-use malvert_trace::{SpanKind, TraceSink};
 use malvert_types::rng::SeedTree;
 
 /// Size of the malware-family id space the simulation draws from. Engines
@@ -85,20 +84,6 @@ impl ScanService {
             total_engines: self.engines.len(),
             kind: crate::payload::Payload::sniff_kind(bytes),
         }
-    }
-
-    /// Like [`Self::scan`], recording the scan as a
-    /// [`SpanKind::PayloadScan`] span on `trace`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "record the span on the caller's sink around `scan` (the oracle does this); the \
-                pure scan needs no trace plumbing"
-    )]
-    pub fn scan_traced(&self, bytes: &[u8], trace: &TraceSink) -> ScanReport {
-        let span = trace.span(SpanKind::PayloadScan, format!("scan {} bytes", bytes.len()));
-        let report = self.scan(bytes);
-        span.finish();
-        report
     }
 
     /// The oracle's decision: malicious iff at least `consensus` engines

@@ -37,7 +37,14 @@ impl LogHistogram {
         Self::default()
     }
 
-    fn bucket_index(us: u64) -> usize {
+    /// Rebuilds a histogram from raw parts (the atomic registry snapshots
+    /// its lock-free buckets through this).
+    pub(crate) fn from_raw(buckets: Vec<u64>, count: u64) -> LogHistogram {
+        debug_assert_eq!(buckets.len(), BUCKET_COUNT);
+        LogHistogram { buckets, count }
+    }
+
+    pub(crate) fn bucket_index(us: u64) -> usize {
         if us <= 1 {
             0
         } else {
@@ -78,13 +85,21 @@ impl LogHistogram {
         &self.buckets
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile sample
-    /// (`0.0 < q <= 1.0`); `0` when empty.
+    /// Upper bound of the bucket containing the `q`-quantile sample.
+    ///
+    /// Total over every input: `q` is clamped into `[0.0, 1.0]` (`NaN`
+    /// counts as `1.0`), `q = 0.0` answers with the smallest recorded
+    /// bucket's bound, `q = 1.0` with the largest ([`Self::max_us`]), and
+    /// an empty histogram returns `0` for every `q`.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        // 1-based rank of the quantile sample. The epsilon keeps an exact
+        // integer product (0.95 * 20 = 19.000...04 in f64) from rounding up
+        // to the next rank and overshooting a bucket.
+        let target = ((q * self.count as f64 - 1e-9).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
         for (index, &n) in self.buckets.iter().enumerate() {
             cumulative += n;
@@ -225,6 +240,43 @@ mod tests {
         assert_eq!(h.max_us(), 2047);
         assert_eq!(LogHistogram::new().quantile_us(0.5), 0);
         assert_eq!(LogHistogram::new().max_us(), 0);
+    }
+
+    #[test]
+    fn quantile_edges_are_total() {
+        // Empty: every q answers 0, even the out-of-range ones.
+        let empty = LogHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile_us(q), 0);
+        }
+
+        // q = 0 is the smallest recorded bucket, q = 1 the largest; values
+        // outside [0, 1] clamp to those, NaN counts as 1.
+        let h = filled(&[1, 1024, 1_000_000]);
+        assert_eq!(h.quantile_us(0.0), 1);
+        assert_eq!(h.quantile_us(-3.5), 1);
+        assert_eq!(h.quantile_us(1.0), h.max_us());
+        assert_eq!(h.quantile_us(7.0), h.max_us());
+        assert_eq!(h.quantile_us(f64::NAN), h.max_us());
+
+        // Single-bucket histogram: every quantile is that bucket's bound.
+        let single = filled(&[5, 5, 5, 5]);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(single.quantile_us(q), 7);
+        }
+    }
+
+    #[test]
+    fn quantile_rank_does_not_overshoot_on_exact_products() {
+        // 0.95 * 20 = 19.000000000000004 in f64; the rank must stay 19 (the
+        // last of the 1µs samples), not round up to the lone outlier.
+        let mut h = LogHistogram::new();
+        for _ in 0..19 {
+            h.record_us(1);
+        }
+        h.record_us(1024);
+        assert_eq!(h.quantile_us(0.95), 1);
+        assert_eq!(h.quantile_us(1.0), 2047);
     }
 
     #[test]

@@ -32,11 +32,16 @@
 pub mod event;
 pub mod export;
 pub mod histogram;
+pub mod metrics;
 pub mod provenance;
 pub mod sink;
 
 pub use event::{SpanKind, TraceEvent, WallInfo};
 pub use export::{TraceReport, WorkerLoad};
 pub use histogram::{LogHistogram, SpanLatency, BUCKET_COUNT};
+pub use metrics::{
+    AtomicHistogram, CheckpointMeter, EngineBalance, HealthReport, MetricsLog, MetricsRegistry,
+    MetricsSample, SampleDet, SampleWall, StageHealth, StageSampler, WorkerMetrics,
+};
 pub use provenance::{OracleComponent, Provenance};
 pub use sink::{SpanGuard, TraceCollector, TraceSink};

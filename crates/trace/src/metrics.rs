@@ -1,0 +1,963 @@
+//! Run-health metrics: a lock-free per-worker registry sampled into a
+//! time-series at every shard boundary.
+//!
+//! Mirrors the trace subsystem's two disciplines:
+//!
+//! * **Cheap when off, contention-free when on.** A disabled
+//!   [`MetricsRegistry`] reduces every record call to an `Option` check —
+//!   exactly like [`TraceSink::disabled`](crate::TraceSink::disabled) —
+//!   and an enabled one gives each worker its own atomic shard
+//!   ([`MetricsRegistry::for_worker`]), so recording a latency is two
+//!   relaxed atomic adds and never takes a lock.
+//! * **Deterministic payload split from the wall envelope.** Every
+//!   [`MetricsSample`] carries a [`SampleDet`] — shard ordinal, job
+//!   cursor, and cumulative counters that are exact functions of the
+//!   completed prefix fold, byte-identical across worker counts — and an
+//!   optional [`SampleWall`] with everything scheduling- or
+//!   clock-dependent (timestamps, rates, ETA, steal/park counts, latency
+//!   buckets, checkpoint I/O). [`MetricsSample::stripped`] drops the
+//!   envelope, so [`MetricsLog::deterministic_jsonl`] is a pure function
+//!   of the study seed and the shard geometry.
+//!
+//! The sampling point is the engine's shard boundary: all workers are
+//! parked there and the aggregate is the exact fold of jobs
+//! `[start, jobs_done)`, which is what makes the deterministic half
+//! deterministic. [`StageSampler`] assembles one sample per boundary and,
+//! with progress enabled, renders a live stderr heartbeat with an ETA
+//! extrapolated from the fold trajectory. [`HealthReport`] is the offline
+//! analysis: stage latency percentiles, checkpoint overhead as a share of
+//! stage wall-clock, throughput over time, and worker-balance/steal
+//! statistics — what `malvert health` prints.
+
+use crate::histogram::{LogHistogram, BUCKET_COUNT};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A lock-free twin of [`LogHistogram`]: fixed power-of-two buckets over
+/// microseconds, recorded with relaxed atomic adds so every worker can
+/// share one instance without contention.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[LogHistogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy as a mergeable [`LogHistogram`].
+    pub fn snapshot(&self) -> LogHistogram {
+        LogHistogram::from_raw(
+            self.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            self.count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Scheduler statistics for one stage, as plain data: how often workers
+/// stole from a sibling span, how often they parked dry, and how many
+/// jobs each worker executed. All of it is a scheduling accident, so it
+/// lives in the wall envelope only.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineBalance {
+    /// Jobs a worker claimed from another worker's span.
+    pub steals: u64,
+    /// Times a worker found every span dry and parked for the boundary.
+    pub parks: u64,
+    /// Jobs executed per worker, indexed by worker id.
+    pub worker_jobs: Vec<u64>,
+}
+
+/// The deterministic half of one sample: every field is an exact function
+/// of the study seed, the shard geometry, and the resume point — never of
+/// worker count, scheduling, or the clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleDet {
+    /// Stage name (`"crawl"` or `"classify"`).
+    pub stage: String,
+    /// Shard ordinal within this stage of this run (1-based).
+    pub shard: u64,
+    /// Total shards this stage will run (from the resume point).
+    pub shards_total: u64,
+    /// First unprocessed job index — the boundary's exact prefix cursor.
+    pub jobs_done: u64,
+    /// Total jobs in the stage's index space.
+    pub jobs_total: u64,
+    /// Cumulative stage counters at this boundary (error tallies, corpus
+    /// size, oracle work, checkpoint writes), sorted by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Checkpoint I/O meters at one boundary, cumulative over the enclosing
+/// stage. Write *count* follows the deterministic cadence, but it is
+/// bundled here with the bytes and wall time because a sample with
+/// checkpointing off must strip to the same payload as one with it on.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeter {
+    /// Snapshot documents written.
+    pub writes: u64,
+    /// Bytes those writes serialized.
+    pub bytes: u64,
+    /// Wall-clock microseconds spent inside snapshot writes.
+    pub wall_us: u64,
+}
+
+impl CheckpointMeter {
+    /// This meter minus an earlier `baseline` reading (per-stage deltas).
+    fn minus(&self, baseline: &CheckpointMeter) -> CheckpointMeter {
+        CheckpointMeter {
+            writes: self.writes.saturating_sub(baseline.writes),
+            bytes: self.bytes.saturating_sub(baseline.bytes),
+            wall_us: self.wall_us.saturating_sub(baseline.wall_us),
+        }
+    }
+}
+
+/// The wall envelope of one sample: timestamps, rates, scheduler balance,
+/// latency buckets, checkpoint I/O — everything stripped for byte-identity
+/// checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleWall {
+    /// Microseconds since the registry epoch (run start).
+    pub ts_us: u64,
+    /// Microseconds since this stage started.
+    pub stage_elapsed_us: u64,
+    /// Cumulative jobs/second over this run's portion of the stage.
+    pub jobs_per_sec: f64,
+    /// Estimated microseconds to stage completion, extrapolated from the
+    /// cumulative rate (the fold trajectory).
+    pub eta_us: u64,
+    /// Steal/park counts and per-worker job tallies.
+    pub balance: EngineBalance,
+    /// Cumulative per-job latency histogram for this stage, merged across
+    /// every worker shard.
+    pub job_hist: LogHistogram,
+    /// Median per-job latency (bucket upper bound), microseconds.
+    pub job_p50_us: u64,
+    /// 95th-percentile per-job latency, microseconds.
+    pub job_p95_us: u64,
+    /// Maximum per-job latency, microseconds.
+    pub job_max_us: u64,
+    /// Checkpoint write meters, cumulative over this stage.
+    pub checkpoint: CheckpointMeter,
+}
+
+/// One shard-boundary sample: deterministic payload plus optional wall
+/// envelope, the same split [`TraceEvent`](crate::TraceEvent) uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSample {
+    /// The deterministic payload.
+    pub det: SampleDet,
+    /// The wall envelope; `None` once stripped.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wall: Option<SampleWall>,
+}
+
+impl MetricsSample {
+    /// The sample with its wall envelope removed — what survives is a pure
+    /// function of the study seed and the shard geometry.
+    pub fn stripped(&self) -> MetricsSample {
+        MetricsSample {
+            det: self.det.clone(),
+            wall: None,
+        }
+    }
+}
+
+/// Per-worker metric shard: latency histograms per stage, recorded
+/// lock-free. Registered once per worker thread, never per job.
+#[derive(Debug, Default)]
+struct WorkerShard {
+    /// Crawl page-visit wall latency.
+    visit: AtomicHistogram,
+    /// Classification per-ad wall latency.
+    classify: AtomicHistogram,
+}
+
+/// Which per-worker histogram a stage samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageLane {
+    Visit,
+    Classify,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    epoch: Instant,
+    shards: Mutex<Vec<Arc<WorkerShard>>>,
+    checkpoint_writes: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    checkpoint_wall_us: AtomicU64,
+    samples: Mutex<Vec<MetricsSample>>,
+}
+
+impl RegistryInner {
+    fn merged_hist(&self, lane: StageLane) -> LogHistogram {
+        let mut merged = LogHistogram::new();
+        for shard in self.shards.lock().iter() {
+            let hist = match lane {
+                StageLane::Visit => shard.visit.snapshot(),
+                StageLane::Classify => shard.classify.snapshot(),
+            };
+            merged.merge(&hist);
+        }
+        merged
+    }
+
+    fn checkpoint_meter(&self) -> CheckpointMeter {
+        CheckpointMeter {
+            writes: self.checkpoint_writes.load(Ordering::Relaxed),
+            bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            wall_us: self.checkpoint_wall_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The run-health registry: owns the per-worker shards, the checkpoint
+/// meters, and the boundary sample log. Cloning shares the registry (an
+/// `Arc` bump); a disabled registry turns every call into a no-op.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry; its creation instant is the metrics
+    /// epoch.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Some(Arc::new(RegistryInner {
+                epoch: Instant::now(),
+                shards: Mutex::new(Vec::new()),
+                checkpoint_writes: AtomicU64::new(0),
+                checkpoint_bytes: AtomicU64::new(0),
+                checkpoint_wall_us: AtomicU64::new(0),
+                samples: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A registry that records nothing — the default for unmetered runs.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether metrics recorded here go anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A recording handle backed by its own atomic shard, so workers never
+    /// contend. Call once per worker thread.
+    pub fn for_worker(&self) -> WorkerMetrics {
+        match &self.inner {
+            Some(inner) => {
+                let shard = Arc::new(WorkerShard::default());
+                inner.shards.lock().push(Arc::clone(&shard));
+                WorkerMetrics { shard: Some(shard) }
+            }
+            None => WorkerMetrics { shard: None },
+        }
+    }
+
+    /// Meters one checkpoint snapshot write (serialized byte count and the
+    /// wall time the atomic write took).
+    pub fn checkpoint_written(&self, bytes: u64, wall: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+            inner.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+            inner
+                .checkpoint_wall_us
+                .fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens one stage for boundary sampling. `start_job..jobs_total` is
+    /// the stage's remaining index space (`start_job > 0` on resume);
+    /// `progress` additionally renders a stderr heartbeat per sample.
+    pub fn stage(
+        &self,
+        stage: &'static str,
+        start_job: u64,
+        jobs_total: u64,
+        shard_size: u64,
+        progress: bool,
+    ) -> StageSampler {
+        let lane = match stage {
+            "classify" => StageLane::Classify,
+            _ => StageLane::Visit,
+        };
+        let remaining = jobs_total.saturating_sub(start_job);
+        StageSampler {
+            inner: self.inner.clone(),
+            stage,
+            lane,
+            start_job,
+            jobs_total,
+            shards_total: remaining.div_ceil(shard_size.max(1)),
+            progress,
+            stage_epoch: Instant::now(),
+            // Baseline so the stage's samples report only *its* checkpoint
+            // I/O, not what earlier stages already wrote.
+            ckpt_base: self
+                .inner
+                .as_deref()
+                .map(RegistryInner::checkpoint_meter)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// A point-in-time copy of every boundary sample recorded so far.
+    pub fn collect(&self) -> MetricsLog {
+        MetricsLog {
+            samples: match &self.inner {
+                Some(inner) => inner.samples.lock().clone(),
+                None => Vec::new(),
+            },
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::disabled()
+    }
+}
+
+/// One worker's recording handle. Disabled handles never take a
+/// timestamp: [`WorkerMetrics::start`] answers `None`, and the record
+/// calls are no-ops.
+#[derive(Debug, Clone)]
+pub struct WorkerMetrics {
+    shard: Option<Arc<WorkerShard>>,
+}
+
+impl WorkerMetrics {
+    /// A handle that records nothing.
+    pub fn disabled() -> WorkerMetrics {
+        WorkerMetrics { shard: None }
+    }
+
+    /// Opens a latency measurement — `None` when disabled, so the clock is
+    /// only read on metered runs.
+    pub fn start(&self) -> Option<Instant> {
+        self.shard.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records one crawl page-visit latency (pass the [`Self::start`]
+    /// result back).
+    pub fn record_visit(&self, started: Option<Instant>) {
+        if let (Some(shard), Some(started)) = (&self.shard, started) {
+            shard.visit.record_us(started.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Records one per-ad classification latency.
+    pub fn record_classify(&self, started: Option<Instant>) {
+        if let (Some(shard), Some(started)) = (&self.shard, started) {
+            shard
+                .classify
+                .record_us(started.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// One stage's boundary sampler: assembles a [`MetricsSample`] per shard
+/// boundary and renders the heartbeat. Created by
+/// [`MetricsRegistry::stage`]; a sampler from a disabled registry is a
+/// no-op.
+pub struct StageSampler {
+    inner: Option<Arc<RegistryInner>>,
+    stage: &'static str,
+    lane: StageLane,
+    start_job: u64,
+    jobs_total: u64,
+    shards_total: u64,
+    progress: bool,
+    stage_epoch: Instant,
+    ckpt_base: CheckpointMeter,
+}
+
+impl StageSampler {
+    /// Whether samples taken here go anywhere (callers skip counter
+    /// assembly when not).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the boundary at prefix cursor `jobs_done` (shard ordinal
+    /// `shard`, 1-based) with the stage's cumulative deterministic
+    /// `counters` and the scheduler's `balance` snapshot, and renders the
+    /// heartbeat when progress is on.
+    pub fn sample(
+        &self,
+        shard: u64,
+        jobs_done: u64,
+        counters: BTreeMap<String, u64>,
+        balance: EngineBalance,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let stage_elapsed = self.stage_epoch.elapsed();
+        let stage_elapsed_us = stage_elapsed.as_micros() as u64;
+        let done_this_run = jobs_done.saturating_sub(self.start_job);
+        let jobs_per_sec = done_this_run as f64 / stage_elapsed.as_secs_f64().max(1e-9);
+        let remaining = self.jobs_total.saturating_sub(jobs_done);
+        let eta_us = if jobs_per_sec > 0.0 {
+            (remaining as f64 / jobs_per_sec * 1e6) as u64
+        } else {
+            0
+        };
+        let job_hist = inner.merged_hist(self.lane);
+        let sample = MetricsSample {
+            det: SampleDet {
+                stage: self.stage.to_string(),
+                shard,
+                shards_total: self.shards_total,
+                jobs_done,
+                jobs_total: self.jobs_total,
+                counters,
+            },
+            wall: Some(SampleWall {
+                ts_us: inner.epoch.elapsed().as_micros() as u64,
+                stage_elapsed_us,
+                jobs_per_sec,
+                eta_us,
+                balance,
+                job_p50_us: job_hist.quantile_us(0.50),
+                job_p95_us: job_hist.quantile_us(0.95),
+                job_max_us: job_hist.max_us(),
+                job_hist,
+                checkpoint: inner.checkpoint_meter().minus(&self.ckpt_base),
+            }),
+        };
+        if self.progress {
+            eprintln!("{}", render_heartbeat(&sample));
+        }
+        inner.samples.lock().push(sample);
+    }
+}
+
+/// The live heartbeat line for one sample: shards done/total, job cursor,
+/// cumulative rate, ETA, and the error tally when the stage carries one.
+pub fn render_heartbeat(sample: &MetricsSample) -> String {
+    let det = &sample.det;
+    let pct = if det.jobs_total > 0 {
+        det.jobs_done as f64 * 100.0 / det.jobs_total as f64
+    } else {
+        100.0
+    };
+    let mut line = format!(
+        "[{}] shard {}/{} · {}/{} jobs ({pct:.0}%)",
+        det.stage, det.shard, det.shards_total, det.jobs_done, det.jobs_total
+    );
+    if let Some(wall) = &sample.wall {
+        let _ = write!(
+            line,
+            " · {:.0} jobs/s · eta {}",
+            wall.jobs_per_sec,
+            human_duration_us(wall.eta_us)
+        );
+        if wall.balance.steals > 0 {
+            let _ = write!(line, " · {} steals", wall.balance.steals);
+        }
+        if wall.checkpoint.writes > 0 {
+            let _ = write!(line, " · {} ckpt", wall.checkpoint.writes);
+        }
+    }
+    if let Some(errors) = det.counters.get("errors_total").filter(|&&n| n > 0) {
+        let _ = write!(line, " · {errors} errors");
+    }
+    line
+}
+
+fn human_duration_us(us: u64) -> String {
+    let secs = us as f64 / 1e6;
+    if secs >= 3600.0 {
+        format!("{:.1}h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1}m", secs / 60.0)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+/// A recorded run-health time-series: the boundary samples in emission
+/// order, with JSONL import/export mirroring
+/// [`TraceReport`](crate::TraceReport).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsLog {
+    samples: Vec<MetricsSample>,
+}
+
+impl MetricsLog {
+    /// Wraps an explicit sample list.
+    pub fn new(samples: Vec<MetricsSample>) -> MetricsLog {
+        MetricsLog { samples }
+    }
+
+    /// The samples, in emission order.
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether any boundary was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// One JSON object per line, full samples (payload + wall envelope).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sample in &self.samples {
+            out.push_str(&serde_json::to_string(sample).expect("sample serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The stripped stream: deterministic payloads only, byte-identical
+    /// across worker counts and (for the same shard geometry) across runs.
+    pub fn deterministic_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sample in &self.samples {
+            out.push_str(&serde_json::to_string(&sample.stripped()).expect("sample serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL stream written by [`Self::to_jsonl`] (or the
+    /// stripped variant).
+    pub fn from_jsonl(text: &str) -> Result<MetricsLog, serde_json::Error> {
+        let samples = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<MetricsSample>, _>>()?;
+        Ok(MetricsLog { samples })
+    }
+
+    /// The offline analysis over the whole series.
+    pub fn health(&self) -> HealthReport {
+        HealthReport::from_samples(&self.samples)
+    }
+}
+
+/// Health summary of one stage, distilled from its boundary samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageHealth {
+    /// Stage name.
+    pub stage: String,
+    /// Boundary samples the stage produced.
+    pub samples: u64,
+    /// Shards completed / total shards.
+    pub shards_done: u64,
+    /// Total shards the stage planned.
+    pub shards_total: u64,
+    /// Job cursor at the last sample.
+    pub jobs_done: u64,
+    /// Total jobs in the stage.
+    pub jobs_total: u64,
+    /// Stage wall-clock at the last sample, microseconds (0 when the
+    /// series was stripped).
+    pub wall_us: u64,
+    /// Cumulative jobs/second at the last sample.
+    pub jobs_per_sec: f64,
+    /// Per-sample instantaneous throughput extremes (jobs/second).
+    pub jobs_per_sec_min: f64,
+    /// See [`Self::jobs_per_sec_min`].
+    pub jobs_per_sec_max: f64,
+    /// Median per-job latency (bucket upper bound), microseconds.
+    pub job_p50_us: u64,
+    /// 95th-percentile per-job latency, microseconds.
+    pub job_p95_us: u64,
+    /// 99th-percentile per-job latency, microseconds.
+    pub job_p99_us: u64,
+    /// Maximum per-job latency, microseconds.
+    pub job_max_us: u64,
+    /// Workers that recorded jobs.
+    pub workers: u64,
+    /// Fewest jobs any worker executed.
+    pub worker_jobs_min: u64,
+    /// Most jobs any worker executed.
+    pub worker_jobs_max: u64,
+    /// Busiest worker's share relative to a perfect split (1.0 = balanced).
+    pub balance_ratio: f64,
+    /// Jobs claimed from a sibling worker's span.
+    pub steals: u64,
+    /// Times a worker parked dry before a boundary.
+    pub parks: u64,
+    /// Cumulative checkpoint meters at the last sample.
+    pub checkpoint: CheckpointMeter,
+    /// Checkpoint wall time as a share of stage wall time, percent.
+    pub checkpoint_overhead_pct: f64,
+    /// Final cumulative deterministic counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// The run-health report `malvert health` prints: one [`StageHealth`] per
+/// stage, in first-sample order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Per-stage summaries.
+    pub stages: Vec<StageHealth>,
+}
+
+impl HealthReport {
+    /// Distills the report from a sample series (samples may be stripped —
+    /// wall-derived figures then report as zero).
+    pub fn from_samples(samples: &[MetricsSample]) -> HealthReport {
+        let mut order: Vec<&str> = Vec::new();
+        for s in samples {
+            if !order.contains(&s.det.stage.as_str()) {
+                order.push(&s.det.stage);
+            }
+        }
+        let stages = order
+            .into_iter()
+            .map(|stage| {
+                let series: Vec<&MetricsSample> =
+                    samples.iter().filter(|s| s.det.stage == stage).collect();
+                Self::stage_health(stage, &series)
+            })
+            .collect();
+        HealthReport { stages }
+    }
+
+    fn stage_health(stage: &str, series: &[&MetricsSample]) -> StageHealth {
+        let last = series.last().expect("stage has at least one sample");
+        let wall = last.wall.as_ref();
+        // Instantaneous throughput per sample from cumulative deltas.
+        let mut rate_min = f64::INFINITY;
+        let mut rate_max = 0.0f64;
+        let mut prev: Option<(u64, u64)> = None;
+        for (s, w) in series
+            .iter()
+            .filter_map(|s| s.wall.as_ref().map(|w| (s, w)))
+        {
+            if let Some((jobs, us)) = prev {
+                let djobs = s.det.jobs_done.saturating_sub(jobs) as f64;
+                let dsecs = (w.stage_elapsed_us.saturating_sub(us)) as f64 / 1e6;
+                if dsecs > 0.0 {
+                    let rate = djobs / dsecs;
+                    rate_min = rate_min.min(rate);
+                    rate_max = rate_max.max(rate);
+                }
+            }
+            prev = Some((s.det.jobs_done, w.stage_elapsed_us));
+        }
+        if !rate_min.is_finite() {
+            rate_min = wall.map(|w| w.jobs_per_sec).unwrap_or(0.0);
+            rate_max = rate_min;
+        }
+        let balance = wall.map(|w| w.balance.clone()).unwrap_or_default();
+        let workers = balance.worker_jobs.len() as u64;
+        let jobs_sum: u64 = balance.worker_jobs.iter().sum();
+        let worker_jobs_min = balance.worker_jobs.iter().copied().min().unwrap_or(0);
+        let worker_jobs_max = balance.worker_jobs.iter().copied().max().unwrap_or(0);
+        let balance_ratio = if workers > 0 && jobs_sum > 0 {
+            worker_jobs_max as f64 / (jobs_sum as f64 / workers as f64)
+        } else {
+            1.0
+        };
+        let checkpoint = wall.map(|w| w.checkpoint.clone()).unwrap_or_default();
+        let wall_us = wall.map(|w| w.stage_elapsed_us).unwrap_or(0);
+        let checkpoint_overhead_pct = if wall_us > 0 {
+            checkpoint.wall_us as f64 * 100.0 / wall_us as f64
+        } else {
+            0.0
+        };
+        StageHealth {
+            stage: stage.to_string(),
+            samples: series.len() as u64,
+            shards_done: last.det.shard,
+            shards_total: last.det.shards_total,
+            jobs_done: last.det.jobs_done,
+            jobs_total: last.det.jobs_total,
+            wall_us,
+            jobs_per_sec: wall.map(|w| w.jobs_per_sec).unwrap_or(0.0),
+            jobs_per_sec_min: rate_min,
+            jobs_per_sec_max: rate_max,
+            job_p50_us: wall.map(|w| w.job_hist.quantile_us(0.50)).unwrap_or(0),
+            job_p95_us: wall.map(|w| w.job_hist.quantile_us(0.95)).unwrap_or(0),
+            job_p99_us: wall.map(|w| w.job_hist.quantile_us(0.99)).unwrap_or(0),
+            job_max_us: wall.map(|w| w.job_hist.max_us()).unwrap_or(0),
+            workers,
+            worker_jobs_min,
+            worker_jobs_max,
+            balance_ratio,
+            steals: balance.steals,
+            parks: balance.parks,
+            checkpoint,
+            checkpoint_overhead_pct,
+            counters: last.det.counters.clone(),
+        }
+    }
+
+    /// The human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.stages.is_empty() {
+            out.push_str("run health: no samples\n");
+            return out;
+        }
+        let total_samples: u64 = self.stages.iter().map(|s| s.samples).sum();
+        let _ = writeln!(
+            out,
+            "run health: {} stage(s), {} boundary sample(s)",
+            self.stages.len(),
+            total_samples
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "\n[{}] {}/{} shards · {}/{} jobs · {} wall · {:.0} jobs/s (range {:.0}–{:.0})",
+                s.stage,
+                s.shards_done,
+                s.shards_total,
+                s.jobs_done,
+                s.jobs_total,
+                human_duration_us(s.wall_us),
+                s.jobs_per_sec,
+                s.jobs_per_sec_min,
+                s.jobs_per_sec_max,
+            );
+            let _ = writeln!(
+                out,
+                "  latency: p50 {}µs · p95 {}µs · p99 {}µs · max {}µs",
+                s.job_p50_us, s.job_p95_us, s.job_p99_us, s.job_max_us
+            );
+            let _ = writeln!(
+                out,
+                "  workers: {} · balance {:.2}x (min {} / max {} jobs) · {} steals · {} parks",
+                s.workers, s.balance_ratio, s.worker_jobs_min, s.worker_jobs_max, s.steals, s.parks
+            );
+            if s.checkpoint.writes > 0 {
+                let _ = writeln!(
+                    out,
+                    "  checkpoints: {} writes · {} bytes · {} ({:.2}% of stage wall)",
+                    s.checkpoint.writes,
+                    s.checkpoint.bytes,
+                    human_duration_us(s.checkpoint.wall_us),
+                    s.checkpoint_overhead_pct
+                );
+            } else {
+                out.push_str("  checkpoints: none\n");
+            }
+            if !s.counters.is_empty() {
+                let counters: Vec<String> =
+                    s.counters.iter().map(|(k, v)| format!("{k} {v}")).collect();
+                let _ = writeln!(out, "  counters: {}", counters.join(" · "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let worker = reg.for_worker();
+        assert!(worker.start().is_none());
+        worker.record_visit(None);
+        let sampler = reg.stage("crawl", 0, 100, 10, false);
+        assert!(!sampler.is_enabled());
+        sampler.sample(1, 10, BTreeMap::new(), EngineBalance::default());
+        reg.checkpoint_written(100, Duration::from_millis(1));
+        assert!(reg.collect().is_empty());
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        for us in [0, 1, 2, 3, 100, 4096, 1_000_000] {
+            atomic.record_us(us);
+            plain.record_us(us);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn samples_strip_and_round_trip() {
+        let reg = MetricsRegistry::new();
+        let worker = reg.for_worker();
+        let t = worker.start();
+        worker.record_visit(t);
+        let sampler = reg.stage("crawl", 0, 100, 25, false);
+        reg.checkpoint_written(2048, Duration::from_micros(500));
+        let mut counters = BTreeMap::new();
+        counters.insert("page_loads".to_string(), 25);
+        sampler.sample(
+            1,
+            25,
+            counters,
+            EngineBalance {
+                steals: 2,
+                parks: 3,
+                worker_jobs: vec![13, 12],
+            },
+        );
+        let log = reg.collect();
+        assert_eq!(log.len(), 1);
+        let sample = &log.samples()[0];
+        assert_eq!(sample.det.shards_total, 4);
+        let wall = sample.wall.as_ref().expect("live sample has an envelope");
+        assert_eq!(wall.checkpoint.writes, 1);
+        assert_eq!(wall.checkpoint.bytes, 2048);
+        assert_eq!(wall.balance.steals, 2);
+        assert_eq!(wall.job_hist.count(), 1);
+
+        // JSONL round-trips, and the stripped stream has no wall key.
+        let back = MetricsLog::from_jsonl(&log.to_jsonl()).expect("jsonl parses");
+        assert_eq!(&back, &log);
+        let det = log.deterministic_jsonl();
+        assert!(!det.contains("\"wall\""), "stripped stream leaks wall data");
+        let stripped = MetricsLog::from_jsonl(&det).expect("stripped jsonl parses");
+        assert!(stripped.samples()[0].wall.is_none());
+    }
+
+    #[test]
+    fn health_report_distills_the_series() {
+        let reg = MetricsRegistry::new();
+        let worker = reg.for_worker();
+        for us in [100u64, 200, 400, 800] {
+            let shard = worker.shard.as_ref().unwrap();
+            shard.visit.record_us(us);
+        }
+        let sampler = reg.stage("crawl", 0, 40, 20, false);
+        reg.checkpoint_written(1000, Duration::from_micros(200));
+        for (shard, done) in [(1u64, 20u64), (2, 40)] {
+            sampler.sample(
+                shard,
+                done,
+                BTreeMap::from([("errors_total".to_string(), shard)]),
+                EngineBalance {
+                    steals: shard,
+                    parks: 0,
+                    worker_jobs: vec![done / 2, done / 2],
+                },
+            );
+        }
+        let report = reg.collect().health();
+        assert_eq!(report.stages.len(), 1);
+        let s = &report.stages[0];
+        assert_eq!(s.stage, "crawl");
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.shards_done, 2);
+        assert_eq!(s.jobs_done, 40);
+        assert_eq!(s.steals, 2);
+        assert_eq!(s.workers, 2);
+        assert!((s.balance_ratio - 1.0).abs() < 1e-9, "even split balances");
+        assert!(s.job_p50_us > 0 && s.job_p95_us >= s.job_p50_us);
+        assert_eq!(s.checkpoint.writes, 1);
+        assert!(s.checkpoint_overhead_pct > 0.0);
+        assert_eq!(s.counters["errors_total"], 2);
+        let rendered = report.render();
+        assert!(rendered.contains("[crawl]"));
+        assert!(rendered.contains("p95"));
+        assert!(rendered.contains("balance"));
+
+        // The report itself serializes (the bench-json hook writes it).
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: HealthReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn checkpoint_meters_are_per_stage() {
+        let reg = MetricsRegistry::new();
+        let crawl = reg.stage("crawl", 0, 10, 5, false);
+        reg.checkpoint_written(100, Duration::from_micros(50));
+        crawl.sample(1, 5, BTreeMap::new(), EngineBalance::default());
+        let classify = reg.stage("classify", 0, 10, 5, false);
+        reg.checkpoint_written(200, Duration::from_micros(70));
+        classify.sample(1, 5, BTreeMap::new(), EngineBalance::default());
+        let log = reg.collect();
+        let first = log.samples()[0].wall.as_ref().unwrap();
+        let second = log.samples()[1].wall.as_ref().unwrap();
+        assert_eq!(first.checkpoint.bytes, 100);
+        assert_eq!(second.checkpoint.writes, 1);
+        assert_eq!(
+            second.checkpoint.bytes, 200,
+            "a stage meters only its own checkpoint writes"
+        );
+    }
+
+    #[test]
+    fn stripped_series_health_keeps_deterministic_figures() {
+        let reg = MetricsRegistry::new();
+        let sampler = reg.stage("classify", 0, 10, 5, false);
+        sampler.sample(1, 5, BTreeMap::new(), EngineBalance::default());
+        sampler.sample(2, 10, BTreeMap::new(), EngineBalance::default());
+        let stripped =
+            MetricsLog::from_jsonl(&reg.collect().deterministic_jsonl()).expect("parses");
+        let report = stripped.health();
+        let s = &report.stages[0];
+        assert_eq!(s.jobs_done, 10);
+        assert_eq!(s.shards_done, 2);
+        assert_eq!(s.wall_us, 0, "stripped series has no wall clock");
+        assert_eq!(s.job_p95_us, 0);
+    }
+
+    #[test]
+    fn heartbeat_renders_progress_fields() {
+        let reg = MetricsRegistry::new();
+        let sampler = reg.stage("crawl", 0, 200, 50, false);
+        sampler.sample(
+            1,
+            50,
+            BTreeMap::from([("errors_total".to_string(), 7)]),
+            EngineBalance {
+                steals: 4,
+                parks: 1,
+                worker_jobs: vec![25, 25],
+            },
+        );
+        let line = render_heartbeat(&reg.collect().samples()[0]);
+        assert!(line.starts_with("[crawl] shard 1/4"));
+        assert!(line.contains("50/200 jobs (25%)"));
+        assert!(line.contains("jobs/s"));
+        assert!(line.contains("eta"));
+        assert!(line.contains("4 steals"));
+        assert!(line.contains("7 errors"));
+    }
+}

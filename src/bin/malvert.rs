@@ -4,8 +4,11 @@
 //! malvert run   [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH] [--summary PATH]
 //!               [--trace DIR] [--faults none|light|heavy] [--checkpoint DIR] [--resume DIR]
 //!               [--checkpoint-every N] [--shard N] [--abort-after-shards N]
+//!               [--metrics-out DIR] [--progress]
 //! malvert trace EVENTS.JSONL [--top N]
-//! malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH] [--urls N] [--iters N]
+//! malvert health METRICS.JSONL|DIR
+//! malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH] [--health-out PATH]
+//!               [--urls N] [--iters N]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -18,7 +21,7 @@ use malvertising::core::world::StudyWorld;
 use malvertising::core::{analysis, easylist, report};
 use malvertising::engine::SnapshotStore;
 use malvertising::oracle::Oracle;
-use malvertising::trace::{TraceCollector, TraceReport};
+use malvertising::trace::{MetricsLog, MetricsRegistry, TraceCollector, TraceReport};
 use malvertising::types::rng::SeedTree;
 use malvertising::types::{AdNetworkId, CrawlSchedule, SimTime};
 use malvertising::websim::WebConfig;
@@ -32,10 +35,15 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `trace` takes a positional path, which the generic flag parser
-    // rejects — dispatch it before parsing.
-    if command == "trace" {
-        return match cmd_trace(rest) {
+    // `trace` and `health` take positional paths, which the generic flag
+    // parser rejects — dispatch them before parsing.
+    if command == "trace" || command == "health" {
+        let result = if command == "trace" {
+            cmd_trace(rest)
+        } else {
+            cmd_health(rest)
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -81,7 +89,8 @@ USAGE:
   malvert run      [--seed N] [--days N] [--refreshes N] [--workers N] [--json PATH]
                    [--summary PATH] [--trace DIR] [--faults none|light|heavy]
                    [--checkpoint DIR] [--resume DIR] [--checkpoint-every N]
-                   [--shard N] [--abort-after-shards N]
+                   [--shard N] [--abort-after-shards N] [--metrics-out DIR]
+                   [--progress]
                    run the full study and print every table and figure plus
                    the run metrics; emits the RunSummary JSON on stdout
                    (--summary streams it pretty-printed to a file; --trace
@@ -94,19 +103,27 @@ USAGE:
                    byte-identical to an uninterrupted run — flags omitted on
                    resume default to the recipe recorded in the directory;
                    --abort-after-shards parks the run deterministically, the
-                   kill/resume testing hook)
+                   kill/resume testing hook; --metrics-out samples run-health
+                   metrics at every shard boundary into DIR/metrics.jsonl,
+                   and --progress renders a live stderr heartbeat per shard)
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
+  malvert health   METRICS.JSONL|DIR
+                   distill a run-health time-series (from --metrics-out, a
+                   file or its directory): per-stage latency percentiles,
+                   throughput over time, checkpoint overhead, worker balance
   malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH]
-                   [--urls N] [--iters N]
+                   [--health-out PATH] [--urls N] [--iters N]
                    time the indexed filter engine against the naive scan on
                    synthetic rule lists (100/1k/10k rules) and the script
                    compile cache against cold compiles on synthetic
                    creatives; writes machine-readable results (defaults
                    BENCH_filterlist.json and BENCH_adscript.json); with
                    --study-out, also time the end-to-end pipelined study on
-                   two corpus scales and write BENCH_study-style JSON
+                   two corpus scales and write BENCH_study-style JSON; with
+                   --health-out, run a metered checkpointed study and write
+                   its shards/sec and checkpoint-overhead figures as JSON
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -122,6 +139,9 @@ USAGE:
   malvert graph    [--seed N] [--days N] [--out PATH]
                    export the observed arbitration economy as Graphviz DOT";
 
+/// Flags that take no value; their presence maps to `"true"`.
+const BOOLEAN_FLAGS: &[&str] = &["progress"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
@@ -129,6 +149,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -226,6 +250,13 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(collector) = &collector {
         builder = builder.trace(collector.sink());
     }
+    // The heartbeat feeds on boundary samples, so `--progress` alone still
+    // enables the registry; it just isn't persisted without --metrics-out.
+    let progress = flags.contains_key("progress");
+    let metrics = (flags.contains_key("metrics-out") || progress).then(MetricsRegistry::new);
+    if let Some(metrics) = &metrics {
+        builder = builder.metrics(metrics.clone()).progress(progress);
+    }
     if let Some(dir) = flags.get("checkpoint") {
         builder = builder.checkpoint(dir);
     }
@@ -261,6 +292,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let results = match study.try_run() {
         Some(results) => results,
         None => {
+            // A parked run still persists its partial time-series, so
+            // `malvert health` can diagnose a killed run from what it wrote.
+            if let (Some(dir), Some(metrics)) = (flags.get("metrics-out"), &metrics) {
+                write_metrics_jsonl(dir, metrics)?;
+            }
             let dir = checkpoint_dir.as_deref().unwrap_or("<checkpoint dir>");
             eprintln!(
                 "run parked at a checkpoint boundary; continue with: malvert run --resume {dir}"
@@ -331,11 +367,26 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         eprintln!("wrote {path}");
     }
     if let Some(path) = flags.get("json") {
-        let json = serde_json::to_string_pretty(&results.ads)
-            .map_err(|e| format!("serialize: {e}"))?;
+        let json =
+            serde_json::to_string_pretty(&results.ads).map_err(|e| format!("serialize: {e}"))?;
         std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path} ({} bytes)", json.len());
     }
+    if let (Some(dir), Some(metrics)) = (flags.get("metrics-out"), &metrics) {
+        write_metrics_jsonl(dir, metrics)?;
+    }
+    Ok(())
+}
+
+/// Writes the registry's boundary samples as `DIR/metrics.jsonl` — one
+/// sample per line, wall-clock envelope included (strip with
+/// [`MetricsLog::deterministic_jsonl`] for byte-comparable series).
+fn write_metrics_jsonl(dir: &str, metrics: &MetricsRegistry) -> Result<(), String> {
+    let log = metrics.collect();
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let path = std::path::Path::new(dir).join("metrics.jsonl");
+    std::fs::write(&path, log.to_jsonl()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!("wrote {} ({} samples)", path.display(), log.len());
     Ok(())
 }
 
@@ -448,7 +499,11 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("synthetic script {i} fails precompiled: {e}"))?;
         match (cold.get_global("out"), warm.get_global("out")) {
             (Some(a), Some(b)) if a.strict_eq(b) => {}
-            _ => return Err(format!("cached/uncached divergence on synthetic script {i}")),
+            _ => {
+                return Err(format!(
+                    "cached/uncached divergence on synthetic script {i}"
+                ))
+            }
         }
     }
 
@@ -466,7 +521,11 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
         for src in &scripts {
             let script = cache.compile(src).expect("checked in warm-up pass");
             let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
-            std::hint::black_box(interp.run_program(&script).expect("checked in warm-up pass"));
+            std::hint::black_box(
+                interp
+                    .run_program(&script)
+                    .expect("checked in warm-up pass"),
+            );
         }
     }
     let warm_ns = started.elapsed().as_nanos() as f64;
@@ -554,6 +613,74 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(study_out, &json).map_err(|e| format!("write {study_out}: {e}"))?;
         eprintln!("wrote {study_out} ({} bytes)", json.len());
     }
+
+    // Run-health figures (opt-in via --health-out): one metered,
+    // checkpointed study on the default bench scale, distilled to the
+    // shards/sec and checkpoint-overhead numbers worth tracking over time.
+    if let Some(health_out) = flags.get("health-out") {
+        let metrics = MetricsRegistry::new();
+        let ckpt =
+            std::env::temp_dir().join(format!("malvert-bench-health-{}", std::process::id()));
+        let study = Study::builder()
+            .seed(2014)
+            .web(WebConfig {
+                ranking_universe: 10_000,
+                top_slice: 30,
+                bottom_slice: 30,
+                random_slice: 50,
+                security_feed: 20,
+                ad_network_count: 40,
+                sandbox_adoption: 0.0,
+            })
+            .schedule(CrawlSchedule::scaled(4, 2))
+            .workers(8)
+            .checkpoint(ckpt.clone())
+            .metrics(metrics.clone())
+            .build()?;
+        let started = Instant::now();
+        let results = study.run();
+        let wall = started.elapsed();
+        std::fs::remove_dir_all(&ckpt).ok();
+        let health = metrics.collect().health();
+        let mut stages = Vec::new();
+        for s in &health.stages {
+            let shards_per_sec = s.shards_done as f64 / (s.wall_us as f64 / 1e6).max(1e-9);
+            eprintln!(
+                "health/{}: {} shards ({shards_per_sec:.1} shards/s), \
+                 {:.0} jobs/s, checkpoint overhead {:.2}%",
+                s.stage, s.shards_done, s.jobs_per_sec, s.checkpoint_overhead_pct
+            );
+            stages.push(serde_json::json!({
+                "stage": s.stage,
+                "shards": s.shards_done,
+                "jobs": s.jobs_done,
+                "shards_per_sec": shards_per_sec,
+                "jobs_per_sec": s.jobs_per_sec,
+                "job_p50_us": s.job_p50_us,
+                "job_p95_us": s.job_p95_us,
+                "checkpoint_writes": s.checkpoint.writes,
+                "checkpoint_bytes": s.checkpoint.bytes,
+                "checkpoint_overhead_pct": s.checkpoint_overhead_pct,
+                "balance_ratio": s.balance_ratio,
+                "steals": s.steals,
+            }));
+        }
+        let report = serde_json::json!({
+            "bench": "study_health",
+            "workload": {
+                "seed": 2014,
+                "days": 4,
+                "refreshes": 2,
+                "workers": 8,
+                "page_loads": results.page_loads,
+            },
+            "wall_ms": wall.as_secs_f64() * 1e3,
+            "stages": stages,
+        });
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(health_out, &json).map_err(|e| format!("write {health_out}: {e}"))?;
+        eprintln!("wrote {health_out} ({} bytes)", json.len());
+    }
     Ok(())
 }
 
@@ -583,6 +710,32 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     let report = TraceReport::from_jsonl(&text).map_err(|e| format!("parse {path}: {e}"))?;
     print!("{}", report.render_summary(top));
+    Ok(())
+}
+
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    for arg in args {
+        if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}` for `malvert health`"));
+        }
+        if path.replace(arg.clone()).is_some() {
+            return Err("malvert health takes exactly one metrics.jsonl path or directory".into());
+        }
+    }
+    let path = path.ok_or("usage: malvert health METRICS.JSONL|DIR")?;
+    let mut file = std::path::PathBuf::from(&path);
+    if file.is_dir() {
+        file.push("metrics.jsonl");
+    }
+    let text =
+        std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+    let log =
+        MetricsLog::from_jsonl(&text).map_err(|e| format!("parse {}: {e}", file.display()))?;
+    if log.is_empty() {
+        return Err(format!("{} holds no samples", file.display()));
+    }
+    print!("{}", log.health().render());
     Ok(())
 }
 
@@ -638,7 +791,10 @@ fn cmd_graph(flags: &HashMap<String, String>) -> Result<(), String> {
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &dot).map_err(|e| format!("write {path}: {e}"))?;
-            eprintln!("wrote {path} ({} bytes); render with `dot -Tsvg {path}`", dot.len());
+            eprintln!(
+                "wrote {path} ({} bytes); render with `dot -Tsvg {path}`",
+                dot.len()
+            );
         }
         None => println!("{dot}"),
     }
@@ -724,9 +880,12 @@ fn cmd_creative(flags: &HashMap<String, String>) -> Result<(), String> {
     let variant = flag(flags, "variant", 0u32)?;
     let world = AdWorld::generate(SeedTree::new(seed), &AdWorldConfig::default());
     let campaigns = world.campaigns();
-    let c = campaigns
-        .get(campaign)
-        .ok_or_else(|| format!("--campaign {campaign} out of range (0..{})", campaigns.len()))?;
+    let c = campaigns.get(campaign).ok_or_else(|| {
+        format!(
+            "--campaign {campaign} out of range (0..{})",
+            campaigns.len()
+        )
+    })?;
     eprintln!(
         "campaign {} ({}): {:?}, bid {:.2}, active from day {}",
         c.id, c.advertiser, c.behavior, c.bid, c.active_from
@@ -764,7 +923,10 @@ fn deobfuscate_creative(markup: &str) {
         let result = interp.run(&src);
         if !interp.eval_trace.is_empty() {
             any = true;
-            eprintln!("\n=== deobfuscation trace ({} eval layer(s)) ===", interp.eval_trace.len());
+            eprintln!(
+                "\n=== deobfuscation trace ({} eval layer(s)) ===",
+                interp.eval_trace.len()
+            );
             for (i, layer) in interp.eval_trace.iter().enumerate() {
                 eprintln!("--- layer {} ---", i + 1);
                 eprintln!("{layer}");
@@ -799,7 +961,12 @@ fn cmd_world(flags: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "web: {} sites ({} with ad slots, {} total slots)",
         world.web.sites.len(),
-        world.web.sites.iter().filter(|s| !s.ad_slots.is_empty()).count(),
+        world
+            .web
+            .sites
+            .iter()
+            .filter(|s| !s.ad_slots.is_empty())
+            .count(),
         world.web.total_ad_slots()
     );
     println!("ad networks: {}", world.ads.networks().len());
@@ -813,7 +980,10 @@ fn cmd_world(flags: &HashMap<String, String>) -> Result<(), String> {
             if n.is_hotspot { "  <-- hotspot" } else { "" }
         );
     }
-    println!("  ... ({} more)", world.ads.networks().len().saturating_sub(8));
+    println!(
+        "  ... ({} more)",
+        world.ads.networks().len().saturating_sub(8)
+    );
     let malicious = world
         .ads
         .campaigns()

@@ -136,13 +136,97 @@ fn trace_summarizes_an_event_stream() {
         .args(["trace", path.to_str().unwrap(), "--top", "5"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("trace: 3 events (2 spans, 1 incident records)"), "{text}");
+    assert!(
+        text.contains("trace: 3 events (2 spans, 1 incident records)"),
+        "{text}"
+    );
     assert!(text.contains("slowest spans:"));
     assert!(text.contains("per-worker skew"));
-    assert!(text.contains("component blacklists, hop 1, feeds[2]"), "{text}");
+    assert!(
+        text.contains("component blacklists, hop 1, feeds[2]"),
+        "{text}"
+    );
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_with_metrics_then_health_reports() {
+    // End-to-end over the run-health layer: a metered run writes one
+    // JSONL sample per shard boundary, and `malvert health` distills it.
+    let dir = std::env::temp_dir().join(format!("malvert-test-{}-metrics", std::process::id()));
+    let out = malvert()
+        .args([
+            "run",
+            "--seed",
+            "2026",
+            "--days",
+            "1",
+            "--refreshes",
+            "1",
+            "--workers",
+            "4",
+            "--shard",
+            "128",
+            "--progress",
+            "--metrics-out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let jsonl = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("metrics written");
+    let mut stages = std::collections::BTreeSet::new();
+    for line in jsonl.lines() {
+        let sample: serde_json::Value = serde_json::from_str(line).expect("valid JSONL sample");
+        assert!(sample["det"]["shard"].as_u64().unwrap() >= 1);
+        assert!(
+            sample["wall"]["ts_us"].as_u64().is_some(),
+            "live sample lacks wall envelope"
+        );
+        stages.insert(sample["det"]["stage"].as_str().unwrap().to_string());
+    }
+    assert!(
+        stages.contains("crawl") && stages.contains("classify"),
+        "{stages:?}"
+    );
+
+    // The heartbeat rode stderr during the run.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("crawl"), "no heartbeat on stderr: {err}");
+
+    // `health` accepts the directory and prints per-stage digests.
+    let out = malvert()
+        .args(["health", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[crawl]"), "{text}");
+    assert!(text.contains("[classify]"), "{text}");
+    assert!(text.contains("p50"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn health_without_a_path_fails() {
+    let out = malvert().arg("health").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("METRICS.JSONL"));
 }
 
 #[test]
@@ -172,7 +256,11 @@ fn bench_json_writes_machine_readable_reports() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&out_path).expect("report written");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
     assert_eq!(parsed["bench"], "filterlist");
@@ -229,7 +317,11 @@ fn bench_json_study_out_times_the_pipeline() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&study_path).expect("study report written");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
     assert_eq!(parsed["bench"], "study");
@@ -265,7 +357,11 @@ fn scan_reports_and_writes_har() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("hosts contacted"));
     assert!(text.contains("verdict:"));

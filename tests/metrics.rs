@@ -1,8 +1,11 @@
 //! RunMetrics/RunSummary integration: the instrumentation layer agrees
-//! with the study results it describes.
+//! with the study results it describes, and the run-health time-series
+//! keeps the same determinism discipline as the trace stream.
 
 use malvertising::core::metrics::{RunSummary, StageId};
 use malvertising::core::study::{Study, StudyConfig, StudyResults};
+use malvertising::net::FaultProfile;
+use malvertising::trace::{MetricsLog, MetricsRegistry};
 use std::sync::OnceLock;
 
 /// One shared tiny study for the whole file.
@@ -48,8 +51,8 @@ fn counters_consistent_with_results() {
     assert_eq!(c.unique_ads as usize, results.unique_ads());
     assert_eq!(c.ads_observed, results.total_observations);
     assert_eq!(c.page_loads, results.page_loads);
-    let expected_loads = study.config.web.total_sites() as u64
-        * study.config.crawl.schedule.loads_per_site();
+    let expected_loads =
+        study.config.web.total_sites() as u64 * study.config.crawl.schedule.loads_per_site();
     assert_eq!(c.page_loads, expected_loads);
     // Exactly one honeyclient execution per unique ad, and each one queries
     // the feeds for at least its own serve host.
@@ -97,4 +100,163 @@ fn summary_mirrors_results() {
     assert_eq!(summary.timings, results.metrics.timings());
     // The legacy accessor is the typed summary's JSON.
     assert_eq!(results.summary_json(), summary.to_json());
+}
+
+/// Runs a tiny study with a live registry attached and returns the
+/// boundary time-series plus the classified corpus.
+fn metered_run(seed: u64, workers: usize, faults: Option<&str>) -> (MetricsLog, StudyResults) {
+    let mut config = StudyConfig::tiny(seed);
+    config.crawl.workers = workers;
+    let metrics = MetricsRegistry::new();
+    let study = Study::builder()
+        .config(config)
+        .faults(faults.map(|name| FaultProfile::named(name).expect("known profile")))
+        .metrics(metrics.clone())
+        .build()
+        .expect("no resume requested");
+    let results = study.run();
+    (metrics.collect(), results)
+}
+
+#[test]
+fn metrics_deterministic_payload_identical_across_worker_counts() {
+    // The run-health series follows the trace discipline: stripping the
+    // wall-clock envelope leaves a payload that is a pure function of the
+    // study seed, byte-identical between a sequential and an 8-worker run.
+    let (a, a_results) = metered_run(808, 1, None);
+    let (b, b_results) = metered_run(808, 8, None);
+    assert!(!a.is_empty(), "no boundary samples recorded");
+    assert_eq!(
+        a.deterministic_jsonl(),
+        b.deterministic_jsonl(),
+        "stripped metrics diverge across worker counts"
+    );
+    // Metering is pure observation: the classified corpora agree too.
+    assert_eq!(
+        serde_json::to_string(&a_results.ads).unwrap(),
+        serde_json::to_string(&b_results.ads).unwrap()
+    );
+}
+
+#[test]
+fn metrics_deterministic_payload_survives_heavy_faults() {
+    // Fault injection is seed-deterministic, so the retry/degradation
+    // counters in the samples stay scheduling-free as well.
+    let (a, _) = metered_run(909, 1, Some("heavy"));
+    let (b, _) = metered_run(909, 8, Some("heavy"));
+    assert!(!a.is_empty(), "no boundary samples recorded");
+    assert_eq!(
+        a.deterministic_jsonl(),
+        b.deterministic_jsonl(),
+        "stripped metrics diverge under heavy faults"
+    );
+    // Heavy faults actually show up in the deterministic error counters.
+    let errors: u64 = a
+        .samples()
+        .iter()
+        .filter_map(|s| s.det.counters.get("errors_total"))
+        .copied()
+        .max()
+        .unwrap_or(0);
+    assert!(
+        errors > 0,
+        "heavy faults left no trace in the error counters"
+    );
+}
+
+#[test]
+fn stripping_removes_every_wall_clock_field() {
+    let (log, _) = metered_run(1010, 4, None);
+    assert!(!log.is_empty());
+    // The live series carries a wall envelope on every sample...
+    for sample in log.samples() {
+        let wall = sample.wall.as_ref().expect("live sample without envelope");
+        assert!(wall.stage_elapsed_us > 0 || wall.jobs_per_sec >= 0.0);
+        assert!(sample.stripped().wall.is_none());
+    }
+    // ...and the deterministic rendering serializes none of it.
+    let det = log.deterministic_jsonl();
+    for field in [
+        "\"wall\"",
+        "ts_us",
+        "stage_elapsed_us",
+        "jobs_per_sec",
+        "eta_us",
+        "job_hist",
+        "checkpoint",
+        "balance",
+    ] {
+        assert!(
+            !det.contains(field),
+            "wall-clock field {field} survived stripping"
+        );
+    }
+    // Round trip: the stripped series parses back sample-for-sample.
+    let back = MetricsLog::from_jsonl(&det).expect("stripped series parses");
+    assert_eq!(back.len(), log.len());
+    for (a, b) in back.samples().iter().zip(log.samples()) {
+        assert_eq!(a.det, b.det);
+    }
+}
+
+#[test]
+fn samples_cover_every_shard_boundary_in_order() {
+    let (log, results) = metered_run(1111, 4, None);
+    let stages: Vec<&str> = log.samples().iter().map(|s| s.det.stage.as_str()).collect();
+    let crawl_samples = stages.iter().filter(|s| **s == "crawl").count() as u64;
+    let classify_samples = stages.iter().filter(|s| **s == "classify").count() as u64;
+    assert!(crawl_samples > 0 && classify_samples > 0);
+    // Crawl samples come before classify samples, shard counters ascend,
+    // and the final sample of each stage covers the whole index space.
+    let first_classify = stages.iter().position(|s| *s == "classify").unwrap();
+    assert!(stages[..first_classify].iter().all(|s| *s == "crawl"));
+    assert!(stages[first_classify..].iter().all(|s| *s == "classify"));
+    for stage in ["crawl", "classify"] {
+        let of_stage: Vec<_> = log
+            .samples()
+            .iter()
+            .filter(|s| s.det.stage == stage)
+            .collect();
+        for (i, s) in of_stage.iter().enumerate() {
+            assert_eq!(s.det.shard, i as u64 + 1, "shard numbering gap in {stage}");
+            assert_eq!(s.det.shards_total, of_stage.len() as u64);
+        }
+        let last = of_stage.last().unwrap();
+        assert_eq!(last.det.jobs_done, last.det.jobs_total);
+    }
+    let last_crawl = log
+        .samples()
+        .iter()
+        .filter(|s| s.det.stage == "crawl")
+        .next_back()
+        .unwrap();
+    assert_eq!(last_crawl.det.jobs_total, results.page_loads);
+    assert_eq!(
+        last_crawl.det.counters["unique_ads"] as usize,
+        results.unique_ads()
+    );
+}
+
+#[test]
+fn health_report_matches_the_corpus() {
+    let (log, results) = metered_run(1212, 4, None);
+    let health = log.health();
+    assert_eq!(health.stages.len(), 2);
+    let crawl = &health.stages[0];
+    let classify = &health.stages[1];
+    assert_eq!(crawl.stage, "crawl");
+    assert_eq!(classify.stage, "classify");
+    assert_eq!(crawl.jobs_done, results.page_loads);
+    assert_eq!(classify.jobs_done, results.unique_ads() as u64);
+    // 4 workers parked once per shard, each job ran exactly once.
+    assert_eq!(crawl.workers, 4);
+    assert_eq!(crawl.parks, crawl.shards_done * 4);
+    assert!(crawl.worker_jobs_min <= crawl.worker_jobs_max);
+    assert!(crawl.jobs_per_sec > 0.0);
+    assert!(crawl.balance_ratio >= 1.0);
+    // The rendered report names both stages and the headline figures.
+    let rendered = health.render();
+    assert!(rendered.contains("[crawl]"));
+    assert!(rendered.contains("[classify]"));
+    assert!(rendered.contains("p50"));
 }

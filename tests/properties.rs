@@ -44,31 +44,25 @@ fn arb_filter_rule() -> impl Strategy<Value = String> {
 /// program funnels its state into the `out` global so two runs can be
 /// compared by a single observation.
 fn arb_adscript_program() -> impl Strategy<Value = String> {
-    (
-        0i32..100,
-        prop::collection::vec((0u8..6, 0i32..9), 1..12),
-    )
-        .prop_map(|(seed, stmts)| {
-            let mut src = format!("var x = {seed}; var y = '';\n");
-            for (i, (kind, k)) in stmts.into_iter().enumerate() {
-                let stmt = match kind {
-                    0 => format!("x = x + {k};"),
-                    1 => format!("var v{i} = x * {k}; x = x + v{i};"),
-                    2 => format!(
-                        "if (x % 2 === 0) {{ y = y + 'e{k}'; }} else {{ y = y + 'o{k}'; }}"
-                    ),
-                    3 => format!("for (var i{i} = 0; i{i} < {k}; i{i}++) {{ x = x + i{i}; }}"),
-                    4 => format!(
-                        "function f{i}(a) {{ var t = a % 97; return t * {k} + 1; }} x = f{i}(x);"
-                    ),
-                    _ => format!("x = eval('x + {k}');"),
-                };
-                src.push_str(&stmt);
-                src.push('\n');
-            }
-            src.push_str("out = '' + x + ':' + y;\n");
-            src
-        })
+    (0i32..100, prop::collection::vec((0u8..6, 0i32..9), 1..12)).prop_map(|(seed, stmts)| {
+        let mut src = format!("var x = {seed}; var y = '';\n");
+        for (i, (kind, k)) in stmts.into_iter().enumerate() {
+            let stmt = match kind {
+                0 => format!("x = x + {k};"),
+                1 => format!("var v{i} = x * {k}; x = x + v{i};"),
+                2 => format!("if (x % 2 === 0) {{ y = y + 'e{k}'; }} else {{ y = y + 'o{k}'; }}"),
+                3 => format!("for (var i{i} = 0; i{i} < {k}; i{i}++) {{ x = x + i{i}; }}"),
+                4 => format!(
+                    "function f{i}(a) {{ var t = a % 97; return t * {k} + 1; }} x = f{i}(x);"
+                ),
+                _ => format!("x = eval('x + {k}');"),
+            };
+            src.push_str(&stmt);
+            src.push('\n');
+        }
+        src.push_str("out = '' + x + ':' + y;\n");
+        src
+    })
 }
 
 /// One random request URL built over the same vocabulary as the rules.
@@ -400,6 +394,53 @@ proptest! {
         let early = svc.listing_count(&d, day);
         let later = svc.listing_count(&d, day + 10);
         prop_assert!(later >= early);
+    }
+
+    // ---------- latency histograms ----------
+
+    #[test]
+    fn histogram_merge_associative_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        // Sharded metrics recording folds per-worker histograms in whatever
+        // order workers finish; the fold must not care.
+        use malvertising::trace::LogHistogram;
+        let record = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record_us(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (record(&a), record(&b), record(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge is not associative");
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge is not commutative");
+        // Any sharding equals one-shot recording.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record(&all));
+        // Quantiles on the merged histogram are total and ordered.
+        let (p0, p50, p100) = (
+            left.quantile_us(0.0),
+            left.quantile_us(0.5),
+            left.quantile_us(1.0),
+        );
+        prop_assert!(p0 <= p50 && p50 <= p100);
+        prop_assert_eq!(p100, left.max_us());
     }
 
     // ---------- cookie jar ----------

@@ -6,7 +6,10 @@
 use malvertising::core::study::{Study, StudyConfig, StudyResults};
 use malvertising::crawler::CrawlConfig;
 use malvertising::oracle::IncidentType;
-use malvertising::trace::{LogHistogram, OracleComponent, SpanKind, TraceCollector, TraceReport};
+use malvertising::trace::{
+    LogHistogram, MetricsLog, MetricsRegistry, OracleComponent, SpanKind, TraceCollector,
+    TraceReport,
+};
 use malvertising::types::CrawlSchedule;
 use malvertising::websim::WebConfig;
 use std::collections::BTreeSet;
@@ -66,6 +69,46 @@ fn stripped_trace_byte_identical_across_worker_counts() {
     assert_eq!(
         a_results.summary_with_trace(&a).without_timings().to_json(),
         b_results.summary_with_trace(&b).without_timings().to_json()
+    );
+}
+
+#[test]
+fn metered_and_traced_run_stays_deterministic() {
+    // Trace and metrics ride the same run without perturbing each other:
+    // both stripped streams stay byte-identical across worker counts, and
+    // the corpus matches a bare run of the same seed.
+    let run = |workers: usize| -> (StudyResults, TraceReport, MetricsLog) {
+        let collector = TraceCollector::new();
+        let metrics = MetricsRegistry::new();
+        let study = Study::builder()
+            .config(config(31337, workers))
+            .trace(collector.sink())
+            .metrics(metrics.clone())
+            .build()
+            .expect("no resume requested");
+        let results = study.run();
+        (results, collector.finish(), metrics.collect())
+    };
+    let (a_results, a_trace, a_metrics) = run(1);
+    let (b_results, b_trace, b_metrics) = run(8);
+    assert_eq!(a_trace.deterministic_jsonl(), b_trace.deterministic_jsonl());
+    assert_eq!(
+        a_metrics.deterministic_jsonl(),
+        b_metrics.deterministic_jsonl()
+    );
+    assert!(!a_metrics.is_empty());
+    assert_eq!(
+        serde_json::to_string(&a_results.ads).unwrap(),
+        serde_json::to_string(&b_results.ads).unwrap()
+    );
+    let bare = Study::builder()
+        .config(config(31337, 8))
+        .build()
+        .expect("no resume requested")
+        .run();
+    assert_eq!(
+        serde_json::to_string(&b_results.ads).unwrap(),
+        serde_json::to_string(&bare.ads).unwrap()
     );
 }
 
