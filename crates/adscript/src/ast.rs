@@ -9,7 +9,8 @@
 //! tree holds no `Rc`, a parsed [`Program`] is `Send + Sync` and can sit in a
 //! compilation cache shared across crawler workers.
 
-use std::sync::Arc;
+use crate::bytecode::Chunk;
+use std::sync::{Arc, OnceLock};
 
 /// An interned identifier or property name.
 pub type Name = Arc<str>;
@@ -33,6 +34,24 @@ pub struct Program {
 pub struct ScopeInfo {
     /// Slot names in slot order.
     pub names: Vec<Name>,
+    /// The slot of each parameter, in parameter order (duplicate parameter
+    /// names share the first occurrence's slot). Empty when the resolver
+    /// never ran on this scope; the interpreter then binds parameters by
+    /// name instead.
+    pub param_slots: Vec<u32>,
+    /// True only when the resolver proved the function body can never
+    /// observe the `arguments` array — no `arguments` identifier and no
+    /// mention of `eval` anywhere below it (a direct eval in a nested scope
+    /// can walk the environment chain back up at runtime). Calls then skip
+    /// materializing the array. The safe default is `false`.
+    pub arguments_unused: bool,
+    /// True only when the resolver proved that every identifier it left
+    /// unresolved in this function body binds at the global environment:
+    /// the body and every enclosing function scope are eval-free, and no
+    /// dynamic (`catch`) scope sits between the body and the global scope.
+    /// The VM then enables global-binding inline caches inside the
+    /// function's chunk. The safe default is `false`.
+    pub globals_safe: bool,
 }
 
 impl ScopeInfo {
@@ -43,7 +62,6 @@ impl ScopeInfo {
 }
 
 /// A function definition (declaration or expression).
-#[derive(Debug, Clone, PartialEq)]
 pub struct FnDef {
     /// Optional name (declarations always have one).
     pub name: Option<Name>,
@@ -53,6 +71,43 @@ pub struct FnDef {
     pub body: Arc<Vec<Stmt>>,
     /// Slot layout of the function's scope, filled by the resolution pass.
     pub scope: Arc<ScopeInfo>,
+    /// Bytecode for the body, lowered lazily on the first VM call and then
+    /// shared by every worker holding this definition. Not part of the
+    /// definition's identity: `Clone`/`PartialEq`/`Debug` ignore it.
+    pub code: OnceLock<Arc<Chunk>>,
+}
+
+impl Clone for FnDef {
+    fn clone(&self) -> Self {
+        FnDef {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            body: self.body.clone(),
+            scope: self.scope.clone(),
+            // A clone is a fresh definition identity; it re-lowers on demand.
+            code: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for FnDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.body == other.body
+            && self.scope == other.scope
+    }
+}
+
+impl std::fmt::Debug for FnDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnDef")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .field("body", &self.body)
+            .field("scope", &self.scope)
+            .finish()
+    }
 }
 
 /// Statements.
@@ -117,8 +172,9 @@ pub enum Stmt {
         /// Loop body.
         body: Box<Stmt>,
     },
-    /// `function name(...) { ... }`
-    FnDecl(FnDef),
+    /// `function name(...) { ... }` — shared so hoisting a declaration (and
+    /// making closures from it) is a reference-count bump, not a deep clone.
+    FnDecl(Arc<FnDef>),
     /// `return expr;`
     Return(Option<Expr>),
     /// `break;`
@@ -144,25 +200,52 @@ pub enum Stmt {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Add, Sub, Mul, Div, Mod,
-    EqLoose, NeLoose, EqStrict, NeStrict,
-    Lt, Gt, Le, Ge,
-    BitAnd, BitOr, BitXor, Shl, Shr, UShr,
-    Instanceof, In,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    EqLoose,
+    NeLoose,
+    EqStrict,
+    NeStrict,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+    Instanceof,
+    In,
 }
 
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum UnOp {
-    Neg, Pos, Not, Typeof, BitNot, Void, Delete,
+    Neg,
+    Pos,
+    Not,
+    Typeof,
+    BitNot,
+    Void,
+    Delete,
 }
 
 /// Assignment operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum AssignOp {
-    Assign, Add, Sub, Mul, Div, Mod,
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
 }
 
 /// Expressions.
@@ -200,8 +283,8 @@ pub enum Expr {
     Array(Vec<Expr>),
     /// `{k: v, ...}`
     Object(Vec<(Name, Expr)>),
-    /// Function expression.
-    Function(FnDef),
+    /// Function expression (shared, like [`Stmt::FnDecl`]).
+    Function(Arc<FnDef>),
     /// `target op value` where target is an lvalue.
     Assign {
         /// Assignment target.

@@ -1,0 +1,491 @@
+//! The AdScript bytecode format.
+//!
+//! A [`Chunk`] is the compact, executable form of one program body or one
+//! function body, produced by [`crate::compile`] and executed by the VM in
+//! `crate::vm`. Chunks are immutable and `Send + Sync`, so one compilation
+//! (cached in [`crate::CompiledScript`] or in a function definition's
+//! `code` slot) is shared by every crawler worker.
+//!
+//! ## Design
+//!
+//! The VM is a stack machine that *shares the tree-walk interpreter's
+//! runtime* — the same environment chain, heap, host interface, and helper
+//! methods — so semantic parity is by construction for everything the two
+//! engines share, and the bytecode only replaces the dispatch layer:
+//!
+//! * Hot statements and expressions lower to dedicated ops with
+//!   compile-time-resolved operands (constant indices, interned name
+//!   indices, local slot coordinates, inline-cache slots).
+//! * Hot op *sequences* lower to fused superinstructions:
+//!   [`Op::GetPropName`]/[`Op::SetPropName`] (identifier load + property
+//!   access), [`Op::IncName`] (statement-form `name++`), and
+//!   [`Op::BinConst`] (binary operator whose right operand folded to a
+//!   constant). Each fused op performs the exact sub-op sequence of its
+//!   unfused expansion, including the budget charges between the sub-ops.
+//! * Rare, semantically-intricate constructs (`try`/`switch`/`for..in`
+//!   statements, `new` expressions) lower to [`Op::TreeStmt`] /
+//!   [`Op::TreeExpr`], which execute the retained tree-walk code for that
+//!   exact subtree. The fallback is not a different semantics — it *is* the
+//!   oracle's code path.
+//! * Step-budget accounting is exact: the compiler accumulates the step
+//!   charges the tree-walk engine would make and attaches them as late as
+//!   the merging rule allows — either as a standalone [`Op::Charge`], or
+//!   folded into the `pre` operand that every fallible/effectful op
+//!   carries (charged first thing, before the op does anything). Merging
+//!   is only ever across infallible, effect-free ops (constant pushes,
+//!   pure stack shuffles, pure operators), so a budget death under the
+//!   merged charge is observably identical to the tree-walk dying at
+//!   whichever sequential step would have failed: same final budget
+//!   (zero), same error, no visible effect reordered across the merge. A
+//!   jump *target* never has a charge folded past it — the compiler emits
+//!   a standalone flush before binding any label, so no path entering at
+//!   the label can observe a charge that belongs to the fall-through path.
+//!
+//! ## Control-flow escape table
+//!
+//! `break`/`continue` can escape a *called function* in this dialect (the
+//! parser accepts them anywhere, and the tree-walk's loops catch the
+//! resulting flow signal dynamically wherever it surfaces). Compiled loops
+//! therefore record their body op-ranges in [`Chunk::ranges`]; when any op
+//! inside such a range returns a break/continue signal — an explicit
+//! statement compiles to a direct jump, so in practice this is a signal
+//! leaking out of a call or a tree-walked subtree — the VM redirects to the
+//! recorded target exactly like the tree-walk's loop arm would.
+
+use crate::ast::{BinOp, Expr, FnDef, Name, Stmt};
+use std::sync::Arc;
+
+/// Sentinel for "no inline cache attached to this op".
+pub const NO_IC: u32 = u32::MAX;
+
+/// One bytecode instruction. Operands index into the owning [`Chunk`]'s
+/// side tables; jump targets are absolute op indices.
+///
+/// The `pre` operand carried by fallible/effectful ops is the merged step
+/// charge accumulated since the previous charge point; it is deducted
+/// before the op does anything else, exactly as a standalone
+/// [`Op::Charge`] immediately before the op would be.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Deduct `n` steps from the budget (the merged form of `n` tree-walk
+    /// `step()` calls); on exhaustion the budget pins to zero and the run
+    /// fails, exactly like the `n`-th sequential step would.
+    Charge(u32),
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Push `true`.
+    True,
+    /// Push `false`.
+    False,
+    /// Push `null`.
+    Null,
+    /// Push `undefined`.
+    Undef,
+    /// Push the current `this` binding (environment-chain lookup).
+    This,
+    /// Pop and discard.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the two topmost values.
+    Swap,
+    /// Unconditional jump.
+    Jump {
+        /// Target op index.
+        t: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop; jump when falsy.
+    JumpIfFalse {
+        /// Target op index.
+        t: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop; jump when truthy.
+    JumpIfTrue {
+        /// Target op index.
+        t: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// `||`: keep the value and jump when truthy, else pop and fall through.
+    JumpTruthyKeep {
+        /// Target op index.
+        t: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// `&&`: keep the value and jump when falsy, else pop and fall through.
+    JumpFalsyKeep {
+        /// Target op index.
+        t: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Push a resolver-bound local (`depth` parent hops, then `slot`);
+    /// falls back to the by-name walk when the slot is unwritten.
+    LoadLocal {
+        /// Parent hops from the executing environment.
+        depth: u32,
+        /// Slot index in the declaring scope.
+        slot: u32,
+        /// Name-table index for the fallback walk and error messages.
+        name: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop into a resolver-bound local (same fallback as the tree-walk).
+    StoreLocal {
+        /// Parent hops from the executing environment.
+        depth: u32,
+        /// Slot index in the declaring scope.
+        slot: u32,
+        /// Name-table index for the fallback walk.
+        name: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Push the binding named `names[name]` (environment-chain walk;
+    /// throws "not defined" when absent). `ic` caches the global-map entry
+    /// index in global chunks ([`NO_IC`] elsewhere).
+    LoadName {
+        /// Name-table index.
+        name: u32,
+        /// Inline-cache slot, or [`NO_IC`].
+        ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop into the binding named `names[name]` (innermost match, else a
+    /// fresh global — non-strict assignment).
+    StoreName {
+        /// Name-table index.
+        name: u32,
+        /// Inline-cache slot, or [`NO_IC`].
+        ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop and declare into the executing scope's slot `i` (`var` whose
+    /// name the chunk's scope lays out).
+    DeclSlot(u32),
+    /// Pop and declare `names[i]` by name in the executing environment
+    /// (`var` at the global scope).
+    DeclName(u32),
+    /// Hoist `fns[i]`: declare its name in the executing environment bound
+    /// to a fresh closure over that environment. Uncharged, like the
+    /// tree-walk's hoisting pass.
+    DeclFn(u32),
+    /// Push a closure over `fns[i]` and the executing environment.
+    Closure(u32),
+    /// Pop an object, push `object.names[name]` (property read; inline
+    /// cache valid for plain objects).
+    GetProp {
+        /// Name-table index of the property.
+        name: u32,
+        /// Inline-cache slot, or [`NO_IC`].
+        ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop an object, then the value; store `object.names[name] = value`.
+    SetProp {
+        /// Name-table index of the property.
+        name: u32,
+        /// Inline-cache slot, or [`NO_IC`].
+        ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Fused `LoadName` + `GetProp` for the ubiquitous `ident.prop` read:
+    /// resolves the identifier (global inline cache, by-name fallback),
+    /// then reads the property (property inline cache), pushing the
+    /// result. Exactly equivalent to the two-op sequence, including the
+    /// throw points.
+    GetPropName {
+        /// Name-table index of the object identifier.
+        name: u32,
+        /// Identifier inline-cache slot, or [`NO_IC`].
+        name_ic: u32,
+        /// Name-table index of the property.
+        prop: u32,
+        /// Property inline-cache slot, or [`NO_IC`].
+        prop_ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Fused `LoadName` + `SetProp` for `ident.prop = value`: pops the
+    /// value, resolves the identifier, stores the property. Exactly
+    /// equivalent to the two-op sequence (the compiler `Dup`s the value
+    /// beforehand when the expression result is needed).
+    SetPropName {
+        /// Name-table index of the object identifier.
+        name: u32,
+        /// Identifier inline-cache slot, or [`NO_IC`].
+        name_ic: u32,
+        /// Name-table index of the property.
+        prop: u32,
+        /// Property inline-cache slot, or [`NO_IC`].
+        prop_ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Fused statement-form `name++`/`name--` (result discarded): loads
+    /// the binding, converts to number, adds `delta`, stores back. Exactly
+    /// the `LoadName`/`IncDec`/`StoreName` sequence minus the dead result
+    /// push.
+    IncName {
+        /// Name-table index.
+        name: u32,
+        /// Load-side inline-cache slot, or [`NO_IC`].
+        load_ic: u32,
+        /// Store-side inline-cache slot, or [`NO_IC`].
+        store_ic: u32,
+        /// `+1` or `-1`.
+        delta: i8,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop an index, then an object; push `object[index]`.
+    GetIndex {
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop an index, an object, then a value; store `object[index] = value`.
+    SetIndex {
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop `n` elements (in push order) into a fresh array; push it.
+    MakeArray(u32),
+    /// Push a fresh empty plain object.
+    MakeObject,
+    /// Pop a value; insert it under `names[i]` into the object left on top
+    /// of the stack (object-literal construction; the object stays pushed).
+    ObjInsert(u32),
+    /// Pop an object; push the object back, then `object.names[name]` — the
+    /// receiver-preserving read used for method calls.
+    GetMethod {
+        /// Name-table index of the method.
+        name: u32,
+        /// Inline-cache slot, or [`NO_IC`].
+        ic: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop an index, then an object; push the object back, then
+    /// `object[index]` (computed method lookup).
+    GetMethodIndex {
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop `n` arguments and a callee; push the call result. Detects direct
+    /// `eval` like the tree-walk does (after argument evaluation).
+    Call {
+        /// Argument count.
+        argc: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop `n` arguments, a callee, and a receiver; push the call result.
+    /// String/number receivers are forwarded as the synthetic first
+    /// argument the stdlib dispatcher expects.
+    CallMethod {
+        /// Argument count.
+        argc: u32,
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop rhs, then lhs; push the binary-operator result. Infallible and
+    /// effect-free, so charges merge across it.
+    Bin(BinOp),
+    /// Fused `Const` + `Bin`: pop lhs, push `lhs op consts[idx]`. Same
+    /// merging rule as [`Op::Bin`].
+    BinConst {
+        /// Operator.
+        op: BinOp,
+        /// Constant-pool index of the right operand.
+        idx: u32,
+    },
+    /// Pop; push `-ToNumber(v)`.
+    UnNeg,
+    /// Pop; push `+ToNumber(v)`.
+    UnPos,
+    /// Pop; push `!truthy(v)`.
+    UnNot,
+    /// Pop; push `~ToInt32(v)`.
+    UnBitNot,
+    /// Pop; push the `typeof` string of the value.
+    TypeofVal,
+    /// `typeof identifier`: resolves `names[i]` without throwing; pushes
+    /// `"undefined"` uncharged when absent, else charges one step (the
+    /// operand evaluation the tree-walk performs) and pushes the type.
+    TypeofName(u32),
+    /// Pop the old value; push the `++`/`--` expression result, then the
+    /// new numeric value (which a following store consumes).
+    IncDec {
+        /// `+1` or `-1`.
+        delta: i8,
+        /// Prefix (`true`) pushes the new value as the result, postfix the
+        /// old one.
+        prefix: bool,
+    },
+    /// Pop and return from the chunk.
+    Ret {
+        /// Pre-charge.
+        pre: u32,
+    },
+    /// Pop and raise it as a script exception.
+    ThrowOp,
+    /// Raise a break signal (`break` outside any loop in this chunk).
+    FlowBreak,
+    /// Raise a continue signal (`continue` outside any loop in this chunk).
+    FlowContinue,
+    /// Execute `tree_stmts[i]` with the retained tree-walk engine. Budget
+    /// charges happen inside, exactly as the oracle engine makes them.
+    TreeStmt(u32),
+    /// Evaluate `tree_exprs[i]` with the tree-walk engine; push the result.
+    TreeExpr(u32),
+}
+
+impl Op {
+    /// The step charge this op deducts up front: the standalone
+    /// [`Op::Charge`] amount or the folded `pre` operand. Used by tests
+    /// and diagnostics to audit charge-accounting invariance.
+    pub fn pre_charge(&self) -> u32 {
+        match *self {
+            Op::Charge(n) => n,
+            Op::Jump { pre, .. }
+            | Op::JumpIfFalse { pre, .. }
+            | Op::JumpIfTrue { pre, .. }
+            | Op::JumpTruthyKeep { pre, .. }
+            | Op::JumpFalsyKeep { pre, .. }
+            | Op::LoadLocal { pre, .. }
+            | Op::StoreLocal { pre, .. }
+            | Op::LoadName { pre, .. }
+            | Op::StoreName { pre, .. }
+            | Op::GetProp { pre, .. }
+            | Op::SetProp { pre, .. }
+            | Op::GetPropName { pre, .. }
+            | Op::SetPropName { pre, .. }
+            | Op::IncName { pre, .. }
+            | Op::GetIndex { pre }
+            | Op::SetIndex { pre }
+            | Op::GetMethod { pre, .. }
+            | Op::GetMethodIndex { pre }
+            | Op::Call { pre, .. }
+            | Op::CallMethod { pre, .. }
+            | Op::Ret { pre } => pre,
+            _ => 0,
+        }
+    }
+}
+
+/// A compile-time constant. Materialized once per interpreter into runtime
+/// [`crate::Value`]s (the `Rc`-backed string values are per-thread).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CVal {
+    /// Numeric constant (possibly the result of compile-time folding of a
+    /// pure-literal arithmetic subtree).
+    Num(f64),
+    /// String constant.
+    Str(Arc<str>),
+}
+
+/// The op-range of one compiled loop body, used to redirect break/continue
+/// signals that surface *dynamically* inside the body (leaked out of a call
+/// or a tree-walked subtree) to the loop's targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopRange {
+    /// First op of the body region (inclusive).
+    pub start: u32,
+    /// One past the last op of the body region.
+    pub end: u32,
+    /// Jump target on break.
+    pub brk: u32,
+    /// Jump target on continue (condition or update evaluation).
+    pub cont: u32,
+}
+
+/// One compiled body: the ops plus every side table they index.
+#[derive(Debug, Default)]
+pub struct Chunk {
+    /// The instruction stream.
+    pub ops: Vec<Op>,
+    /// Constant pool.
+    pub consts: Vec<CVal>,
+    /// Interned names referenced by name-addressed ops.
+    pub names: Vec<Name>,
+    /// Function definitions for `Closure`/`DeclFn`.
+    pub fns: Vec<Arc<FnDef>>,
+    /// Statements executed by `TreeStmt`.
+    pub tree_stmts: Vec<Stmt>,
+    /// Expressions evaluated by `TreeExpr`.
+    pub tree_exprs: Vec<Expr>,
+    /// Loop-body ranges for dynamic break/continue redirection.
+    pub ranges: Vec<LoopRange>,
+    /// Number of inline-cache slots ops in this chunk reference.
+    pub ic_count: u32,
+    /// Whether this is a program (global-scope) chunk — executes in the
+    /// root environment, enabling global-binding inline caches.
+    pub global: bool,
+}
+
+impl Chunk {
+    /// The innermost loop body containing the op at `ip`, if any: where a
+    /// dynamically-surfacing break/continue lands. Ranges are properly
+    /// nested, so the innermost match is the one with the greatest start.
+    pub fn loop_at(&self, ip: u32) -> Option<&LoopRange> {
+        self.ranges
+            .iter()
+            .filter(|r| r.start <= ip && ip < r.end)
+            .max_by_key(|r| r.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_at_picks_the_innermost_range() {
+        let chunk = Chunk {
+            ranges: vec![
+                LoopRange {
+                    start: 2,
+                    end: 20,
+                    brk: 21,
+                    cont: 1,
+                },
+                LoopRange {
+                    start: 5,
+                    end: 10,
+                    brk: 11,
+                    cont: 4,
+                },
+            ],
+            ..Chunk::default()
+        };
+        assert_eq!(chunk.loop_at(7).unwrap().brk, 11);
+        assert_eq!(chunk.loop_at(12).unwrap().brk, 21);
+        assert!(chunk.loop_at(0).is_none());
+        assert!(chunk.loop_at(20).is_none());
+    }
+
+    #[test]
+    fn pre_charge_reads_both_standalone_and_folded_charges() {
+        assert_eq!(Op::Charge(4).pre_charge(), 4);
+        assert_eq!(
+            Op::LoadName {
+                name: 0,
+                ic: NO_IC,
+                pre: 3
+            }
+            .pre_charge(),
+            3
+        );
+        assert_eq!(Op::Pop.pre_charge(), 0);
+    }
+}

@@ -24,21 +24,25 @@
 //! miss, keeping the failure tally a pure function of the workload.
 
 use crate::ast::Program;
+use crate::bytecode::Chunk;
 use crate::parser::parse_program;
 use crate::ScriptError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// A parsed, resolved program plus the identity of the source it came from.
 ///
-/// Cheap to clone (two `Arc` bumps) and `Send + Sync`, so one compilation
-/// can be executed concurrently by every crawler worker.
+/// Cheap to clone (`Arc` bumps) and `Send + Sync`, so one compilation can
+/// be executed concurrently by every crawler worker. The bytecode lowering
+/// is lazy and shared: the first VM execution populates `vm`, and every
+/// clone — including cache hits on other workers — reuses that chunk.
 #[derive(Debug, Clone)]
 pub struct CompiledScript {
     id: u64,
     source: Arc<str>,
     program: Arc<Program>,
+    vm: Arc<OnceLock<Arc<Chunk>>>,
 }
 
 impl CompiledScript {
@@ -49,6 +53,7 @@ impl CompiledScript {
             id: content_hash(src),
             source: Arc::from(src),
             program: Arc::new(program),
+            vm: Arc::new(OnceLock::new()),
         })
     }
 
@@ -65,6 +70,15 @@ impl CompiledScript {
     /// The compiled program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The program body lowered to bytecode, compiling on first use.
+    /// Lowering is a pure function of the (already-resolved) program, so
+    /// racing initializers produce identical chunks.
+    pub fn chunk(&self) -> Arc<Chunk> {
+        self.vm
+            .get_or_init(|| Arc::new(crate::compile::compile_program(&self.program)))
+            .clone()
     }
 }
 
@@ -87,6 +101,12 @@ pub struct ScriptCounts {
     pub cache_hits: u64,
     /// Requests that ran the lexer + parser.
     pub cache_misses: u64,
+    /// Bytecode instructions dispatched by the VM engine.
+    pub bytecode_dispatches: u64,
+    /// VM inline-cache hits (property and global accesses).
+    pub inline_cache_hits: u64,
+    /// VM inline-cache misses (cold or invalidated-by-shape accesses).
+    pub inline_cache_misses: u64,
 }
 
 /// Shared script-cache counters. Cloning hands out another handle to the
@@ -102,6 +122,9 @@ struct StatsInner {
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    dispatches: AtomicU64,
+    ic_hits: AtomicU64,
+    ic_misses: AtomicU64,
 }
 
 impl ScriptStats {
@@ -125,13 +148,41 @@ impl ScriptStats {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
+    /// Bytecode instructions dispatched by the VM engine.
+    pub fn bytecode_dispatches(&self) -> u64 {
+        self.inner.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// VM inline-cache hits.
+    pub fn inline_cache_hits(&self) -> u64 {
+        self.inner.ic_hits.load(Ordering::Relaxed)
+    }
+
+    /// VM inline-cache misses.
+    pub fn inline_cache_misses(&self) -> u64 {
+        self.inner.ic_misses.load(Ordering::Relaxed)
+    }
+
     /// Snapshots every counter at once.
     pub fn snapshot(&self) -> ScriptCounts {
         ScriptCounts {
             lookups: self.lookups(),
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
+            bytecode_dispatches: self.bytecode_dispatches(),
+            inline_cache_hits: self.inline_cache_hits(),
+            inline_cache_misses: self.inline_cache_misses(),
         }
+    }
+
+    /// Adds a VM-counter delta (dispatches, IC hits, IC misses) — called by
+    /// the interpreter when it flushes per-run counters.
+    pub(crate) fn record_vm(&self, dispatches: u64, ic_hits: u64, ic_misses: u64) {
+        self.inner
+            .dispatches
+            .fetch_add(dispatches, Ordering::Relaxed);
+        self.inner.ic_hits.fetch_add(ic_hits, Ordering::Relaxed);
+        self.inner.ic_misses.fetch_add(ic_misses, Ordering::Relaxed);
     }
 
     fn record_hit(&self) {

@@ -1,0 +1,1172 @@
+//! AST → bytecode lowering.
+//!
+//! The compiler is total: every resolved program or function body lowers to
+//! a [`Chunk`] (constructs without dedicated ops fall back to
+//! [`Op::TreeStmt`]/[`Op::TreeExpr`], which run the retained tree-walk
+//! code). Lowering never fails and never observes runtime state, so chunks
+//! can be compiled lazily and cached inside [`crate::CompiledScript`] and
+//! function definitions.
+//!
+//! ## Exact step accounting
+//!
+//! The tree-walk engine charges one budget step at every statement
+//! execution and every expression evaluation. The compiler mirrors this
+//! with a *pending-charge accumulator*: each lowered node adds its entry
+//! charge to `pending`, and the accumulator is discharged before any op
+//! that is fallible, effectful, a jump, or a jump target — either as a
+//! standalone [`Op::Charge`] (`flush`), or folded into the op's own `pre`
+//! operand (`take_pre`), which the VM deducts before the op does anything
+//! else. Merging is only ever across infallible, effect-free ops (constant
+//! pushes, pure stack shuffles, pure operators), so a budget death under
+//! the merged charge is observably identical to the tree-walk dying at
+//! whichever sequential step would have failed: same final budget (zero),
+//! same error, no visible effect reordered across the merge. Label binds
+//! always force a standalone flush: a charge belonging to the fall-through
+//! path must never sit after a jump target where an entering path would
+//! repeat it.
+//!
+//! ## Statement-form elision and fusion
+//!
+//! An assignment or `++`/`--` evaluated as an expression *statement*
+//! discards its result, so the compiler skips the `Dup` that would
+//! preserve it and the `Pop` that would discard it — both are pure stack
+//! shuffles the tree-walk never observes. Hot sequences fuse into
+//! superinstructions ([`Op::GetPropName`], [`Op::SetPropName`],
+//! [`Op::IncName`], [`Op::BinConst`]) that execute the identical sub-op
+//! sequence in one dispatch.
+//!
+//! Pure numeric literal subtrees are folded at compile time into one
+//! constant plus the subtree's total charge — legal for the same reason the
+//! merge is: every folded evaluation is infallible and effect-free.
+
+use crate::ast::*;
+use crate::bytecode::{CVal, Chunk, LoopRange, Op, NO_IC};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lowers a program body to a global chunk.
+pub(crate) fn compile_program(program: &Program) -> Chunk {
+    Compiler::new(ScopeInfo::default(), true).compile_body(&program.body)
+}
+
+/// Lowers a function body to a function chunk laid out by its scope.
+pub(crate) fn compile_fn(def: &FnDef) -> Chunk {
+    Compiler::new(def.scope.as_ref().clone(), false).compile_body(&def.body)
+}
+
+/// Compile-time loop context: patch lists for `break`/`continue` jumps plus
+/// the body range recorded for dynamic flow redirection.
+struct LoopCtx {
+    brk_patches: Vec<usize>,
+    cont_patches: Vec<usize>,
+}
+
+struct Compiler {
+    scope: ScopeInfo,
+    global: bool,
+    ops: Vec<Op>,
+    consts: Vec<CVal>,
+    const_map: HashMap<ConstKey, u32>,
+    names: Vec<Name>,
+    name_map: HashMap<Name, u32>,
+    fns: Vec<Arc<FnDef>>,
+    tree_stmts: Vec<Stmt>,
+    tree_exprs: Vec<Expr>,
+    ranges: Vec<LoopRange>,
+    ic_count: u32,
+    pending: u32,
+    loops: Vec<LoopCtx>,
+}
+
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Num(u64),
+    Str(String),
+}
+
+impl Compiler {
+    fn new(scope: ScopeInfo, global: bool) -> Self {
+        Compiler {
+            scope,
+            global,
+            ops: Vec::new(),
+            consts: Vec::new(),
+            const_map: HashMap::new(),
+            names: Vec::new(),
+            name_map: HashMap::new(),
+            fns: Vec::new(),
+            tree_stmts: Vec::new(),
+            tree_exprs: Vec::new(),
+            ranges: Vec::new(),
+            ic_count: 0,
+            pending: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn compile_body(mut self, body: &[Stmt]) -> Chunk {
+        self.hoist(body);
+        for stmt in body {
+            self.stmt(stmt);
+        }
+        self.flush();
+        Chunk {
+            ops: self.ops,
+            consts: self.consts,
+            names: self.names,
+            fns: self.fns,
+            tree_stmts: self.tree_stmts,
+            tree_exprs: self.tree_exprs,
+            ranges: self.ranges,
+            ic_count: self.ic_count,
+            global: self.global,
+        }
+    }
+
+    // ----- emission helpers ------------------------------------------------
+
+    fn charge(&mut self, n: u32) {
+        self.pending += n;
+    }
+
+    /// Emits the accumulated charge as a standalone [`Op::Charge`]. Used
+    /// before label binds (mandatory — see the module docs) and before ops
+    /// without a `pre` operand.
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            let n = self.pending;
+            self.ops.push(Op::Charge(n));
+            self.pending = 0;
+        }
+    }
+
+    /// Takes the accumulated charge for folding into the next op's `pre`
+    /// operand. Only valid when that op is emitted immediately — never
+    /// across a label bind, where [`Self::flush`] must keep the charge out
+    /// of the jump-target region.
+    fn take_pre(&mut self) -> u32 {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// Emits a jump-family op with a placeholder target; returns the patch
+    /// site. The caller must have discharged `pending` (folded or flushed).
+    fn jump(&mut self, make: impl FnOnce(u32) -> Op) -> usize {
+        self.ops.push(make(u32::MAX));
+        self.ops.len() - 1
+    }
+
+    fn patch(&mut self, site: usize, target: u32) {
+        match &mut self.ops[site] {
+            Op::Jump { t, .. }
+            | Op::JumpIfFalse { t, .. }
+            | Op::JumpIfTrue { t, .. }
+            | Op::JumpTruthyKeep { t, .. }
+            | Op::JumpFalsyKeep { t, .. } => *t = target,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn const_idx(&mut self, v: CVal) -> u32 {
+        let key = match &v {
+            CVal::Num(n) => ConstKey::Num(n.to_bits()),
+            CVal::Str(s) => ConstKey::Str(s.to_string()),
+        };
+        if let Some(&i) = self.const_map.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u32;
+        self.consts.push(v);
+        self.const_map.insert(key, i);
+        i
+    }
+
+    fn name_idx(&mut self, name: &Name) -> u32 {
+        if let Some(&i) = self.name_map.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.clone());
+        self.name_map.insert(name.clone(), i);
+        i
+    }
+
+    fn fn_idx(&mut self, def: &Arc<FnDef>) -> u32 {
+        let i = self.fns.len() as u32;
+        self.fns.push(def.clone());
+        i
+    }
+
+    fn new_ic(&mut self) -> u32 {
+        let i = self.ic_count;
+        self.ic_count += 1;
+        i
+    }
+
+    /// Inline-cache slot for global-binding ops: sound in program chunks
+    /// (which always execute in the root environment) and in function
+    /// chunks whose resolver proved every free name binds globally.
+    fn global_ic(&mut self) -> u32 {
+        if self.global || self.scope.globals_safe {
+            self.new_ic()
+        } else {
+            NO_IC
+        }
+    }
+
+    /// Function hoisting at a body/block entry: uncharged `DeclFn` ops, in
+    /// source order, exactly like the tree-walk's hoisting pass.
+    fn hoist(&mut self, body: &[Stmt]) {
+        for stmt in body {
+            if let Stmt::FnDecl(def) = stmt {
+                let i = self.fn_idx(def);
+                self.flush();
+                self.emit(Op::DeclFn(i));
+            }
+        }
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        self.charge(1); // `exec` entry.
+        match stmt {
+            Stmt::Empty | Stmt::FnDecl(_) => {}
+            Stmt::Var(decls) => {
+                for (name, init) in decls {
+                    match init {
+                        Some(e) => self.expr(e),
+                        // No initializer: no evaluation, no charge.
+                        None => self.emit(Op::Undef),
+                    }
+                    self.flush();
+                    match self.scope.slot_of(name) {
+                        Some(slot) => self.emit(Op::DeclSlot(slot as u32)),
+                        None => {
+                            let i = self.name_idx(name);
+                            self.emit(Op::DeclName(i));
+                        }
+                    }
+                }
+            }
+            Stmt::Expr(e) => self.expr_discard(e),
+            Stmt::Block(body) => {
+                self.hoist(body);
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::If { cond, then, alt } => {
+                self.expr(cond);
+                let pre = self.take_pre();
+                let jf = self.jump(|t| Op::JumpIfFalse { t, pre });
+                self.stmt(then);
+                match alt {
+                    Some(alt) => {
+                        let pre = self.take_pre();
+                        let jend = self.jump(|t| Op::Jump { t, pre });
+                        let else_lbl = self.here();
+                        self.patch(jf, else_lbl);
+                        self.stmt(alt);
+                        self.flush();
+                        let end = self.here();
+                        self.patch(jend, end);
+                    }
+                    None => {
+                        self.flush();
+                        let end = self.here();
+                        self.patch(jf, end);
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.flush();
+                let cond_lbl = self.here();
+                self.expr(cond);
+                let pre = self.take_pre();
+                let jf = self.jump(|t| Op::JumpIfFalse { t, pre });
+                let body_start = self.here();
+                self.loops.push(LoopCtx {
+                    brk_patches: Vec::new(),
+                    cont_patches: Vec::new(),
+                });
+                self.stmt(body);
+                let pre = self.take_pre();
+                let body_end = self.here();
+                self.emit(Op::Jump { t: cond_lbl, pre });
+                let end = self.here();
+                self.patch(jf, end);
+                self.finish_loop(body_start, body_end, end, cond_lbl);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.flush();
+                let body_start = self.here();
+                self.loops.push(LoopCtx {
+                    brk_patches: Vec::new(),
+                    cont_patches: Vec::new(),
+                });
+                self.stmt(body);
+                self.flush();
+                let body_end = self.here();
+                let cond_lbl = self.here();
+                self.expr(cond);
+                let pre = self.take_pre();
+                let jt = self.jump(|t| Op::JumpIfTrue { t, pre });
+                self.patch(jt, body_start);
+                let end = self.here();
+                self.finish_loop(body_start, body_end, end, cond_lbl);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                self.flush();
+                let cond_lbl = self.here();
+                let jf = cond.as_ref().map(|cond| {
+                    self.expr(cond);
+                    let pre = self.take_pre();
+                    self.jump(|t| Op::JumpIfFalse { t, pre })
+                });
+                let body_start = self.here();
+                self.loops.push(LoopCtx {
+                    brk_patches: Vec::new(),
+                    cont_patches: Vec::new(),
+                });
+                self.stmt(body);
+                self.flush();
+                let body_end = self.here();
+                let update_lbl = self.here();
+                if let Some(update) = update {
+                    self.expr_discard(update);
+                }
+                let pre = self.take_pre();
+                self.emit(Op::Jump { t: cond_lbl, pre });
+                let end = self.here();
+                if let Some(jf) = jf {
+                    self.patch(jf, end);
+                }
+                self.finish_loop(body_start, body_end, end, update_lbl);
+            }
+            Stmt::Switch { .. } | Stmt::ForIn { .. } | Stmt::Try { .. } => {
+                // Tree-walked wholesale; `exec` charges at entry itself.
+                self.pending -= 1;
+                self.flush();
+                let i = self.tree_stmts.len() as u32;
+                self.tree_stmts.push(stmt.clone());
+                self.emit(Op::TreeStmt(i));
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => self.expr(e),
+                    None => self.emit(Op::Undef),
+                }
+                let pre = self.take_pre();
+                self.emit(Op::Ret { pre });
+            }
+            Stmt::Break => {
+                if self.loops.is_empty() {
+                    self.flush();
+                    self.emit(Op::FlowBreak);
+                } else {
+                    let pre = self.take_pre();
+                    let site = self.jump(|t| Op::Jump { t, pre });
+                    self.loops
+                        .last_mut()
+                        .expect("loop context")
+                        .brk_patches
+                        .push(site);
+                }
+            }
+            Stmt::Continue => {
+                if self.loops.is_empty() {
+                    self.flush();
+                    self.emit(Op::FlowContinue);
+                } else {
+                    let pre = self.take_pre();
+                    let site = self.jump(|t| Op::Jump { t, pre });
+                    self.loops
+                        .last_mut()
+                        .expect("loop context")
+                        .cont_patches
+                        .push(site);
+                }
+            }
+            Stmt::Throw(e) => {
+                self.expr(e);
+                self.flush();
+                self.emit(Op::ThrowOp);
+            }
+        }
+    }
+
+    /// Patches a finished loop's break/continue jumps and records the body
+    /// range for dynamic flow redirection.
+    fn finish_loop(&mut self, body_start: u32, body_end: u32, brk: u32, cont: u32) {
+        let ctx = self.loops.pop().expect("loop context");
+        for site in ctx.brk_patches {
+            self.patch(site, brk);
+        }
+        for site in ctx.cont_patches {
+            self.patch(site, cont);
+        }
+        self.ranges.push(LoopRange {
+            start: body_start,
+            end: body_end,
+            brk,
+            cont,
+        });
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    /// Lowers an expression evaluated for effect only (expression
+    /// statement, `for` update): assignments and `++`/`--` skip the pure
+    /// stack shuffles that would preserve and then discard their result.
+    fn expr_discard(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { target, op, value } => {
+                self.charge(1); // `eval` entry.
+                self.assign(target, *op, value, false);
+            }
+            Expr::IncDec {
+                target,
+                delta,
+                prefix,
+            } => {
+                self.charge(1); // `eval` entry.
+                self.inc_dec(e, target, *delta, *prefix, false);
+            }
+            _ => {
+                self.expr(e);
+                self.emit(Op::Pop);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        // Pure numeric subtree: one constant, the subtree's total charge.
+        if let Some((v, steps)) = fold_num(e) {
+            self.charge(steps);
+            let i = self.const_idx(CVal::Num(v));
+            self.emit(Op::Const(i));
+            return;
+        }
+        self.charge(1); // `eval` entry.
+        match e {
+            Expr::Num(n) => {
+                let i = self.const_idx(CVal::Num(*n));
+                self.emit(Op::Const(i));
+            }
+            Expr::Str(s) => {
+                let i = self.const_idx(CVal::Str(Arc::from(s.as_str())));
+                self.emit(Op::Const(i));
+            }
+            Expr::Bool(true) => self.emit(Op::True),
+            Expr::Bool(false) => self.emit(Op::False),
+            Expr::Null => self.emit(Op::Null),
+            Expr::Undefined => self.emit(Op::Undef),
+            // `this` resolution is infallible and effect-free: charges
+            // merge across it like any pure push.
+            Expr::This => self.emit(Op::This),
+            Expr::Ident(name) => {
+                let i = self.name_idx(name);
+                let ic = self.global_ic();
+                let pre = self.take_pre();
+                self.emit(Op::LoadName { name: i, ic, pre });
+            }
+            Expr::Local { name, depth, slot } => {
+                let i = self.name_idx(name);
+                let pre = self.take_pre();
+                self.emit(Op::LoadLocal {
+                    depth: *depth,
+                    slot: *slot,
+                    name: i,
+                    pre,
+                });
+            }
+            Expr::Array(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.flush();
+                self.emit(Op::MakeArray(items.len() as u32));
+            }
+            Expr::Object(props) => {
+                self.flush();
+                self.emit(Op::MakeObject);
+                for (k, v) in props {
+                    self.expr(v);
+                    let i = self.name_idx(k);
+                    self.flush();
+                    self.emit(Op::ObjInsert(i));
+                }
+            }
+            Expr::Function(def) => {
+                let i = self.fn_idx(def);
+                self.flush();
+                self.emit(Op::Closure(i));
+            }
+            Expr::Assign { target, op, value } => self.assign(target, *op, value, true),
+            Expr::Cond { cond, then, alt } => {
+                self.expr(cond);
+                let pre = self.take_pre();
+                let jf = self.jump(|t| Op::JumpIfFalse { t, pre });
+                self.expr(then);
+                let pre = self.take_pre();
+                let jend = self.jump(|t| Op::Jump { t, pre });
+                let alt_lbl = self.here();
+                self.patch(jf, alt_lbl);
+                self.expr(alt);
+                self.flush();
+                let end = self.here();
+                self.patch(jend, end);
+            }
+            Expr::Or(a, b) => {
+                self.expr(a);
+                let pre = self.take_pre();
+                let j = self.jump(|t| Op::JumpTruthyKeep { t, pre });
+                self.expr(b);
+                self.flush();
+                let end = self.here();
+                self.patch(j, end);
+            }
+            Expr::And(a, b) => {
+                self.expr(a);
+                let pre = self.take_pre();
+                let j = self.jump(|t| Op::JumpFalsyKeep { t, pre });
+                self.expr(b);
+                self.flush();
+                let end = self.here();
+                self.patch(j, end);
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                self.expr(lhs);
+                // Constant right operand: fuse the push into the operator.
+                // Every binary operator is infallible and effect-free:
+                // charges keep merging across both forms.
+                if let Some((v, steps)) = fold_num(rhs) {
+                    self.charge(steps);
+                    let idx = self.const_idx(CVal::Num(v));
+                    self.emit(Op::BinConst { op: *op, idx });
+                } else {
+                    self.expr(rhs);
+                    self.emit(Op::Bin(*op));
+                }
+            }
+            Expr::Un { op, operand } => match op {
+                UnOp::Typeof => {
+                    if let Expr::Ident(name) = operand.as_ref() {
+                        let i = self.name_idx(name);
+                        self.flush();
+                        self.emit(Op::TypeofName(i));
+                    } else {
+                        self.expr(operand);
+                        self.emit(Op::TypeofVal);
+                    }
+                }
+                UnOp::Delete => {
+                    // The tree-walk evaluates the operand (a property read,
+                    // with its effects and throws) and yields `true`.
+                    self.expr(operand);
+                    self.emit(Op::Pop);
+                    self.emit(Op::True);
+                }
+                UnOp::Void => {
+                    self.expr(operand);
+                    self.emit(Op::Pop);
+                    self.emit(Op::Undef);
+                }
+                UnOp::Neg => {
+                    self.expr(operand);
+                    self.emit(Op::UnNeg);
+                }
+                UnOp::Pos => {
+                    self.expr(operand);
+                    self.emit(Op::UnPos);
+                }
+                UnOp::Not => {
+                    self.expr(operand);
+                    self.emit(Op::UnNot);
+                }
+                UnOp::BitNot => {
+                    self.expr(operand);
+                    self.emit(Op::UnBitNot);
+                }
+            },
+            Expr::IncDec {
+                target,
+                delta,
+                prefix,
+            } => self.inc_dec(e, target, *delta, *prefix, true),
+            Expr::Member { object, prop } => {
+                let p = self.name_idx(prop);
+                if let Expr::Ident(name) = object.as_ref() {
+                    // Fused `ident.prop`: the identifier's entry charge
+                    // joins the pre-charge, exactly like the unfused
+                    // `Charge`/`LoadName`/`GetProp` sequence (no charge
+                    // sits between the load and the property read there
+                    // either — both belong to the same flush).
+                    self.charge(1);
+                    let n = self.name_idx(name);
+                    let name_ic = self.global_ic();
+                    let prop_ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::GetPropName {
+                        name: n,
+                        name_ic,
+                        prop: p,
+                        prop_ic,
+                        pre,
+                    });
+                } else {
+                    self.expr(object);
+                    let ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::GetProp { name: p, ic, pre });
+                }
+            }
+            Expr::Index { object, index } => {
+                self.expr(object);
+                self.expr(index);
+                let pre = self.take_pre();
+                self.emit(Op::GetIndex { pre });
+            }
+            Expr::Call { callee, args } => match callee.as_ref() {
+                Expr::Member { object, prop } => {
+                    self.expr(object);
+                    let i = self.name_idx(prop);
+                    let ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::GetMethod { name: i, ic, pre });
+                    for a in args {
+                        self.expr(a);
+                    }
+                    let pre = self.take_pre();
+                    self.emit(Op::CallMethod {
+                        argc: args.len() as u32,
+                        pre,
+                    });
+                }
+                Expr::Index { object, index } => {
+                    self.expr(object);
+                    self.expr(index);
+                    let pre = self.take_pre();
+                    self.emit(Op::GetMethodIndex { pre });
+                    for a in args {
+                        self.expr(a);
+                    }
+                    let pre = self.take_pre();
+                    self.emit(Op::CallMethod {
+                        argc: args.len() as u32,
+                        pre,
+                    });
+                }
+                other => {
+                    self.expr(other);
+                    for a in args {
+                        self.expr(a);
+                    }
+                    let pre = self.take_pre();
+                    self.emit(Op::Call {
+                        argc: args.len() as u32,
+                        pre,
+                    });
+                }
+            },
+            Expr::New { .. } => {
+                // Host-constructor dispatch and the fall-through rules are
+                // intricate and rare: tree-walk the whole expression. `eval`
+                // charges at entry itself.
+                self.pending -= 1;
+                self.tree_expr(e);
+            }
+            Expr::Seq(a, b) => {
+                self.expr(a);
+                self.emit(Op::Pop);
+                self.expr(b);
+            }
+        }
+    }
+
+    fn tree_expr(&mut self, e: &Expr) {
+        self.flush();
+        let i = self.tree_exprs.len() as u32;
+        self.tree_exprs.push(e.clone());
+        self.emit(Op::TreeExpr(i));
+    }
+
+    /// Lowers `target op= value`. The entry charge for the assignment node
+    /// has already been added by the caller. With `keep` unset (statement
+    /// form) the result value is neither duplicated nor left on the stack.
+    fn assign(&mut self, target: &Expr, op: AssignOp, value: &Expr, keep: bool) {
+        let bin = match op {
+            AssignOp::Assign => None,
+            AssignOp::Add => Some(BinOp::Add),
+            AssignOp::Sub => Some(BinOp::Sub),
+            AssignOp::Mul => Some(BinOp::Mul),
+            AssignOp::Div => Some(BinOp::Div),
+            AssignOp::Mod => Some(BinOp::Mod),
+        };
+        match target {
+            Expr::Ident(name) => {
+                self.expr(value);
+                let i = self.name_idx(name);
+                let ic_load = self.global_ic();
+                let ic_store = self.global_ic();
+                if let Some(bin) = bin {
+                    self.charge(1); // old-value target evaluation.
+                    let pre = self.take_pre();
+                    self.emit(Op::LoadName {
+                        name: i,
+                        ic: ic_load,
+                        pre,
+                    });
+                    self.emit(Op::Swap);
+                    self.emit(Op::Bin(bin));
+                }
+                if keep {
+                    self.emit(Op::Dup);
+                }
+                let pre = self.take_pre();
+                self.emit(Op::StoreName {
+                    name: i,
+                    ic: ic_store,
+                    pre,
+                });
+            }
+            Expr::Local { name, depth, slot } => {
+                self.expr(value);
+                let i = self.name_idx(name);
+                if let Some(bin) = bin {
+                    self.charge(1);
+                    let pre = self.take_pre();
+                    self.emit(Op::LoadLocal {
+                        depth: *depth,
+                        slot: *slot,
+                        name: i,
+                        pre,
+                    });
+                    self.emit(Op::Swap);
+                    self.emit(Op::Bin(bin));
+                }
+                if keep {
+                    self.emit(Op::Dup);
+                }
+                let pre = self.take_pre();
+                self.emit(Op::StoreLocal {
+                    depth: *depth,
+                    slot: *slot,
+                    name: i,
+                    pre,
+                });
+            }
+            Expr::Member { object, prop } => {
+                self.expr(value);
+                let i = self.name_idx(prop);
+                if let Some(bin) = bin {
+                    self.charge(1); // old-value target evaluation...
+                    self.member_read(object, i); // ...re-evaluating the object.
+                    self.emit(Op::Swap);
+                    self.emit(Op::Bin(bin));
+                }
+                if keep {
+                    self.emit(Op::Dup);
+                }
+                if let Expr::Ident(name) = object.as_ref() {
+                    self.charge(1); // object identifier evaluation.
+                    let n = self.name_idx(name);
+                    let name_ic = self.global_ic();
+                    let prop_ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::SetPropName {
+                        name: n,
+                        name_ic,
+                        prop: i,
+                        prop_ic,
+                        pre,
+                    });
+                } else {
+                    self.expr(object);
+                    let ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::SetProp { name: i, ic, pre });
+                }
+            }
+            Expr::Index { object, index } => {
+                self.expr(value);
+                if let Some(bin) = bin {
+                    self.charge(1);
+                    self.expr(object);
+                    self.expr(index);
+                    let pre = self.take_pre();
+                    self.emit(Op::GetIndex { pre });
+                    self.emit(Op::Swap);
+                    self.emit(Op::Bin(bin));
+                }
+                if keep {
+                    self.emit(Op::Dup);
+                }
+                self.expr(object);
+                self.expr(index);
+                let pre = self.take_pre();
+                self.emit(Op::SetIndex { pre });
+            }
+            _ => {
+                // Invalid assignment target: the tree-walk raises the fatal
+                // error; run the whole node there. Undo the entry charge —
+                // the tree-walk charges it itself.
+                self.pending -= 1;
+                self.tree_expr(&Expr::Assign {
+                    target: Box::new(target.clone()),
+                    op,
+                    value: Box::new(value.clone()),
+                });
+                if !keep {
+                    self.emit(Op::Pop);
+                }
+            }
+        }
+    }
+
+    /// Emits a property read of `names[prop]` from `object`, fusing the
+    /// identifier-receiver form. The object's evaluation charge is added
+    /// here; the caller has accounted for the surrounding node.
+    fn member_read(&mut self, object: &Expr, prop: u32) {
+        if let Expr::Ident(name) = object {
+            self.charge(1); // object identifier evaluation.
+            let n = self.name_idx(name);
+            let name_ic = self.global_ic();
+            let prop_ic = self.new_ic();
+            let pre = self.take_pre();
+            self.emit(Op::GetPropName {
+                name: n,
+                name_ic,
+                prop,
+                prop_ic,
+                pre,
+            });
+        } else {
+            self.expr(object);
+            let ic = self.new_ic();
+            let pre = self.take_pre();
+            self.emit(Op::GetProp {
+                name: prop,
+                ic,
+                pre,
+            });
+        }
+    }
+
+    /// Lowers `++`/`--`. Entry charge already added by the caller. With
+    /// `keep` unset (statement form) the result value is discarded — the
+    /// identifier form fuses into a single [`Op::IncName`].
+    fn inc_dec(&mut self, whole: &Expr, target: &Expr, delta: i8, prefix: bool, keep: bool) {
+        let inc = Op::IncDec { delta, prefix };
+        match target {
+            Expr::Ident(name) => {
+                let i = self.name_idx(name);
+                let ic_load = self.global_ic();
+                let ic_store = self.global_ic();
+                self.charge(1); // old-value target evaluation.
+                if keep {
+                    let pre = self.take_pre();
+                    self.emit(Op::LoadName {
+                        name: i,
+                        ic: ic_load,
+                        pre,
+                    });
+                    self.emit(inc);
+                    let pre = self.take_pre();
+                    self.emit(Op::StoreName {
+                        name: i,
+                        ic: ic_store,
+                        pre,
+                    });
+                } else {
+                    let pre = self.take_pre();
+                    self.emit(Op::IncName {
+                        name: i,
+                        load_ic: ic_load,
+                        store_ic: ic_store,
+                        delta,
+                        pre,
+                    });
+                }
+            }
+            Expr::Local { name, depth, slot } => {
+                let i = self.name_idx(name);
+                self.charge(1);
+                let pre = self.take_pre();
+                self.emit(Op::LoadLocal {
+                    depth: *depth,
+                    slot: *slot,
+                    name: i,
+                    pre,
+                });
+                self.emit(inc);
+                let pre = self.take_pre();
+                self.emit(Op::StoreLocal {
+                    depth: *depth,
+                    slot: *slot,
+                    name: i,
+                    pre,
+                });
+                if !keep {
+                    self.emit(Op::Pop);
+                }
+            }
+            Expr::Member { object, prop } => {
+                let i = self.name_idx(prop);
+                self.charge(1);
+                self.member_read(object, i);
+                self.emit(inc);
+                if let Expr::Ident(name) = object.as_ref() {
+                    self.charge(1); // object identifier re-evaluation.
+                    let n = self.name_idx(name);
+                    let name_ic = self.global_ic();
+                    let prop_ic = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::SetPropName {
+                        name: n,
+                        name_ic,
+                        prop: i,
+                        prop_ic,
+                        pre,
+                    });
+                } else {
+                    self.expr(object);
+                    let ic_set = self.new_ic();
+                    let pre = self.take_pre();
+                    self.emit(Op::SetProp {
+                        name: i,
+                        ic: ic_set,
+                        pre,
+                    });
+                }
+                if !keep {
+                    self.emit(Op::Pop);
+                }
+            }
+            Expr::Index { object, index } => {
+                self.charge(1);
+                self.expr(object);
+                self.expr(index);
+                let pre = self.take_pre();
+                self.emit(Op::GetIndex { pre });
+                self.emit(inc);
+                self.expr(object);
+                self.expr(index);
+                let pre = self.take_pre();
+                self.emit(Op::SetIndex { pre });
+                if !keep {
+                    self.emit(Op::Pop);
+                }
+            }
+            _ => {
+                // Non-lvalue target: the tree-walk evaluates it and then
+                // fails the assignment; defer the whole node.
+                self.pending -= 1;
+                self.tree_expr(whole);
+                if !keep {
+                    self.emit(Op::Pop);
+                }
+            }
+        }
+    }
+}
+
+/// Folds a pure numeric-literal subtree, returning its value and the number
+/// of evaluation steps the tree-walk would charge for it.
+fn fold_num(e: &Expr) -> Option<(f64, u32)> {
+    match e {
+        Expr::Num(n) => Some((*n, 1)),
+        Expr::Bin { op, lhs, rhs } => {
+            let (l, cl) = fold_num(lhs)?;
+            let (r, cr) = fold_num(rhs)?;
+            let v = match op {
+                // Number + number never concatenates.
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+                BinOp::Mod => l % r,
+                _ => return None,
+            };
+            Some((v, 1 + cl + cr))
+        }
+        Expr::Un { op, operand } => {
+            let (v, c) = fold_num(operand)?;
+            let v = match op {
+                UnOp::Neg => -v,
+                UnOp::Pos => v,
+                _ => return None,
+            };
+            Some((v, 1 + c))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn compile(src: &str) -> Chunk {
+        compile_program(&parse_program(src).unwrap())
+    }
+
+    /// Total step charge across the chunk: standalone `Charge` ops plus
+    /// every folded `pre` operand.
+    fn total_charge(chunk: &Chunk) -> u32 {
+        chunk.ops.iter().map(Op::pre_charge).sum()
+    }
+
+    #[test]
+    fn literal_arithmetic_folds_to_one_constant() {
+        let chunk = compile("out = 1 + 2 * 3;");
+        // No Bin ops survive folding.
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::Bin(_))));
+        assert!(chunk.consts.contains(&CVal::Num(7.0)));
+        // The fold preserves the full charge: stmt(1) + assign(1) +
+        // three numeric evals + two binary evals = 7.
+        assert_eq!(total_charge(&chunk), 7);
+    }
+
+    #[test]
+    fn while_loop_records_body_range() {
+        let chunk = compile("var i = 0; while (i < 3) { i = i + 1; }");
+        assert_eq!(chunk.ranges.len(), 1);
+        let r = chunk.ranges[0];
+        assert!(r.start < r.end);
+        assert!(r.brk > r.end);
+    }
+
+    #[test]
+    fn break_compiles_to_a_direct_jump() {
+        let chunk = compile("while (true) { break; }");
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::FlowBreak)));
+        assert!(chunk.ops.iter().any(|op| matches!(op, Op::Jump { .. })));
+    }
+
+    #[test]
+    fn top_level_break_is_a_flow_signal() {
+        let chunk = compile("break;");
+        assert!(chunk.ops.iter().any(|op| matches!(op, Op::FlowBreak)));
+    }
+
+    #[test]
+    fn try_and_switch_defer_to_the_tree_walk() {
+        let chunk = compile("try { x = 1; } catch (e) { } switch (1) { case 1: break; }");
+        assert_eq!(chunk.tree_stmts.len(), 2);
+        assert_eq!(
+            chunk
+                .ops
+                .iter()
+                .filter(|op| matches!(op, Op::TreeStmt(_)))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn global_loads_get_inline_caches_in_program_chunks() {
+        let chunk = compile("out = out + seen;");
+        assert!(chunk.global);
+        let ics: Vec<u32> = chunk
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::LoadName { ic, .. } | Op::StoreName { ic, .. } => Some(*ic),
+                _ => None,
+            })
+            .collect();
+        assert!(!ics.is_empty());
+        assert!(ics.iter().all(|&ic| ic != NO_IC));
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let chunk = compile("a = 'x'; b = 'x'; c = 'x';");
+        let strs = chunk
+            .consts
+            .iter()
+            .filter(|c| matches!(c, CVal::Str(_)))
+            .count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn ident_property_access_fuses_with_identical_charges() {
+        let fused = compile("q = o.a + o.b; o.c = q; o.n++;");
+        assert!(fused
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::GetPropName { .. })));
+        assert!(fused
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::SetPropName { .. })));
+        assert!(!fused.ops.iter().any(|op| matches!(op, Op::GetProp { .. })));
+        // Parenthesized receivers compile identically in the tree-walk but
+        // the fusion only matches the bare-identifier AST shape, giving the
+        // unfused lowering of the same source — charges must match.
+        let unfused = compile("q = (0, o).a + (0, o).b; (0, o).c = q; (0, o).n++;");
+        // Each `(0, o)` adds one Seq eval + one folded `0` = 2 extra steps.
+        // The inc/dec statement emits its object twice (read + write back),
+        // so the four source occurrences become five emitted ones.
+        assert_eq!(total_charge(&unfused), total_charge(&fused) + 2 * 5);
+    }
+
+    #[test]
+    fn statement_form_assignment_elides_dup_and_pop() {
+        let chunk = compile("x = 1; x += 2; x++;");
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::Dup)));
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::Pop)));
+        assert!(chunk.ops.iter().any(|op| matches!(op, Op::IncName { .. })));
+        // Expression positions keep the result.
+        let kept = compile("y = (x = 1); z = [x++];");
+        assert!(kept.ops.iter().any(|op| matches!(op, Op::Dup)));
+        assert!(!kept.ops.iter().any(|op| matches!(op, Op::IncName { .. })));
+    }
+
+    #[test]
+    fn constant_rhs_fuses_into_bin_const() {
+        let chunk = compile("out = x % 7;");
+        assert!(chunk
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::BinConst { op: BinOp::Mod, .. })));
+        assert!(!chunk.ops.iter().any(|op| matches!(op, Op::Bin(_))));
+    }
+
+    #[test]
+    fn charges_fold_into_pre_operands_in_hot_loops() {
+        // A property-heavy loop body should carry its charges on the ops
+        // themselves, not as standalone Charge dispatches.
+        let chunk =
+            compile("var o = {a: 1, c: 0}; for (var r = 0; r < 10; r++) { o.c = o.c + o.a; }");
+        let body = chunk.ranges[0];
+        let in_body = chunk.ops[body.start as usize..body.end as usize]
+            .iter()
+            .filter(|op| matches!(op, Op::Charge(_)))
+            .count();
+        assert_eq!(
+            in_body, 0,
+            "expected folded charges only inside the loop body: {:?}",
+            chunk.ops
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Data-oriented value storage: interned native-function symbols and
+//! insertion-ordered property maps.
+//!
+//! Two structures back the bytecode VM's heap layout (and speed up the
+//! tree-walk engine for free):
+//!
+//! * [`Sym`] — an interned string. Every distinct content is leaked exactly
+//!   once into a process-global table, so two `Sym`s are equal iff their
+//!   pointers are equal: native-function identity checks become integer
+//!   compares instead of byte-by-byte string compares. The set of interned
+//!   names is small and fixed (stdlib builtins plus the browser host's
+//!   surface), so the leak is bounded.
+//! * [`NameMap`] — the property storage of heap objects and the by-name
+//!   storage of environments. Entries keep insertion order in a `Vec`
+//!   (stable indices, which is what makes monomorphic inline caches sound:
+//!   an entry, once inserted, never moves) with a `HashMap` index for
+//!   by-name probes. Enumeration order differs from the old `BTreeMap`, so
+//!   `for..in` sites sort keys before iterating to keep observable
+//!   enumeration identical.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string with pointer-equality semantics.
+///
+/// Obtain one via [`Sym::intern`]; the interner guarantees one `'static`
+/// allocation per distinct content, so `==` (a fat-pointer compare) agrees
+/// exactly with content equality.
+#[derive(Clone, Copy)]
+pub struct Sym(&'static str);
+
+impl Sym {
+    /// Interns `s`, returning the canonical symbol for its content.
+    pub fn intern(s: &str) -> Sym {
+        static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+        let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+        let mut t = match table.lock() {
+            Ok(g) => g,
+            // Inserts are atomic from the table's perspective; a poisoned
+            // lock still guards a fully-consistent set.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(&hit) = t.get(s) {
+            return Sym(hit);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        t.insert(leaked);
+        Sym(leaked)
+    }
+
+    /// The symbol's content. Free — no lock, no lookup.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        // One allocation per content makes the pointer compare exact.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Sym {}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl std::fmt::Debug for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// An insertion-ordered string→value map with stable entry indices.
+///
+/// `insert` either updates an existing entry in place or appends; entries
+/// are never removed, so an index handed out by [`NameMap::get_full`] stays
+/// valid (and keeps naming the same key) for the map's whole life — the
+/// invariant the VM's inline caches rely on.
+#[derive(Debug, Clone, Default)]
+pub struct NameMap {
+    entries: Vec<(Rc<str>, crate::value::Value)>,
+    index: HashMap<Rc<str>, u32>,
+}
+
+impl NameMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrow the value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&crate::value::Value> {
+        self.index.get(key).map(|&i| &self.entries[i as usize].1)
+    }
+
+    /// Borrow the value and its stable entry index.
+    pub fn get_full(&self, key: &str) -> Option<(u32, &crate::value::Value)> {
+        self.index
+            .get(key)
+            .map(|&i| (i, &self.entries[i as usize].1))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts or updates `key`. Existing entries keep their index.
+    pub fn insert(&mut self, key: impl AsRef<str>, value: crate::value::Value) {
+        self.insert_full(key, value);
+    }
+
+    /// Inserts or updates `key`, returning the entry's stable index.
+    pub fn insert_full(&mut self, key: impl AsRef<str>, value: crate::value::Value) -> u32 {
+        let key = key.as_ref();
+        match self.index.get(key) {
+            Some(&i) => {
+                self.entries[i as usize].1 = value;
+                i
+            }
+            None => {
+                let i = self.entries.len() as u32;
+                let rc: Rc<str> = Rc::from(key);
+                self.index.insert(rc.clone(), i);
+                self.entries.push((rc, value));
+                i
+            }
+        }
+    }
+
+    /// The entry at a stable index (panics when out of range).
+    pub fn entry_at(&self, idx: u32) -> (&Rc<str>, &crate::value::Value) {
+        let (k, v) = &self.entries[idx as usize];
+        (k, v)
+    }
+
+    /// Overwrites the value at a stable index (panics when out of range).
+    pub fn set_at(&mut self, idx: u32, value: crate::value::Value) {
+        self.entries[idx as usize].1 = value;
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &Rc<str>> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rc<str>, &crate::value::Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn interned_symbols_are_pointer_equal() {
+        let a = Sym::intern("std:str:charCodeAt");
+        let b = Sym::intern("std:str:charCodeAt");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        let c = Sym::intern("std:str:charAt");
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "std:str:charCodeAt");
+    }
+
+    #[test]
+    fn interning_is_stable_across_threads() {
+        let a = Sym::intern("cross-thread-sym");
+        let b = std::thread::spawn(|| Sym::intern("cross-thread-sym"))
+            .join()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_map_keeps_stable_indices() {
+        let mut m = NameMap::new();
+        m.insert("b", Value::Num(1.0));
+        m.insert("a", Value::Num(2.0));
+        let (bi, _) = m.get_full("b").unwrap();
+        assert_eq!(bi, 0);
+        // Updating in place keeps the index.
+        m.insert("b", Value::Num(9.0));
+        let (bi2, v) = m.get_full("b").unwrap();
+        assert_eq!(bi2, 0);
+        assert!(matches!(v, Value::Num(n) if *n == 9.0));
+        assert_eq!(m.len(), 2);
+        // Insertion order is preserved for enumeration.
+        let keys: Vec<&str> = m.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        m.set_at(1, Value::Num(7.0));
+        assert!(matches!(m.get("a"), Some(Value::Num(n)) if *n == 7.0));
+    }
+}

@@ -18,12 +18,12 @@
 
 use crate::ast::*;
 use crate::cache::{CompiledScript, ScriptCache};
+use crate::heap::NameMap;
 use crate::stdlib;
 use crate::value::{number_to_string, Heap, ObjId, ObjKind, Value};
-use crate::ScriptError;
+use crate::{ScriptEngine, ScriptError};
 use malvert_types::rng::DetRng;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Execution limits: the honeyclient's defence against looping creatives.
@@ -65,7 +65,14 @@ pub trait Host {
 
     /// Property write on a native object. Returning `true` means the host
     /// handled it; `false` stores it as a plain property.
-    fn set_prop(&mut self, heap: &mut Heap, tag: &str, obj: ObjId, key: &str, value: &Value) -> bool {
+    fn set_prop(
+        &mut self,
+        heap: &mut Heap,
+        tag: &str,
+        obj: ObjId,
+        key: &str,
+        value: &Value,
+    ) -> bool {
         let _ = (heap, tag, obj, key, value);
         false
     }
@@ -94,16 +101,21 @@ impl Host for NoHost {
     }
 }
 
-/// Control-flow signals during evaluation.
-enum Flow {
+/// Control-flow signals during evaluation (shared with the bytecode VM).
+pub(crate) enum Flow {
+    /// `return` — caught by function-call frames (and chunk boundaries).
     Return(Value),
+    /// `break` — caught by the innermost loop/switch.
     Break,
+    /// `continue` — caught by the innermost loop.
     Continue,
+    /// A thrown script value — caught by `try`.
     Throw(Value),
+    /// A non-catchable engine error (budget exhaustion, bad targets).
     Fatal(ScriptError),
 }
 
-type EvalResult = Result<Value, Flow>;
+pub(crate) type EvalResult = Result<Value, Flow>;
 type ExecResult = Result<(), Flow>;
 
 /// One scope on the environment chain.
@@ -115,20 +127,20 @@ type ExecResult = Result<(), Flow>;
 /// eval-introduced names, global and `catch` bindings) lives in `extra`.
 /// Invariant: a name in `scope.names` is never stored in that env's
 /// `extra`, so slot indexing and by-name probing agree on every lookup.
-struct Env {
-    slots: Vec<Option<Value>>,
-    scope: Arc<ScopeInfo>,
-    extra: HashMap<String, Value>,
-    parent: Option<usize>,
+pub(crate) struct Env {
+    pub(crate) slots: Vec<Option<Value>>,
+    pub(crate) scope: Arc<ScopeInfo>,
+    pub(crate) extra: NameMap,
+    pub(crate) parent: Option<usize>,
 }
 
 thread_local! {
     /// The stdlib globals and their backing heap objects are identical for
     /// every interpreter; build them once per thread and stamp copies, so
     /// per-visit interpreter construction stops re-running the installer.
-    static STDLIB_TEMPLATE: (Heap, HashMap<String, Value>) = {
+    static STDLIB_TEMPLATE: (Heap, NameMap) = {
         let mut heap = Heap::new();
-        let mut globals = HashMap::new();
+        let mut globals = NameMap::new();
         stdlib::install_globals(&mut heap, &mut globals);
         (heap, globals)
     };
@@ -140,14 +152,31 @@ pub struct Interpreter<H: Host> {
     pub heap: Heap,
     /// The embedder's host implementation.
     pub host: H,
-    envs: Vec<Env>,
+    pub(crate) envs: Vec<Env>,
     limits: Limits,
-    steps_left: u64,
+    pub(crate) steps_left: u64,
     depth: usize,
     rng: DetRng,
     script_cache: Option<ScriptCache>,
     units: u64,
     empty_scope: Arc<ScopeInfo>,
+    engine: ScriptEngine,
+    /// Bytecode ops executed since the last stats flush (VM engine only).
+    pub(crate) dispatches: u64,
+    /// Inline-cache hits since interpreter construction.
+    pub(crate) ic_hits: u64,
+    /// Inline-cache misses since interpreter construction.
+    pub(crate) ic_misses: u64,
+    /// Counter values already flushed into the attached script cache's
+    /// stats, so each flush records only the delta.
+    flushed_vm: (u64, u64, u64),
+    /// Per-interpreter chunk runtime state — materialized constant pools
+    /// and persistent inline-cache slots — keyed by chunk address (the
+    /// `Arc<Chunk>` keepalive inside pins the address).
+    pub(crate) vm_chunks: HashMap<usize, crate::vm::ChunkState>,
+    /// Recycled operand stacks, so call frames reuse buffers instead of
+    /// allocating one per activation.
+    pub(crate) vm_stacks: Vec<Vec<Value>>,
     /// Every source string that passed through `eval`, in execution order —
     /// the honeyclient's deobfuscation trace (running layered obfuscation
     /// leaves the decoded payload here, the way Wepawet unwrapped packed
@@ -176,7 +205,43 @@ impl<H: Host> Interpreter<H> {
             script_cache: None,
             units: 0,
             empty_scope: Arc::new(ScopeInfo::default()),
+            engine: ScriptEngine::default(),
+            dispatches: 0,
+            ic_hits: 0,
+            ic_misses: 0,
+            flushed_vm: (0, 0, 0),
+            vm_chunks: HashMap::new(),
+            vm_stacks: Vec::new(),
             eval_trace: Vec::new(),
+        }
+    }
+
+    /// Selects the execution engine: the bytecode VM (default) or the
+    /// retained tree-walk oracle.
+    pub fn set_engine(&mut self, engine: ScriptEngine) {
+        self.engine = engine;
+    }
+
+    /// The engine this interpreter executes with.
+    pub fn engine(&self) -> ScriptEngine {
+        self.engine
+    }
+
+    /// Cumulative VM counters: `(bytecode dispatches, inline-cache hits,
+    /// inline-cache misses)`. All zero under the tree-walk engine.
+    pub fn vm_counters(&self) -> (u64, u64, u64) {
+        (self.dispatches, self.ic_hits, self.ic_misses)
+    }
+
+    /// Records the VM-counter delta since the last flush into the attached
+    /// script cache's shared stats.
+    fn flush_vm_stats(&mut self) {
+        if let Some(cache) = &self.script_cache {
+            let (d0, h0, m0) = self.flushed_vm;
+            cache
+                .stats()
+                .record_vm(self.dispatches - d0, self.ic_hits - h0, self.ic_misses - m0);
+            self.flushed_vm = (self.dispatches, self.ic_hits, self.ic_misses);
         }
     }
 
@@ -197,7 +262,7 @@ impl<H: Host> Interpreter<H> {
     /// Defines a global variable before running scripts (used by the browser
     /// to install `window`, `document`, `navigator`, …).
     pub fn set_global(&mut self, name: &str, value: Value) {
-        self.envs[0].extra.insert(name.to_string(), value);
+        self.envs[0].extra.insert(name, value);
     }
 
     /// Reads a global variable.
@@ -222,10 +287,23 @@ impl<H: Host> Interpreter<H> {
         self.run_program(&script)
     }
 
-    /// Executes an already-compiled script in the global scope.
+    /// Executes an already-compiled script in the global scope, with the
+    /// selected engine.
     pub fn run_program(&mut self, script: &CompiledScript) -> Result<Value, ScriptError> {
         self.units += 1;
-        self.run_body(&script.program().body, 0)
+        let result = match self.engine {
+            ScriptEngine::TreeWalk => self.run_body(&script.program().body, 0),
+            ScriptEngine::Vm => {
+                let chunk = script.chunk();
+                match self.run_chunk(&chunk, 0) {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Ok(Value::Undefined),
+                    Err(f) => Err(self.flow_to_error(f)),
+                }
+            }
+        };
+        self.flush_vm_stats();
+        result
     }
 
     /// Calls a function value (used by the browser to fire queued
@@ -236,7 +314,7 @@ impl<H: Host> Interpreter<H> {
         this: Option<ObjId>,
         args: &[Value],
     ) -> Result<Value, ScriptError> {
-        match self.call_function(f.clone(), this, args.to_vec()) {
+        let result = match self.call_function(f.clone(), this, args.to_vec()) {
             Ok(v) => Ok(v),
             Err(Flow::Throw(v)) => Err(ScriptError::Runtime(format!(
                 "uncaught exception: {}",
@@ -244,7 +322,9 @@ impl<H: Host> Interpreter<H> {
             ))),
             Err(Flow::Fatal(e)) => Err(e),
             Err(_) => Err(ScriptError::Runtime("illegal control flow".into())),
-        }
+        };
+        self.flush_vm_stats();
+        result
     }
 
     fn run_body(&mut self, body: &[Stmt], env: usize) -> Result<Value, ScriptError> {
@@ -268,7 +348,7 @@ impl<H: Host> Interpreter<H> {
         Ok(last)
     }
 
-    fn flow_to_error(&mut self, f: Flow) -> ScriptError {
+    pub(crate) fn flow_to_error(&mut self, f: Flow) -> ScriptError {
         match f {
             Flow::Fatal(e) => e,
             Flow::Throw(v) => {
@@ -295,7 +375,7 @@ impl<H: Host> Interpreter<H> {
             if let Stmt::FnDecl(def) = stmt {
                 let name = def.name.clone().expect("declaration has a name");
                 let value = Value::Fn {
-                    def: Rc::new(def.clone()),
+                    def: def.clone(),
                     env,
                 };
                 self.declare(env, &name, value);
@@ -306,7 +386,7 @@ impl<H: Host> Interpreter<H> {
 
     // ----- statements ------------------------------------------------------
 
-    fn exec(&mut self, stmt: &Stmt, env: usize) -> ExecResult {
+    pub(crate) fn exec(&mut self, stmt: &Stmt, env: usize) -> ExecResult {
         self.step()?;
         match stmt {
             Stmt::Empty | Stmt::FnDecl(_) => Ok(()),
@@ -433,7 +513,12 @@ impl<H: Host> Interpreter<H> {
                         let data = self.heap.get(*id);
                         let mut keys: Vec<String> =
                             (0..data.elements.len()).map(|i| i.to_string()).collect();
-                        keys.extend(data.props.keys().cloned());
+                        // Property maps keep insertion order; sort to keep
+                        // the engine's historical (BTreeMap) enumeration.
+                        let mut props: Vec<String> =
+                            data.props.keys().map(|k| k.to_string()).collect();
+                        props.sort();
+                        keys.extend(props);
                         keys
                     }
                     Value::Str(s) => (0..s.chars().count()).map(|i| i.to_string()).collect(),
@@ -510,18 +595,18 @@ impl<H: Host> Interpreter<H> {
         self.envs.push(Env {
             slots: Vec::new(),
             scope: self.empty_scope.clone(),
-            extra: HashMap::new(),
+            extra: NameMap::new(),
             parent: Some(parent),
         });
         self.envs.len() - 1
     }
 
     /// A fresh function scope laid out per the resolver's slot table.
-    fn push_fn_env(&mut self, parent: usize, scope: Arc<ScopeInfo>) -> usize {
+    pub(crate) fn push_fn_env(&mut self, parent: usize, scope: Arc<ScopeInfo>) -> usize {
         self.envs.push(Env {
             slots: vec![None; scope.names.len()],
             scope,
-            extra: HashMap::new(),
+            extra: NameMap::new(),
             parent: Some(parent),
         });
         self.envs.len() - 1
@@ -529,18 +614,18 @@ impl<H: Host> Interpreter<H> {
 
     /// Declares (or clobbers) `name` in `env` itself — `var`, parameters,
     /// hoisted functions, `for..in` bindings, `catch` parameters.
-    fn declare(&mut self, env: usize, name: &str, value: Value) {
+    pub(crate) fn declare(&mut self, env: usize, name: &str, value: Value) {
         match self.envs[env].scope.slot_of(name) {
             Some(i) => self.envs[env].slots[i] = Some(value),
             None => {
-                self.envs[env].extra.insert(name.to_string(), value);
+                self.envs[env].extra.insert(name, value);
             }
         }
     }
 
     // ----- expressions -----------------------------------------------------
 
-    fn eval(&mut self, expr: &Expr, env: usize) -> EvalResult {
+    pub(crate) fn eval(&mut self, expr: &Expr, env: usize) -> EvalResult {
         self.step()?;
         match expr {
             Expr::Num(n) => Ok(Value::Num(*n)),
@@ -562,12 +647,12 @@ impl<H: Host> Interpreter<H> {
                 let id = self.heap.alloc_object();
                 for (k, v) in props {
                     let value = self.eval(v, env)?;
-                    self.heap.get_mut(id).props.insert(k.to_string(), value);
+                    self.heap.get_mut(id).props.insert(&**k, value);
                 }
                 Ok(Value::Obj(id))
             }
             Expr::Function(def) => Ok(Value::Fn {
-                def: Rc::new(def.clone()),
+                def: def.clone(),
                 env,
             }),
             Expr::Assign { target, op, value } => self.eval_assign(target, *op, value, env),
@@ -675,13 +760,7 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    fn eval_assign(
-        &mut self,
-        target: &Expr,
-        op: AssignOp,
-        value: &Expr,
-        env: usize,
-    ) -> EvalResult {
+    fn eval_assign(&mut self, target: &Expr, op: AssignOp, value: &Expr, env: usize) -> EvalResult {
         let rhs = self.eval(value, env)?;
         let new = if op == AssignOp::Assign {
             rhs
@@ -707,30 +786,7 @@ impl<H: Host> Interpreter<H> {
                 Ok(())
             }
             Expr::Local { name, depth, slot } => {
-                let mut target = Some(env);
-                for _ in 0..*depth {
-                    target = target.and_then(|t| self.envs[t].parent);
-                }
-                let Some(t) = target else {
-                    // Resolver/runtime mismatch (defensive): by-name walk.
-                    self.assign_by_name(name, value, env);
-                    return Ok(());
-                };
-                if let Some(s) = self.envs[t].slots.get_mut(*slot as usize) {
-                    if s.is_some() {
-                        *s = Some(value);
-                        return Ok(());
-                    }
-                }
-                // Slot unwritten: the binding is not live yet, so the write
-                // continues up the chain past the declaring scope — same
-                // path the by-name engine takes when the key is absent.
-                match self.envs[t].parent {
-                    Some(p) => self.assign_by_name(name, value, p),
-                    None => {
-                        self.envs[0].extra.insert(name.to_string(), value);
-                    }
-                }
+                self.assign_local(name, *depth, *slot, value, env);
                 Ok(())
             }
             Expr::Member { object, prop } => {
@@ -749,14 +805,50 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    fn lookup(&mut self, name: &str, env: usize) -> EvalResult {
+    /// Writes a resolver-bound local: `depth` parent hops, then a slot
+    /// index, with the same unwritten-slot fallback the reads use.
+    pub(crate) fn assign_local(
+        &mut self,
+        name: &str,
+        depth: u32,
+        slot: u32,
+        value: Value,
+        env: usize,
+    ) {
+        let mut target = Some(env);
+        for _ in 0..depth {
+            target = target.and_then(|t| self.envs[t].parent);
+        }
+        let Some(t) = target else {
+            // Resolver/runtime mismatch (defensive): by-name walk.
+            self.assign_by_name(name, value, env);
+            return;
+        };
+        if let Some(s) = self.envs[t].slots.get_mut(slot as usize) {
+            if s.is_some() {
+                *s = Some(value);
+                return;
+            }
+        }
+        // Slot unwritten: the binding is not live yet, so the write
+        // continues up the chain past the declaring scope — same path the
+        // by-name engine takes when the key is absent.
+        match self.envs[t].parent {
+            Some(p) => self.assign_by_name(name, value, p),
+            None => {
+                self.envs[0].extra.insert(name, value);
+            }
+        }
+    }
+
+    pub(crate) fn lookup(&mut self, name: &str, env: usize) -> EvalResult {
         match self.try_lookup(name, env) {
             Some(v) => Ok(v),
             None => Err(Flow::Throw(Value::str(format!("{name} is not defined")))),
         }
     }
 
-    fn try_lookup(&self, name: &str, env: usize) -> Option<Value> {
+    pub(crate) fn try_lookup(&self, name: &str, env: usize) -> Option<Value> {
         let mut cur = Some(env);
         while let Some(e) = cur {
             let frame = &self.envs[e];
@@ -779,7 +871,13 @@ impl<H: Host> Interpreter<H> {
     /// Reads a resolver-bound local: `depth` parent hops, then a slot index.
     /// Falls back to the by-name walk when the slot is unwritten (the `var`
     /// has not executed yet) so resolution is observably invisible.
-    fn read_local(&mut self, name: &str, depth: u32, slot: u32, env: usize) -> EvalResult {
+    pub(crate) fn read_local(
+        &mut self,
+        name: &str,
+        depth: u32,
+        slot: u32,
+        env: usize,
+    ) -> EvalResult {
         let mut target = env;
         for _ in 0..depth {
             match self.envs[target].parent {
@@ -802,7 +900,7 @@ impl<H: Host> Interpreter<H> {
 
     /// The by-name assignment walk: write the innermost binding, else
     /// create a global (non-strict `var`-less assignment).
-    fn assign_by_name(&mut self, name: &str, value: Value, env: usize) {
+    pub(crate) fn assign_by_name(&mut self, name: &str, value: Value, env: usize) {
         let mut cur = Some(env);
         while let Some(e) = cur {
             if let Some(i) = self.envs[e].scope.slot_of(name) {
@@ -811,15 +909,15 @@ impl<H: Host> Interpreter<H> {
                     return;
                 }
             } else if self.envs[e].extra.contains_key(name) {
-                self.envs[e].extra.insert(name.to_string(), value);
+                self.envs[e].extra.insert(name, value);
                 return;
             }
             cur = self.envs[e].parent;
         }
-        self.envs[0].extra.insert(name.to_string(), value);
+        self.envs[0].extra.insert(name, value);
     }
 
-    fn value_to_key(&self, v: &Value) -> String {
+    pub(crate) fn value_to_key(&self, v: &Value) -> String {
         match v {
             Value::Str(s) => s.to_string(),
             Value::Num(n) => number_to_string(*n),
@@ -857,14 +955,14 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    fn get_property(&mut self, obj: &Value, key: &str) -> EvalResult {
+    pub(crate) fn get_property(&mut self, obj: &Value, key: &str) -> EvalResult {
         match obj {
             Value::Str(s) => {
                 if key == "length" {
                     return Ok(Value::Num(s.chars().count() as f64));
                 }
-                if stdlib::is_string_method(key) {
-                    return Ok(Value::Native(Rc::from(format!("std:str:{key}"))));
+                if let Some(f) = stdlib::str_method(key) {
+                    return Ok(f);
                 }
                 // Indexing a string: s[0].
                 if let Ok(idx) = key.parse::<usize>() {
@@ -884,14 +982,10 @@ impl<H: Host> Interpreter<H> {
                             return Ok(Value::Num(data.elements.len() as f64));
                         }
                         if let Ok(idx) = key.parse::<usize>() {
-                            return Ok(data
-                                .elements
-                                .get(idx)
-                                .cloned()
-                                .unwrap_or(Value::Undefined));
+                            return Ok(data.elements.get(idx).cloned().unwrap_or(Value::Undefined));
                         }
-                        if stdlib::is_array_method(key) {
-                            return Ok(Value::Native(Rc::from(format!("std:arr:{key}"))));
+                        if let Some(f) = stdlib::arr_method(key) {
+                            return Ok(f);
                         }
                         Ok(data.props.get(key).cloned().unwrap_or(Value::Undefined))
                     }
@@ -908,14 +1002,12 @@ impl<H: Host> Interpreter<H> {
                             .cloned()
                             .unwrap_or(Value::Undefined))
                     }
-                    ObjKind::Plain => {
-                        Ok(data.props.get(key).cloned().unwrap_or(Value::Undefined))
-                    }
+                    ObjKind::Plain => Ok(data.props.get(key).cloned().unwrap_or(Value::Undefined)),
                 }
             }
             Value::Num(_) => {
-                if stdlib::is_number_method(key) {
-                    return Ok(Value::Native(Rc::from(format!("std:num:{key}"))));
+                if let Some(f) = stdlib::num_method(key) {
+                    return Ok(f);
                 }
                 Ok(Value::Undefined)
             }
@@ -928,7 +1020,7 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    fn set_property(&mut self, obj: &Value, key: &str, value: Value) -> ExecResult {
+    pub(crate) fn set_property(&mut self, obj: &Value, key: &str, value: Value) -> ExecResult {
         match obj {
             Value::Obj(id) => {
                 let kind = self.heap.get(*id).kind;
@@ -950,7 +1042,7 @@ impl<H: Host> Interpreter<H> {
                                 .resize(new_len, Value::Undefined);
                             return Ok(());
                         }
-                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        self.heap.get_mut(*id).props.insert(key, value);
                         Ok(())
                     }
                     ObjKind::Native => {
@@ -958,11 +1050,11 @@ impl<H: Host> Interpreter<H> {
                         if self.host.set_prop(&mut self.heap, &tag, *id, key, &value) {
                             return Ok(());
                         }
-                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        self.heap.get_mut(*id).props.insert(key, value);
                         Ok(())
                     }
                     ObjKind::Plain => {
-                        self.heap.get_mut(*id).props.insert(key.to_string(), value);
+                        self.heap.get_mut(*id).props.insert(key, value);
                         Ok(())
                     }
                 }
@@ -1020,7 +1112,7 @@ impl<H: Host> Interpreter<H> {
         }
         // `eval` is special: it must run in the *current* environment.
         if let Value::Native(name) = &f {
-            if name.as_ref() == "std:eval" {
+            if *name == stdlib::eval_sym() {
                 let src = match arg_values.first() {
                     Some(Value::Str(s)) => s.to_string(),
                     Some(other) => return Ok(other.clone()),
@@ -1032,7 +1124,7 @@ impl<H: Host> Interpreter<H> {
         self.call_function(f, this, arg_values)
     }
 
-    fn eval_in_env(&mut self, src: &str, env: usize) -> EvalResult {
+    pub(crate) fn eval_in_env(&mut self, src: &str, env: usize) -> EvalResult {
         self.eval_trace.push(src.to_string());
         // Obfuscated creatives `eval` identical payloads repeatedly — the
         // compile cache serves them the same parsed program.
@@ -1059,7 +1151,7 @@ impl<H: Host> Interpreter<H> {
         Ok(Value::Undefined)
     }
 
-    fn call_function(
+    pub(crate) fn call_function(
         &mut self,
         f: Value,
         this: Option<ObjId>,
@@ -1072,44 +1164,66 @@ impl<H: Host> Interpreter<H> {
                 }
                 self.depth += 1;
                 let call_env = self.push_fn_env(env, def.scope.clone());
-                for (i, p) in def.params.iter().enumerate() {
-                    let v = args.get(i).cloned().unwrap_or(Value::Undefined);
-                    self.declare(call_env, p, v);
+                if def.scope.param_slots.len() == def.params.len() {
+                    // Resolved scope: parameters bind straight into their
+                    // slots, no by-name probe per call.
+                    for (i, &slot) in def.scope.param_slots.iter().enumerate() {
+                        let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+                        self.envs[call_env].slots[slot as usize] = Some(v);
+                    }
+                } else {
+                    for (i, p) in def.params.iter().enumerate() {
+                        let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+                        self.declare(call_env, p, v);
+                    }
                 }
-                // `arguments` array.
-                let args_arr = self.heap.alloc_array(args.clone());
-                self.declare(call_env, "arguments", Value::Obj(args_arr));
+                // The `arguments` array — skipped when the resolver proved
+                // the body can never observe it (most calls), since the
+                // allocation charges no steps and the binding is invisible
+                // unless read.
+                if !def.scope.arguments_unused {
+                    let args_arr = self.heap.alloc_array(args);
+                    self.declare(call_env, "arguments", Value::Obj(args_arr));
+                }
                 if let Some(this_id) = this {
                     // `this` is a keyword, never a slot name.
                     self.declare(call_env, "this", Value::Obj(this_id));
                 }
-                let mut result = Value::Undefined;
-                let mut error = None;
-                self.hoist_functions(&def.body, call_env)?;
-                for stmt in def.body.iter() {
-                    match self.exec(stmt, call_env) {
-                        Ok(()) => {}
-                        Err(Flow::Return(v)) => {
-                            result = v;
-                            break;
-                        }
-                        Err(f) => {
-                            error = Some(f);
-                            break;
+                let result = match self.engine {
+                    ScriptEngine::Vm => {
+                        // Function bodies compile lazily, once per
+                        // definition; the chunk is shared by every closure
+                        // over this definition and every worker.
+                        let chunk = def
+                            .code
+                            .get_or_init(|| Arc::new(crate::compile::compile_fn(&def)))
+                            .clone();
+                        match self.run_chunk(&chunk, call_env) {
+                            Ok(Some(v)) => Ok(v),
+                            Ok(None) => Ok(Value::Undefined),
+                            Err(f) => Err(f),
                         }
                     }
-                }
+                    ScriptEngine::TreeWalk => (|| {
+                        self.hoist_functions(&def.body, call_env)?;
+                        for stmt in def.body.iter() {
+                            match self.exec(stmt, call_env) {
+                                Ok(()) => {}
+                                Err(Flow::Return(v)) => return Ok(v),
+                                Err(f) => return Err(f),
+                            }
+                        }
+                        Ok(Value::Undefined)
+                    })(),
+                };
                 self.depth -= 1;
-                match error {
-                    Some(f) => Err(f),
-                    None => Ok(result),
-                }
+                result
             }
             Value::Native(name) => {
-                if let Some(rest) = name.strip_prefix("std:") {
+                if let Some(rest) = name.as_str().strip_prefix("std:") {
                     return stdlib::call(self, rest, this, &args).map_err(Flow::Throw);
                 }
-                match self.host.call(&mut self.heap, &name, this, &args) {
+                match self.host.call(&mut self.heap, name.as_str(), this, &args) {
                     Ok(v) => Ok(v),
                     Err(msg) => Err(Flow::Throw(Value::str(msg))),
                 }
@@ -1135,7 +1249,7 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> EvalResult {
+    pub(crate) fn binop(&mut self, op: BinOp, l: Value, r: Value) -> EvalResult {
         let v = match op {
             BinOp::Add => self.add_values(l, r),
             BinOp::Sub => Value::Num(l.to_number() - r.to_number()),
@@ -1224,7 +1338,7 @@ impl<H: Host> Interpreter<H> {
     }
 }
 
-fn to_i32(n: f64) -> i32 {
+pub(crate) fn to_i32(n: f64) -> i32 {
     if !n.is_finite() {
         return 0;
     }
@@ -1248,7 +1362,10 @@ mod tests {
     fn out(src: &str) -> String {
         let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
         interp.run(src).unwrap();
-        let v = interp.get_global("out").cloned().unwrap_or(Value::Undefined);
+        let v = interp
+            .get_global("out")
+            .cloned()
+            .unwrap_or(Value::Undefined);
         interp.display_value(&v)
     }
 
@@ -1270,14 +1387,19 @@ mod tests {
 
     #[test]
     fn variables_and_scope_chain() {
-        assert_eq!(out("var a = 1; function f() { return a + 1; } out = f();"), "2");
+        assert_eq!(
+            out("var a = 1; function f() { return a + 1; } out = f();"),
+            "2"
+        );
     }
 
     #[test]
     fn closures_capture_environment() {
         assert_eq!(
-            out("function counter() { var n = 0; return function() { n = n + 1; return n; }; } \
-                 var c = counter(); c(); c(); out = c();"),
+            out(
+                "function counter() { var n = 0; return function() { n = n + 1; return n; }; } \
+                 var c = counter(); c(); c(); out = c();"
+            ),
             "3"
         );
     }
@@ -1297,13 +1419,22 @@ mod tests {
 
     #[test]
     fn if_else_chains() {
-        assert_eq!(out("var x = 5; if (x > 3) { out = 'big'; } else { out = 'small'; }"), "big");
-        assert_eq!(out("var x = 1; if (x > 3) out = 'big'; else out = 'small';"), "small");
+        assert_eq!(
+            out("var x = 5; if (x > 3) { out = 'big'; } else { out = 'small'; }"),
+            "big"
+        );
+        assert_eq!(
+            out("var x = 1; if (x > 3) out = 'big'; else out = 'small';"),
+            "small"
+        );
     }
 
     #[test]
     fn while_and_for_loops() {
-        assert_eq!(out("var s = 0; for (var i = 1; i <= 10; i++) { s += i; } out = s;"), "55");
+        assert_eq!(
+            out("var s = 0; for (var i = 1; i <= 10; i++) { s += i; } out = s;"),
+            "55"
+        );
         assert_eq!(out("var n = 0; while (n < 5) { n++; } out = n;"), "5");
         assert_eq!(out("var n = 10; do { n--; } while (n > 7); out = n;"), "7");
     }
@@ -1332,7 +1463,10 @@ mod tests {
     #[test]
     fn objects() {
         assert_eq!(out("var o = {x: 1, y: 'two'}; out = o.x + o.y;"), "1two");
-        assert_eq!(out("var o = {}; o.a = 5; o['b'] = 6; out = o.a + o['b'];"), "11");
+        assert_eq!(
+            out("var o = {}; o.a = 5; o['b'] = 6; out = o.a + o['b'];"),
+            "11"
+        );
         assert_eq!(out("var o = {n: {m: 3}}; out = o.n.m;"), "3");
     }
 
@@ -1442,9 +1576,7 @@ mod tests {
     #[test]
     fn eval_trace_records_deobfuscated_layers() {
         let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
-        interp
-            .run("eval(\"eval('out = 1 + 1;');\");")
-            .unwrap();
+        interp.run("eval(\"eval('out = 1 + 1;');\");").unwrap();
         assert_eq!(interp.eval_trace.len(), 2);
         assert_eq!(interp.eval_trace[0], "eval('out = 1 + 1;');");
         assert_eq!(interp.eval_trace[1], "out = 1 + 1;");
@@ -1458,7 +1590,10 @@ mod tests {
 
     #[test]
     fn function_hoisting() {
-        assert_eq!(out("out = f(); function f() { return 'hoisted'; }"), "hoisted");
+        assert_eq!(
+            out("out = f(); function f() { return 'hoisted'; }"),
+            "hoisted"
+        );
     }
 
     #[test]
@@ -1541,7 +1676,10 @@ mod tests {
 
     #[test]
     fn switch_no_match_no_default() {
-        assert_eq!(out("out = 'untouched'; switch (9) { case 1: out = 'no'; }"), "untouched");
+        assert_eq!(
+            out("out = 'untouched'; switch (9) { case 1: out = 'no'; }"),
+            "untouched"
+        );
     }
 
     #[test]
@@ -1581,10 +1719,7 @@ mod tests {
 
     #[test]
     fn for_in_without_var() {
-        assert_eq!(
-            out("var o = {k: 5}; for (key in o) { out = key; }"),
-            "k"
-        );
+        assert_eq!(out("var o = {k: 5}; for (key in o) { out = key; }"), "k");
     }
 
     #[test]
@@ -1658,7 +1793,10 @@ mod tests {
     fn eval_introduced_var_is_visible_to_tainted_scope() {
         // The scope mentions `eval`, so `z` must stay a by-name reference
         // and see the binding eval injects at runtime.
-        assert_eq!(out("function f() { eval('var z = 9;'); return z; } out = f();"), "9");
+        assert_eq!(
+            out("function f() { eval('var z = 9;'); return z; } out = f();"),
+            "9"
+        );
         // eval writing an *existing* declared local goes through its slot.
         assert_eq!(
             out("function g() { var n = 1; eval('n = n + 41;'); return n; } out = g();"),

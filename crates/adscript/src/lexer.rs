@@ -23,24 +23,82 @@ pub enum Tok {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Kw {
-    Var, Function, Return, If, Else, While, Do, For, True, False, Null, Undefined,
-    New, Typeof, This, Break, Continue, Try, Catch, Finally, Throw, In, Instanceof, Delete, Void,
-    Switch, Case, Default,
+    Var,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    True,
+    False,
+    Null,
+    Undefined,
+    New,
+    Typeof,
+    This,
+    Break,
+    Continue,
+    Try,
+    Catch,
+    Finally,
+    Throw,
+    In,
+    Instanceof,
+    Delete,
+    Void,
+    Switch,
+    Case,
+    Default,
 }
 
 /// Punctuators and operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Punct {
-    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
-    Semi, Comma, Dot, Colon, Question,
-    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
-    Plus, Minus, Star, Slash, Percent,
-    PlusPlus, MinusMinus,
-    EqEq, NotEq, EqEqEq, NotEqEq,
-    Lt, Gt, Le, Ge,
-    AndAnd, OrOr, Not,
-    BitAnd, BitOr, BitXor, Shl, Shr, UShr, Tilde,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    EqEqEq,
+    NotEqEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+    Tilde,
 }
 
 impl fmt::Display for Tok {
@@ -262,11 +320,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                                 message: "truncated \\x escape".into(),
                                 offset: start,
                             })?;
-                            let code = u8::from_str_radix(hex, 16).map_err(|_| {
-                                LexError {
-                                    message: "bad \\x escape".into(),
-                                    offset: i,
-                                }
+                            let code = u8::from_str_radix(hex, 16).map_err(|_| LexError {
+                                message: "bad \\x escape".into(),
+                                offset: i,
                             })?;
                             s.push(code as char);
                             i += 2;
@@ -276,11 +332,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                                 message: "truncated \\u escape".into(),
                                 offset: start,
                             })?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| LexError {
-                                    message: "bad \\u escape".into(),
-                                    offset: i,
-                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| LexError {
+                                message: "bad \\u escape".into(),
+                                offset: i,
+                            })?;
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             i += 4;
                         }
@@ -368,7 +423,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             None => {
                 return Err(LexError {
-                    message: format!("unexpected character `{}`", src[i..].chars().next().unwrap()),
+                    message: format!(
+                        "unexpected character `{}`",
+                        src[i..].chars().next().unwrap()
+                    ),
                     offset: i,
                 })
             }

@@ -56,23 +56,90 @@
 //! indices, so the interpreter's hot path indexes a `Vec` instead of probing
 //! a `HashMap`. Cache hits require byte-identical source, so caching can
 //! never change what a script computes (see [`cache`] for the contract).
+//!
+//! ## Two engines, one semantics
+//!
+//! Execution has two interchangeable engines selected by [`ScriptEngine`]:
+//!
+//! * **Tree-walk** ([`interp`]) — the original recursive evaluator, retained
+//!   as the differential oracle. Simple, obviously correct, slow.
+//! * **Bytecode VM** ([`bytecode`] + the `vm` module) — the default. Each
+//!   [`CompiledScript`] lazily lowers its resolved AST to a compact
+//!   [`bytecode::Chunk`]; a stack machine executes it over the same
+//!   data-oriented heap ([`heap::NameMap`] property storage, [`heap::Sym`]
+//!   interned natives), with frame-local monomorphic inline caches for
+//!   property and global accesses. The two engines share the environment
+//!   chain, heap, stdlib, and host dispatch, and charge the identical step
+//!   budget — so any observable divergence (including *where* a script dies
+//!   of budget exhaustion) is a bug, and the differential test suite asserts
+//!   there is none.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod cache;
+mod compile;
+pub mod heap;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 mod resolve;
 pub mod stdlib;
 pub mod value;
+mod vm;
 
 pub use cache::{CompiledScript, ScriptCache, ScriptCounts, ScriptStats};
+pub use heap::{NameMap, Sym};
 pub use interp::{Host, Interpreter, Limits, NoHost};
 pub use parser::parse_program;
 pub use value::{ObjId, Value};
+
+/// Which execution engine runs compiled scripts.
+///
+/// Both engines share the runtime (heap, environments, stdlib, host) and
+/// charge the identical step budget, so they are observably equivalent; the
+/// tree-walk engine is retained as the differential oracle for the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScriptEngine {
+    /// The recursive AST evaluator — the differential oracle.
+    TreeWalk,
+    /// The bytecode VM with inline caches — the default, ~3-4× faster on
+    /// execution-heavy creatives (see `BENCH_adscript.json`).
+    #[default]
+    Vm,
+}
+
+impl ScriptEngine {
+    /// Canonical lowercase name (`"tree-walk"` / `"vm"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScriptEngine::TreeWalk => "tree-walk",
+            ScriptEngine::Vm => "vm",
+        }
+    }
+}
+
+impl std::fmt::Display for ScriptEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ScriptEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tree-walk" | "treewalk" | "tree_walk" | "oracle" => Ok(ScriptEngine::TreeWalk),
+            "vm" | "bytecode" => Ok(ScriptEngine::Vm),
+            other => Err(format!(
+                "unknown script engine {other:?} (expected \"vm\" or \"tree-walk\")"
+            )),
+        }
+    }
+}
 
 /// Errors surfaced to the embedder.
 #[derive(Debug, Clone, PartialEq)]

@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 /// Parses (and resolves) a full program.
 pub fn parse_program(src: &str) -> Result<Program, ScriptError> {
-    let toks = lex(src).map_err(|e| ScriptError::Parse(format!("{} at byte {}", e.message, e.offset)))?;
+    let toks =
+        lex(src).map_err(|e| ScriptError::Parse(format!("{} at byte {}", e.message, e.offset)))?;
     let mut p = Parser {
         toks,
         pos: 0,
@@ -146,7 +147,7 @@ impl Parser {
             Tok::Kw(Kw::Function) => {
                 self.advance();
                 let def = self.function_rest(true)?;
-                Ok(Stmt::FnDecl(def))
+                Ok(Stmt::FnDecl(Arc::new(def)))
             }
             Tok::Kw(Kw::Return) => {
                 self.advance();
@@ -295,7 +296,8 @@ impl Parser {
         self.expect_punct(Punct::LParen)?;
         // `for (var k in obj)` / `for (k in obj)` forms.
         if *self.peek() == Tok::Kw(Kw::Var) {
-            if let (Tok::Ident(name), Tok::Kw(Kw::In)) = (self.peek2().clone(), self.peek3().clone())
+            if let (Tok::Ident(name), Tok::Kw(Kw::In)) =
+                (self.peek2().clone(), self.peek3().clone())
             {
                 self.advance(); // var
                 self.advance(); // name
@@ -420,6 +422,7 @@ impl Parser {
             params,
             body: Arc::new(body),
             scope: Arc::new(ScopeInfo::default()),
+            code: std::sync::OnceLock::new(),
         })
     }
 
@@ -732,7 +735,7 @@ impl Parser {
             Tok::Kw(Kw::Function) => {
                 self.advance();
                 let def = self.function_rest(false)?;
-                Ok(Expr::Function(def))
+                Ok(Expr::Function(Arc::new(def)))
             }
             Tok::Ident(name) => {
                 self.advance();
@@ -907,9 +910,7 @@ mod tests {
     fn try_catch_finally() {
         let p = parse("try { risky(); } catch (e) { log(e); } finally { done(); }");
         match &p.body[0] {
-            Stmt::Try {
-                catch, finally, ..
-            } => {
+            Stmt::Try { catch, finally, .. } => {
                 assert_eq!(catch.as_ref().unwrap().0.as_ref(), "e");
                 assert!(finally.is_some());
             }
@@ -985,9 +986,7 @@ mod tests {
 
     #[test]
     fn nested_functions_and_closures() {
-        parse(
-            "function outer() { var n = 0; return function() { n = n + 1; return n; }; }",
-        );
+        parse("function outer() { var n = 0; return function() { n = n + 1; return n; }; }");
     }
 
     #[test]

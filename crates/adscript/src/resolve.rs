@@ -215,6 +215,94 @@ fn eval_in_expr(e: &Expr) -> bool {
     }
 }
 
+/// Whether any code below `stmts` — *including* nested functions and
+/// `catch` handlers — could observe the caller-built `arguments` array of
+/// the enclosing function: a direct `arguments` identifier, or any mention
+/// of `eval` (a direct eval anywhere below executes in an environment whose
+/// parent chain reaches the enclosing call scope, so it can look the name
+/// up dynamically). Deliberately deeper than [`mentions_eval`], and
+/// conservative: a nested function's own `arguments` also trips it.
+fn observes_arguments(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(args_in_stmt)
+}
+
+fn args_in_stmt(s: &Stmt) -> bool {
+    match s {
+        Stmt::Var(decls) => decls
+            .iter()
+            .any(|(_, init)| init.as_ref().is_some_and(args_in_expr)),
+        Stmt::Expr(e) | Stmt::Throw(e) => args_in_expr(e),
+        Stmt::Block(b) => observes_arguments(b),
+        Stmt::If { cond, then, alt } => {
+            args_in_expr(cond)
+                || args_in_stmt(then)
+                || alt.as_ref().is_some_and(|a| args_in_stmt(a))
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            args_in_expr(cond) || args_in_stmt(body)
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            init.as_ref().is_some_and(|i| args_in_stmt(i))
+                || cond.as_ref().is_some_and(args_in_expr)
+                || update.as_ref().is_some_and(args_in_expr)
+                || args_in_stmt(body)
+        }
+        Stmt::Switch { disc, cases } => {
+            args_in_expr(disc)
+                || cases
+                    .iter()
+                    .any(|(t, b)| t.as_ref().is_some_and(args_in_expr) || observes_arguments(b))
+        }
+        Stmt::ForIn { object, body, .. } => args_in_expr(object) || args_in_stmt(body),
+        Stmt::FnDecl(def) => observes_arguments(&def.body),
+        Stmt::Return(e) => e.as_ref().is_some_and(args_in_expr),
+        Stmt::Try {
+            block,
+            catch,
+            finally,
+        } => {
+            observes_arguments(block)
+                || catch
+                    .as_ref()
+                    .is_some_and(|(_, handler)| observes_arguments(handler))
+                || finally.as_ref().is_some_and(|f| observes_arguments(f))
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => false,
+    }
+}
+
+fn args_in_expr(e: &Expr) -> bool {
+    match e {
+        Expr::Ident(name) | Expr::Local { name, .. } => {
+            name.as_ref() == "arguments" || name.as_ref() == "eval"
+        }
+        Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Undefined | Expr::This => {
+            false
+        }
+        Expr::Array(items) => items.iter().any(args_in_expr),
+        Expr::Object(props) => props.iter().any(|(_, v)| args_in_expr(v)),
+        Expr::Function(def) => observes_arguments(&def.body),
+        Expr::Assign { target, value, .. } => args_in_expr(target) || args_in_expr(value),
+        Expr::Cond { cond, then, alt } => {
+            args_in_expr(cond) || args_in_expr(then) || args_in_expr(alt)
+        }
+        Expr::Or(a, b) | Expr::And(a, b) | Expr::Seq(a, b) => args_in_expr(a) || args_in_expr(b),
+        Expr::Bin { lhs, rhs, .. } => args_in_expr(lhs) || args_in_expr(rhs),
+        Expr::Un { operand, .. } => args_in_expr(operand),
+        Expr::IncDec { target, .. } => args_in_expr(target),
+        Expr::Member { object, .. } => args_in_expr(object),
+        Expr::Index { object, index } => args_in_expr(object) || args_in_expr(index),
+        Expr::Call { callee, args } | Expr::New { callee, args } => {
+            args_in_expr(callee) || args.iter().any(args_in_expr)
+        }
+    }
+}
+
 fn walk_stmts(stmts: &mut [Stmt], scopes: &mut Vec<Scope>) {
     for s in stmts {
         walk_stmt(s, scopes);
@@ -275,7 +363,13 @@ fn walk_stmt(s: &mut Stmt, scopes: &mut Vec<Scope>) {
             walk_expr(object, scopes);
             walk_stmt(body, scopes);
         }
-        Stmt::FnDecl(def) => walk_fn(def, scopes),
+        Stmt::FnDecl(def) => {
+            // Freshly parsed definitions are uniquely owned; sharing only
+            // begins at runtime. Same skip-on-shared policy as the body Arc.
+            if let Some(def) = Arc::get_mut(def) {
+                walk_fn(def, scopes);
+            }
+        }
         Stmt::Return(e) => {
             if let Some(e) = e {
                 walk_expr(e, scopes);
@@ -309,14 +403,30 @@ fn walk_stmt(s: &mut Stmt, scopes: &mut Vec<Scope>) {
 
 fn walk_fn(def: &mut FnDef, scopes: &mut Vec<Scope>) {
     let mut names: Vec<Name> = Vec::new();
+    let mut param_slots: Vec<u32> = Vec::with_capacity(def.params.len());
     for p in &def.params {
         push_name(&mut names, p);
+        let slot = names
+            .iter()
+            .position(|n| n.as_ref() == p.as_ref())
+            .expect("parameter was just pushed");
+        param_slots.push(slot as u32);
     }
     push_name(&mut names, &Name::from("arguments"));
     collect_decls(&def.body, &mut names);
     let tainted = mentions_eval(&def.body);
+    let arguments_unused = !observes_arguments(&def.body);
+    // A free name in this body resolves at the global scope exactly when
+    // nothing on the way up can bind it dynamically: neither this body nor
+    // any enclosing function scope mentions `eval`, and no `catch` scope
+    // (non-slotted) sits in the chain. `scopes[0]` is the global scope
+    // itself — its dynamism is where the name *lands*, not an obstacle.
+    let globals_safe = !tainted && scopes[1..].iter().all(|s| s.slotted && !s.tainted);
     def.scope = Arc::new(ScopeInfo {
         names: names.clone(),
+        param_slots,
+        arguments_unused,
+        globals_safe,
     });
     scopes.push(Scope {
         names,
@@ -352,7 +462,11 @@ fn walk_expr(e: &mut Expr, scopes: &mut Vec<Scope>) {
                 walk_expr(operand, scopes);
             }
         }
-        Expr::Function(def) => walk_fn(def, scopes),
+        Expr::Function(def) => {
+            if let Some(def) = Arc::get_mut(def) {
+                walk_fn(def, scopes);
+            }
+        }
         Expr::Local { .. }
         | Expr::Num(_)
         | Expr::Str(_)
@@ -485,6 +599,46 @@ mod tests {
             other => panic!("expected function expr, got {other:?}"),
         };
         assert!(matches!(returned_expr(&inner), Expr::Ident(_)));
+    }
+
+    #[test]
+    fn globals_safe_tracks_eval_and_catch_scopes() {
+        fn flag_of(src: &str) -> bool {
+            match &parse_program(src).unwrap().body[0] {
+                Stmt::FnDecl(def) => def.scope.globals_safe,
+                other => panic!("expected function, got {other:?}"),
+            }
+        }
+        // Eval-free chains prove free names global.
+        assert!(flag_of("function f() { return g; }"));
+        // The body's own eval can bind free names locally at runtime.
+        assert!(!flag_of("function f() { eval(s); return g; }"));
+
+        // Nested in an eval-free function: still safe.
+        let body = first_fn_body("function o() { return function() { return g; }; }");
+        match returned_expr(&body) {
+            Expr::Function(def) => assert!(def.scope.globals_safe),
+            other => panic!("expected function expr, got {other:?}"),
+        }
+        // Nested in an eval-tainted function: the enclosing scope may gain
+        // the name dynamically.
+        let body = first_fn_body("function o() { eval(s); return function() { return g; }; }");
+        match returned_expr(&body) {
+            Expr::Function(def) => assert!(!def.scope.globals_safe),
+            other => panic!("expected function expr, got {other:?}"),
+        }
+        // Defined inside a catch handler: the dynamic scope intervenes.
+        let body = first_fn_body(
+            "function o() { try { g(); } catch (e) { return function() { return g; }; } }",
+        );
+        let handler = match &body[0] {
+            Stmt::Try { catch, .. } => &catch.as_ref().unwrap().1,
+            other => panic!("unexpected {other:?}"),
+        };
+        match &handler[0] {
+            Stmt::Return(Some(Expr::Function(def))) => assert!(!def.scope.globals_safe),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

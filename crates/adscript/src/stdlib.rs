@@ -6,31 +6,33 @@
 //! char codes, `unescape`, `parseInt`) because that is what real malvertising
 //! payloads lean on.
 
+use crate::heap::{NameMap, Sym};
 use crate::interp::{Host, Interpreter};
 use crate::value::{Heap, ObjId, ObjKind, Value};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// Installs global bindings into the global environment.
-pub fn install_globals(heap: &mut Heap, globals: &mut HashMap<String, Value>) {
+pub fn install_globals(heap: &mut Heap, globals: &mut NameMap) {
     // Math object.
     let math = heap.alloc_native("Math");
-    for f in ["floor", "ceil", "abs", "max", "min", "round", "random", "pow", "sqrt"] {
+    for f in [
+        "floor", "ceil", "abs", "max", "min", "round", "random", "pow", "sqrt",
+    ] {
         heap.get_mut(math)
             .props
-            .insert(f.to_string(), native(&format!("math:{f}")));
+            .insert(f, native(&format!("math:{f}")));
     }
     heap.get_mut(math)
         .props
-        .insert("PI".to_string(), Value::Num(std::f64::consts::PI));
-    globals.insert("Math".to_string(), Value::Obj(math));
+        .insert("PI", Value::Num(std::f64::consts::PI));
+    globals.insert("Math", Value::Obj(math));
 
     // String "constructor" object carrying fromCharCode.
     let string_obj = heap.alloc_native("String");
     heap.get_mut(string_obj)
         .props
-        .insert("fromCharCode".to_string(), native("fromCharCode"));
-    globals.insert("String".to_string(), Value::Obj(string_obj));
+        .insert("fromCharCode", native("fromCharCode"));
+    globals.insert("String", Value::Obj(string_obj));
 
     // JSON-less global functions.
     for f in [
@@ -46,49 +48,91 @@ pub fn install_globals(heap: &mut Heap, globals: &mut HashMap<String, Value>) {
         "atob",
         "btoa",
     ] {
-        globals.insert(f.to_string(), native(f));
+        globals.insert(f, native(f));
     }
-    globals.insert("eval".to_string(), native("eval"));
-    globals.insert("NaN".to_string(), Value::Num(f64::NAN));
-    globals.insert("Infinity".to_string(), Value::Num(f64::INFINITY));
+    globals.insert("eval", native("eval"));
+    globals.insert("NaN", Value::Num(f64::NAN));
+    globals.insert("Infinity", Value::Num(f64::INFINITY));
 }
 
 fn native(name: &str) -> Value {
-    Value::Native(Rc::from(format!("std:{name}")))
+    Value::native(&format!("std:{name}"))
 }
 
 /// String methods recognized on string primitives.
-pub fn is_string_method(name: &str) -> bool {
-    matches!(
-        name,
-        "charCodeAt"
-            | "charAt"
-            | "indexOf"
-            | "lastIndexOf"
-            | "substring"
-            | "substr"
-            | "slice"
-            | "split"
-            | "replace"
-            | "toLowerCase"
-            | "toUpperCase"
-            | "concat"
-            | "trim"
-            | "toString"
-    )
-}
+const STRING_METHODS: &[&str] = &[
+    "charCodeAt",
+    "charAt",
+    "indexOf",
+    "lastIndexOf",
+    "substring",
+    "substr",
+    "slice",
+    "split",
+    "replace",
+    "toLowerCase",
+    "toUpperCase",
+    "concat",
+    "trim",
+    "toString",
+];
 
 /// Number methods recognized on numeric primitives.
-pub fn is_number_method(name: &str) -> bool {
-    matches!(name, "toString" | "toFixed")
-}
+const NUMBER_METHODS: &[&str] = &["toString", "toFixed"];
 
 /// Array methods recognized on arrays.
-pub fn is_array_method(name: &str) -> bool {
-    matches!(
-        name,
-        "push" | "pop" | "shift" | "unshift" | "join" | "reverse" | "indexOf" | "slice" | "concat" | "toString"
-    )
+const ARRAY_METHODS: &[&str] = &[
+    "push", "pop", "shift", "unshift", "join", "reverse", "indexOf", "slice", "concat", "toString",
+];
+
+thread_local! {
+    /// Pre-interned method natives, built once per thread: property reads
+    /// on primitives hand out a `Sym`-backed value without formatting or
+    /// re-interning on the hot path.
+    static METHOD_TABLE: Vec<(&'static str, Value, Value, Value)> = {
+        let entry = |prefix: &str, m: &&str| Value::native(&format!("std:{prefix}:{m}"));
+        let mut rows = Vec::new();
+        for m in STRING_METHODS.iter().chain(ARRAY_METHODS).chain(NUMBER_METHODS) {
+            if rows.iter().any(|(name, _, _, _)| name == m) {
+                continue;
+            }
+            rows.push((*m, entry("str", m), entry("arr", m), entry("num", m)));
+        }
+        rows
+    };
+}
+
+fn method_lookup(
+    name: &str,
+    table: &[&str],
+    pick: fn(&(&'static str, Value, Value, Value)) -> Value,
+) -> Option<Value> {
+    if !table.contains(&name) {
+        return None;
+    }
+    METHOD_TABLE.with(|t| t.iter().find(|row| row.0 == name).map(pick))
+}
+
+/// The native value for a string method, if `name` is one.
+pub(crate) fn str_method(name: &str) -> Option<Value> {
+    method_lookup(name, STRING_METHODS, |row| row.1.clone())
+}
+
+/// The native value for an array method, if `name` is one.
+pub(crate) fn arr_method(name: &str) -> Option<Value> {
+    method_lookup(name, ARRAY_METHODS, |row| row.2.clone())
+}
+
+/// The native value for a number method, if `name` is one.
+pub(crate) fn num_method(name: &str) -> Option<Value> {
+    method_lookup(name, NUMBER_METHODS, |row| row.3.clone())
+}
+
+/// The interned symbol for the direct-`eval` native: both engines detect
+/// `eval` calls with one pointer compare.
+pub(crate) fn eval_sym() -> Sym {
+    static EVAL: OnceLock<Sym> = OnceLock::new();
+    *EVAL.get_or_init(|| Sym::intern("std:eval"))
 }
 
 /// Dispatches a `std:`-prefixed native call. `name` has the prefix stripped.
@@ -253,11 +297,7 @@ fn display<H: Host>(interp: &Interpreter<H>, v: Option<&Value>) -> String {
     v.map(|v| interp.display_value(v)).unwrap_or_default()
 }
 
-fn math<H: Host>(
-    interp: &mut Interpreter<H>,
-    f: &str,
-    args: &[Value],
-) -> Result<Value, Value> {
+fn math<H: Host>(interp: &mut Interpreter<H>, f: &str, args: &[Value]) -> Result<Value, Value> {
     let a = args.first().map(|v| v.to_number()).unwrap_or(f64::NAN);
     let b = args.get(1).map(|v| v.to_number()).unwrap_or(f64::NAN);
     let v = match f {
@@ -381,7 +421,11 @@ fn string_method<H: Host>(
                     (n as usize).min(chars.len())
                 }
             };
-            let a = if args.is_empty() { 0 } else { resolve(arg_num(0), 0) };
+            let a = if args.is_empty() {
+                0
+            } else {
+                resolve(arg_num(0), 0)
+            };
             let b = if args.len() > 1 {
                 resolve(arg_num(1), chars.len())
             } else {
@@ -509,15 +553,16 @@ fn array_method<H: Host>(
                     (n as usize).min(len)
                 }
             };
-            let a = args
-                .first()
-                .map(|v| resolve(v.to_number(), 0))
-                .unwrap_or(0);
+            let a = args.first().map(|v| resolve(v.to_number(), 0)).unwrap_or(0);
             let b = args
                 .get(1)
                 .map(|v| resolve(v.to_number(), len))
                 .unwrap_or(len);
-            let slice = if a >= b { Vec::new() } else { elements[a..b].to_vec() };
+            let slice = if a >= b {
+                Vec::new()
+            } else {
+                elements[a..b].to_vec()
+            };
             Ok(Value::Obj(interp.heap.alloc_array(slice)))
         }
         "concat" => {
@@ -553,7 +598,12 @@ fn parse_int(t: &str, radix: Option<u32>) -> f64 {
         None => (false, t.strip_prefix('+').unwrap_or(t)),
     };
     let (radix, t) = match radix {
-        Some(16) => (16, t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t)),
+        Some(16) => (
+            16,
+            t.strip_prefix("0x")
+                .or_else(|| t.strip_prefix("0X"))
+                .unwrap_or(t),
+        ),
         Some(r) => (r, t),
         None => {
             if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
@@ -571,7 +621,9 @@ fn parse_int(t: &str, radix: Option<u32>) -> f64 {
     if end == 0 {
         return f64::NAN;
     }
-    let v = i64::from_str_radix(&t[..end], radix).map(|v| v as f64).unwrap_or(f64::NAN);
+    let v = i64::from_str_radix(&t[..end], radix)
+        .map(|v| v as f64)
+        .unwrap_or(f64::NAN);
     if neg {
         -v
     } else {
@@ -714,8 +766,10 @@ mod tests {
     #[test]
     fn char_code_roundtrip() {
         assert_eq!(
-            out("var s = 'abc'; var t = ''; for (var i = 0; i < s.length; i++) { \
-                 t = String.fromCharCode(s.charCodeAt(i) + 1) + t; } out = t;"),
+            out(
+                "var s = 'abc'; var t = ''; for (var i = 0; i < s.length; i++) { \
+                 t = String.fromCharCode(s.charCodeAt(i) + 1) + t; } out = t;"
+            ),
             "dcb"
         );
     }
@@ -804,7 +858,10 @@ mod tests {
     fn atob_btoa_roundtrip() {
         assert_eq!(out("out = btoa('Man');"), "TWFu");
         assert_eq!(out("out = atob('TWFu');"), "Man");
-        assert_eq!(out("out = atob(btoa('any carnal pleasure'));"), "any carnal pleasure");
+        assert_eq!(
+            out("out = atob(btoa('any carnal pleasure'));"),
+            "any carnal pleasure"
+        );
         assert_eq!(out("out = btoa('M');"), "TQ==");
         assert_eq!(out("out = atob('TQ==');"), "M");
     }
@@ -833,10 +890,19 @@ mod tests {
     fn array_methods() {
         assert_eq!(out("var a = [1,2,3]; out = a.indexOf(2);"), "1");
         assert_eq!(out("var a = [1,2,3]; out = a.indexOf(9);"), "-1");
-        assert_eq!(out("var a = [1,2,3]; a.reverse(); out = a.join('');"), "321");
-        assert_eq!(out("var a = [1,2]; out = a.shift() + ':' + a.length;"), "1:1");
+        assert_eq!(
+            out("var a = [1,2,3]; a.reverse(); out = a.join('');"),
+            "321"
+        );
+        assert_eq!(
+            out("var a = [1,2]; out = a.shift() + ':' + a.length;"),
+            "1:1"
+        );
         assert_eq!(out("var a = [2]; a.unshift(1); out = a.join(',');"), "1,2");
-        assert_eq!(out("var a = [1,2,3,4]; out = a.slice(1, 3).join(',');"), "2,3");
+        assert_eq!(
+            out("var a = [1,2,3,4]; out = a.slice(1, 3).join(',');"),
+            "2,3"
+        );
         assert_eq!(out("out = [1,2].concat([3,4], 5).join('');"), "12345");
     }
 

@@ -1,9 +1,10 @@
 //! Runtime values and the object heap.
 
-use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::FnDef;
+use crate::heap::{NameMap, Sym};
 
 /// Handle to an object in the [`Heap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,19 +27,26 @@ pub enum Value {
     Obj(ObjId),
     /// A script function: definition plus captured environment.
     Fn {
-        /// The function definition.
-        def: Rc<FnDef>,
+        /// The function definition (shared with the compiled AST).
+        def: Arc<FnDef>,
         /// Captured scope (environment id in the interpreter).
         env: usize,
     },
-    /// A host-provided native function, identified by name.
-    Native(Rc<str>),
+    /// A host-provided native function, identified by an interned symbol
+    /// (identity checks are pointer compares, see [`Sym`]).
+    Native(Sym),
 }
 
 impl Value {
     /// Convenience string constructor.
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Native-function constructor: interns `name` so repeated constructions
+    /// share one allocation and equality is an integer compare.
+    pub fn native(name: &str) -> Value {
+        Value::Native(Sym::intern(name))
     }
 
     /// JS truthiness.
@@ -105,7 +113,7 @@ impl Value {
             (Value::Obj(a), Value::Obj(b)) => a == b,
             (Value::Native(a), Value::Native(b)) => a == b,
             (Value::Fn { def: a, env: ea }, Value::Fn { def: b, env: eb }) => {
-                Rc::ptr_eq(a, b) && ea == eb
+                Arc::ptr_eq(a, b) && ea == eb
             }
             _ => false,
         }
@@ -150,8 +158,10 @@ pub enum ObjKind {
 pub struct ObjData {
     /// Kind discriminator.
     pub kind: ObjKind,
-    /// Named properties (sorted map for deterministic iteration).
-    pub props: BTreeMap<String, Value>,
+    /// Named properties: insertion-ordered with stable entry indices (the
+    /// VM's inline caches index into this). Enumeration sites sort keys so
+    /// `for..in` order stays deterministic and engine-independent.
+    pub props: NameMap,
     /// Array elements (only for [`ObjKind::Array`]).
     pub elements: Vec<Value>,
     /// Host tag for [`ObjKind::Native`] objects (empty otherwise).
@@ -176,7 +186,7 @@ impl Heap {
     pub fn alloc_object(&mut self) -> ObjId {
         self.alloc(ObjData {
             kind: ObjKind::Plain,
-            props: BTreeMap::new(),
+            props: NameMap::new(),
             elements: Vec::new(),
             tag: String::new(),
         })
@@ -186,7 +196,7 @@ impl Heap {
     pub fn alloc_array(&mut self, elements: Vec<Value>) -> ObjId {
         self.alloc(ObjData {
             kind: ObjKind::Array,
-            props: BTreeMap::new(),
+            props: NameMap::new(),
             elements,
             tag: String::new(),
         })
@@ -196,7 +206,7 @@ impl Heap {
     pub fn alloc_native(&mut self, tag: &str) -> ObjId {
         self.alloc(ObjData {
             kind: ObjKind::Native,
-            props: BTreeMap::new(),
+            props: NameMap::new(),
             elements: Vec::new(),
             tag: tag.to_string(),
         })
@@ -252,7 +262,7 @@ mod tests {
         assert_eq!(Value::Null.type_of(), "object");
         assert_eq!(Value::Num(1.0).type_of(), "number");
         assert_eq!(Value::str("s").type_of(), "string");
-        assert_eq!(Value::Native(Rc::from("f")).type_of(), "function");
+        assert_eq!(Value::native("f").type_of(), "function");
     }
 
     #[test]
@@ -284,13 +294,16 @@ mod tests {
         assert!(!Value::Null.strict_eq(&Value::Undefined));
         assert!(Value::str("a").strict_eq(&Value::str("a")));
         assert!(!Value::Num(f64::NAN).strict_eq(&Value::Num(f64::NAN)));
+        // Native identity is an interned-pointer compare.
+        assert!(Value::native("std:eval").strict_eq(&Value::native("std:eval")));
+        assert!(!Value::native("std:eval").strict_eq(&Value::native("std:other")));
     }
 
     #[test]
     fn heap_alloc_and_access() {
         let mut heap = Heap::new();
         let o = heap.alloc_object();
-        heap.get_mut(o).props.insert("x".into(), Value::Num(1.0));
+        heap.get_mut(o).props.insert("x", Value::Num(1.0));
         assert!(matches!(heap.get(o).props.get("x"), Some(Value::Num(n)) if *n == 1.0));
         let a = heap.alloc_array(vec![Value::Num(1.0), Value::Num(2.0)]);
         assert_eq!(heap.get(a).elements.len(), 2);

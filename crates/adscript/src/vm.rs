@@ -1,0 +1,950 @@
+//! The bytecode VM: a stack machine over the tree-walk interpreter's
+//! runtime.
+//!
+//! `run_chunk` executes one [`Chunk`] against the *same* environment chain,
+//! heap, and host the tree-walk engine uses — the VM replaces only the
+//! dispatch layer (AST recursion → a flat op loop), so every helper it
+//! calls (`get_property`, `binop`, `call_function`, …) is the oracle's own
+//! code. Three things are VM-specific:
+//!
+//! * **Inline caches.** Each chunk declares `ic_count` cache slots,
+//!   materialized once per `(interpreter, chunk)` pair and shared by every
+//!   activation — a hot function keeps its warm caches across calls instead
+//!   of re-missing on each entry. Persistence needs no invalidation
+//!   machinery: [`crate::heap::NameMap`] entries never move or disappear
+//!   (stable indices), heap object ids are never reused, missing properties
+//!   are never cached, and a property cache still identity-checks its
+//!   receiver on every hit. Property caches remember `(object id, entry
+//!   index)` for plain objects; global caches remember the root
+//!   environment's entry index (sound because program chunks only ever
+//!   execute in the root environment, whose static scope is empty).
+//! * **Merged budget charges.** [`Op::Charge`] deducts the accumulated
+//!   step count the tree-walk engine would have charged one-by-one;
+//!   exhaustion pins the budget to zero exactly like the failing step.
+//! * **Dynamic flow redirection.** A break/continue signal surfacing from a
+//!   call or a tree-walked subtree is redirected to the innermost enclosing
+//!   compiled-loop target recorded in [`Chunk::ranges`]; a return signal
+//!   becomes the chunk's return value (the tree-walk's `run_body` /
+//!   `call_function` do the same catch).
+
+use crate::bytecode::{CVal, Chunk, Op, NO_IC};
+use crate::interp::{to_i32, Flow, Host, Interpreter};
+use crate::stdlib;
+use crate::value::{ObjKind, Value};
+use crate::ScriptError;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Per-interpreter runtime state for one chunk: the materialized constant
+/// pool and the persistent inline-cache slots, both shared by every
+/// activation of the chunk. Keyed by chunk address in `vm_chunks`; the
+/// keepalive `Arc` pins the address so a key can never be reused.
+pub(crate) struct ChunkState {
+    _keep: Arc<Chunk>,
+    consts: Rc<[Value]>,
+    ics: Rc<[Cell<Ic>]>,
+}
+
+/// One monomorphic inline-cache slot. Persistent: allocated once per
+/// `(interpreter, chunk)` and shared across activations, so a hot function
+/// stays warm call after call. Persistence is sound without invalidation —
+/// map entries never move, object ids are never reused, misses are never
+/// cached, and property hits re-check the receiver's identity.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ic {
+    /// Never executed (or last shape was uncacheable).
+    Empty,
+    /// Plain-object property: `obj`'s property map holds the key at `idx`.
+    Prop {
+        /// The receiver this cache is specialized to.
+        obj: crate::value::ObjId,
+        /// Stable entry index of the property in the receiver's map.
+        idx: u32,
+    },
+    /// Root-environment binding at this stable entry index.
+    Global(u32),
+}
+
+/// Pops the operand stack. Compiled stack discipline guarantees the value
+/// is present; underflow is a compiler bug, not a script error.
+fn pop(stack: &mut Vec<Value>) -> Value {
+    stack.pop().expect("vm stack underflow")
+}
+
+impl<H: Host> Interpreter<H> {
+    /// Materializes a chunk's runtime state — the constant pool as runtime
+    /// values (`Value::Str` is `Rc`-backed and thread-local, so the shared
+    /// `Arc<str>` pool cannot be used directly) and the persistent
+    /// inline-cache slots — once per interpreter. Keyed by chunk address;
+    /// the keepalive `Arc` makes address reuse impossible.
+    fn chunk_state(&mut self, chunk: &Arc<Chunk>) -> (Rc<[Value]>, Rc<[Cell<Ic>]>) {
+        let key = Arc::as_ptr(chunk) as usize;
+        if let Some(state) = self.vm_chunks.get(&key) {
+            return (state.consts.clone(), state.ics.clone());
+        }
+        let consts: Rc<[Value]> = chunk
+            .consts
+            .iter()
+            .map(|c| match c {
+                CVal::Num(n) => Value::Num(*n),
+                CVal::Str(s) => Value::Str(Rc::from(&**s)),
+            })
+            .collect();
+        let ics: Rc<[Cell<Ic>]> = (0..chunk.ic_count).map(|_| Cell::new(Ic::Empty)).collect();
+        self.vm_chunks.insert(
+            key,
+            ChunkState {
+                _keep: chunk.clone(),
+                consts: consts.clone(),
+                ics: ics.clone(),
+            },
+        );
+        (consts, ics)
+    }
+
+    /// Executes `chunk` in `env`. `Ok(None)` means the body ran to
+    /// completion; `Ok(Some(v))` means an explicit `return` (from `Ret` or
+    /// a return signal surfacing out of a tree-walked subtree) produced `v`.
+    pub(crate) fn run_chunk(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        env: usize,
+    ) -> Result<Option<Value>, Flow> {
+        let (consts, ics) = self.chunk_state(chunk);
+        // Operand stacks are pooled across activations: a call-heavy script
+        // would otherwise pay one allocation per call frame.
+        let mut stack = self
+            .vm_stacks
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(16));
+        let result = self.run_ops(chunk, env, &consts, &ics, &mut stack);
+        stack.clear();
+        self.vm_stacks.push(stack);
+        result
+    }
+
+    /// The dispatch loop proper, over the chunk's pooled frame state.
+    fn run_ops(
+        &mut self,
+        chunk: &Arc<Chunk>,
+        env: usize,
+        consts: &[Value],
+        ics: &[Cell<Ic>],
+        stack: &mut Vec<Value>,
+    ) -> Result<Option<Value>, Flow> {
+        let mut ip = 0usize;
+        // Dispatch counting stays in a register for the whole activation;
+        // the interpreter-wide counter is settled once on exit.
+        let mut dispatched: u64 = 0;
+        let result = loop {
+            if ip >= chunk.ops.len() {
+                break Ok(None);
+            }
+            dispatched += 1;
+            let at = ip as u32;
+            let op = chunk.ops[ip];
+            ip += 1;
+            // Every success path `continue`s (or `break`s) directly out of
+            // its arm; only the error signal falls through, so the hot path
+            // never materializes an intermediate control-transfer value.
+            let err: Flow = match op {
+                Op::Charge(n) => match self.charge_steps(n) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::Const(i) => {
+                    stack.push(consts[i as usize].clone());
+                    continue;
+                }
+                Op::True => {
+                    stack.push(Value::Bool(true));
+                    continue;
+                }
+                Op::False => {
+                    stack.push(Value::Bool(false));
+                    continue;
+                }
+                Op::Null => {
+                    stack.push(Value::Null);
+                    continue;
+                }
+                Op::Undef => {
+                    stack.push(Value::Undefined);
+                    continue;
+                }
+                Op::This => {
+                    stack.push(self.try_lookup("this", env).unwrap_or(Value::Undefined));
+                    continue;
+                }
+                Op::Pop => {
+                    pop(stack);
+                    continue;
+                }
+                Op::Dup => {
+                    let v = stack.last().expect("vm stack underflow").clone();
+                    stack.push(v);
+                    continue;
+                }
+                Op::Swap => {
+                    let n = stack.len();
+                    stack.swap(n - 1, n - 2);
+                    continue;
+                }
+                Op::Jump { t, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        ip = t as usize;
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::JumpIfFalse { t, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        if !pop(stack).truthy() {
+                            ip = t as usize;
+                        }
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::JumpIfTrue { t, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        if pop(stack).truthy() {
+                            ip = t as usize;
+                        }
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::JumpTruthyKeep { t, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        if stack.last().expect("vm stack underflow").truthy() {
+                            ip = t as usize;
+                        } else {
+                            pop(stack);
+                        }
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::JumpFalsyKeep { t, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        if stack.last().expect("vm stack underflow").truthy() {
+                            pop(stack);
+                        } else {
+                            ip = t as usize;
+                        }
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::LoadLocal {
+                    depth,
+                    slot,
+                    name,
+                    pre,
+                } => match self.charge_steps(pre).and_then(|()| {
+                    if depth == 0 {
+                        match self.envs[env].slots.get(slot as usize) {
+                            Some(Some(v)) => Ok(v.clone()),
+                            _ => self.read_local(&chunk.names[name as usize], 0, slot, env),
+                        }
+                    } else {
+                        self.read_local(&chunk.names[name as usize], depth, slot, env)
+                    }
+                }) {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::StoreLocal {
+                    depth,
+                    slot,
+                    name,
+                    pre,
+                } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        let v = pop(stack);
+                        self.assign_local(&chunk.names[name as usize], depth, slot, v, env);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::LoadName { name, ic, pre } => match self
+                    .charge_steps(pre)
+                    .and_then(|()| self.vm_load_name(chunk, ics, name, ic, env))
+                {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::StoreName { name, ic, pre } => match self.charge_steps(pre) {
+                    Ok(()) => {
+                        let v = pop(stack);
+                        self.vm_store_name(chunk, ics, name, ic, v, env);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::GetPropName {
+                    name,
+                    name_ic,
+                    prop,
+                    prop_ic,
+                    pre,
+                } => match self.charge_steps(pre).and_then(|()| {
+                    let obj = self.vm_load_name(chunk, ics, name, name_ic, env)?;
+                    self.vm_prop_read(ics, &obj, &chunk.names[prop as usize], prop_ic)
+                }) {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::SetPropName {
+                    name,
+                    name_ic,
+                    prop,
+                    prop_ic,
+                    pre,
+                } => match self.charge_steps(pre).and_then(|()| {
+                    let obj = self.vm_load_name(chunk, ics, name, name_ic, env)?;
+                    let value = pop(stack);
+                    self.vm_write_prop(ics, obj, &chunk.names[prop as usize], prop_ic, value)
+                }) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::IncName {
+                    name,
+                    load_ic,
+                    store_ic,
+                    delta,
+                    pre,
+                } => match self.charge_steps(pre).and_then(|()| {
+                    let old = self
+                        .vm_load_name(chunk, ics, name, load_ic, env)?
+                        .to_number();
+                    let new = Value::Num(old + f64::from(delta));
+                    self.vm_store_name(chunk, ics, name, store_ic, new, env);
+                    Ok(())
+                }) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::DeclSlot(i) => {
+                    let v = pop(stack);
+                    self.envs[env].slots[i as usize] = Some(v);
+                    continue;
+                }
+                Op::DeclName(i) => {
+                    let v = pop(stack);
+                    self.declare(env, &chunk.names[i as usize].clone(), v);
+                    continue;
+                }
+                Op::DeclFn(i) => {
+                    let def = chunk.fns[i as usize].clone();
+                    let name = def.name.clone().expect("declaration has a name");
+                    self.declare(env, &name, Value::Fn { def, env });
+                    continue;
+                }
+                Op::Closure(i) => {
+                    stack.push(Value::Fn {
+                        def: chunk.fns[i as usize].clone(),
+                        env,
+                    });
+                    continue;
+                }
+                Op::GetProp { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
+                    let obj = pop(stack);
+                    self.vm_prop_read(ics, &obj, &chunk.names[name as usize], ic)
+                }) {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::SetProp { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
+                    let obj = pop(stack);
+                    let value = pop(stack);
+                    self.vm_write_prop(ics, obj, &chunk.names[name as usize], ic, value)
+                }) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::GetIndex { pre } => match self.charge_steps(pre).and_then(|()| {
+                    let idx = pop(stack);
+                    let obj = pop(stack);
+                    let key = self.value_to_key(&idx);
+                    self.get_property(&obj, &key)
+                }) {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::SetIndex { pre } => match self.charge_steps(pre).and_then(|()| {
+                    let idx = pop(stack);
+                    let obj = pop(stack);
+                    let value = pop(stack);
+                    let key = self.value_to_key(&idx);
+                    self.set_property(&obj, &key, value)
+                }) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::MakeArray(n) => {
+                    let elements = stack.split_off(stack.len() - n as usize);
+                    stack.push(Value::Obj(self.heap.alloc_array(elements)));
+                    continue;
+                }
+                Op::MakeObject => {
+                    stack.push(Value::Obj(self.heap.alloc_object()));
+                    continue;
+                }
+                Op::ObjInsert(i) => {
+                    let v = pop(stack);
+                    let id = match stack.last() {
+                        Some(Value::Obj(id)) => *id,
+                        _ => unreachable!("ObjInsert targets the literal under construction"),
+                    };
+                    self.heap
+                        .get_mut(id)
+                        .props
+                        .insert(&*chunk.names[i as usize], v);
+                    continue;
+                }
+                Op::GetMethod { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
+                    let obj = pop(stack);
+                    self.vm_prop_read(ics, &obj, &chunk.names[name as usize], ic)
+                        .map(|f| (obj, f))
+                }) {
+                    Ok((obj, f)) => {
+                        stack.push(obj);
+                        stack.push(f);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::GetMethodIndex { pre } => match self.charge_steps(pre).and_then(|()| {
+                    let idx = pop(stack);
+                    let obj = pop(stack);
+                    let key = self.value_to_key(&idx);
+                    self.get_property(&obj, &key).map(|f| (obj, f))
+                }) {
+                    Ok((obj, f)) => {
+                        stack.push(obj);
+                        stack.push(f);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Op::Call { argc, pre } => match self
+                    .charge_steps(pre)
+                    .and_then(|()| self.vm_call(stack, argc, env))
+                {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::CallMethod { argc, pre } => match self
+                    .charge_steps(pre)
+                    .and_then(|()| self.vm_call_method(stack, argc, env))
+                {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::Bin(op) => {
+                    let r = pop(stack);
+                    let l = pop(stack);
+                    match self.binop(op, l, r) {
+                        Ok(v) => {
+                            stack.push(v);
+                            continue;
+                        }
+                        Err(e) => e,
+                    }
+                }
+                Op::BinConst { op, idx } => {
+                    let l = pop(stack);
+                    match self.binop(op, l, consts[idx as usize].clone()) {
+                        Ok(v) => {
+                            stack.push(v);
+                            continue;
+                        }
+                        Err(e) => e,
+                    }
+                }
+                Op::UnNeg => {
+                    let v = pop(stack);
+                    stack.push(Value::Num(-v.to_number()));
+                    continue;
+                }
+                Op::UnPos => {
+                    let v = pop(stack);
+                    stack.push(Value::Num(v.to_number()));
+                    continue;
+                }
+                Op::UnNot => {
+                    let v = pop(stack);
+                    stack.push(Value::Bool(!v.truthy()));
+                    continue;
+                }
+                Op::UnBitNot => {
+                    let v = pop(stack);
+                    stack.push(Value::Num(!(to_i32(v.to_number())) as f64));
+                    continue;
+                }
+                Op::TypeofVal => {
+                    let v = pop(stack);
+                    stack.push(Value::str(v.type_of()));
+                    continue;
+                }
+                Op::TypeofName(i) => match self.try_lookup(&chunk.names[i as usize], env) {
+                    None => {
+                        stack.push(Value::str("undefined"));
+                        continue;
+                    }
+                    Some(v) => {
+                        if self.steps_left == 0 {
+                            Flow::Fatal(ScriptError::BudgetExhausted)
+                        } else {
+                            self.steps_left -= 1;
+                            stack.push(Value::str(v.type_of()));
+                            continue;
+                        }
+                    }
+                },
+                Op::IncDec { delta, prefix } => {
+                    let old = pop(stack).to_number();
+                    let new = old + f64::from(delta);
+                    stack.push(Value::Num(if prefix { new } else { old }));
+                    stack.push(Value::Num(new));
+                    continue;
+                }
+                Op::Ret { pre } => match self.charge_steps(pre) {
+                    Ok(()) => break Ok(Some(pop(stack))),
+                    Err(e) => e,
+                },
+                Op::ThrowOp => Flow::Throw(pop(stack)),
+                Op::FlowBreak => Flow::Break,
+                Op::FlowContinue => Flow::Continue,
+                Op::TreeStmt(i) => match self.exec(&chunk.tree_stmts[i as usize], env) {
+                    Ok(()) => continue,
+                    Err(e) => e,
+                },
+                Op::TreeExpr(i) => match self.eval(&chunk.tree_exprs[i as usize], env) {
+                    Ok(v) => {
+                        stack.push(v);
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+            };
+            match err {
+                // A break/continue surfacing here (from a compiled flow op,
+                // out of a call, or out of a tree-walked subtree) lands at
+                // the innermost enclosing compiled loop, exactly like the
+                // tree-walk's loop arms catch it. Leftover expression
+                // operands on the stack are dead weight, never misread:
+                // every op addresses the stack relative to its top.
+                Flow::Break => match chunk.loop_at(at) {
+                    Some(range) => ip = range.brk as usize,
+                    None => break Err(Flow::Break),
+                },
+                Flow::Continue => match chunk.loop_at(at) {
+                    Some(range) => ip = range.cont as usize,
+                    None => break Err(Flow::Continue),
+                },
+                // A return signal ends the chunk with a value — `run_body`
+                // and `call_function` catch it the same way in the oracle.
+                Flow::Return(v) => break Ok(Some(v)),
+                other => break Err(other),
+            }
+        };
+        self.dispatches += dispatched;
+        result
+    }
+
+    /// Deducts `n` steps from the budget; on exhaustion the budget pins to
+    /// zero and the run fails, exactly like the `n`-th sequential
+    /// tree-walk `step()` would. `n == 0` (no folded charge) is a no-op.
+    #[inline(always)]
+    fn charge_steps(&mut self, n: u32) -> Result<(), Flow> {
+        let n = u64::from(n);
+        if self.steps_left >= n {
+            self.steps_left -= n;
+            Ok(())
+        } else {
+            self.steps_left = 0;
+            Err(Flow::Fatal(ScriptError::BudgetExhausted))
+        }
+    }
+
+    /// Identifier resolution with the global inline cache: the fast path of
+    /// `LoadName` shared by the fused name+property ops.
+    #[inline(always)]
+    fn vm_load_name(
+        &mut self,
+        chunk: &Chunk,
+        ics: &[Cell<Ic>],
+        name: u32,
+        ic: u32,
+        env: usize,
+    ) -> Result<Value, Flow> {
+        if ic != NO_IC {
+            if let Ic::Global(idx) = ics[ic as usize].get() {
+                self.ic_hits += 1;
+                return Ok(self.envs[0].extra.entry_at(idx).1.clone());
+            }
+            self.ic_misses += 1;
+            let key: &str = &chunk.names[name as usize];
+            return match self.envs[0].extra.get_full(key) {
+                Some((idx, v)) => {
+                    let v = v.clone();
+                    ics[ic as usize].set(Ic::Global(idx));
+                    Ok(v)
+                }
+                None => Err(Flow::Throw(Value::str(format!("{key} is not defined")))),
+            };
+        }
+        self.lookup(&chunk.names[name as usize], env)
+    }
+
+    /// Identifier assignment with the global inline cache: the fast path of
+    /// `StoreName` shared by the fused ops. Infallible, like the
+    /// tree-walk's non-strict assignment.
+    #[inline(always)]
+    fn vm_store_name(
+        &mut self,
+        chunk: &Chunk,
+        ics: &[Cell<Ic>],
+        name: u32,
+        ic: u32,
+        v: Value,
+        env: usize,
+    ) {
+        if ic != NO_IC {
+            if let Ic::Global(idx) = ics[ic as usize].get() {
+                self.ic_hits += 1;
+                self.envs[0].extra.set_at(idx, v);
+            } else {
+                self.ic_misses += 1;
+                let idx = self.envs[0]
+                    .extra
+                    .insert_full(&chunk.names[name as usize], v);
+                ics[ic as usize].set(Ic::Global(idx));
+            }
+        } else {
+            self.assign_by_name(&chunk.names[name as usize], v, env);
+        }
+    }
+
+    /// Property read with a monomorphic inline cache. Cacheable shape:
+    /// plain object, present property. Everything else falls back to the
+    /// tree-walk's `get_property`.
+    fn vm_prop_read(
+        &mut self,
+        ics: &[Cell<Ic>],
+        obj: &Value,
+        key: &str,
+        ic: u32,
+    ) -> Result<Value, Flow> {
+        if ic != NO_IC {
+            if let Value::Obj(id) = obj {
+                let data = self.heap.get(*id);
+                if matches!(data.kind, ObjKind::Plain) {
+                    if let Ic::Prop { obj: cached, idx } = ics[ic as usize].get() {
+                        if cached == *id {
+                            self.ic_hits += 1;
+                            return Ok(data.props.entry_at(idx).1.clone());
+                        }
+                    }
+                    self.ic_misses += 1;
+                    return Ok(match data.props.get_full(key) {
+                        Some((idx, v)) => {
+                            let v = v.clone();
+                            ics[ic as usize].set(Ic::Prop { obj: *id, idx });
+                            v
+                        }
+                        // Missing properties are never cached: a later
+                        // insert would change the answer under the cache.
+                        None => Value::Undefined,
+                    });
+                }
+            }
+        }
+        self.get_property(obj, key)
+    }
+
+    /// Property write with a monomorphic inline cache; the caller supplies
+    /// the receiver (popped, or resolved by the fused name form) and the
+    /// value.
+    fn vm_write_prop(
+        &mut self,
+        ics: &[Cell<Ic>],
+        obj: Value,
+        key: &str,
+        ic: u32,
+        value: Value,
+    ) -> Result<(), Flow> {
+        if ic != NO_IC {
+            if let Value::Obj(id) = &obj {
+                let id = *id;
+                if matches!(self.heap.get(id).kind, ObjKind::Plain) {
+                    if let Ic::Prop { obj: cached, idx } = ics[ic as usize].get() {
+                        if cached == id {
+                            self.ic_hits += 1;
+                            self.heap.get_mut(id).props.set_at(idx, value);
+                            return Ok(());
+                        }
+                    }
+                    self.ic_misses += 1;
+                    let idx = self.heap.get_mut(id).props.insert_full(key, value);
+                    ics[ic as usize].set(Ic::Prop { obj: id, idx });
+                    return Ok(());
+                }
+            }
+        }
+        self.set_property(&obj, key, value)
+    }
+
+    /// `Call(n)`: pops `n` arguments and the callee; pushes the result.
+    fn vm_call(&mut self, stack: &mut Vec<Value>, argc: u32, env: usize) -> Result<(), Flow> {
+        let args = stack.split_off(stack.len() - argc as usize);
+        let f = pop(stack);
+        let v = self.vm_dispatch_call(f, None, args, env)?;
+        stack.push(v);
+        Ok(())
+    }
+
+    /// `CallMethod(n)`: pops `n` arguments, the callee, and the receiver.
+    /// String/number receivers become the synthetic first argument the
+    /// stdlib dispatcher expects — same shape the tree-walk builds.
+    fn vm_call_method(
+        &mut self,
+        stack: &mut Vec<Value>,
+        argc: u32,
+        env: usize,
+    ) -> Result<(), Flow> {
+        let mut args = stack.split_off(stack.len() - argc as usize);
+        let f = pop(stack);
+        let obj = pop(stack);
+        let this = match &obj {
+            Value::Obj(id) => Some(*id),
+            _ => None,
+        };
+        match &obj {
+            Value::Str(_) | Value::Num(_) => args.insert(0, obj),
+            _ => {}
+        }
+        let v = self.vm_dispatch_call(f, this, args, env)?;
+        stack.push(v);
+        Ok(())
+    }
+
+    /// The call tail shared by `Call`/`CallMethod`: direct-`eval` detection
+    /// (after argument evaluation, exactly like `eval_call`), then the
+    /// tree-walk's `call_function`.
+    fn vm_dispatch_call(
+        &mut self,
+        f: Value,
+        this: Option<crate::value::ObjId>,
+        args: Vec<Value>,
+        env: usize,
+    ) -> Result<Value, Flow> {
+        if let Value::Native(sym) = &f {
+            if *sym == stdlib::eval_sym() {
+                let src = match args.first() {
+                    Some(Value::Str(s)) => s.to_string(),
+                    Some(other) => return Ok(other.clone()),
+                    None => return Ok(Value::Undefined),
+                };
+                return self.eval_in_env(&src, env);
+            }
+        }
+        self.call_function(f, this, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::{Interpreter, Limits, NoHost};
+    use crate::value::Value;
+    use crate::ScriptEngine;
+
+    /// Runs `src` on one engine and captures every cross-engine observable:
+    /// the run result (display string or error string), the `out` global,
+    /// the remaining step budget, and the eval trace.
+    fn observe(
+        src: &str,
+        engine: ScriptEngine,
+        limits: Limits,
+    ) -> (Result<String, String>, String, u64, Vec<String>) {
+        let mut i = Interpreter::new(NoHost, limits, 7);
+        i.set_engine(engine);
+        let result = match i.run(src) {
+            Ok(v) => Ok(i.display_value(&v)),
+            Err(e) => Err(e.to_string()),
+        };
+        let out = i.get_global("out").cloned().unwrap_or(Value::Undefined);
+        let out = i.display_value(&out);
+        (result, out, i.steps_left(), i.eval_trace.clone())
+    }
+
+    fn differential_with(src: &str, limits: Limits) {
+        let a = observe(src, ScriptEngine::TreeWalk, limits);
+        let b = observe(src, ScriptEngine::Vm, limits);
+        assert_eq!(a, b, "engines diverge on: {src}");
+    }
+
+    fn differential(src: &str) {
+        differential_with(src, Limits::default());
+    }
+
+    #[test]
+    fn engines_agree_on_a_broad_corpus() {
+        let corpus = [
+            "out = 1 + 2 * 3 - 4 / 2;",
+            "out = 'a' + 1 + 2; out += '' + (1 + 2 + 'x');",
+            "var a = 1; function f() { return a + 1; } out = f();",
+            "function counter() { var n = 0; return function() { n = n + 1; return n; }; } \
+             var c = counter(); c(); c(); out = c();",
+            "function f() { if (true) { var x = 5; } return x; } out = f();",
+            "function f() { leak = 42; } f(); out = leak;",
+            "var s = 0; for (var i = 1; i <= 10; i++) { s += i; } out = s;",
+            "var n = 0; while (n < 5) { n++; } var m = 10; do { m--; } while (m > 7); out = n + ':' + m;",
+            "var s = 0; for (var i = 0; i < 10; i++) { if (i == 5) break; if (i % 2 == 0) continue; s += i; } out = s;",
+            "var a = [1, 2, 3]; a.push(4); a[7] = 'x'; out = a.join('-') + a.length + a.pop();",
+            "var o = {x: 1, y: 'two', n: {m: 3}}; o.z = o.x + o.n.m; out = o.z + o.y;",
+            "out = '' + (1 == '1') + (1 === '1') + (null == undefined) + (0 == false);",
+            "out = typeof 5 + ':' + typeof missing + ':' + typeof {} + ':' + typeof function(){};",
+            "out = (1 > 0 ? 'yes' : 'no') + (null || 'fb') + ('a' && 'b') + (0 && explode());",
+            "var i = 5; var a = [3]; a[0]++; out = '' + i++ + ++i + a[0] + (++a[0]);",
+            "var log = ''; try { try { throw 'x'; } finally { log += 'f'; } } catch (e) { log += 'c:' + e; } out = log;",
+            "try { missing.prop = 1; } catch (e) { out = 'recovered'; }",
+            "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); } out = fib(12);",
+            "var x = 1; eval('x = x + 41;'); out = x;",
+            "eval(\"eval('out = 1 + 1;');\");",
+            "out = f(); function f() { return 'hoisted'; }",
+            "var o = {v: 7, get: function() { return this.v; }}; out = o.get();",
+            "function f() { return arguments.length + ':' + arguments[1]; } out = f('a', 'b', 'c');",
+            "out = '' + (5 & 3) + (5 | 3) + (5 ^ 3) + (1 << 4) + (16 >> 2) + (~0) + (-5 >>> 28);",
+            "var s = 'Hello World'; out = s.toUpperCase() + s.indexOf('World') + s.substring(0, 5) + 'x'.charCodeAt(0) + s[4];",
+            "var log = ''; for (var i = 0; i < 4; i++) { switch (i % 2) { case 0: continue; case 1: log += i; break; } log += '.'; } out = log;",
+            "var o = {b: 1, a: 2, c: 3}; var ks = ''; for (var k in o) { ks += k; } out = ks;",
+            "function Point(x) { this.x = x; } var p = new Point(4); out = p.x;",
+            "var a = (1, 2, 3); out = a;",
+            "out = Math.floor(3.7) + Math.max(1, 9) + Math.pow(2, 5) + Math.abs(-2);",
+            "out = parseInt('2a', 16) + parseInt('10') + Number('3.5') + parseFloat('1.25');",
+            "out = '' + ('abc' < 'abd') + ('b' >= 'a') + (2 < 10) + ('10' < '9');",
+            "var o = {n: 1}; o.n += 4; o['n'] *= 2; var g = 1; g -= 3; out = o.n + ':' + g;",
+            "var o = {a: 1}; out = (void 0) + '' + (delete o.a) + o.a;",
+            "var o = {k: 1}; var a = [1, 2]; out = '' + ('k' in o) + ('z' in o) + (1 in a);",
+            "out = '' + (Math.random() >= 0) + (Math.random() < 1);",
+            "var s = ''; var o = {x: 2}; with_default = typeof s; \
+             function inc(v) { return v + o.x; } for (var i = 0; i < 3; i++) { s += inc(i); } out = s + with_default;",
+            "out = unescape('%41%42') + escape('a b') + decodeURIComponent('%20').length + btoa('hi') + atob('aGk=');",
+            "var n = 255; out = n.toString(16) + (3.14159).toFixed(2) + (7).toString();",
+            // Fused superinstruction shapes: ident-receiver member compound
+            // assigns, statement-form inc/dec, and constant-rhs operators.
+            "var o = {v: 1}; o.v += 2; o.v *= 3; o.v -= 1; o.v /= 2; o.v %= 3; out = o.v;",
+            "var o = {n: 5}; o.n++; ++o.n; o.n--; out = '' + o.n++ + --o.n + o.n;",
+            "x = 1; x += 2; x++; ++x; x--; out = x;",
+            "var x = 10; out = x % 7 + x * 2 - x / 5 + (x + 1) + ('' + x);",
+            "var o = {a: {b: {c: 1}}}; o.a.b.c += 5; out = o.a.b.c++ + o.a.b.c;",
+            "q = missing_global; out = 'unreached';",
+            "o_undef.p = 1; out = 'unreached';",
+            // Global inline caches inside eval-free nested closures, and
+            // their forced by-name fallbacks (eval taint, catch scopes).
+            "var g = 1; (function () { (function () { g += 2; g2 = g * 3; })(); })(); out = g + ':' + g2;",
+            "var g = 1; (function () { eval('var g = 10;'); g += 2; out = g; })(); out += ':' + g;",
+            "var g = 1; (function () { try { throw 7; } catch (g) { out = g; } out += ':' + g; })();",
+            "(function () { out = '' + absent_global; })();",
+            "(function () { fresh_global = 5; })(); out = fresh_global;",
+        ];
+        for src in corpus {
+            differential(src);
+        }
+    }
+
+    #[test]
+    fn budget_death_is_engine_identical() {
+        let programs = [
+            "var s = 0; for (var i = 0; i < 100; i++) { s += i; } out = s;",
+            "var n = 0; while (n < 50) { n = n + 1; } out = n;",
+            "function f(x) { return x < 2 ? x : f(x - 1) + f(x - 2); } out = f(10);",
+            "var o = {x: 0}; var k = 0; do { o.x++; k++; } while (k < 20); out = o.x;",
+            "var s = ''; for (var i = 0; i < 20; i++) { s += typeof miss; eval('s += i;'); } out = s;",
+            // Fused-op budget parity: pre-charges on GetPropName/SetPropName,
+            // IncName, and BinConst must die on the same step as the
+            // tree-walk's per-node accounting.
+            "var o = {v: 0}; for (var i = 0; i < 30; i++) { o.v += i % 7; o.v++; } out = o.v;",
+            "x = 0; for (var i = 0; i < 30; i++) { x = o_missing.p + 1; } out = x;",
+        ];
+        for src in programs {
+            for max_steps in [0, 1, 2, 3, 5, 10, 50, 100, 1000] {
+                differential_with(
+                    src,
+                    Limits {
+                        max_steps,
+                        max_depth: 50,
+                    },
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn break_leaking_through_a_call_is_redirected_like_the_tree_walk() {
+        differential(
+            "var n = 0; function leak() { break; } \
+             for (var i = 0; i < 3; i++) { leak(); n = n + 1; } out = n + ':' + i;",
+        );
+        differential(
+            "var n = 0; function skip() { continue; } \
+             for (var i = 0; i < 3; i++) { skip(); n = n + 1; } out = n + ':' + i;",
+        );
+        differential(
+            "var n = 0; function leak() { break; } \
+             while (n < 5) { n++; try { leak(); } finally { n += 10; } } out = n;",
+        );
+    }
+
+    #[test]
+    fn top_level_return_through_try_matches() {
+        differential("try { return 5; } finally { out = 2; }");
+        differential("out = 1; return 'early'; out = 2;");
+    }
+
+    #[test]
+    fn inline_caches_hit_on_repeated_property_and_global_access() {
+        let mut i = Interpreter::new(NoHost, Limits::default(), 7);
+        i.set_engine(ScriptEngine::Vm);
+        i.run("var o = {x: 0}; for (var i = 0; i < 100; i++) { o.x = o.x + 1; } out = o.x;")
+            .unwrap();
+        let v = i.get_global("out").cloned().unwrap();
+        assert_eq!(i.display_value(&v), "100");
+        let (dispatches, hits, misses) = i.vm_counters();
+        assert!(dispatches > 0);
+        assert!(
+            hits > misses,
+            "expected warm caches: hits={hits} misses={misses}"
+        );
+    }
+
+    #[test]
+    fn tree_walk_engine_keeps_vm_counters_at_zero() {
+        let mut i = Interpreter::new(NoHost, Limits::default(), 7);
+        i.set_engine(ScriptEngine::TreeWalk);
+        i.run("var s = 0; for (var i = 0; i < 10; i++) { s += i; } out = s;")
+            .unwrap();
+        assert_eq!(i.vm_counters(), (0, 0, 0));
+    }
+}

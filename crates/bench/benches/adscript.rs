@@ -1,7 +1,9 @@
-//! Script compilation cache benchmarks — the `adscript_compile` group.
+//! Script engine benchmarks — the `adscript_compile` and `adscript_exec`
+//! groups.
 //!
-//! Three variants over the same deterministic [`synth::synthetic_scripts`]
-//! workload (the one `malvert bench-json` also times):
+//! `adscript_compile` runs three variants over the same deterministic
+//! [`synth::synthetic_scripts`] workload (the one `malvert bench-json`
+//! also times):
 //!
 //! * `cold` — compile (lex + parse + resolve) and execute every script on
 //!   every pass, the way the interpreter worked before the cache existed.
@@ -14,14 +16,30 @@
 //! The workload is parse-heavy by construction (dozens of helper function
 //! declarations in front of a short live path), so `warm` should beat
 //! `cold` by well over the 5x the acceptance bar asks for.
+//!
+//! `adscript_exec` times pure execution of pre-compiled programs on the
+//! execution-heavy [`synth::synthetic_exec_scripts`] packed-creative
+//! workload, once per engine:
+//!
+//! * `tree_walk` — the retained AST interpreter, the differential oracle.
+//! * `vm` — the bytecode VM with its pre-charge folding, fused
+//!   superinstructions, and monomorphic inline caches.
+//!
+//! Both engines execute the identical [`CompiledScript`]s (asserted to
+//! produce identical output before timing), so the ratio is the dispatch
+//! and data-layout win alone, uncontaminated by front-end cost.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use malvert_adscript::{CompiledScript, Interpreter, Limits, NoHost, ScriptCache, ScriptStats};
-use malvert_bench::synth::synthetic_scripts;
+use malvert_adscript::{
+    CompiledScript, Interpreter, Limits, NoHost, ScriptCache, ScriptEngine, ScriptStats,
+};
+use malvert_bench::synth::{synthetic_exec_scripts, synthetic_scripts};
 use std::hint::black_box;
 
 const SCRIPTS: usize = 32;
 const SEED: u64 = 0xADC0;
+const EXEC_SCRIPTS: usize = 8;
+const EXEC_SEED: u64 = 0xE8EC;
 
 fn bench_adscript_compile(c: &mut Criterion) {
     let scripts = synthetic_scripts(SCRIPTS, SEED);
@@ -64,5 +82,48 @@ fn bench_adscript_compile(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_adscript_compile);
+fn bench_adscript_exec(c: &mut Criterion) {
+    let scripts = synthetic_exec_scripts(EXEC_SCRIPTS, EXEC_SEED);
+    let compiled: Vec<CompiledScript> = scripts
+        .iter()
+        .map(|s| CompiledScript::compile(s).expect("synthetic exec script compiles"))
+        .collect();
+
+    // Engines must agree before their ratio means anything.
+    for (i, script) in compiled.iter().enumerate() {
+        let run = |engine: ScriptEngine| {
+            let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+            interp.set_engine(engine);
+            interp.run_program(script).expect("exec script runs");
+            interp
+                .get_global("out")
+                .expect("exec script writes out")
+                .clone()
+        };
+        assert!(
+            run(ScriptEngine::TreeWalk).strict_eq(&run(ScriptEngine::Vm)),
+            "engine divergence on exec script {i}"
+        );
+    }
+
+    let mut group = c.benchmark_group("adscript_exec");
+    group.throughput(Throughput::Elements(compiled.len() as u64));
+    for (name, engine) in [
+        ("tree_walk", ScriptEngine::TreeWalk),
+        ("vm", ScriptEngine::Vm),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for script in &compiled {
+                    let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+                    interp.set_engine(engine);
+                    black_box(interp.run_program(script).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adscript_compile, bench_adscript_exec);
 criterion_main!(benches);

@@ -15,10 +15,12 @@
 //!   (including indexed-vs-naive matcher comparisons on the [`synth`]
 //!   workloads at 100/1k/10k rules), AdScript deobfuscation throughput,
 //!   blacklist threshold sweep, scanner consensus sweep.
-//! * `adscript` — the `adscript_compile/{cold,warm,interned}` group: the
+//! * `adscript` — the `adscript_compile/{cold,warm,interned}` group (the
 //!   script compilation cache against cold compiles on the [`synth`]
-//!   script workload (the same one `malvert bench-json` times into
-//!   `BENCH_adscript.json`).
+//!   script workload) and the `adscript_exec/{tree_walk,vm}` group (the
+//!   bytecode VM against the retained tree-walk oracle on the
+//!   execution-heavy packed-creative workload) — the same measurements
+//!   `malvert bench-json` times into `BENCH_adscript.json`.
 //! * `countermeasures` — §5 ablation comparison.
 //! * `study` — end-to-end pipelined study throughput (page loads/sec) on
 //!   two corpus scales, plus a checkpointed variant pinning the snapshot

@@ -102,6 +102,75 @@ pub fn synthetic_scripts(count: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
+/// Generates `count` execution-heavy AdScript programs, deterministic in
+/// `(count, seed)`.
+///
+/// The mirror image of [`synthetic_scripts`]: a tiny parse surface in front
+/// of a hot loop that dominates the runtime. The shape mimics a *packed*
+/// creative the way obfuscators emit them — a stack of IIFE wrappers, hex
+/// `_0x…` identifier renaming, shared mutable state in globals and plain
+/// objects rather than locals, and statement-form compound updates. That is
+/// simultaneously the regime the bytecode VM targets: global and property
+/// traffic hits the monomorphic inline caches, while the tree-walk oracle
+/// re-hashes every long identifier and walks the wrapper scope chain on
+/// each access. Scripts are host-free (pure compute into the `out` global)
+/// so benches can run them under `NoHost`.
+pub fn synthetic_exec_scripts(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = DetRng::new(seed);
+    let mut serial = 0usize;
+    let mut name = |rng: &mut DetRng| {
+        serial += 1;
+        let mut n = format!("_0x{serial:x}");
+        for _ in 0..6 + rng.below(10) {
+            n.push(char::from_digit(rng.below(16) as u32, 16).expect("hex digit"));
+        }
+        n
+    };
+    (0..count)
+        .map(|i| {
+            // Globals: two accumulators, a loop counter (assigned without
+            // `var`, as sloppy packed code does), and a state object.
+            let acc = name(&mut rng);
+            let mul = name(&mut rng);
+            let idx = name(&mut rng);
+            let st = name(&mut rng);
+            let f: Vec<String> = (0..4).map(|_| name(&mut rng)).collect();
+            let k1 = rng.below(97) + 2;
+            let k2 = rng.below(89) + 2;
+            let k3 = rng.below(41) + 3;
+            let rounds = 1500 + rng.below(1000);
+            let depth = 3 + rng.below(4);
+            let mut src = format!(
+                "var {acc} = {i}; var {mul} = {k2};\n\
+                 var {st} = {{ {}: {k1}, {}: {k3}, {}: 0, {}: 0 }};\n",
+                f[0], f[1], f[2], f[3]
+            );
+            for _ in 0..depth {
+                src.push_str("(function () { ");
+            }
+            src.push('\n');
+            src.push_str(&format!(
+                "for ({idx} = 0; {idx} < {rounds}; {idx}++) {{\n\
+                 \x20 {acc} = ({acc} + {mul} * {idx} + {st}.{}) % 1000003;\n\
+                 \x20 {st}.{} = {st}.{} + {st}.{} * 3 + {acc} % 7;\n\
+                 \x20 {st}.{}++;\n\
+                 \x20 if ({st}.{} > 1000000) {{ {st}.{} %= 10007; }}\n\
+                 }}\n",
+                f[0], f[2], f[2], f[1], f[3], f[2], f[2]
+            ));
+            for _ in 0..depth {
+                src.push_str("})(); ");
+            }
+            src.push('\n');
+            src.push_str(&format!(
+                "out = '' + ({acc} + {st}.{} + {st}.{});\n",
+                f[2], f[3]
+            ));
+            src
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,7 +209,9 @@ mod tests {
             let script = CompiledScript::compile(src)
                 .unwrap_or_else(|e| panic!("script {i} fails to compile: {e}"));
             let mut direct = Interpreter::new(NoHost, Limits::default(), 1);
-            direct.run(src).unwrap_or_else(|e| panic!("script {i} fails: {e}"));
+            direct
+                .run(src)
+                .unwrap_or_else(|e| panic!("script {i} fails: {e}"));
             let mut precompiled = Interpreter::new(NoHost, Limits::default(), 1);
             precompiled.run_program(&script).unwrap();
             let a = direct
@@ -150,6 +221,36 @@ mod tests {
             assert!(
                 a.strict_eq(b),
                 "script {i}: precompiled run diverges from direct run"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_script_generation_is_deterministic_in_the_seed() {
+        assert_eq!(synthetic_exec_scripts(6, 77), synthetic_exec_scripts(6, 77));
+        assert_ne!(synthetic_exec_scripts(6, 77), synthetic_exec_scripts(6, 78));
+    }
+
+    #[test]
+    fn exec_scripts_run_identically_on_both_engines() {
+        use malvert_adscript::{CompiledScript, Interpreter, Limits, NoHost, ScriptEngine};
+        for (i, src) in synthetic_exec_scripts(6, 77).iter().enumerate() {
+            let script = CompiledScript::compile(src)
+                .unwrap_or_else(|e| panic!("exec script {i} fails to compile: {e}"));
+            let run = |engine: ScriptEngine| {
+                let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+                interp.set_engine(engine);
+                interp
+                    .run_program(&script)
+                    .unwrap_or_else(|e| panic!("exec script {i} fails on {engine}: {e}"));
+                interp
+                    .get_global("out")
+                    .unwrap_or_else(|| panic!("exec script {i} wrote no output"))
+                    .clone()
+            };
+            assert!(
+                run(ScriptEngine::TreeWalk).strict_eq(&run(ScriptEngine::Vm)),
+                "exec script {i}: engines diverge"
             );
         }
     }

@@ -3,7 +3,7 @@
 use crate::events::{BehaviorEvent, Download};
 use crate::host::{BrowserHost, Effect, ScheduledTimer};
 use crate::personality::Personality;
-use malvert_adscript::{Interpreter, Limits, ScriptCache};
+use malvert_adscript::{Interpreter, Limits, ScriptCache, ScriptEngine};
 use malvert_html::{parse_document, serialize, Document, NodeId};
 use malvert_net::{
     Body, CookieJar, FetchLog, FetchOutcome, HttpRequest, NetError, Network, TrafficCapture,
@@ -119,6 +119,7 @@ pub struct Browser<'net> {
     limits: BrowserLimits,
     study: SeedTree,
     script_cache: Option<ScriptCache>,
+    script_engine: ScriptEngine,
 }
 
 struct LoadCtx {
@@ -153,6 +154,7 @@ impl<'net> Browser<'net> {
             limits,
             study,
             script_cache: None,
+            script_engine: ScriptEngine::default(),
         }
     }
 
@@ -162,6 +164,14 @@ impl<'net> Browser<'net> {
     /// changes what a page does.
     pub fn script_cache(mut self, cache: ScriptCache) -> Self {
         self.script_cache = Some(cache);
+        self
+    }
+
+    /// Selects the script execution engine (bytecode VM by default). The
+    /// engines are observably equivalent — the tree-walk oracle exists for
+    /// differential testing — so switching never changes what a page does.
+    pub fn script_engine(mut self, engine: ScriptEngine) -> Self {
+        self.script_engine = engine;
         self
     }
 
@@ -352,6 +362,7 @@ impl<'net> Browser<'net> {
             .branch(&final_url.without_fragment())
             .seed();
         let mut interp = Interpreter::new(host, self.limits.script_limits, seed);
+        interp.set_engine(self.script_engine);
         if let Some(cache) = &self.script_cache {
             interp.set_script_cache(cache.clone());
         }
@@ -369,7 +380,7 @@ impl<'net> Browser<'net> {
                     .heap
                     .get_mut(doc_obj)
                     .props
-                    .insert("cookie".to_string(), malvert_adscript::Value::str(visible));
+                    .insert("cookie", malvert_adscript::Value::str(visible));
             }
         }
 

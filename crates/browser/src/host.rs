@@ -4,7 +4,6 @@ use crate::personality::Personality;
 use malvert_adscript::interp::Host;
 use malvert_adscript::value::{Heap, ObjId, Value};
 use malvert_types::Url;
-use std::rc::Rc;
 
 /// A side effect a script requested; the browser applies these after the
 /// script (or timer round) finishes, like real event-loop turns.
@@ -115,43 +114,43 @@ impl BrowserHost {
                 let o = heap.alloc_object();
                 heap.get_mut(o)
                     .props
-                    .insert("name".to_string(), Value::str(&p.name));
+                    .insert("name", Value::str(&p.name));
                 heap.get_mut(o)
                     .props
-                    .insert("version".to_string(), Value::str(&p.version));
+                    .insert("version", Value::str(&p.version));
                 Value::Obj(o)
             })
             .collect();
         let plugins = heap.alloc_array(plugin_objs);
         {
             let nav = heap.get_mut(navigator);
-            nav.props.insert("plugins".to_string(), Value::Obj(plugins));
+            nav.props.insert("plugins", Value::Obj(plugins));
             nav.props
-                .insert("userAgent".to_string(), Value::str(&personality.user_agent));
+                .insert("userAgent", Value::str(&personality.user_agent));
             nav.props.insert(
-                "analysisTells".to_string(),
+                "analysisTells",
                 Value::Num(f64::from(personality.analysis_tells)),
             );
             nav.props
-                .insert("language".to_string(), Value::str("en-US"));
+                .insert("language", Value::str("en-US"));
         }
 
         // screen.
         let screen = heap.alloc_object();
         heap.get_mut(screen)
             .props
-            .insert("width".to_string(), Value::Num(f64::from(personality.screen.0)));
+            .insert("width", Value::Num(f64::from(personality.screen.0)));
         heap.get_mut(screen)
             .props
-            .insert("height".to_string(), Value::Num(f64::from(personality.screen.1)));
+            .insert("height", Value::Num(f64::from(personality.screen.1)));
 
         // location object.
         let location = heap.alloc_native("location");
         heap.get_mut(location)
             .props
-            .insert("href".to_string(), Value::str(frame_url.to_string()));
+            .insert("href", Value::str(frame_url.to_string()));
         heap.get_mut(location).props.insert(
-            "host".to_string(),
+            "host",
             Value::str(
                 frame_url
                     .host()
@@ -161,41 +160,41 @@ impl BrowserHost {
         );
         heap.get_mut(location)
             .props
-            .insert("replace".to_string(), Value::Native(Rc::from("location.replace")));
+            .insert("replace", Value::native("location.replace"));
         heap.get_mut(location)
             .props
-            .insert("assign".to_string(), Value::Native(Rc::from("location.replace")));
+            .insert("assign", Value::native("location.replace"));
 
         // document with body element.
         let body = heap.alloc_native("element:body");
         heap.get_mut(body).props.insert(
-            "appendChild".to_string(),
-            Value::Native(Rc::from("element.appendChild")),
+            "appendChild",
+            Value::native("element.appendChild"),
         );
         let document = heap.alloc_native("document");
         {
             let doc = heap.get_mut(document);
             doc.props
-                .insert("write".to_string(), Value::Native(Rc::from("document.write")));
+                .insert("write", Value::native("document.write"));
             doc.props.insert(
-                "writeln".to_string(),
-                Value::Native(Rc::from("document.write")),
+                "writeln",
+                Value::native("document.write"),
             );
             doc.props.insert(
-                "createElement".to_string(),
-                Value::Native(Rc::from("document.createElement")),
+                "createElement",
+                Value::native("document.createElement"),
             );
             doc.props.insert(
-                "getElementById".to_string(),
-                Value::Native(Rc::from("document.getElementById")),
+                "getElementById",
+                Value::native("document.getElementById"),
             );
-            doc.props.insert("body".to_string(), Value::Obj(body));
+            doc.props.insert("body", Value::Obj(body));
             doc.props
-                .insert("location".to_string(), Value::Obj(location));
-            doc.props.insert("referrer".to_string(), Value::str(""));
-            doc.props.insert("cookie".to_string(), Value::str(""));
+                .insert("location", Value::Obj(location));
+            doc.props.insert("referrer", Value::str(""));
+            doc.props.insert("cookie", Value::str(""));
             doc.props
-                .insert("domain".to_string(), Value::str(
+                .insert("domain", Value::str(
                     frame_url.host().map(|h| h.to_string()).unwrap_or_default(),
                 ));
         }
@@ -208,16 +207,16 @@ impl BrowserHost {
         {
             let w = heap.get_mut(window);
             w.props
-                .insert("location".to_string(), Value::Obj(location));
+                .insert("location", Value::Obj(location));
             w.props
-                .insert("document".to_string(), Value::Obj(document));
+                .insert("document", Value::Obj(document));
             w.props
-                .insert("navigator".to_string(), Value::Obj(navigator));
-            w.props.insert("screen".to_string(), Value::Obj(screen));
-            w.props.insert("top".to_string(), Value::Obj(top));
+                .insert("navigator", Value::Obj(navigator));
+            w.props.insert("screen", Value::Obj(screen));
+            w.props.insert("top", Value::Obj(top));
             w.props.insert(
-                "setTimeout".to_string(),
-                Value::Native(Rc::from("window.setTimeout")),
+                "setTimeout",
+                Value::native("window.setTimeout"),
             );
         }
 
@@ -228,11 +227,11 @@ impl BrowserHost {
         interp.set_global("location", Value::Obj(location));
         interp.set_global("screen", Value::Obj(screen));
         interp.set_global("top", Value::Obj(top));
-        interp.set_global("setTimeout", Value::Native(Rc::from("window.setTimeout")));
-        interp.set_global("setInterval", Value::Native(Rc::from("window.setTimeout")));
-        interp.set_global("clearTimeout", Value::Native(Rc::from("window.noop")));
-        interp.set_global("alert", Value::Native(Rc::from("window.noop")));
-        interp.set_global("console_log", Value::Native(Rc::from("window.noop")));
+        interp.set_global("setTimeout", Value::native("window.setTimeout"));
+        interp.set_global("setInterval", Value::native("window.setTimeout"));
+        interp.set_global("clearTimeout", Value::native("window.noop"));
+        interp.set_global("alert", Value::native("window.noop"));
+        interp.set_global("console_log", Value::native("window.noop"));
     }
 
     fn value_to_string(heap: &Heap, v: &Value) -> String {
@@ -280,10 +279,10 @@ impl Host for BrowserHost {
                 let el = heap.alloc_native("element");
                 heap.get_mut(el)
                     .props
-                    .insert("tagName".to_string(), Value::str(&tag));
+                    .insert("tagName", Value::str(&tag));
                 heap.get_mut(el).props.insert(
-                    "appendChild".to_string(),
-                    Value::Native(Rc::from("element.appendChild")),
+                    "appendChild",
+                    Value::native("element.appendChild"),
                 );
                 Ok(Value::Obj(el))
             }
@@ -426,8 +425,8 @@ impl Host for BrowserHost {
                 // A fixed-epoch Date stub: enough for cache-busting tricks.
                 let date = heap.alloc_native("date");
                 heap.get_mut(date).props.insert(
-                    "getTime".to_string(),
-                    Value::Native(Rc::from("window.noop")),
+                    "getTime",
+                    Value::native("window.noop"),
                 );
                 Some(Value::Obj(date))
             }

@@ -100,6 +100,18 @@ pub struct ScriptBase {
     pub cache_hits: u64,
     /// Cache misses (scheduling-dependent; zeroed in stripped summaries).
     pub cache_misses: u64,
+    /// VM bytecode dispatches (engine-dependent; zeroed in stripped
+    /// summaries). Defaults to zero when loading pre-VM snapshots.
+    #[serde(default)]
+    pub bytecode_dispatches: u64,
+    /// VM inline-cache hits (engine-dependent; zeroed in stripped
+    /// summaries). Defaults to zero when loading pre-VM snapshots.
+    #[serde(default)]
+    pub inline_cache_hits: u64,
+    /// VM inline-cache misses (engine-dependent; zeroed in stripped
+    /// summaries). Defaults to zero when loading pre-VM snapshots.
+    #[serde(default)]
+    pub inline_cache_misses: u64,
 }
 
 impl ScriptBase {
@@ -109,6 +121,9 @@ impl ScriptBase {
             lookups: counts.lookups,
             cache_hits: counts.cache_hits,
             cache_misses: counts.cache_misses,
+            bytecode_dispatches: counts.bytecode_dispatches,
+            inline_cache_hits: counts.inline_cache_hits,
+            inline_cache_misses: counts.inline_cache_misses,
         }
     }
 
@@ -118,6 +133,9 @@ impl ScriptBase {
             lookups: self.lookups + live.lookups,
             cache_hits: self.cache_hits + live.cache_hits,
             cache_misses: self.cache_misses + live.cache_misses,
+            bytecode_dispatches: self.bytecode_dispatches + live.bytecode_dispatches,
+            inline_cache_hits: self.inline_cache_hits + live.inline_cache_hits,
+            inline_cache_misses: self.inline_cache_misses + live.inline_cache_misses,
         }
     }
 }
@@ -352,6 +370,9 @@ mod tests {
             lookups: 20,
             cache_hits: 15,
             cache_misses: 5,
+            bytecode_dispatches: 700,
+            inline_cache_hits: 80,
+            inline_cache_misses: 8,
         };
         let state = CrawlState::from_aggregate(&aggregate, filter, script);
         let json = serde_json::to_string(&state).expect("serializes");
@@ -367,5 +388,10 @@ mod tests {
         assert_eq!(rebuilt.site_ad_observations.get(&SiteId(9)), Some(&4));
         assert_eq!(filter_base.plus(FilterCounts::default()).lookups, 100);
         assert_eq!(script_base.plus(ScriptCounts::default()).cache_hits, 15);
+        assert_eq!(
+            script_base.plus(ScriptCounts::default()).bytecode_dispatches,
+            700
+        );
+        assert_eq!(script_base.plus(ScriptCounts::default()).inline_cache_hits, 80);
     }
 }

@@ -117,6 +117,20 @@ pub struct RunCounters {
     /// [`RunSummary::without_timings`].
     #[serde(default)]
     pub script_cache_misses: u64,
+    /// Bytecode instructions the VM engine dispatched (crawl and
+    /// classification combined). Engine-dependent (zero under the tree-walk
+    /// oracle), so cross-engine byte-identity requires stripping it:
+    /// zeroed by [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub bytecode_dispatches: u64,
+    /// VM inline-cache hits on property and global accesses.
+    /// Engine-dependent: stripped by [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub inline_cache_hits: u64,
+    /// VM inline-cache misses (cold accesses). Engine-dependent: stripped
+    /// by [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub inline_cache_misses: u64,
     /// Per-class crawl-error counters aggregated over every page visit
     /// (faults injected and genuine, recovered and not), plus retry and
     /// degraded/failed-visit tallies. Every field is a pure function of the
@@ -264,6 +278,9 @@ impl RunSummary {
         counters.filter_candidates_evaluated = 0;
         counters.script_cache_hits = 0;
         counters.script_cache_misses = 0;
+        counters.bytecode_dispatches = 0;
+        counters.inline_cache_hits = 0;
+        counters.inline_cache_misses = 0;
         RunSummary {
             timings: Vec::new(),
             latencies: self
@@ -327,6 +344,9 @@ mod tests {
                 script_lookups: 300,
                 script_cache_hits: 280,
                 script_cache_misses: 20,
+                bytecode_dispatches: 9000,
+                inline_cache_hits: 400,
+                inline_cache_misses: 40,
                 errors: ErrorCounters::default(),
             },
             timings: vec![StageTiming {
@@ -368,6 +388,9 @@ mod tests {
                 script_lookups: 80,
                 script_cache_hits: 75,
                 script_cache_misses: 5,
+                bytecode_dispatches: 5000,
+                inline_cache_hits: 120,
+                inline_cache_misses: 12,
                 ..RunCounters::default()
             },
             ..RunSummary::default()
@@ -382,6 +405,11 @@ mod tests {
         assert_eq!(stripped.counters.script_lookups, 80);
         assert_eq!(stripped.counters.script_cache_hits, 0);
         assert_eq!(stripped.counters.script_cache_misses, 0);
+        // VM execution counters are engine-dependent diagnostics, so they
+        // are stripped too — the tree-walk oracle would report zeros.
+        assert_eq!(stripped.counters.bytecode_dispatches, 0);
+        assert_eq!(stripped.counters.inline_cache_hits, 0);
+        assert_eq!(stripped.counters.inline_cache_misses, 0);
     }
 
     #[test]
@@ -396,6 +424,8 @@ mod tests {
         assert_eq!(back.filter_cache_hits, 0);
         assert_eq!(back.script_lookups, 0);
         assert_eq!(back.script_cache_hits, 0);
+        assert_eq!(back.bytecode_dispatches, 0);
+        assert_eq!(back.inline_cache_hits, 0);
         assert!(back.errors.is_clean());
     }
 

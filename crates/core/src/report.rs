@@ -270,6 +270,12 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
         "script lookups {} | compile cache hits {} | compile cache misses {}\n",
         c.script_lookups, c.script_cache_hits, c.script_cache_misses
     ));
+    if c.bytecode_dispatches > 0 {
+        out.push_str(&format!(
+            "vm dispatches {} | inline cache hits {} | inline cache misses {}\n",
+            c.bytecode_dispatches, c.inline_cache_hits, c.inline_cache_misses
+        ));
+    }
     let e = &c.errors;
     if !e.is_clean() || e.degraded_visits > 0 {
         out.push_str(&format!(
@@ -398,6 +404,9 @@ mod tests {
                 script_lookups: 120,
                 script_cache_hits: 110,
                 script_cache_misses: 10,
+                bytecode_dispatches: 8600,
+                inline_cache_hits: 300,
+                inline_cache_misses: 30,
                 errors: malvert_types::ErrorCounters::default(),
             },
             timings: vec![
@@ -421,6 +430,8 @@ mod tests {
         assert!(s.contains("memo hits 64"));
         assert!(s.contains("script lookups 120"));
         assert!(s.contains("compile cache hits 110"));
+        assert!(s.contains("vm dispatches 8600"));
+        assert!(s.contains("inline cache hits 300"));
         // A clean run renders no error line at all.
         assert!(!s.contains("crawl errors"));
         // Untraced runs render no latency block.

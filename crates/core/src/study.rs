@@ -27,7 +27,7 @@ use crate::world::StudyWorld;
 use malvert_adnet::AdWorldConfig;
 use malvert_crawler::{
     creative_key, AdCorpus, CrawlAggregate, CrawlConfig, Crawler, FilterCounts, FilterStats,
-    ScriptCache, ScriptCounts, ScriptStats, UniqueAd,
+    ScriptCache, ScriptCounts, ScriptEngine, ScriptStats, UniqueAd,
 };
 use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats, SnapshotStore};
 use malvert_net::FaultProfile;
@@ -389,6 +389,14 @@ impl StudyBuilder {
     /// Sets the script compilation cache capacity (0 disables).
     pub fn script_cache(mut self, entries: usize) -> Self {
         self.config.crawl.script_cache = entries;
+        self
+    }
+
+    /// Selects the script execution engine for both stages (bytecode VM by
+    /// default; the tree-walk oracle computes identical answers slower, so
+    /// switching can never change study output).
+    pub fn script_engine(mut self, engine: ScriptEngine) -> Self {
+        self.config.crawl.script_engine = engine;
         self
     }
 
@@ -822,6 +830,7 @@ impl Study {
         .seeds(self.world.tree)
         .stats(stats.clone())
         .script_cache(classify_script_cache)
+        .script_engine(self.config.crawl.script_engine)
         .build();
         let truth_map = self.creative_truth_map();
 
@@ -968,6 +977,11 @@ impl Study {
             script_lookups: script.lookups + classify_script.lookups,
             script_cache_hits: script.cache_hits + classify_script.cache_hits,
             script_cache_misses: script.cache_misses + classify_script.cache_misses,
+            bytecode_dispatches: script.bytecode_dispatches
+                + classify_script.bytecode_dispatches,
+            inline_cache_hits: script.inline_cache_hits + classify_script.inline_cache_hits,
+            inline_cache_misses: script.inline_cache_misses
+                + classify_script.inline_cache_misses,
             errors,
         };
         let mut metrics = RunMetrics::new(counters);

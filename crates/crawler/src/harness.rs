@@ -2,7 +2,7 @@
 
 use crate::aggregate::CrawlAggregate;
 use crate::engine::{FilterEngine, FilterStats};
-use malvert_adscript::{ScriptCache, ScriptStats};
+use malvert_adscript::{ScriptCache, ScriptEngine, ScriptStats};
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats};
 use malvert_filterlist::{FilterSet, RequestContext};
@@ -86,6 +86,10 @@ pub struct CrawlConfig {
     /// the byte-identical script source, so a hit can never change what a
     /// script does — like `filter_memo`, purely a speed/memory knob.
     pub script_cache: usize,
+    /// Script execution engine (bytecode VM by default). The tree-walk
+    /// oracle computes the identical answers more slowly; the knob exists
+    /// for differential testing and for bisecting suspected VM bugs.
+    pub script_engine: ScriptEngine,
 }
 
 impl Default for CrawlConfig {
@@ -96,6 +100,7 @@ impl Default for CrawlConfig {
             browser_limits: BrowserLimits::default(),
             filter_memo: 4096,
             script_cache: 4096,
+            script_engine: ScriptEngine::default(),
         }
     }
 }
@@ -181,6 +186,13 @@ impl<'a> CrawlerBuilder<'a> {
     /// returns.
     pub fn script_stats(mut self, stats: ScriptStats) -> Self {
         self.script_stats = stats;
+        self
+    }
+
+    /// Selects the script execution engine (see
+    /// [`CrawlConfig::script_engine`]).
+    pub fn script_engine(mut self, engine: ScriptEngine) -> Self {
+        self.config.script_engine = engine;
         self
     }
 
@@ -304,7 +316,8 @@ impl<'a> Crawler<'a> {
             self.config.browser_limits,
             self.study,
         )
-        .script_cache(self.script_cache.clone());
+        .script_cache(self.script_cache.clone())
+        .script_engine(self.config.script_engine);
         let visit = browser.visit(&site.front_page(), time);
         if scoped.is_enabled() && visit.script_compile_units > 0 {
             // The unit count is deterministic in the page content; only the
@@ -676,6 +689,7 @@ mod tests {
             browser_limits: BrowserLimits::default(),
             filter_memo: 64,
             script_cache: 64,
+            script_engine: ScriptEngine::default(),
         };
         let crawler = Crawler::builder(&net, &filter)
             .config(config.clone())

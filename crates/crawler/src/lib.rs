@@ -25,7 +25,7 @@ pub mod harness;
 pub use aggregate::CrawlAggregate;
 pub use corpus::{creative_key, AdCorpus, UniqueAd};
 pub use engine::{FilterCounts, FilterEngine, FilterStats};
-pub use malvert_adscript::{ScriptCache, ScriptCounts, ScriptStats};
+pub use malvert_adscript::{ScriptCache, ScriptCounts, ScriptEngine, ScriptStats};
 pub use harness::{
     visit_unit_key, AdObservation, CrawlConfig, Crawler, CrawlerBuilder, VisitRecord,
 };

@@ -2,7 +2,7 @@
 
 use crate::heuristics::{behavior_fingerprint, HeuristicFindings};
 use crate::incident::{Incident, IncidentType};
-use malvert_adscript::ScriptCache;
+use malvert_adscript::{ScriptCache, ScriptEngine};
 use malvert_blacklist::BlacklistService;
 use malvert_browser::{BehaviorEvent, Browser, BrowserLimits, PageVisit, Personality};
 use malvert_net::Network;
@@ -82,6 +82,7 @@ pub struct OracleBuilder<'a> {
     stats: OracleStats,
     trace: TraceSink,
     script_cache: Option<ScriptCache>,
+    script_engine: ScriptEngine,
 }
 
 impl<'a> OracleBuilder<'a> {
@@ -135,6 +136,14 @@ impl<'a> OracleBuilder<'a> {
         self
     }
 
+    /// Selects the script execution engine honeyclient browsers run
+    /// (bytecode VM by default). The engines are observably equivalent, so
+    /// this can never change a verdict.
+    pub fn script_engine(mut self, engine: ScriptEngine) -> Self {
+        self.script_engine = engine;
+        self
+    }
+
     /// Assembles the oracle.
     pub fn build(self) -> Oracle<'a> {
         Oracle {
@@ -146,6 +155,7 @@ impl<'a> OracleBuilder<'a> {
             stats: self.stats,
             trace: self.trace,
             script_cache: self.script_cache,
+            script_engine: self.script_engine,
         }
     }
 }
@@ -160,6 +170,7 @@ pub struct Oracle<'a> {
     stats: OracleStats,
     trace: TraceSink,
     script_cache: Option<ScriptCache>,
+    script_engine: ScriptEngine,
 }
 
 impl<'a> Oracle<'a> {
@@ -180,6 +191,7 @@ impl<'a> Oracle<'a> {
             stats: OracleStats::default(),
             trace: TraceSink::disabled(),
             script_cache: None,
+            script_engine: ScriptEngine::default(),
         }
     }
 
@@ -203,6 +215,7 @@ impl<'a> Oracle<'a> {
             stats: self.stats.clone(),
             trace,
             script_cache: self.script_cache.clone(),
+            script_engine: self.script_engine,
         }
     }
 
@@ -236,6 +249,7 @@ impl<'a> Oracle<'a> {
             self.config.browser_limits,
             seeds,
         );
+        browser = browser.script_engine(self.script_engine);
         if let Some(cache) = &self.script_cache {
             browser = browser.script_cache(cache.clone());
         }

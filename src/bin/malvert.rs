@@ -90,7 +90,7 @@ USAGE:
                    [--summary PATH] [--trace DIR] [--faults none|light|heavy]
                    [--checkpoint DIR] [--resume DIR] [--checkpoint-every N]
                    [--shard N] [--abort-after-shards N] [--metrics-out DIR]
-                   [--progress]
+                   [--progress] [--script-engine vm|tree-walk]
                    run the full study and print every table and figure plus
                    the run metrics; emits the RunSummary JSON on stdout
                    (--summary streams it pretty-printed to a file; --trace
@@ -116,8 +116,9 @@ USAGE:
   malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH]
                    [--health-out PATH] [--urls N] [--iters N]
                    time the indexed filter engine against the naive scan on
-                   synthetic rule lists (100/1k/10k rules) and the script
-                   compile cache against cold compiles on synthetic
+                   synthetic rule lists (100/1k/10k rules), the script
+                   compile cache against cold compiles, and the bytecode VM
+                   against the tree-walk interpreter on execution-heavy
                    creatives; writes machine-readable results (defaults
                    BENCH_filterlist.json and BENCH_adscript.json); with
                    --study-out, also time the end-to-end pipelined study on
@@ -186,6 +187,15 @@ struct RunRecipe {
     faults: String,
     shard: usize,
     checkpoint_every: u64,
+    /// Script engine name ("vm" or "tree-walk"). Recipes recorded before
+    /// the bytecode VM existed default to "vm" — safe because the engines
+    /// are observably equivalent.
+    #[serde(default = "default_engine")]
+    engine: String,
+}
+
+fn default_engine() -> String {
+    "vm".to_string()
 }
 
 impl Default for RunRecipe {
@@ -198,6 +208,7 @@ impl Default for RunRecipe {
             faults: "none".to_string(),
             shard: 1024,
             checkpoint_every: 1,
+            engine: default_engine(),
         }
     }
 }
@@ -214,11 +225,18 @@ fn recipe_builder(recipe: &RunRecipe) -> Result<StudyBuilder, String> {
             format!("invalid value `{name}` for --faults (expected none, light, or heavy)")
         })?),
     };
+    let engine: malvertising::adscript::ScriptEngine = recipe.engine.parse().map_err(|_| {
+        format!(
+            "invalid value `{}` for --script-engine (expected vm or tree-walk)",
+            recipe.engine
+        )
+    })?;
     Ok(Study::builder()
         .seed(recipe.seed)
         .schedule(CrawlSchedule::scaled(recipe.days, recipe.refreshes))
         .workers(recipe.workers)
         .faults(faults)
+        .script_engine(engine)
         .shard_size(recipe.shard)
         .checkpoint_every(recipe.checkpoint_every))
 }
@@ -243,6 +261,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         faults: flags.get("faults").cloned().unwrap_or(base.faults),
         shard: flag(flags, "shard", base.shard)?,
         checkpoint_every: flag(flags, "checkpoint-every", base.checkpoint_every)?,
+        engine: flags.get("script-engine").cloned().unwrap_or(base.engine),
     };
 
     let mut builder = recipe_builder(&recipe)?;
@@ -390,13 +409,14 @@ fn write_metrics_jsonl(dir: &str, metrics: &MetricsRegistry) -> Result<(), Strin
     Ok(())
 }
 
-/// Times the indexed matcher against the retained naive scan, and the
-/// script compile cache against cold compiles, on the shared synthetic
-/// workloads, writing machine-readable JSON reports — the perf-trajectory
-/// artifacts CI uploads on every run. Plain `Instant` timing (Criterion is
-/// a dev-dependency of the bench crate, not of this binary); the Criterion
-/// `filterlist_index` and `adscript_compile` groups time the identical
-/// workloads when statistical rigor is wanted.
+/// Times the indexed matcher against the retained naive scan, the script
+/// compile cache against cold compiles, and the bytecode VM against the
+/// retained tree-walk interpreter, on the shared synthetic workloads,
+/// writing machine-readable JSON reports — the perf-trajectory artifacts
+/// CI uploads on every run. Plain `Instant` timing (Criterion is a
+/// dev-dependency of the bench crate, not of this binary); the Criterion
+/// `filterlist_index`, `adscript_compile`, and `adscript_exec` groups time
+/// the identical workloads when statistical rigor is wanted.
 fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     use malvertising::bench::synth::{
         synthetic_context, synthetic_list, synthetic_scripts, synthetic_urls,
@@ -543,8 +563,84 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
         hit_rate * 100.0
     );
 
+    // AdScript execution: the retained tree-walk oracle vs the bytecode
+    // VM on the execution-heavy packed-creative workload (the Criterion
+    // `adscript_exec` group times the same corpus). Cold recompiles the
+    // script every pass; warm runs a precompiled program, isolating pure
+    // execution from the front end.
+    use malvertising::adscript::{CompiledScript, ScriptEngine};
+    use malvertising::bench::synth::synthetic_exec_scripts;
+    let exec_scripts = synthetic_exec_scripts(8, 0xE8EC);
+    let exec_iters = iters.clamp(1, 10);
+    let mut exec_compiled = Vec::new();
+    for (i, src) in exec_scripts.iter().enumerate() {
+        exec_compiled
+            .push(CompiledScript::compile(src).map_err(|e| format!("exec script {i}: {e}"))?);
+    }
+
+    // Parity pass: both engines must compute the identical output, and it
+    // doubles as warm-up. Also snapshots the VM's dispatch/IC counters.
+    let mut vm_dispatches = 0u64;
+    let mut vm_ic_hits = 0u64;
+    let mut vm_ic_misses = 0u64;
+    for (i, script) in exec_compiled.iter().enumerate() {
+        let mut tw = Interpreter::new(NoHost, Limits::default(), 1);
+        tw.set_engine(ScriptEngine::TreeWalk);
+        tw.run_program(script)
+            .map_err(|e| format!("exec script {i} fails on tree-walk: {e}"))?;
+        let mut vm = Interpreter::new(NoHost, Limits::default(), 1);
+        vm.set_engine(ScriptEngine::Vm);
+        vm.run_program(script)
+            .map_err(|e| format!("exec script {i} fails on vm: {e}"))?;
+        match (tw.get_global("out"), vm.get_global("out")) {
+            (Some(a), Some(b)) if a.strict_eq(b) => {}
+            _ => return Err(format!("engine divergence on exec script {i}")),
+        }
+        let (d, h, m) = vm.vm_counters();
+        vm_dispatches += d;
+        vm_ic_hits += h;
+        vm_ic_misses += m;
+    }
+
+    let time_warm = |engine: ScriptEngine| {
+        let started = Instant::now();
+        for _ in 0..exec_iters {
+            for script in &exec_compiled {
+                let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+                interp.set_engine(engine);
+                std::hint::black_box(interp.run_program(script).expect("checked in parity pass"));
+            }
+        }
+        started.elapsed().as_nanos() as f64 / (exec_iters as f64 * exec_compiled.len() as f64)
+    };
+    let time_cold = |engine: ScriptEngine| {
+        let started = Instant::now();
+        for _ in 0..exec_iters {
+            for src in &exec_scripts {
+                let script = CompiledScript::compile(src).expect("checked in parity pass");
+                let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+                interp.set_engine(engine);
+                std::hint::black_box(interp.run_program(&script).expect("checked in parity pass"));
+            }
+        }
+        started.elapsed().as_nanos() as f64 / (exec_iters as f64 * exec_scripts.len() as f64)
+    };
+    let tw_warm = time_warm(ScriptEngine::TreeWalk);
+    let vm_warm = time_warm(ScriptEngine::Vm);
+    let tw_cold = time_cold(ScriptEngine::TreeWalk);
+    let vm_cold = time_cold(ScriptEngine::Vm);
+    let ic_hit_rate = vm_ic_hits as f64 / ((vm_ic_hits + vm_ic_misses).max(1) as f64);
+    eprintln!(
+        "adscript exec: tree-walk {tw_warm:>10.1} ns/script, \
+         vm {vm_warm:>10.1} ns/script ({:.2}x warm, {:.2}x cold), \
+         ic hit rate {:.1}%",
+        tw_warm / vm_warm.max(1.0),
+        tw_cold / vm_cold.max(1.0),
+        ic_hit_rate * 100.0
+    );
+
     let report = serde_json::json!({
-        "bench": "adscript_compile",
+        "bench": "adscript",
         "workload": { "scripts": scripts.len(), "seed": 0xADC0, "iters": iters },
         "cold_ns_per_script": cold_ns_per_script,
         "warm_ns_per_script": warm_ns_per_script,
@@ -554,6 +650,21 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
             "hits": counts.cache_hits,
             "misses": counts.cache_misses,
             "hit_rate": hit_rate,
+        },
+        "exec_ns_per_script": {
+            "workload": { "scripts": exec_scripts.len(), "seed": 0xE8EC, "iters": exec_iters },
+            "tree_walk": { "cold": tw_cold, "warm": tw_warm },
+            "vm": { "cold": vm_cold, "warm": vm_warm },
+            "vm_speedup": {
+                "cold": tw_cold / vm_cold.max(1.0),
+                "warm": tw_warm / vm_warm.max(1.0),
+            },
+            "vm_counters": {
+                "dispatches": vm_dispatches,
+                "ic_hits": vm_ic_hits,
+                "ic_misses": vm_ic_misses,
+                "ic_hit_rate": ic_hit_rate,
+            },
         },
     });
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;

@@ -276,9 +276,18 @@ fn bench_json_writes_machine_readable_reports() {
 
     let json = std::fs::read_to_string(&adscript_path).expect("adscript report written");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    assert_eq!(parsed["bench"], "adscript_compile");
+    assert_eq!(parsed["bench"], "adscript");
     assert!(parsed["cold_ns_per_script"].as_f64().unwrap() > 0.0);
     assert!(parsed["warm_ns_per_script"].as_f64().unwrap() > 0.0);
+    // The exec group times both engines on the same corpus; the parity
+    // pass inside bench-json already failed the run if they diverged.
+    let exec = &parsed["exec_ns_per_script"];
+    assert!(exec["tree_walk"]["warm"].as_f64().unwrap() > 0.0);
+    assert!(exec["vm"]["warm"].as_f64().unwrap() > 0.0);
+    assert!(exec["vm_speedup"]["warm"].as_f64().unwrap() > 0.0);
+    let counters = &exec["vm_counters"];
+    assert!(counters["dispatches"].as_u64().unwrap() > 0);
+    assert!(counters["ic_hit_rate"].as_f64().unwrap() > 0.9);
     // Skipping the parser must never be slower than running it; the ≥5x
     // bar is asserted by the Criterion bench at stable iteration counts,
     // not by this two-iteration smoke run.

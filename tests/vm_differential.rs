@@ -1,0 +1,189 @@
+//! Cross-engine differential suite: the bytecode VM and the retained
+//! tree-walk oracle must be observably indistinguishable.
+//!
+//! Two levels of evidence:
+//!
+//! * **Page level** — served pages embedding the `bench::synth` script
+//!   corpora, visited once per engine through the full emulated browser.
+//!   The entire [`PageVisit`] must agree: final markup (the scripts
+//!   `document.write` their computed state into the DOM), behaviour
+//!   events, beacon traffic, cookies' downstream effects, error
+//!   accounting. A fixed test covers the committed benchmark corpus; a
+//!   proptest sweeps random corpus seeds.
+//! * **Study level** — the timing-stripped run summary and the serialized
+//!   ad corpus must be byte-identical across engine × worker count ×
+//!   fault profile. The engine knob travels the same `StudyBuilder` front
+//!   door every production caller uses.
+
+use malvertising::adscript::ScriptEngine;
+use malvertising::bench::synth::{synthetic_exec_scripts, synthetic_scripts};
+use malvertising::browser::{Browser, BrowserLimits, PageVisit, Personality};
+use malvertising::core::study::{Study, StudyConfig};
+use malvertising::crawler::CrawlConfig;
+use malvertising::net::{Body, FaultProfile, HttpRequest, HttpResponse, Network, ServeCtx};
+use malvertising::types::rng::SeedTree;
+use malvertising::types::{CrawlSchedule, DomainName, SimTime, Url};
+use malvertising::websim::WebConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Wraps each script in a page that makes its computed state observable at
+/// the page level: the footer script writes the `out` global into the DOM,
+/// fires a beacon whose URL embeds it, and stores it as a cookie. Any
+/// engine divergence in the script's result therefore shows up in the
+/// visit's markup, events, and captured traffic — not just in an
+/// interpreter-internal global.
+fn page_for(script: &str) -> String {
+    format!(
+        "<html><body><script>{script}</script>\
+         <script>\
+         document.cookie = 'r=' + out;\
+         var img = new Image(); img.src = 'http://px.differential.com/p?v=' + out;\
+         document.write('<div>' + out + '</div>');\
+         </script></body></html>"
+    )
+}
+
+/// A network serving one page per corpus script on `creatives.com/<n>`,
+/// plus the beacon collector the footer scripts hit.
+fn serve_corpus(scripts: Vec<String>, seed: u64) -> Network {
+    let mut network = Network::new(SeedTree::new(seed));
+    let pages: Arc<Vec<String>> = Arc::new(scripts.iter().map(|s| page_for(s)).collect());
+    let server = move |req: &HttpRequest, _ctx: &mut ServeCtx| {
+        let idx: usize = req.url.path().trim_start_matches('/').parse().unwrap_or(0);
+        HttpResponse::ok(Body::Html(pages[idx % pages.len()].clone()))
+    };
+    network.register(
+        DomainName::parse("creatives.com").expect("static host"),
+        Arc::new(server),
+    );
+    network.register(
+        DomainName::parse("px.differential.com").expect("static host"),
+        Arc::new(|_req: &HttpRequest, _ctx: &mut ServeCtx| {
+            HttpResponse::ok(Body::Html(String::new()))
+        }),
+    );
+    network
+}
+
+/// Visits script `idx` of the served corpus with the given engine.
+fn visit_with(network: &Network, idx: usize, engine: ScriptEngine) -> PageVisit {
+    let browser = Browser::new(
+        network,
+        Personality::vulnerable_victim(),
+        BrowserLimits::default(),
+        SeedTree::new(0xD1FF),
+    )
+    .script_engine(engine);
+    let url = Url::parse(&format!("http://creatives.com/{idx}")).expect("static URL");
+    browser.visit(&url, SimTime::ZERO)
+}
+
+/// Asserts both engines produce the identical visit for every script of a
+/// corpus, and that the visits actually exercised the scripts (the pages
+/// rendered, wrote markup, and fired beacons).
+fn assert_corpus_agrees(scripts: Vec<String>, seed: u64) {
+    let count = scripts.len();
+    let network = serve_corpus(scripts, seed);
+    for idx in 0..count {
+        let tw = visit_with(&network, idx, ScriptEngine::TreeWalk);
+        let vm = visit_with(&network, idx, ScriptEngine::Vm);
+        assert!(
+            !tw.events.is_empty() && tw.capture.len() >= 2,
+            "script {idx} of corpus {seed:#x} produced no observable effects"
+        );
+        assert_eq!(
+            format!("{tw:?}"),
+            format!("{vm:?}"),
+            "engines render different visits for script {idx} of corpus {seed:#x}"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_the_committed_benchmark_corpora() {
+    // The exact corpora the Criterion groups and `malvert bench-json` time.
+    assert_corpus_agrees(synthetic_exec_scripts(8, 0xE8EC), 0xE8EC);
+    assert_corpus_agrees(synthetic_scripts(8, 0xADC0), 0xADC0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random corpus seeds: one execution-heavy and one parse-heavy script
+    /// per case, both served and visited through the full browser on both
+    /// engines.
+    #[test]
+    fn engines_agree_on_seeded_corpora(seed in 0u64..(1 << 32)) {
+        let mut scripts = synthetic_exec_scripts(1, seed);
+        scripts.extend(synthetic_scripts(1, seed ^ 0x5EED));
+        assert_corpus_agrees(scripts, seed);
+    }
+}
+
+/// A small-but-real study configuration for the engine matrix.
+fn study_config(workers: usize, engine: ScriptEngine, faults: Option<FaultProfile>) -> StudyConfig {
+    StudyConfig {
+        seed: 20140814,
+        web: WebConfig {
+            ranking_universe: 10_000,
+            top_slice: 15,
+            bottom_slice: 15,
+            random_slice: 25,
+            security_feed: 10,
+            ad_network_count: 40,
+            sandbox_adoption: 0.0,
+        },
+        crawl: CrawlConfig {
+            schedule: CrawlSchedule::scaled(3, 2),
+            workers,
+            script_engine: engine,
+            ..Default::default()
+        },
+        faults,
+        ..StudyConfig::default()
+    }
+}
+
+/// The deterministic payload of a run: serialized corpus + timing-stripped
+/// summary (engine-dependent VM counters are part of what
+/// `without_timings` strips, by design).
+fn payload(workers: usize, engine: ScriptEngine, faults: Option<FaultProfile>) -> (String, String) {
+    let results = Study::builder()
+        .config(study_config(workers, engine, faults))
+        .build()
+        .expect("no resume requested")
+        .run();
+    (
+        serde_json::to_string(&results.ads).expect("serializable"),
+        results.summary().without_timings().to_json(),
+    )
+}
+
+#[test]
+fn study_output_byte_identical_across_engines_workers_and_faults() {
+    // The acceptance matrix: engine × workers {1, 8} × faults {none,
+    // heavy}. Within each fault profile, all four engine/worker combos
+    // must agree byte for byte; across profiles the output legitimately
+    // differs (faults are observable world behaviour).
+    for faults in [None, FaultProfile::named("heavy")] {
+        let tag = if faults.is_some() { "heavy" } else { "none" };
+        let baseline = payload(1, ScriptEngine::TreeWalk, faults);
+        for workers in [1usize, 8] {
+            for engine in [ScriptEngine::TreeWalk, ScriptEngine::Vm] {
+                let got = payload(workers, engine, faults);
+                assert_eq!(
+                    baseline.0, got.0,
+                    "ad corpus diverges at workers={workers} engine={engine} faults={tag}"
+                );
+                assert_eq!(
+                    baseline.1, got.1,
+                    "run summary diverges at workers={workers} engine={engine} faults={tag}"
+                );
+            }
+        }
+    }
+}
