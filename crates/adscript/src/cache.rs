@@ -107,6 +107,12 @@ pub struct ScriptCounts {
     pub inline_cache_hits: u64,
     /// VM inline-cache misses (cold or invalidated-by-shape accesses).
     pub inline_cache_misses: u64,
+    /// Property IC hits certified by a hidden-class shape check (a subset
+    /// of `inline_cache_hits`; global-binding hits are not shape-checked).
+    pub shape_hits: u64,
+    /// Property appends the VM performed — hidden-class transitions taken
+    /// by object-literal inserts and first-writes of a key.
+    pub shape_transitions: u64,
 }
 
 /// Shared script-cache counters. Cloning hands out another handle to the
@@ -125,6 +131,8 @@ struct StatsInner {
     dispatches: AtomicU64,
     ic_hits: AtomicU64,
     ic_misses: AtomicU64,
+    shape_hits: AtomicU64,
+    shape_transitions: AtomicU64,
 }
 
 impl ScriptStats {
@@ -163,6 +171,16 @@ impl ScriptStats {
         self.inner.ic_misses.load(Ordering::Relaxed)
     }
 
+    /// Shape-certified property IC hits.
+    pub fn shape_hits(&self) -> u64 {
+        self.inner.shape_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hidden-class transitions performed by VM property appends.
+    pub fn shape_transitions(&self) -> u64 {
+        self.inner.shape_transitions.load(Ordering::Relaxed)
+    }
+
     /// Snapshots every counter at once.
     pub fn snapshot(&self) -> ScriptCounts {
         ScriptCounts {
@@ -172,17 +190,33 @@ impl ScriptStats {
             bytecode_dispatches: self.bytecode_dispatches(),
             inline_cache_hits: self.inline_cache_hits(),
             inline_cache_misses: self.inline_cache_misses(),
+            shape_hits: self.shape_hits(),
+            shape_transitions: self.shape_transitions(),
         }
     }
 
-    /// Adds a VM-counter delta (dispatches, IC hits, IC misses) — called by
-    /// the interpreter when it flushes per-run counters.
-    pub(crate) fn record_vm(&self, dispatches: u64, ic_hits: u64, ic_misses: u64) {
+    /// Adds a VM-counter delta (dispatches, IC hits/misses, shape hits and
+    /// transitions) — called by the interpreter when it flushes per-run
+    /// counters.
+    pub(crate) fn record_vm(
+        &self,
+        dispatches: u64,
+        ic_hits: u64,
+        ic_misses: u64,
+        shape_hits: u64,
+        shape_transitions: u64,
+    ) {
         self.inner
             .dispatches
             .fetch_add(dispatches, Ordering::Relaxed);
         self.inner.ic_hits.fetch_add(ic_hits, Ordering::Relaxed);
         self.inner.ic_misses.fetch_add(ic_misses, Ordering::Relaxed);
+        self.inner
+            .shape_hits
+            .fetch_add(shape_hits, Ordering::Relaxed);
+        self.inner
+            .shape_transitions
+            .fetch_add(shape_transitions, Ordering::Relaxed);
     }
 
     fn record_hit(&self) {

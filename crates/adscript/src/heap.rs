@@ -17,7 +17,17 @@
 //!   by-name probes. Enumeration order differs from the old `BTreeMap`, so
 //!   `for..in` sites sort keys before iterating to keep observable
 //!   enumeration identical.
+//! * [`ShapeId`] — a hidden-class handle. Every `NameMap` carries the shape
+//!   describing its exact key-insertion sequence, maintained through a
+//!   thread-local interned transition tree: two maps share a shape iff they
+//!   inserted the same keys in the same order, which means they have
+//!   identical layouts and an entry index valid for one is valid for the
+//!   other. The VM's property caches key on `(shape, index)` instead of a
+//!   single receiver identity, so a site stays monomorphic across any
+//!   number of same-layout objects without ever probing the `HashMap`
+//!   index (which remains the slow path and the enumeration source).
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::{Mutex, OnceLock};
@@ -82,16 +92,95 @@ impl std::fmt::Display for Sym {
     }
 }
 
+/// A hidden-class handle: identifies one node of the thread-local shape
+/// transition tree, i.e. one exact key-insertion sequence.
+///
+/// Two [`NameMap`]s with equal shapes have byte-for-byte identical layouts:
+/// the same keys at the same stable entry indices. The default value is the
+/// root shape (the empty layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ShapeId(u32);
+
+/// One node of the shape tree: the key whose append produced this shape,
+/// the parent it was appended to, and the interned child transitions.
+struct ShapeInfo {
+    key: Rc<str>,
+    // Read by `shape_keys` (test/diagnostic layout reconstruction) only.
+    #[cfg_attr(not(test), allow(dead_code))]
+    parent: ShapeId,
+    children: HashMap<Rc<str>, u32>,
+}
+
+thread_local! {
+    /// The interned shape transition tree. Thread-local because shapes
+    /// carry `Rc<str>` keys; interpreters are `!Send`, so a shape id never
+    /// crosses threads. Append-only and interned like [`Sym`]: growth is
+    /// bounded by the number of distinct `(parent, key)` transitions the
+    /// thread ever observes, not by the number of objects.
+    static SHAPES: RefCell<Vec<ShapeInfo>> = RefCell::new(vec![ShapeInfo {
+        key: Rc::from(""),
+        parent: ShapeId(0),
+        children: HashMap::new(),
+    }]);
+}
+
+/// The shape reached by appending `key` to a map of shape `from`,
+/// interning a new tree node on first use of this transition.
+pub(crate) fn shape_advance(from: ShapeId, key: &str) -> ShapeId {
+    SHAPES.with(|shapes| {
+        let mut shapes = shapes.borrow_mut();
+        if let Some(&to) = shapes[from.0 as usize].children.get(key) {
+            return ShapeId(to);
+        }
+        let to = shapes.len() as u32;
+        let rc: Rc<str> = Rc::from(key);
+        shapes.push(ShapeInfo {
+            key: rc.clone(),
+            parent: from,
+            children: HashMap::new(),
+        });
+        shapes[from.0 as usize].children.insert(rc, to);
+        ShapeId(to)
+    })
+}
+
+/// The key whose append produced `shape` (the last key of its layout).
+/// The root shape yields the empty key.
+pub(crate) fn shape_key(shape: ShapeId) -> Rc<str> {
+    SHAPES.with(|shapes| shapes.borrow()[shape.0 as usize].key.clone())
+}
+
+/// The full key sequence `shape` stands for, in insertion order — the
+/// layout every map carrying this shape has. Test/diagnostic helper.
+#[cfg(test)]
+pub(crate) fn shape_keys(shape: ShapeId) -> Vec<Rc<str>> {
+    SHAPES.with(|shapes| {
+        let shapes = shapes.borrow();
+        let mut keys = Vec::new();
+        let mut cur = shape;
+        while cur != ShapeId(0) {
+            let info = &shapes[cur.0 as usize];
+            keys.push(info.key.clone());
+            cur = info.parent;
+        }
+        keys.reverse();
+        keys
+    })
+}
+
 /// An insertion-ordered string→value map with stable entry indices.
 ///
 /// `insert` either updates an existing entry in place or appends; entries
 /// are never removed, so an index handed out by [`NameMap::get_full`] stays
 /// valid (and keeps naming the same key) for the map's whole life — the
-/// invariant the VM's inline caches rely on.
+/// invariant the VM's inline caches rely on. Every append also advances the
+/// map's [`ShapeId`] through the interned transition tree, so equal shapes
+/// certify equal layouts.
 #[derive(Debug, Clone, Default)]
 pub struct NameMap {
     entries: Vec<(Rc<str>, crate::value::Value)>,
     index: HashMap<Rc<str>, u32>,
+    shape: ShapeId,
 }
 
 impl NameMap {
@@ -145,9 +234,35 @@ impl NameMap {
                 let rc: Rc<str> = Rc::from(key);
                 self.index.insert(rc.clone(), i);
                 self.entries.push((rc, value));
+                self.shape = shape_advance(self.shape, key);
                 i
             }
         }
+    }
+
+    /// The map's current shape: a certificate of its exact key layout.
+    pub(crate) fn shape(&self) -> ShapeId {
+        self.shape
+    }
+
+    /// Appends a key this map is known not to contain, moving the map to
+    /// the pre-computed shape `to` — the VM's shape-transition fast path,
+    /// skipping both the existence probe and the transition-tree walk.
+    /// Caller invariant: the map's shape is `to`'s parent and `key` is the
+    /// key that transition appends (a shape-checked IC hit proves both).
+    pub(crate) fn append_known(&mut self, key: Rc<str>, value: crate::value::Value, to: ShapeId) {
+        let i = self.entries.len() as u32;
+        self.index.insert(key.clone(), i);
+        self.entries.push((key, value));
+        self.shape = to;
+    }
+
+    /// Empties the map back to the root shape, keeping allocated capacity —
+    /// used when recycling environment frames.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.shape = ShapeId::default();
     }
 
     /// The entry at a stable index (panics when out of range).
@@ -198,6 +313,101 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_name_insert_updates_in_place_and_keeps_shape() {
+        let mut m = NameMap::new();
+        m.insert("k", Value::Num(1.0));
+        let shape_after_first = m.shape();
+        assert_ne!(shape_after_first, ShapeId::default());
+        // Re-inserting an existing key is an update, not an append: length,
+        // index, and shape are all unchanged.
+        m.insert("k", Value::Num(2.0));
+        m.insert("k", Value::str("three"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.shape(), shape_after_first);
+        let (idx, v) = m.get_full("k").unwrap();
+        assert_eq!(idx, 0);
+        assert!(matches!(v, Value::Str(s) if &**s == "three"));
+        let keys: Vec<&str> = m.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(keys, vec!["k"]);
+    }
+
+    #[test]
+    fn get_full_indices_survive_growth() {
+        let mut m = NameMap::new();
+        let mut handed_out = Vec::new();
+        for i in 0..64 {
+            let key = format!("k{i}");
+            m.insert(&key, Value::Num(i as f64));
+            let (idx, _) = m.get_full(&key).unwrap();
+            handed_out.push((key, idx));
+            // Every index handed out earlier must still name its key even
+            // as the map grows past HashMap resize boundaries.
+            for (k, idx) in &handed_out {
+                let (now, v) = m.get_full(k).unwrap();
+                assert_eq!(now, *idx, "index for {k} moved");
+                let (entry_key, entry_v) = m.entry_at(*idx);
+                assert_eq!(&**entry_key, k.as_str());
+                assert!(matches!((v, entry_v), (Value::Num(a), Value::Num(b)) if a == b));
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_intern_by_insertion_order() {
+        let mut a = NameMap::new();
+        let mut b = NameMap::new();
+        let mut c = NameMap::new();
+        for key in ["x", "y", "z"] {
+            a.insert(key, Value::Num(1.0));
+            b.insert(key, Value::Num(2.0));
+        }
+        for key in ["y", "x", "z"] {
+            c.insert(key, Value::Num(3.0));
+        }
+        // Same key sequence → same interned shape; different order →
+        // different shape, even with an equal final key set.
+        assert_eq!(a.shape(), b.shape());
+        assert_ne!(a.shape(), c.shape());
+        let layout: Vec<String> = shape_keys(a.shape()).iter().map(|k| k.to_string()).collect();
+        assert_eq!(layout, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn append_known_matches_insert_full() {
+        let mut slow = NameMap::new();
+        slow.insert("p", Value::Num(1.0));
+        slow.insert("q", Value::Num(2.0));
+        let mut fast = NameMap::new();
+        fast.insert("p", Value::Num(1.0));
+        // Take the q-transition the slow map discovered, via the fast path.
+        let to = slow.shape();
+        fast.append_known(shape_key(to), Value::Num(2.0), to);
+        assert_eq!(fast.shape(), slow.shape());
+        let (fi, fv) = fast.get_full("q").unwrap();
+        let (si, sv) = slow.get_full("q").unwrap();
+        assert_eq!(fi, si);
+        assert!(fv.strict_eq(sv));
+        let keys: Vec<&str> = fast.keys().map(|k| k.as_ref()).collect();
+        assert_eq!(keys, vec!["p", "q"]);
+    }
+
+    #[test]
+    fn clear_resets_to_root_shape() {
+        let mut m = NameMap::new();
+        m.insert("a", Value::Num(1.0));
+        m.insert("b", Value::Num(2.0));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.shape(), ShapeId::default());
+        assert!(m.get("a").is_none());
+        // Refilling after a clear rebuilds the same interned shapes.
+        m.insert("a", Value::Num(3.0));
+        let mut fresh = NameMap::new();
+        fresh.insert("a", Value::Num(3.0));
+        assert_eq!(m.shape(), fresh.shape());
+    }
+
+    #[test]
     fn name_map_keeps_stable_indices() {
         let mut m = NameMap::new();
         m.insert("b", Value::Num(1.0));
@@ -215,5 +425,37 @@ mod tests {
         assert_eq!(keys, vec!["b", "a"]);
         m.set_at(1, Value::Num(7.0));
         assert!(matches!(m.get("a"), Some(Value::Num(n)) if *n == 7.0));
+    }
+
+    mod shape_consistency {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any insert sequence (duplicates included), the shape path
+            /// — decode the layout from the shape tree, index `entry_at` —
+            /// and the `NameMap` hash-probe path must agree on every key,
+            /// index, and value. This is the soundness contract behind the
+            /// VM's `(shape, index)` property caches.
+            #[test]
+            fn shape_path_and_name_map_path_reads_agree(
+                ops in proptest::collection::vec((0usize..8, -100i64..100), 1..64)
+            ) {
+                let keys = ["a", "b", "c", "d", "e", "f", "gg", "hhh"];
+                let mut m = NameMap::new();
+                for (k, v) in &ops {
+                    m.insert(keys[*k], Value::Num(*v as f64));
+                }
+                let layout = shape_keys(m.shape());
+                prop_assert_eq!(layout.len(), m.len());
+                for (idx, key) in layout.iter().enumerate() {
+                    let (entry_key, shape_val) = m.entry_at(idx as u32);
+                    prop_assert_eq!(&**entry_key, &**key);
+                    let (map_idx, map_val) = m.get_full(key).unwrap();
+                    prop_assert_eq!(map_idx as usize, idx);
+                    prop_assert!(shape_val.strict_eq(map_val));
+                }
+            }
+        }
     }
 }

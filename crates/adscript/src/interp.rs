@@ -167,16 +167,38 @@ pub struct Interpreter<H: Host> {
     pub(crate) ic_hits: u64,
     /// Inline-cache misses since interpreter construction.
     pub(crate) ic_misses: u64,
+    /// Inline-cache hits served by a hidden-class shape check (a subset of
+    /// `ic_hits`: property reads/writes that matched on layout rather than
+    /// receiver identity).
+    pub(crate) shape_hits: u64,
+    /// Object-layout growth events the VM performed (property appends
+    /// through write ops and object literals — shape transitions).
+    pub(crate) shape_transitions: u64,
     /// Counter values already flushed into the attached script cache's
     /// stats, so each flush records only the delta.
-    flushed_vm: (u64, u64, u64),
+    flushed_vm: (u64, u64, u64, u64, u64),
     /// Per-interpreter chunk runtime state — materialized constant pools
     /// and persistent inline-cache slots — keyed by chunk address (the
     /// `Arc<Chunk>` keepalive inside pins the address).
     pub(crate) vm_chunks: HashMap<usize, crate::vm::ChunkState>,
     /// Recycled operand stacks, so call frames reuse buffers instead of
     /// allocating one per activation.
-    pub(crate) vm_stacks: Vec<Vec<Value>>,
+    pub(crate) vm_stacks: Vec<Vec<crate::value::Word>>,
+    /// Side arena for VM stack words that cannot live inline (strings,
+    /// closures, natives). Each `run_chunk` activation records a watermark
+    /// on entry and truncates back to it on exit; within an activation the
+    /// common LIFO patterns reclaim eagerly (see `take_value`), so growth
+    /// between watermarks is bounded by the step budget like the heap.
+    pub(crate) vm_boxed: Vec<Value>,
+    /// Bumped every time a closure value is constructed. `call_function`
+    /// snapshots it: if no closure appeared during a call, no one can
+    /// reference the frames the call pushed, and they are recycled into
+    /// `env_pool` instead of accreting on `envs`.
+    pub(crate) capture_stamp: u64,
+    /// Recycled environment frames (bounded), reused by `push_fn_env` /
+    /// `push_env` so the IIFE-wrapper-heavy workload stops allocating a
+    /// fresh slot vector and `extra` map per call.
+    env_pool: Vec<Env>,
     /// Every source string that passed through `eval`, in execution order —
     /// the honeyclient's deobfuscation trace (running layered obfuscation
     /// leaves the decoded payload here, the way Wepawet unwrapped packed
@@ -209,9 +231,14 @@ impl<H: Host> Interpreter<H> {
             dispatches: 0,
             ic_hits: 0,
             ic_misses: 0,
-            flushed_vm: (0, 0, 0),
+            shape_hits: 0,
+            shape_transitions: 0,
+            flushed_vm: (0, 0, 0, 0, 0),
             vm_chunks: HashMap::new(),
             vm_stacks: Vec::new(),
+            vm_boxed: Vec::new(),
+            capture_stamp: 0,
+            env_pool: Vec::new(),
             eval_trace: Vec::new(),
         }
     }
@@ -228,20 +255,31 @@ impl<H: Host> Interpreter<H> {
     }
 
     /// Cumulative VM counters: `(bytecode dispatches, inline-cache hits,
-    /// inline-cache misses)`. All zero under the tree-walk engine.
-    pub fn vm_counters(&self) -> (u64, u64, u64) {
-        (self.dispatches, self.ic_hits, self.ic_misses)
+    /// inline-cache misses, shape hits, shape transitions)`. All zero under
+    /// the tree-walk engine.
+    pub fn vm_counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.dispatches,
+            self.ic_hits,
+            self.ic_misses,
+            self.shape_hits,
+            self.shape_transitions,
+        )
     }
 
     /// Records the VM-counter delta since the last flush into the attached
     /// script cache's shared stats.
     fn flush_vm_stats(&mut self) {
         if let Some(cache) = &self.script_cache {
-            let (d0, h0, m0) = self.flushed_vm;
-            cache
-                .stats()
-                .record_vm(self.dispatches - d0, self.ic_hits - h0, self.ic_misses - m0);
-            self.flushed_vm = (self.dispatches, self.ic_hits, self.ic_misses);
+            let (d0, h0, m0, s0, t0) = self.flushed_vm;
+            cache.stats().record_vm(
+                self.dispatches - d0,
+                self.ic_hits - h0,
+                self.ic_misses - m0,
+                self.shape_hits - s0,
+                self.shape_transitions - t0,
+            );
+            self.flushed_vm = self.vm_counters();
         }
     }
 
@@ -378,6 +416,7 @@ impl<H: Host> Interpreter<H> {
                     def: def.clone(),
                     env,
                 };
+                self.capture_stamp += 1;
                 self.declare(env, &name, value);
             }
         }
@@ -592,24 +631,51 @@ impl<H: Host> Interpreter<H> {
 
     /// A fresh dynamic (by-name) scope: `catch` handlers.
     fn push_env(&mut self, parent: usize) -> usize {
-        self.envs.push(Env {
-            slots: Vec::new(),
-            scope: self.empty_scope.clone(),
-            extra: NameMap::new(),
-            parent: Some(parent),
-        });
-        self.envs.len() - 1
+        let scope = self.empty_scope.clone();
+        self.push_frame(parent, scope, 0)
     }
 
     /// A fresh function scope laid out per the resolver's slot table.
     pub(crate) fn push_fn_env(&mut self, parent: usize, scope: Arc<ScopeInfo>) -> usize {
-        self.envs.push(Env {
-            slots: vec![None; scope.names.len()],
-            scope,
-            extra: NameMap::new(),
-            parent: Some(parent),
-        });
+        let slots = scope.names.len();
+        self.push_frame(parent, scope, slots)
+    }
+
+    /// Pushes a frame, preferring a recycled one from the pool (reused
+    /// buffers — the slot vector and the `extra` map keep their capacity).
+    fn push_frame(&mut self, parent: usize, scope: Arc<ScopeInfo>, slots: usize) -> usize {
+        let env = match self.env_pool.pop() {
+            Some(mut e) => {
+                e.slots.clear();
+                e.slots.resize(slots, None);
+                e.extra.clear();
+                e.scope = scope;
+                e.parent = Some(parent);
+                e
+            }
+            None => Env {
+                slots: vec![None; slots],
+                scope,
+                extra: NameMap::new(),
+                parent: Some(parent),
+            },
+        };
+        self.envs.push(env);
         self.envs.len() - 1
+    }
+
+    /// Pops every frame above `watermark` into the bounded recycle pool.
+    /// Only called when the capture stamp proves no closure was constructed
+    /// while those frames were live, so no `Value::Fn` can reference their
+    /// indices (closure identity compares `(def ptr, env index)`).
+    fn reclaim_envs(&mut self, watermark: usize) {
+        const POOL_CAP: usize = 64;
+        while self.envs.len() > watermark {
+            let e = self.envs.pop().expect("watermark below env stack");
+            if self.env_pool.len() < POOL_CAP {
+                self.env_pool.push(e);
+            }
+        }
     }
 
     /// Declares (or clobbers) `name` in `env` itself — `var`, parameters,
@@ -651,10 +717,13 @@ impl<H: Host> Interpreter<H> {
                 }
                 Ok(Value::Obj(id))
             }
-            Expr::Function(def) => Ok(Value::Fn {
-                def: def.clone(),
-                env,
-            }),
+            Expr::Function(def) => {
+                self.capture_stamp += 1;
+                Ok(Value::Fn {
+                    def: def.clone(),
+                    env,
+                })
+            }
             Expr::Assign { target, op, value } => self.eval_assign(target, *op, value, env),
             Expr::Cond { cond, then, alt } => {
                 if self.eval(cond, env)?.truthy() {
@@ -1163,6 +1232,11 @@ impl<H: Host> Interpreter<H> {
                     return Err(Flow::Fatal(ScriptError::BudgetExhausted));
                 }
                 self.depth += 1;
+                // Frame-reuse snapshot: if no closure is constructed while
+                // the frames of this call are live, nothing can reference
+                // them after it returns and they go back to the pool.
+                let watermark = self.envs.len();
+                let stamp = self.capture_stamp;
                 let call_env = self.push_fn_env(env, def.scope.clone());
                 if def.scope.param_slots.len() == def.params.len() {
                     // Resolved scope: parameters bind straight into their
@@ -1217,6 +1291,9 @@ impl<H: Host> Interpreter<H> {
                     })(),
                 };
                 self.depth -= 1;
+                if self.capture_stamp == stamp {
+                    self.reclaim_envs(watermark);
+                }
                 result
             }
             Value::Native(name) => {
@@ -1345,7 +1422,7 @@ pub(crate) fn to_i32(n: f64) -> i32 {
     (n as i64 & 0xFFFF_FFFF) as u32 as i32
 }
 
-fn to_u32(n: f64) -> u32 {
+pub(crate) fn to_u32(n: f64) -> u32 {
     to_i32(n) as u32
 }
 

@@ -120,6 +120,120 @@ impl Value {
     }
 }
 
+/// The canonical quiet-NaN bit pattern [`Word::num`] folds every NaN to.
+/// Hardware-produced NaNs (including x86's sign-set "indefinite") always
+/// have bit 50 clear, so no real number can collide with the tag space.
+const CANON_NAN: u64 = 0x7FF8_0000_0000_0000;
+
+/// Tag-space marker: a word is a tagged value iff all of these bits are
+/// set, which no non-NaN `f64` and no canonicalized NaN satisfies
+/// (exponent bits 52..=62 plus mantissa bits 51 and 50).
+const QNAN: u64 = 0x7FFC_0000_0000_0000;
+
+const TAG_SHIFT: u32 = 46;
+pub(crate) const TAG_UNDEF: u64 = 1;
+pub(crate) const TAG_NULL: u64 = 2;
+pub(crate) const TAG_FALSE: u64 = 3;
+pub(crate) const TAG_TRUE: u64 = 4;
+pub(crate) const TAG_OBJ: u64 = 5;
+pub(crate) const TAG_CONST: u64 = 6;
+pub(crate) const TAG_BOXED: u64 = 7;
+
+/// A NaN-boxed VM stack word: the `Copy` hot-path representation of a
+/// [`Value`].
+///
+/// Any bit pattern that is not all-QNAN-bits-set *is* the `f64` it spells,
+/// so numbers (the packed-creative workload's dominant type) live inline
+/// and never touch an allocator. Everything else packs a 4-bit tag plus a
+/// 32-bit payload into the otherwise-unused NaN space:
+///
+/// * `UNDEF` / `NULL` / `FALSE` / `TRUE` — payload-free singletons;
+/// * `OBJ` — payload is the heap [`ObjId`];
+/// * `CONST` — payload indexes the executing chunk's constant pool
+///   (constant strings never need a runtime allocation);
+/// * `BOXED` — payload indexes the interpreter's side arena of full
+///   [`Value`]s (strings, closures, natives), truncated back to a
+///   watermark when the activation that pushed them exits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Word(u64);
+
+impl Word {
+    pub(crate) const UNDEF: Word = Word(QNAN | (TAG_UNDEF << TAG_SHIFT));
+    pub(crate) const NULL: Word = Word(QNAN | (TAG_NULL << TAG_SHIFT));
+    pub(crate) const FALSE: Word = Word(QNAN | (TAG_FALSE << TAG_SHIFT));
+    pub(crate) const TRUE: Word = Word(QNAN | (TAG_TRUE << TAG_SHIFT));
+
+    /// A number word. NaN is canonicalized so no payload bits of a
+    /// hardware NaN can masquerade as a tag.
+    #[inline(always)]
+    pub(crate) fn num(n: f64) -> Word {
+        if n.is_nan() {
+            Word(CANON_NAN)
+        } else {
+            Word(n.to_bits())
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn bool(b: bool) -> Word {
+        if b {
+            Word::TRUE
+        } else {
+            Word::FALSE
+        }
+    }
+
+    #[inline(always)]
+    fn tagged(tag: u64, payload: u32) -> Word {
+        Word(QNAN | (tag << TAG_SHIFT) | u64::from(payload))
+    }
+
+    /// An object-handle word. Heap ids stay far below `u32::MAX` (growth is
+    /// bounded by the step budget), so the narrowing is checked only in
+    /// debug builds.
+    #[inline(always)]
+    pub(crate) fn obj(id: ObjId) -> Word {
+        debug_assert!(id.0 <= u32::MAX as usize, "heap id exceeds word payload");
+        Word::tagged(TAG_OBJ, id.0 as u32)
+    }
+
+    /// A chunk-constant word (index into the constant pool).
+    #[inline(always)]
+    pub(crate) fn cnst(idx: u32) -> Word {
+        Word::tagged(TAG_CONST, idx)
+    }
+
+    /// A boxed-arena word (index into the interpreter's side arena).
+    #[inline(always)]
+    pub(crate) fn boxed(idx: u32) -> Word {
+        Word::tagged(TAG_BOXED, idx)
+    }
+
+    /// Whether this word spells an inline `f64`.
+    #[inline(always)]
+    pub(crate) fn is_num(self) -> bool {
+        self.0 & QNAN != QNAN
+    }
+
+    /// The inline number (only meaningful when [`Word::is_num`]).
+    #[inline(always)]
+    pub(crate) fn as_num(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// The tag of a non-number word (only meaningful when `!is_num()`).
+    #[inline(always)]
+    pub(crate) fn tag(self) -> u64 {
+        (self.0 >> TAG_SHIFT) & 0xF
+    }
+
+    /// The 32-bit payload of a tagged word.
+    #[inline(always)]
+    pub(crate) fn payload(self) -> u32 {
+        self.0 as u32
+    }
+}
+
 /// Converts a number to its display string, approximating JS `ToString`.
 pub fn number_to_string(n: f64) -> String {
     if n.is_nan() {
@@ -297,6 +411,46 @@ mod tests {
         // Native identity is an interned-pointer compare.
         assert!(Value::native("std:eval").strict_eq(&Value::native("std:eval")));
         assert!(!Value::native("std:eval").strict_eq(&Value::native("std:other")));
+    }
+
+    #[test]
+    fn word_round_trips_numbers_and_singletons() {
+        for n in [0.0, -0.0, 1.5, -7.25, 1e300, -1e-300, f64::INFINITY, f64::NEG_INFINITY] {
+            let w = Word::num(n);
+            assert!(w.is_num(), "{n} must stay an inline number");
+            assert_eq!(w.as_num().to_bits(), n.to_bits());
+        }
+        // Every NaN input canonicalizes to one inline NaN — including bit
+        // patterns with tag-space bits set, which must not leak into tags.
+        for bits in [f64::NAN.to_bits(), 0xFFF8_0000_0000_0001, 0x7FFC_0000_0000_0005] {
+            let w = Word::num(f64::from_bits(bits));
+            assert!(w.is_num());
+            assert!(w.as_num().is_nan());
+        }
+        for (w, tag) in [
+            (Word::UNDEF, TAG_UNDEF),
+            (Word::NULL, TAG_NULL),
+            (Word::FALSE, TAG_FALSE),
+            (Word::TRUE, TAG_TRUE),
+        ] {
+            assert!(!w.is_num());
+            assert_eq!(w.tag(), tag);
+        }
+        assert_eq!(Word::bool(true), Word::TRUE);
+        assert_eq!(Word::bool(false), Word::FALSE);
+    }
+
+    #[test]
+    fn word_payloads_round_trip() {
+        let w = Word::obj(ObjId(12345));
+        assert!(!w.is_num());
+        assert_eq!(w.tag(), TAG_OBJ);
+        assert_eq!(w.payload(), 12345);
+        let c = Word::cnst(7);
+        assert_eq!((c.tag(), c.payload()), (TAG_CONST, 7));
+        let b = Word::boxed(u32::MAX);
+        assert_eq!((b.tag(), b.payload()), (TAG_BOXED, u32::MAX));
+        assert_ne!(c, b);
     }
 
     #[test]

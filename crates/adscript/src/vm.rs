@@ -5,19 +5,31 @@
 //! heap, and host the tree-walk engine uses — the VM replaces only the
 //! dispatch layer (AST recursion → a flat op loop), so every helper it
 //! calls (`get_property`, `binop`, `call_function`, …) is the oracle's own
-//! code. Three things are VM-specific:
+//! code. Four things are VM-specific:
 //!
-//! * **Inline caches.** Each chunk declares `ic_count` cache slots,
-//!   materialized once per `(interpreter, chunk)` pair and shared by every
-//!   activation — a hot function keeps its warm caches across calls instead
-//!   of re-missing on each entry. Persistence needs no invalidation
-//!   machinery: [`crate::heap::NameMap`] entries never move or disappear
-//!   (stable indices), heap object ids are never reused, missing properties
-//!   are never cached, and a property cache still identity-checks its
-//!   receiver on every hit. Property caches remember `(object id, entry
-//!   index)` for plain objects; global caches remember the root
-//!   environment's entry index (sound because program chunks only ever
-//!   execute in the root environment, whose static scope is empty).
+//! * **Tagged stack words.** The operand stack holds NaN-boxed
+//!   [`Word`]s, not `Value`s: numbers, booleans, `null`/`undefined`,
+//!   object handles, and chunk constants are `Copy` and never touch an
+//!   allocator. The rare heavy values (runtime strings, closures,
+//!   natives) live in a per-interpreter side arena (`vm_boxed`) indexed
+//!   by `BOXED` words, truncated back to a watermark when the activation
+//!   that pushed them exits. Each arena slot has exactly one owning word
+//!   (`Dup` re-boxes), so consuming the top-most box *moves* the value
+//!   out instead of cloning it.
+//! * **Shape-based inline caches.** Each chunk declares `ic_count` cache
+//!   slots, materialized once per `(interpreter, chunk)` pair and shared
+//!   by every activation. Property caches key on the receiver's
+//!   [`ShapeId`] — the interned hidden-class certificate of its exact
+//!   key layout — so one warm cache serves *every* plain object built by
+//!   the same insertion sequence (`PropShape`), and a shape-checked
+//!   write-miss caches the transition itself (`PropAdd`), turning
+//!   repeated "first write of key K to shape S" into an index-free
+//!   append. Persistence needs no invalidation: map entries never move,
+//!   shapes are immutable interned tree nodes, missing properties are
+//!   never cached, and every hit re-checks the receiver's current shape.
+//!   Global caches remember the root environment's entry index (sound
+//!   because program chunks only ever execute in the root environment,
+//!   whose static scope is empty).
 //! * **Merged budget charges.** [`Op::Charge`] deducts the accumulated
 //!   step count the tree-walk engine would have charged one-by-one;
 //!   exhaustion pins the budget to zero exactly like the failing step.
@@ -28,39 +40,55 @@
 //!   `call_function` do the same catch).
 
 use crate::bytecode::{CVal, Chunk, Op, NO_IC};
-use crate::interp::{to_i32, Flow, Host, Interpreter};
+use crate::heap::{shape_key, ShapeId};
+use crate::interp::{to_i32, to_u32, Flow, Host, Interpreter};
 use crate::stdlib;
-use crate::value::{ObjKind, Value};
+use crate::value::{ObjId, ObjKind, Value, Word, TAG_BOXED, TAG_CONST, TAG_OBJ};
+use crate::ast::BinOp;
 use crate::ScriptError;
 use std::cell::Cell;
 use std::rc::Rc;
 use std::sync::Arc;
 
 /// Per-interpreter runtime state for one chunk: the materialized constant
-/// pool and the persistent inline-cache slots, both shared by every
-/// activation of the chunk. Keyed by chunk address in `vm_chunks`; the
-/// keepalive `Arc` pins the address so a key can never be reused.
+/// pool (as `Value`s for the slow path and pre-encoded `Word`s for
+/// `Op::Const`), and the persistent inline-cache slots, all shared by every
+/// activation. Keyed by chunk address in `vm_chunks`; the keepalive `Arc`
+/// pins the address so a key can never be reused.
 pub(crate) struct ChunkState {
     _keep: Arc<Chunk>,
     consts: Rc<[Value]>,
+    words: Rc<[Word]>,
     ics: Rc<[Cell<Ic>]>,
 }
 
 /// One monomorphic inline-cache slot. Persistent: allocated once per
 /// `(interpreter, chunk)` and shared across activations, so a hot function
 /// stays warm call after call. Persistence is sound without invalidation —
-/// map entries never move, object ids are never reused, misses are never
-/// cached, and property hits re-check the receiver's identity.
+/// map entries never move, shapes are immutable interned nodes, misses are
+/// never cached, and property hits re-check the receiver's current shape.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ic {
     /// Never executed (or last shape was uncacheable).
     Empty,
-    /// Plain-object property: `obj`'s property map holds the key at `idx`.
-    Prop {
-        /// The receiver this cache is specialized to.
-        obj: crate::value::ObjId,
-        /// Stable entry index of the property in the receiver's map.
+    /// Plain-object property: any receiver whose map certifies `shape`
+    /// holds the cached key at entry `idx`. Serves reads and
+    /// overwrite-writes for *every* object with this layout, not just the
+    /// one that warmed the cache.
+    PropShape {
+        /// The hidden class this cache is specialized to.
+        shape: ShapeId,
+        /// Stable entry index of the property under that shape.
         idx: u32,
+    },
+    /// Plain-object property *append*: a receiver whose map certifies
+    /// `from` is proven not to contain the key, so the write appends it
+    /// and moves the map to `to` (the interned `from → key` transition).
+    PropAdd {
+        /// Receiver shape that proves the key is absent.
+        from: ShapeId,
+        /// The shape the append transitions the receiver to.
+        to: ShapeId,
     },
     /// Root-environment binding at this stable entry index.
     Global(u32),
@@ -68,20 +96,57 @@ pub(crate) enum Ic {
 
 /// Pops the operand stack. Compiled stack discipline guarantees the value
 /// is present; underflow is a compiler bug, not a script error.
-fn pop(stack: &mut Vec<Value>) -> Value {
+#[inline(always)]
+fn pop(stack: &mut Vec<Word>) -> Word {
     stack.pop().expect("vm stack underflow")
+}
+
+/// The numeric fast path of `Bin`/`BinConst`: for two inline numbers every
+/// operator except `In` (which probes the heap) is a pure function of the
+/// two `f64`s, mirroring the oracle's `binop` arm for `Num`/`Num` operands
+/// bit for bit — including `Instanceof`'s constant `false` and the
+/// `to_i32`/`to_u32` clamping of the bitwise family.
+#[inline(always)]
+fn num_binop(op: BinOp, a: f64, b: f64) -> Option<Word> {
+    Some(match op {
+        BinOp::Add => Word::num(a + b),
+        BinOp::Sub => Word::num(a - b),
+        BinOp::Mul => Word::num(a * b),
+        BinOp::Div => Word::num(a / b),
+        BinOp::Mod => Word::num(a % b),
+        // `loose_eq` and `strict_eq` both reduce to `f64 ==` for numbers.
+        BinOp::EqLoose | BinOp::EqStrict => Word::bool(a == b),
+        BinOp::NeLoose | BinOp::NeStrict => Word::bool(a != b),
+        BinOp::Lt => Word::bool(a < b),
+        BinOp::Gt => Word::bool(a > b),
+        BinOp::Le => Word::bool(a <= b),
+        BinOp::Ge => Word::bool(a >= b),
+        BinOp::BitAnd => Word::num((to_i32(a) & to_i32(b)) as f64),
+        BinOp::BitOr => Word::num((to_i32(a) | to_i32(b)) as f64),
+        BinOp::BitXor => Word::num((to_i32(a) ^ to_i32(b)) as f64),
+        BinOp::Shl => Word::num((to_i32(a) << (to_u32(b) & 31)) as f64),
+        BinOp::Shr => Word::num((to_i32(a) >> (to_u32(b) & 31)) as f64),
+        BinOp::UShr => Word::num((to_u32(a) >> (to_u32(b) & 31)) as f64),
+        BinOp::Instanceof => Word::FALSE,
+        BinOp::In => return None,
+    })
 }
 
 impl<H: Host> Interpreter<H> {
     /// Materializes a chunk's runtime state — the constant pool as runtime
     /// values (`Value::Str` is `Rc`-backed and thread-local, so the shared
-    /// `Arc<str>` pool cannot be used directly) and the persistent
-    /// inline-cache slots — once per interpreter. Keyed by chunk address;
-    /// the keepalive `Arc` makes address reuse impossible.
-    fn chunk_state(&mut self, chunk: &Arc<Chunk>) -> (Rc<[Value]>, Rc<[Cell<Ic>]>) {
+    /// `Arc<str>` pool cannot be used directly), the pre-encoded word form
+    /// of each constant (numbers inline, strings as `CONST` handles), and
+    /// the persistent inline-cache slots — once per interpreter. Keyed by
+    /// chunk address; the keepalive `Arc` makes address reuse impossible.
+    fn chunk_state(&mut self, chunk: &Arc<Chunk>) -> (Rc<[Value]>, Rc<[Word]>, Rc<[Cell<Ic>]>) {
         let key = Arc::as_ptr(chunk) as usize;
         if let Some(state) = self.vm_chunks.get(&key) {
-            return (state.consts.clone(), state.ics.clone());
+            return (
+                state.consts.clone(),
+                state.words.clone(),
+                state.ics.clone(),
+            );
         }
         let consts: Rc<[Value]> = chunk
             .consts
@@ -91,16 +156,166 @@ impl<H: Host> Interpreter<H> {
                 CVal::Str(s) => Value::Str(Rc::from(&**s)),
             })
             .collect();
+        let words: Rc<[Word]> = chunk
+            .consts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match c {
+                CVal::Num(n) => Word::num(*n),
+                CVal::Str(_) => Word::cnst(i as u32),
+            })
+            .collect();
         let ics: Rc<[Cell<Ic>]> = (0..chunk.ic_count).map(|_| Cell::new(Ic::Empty)).collect();
         self.vm_chunks.insert(
             key,
             ChunkState {
                 _keep: chunk.clone(),
                 consts: consts.clone(),
+                words: words.clone(),
                 ics: ics.clone(),
             },
         );
-        (consts, ics)
+        (consts, words, ics)
+    }
+
+    /// Moves a heavy value into the boxed side arena, returning its owning
+    /// word. One live word per arena index is the invariant that lets
+    /// [`Interpreter::take_value`] move the top box out without a clone.
+    #[inline(always)]
+    fn box_value(&mut self, v: Value) -> Word {
+        debug_assert!(self.vm_boxed.len() < u32::MAX as usize);
+        let idx = self.vm_boxed.len() as u32;
+        self.vm_boxed.push(v);
+        Word::boxed(idx)
+    }
+
+    /// Encodes an owned `Value` produced by shared runtime helpers into a
+    /// stack word. Numbers, booleans, singletons, and object handles stay
+    /// inline; everything else is boxed.
+    #[inline(always)]
+    fn value_word(&mut self, v: Value) -> Word {
+        match v {
+            Value::Undefined => Word::UNDEF,
+            Value::Null => Word::NULL,
+            Value::Bool(b) => Word::bool(b),
+            Value::Num(n) => Word::num(n),
+            Value::Obj(id) => Word::obj(id),
+            other => self.box_value(other),
+        }
+    }
+
+    /// Word encoding straight off a borrowed `Value` — the IC hit paths use
+    /// this to skip the owned clone entirely for inline-encodable kinds.
+    /// `None` means the value is heap-weight and the caller must clone+box.
+    #[inline(always)]
+    fn word_from_ref(v: &Value) -> Option<Word> {
+        Some(match v {
+            Value::Undefined => Word::UNDEF,
+            Value::Null => Word::NULL,
+            Value::Bool(b) => Word::bool(*b),
+            Value::Num(n) => Word::num(*n),
+            Value::Obj(id) => Word::obj(*id),
+            _ => return None,
+        })
+    }
+
+    /// Encodes and pushes in one step; see [`Interpreter::value_word`].
+    #[inline(always)]
+    fn push_value(&mut self, stack: &mut Vec<Word>, v: Value) {
+        let w = self.value_word(v);
+        stack.push(w);
+    }
+
+    /// Decodes a word into an owned `Value`, *consuming* the word: a boxed
+    /// word whose slot sits at the arena top moves the value out (LIFO —
+    /// the overwhelmingly common case by stack discipline); a buried box
+    /// clones and leaves the slot for the activation-exit truncate.
+    fn take_value(&mut self, consts: &[Value], w: Word) -> Value {
+        if w.is_num() {
+            return Value::Num(w.as_num());
+        }
+        match w.tag() {
+            TAG_OBJ => Value::Obj(ObjId(w.payload() as usize)),
+            TAG_CONST => consts[w.payload() as usize].clone(),
+            TAG_BOXED => {
+                let idx = w.payload() as usize;
+                if idx + 1 == self.vm_boxed.len() {
+                    self.vm_boxed.pop().expect("boxed arena underflow")
+                } else {
+                    self.vm_boxed[idx].clone()
+                }
+            }
+            _ => match w {
+                Word::NULL => Value::Null,
+                Word::TRUE => Value::Bool(true),
+                Word::FALSE => Value::Bool(false),
+                _ => Value::Undefined,
+            },
+        }
+    }
+
+    /// Decodes a word into a `Value` without consuming it — for receivers
+    /// that stay on the stack (`GetMethod`). Boxed slots are cloned, never
+    /// reclaimed, because the word still owns them.
+    fn peek_value(&self, consts: &[Value], w: Word) -> Value {
+        if w.is_num() {
+            return Value::Num(w.as_num());
+        }
+        match w.tag() {
+            TAG_OBJ => Value::Obj(ObjId(w.payload() as usize)),
+            TAG_CONST => consts[w.payload() as usize].clone(),
+            TAG_BOXED => self.vm_boxed[w.payload() as usize].clone(),
+            _ => match w {
+                Word::NULL => Value::Null,
+                Word::TRUE => Value::Bool(true),
+                Word::FALSE => Value::Bool(false),
+                _ => Value::Undefined,
+            },
+        }
+    }
+
+    /// Discards a word, reclaiming its arena slot when it owns the top box
+    /// (a buried box just waits for the activation-exit truncate).
+    #[inline(always)]
+    fn drop_word(&mut self, w: Word) {
+        if !w.is_num()
+            && w.tag() == TAG_BOXED
+            && w.payload() as usize + 1 == self.vm_boxed.len()
+        {
+            self.vm_boxed.pop();
+        }
+    }
+
+    /// JS truthiness straight off the word: inline for everything the word
+    /// encodes itself; constants and boxed values defer to `Value::truthy`.
+    #[inline(always)]
+    fn word_truthy(&self, consts: &[Value], w: Word) -> bool {
+        if w.is_num() {
+            let n = w.as_num();
+            return n != 0.0 && !n.is_nan();
+        }
+        match w.tag() {
+            TAG_OBJ => true,
+            TAG_CONST => consts[w.payload() as usize].truthy(),
+            TAG_BOXED => self.vm_boxed[w.payload() as usize].truthy(),
+            _ => w == Word::TRUE,
+        }
+    }
+
+    /// `ToNumber` for the word shapes that need no heap access: inline
+    /// numbers and the payload-free singletons. `None` means the caller
+    /// must materialize the value (strings, objects).
+    #[inline(always)]
+    fn word_to_number(w: Word) -> Option<f64> {
+        if w.is_num() {
+            return Some(w.as_num());
+        }
+        match w {
+            Word::UNDEF => Some(f64::NAN),
+            Word::NULL | Word::FALSE => Some(0.0),
+            Word::TRUE => Some(1.0),
+            _ => None,
+        }
     }
 
     /// Executes `chunk` in `env`. `Ok(None)` means the body ran to
@@ -111,16 +326,20 @@ impl<H: Host> Interpreter<H> {
         chunk: &Arc<Chunk>,
         env: usize,
     ) -> Result<Option<Value>, Flow> {
-        let (consts, ics) = self.chunk_state(chunk);
-        // Operand stacks are pooled across activations: a call-heavy script
-        // would otherwise pay one allocation per call frame.
+        let (consts, words, ics) = self.chunk_state(chunk);
+        // Operand stacks are pooled across activations, and the boxed
+        // arena is truncated back to this activation's watermark on exit
+        // (the result/throw value is decoded to an owned `Value` first, so
+        // it never points into the reclaimed tail).
+        let mark = self.vm_boxed.len();
         let mut stack = self
             .vm_stacks
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(16));
-        let result = self.run_ops(chunk, env, &consts, &ics, &mut stack);
+        let result = self.run_ops(chunk, env, &consts, &words, &ics, &mut stack);
         stack.clear();
         self.vm_stacks.push(stack);
+        self.vm_boxed.truncate(mark);
         result
     }
 
@@ -130,20 +349,22 @@ impl<H: Host> Interpreter<H> {
         chunk: &Arc<Chunk>,
         env: usize,
         consts: &[Value],
+        words: &[Word],
         ics: &[Cell<Ic>],
-        stack: &mut Vec<Value>,
+        stack: &mut Vec<Word>,
     ) -> Result<Option<Value>, Flow> {
         let mut ip = 0usize;
         // Dispatch counting stays in a register for the whole activation;
         // the interpreter-wide counter is settled once on exit.
         let mut dispatched: u64 = 0;
         let result = loop {
-            if ip >= chunk.ops.len() {
+            // One bounds check serves as both the fetch and the
+            // fell-off-the-end exit.
+            let Some(&op) = chunk.ops.get(ip) else {
                 break Ok(None);
-            }
+            };
             dispatched += 1;
             let at = ip as u32;
-            let op = chunk.ops[ip];
             ip += 1;
             // Every success path `continue`s (or `break`s) directly out of
             // its arm; only the error signal falls through, so the hot path
@@ -154,36 +375,46 @@ impl<H: Host> Interpreter<H> {
                     Err(e) => e,
                 },
                 Op::Const(i) => {
-                    stack.push(consts[i as usize].clone());
+                    stack.push(words[i as usize]);
                     continue;
                 }
                 Op::True => {
-                    stack.push(Value::Bool(true));
+                    stack.push(Word::TRUE);
                     continue;
                 }
                 Op::False => {
-                    stack.push(Value::Bool(false));
+                    stack.push(Word::FALSE);
                     continue;
                 }
                 Op::Null => {
-                    stack.push(Value::Null);
+                    stack.push(Word::NULL);
                     continue;
                 }
                 Op::Undef => {
-                    stack.push(Value::Undefined);
+                    stack.push(Word::UNDEF);
                     continue;
                 }
                 Op::This => {
-                    stack.push(self.try_lookup("this", env).unwrap_or(Value::Undefined));
+                    let v = self.try_lookup("this", env).unwrap_or(Value::Undefined);
+                    self.push_value(stack, v);
                     continue;
                 }
                 Op::Pop => {
-                    pop(stack);
+                    let w = pop(stack);
+                    self.drop_word(w);
                     continue;
                 }
                 Op::Dup => {
-                    let v = stack.last().expect("vm stack underflow").clone();
-                    stack.push(v);
+                    let w = *stack.last().expect("vm stack underflow");
+                    // A boxed word must be RE-boxed: two words sharing one
+                    // arena slot would let a later move dangle the other.
+                    if !w.is_num() && w.tag() == TAG_BOXED {
+                        let v = self.vm_boxed[w.payload() as usize].clone();
+                        let dup = self.box_value(v);
+                        stack.push(dup);
+                    } else {
+                        stack.push(w);
+                    }
                     continue;
                 }
                 Op::Swap => {
@@ -200,7 +431,10 @@ impl<H: Host> Interpreter<H> {
                 },
                 Op::JumpIfFalse { t, pre } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        if !pop(stack).truthy() {
+                        let w = pop(stack);
+                        let truthy = self.word_truthy(consts, w);
+                        self.drop_word(w);
+                        if !truthy {
                             ip = t as usize;
                         }
                         continue;
@@ -209,7 +443,10 @@ impl<H: Host> Interpreter<H> {
                 },
                 Op::JumpIfTrue { t, pre } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        if pop(stack).truthy() {
+                        let w = pop(stack);
+                        let truthy = self.word_truthy(consts, w);
+                        self.drop_word(w);
+                        if truthy {
                             ip = t as usize;
                         }
                         continue;
@@ -218,10 +455,12 @@ impl<H: Host> Interpreter<H> {
                 },
                 Op::JumpTruthyKeep { t, pre } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        if stack.last().expect("vm stack underflow").truthy() {
+                        let w = *stack.last().expect("vm stack underflow");
+                        if self.word_truthy(consts, w) {
                             ip = t as usize;
                         } else {
                             pop(stack);
+                            self.drop_word(w);
                         }
                         continue;
                     }
@@ -229,8 +468,10 @@ impl<H: Host> Interpreter<H> {
                 },
                 Op::JumpFalsyKeep { t, pre } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        if stack.last().expect("vm stack underflow").truthy() {
+                        let w = *stack.last().expect("vm stack underflow");
+                        if self.word_truthy(consts, w) {
                             pop(stack);
+                            self.drop_word(w);
                         } else {
                             ip = t as usize;
                         }
@@ -254,7 +495,7 @@ impl<H: Host> Interpreter<H> {
                     }
                 }) {
                     Ok(v) => {
-                        stack.push(v);
+                        self.push_value(stack, v);
                         continue;
                     }
                     Err(e) => e,
@@ -266,7 +507,8 @@ impl<H: Host> Interpreter<H> {
                     pre,
                 } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        let v = pop(stack);
+                        let w = pop(stack);
+                        let v = self.take_value(consts, w);
                         self.assign_local(&chunk.names[name as usize], depth, slot, v, env);
                         continue;
                     }
@@ -276,15 +518,16 @@ impl<H: Host> Interpreter<H> {
                     .charge_steps(pre)
                     .and_then(|()| self.vm_load_name(chunk, ics, name, ic, env))
                 {
-                    Ok(v) => {
-                        stack.push(v);
+                    Ok(w) => {
+                        stack.push(w);
                         continue;
                     }
                     Err(e) => e,
                 },
                 Op::StoreName { name, ic, pre } => match self.charge_steps(pre) {
                     Ok(()) => {
-                        let v = pop(stack);
+                        let w = pop(stack);
+                        let v = self.take_value(consts, w);
                         self.vm_store_name(chunk, ics, name, ic, v, env);
                         continue;
                     }
@@ -297,11 +540,22 @@ impl<H: Host> Interpreter<H> {
                     prop_ic,
                     pre,
                 } => match self.charge_steps(pre).and_then(|()| {
-                    let obj = self.vm_load_name(chunk, ics, name, name_ic, env)?;
-                    self.vm_prop_read(ics, &obj, &chunk.names[prop as usize], prop_ic)
+                    let ow = self.vm_load_name(chunk, ics, name, name_ic, env)?;
+                    if !ow.is_num() && ow.tag() == TAG_OBJ {
+                        self.vm_obj_read(
+                            ics,
+                            ObjId(ow.payload() as usize),
+                            &chunk.names[prop as usize],
+                            prop_ic,
+                        )
+                    } else {
+                        let obj = self.take_value(consts, ow);
+                        let v = self.get_property(&obj, &chunk.names[prop as usize])?;
+                        Ok(self.value_word(v))
+                    }
                 }) {
-                    Ok(v) => {
-                        stack.push(v);
+                    Ok(w) => {
+                        stack.push(w);
                         continue;
                     }
                     Err(e) => e,
@@ -313,9 +567,21 @@ impl<H: Host> Interpreter<H> {
                     prop_ic,
                     pre,
                 } => match self.charge_steps(pre).and_then(|()| {
-                    let obj = self.vm_load_name(chunk, ics, name, name_ic, env)?;
-                    let value = pop(stack);
-                    self.vm_write_prop(ics, obj, &chunk.names[prop as usize], prop_ic, value)
+                    let ow = self.vm_load_name(chunk, ics, name, name_ic, env)?;
+                    let w = pop(stack);
+                    let value = self.take_value(consts, w);
+                    if !ow.is_num() && ow.tag() == TAG_OBJ {
+                        self.vm_obj_write(
+                            ics,
+                            ObjId(ow.payload() as usize),
+                            &chunk.names[prop as usize],
+                            prop_ic,
+                            value,
+                        )
+                    } else {
+                        let obj = self.take_value(consts, ow);
+                        self.set_property(&obj, &chunk.names[prop as usize], value)
+                    }
                 }) {
                     Ok(()) => continue,
                     Err(e) => e,
@@ -327,9 +593,11 @@ impl<H: Host> Interpreter<H> {
                     delta,
                     pre,
                 } => match self.charge_steps(pre).and_then(|()| {
-                    let old = self
-                        .vm_load_name(chunk, ics, name, load_ic, env)?
-                        .to_number();
+                    let w = self.vm_load_name(chunk, ics, name, load_ic, env)?;
+                    let old = match Self::word_to_number(w) {
+                        Some(n) => n,
+                        None => self.take_value(consts, w).to_number(),
+                    };
                     let new = Value::Num(old + f64::from(delta));
                     self.vm_store_name(chunk, ics, name, store_ic, new, env);
                     Ok(())
@@ -338,62 +606,98 @@ impl<H: Host> Interpreter<H> {
                     Err(e) => e,
                 },
                 Op::DeclSlot(i) => {
-                    let v = pop(stack);
+                    let w = pop(stack);
+                    let v = self.take_value(consts, w);
                     self.envs[env].slots[i as usize] = Some(v);
                     continue;
                 }
                 Op::DeclName(i) => {
-                    let v = pop(stack);
+                    let w = pop(stack);
+                    let v = self.take_value(consts, w);
                     self.declare(env, &chunk.names[i as usize].clone(), v);
                     continue;
                 }
                 Op::DeclFn(i) => {
                     let def = chunk.fns[i as usize].clone();
                     let name = def.name.clone().expect("declaration has a name");
+                    // A new closure capturing `env` is being born: bump the
+                    // capture stamp so frame recycling knows this call tree
+                    // let an environment escape.
+                    self.capture_stamp += 1;
                     self.declare(env, &name, Value::Fn { def, env });
                     continue;
                 }
                 Op::Closure(i) => {
-                    stack.push(Value::Fn {
+                    self.capture_stamp += 1;
+                    let f = Value::Fn {
                         def: chunk.fns[i as usize].clone(),
                         env,
-                    });
+                    };
+                    self.push_value(stack, f);
                     continue;
                 }
                 Op::GetProp { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
-                    let obj = pop(stack);
-                    self.vm_prop_read(ics, &obj, &chunk.names[name as usize], ic)
+                    let w = pop(stack);
+                    if !w.is_num() && w.tag() == TAG_OBJ {
+                        self.vm_obj_read(
+                            ics,
+                            ObjId(w.payload() as usize),
+                            &chunk.names[name as usize],
+                            ic,
+                        )
+                    } else {
+                        let obj = self.take_value(consts, w);
+                        let v = self.get_property(&obj, &chunk.names[name as usize])?;
+                        Ok(self.value_word(v))
+                    }
                 }) {
-                    Ok(v) => {
-                        stack.push(v);
+                    Ok(w) => {
+                        stack.push(w);
                         continue;
                     }
                     Err(e) => e,
                 },
                 Op::SetProp { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
-                    let obj = pop(stack);
-                    let value = pop(stack);
-                    self.vm_write_prop(ics, obj, &chunk.names[name as usize], ic, value)
+                    let ow = pop(stack);
+                    let vw = pop(stack);
+                    let value = self.take_value(consts, vw);
+                    if !ow.is_num() && ow.tag() == TAG_OBJ {
+                        self.vm_obj_write(
+                            ics,
+                            ObjId(ow.payload() as usize),
+                            &chunk.names[name as usize],
+                            ic,
+                            value,
+                        )
+                    } else {
+                        let obj = self.take_value(consts, ow);
+                        self.set_property(&obj, &chunk.names[name as usize], value)
+                    }
                 }) {
                     Ok(()) => continue,
                     Err(e) => e,
                 },
                 Op::GetIndex { pre } => match self.charge_steps(pre).and_then(|()| {
-                    let idx = pop(stack);
-                    let obj = pop(stack);
+                    let iw = pop(stack);
+                    let ow = pop(stack);
+                    let idx = self.take_value(consts, iw);
+                    let obj = self.take_value(consts, ow);
                     let key = self.value_to_key(&idx);
                     self.get_property(&obj, &key)
                 }) {
                     Ok(v) => {
-                        stack.push(v);
+                        self.push_value(stack, v);
                         continue;
                     }
                     Err(e) => e,
                 },
                 Op::SetIndex { pre } => match self.charge_steps(pre).and_then(|()| {
-                    let idx = pop(stack);
-                    let obj = pop(stack);
-                    let value = pop(stack);
+                    let iw = pop(stack);
+                    let ow = pop(stack);
+                    let vw = pop(stack);
+                    let idx = self.take_value(consts, iw);
+                    let obj = self.take_value(consts, ow);
+                    let value = self.take_value(consts, vw);
                     let key = self.value_to_key(&idx);
                     self.set_property(&obj, &key, value)
                 }) {
@@ -401,61 +705,87 @@ impl<H: Host> Interpreter<H> {
                     Err(e) => e,
                 },
                 Op::MakeArray(n) => {
-                    let elements = stack.split_off(stack.len() - n as usize);
-                    stack.push(Value::Obj(self.heap.alloc_array(elements)));
+                    let n = n as usize;
+                    let ws = stack.split_off(stack.len() - n);
+                    // Decode right-to-left so each boxed element is at the
+                    // arena top when consumed (moves, not clones).
+                    let mut elements = vec![Value::Undefined; n];
+                    for i in (0..n).rev() {
+                        elements[i] = self.take_value(consts, ws[i]);
+                    }
+                    let id = self.heap.alloc_array(elements);
+                    stack.push(Word::obj(id));
                     continue;
                 }
                 Op::MakeObject => {
-                    stack.push(Value::Obj(self.heap.alloc_object()));
+                    let id = self.heap.alloc_object();
+                    stack.push(Word::obj(id));
                     continue;
                 }
                 Op::ObjInsert(i) => {
-                    let v = pop(stack);
+                    let w = pop(stack);
+                    let v = self.take_value(consts, w);
                     let id = match stack.last() {
-                        Some(Value::Obj(id)) => *id,
+                        Some(w) if !w.is_num() && w.tag() == TAG_OBJ => {
+                            ObjId(w.payload() as usize)
+                        }
                         _ => unreachable!("ObjInsert targets the literal under construction"),
                     };
-                    self.heap
-                        .get_mut(id)
-                        .props
-                        .insert(&*chunk.names[i as usize], v);
+                    let props = &mut self.heap.get_mut(id).props;
+                    let before = props.len() as u32;
+                    let idx = props.insert_full(&*chunk.names[i as usize], v);
+                    if idx == before {
+                        self.shape_transitions += 1;
+                    }
                     continue;
                 }
                 Op::GetMethod { name, ic, pre } => match self.charge_steps(pre).and_then(|()| {
-                    let obj = pop(stack);
-                    self.vm_prop_read(ics, &obj, &chunk.names[name as usize], ic)
-                        .map(|f| (obj, f))
+                    // The receiver word stays on the stack (it still owns
+                    // its box, if any); only the method value is pushed.
+                    let w = *stack.last().expect("vm stack underflow");
+                    if !w.is_num() && w.tag() == TAG_OBJ {
+                        self.vm_obj_read(
+                            ics,
+                            ObjId(w.payload() as usize),
+                            &chunk.names[name as usize],
+                            ic,
+                        )
+                    } else {
+                        let obj = self.peek_value(consts, w);
+                        let v = self.get_property(&obj, &chunk.names[name as usize])?;
+                        Ok(self.value_word(v))
+                    }
                 }) {
-                    Ok((obj, f)) => {
-                        stack.push(obj);
-                        stack.push(f);
+                    Ok(fw) => {
+                        stack.push(fw);
                         continue;
                     }
                     Err(e) => e,
                 },
                 Op::GetMethodIndex { pre } => match self.charge_steps(pre).and_then(|()| {
-                    let idx = pop(stack);
-                    let obj = pop(stack);
+                    let iw = pop(stack);
+                    let idx = self.take_value(consts, iw);
+                    let w = *stack.last().expect("vm stack underflow");
+                    let obj = self.peek_value(consts, w);
                     let key = self.value_to_key(&idx);
-                    self.get_property(&obj, &key).map(|f| (obj, f))
+                    self.get_property(&obj, &key)
                 }) {
-                    Ok((obj, f)) => {
-                        stack.push(obj);
-                        stack.push(f);
+                    Ok(f) => {
+                        self.push_value(stack, f);
                         continue;
                     }
                     Err(e) => e,
                 },
                 Op::Call { argc, pre } => match self
                     .charge_steps(pre)
-                    .and_then(|()| self.vm_call(stack, argc, env))
+                    .and_then(|()| self.vm_call(stack, consts, argc, env))
                 {
                     Ok(()) => continue,
                     Err(e) => e,
                 },
                 Op::CallMethod { argc, pre } => match self
                     .charge_steps(pre)
-                    .and_then(|()| self.vm_call_method(stack, argc, env))
+                    .and_then(|()| self.vm_call_method(stack, consts, argc, env))
                 {
                     Ok(()) => continue,
                     Err(e) => e,
@@ -463,9 +793,17 @@ impl<H: Host> Interpreter<H> {
                 Op::Bin(op) => {
                     let r = pop(stack);
                     let l = pop(stack);
-                    match self.binop(op, l, r) {
+                    if l.is_num() && r.is_num() {
+                        if let Some(w) = num_binop(op, l.as_num(), r.as_num()) {
+                            stack.push(w);
+                            continue;
+                        }
+                    }
+                    let rv = self.take_value(consts, r);
+                    let lv = self.take_value(consts, l);
+                    match self.binop(op, lv, rv) {
                         Ok(v) => {
-                            stack.push(v);
+                            self.push_value(stack, v);
                             continue;
                         }
                         Err(e) => e,
@@ -473,42 +811,67 @@ impl<H: Host> Interpreter<H> {
                 }
                 Op::BinConst { op, idx } => {
                     let l = pop(stack);
-                    match self.binop(op, l, consts[idx as usize].clone()) {
+                    let rw = words[idx as usize];
+                    if l.is_num() && rw.is_num() {
+                        if let Some(w) = num_binop(op, l.as_num(), rw.as_num()) {
+                            stack.push(w);
+                            continue;
+                        }
+                    }
+                    let lv = self.take_value(consts, l);
+                    match self.binop(op, lv, consts[idx as usize].clone()) {
                         Ok(v) => {
-                            stack.push(v);
+                            self.push_value(stack, v);
                             continue;
                         }
                         Err(e) => e,
                     }
                 }
                 Op::UnNeg => {
-                    let v = pop(stack);
-                    stack.push(Value::Num(-v.to_number()));
+                    let w = pop(stack);
+                    let n = match Self::word_to_number(w) {
+                        Some(n) => n,
+                        None => self.take_value(consts, w).to_number(),
+                    };
+                    stack.push(Word::num(-n));
                     continue;
                 }
                 Op::UnPos => {
-                    let v = pop(stack);
-                    stack.push(Value::Num(v.to_number()));
+                    let w = pop(stack);
+                    let n = match Self::word_to_number(w) {
+                        Some(n) => n,
+                        None => self.take_value(consts, w).to_number(),
+                    };
+                    stack.push(Word::num(n));
                     continue;
                 }
                 Op::UnNot => {
-                    let v = pop(stack);
-                    stack.push(Value::Bool(!v.truthy()));
+                    let w = pop(stack);
+                    let truthy = self.word_truthy(consts, w);
+                    self.drop_word(w);
+                    stack.push(Word::bool(!truthy));
                     continue;
                 }
                 Op::UnBitNot => {
-                    let v = pop(stack);
-                    stack.push(Value::Num(!(to_i32(v.to_number())) as f64));
+                    let w = pop(stack);
+                    let n = match Self::word_to_number(w) {
+                        Some(n) => n,
+                        None => self.take_value(consts, w).to_number(),
+                    };
+                    stack.push(Word::num(!(to_i32(n)) as f64));
                     continue;
                 }
                 Op::TypeofVal => {
-                    let v = pop(stack);
-                    stack.push(Value::str(v.type_of()));
+                    let w = pop(stack);
+                    let v = self.take_value(consts, w);
+                    let t = Value::str(v.type_of());
+                    self.push_value(stack, t);
                     continue;
                 }
                 Op::TypeofName(i) => match self.try_lookup(&chunk.names[i as usize], env) {
                     None => {
-                        stack.push(Value::str("undefined"));
+                        let v = Value::str("undefined");
+                        self.push_value(stack, v);
                         continue;
                     }
                     Some(v) => {
@@ -516,23 +879,34 @@ impl<H: Host> Interpreter<H> {
                             Flow::Fatal(ScriptError::BudgetExhausted)
                         } else {
                             self.steps_left -= 1;
-                            stack.push(Value::str(v.type_of()));
+                            let t = Value::str(v.type_of());
+                            self.push_value(stack, t);
                             continue;
                         }
                     }
                 },
                 Op::IncDec { delta, prefix } => {
-                    let old = pop(stack).to_number();
+                    let w = pop(stack);
+                    let old = match Self::word_to_number(w) {
+                        Some(n) => n,
+                        None => self.take_value(consts, w).to_number(),
+                    };
                     let new = old + f64::from(delta);
-                    stack.push(Value::Num(if prefix { new } else { old }));
-                    stack.push(Value::Num(new));
+                    stack.push(Word::num(if prefix { new } else { old }));
+                    stack.push(Word::num(new));
                     continue;
                 }
                 Op::Ret { pre } => match self.charge_steps(pre) {
-                    Ok(()) => break Ok(Some(pop(stack))),
+                    Ok(()) => {
+                        let w = pop(stack);
+                        break Ok(Some(self.take_value(consts, w)));
+                    }
                     Err(e) => e,
                 },
-                Op::ThrowOp => Flow::Throw(pop(stack)),
+                Op::ThrowOp => {
+                    let w = pop(stack);
+                    Flow::Throw(self.take_value(consts, w))
+                }
                 Op::FlowBreak => Flow::Break,
                 Op::FlowContinue => Flow::Continue,
                 Op::TreeStmt(i) => match self.exec(&chunk.tree_stmts[i as usize], env) {
@@ -541,7 +915,7 @@ impl<H: Host> Interpreter<H> {
                 },
                 Op::TreeExpr(i) => match self.eval(&chunk.tree_exprs[i as usize], env) {
                     Ok(v) => {
-                        stack.push(v);
+                        self.push_value(stack, v);
                         continue;
                     }
                     Err(e) => e,
@@ -553,7 +927,8 @@ impl<H: Host> Interpreter<H> {
                 // the innermost enclosing compiled loop, exactly like the
                 // tree-walk's loop arms catch it. Leftover expression
                 // operands on the stack are dead weight, never misread:
-                // every op addresses the stack relative to its top.
+                // every op addresses the stack relative to its top (their
+                // arena boxes, if any, wait for the activation truncate).
                 Flow::Break => match chunk.loop_at(at) {
                     Some(range) => ip = range.brk as usize,
                     None => break Err(Flow::Break),
@@ -577,6 +952,11 @@ impl<H: Host> Interpreter<H> {
     /// tree-walk `step()` would. `n == 0` (no folded charge) is a no-op.
     #[inline(always)]
     fn charge_steps(&mut self, n: u32) -> Result<(), Flow> {
+        // Most ops carry a zero `pre` (their cost was folded into a block
+        // leader); skip the budget load/store entirely for them.
+        if n == 0 {
+            return Ok(());
+        }
         let n = u64::from(n);
         if self.steps_left >= n {
             self.steps_left -= n;
@@ -588,7 +968,9 @@ impl<H: Host> Interpreter<H> {
     }
 
     /// Identifier resolution with the global inline cache: the fast path of
-    /// `LoadName` shared by the fused name+property ops.
+    /// `LoadName` shared by the fused name+property ops. Returns the value
+    /// already word-encoded — a cache hit on an inline-encodable value
+    /// (number, bool, object handle, singleton) never constructs a `Value`.
     #[inline(always)]
     fn vm_load_name(
         &mut self,
@@ -597,24 +979,37 @@ impl<H: Host> Interpreter<H> {
         name: u32,
         ic: u32,
         env: usize,
-    ) -> Result<Value, Flow> {
+    ) -> Result<Word, Flow> {
         if ic != NO_IC {
             if let Ic::Global(idx) = ics[ic as usize].get() {
                 self.ic_hits += 1;
-                return Ok(self.envs[0].extra.entry_at(idx).1.clone());
+                let v = self.envs[0].extra.entry_at(idx).1;
+                return Ok(match Self::word_from_ref(v) {
+                    Some(w) => w,
+                    None => {
+                        let owned = v.clone();
+                        self.box_value(owned)
+                    }
+                });
             }
             self.ic_misses += 1;
             let key: &str = &chunk.names[name as usize];
             return match self.envs[0].extra.get_full(key) {
                 Some((idx, v)) => {
-                    let v = v.clone();
                     ics[ic as usize].set(Ic::Global(idx));
-                    Ok(v)
+                    match Self::word_from_ref(v) {
+                        Some(w) => Ok(w),
+                        None => {
+                            let owned = v.clone();
+                            Ok(self.box_value(owned))
+                        }
+                    }
                 }
                 None => Err(Flow::Throw(Value::str(format!("{key} is not defined")))),
             };
         }
-        self.lookup(&chunk.names[name as usize], env)
+        let v = self.lookup(&chunk.names[name as usize], env)?;
+        Ok(self.value_word(v))
     }
 
     /// Identifier assignment with the global inline cache: the fast path of
@@ -646,81 +1041,135 @@ impl<H: Host> Interpreter<H> {
         }
     }
 
-    /// Property read with a monomorphic inline cache. Cacheable shape:
-    /// plain object, present property. Everything else falls back to the
-    /// tree-walk's `get_property`.
-    fn vm_prop_read(
+    /// Property read on a known heap object, with the shape inline cache.
+    /// Cacheable shape: plain object, present property. A hit requires
+    /// only that the receiver's current shape matches — any object built
+    /// by the same key-insertion sequence is served by the same cache.
+    /// Everything else falls back to the tree-walk's `get_property`. The
+    /// result comes back word-encoded: a shape hit on an inline-encodable
+    /// property is a bare slot load, no `Value` in sight.
+    #[inline(always)]
+    fn vm_obj_read(
         &mut self,
         ics: &[Cell<Ic>],
-        obj: &Value,
+        id: ObjId,
         key: &str,
         ic: u32,
-    ) -> Result<Value, Flow> {
+    ) -> Result<Word, Flow> {
         if ic != NO_IC {
-            if let Value::Obj(id) = obj {
-                let data = self.heap.get(*id);
-                if matches!(data.kind, ObjKind::Plain) {
-                    if let Ic::Prop { obj: cached, idx } = ics[ic as usize].get() {
-                        if cached == *id {
-                            self.ic_hits += 1;
-                            return Ok(data.props.entry_at(idx).1.clone());
+            let data = self.heap.get(id);
+            if matches!(data.kind, ObjKind::Plain) {
+                if let Ic::PropShape { shape, idx } = ics[ic as usize].get() {
+                    if data.props.shape() == shape {
+                        self.ic_hits += 1;
+                        self.shape_hits += 1;
+                        let v = data.props.entry_at(idx).1;
+                        return Ok(match Self::word_from_ref(v) {
+                            Some(w) => w,
+                            None => {
+                                let owned = v.clone();
+                                self.box_value(owned)
+                            }
+                        });
+                    }
+                }
+                self.ic_misses += 1;
+                return Ok(match data.props.get_full(key) {
+                    Some((idx, v)) => {
+                        let shape = data.props.shape();
+                        ics[ic as usize].set(Ic::PropShape { shape, idx });
+                        match Self::word_from_ref(v) {
+                            Some(w) => w,
+                            None => {
+                                let owned = v.clone();
+                                self.box_value(owned)
+                            }
                         }
                     }
-                    self.ic_misses += 1;
-                    return Ok(match data.props.get_full(key) {
-                        Some((idx, v)) => {
-                            let v = v.clone();
-                            ics[ic as usize].set(Ic::Prop { obj: *id, idx });
-                            v
-                        }
-                        // Missing properties are never cached: a later
-                        // insert would change the answer under the cache.
-                        None => Value::Undefined,
-                    });
-                }
+                    // Missing properties are never cached: a later
+                    // insert would change the answer under the cache.
+                    None => Word::UNDEF,
+                });
             }
         }
-        self.get_property(obj, key)
+        let v = self.get_property(&Value::Obj(id), key)?;
+        Ok(self.value_word(v))
     }
 
-    /// Property write with a monomorphic inline cache; the caller supplies
-    /// the receiver (popped, or resolved by the fused name form) and the
-    /// value.
-    fn vm_write_prop(
+    /// Property write on a known heap object, with the shape inline cache.
+    /// A `PropShape` hit overwrites in place; a `PropAdd` hit *appends* —
+    /// the matching `from` shape proves the key absent, so the write takes
+    /// the pre-interned transition without probing the map at all.
+    #[inline(always)]
+    fn vm_obj_write(
         &mut self,
         ics: &[Cell<Ic>],
-        obj: Value,
+        id: ObjId,
         key: &str,
         ic: u32,
         value: Value,
     ) -> Result<(), Flow> {
         if ic != NO_IC {
-            if let Value::Obj(id) = &obj {
-                let id = *id;
-                if matches!(self.heap.get(id).kind, ObjKind::Plain) {
-                    if let Ic::Prop { obj: cached, idx } = ics[ic as usize].get() {
-                        if cached == id {
-                            self.ic_hits += 1;
-                            self.heap.get_mut(id).props.set_at(idx, value);
-                            return Ok(());
-                        }
+            // One heap indexing for the whole cacheable path: kind check,
+            // shape checks, and the mutation all run off this borrow.
+            let data = self.heap.get_mut(id);
+            if matches!(data.kind, ObjKind::Plain) {
+                match ics[ic as usize].get() {
+                    Ic::PropShape { shape, idx } if data.props.shape() == shape => {
+                        data.props.set_at(idx, value);
+                        self.ic_hits += 1;
+                        self.shape_hits += 1;
+                        return Ok(());
                     }
-                    self.ic_misses += 1;
-                    let idx = self.heap.get_mut(id).props.insert_full(key, value);
-                    ics[ic as usize].set(Ic::Prop { obj: id, idx });
-                    return Ok(());
+                    Ic::PropAdd { from, to } if data.props.shape() == from => {
+                        data.props.append_known(shape_key(to), value, to);
+                        self.ic_hits += 1;
+                        self.shape_hits += 1;
+                        self.shape_transitions += 1;
+                        return Ok(());
+                    }
+                    _ => {}
                 }
+                let from = data.props.shape();
+                let before = data.props.len() as u32;
+                let idx = data.props.insert_full(key, value);
+                let shape = data.props.shape();
+                self.ic_misses += 1;
+                if idx == before {
+                    // First write of this key to this layout: cache the
+                    // transition so the next same-shaped receiver appends
+                    // without a probe.
+                    self.shape_transitions += 1;
+                    ics[ic as usize].set(Ic::PropAdd { from, to: shape });
+                } else {
+                    ics[ic as usize].set(Ic::PropShape { shape, idx });
+                }
+                return Ok(());
             }
         }
-        self.set_property(&obj, key, value)
+        self.set_property(&Value::Obj(id), key, value)
     }
 
     /// `Call(n)`: pops `n` arguments and the callee; pushes the result.
-    fn vm_call(&mut self, stack: &mut Vec<Value>, argc: u32, env: usize) -> Result<(), Flow> {
-        let args = stack.split_off(stack.len() - argc as usize);
-        let f = pop(stack);
+    fn vm_call(
+        &mut self,
+        stack: &mut Vec<Word>,
+        consts: &[Value],
+        argc: u32,
+        env: usize,
+    ) -> Result<(), Flow> {
+        let argc = argc as usize;
+        let ws = stack.split_off(stack.len() - argc);
+        let fw = pop(stack);
+        // Decode args right-to-left (LIFO over the boxed arena), then the
+        // callee, which was pushed — and boxed — before them.
+        let mut args = vec![Value::Undefined; argc];
+        for i in (0..argc).rev() {
+            args[i] = self.take_value(consts, ws[i]);
+        }
+        let f = self.take_value(consts, fw);
         let v = self.vm_dispatch_call(f, None, args, env)?;
-        stack.push(v);
+        self.push_value(stack, v);
         Ok(())
     }
 
@@ -729,13 +1178,21 @@ impl<H: Host> Interpreter<H> {
     /// stdlib dispatcher expects — same shape the tree-walk builds.
     fn vm_call_method(
         &mut self,
-        stack: &mut Vec<Value>,
+        stack: &mut Vec<Word>,
+        consts: &[Value],
         argc: u32,
         env: usize,
     ) -> Result<(), Flow> {
-        let mut args = stack.split_off(stack.len() - argc as usize);
-        let f = pop(stack);
-        let obj = pop(stack);
+        let argc = argc as usize;
+        let ws = stack.split_off(stack.len() - argc);
+        let fw = pop(stack);
+        let ow = pop(stack);
+        let mut args = vec![Value::Undefined; argc];
+        for i in (0..argc).rev() {
+            args[i] = self.take_value(consts, ws[i]);
+        }
+        let f = self.take_value(consts, fw);
+        let obj = self.take_value(consts, ow);
         let this = match &obj {
             Value::Obj(id) => Some(*id),
             _ => None,
@@ -745,7 +1202,7 @@ impl<H: Host> Interpreter<H> {
             _ => {}
         }
         let v = self.vm_dispatch_call(f, this, args, env)?;
-        stack.push(v);
+        self.push_value(stack, v);
         Ok(())
     }
 
@@ -868,6 +1325,33 @@ mod tests {
             "var g = 1; (function () { try { throw 7; } catch (g) { out = g; } out += ':' + g; })();",
             "(function () { out = '' + absent_global; })();",
             "(function () { fresh_global = 5; })(); out = fresh_global;",
+            // NaN-boxing edge cases: NaN arithmetic, signed zero, and the
+            // canonical-NaN comparison semantics the tagged word must keep.
+            "out = '' + (0 / 0) + ((0 / 0) === (0 / 0)) + ((0 / 0) == (0 / 0));",
+            "out = '' + (1 / -0) + (1 / 0) + (-0) + (0 === -0);",
+            "var n = 0 / 0; out = '' + (n != n) + typeof n + (n + 1) + !n;",
+            "out = '' + (1e308 * 10) + (-1e308 * 10) + (1e308 * 10 === 1 / 0);",
+            // Boxed-word ownership shapes: strings duplicated by logical
+            // operators, swapped, threaded through calls and ternaries.
+            "out = ('' || 'fb') + ('keep' && 'next') + ('' + ('x' || 'y'));",
+            "function id(s) { return s; } out = id('a') + id(id('b')) + ('c' ? id('d') : 'e');",
+            "var s = 'seed'; s += s + s; out = s.length + s.substring(2, 6);",
+            // Same-shape object families: the shape IC must serve every
+            // receiver built by one insertion sequence, and transitions
+            // must replay identically on both engines.
+            "function mk(a, b) { var o = {}; o.x = a; o.y = b; return o; } \
+             var s = 0; for (var i = 0; i < 8; i++) { s += mk(i, i * 2).x + mk(i, i).y; } out = s;",
+            "var list = [{a: 1, b: 2}, {b: 3, a: 4}, {a: 5, b: 6}]; var s = ''; \
+             for (var i = 0; i < 9; i++) { var o = list[i % 3]; s += o.a + ':' + o.b + ';'; } out = s;",
+            "var o1 = {}; var o2 = {}; o1.k = 1; o2.j = 2; o1.j = 3; o2.k = 4; \
+             out = '' + o1.k + o1.j + o2.j + o2.k;",
+            // Frame recycling: IIFE towers, escaping closures interleaved
+            // with non-escaping calls, and recursion that returns closures.
+            "var t = 0; for (var i = 0; i < 6; i++) { t += (function () { return (function () { return (function () { return i; })(); })(); })(); } out = t;",
+            "var fs = []; for (var i = 0; i < 4; i++) { (function (k) { fs.push(function () { return k * 10; }); })(i); (function () { var dead = i; })(); } \
+             out = fs[0]() + fs[1]() + fs[2]() + fs[3]();",
+            "function tower(n) { if (n == 0) { return function () { return 'base'; }; } var f = tower(n - 1); return function () { return n + ':' + f(); }; } \
+             out = tower(3)();",
         ];
         for src in corpus {
             differential(src);
@@ -887,6 +1371,9 @@ mod tests {
             // tree-walk's per-node accounting.
             "var o = {v: 0}; for (var i = 0; i < 30; i++) { o.v += i % 7; o.v++; } out = o.v;",
             "x = 0; for (var i = 0; i < 30; i++) { x = o_missing.p + 1; } out = x;",
+            // Shape-transition-heavy death: fresh objects growing inside
+            // the loop keep the write ICs on their append path.
+            "var s = 0; for (var i = 0; i < 25; i++) { var o = {}; o.a = i; o.b = i + 1; s += o.a + o.b; } out = s;",
         ];
         for src in programs {
             for max_steps in [0, 1, 2, 3, 5, 10, 50, 100, 1000] {
@@ -931,12 +1418,37 @@ mod tests {
             .unwrap();
         let v = i.get_global("out").cloned().unwrap();
         assert_eq!(i.display_value(&v), "100");
-        let (dispatches, hits, misses) = i.vm_counters();
+        let (dispatches, hits, misses, shape_hits, _transitions) = i.vm_counters();
         assert!(dispatches > 0);
         assert!(
             hits > misses,
             "expected warm caches: hits={hits} misses={misses}"
         );
+        assert!(shape_hits > 0, "property hits should be shape-certified");
+    }
+
+    #[test]
+    fn shape_caches_serve_distinct_objects_of_the_same_layout() {
+        // Each iteration builds a FRESH object; an identity-keyed cache
+        // would miss every pass, a shape-keyed cache warms once for the
+        // whole family — reads, overwrites, and the append transitions.
+        let mut i = Interpreter::new(NoHost, Limits::default(), 7);
+        i.set_engine(ScriptEngine::Vm);
+        i.run(
+            "function mk(v) { var o = {}; o.a = v; o.b = v * 2; return o; } \
+             var s = 0; for (var i = 0; i < 64; i++) { var o = mk(i); o.a = o.a + o.b; s += o.a; } out = s;",
+        )
+        .unwrap();
+        let (_, hits, misses, shape_hits, transitions) = i.vm_counters();
+        assert!(
+            shape_hits > misses,
+            "same-layout receivers should hit the shape IC: shape_hits={shape_hits} misses={misses}"
+        );
+        assert!(
+            transitions >= 128,
+            "each fresh object performs two appends: transitions={transitions}"
+        );
+        assert!(hits >= shape_hits);
     }
 
     #[test]
@@ -945,6 +1457,6 @@ mod tests {
         i.set_engine(ScriptEngine::TreeWalk);
         i.run("var s = 0; for (var i = 0; i < 10; i++) { s += i; } out = s;")
             .unwrap();
-        assert_eq!(i.vm_counters(), (0, 0, 0));
+        assert_eq!(i.vm_counters(), (0, 0, 0, 0, 0));
     }
 }

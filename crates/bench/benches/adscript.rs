@@ -23,17 +23,25 @@
 //!
 //! * `tree_walk` — the retained AST interpreter, the differential oracle.
 //! * `vm` — the bytecode VM with its pre-charge folding, fused
-//!   superinstructions, and monomorphic inline caches.
+//!   superinstructions, and shape-keyed monomorphic inline caches.
 //!
 //! Both engines execute the identical [`CompiledScript`]s (asserted to
 //! produce identical output before timing), so the ratio is the dispatch
 //! and data-layout win alone, uncontaminated by front-end cost.
+//!
+//! `tree_walk_poly` / `vm_poly` repeat the comparison on the
+//! shape-polymorphic [`synth::synthetic_exec_scripts_poly`] workload (same
+//! property names, rotated insertion orders), which defeats the VM's
+//! monomorphic `(shape, slot)` caches at every access site and bounds how
+//! much of the speedup depends on monomorphic traffic.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use malvert_adscript::{
     CompiledScript, Interpreter, Limits, NoHost, ScriptCache, ScriptEngine, ScriptStats,
 };
-use malvert_bench::synth::{synthetic_exec_scripts, synthetic_scripts};
+use malvert_bench::synth::{
+    synthetic_exec_scripts, synthetic_exec_scripts_poly, synthetic_scripts,
+};
 use std::hint::black_box;
 
 const SCRIPTS: usize = 32;
@@ -82,39 +90,52 @@ fn bench_adscript_compile(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_adscript_exec(c: &mut Criterion) {
-    let scripts = synthetic_exec_scripts(EXEC_SCRIPTS, EXEC_SEED);
+fn compile_checked(scripts: &[String], what: &str) -> Vec<CompiledScript> {
     let compiled: Vec<CompiledScript> = scripts
         .iter()
-        .map(|s| CompiledScript::compile(s).expect("synthetic exec script compiles"))
+        .map(|s| {
+            CompiledScript::compile(s).unwrap_or_else(|e| panic!("{what} script compiles: {e}"))
+        })
         .collect();
-
     // Engines must agree before their ratio means anything.
     for (i, script) in compiled.iter().enumerate() {
         let run = |engine: ScriptEngine| {
             let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
             interp.set_engine(engine);
-            interp.run_program(script).expect("exec script runs");
+            interp
+                .run_program(script)
+                .unwrap_or_else(|e| panic!("{what} script runs: {e}"));
             interp
                 .get_global("out")
-                .expect("exec script writes out")
+                .unwrap_or_else(|| panic!("{what} script writes out"))
                 .clone()
         };
         assert!(
             run(ScriptEngine::TreeWalk).strict_eq(&run(ScriptEngine::Vm)),
-            "engine divergence on exec script {i}"
+            "engine divergence on {what} script {i}"
         );
     }
+    compiled
+}
+
+fn bench_adscript_exec(c: &mut Criterion) {
+    let mono = compile_checked(&synthetic_exec_scripts(EXEC_SCRIPTS, EXEC_SEED), "exec");
+    let poly = compile_checked(
+        &synthetic_exec_scripts_poly(EXEC_SCRIPTS, EXEC_SEED),
+        "poly exec",
+    );
 
     let mut group = c.benchmark_group("adscript_exec");
-    group.throughput(Throughput::Elements(compiled.len() as u64));
-    for (name, engine) in [
-        ("tree_walk", ScriptEngine::TreeWalk),
-        ("vm", ScriptEngine::Vm),
+    group.throughput(Throughput::Elements(mono.len() as u64));
+    for (name, engine, compiled) in [
+        ("tree_walk", ScriptEngine::TreeWalk, &mono),
+        ("vm", ScriptEngine::Vm, &mono),
+        ("tree_walk_poly", ScriptEngine::TreeWalk, &poly),
+        ("vm_poly", ScriptEngine::Vm, &poly),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                for script in &compiled {
+                for script in compiled {
                     let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
                     interp.set_engine(engine);
                     black_box(interp.run_program(script).unwrap());

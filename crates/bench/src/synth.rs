@@ -171,6 +171,86 @@ pub fn synthetic_exec_scripts(count: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
+/// Generates `count` execution-heavy AdScript programs whose property
+/// traffic is deliberately *polymorphic*, deterministic in `(count, seed)`.
+///
+/// The adversarial counterpart of [`synthetic_exec_scripts`]: every script
+/// builds a bank of six state objects that carry the **same four property
+/// names but in rotated insertion orders**, so under a hidden-class object
+/// model each object lands on a different shape. The hot loop then cycles
+/// through the bank, which forces every property-access site to see all six
+/// shapes in turn — the worst case for a monomorphic `(shape, slot)` inline
+/// cache, which misses back to the name-map probe on nearly every access.
+/// Benching this next to the monomorphic workload shows how much of the VM's
+/// edge survives when creatives mix object layouts at a single site.
+pub fn synthetic_exec_scripts_poly(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = DetRng::new(seed);
+    let mut serial = 0usize;
+    let mut name = |rng: &mut DetRng| {
+        serial += 1;
+        let mut n = format!("_0p{serial:x}");
+        for _ in 0..6 + rng.below(10) {
+            n.push(char::from_digit(rng.below(16) as u32, 16).expect("hex digit"));
+        }
+        n
+    };
+    const BANK: usize = 6;
+    (0..count)
+        .map(|i| {
+            let acc = name(&mut rng);
+            let idx = name(&mut rng);
+            let cur = name(&mut rng);
+            let f: Vec<String> = (0..4).map(|_| name(&mut rng)).collect();
+            let objs: Vec<String> = (0..BANK).map(|_| name(&mut rng)).collect();
+            let k1 = rng.below(97) + 2;
+            let k2 = rng.below(89) + 2;
+            let rounds = 1500 + rng.below(1000);
+            let mut src = format!("var {acc} = {i};\n");
+            // Same four keys on every object, insertion order rotated per
+            // object: object o starts its literal at key (o mod 4).
+            for (o, obj) in objs.iter().enumerate() {
+                let mut fields = String::new();
+                for j in 0..4 {
+                    let key = &f[(o + j) % 4];
+                    let val = o * 4 + j + k1;
+                    if j > 0 {
+                        fields.push_str(", ");
+                    }
+                    fields.push_str(&format!("{key}: {val}"));
+                }
+                src.push_str(&format!("var {obj} = {{ {fields} }};\n"));
+            }
+            src.push_str(&format!(
+                "for ({idx} = 0; {idx} < {rounds}; {idx}++) {{\n\
+                 \x20 var {cur} = {idx} % {BANK} == 0 ? {o0} : {idx} % {BANK} == 1 ? {o1} : \
+                 {idx} % {BANK} == 2 ? {o2} : {idx} % {BANK} == 3 ? {o3} : \
+                 {idx} % {BANK} == 4 ? {o4} : {o5};\n\
+                 \x20 {acc} = ({acc} + {cur}.{f0} * {k2} + {cur}.{f1}) % 1000003;\n\
+                 \x20 {cur}.{f2} = {cur}.{f2} + {cur}.{f3} * 3 + {acc} % 7;\n\
+                 \x20 if ({cur}.{f2} > 1000000) {{ {cur}.{f2} %= 10007; }}\n\
+                 }}\n",
+                o0 = objs[0],
+                o1 = objs[1],
+                o2 = objs[2],
+                o3 = objs[3],
+                o4 = objs[4],
+                o5 = objs[5],
+                f0 = f[0],
+                f1 = f[1],
+                f2 = f[2],
+                f3 = f[3],
+            ));
+            src.push_str(&format!(
+                "out = '' + ({acc} + {o0}.{f2} + {o5}.{f2});\n",
+                o0 = objs[0],
+                o5 = objs[5],
+                f2 = f[2],
+            ));
+            src
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +331,61 @@ mod tests {
             assert!(
                 run(ScriptEngine::TreeWalk).strict_eq(&run(ScriptEngine::Vm)),
                 "exec script {i}: engines diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn poly_script_generation_is_deterministic_in_the_seed() {
+        assert_eq!(
+            synthetic_exec_scripts_poly(6, 41),
+            synthetic_exec_scripts_poly(6, 41)
+        );
+        assert_ne!(
+            synthetic_exec_scripts_poly(6, 41),
+            synthetic_exec_scripts_poly(6, 42)
+        );
+    }
+
+    #[test]
+    fn poly_scripts_rotate_insertion_orders() {
+        // Every script declares six object literals over the same four keys;
+        // at least two literals must start with different keys, otherwise the
+        // workload would not be shape-polymorphic at all.
+        for src in synthetic_exec_scripts_poly(4, 43) {
+            let first_keys: Vec<&str> = src
+                .lines()
+                .filter_map(|l| l.split_once("{ ")?.1.split_once(':'))
+                .map(|(k, _)| k.trim())
+                .collect();
+            assert_eq!(first_keys.len(), 6, "expected six object literals");
+            assert!(
+                first_keys.iter().any(|k| *k != first_keys[0]),
+                "all literals share one insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn poly_scripts_run_identically_on_both_engines() {
+        use malvert_adscript::{CompiledScript, Interpreter, Limits, NoHost, ScriptEngine};
+        for (i, src) in synthetic_exec_scripts_poly(6, 41).iter().enumerate() {
+            let script = CompiledScript::compile(src)
+                .unwrap_or_else(|e| panic!("poly script {i} fails to compile: {e}"));
+            let run = |engine: ScriptEngine| {
+                let mut interp = Interpreter::new(NoHost, Limits::default(), 1);
+                interp.set_engine(engine);
+                interp
+                    .run_program(&script)
+                    .unwrap_or_else(|e| panic!("poly script {i} fails on {engine}: {e}"));
+                interp
+                    .get_global("out")
+                    .unwrap_or_else(|| panic!("poly script {i} wrote no output"))
+                    .clone()
+            };
+            assert!(
+                run(ScriptEngine::TreeWalk).strict_eq(&run(ScriptEngine::Vm)),
+                "poly script {i}: engines diverge"
             );
         }
     }

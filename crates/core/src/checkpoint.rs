@@ -112,6 +112,15 @@ pub struct ScriptBase {
     /// summaries). Defaults to zero when loading pre-VM snapshots.
     #[serde(default)]
     pub inline_cache_misses: u64,
+    /// VM shape-certified IC hits (engine-dependent; zeroed in stripped
+    /// summaries). Defaults to zero when loading pre-shape snapshots.
+    #[serde(default)]
+    pub shape_hits: u64,
+    /// VM hidden-class shape transitions performed (engine-dependent;
+    /// zeroed in stripped summaries). Defaults to zero when loading
+    /// pre-shape snapshots.
+    #[serde(default)]
+    pub shape_transitions: u64,
 }
 
 impl ScriptBase {
@@ -124,6 +133,8 @@ impl ScriptBase {
             bytecode_dispatches: counts.bytecode_dispatches,
             inline_cache_hits: counts.inline_cache_hits,
             inline_cache_misses: counts.inline_cache_misses,
+            shape_hits: counts.shape_hits,
+            shape_transitions: counts.shape_transitions,
         }
     }
 
@@ -136,6 +147,8 @@ impl ScriptBase {
             bytecode_dispatches: self.bytecode_dispatches + live.bytecode_dispatches,
             inline_cache_hits: self.inline_cache_hits + live.inline_cache_hits,
             inline_cache_misses: self.inline_cache_misses + live.inline_cache_misses,
+            shape_hits: self.shape_hits + live.shape_hits,
+            shape_transitions: self.shape_transitions + live.shape_transitions,
         }
     }
 }
@@ -373,6 +386,8 @@ mod tests {
             bytecode_dispatches: 700,
             inline_cache_hits: 80,
             inline_cache_misses: 8,
+            shape_hits: 64,
+            shape_transitions: 12,
         };
         let state = CrawlState::from_aggregate(&aggregate, filter, script);
         let json = serde_json::to_string(&state).expect("serializes");
@@ -393,5 +408,7 @@ mod tests {
             700
         );
         assert_eq!(script_base.plus(ScriptCounts::default()).inline_cache_hits, 80);
+        assert_eq!(script_base.plus(ScriptCounts::default()).shape_hits, 64);
+        assert_eq!(script_base.plus(ScriptCounts::default()).shape_transitions, 12);
     }
 }

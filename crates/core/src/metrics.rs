@@ -131,6 +131,17 @@ pub struct RunCounters {
     /// by [`RunSummary::without_timings`].
     #[serde(default)]
     pub inline_cache_misses: u64,
+    /// VM IC hits certified by a hidden-class shape check (property reads
+    /// and writes served straight off a cached slot offset; a subset of
+    /// `inline_cache_hits`). Engine-dependent: stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub shape_hits: u64,
+    /// Hidden-class shape transitions the VM performed (property appends
+    /// on plain objects, cached or cold). Engine-dependent: stripped by
+    /// [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub shape_transitions: u64,
     /// Per-class crawl-error counters aggregated over every page visit
     /// (faults injected and genuine, recovered and not), plus retry and
     /// degraded/failed-visit tallies. Every field is a pure function of the
@@ -281,6 +292,8 @@ impl RunSummary {
         counters.bytecode_dispatches = 0;
         counters.inline_cache_hits = 0;
         counters.inline_cache_misses = 0;
+        counters.shape_hits = 0;
+        counters.shape_transitions = 0;
         RunSummary {
             timings: Vec::new(),
             latencies: self
@@ -347,6 +360,8 @@ mod tests {
                 bytecode_dispatches: 9000,
                 inline_cache_hits: 400,
                 inline_cache_misses: 40,
+                shape_hits: 320,
+                shape_transitions: 25,
                 errors: ErrorCounters::default(),
             },
             timings: vec![StageTiming {
@@ -391,6 +406,8 @@ mod tests {
                 bytecode_dispatches: 5000,
                 inline_cache_hits: 120,
                 inline_cache_misses: 12,
+                shape_hits: 96,
+                shape_transitions: 9,
                 ..RunCounters::default()
             },
             ..RunSummary::default()
@@ -410,6 +427,8 @@ mod tests {
         assert_eq!(stripped.counters.bytecode_dispatches, 0);
         assert_eq!(stripped.counters.inline_cache_hits, 0);
         assert_eq!(stripped.counters.inline_cache_misses, 0);
+        assert_eq!(stripped.counters.shape_hits, 0);
+        assert_eq!(stripped.counters.shape_transitions, 0);
     }
 
     #[test]

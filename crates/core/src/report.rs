@@ -272,8 +272,13 @@ pub fn render_run_metrics(summary: &RunSummary) -> String {
     ));
     if c.bytecode_dispatches > 0 {
         out.push_str(&format!(
-            "vm dispatches {} | inline cache hits {} | inline cache misses {}\n",
-            c.bytecode_dispatches, c.inline_cache_hits, c.inline_cache_misses
+            "vm dispatches {} | inline cache hits {} | inline cache misses {} | \
+             shape hits {} | shape transitions {}\n",
+            c.bytecode_dispatches,
+            c.inline_cache_hits,
+            c.inline_cache_misses,
+            c.shape_hits,
+            c.shape_transitions
         ));
     }
     let e = &c.errors;
@@ -407,6 +412,8 @@ mod tests {
                 bytecode_dispatches: 8600,
                 inline_cache_hits: 300,
                 inline_cache_misses: 30,
+                shape_hits: 250,
+                shape_transitions: 18,
                 errors: malvert_types::ErrorCounters::default(),
             },
             timings: vec![
@@ -432,6 +439,8 @@ mod tests {
         assert!(s.contains("compile cache hits 110"));
         assert!(s.contains("vm dispatches 8600"));
         assert!(s.contains("inline cache hits 300"));
+        assert!(s.contains("shape hits 250"));
+        assert!(s.contains("shape transitions 18"));
         // A clean run renders no error line at all.
         assert!(!s.contains("crawl errors"));
         // Untraced runs render no latency block.

@@ -32,7 +32,7 @@ use malvert_crawler::{
 use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats, SnapshotStore};
 use malvert_net::FaultProfile;
 use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
-use malvert_trace::{EngineBalance, MetricsRegistry, SpanKind, TraceReport, TraceSink};
+use malvert_trace::{EngineBalance, MetricsRegistry, SpanKind, TraceReport, TraceSink, VmMeter};
 use malvert_types::{AdNetworkId, CampaignId, CrawlSchedule, ErrorCounters, SimTime, SiteId, Url};
 use malvert_websim::WebConfig;
 use serde::{Deserialize, Serialize};
@@ -513,6 +513,19 @@ fn engine_balance(stats: Option<&EngineStats>) -> EngineBalance {
         .unwrap_or_default()
 }
 
+/// Distills cumulative script counters into the trace crate's plain VM
+/// meter record (same indirection as [`engine_balance`]: `malvert-trace`
+/// stays free of an adscript dependency).
+fn vm_meter(counts: ScriptCounts) -> VmMeter {
+    VmMeter {
+        dispatches: counts.bytecode_dispatches,
+        ic_hits: counts.inline_cache_hits,
+        ic_misses: counts.inline_cache_misses,
+        shape_hits: counts.shape_hits,
+        shape_transitions: counts.shape_transitions,
+    }
+}
+
 /// The study driver.
 pub struct Study {
     /// Configuration.
@@ -734,6 +747,7 @@ impl Study {
                         next as u64,
                         counters,
                         engine_balance(estats.as_ref()),
+                        vm_meter(script_base.plus(script_stats.snapshot())),
                     );
                 }
                 if stop {
@@ -939,6 +953,7 @@ impl Study {
                         next as u64,
                         counters,
                         engine_balance(estats.as_ref()),
+                        vm_meter(classify_script_base.plus(classify_script_stats.snapshot())),
                     );
                 }
                 if stop {
@@ -982,6 +997,8 @@ impl Study {
             inline_cache_hits: script.inline_cache_hits + classify_script.inline_cache_hits,
             inline_cache_misses: script.inline_cache_misses
                 + classify_script.inline_cache_misses,
+            shape_hits: script.shape_hits + classify_script.shape_hits,
+            shape_transitions: script.shape_transitions + classify_script.shape_transitions,
             errors,
         };
         let mut metrics = RunMetrics::new(counters);

@@ -41,7 +41,7 @@ pub use export::{TraceReport, WorkerLoad};
 pub use histogram::{LogHistogram, SpanLatency, BUCKET_COUNT};
 pub use metrics::{
     AtomicHistogram, CheckpointMeter, EngineBalance, HealthReport, MetricsLog, MetricsRegistry,
-    MetricsSample, SampleDet, SampleWall, StageHealth, StageSampler, WorkerMetrics,
+    MetricsSample, SampleDet, SampleWall, StageHealth, StageSampler, VmMeter, WorkerMetrics,
 };
 pub use provenance::{OracleComponent, Provenance};
 pub use sink::{SpanGuard, TraceCollector, TraceSink};

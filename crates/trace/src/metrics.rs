@@ -94,6 +94,26 @@ pub struct EngineBalance {
     pub worker_jobs: Vec<u64>,
 }
 
+/// Script-VM execution meters at one boundary, cumulative over the run:
+/// bytecode dispatches, inline-cache traffic, and hidden-class shape
+/// activity. Engine- and scheduling-dependent (each worker's inline
+/// caches warm in whatever order the scheduler hands out jobs), so the
+/// block lives in the wall envelope with the other accidents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmMeter {
+    /// Bytecode instructions dispatched.
+    pub dispatches: u64,
+    /// Inline-cache hits (global and property accesses).
+    pub ic_hits: u64,
+    /// Inline-cache misses.
+    pub ic_misses: u64,
+    /// IC hits certified by a hidden-class shape check (slot-offset
+    /// property reads and writes; a subset of `ic_hits`).
+    pub shape_hits: u64,
+    /// Hidden-class shape transitions performed (property appends).
+    pub shape_transitions: u64,
+}
+
 /// The deterministic half of one sample: every field is an exact function
 /// of the study seed, the shard geometry, and the resume point — never of
 /// worker count, scheduling, or the clock.
@@ -166,6 +186,10 @@ pub struct SampleWall {
     pub job_max_us: u64,
     /// Checkpoint write meters, cumulative over this stage.
     pub checkpoint: CheckpointMeter,
+    /// Script-VM execution meters, cumulative over the run. Defaults to
+    /// zeros when loading pre-shape series.
+    #[serde(default)]
+    pub vm: VmMeter,
 }
 
 /// One shard-boundary sample: deterministic payload plus optional wall
@@ -413,14 +437,15 @@ impl StageSampler {
 
     /// Records the boundary at prefix cursor `jobs_done` (shard ordinal
     /// `shard`, 1-based) with the stage's cumulative deterministic
-    /// `counters` and the scheduler's `balance` snapshot, and renders the
-    /// heartbeat when progress is on.
+    /// `counters`, the scheduler's `balance` snapshot, and the script
+    /// VM's `vm` meters, and renders the heartbeat when progress is on.
     pub fn sample(
         &self,
         shard: u64,
         jobs_done: u64,
         counters: BTreeMap<String, u64>,
         balance: EngineBalance,
+        vm: VmMeter,
     ) {
         let Some(inner) = &self.inner else {
             return;
@@ -456,6 +481,7 @@ impl StageSampler {
                 job_max_us: job_hist.max_us(),
                 job_hist,
                 checkpoint: inner.checkpoint_meter().minus(&self.ckpt_base),
+                vm,
             }),
         };
         if self.progress {
@@ -624,6 +650,10 @@ pub struct StageHealth {
     pub checkpoint: CheckpointMeter,
     /// Checkpoint wall time as a share of stage wall time, percent.
     pub checkpoint_overhead_pct: f64,
+    /// Script-VM execution meters at the last sample (zeros when the
+    /// series was stripped or predates the shape counters).
+    #[serde(default)]
+    pub vm: VmMeter,
     /// Final cumulative deterministic counters.
     pub counters: BTreeMap<String, u64>,
 }
@@ -723,6 +753,7 @@ impl HealthReport {
             parks: balance.parks,
             checkpoint,
             checkpoint_overhead_pct,
+            vm: wall.map(|w| w.vm.clone()).unwrap_or_default(),
             counters: last.det.counters.clone(),
         }
     }
@@ -777,6 +808,18 @@ impl HealthReport {
             } else {
                 out.push_str("  checkpoints: none\n");
             }
+            if s.vm.dispatches > 0 {
+                let _ = writeln!(
+                    out,
+                    "  vm: {} dispatches · ic hits {} / misses {} · \
+                     shape hits {} · shape transitions {}",
+                    s.vm.dispatches,
+                    s.vm.ic_hits,
+                    s.vm.ic_misses,
+                    s.vm.shape_hits,
+                    s.vm.shape_transitions
+                );
+            }
             if !s.counters.is_empty() {
                 let counters: Vec<String> =
                     s.counters.iter().map(|(k, v)| format!("{k} {v}")).collect();
@@ -800,7 +843,13 @@ mod tests {
         worker.record_visit(None);
         let sampler = reg.stage("crawl", 0, 100, 10, false);
         assert!(!sampler.is_enabled());
-        sampler.sample(1, 10, BTreeMap::new(), EngineBalance::default());
+        sampler.sample(
+            1,
+            10,
+            BTreeMap::new(),
+            EngineBalance::default(),
+            VmMeter::default(),
+        );
         reg.checkpoint_written(100, Duration::from_millis(1));
         assert!(reg.collect().is_empty());
     }
@@ -835,6 +884,13 @@ mod tests {
                 parks: 3,
                 worker_jobs: vec![13, 12],
             },
+            VmMeter {
+                dispatches: 5000,
+                ic_hits: 400,
+                ic_misses: 20,
+                shape_hits: 350,
+                shape_transitions: 15,
+            },
         );
         let log = reg.collect();
         assert_eq!(log.len(), 1);
@@ -845,6 +901,8 @@ mod tests {
         assert_eq!(wall.checkpoint.bytes, 2048);
         assert_eq!(wall.balance.steals, 2);
         assert_eq!(wall.job_hist.count(), 1);
+        assert_eq!(wall.vm.dispatches, 5000);
+        assert_eq!(wall.vm.shape_hits, 350);
 
         // JSONL round-trips, and the stripped stream has no wall key.
         let back = MetricsLog::from_jsonl(&log.to_jsonl()).expect("jsonl parses");
@@ -875,6 +933,13 @@ mod tests {
                     parks: 0,
                     worker_jobs: vec![done / 2, done / 2],
                 },
+                VmMeter {
+                    dispatches: done * 100,
+                    ic_hits: done * 10,
+                    ic_misses: done,
+                    shape_hits: done * 8,
+                    shape_transitions: done / 4,
+                },
             );
         }
         let report = reg.collect().health();
@@ -891,9 +956,13 @@ mod tests {
         assert_eq!(s.checkpoint.writes, 1);
         assert!(s.checkpoint_overhead_pct > 0.0);
         assert_eq!(s.counters["errors_total"], 2);
+        assert_eq!(s.vm.dispatches, 4000, "last sample's cumulative meters");
+        assert_eq!(s.vm.shape_hits, 320);
         let rendered = report.render();
         assert!(rendered.contains("[crawl]"));
         assert!(rendered.contains("p95"));
+        assert!(rendered.contains("shape hits 320"));
+        assert!(rendered.contains("shape transitions 10"));
         assert!(rendered.contains("balance"));
 
         // The report itself serializes (the bench-json hook writes it).
@@ -907,10 +976,22 @@ mod tests {
         let reg = MetricsRegistry::new();
         let crawl = reg.stage("crawl", 0, 10, 5, false);
         reg.checkpoint_written(100, Duration::from_micros(50));
-        crawl.sample(1, 5, BTreeMap::new(), EngineBalance::default());
+        crawl.sample(
+            1,
+            5,
+            BTreeMap::new(),
+            EngineBalance::default(),
+            VmMeter::default(),
+        );
         let classify = reg.stage("classify", 0, 10, 5, false);
         reg.checkpoint_written(200, Duration::from_micros(70));
-        classify.sample(1, 5, BTreeMap::new(), EngineBalance::default());
+        classify.sample(
+            1,
+            5,
+            BTreeMap::new(),
+            EngineBalance::default(),
+            VmMeter::default(),
+        );
         let log = reg.collect();
         let first = log.samples()[0].wall.as_ref().unwrap();
         let second = log.samples()[1].wall.as_ref().unwrap();
@@ -926,8 +1007,20 @@ mod tests {
     fn stripped_series_health_keeps_deterministic_figures() {
         let reg = MetricsRegistry::new();
         let sampler = reg.stage("classify", 0, 10, 5, false);
-        sampler.sample(1, 5, BTreeMap::new(), EngineBalance::default());
-        sampler.sample(2, 10, BTreeMap::new(), EngineBalance::default());
+        sampler.sample(
+            1,
+            5,
+            BTreeMap::new(),
+            EngineBalance::default(),
+            VmMeter::default(),
+        );
+        sampler.sample(
+            2,
+            10,
+            BTreeMap::new(),
+            EngineBalance::default(),
+            VmMeter::default(),
+        );
         let stripped =
             MetricsLog::from_jsonl(&reg.collect().deterministic_jsonl()).expect("parses");
         let report = stripped.health();
@@ -951,6 +1044,7 @@ mod tests {
                 parks: 1,
                 worker_jobs: vec![25, 25],
             },
+            VmMeter::default(),
         );
         let line = render_heartbeat(&reg.collect().samples()[0]);
         assert!(line.starts_with("[crawl] shard 1/4"));

@@ -8,7 +8,7 @@
 //! malvert trace EVENTS.JSONL [--top N]
 //! malvert health METRICS.JSONL|DIR
 //! malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH] [--health-out PATH]
-//!               [--urls N] [--iters N]
+//!               [--urls N] [--iters N] [--compare OLD.json]
 //! malvert scan  [--seed N] [--network IDX] [--slot N] [--day N]
 //! malvert easylist [--seed N] [--coverage PCT]
 //! malvert creative [--seed N] [--campaign N] [--variant N]
@@ -115,16 +115,20 @@ USAGE:
                    throughput over time, checkpoint overhead, worker balance
   malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH]
                    [--health-out PATH] [--urls N] [--iters N]
+                   [--compare OLD.json]
                    time the indexed filter engine against the naive scan on
                    synthetic rule lists (100/1k/10k rules), the script
                    compile cache against cold compiles, and the bytecode VM
                    against the tree-walk interpreter on execution-heavy
                    creatives; writes machine-readable results (defaults
                    BENCH_filterlist.json and BENCH_adscript.json); with
-                   --study-out, also time the end-to-end pipelined study on
-                   two corpus scales and write BENCH_study-style JSON; with
-                   --health-out, run a metered checkpointed study and write
-                   its shards/sec and checkpoint-overhead figures as JSON
+                   --compare, also print a per-metric delta table (ns/script,
+                   speedups, IC/shape hit rates) against a previously written
+                   adscript report; with --study-out, also time the
+                   end-to-end pipelined study on two corpus scales and write
+                   BENCH_study-style JSON; with --health-out, run a metered
+                   checkpointed study and write its shards/sec and
+                   checkpoint-overhead figures as JSON
   malvert scan     [--seed N] [--network IDX] [--slot N] [--day N] [--har PATH]
                    honeyclient-scan one ad slot and print behaviour + verdicts
   malvert easylist [--seed N] [--coverage PCT]
@@ -417,6 +421,76 @@ fn write_metrics_jsonl(dir: &str, metrics: &MetricsRegistry) -> Result<(), Strin
 /// dev-dependency of the bench crate, not of this binary); the Criterion
 /// `filterlist_index`, `adscript_compile`, and `adscript_exec` groups time
 /// the identical workloads when statistical rigor is wanted.
+/// Renders the `--compare` delta table: every shared numeric metric of two
+/// adscript bench reports side by side with the relative change, flagged
+/// as improvement or regression by the metric's polarity. Metrics missing
+/// from the old report (older schema, e.g. pre-shape counters) are skipped.
+fn print_bench_delta(old_path: &str, old: &serde_json::Value, new: &serde_json::Value) {
+    // (label, JSON pointer, lower-is-better)
+    const ROWS: &[(&str, &str, bool)] = &[
+        ("compile cold ns/script", "/cold_ns_per_script", true),
+        ("compile warm ns/script", "/warm_ns_per_script", true),
+        ("compile cache speedup", "/speedup", false),
+        ("compile cache hit rate", "/cache/hit_rate", false),
+        (
+            "exec tree-walk cold ns",
+            "/exec_ns_per_script/tree_walk/cold",
+            true,
+        ),
+        (
+            "exec tree-walk warm ns",
+            "/exec_ns_per_script/tree_walk/warm",
+            true,
+        ),
+        ("exec vm cold ns", "/exec_ns_per_script/vm/cold", true),
+        ("exec vm warm ns", "/exec_ns_per_script/vm/warm", true),
+        (
+            "vm speedup cold",
+            "/exec_ns_per_script/vm_speedup/cold",
+            false,
+        ),
+        (
+            "vm speedup warm",
+            "/exec_ns_per_script/vm_speedup/warm",
+            false,
+        ),
+        (
+            "ic hit rate",
+            "/exec_ns_per_script/vm_counters/ic_hit_rate",
+            false,
+        ),
+        (
+            "shape hit rate",
+            "/exec_ns_per_script/vm_counters/shape_hit_rate",
+            false,
+        ),
+    ];
+    println!("delta vs {old_path}:");
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    for &(label, ptr, lower_is_better) in ROWS {
+        let at = |doc: &serde_json::Value| doc.pointer(ptr).and_then(serde_json::Value::as_f64);
+        let (Some(o), Some(n)) = (at(old), at(new)) else {
+            continue;
+        };
+        let pct = if o.abs() > f64::EPSILON {
+            (n - o) / o * 100.0
+        } else {
+            0.0
+        };
+        let gloss = if pct.abs() < 0.05 {
+            ""
+        } else if (pct < 0.0) == lower_is_better {
+            "  (better)"
+        } else {
+            "  (worse)"
+        };
+        println!("{label:<24} {o:>14.3} {n:>14.3} {pct:>+8.1}%{gloss}");
+    }
+}
+
 fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     use malvertising::bench::synth::{
         synthetic_context, synthetic_list, synthetic_scripts, synthetic_urls,
@@ -583,6 +657,8 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut vm_dispatches = 0u64;
     let mut vm_ic_hits = 0u64;
     let mut vm_ic_misses = 0u64;
+    let mut vm_shape_hits = 0u64;
+    let mut vm_shape_transitions = 0u64;
     for (i, script) in exec_compiled.iter().enumerate() {
         let mut tw = Interpreter::new(NoHost, Limits::default(), 1);
         tw.set_engine(ScriptEngine::TreeWalk);
@@ -596,10 +672,12 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
             (Some(a), Some(b)) if a.strict_eq(b) => {}
             _ => return Err(format!("engine divergence on exec script {i}")),
         }
-        let (d, h, m) = vm.vm_counters();
+        let (d, h, m, sh, st) = vm.vm_counters();
         vm_dispatches += d;
         vm_ic_hits += h;
         vm_ic_misses += m;
+        vm_shape_hits += sh;
+        vm_shape_transitions += st;
     }
 
     let time_warm = |engine: ScriptEngine| {
@@ -630,13 +708,15 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
     let tw_cold = time_cold(ScriptEngine::TreeWalk);
     let vm_cold = time_cold(ScriptEngine::Vm);
     let ic_hit_rate = vm_ic_hits as f64 / ((vm_ic_hits + vm_ic_misses).max(1) as f64);
+    let shape_hit_rate = vm_shape_hits as f64 / ((vm_ic_hits + vm_ic_misses).max(1) as f64);
     eprintln!(
         "adscript exec: tree-walk {tw_warm:>10.1} ns/script, \
          vm {vm_warm:>10.1} ns/script ({:.2}x warm, {:.2}x cold), \
-         ic hit rate {:.1}%",
+         ic hit rate {:.1}%, shape hit rate {:.1}%",
         tw_warm / vm_warm.max(1.0),
         tw_cold / vm_cold.max(1.0),
-        ic_hit_rate * 100.0
+        ic_hit_rate * 100.0,
+        shape_hit_rate * 100.0
     );
 
     let report = serde_json::json!({
@@ -664,12 +744,26 @@ fn cmd_bench_json(flags: &HashMap<String, String>) -> Result<(), String> {
                 "ic_hits": vm_ic_hits,
                 "ic_misses": vm_ic_misses,
                 "ic_hit_rate": ic_hit_rate,
+                "shape_hits": vm_shape_hits,
+                "shape_transitions": vm_shape_transitions,
+                "shape_hit_rate": shape_hit_rate,
             },
         },
     });
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(&adscript_out, &json).map_err(|e| format!("write {adscript_out}: {e}"))?;
     eprintln!("wrote {adscript_out} ({} bytes)", json.len());
+
+    // `--compare OLD.json` renders a per-metric delta table against a
+    // previously written adscript report — the review-time view of what a
+    // change did to the trajectory artifacts.
+    if let Some(old_path) = flags.get("compare") {
+        let old_text =
+            std::fs::read_to_string(old_path).map_err(|e| format!("read {old_path}: {e}"))?;
+        let old: serde_json::Value =
+            serde_json::from_str(&old_text).map_err(|e| format!("parse {old_path}: {e}"))?;
+        print_bench_delta(old_path, &old, &report);
+    }
 
     // End-to-end study throughput (opt-in via --study-out): the full
     // pipelined crawl + classify on two corpus scales, through the same

@@ -288,6 +288,13 @@ fn bench_json_writes_machine_readable_reports() {
     let counters = &exec["vm_counters"];
     assert!(counters["dispatches"].as_u64().unwrap() > 0);
     assert!(counters["ic_hit_rate"].as_f64().unwrap() > 0.9);
+    // The packed-creative corpus is shape-monomorphic: each script mints
+    // one state-object layout (4 transitions) and every subsequent
+    // property access in the hot loop is a (shape, slot) cache hit.
+    assert!(counters["shape_hits"].as_u64().unwrap() > 0);
+    assert!(counters["shape_transitions"].as_u64().unwrap() > 0);
+    let shape_rate = counters["shape_hit_rate"].as_f64().unwrap();
+    assert!(shape_rate > 0.1 && shape_rate <= 1.0);
     // Skipping the parser must never be slower than running it; the ≥5x
     // bar is asserted by the Criterion bench at stable iteration counts,
     // not by this two-iteration smoke run.
