@@ -27,7 +27,7 @@ use crate::ast::Program;
 use crate::bytecode::Chunk;
 use crate::parser::parse_program;
 use crate::ScriptError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -238,10 +238,72 @@ pub struct ScriptCache {
     inner: Arc<CacheInner>,
 }
 
+/// A cached program plus its second-chance reference bit.
+#[derive(Debug)]
+struct CacheSlot {
+    script: CompiledScript,
+    /// Set on every cache hit, cleared when the clock hand sweeps past.
+    hot: bool,
+}
+
+/// The bounded map plus the clock ring that orders eviction candidates.
+///
+/// Eviction is segmented second-chance (CLOCK): the ring holds entry ids in
+/// insertion order; a victim search pops the front, and an entry whose `hot`
+/// bit is set is demoted to cold and rotated to the back instead of being
+/// evicted. The hot half of the working set therefore survives capacity
+/// pressure — a long-lived daemon no longer sees the refill/clear sawtooth
+/// that a wholesale `clear()` produced.
+#[derive(Debug, Default)]
+struct CacheMap {
+    slots: HashMap<u64, CacheSlot>,
+    ring: VecDeque<u64>,
+}
+
+impl CacheMap {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Evicts exactly one entry by the second-chance rule. Terminates in at
+    /// most `2 * ring.len()` steps: every rotation clears a `hot` bit, so a
+    /// full lap leaves the whole ring cold.
+    fn evict_one(&mut self) {
+        while let Some(id) = self.ring.pop_front() {
+            match self.slots.get_mut(&id) {
+                Some(slot) if slot.hot => {
+                    slot.hot = false;
+                    self.ring.push_back(id);
+                }
+                Some(_) => {
+                    self.slots.remove(&id);
+                    return;
+                }
+                // Stale ring entry (never produced today, but harmless).
+                None => {}
+            }
+        }
+    }
+
+    fn insert(&mut self, id: u64, script: CompiledScript, capacity: usize) {
+        if self.slots.contains_key(&id) {
+            // Lost a compile race: another worker stored this id between our
+            // lookup and this insert. Keep the incumbent (byte-identical
+            // program) and leave the ring untouched.
+            return;
+        }
+        while self.slots.len() >= capacity {
+            self.evict_one();
+        }
+        self.slots.insert(id, CacheSlot { script, hot: false });
+        self.ring.push_back(id);
+    }
+}
+
 #[derive(Debug)]
 struct CacheInner {
     capacity: usize,
-    map: Mutex<HashMap<u64, CompiledScript>>,
+    map: Mutex<CacheMap>,
     stats: ScriptStats,
 }
 
@@ -252,7 +314,7 @@ impl ScriptCache {
         ScriptCache {
             inner: Arc::new(CacheInner {
                 capacity,
-                map: Mutex::new(HashMap::new()),
+                map: Mutex::new(CacheMap::default()),
                 stats,
             }),
         }
@@ -273,7 +335,7 @@ impl ScriptCache {
         self.len() == 0
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, CompiledScript>> {
+    fn lock(&self) -> MutexGuard<'_, CacheMap> {
         match self.inner.map.lock() {
             Ok(g) => g,
             // A panic while holding the lock can only leave a fully-formed
@@ -295,10 +357,11 @@ impl ScriptCache {
         // source. Resolve the guard before compiling so the parser never
         // runs under the lock.
         let cached: Option<Option<CompiledScript>> = {
-            let map = self.lock();
-            map.get(&id).map(|hit| {
-                if hit.source() == src {
-                    Some(hit.clone())
+            let mut map = self.lock();
+            map.slots.get_mut(&id).map(|slot| {
+                if slot.script.source() == src {
+                    slot.hot = true;
+                    Some(slot.script.clone())
                 } else {
                     None
                 }
@@ -318,13 +381,7 @@ impl ScriptCache {
                 self.inner.stats.record_miss();
                 let compiled = CompiledScript::compile(src)?;
                 let mut map = self.lock();
-                // Bounded: wholesale clear at capacity, like the crawler's
-                // filter memo. The working set (distinct creatives and
-                // templates) is far smaller than any sensible capacity.
-                if map.len() >= self.inner.capacity {
-                    map.clear();
-                }
-                map.insert(id, compiled.clone());
+                map.insert(id, compiled.clone(), self.inner.capacity);
                 Ok(compiled)
             }
         }
@@ -381,6 +438,107 @@ mod tests {
         let counts = stats.snapshot();
         assert_eq!(counts.cache_hits, 0);
         assert_eq!(counts.cache_misses, 2);
+    }
+
+    #[test]
+    fn eviction_keeps_the_hot_working_set() {
+        // Regression: the old policy cleared the whole map at capacity, so
+        // one cold insert dumped every hot entry. Second-chance eviction
+        // must keep a recently-hit entry across capacity pressure.
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(4, stats.clone());
+        for src in ["out = 'a';", "out = 'b';", "out = 'c';", "out = 'd';"] {
+            cache.compile(src).unwrap();
+        }
+        cache.compile("out = 'a';").unwrap(); // mark 'a' hot
+        assert_eq!(stats.cache_hits(), 1);
+        cache.compile("out = 'e';").unwrap(); // forces one eviction
+        assert_eq!(cache.len(), 4, "eviction removed more than one entry");
+        cache.compile("out = 'a';").unwrap();
+        assert_eq!(
+            stats.cache_hits(),
+            2,
+            "the hot entry was evicted by a single cold insert"
+        );
+    }
+
+    #[test]
+    fn eviction_victims_are_the_cold_entries() {
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(4, stats.clone());
+        for src in ["out = 'a';", "out = 'b';", "out = 'c';", "out = 'd';"] {
+            cache.compile(src).unwrap();
+        }
+        // Heat everything except 'b': the first eviction's victim must be
+        // 'b', the only cold entry.
+        for src in ["out = 'a';", "out = 'c';", "out = 'd';"] {
+            cache.compile(src).unwrap();
+        }
+        cache.compile("out = 'e';").unwrap();
+        // Re-heat 'a' (the first sweep consumed its reference bit), then
+        // insert another newcomer: the victim must be cold 'e', not 'a'.
+        cache.compile("out = 'a';").unwrap();
+        let hits_before = stats.cache_hits();
+        cache.compile("out = 'b';").unwrap();
+        assert_eq!(
+            stats.cache_hits(),
+            hits_before,
+            "cold 'b' survived eviction"
+        );
+        cache.compile("out = 'a';").unwrap();
+        assert_eq!(stats.cache_hits(), hits_before + 1, "hot 'a' was evicted");
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_capacities() {
+        // Differential check: for capacities {0, 1, 4, 4096}, the same
+        // single-threaded workload replayed through two fresh caches yields
+        // identical compile results and identical `ScriptCounts` — the
+        // eviction policy is a pure function of the request sequence.
+        let workload: Vec<String> = (0..64).map(|i| format!("out = {};", i % 12)).collect();
+        for capacity in [0usize, 1, 4, 4096] {
+            let runs: Vec<(Vec<u64>, ScriptCounts, usize)> = (0..2)
+                .map(|_| {
+                    let stats = ScriptStats::new();
+                    let cache = ScriptCache::new(capacity, stats.clone());
+                    let ids = workload
+                        .iter()
+                        .map(|src| {
+                            let compiled = cache.compile(src).unwrap();
+                            // A cached compile is invisible in the result.
+                            let direct = CompiledScript::compile(src).unwrap();
+                            assert_eq!(compiled.id(), direct.id());
+                            assert_eq!(compiled.source(), direct.source());
+                            compiled.id()
+                        })
+                        .collect();
+                    (ids, stats.snapshot(), cache.len())
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "capacity {capacity} replay diverged");
+            let (_, counts, len) = &runs[0];
+            assert_eq!(counts.lookups, 64);
+            assert!(*len <= capacity, "capacity {capacity} overflowed");
+            if capacity == 0 {
+                assert_eq!(counts.cache_hits, 0, "disabled cache produced hits");
+            }
+            if capacity >= 12 {
+                // Working set fits: every repeat is a hit.
+                assert_eq!(counts.cache_misses, 12);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_one_cycles_without_stalling() {
+        let stats = ScriptStats::new();
+        let cache = ScriptCache::new(1, stats.clone());
+        cache.compile("out = 1;").unwrap();
+        cache.compile("out = 1;").unwrap(); // hot
+        cache.compile("out = 2;").unwrap(); // must evict the sole (hot) entry
+        assert_eq!(cache.len(), 1);
+        cache.compile("out = 2;").unwrap();
+        assert_eq!(stats.cache_hits(), 2);
     }
 
     #[test]

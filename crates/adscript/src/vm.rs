@@ -39,12 +39,12 @@
 //!   becomes the chunk's return value (the tree-walk's `run_body` /
 //!   `call_function` do the same catch).
 
+use crate::ast::BinOp;
 use crate::bytecode::{CVal, Chunk, Op, NO_IC};
 use crate::heap::{shape_key, ShapeId};
 use crate::interp::{to_i32, to_u32, Flow, Host, Interpreter};
 use crate::stdlib;
 use crate::value::{ObjId, ObjKind, Value, Word, TAG_BOXED, TAG_CONST, TAG_OBJ};
-use crate::ast::BinOp;
 use crate::ScriptError;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -139,14 +139,11 @@ impl<H: Host> Interpreter<H> {
     /// of each constant (numbers inline, strings as `CONST` handles), and
     /// the persistent inline-cache slots — once per interpreter. Keyed by
     /// chunk address; the keepalive `Arc` makes address reuse impossible.
+    #[allow(clippy::type_complexity)]
     fn chunk_state(&mut self, chunk: &Arc<Chunk>) -> (Rc<[Value]>, Rc<[Word]>, Rc<[Cell<Ic>]>) {
         let key = Arc::as_ptr(chunk) as usize;
         if let Some(state) = self.vm_chunks.get(&key) {
-            return (
-                state.consts.clone(),
-                state.words.clone(),
-                state.ics.clone(),
-            );
+            return (state.consts.clone(), state.words.clone(), state.ics.clone());
         }
         let consts: Rc<[Value]> = chunk
             .consts
@@ -278,10 +275,7 @@ impl<H: Host> Interpreter<H> {
     /// (a buried box just waits for the activation-exit truncate).
     #[inline(always)]
     fn drop_word(&mut self, w: Word) {
-        if !w.is_num()
-            && w.tag() == TAG_BOXED
-            && w.payload() as usize + 1 == self.vm_boxed.len()
-        {
+        if !w.is_num() && w.tag() == TAG_BOXED && w.payload() as usize + 1 == self.vm_boxed.len() {
             self.vm_boxed.pop();
         }
     }
@@ -726,9 +720,7 @@ impl<H: Host> Interpreter<H> {
                     let w = pop(stack);
                     let v = self.take_value(consts, w);
                     let id = match stack.last() {
-                        Some(w) if !w.is_num() && w.tag() == TAG_OBJ => {
-                            ObjId(w.payload() as usize)
-                        }
+                        Some(w) if !w.is_num() && w.tag() == TAG_OBJ => ObjId(w.payload() as usize),
                         _ => unreachable!("ObjInsert targets the literal under construction"),
                     };
                     let props = &mut self.heap.get_mut(id).props;

@@ -92,7 +92,7 @@ impl FilterBase {
 }
 
 /// Script-compilation cache counter totals at the snapshot boundary.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScriptBase {
     /// Compile requests answered.
     pub lookups: u64,
@@ -404,11 +404,19 @@ mod tests {
         assert_eq!(filter_base.plus(FilterCounts::default()).lookups, 100);
         assert_eq!(script_base.plus(ScriptCounts::default()).cache_hits, 15);
         assert_eq!(
-            script_base.plus(ScriptCounts::default()).bytecode_dispatches,
+            script_base
+                .plus(ScriptCounts::default())
+                .bytecode_dispatches,
             700
         );
-        assert_eq!(script_base.plus(ScriptCounts::default()).inline_cache_hits, 80);
+        assert_eq!(
+            script_base.plus(ScriptCounts::default()).inline_cache_hits,
+            80
+        );
         assert_eq!(script_base.plus(ScriptCounts::default()).shape_hits, 64);
-        assert_eq!(script_base.plus(ScriptCounts::default()).shape_transitions, 12);
+        assert_eq!(
+            script_base.plus(ScriptCounts::default()).shape_transitions,
+            12
+        );
     }
 }

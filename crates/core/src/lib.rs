@@ -39,6 +39,7 @@ pub mod defense;
 pub mod easylist;
 pub mod metrics;
 pub mod report;
+pub mod serve;
 pub mod study;
 pub mod svg;
 pub mod world;
@@ -48,6 +49,10 @@ pub use analysis::{
 };
 pub use checkpoint::{Phase, StudySnapshot};
 pub use metrics::{RunCounters, RunMetrics, RunSummary, StageId};
+pub use serve::{
+    CachedVerdict, QueryAnswer, QueryHandle, ServeBuilder, ServeConfig, ServeCounters, ServeDaemon,
+    ServeOptions, ServeReport, ServeSnapshot,
+};
 pub use study::{
     ClassifiedAd, CrawlSummary, RunOptions, Study, StudyBuilder, StudyConfig, StudyResults,
 };

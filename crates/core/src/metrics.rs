@@ -142,6 +142,34 @@ pub struct RunCounters {
     /// [`RunSummary::without_timings`].
     #[serde(default)]
     pub shape_transitions: u64,
+    /// Impressions the serve daemon ingested from its replayed stream
+    /// (service mode only; zero for batch studies). Deterministic in the
+    /// serve seed, so it survives [`RunSummary::without_timings`].
+    #[serde(default)]
+    pub serve_ingested: u64,
+    /// Oracle scans the serve daemon admitted (first scans and TTL
+    /// re-scans). Deterministic in the serve seed.
+    #[serde(default)]
+    pub serve_scans: u64,
+    /// Impressions answered from a fresh verdict-cache entry without a
+    /// scan. Deterministic: the serve cache is folded at shard boundaries,
+    /// not per-worker.
+    #[serde(default)]
+    pub serve_cache_hits: u64,
+    /// TTL-expired verdicts refreshed by a re-scan. Deterministic in the
+    /// serve seed.
+    #[serde(default)]
+    pub serve_rescans: u64,
+    /// Scan candidates dropped by backpressure (the per-shard scan queue
+    /// was full). Deterministic: admission is a pure function of the
+    /// stream prefix. The daemon's load-shedding signal.
+    #[serde(default)]
+    pub serve_shed: u64,
+    /// TTL-expired cache entries still awaiting a re-scan at the end of
+    /// the run (the re-scan backlog gauge). Deterministic in the serve
+    /// seed.
+    #[serde(default)]
+    pub serve_rescan_backlog: u64,
     /// Per-class crawl-error counters aggregated over every page visit
     /// (faults injected and genuine, recovered and not), plus retry and
     /// degraded/failed-visit tallies. Every field is a pure function of the
@@ -334,7 +362,11 @@ mod tests {
             page_loads: 60,
             detected: 4,
             categories,
-            ground_truth: GroundTruth { tp: 3, fp: 1, fn_: 2 },
+            ground_truth: GroundTruth {
+                tp: 3,
+                fp: 1,
+                fn_: 2,
+            },
             iframes: IframeCensus {
                 total: 200,
                 sandboxed: 10,
@@ -363,6 +395,7 @@ mod tests {
                 shape_hits: 320,
                 shape_transitions: 25,
                 errors: ErrorCounters::default(),
+                ..RunCounters::default()
             },
             timings: vec![StageTiming {
                 stage: StageId::Crawl,

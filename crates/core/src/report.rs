@@ -10,7 +10,10 @@ use crate::metrics::RunSummary;
 pub fn render_table1(t: &Table1) -> String {
     let mut out = String::new();
     out.push_str("Table 1: Classification of malvertisements\n");
-    out.push_str(&format!("{:<26}{:>10}\n", "Type of maliciousness", "#Incidents"));
+    out.push_str(&format!(
+        "{:<26}{:>10}\n",
+        "Type of maliciousness", "#Incidents"
+    ));
     for (label, count) in &t.rows {
         out.push_str(&format!("{label:<26}{count:>10}\n"));
     }
@@ -415,6 +418,7 @@ mod tests {
                 shape_hits: 250,
                 shape_transitions: 18,
                 errors: malvert_types::ErrorCounters::default(),
+                ..RunCounters::default()
             },
             timings: vec![
                 StageTiming {
@@ -447,7 +451,10 @@ mod tests {
         assert!(!s.contains("span latencies"));
 
         let mut faulted = summary.clone();
-        faulted.counters.errors.record(malvert_types::CrawlErrorClass::Timeout);
+        faulted
+            .counters
+            .errors
+            .record(malvert_types::CrawlErrorClass::Timeout);
         faulted.counters.errors.retries = 2;
         faulted.counters.errors.degraded_visits = 1;
         let s = render_run_metrics(&faulted);

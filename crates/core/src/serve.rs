@@ -1,0 +1,1303 @@
+//! Service mode: the continuous-scanning daemon behind `malvert serve`.
+//!
+//! The paper ran a three-month *rolling* measurement; the batch study
+//! reproduces its analyses but not its operational shape. This module is
+//! that shape: a long-running daemon that ingests a seed-deterministic
+//! impression stream ([`malvert_websim::stream`]), keeps a bounded
+//! verdict cache with TTL-based re-scanning, and answers "is this
+//! creative flagged, and why" queries with full incident
+//! [`Provenance`](malvert_trace::Provenance) — against live state, without
+//! re-running a study.
+//!
+//! # Determinism
+//!
+//! Verdict state is a pure function of `(seed, stream, config)`:
+//!
+//! * **Admission is planned, not raced.** At every engine shard boundary
+//!   (workers parked) the daemon computes the next window's *admission
+//!   plan* — which impressions hit the cache, which become scans, which
+//!   are shed by backpressure — from the cache state and the stream
+//!   prefix alone. Workers only execute the plan.
+//! * **Scans are independently seeded.** Each scan derives its RNG from
+//!   `(creative key, scan day)`, never from worker identity or arrival
+//!   order.
+//! * **Folding is positional.** Scan results are slotted by stream index
+//!   and applied to the cache in index order at the boundary, so the
+//!   cache after shard `n` is identical at any worker count.
+//!
+//! # Backpressure
+//!
+//! The scan queue is bounded per shard ([`ServeConfig::queue_capacity`]).
+//! New creatives beyond capacity are *shed* (counted, scanned when
+//! re-encountered); expired verdicts beyond capacity keep serving stale
+//! answers and stay in the re-scan backlog — graceful degradation instead
+//! of unbounded queueing, exactly the behaviour a fault-injected
+//! (`--faults`) stream needs.
+//!
+//! # Checkpointing
+//!
+//! The daemon snapshots its whole deterministic state ([`ServeSnapshot`])
+//! at shard boundaries; a killed daemon resumed from the snapshot replays
+//! the remaining stream to byte-identical final state.
+
+use crate::checkpoint::ScriptBase;
+use crate::metrics::RunCounters;
+use crate::world::StudyWorld;
+use malvert_adnet::AdWorldConfig;
+use malvert_crawler::{ScriptCache, ScriptEngine, ScriptStats};
+use malvert_engine::{run_fold_observed, Boundary, EngineConfig, EngineStats, SnapshotStore};
+use malvert_net::FaultProfile;
+use malvert_oracle::{behavior_fingerprint, Incident, IncidentType, Oracle, OracleStats};
+use malvert_trace::{EngineBalance, MetricsRegistry, Provenance, VmMeter};
+use malvert_types::rng::mix_label;
+use malvert_types::{SimTime, Url};
+use malvert_websim::{ImpressionStream, StreamConfig, WebConfig};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Serve snapshot layout version; bumped on incompatible change.
+pub const SERVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// The snapshot document name inside a serve checkpoint directory (kept
+/// distinct from the batch study's `state.json`).
+const SERVE_DOC: &str = "serve.json";
+
+/// Domain-separation constant for serve config fingerprints (ASCII
+/// `malvtsrv`).
+const FINGERPRINT_DOMAIN: u64 = 0x6d61_6c76_7473_7276;
+
+/// Domain-separation constant for creative cache keys (ASCII `srvckey!`).
+const KEY_DOMAIN: u64 = 0x7372_7663_6b65_7921;
+
+/// Queries waiting at a boundary beyond this are rejected at submission —
+/// the query channel is bounded like every other queue in the daemon.
+const QUERY_QUEUE_CAPACITY: usize = 1024;
+
+/// What the daemon measures and how it degrades — everything the verdict
+/// state is a function of (along with the seed and stream shape).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root seed — world and stream both derive from it.
+    pub seed: u64,
+    /// Web population backing the world (oracle services scale with it).
+    pub web: WebConfig,
+    /// Ad economy population.
+    pub ads: AdWorldConfig,
+    /// Shape of the replayed impression stream.
+    pub stream: StreamConfig,
+    /// Impressions to ingest before the daemon reports (a replayed stream
+    /// is unbounded; this is the replay horizon).
+    pub impressions: u64,
+    /// Worker threads for scan execution.
+    pub workers: usize,
+    /// Seed-driven fault injection on the simulated network.
+    pub faults: Option<FaultProfile>,
+    /// Verdict-cache capacity in entries (clamped to at least 1). The
+    /// daemon's only per-creative state; memory stays bounded by it.
+    pub cache_capacity: usize,
+    /// Days a verdict stays fresh; an expired verdict is re-scanned when
+    /// re-encountered or swept from the backlog. `0` re-scans on every
+    /// encounter.
+    pub ttl_days: u32,
+    /// Scan-queue bound per ingest shard — the backpressure knob.
+    pub queue_capacity: usize,
+    /// Script compilation cache capacity for oracle visits.
+    pub script_cache: usize,
+    /// Script execution engine for oracle visits.
+    pub script_engine: ScriptEngine,
+    /// Behavioural models seeded into the scan engines before the daemon
+    /// starts (the "previous work" the paper's AV models came from) —
+    /// same knob as the batch study's.
+    pub model_seed_count: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 2014,
+            web: WebConfig::default(),
+            ads: AdWorldConfig::default(),
+            stream: StreamConfig::default(),
+            impressions: 8192,
+            workers: 8,
+            faults: None,
+            cache_capacity: 65_536,
+            ttl_days: 7,
+            queue_capacity: 256,
+            script_cache: 4096,
+            script_engine: ScriptEngine::default(),
+            model_seed_count: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A miniature configuration for tests: small world, short stream.
+    pub fn tiny(seed: u64) -> Self {
+        ServeConfig {
+            seed,
+            web: WebConfig {
+                ranking_universe: 10_000,
+                top_slice: 30,
+                bottom_slice: 30,
+                random_slice: 30,
+                security_feed: 10,
+                ad_network_count: 40,
+                sandbox_adoption: 0.0,
+            },
+            stream: StreamConfig {
+                networks: 40,
+                publishers: 50,
+                slots: 2,
+                per_day: 64,
+            },
+            impressions: 512,
+            workers: 4,
+            cache_capacity: 4096,
+            ttl_days: 2,
+            queue_capacity: 64,
+            model_seed_count: 4,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// A structural fingerprint of a serve configuration (same scheme as the
+/// batch study's): a snapshot is only resumable under the fingerprint it
+/// was written with. The worker count is excluded — verdict state is
+/// byte-identical at any worker count, so a snapshot written by an
+/// 8-worker daemon must resume under 1 worker and vice versa.
+pub fn serve_fingerprint(config: &ServeConfig) -> u64 {
+    let mut structural = config.clone();
+    structural.workers = 0;
+    mix_label(FINGERPRINT_DOMAIN, format!("{structural:?}").as_bytes())
+}
+
+/// The stable cache key of a creative slot URL.
+pub fn creative_cache_key(url: &Url) -> u64 {
+    mix_label(KEY_DOMAIN, url.to_string().as_bytes())
+}
+
+/// One cached verdict: everything the daemon retains about a creative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedVerdict {
+    /// [`creative_cache_key`] of the slot URL.
+    pub key: u64,
+    /// The slot-request URL the verdict is about.
+    pub url: String,
+    /// Day of the first scan.
+    pub first_scan_day: u32,
+    /// Day of the most recent scan — the TTL anchor.
+    pub last_scan_day: u32,
+    /// Scans performed (1 + re-scans).
+    pub scans: u32,
+    /// Stream index that last touched this entry (hit or scan) — the
+    /// eviction recency stamp. Deterministic: assigned at plan time.
+    pub last_touch: u64,
+    /// Whether any oracle component flagged the creative at the last scan.
+    pub flagged: bool,
+    /// The Table 1 category (first-match precedence), when flagged.
+    pub category: Option<IncidentType>,
+    /// Every incident of the last scan, with full provenance.
+    pub incidents: Vec<Incident>,
+}
+
+/// Deterministic serve counters — the daemon's work ledger, persisted in
+/// snapshots and surfaced through [`RunCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Impressions ingested from the stream.
+    #[serde(default)]
+    pub ingested: u64,
+    /// Impressions answered by a fresh cached verdict.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Impressions answered by a stale (TTL-expired) verdict while the
+    /// re-scan waited — the graceful-degradation path.
+    #[serde(default)]
+    pub stale_serves: u64,
+    /// Scans executed (first scans + re-scans).
+    #[serde(default)]
+    pub scans: u64,
+    /// TTL-driven re-scans among the scans.
+    #[serde(default)]
+    pub rescans: u64,
+    /// Scan candidates dropped because the shard's scan queue was full.
+    #[serde(default)]
+    pub shed: u64,
+    /// Cache entries evicted to hold the capacity bound.
+    #[serde(default)]
+    pub evictions: u64,
+    /// TTL-expired entries still unscanned at the last boundary (gauge).
+    #[serde(default)]
+    pub rescan_backlog: u64,
+    /// Queries answered.
+    #[serde(default)]
+    pub queries: u64,
+}
+
+/// One parked (or completed) daemon: the run identity plus the exact
+/// deterministic state at a shard boundary. Also the byte-identity
+/// surface: two runs agree iff their snapshots agree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Snapshot layout version ([`SERVE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The serve seed.
+    pub seed: u64,
+    /// [`serve_fingerprint`] of the configuration.
+    pub fingerprint: u64,
+    /// First unprocessed stream index.
+    pub next_impression: u64,
+    /// Work ledger at the boundary.
+    pub counters: ServeCounters,
+    /// The verdict cache, sorted by key.
+    pub cache: Vec<CachedVerdict>,
+    /// Script-cache counter totals at the boundary (deterministic lookup
+    /// total; the hit/miss split is scheduling-dependent as everywhere).
+    #[serde(default)]
+    pub script: ScriptBase,
+}
+
+impl ServeSnapshot {
+    /// Writes this snapshot as the store's `serve.json`. Returns the
+    /// serialized byte count.
+    pub fn save(&self, store: &SnapshotStore) -> io::Result<u64> {
+        store.save(SERVE_DOC, self)
+    }
+
+    /// Loads a store's `serve.json`; `Ok(None)` when none exists yet.
+    pub fn load(store: &SnapshotStore) -> io::Result<Option<ServeSnapshot>> {
+        store.load(SERVE_DOC)
+    }
+
+    /// Checks the snapshot belongs to `(seed, fingerprint)`.
+    pub fn validate(&self, seed: u64, fingerprint: u64) -> Result<(), String> {
+        if self.version != SERVE_SNAPSHOT_VERSION {
+            return Err(format!(
+                "serve snapshot version {} (this build writes {SERVE_SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        if self.seed != seed {
+            return Err(format!(
+                "serve snapshot seed {} != configured seed {seed}",
+                self.seed
+            ));
+        }
+        if self.fingerprint != fingerprint {
+            return Err(format!(
+                "serve snapshot fingerprint {:016x} != configured fingerprint {fingerprint:016x}",
+                self.fingerprint
+            ));
+        }
+        Ok(())
+    }
+
+    /// The deterministic state as canonical JSON — what the byte-identity
+    /// tests and `--state-out` compare. Scheduling-dependent script-cache
+    /// splits are zeroed the same way stripped run summaries zero them,
+    /// and so is the answered-query tally: queries are an interaction with
+    /// the daemon, not part of the `(seed, stream, config)` state.
+    pub fn state_json(&self) -> String {
+        let mut stripped = self.clone();
+        stripped.counters.queries = 0;
+        stripped.script.cache_hits = 0;
+        stripped.script.cache_misses = 0;
+        stripped.script.bytecode_dispatches = 0;
+        stripped.script.inline_cache_hits = 0;
+        stripped.script.inline_cache_misses = 0;
+        stripped.script.shape_hits = 0;
+        stripped.script.shape_transitions = 0;
+        serde_json::to_string_pretty(&stripped).expect("serve snapshot serializes")
+    }
+}
+
+/// The answer to one flagged-or-not query, with full provenance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryAnswer {
+    /// The queried slot URL.
+    pub url: String,
+    /// Its [`creative_cache_key`].
+    pub key: u64,
+    /// Whether the daemon has a verdict for it at all.
+    pub known: bool,
+    /// Whether the last scan flagged it.
+    pub flagged: bool,
+    /// The Table 1 category label, when flagged.
+    pub category: Option<String>,
+    /// Day of the verdict's last scan.
+    pub last_scan_day: Option<u32>,
+    /// Whether the verdict is TTL-expired (a stale answer awaiting
+    /// re-scan).
+    pub stale: bool,
+    /// The provenance of every incident behind the verdict.
+    pub provenance: Vec<Provenance>,
+    /// The shard boundary that answered (deterministic interleaving
+    /// marker).
+    pub answered_at_shard: u64,
+    /// The stream cursor at that boundary.
+    pub answered_at_impression: u64,
+}
+
+struct PendingQuery {
+    not_before_shard: u64,
+    url: String,
+    reply: mpsc::Sender<QueryAnswer>,
+}
+
+/// The daemon's request channel: clonable, thread-safe, bounded. Queries
+/// are answered at shard boundaries — deterministic points in the stream —
+/// so interleaved queries observe the same state at any worker count.
+#[derive(Clone)]
+pub struct QueryHandle {
+    queue: Arc<Mutex<VecDeque<PendingQuery>>>,
+}
+
+impl QueryHandle {
+    fn new() -> QueryHandle {
+        QueryHandle {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Submits a query to be answered at the next shard boundary. Returns
+    /// the receiving end of the reply channel, or an error when the query
+    /// queue is full (the daemon sheds queries rather than queueing
+    /// unboundedly).
+    pub fn ask(&self, url: &str) -> Result<mpsc::Receiver<QueryAnswer>, String> {
+        self.ask_at(0, url)
+    }
+
+    /// Submits a query to be answered at the first shard boundary whose
+    /// ordinal is at least `shard` (1-based; 0 = next boundary). The
+    /// deterministic way to interleave queries with ingest.
+    pub fn ask_at(&self, shard: u64, url: &str) -> Result<mpsc::Receiver<QueryAnswer>, String> {
+        let mut queue = self.queue.lock();
+        if queue.len() >= QUERY_QUEUE_CAPACITY {
+            return Err(format!("query queue full ({QUERY_QUEUE_CAPACITY} pending)"));
+        }
+        let (tx, rx) = mpsc::channel();
+        queue.push_back(PendingQuery {
+            not_before_shard: shard,
+            url: url.to_string(),
+            reply: tx,
+        });
+        Ok(rx)
+    }
+}
+
+/// One admitted scan: the creative, the slot URL, the scan day, and
+/// whether it refreshes an existing verdict.
+#[derive(Debug, Clone)]
+struct ScanTask {
+    key: u64,
+    url: Url,
+    day: u32,
+    rescan: bool,
+    /// Recency stamp the cache entry gets when the result folds in.
+    touch: u64,
+}
+
+/// The result of one executed scan, slotted back by stream position.
+struct ScanOutcome {
+    task: ScanTask,
+    flagged: bool,
+    category: Option<IncidentType>,
+    incidents: Vec<Incident>,
+}
+
+/// The sequentially-folded daemon state.
+struct ServeState {
+    cache: BTreeMap<u64, CachedVerdict>,
+    counters: ServeCounters,
+    /// Scan outcomes of the in-flight shard, keyed by job index so the
+    /// boundary applies them in stream order regardless of scheduling.
+    pending: BTreeMap<usize, Vec<ScanOutcome>>,
+    /// `(key, day)` of every applied scan in firing order — only recorded
+    /// under [`ServeOptions::record_scan_log`].
+    scan_log: Vec<(u64, u32)>,
+}
+
+/// Execution options mirroring the batch study's [`RunOptions`]
+/// (checkpointing, metering, abort hook); none affect verdict state.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Impressions per ingest shard (plan/checkpoint/query granule).
+    pub shard_size: usize,
+    /// Checkpoint directory (`None` = no snapshots).
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot every N shard boundaries.
+    pub checkpoint_every: u64,
+    /// Park after N shard boundaries (kill/resume hook).
+    pub abort_after_shards: Option<u64>,
+    /// Run-health registry ([`MetricsRegistry::disabled`] = off).
+    pub metrics: MetricsRegistry,
+    /// Live stderr heartbeat at shard boundaries.
+    pub progress: bool,
+    /// Record `(key, day)` of every scan in firing order into the report
+    /// (test hook for re-scan ordering; off by default — a daemon must not
+    /// grow per-scan state).
+    pub record_scan_log: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shard_size: 1024,
+            checkpoint: None,
+            checkpoint_every: 1,
+            abort_after_shards: None,
+            metrics: MetricsRegistry::disabled(),
+            progress: false,
+            record_scan_log: false,
+        }
+    }
+}
+
+/// Builder for [`ServeDaemon`] — the single front door, mirroring
+/// [`StudyBuilder`](crate::study::StudyBuilder).
+#[derive(Debug, Default, Clone)]
+pub struct ServeBuilder {
+    config: ServeConfig,
+    options: ServeOptions,
+    resume: Option<PathBuf>,
+}
+
+impl ServeBuilder {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the replay horizon in impressions.
+    pub fn impressions(mut self, n: u64) -> Self {
+        self.config.impressions = n;
+        self
+    }
+
+    /// Sets the stream shape.
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.config.stream = stream;
+        self
+    }
+
+    /// Sets the scan worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Attaches (or clears) fault injection.
+    pub fn faults(mut self, faults: Option<FaultProfile>) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets the verdict-cache capacity.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.config.cache_capacity = entries;
+        self
+    }
+
+    /// Sets the verdict TTL in days.
+    pub fn ttl_days(mut self, days: u32) -> Self {
+        self.config.ttl_days = days;
+        self
+    }
+
+    /// Sets the per-shard scan-queue bound.
+    pub fn queue_capacity(mut self, scans: usize) -> Self {
+        self.config.queue_capacity = scans;
+        self
+    }
+
+    /// Sets the ingest shard size.
+    pub fn shard_size(mut self, impressions: usize) -> Self {
+        self.options.shard_size = impressions.max(1);
+        self
+    }
+
+    /// Enables checkpointing into `dir`.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.options.checkpoint = Some(dir.into());
+        self
+    }
+
+    /// Snapshots every `n` shard boundaries.
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.options.checkpoint_every = n.max(1);
+        self
+    }
+
+    /// Parks the daemon after `n` shard boundaries.
+    pub fn abort_after_shards(mut self, n: u64) -> Self {
+        self.options.abort_after_shards = Some(n);
+        self
+    }
+
+    /// Attaches a run-health metrics registry.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.options.metrics = metrics;
+        self
+    }
+
+    /// Renders a live stderr heartbeat at shard boundaries.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.options.progress = on;
+        self
+    }
+
+    /// Records every scan's `(key, day)` in firing order into the report
+    /// (test hook; keep off in real daemons).
+    pub fn record_scan_log(mut self, on: bool) -> Self {
+        self.options.record_scan_log = on;
+        self
+    }
+
+    /// Resumes from the snapshot in `dir`; keeps checkpointing there
+    /// unless another directory was set.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume = Some(dir.into());
+        self
+    }
+
+    /// Builds the world and assembles the daemon; loads and validates the
+    /// resume snapshot when one was requested.
+    pub fn build(self) -> Result<ServeDaemon, String> {
+        let ServeBuilder {
+            config,
+            mut options,
+            resume,
+        } = self;
+        let resume_state = match resume {
+            Some(dir) => {
+                let store = SnapshotStore::open(&dir).map_err(|e| {
+                    format!("cannot open checkpoint directory {}: {e}", dir.display())
+                })?;
+                let snapshot = ServeSnapshot::load(&store)
+                    .map_err(|e| format!("cannot read serve snapshot in {}: {e}", dir.display()))?
+                    .ok_or_else(|| {
+                        format!(
+                            "no serve snapshot in checkpoint directory {}",
+                            dir.display()
+                        )
+                    })?;
+                snapshot
+                    .validate(config.seed, serve_fingerprint(&config))
+                    .map_err(|e| format!("serve snapshot does not match this daemon: {e}"))?;
+                if options.checkpoint.is_none() {
+                    options.checkpoint = Some(dir);
+                }
+                Some(snapshot)
+            }
+            None => None,
+        };
+        let mut world = StudyWorld::build(
+            config.seed,
+            &config.web,
+            &config.ads,
+            1.0,
+            // Blacklist-feed lags scale with the observation window.
+            (config.impressions / config.stream.per_day.max(1)).max(1) as u32,
+        );
+        world.network.set_fault_profile(config.faults);
+        let stream =
+            ImpressionStream::new(world.tree.branch("serve-stream"), config.stream.clone());
+        Ok(ServeDaemon {
+            config,
+            options,
+            world,
+            stream,
+            resume_state,
+            queries: QueryHandle::new(),
+        })
+    }
+}
+
+/// What a completed replay reports: final deterministic state plus the
+/// usual run counters.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The final deterministic state (same layout the checkpoints write).
+    pub snapshot: ServeSnapshot,
+    /// Pipeline counters with the `serve_*` family populated.
+    pub counters: RunCounters,
+    /// Shard boundaries crossed during this process's run.
+    pub shards: u64,
+    /// Wall-clock time of this process's run.
+    pub wall: Duration,
+    /// `(key, day)` of every scan this process applied, in firing order —
+    /// empty unless [`ServeBuilder::record_scan_log`] was set. A resumed
+    /// daemon's log covers only the shards it ran itself.
+    pub scan_log: Vec<(u64, u32)>,
+}
+
+/// The continuous-scanning daemon. Build through [`ServeDaemon::builder`];
+/// drive with [`ServeDaemon::run`]; query through
+/// [`ServeDaemon::handle`].
+pub struct ServeDaemon {
+    /// The configuration the verdict state is a function of.
+    pub config: ServeConfig,
+    options: ServeOptions,
+    world: StudyWorld,
+    stream: ImpressionStream,
+    resume_state: Option<ServeSnapshot>,
+    queries: QueryHandle,
+}
+
+impl ServeDaemon {
+    /// Starts building a daemon.
+    pub fn builder() -> ServeBuilder {
+        ServeBuilder::default()
+    }
+
+    /// The daemon's query channel. Clone freely; queries are answered at
+    /// shard boundaries.
+    pub fn handle(&self) -> QueryHandle {
+        self.queries.clone()
+    }
+
+    /// The slot URL an impression resolves to.
+    fn impression_url(&self, imp: malvert_websim::Impression) -> Url {
+        self.world.ads.serve_url(
+            malvert_types::AdNetworkId(imp.network % self.world.ads.networks().len() as u32),
+            imp.publisher,
+            imp.slot,
+        )
+    }
+
+    /// Whether a verdict is still fresh at `day` (a zero TTL re-scans on
+    /// every encounter).
+    fn fresh(&self, verdict: &CachedVerdict, day: u32) -> bool {
+        self.config.ttl_days > 0 && day.saturating_sub(verdict.last_scan_day) < self.config.ttl_days
+    }
+
+    /// Seeds the scan engines' model database exactly the way the batch
+    /// study does: a pre-run pass visits serve URLs until it confirms
+    /// `model_seed_count` malicious behaviours by ground truth.
+    fn seed_models(&self) -> Vec<u64> {
+        if self.config.model_seed_count == 0 {
+            return Vec::new();
+        }
+        let malicious_domains: Vec<String> = self
+            .world
+            .ads
+            .malicious_ground_truth()
+            .iter()
+            .flat_map(|(_, ds, _)| ds.iter().map(|d| d.to_string()))
+            .collect();
+        let oracle = Oracle::builder(
+            &self.world.network,
+            &self.world.blacklists,
+            &self.world.scanner,
+        )
+        .seeds(self.world.tree)
+        .build();
+        let mut models = Vec::new();
+        'outer: for network_idx in 0..self.world.ads.networks().len() as u32 {
+            for slot in 0..10usize {
+                let url = self.world.ads.serve_url(
+                    malvert_types::AdNetworkId(network_idx),
+                    90_000 + slot as u32,
+                    slot,
+                );
+                let visit = oracle.honeyclient_visit(&url, SimTime::at(70, 4));
+                let confirmed = visit
+                    .capture
+                    .hosts()
+                    .iter()
+                    .any(|h| malicious_domains.contains(&h.to_string()));
+                if confirmed {
+                    let fp = behavior_fingerprint(&visit);
+                    if !models.contains(&fp) {
+                        models.push(fp);
+                        if models.len() >= self.config.model_seed_count {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        models
+    }
+
+    /// Plans the admission of one stream window: cache hits are tallied,
+    /// scans queued (bounded), overflow shed, and the re-scan backlog
+    /// swept — all from `(cache, stream prefix)` alone, so the plan is
+    /// identical at any worker count. Mutates `state` counters and touch
+    /// stamps; returns the per-job task map.
+    fn plan_window(
+        &self,
+        state: &mut ServeState,
+        window: std::ops::Range<u64>,
+    ) -> HashMap<usize, Vec<ScanTask>> {
+        let mut scans: Vec<ScanTask> = Vec::new();
+        let mut planned: BTreeSet<u64> = BTreeSet::new();
+        let capacity = self.config.queue_capacity.max(1);
+        let window_day = if window.start < window.end {
+            self.stream.impression(window.start).day
+        } else {
+            0
+        };
+        for index in window.clone() {
+            let imp = self.stream.impression(index);
+            let url = self.impression_url(imp);
+            let key = creative_cache_key(&url);
+            state.counters.ingested += 1;
+            match state.cache.get_mut(&key) {
+                Some(v) if self.fresh(v, imp.day) => {
+                    state.counters.cache_hits += 1;
+                    v.last_touch = index;
+                }
+                Some(v) => {
+                    // Expired: serve the stale verdict now, queue a re-scan
+                    // if the shard still has budget.
+                    state.counters.stale_serves += 1;
+                    v.last_touch = index;
+                    if planned.insert(key) {
+                        if scans.len() < capacity {
+                            scans.push(ScanTask {
+                                key,
+                                url,
+                                day: imp.day,
+                                rescan: true,
+                                touch: index,
+                            });
+                        } else {
+                            // The stale verdict keeps serving; the entry
+                            // falls to the backlog gauge below.
+                            state.counters.shed += 1;
+                            planned.remove(&key);
+                        }
+                    }
+                }
+                None => {
+                    if planned.insert(key) {
+                        if scans.len() < capacity {
+                            scans.push(ScanTask {
+                                key,
+                                url,
+                                day: imp.day,
+                                rescan: false,
+                                touch: index,
+                            });
+                        } else {
+                            // Shed: the impression passes unscanned; the
+                            // creative is picked up when re-encountered.
+                            state.counters.shed += 1;
+                            planned.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        // Backlog sweep: expired entries the window did not touch, oldest
+        // verdict first (key-tiebroken) — the deterministic firing order.
+        let mut backlog: Vec<(u32, u64)> = state
+            .cache
+            .values()
+            .filter(|v| !self.fresh(v, window_day) && !planned.contains(&v.key))
+            .map(|v| (v.last_scan_day, v.key))
+            .collect();
+        backlog.sort_unstable();
+        for &(_, key) in &backlog {
+            if scans.len() >= capacity {
+                break;
+            }
+            let v = &state.cache[&key];
+            scans.push(ScanTask {
+                key,
+                url: Url::parse(&v.url)
+                    .unwrap_or_else(|_| panic!("cached verdict URL must re-parse: {}", v.url)),
+                day: window_day,
+                rescan: true,
+                touch: v.last_touch,
+            });
+            planned.insert(key);
+        }
+        // Gauge: expired entries still unscanned after planning.
+        state.counters.rescan_backlog = state
+            .cache
+            .values()
+            .filter(|v| !self.fresh(v, window_day) && !planned.contains(&v.key))
+            .count() as u64;
+
+        // Deal scans round-robin over the window's job indices so the
+        // engine spreads them across workers.
+        let mut tasks: HashMap<usize, Vec<ScanTask>> = HashMap::new();
+        let width = (window.end - window.start).max(1);
+        for (i, task) in scans.into_iter().enumerate() {
+            let job = (window.start + (i as u64 % width)) as usize;
+            tasks.entry(job).or_default().push(task);
+        }
+        tasks
+    }
+
+    /// Applies a shard's scan outcomes to the cache in stream order, then
+    /// enforces the capacity bound (least-recently-touched first).
+    fn fold_boundary(&self, state: &mut ServeState) {
+        let pending = std::mem::take(&mut state.pending);
+        for (_, outcomes) in pending {
+            for out in outcomes {
+                state.counters.scans += 1;
+                if out.task.rescan {
+                    state.counters.rescans += 1;
+                }
+                if self.options.record_scan_log {
+                    state.scan_log.push((out.task.key, out.task.day));
+                }
+                let entry = state
+                    .cache
+                    .entry(out.task.key)
+                    .or_insert_with(|| CachedVerdict {
+                        key: out.task.key,
+                        url: out.task.url.to_string(),
+                        first_scan_day: out.task.day,
+                        last_scan_day: out.task.day,
+                        scans: 0,
+                        last_touch: out.task.touch,
+                        flagged: false,
+                        category: None,
+                        incidents: Vec::new(),
+                    });
+                entry.last_scan_day = out.task.day;
+                entry.scans += 1;
+                entry.last_touch = entry.last_touch.max(out.task.touch);
+                entry.flagged = out.flagged;
+                entry.category = out.category;
+                entry.incidents = out.incidents;
+            }
+        }
+        let capacity = self.config.cache_capacity.max(1);
+        while state.cache.len() > capacity {
+            let victim = state
+                .cache
+                .values()
+                .map(|v| (v.last_touch, v.key))
+                .min()
+                .expect("cache is non-empty");
+            state.cache.remove(&victim.1);
+            state.counters.evictions += 1;
+        }
+    }
+
+    /// Answers every pending query whose scheduled boundary has arrived.
+    fn answer_queries(&self, state: &mut ServeState, shard: u64, cursor: u64, last_day: u32) {
+        let mut queue = self.queries.queue.lock();
+        let mut keep = VecDeque::new();
+        while let Some(q) = queue.pop_front() {
+            if q.not_before_shard > shard {
+                keep.push_back(q);
+                continue;
+            }
+            state.counters.queries += 1;
+            let key = match Url::parse(&q.url) {
+                Ok(url) => creative_cache_key(&url),
+                Err(_) => mix_label(KEY_DOMAIN, q.url.as_bytes()),
+            };
+            let answer = match state.cache.get(&key) {
+                Some(v) => QueryAnswer {
+                    url: q.url,
+                    key,
+                    known: true,
+                    flagged: v.flagged,
+                    category: v.category.map(|c| c.label().to_string()),
+                    last_scan_day: Some(v.last_scan_day),
+                    stale: !self.fresh(v, last_day),
+                    provenance: v.incidents.iter().map(|i| i.provenance.clone()).collect(),
+                    answered_at_shard: shard,
+                    answered_at_impression: cursor,
+                },
+                None => QueryAnswer {
+                    url: q.url,
+                    key,
+                    known: false,
+                    flagged: false,
+                    category: None,
+                    last_scan_day: None,
+                    stale: false,
+                    provenance: Vec::new(),
+                    answered_at_shard: shard,
+                    answered_at_impression: cursor,
+                },
+            };
+            // A dropped receiver is fine — the asker lost interest.
+            let _ = q.reply.send(answer);
+        }
+        *queue = keep;
+    }
+
+    /// Replays the stream to the horizon. Returns `None` when the daemon
+    /// parked at a shard boundary ([`ServeOptions::abort_after_shards`])
+    /// with its snapshot written; a new daemon built with
+    /// [`ServeBuilder::resume`] picks up from it.
+    pub fn run(&self) -> Option<ServeReport> {
+        let started = Instant::now();
+        let total = self.config.impressions as usize;
+        let script_stats = ScriptStats::new();
+        let script_cache = ScriptCache::new(self.config.script_cache, script_stats.clone());
+        let oracle_stats = OracleStats::new();
+        let oracle = Oracle::builder(
+            &self.world.network,
+            &self.world.blacklists,
+            &self.world.scanner,
+        )
+        .known_models(self.seed_models())
+        .seeds(self.world.tree)
+        .stats(oracle_stats.clone())
+        .script_cache(script_cache)
+        .script_engine(self.config.script_engine)
+        .build();
+
+        let (mut state, start, script_base) = match &self.resume_state {
+            Some(snap) => (
+                ServeState {
+                    cache: snap.cache.iter().map(|v| (v.key, v.clone())).collect(),
+                    counters: snap.counters,
+                    pending: BTreeMap::new(),
+                    scan_log: Vec::new(),
+                },
+                (snap.next_impression as usize).min(total),
+                snap.script,
+            ),
+            None => (
+                ServeState {
+                    cache: BTreeMap::new(),
+                    counters: ServeCounters::default(),
+                    pending: BTreeMap::new(),
+                    scan_log: Vec::new(),
+                },
+                0,
+                ScriptBase::default(),
+            ),
+        };
+
+        let store =
+            self.options.checkpoint.as_deref().map(|dir| {
+                SnapshotStore::open(dir).expect("checkpoint directory must be creatable")
+            });
+        let every = self.options.checkpoint_every.max(1);
+        let abort = self.options.abort_after_shards;
+        let seed = self.config.seed;
+        let fingerprint = serve_fingerprint(&self.config);
+        let shard_size = self.options.shard_size.max(1);
+        let engine = EngineConfig::new(self.config.workers, shard_size);
+        let registry = &self.options.metrics;
+        let estats = registry
+            .is_enabled()
+            .then(|| EngineStats::new(self.config.workers));
+        let sampler = registry.stage(
+            "serve",
+            start as u64,
+            total as u64,
+            shard_size as u64,
+            self.options.progress,
+        );
+
+        // The first window's plan is computed before workers start; each
+        // boundary then plans the next window with workers parked.
+        let plan: Arc<RwLock<HashMap<usize, Vec<ScanTask>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        if start < total {
+            // Guarded like the boundary planner: a no-op replay (resuming an
+            // already-complete run) must not re-plan an empty window, which
+            // would recompute the backlog gauge against day 0.
+            let first_window = start as u64..((start + shard_size).min(total)) as u64;
+            *plan.write() = self.plan_window(&mut state, first_window);
+        }
+
+        let snapshot_of = |state: &ServeState, next: usize, script: ScriptBase| ServeSnapshot {
+            version: SERVE_SNAPSHOT_VERSION,
+            seed,
+            fingerprint,
+            next_impression: next as u64,
+            counters: state.counters,
+            cache: state.cache.values().cloned().collect(),
+            script,
+        };
+
+        let mut shard = 0u64;
+        let worker_plan = Arc::clone(&plan);
+        let outcome = run_fold_observed(
+            &engine,
+            estats.as_ref(),
+            start..total,
+            state,
+            |_worker| (),
+            |(), job| {
+                let tasks = {
+                    let plan = worker_plan.read();
+                    plan.get(&job).cloned().unwrap_or_default()
+                };
+                let mut outcomes = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    let seeds = self
+                        .world
+                        .tree
+                        .branch("serve")
+                        .branch_idx(task.key)
+                        .branch_idx(task.day as u64);
+                    let time = SimTime::at(task.day, 0);
+                    let visit = oracle.honeyclient_visit_seeded(&task.url, time, seeds);
+                    let incidents = oracle.classify_visit(&visit, time);
+                    let category = IncidentType::ALL
+                        .iter()
+                        .copied()
+                        .find(|t| incidents.iter().any(|i| i.incident_type == *t));
+                    outcomes.push(ScanOutcome {
+                        flagged: !incidents.is_empty(),
+                        category,
+                        incidents,
+                        task,
+                    });
+                }
+                outcomes
+            },
+            |state, job, outcomes| {
+                if !outcomes.is_empty() {
+                    state.pending.insert(job, outcomes);
+                }
+            },
+            |state, next| {
+                shard += 1;
+                self.fold_boundary(state);
+                let last_day = if next > 0 {
+                    self.stream.impression(next as u64 - 1).day
+                } else {
+                    0
+                };
+                self.answer_queries(state, shard, next as u64, last_day);
+                let stop = abort.is_some_and(|limit| shard >= limit);
+                if let Some(store) = &store {
+                    if stop || next >= total || shard.is_multiple_of(every) {
+                        let snapshot = snapshot_of(
+                            state,
+                            next,
+                            ScriptBase::capture(script_base.plus(script_stats.snapshot())),
+                        );
+                        let write_started = Instant::now();
+                        let bytes = snapshot.save(store).expect("serve checkpoint write failed");
+                        registry.checkpoint_written(bytes, write_started.elapsed());
+                    }
+                }
+                if sampler.is_enabled() {
+                    let counters = BTreeMap::from([
+                        ("serve_ingested".to_string(), state.counters.ingested),
+                        ("serve_scans".to_string(), state.counters.scans),
+                        ("serve_cache_hits".to_string(), state.counters.cache_hits),
+                        (
+                            "serve_stale_serves".to_string(),
+                            state.counters.stale_serves,
+                        ),
+                        ("serve_rescans".to_string(), state.counters.rescans),
+                        ("serve_shed".to_string(), state.counters.shed),
+                        (
+                            "serve_rescan_backlog".to_string(),
+                            state.counters.rescan_backlog,
+                        ),
+                        ("serve_evictions".to_string(), state.counters.evictions),
+                        ("unique_creatives".to_string(), state.cache.len() as u64),
+                    ]);
+                    sampler.sample(
+                        shard,
+                        next as u64,
+                        counters,
+                        balance_of(estats.as_ref()),
+                        vm_meter_of(script_base.plus(script_stats.snapshot())),
+                    );
+                }
+                if !stop && next < total {
+                    let window = next as u64..((next + shard_size).min(total)) as u64;
+                    *plan.write() = self.plan_window(state, window);
+                }
+                if stop {
+                    Boundary::Stop
+                } else {
+                    Boundary::Continue
+                }
+            },
+        );
+
+        if outcome.next_job < total {
+            // Parked: the snapshot at the stop boundary is already on disk
+            // (when checkpointing); pending queries wait for the resume.
+            return None;
+        }
+        let mut state = outcome.state;
+        // Zero-impression runs never cross a boundary; answer whatever is
+        // queued so queries cannot dangle.
+        let last_day = if total > 0 {
+            self.stream.impression(total as u64 - 1).day
+        } else {
+            0
+        };
+        self.answer_queries(&mut state, shard.max(1), total as u64, last_day);
+
+        let script = script_base.plus(script_stats.snapshot());
+        let snapshot = snapshot_of(&state, total, ScriptBase::capture(script));
+        let counters = RunCounters {
+            serve_ingested: state.counters.ingested,
+            serve_scans: state.counters.scans,
+            serve_cache_hits: state.counters.cache_hits,
+            serve_rescans: state.counters.rescans,
+            serve_shed: state.counters.shed,
+            serve_rescan_backlog: state.counters.rescan_backlog,
+            oracle_executions: state.counters.scans,
+            feed_lookups: oracle_stats.feed_lookups(),
+            script_budgets_exhausted: oracle_stats.budget_exhaustions(),
+            script_lookups: script.lookups,
+            script_cache_hits: script.cache_hits,
+            script_cache_misses: script.cache_misses,
+            bytecode_dispatches: script.bytecode_dispatches,
+            inline_cache_hits: script.inline_cache_hits,
+            inline_cache_misses: script.inline_cache_misses,
+            shape_hits: script.shape_hits,
+            shape_transitions: script.shape_transitions,
+            ..RunCounters::default()
+        };
+        Some(ServeReport {
+            snapshot,
+            counters,
+            shards: shard,
+            wall: started.elapsed(),
+            scan_log: state.scan_log,
+        })
+    }
+}
+
+/// Converts the engine's scheduling snapshot into the trace crate's plain
+/// balance record (same indirection the batch study uses).
+fn balance_of(stats: Option<&EngineStats>) -> EngineBalance {
+    stats
+        .map(|stats| {
+            let snap = stats.snapshot();
+            EngineBalance {
+                steals: snap.steals,
+                parks: snap.parks,
+                worker_jobs: snap.worker_jobs,
+            }
+        })
+        .unwrap_or_default()
+}
+
+/// Distills script counters into the trace crate's VM meter (same
+/// indirection the batch study uses).
+fn vm_meter_of(counts: malvert_crawler::ScriptCounts) -> VmMeter {
+    VmMeter {
+        dispatches: counts.bytecode_dispatches,
+        ic_hits: counts.inline_cache_hits,
+        ic_misses: counts.inline_cache_misses,
+        shape_hits: counts.shape_hits,
+        shape_transitions: counts.shape_transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon(seed: u64) -> ServeDaemon {
+        ServeDaemon::builder()
+            .config(ServeConfig::tiny(seed))
+            .shard_size(64)
+            .build()
+            .expect("daemon builds")
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = ServeConfig::tiny(3);
+        let mut b = ServeConfig::tiny(3);
+        assert_eq!(serve_fingerprint(&a), serve_fingerprint(&b));
+        b.ttl_days += 1;
+        assert_ne!(serve_fingerprint(&a), serve_fingerprint(&b));
+    }
+
+    #[test]
+    fn replay_reaches_the_horizon_and_bounds_the_cache() {
+        let d = daemon(21);
+        let report = d.run().expect("uninterrupted run completes");
+        let c = &report.snapshot.counters;
+        assert_eq!(c.ingested, d.config.impressions);
+        assert!(c.scans > 0, "a fresh daemon must scan");
+        assert!(c.cache_hits > 0, "a replayed stream must repeat creatives");
+        assert!(
+            report.snapshot.cache.len() <= d.config.cache_capacity,
+            "cache exceeded its bound"
+        );
+        assert_eq!(
+            report.counters.serve_ingested, c.ingested,
+            "RunCounters mirror the serve ledger"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let d = daemon(22);
+        let report = d.run().expect("completes");
+        let json = serde_json::to_string(&report.snapshot).expect("serializes");
+        let back: ServeSnapshot = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, report.snapshot);
+        back.validate(22, serve_fingerprint(&d.config))
+            .expect("validates against its own identity");
+        assert!(back.validate(23, serve_fingerprint(&d.config)).is_err());
+    }
+
+    #[test]
+    fn queries_answer_with_provenance_at_boundaries() {
+        let d = daemon(23);
+        let handle = d.handle();
+        let imp = d.stream.impression(0);
+        let url = d.impression_url(imp).to_string();
+        let early = handle.ask_at(1, &url).expect("query accepted");
+        let unknown = handle
+            .ask_at(1, "http://never-served.example/x")
+            .expect("accepted");
+        let report = d.run().expect("completes");
+        let a = early.recv().expect("answered");
+        assert_eq!(a.answered_at_shard, 1);
+        assert!(a.known, "first impression's creative is scanned in shard 1");
+        if a.flagged {
+            assert!(!a.provenance.is_empty(), "flagged answers carry provenance");
+        }
+        let u = unknown.recv().expect("answered");
+        assert!(!u.known && !u.flagged && u.provenance.is_empty());
+        assert!(report.snapshot.counters.queries >= 2);
+    }
+
+    #[test]
+    fn tiny_queue_sheds_deterministically() {
+        let mut config = ServeConfig::tiny(24);
+        config.queue_capacity = 2;
+        config.impressions = 256;
+        let run = |workers: usize| {
+            let mut c = config.clone();
+            c.workers = workers;
+            ServeDaemon::builder()
+                .config(c)
+                .shard_size(32)
+                .build()
+                .expect("builds")
+                .run()
+                .expect("completes")
+        };
+        let a = run(1);
+        let b = run(4);
+        assert!(a.snapshot.counters.shed > 0, "capacity 2 must shed");
+        assert_eq!(a.snapshot.state_json(), b.snapshot.state_json());
+        assert_eq!(a.counters.serve_shed, a.snapshot.counters.shed);
+    }
+}

@@ -695,7 +695,7 @@ impl Study {
                 shard += 1;
                 let stop = abort.is_some_and(|limit| shard >= limit);
                 if let Some(store) = &store {
-                    if stop || next >= total || shard % every == 0 {
+                    if stop || next >= total || shard.is_multiple_of(every) {
                         let snapshot = StudySnapshot {
                             version: SNAPSHOT_VERSION,
                             seed,
@@ -910,7 +910,7 @@ impl Study {
                 shard += 1;
                 let stop = abort.is_some_and(|limit| shard >= limit);
                 if let Some(store) = &store {
-                    if stop || next >= total || shard % every == 0 {
+                    if stop || next >= total || shard.is_multiple_of(every) {
                         let snapshot = StudySnapshot {
                             version: SNAPSHOT_VERSION,
                             seed,
@@ -992,14 +992,13 @@ impl Study {
             script_lookups: script.lookups + classify_script.lookups,
             script_cache_hits: script.cache_hits + classify_script.cache_hits,
             script_cache_misses: script.cache_misses + classify_script.cache_misses,
-            bytecode_dispatches: script.bytecode_dispatches
-                + classify_script.bytecode_dispatches,
+            bytecode_dispatches: script.bytecode_dispatches + classify_script.bytecode_dispatches,
             inline_cache_hits: script.inline_cache_hits + classify_script.inline_cache_hits,
-            inline_cache_misses: script.inline_cache_misses
-                + classify_script.inline_cache_misses,
+            inline_cache_misses: script.inline_cache_misses + classify_script.inline_cache_misses,
             shape_hits: script.shape_hits + classify_script.shape_hits,
             shape_transitions: script.shape_transitions + classify_script.shape_transitions,
             errors,
+            ..RunCounters::default()
         };
         let mut metrics = RunMetrics::new(counters);
         metrics.record(StageId::WorldBuild, self.build_wall);

@@ -227,7 +227,7 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, ba);
 
-        assert_eq!(left.count(), 10);
+        assert_eq!(left.count(), 11);
     }
 
     #[test]

@@ -700,12 +700,14 @@ impl HealthReport {
         {
             if let Some((jobs, us)) = prev {
                 let djobs = s.det.jobs_done.saturating_sub(jobs) as f64;
-                let dsecs = (w.stage_elapsed_us.saturating_sub(us)) as f64 / 1e6;
-                if dsecs > 0.0 {
-                    let rate = djobs / dsecs;
-                    rate_min = rate_min.min(rate);
-                    rate_max = rate_max.max(rate);
-                }
+                // Clamp the window to one microsecond: samples can land
+                // inside the same clock tick (coarse timers, checkpoint
+                // replays), and a zero-width window must register as a
+                // burst, not silently drop out of the min/max envelope.
+                let dsecs = (w.stage_elapsed_us.saturating_sub(us)).max(1) as f64 / 1e6;
+                let rate = djobs / dsecs;
+                rate_min = rate_min.min(rate);
+                rate_max = rate_max.max(rate);
             }
             prev = Some((s.det.jobs_done, w.stage_elapsed_us));
         }
@@ -818,6 +820,28 @@ impl HealthReport {
                     s.vm.ic_misses,
                     s.vm.shape_hits,
                     s.vm.shape_transitions
+                );
+            }
+            // Daemon stages carry the serve counter family; surface the
+            // service health figures on their own line.
+            if let Some(&ingested) = s.counters.get("serve_ingested") {
+                let counter = |name: &str| s.counters.get(name).copied().unwrap_or(0);
+                let hits = counter("serve_cache_hits");
+                let hit_rate = if ingested > 0 {
+                    hits as f64 * 100.0 / ingested as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  serve: {:.0} impressions/s ingest · cache hit rate {:.1}% · \
+                     {} re-scans · backlog {} · shed {} · {} cached verdicts",
+                    s.jobs_per_sec,
+                    hit_rate,
+                    counter("serve_rescans"),
+                    counter("serve_rescan_backlog"),
+                    counter("serve_shed"),
+                    counter("unique_creatives"),
                 );
             }
             if !s.counters.is_empty() {
@@ -1001,6 +1025,92 @@ mod tests {
             second.checkpoint.bytes, 200,
             "a stage meters only its own checkpoint writes"
         );
+    }
+
+    #[test]
+    fn zero_width_sample_window_still_bounds_throughput() {
+        // Two boundary samples landing in the same clock tick: jobs advance
+        // 20 -> 40 while stage_elapsed_us stays put. The window clamps to
+        // 1 µs, so the burst registers as 20 jobs / 1 µs = 2e7 jobs/s
+        // instead of the pair silently falling back to the cumulative rate.
+        let sample = |jobs_done: u64, elapsed_us: u64| MetricsSample {
+            det: SampleDet {
+                stage: "classify".to_string(),
+                shard: jobs_done / 20,
+                shards_total: 2,
+                jobs_done,
+                jobs_total: 40,
+                counters: BTreeMap::new(),
+            },
+            wall: Some(SampleWall {
+                ts_us: elapsed_us,
+                stage_elapsed_us: elapsed_us,
+                jobs_per_sec: 123.0,
+                eta_us: 0,
+                balance: EngineBalance::default(),
+                job_hist: LogHistogram::new(),
+                job_p50_us: 0,
+                job_p95_us: 0,
+                job_max_us: 0,
+                checkpoint: CheckpointMeter::default(),
+                vm: VmMeter::default(),
+            }),
+        };
+        let report = HealthReport::from_samples(&[sample(20, 1000), sample(40, 1000)]);
+        let s = &report.stages[0];
+        assert_eq!(
+            s.jobs_per_sec_max, 2e7,
+            "zero-width window must clamp to 1 µs, not vanish into the cumulative fallback"
+        );
+        assert_eq!(s.jobs_per_sec_min, 2e7);
+
+        // A normal window still computes the plain delta rate.
+        let report = HealthReport::from_samples(&[sample(20, 0), sample(40, 2_000_000)]);
+        let s = &report.stages[0];
+        assert!((s.jobs_per_sec_max - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_stages_render_a_service_health_line() {
+        let mut counters = BTreeMap::new();
+        counters.insert("serve_ingested".to_string(), 200u64);
+        counters.insert("serve_cache_hits".to_string(), 50);
+        counters.insert("serve_rescans".to_string(), 7);
+        counters.insert("serve_rescan_backlog".to_string(), 3);
+        counters.insert("serve_shed".to_string(), 11);
+        counters.insert("unique_creatives".to_string(), 42);
+        let sample = MetricsSample {
+            det: SampleDet {
+                stage: "serve".to_string(),
+                shard: 1,
+                shards_total: 1,
+                jobs_done: 200,
+                jobs_total: 200,
+                counters,
+            },
+            wall: None,
+        };
+        let rendered = HealthReport::from_samples(&[sample]).render();
+        assert!(
+            rendered.contains("cache hit rate 25.0%"),
+            "missing serve line:\n{rendered}"
+        );
+        assert!(rendered.contains("7 re-scans · backlog 3 · shed 11 · 42 cached verdicts"));
+
+        // Non-serve stages don't grow the line.
+        let plain = MetricsSample {
+            det: SampleDet {
+                stage: "classify".to_string(),
+                shard: 1,
+                shards_total: 1,
+                jobs_done: 5,
+                jobs_total: 5,
+                counters: BTreeMap::new(),
+            },
+            wall: None,
+        };
+        let rendered = HealthReport::from_samples(&[plain]).render();
+        assert!(!rendered.contains("cache hit rate"));
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod generate;
 pub mod names;
 pub mod page;
 pub mod site;
+pub mod stream;
 
 pub use generate::{WebConfig, WorldWeb};
 pub use site::{AdSlot, CrawlCluster, Site};
+pub use stream::{Impression, ImpressionStream, StreamConfig};

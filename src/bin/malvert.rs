@@ -5,6 +5,11 @@
 //!               [--trace DIR] [--faults none|light|heavy] [--checkpoint DIR] [--resume DIR]
 //!               [--checkpoint-every N] [--shard N] [--abort-after-shards N]
 //!               [--metrics-out DIR] [--progress]
+//! malvert serve [--seed N] [--impressions N] [--per-day N] [--workers N]
+//!               [--faults none|light|heavy] [--cache N] [--ttl-days N] [--queue N]
+//!               [--shard N] [--checkpoint DIR] [--resume DIR] [--checkpoint-every N]
+//!               [--abort-after-shards N] [--metrics-out DIR] [--progress]
+//!               [--queries PATH] [--state-out PATH]
 //! malvert trace EVENTS.JSONL [--top N]
 //! malvert health METRICS.JSONL|DIR
 //! malvert bench-json [--out PATH] [--adscript-out PATH] [--study-out PATH] [--health-out PATH]
@@ -60,6 +65,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&flags),
+        "serve" => cmd_serve(&flags),
         "bench-json" => cmd_bench_json(&flags),
         "forensics" => cmd_forensics(&flags),
         "graph" => cmd_graph(&flags),
@@ -106,6 +112,23 @@ USAGE:
                    kill/resume testing hook; --metrics-out samples run-health
                    metrics at every shard boundary into DIR/metrics.jsonl,
                    and --progress renders a live stderr heartbeat per shard)
+  malvert serve    [--seed N] [--impressions N] [--per-day N] [--workers N]
+                   [--faults none|light|heavy] [--cache N] [--ttl-days N]
+                   [--queue N] [--shard N] [--checkpoint DIR] [--resume DIR]
+                   [--checkpoint-every N] [--abort-after-shards N]
+                   [--metrics-out DIR] [--progress] [--queries PATH]
+                   [--state-out PATH]
+                   run the continuous-scanning daemon: replay a
+                   seed-deterministic impression stream, keep a bounded
+                   verdict cache (--cache entries) with TTL re-scanning
+                   (--ttl-days), shed scans beyond the per-shard queue bound
+                   (--queue) under backpressure, and checkpoint the full
+                   verdict state for kill/resume; --queries submits
+                   flagged-or-not queries from a file (lines of `URL` or
+                   `SHARD URL`, answered with provenance at that shard
+                   boundary, printed as JSON lines); --state-out writes the
+                   final deterministic state JSON (byte-identical at any
+                   worker count)
   malvert trace    EVENTS.JSONL [--top N]
                    summarize a recorded trace: slowest spans, per-worker
                    skew, flagged-ad provenance
@@ -184,18 +207,58 @@ fn flag<T: std::str::FromStr>(
 /// its flags (explicit flags still override).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct RunRecipe {
+    // Every field carries a serde default: recipes recorded by older
+    // binaries predate some of these fields, and `--resume` must accept
+    // them rather than reject the whole document. Each default matches
+    // the `Default` impl, so a missing field behaves exactly as if the
+    // original invocation had omitted the flag.
+    #[serde(default = "default_seed")]
     seed: u64,
+    #[serde(default = "default_days")]
     days: u32,
+    #[serde(default = "default_refreshes")]
     refreshes: u32,
+    #[serde(default = "default_workers")]
     workers: usize,
+    #[serde(default = "default_faults")]
     faults: String,
+    #[serde(default = "default_shard")]
     shard: usize,
+    #[serde(default = "default_checkpoint_every")]
     checkpoint_every: u64,
     /// Script engine name ("vm" or "tree-walk"). Recipes recorded before
     /// the bytecode VM existed default to "vm" — safe because the engines
     /// are observably equivalent.
     #[serde(default = "default_engine")]
     engine: String,
+}
+
+fn default_seed() -> u64 {
+    2014
+}
+
+fn default_days() -> u32 {
+    10
+}
+
+fn default_refreshes() -> u32 {
+    2
+}
+
+fn default_workers() -> usize {
+    8
+}
+
+fn default_faults() -> String {
+    "none".to_string()
+}
+
+fn default_shard() -> usize {
+    1024
+}
+
+fn default_checkpoint_every() -> u64 {
+    1
 }
 
 fn default_engine() -> String {
@@ -205,13 +268,13 @@ fn default_engine() -> String {
 impl Default for RunRecipe {
     fn default() -> Self {
         RunRecipe {
-            seed: 2014,
-            days: 10,
-            refreshes: 2,
-            workers: 8,
-            faults: "none".to_string(),
-            shard: 1024,
-            checkpoint_every: 1,
+            seed: default_seed(),
+            days: default_days(),
+            refreshes: default_refreshes(),
+            workers: default_workers(),
+            faults: default_faults(),
+            shard: default_shard(),
+            checkpoint_every: default_checkpoint_every(),
             engine: default_engine(),
         }
     }
@@ -410,6 +473,247 @@ fn write_metrics_jsonl(dir: &str, metrics: &MetricsRegistry) -> Result<(), Strin
     let path = std::path::Path::new(dir).join("metrics.jsonl");
     std::fs::write(&path, log.to_jsonl()).map_err(|e| format!("write {}: {e}", path.display()))?;
     eprintln!("wrote {} ({} samples)", path.display(), log.len());
+    Ok(())
+}
+
+/// The serve parameters recorded into a checkpoint directory at daemon
+/// start (`serve-recipe.json`), so `--resume DIR` reproduces the original
+/// invocation without repeating its flags — same contract as the run
+/// recipe, including per-field serde defaults for forward compatibility.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeRecipe {
+    #[serde(default = "default_seed")]
+    seed: u64,
+    #[serde(default = "default_impressions")]
+    impressions: u64,
+    #[serde(default = "default_per_day")]
+    per_day: u64,
+    #[serde(default = "default_workers")]
+    workers: usize,
+    #[serde(default = "default_faults")]
+    faults: String,
+    #[serde(default = "default_cache")]
+    cache: usize,
+    #[serde(default = "default_ttl_days")]
+    ttl_days: u32,
+    #[serde(default = "default_queue")]
+    queue: usize,
+    #[serde(default = "default_shard")]
+    shard: usize,
+    #[serde(default = "default_checkpoint_every")]
+    checkpoint_every: u64,
+}
+
+fn default_impressions() -> u64 {
+    8192
+}
+
+fn default_per_day() -> u64 {
+    2048
+}
+
+fn default_cache() -> usize {
+    65_536
+}
+
+fn default_ttl_days() -> u32 {
+    7
+}
+
+fn default_queue() -> usize {
+    256
+}
+
+impl Default for ServeRecipe {
+    fn default() -> Self {
+        ServeRecipe {
+            seed: default_seed(),
+            impressions: default_impressions(),
+            per_day: default_per_day(),
+            workers: default_workers(),
+            faults: default_faults(),
+            cache: default_cache(),
+            ttl_days: default_ttl_days(),
+            queue: default_queue(),
+            shard: default_shard(),
+            checkpoint_every: default_checkpoint_every(),
+        }
+    }
+}
+
+/// The document name the serve recipe is stored under, next to the
+/// daemon's snapshot (distinct from the batch run's `recipe.json`).
+const SERVE_RECIPE_DOC: &str = "serve-recipe.json";
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use malvertising::core::serve::{ServeConfig, ServeDaemon};
+
+    // Resolve the recipe: defaults, then (on resume) the recorded recipe,
+    // then explicit flags — same precedence as `malvert run`.
+    let resume = flags.get("resume").cloned();
+    let base = match &resume {
+        Some(dir) => SnapshotStore::open(dir)
+            .map_err(|e| format!("open checkpoint directory {dir}: {e}"))?
+            .load::<ServeRecipe>(SERVE_RECIPE_DOC)
+            .map_err(|e| format!("read {dir}/{SERVE_RECIPE_DOC}: {e}"))?
+            .unwrap_or_default(),
+        None => ServeRecipe::default(),
+    };
+    let recipe = ServeRecipe {
+        seed: flag(flags, "seed", base.seed)?,
+        impressions: flag(flags, "impressions", base.impressions)?,
+        per_day: flag(flags, "per-day", base.per_day)?,
+        workers: flag(flags, "workers", base.workers)?,
+        faults: flags.get("faults").cloned().unwrap_or(base.faults),
+        cache: flag(flags, "cache", base.cache)?,
+        ttl_days: flag(flags, "ttl-days", base.ttl_days)?,
+        queue: flag(flags, "queue", base.queue)?,
+        shard: flag(flags, "shard", base.shard)?,
+        checkpoint_every: flag(flags, "checkpoint-every", base.checkpoint_every)?,
+    };
+    let faults = match recipe.faults.as_str() {
+        "none" => None,
+        name => Some(malvertising::net::FaultProfile::named(name).ok_or_else(|| {
+            format!("invalid value `{name}` for --faults (expected none, light, or heavy)")
+        })?),
+    };
+
+    let mut config = ServeConfig {
+        seed: recipe.seed,
+        impressions: recipe.impressions,
+        workers: recipe.workers,
+        faults,
+        cache_capacity: recipe.cache,
+        ttl_days: recipe.ttl_days,
+        queue_capacity: recipe.queue,
+        ..ServeConfig::default()
+    };
+    config.stream.per_day = recipe.per_day;
+
+    let mut builder = ServeDaemon::builder()
+        .config(config)
+        .shard_size(recipe.shard)
+        .checkpoint_every(recipe.checkpoint_every);
+    let progress = flags.contains_key("progress");
+    let metrics = (flags.contains_key("metrics-out") || progress).then(MetricsRegistry::new);
+    if let Some(metrics) = &metrics {
+        builder = builder.metrics(metrics.clone()).progress(progress);
+    }
+    if let Some(dir) = flags.get("checkpoint") {
+        builder = builder.checkpoint(dir);
+    }
+    if let Some(dir) = &resume {
+        builder = builder.resume(dir);
+    }
+    if let Some(n) = flags.get("abort-after-shards") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("invalid value `{n}` for --abort-after-shards"))?;
+        builder = builder.abort_after_shards(n);
+    }
+    let daemon = builder.build()?;
+
+    // Record the effective recipe next to the snapshots, so a later
+    // `--resume` reproduces this invocation.
+    let checkpoint_dir = flags.get("checkpoint").cloned().or_else(|| resume.clone());
+    if let Some(dir) = &checkpoint_dir {
+        SnapshotStore::open(dir)
+            .and_then(|store| store.save(SERVE_RECIPE_DOC, &recipe))
+            .map_err(|e| format!("write {dir}/{SERVE_RECIPE_DOC}: {e}"))?;
+    }
+
+    // Queue the query file before the daemon starts: each line is
+    // `URL` (answered at the first boundary) or `SHARD URL` (answered at
+    // the first boundary whose ordinal is at least SHARD).
+    let handle = daemon.handle();
+    let mut queries = Vec::new();
+    if let Some(path) = flags.get("queries") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (shard, url) = match line.split_once(char::is_whitespace) {
+                Some((shard, url)) => (
+                    shard
+                        .parse::<u64>()
+                        .map_err(|_| format!("{path}:{}: invalid shard `{shard}`", lineno + 1))?,
+                    url.trim(),
+                ),
+                None => (0, line),
+            };
+            let rx = handle
+                .ask_at(shard, url)
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            queries.push(rx);
+        }
+    }
+
+    eprintln!(
+        "serving: seed {}, {} impressions ({}/day), {} workers, cache {} / ttl {}d / queue {}{}",
+        recipe.seed,
+        recipe.impressions,
+        recipe.per_day,
+        recipe.workers,
+        recipe.cache,
+        recipe.ttl_days,
+        recipe.queue,
+        if resume.is_some() { " (resumed)" } else { "" }
+    );
+    let report = match daemon.run() {
+        Some(report) => report,
+        None => {
+            if let (Some(dir), Some(metrics)) = (flags.get("metrics-out"), &metrics) {
+                write_metrics_jsonl(dir, metrics)?;
+            }
+            let dir = checkpoint_dir.as_deref().unwrap_or("<checkpoint dir>");
+            eprintln!(
+                "serve parked at a checkpoint boundary; continue with: malvert serve --resume {dir}"
+            );
+            return Ok(());
+        }
+    };
+
+    // Answered queries come out as JSON lines, submission order preserved.
+    for rx in queries {
+        let answer = rx
+            .recv()
+            .map_err(|_| "daemon dropped a pending query".to_string())?;
+        let line = serde_json::to_string(&answer).map_err(|e| format!("serialize answer: {e}"))?;
+        println!("{line}");
+    }
+
+    let c = &report.snapshot.counters;
+    let hit_rate = if c.ingested > 0 {
+        c.cache_hits as f64 * 100.0 / c.ingested as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "serve complete: {} impressions in {} shards · {} scans ({} re-scans) · \
+         cache hits {} ({hit_rate:.1}%) · stale serves {} · shed {} · evictions {} · \
+         backlog {} · {} cached verdicts · {} queries answered",
+        c.ingested,
+        report.shards,
+        c.scans,
+        c.rescans,
+        c.cache_hits,
+        c.stale_serves,
+        c.shed,
+        c.evictions,
+        c.rescan_backlog,
+        report.snapshot.cache.len(),
+        c.queries,
+    );
+    if let Some(path) = flags.get("state-out") {
+        let state = report.snapshot.state_json();
+        std::fs::write(path, &state).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} bytes)", state.len());
+    }
+    if let (Some(dir), Some(metrics)) = (flags.get("metrics-out"), &metrics) {
+        write_metrics_jsonl(dir, metrics)?;
+    }
     Ok(())
 }
 

@@ -386,3 +386,158 @@ fn scan_reports_and_writes_har() {
     assert!(parsed["log"]["entries"].as_array().is_some());
     let _ = std::fs::remove_file(&har_path);
 }
+
+#[test]
+fn resume_accepts_a_recipe_from_an_older_binary() {
+    // Park a tiny checkpointed run at its first shard boundary, then
+    // rewrite recipe.json the way an older binary recorded it — before
+    // the shard / checkpoint_every / engine fields existed. `--resume`
+    // must fill the missing fields from the defaults instead of
+    // rejecting the document.
+    let dir = std::env::temp_dir().join(format!("malvert-test-{}-oldrecipe", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = malvert()
+        .args([
+            "run",
+            "--seed",
+            "7",
+            "--days",
+            "1",
+            "--refreshes",
+            "1",
+            "--workers",
+            "2",
+            "--shard",
+            "128",
+            "--checkpoint",
+            dir.to_str().unwrap(),
+            "--abort-after-shards",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("parked"),
+        "seed run did not park at a checkpoint boundary"
+    );
+
+    std::fs::write(
+        dir.join("recipe.json"),
+        r#"{
+  "seed": 7,
+  "days": 1,
+  "refreshes": 1,
+  "workers": 2,
+  "faults": "none"
+}"#,
+    )
+    .expect("old-format recipe written");
+
+    // Resume must adopt the recipe's values and default the rest. The
+    // shard size is given explicitly because the old recipe cannot carry
+    // it and the parked snapshot was cut at a 128-job boundary.
+    let out = malvert()
+        .args(["run", "--resume", dir.to_str().unwrap(), "--shard", "128"])
+        .output()
+        .expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    assert!(
+        err.contains("running study: seed 7") && err.contains("(resumed)"),
+        "resume did not adopt the old recipe: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_daemon_answers_queries_and_survives_kill_resume() {
+    // End-to-end service mode: run the daemon with a query file, park it
+    // at a shard boundary, resume to completion, and check the final
+    // deterministic state matches an uninterrupted control run.
+    let base = std::env::temp_dir().join(format!("malvert-test-{}-serve", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let queries = base.join("queries.txt");
+    std::fs::write(&queries, "1 http://probe.example/never-served\n").expect("queries written");
+    let serve_args = |extra: &[&str]| {
+        let mut args = vec![
+            "serve".to_string(),
+            "--seed".into(),
+            "9".into(),
+            "--impressions".into(),
+            "256".into(),
+            "--per-day".into(),
+            "64".into(),
+            "--shard".into(),
+            "64".into(),
+            "--ttl-days".into(),
+            "2".into(),
+            "--workers".into(),
+            "2".into(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        args
+    };
+
+    // Control: uninterrupted run with a query.
+    let control_state = base.join("control.json");
+    let out = malvert()
+        .args(serve_args(&[
+            "--queries",
+            queries.to_str().unwrap(),
+            "--state-out",
+            control_state.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    assert!(err.contains("serve complete"), "missing summary: {err}");
+    let answer = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        answer.contains("\"known\":false") && answer.contains("probe.example"),
+        "query was not answered as JSON: {answer}"
+    );
+
+    // Interrupted run: park at the first boundary, then resume.
+    let ckpt = base.join("ckpt");
+    let out = malvert()
+        .args(serve_args(&[
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--abort-after-shards",
+            "1",
+        ]))
+        .output()
+        .expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    assert!(err.contains("serve parked"), "daemon did not park: {err}");
+
+    // Resume needs no flags beyond the directory: the recorded
+    // serve-recipe.json reproduces the invocation.
+    let resumed_state = base.join("resumed.json");
+    let out = malvert()
+        .args([
+            "serve",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--state-out",
+            resumed_state.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    assert!(err.contains("(resumed)"), "recipe not adopted: {err}");
+
+    let control = std::fs::read_to_string(&control_state).expect("control state written");
+    let resumed = std::fs::read_to_string(&resumed_state).expect("resumed state written");
+    assert_eq!(control, resumed, "kill/resume diverged from control");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,260 @@
+//! Integration tests for the continuous-scanning service mode
+//! (`core::serve`): worker-count byte-identity with interleaved queries,
+//! kill/resume, TTL re-scan firing order, backpressure shedding, and the
+//! verdict-cache memory bound.
+
+use malvertising::core::serve::{ServeConfig, ServeDaemon, ServeReport};
+
+fn tiny(seed: u64) -> ServeConfig {
+    ServeConfig::tiny(seed)
+}
+
+fn run_with_workers(config: &ServeConfig, workers: usize) -> ServeReport {
+    let mut config = config.clone();
+    config.workers = workers;
+    ServeDaemon::builder()
+        .config(config)
+        .shard_size(64)
+        .build()
+        .expect("daemon builds")
+        .run()
+        .expect("uninterrupted run completes")
+}
+
+/// The ISSUE's headline acceptance test: verdict state is a pure function
+/// of `(seed, stream, config)` — a 1-worker and an 8-worker daemon over
+/// the same replayed stream produce byte-identical state, and queries
+/// interleaved at shard boundaries receive identical answers.
+#[test]
+fn one_vs_eight_workers_byte_identical_with_interleaved_queries() {
+    let config = tiny(31);
+    let run = |workers: usize| {
+        let mut c = config.clone();
+        c.workers = workers;
+        let daemon = ServeDaemon::builder()
+            .config(c)
+            .shard_size(64)
+            .build()
+            .expect("daemon builds");
+        // Interleave queries at different boundaries: one URL the stream
+        // serves early, one it never serves.
+        let handle = daemon.handle();
+        let probes = [
+            (1, "http://probe.example/never-served"),
+            (2, "http://probe.example/also-never"),
+        ];
+        let mut receivers: Vec<_> = probes
+            .iter()
+            .map(|(shard, url)| handle.ask_at(*shard, url).expect("query accepted"))
+            .collect();
+        // A query for a real creative, answered mid-stream.
+        receivers.push(
+            handle
+                .ask_at(3, &first_creative_url(&daemon))
+                .expect("query accepted"),
+        );
+        let report = daemon.run().expect("completes");
+        let answers: Vec<String> = receivers
+            .into_iter()
+            .map(|rx| {
+                let a = rx.recv().expect("answered");
+                serde_json::to_string(&a).expect("serializes")
+            })
+            .collect();
+        (report.snapshot.state_json(), answers)
+    };
+    let (state1, answers1) = run(1);
+    let (state8, answers8) = run(8);
+    assert_eq!(state1, state8, "verdict state depends on worker count");
+    assert_eq!(answers1, answers8, "query answers depend on worker count");
+}
+
+/// The first impression's slot URL — a creative the daemon certainly
+/// scans in shard 1. The stream is addressable and seed-deterministic, so
+/// a one-impression replay of the same config derives it exactly.
+fn first_creative_url(daemon: &ServeDaemon) -> String {
+    let mut c = daemon.config.clone();
+    c.impressions = 1;
+    let report = ServeDaemon::builder()
+        .config(c)
+        .build()
+        .expect("one-impression daemon builds")
+        .run()
+        .expect("completes");
+    report.snapshot.cache[0].url.clone()
+}
+
+/// Kill/resume: a daemon parked at a shard boundary and resumed from its
+/// snapshot ends byte-identical to an uninterrupted control run.
+#[test]
+fn killed_and_resumed_daemon_matches_uninterrupted_control() {
+    let config = tiny(32);
+    let control = run_with_workers(&config, 4);
+
+    let dir = std::env::temp_dir().join(format!("malvert-serve-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let parked = ServeDaemon::builder()
+        .config(config.clone())
+        .shard_size(64)
+        .checkpoint(&dir)
+        .abort_after_shards(3)
+        .build()
+        .expect("daemon builds")
+        .run();
+    assert!(parked.is_none(), "abort-after-shards must park the daemon");
+
+    // Resume with a different worker count: state must not depend on it.
+    let mut resumed_config = config.clone();
+    resumed_config.workers = 1;
+    let resumed = ServeDaemon::builder()
+        .config(resumed_config)
+        .shard_size(64)
+        .resume(&dir)
+        .build()
+        .expect("resumed daemon builds")
+        .run()
+        .expect("resumed run completes");
+    assert_eq!(
+        control.snapshot.state_json(),
+        resumed.snapshot.state_json(),
+        "kill/resume diverged from the uninterrupted control"
+    );
+
+    // Resuming an already-complete run is a no-op replay: it must not
+    // perturb the persisted state (e.g. by re-planning an empty window).
+    let mut replay_config = config.clone();
+    replay_config.workers = 2;
+    let replayed = ServeDaemon::builder()
+        .config(replay_config)
+        .shard_size(64)
+        .resume(&dir)
+        .build()
+        .expect("no-op replay builds")
+        .run()
+        .expect("no-op replay completes");
+    assert_eq!(
+        control.snapshot.state_json(),
+        replayed.snapshot.state_json(),
+        "no-op replay diverged from the uninterrupted control"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming under a different configuration is rejected by fingerprint.
+#[test]
+fn resume_rejects_a_mismatched_config() {
+    let config = tiny(33);
+    let dir = std::env::temp_dir().join(format!("malvert-serve-reject-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let parked = ServeDaemon::builder()
+        .config(config.clone())
+        .shard_size(64)
+        .checkpoint(&dir)
+        .abort_after_shards(1)
+        .build()
+        .expect("builds")
+        .run();
+    assert!(parked.is_none());
+
+    let mut other = config.clone();
+    other.ttl_days += 1;
+    let err = ServeDaemon::builder()
+        .config(other)
+        .resume(&dir)
+        .build()
+        .err()
+        .expect("mismatched fingerprint must be rejected");
+    assert!(err.contains("fingerprint"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL re-scans fire in a deterministic order: the `(key, day)` scan log
+/// is identical at any worker count, and a short TTL actually produces
+/// re-scans of previously cached creatives.
+#[test]
+fn ttl_rescan_firing_order_is_deterministic() {
+    let mut config = tiny(34);
+    // One-day TTL over an 8-day replay: every cached verdict expires and
+    // must be re-scanned, stressing both re-encounter re-scans and the
+    // boundary backlog sweep.
+    config.ttl_days = 1;
+    let run = |workers: usize| {
+        let mut c = config.clone();
+        c.workers = workers;
+        ServeDaemon::builder()
+            .config(c)
+            .shard_size(64)
+            .record_scan_log(true)
+            .build()
+            .expect("builds")
+            .run()
+            .expect("completes")
+    };
+    let a = run(1);
+    let b = run(4);
+    assert!(
+        !a.scan_log.is_empty(),
+        "scan log was requested but is empty"
+    );
+    assert_eq!(
+        a.scan_log, b.scan_log,
+        "re-scan firing order depends on worker count"
+    );
+    assert!(
+        a.snapshot.counters.rescans > 0,
+        "a one-day TTL over a multi-day stream must re-scan"
+    );
+    // The log records actual re-scans: some key appears on two days.
+    let mut days_by_key = std::collections::HashMap::new();
+    for &(key, day) in &a.scan_log {
+        days_by_key
+            .entry(key)
+            .or_insert_with(std::collections::BTreeSet::new)
+            .insert(day);
+    }
+    assert!(
+        days_by_key.values().any(|days| days.len() > 1),
+        "no creative was scanned on two different days"
+    );
+}
+
+/// Backpressure: a tiny scan queue sheds deterministically, the shed count
+/// surfaces through `RunCounters`, and shedding degrades gracefully (the
+/// daemon still completes and keeps serving).
+#[test]
+fn backpressure_sheds_into_run_counters() {
+    let mut config = tiny(35);
+    config.queue_capacity = 3;
+    let a = run_with_workers(&config, 1);
+    let b = run_with_workers(&config, 8);
+    assert!(
+        a.counters.serve_shed > 0,
+        "a 3-scan queue over this stream must shed"
+    );
+    assert_eq!(a.counters.serve_shed, b.counters.serve_shed);
+    assert_eq!(a.counters.serve_ingested, config.impressions);
+    assert_eq!(a.snapshot.state_json(), b.snapshot.state_json());
+    // Shed scans are deferred, not lost: the backlog gauge and the stale
+    // counters stay visible in RunCounters for `malvert health`.
+    assert_eq!(a.counters.serve_scans, a.snapshot.counters.scans);
+    assert_eq!(
+        a.counters.serve_rescan_backlog,
+        a.snapshot.counters.rescan_backlog
+    );
+}
+
+/// Memory bound: the verdict cache never exceeds its capacity, evictions
+/// are counted, and eviction order is deterministic.
+#[test]
+fn verdict_cache_stays_bounded_and_evicts_deterministically() {
+    let mut config = tiny(36);
+    config.cache_capacity = 16;
+    let a = run_with_workers(&config, 1);
+    let b = run_with_workers(&config, 4);
+    assert!(a.snapshot.cache.len() <= 16, "cache exceeded its bound");
+    assert!(
+        a.snapshot.counters.evictions > 0,
+        "a 16-entry cache over this stream must evict"
+    );
+    assert_eq!(a.snapshot.state_json(), b.snapshot.state_json());
+}
